@@ -1,0 +1,36 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure of the evaluation
+(see DESIGN.md's experiment index) and writes its output under
+``benchmarks/results/`` so EXPERIMENTS.md can cite the numbers.
+
+Benchmarks use ``benchmark.pedantic(..., rounds=1)`` — the simulations
+are deterministic, so repeated rounds would only re-measure Python
+speed, not change any reported number.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write one experiment's output file and echo it to the log."""
+
+    def _save(name: str, text: str) -> str:
+        path = os.path.join(results_dir, name)
+        with open(path, "w") as handle:
+            handle.write(text)
+        print(f"\n[{name}]\n{text}")
+        return path
+
+    return _save

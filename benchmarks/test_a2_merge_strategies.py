@@ -1,0 +1,54 @@
+"""A2 (extension) — reduction merge strategies and atomic contention.
+
+The histogram workload's merge phase two ways: GETLLAR/PUTLLC atomic
+read-modify-write of the shared bins versus staging private copies for
+a PPE fold.  The table shows both scale with SPE count, and how the
+atomic path's lock-line contention (failed PUTLLCs forcing retries)
+grows as more SPEs finish their streaming phase together — the cost
+one pays for keeping the reduction off the control core.
+"""
+
+from repro.ta.report import format_table
+from repro.workloads import HistogramWorkload, run_workload
+
+SPE_COUNTS = (2, 4, 8)
+
+
+def profile(merge, n_spes):
+    workload = HistogramWorkload(
+        samples=32 * 1024, bins=256, block_bytes=4096,
+        n_spes=n_spes, merge=merge,
+    )
+    result = run_workload(workload)
+    assert result.verified
+    station = result.machine.reservations
+    return {
+        "merge": merge,
+        "spes": n_spes,
+        "cycles": result.elapsed_cycles,
+        "putllc_attempts": station.putllc_attempts,
+        "putllc_failures": station.putllc_failures,
+    }
+
+
+def sweep():
+    return [
+        profile(merge, n) for merge in ("atomic", "ppe") for n in SPE_COUNTS
+    ]
+
+
+def test_a2_merge_strategies(benchmark, save_result):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_result("a2_merge_strategies.txt", format_table(rows))
+
+    by_key = {(r["merge"], r["spes"]): r for r in rows}
+    # Both strategies scale: more SPEs, less wall-clock.
+    for merge in ("atomic", "ppe"):
+        cycles = [by_key[(merge, n)]["cycles"] for n in SPE_COUNTS]
+        assert cycles == sorted(cycles, reverse=True)
+    # Atomic contention grows with SPE count.
+    failures = [by_key[("atomic", n)]["putllc_failures"] for n in SPE_COUNTS]
+    assert failures == sorted(failures)
+    assert failures[-1] > failures[0]
+    # The PPE path uses no atomics at all.
+    assert all(by_key[("ppe", n)]["putllc_attempts"] == 0 for n in SPE_COUNTS)

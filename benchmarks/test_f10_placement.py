@@ -1,0 +1,66 @@
+"""F10 (extension) — SPE placement on the EIB ring.
+
+The EIB is a ring: an LS-to-LS pipeline whose consecutive stages sit
+on adjacent ring units travels one hop per handoff, while a scattered
+placement pays several.  Same pipeline, two placements, hop latency
+dialed up so the effect is visible above noise; the adjacent placement
+must win and the per-hop cost must explain the gap.
+"""
+
+import dataclasses
+
+from repro.cell import CellConfig
+from repro.cell.config import DmaTimings
+from repro.pdt import TraceConfig
+from repro.ta.report import format_table
+from repro.workloads import StreamingPipelineWorkload, run_workload
+
+#: A placement that maximizes ring distance between consecutive stages
+#: on an 8-SPE machine (stage i on spe_order[i]).
+SCATTERED = [0, 4, 1, 5, 2, 6, 3, 7]
+ADJACENT = list(range(8))
+
+CELL = CellConfig(
+    n_spes=8,
+    main_memory_size=1 << 27,
+    dma=dataclasses.replace(DmaTimings(), eib_hop_latency=30),
+)
+
+
+def profile(order, label):
+    workload = StreamingPipelineWorkload(
+        stages=8, blocks=24, block_bytes=4096, compute_per_block=500,
+        via_ls=True, depth=2, spe_order=order,
+    )
+    result = run_workload(workload, TraceConfig.dma_only(), cell_config=CELL)
+    assert result.verified
+    eib = result.machine.eib
+    hops_per_handoff = [
+        eib.hops(f"spe{order[i]}", f"spe{order[i + 1]}")
+        for i in range(len(order) - 1)
+    ]
+    return {
+        "placement": label,
+        "cycles": result.elapsed_cycles,
+        "total_handoff_hops": sum(hops_per_handoff),
+        "max_hop": max(hops_per_handoff),
+    }
+
+
+def measure_both():
+    return [profile(ADJACENT, "adjacent"), profile(SCATTERED, "scattered")]
+
+
+def test_f10_placement(benchmark, save_result):
+    rows = benchmark.pedantic(measure_both, rounds=1, iterations=1)
+    adjacent, scattered = rows
+    slowdown = scattered["cycles"] / adjacent["cycles"]
+    text = format_table(rows) + (
+        f"\nscattered placement slowdown: {slowdown:.3f}x "
+        f"(hop latency {CELL.dma.eib_hop_latency} cycles)\n"
+    )
+    save_result("f10_placement.txt", text)
+
+    assert adjacent["total_handoff_hops"] < scattered["total_handoff_hops"]
+    assert adjacent["max_hop"] == 1
+    assert scattered["cycles"] > adjacent["cycles"]

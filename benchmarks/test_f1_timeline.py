@@ -1,0 +1,42 @@
+"""F1 — the TA's timeline view of a pipeline workload.
+
+Regenerates the paper's signature figure: per-SPE execution-state
+lanes with DMA-in-flight bars, for a 4-stage streaming pipeline.
+Produces both the ASCII rendering (saved as text) and the SVG.
+"""
+
+from repro.pdt import TraceConfig
+from repro.ta import analyze, render_ascii, render_svg
+from repro.workloads import StreamingPipelineWorkload, run_workload
+
+
+def build_timeline():
+    workload = StreamingPipelineWorkload(
+        stages=4, blocks=16, block_bytes=4096, compute_per_block=6000
+    )
+    result = run_workload(workload, TraceConfig())
+    assert result.verified
+    model = analyze(result.trace())
+    return model
+
+
+def test_f1_timeline(benchmark, save_result):
+    model = benchmark.pedantic(build_timeline, rounds=1, iterations=1)
+    ascii_art = render_ascii(model, width=100)
+    save_result("f1_timeline.txt", ascii_art)
+    svg = render_svg(model)
+    save_result("f1_timeline.svg", svg)
+
+    # One state lane + one DMA lane per SPE.
+    assert ascii_art.count("dma |") == 4
+    for spe_id in range(4):
+        assert f"spe{spe_id}" in ascii_art
+    # The pipeline shows all three activity classes somewhere.
+    body = "\n".join(
+        line for line in ascii_art.splitlines() if line.startswith("spe")
+    )
+    assert "#" in body  # computing
+    assert "s" in body or "m" in body  # synchronization waits
+    # SVG carries every interval of every core.
+    total_intervals = sum(len(c.intervals) for c in model.cores.values())
+    assert svg.count("<rect") >= total_intervals

@@ -1,0 +1,56 @@
+"""F3 — use case: load-balance analysis across SPEs.
+
+Per-SPE busy time under a skewed tile schedule (SPE 0 gets 4 shares)
+versus the balanced round-robin schedule; the TA's imbalance factor
+and the makespan penalty it predicts.
+"""
+
+from repro.pdt import TraceConfig
+from repro.ta import analyze, analyze_load_balance
+from repro.ta.report import format_table
+from repro.ta.stats import TraceStatistics
+from repro.workloads import MatmulWorkload, run_workload
+
+
+def profile(skew):
+    workload = MatmulWorkload(n=256, tile=64, n_spes=4, skew=skew)
+    result = run_workload(workload, TraceConfig.dma_only())
+    assert result.verified
+    stats = TraceStatistics.from_model(analyze(result.trace()))
+    report = analyze_load_balance(stats)
+    return result.elapsed_cycles, stats, report
+
+
+def measure_both():
+    return {"skewed": profile(4), "balanced": profile(1)}
+
+
+def test_f3_load_balance(benchmark, save_result):
+    outcome = benchmark.pedantic(measure_both, rounds=1, iterations=1)
+    skewed_cycles, skewed_stats, skewed_report = outcome["skewed"]
+    balanced_cycles, balanced_stats, balanced_report = outcome["balanced"]
+
+    rows = []
+    for label, stats in (("skewed", skewed_stats), ("balanced", balanced_stats)):
+        for spe_id, s in sorted(stats.per_spe.items()):
+            rows.append(
+                {"schedule": label, "spe": spe_id, "busy_cycles": s.run_cycles,
+                 "utilization": round(s.utilization, 3)}
+            )
+    text = format_table(rows) + (
+        f"\nimbalance factor: skewed={skewed_report.imbalance_factor:.2f} "
+        f"balanced={balanced_report.imbalance_factor:.2f}\n"
+        f"makespan: skewed={skewed_cycles} balanced={balanced_cycles} "
+        f"({skewed_cycles / balanced_cycles:.2f}x)\n"
+        f"skewed verdict: {skewed_report.verdict}\n"
+        f"balanced verdict: {balanced_report.verdict}\n"
+    )
+    save_result("f3_load_balance.txt", text)
+
+    assert skewed_report.imbalance_factor > 1.5
+    assert "imbalanced" in skewed_report.verdict
+    assert skewed_report.slowest_spe == 0
+    assert balanced_report.imbalance_factor < 1.1
+    assert "balanced" in balanced_report.verdict
+    # The imbalance costs real wall-clock.
+    assert skewed_cycles / balanced_cycles > 1.3

@@ -1,0 +1,54 @@
+"""F7 (extension) — static vs dynamic work distribution.
+
+The load-balance use case, one step further: the Mandelbrot workload's
+per-row cost is wildly uneven, so a static contiguous split is unfair
+*even though every SPE gets the same number of rows*.  The dynamic
+variant claims rows from a shared atomic work queue (GETLLAR/PUTLLC
+fetch-and-increment).  The TA quantifies both: imbalance factor and
+makespan.
+"""
+
+from repro.pdt import TraceConfig
+from repro.ta import analyze, analyze_load_balance
+from repro.ta.report import format_table
+from repro.ta.stats import TraceStatistics
+from repro.workloads import MandelbrotWorkload, run_workload
+
+
+def profile(schedule):
+    workload = MandelbrotWorkload(
+        width=128, height=32, max_iterations=96, n_spes=4, schedule=schedule
+    )
+    result = run_workload(workload, TraceConfig.dma_only())
+    assert result.verified
+    stats = TraceStatistics.from_model(analyze(result.trace()))
+    report = analyze_load_balance(stats)
+    return {
+        "schedule": schedule,
+        "cycles": result.elapsed_cycles,
+        "imbalance": round(report.imbalance_factor, 2),
+        "rows_by_spe": str(
+            [workload.rows_done_by[i] for i in range(workload.n_spes)]
+        ),
+        "atomic_ops": result.machine.reservations.putllc_attempts,
+    }
+
+
+def measure_both():
+    return [profile("static"), profile("dynamic")]
+
+
+def test_f7_dynamic_scheduling(benchmark, save_result):
+    rows = benchmark.pedantic(measure_both, rounds=1, iterations=1)
+    static, dynamic = rows
+    speedup = static["cycles"] / dynamic["cycles"]
+    text = format_table(rows) + f"\nspeedup from dynamic scheduling: {speedup:.2f}x\n"
+    save_result("f7_dynamic_scheduling.txt", text)
+
+    # The fractal makes the static split imbalanced; the queue fixes it.
+    assert static["imbalance"] > dynamic["imbalance"]
+    assert dynamic["imbalance"] < 1.25
+    assert speedup > 1.1
+    # Dynamic really used the atomic unit.
+    assert dynamic["atomic_ops"] > 30
+    assert static["atomic_ops"] == 0

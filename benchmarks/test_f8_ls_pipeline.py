@@ -1,0 +1,68 @@
+"""F8 (extension) — SPE-to-SPE pipeline: through memory vs LS-to-LS.
+
+Every LS is aliased into the effective-address space, so a pipeline
+can hand blocks straight into the next SPE's local store — one EIB
+hop, no DRAM latency — instead of PUT-to-memory + GET-from-memory.
+This experiment measures what the direct path buys and shows the
+trace-visible difference (fewer DMA commands touching main storage).
+"""
+
+from repro.pdt import TraceConfig
+from repro.ta import analyze
+from repro.ta.report import format_table
+from repro.ta.stats import TraceStatistics
+from repro.workloads import StreamingPipelineWorkload, run_workload
+
+
+def profile(via_ls):
+    workload = StreamingPipelineWorkload(
+        stages=4, blocks=24, block_bytes=4096, compute_per_block=1500,
+        via_ls=via_ls,
+    )
+    result = run_workload(workload, TraceConfig.dma_only())
+    assert result.verified
+    machine = result.machine
+    dram_cmds = sum(
+        1
+        for spe in machine.spes
+        for cmd in spe.mfc.completed_commands
+        if not cmd.issuer.startswith("pdt-trace")
+        and not machine.address_map.is_local_store(cmd.effective_addr)
+    )
+    ls_cmds = sum(
+        1
+        for spe in machine.spes
+        for cmd in spe.mfc.completed_commands
+        if machine.address_map.is_local_store(cmd.effective_addr)
+    )
+    stats = TraceStatistics.from_model(analyze(result.trace()))
+    mean_wait_dma = sum(
+        s.stall_fraction("wait_dma") for s in stats.per_spe.values()
+    ) / len(stats.per_spe)
+    return {
+        "path": "ls-to-ls" if via_ls else "through-memory",
+        "cycles": result.elapsed_cycles,
+        "dram_dma_cmds": dram_cmds,
+        "ls_dma_cmds": ls_cmds,
+        "mean_wait_dma_frac": round(mean_wait_dma, 3),
+    }
+
+
+def measure_both():
+    return [profile(False), profile(True)]
+
+
+def test_f8_ls_pipeline(benchmark, save_result):
+    rows = benchmark.pedantic(measure_both, rounds=1, iterations=1)
+    memory_path, ls_path = rows
+    speedup = memory_path["cycles"] / ls_path["cycles"]
+    text = format_table(rows) + f"\nspeedup from LS-to-LS handoff: {speedup:.2f}x\n"
+    save_result("f8_ls_pipeline.txt", text)
+
+    assert speedup > 1.02
+    # The direct path replaces DRAM traffic with LS-window traffic.
+    assert ls_path["dram_dma_cmds"] < memory_path["dram_dma_cmds"]
+    assert ls_path["ls_dma_cmds"] > 0
+    assert memory_path["ls_dma_cmds"] == 0
+    # Less waiting on DRAM round trips.
+    assert ls_path["mean_wait_dma_frac"] <= memory_path["mean_wait_dma_frac"]

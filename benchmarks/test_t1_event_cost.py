@@ -1,0 +1,64 @@
+"""T1 — per-event tracing cost, by event type.
+
+Reconstructs the paper's per-event overhead discussion: how many SPU
+cycles (and ns at 3.2 GHz) one recorded event costs, measured the
+honest way — same microbenchmark traced and untraced, delta divided by
+the number of records.  The "compute" row is the control (no events).
+"""
+
+from repro.pdt import TraceConfig
+from repro.ta.report import format_table
+from repro.workloads import EventCostMicrobench, measure_overhead
+
+REPETITIONS = 300
+FILLER = 500
+OPS = ("marker", "signal", "mailbox", "dma", "compute")
+
+
+def measure_all():
+    rows = []
+    for op in OPS:
+        result = measure_overhead(
+            lambda op=op: EventCostMicrobench(
+                op=op, repetitions=REPETITIONS, filler_cycles=FILLER
+            ),
+            TraceConfig(),
+        )
+        delta = result.traced_cycles - result.untraced_cycles
+        per_event = delta / result.records if result.records else 0.0
+        rows.append(
+            {
+                "op": op,
+                "records": result.records,
+                "delta_cycles": delta,
+                "cycles_per_event": round(per_event, 1),
+                "ns_per_event": round(per_event / 3.2, 1),
+                "overhead_percent": round(result.overhead_percent, 2),
+            }
+        )
+    return rows
+
+
+def test_t1_per_event_cost(benchmark, save_result):
+    rows = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    save_result("t1_event_cost.txt", format_table(rows))
+
+    by_op = {row["op"]: row for row in rows}
+    # The control produces (almost) no records and negligible delta.
+    assert by_op["compute"]["delta_cycles"] < by_op["marker"]["delta_cycles"] / 5
+    base = TraceConfig().spu_record_cycles
+    # Ops adjacent to pure compute pay the full per-record price (plus
+    # flush effects).
+    for op in ("marker", "signal"):
+        cost = by_op[op]["cycles_per_event"]
+        assert base * 0.8 <= cost <= base * 4, (op, cost)
+    # Ops that contain stalls (DMA tag waits, mailbox backpressure)
+    # come out *cheaper* per event: part of the recording time hides
+    # under latency the SPU would have waited out anyway.  This
+    # sub-additivity is a finding, not a bug — assert it holds.
+    for op in ("mailbox", "dma"):
+        cost = by_op[op]["cycles_per_event"]
+        assert 0 < cost <= base * 1.2, (op, cost)
+    assert by_op["dma"]["cycles_per_event"] < by_op["marker"]["cycles_per_event"]
+    # DMA ops produce 3 records per repetition, markers 1.
+    assert by_op["dma"]["records"] > by_op["marker"]["records"] * 2

@@ -1,0 +1,64 @@
+"""T2 — tracing overhead on benchmark execution, per workload x config.
+
+The paper's headline overhead table: each workload runs untraced, then
+under the all-events and DMA-only configurations.  Expected shape:
+overhead tracks event *rate*, so the communication-free Monte Carlo
+sits near the floor, the chatty pipeline at the top, and DMA-only is
+always at most the all-events cost.
+"""
+
+from repro.pdt import TraceConfig
+from repro.ta.report import format_table
+from repro.workloads import (
+    FftWorkload,
+    MatmulWorkload,
+    MonteCarloWorkload,
+    SpmvWorkload,
+    StreamingPipelineWorkload,
+    measure_overhead,
+)
+
+WORKLOADS = (
+    ("matmul", lambda: MatmulWorkload(n=256, tile=64, n_spes=4)),
+    ("fft", lambda: FftWorkload(points=1024, batch=32, n_spes=4)),
+    ("streaming", lambda: StreamingPipelineWorkload(stages=4, blocks=16)),
+    ("montecarlo", lambda: MonteCarloWorkload(samples_per_spe=20_000, n_spes=4)),
+    ("spmv", lambda: SpmvWorkload(n=2048, density=0.02, rows_per_block=256, n_spes=4)),
+)
+
+CONFIGS = (
+    ("all", TraceConfig.all_events),
+    ("dma-only", TraceConfig.dma_only),
+)
+
+
+def measure_all():
+    rows = []
+    for name, factory in WORKLOADS:
+        for config_name, make_config in CONFIGS:
+            result = measure_overhead(factory, make_config())
+            row = result.row()
+            row["config"] = config_name
+            rows.append(row)
+    return rows
+
+
+def test_t2_workload_overhead(benchmark, save_result):
+    rows = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    save_result("t2_overhead.txt", format_table(rows))
+
+    overhead = {
+        (row["workload"], row["config"]): row["overhead_percent"] for row in rows
+    }
+    # Every run slows down, none pathologically.
+    for value in overhead.values():
+        assert 0 < value < 50
+    # DMA-only <= all-events for every workload.
+    for name, __ in WORKLOADS:
+        assert overhead[(name, "dma-only")] <= overhead[(name, "all")] + 0.01
+    # Monte Carlo (fewest events per cycle) is the floor.
+    mc = overhead[("montecarlo", "all")]
+    for name in ("fft", "streaming"):
+        assert mc < overhead[(name, "all")]
+    # The compute-dense matmul stays in single digits.
+    assert overhead[("matmul", "all")] < 10

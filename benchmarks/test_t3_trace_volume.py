@@ -1,0 +1,64 @@
+"""T3 — trace volume: records, bytes, and flush DMAs per workload.
+
+The storage side of the overhead discussion: how much trace data each
+workload generates, how many buffer-flush DMAs carried it out of local
+store, and the effective bytes-per-record of the format.
+"""
+
+from repro.pdt import TraceConfig
+from repro.ta.report import format_table
+from repro.workloads import (
+    FftWorkload,
+    MatmulWorkload,
+    MonteCarloWorkload,
+    SpmvWorkload,
+    StreamingPipelineWorkload,
+    run_workload,
+)
+
+WORKLOADS = (
+    ("matmul", lambda: MatmulWorkload(n=256, tile=64, n_spes=4)),
+    ("fft", lambda: FftWorkload(points=1024, batch=32, n_spes=4)),
+    ("streaming", lambda: StreamingPipelineWorkload(stages=4, blocks=16)),
+    ("montecarlo", lambda: MonteCarloWorkload(samples_per_spe=20_000, n_spes=4)),
+    ("spmv", lambda: SpmvWorkload(n=2048, density=0.02, rows_per_block=256, n_spes=4)),
+)
+
+
+def measure_all():
+    rows = []
+    for name, factory in WORKLOADS:
+        result = run_workload(factory(), TraceConfig(buffer_bytes=4096))
+        stats = result.hooks.stats
+        spe_records = sum(s.records for s in stats.per_spe.values())
+        spe_bytes = sum(s.bytes_buffered for s in stats.per_spe.values())
+        rows.append(
+            {
+                "workload": name,
+                "spe_records": spe_records,
+                "ppe_records": stats.ppe_records,
+                "spe_bytes": spe_bytes,
+                "flushes": stats.total_flushes,
+                "flush_bytes": stats.total_flush_bytes,
+                "bytes_per_record": round(spe_bytes / spe_records, 1),
+                "records_per_us": round(
+                    stats.total_records / result.elapsed_us, 1
+                ),
+            }
+        )
+    return rows
+
+
+def test_t3_trace_volume(benchmark, save_result):
+    rows = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    save_result("t3_trace_volume.txt", format_table(rows))
+
+    by_name = {row["workload"]: row for row in rows}
+    for row in rows:
+        # Everything buffered eventually flushed (final flush at exit).
+        assert row["flush_bytes"] == row["spe_bytes"]
+        # Record encoding is 16-byte padded, 16..80 bytes each.
+        assert 16 <= row["bytes_per_record"] <= 80
+        assert row["flushes"] >= 4  # at least the final flush per SPE
+    # The chatty pipeline out-records the quiet Monte Carlo by far.
+    assert by_name["streaming"]["spe_records"] > 5 * by_name["montecarlo"]["spe_records"]

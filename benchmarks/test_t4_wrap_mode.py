@@ -1,0 +1,53 @@
+"""T4 (extension) — trace-region policies: stop vs wrap.
+
+What happens when a long run outgrows its trace region: the default
+policy stops recording (keeps the oldest window of the run), wrap mode
+keeps the *newest* window — the mode used to catch a failure's final
+moments.  Same workload, same tiny region, both policies.
+"""
+
+from repro.pdt import TraceConfig
+from repro.ta.report import format_table
+from repro.workloads import StreamingPipelineWorkload, run_workload
+
+
+def profile(wrap):
+    config = TraceConfig(
+        buffer_bytes=512, trace_region_bytes=4096, wrap=wrap
+    )
+    workload = StreamingPipelineWorkload(stages=2, blocks=40, block_bytes=1024)
+    result = run_workload(workload, config)
+    assert result.verified
+    stats = result.hooks.stats.spe(0)
+    trace = result.trace()
+    kept = trace.records_for_spe(0)
+    return {
+        "policy": "wrap" if wrap else "stop",
+        "recorded": stats.records,
+        "dropped": stats.dropped_records,
+        "overwritten": stats.overwritten_records,
+        "kept": len(kept),
+        "first_kept_kind": kept[0].kind,
+        "last_kept_kind": kept[-1].kind,
+    }
+
+
+def measure_both():
+    return [profile(False), profile(True)]
+
+
+def test_t4_wrap_mode(benchmark, save_result):
+    rows = benchmark.pedantic(measure_both, rounds=1, iterations=1)
+    stop, wrap = rows
+    save_result("t4_wrap_mode.txt", format_table(rows))
+
+    # Stop mode: keeps the beginning, drops the rest.
+    assert stop["dropped"] > 0
+    assert stop["overwritten"] == 0
+    assert stop["first_kept_kind"] == "sync"  # the entry anchor survives
+    # Wrap mode: drops nothing at record time, overwrites the oldest.
+    assert wrap["dropped"] == 0
+    assert wrap["overwritten"] > 0
+    assert wrap["last_kept_kind"] == "sync"  # the exit anchor survives
+    # Both keep roughly a region's worth of records.
+    assert abs(stop["kept"] - wrap["kept"]) < max(stop["kept"], wrap["kept"])

@@ -1,0 +1,87 @@
+"""V1 — tracing's impact on the performance analysis itself.
+
+The abstract's last claim: the paper discusses "the overhead of
+tracing and its impact on the benchmark execution **and performance
+analysis**."  Tracing perturbs the run it measures, so the question is
+whether the analysis still tells the truth about the *untraced*
+program.  For each workload we compare the TA's per-SPE utilization
+(computed from a traced run) against the simulator's ground-truth
+utilization of an **untraced** run of the same workload — numbers the
+analyzer never sees.
+
+Expected shape: the probe effect biases utilization by at most a few
+points, with the error tracking the workload's event rate (heaviest
+for the chatty pipeline, negligible for Monte Carlo).
+"""
+
+from repro.cell import SpuState
+from repro.pdt import TraceConfig
+from repro.ta import analyze
+from repro.ta.report import format_table
+from repro.ta.stats import TraceStatistics
+from repro.workloads import (
+    FftWorkload,
+    MatmulWorkload,
+    MonteCarloWorkload,
+    StreamingPipelineWorkload,
+    run_workload,
+)
+
+WORKLOADS = (
+    ("matmul", lambda: MatmulWorkload(n=256, tile=64, n_spes=4)),
+    ("fft", lambda: FftWorkload(points=1024, batch=32, n_spes=4)),
+    ("streaming", lambda: StreamingPipelineWorkload(stages=4, blocks=16)),
+    ("montecarlo", lambda: MonteCarloWorkload(samples_per_spe=20_000, n_spes=4)),
+)
+
+
+def truth_utilization(machine, spe_id):
+    """Ground-truth busy fraction of one SPE over its program window."""
+    spe = machine.spe(spe_id)
+    window = spe.program_stops[-1] - spe.program_starts[0]
+    return spe.track.totals[SpuState.RUN] / window if window else 0.0
+
+
+def compare(name, factory):
+    untraced = run_workload(factory())
+    assert untraced.verified
+    traced = run_workload(factory(), TraceConfig())
+    assert traced.verified
+    stats = TraceStatistics.from_model(analyze(traced.trace()))
+    deltas = []
+    for spe_id, s in stats.per_spe.items():
+        deltas.append(abs(s.utilization - truth_utilization(untraced.machine, spe_id)))
+    return {
+        "workload": name,
+        "ta_utilization": round(
+            sum(s.utilization for s in stats.per_spe.values()) / len(stats.per_spe), 3
+        ),
+        "truth_utilization": round(
+            sum(truth_utilization(untraced.machine, i) for i in stats.per_spe)
+            / len(stats.per_spe),
+            3,
+        ),
+        "mean_abs_error": round(sum(deltas) / len(deltas), 3),
+        "max_abs_error": round(max(deltas), 3),
+    }
+
+
+def measure_all():
+    return [compare(name, factory) for name, factory in WORKLOADS]
+
+
+def test_v1_analysis_fidelity(benchmark, save_result):
+    rows = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    save_result("v1_analysis_fidelity.txt", format_table(rows))
+
+    by_name = {row["workload"]: row for row in rows}
+    # Analysis from a perturbed run stays close to the untraced truth.
+    for row in rows:
+        assert row["max_abs_error"] < 0.08, row
+    # The error tracks the probe effect: the quiet workload's analysis
+    # is essentially exact, the chatty pipeline's is the least exact.
+    assert by_name["montecarlo"]["max_abs_error"] <= 0.01
+    assert (
+        by_name["montecarlo"]["mean_abs_error"]
+        <= by_name["streaming"]["mean_abs_error"]
+    )

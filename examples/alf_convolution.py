@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Mini-ALF: an image convolution without writing any DMA code.
+
+The Accelerated Library Framework pattern: the application supplies a
+compute kernel (here a 1D 5-tap blur over row segments) and a list of
+work blocks; the framework distributes blocks over SPEs with an atomic
+work queue and double-buffers the transfers automatically.  The trace
+proves it: the buffering analysis reports the overlap the application
+never had to program.
+
+Run:  python examples/alf_convolution.py
+"""
+
+import numpy as np
+
+from repro.alf import AlfKernel, AlfTask, WorkBlock
+from repro.cell import CellConfig, CellMachine
+from repro.libspe import Runtime
+from repro.pdt import PdtHooks, TraceConfig
+from repro.ta import analyze, analyze_buffering
+from repro.ta.report import format_table
+
+TAPS = np.array([0.1, 0.2, 0.4, 0.2, 0.1], dtype=np.float32)
+SEGMENT = 2048  # floats per work block
+HALO = 2  # taps reach 2 samples either side
+N_SEGMENTS = 24
+
+
+def blur_kernel():
+    def run(params, inputs):
+        data = np.frombuffer(inputs[0], dtype=np.float32)
+        out = np.convolve(data, TAPS, mode="same")[HALO:-HALO]
+        return out.astype(np.float32).tobytes()
+
+    # ~5 multiply-adds per sample at 8 flops/cycle.
+    cycles = (SEGMENT + 2 * HALO) * 5 * 2 // 8
+    return AlfKernel(
+        "blur5", run, cycles,
+        max_input_bytes=(SEGMENT + 2 * HALO) * 4,
+        max_output_bytes=SEGMENT * 4,
+    )
+
+
+def main():
+    machine = CellMachine(CellConfig(n_spes=4, main_memory_size=1 << 26))
+    hooks = PdtHooks(TraceConfig.dma_only())
+    runtime = Runtime(machine, hooks=hooks)
+
+    rng = np.random.default_rng(1)
+    total = N_SEGMENTS * SEGMENT
+    signal = rng.standard_normal(total + 2 * HALO).astype(np.float32)
+    ea_in = machine.memory.allocate(signal.nbytes)
+    ea_out = machine.memory.allocate(total * 4)
+    machine.memory.write(ea_in, signal.tobytes())
+
+    task = AlfTask(blur_kernel(), n_spes=4)
+    for i in range(N_SEGMENTS):
+        # Each block reads its segment plus the halo on both sides.
+        task.enqueue(WorkBlock(
+            inputs=((ea_in + i * SEGMENT * 4, (SEGMENT + 2 * HALO) * 4),),
+            output=(ea_out + i * SEGMENT * 4, SEGMENT * 4),
+        ))
+
+    def ppe_main():
+        yield from task.execute(machine, runtime)
+        runtime.finalize()
+
+    machine.spawn(ppe_main())
+    elapsed = machine.run()
+
+    # Verify against the host reference.
+    result = np.frombuffer(machine.memory.read(ea_out, total * 4), dtype=np.float32)
+    reference = np.concatenate([
+        np.convolve(
+            signal[i * SEGMENT : (i + 1) * SEGMENT + 2 * HALO], TAPS, mode="same"
+        )[HALO:-HALO]
+        for i in range(N_SEGMENTS)
+    ]).astype(np.float32)
+    ok = np.allclose(result, reference, rtol=1e-5)
+
+    print(f"{N_SEGMENTS} blur blocks on 4 SPEs: {elapsed} cycles "
+          f"({elapsed / 3.2e9 * 1e6:.1f} us), verified: {ok}")
+    print(format_table([
+        {"spe": spe, "blocks": done}
+        for spe, done in sorted(task.blocks_done_by.items())
+    ]))
+    model = analyze(hooks.to_trace())
+    rows = []
+    for spe_id in sorted(model.cores):
+        report = analyze_buffering(model, spe_id)
+        rows.append({
+            "spe": spe_id,
+            "overlap": round(report.overlap_fraction, 2),
+            "wait_dma": round(report.wait_dma_fraction, 2),
+        })
+    print("framework-managed buffering, as the TA sees it:")
+    print(format_table(rows))
+    assert ok
+
+
+if __name__ == "__main__":
+    main()

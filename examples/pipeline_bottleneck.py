@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Use case: locating a pipeline bottleneck from stall signatures (F5).
+
+A 4-stage SPE pipeline where stage 2 does 8x the computation of its
+neighbours.  Nobody told the analyzer that — but the trace gives it
+away: stages *before* the bottleneck pile up wait-signal time waiting
+for space credits, stages *after* it wait for data, and the bottleneck
+stage itself is the one that is busy.  That asymmetric stall signature
+is how one reads pipeline traces in practice.
+
+Run:  python examples/pipeline_bottleneck.py
+"""
+
+from repro.pdt import TraceConfig
+from repro.ta import analyze, render_ascii
+from repro.ta.stats import TraceStatistics
+from repro.workloads import StreamingPipelineWorkload, run_workload
+
+
+def main():
+    workload = StreamingPipelineWorkload(
+        stages=4, blocks=24, block_bytes=4096, compute_per_block=4000, depth=2,
+        bottleneck_stage=2, bottleneck_factor=8,
+    )
+    print(f"running {workload.describe()} (stage 2 is secretly 8x slower)...")
+    result = run_workload(workload, trace_config=TraceConfig())
+    model = analyze(result.trace())
+    stats = TraceStatistics.from_model(model)
+
+    print(render_ascii(model, width=72))
+    print("stage  busy%  wait_dma%  wait_signal%  diagnosis")
+    busiest = max(stats.per_spe, key=lambda s: stats.per_spe[s].utilization)
+    for spe_id in sorted(stats.per_spe):
+        s = stats.per_spe[spe_id]
+        signal_frac = s.stall_fraction("wait_signal")
+        if spe_id == busiest:
+            diagnosis = "<-- BOTTLENECK (busy while neighbours wait)"
+        elif spe_id < busiest:
+            diagnosis = "starved of space credits (upstream of bottleneck)"
+        else:
+            diagnosis = "starved of data credits (downstream of bottleneck)"
+        print(
+            f"  {spe_id}    {s.utilization * 100:5.1f}  "
+            f"{s.stall_fraction('wait_dma') * 100:8.1f}  "
+            f"{signal_frac * 100:11.1f}  {diagnosis}"
+        )
+
+    print(
+        f"\nthe analyzer fingers stage {busiest} as the bottleneck "
+        f"(ground truth: stage {workload.bottleneck_stage})"
+    )
+    assert busiest == workload.bottleneck_stage
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+This environment is offline with setuptools 65 and no ``wheel``
+package, so PEP 660 editable installs (which must build an editable
+wheel) cannot work.  This shim lets ``pip install -e .`` fall back to
+the legacy ``setup.py develop`` path.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

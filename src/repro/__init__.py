@@ -1,0 +1,65 @@
+"""repro — Trace-based Performance Analysis on Cell BE (ISPASS 2008).
+
+A from-scratch Python reproduction of Biberstein et al.'s PDT/TA tool
+chain, including the Cell Broadband Engine substrate it runs on:
+
+* :mod:`repro.kernel` — deterministic discrete-event simulation core
+* :mod:`repro.cell` — the Cell BE machine model (PPE, SPEs, MFC DMA,
+  EIB, mailboxes/signals, timebase/decrementer clocks)
+* :mod:`repro.libspe` — the libspe2-style runtime PDT instruments
+* :mod:`repro.pdt` — the Performance Debugging Tool: event recording,
+  LS trace buffers flushed by real DMA, binary trace files, clock
+  correlation
+* :mod:`repro.ta` — the Trace Analyzer: timeline reconstruction,
+  statistics, use-case analyses, Gantt rendering, CSV export
+* :mod:`repro.workloads` — the profiled applications (matmul, FFT,
+  streaming pipeline, Monte Carlo, microbenchmarks)
+
+Quick taste::
+
+    from repro.pdt import TraceConfig
+    from repro.ta.report import full_report
+    from repro.workloads import MatmulWorkload, run_workload
+
+    result = run_workload(MatmulWorkload(n_spes=4), TraceConfig())
+    print(full_report(result.trace()))
+"""
+
+from repro.cell import CellConfig, CellMachine
+from repro.libspe import Runtime, SpeProgram
+from repro.pdt import PdtHooks, TraceConfig, read_trace, write_trace
+from repro.ta import analyze, render_ascii, render_svg
+from repro.ta.report import full_report
+from repro.ta.stats import TraceStatistics
+from repro.workloads import (
+    FftWorkload,
+    MatmulWorkload,
+    MonteCarloWorkload,
+    StreamingPipelineWorkload,
+    measure_overhead,
+    run_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CellConfig",
+    "CellMachine",
+    "FftWorkload",
+    "MatmulWorkload",
+    "MonteCarloWorkload",
+    "PdtHooks",
+    "Runtime",
+    "SpeProgram",
+    "StreamingPipelineWorkload",
+    "TraceConfig",
+    "TraceStatistics",
+    "analyze",
+    "full_report",
+    "measure_overhead",
+    "read_trace",
+    "render_ascii",
+    "render_svg",
+    "run_workload",
+    "write_trace",
+]

@@ -1,0 +1,29 @@
+"""A miniature ALF — the SDK's Accelerated Library Framework.
+
+ALF is the layer many Cell applications of the paper's era actually
+programmed against: the application supplies a *compute kernel* and a
+list of *work blocks* (input/output buffer descriptors); the framework
+owns everything the PDT use cases keep diagnosing by hand — work
+distribution across SPEs, input staging into local store with double
+buffering, and output write-back.
+
+This package implements that contract on top of :mod:`repro.libspe`:
+
+* :class:`AlfKernel` — the user's compute function plus its cycle
+  model and buffer limits.
+* :class:`WorkBlock` — one unit of work: up to two input regions, one
+  output region, four u64 parameters.
+* :class:`AlfTask` — a kernel plus its queue of work blocks, executed
+  over N SPEs with a shared atomic work queue and framework-managed
+  double buffering.
+
+Work-block descriptors live in main memory as 128-byte records; SPE
+agents claim indices with the GETLLAR/PUTLLC bounded increment, DMA
+the descriptor, prefetch the *next* block's inputs while computing the
+current one, and write results back — all without the application
+writing a line of DMA code.
+"""
+
+from repro.alf.framework import AlfError, AlfKernel, AlfTask, WorkBlock
+
+__all__ = ["AlfError", "AlfKernel", "AlfTask", "WorkBlock"]

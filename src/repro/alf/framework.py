@@ -1,0 +1,261 @@
+"""The mini-ALF implementation: tasks, work blocks, SPE agents."""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+import typing
+
+from repro.cell.atomic import LOCK_LINE
+from repro.cell.machine import CellMachine
+from repro.libspe.image import SpeProgram
+from repro.libspe.runtime import Runtime
+from repro.libspe.sync import atomic_increment_bounded
+
+#: Work-block descriptor: in0_ea, in0_size, in1_ea, in1_size, out_ea,
+#: out_size, p0..p3 — ten u64 fields padded to 128 bytes.
+_DESCRIPTOR = struct.Struct("<10Q")
+DESCRIPTOR_BYTES = 128
+MAX_INPUTS = 2
+
+#: Agent DMA tag assignments: one per pipeline slot plus the output.
+_SLOT_TAGS = (0, 1)
+_OUT_TAG = 2
+
+
+class AlfError(Exception):
+    """Framework misuse: bad kernel, bad work block, failed run."""
+
+
+@dataclasses.dataclass(frozen=True)
+class AlfKernel:
+    """The application's compute kernel.
+
+    ``run(params, inputs)`` receives the four u64 parameters and the
+    staged input buffers (bytes, in work-block order) and returns the
+    output bytes.  ``cycles(params, inputs)`` prices the computation;
+    an int means a fixed cost per block.
+    """
+
+    name: str
+    run: typing.Callable[[typing.Tuple[int, ...], typing.List[bytes]], bytes]
+    cycles: typing.Union[int, typing.Callable[[typing.Tuple[int, ...], typing.List[bytes]], int]]
+    max_input_bytes: int = 16 * 1024
+    max_output_bytes: int = 16 * 1024
+
+    def __post_init__(self) -> None:
+        if not callable(self.run):
+            raise AlfError("kernel.run must be callable")
+        if self.max_input_bytes % 16 or self.max_output_bytes % 16:
+            raise AlfError("kernel buffer limits must be 16-byte multiples")
+        if self.max_input_bytes > 16 * 1024 or self.max_output_bytes > 16 * 1024:
+            raise AlfError("kernel buffers are limited to one 16 KB DMA")
+
+    def price(self, params: typing.Tuple[int, ...], inputs: typing.List[bytes]) -> int:
+        if callable(self.cycles):
+            return int(self.cycles(params, inputs))
+        return int(self.cycles)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkBlock:
+    """One unit of work: input regions, one output region, parameters."""
+
+    inputs: typing.Tuple[typing.Tuple[int, int], ...]  # (ea, size) pairs
+    output: typing.Tuple[int, int]  # (ea, size)
+    params: typing.Tuple[int, int, int, int] = (0, 0, 0, 0)
+
+    def validate(self, kernel: AlfKernel) -> None:
+        if not 0 < len(self.inputs) <= MAX_INPUTS:
+            raise AlfError(
+                f"work block needs 1..{MAX_INPUTS} inputs, got {len(self.inputs)}"
+            )
+        for ea, size in self.inputs:
+            if size <= 0 or size % 16 or ea % 16:
+                raise AlfError(f"input (0x{ea:x}, {size}) violates DMA alignment")
+            if size > kernel.max_input_bytes:
+                raise AlfError(
+                    f"input of {size} B exceeds kernel limit "
+                    f"{kernel.max_input_bytes}"
+                )
+        out_ea, out_size = self.output
+        if out_size <= 0 or out_size % 16 or out_ea % 16:
+            raise AlfError(
+                f"output (0x{out_ea:x}, {out_size}) violates DMA alignment"
+            )
+        if out_size > kernel.max_output_bytes:
+            raise AlfError(
+                f"output of {out_size} B exceeds kernel limit "
+                f"{kernel.max_output_bytes}"
+            )
+        if len(self.params) != 4:
+            raise AlfError("params must be exactly four u64 values")
+
+    def encode(self) -> bytes:
+        fields = []
+        for i in range(MAX_INPUTS):
+            if i < len(self.inputs):
+                fields.extend(self.inputs[i])
+            else:
+                fields.extend((0, 0))
+        fields.extend(self.output)
+        fields.extend(self.params)
+        blob = _DESCRIPTOR.pack(*fields)
+        return blob + b"\x00" * (DESCRIPTOR_BYTES - len(blob))
+
+    @staticmethod
+    def decode(blob: bytes) -> "WorkBlock":
+        fields = _DESCRIPTOR.unpack_from(blob, 0)
+        inputs = tuple(
+            (fields[2 * i], fields[2 * i + 1])
+            for i in range(MAX_INPUTS)
+            if fields[2 * i + 1] > 0
+        )
+        return WorkBlock(
+            inputs=inputs,
+            output=(fields[4], fields[5]),
+            params=tuple(fields[6:10]),
+        )
+
+
+class AlfTask:
+    """A kernel plus its queue of work blocks, run over N SPEs."""
+
+    def __init__(self, kernel: AlfKernel, n_spes: int = 4, prefetch: bool = True):
+        if n_spes < 1:
+            raise AlfError(f"n_spes must be >= 1, got {n_spes}")
+        self.kernel = kernel
+        self.n_spes = n_spes
+        #: Framework-managed double buffering: stage the next block's
+        #: inputs while computing the current one.  False is the
+        #: naive-staging ablation (A3).
+        self.prefetch = prefetch
+        self._blocks: typing.List[WorkBlock] = []
+        self.blocks_done_by: typing.Dict[int, int] = {}
+
+    def enqueue(self, block: WorkBlock) -> None:
+        block.validate(self.kernel)
+        self._blocks.append(block)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._blocks)
+
+    # ------------------------------------------------------------------
+    def execute(self, machine: CellMachine, runtime: Runtime) -> typing.Generator:
+        """Run every queued block to completion (PPE generator).
+
+        Returns the total number of blocks processed.
+        """
+        if not self._blocks:
+            raise AlfError("task has no work blocks")
+        descriptor_ea = machine.memory.allocate(
+            len(self._blocks) * DESCRIPTOR_BYTES, align=128
+        )
+        for index, block in enumerate(self._blocks):
+            machine.memory.write(
+                descriptor_ea + index * DESCRIPTOR_BYTES, block.encode()
+            )
+        queue_ea = machine.memory.allocate(LOCK_LINE, align=LOCK_LINE)
+        machine.memory.write(queue_ea, bytes(LOCK_LINE))
+
+        contexts = []
+        for __ in range(self.n_spes):
+            ctx = yield from runtime.context_create()
+            yield from ctx.load(self._agent_program(descriptor_ea, queue_ea))
+            contexts.append(ctx)
+        procs = [ctx.run_async() for ctx in contexts]
+        total = 0
+        for ctx in contexts:
+            done = yield from ctx.out_mbox_read()
+            self.blocks_done_by[ctx.spe_id] = done
+            total += done
+        for proc in procs:
+            yield proc
+        if total != len(self._blocks):
+            raise AlfError(
+                f"ALF task lost work: {total}/{len(self._blocks)} blocks"
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    def _agent_program(self, descriptor_ea: int, queue_ea: int) -> SpeProgram:
+        task = self
+        kernel = self.kernel
+        n_blocks = len(self._blocks)
+
+        def entry(spu, argp, envp):
+            scratch = spu.ls_alloc(LOCK_LINE, align=LOCK_LINE)
+            desc_ls = [spu.ls_alloc(DESCRIPTOR_BYTES, align=16) for __ in _SLOT_TAGS]
+            in_ls = [
+                [spu.ls_alloc(kernel.max_input_bytes) for __ in range(MAX_INPUTS)]
+                for __ in _SLOT_TAGS
+            ]
+            out_ls = spu.ls_alloc(kernel.max_output_bytes)
+
+            def claim():
+                index = yield from atomic_increment_bounded(
+                    spu, scratch, queue_ea, 0, n_blocks
+                )
+                return index if index < n_blocks else None
+
+            def stage(slot, index):
+                """Fetch descriptor + issue input DMAs on the slot tag."""
+                tag = _SLOT_TAGS[slot]
+                yield from spu.mfc_get(
+                    desc_ls[slot],
+                    descriptor_ea + index * DESCRIPTOR_BYTES,
+                    DESCRIPTOR_BYTES,
+                    tag=tag,
+                )
+                yield from spu.mfc_wait_tag(1 << tag)
+                block = WorkBlock.decode(spu.ls_read(desc_ls[slot], DESCRIPTOR_BYTES))
+                for i, (ea, size) in enumerate(block.inputs):
+                    yield from spu.mfc_get(in_ls[slot][i], ea, size, tag=tag)
+                return block
+
+            done = 0
+            index = yield from claim()
+            if index is None:
+                yield from spu.write_out_mbox(0)
+                return 0
+            slot = 0
+            block = yield from stage(slot, index)
+            while True:
+                next_index = None
+                next_block = None
+                if task.prefetch:
+                    next_index = yield from claim()
+                    if next_index is not None:
+                        next_block = yield from stage(1 - slot, next_index)
+                # Wait for this slot's inputs, compute, write back.
+                yield from spu.mfc_wait_tag(1 << _SLOT_TAGS[slot])
+                inputs = [
+                    spu.ls_read(in_ls[slot][i], size)
+                    for i, (__, size) in enumerate(block.inputs)
+                ]
+                yield from spu.compute(kernel.price(block.params, inputs))
+                output = kernel.run(block.params, inputs)
+                out_ea, out_size = block.output
+                if len(output) != out_size:
+                    raise AlfError(
+                        f"kernel {kernel.name!r} produced {len(output)} B, "
+                        f"work block expects {out_size}"
+                    )
+                spu.ls_write(out_ls, output)
+                yield from spu.mfc_put(out_ls, out_ea, out_size, tag=_OUT_TAG)
+                yield from spu.mfc_wait_tag(1 << _OUT_TAG)
+                done += 1
+                if not task.prefetch:
+                    next_index = yield from claim()
+                    if next_index is not None:
+                        next_block = yield from stage(1 - slot, next_index)
+                if next_block is None:
+                    break
+                slot = 1 - slot
+                block = next_block
+            yield from spu.write_out_mbox(done)
+            return 0
+
+        footprint = 16 * 1024
+        return SpeProgram(f"alf-{kernel.name}", entry, ls_code_bytes=footprint)

@@ -1,0 +1,57 @@
+"""Cell Broadband Engine simulator.
+
+A cycle-approximate model of the hardware the paper's tools run on:
+
+* one PPE (dual-threaded PowerPC core) — :mod:`repro.cell.ppe`
+* up to 16 SPEs, each with a 256 KB local store, an MFC DMA engine,
+  mailboxes and signal-notification registers — :mod:`repro.cell.spu`,
+  :mod:`repro.cell.mfc`, :mod:`repro.cell.mailbox`
+* the Element Interconnect Bus joining them to main storage —
+  :mod:`repro.cell.eib`
+* the clock fabric PDT must correlate: a PPE-visible timebase and
+  per-SPU decrementers with configurable offset and drift —
+  :mod:`repro.cell.clock`
+
+The base time unit everywhere is one SPU cycle (3.2 GHz by default).
+
+The simulator is *behaviour- and contention-accurate* rather than
+instruction-accurate: programs express computation as explicit cycle
+counts, while every architected communication mechanism (DMA commands,
+tag-group waits, mailboxes, signals) is modelled with queuing,
+ordering, and bandwidth effects.  That is the right fidelity for this
+paper: PDT records exactly these communication events, and its
+overhead story is about stolen SPU cycles, local-store space, and DMA
+bandwidth — all of which this model charges for real.
+"""
+
+from repro.cell.config import CellConfig, ClockSpec, DmaTimings
+from repro.cell.clock import Decrementer, TimeBase
+from repro.cell.eib import Eib
+from repro.cell.machine import CellMachine
+from repro.cell.mailbox import MailboxSet, SignalRegister
+from repro.cell.memory import AlignmentError, LocalStore, MainMemory, MemoryError_
+from repro.cell.mfc import DmaCommand, DmaDirection, Mfc
+from repro.cell.ppe import PpeCore
+from repro.cell.spu import SpuCore, SpuState
+
+__all__ = [
+    "AlignmentError",
+    "CellConfig",
+    "CellMachine",
+    "ClockSpec",
+    "Decrementer",
+    "DmaCommand",
+    "DmaDirection",
+    "DmaTimings",
+    "Eib",
+    "LocalStore",
+    "MailboxSet",
+    "MainMemory",
+    "MemoryError_",
+    "Mfc",
+    "PpeCore",
+    "SignalRegister",
+    "SpuCore",
+    "SpuState",
+    "TimeBase",
+]

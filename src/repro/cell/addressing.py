@@ -1,0 +1,73 @@
+"""Effective-address map: main storage plus memory-mapped local stores.
+
+On the Cell, each SPE's local store is aliased into the global
+effective-address space, which is how SPE-to-SPE DMA works: an MFC GET
+or PUT whose EA lands in another SPE's LS window moves data directly
+between local stores over the EIB, never touching DRAM.  The map
+places each SPE's 256 KB LS in a fixed 1 MB-strided window high above
+main storage.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cell.memory import LocalStore, MainMemory, MemoryError_
+
+#: Base effective address of the LS alias windows (far above any
+#: plausible main-storage size).
+LS_WINDOW_BASE = 0xF000_0000
+#: Stride between consecutive SPEs' windows.
+LS_WINDOW_STRIDE = 0x0010_0000
+
+
+class AddressMap:
+    """Resolves effective addresses to (backing store, offset)."""
+
+    def __init__(self, memory: MainMemory, local_stores: typing.Sequence[LocalStore]):
+        self.memory = memory
+        self.local_stores = list(local_stores)
+
+    def ls_base_ea(self, spe_id: int) -> int:
+        """The effective address where SPE ``spe_id``'s LS begins."""
+        if not 0 <= spe_id < len(self.local_stores):
+            raise MemoryError_(f"no SPE {spe_id} in the address map")
+        return LS_WINDOW_BASE + spe_id * LS_WINDOW_STRIDE
+
+    def resolve(
+        self, effective_addr: int, size: int
+    ) -> typing.Tuple[typing.Union[MainMemory, LocalStore], int]:
+        """(store, offset) for an access of ``size`` at ``effective_addr``.
+
+        Accesses may not straddle a window boundary — real MFC
+        transfers to an LS alias must stay inside the 256 KB window.
+        """
+        if effective_addr < LS_WINDOW_BASE:
+            return self.memory, effective_addr
+        slot, offset = divmod(effective_addr - LS_WINDOW_BASE, LS_WINDOW_STRIDE)
+        if slot >= len(self.local_stores):
+            raise MemoryError_(
+                f"EA 0x{effective_addr:x} is in the LS window region but "
+                f"beyond SPE {len(self.local_stores) - 1}"
+            )
+        store = self.local_stores[slot]
+        if offset + size > store.size:
+            raise MemoryError_(
+                f"EA 0x{effective_addr:x}+{size} overruns SPE {slot}'s "
+                f"{store.size}-byte local store window"
+            )
+        return store, offset
+
+    def is_local_store(self, effective_addr: int) -> bool:
+        return effective_addr >= LS_WINDOW_BASE
+
+    def unit_of(self, effective_addr: int) -> str:
+        """EIB unit name backing an address ("mic" or "speN")."""
+        if effective_addr < LS_WINDOW_BASE:
+            return "mic"
+        slot = (effective_addr - LS_WINDOW_BASE) // LS_WINDOW_STRIDE
+        if slot >= len(self.local_stores):
+            raise MemoryError_(
+                f"EA 0x{effective_addr:x} maps to no unit (SPE {slot})"
+            )
+        return f"spe{slot}"

@@ -1,0 +1,81 @@
+"""The atomic unit: lock-line reservations (GETLLAR / PUTLLC).
+
+Cell's only inter-core atomic primitive is the load-and-reserve /
+store-conditional pair over 128-byte *lock lines*:
+
+* ``GETLLAR`` copies a 128-byte line from main storage into local
+  store and places a reservation on it for the issuing SPE.
+* ``PUTLLC`` writes the line back **only if** the reservation still
+  stands; any other processor's store to the line (conditional or
+  plain DMA) kills outstanding reservations, so the loser retries.
+
+Every SPE work queue, barrier, and mutex on the platform is built on
+this loop, so the simulator models it faithfully: one global
+:class:`ReservationStation` watches all stores and invalidates
+overlapping reservations, and the MFC exposes the two commands with
+EIB-accurate timing.
+"""
+
+from __future__ import annotations
+
+import typing
+
+LOCK_LINE = 128
+
+
+class ReservationStation:
+    """Global reservation tracker (one per machine, like the bus)."""
+
+    def __init__(self) -> None:
+        #: spe_id -> reserved line address (128-byte aligned EA)
+        self._reservations: typing.Dict[int, int] = {}
+        self.getllar_count = 0
+        self.putllc_attempts = 0
+        self.putllc_failures = 0
+
+    @staticmethod
+    def line_of(effective_addr: int) -> int:
+        return effective_addr & ~(LOCK_LINE - 1)
+
+    def reserve(self, spe_id: int, effective_addr: int) -> None:
+        """GETLLAR: (re)place this SPE's single reservation."""
+        self._reservations[spe_id] = self.line_of(effective_addr)
+        self.getllar_count += 1
+
+    def holds(self, spe_id: int, effective_addr: int) -> bool:
+        return self._reservations.get(spe_id) == self.line_of(effective_addr)
+
+    def conditional_store(self, spe_id: int, effective_addr: int) -> bool:
+        """PUTLLC: returns success; on success everyone else's
+        reservation on the line dies (and the winner's is consumed)."""
+        self.putllc_attempts += 1
+        line = self.line_of(effective_addr)
+        if self._reservations.get(spe_id) != line:
+            self.putllc_failures += 1
+            return False
+        del self._reservations[spe_id]
+        self._invalidate_line(line, except_spe=spe_id)
+        return True
+
+    def notify_store(
+        self, line_start: int, size: int, writer_spe: typing.Optional[int] = None
+    ) -> None:
+        """A plain store touched [line_start, line_start+size).
+
+        Kills every reservation whose line overlaps the written range
+        (including the writer's own — architecturally a DMA PUT from
+        the same SPE also loses the reservation).
+        """
+        first = self.line_of(line_start)
+        last = self.line_of(line_start + max(size, 1) - 1)
+        for spe_id, line in list(self._reservations.items()):
+            if first <= line <= last:
+                del self._reservations[spe_id]
+
+    def _invalidate_line(self, line: int, except_spe: int) -> None:
+        for spe_id, reserved in list(self._reservations.items()):
+            if reserved == line and spe_id != except_spe:
+                del self._reservations[spe_id]
+
+    def reservation_of(self, spe_id: int) -> typing.Optional[int]:
+        return self._reservations.get(spe_id)

@@ -1,0 +1,78 @@
+"""Clock fabric: the PPE timebase and per-SPU decrementers.
+
+These are the raw timestamp sources PDT records.  The analysis-side
+challenge the paper describes — placing events from nine cores on one
+global timeline — exists because:
+
+* the PPE reads a 64-bit *timebase* that counts up at ~26.7 MHz,
+* each SPU reads a 32-bit *decrementer* that counts **down** at the
+  same nominal rate but from a software-loaded start value, loaded at
+  an unknown offset from machine start, and
+* both tick two orders of magnitude more coarsely than the cores
+  execute, so distinct events can share a timestamp.
+
+:class:`TimeBase` and :class:`Decrementer` are pure functions of
+simulation time, so reading a clock never perturbs the simulation;
+the *cost* of the read instruction is charged by the caller.
+"""
+
+from __future__ import annotations
+
+from repro.cell.config import ClockSpec
+
+_DECREMENTER_MODULUS = 1 << 32
+
+
+class TimeBase:
+    """The PPE-visible 64-bit timebase counter."""
+
+    def __init__(self, divider: int):
+        if divider < 1:
+            raise ValueError(f"timebase divider must be >= 1, got {divider}")
+        self.divider = divider
+
+    def read(self, now: int) -> int:
+        """Timebase value at simulation time ``now`` (SPU cycles)."""
+        return now // self.divider
+
+    def to_cycles(self, ticks: int) -> int:
+        """First simulation time at which ``read`` returns ``ticks``."""
+        return ticks * self.divider
+
+
+class Decrementer:
+    """One SPU's 32-bit down-counting decrementer.
+
+    The effective tick period is ``divider * (1 + drift_ppm * 1e-6)``
+    SPU cycles; reads floor the elapsed tick count, exactly like
+    sampling a free-running counter.  Values wrap modulo 2**32.
+    """
+
+    def __init__(self, divider: int, spec: ClockSpec):
+        if divider < 1:
+            raise ValueError(f"decrementer divider must be >= 1, got {divider}")
+        self.divider = divider
+        self.spec = spec
+        self._period = divider * (1.0 + spec.drift_ppm * 1e-6)
+
+    @property
+    def period_cycles(self) -> float:
+        """Effective cycles per decrementer tick (non-integer if drifting)."""
+        return self._period
+
+    def read(self, now: int) -> int:
+        """Decrementer value at simulation time ``now``.
+
+        Before the decrementer's load time (``offset_cycles``) the
+        counter reads its start value — software cannot observe it
+        earlier anyway because the SPE has not started.
+        """
+        elapsed = now - self.spec.offset_cycles
+        if elapsed <= 0:
+            return self.spec.start_value
+        ticks = int(elapsed / self._period)
+        return (self.spec.start_value - ticks) % _DECREMENTER_MODULUS
+
+    def elapsed_ticks(self, raw_then: int, raw_now: int) -> int:
+        """Ticks elapsed between two raw readings, handling wrap."""
+        return (raw_then - raw_now) % _DECREMENTER_MODULUS

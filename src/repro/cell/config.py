@@ -1,0 +1,114 @@
+"""Machine configuration.
+
+Defaults approximate a 3.2 GHz Cell BE blade (QS20-class): 8 SPEs,
+256 KB local stores, a ~26.7 MHz timebase (one tick per 120 SPU
+cycles), four EIB data rings moving 8 bytes per SPU cycle each.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class ClockSpec:
+    """Clock-domain description for one SPU's decrementer.
+
+    ``offset_cycles``
+        How many SPU cycles after machine time 0 this decrementer was
+        loaded (models SPEs being started at different moments).
+    ``start_value``
+        The 32-bit value software loaded into the decrementer.
+    ``drift_ppm``
+        Deviation of this SPU's effective tick period from nominal, in
+        parts per million.  Real decrementers share the timebase
+        oscillator, but observed *software* clock relations drift
+        because of sampling and temperature; PDT's correlation step
+        has to cope, so the model lets tests dial drift in.
+    """
+
+    offset_cycles: int = 0
+    start_value: int = 0xFFFF_FFFF
+    drift_ppm: float = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class DmaTimings:
+    """Latency/bandwidth knobs for the MFC + EIB + memory path."""
+
+    #: Fixed MFC command processing latency, SPU cycles.
+    mfc_issue_latency: int = 30
+    #: Extra latency for touching main storage (XDR DRAM), SPU cycles.
+    memory_latency: int = 300
+    #: EIB payload bandwidth per ring, bytes per SPU cycle.
+    eib_bytes_per_cycle: int = 8
+    #: Number of EIB data rings usable concurrently.
+    eib_rings: int = 4
+    #: Per-transfer EIB arbitration/command latency, SPU cycles.
+    eib_command_latency: int = 50
+    #: Extra latency per ring hop between the source and destination
+    #: units, SPU cycles.  The EIB is a ring: transfers between distant
+    #: units travel more hops (0 disables the placement effect).
+    eib_hop_latency: int = 4
+    #: Largest single DMA command the MFC accepts, bytes.
+    max_dma_size: int = 16 * 1024
+    #: MFC command queue depth (SPU-side).
+    queue_depth: int = 16
+    #: Proxy (PPE-side) command queue depth.
+    proxy_queue_depth: int = 8
+    #: How many commands one MFC keeps in flight on the EIB at once.
+    mfc_parallel: int = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class CellConfig:
+    """Full machine configuration."""
+
+    n_spes: int = 8
+    spu_clock_hz: float = 3.2e9
+    #: SPU cycles per timebase tick (3.2 GHz / 120 = 26.67 MHz timebase).
+    timebase_divider: int = 120
+    local_store_size: int = 256 * 1024
+    main_memory_size: int = 256 * 1024 * 1024
+    inbound_mailbox_depth: int = 4
+    outbound_mailbox_depth: int = 1
+    #: SPU channel instruction cost, cycles.
+    channel_latency: int = 6
+    #: PPE MMIO access to SPE problem-state registers, SPU cycles.
+    mmio_latency: int = 200
+    dma: DmaTimings = dataclasses.field(default_factory=DmaTimings)
+    #: Per-SPU decrementer clock specs; entries beyond len() use defaults.
+    spu_clocks: typing.Tuple[ClockSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_spes <= 16:
+            raise ValueError(f"n_spes must be 1..16, got {self.n_spes}")
+        if self.timebase_divider < 1:
+            raise ValueError("timebase_divider must be >= 1")
+        if self.local_store_size % 1024:
+            raise ValueError("local_store_size must be a multiple of 1 KiB")
+
+    def clock_spec(self, spe_id: int) -> ClockSpec:
+        """Decrementer spec for one SPE (default if not configured)."""
+        if spe_id < len(self.spu_clocks):
+            return self.spu_clocks[spe_id]
+        return ClockSpec()
+
+    def with_skewed_clocks(
+        self,
+        offsets: typing.Sequence[int],
+        drifts_ppm: typing.Optional[typing.Sequence[float]] = None,
+    ) -> "CellConfig":
+        """A copy of this config with per-SPU clock offset/drift set.
+
+        Convenience for the clock-correlation experiments.
+        """
+        drifts = list(drifts_ppm) if drifts_ppm is not None else [0.0] * len(offsets)
+        if len(drifts) != len(offsets):
+            raise ValueError("offsets and drifts_ppm must have equal length")
+        specs = tuple(
+            ClockSpec(offset_cycles=off, drift_ppm=drift)
+            for off, drift in zip(offsets, drifts)
+        )
+        return dataclasses.replace(self, spu_clocks=specs)

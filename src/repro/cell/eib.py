@@ -1,0 +1,112 @@
+"""Element Interconnect Bus model.
+
+The real EIB is four unidirectional 16-byte rings at half the core
+clock (net 8 bytes per SPU cycle per ring), with a central arbiter.
+We model it as ``eib_rings`` interchangeable transfer slots: a
+transfer acquires a slot FIFO-fair, occupies it for an arbitration
+latency plus ``bytes / bytes_per_cycle``, then releases it.  This
+captures what matters to the paper's overhead analysis: concurrent
+DMAs (including PDT's own trace-buffer flushes) contend for finite
+interconnect bandwidth and delay each other.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cell.config import DmaTimings
+from repro.kernel import Delay, Resource, Simulator
+
+
+class EibStats:
+    """Aggregate traffic counters, also broken down per requester."""
+
+    def __init__(self) -> None:
+        self.transfers = 0
+        self.bytes_moved = 0
+        self.busy_cycles = 0
+        self.wait_cycles = 0
+        self.per_requester_bytes: typing.Dict[str, int] = {}
+
+    def record(self, requester: str, nbytes: int, busy: int, waited: int) -> None:
+        self.transfers += 1
+        self.bytes_moved += nbytes
+        self.busy_cycles += busy
+        self.wait_cycles += waited
+        self.per_requester_bytes[requester] = (
+            self.per_requester_bytes.get(requester, 0) + nbytes
+        )
+
+
+class Eib:
+    """The interconnect: shared transfer slots plus traffic accounting.
+
+    The ring carries the PPE, the SPEs in index order, and the memory
+    interface controller ("mic"); a transfer's latency grows with the
+    hop distance between its endpoints, so unit placement matters —
+    the effect the F10 experiment measures.
+    """
+
+    def __init__(self, sim: Simulator, timings: DmaTimings, n_spes: int = 8):
+        self.sim = sim
+        self.timings = timings
+        self._slots = Resource(sim, capacity=timings.eib_rings, name="eib")
+        self.stats = EibStats()
+        #: Unit name -> position on the ring.
+        self.ring_position: typing.Dict[str, int] = {"ppe": 0}
+        for spe_id in range(n_spes):
+            self.ring_position[f"spe{spe_id}"] = 1 + spe_id
+        self.ring_position["mic"] = 1 + n_spes
+
+    def hops(self, src: str, dst: str) -> int:
+        """Ring distance between two units (shorter direction)."""
+        try:
+            a = self.ring_position[src]
+            b = self.ring_position[dst]
+        except KeyError as exc:
+            raise ValueError(f"unknown EIB unit: {exc}") from None
+        size = len(self.ring_position)
+        direct = abs(a - b)
+        return min(direct, size - direct)
+
+    def transfer_cycles(self, nbytes: int, hops: int = 0) -> int:
+        """Bus occupancy for a transfer of ``nbytes`` (excluding queuing)."""
+        bw = self.timings.eib_bytes_per_cycle
+        return (
+            self.timings.eib_command_latency
+            + hops * self.timings.eib_hop_latency
+            + (nbytes + bw - 1) // bw
+        )
+
+    def transfer(
+        self,
+        nbytes: int,
+        requester: str = "?",
+        src: str = "mic",
+        dst: str = "mic",
+    ) -> typing.Generator:
+        """Move ``nbytes`` across the bus (generator — use ``yield from``).
+
+        Returns the number of cycles the transfer occupied the bus
+        (excluding time spent queued for a slot).
+        """
+        if nbytes <= 0:
+            raise ValueError(f"transfer size must be positive, got {nbytes}")
+        queued_at = self.sim.now
+        yield self._slots.acquire()
+        waited = self.sim.now - queued_at
+        busy = self.transfer_cycles(nbytes, hops=self.hops(src, dst))
+        try:
+            yield Delay(busy)
+        finally:
+            self._slots.release()
+        self.stats.record(requester, nbytes, busy, waited)
+        return busy
+
+    @property
+    def slots_in_use(self) -> int:
+        return self._slots.in_use
+
+    @property
+    def queue_length(self) -> int:
+        return self._slots.queue_length

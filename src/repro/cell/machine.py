@@ -1,0 +1,78 @@
+"""Machine assembly: one object wiring the whole Cell BE together."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cell.addressing import AddressMap
+from repro.cell.atomic import ReservationStation
+from repro.cell.config import CellConfig
+from repro.cell.eib import Eib
+from repro.cell.memory import MainMemory
+from repro.cell.ppe import PpeCore
+from repro.cell.spu import SpuCore
+from repro.kernel import Process, Simulator
+
+
+class CellMachine:
+    """A complete simulated Cell BE.
+
+    Typical use::
+
+        machine = CellMachine(CellConfig(n_spes=4))
+        machine.sim.spawn(my_ppe_program(machine))
+        machine.run()
+
+    Most users should go through :mod:`repro.libspe` instead of
+    touching cores directly — that layer provides the libspe2-style
+    API the paper's tools instrument.
+    """
+
+    def __init__(self, config: typing.Optional[CellConfig] = None):
+        self.config = config or CellConfig()
+        self.sim = Simulator()
+        self.memory = MainMemory(self.config.main_memory_size)
+        self.eib = Eib(self.sim, self.config.dma, n_spes=self.config.n_spes)
+        self.ppe = PpeCore(self.sim, self.config)
+        self.reservations = ReservationStation()
+        # Two-phase construction: local stores must exist before the
+        # address map that aliases them can be built, and every MFC
+        # shares that one map plus the one reservation station.
+        self.spes: typing.List[SpuCore] = [
+            SpuCore(
+                self.sim, spe_id, self.config, self.memory, self.eib,
+                reservations=self.reservations,
+            )
+            for spe_id in range(self.config.n_spes)
+        ]
+        self.address_map = AddressMap(self.memory, [s.ls for s in self.spes])
+        for spe in self.spes:
+            spe.mfc.address_map = self.address_map
+
+    def spe(self, spe_id: int) -> SpuCore:
+        if not 0 <= spe_id < len(self.spes):
+            raise IndexError(
+                f"SPE id {spe_id} out of range (machine has {len(self.spes)})"
+            )
+        return self.spes[spe_id]
+
+    def spawn(self, generator: typing.Generator, name: str = "") -> Process:
+        """Spawn a process on this machine's simulator."""
+        return self.sim.spawn(generator, name=name)
+
+    def run(self, until: typing.Optional[int] = None) -> int:
+        """Run the machine; returns the final time (SPU cycles).
+
+        Closes every SPE's ground-truth state track so totals include
+        the final open interval.
+        """
+        end = self.sim.run(until=until)
+        for spe in self.spes:
+            spe.track.close()
+        return end
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        return cycles / self.config.spu_clock_hz
+
+    def cycles_to_us(self, cycles: int) -> float:
+        return cycles / self.config.spu_clock_hz * 1e6

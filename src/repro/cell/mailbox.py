@@ -1,0 +1,146 @@
+"""Mailboxes and signal-notification registers.
+
+Each SPE has:
+
+* a 4-deep **inbound** mailbox (PPE writes, SPU reads; the SPU read
+  channel stalls when empty),
+* a 1-deep **outbound** mailbox (SPU writes — stalling when full —
+  PPE reads via MMIO),
+* a 1-deep **outbound interrupt** mailbox (same, but raises a PPE
+  interrupt; we model the data path),
+* two 32-bit **signal-notification registers**, each in OR mode
+  (writes accumulate bits) or overwrite mode; the SPU read channel
+  stalls while the register is zero and clears it on read.
+
+Values are 32-bit unsigned integers, enforced at the boundary because
+mailbox protocols routinely pack bitfields and a stray Python int
+wider than 32 bits would hide a workload bug.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.kernel import Channel, Event, KernelError, Simulator
+
+_U32 = 0xFFFF_FFFF
+
+
+def _check_u32(value: int, what: str) -> int:
+    if not 0 <= value <= _U32:
+        raise KernelError(f"{what} must be a 32-bit unsigned value, got {value!r}")
+    return value
+
+
+class SignalRegister:
+    """One SPU signal-notification register."""
+
+    def __init__(self, sim: Simulator, name: str, or_mode: bool = True):
+        self.sim = sim
+        self.name = name
+        self.or_mode = or_mode
+        self._value = 0
+        self._waiters: typing.List[Event] = []
+        self.writes = 0
+
+    @property
+    def value(self) -> int:
+        """Current contents (what the MMIO read path would see)."""
+        return self._value
+
+    def send(self, bits: int) -> None:
+        """PPE/other-SPE side: write the register."""
+        _check_u32(bits, f"signal {self.name}")
+        self.writes += 1
+        if self.or_mode:
+            self._value |= bits
+        else:
+            self._value = bits
+        if self._value != 0:
+            waiters, self._waiters = self._waiters, []
+            for event in waiters:
+                # All waiters race for the same read; first resumed
+                # wins, the rest re-wait (modelled in read()).
+                event.trigger(None)
+
+    def read(self) -> Event:
+        """SPU side: an event that triggers once the register is non-zero.
+
+        The caller consumes the value with :meth:`take` after the event
+        fires (split so the SPU core can charge channel latency between
+        wake-up and the destructive read).
+        """
+        event = Event(self.sim, name=f"{self.name}.read")
+        if self._value != 0:
+            event.trigger(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def take(self) -> int:
+        """Destructively read the register (returns value, clears it)."""
+        value = self._value
+        self._value = 0
+        return value
+
+
+class MailboxSet:
+    """All mailboxes and signals of one SPE."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spe_id: int,
+        inbound_depth: int = 4,
+        outbound_depth: int = 1,
+    ):
+        self.sim = sim
+        self.spe_id = spe_id
+        self.inbound = Channel(sim, inbound_depth, name=f"spe{spe_id}.in_mbox")
+        self.outbound = Channel(sim, outbound_depth, name=f"spe{spe_id}.out_mbox")
+        self.outbound_interrupt = Channel(
+            sim, outbound_depth, name=f"spe{spe_id}.out_intr_mbox"
+        )
+        self.signal1 = SignalRegister(sim, f"spe{spe_id}.sig1", or_mode=True)
+        self.signal2 = SignalRegister(sim, f"spe{spe_id}.sig2", or_mode=True)
+
+    # SPU-side operations -------------------------------------------------
+    def spu_read_inbound(self) -> Event:
+        """SPU reads its inbound mailbox (stalls while empty)."""
+        return self.inbound.get()
+
+    def spu_write_outbound(self, value: int) -> Event:
+        """SPU writes its outbound mailbox (stalls while full)."""
+        return self.outbound.put(_check_u32(value, "outbound mailbox"))
+
+    def spu_write_outbound_interrupt(self, value: int) -> Event:
+        return self.outbound_interrupt.put(
+            _check_u32(value, "outbound interrupt mailbox")
+        )
+
+    # PPE-side (MMIO) operations ------------------------------------------
+    def ppe_write_inbound(self, value: int) -> bool:
+        """PPE writes the SPE's inbound mailbox via MMIO.
+
+        Non-flow-controlled like the hardware: if the queue is full the
+        newest entry is silently overwritten.  Returns True if an
+        overwrite happened so callers/tests can assert protocol safety.
+        """
+        return self.inbound.put_overwrite(_check_u32(value, "inbound mailbox"))
+
+    def ppe_read_outbound(self) -> Event:
+        """PPE blocking read of the SPE's outbound mailbox."""
+        return self.outbound.get()
+
+    def ppe_try_read_outbound(self) -> typing.Optional[int]:
+        """PPE polling read; None when the mailbox is empty."""
+        if self.outbound.count == 0:
+            return None
+        return self.outbound.try_get()
+
+    def ppe_outbound_count(self) -> int:
+        """What the mailbox-status MMIO register would report."""
+        return self.outbound.count
+
+    def ppe_inbound_space(self) -> int:
+        return self.inbound.free

@@ -1,0 +1,160 @@
+"""Memories: main storage and SPE local stores.
+
+Both store real bytes so that workloads can verify data movement
+end-to-end (a matmul on the simulator computes the actual product via
+DMA'd blocks).  DMA alignment rules follow the Cell architecture:
+transfers of 1, 2, 4 or 8 bytes must be naturally aligned; larger
+transfers must be 16-byte aligned multiples of 16 bytes, and
+performance-sensitive code uses 128-byte alignment (we model the rule,
+not the 128-byte bonus).
+"""
+
+from __future__ import annotations
+
+
+class MemoryError_(Exception):
+    """Out-of-range access to a simulated memory.
+
+    Named with a trailing underscore to avoid shadowing the Python
+    built-in ``MemoryError``.
+    """
+
+
+class AlignmentError(MemoryError_):
+    """A DMA violated the MFC alignment rules."""
+
+
+def check_dma_alignment(local_addr: int, effective_addr: int, size: int) -> None:
+    """Enforce MFC transfer-size and alignment rules.
+
+    Raises :class:`AlignmentError` on violation.  Rules (Cell BE
+    Handbook, MFC commands): size in {1,2,4,8} naturally aligned with
+    matching low address bits, or size a multiple of 16 with both
+    addresses 16-byte aligned.
+    """
+    if size <= 0:
+        raise AlignmentError(f"DMA size must be positive, got {size}")
+    if size in (1, 2, 4, 8):
+        if local_addr % size or effective_addr % size:
+            raise AlignmentError(
+                f"{size}-byte DMA must be naturally aligned "
+                f"(LS=0x{local_addr:x}, EA=0x{effective_addr:x})"
+            )
+        if local_addr % 16 != effective_addr % 16:
+            raise AlignmentError(
+                "small DMA requires matching low 4 address bits "
+                f"(LS=0x{local_addr:x}, EA=0x{effective_addr:x})"
+            )
+        return
+    if size % 16:
+        raise AlignmentError(f"DMA size must be 1/2/4/8 or multiple of 16, got {size}")
+    if local_addr % 16 or effective_addr % 16:
+        raise AlignmentError(
+            f"16-byte alignment required (LS=0x{local_addr:x}, EA=0x{effective_addr:x})"
+        )
+
+
+class _ByteStore:
+    """Bounds-checked bytearray wrapper shared by both memory kinds."""
+
+    def __init__(self, size: int, name: str):
+        self.size = size
+        self.name = name
+        self._data = bytearray(size)
+
+    def read(self, addr: int, size: int) -> bytes:
+        self._check(addr, size)
+        return bytes(self._data[addr : addr + size])
+
+    def write(self, addr: int, data: bytes) -> None:
+        self._check(addr, len(data))
+        self._data[addr : addr + len(data)] = data
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or size < 0 or addr + size > self.size:
+            raise MemoryError_(
+                f"{self.name}: access [0x{addr:x}, 0x{addr + size:x}) "
+                f"outside size 0x{self.size:x}"
+            )
+
+
+class MainMemory(_ByteStore):
+    """System main storage (XDR DRAM behind the MIC).
+
+    Also acts as a simple allocator so that tests and workloads can
+    carve out buffers without tracking addresses by hand; allocations
+    are 128-byte aligned like ``malloc_align`` in the Cell SDK demos.
+    """
+
+    ALLOC_ALIGN = 128
+
+    def __init__(self, size: int):
+        super().__init__(size, name="main-memory")
+        self._alloc_ptr = self.ALLOC_ALIGN  # keep EA 0 unused, it reads as a bug
+
+    def allocate(self, size: int, align: int = ALLOC_ALIGN) -> int:
+        """Reserve ``size`` bytes; returns the effective address."""
+        if size <= 0:
+            raise MemoryError_(f"allocation size must be positive, got {size}")
+        if align & (align - 1):
+            raise MemoryError_(f"alignment must be a power of two, got {align}")
+        addr = (self._alloc_ptr + align - 1) & ~(align - 1)
+        if addr + size > self.size:
+            raise MemoryError_(
+                f"main memory exhausted: need {size} bytes at 0x{addr:x}, "
+                f"size 0x{self.size:x}"
+            )
+        self._alloc_ptr = addr + size
+        return addr
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._alloc_ptr
+
+
+class LocalStore(_ByteStore):
+    """One SPE's 256 KB local store.
+
+    Local stores are flat and unprotected; the only enforcement is the
+    size bound.  A bump allocator mirrors how SPE programs statically
+    carve buffers, and lets PDT reserve its trace buffer the way the
+    real tool links its buffer into the SPE image.
+    """
+
+    def __init__(self, size: int, spe_id: int):
+        super().__init__(size, name=f"ls-spe{spe_id}")
+        self.spe_id = spe_id
+        self._alloc_ptr = 0
+        #: Incremented by :meth:`reset`; lets long-lived holders of LS
+        #: addresses (e.g. the PDT trace buffer) detect that the SPE
+        #: was re-provisioned and their allocation is gone.
+        self.generation = 0
+
+    def reset(self) -> None:
+        """Forget all allocations (context switch / reload).
+
+        Contents are left in place — like real LS, nothing scrubs it —
+        but every previously returned address is invalidated.
+        """
+        self._alloc_ptr = 0
+        self.generation += 1
+
+    def allocate(self, size: int, align: int = 16) -> int:
+        """Reserve ``size`` bytes of LS; returns the LS address."""
+        if size <= 0:
+            raise MemoryError_(f"allocation size must be positive, got {size}")
+        if align & (align - 1):
+            raise MemoryError_(f"alignment must be a power of two, got {align}")
+        addr = (self._alloc_ptr + align - 1) & ~(align - 1)
+        if addr + size > self.size:
+            raise MemoryError_(
+                f"{self.name} exhausted: need {size} bytes at 0x{addr:x} "
+                f"(app + trace buffer exceed 256 KB?)"
+            )
+        self._alloc_ptr = addr + size
+        return addr
+
+    @property
+    def free_bytes(self) -> int:
+        """LS bytes not yet claimed by the bump allocator."""
+        return self.size - self._alloc_ptr

@@ -1,0 +1,454 @@
+"""Memory Flow Controller: the per-SPE DMA engine.
+
+Each SPE's MFC owns a 16-entry command queue.  The SPU issues
+commands through its channel interface (stalling when the queue is
+full — a real and observable stall PDT can expose), the MFC dispatches
+them in order with up to ``mfc_parallel`` transfers in flight on the
+EIB, and completion is tracked per *tag group* (0–31).  Software waits
+for tag groups with a mask, in "any" or "all" mode, exactly like
+``mfc_read_tag_status_any/all``.
+
+Ordering semantics modelled:
+
+* plain commands may overlap each other,
+* *fenced* commands (``GETF``/``PUTF``) wait for previously issued
+  commands **in the same tag group**,
+* *barrier* commands (``GETB``/``PUTB``) wait for **all** previously
+  issued commands.
+
+List DMA (``GETL``/``PUTL``) executes a sequence of (EA, size)
+elements against a contiguous LS region as one queued command.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.cell.atomic import LOCK_LINE, ReservationStation
+from repro.cell.config import DmaTimings
+from repro.cell.eib import Eib
+from repro.cell.memory import LocalStore, MainMemory, check_dma_alignment
+from repro.kernel import Delay, Event, KernelError, Resource, Simulator
+
+N_TAGS = 32
+
+
+class DmaDirection(enum.Enum):
+    """Transfer direction, named from the SPE's point of view."""
+
+    GET = "get"  # main storage -> local store
+    PUT = "put"  # local store -> main storage
+
+
+@dataclasses.dataclass(frozen=True)
+class DmaListElement:
+    """One element of a list DMA: a (main-storage address, size) pair."""
+
+    effective_addr: int
+    size: int
+
+
+@dataclasses.dataclass
+class DmaCommand:
+    """One queued MFC command, with its lifetime timestamps.
+
+    The timestamps are simulator ground truth used by tests and by the
+    validation experiments; PDT sees only what it records itself.
+    """
+
+    cmd_id: int
+    direction: DmaDirection
+    ls_addr: int
+    effective_addr: int
+    size: int
+    tag: int
+    fence: bool = False
+    barrier: bool = False
+    elements: typing.Optional[typing.Tuple[DmaListElement, ...]] = None
+    issuer: str = ""
+    issue_time: int = -1
+    dispatch_time: int = -1
+    complete_time: int = -1
+    completion: typing.Optional[Event] = None
+
+    @property
+    def is_list(self) -> bool:
+        return self.elements is not None
+
+    @property
+    def kind(self) -> str:
+        """Mnemonic like the architected command names (GETF, PUTL...)."""
+        name = self.direction.name
+        if self.is_list:
+            name += "L"
+        if self.barrier:
+            name += "B"
+        elif self.fence:
+            name += "F"
+        return name
+
+
+@dataclasses.dataclass
+class _TagWaiter:
+    mask: int
+    mode: str  # "any" | "all"
+    event: Event
+
+
+class MfcStats:
+    """Per-MFC counters for tests and the analyzer's ground truth."""
+
+    def __init__(self) -> None:
+        self.commands = 0
+        self.bytes_moved = 0
+        self.queue_full_stalls = 0
+        self.queue_full_cycles = 0
+        self.per_tag_commands: typing.Dict[int, int] = {}
+
+
+class Mfc:
+    """One SPE's DMA engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spe_id: int,
+        local_store: LocalStore,
+        main_memory: MainMemory,
+        eib: Eib,
+        timings: DmaTimings,
+        reservations: typing.Optional[ReservationStation] = None,
+        address_map: typing.Optional["AddressMap"] = None,
+    ):
+        from repro.cell.addressing import AddressMap
+
+        self.sim = sim
+        self.spe_id = spe_id
+        self.ls = local_store
+        self.mem = main_memory
+        self.eib = eib
+        self.timings = timings
+        self.reservations = reservations or ReservationStation()
+        self.address_map = address_map or AddressMap(main_memory, [])
+        self.atomic_ops = 0
+        self.stats = MfcStats()
+        self._next_cmd_id = 0
+        self._slots = Resource(sim, timings.queue_depth, name=f"mfc{spe_id}-queue")
+        self._proxy_slots = Resource(
+            sim, timings.proxy_queue_depth, name=f"mfc{spe_id}-proxy"
+        )
+        self._pending: typing.List[DmaCommand] = []
+        self._inflight: typing.List[DmaCommand] = []
+        self._outstanding_per_tag = [0] * N_TAGS
+        self._tag_waiters: typing.List[_TagWaiter] = []
+        self._kick: typing.Optional[Event] = None
+        self.completed_commands: typing.List[DmaCommand] = []
+        sim.spawn(self._dispatcher(), name=f"mfc{spe_id}-dispatcher", daemon=True)
+
+    # ------------------------------------------------------------------
+    # command construction helpers
+    # ------------------------------------------------------------------
+    def make_command(
+        self,
+        direction: DmaDirection,
+        ls_addr: int,
+        effective_addr: int,
+        size: int,
+        tag: int,
+        fence: bool = False,
+        barrier: bool = False,
+        issuer: str = "",
+    ) -> DmaCommand:
+        """Validate and build a plain (non-list) DMA command."""
+        self._check_tag(tag)
+        if size > self.timings.max_dma_size:
+            raise KernelError(
+                f"DMA of {size} bytes exceeds the {self.timings.max_dma_size}-byte "
+                "MFC limit; split the transfer or use a list command"
+            )
+        check_dma_alignment(ls_addr, effective_addr, size)
+        self._next_cmd_id += 1
+        return DmaCommand(
+            cmd_id=self._next_cmd_id,
+            direction=direction,
+            ls_addr=ls_addr,
+            effective_addr=effective_addr,
+            size=size,
+            tag=tag,
+            fence=fence,
+            barrier=barrier,
+            issuer=issuer,
+        )
+
+    def make_list_command(
+        self,
+        direction: DmaDirection,
+        ls_addr: int,
+        elements: typing.Sequence[DmaListElement],
+        tag: int,
+        issuer: str = "",
+    ) -> DmaCommand:
+        """Validate and build a list DMA command."""
+        self._check_tag(tag)
+        if not elements:
+            raise KernelError("list DMA needs at least one element")
+        if len(elements) > 2048:
+            raise KernelError("list DMA supports at most 2048 elements")
+        offset = 0
+        for elem in elements:
+            if elem.size > self.timings.max_dma_size:
+                raise KernelError(
+                    f"list element of {elem.size} bytes exceeds the "
+                    f"{self.timings.max_dma_size}-byte limit"
+                )
+            check_dma_alignment(ls_addr + offset, elem.effective_addr, elem.size)
+            offset += elem.size
+        self._next_cmd_id += 1
+        return DmaCommand(
+            cmd_id=self._next_cmd_id,
+            direction=direction,
+            ls_addr=ls_addr,
+            effective_addr=elements[0].effective_addr,
+            size=offset,
+            tag=tag,
+            elements=tuple(elements),
+            issuer=issuer,
+        )
+
+    @staticmethod
+    def _check_tag(tag: int) -> None:
+        if not 0 <= tag < N_TAGS:
+            raise KernelError(f"DMA tag must be 0..{N_TAGS - 1}, got {tag}")
+
+    # ------------------------------------------------------------------
+    # issue paths
+    # ------------------------------------------------------------------
+    def issue(self, command: DmaCommand, proxy: bool = False) -> typing.Generator:
+        """Enqueue a command (generator — ``yield from``).
+
+        Blocks while the command queue is full; the stall duration is
+        recorded in :attr:`stats` (PDT exposes exactly this stall).
+        Returns the command's completion :class:`Event`, which the
+        caller may wait on directly or via the tag-group interface.
+        """
+        slots = self._proxy_slots if proxy else self._slots
+        queued_at = self.sim.now
+        if slots.available == 0:
+            self.stats.queue_full_stalls += 1
+        yield slots.acquire()
+        self.stats.queue_full_cycles += self.sim.now - queued_at
+        command.issue_time = self.sim.now
+        command.completion = Event(self.sim, name=f"dma{command.cmd_id}-done")
+        command._slots = slots  # remember which pool to release into
+        self._outstanding_per_tag[command.tag] += 1
+        self._pending.append(command)
+        self.stats.commands += 1
+        self.stats.per_tag_commands[command.tag] = (
+            self.stats.per_tag_commands.get(command.tag, 0) + 1
+        )
+        self._wake_dispatcher()
+        return command.completion
+
+    # ------------------------------------------------------------------
+    # tag-group status
+    # ------------------------------------------------------------------
+    def outstanding_in_tag(self, tag: int) -> int:
+        self._check_tag(tag)
+        return self._outstanding_per_tag[tag]
+
+    def tag_status(self, mask: int) -> int:
+        """Bitmap of tags in ``mask`` that have no outstanding commands."""
+        status = 0
+        for tag in range(N_TAGS):
+            bit = 1 << tag
+            if mask & bit and self._outstanding_per_tag[tag] == 0:
+                status |= bit
+        return status
+
+    def tag_wait_event(self, mask: int, mode: str) -> Event:
+        """An event that triggers when the tag condition is met.
+
+        ``mode='all'``: every tag in the mask is quiescent.
+        ``mode='any'``: at least one tag in the mask is quiescent.
+        The event value is the tag-status bitmap at completion time.
+        """
+        if mode not in ("any", "all"):
+            raise KernelError(f"tag wait mode must be 'any' or 'all', got {mode!r}")
+        if mask == 0:
+            raise KernelError("tag wait with empty mask would hang forever")
+        event = Event(self.sim, name=f"mfc{self.spe_id}-tagwait")
+        waiter = _TagWaiter(mask=mask, mode=mode, event=event)
+        if self._waiter_satisfied(waiter):
+            event.trigger(self.tag_status(mask))
+        else:
+            self._tag_waiters.append(waiter)
+        return event
+
+    def _waiter_satisfied(self, waiter: _TagWaiter) -> bool:
+        status = self.tag_status(waiter.mask)
+        if waiter.mode == "all":
+            return status == waiter.mask
+        return status != 0
+
+    def _notify_tag_waiters(self) -> None:
+        still_waiting = []
+        for waiter in self._tag_waiters:
+            if self._waiter_satisfied(waiter):
+                waiter.event.trigger(self.tag_status(waiter.mask))
+            else:
+                still_waiting.append(waiter)
+        self._tag_waiters = still_waiting
+
+    # ------------------------------------------------------------------
+    # dispatch engine
+    # ------------------------------------------------------------------
+    def _wake_dispatcher(self) -> None:
+        if self._kick is not None and not self._kick.triggered:
+            self._kick.trigger()
+
+    def _dispatcher(self) -> typing.Generator:
+        while True:
+            started_one = self._try_dispatch()
+            if not started_one:
+                self._kick = Event(self.sim, name=f"mfc{self.spe_id}-kick")
+                yield self._kick
+                self._kick = None
+
+    def _try_dispatch(self) -> bool:
+        if not self._pending:
+            return False
+        if len(self._inflight) >= self.timings.mfc_parallel:
+            return False
+        head = self._pending[0]
+        if head.barrier and self._inflight:
+            return False
+        if head.fence and any(cmd.tag == head.tag for cmd in self._inflight):
+            return False
+        self._pending.pop(0)
+        self._inflight.append(head)
+        head.dispatch_time = self.sim.now
+        self.sim.spawn(self._execute(head), name=f"dma{head.cmd_id}")
+        return True
+
+    def _execute(self, command: DmaCommand) -> typing.Generator:
+        yield Delay(self.timings.mfc_issue_latency)
+        requester = f"spe{self.spe_id}" + (":trace" if "trace" in command.issuer else "")
+        src = f"spe{self.spe_id}"
+        if command.is_list:
+            offset = 0
+            for elem in command.elements:
+                yield from self._access_latency(elem.effective_addr)
+                yield from self.eib.transfer(
+                    elem.size, requester=requester, src=src,
+                    dst=self._unit_of(elem.effective_addr),
+                )
+                self._move_bytes(
+                    command.direction, command.ls_addr + offset, elem.effective_addr, elem.size
+                )
+                offset += elem.size
+        else:
+            yield from self._access_latency(command.effective_addr)
+            yield from self.eib.transfer(
+                command.size, requester=requester, src=src,
+                dst=self._unit_of(command.effective_addr),
+            )
+            self._move_bytes(
+                command.direction, command.ls_addr, command.effective_addr, command.size
+            )
+        self._complete(command)
+
+    def _unit_of(self, effective_addr: int) -> str:
+        try:
+            return self.address_map.unit_of(effective_addr)
+        except Exception:
+            return "mic"
+
+    def _access_latency(self, effective_addr: int) -> typing.Generator:
+        """DRAM access latency — skipped for LS-to-LS transfers."""
+        if not self.address_map.is_local_store(effective_addr):
+            yield Delay(self.timings.memory_latency)
+
+    def _move_bytes(
+        self, direction: DmaDirection, ls_addr: int, effective_addr: int, size: int
+    ) -> None:
+        store, offset = self.address_map.resolve(effective_addr, size)
+        if direction is DmaDirection.GET:
+            self.ls.write(ls_addr, store.read(offset, size))
+        else:
+            store.write(offset, self.ls.read(ls_addr, size))
+            # A plain store kills overlapping lock-line reservations.
+            self.reservations.notify_store(effective_addr, size, writer_spe=self.spe_id)
+
+    # ------------------------------------------------------------------
+    # atomic commands (lock-line reservation)
+    # ------------------------------------------------------------------
+    def _check_lock_line(self, ls_addr: int, effective_addr: int) -> None:
+        if ls_addr % LOCK_LINE or effective_addr % LOCK_LINE:
+            raise KernelError(
+                f"atomic commands need {LOCK_LINE}-byte alignment "
+                f"(LS=0x{ls_addr:x}, EA=0x{effective_addr:x})"
+            )
+        if self.address_map.is_local_store(effective_addr):
+            raise KernelError(
+                "atomic commands target main storage, not LS windows"
+            )
+
+    def atomic_getllar(self, ls_addr: int, effective_addr: int) -> typing.Generator:
+        """GETLLAR: fetch a 128-byte lock line and reserve it.
+
+        Immediate command: the SPU blocks until the line is in LS
+        (real code spins on the atomic-status channel the same way).
+        """
+        self._check_lock_line(ls_addr, effective_addr)
+        self.atomic_ops += 1
+        yield Delay(self.timings.mfc_issue_latency + self.timings.memory_latency)
+        yield from self.eib.transfer(
+            LOCK_LINE, requester=f"spe{self.spe_id}:atomic",
+            src=f"spe{self.spe_id}", dst="mic",
+        )
+        self.ls.write(ls_addr, self.mem.read(effective_addr, LOCK_LINE))
+        self.reservations.reserve(self.spe_id, effective_addr)
+
+    def atomic_putllc(self, ls_addr: int, effective_addr: int) -> typing.Generator:
+        """PUTLLC: conditional store of the lock line; returns success.
+
+        Fails (returns False) when the reservation was lost to another
+        processor's store — the caller retries the GETLLAR/modify/
+        PUTLLC loop, exactly like hardware.
+        """
+        self._check_lock_line(ls_addr, effective_addr)
+        self.atomic_ops += 1
+        yield Delay(self.timings.mfc_issue_latency)
+        yield from self.eib.transfer(
+            LOCK_LINE, requester=f"spe{self.spe_id}:atomic",
+            src=f"spe{self.spe_id}", dst="mic",
+        )
+        success = self.reservations.conditional_store(self.spe_id, effective_addr)
+        if success:
+            self.mem.write(effective_addr, self.ls.read(ls_addr, LOCK_LINE))
+        return success
+
+    def atomic_putlluc(self, ls_addr: int, effective_addr: int) -> typing.Generator:
+        """PUTLLUC: unconditional lock-line store (kills reservations)."""
+        self._check_lock_line(ls_addr, effective_addr)
+        self.atomic_ops += 1
+        yield Delay(self.timings.mfc_issue_latency)
+        yield from self.eib.transfer(
+            LOCK_LINE, requester=f"spe{self.spe_id}:atomic",
+            src=f"spe{self.spe_id}", dst="mic",
+        )
+        self.mem.write(effective_addr, self.ls.read(ls_addr, LOCK_LINE))
+        self.reservations.notify_store(effective_addr, LOCK_LINE, writer_spe=self.spe_id)
+
+    def _complete(self, command: DmaCommand) -> None:
+        command.complete_time = self.sim.now
+        self._inflight.remove(command)
+        self._outstanding_per_tag[command.tag] -= 1
+        self.stats.bytes_moved += command.size
+        self.completed_commands.append(command)
+        command._slots.release()
+        command.completion.trigger(command)
+        self._notify_tag_waiters()
+        self._wake_dispatcher()

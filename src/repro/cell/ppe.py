@@ -1,0 +1,50 @@
+"""The PPE model.
+
+The PPE is the PowerPC control core: it loads SPE programs, feeds them
+work through mailboxes/signals, and reads the timebase.  We model the
+two hardware threads as a scheduling constraint (at most two PPE
+processes make progress concurrently) and charge an MMIO latency for
+every access to SPE problem-state registers, because PPE-side mailbox
+polling cost is part of the paper's overhead discussion.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cell.clock import TimeBase
+from repro.cell.config import CellConfig
+from repro.kernel import Delay, Resource, Simulator
+
+
+class PpeCore:
+    """The dual-threaded PowerPC element."""
+
+    N_HW_THREADS = 2
+
+    def __init__(self, sim: Simulator, config: CellConfig):
+        self.sim = sim
+        self.config = config
+        self.timebase = TimeBase(config.timebase_divider)
+        self._hw_threads = Resource(sim, self.N_HW_THREADS, name="ppe-threads")
+        self.mmio_accesses = 0
+
+    def read_timebase(self) -> int:
+        """Raw timebase value now (cost charged by callers)."""
+        return self.timebase.read(self.sim.now)
+
+    def mmio_access(self) -> typing.Generator:
+        """Charge one MMIO round trip (generator — ``yield from``)."""
+        self.mmio_accesses += 1
+        yield Delay(self.config.mmio_latency)
+
+    def acquire_thread(self):
+        """Claim a hardware thread (yield the returned event)."""
+        return self._hw_threads.acquire()
+
+    def release_thread(self) -> None:
+        self._hw_threads.release()
+
+    @property
+    def threads_in_use(self) -> int:
+        return self._hw_threads.in_use

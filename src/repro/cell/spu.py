@@ -1,0 +1,152 @@
+"""The SPU core model.
+
+An :class:`SpuCore` bundles one SPE's private hardware — local store,
+MFC, mailboxes, decrementer — and tracks the core's execution state
+over time.  The state track is simulator *ground truth*: the
+experiments compare what the Trace Analyzer reconstructs from a PDT
+trace against these counters.
+
+SPE programs themselves are expressed against the runtime API in
+:mod:`repro.libspe.spu_api`, which drives this core.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+from repro.cell.clock import Decrementer
+from repro.cell.config import CellConfig
+from repro.cell.eib import Eib
+from repro.cell.mailbox import MailboxSet
+from repro.cell.memory import LocalStore, MainMemory
+from repro.cell.mfc import Mfc
+from repro.kernel import KernelError, Simulator
+
+
+class SpuState(enum.Enum):
+    """What an SPU is doing at an instant (ground-truth taxonomy)."""
+
+    IDLE = "idle"  # no program loaded / program stopped
+    RUN = "run"  # executing instructions
+    WAIT_DMA = "wait_dma"  # blocked on a tag-group status read
+    WAIT_MBOX = "wait_mbox"  # blocked reading/writing a mailbox
+    WAIT_SIGNAL = "wait_signal"  # blocked on a signal register
+    WAIT_QUEUE = "wait_queue"  # blocked, MFC command queue full
+
+
+class StateTrack:
+    """Accumulates time per state and the full interval history."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.state = SpuState.IDLE
+        self._since = 0
+        self.totals: typing.Dict[SpuState, int] = {s: 0 for s in SpuState}
+        #: (start, end, state) triples, closed on transition.
+        self.intervals: typing.List[typing.Tuple[int, int, SpuState]] = []
+
+    def switch(self, new_state: SpuState) -> SpuState:
+        """Enter ``new_state``; returns the previous state."""
+        old = self.state
+        now = self.sim.now
+        if now > self._since:
+            self.totals[old] += now - self._since
+            self.intervals.append((self._since, now, old))
+        self.state = new_state
+        self._since = now
+        return old
+
+    def close(self) -> None:
+        """Flush the currently open interval (call at end of run)."""
+        self.switch(self.state)
+
+    def busy_cycles(self) -> int:
+        return self.totals[SpuState.RUN]
+
+    def stall_cycles(self) -> int:
+        return sum(
+            self.totals[s]
+            for s in (
+                SpuState.WAIT_DMA,
+                SpuState.WAIT_MBOX,
+                SpuState.WAIT_SIGNAL,
+                SpuState.WAIT_QUEUE,
+            )
+        )
+
+
+class SpuCore:
+    """One SPE: SPU + local store + MFC + mailboxes + decrementer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spe_id: int,
+        config: CellConfig,
+        main_memory: MainMemory,
+        eib: Eib,
+        reservations=None,
+        address_map=None,
+    ):
+        self.sim = sim
+        self.spe_id = spe_id
+        self.config = config
+        self.ls = LocalStore(config.local_store_size, spe_id)
+        self.mfc = Mfc(
+            sim, spe_id, self.ls, main_memory, eib, config.dma,
+            reservations=reservations, address_map=address_map,
+        )
+        self.mailboxes = MailboxSet(
+            sim,
+            spe_id,
+            inbound_depth=config.inbound_mailbox_depth,
+            outbound_depth=config.outbound_mailbox_depth,
+        )
+        self.decrementer = Decrementer(config.timebase_divider, config.clock_spec(spe_id))
+        self.track = StateTrack(sim)
+        self.program_starts: typing.List[int] = []
+        self.program_stops: typing.List[int] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # execution-state bookkeeping (driven by the runtime layer)
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> SpuState:
+        return self.track.state
+
+    def begin_program(self) -> None:
+        if self._running:
+            raise KernelError(f"SPE {self.spe_id} already running a program")
+        self._running = True
+        self.program_starts.append(self.sim.now)
+        self.track.switch(SpuState.RUN)
+
+    def end_program(self) -> None:
+        if not self._running:
+            raise KernelError(f"SPE {self.spe_id} is not running")
+        self._running = False
+        self.program_stops.append(self.sim.now)
+        self.track.switch(SpuState.IDLE)
+
+    def enter_wait(self, state: SpuState) -> None:
+        """Mark the SPU blocked; runtime calls this around stalls."""
+        if self.track.state is not SpuState.RUN:
+            raise KernelError(
+                f"SPE {self.spe_id}: nested wait ({self.track.state} -> {state})"
+            )
+        self.track.switch(state)
+
+    def leave_wait(self) -> None:
+        self.track.switch(SpuState.RUN)
+
+    # ------------------------------------------------------------------
+    # clocks
+    # ------------------------------------------------------------------
+    def read_decrementer(self) -> int:
+        """Raw decrementer value now (the read cost is charged by callers)."""
+        return self.decrementer.read(self.sim.now)
+
+    def __repr__(self) -> str:
+        return f"SpuCore(spe{self.spe_id}, state={self.track.state.value})"

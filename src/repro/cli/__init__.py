@@ -1,0 +1,5 @@
+"""Command-line tools: ``pdt-trace`` (record) and ``pdt-analyze`` (read).
+
+These mirror how the real tool chain is driven: run an instrumented
+application to produce a ``.pdt`` file, then open it in the analyzer.
+"""

@@ -1,0 +1,95 @@
+"""``pdt-analyze``: read a PDT trace file and report on it."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.pdt import read_trace
+from repro.ta import (
+    analyze,
+    communication_edges,
+    profile_table,
+    records_to_csv,
+    render_svg,
+    stats_to_csv,
+    summarize_channels,
+)
+from repro.ta.report import format_table, full_report
+from repro.ta.stats import TraceStatistics
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pdt-analyze",
+        description="Analyze a PDT trace file: timeline, statistics, "
+        "use-case diagnoses.",
+    )
+    parser.add_argument("trace", help="path to a .pdt trace file")
+    parser.add_argument("--width", type=int, default=80,
+                        help="timeline width in columns (default: 80)")
+    parser.add_argument("--svg", metavar="FILE",
+                        help="also write the timeline as SVG")
+    parser.add_argument("--csv-records", metavar="FILE",
+                        help="also dump placed records as CSV")
+    parser.add_argument("--csv-stats", metavar="FILE",
+                        help="also dump the per-SPE summary as CSV")
+    parser.add_argument("--html", metavar="FILE",
+                        help="write the full analysis as a standalone "
+                        "HTML report")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the event-frequency profile")
+    parser.add_argument("--comm", action="store_true",
+                        help="print cross-core communication channels")
+    return parser
+
+
+def main(argv: typing.Optional[typing.List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    trace = read_trace(args.trace)
+    print(full_report(trace, gantt_width=args.width), end="")
+    model = analyze(trace)
+    if args.profile:
+        print("\n--- event profile ---")
+        print(format_table(profile_table(trace)), end="")
+    if args.comm:
+        print("\n--- communication channels ---")
+        summaries = summarize_channels(communication_edges(model))
+        print(
+            format_table(
+                [
+                    {
+                        "channel": s.channel,
+                        "edges": s.count,
+                        "mean_latency": round(s.mean_latency, 1),
+                        "max_latency": s.max_latency,
+                    }
+                    for s in summaries
+                ]
+            ),
+            end="",
+        )
+    if args.svg:
+        with open(args.svg, "w") as handle:
+            handle.write(render_svg(model))
+        print(f"wrote {args.svg}")
+    if args.html:
+        from repro.ta.html import save_html_report
+
+        save_html_report(trace, args.html, title=f"PDT: {args.trace}")
+        print(f"wrote {args.html}")
+    if args.csv_records:
+        with open(args.csv_records, "w") as handle:
+            records_to_csv(model.correlated, handle)
+        print(f"wrote {args.csv_records}")
+    if args.csv_stats:
+        stats = TraceStatistics.from_model(model)
+        with open(args.csv_stats, "w") as handle:
+            stats_to_csv(stats, handle)
+        print(f"wrote {args.csv_stats}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

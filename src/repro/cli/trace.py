@@ -1,0 +1,106 @@
+"""``pdt-trace``: run a workload under PDT and write a trace file."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.pdt import TraceConfig, write_trace
+from repro.pdt.config import TraceConfig as _TraceConfig
+from repro.workloads import (
+    FftWorkload,
+    HistogramWorkload,
+    MandelbrotWorkload,
+    MatmulWorkload,
+    MonteCarloWorkload,
+    SpmvWorkload,
+    StreamingPipelineWorkload,
+    Workload,
+    run_workload,
+)
+
+#: name -> workload factory taking (n_spes)
+WORKLOADS: typing.Dict[str, typing.Callable[[int], Workload]] = {
+    "matmul": lambda n: MatmulWorkload(n_spes=n),
+    "matmul-db": lambda n: MatmulWorkload(n_spes=n, double_buffered=True),
+    "matmul-skew": lambda n: MatmulWorkload(n_spes=n, skew=4),
+    "fft": lambda n: FftWorkload(n_spes=n),
+    "streaming": lambda n: StreamingPipelineWorkload(stages=n),
+    "streaming-ls": lambda n: StreamingPipelineWorkload(stages=n, via_ls=True),
+    "montecarlo": lambda n: MonteCarloWorkload(n_spes=n),
+    "mandelbrot": lambda n: MandelbrotWorkload(n_spes=n, schedule="dynamic"),
+    "mandelbrot-static": lambda n: MandelbrotWorkload(n_spes=n, schedule="static"),
+    "histogram": lambda n: HistogramWorkload(n_spes=n),
+    "spmv": lambda n: SpmvWorkload(n_spes=n),
+}
+
+PRESETS = {
+    "all": TraceConfig.all_events,
+    "dma": TraceConfig.dma_only,
+    "lifecycle": TraceConfig.lifecycle_only,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pdt-trace",
+        description="Run a Cell workload on the simulator under PDT "
+        "and write the trace file.",
+    )
+    parser.add_argument("workload", choices=sorted(WORKLOADS))
+    parser.add_argument("-o", "--output", default="trace.pdt",
+                        help="trace file to write (default: trace.pdt)")
+    parser.add_argument("-n", "--spes", type=int, default=4,
+                        help="number of SPEs (default: 4)")
+    parser.add_argument("--events", choices=sorted(PRESETS), default="all",
+                        help="event-group preset (default: all)")
+    parser.add_argument("--buffer", type=int, default=16 * 1024,
+                        help="SPE trace buffer bytes (default: 16384)")
+    parser.add_argument("--single-buffered-trace", action="store_true",
+                        help="disable double buffering of the trace buffer")
+    parser.add_argument("--wrap", action="store_true",
+                        help="wrap the trace region instead of stopping "
+                        "when it fills (keeps the newest events)")
+    parser.add_argument("--only-spes", metavar="IDS",
+                        help="comma-separated SPE ids to trace (default: all)")
+    parser.add_argument("--config", metavar="FILE",
+                        help="PDT XML configuration file (overrides the "
+                        "other tracing flags)")
+    return parser
+
+
+def main(argv: typing.Optional[typing.List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.config:
+        from repro.pdt.configfile import load_config
+
+        config = load_config(args.config)
+    else:
+        spe_filter = None
+        if args.only_spes:
+            spe_filter = frozenset(int(s) for s in args.only_spes.split(","))
+        config = PRESETS[args.events](
+            buffer_bytes=args.buffer,
+            double_buffered=not args.single_buffered_trace,
+            wrap=args.wrap,
+            spe_filter=spe_filter,
+        )
+    workload = WORKLOADS[args.workload](args.spes)
+    result = run_workload(workload, trace_config=config)
+    trace = result.trace()
+    nbytes = write_trace(trace, args.output)
+    status = "verified" if result.verified else "FAILED VERIFICATION"
+    print(
+        f"{workload.describe()}: {result.elapsed_cycles} cycles "
+        f"({result.elapsed_us:.1f} us), results {status}"
+    )
+    print(
+        f"wrote {args.output}: {trace.n_records} records, {nbytes} bytes "
+        f"({result.hooks.stats.total_flushes} buffer flushes)"
+    )
+    return 0 if result.verified else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

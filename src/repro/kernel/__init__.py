@@ -1,0 +1,47 @@
+"""Discrete-event simulation kernel.
+
+This package is the foundation everything else in :mod:`repro` is built
+on.  It implements a small, deterministic, generator-coroutine based
+discrete-event simulator in the style of SimPy, but purpose-built for
+the Cell BE model:
+
+* time is an integer (we use SPU cycles at the machine's SPU clock as
+  the base unit everywhere),
+* processes are plain Python generators that ``yield`` *waitables*
+  (:class:`Delay`, :class:`Event`, :class:`Process`, :class:`AllOf`,
+  :class:`AnyOf`),
+* composition happens with ``yield from``: higher-level operations
+  (e.g. "issue a DMA and wait for its tag group") are generators that
+  internally yield kernel primitives, so user programs read like
+  straight-line code.
+
+Determinism matters for this project: the trace analyzer's tests
+compare event orderings, so the kernel breaks time ties by scheduling
+sequence number, never by hash order.
+"""
+
+from repro.kernel.errors import DeadlockError, KernelError, ProcessKilled, SimTimeError
+from repro.kernel.events import AllOf, AnyOf, Delay, Event, Interrupt, Waitable
+from repro.kernel.process import Process
+from repro.kernel.queue import Channel, QueueEmpty, QueueFull
+from repro.kernel.resource import Resource
+from repro.kernel.sim import Simulator
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Channel",
+    "DeadlockError",
+    "Delay",
+    "Event",
+    "Interrupt",
+    "KernelError",
+    "Process",
+    "ProcessKilled",
+    "QueueEmpty",
+    "QueueFull",
+    "Resource",
+    "SimTimeError",
+    "Simulator",
+    "Waitable",
+]

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the simulation kernel."""
+
+
+class KernelError(Exception):
+    """Base class for every error raised by the simulation kernel."""
+
+
+class SimTimeError(KernelError):
+    """An operation referenced an invalid simulation time.
+
+    Raised for negative delays or for scheduling into the past.
+    """
+
+
+class DeadlockError(KernelError):
+    """``run()`` was asked to reach a condition it can never reach.
+
+    Raised when the event queue drains while at least one process is
+    still blocked, or when ``run(until=...)`` runs out of events before
+    the target time while processes are blocked.
+    """
+
+
+class ProcessKilled(KernelError):
+    """Injected into a process that another process killed.
+
+    A process may catch this to clean up; re-raising (or not catching)
+    terminates it.
+    """

@@ -1,0 +1,259 @@
+"""Waitable primitives that processes yield to the kernel.
+
+A *waitable* is anything a process generator may ``yield``.  The
+process driver (:mod:`repro.kernel.process`) subscribes a completion
+callback on the yielded waitable; when the waitable completes, the
+process resumes with the waitable's value (or has the waitable's
+exception thrown into it).
+
+The concrete waitables are:
+
+:class:`Delay`
+    Completes after a fixed number of time units.
+:class:`Event`
+    A one-shot latch another process (or hardware model) triggers.
+:class:`AllOf` / :class:`AnyOf`
+    Combinators over other waitables.
+:class:`~repro.kernel.process.Process`
+    Processes are themselves waitables; yielding one joins it.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.kernel.errors import KernelError, SimTimeError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.sim import Simulator
+
+#: Signature of the completion callbacks waitables invoke:
+#: ``callback(value, exc)`` with exactly one of the two not ``None``
+#: (both may be ``None`` for a plain untyped completion).
+CompletionCallback = typing.Callable[[typing.Any, typing.Optional[BaseException]], None]
+
+
+class Interrupt(KernelError):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries whatever object the interrupter
+    passed, typically a short reason string.
+    """
+
+    def __init__(self, cause: typing.Any = None):
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause
+
+
+class Waitable:
+    """Base class for everything a process may yield.
+
+    Subclasses implement :meth:`subscribe` and :meth:`unsubscribe`.
+    ``subscribe`` must guarantee the callback fires exactly once unless
+    unsubscribed first, and must fire it *through the simulator's event
+    queue* (never synchronously inside ``subscribe``) so that process
+    resumption order is always governed by the scheduler.
+    """
+
+    def subscribe(self, sim: "Simulator", callback: CompletionCallback) -> typing.Any:
+        """Register ``callback`` to fire on completion; return a token."""
+        raise NotImplementedError
+
+    def unsubscribe(self, token: typing.Any) -> None:
+        """Cancel a previous :meth:`subscribe` using its token."""
+        raise NotImplementedError
+
+
+class Delay(Waitable):
+    """Completes ``duration`` time units after it is yielded.
+
+    The value delivered to the waiting process is the absolute time at
+    which the delay elapsed.
+    """
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: int):
+        if duration < 0:
+            raise SimTimeError(f"negative delay: {duration}")
+        self.duration = int(duration)
+
+    def subscribe(self, sim: "Simulator", callback: CompletionCallback) -> typing.Any:
+        wake_at = sim.now + self.duration
+        return sim.schedule_at(wake_at, callback, wake_at, None)
+
+    def unsubscribe(self, token: typing.Any) -> None:
+        token.cancel()
+
+    def __repr__(self) -> str:
+        return f"Delay({self.duration})"
+
+
+class Event(Waitable):
+    """A one-shot latch.
+
+    ``trigger(value)`` completes every current and future waiter with
+    ``value``; ``fail(exc)`` completes them by raising ``exc`` inside
+    the waiting process.  Triggering twice is an error — events are
+    single-use by design, which catches a whole class of hardware-model
+    bugs (e.g. completing the same DMA twice).
+    """
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self._sim = sim
+        self.name = name
+        self._done = False
+        self._value: typing.Any = None
+        self._exc: typing.Optional[BaseException] = None
+        self._callbacks: typing.List[CompletionCallback] = []
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`trigger` or :meth:`fail` has run."""
+        return self._done
+
+    @property
+    def value(self) -> typing.Any:
+        """The value passed to :meth:`trigger` (valid once triggered)."""
+        if not self._done:
+            raise KernelError(f"event {self.name!r} not yet triggered")
+        return self._value
+
+    def trigger(self, value: typing.Any = None) -> None:
+        """Latch the event and wake every waiter with ``value``."""
+        self._complete(value, None)
+
+    def fail(self, exc: BaseException) -> None:
+        """Latch the event and raise ``exc`` inside every waiter."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self._complete(None, exc)
+
+    def _complete(self, value: typing.Any, exc: typing.Optional[BaseException]) -> None:
+        if self._done:
+            raise KernelError(f"event {self.name!r} triggered twice")
+        self._done = True
+        self._value = value
+        self._exc = exc
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._sim.schedule_at(self._sim.now, callback, value, exc)
+
+    def subscribe(self, sim: "Simulator", callback: CompletionCallback) -> typing.Any:
+        if sim is not self._sim:
+            raise KernelError("event waited on from a different simulator")
+        if self._done:
+            return sim.schedule_at(sim.now, callback, self._value, self._exc)
+        self._callbacks.append(callback)
+        return callback
+
+    def unsubscribe(self, token: typing.Any) -> None:
+        if token in self._callbacks:
+            self._callbacks.remove(token)
+        elif hasattr(token, "cancel"):  # already-triggered path returned a timer
+            token.cancel()
+
+    def __repr__(self) -> str:
+        state = "triggered" if self._done else "pending"
+        return f"Event({self.name!r}, {state})"
+
+
+class _Combinator(Waitable):
+    """Shared machinery for :class:`AllOf` and :class:`AnyOf`."""
+
+    def __init__(self, children: typing.Sequence[Waitable]):
+        self.children = list(children)
+        if not self.children:
+            raise KernelError(f"{type(self).__name__} needs at least one waitable")
+        for child in self.children:
+            if not isinstance(child, Waitable):
+                raise TypeError(f"{type(self).__name__} child is not waitable: {child!r}")
+
+
+class AllOf(_Combinator):
+    """Completes when *every* child completes.
+
+    Delivers the list of child values in child order.  If any child
+    fails, the first failure propagates and remaining subscriptions are
+    cancelled.
+    """
+
+    def subscribe(self, sim: "Simulator", callback: CompletionCallback) -> typing.Any:
+        state = {
+            "remaining": len(self.children),
+            "values": [None] * len(self.children),
+            "tokens": [],
+            "done": False,
+        }
+
+        def make_child_callback(index: int) -> CompletionCallback:
+            def on_child(value: typing.Any, exc: typing.Optional[BaseException]) -> None:
+                if state["done"]:
+                    return
+                if exc is not None:
+                    state["done"] = True
+                    _cancel_all(self.children, state["tokens"], skip=index)
+                    callback(None, exc)
+                    return
+                state["values"][index] = value
+                state["remaining"] -= 1
+                if state["remaining"] == 0:
+                    state["done"] = True
+                    callback(list(state["values"]), None)
+
+            return on_child
+
+        for i, child in enumerate(self.children):
+            state["tokens"].append(child.subscribe(sim, make_child_callback(i)))
+        return state
+
+    def unsubscribe(self, token: typing.Any) -> None:
+        if not token["done"]:
+            token["done"] = True
+            _cancel_all(self.children, token["tokens"])
+
+
+class AnyOf(_Combinator):
+    """Completes when the *first* child completes.
+
+    Delivers ``(index, value)`` identifying which child won.  Losing
+    children's subscriptions are cancelled; note that cancellation does
+    not undo side effects a child may already have had.
+    """
+
+    def subscribe(self, sim: "Simulator", callback: CompletionCallback) -> typing.Any:
+        state = {"tokens": [], "done": False}
+
+        def make_child_callback(index: int) -> CompletionCallback:
+            def on_child(value: typing.Any, exc: typing.Optional[BaseException]) -> None:
+                if state["done"]:
+                    return
+                state["done"] = True
+                _cancel_all(self.children, state["tokens"], skip=index)
+                if exc is not None:
+                    callback(None, exc)
+                else:
+                    callback((index, value), None)
+
+            return on_child
+
+        for i, child in enumerate(self.children):
+            state["tokens"].append(child.subscribe(sim, make_child_callback(i)))
+            if state["done"]:
+                break
+        return state
+
+    def unsubscribe(self, token: typing.Any) -> None:
+        if not token["done"]:
+            token["done"] = True
+            _cancel_all(self.children, token["tokens"])
+
+
+def _cancel_all(
+    children: typing.Sequence[Waitable],
+    tokens: typing.Sequence[typing.Any],
+    skip: int = -1,
+) -> None:
+    for i, token in enumerate(tokens):
+        if i != skip:
+            children[i].unsubscribe(token)

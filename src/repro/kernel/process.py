@@ -1,0 +1,194 @@
+"""Processes: generator coroutines driven by the simulator.
+
+A process wraps a generator.  Each time the generator yields a
+:class:`~repro.kernel.events.Waitable`, the process blocks until it
+completes, then resumes with its value (``value = yield waitable``).
+Returning from the generator (optionally with ``return value``) ends
+the process; yielding anything that is not a waitable is an error.
+
+Processes are themselves waitables — yielding a process joins it and
+delivers its return value (or re-raises its crash exception in the
+joiner).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.kernel.errors import KernelError, ProcessKilled
+from repro.kernel.events import CompletionCallback, Interrupt, Waitable
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.sim import Simulator
+
+
+class Process(Waitable):
+    """A running simulation process.
+
+    Attributes of interest to models and tests:
+
+    ``alive``
+        True until the generator returns or raises.
+    ``result``
+        The generator's return value once finished normally.
+    ``exception``
+        The crash exception once finished abnormally.
+    """
+
+    _ids = 0
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: typing.Generator,
+        name: str = "",
+        daemon: bool = False,
+    ):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process needs a generator, got {generator!r} — did you call "
+                "the generator function with ()?"
+            )
+        Process._ids += 1
+        self.pid = Process._ids
+        self.sim = sim
+        self.name = name or f"proc-{self.pid}"
+        #: Daemon processes may block forever without counting as a
+        #: deadlock — used for hardware engines (e.g. MFC dispatchers)
+        #: that idle until work arrives.
+        self.daemon = daemon
+        self._generator = generator
+        self._alive = True
+        self._blocked_on: typing.Optional[Waitable] = None
+        self._blocked_token: typing.Any = None
+        self._result: typing.Any = None
+        self._exception: typing.Optional[BaseException] = None
+        self._joiners: typing.List[CompletionCallback] = []
+        sim._live_processes += 1
+        # First resume happens through the scheduler at the current
+        # time so that spawning is itself deterministic.
+        sim.schedule_at(sim.now, self._resume, None, None)
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def result(self) -> typing.Any:
+        if self._alive:
+            raise KernelError(f"{self.name} still running")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    @property
+    def exception(self) -> typing.Optional[BaseException]:
+        return self._exception
+
+    # ------------------------------------------------------------------
+    # driving the generator
+    # ------------------------------------------------------------------
+    def _resume(self, value: typing.Any, exc: typing.Optional[BaseException]) -> None:
+        if not self._alive:
+            return
+        if self._blocked_on is not None:
+            self._blocked_on = None
+            self._blocked_token = None
+            if not self.daemon:
+                self.sim._blocked_processes -= 1
+        previous = self.sim.current_process
+        self.sim.current_process = self
+        try:
+            if exc is not None:
+                yielded = self._generator.throw(exc)
+            else:
+                yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None), None)
+            return
+        except (ProcessKilled, Interrupt) as killed:
+            # Kill/interrupt not caught by the process: it dies quietly
+            # with the kill recorded as its exception.
+            self._finish(None, killed)
+            return
+        except Exception as crash:
+            self._finish(None, crash)
+            return
+        finally:
+            self.sim.current_process = previous
+        self._block_on(yielded)
+
+    def _block_on(self, yielded: typing.Any) -> None:
+        if not isinstance(yielded, Waitable):
+            bug = KernelError(
+                f"{self.name} yielded a non-waitable: {yielded!r} "
+                "(hint: use 'yield from' for sub-operations)"
+            )
+            # Surface the bug inside the offending process so its
+            # traceback points at the bad yield.
+            self.sim.schedule_at(self.sim.now, self._resume, None, bug)
+            return
+        self._blocked_on = yielded
+        if not self.daemon:
+            self.sim._blocked_processes += 1
+        self._blocked_token = yielded.subscribe(self.sim, self._resume)
+
+    def _finish(self, result: typing.Any, exc: typing.Optional[BaseException]) -> None:
+        self._alive = False
+        self._result = result
+        self._exception = exc
+        self.sim._live_processes -= 1
+        joiners, self._joiners = self._joiners, []
+        for callback in joiners:
+            self.sim.schedule_at(self.sim.now, callback, result, exc)
+        if exc is not None and not joiners and not isinstance(exc, (ProcessKilled, Interrupt)):
+            # Nobody is joining this process, so nobody would ever see
+            # the crash: re-raise out of the simulator run loop.
+            raise exc
+
+    # ------------------------------------------------------------------
+    # control from other processes
+    # ------------------------------------------------------------------
+    def interrupt(self, cause: typing.Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        self._unblock_with(Interrupt(cause))
+
+    def kill(self, reason: str = "") -> None:
+        """Throw :class:`ProcessKilled` into the process."""
+        self._unblock_with(ProcessKilled(reason))
+
+    def _unblock_with(self, exc: BaseException) -> None:
+        if not self._alive:
+            return
+        if self._blocked_on is None:
+            raise KernelError(f"cannot interrupt {self.name}: it is not blocked")
+        self._blocked_on.unsubscribe(self._blocked_token)
+        self._blocked_on = None
+        self._blocked_token = None
+        if not self.daemon:
+            self.sim._blocked_processes -= 1
+        self.sim.schedule_at(self.sim.now, self._resume, None, exc)
+
+    # ------------------------------------------------------------------
+    # Waitable protocol: joining
+    # ------------------------------------------------------------------
+    def subscribe(self, sim: "Simulator", callback: CompletionCallback) -> typing.Any:
+        if sim is not self.sim:
+            raise KernelError("process joined from a different simulator")
+        if not self._alive:
+            return sim.schedule_at(sim.now, callback, self._result, self._exception)
+        self._joiners.append(callback)
+        return callback
+
+    def unsubscribe(self, token: typing.Any) -> None:
+        if token in self._joiners:
+            self._joiners.remove(token)
+        elif hasattr(token, "cancel"):
+            token.cancel()
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "done"
+        return f"Process({self.name!r}, pid={self.pid}, {state})"

@@ -1,0 +1,128 @@
+"""A bounded FIFO channel between processes.
+
+This is the substrate for the Cell's mailboxes and signal plumbing:
+fixed capacity, blocking put when full, blocking get when empty, plus
+non-blocking probes (``try_put`` / ``try_get`` / ``count``) because the
+hardware exposes queue-status channels that software polls.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.kernel.errors import KernelError
+from repro.kernel.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.sim import Simulator
+
+
+class QueueFull(KernelError):
+    """Non-blocking put on a full channel."""
+
+
+class QueueEmpty(KernelError):
+    """Non-blocking get on an empty channel."""
+
+
+class Channel:
+    """Bounded FIFO with blocking and non-blocking endpoints."""
+
+    def __init__(self, sim: "Simulator", capacity: int, name: str = ""):
+        if capacity < 1:
+            raise KernelError(f"channel capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name or "channel"
+        self.capacity = capacity
+        self._items: typing.Deque[typing.Any] = collections.deque()
+        self._getters: typing.Deque[Event] = collections.deque()
+        self._putters: typing.Deque[typing.Tuple[Event, typing.Any]] = collections.deque()
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Items currently queued (what a status channel would read)."""
+        return len(self._items)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self._items)
+
+    # ------------------------------------------------------------------
+    # blocking endpoints (yield the returned event)
+    # ------------------------------------------------------------------
+    def put(self, item: typing.Any) -> Event:
+        """Enqueue; the returned event triggers once the item is stored."""
+        event = Event(self.sim, name=f"{self.name}.put")
+        if len(self._items) < self.capacity and not self._putters:
+            self._store(item)
+            event.trigger(None)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Dequeue; the returned event triggers with the item."""
+        event = Event(self.sim, name=f"{self.name}.get")
+        if self._items:
+            event.trigger(self._items.popleft())
+            self._admit_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # non-blocking endpoints
+    # ------------------------------------------------------------------
+    def try_put(self, item: typing.Any) -> bool:
+        """Enqueue if space; False when full (no queuing)."""
+        if len(self._items) >= self.capacity or self._putters:
+            return False
+        self._store(item)
+        return True
+
+    def put_overwrite(self, item: typing.Any) -> bool:
+        """Enqueue, overwriting the newest entry when full.
+
+        Models the hardware behaviour of MMIO mailbox writes that do
+        not flow-control: the Cell's inbound mailbox overwrites the
+        last entry if software writes when full.  Returns True if an
+        entry was overwritten.
+        """
+        if len(self._items) >= self.capacity:
+            self._items[-1] = item
+            return True
+        self._store(item)
+        return False
+
+    def try_get(self) -> typing.Any:
+        """Dequeue or raise :class:`QueueEmpty` (no queuing)."""
+        if not self._items:
+            raise QueueEmpty(self.name)
+        item = self._items.popleft()
+        self._admit_putters()
+        return item
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _store(self, item: typing.Any) -> None:
+        if self._getters:
+            self._getters.popleft().trigger(item)
+        else:
+            self._items.append(item)
+
+    def _admit_putters(self) -> None:
+        while self._putters and len(self._items) < self.capacity:
+            event, item = self._putters.popleft()
+            self._store(item)
+            event.trigger(None)
+
+    def __repr__(self) -> str:
+        return (
+            f"Channel({self.name!r}, {len(self._items)}/{self.capacity}, "
+            f"{len(self._getters)} getters, {len(self._putters)} putters)"
+        )

@@ -1,0 +1,75 @@
+"""A counted resource with FIFO acquisition.
+
+Used for things like EIB ring slots and MFC queue slots, where a fixed
+number of units exist and requesters must queue in arrival order
+(hardware arbiters in the Cell are round-robin/FIFO-fair; FIFO keeps
+the model deterministic and fair enough for our purposes).
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.kernel.errors import KernelError
+from repro.kernel.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.sim import Simulator
+
+
+class Resource:
+    """``capacity`` units, acquired one at a time, FIFO order."""
+
+    def __init__(self, sim: "Simulator", capacity: int, name: str = ""):
+        if capacity < 1:
+            raise KernelError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name or "resource"
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: typing.Deque[Event] = collections.deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of acquirers currently waiting."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that triggers once a unit is granted.
+
+        Yield the returned event; the unit is held from the moment the
+        event triggers until :meth:`release`.
+        """
+        event = Event(self.sim, name=f"{self.name}.acquire")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.trigger(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one unit; wakes the longest-waiting acquirer if any."""
+        if self._in_use <= 0:
+            raise KernelError(f"{self.name}: release without acquire")
+        if self._waiters:
+            # Hand the unit directly to the next waiter: _in_use stays
+            # constant, ownership transfers.
+            self._waiters.popleft().trigger(self)
+        else:
+            self._in_use -= 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Resource({self.name!r}, {self._in_use}/{self.capacity} used, "
+            f"{len(self._waiters)} waiting)"
+        )

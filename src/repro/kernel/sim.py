@@ -1,0 +1,152 @@
+"""The simulator core: an integer-time event queue.
+
+Time is a dimensionless non-negative integer.  Throughout
+:mod:`repro` the unit is one SPU cycle of the simulated machine
+(3.2 GHz by default), chosen because it is the fastest clock in the
+system so every other clock (PPE timebase, SPU decrementers) is an
+integer multiple of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.kernel.errors import DeadlockError, SimTimeError
+
+
+class Timer:
+    """A cancellable handle for one scheduled callback."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: typing.Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Timer") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler.
+
+    Determinism guarantee: callbacks scheduled for the same time fire
+    in the order they were scheduled (FIFO tie-break by sequence
+    number).  Nothing in the kernel iterates a set or dict whose order
+    could leak into scheduling decisions.
+    """
+
+    def __init__(self):
+        self.now: int = 0
+        self._heap: typing.List[Timer] = []
+        self._seq = 0
+        #: Number of processes currently alive (maintained by Process).
+        self._live_processes = 0
+        #: Number of processes currently blocked on a waitable.
+        self._blocked_processes = 0
+        #: The process whose generator is currently executing (set by
+        #: Process while stepping it).  Lets models attribute work to
+        #: a software thread — e.g. PDT tagging PPE records with the
+        #: producing thread id.
+        self.current_process = None
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: int, fn: typing.Callable, *args: typing.Any) -> Timer:
+        """Schedule ``fn(*args)`` to run at absolute ``time``."""
+        if time < self.now:
+            raise SimTimeError(f"cannot schedule at {time}, now is {self.now}")
+        timer = Timer(int(time), self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, timer)
+        return timer
+
+    def schedule(self, delay: int, fn: typing.Callable, *args: typing.Any) -> Timer:
+        """Schedule ``fn(*args)`` to run ``delay`` units from now."""
+        if delay < 0:
+            raise SimTimeError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    # ------------------------------------------------------------------
+    # process management (used by Process; counts drive deadlock checks)
+    # ------------------------------------------------------------------
+    def spawn(self, generator: typing.Generator, name: str = "", daemon: bool = False):
+        """Start a new process running ``generator``; returns the Process.
+
+        Convenience alias so call sites do not need to import Process.
+        Daemon processes may block forever without tripping deadlock
+        detection (hardware engines that idle waiting for work).
+        """
+        from repro.kernel.process import Process
+
+        return Process(self, generator, name=name, daemon=daemon)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next pending callback; False if queue empty."""
+        while self._heap:
+            timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            if timer.time < self.now:
+                raise SimTimeError("event queue corrupted: time went backwards")
+            self.now = timer.time
+            timer.fn(*timer.args)
+            return True
+        return False
+
+    def run(self, until: typing.Optional[int] = None) -> int:
+        """Run until the queue drains or ``until`` is reached.
+
+        Returns the final simulation time.  Raises
+        :class:`~repro.kernel.errors.DeadlockError` if the queue drains
+        while processes are still blocked — that always indicates a
+        modelling bug (e.g. a mailbox read with no writer), and failing
+        loudly beats an analysis silently missing half its trace.
+        """
+        if until is not None and until < self.now:
+            raise SimTimeError(f"until={until} is in the past (now={self.now})")
+        while True:
+            timer = self._peek()
+            if timer is None:
+                if self._blocked_processes > 0:
+                    raise DeadlockError(
+                        f"event queue empty at t={self.now} with "
+                        f"{self._blocked_processes} blocked process(es)"
+                    )
+                break
+            if until is not None and timer.time > until:
+                self.now = until
+                break
+            self.step()
+        return self.now
+
+    def _peek(self) -> typing.Optional[Timer]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, non-cancelled callbacks."""
+        return sum(1 for t in self._heap if not t.cancelled)
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now}, pending={self.pending_events}, "
+            f"live={self._live_processes}, blocked={self._blocked_processes})"
+        )

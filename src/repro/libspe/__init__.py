@@ -1,0 +1,43 @@
+"""SPE runtime library — the simulator's equivalent of libspe2.
+
+On real hardware the PDT does not patch the kernel or the silicon: it
+ships instrumented versions of the SPE runtime libraries, so every
+*library-level* operation (context creation, program run, DMA issue,
+tag wait, mailbox access) passes a tracing hook.  This package is that
+surface for the simulator:
+
+* :class:`Runtime` — the library instance; owns the machine and an
+  optional :class:`RuntimeHooks` implementation (PDT installs one).
+* :class:`SpeContext` — PPE-side handle (``spe_context_create`` ...),
+  with blocking ``run`` and PPE-side mailbox/signal accessors.
+* :class:`SpuRuntime` — SPU-side API handed to SPE programs: MFC
+  commands, tag waits, mailbox/signal channels, explicit ``compute``.
+* :class:`SpeProgram` — a loadable program image: a Python generator
+  function plus its local-store footprint.
+
+Programs are written like::
+
+    def kernel(spu, argp, envp):
+        tag = 1
+        yield from spu.mfc_get(ls_addr=0, ea=argp, size=4096, tag=tag)
+        yield from spu.mfc_wait_tag(1 << tag)
+        yield from spu.compute(50_000)
+        yield from spu.write_out_mbox(0)  # done
+"""
+
+from repro.libspe.errors import SpeContextError, SpeError, SpeProgramError
+from repro.libspe.hooks import RuntimeHooks
+from repro.libspe.image import SpeProgram
+from repro.libspe.runtime import Runtime, SpeContext
+from repro.libspe.spu_api import SpuRuntime
+
+__all__ = [
+    "Runtime",
+    "RuntimeHooks",
+    "SpeContext",
+    "SpeContextError",
+    "SpeError",
+    "SpeProgram",
+    "SpeProgramError",
+    "SpuRuntime",
+]

@@ -1,0 +1,13 @@
+"""Exception hierarchy for the SPE runtime library."""
+
+
+class SpeError(Exception):
+    """Base class for runtime-library errors."""
+
+
+class SpeContextError(SpeError):
+    """Misuse of an SPE context (wrong state, no free SPE, ...)."""
+
+
+class SpeProgramError(SpeError):
+    """A program image is invalid or does not fit in local store."""

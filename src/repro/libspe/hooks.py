@@ -1,0 +1,140 @@
+"""The tracing hook interface the runtime library exposes.
+
+PDT's real-world deployment strategy — link against instrumented
+runtime libraries — maps here to one object implementing
+:class:`RuntimeHooks`, installed on a :class:`~repro.libspe.Runtime`.
+Every hook that runs on a simulated core is a *generator* so the
+implementation can charge the core for the cycles tracing costs
+(``yield Delay(...)``) and even issue real DMA (trace-buffer flushes);
+the no-op base class yields nothing and costs nothing.
+
+Event kind strings are defined here because both the runtime (which
+emits them) and PDT (which records them) need the same spellings.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cell.spu import SpuCore
+    from repro.libspe.image import SpeProgram
+    from repro.libspe.runtime import Runtime
+
+
+class SpuEventKind:
+    """SPU-side event kinds, named after the operations PDT traces."""
+
+    SPE_ENTRY = "spe_entry"
+    SPE_EXIT = "spe_exit"
+    MFC_GET = "mfc_get"
+    MFC_PUT = "mfc_put"
+    MFC_GETL = "mfc_getl"
+    MFC_PUTL = "mfc_putl"
+    ATOMIC_GETLLAR = "atomic_getllar"
+    ATOMIC_PUTLLC = "atomic_putllc"
+    ATOMIC_PUTLLUC = "atomic_putlluc"
+    WAIT_TAG_BEGIN = "wait_tag_begin"
+    WAIT_TAG_END = "wait_tag_end"
+    READ_MBOX_BEGIN = "read_mbox_begin"
+    READ_MBOX_END = "read_mbox_end"
+    WRITE_MBOX_BEGIN = "write_mbox_begin"
+    WRITE_MBOX_END = "write_mbox_end"
+    READ_SIGNAL_BEGIN = "read_signal_begin"
+    READ_SIGNAL_END = "read_signal_end"
+    SIGNAL_SEND = "signal_send"
+    USER_MARKER = "user_marker"
+    USER_DATA = "user_data"
+
+    ALL = (
+        SPE_ENTRY,
+        SPE_EXIT,
+        MFC_GET,
+        MFC_PUT,
+        MFC_GETL,
+        MFC_PUTL,
+        ATOMIC_GETLLAR,
+        ATOMIC_PUTLLC,
+        ATOMIC_PUTLLUC,
+        WAIT_TAG_BEGIN,
+        WAIT_TAG_END,
+        READ_MBOX_BEGIN,
+        READ_MBOX_END,
+        WRITE_MBOX_BEGIN,
+        WRITE_MBOX_END,
+        READ_SIGNAL_BEGIN,
+        READ_SIGNAL_END,
+        SIGNAL_SEND,
+        USER_MARKER,
+        USER_DATA,
+    )
+
+
+class PpeEventKind:
+    """PPE-side event kinds."""
+
+    CONTEXT_CREATE = "context_create"
+    CONTEXT_DESTROY = "context_destroy"
+    PROGRAM_LOAD = "program_load"
+    CONTEXT_RUN_BEGIN = "context_run_begin"
+    CONTEXT_RUN_END = "context_run_end"
+    IN_MBOX_WRITE = "in_mbox_write"
+    OUT_MBOX_READ_BEGIN = "out_mbox_read_begin"
+    OUT_MBOX_READ_END = "out_mbox_read_end"
+    INTR_RECEIVED = "intr_received"
+    PROXY_DMA = "proxy_dma"
+    SIGNAL_WRITE = "signal_write"
+    USER_MARKER = "ppe_user_marker"
+
+    ALL = (
+        CONTEXT_CREATE,
+        CONTEXT_DESTROY,
+        PROGRAM_LOAD,
+        CONTEXT_RUN_BEGIN,
+        CONTEXT_RUN_END,
+        IN_MBOX_WRITE,
+        OUT_MBOX_READ_BEGIN,
+        OUT_MBOX_READ_END,
+        INTR_RECEIVED,
+        PROXY_DMA,
+        SIGNAL_WRITE,
+        USER_MARKER,
+    )
+
+
+def _no_cost() -> typing.Generator:
+    """A generator that completes immediately without yielding."""
+    return
+    yield  # pragma: no cover - makes this function a generator
+
+
+class RuntimeHooks:
+    """No-op base implementation; PDT overrides every method.
+
+    ``spu_event`` and ``ppe_event`` are generators: the runtime drives
+    them with ``yield from`` on the core where the event happened, so
+    any ``Delay`` they yield is charged to that core — tracing overhead
+    becomes part of the simulation, exactly as on hardware.
+    """
+
+    def attach(self, runtime: "Runtime") -> None:
+        """Called once when installed on a runtime."""
+
+    def spe_program_loaded(self, spu: "SpuCore", program: "SpeProgram") -> None:
+        """Called after a program image is placed in local store.
+
+        PDT uses this moment to claim its trace buffer in the same LS.
+        """
+
+    def spu_event(
+        self, spu: "SpuCore", kind: str, fields: typing.Dict[str, int]
+    ) -> typing.Generator:
+        """An SPU-side traced operation happened on ``spu``."""
+        return _no_cost()
+
+    def ppe_event(self, kind: str, fields: typing.Dict[str, int]) -> typing.Generator:
+        """A PPE-side traced operation happened."""
+        return _no_cost()
+
+    def finalize(self) -> None:
+        """Called when the run harness finishes (flush buffers etc.)."""

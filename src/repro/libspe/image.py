@@ -1,0 +1,47 @@
+"""SPE program images.
+
+A real SPE ELF image occupies local store with its text and data
+before the program even runs; PDT's trace buffer has to share the same
+256 KB.  :class:`SpeProgram` carries that footprint so the simulator
+reproduces the pressure.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.libspe.errors import SpeProgramError
+
+#: SPE program entry point: ``entry(spu, argp, envp)`` returning a
+#: generator that yields runtime operations via ``yield from``.
+SpeEntry = typing.Callable[..., typing.Generator]
+
+
+class SpeProgram:
+    """A loadable SPE program image."""
+
+    def __init__(
+        self,
+        name: str,
+        entry: SpeEntry,
+        ls_code_bytes: int = 16 * 1024,
+        ls_data_bytes: int = 0,
+    ):
+        if not callable(entry):
+            raise SpeProgramError(f"entry must be callable, got {entry!r}")
+        if ls_code_bytes <= 0 or ls_data_bytes < 0:
+            raise SpeProgramError(
+                f"invalid LS footprint: code={ls_code_bytes}, data={ls_data_bytes}"
+            )
+        self.name = name
+        self.entry = entry
+        self.ls_code_bytes = ls_code_bytes
+        self.ls_data_bytes = ls_data_bytes
+
+    @property
+    def ls_footprint(self) -> int:
+        """Bytes of local store the image occupies when loaded."""
+        return self.ls_code_bytes + self.ls_data_bytes
+
+    def __repr__(self) -> str:
+        return f"SpeProgram({self.name!r}, {self.ls_footprint} B)"

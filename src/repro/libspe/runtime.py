@@ -1,0 +1,431 @@
+"""PPE-side runtime: contexts, program load/run, mailbox access.
+
+Mirrors the libspe2 call surface the paper's PDT instruments:
+``spe_context_create``, ``spe_program_load``, ``spe_context_run``,
+``spe_in_mbox_write``, ``spe_out_mbox_read``, ``spe_signal_write``.
+All PPE-side operations are generators so the tracing hooks can charge
+PPE cycles, and MMIO accesses cost what MMIO costs.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+from repro.cell.machine import CellMachine
+from repro.cell.mfc import DmaDirection
+from repro.cell.spu import SpuCore
+from repro.kernel import Event, Process
+from repro.libspe.errors import SpeContextError, SpeProgramError
+from repro.libspe.hooks import PpeEventKind, RuntimeHooks
+from repro.libspe.image import SpeProgram
+from repro.libspe.spu_api import SpuRuntime
+
+
+class _SpePool:
+    """Free-list of physical SPEs with blocking acquisition.
+
+    Static contexts remove a specific SPE; virtual contexts take the
+    next free one, queuing FIFO when none is free (the OS scheduler
+    behaviour libspe applications rely on when they create more
+    contexts than the machine has SPEs).
+    """
+
+    def __init__(self, sim, spe_ids: typing.Iterable[int]):
+        self._sim = sim
+        self._free: typing.List[int] = list(spe_ids)
+        self._waiters: typing.List[Event] = []
+
+    def take_specific(self, spe_id: int) -> None:
+        if spe_id not in self._free:
+            raise SpeContextError(f"SPE {spe_id} is not free")
+        self._free.remove(spe_id)
+
+    def acquire_any(self) -> Event:
+        """Event triggering with a free SPE id (yield it)."""
+        event = Event(self._sim, name="spe-pool.acquire")
+        if self._free:
+            event.trigger(self._free.pop(0))
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self, spe_id: int) -> None:
+        if self._waiters:
+            self._waiters.pop(0).trigger(spe_id)
+        else:
+            self._free.append(spe_id)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+
+class ContextState(enum.Enum):
+    CREATED = "created"
+    LOADED = "loaded"
+    RUNNING = "running"
+    STOPPED = "stopped"
+    DESTROYED = "destroyed"
+
+
+class Runtime:
+    """The runtime-library instance for one machine.
+
+    ``hooks`` is the tracing seam: pass a
+    :class:`repro.pdt.tracer.PdtHooks` to trace the run, or leave the
+    default no-op hooks for an uninstrumented run.
+    """
+
+    def __init__(self, machine: CellMachine, hooks: typing.Optional[RuntimeHooks] = None):
+        self.machine = machine
+        self.hooks = hooks or RuntimeHooks()
+        self._contexts: typing.Dict[int, "SpeContext"] = {}
+        self._virtual_contexts: typing.List["SpeContext"] = []
+        self._pool = _SpePool(machine.sim, range(len(machine.spes)))
+        self.hooks.attach(self)
+
+    @property
+    def sim(self):
+        return self.machine.sim
+
+    # ------------------------------------------------------------------
+    # context lifecycle
+    # ------------------------------------------------------------------
+    def context_create(
+        self, spe_id: typing.Optional[int] = None, virtual: bool = False
+    ) -> typing.Generator:
+        """``spe_context_create``: claim an SPE.
+
+        Generator — ``yield from`` it on the PPE.  Returns the context.
+
+        ``virtual=True`` creates an *unbound* context: no physical SPE
+        is claimed until :meth:`SpeContext.run`, which waits for one to
+        free up.  This models creating more contexts than the machine
+        has SPEs, with the runtime scheduling them onto the hardware.
+        """
+        if virtual:
+            if spe_id is not None:
+                raise SpeContextError("virtual contexts cannot pin an SPE id")
+            context = SpeContext(self, spu=None)
+            self._virtual_contexts.append(context)
+            yield from self.hooks.ppe_event(
+                PpeEventKind.CONTEXT_CREATE, {"spe": -1}
+            )
+            return context
+        if spe_id is None:
+            spe_id = self._first_free_spe()
+        if spe_id in self._contexts:
+            raise SpeContextError(f"SPE {spe_id} already has a context")
+        self._pool.take_specific(spe_id)
+        spu = self.machine.spe(spe_id)
+        context = SpeContext(self, spu)
+        self._contexts[spe_id] = context
+        yield from self.hooks.ppe_event(
+            PpeEventKind.CONTEXT_CREATE, {"spe": spe_id}
+        )
+        return context
+
+    def _first_free_spe(self) -> int:
+        for spe_id in range(len(self.machine.spes)):
+            if spe_id not in self._contexts:
+                return spe_id
+        raise SpeContextError(
+            f"all {len(self.machine.spes)} SPEs already have contexts"
+        )
+
+    def _release(self, spe_id: int) -> None:
+        if self._contexts.pop(spe_id, None) is not None:
+            self._pool.release(spe_id)
+
+    @property
+    def contexts(self) -> typing.List["SpeContext"]:
+        return list(self._contexts.values())
+
+    def finalize(self) -> None:
+        """End-of-run: let the hooks flush whatever they buffered."""
+        self.hooks.finalize()
+
+
+class SpeContext:
+    """One SPE context (``spe_context_t`` equivalent).
+
+    A context is *bound* when it owns a physical SPE.  Static contexts
+    (the default) bind at creation and stay bound until destroyed;
+    virtual contexts bind for the duration of each run.
+    """
+
+    def __init__(self, runtime: Runtime, spu: typing.Optional[SpuCore]):
+        self.runtime = runtime
+        self.spu = spu
+        self.virtual = spu is None
+        self.spe_id: typing.Optional[int] = spu.spe_id if spu else None
+        #: The SPE the last run executed on (survives unbinding).
+        self.last_spe_id: typing.Optional[int] = self.spe_id
+        self.state = ContextState.CREATED
+        self.program: typing.Optional[SpeProgram] = None
+        self.stop_code: typing.Optional[int] = None
+        self._spu_process: typing.Optional[Process] = None
+
+    @property
+    def bound(self) -> bool:
+        return self.spu is not None
+
+    # ------------------------------------------------------------------
+    # load / run
+    # ------------------------------------------------------------------
+    def load(self, program: SpeProgram) -> typing.Generator:
+        """``spe_program_load``: place the image in local store.
+
+        On a virtual (unbound) context the physical placement — and
+        the LS-footprint check — happen at bind time inside ``run``.
+        """
+        if self.state not in (ContextState.CREATED, ContextState.STOPPED):
+            raise SpeContextError(f"cannot load program in state {self.state.value}")
+        self.program = program
+        self.state = ContextState.LOADED
+        yield from self.runtime.hooks.ppe_event(
+            PpeEventKind.PROGRAM_LOAD,
+            {"spe": -1 if self.spe_id is None else self.spe_id},
+        )
+        if self.bound:
+            self._place_image()
+
+    def _place_image(self) -> None:
+        """Allocate the image in the bound SPE's local store."""
+        program = self.program
+        if program.ls_footprint > self.spu.ls.free_bytes:
+            raise SpeProgramError(
+                f"program {program.name!r} needs {program.ls_footprint} B of LS "
+                f"but only {self.spu.ls.free_bytes} B are free"
+            )
+        self.spu.ls.allocate(program.ls_footprint, align=16)
+        self.runtime.hooks.spe_program_loaded(self.spu, program)
+
+    def run(self, argp: int = 0, envp: int = 0) -> typing.Generator:
+        """``spe_context_run``: start the SPE and block until it stops.
+
+        Returns the program's stop code.  Like the real call, this
+        blocks the calling PPE thread; use :meth:`run_async` to model a
+        pthread-per-SPE application.
+        """
+        self._begin_run()
+        return (yield from self._run_body(argp, envp))
+
+    def _begin_run(self) -> None:
+        """Validate and claim the context for a run, synchronously.
+
+        Both :meth:`run` and :meth:`run_async` call this *before* any
+        simulated time passes, so a ``destroy`` racing with a pending
+        asynchronous run is caught deterministically.
+        """
+        if self.state is not ContextState.LOADED:
+            raise SpeContextError(f"cannot run context in state {self.state.value}")
+        self.state = ContextState.RUNNING
+
+    def _run_body(self, argp: int, envp: int) -> typing.Generator:
+        if not self.bound:
+            yield from self._bind()
+        yield from self.runtime.hooks.ppe_event(
+            PpeEventKind.CONTEXT_RUN_BEGIN, {"spe": self.spe_id}
+        )
+        self._spu_process = self.runtime.sim.spawn(
+            self._spu_main(argp, envp), name=f"spe{self.spe_id}:{self.program.name}"
+        )
+        stop_code = yield self._spu_process
+        self.stop_code = stop_code
+        self.state = ContextState.STOPPED
+        yield from self.runtime.hooks.ppe_event(
+            PpeEventKind.CONTEXT_RUN_END, {"spe": self.spe_id, "stop_code": stop_code}
+        )
+        if self.virtual:
+            self._unbind()
+        return stop_code
+
+    def _bind(self) -> typing.Generator:
+        """Virtual context: wait for a physical SPE and provision it."""
+        spe_id = yield self.runtime._pool.acquire_any()
+        self.spu = self.runtime.machine.spe(spe_id)
+        self.spe_id = spe_id
+        self.last_spe_id = spe_id
+        self.runtime._contexts[spe_id] = self
+        # Re-provision the SPE for this context: previous occupant's
+        # allocations are gone, its bytes may linger (like real LS).
+        self.spu.ls.reset()
+        self._place_image()
+
+    def _unbind(self) -> None:
+        """Virtual context: give the physical SPE back to the pool."""
+        spe_id = self.spe_id
+        self.runtime._contexts.pop(spe_id, None)
+        self.spu = None
+        self.spe_id = None
+        self.runtime._pool.release(spe_id)
+
+    def run_async(self, argp: int = 0, envp: int = 0) -> Process:
+        """Run without blocking the caller (models a dedicated pthread).
+
+        Returns the PPE-thread process; yield it to join and obtain the
+        stop code.
+        """
+        self._begin_run()
+        label = "virtual" if self.spe_id is None else f"spe{self.spe_id}"
+        return self.runtime.sim.spawn(
+            self._run_body(argp, envp), name=f"ppe-thread-{label}"
+        )
+
+    def _spu_main(self, argp: int, envp: int) -> typing.Generator:
+        from repro.libspe.hooks import SpuEventKind
+
+        spu_api = SpuRuntime(self.runtime, self.spu)
+        hooks = self.runtime.hooks
+        self.spu.begin_program()
+        yield from hooks.spu_event(
+            self.spu, SpuEventKind.SPE_ENTRY, {"argp": argp, "envp": envp}
+        )
+        try:
+            result = yield from self.program.entry(spu_api, argp, envp)
+        finally:
+            yield from hooks.spu_event(self.spu, SpuEventKind.SPE_EXIT, {})
+            self.spu.end_program()
+        return int(result) if result is not None else 0
+
+    def destroy(self) -> typing.Generator:
+        """``spe_context_destroy``: release the SPE."""
+        if self.state is ContextState.RUNNING:
+            raise SpeContextError("cannot destroy a running context")
+        self.state = ContextState.DESTROYED
+        if self.virtual:
+            if self in self.runtime._virtual_contexts:
+                self.runtime._virtual_contexts.remove(self)
+        else:
+            self.runtime._release(self.spe_id)
+        yield from self.runtime.hooks.ppe_event(
+            PpeEventKind.CONTEXT_DESTROY,
+            {"spe": -1 if self.spe_id is None else self.spe_id},
+        )
+
+    # ------------------------------------------------------------------
+    # PPE-side mailbox / signal access
+    # ------------------------------------------------------------------
+    def in_mbox_write(self, value: int, blocking: bool = True) -> typing.Generator:
+        """``spe_in_mbox_write``: push one word to the SPE.
+
+        Blocking mode waits for queue space (libspe's
+        ``SPE_MBOX_ALL_BLOCKING``); non-blocking returns False when the
+        mailbox is full instead of overwriting.
+        """
+        yield from self.runtime.machine.ppe.mmio_access()
+        yield from self.runtime.hooks.ppe_event(
+            PpeEventKind.IN_MBOX_WRITE, {"spe": self.spe_id, "value": value}
+        )
+        mailboxes = self.spu.mailboxes
+        if blocking:
+            yield mailboxes.inbound.put(value)
+            return True
+        return mailboxes.inbound.try_put(value)
+
+    def out_mbox_read(self, blocking: bool = True) -> typing.Generator:
+        """``spe_out_mbox_read``: pull one word from the SPE.
+
+        Returns the value, or None in non-blocking mode when empty.
+        """
+        yield from self.runtime.hooks.ppe_event(
+            PpeEventKind.OUT_MBOX_READ_BEGIN, {"spe": self.spe_id}
+        )
+        yield from self.runtime.machine.ppe.mmio_access()
+        mailboxes = self.spu.mailboxes
+        if blocking:
+            value = yield mailboxes.ppe_read_outbound()
+        else:
+            value = mailboxes.ppe_try_read_outbound()
+        yield from self.runtime.hooks.ppe_event(
+            PpeEventKind.OUT_MBOX_READ_END,
+            {"spe": self.spe_id, "value": -1 if value is None else value},
+        )
+        return value
+
+    def out_mbox_status(self) -> typing.Generator:
+        """Entries waiting in the SPE's outbound mailbox (one MMIO read)."""
+        yield from self.runtime.machine.ppe.mmio_access()
+        return self.spu.mailboxes.ppe_outbound_count()
+
+    def mfcio_get(self, ls_addr: int, ea: int, size: int, tag: int) -> typing.Generator:
+        """``spe_mfcio_get``: PPE-initiated DMA into the SPE's LS.
+
+        Issued through the MFC's proxy command queue (separate from the
+        SPU-side queue).  Returns once the transfer *completes* — the
+        PPE has no cheap tag-wait channel, so libspe callers block.
+        """
+        yield from self._proxy_dma(DmaDirection.GET, ls_addr, ea, size, tag)
+
+    def mfcio_put(self, ls_addr: int, ea: int, size: int, tag: int) -> typing.Generator:
+        """``spe_mfcio_put``: PPE-initiated DMA out of the SPE's LS."""
+        yield from self._proxy_dma(DmaDirection.PUT, ls_addr, ea, size, tag)
+
+    def _proxy_dma(self, direction, ls_addr, ea, size, tag) -> typing.Generator:
+        yield from self.runtime.machine.ppe.mmio_access()
+        yield from self.runtime.hooks.ppe_event(
+            PpeEventKind.PROXY_DMA,
+            {
+                "spe": self.spe_id,
+                "direction": 0 if direction is DmaDirection.GET else 1,
+                "size": size,
+                "tag": tag,
+            },
+        )
+        command = self.spu.mfc.make_command(
+            direction, ls_addr, ea, size, tag, issuer=f"ppe-proxy-spe{self.spe_id}"
+        )
+        completion = yield from self.spu.mfc.issue(command, proxy=True)
+        yield completion
+
+    def wait_interrupt(self) -> typing.Generator:
+        """Block until the SPE raises its outbound *interrupt* mailbox.
+
+        The libspe2 ``spe_event`` path: unlike :meth:`out_mbox_read`
+        (which polls MMIO), interrupt delivery wakes the PPE — we
+        charge one interrupt-dispatch latency (an MMIO round trip)
+        instead of a polling loop.  Returns the mailbox value.
+        """
+        value = yield self.spu.mailboxes.outbound_interrupt.get()
+        yield from self.runtime.machine.ppe.mmio_access()
+        yield from self.runtime.hooks.ppe_event(
+            PpeEventKind.INTR_RECEIVED, {"spe": self.spe_id, "value": value}
+        )
+        return value
+
+    def on_interrupt(
+        self, handler: typing.Callable[[int], typing.Generator], count: int
+    ) -> Process:
+        """Spawn a PPE service thread handling ``count`` interrupts.
+
+        ``handler(value)`` must be a generator function (it runs on
+        the PPE and may perform runtime calls).  Returns the service
+        process; yield it to join once the expected interrupts landed.
+        """
+
+        def service():
+            for __ in range(count):
+                value = yield from self.wait_interrupt()
+                yield from handler(value)
+
+        return self.runtime.sim.spawn(
+            service(), name=f"intr-service-spe{self.spe_id}"
+        )
+
+    def signal_write(self, which: int, bits: int) -> typing.Generator:
+        """``spe_signal_write``: raise bits in a signal register."""
+        if which not in (1, 2):
+            raise SpeContextError(f"signal register must be 1 or 2, got {which}")
+        yield from self.runtime.machine.ppe.mmio_access()
+        yield from self.runtime.hooks.ppe_event(
+            PpeEventKind.SIGNAL_WRITE,
+            {"spe": self.spe_id, "which": which, "bits": bits},
+        )
+        mailboxes = self.spu.mailboxes
+        register = mailboxes.signal1 if which == 1 else mailboxes.signal2
+        register.send(bits)
+
+    def __repr__(self) -> str:
+        return f"SpeContext(spe{self.spe_id}, {self.state.value})"

@@ -1,0 +1,371 @@
+"""The SPU-side runtime API handed to SPE programs.
+
+Each method is a generator (drive with ``yield from``) that charges
+realistic channel-instruction costs, updates the core's ground-truth
+state track, and fires the tracing hooks at the same points the real
+PDT's instrumented macros do.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cell.mfc import DmaCommand, DmaDirection, DmaListElement
+from repro.cell.spu import SpuCore, SpuState
+from repro.kernel import Delay
+from repro.libspe.hooks import RuntimeHooks, SpuEventKind
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.libspe.runtime import Runtime
+
+
+class SpuRuntime:
+    """What an SPE program sees as its execution environment."""
+
+    def __init__(self, runtime: "Runtime", spu: SpuCore):
+        self._runtime = runtime
+        self.spu = spu
+        self.spe_id = spu.spe_id
+        self.config = spu.config
+        self._tag_mask = 0
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _hooks(self) -> RuntimeHooks:
+        return self._runtime.hooks
+
+    @property
+    def sim(self):
+        return self.spu.sim
+
+    @property
+    def now(self) -> int:
+        return self.spu.sim.now
+
+    def _charge(self) -> Delay:
+        """One channel-instruction cost."""
+        return Delay(self.config.channel_latency)
+
+    def ls_alloc(self, size: int, align: int = 16) -> int:
+        """Claim local-store space (static allocation at load time)."""
+        return self.spu.ls.allocate(size, align)
+
+    # ------------------------------------------------------------------
+    # computation
+    # ------------------------------------------------------------------
+    def compute(self, cycles: int) -> typing.Generator:
+        """Execute ``cycles`` of pure computation."""
+        if cycles < 0:
+            raise ValueError(f"compute cycles must be >= 0, got {cycles}")
+        if cycles:
+            yield Delay(cycles)
+
+    def marker(self, value: int) -> typing.Generator:
+        """Emit a user event (PDT's ``pdt_trace_user_event``)."""
+        yield from self._hooks.spu_event(
+            self.spu, SpuEventKind.USER_MARKER, {"value": value}
+        )
+
+    def marker_data(
+        self, value: int, words: typing.Sequence[int] = ()
+    ) -> typing.Generator:
+        """Emit a user event carrying up to 4 data words.
+
+        PDT's user events accept application payloads (loop indices,
+        buffer sizes, phase ids...) so the analyzer can correlate
+        application state with the timeline.
+        """
+        if len(words) > 4:
+            raise ValueError(f"marker_data carries at most 4 words, got {len(words)}")
+        fields = {"value": value}
+        for i, word in enumerate(words):
+            fields[f"d{i}"] = word
+        yield from self._hooks.spu_event(self.spu, SpuEventKind.USER_DATA, fields)
+
+    def read_decrementer(self) -> typing.Generator:
+        """Read the decrementer (costs one channel access)."""
+        yield self._charge()
+        return self.spu.read_decrementer()
+
+    # ------------------------------------------------------------------
+    # DMA
+    # ------------------------------------------------------------------
+    def mfc_get(
+        self, ls_addr: int, ea: int, size: int, tag: int,
+        fence: bool = False, barrier: bool = False,
+    ) -> typing.Generator:
+        """Enqueue a GET (main storage -> LS)."""
+        yield from self._dma(DmaDirection.GET, ls_addr, ea, size, tag, fence, barrier)
+
+    def mfc_put(
+        self, ls_addr: int, ea: int, size: int, tag: int,
+        fence: bool = False, barrier: bool = False,
+    ) -> typing.Generator:
+        """Enqueue a PUT (LS -> main storage)."""
+        yield from self._dma(DmaDirection.PUT, ls_addr, ea, size, tag, fence, barrier)
+
+    def mfc_getf(self, ls_addr: int, ea: int, size: int, tag: int) -> typing.Generator:
+        yield from self.mfc_get(ls_addr, ea, size, tag, fence=True)
+
+    def mfc_putf(self, ls_addr: int, ea: int, size: int, tag: int) -> typing.Generator:
+        yield from self.mfc_put(ls_addr, ea, size, tag, fence=True)
+
+    def mfc_getb(self, ls_addr: int, ea: int, size: int, tag: int) -> typing.Generator:
+        yield from self.mfc_get(ls_addr, ea, size, tag, barrier=True)
+
+    def mfc_putb(self, ls_addr: int, ea: int, size: int, tag: int) -> typing.Generator:
+        yield from self.mfc_put(ls_addr, ea, size, tag, barrier=True)
+
+    def _dma(
+        self,
+        direction: DmaDirection,
+        ls_addr: int,
+        ea: int,
+        size: int,
+        tag: int,
+        fence: bool,
+        barrier: bool,
+    ) -> typing.Generator:
+        command = self.spu.mfc.make_command(
+            direction, ls_addr, ea, size, tag,
+            fence=fence, barrier=barrier, issuer=f"spe{self.spe_id}",
+        )
+        kind = SpuEventKind.MFC_GET if direction is DmaDirection.GET else SpuEventKind.MFC_PUT
+        yield from self._hooks.spu_event(
+            self.spu, kind,
+            {"tag": tag, "size": size, "ls": ls_addr, "ea": ea,
+             "fence": int(fence), "barrier": int(barrier)},
+        )
+        yield from self._issue_tracked(command)
+
+    def mfc_getl(
+        self,
+        ls_addr: int,
+        elements: typing.Sequence[typing.Tuple[int, int]],
+        tag: int,
+    ) -> typing.Generator:
+        """List GET: ``elements`` is a sequence of (ea, size) pairs."""
+        yield from self._list_dma(DmaDirection.GET, ls_addr, elements, tag)
+
+    def mfc_putl(
+        self,
+        ls_addr: int,
+        elements: typing.Sequence[typing.Tuple[int, int]],
+        tag: int,
+    ) -> typing.Generator:
+        """List PUT: ``elements`` is a sequence of (ea, size) pairs."""
+        yield from self._list_dma(DmaDirection.PUT, ls_addr, elements, tag)
+
+    def _list_dma(
+        self,
+        direction: DmaDirection,
+        ls_addr: int,
+        elements: typing.Sequence[typing.Tuple[int, int]],
+        tag: int,
+    ) -> typing.Generator:
+        elems = [DmaListElement(ea, size) for (ea, size) in elements]
+        command = self.spu.mfc.make_list_command(
+            direction, ls_addr, elems, tag, issuer=f"spe{self.spe_id}"
+        )
+        kind = (
+            SpuEventKind.MFC_GETL if direction is DmaDirection.GET else SpuEventKind.MFC_PUTL
+        )
+        yield from self._hooks.spu_event(
+            self.spu, kind,
+            {"tag": tag, "size": command.size, "ls": ls_addr,
+             "ea": elems[0].effective_addr, "n_elements": len(elems)},
+        )
+        yield from self._issue_tracked(command)
+
+    def _issue_tracked(self, command: DmaCommand) -> typing.Generator:
+        """Issue with the queue-full stall accounted as WAIT_QUEUE."""
+        yield self._charge()
+        self.spu.enter_wait(SpuState.WAIT_QUEUE)
+        try:
+            yield from self.spu.mfc.issue(command)
+        finally:
+            self.spu.leave_wait()
+
+    # ------------------------------------------------------------------
+    # atomic (lock-line) commands
+    # ------------------------------------------------------------------
+    def mfc_getllar(self, ls_addr: int, ea: int) -> typing.Generator:
+        """GETLLAR: load-and-reserve a 128-byte lock line into LS."""
+        yield from self._hooks.spu_event(
+            self.spu, SpuEventKind.ATOMIC_GETLLAR, {"ea": ea}
+        )
+        yield self._charge()
+        yield from self.spu.mfc.atomic_getllar(ls_addr, ea)
+
+    def mfc_putllc(self, ls_addr: int, ea: int) -> typing.Generator:
+        """PUTLLC: store-conditional; returns True on success."""
+        yield self._charge()
+        success = yield from self.spu.mfc.atomic_putllc(ls_addr, ea)
+        yield from self._hooks.spu_event(
+            self.spu, SpuEventKind.ATOMIC_PUTLLC, {"ea": ea, "success": int(success)}
+        )
+        return success
+
+    def mfc_putlluc(self, ls_addr: int, ea: int) -> typing.Generator:
+        """PUTLLUC: unconditional lock-line store."""
+        yield from self._hooks.spu_event(
+            self.spu, SpuEventKind.ATOMIC_PUTLLUC, {"ea": ea}
+        )
+        yield self._charge()
+        yield from self.spu.mfc.atomic_putlluc(ls_addr, ea)
+
+    def ls_base_ea(self, spe_id: typing.Optional[int] = None) -> int:
+        """Effective address of an SPE's LS window (own LS by default).
+
+        Passing this EA to mfc_get/put makes the transfer LS-to-LS.
+        """
+        target = self.spe_id if spe_id is None else spe_id
+        return self.spu.mfc.address_map.ls_base_ea(target)
+
+    # ------------------------------------------------------------------
+    # tag-group waits
+    # ------------------------------------------------------------------
+    def mfc_write_tag_mask(self, mask: int) -> typing.Generator:
+        """Set the tag mask used by the status-read channels."""
+        yield self._charge()
+        self._tag_mask = mask
+
+    def mfc_read_tag_status_all(self) -> typing.Generator:
+        """Stall until every tag in the current mask is quiescent."""
+        return (yield from self._wait_tags(self._tag_mask, "all"))
+
+    def mfc_read_tag_status_any(self) -> typing.Generator:
+        """Stall until some tag in the current mask is quiescent."""
+        return (yield from self._wait_tags(self._tag_mask, "any"))
+
+    def mfc_wait_tag(self, mask: int, mode: str = "all") -> typing.Generator:
+        """Convenience: write mask + read status in one call."""
+        self._tag_mask = mask
+        return (yield from self._wait_tags(mask, mode))
+
+    def _wait_tags(self, mask: int, mode: str) -> typing.Generator:
+        yield from self._hooks.spu_event(
+            self.spu, SpuEventKind.WAIT_TAG_BEGIN,
+            {"mask": mask, "mode": 0 if mode == "all" else 1},
+        )
+        yield self._charge()
+        self.spu.enter_wait(SpuState.WAIT_DMA)
+        try:
+            status = yield self.spu.mfc.tag_wait_event(mask, mode)
+        finally:
+            self.spu.leave_wait()
+        yield from self._hooks.spu_event(
+            self.spu, SpuEventKind.WAIT_TAG_END, {"mask": mask, "status": status}
+        )
+        return status
+
+    # ------------------------------------------------------------------
+    # mailboxes
+    # ------------------------------------------------------------------
+    def read_in_mbox(self) -> typing.Generator:
+        """Blocking read of the inbound mailbox; returns the value."""
+        yield from self._hooks.spu_event(self.spu, SpuEventKind.READ_MBOX_BEGIN, {})
+        yield self._charge()
+        self.spu.enter_wait(SpuState.WAIT_MBOX)
+        try:
+            value = yield self.spu.mailboxes.spu_read_inbound()
+        finally:
+            self.spu.leave_wait()
+        yield from self._hooks.spu_event(
+            self.spu, SpuEventKind.READ_MBOX_END, {"value": value}
+        )
+        return value
+
+    def in_mbox_count(self) -> typing.Generator:
+        """Read the inbound mailbox status channel (entries queued)."""
+        yield self._charge()
+        return self.spu.mailboxes.inbound.count
+
+    def write_out_mbox(self, value: int) -> typing.Generator:
+        """Blocking write of the outbound mailbox."""
+        yield from self._hooks.spu_event(
+            self.spu, SpuEventKind.WRITE_MBOX_BEGIN, {"value": value}
+        )
+        yield self._charge()
+        self.spu.enter_wait(SpuState.WAIT_MBOX)
+        try:
+            yield self.spu.mailboxes.spu_write_outbound(value)
+        finally:
+            self.spu.leave_wait()
+        yield from self._hooks.spu_event(
+            self.spu, SpuEventKind.WRITE_MBOX_END, {"value": value}
+        )
+
+    def write_out_intr_mbox(self, value: int) -> typing.Generator:
+        """Blocking write of the outbound interrupt mailbox."""
+        yield from self._hooks.spu_event(
+            self.spu, SpuEventKind.WRITE_MBOX_BEGIN, {"value": value, "intr": 1}
+        )
+        yield self._charge()
+        self.spu.enter_wait(SpuState.WAIT_MBOX)
+        try:
+            yield self.spu.mailboxes.spu_write_outbound_interrupt(value)
+        finally:
+            self.spu.leave_wait()
+        yield from self._hooks.spu_event(
+            self.spu, SpuEventKind.WRITE_MBOX_END, {"value": value, "intr": 1}
+        )
+
+    # ------------------------------------------------------------------
+    # signals
+    # ------------------------------------------------------------------
+    def read_signal(self, which: int = 1) -> typing.Generator:
+        """Blocking read of signal register 1 or 2 (clears it)."""
+        if which not in (1, 2):
+            raise ValueError(f"signal register must be 1 or 2, got {which}")
+        register = self.spu.mailboxes.signal1 if which == 1 else self.spu.mailboxes.signal2
+        yield from self._hooks.spu_event(
+            self.spu, SpuEventKind.READ_SIGNAL_BEGIN, {"which": which}
+        )
+        yield self._charge()
+        while True:
+            self.spu.enter_wait(SpuState.WAIT_SIGNAL)
+            try:
+                yield register.read()
+            finally:
+                self.spu.leave_wait()
+            value = register.take()
+            if value:
+                break
+            # Another waiter consumed the bits first; wait again.
+        yield from self._hooks.spu_event(
+            self.spu, SpuEventKind.READ_SIGNAL_END, {"which": which, "value": value}
+        )
+        return value
+
+    def signal_spe(self, target_spe_id: int, bits: int, which: int = 1) -> typing.Generator:
+        """Raise signal bits on *another* SPE (SPE-to-SPE notification).
+
+        On hardware this is a small DMA to the target's problem-state
+        signal register; we charge a channel op plus the interconnect
+        command latency.
+        """
+        if which not in (1, 2):
+            raise ValueError(f"signal register must be 1 or 2, got {which}")
+        target = self._runtime.machine.spe(target_spe_id)
+        yield from self._hooks.spu_event(
+            self.spu, SpuEventKind.SIGNAL_SEND,
+            {"target": target_spe_id, "which": which, "bits": bits},
+        )
+        yield self._charge()
+        yield Delay(self.config.dma.eib_command_latency)
+        mailboxes = target.mailboxes
+        register = mailboxes.signal1 if which == 1 else mailboxes.signal2
+        register.send(bits)
+
+    # ------------------------------------------------------------------
+    # local-store data access (the SPU touching its own LS is free
+    # relative to our cycle model; cost belongs to compute())
+    # ------------------------------------------------------------------
+    def ls_read(self, addr: int, size: int) -> bytes:
+        return self.spu.ls.read(addr, size)
+
+    def ls_write(self, addr: int, data: bytes) -> None:
+        self.spu.ls.write(addr, data)

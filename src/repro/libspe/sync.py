@@ -1,0 +1,109 @@
+"""SPE synchronization helpers — the simulator's slice of libsync.
+
+The Cell SDK shipped ``libsync`` with atomic operations built on the
+GETLLAR/PUTLLC reservation loop.  These generators are that library's
+core primitives for SPE programs; each takes the :class:`SpuRuntime`
+as its first argument and must be driven with ``yield from``.
+
+All operate on 32-bit words inside a 128-byte lock line; the caller
+supplies a 128-byte-aligned line EA plus a word offset, and a
+128-byte-aligned LS scratch buffer.
+"""
+
+from __future__ import annotations
+
+import struct
+import typing
+
+from repro.cell.atomic import LOCK_LINE
+
+
+def _check_offset(offset: int) -> None:
+    if not 0 <= offset <= LOCK_LINE - 4 or offset % 4:
+        raise ValueError(
+            f"word offset must be 4-aligned within a {LOCK_LINE}-byte line, "
+            f"got {offset}"
+        )
+
+
+def _backoff(spu, retries: int) -> typing.Generator:
+    """Deterministic phase-breaking backoff after a lost PUTLLC.
+
+    The simulator is perfectly deterministic, so two SPEs whose retry
+    loops have the same period can livelock a third out of the line
+    forever — a starvation hardware escapes only through timing noise.
+    Production reservation loops insert backoff for the same reason;
+    this one is a per-SPE, per-retry polynomial so no two contenders
+    share a period.
+    """
+    cycles = 10 + (spu.spe_id * 13 + retries * 29) % 97
+    yield from spu.compute(cycles)
+
+
+def atomic_read(spu, ls_scratch: int, line_ea: int, offset: int) -> typing.Generator:
+    """Atomically read one u32 from a lock line (plain GETLLAR)."""
+    _check_offset(offset)
+    yield from spu.mfc_getllar(ls_scratch, line_ea)
+    (value,) = struct.unpack("<I", spu.ls_read(ls_scratch + offset, 4))
+    return value
+
+
+def atomic_modify(
+    spu,
+    ls_scratch: int,
+    line_ea: int,
+    offset: int,
+    update: typing.Callable[[int], int],
+) -> typing.Generator:
+    """Atomic read-modify-write of one u32; returns the *old* value.
+
+    The canonical reservation loop: GETLLAR, modify in LS, PUTLLC,
+    retry until the conditional store wins.
+    """
+    _check_offset(offset)
+    retries = 0
+    while True:
+        yield from spu.mfc_getllar(ls_scratch, line_ea)
+        (old,) = struct.unpack("<I", spu.ls_read(ls_scratch + offset, 4))
+        new = update(old) & 0xFFFF_FFFF
+        spu.ls_write(ls_scratch + offset, struct.pack("<I", new))
+        success = yield from spu.mfc_putllc(ls_scratch, line_ea)
+        if success:
+            return old
+        retries += 1
+        yield from _backoff(spu, retries)
+
+
+def atomic_add(
+    spu, ls_scratch: int, line_ea: int, offset: int, delta: int
+) -> typing.Generator:
+    """Atomic fetch-and-add on a u32; returns the pre-add value."""
+    return (
+        yield from atomic_modify(
+            spu, ls_scratch, line_ea, offset, lambda v: v + delta
+        )
+    )
+
+
+def atomic_increment_bounded(
+    spu, ls_scratch: int, line_ea: int, offset: int, bound: int
+) -> typing.Generator:
+    """Fetch-and-increment that refuses to pass ``bound``.
+
+    Returns the claimed value, or ``bound`` if the counter is
+    exhausted — the idiom behind shared work queues: each SPE claims
+    the next work-item index until none remain.
+    """
+    _check_offset(offset)
+    retries = 0
+    while True:
+        yield from spu.mfc_getllar(ls_scratch, line_ea)
+        (current,) = struct.unpack("<I", spu.ls_read(ls_scratch + offset, 4))
+        if current >= bound:
+            return bound
+        spu.ls_write(ls_scratch + offset, struct.pack("<I", current + 1))
+        success = yield from spu.mfc_putllc(ls_scratch, line_ea)
+        if success:
+            return current
+        retries += 1
+        yield from _backoff(spu, retries)

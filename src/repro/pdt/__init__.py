@@ -1,0 +1,57 @@
+"""PDT — the Performance Debugging Tool (the paper's contribution, part 1).
+
+PDT records significant events during program execution, maintains the
+sequential order of events, and preserves runtime information such as
+core assignment and relative timing (abstract, Biberstein et al. 2008).
+The implementation mirrors the real tool's architecture:
+
+* **Instrumented runtime library** — :class:`PdtHooks` implements the
+  :class:`repro.libspe.RuntimeHooks` seam, so every traced operation
+  passes through it exactly where the real PDT's instrumented libspe /
+  SPU macros sit.
+* **SPE-side trace buffer in local store** — records are written into
+  a reserved LS region and flushed to main storage by the SPE's own
+  MFC (double-buffered by default).  Tracing therefore *costs* SPU
+  cycles, LS bytes, and EIB bandwidth inside the simulation — the
+  perturbation the paper quantifies is real here, not estimated.
+* **Event groups** — :class:`TraceConfig` enables/disables groups
+  (lifecycle, DMA, mailbox, signal, user), reproducing PDT's
+  configuration file mechanism.
+* **Self-describing binary trace files** — :mod:`repro.pdt.writer` /
+  :mod:`repro.pdt.reader`.
+* **Clock correlation** — SPU events carry raw decrementer values,
+  PPE events raw timebase values; :class:`ClockCorrelator` fits the
+  per-SPE clock maps from sync records, the step the Trace Analyzer
+  needs before it can draw one timeline.
+"""
+
+from repro.pdt.config import TraceConfig
+from repro.pdt.correlate import ClockCorrelator, CorrelatedTrace
+from repro.pdt.events import (
+    EVENT_SPECS,
+    EventSpec,
+    TraceRecord,
+    code_for_kind,
+    spec_for_code,
+)
+from repro.pdt.reader import read_trace
+from repro.pdt.trace import Trace, TraceHeader
+from repro.pdt.tracer import PdtHooks, TracingStats
+from repro.pdt.writer import write_trace
+
+__all__ = [
+    "ClockCorrelator",
+    "CorrelatedTrace",
+    "EVENT_SPECS",
+    "EventSpec",
+    "PdtHooks",
+    "Trace",
+    "TraceConfig",
+    "TraceHeader",
+    "TraceRecord",
+    "TracingStats",
+    "code_for_kind",
+    "read_trace",
+    "spec_for_code",
+    "write_trace",
+]

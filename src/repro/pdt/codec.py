@@ -1,0 +1,69 @@
+"""Binary record encoding shared by the LS buffer and the trace file.
+
+Layout of one record (little endian)::
+
+    offset  size  field
+    0       1     side (0 = PPE, 1 = SPE)
+    1       1     record code
+    2       2     core id
+    4       4     per-core sequence number
+    8       8     raw timestamp (timebase ticks or decrementer value)
+    16      8*n   field values, signed 64-bit, in EventSpec order
+    ...           zero padding to a 16-byte boundary
+
+The 16-byte padding is not cosmetic: SPE trace buffers are flushed by
+DMA, and the MFC requires 16-byte-aligned multiples of 16, so the real
+PDT also sizes its records accordingly.
+"""
+
+from __future__ import annotations
+
+import struct
+import typing
+
+from repro.pdt.events import TraceRecord, spec_for_code
+
+_PREFIX = struct.Struct("<BBHIQ")
+assert _PREFIX.size == 16
+
+
+def record_size(n_fields: int) -> int:
+    """Encoded size of a record with ``n_fields`` fields."""
+    raw = _PREFIX.size + 8 * n_fields
+    return (raw + 15) & ~15
+
+
+def encode_record(record: TraceRecord) -> bytes:
+    """Encode one record, padded to a 16-byte boundary."""
+    values = record.field_values()
+    body = _PREFIX.pack(
+        record.side, record.code, record.core, record.seq, record.raw_ts
+    ) + struct.pack(f"<{len(values)}q", *values)
+    pad = record_size(len(values)) - len(body)
+    return body + b"\x00" * pad
+
+
+def decode_record(buffer: bytes, offset: int) -> typing.Tuple[TraceRecord, int]:
+    """Decode the record at ``offset``; returns (record, next_offset)."""
+    if offset + _PREFIX.size > len(buffer):
+        raise ValueError(f"truncated record prefix at offset {offset}")
+    side, code, core, seq, raw_ts = _PREFIX.unpack_from(buffer, offset)
+    spec = spec_for_code(side, code)
+    n = len(spec.fields)
+    total = record_size(n)
+    if offset + total > len(buffer):
+        raise ValueError(f"truncated record body at offset {offset} ({spec.kind})")
+    values = struct.unpack_from(f"<{n}q", buffer, offset + _PREFIX.size)
+    record = TraceRecord.from_values(side, code, core, seq, raw_ts, values)
+    return record, offset + total
+
+
+def decode_stream(buffer: bytes, count: int, offset: int = 0) -> typing.Tuple[
+    typing.List[TraceRecord], int
+]:
+    """Decode ``count`` consecutive records; returns (records, next_offset)."""
+    records = []
+    for __ in range(count):
+        record, offset = decode_record(buffer, offset)
+        records.append(record)
+    return records, offset

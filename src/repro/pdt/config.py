@@ -1,0 +1,109 @@
+"""Tracing configuration — PDT's event-group mechanism.
+
+The real PDT reads an XML configuration naming the event groups and
+subgroups to record, how large the SPE-side buffers are, and where the
+trace goes.  :class:`TraceConfig` is that file as a dataclass, with
+the presets the experiments sweep over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.pdt import events as ev
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceConfig:
+    """What to trace and what it costs."""
+
+    #: Event groups to record (sync is implied while tracing at all).
+    groups: typing.FrozenSet[str] = frozenset(
+        {ev.GROUP_LIFECYCLE, ev.GROUP_DMA, ev.GROUP_MAILBOX, ev.GROUP_SIGNAL, ev.GROUP_USER}
+    )
+    #: SPE-side LS trace buffer (split into two halves), bytes.
+    buffer_bytes: int = 16 * 1024
+    #: SPU cycles charged per recorded SPE event (decrementer read +
+    #: record store into LS).
+    spu_record_cycles: int = 150
+    #: PPE cycles charged per recorded PPE event (timebase read +
+    #: store into the host-memory buffer).
+    ppe_record_cycles: int = 400
+    #: Double-buffer the LS trace buffer (the PDT design); False makes
+    #: every flush synchronous — the A1 ablation.
+    double_buffered: bool = True
+    #: DMA tag group reserved for trace flushes.
+    flush_tag: int = 31
+    #: Main-memory bytes reserved per SPE for flushed records.
+    trace_region_bytes: int = 4 * 1024 * 1024
+    #: When the trace region fills: False stops recording (drops new
+    #: records, the default), True wraps — the oldest records are
+    #: overwritten so the trace keeps the most recent window.
+    wrap: bool = False
+    #: Trace only these SPEs (None = all).  Untraced SPEs get no LS
+    #: trace buffer and pay zero tracing cost.
+    spe_filter: typing.Optional[typing.FrozenSet[int]] = None
+
+    def __post_init__(self) -> None:
+        unknown = set(self.groups) - set(ev.ALL_GROUPS)
+        if unknown:
+            raise ValueError(
+                f"unknown event groups: {sorted(unknown)} "
+                f"(valid: {sorted(set(ev.ALL_GROUPS) - {ev.GROUP_SYNC})})"
+            )
+        if self.buffer_bytes < 512 or self.buffer_bytes % 32:
+            raise ValueError(
+                f"buffer_bytes must be >= 512 and a multiple of 32, "
+                f"got {self.buffer_bytes}"
+            )
+        if not 0 <= self.flush_tag < 32:
+            raise ValueError(f"flush_tag must be 0..31, got {self.flush_tag}")
+        if self.spe_filter is not None:
+            bad = [s for s in self.spe_filter if not 0 <= s < 16]
+            if bad:
+                raise ValueError(f"spe_filter contains invalid SPE ids: {bad}")
+
+    def traces_spe(self, spe_id: int) -> bool:
+        """Is this SPE included in tracing?"""
+        return self.spe_filter is None or spe_id in self.spe_filter
+
+    def enabled(self, group: str) -> bool:
+        """Is a group recorded?  Sync records ride along with any tracing."""
+        if group == ev.GROUP_SYNC:
+            return True
+        return group in self.groups
+
+    # ------------------------------------------------------------------
+    # presets used throughout the experiments
+    # ------------------------------------------------------------------
+    @classmethod
+    def all_events(cls, **overrides) -> "TraceConfig":
+        """Trace everything (the default)."""
+        return cls(**overrides)
+
+    @classmethod
+    def dma_only(cls, **overrides) -> "TraceConfig":
+        """Trace DMA traffic and lifecycle only — PDT's common slim mode."""
+        return cls(
+            groups=frozenset({ev.GROUP_LIFECYCLE, ev.GROUP_DMA}), **overrides
+        )
+
+    @classmethod
+    def lifecycle_only(cls, **overrides) -> "TraceConfig":
+        """Barest useful configuration: program start/stop only."""
+        return cls(groups=frozenset({ev.GROUP_LIFECYCLE}), **overrides)
+
+    def groups_bitmap(self) -> int:
+        """Encode enabled groups for the trace-file header."""
+        bitmap = 0
+        for i, group in enumerate(ev.ALL_GROUPS):
+            if group in self.groups:
+                bitmap |= 1 << i
+        return bitmap
+
+    @staticmethod
+    def groups_from_bitmap(bitmap: int) -> typing.FrozenSet[str]:
+        return frozenset(
+            group for i, group in enumerate(ev.ALL_GROUPS) if bitmap & (1 << i)
+        )

@@ -1,0 +1,141 @@
+"""PDT configuration files.
+
+The real PDT is driven by an XML configuration naming the traced event
+groups, buffer sizing, and output policy.  This module reads and
+writes that file for :class:`~repro.pdt.config.TraceConfig`, so runs
+are reproducible from an artifact rather than code::
+
+    <pdt version="1">
+      <groups lifecycle="true" dma="true" mailbox="false" ... />
+      <buffer bytes="16384" double_buffered="true" flush_tag="31"/>
+      <region bytes="4194304" wrap="false"/>
+      <costs spu_record_cycles="150" ppe_record_cycles="400"/>
+      <spes filter="0,2"/>   <!-- optional -->
+    </pdt>
+"""
+
+from __future__ import annotations
+
+import typing
+import xml.etree.ElementTree as ET
+
+from repro.pdt import events as ev
+from repro.pdt.config import TraceConfig
+
+
+class ConfigFileError(Exception):
+    """The configuration file is malformed."""
+
+
+_USER_GROUPS = tuple(g for g in ev.ALL_GROUPS if g != ev.GROUP_SYNC)
+
+
+def config_to_xml(config: TraceConfig) -> str:
+    """Serialize a TraceConfig as a PDT-style XML document."""
+    root = ET.Element("pdt", version="1")
+    groups = ET.SubElement(root, "groups")
+    for group in _USER_GROUPS:
+        groups.set(group, "true" if group in config.groups else "false")
+    ET.SubElement(
+        root, "buffer",
+        bytes=str(config.buffer_bytes),
+        double_buffered="true" if config.double_buffered else "false",
+        flush_tag=str(config.flush_tag),
+    )
+    ET.SubElement(
+        root, "region",
+        bytes=str(config.trace_region_bytes),
+        wrap="true" if config.wrap else "false",
+    )
+    ET.SubElement(
+        root, "costs",
+        spu_record_cycles=str(config.spu_record_cycles),
+        ppe_record_cycles=str(config.ppe_record_cycles),
+    )
+    if config.spe_filter is not None:
+        ET.SubElement(
+            root, "spes", filter=",".join(str(s) for s in sorted(config.spe_filter))
+        )
+    return ET.tostring(root, encoding="unicode")
+
+
+def config_from_xml(text: str) -> TraceConfig:
+    """Parse a PDT XML configuration document."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ConfigFileError(f"not valid XML: {exc}") from exc
+    if root.tag != "pdt":
+        raise ConfigFileError(f"root element must be <pdt>, got <{root.tag}>")
+
+    kwargs: typing.Dict[str, typing.Any] = {}
+    groups_el = root.find("groups")
+    if groups_el is not None:
+        enabled = set()
+        for group, value in groups_el.attrib.items():
+            if group not in _USER_GROUPS:
+                raise ConfigFileError(f"unknown event group {group!r}")
+            if _parse_bool(value, f"groups/{group}"):
+                enabled.add(group)
+        kwargs["groups"] = frozenset(enabled)
+    buffer_el = root.find("buffer")
+    if buffer_el is not None:
+        kwargs["buffer_bytes"] = _parse_int(buffer_el, "bytes")
+        if "double_buffered" in buffer_el.attrib:
+            kwargs["double_buffered"] = _parse_bool(
+                buffer_el.get("double_buffered"), "buffer/double_buffered"
+            )
+        if "flush_tag" in buffer_el.attrib:
+            kwargs["flush_tag"] = _parse_int(buffer_el, "flush_tag")
+    region_el = root.find("region")
+    if region_el is not None:
+        kwargs["trace_region_bytes"] = _parse_int(region_el, "bytes")
+        if "wrap" in region_el.attrib:
+            kwargs["wrap"] = _parse_bool(region_el.get("wrap"), "region/wrap")
+    costs_el = root.find("costs")
+    if costs_el is not None:
+        if "spu_record_cycles" in costs_el.attrib:
+            kwargs["spu_record_cycles"] = _parse_int(costs_el, "spu_record_cycles")
+        if "ppe_record_cycles" in costs_el.attrib:
+            kwargs["ppe_record_cycles"] = _parse_int(costs_el, "ppe_record_cycles")
+    spes_el = root.find("spes")
+    if spes_el is not None:
+        raw = spes_el.get("filter", "")
+        try:
+            kwargs["spe_filter"] = frozenset(
+                int(part) for part in raw.split(",") if part.strip()
+            )
+        except ValueError as exc:
+            raise ConfigFileError(f"bad spes/filter {raw!r}") from exc
+    try:
+        return TraceConfig(**kwargs)
+    except ValueError as exc:
+        raise ConfigFileError(str(exc)) from exc
+
+
+def save_config(config: TraceConfig, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(config_to_xml(config))
+
+
+def load_config(path: str) -> TraceConfig:
+    with open(path) as handle:
+        return config_from_xml(handle.read())
+
+
+def _parse_bool(value: typing.Optional[str], where: str) -> bool:
+    if value == "true":
+        return True
+    if value == "false":
+        return False
+    raise ConfigFileError(f"{where} must be 'true' or 'false', got {value!r}")
+
+
+def _parse_int(element: ET.Element, attribute: str) -> int:
+    value = element.get(attribute)
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ConfigFileError(
+            f"{element.tag}/{attribute} must be an integer, got {value!r}"
+        ) from None

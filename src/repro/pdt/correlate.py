@@ -1,0 +1,184 @@
+"""Clock correlation: placing all records on one global timeline.
+
+The trace contains PPE records timestamped with the (up-counting)
+timebase and per-SPE records timestamped with (down-counting, wrapped,
+offset, possibly drifting) decrementers.  Nothing in the file states
+the relation between these clocks; the analyzer recovers it from the
+*sync records* PDT writes, each pairing a decrementer reading with a
+timebase reading taken at the same instant.
+
+For each SPE we fit, by least squares over its sync records::
+
+    global_cycles  ≈  a + b * elapsed_ticks(dec_first, dec_i)
+
+which absorbs the unknown decrementer load offset (``a``) and the
+effective tick period including drift (``b``).  PPE records are placed
+directly at ``raw_ts * timebase_divider``.
+
+Both clocks tick ~two orders of magnitude coarser than the SPU
+executes, so placement has inherent quantization error; the per-core
+sequence numbers preserve *order* exactly, and :func:`place_records`
+additionally clamps each core's stream to be monotone so downstream
+interval reconstruction never sees time run backwards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.pdt import events as ev
+from repro.pdt.events import TraceRecord
+from repro.pdt.trace import Trace
+
+_DECREMENTER_MODULUS = 1 << 32
+
+
+class CorrelationError(Exception):
+    """The trace lacks the sync records needed to correlate a clock."""
+
+
+@dataclasses.dataclass
+class SpeClockFit:
+    """The recovered decrementer->global mapping for one SPE."""
+
+    spe_id: int
+    dec_anchor: int  # decrementer value of the first sync record
+    intercept: float  # global cycles at the anchor
+    cycles_per_tick: float
+    n_sync: int
+    #: Max |fit - observed| over the sync records, in cycles.
+    max_residual: float
+
+    def to_global(self, dec_raw: int) -> int:
+        elapsed = (self.dec_anchor - dec_raw) % _DECREMENTER_MODULUS
+        return int(round(self.intercept + self.cycles_per_tick * elapsed))
+
+
+@dataclasses.dataclass
+class PlacedRecord:
+    """A record with its reconstructed global time (SPU cycles)."""
+
+    record: TraceRecord
+    time: int
+
+    @property
+    def kind(self) -> str:
+        return self.record.kind
+
+
+class ClockCorrelator:
+    """Fits and applies the per-core clock maps for one trace."""
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+        self.divider = trace.header.timebase_divider
+        self.fits: typing.Dict[int, SpeClockFit] = {}
+        for spe_id, records in sorted(trace.spe_records.items()):
+            self.fits[spe_id] = self._fit_spe(spe_id, records)
+
+    # ------------------------------------------------------------------
+    def _fit_spe(self, spe_id: int, records: typing.List[TraceRecord]) -> SpeClockFit:
+        syncs = [r for r in records if r.kind == ev.KIND_SYNC]
+        if not syncs:
+            raise CorrelationError(
+                f"SPE {spe_id} trace has no sync records; cannot correlate"
+            )
+        anchor = syncs[0].raw_ts
+        elapsed = np.array(
+            [(anchor - r.raw_ts) % _DECREMENTER_MODULUS for r in syncs], dtype=float
+        )
+        global_cycles = np.array(
+            [r.fields["tb_raw"] * self.divider for r in syncs], dtype=float
+        )
+        if len(syncs) == 1 or elapsed.max() == 0:
+            # One anchor: assume the nominal period.
+            intercept = float(global_cycles[0])
+            slope = float(self.divider)
+        else:
+            design = np.vstack([np.ones_like(elapsed), elapsed]).T
+            (intercept, slope), *__ = np.linalg.lstsq(design, global_cycles, rcond=None)
+        predicted = intercept + slope * elapsed
+        max_residual = float(np.max(np.abs(predicted - global_cycles)))
+        return SpeClockFit(
+            spe_id=spe_id,
+            dec_anchor=anchor,
+            intercept=float(intercept),
+            cycles_per_tick=float(slope),
+            n_sync=len(syncs),
+            max_residual=max_residual,
+        )
+
+    # ------------------------------------------------------------------
+    def place(self, record: TraceRecord) -> int:
+        """Global time (SPU cycles) for one record."""
+        if record.side == ev.SIDE_PPE:
+            return record.raw_ts * self.divider
+        fit = self.fits.get(record.core)
+        if fit is None:
+            raise CorrelationError(f"no clock fit for SPE {record.core}")
+        return fit.to_global(record.raw_ts)
+
+    def place_records(self) -> typing.List[PlacedRecord]:
+        """Place every record; monotone per core; globally sorted.
+
+        Sort key is (time, side, core, seq) so equal-time records have
+        a stable, deterministic order.
+        """
+        placed: typing.List[PlacedRecord] = []
+        streams = [self.trace.ppe_records] + [
+            self.trace.spe_records[i] for i in sorted(self.trace.spe_records)
+        ]
+        for stream in streams:
+            last = None
+            for record in stream:
+                time = self.place(record)
+                if last is not None and time < last:
+                    time = last  # clamp: order within a core is truth
+                last = time
+                placed.append(PlacedRecord(record=record, time=time))
+        placed.sort(key=lambda p: (p.time, p.record.side, p.record.core, p.record.seq))
+        return placed
+
+
+def correlation_errors(placed: typing.Sequence[PlacedRecord]) -> typing.List[int]:
+    """|placed - ground truth| per record, where truth is available.
+
+    Only meaningful for in-memory traces (``truth_time`` does not
+    survive file round-trips); powers the F6 accuracy experiment.
+    """
+    return [
+        abs(p.time - p.record.truth_time)
+        for p in placed
+        if p.record.truth_time >= 0
+    ]
+
+
+@dataclasses.dataclass
+class CorrelatedTrace:
+    """A trace with its correlator and globally placed records."""
+
+    trace: Trace
+    correlator: ClockCorrelator
+    placed: typing.List[PlacedRecord]
+
+    @classmethod
+    def build(cls, trace: Trace) -> "CorrelatedTrace":
+        correlator = ClockCorrelator(trace)
+        return cls(trace=trace, correlator=correlator, placed=correlator.place_records())
+
+    def for_core(self, side: int, core: int) -> typing.List[PlacedRecord]:
+        return [
+            p for p in self.placed
+            if p.record.side == side and p.record.core == core
+        ]
+
+    def spe_stream(self, spe_id: int) -> typing.List[PlacedRecord]:
+        return self.for_core(ev.SIDE_SPE, spe_id)
+
+    @property
+    def ppe_stream(self) -> typing.List[PlacedRecord]:
+        """All PPE records (the core field holds the thread id)."""
+        return [p for p in self.placed if p.record.side == ev.SIDE_PPE]

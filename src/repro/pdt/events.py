@@ -1,0 +1,221 @@
+"""The PDT event taxonomy: record types and their field layouts.
+
+Every traced operation maps to one record code with a fixed tuple of
+64-bit fields.  The specs below are the single source of truth shared
+by the tracer (encode), the writer/reader (binary layout), and the
+Trace Analyzer (interpretation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.libspe.hooks import PpeEventKind, SpuEventKind
+
+SIDE_PPE = 0
+SIDE_SPE = 1
+
+#: Group names, matching PDT's configurable event groups.
+GROUP_LIFECYCLE = "lifecycle"
+GROUP_DMA = "dma"
+GROUP_MAILBOX = "mailbox"
+GROUP_SIGNAL = "signal"
+GROUP_USER = "user"
+GROUP_SYNC = "sync"  # always recorded while tracing: correlation anchors
+
+ALL_GROUPS = (
+    GROUP_LIFECYCLE,
+    GROUP_DMA,
+    GROUP_MAILBOX,
+    GROUP_SIGNAL,
+    GROUP_USER,
+    GROUP_SYNC,
+)
+
+#: Synthetic kind for clock-sync records (not a runtime hook kind).
+KIND_SYNC = "sync"
+
+
+@dataclasses.dataclass(frozen=True)
+class EventSpec:
+    """Static description of one record type."""
+
+    code: int
+    side: int
+    kind: str
+    group: str
+    fields: typing.Tuple[str, ...]
+
+
+_SPU = [
+    EventSpec(0x01, SIDE_SPE, SpuEventKind.SPE_ENTRY, GROUP_LIFECYCLE, ("argp", "envp")),
+    EventSpec(0x02, SIDE_SPE, SpuEventKind.SPE_EXIT, GROUP_LIFECYCLE, ()),
+    EventSpec(
+        0x10, SIDE_SPE, SpuEventKind.MFC_GET, GROUP_DMA,
+        ("tag", "size", "ls", "ea", "fence", "barrier"),
+    ),
+    EventSpec(
+        0x11, SIDE_SPE, SpuEventKind.MFC_PUT, GROUP_DMA,
+        ("tag", "size", "ls", "ea", "fence", "barrier"),
+    ),
+    EventSpec(
+        0x12, SIDE_SPE, SpuEventKind.MFC_GETL, GROUP_DMA,
+        ("tag", "size", "ls", "ea", "n_elements"),
+    ),
+    EventSpec(
+        0x13, SIDE_SPE, SpuEventKind.MFC_PUTL, GROUP_DMA,
+        ("tag", "size", "ls", "ea", "n_elements"),
+    ),
+    EventSpec(0x14, SIDE_SPE, SpuEventKind.ATOMIC_GETLLAR, GROUP_DMA, ("ea",)),
+    EventSpec(
+        0x15, SIDE_SPE, SpuEventKind.ATOMIC_PUTLLC, GROUP_DMA, ("ea", "success")
+    ),
+    EventSpec(0x16, SIDE_SPE, SpuEventKind.ATOMIC_PUTLLUC, GROUP_DMA, ("ea",)),
+    EventSpec(0x20, SIDE_SPE, SpuEventKind.WAIT_TAG_BEGIN, GROUP_DMA, ("mask", "mode")),
+    EventSpec(0x21, SIDE_SPE, SpuEventKind.WAIT_TAG_END, GROUP_DMA, ("mask", "status")),
+    EventSpec(0x30, SIDE_SPE, SpuEventKind.READ_MBOX_BEGIN, GROUP_MAILBOX, ()),
+    EventSpec(0x31, SIDE_SPE, SpuEventKind.READ_MBOX_END, GROUP_MAILBOX, ("value",)),
+    EventSpec(
+        0x32, SIDE_SPE, SpuEventKind.WRITE_MBOX_BEGIN, GROUP_MAILBOX, ("value", "intr")
+    ),
+    EventSpec(
+        0x33, SIDE_SPE, SpuEventKind.WRITE_MBOX_END, GROUP_MAILBOX, ("value", "intr")
+    ),
+    EventSpec(0x38, SIDE_SPE, SpuEventKind.READ_SIGNAL_BEGIN, GROUP_SIGNAL, ("which",)),
+    EventSpec(
+        0x39, SIDE_SPE, SpuEventKind.READ_SIGNAL_END, GROUP_SIGNAL, ("which", "value")
+    ),
+    EventSpec(
+        0x3A, SIDE_SPE, SpuEventKind.SIGNAL_SEND, GROUP_SIGNAL,
+        ("target", "which", "bits"),
+    ),
+    EventSpec(0x40, SIDE_SPE, SpuEventKind.USER_MARKER, GROUP_USER, ("value",)),
+    EventSpec(
+        0x41, SIDE_SPE, SpuEventKind.USER_DATA, GROUP_USER,
+        ("value", "d0", "d1", "d2", "d3"),
+    ),
+    EventSpec(0x50, SIDE_SPE, KIND_SYNC, GROUP_SYNC, ("tb_raw",)),
+]
+
+_PPE = [
+    EventSpec(0x01, SIDE_PPE, PpeEventKind.CONTEXT_CREATE, GROUP_LIFECYCLE, ("spe",)),
+    EventSpec(0x02, SIDE_PPE, PpeEventKind.CONTEXT_DESTROY, GROUP_LIFECYCLE, ("spe",)),
+    EventSpec(0x03, SIDE_PPE, PpeEventKind.PROGRAM_LOAD, GROUP_LIFECYCLE, ("spe",)),
+    EventSpec(0x04, SIDE_PPE, PpeEventKind.CONTEXT_RUN_BEGIN, GROUP_LIFECYCLE, ("spe",)),
+    EventSpec(
+        0x05, SIDE_PPE, PpeEventKind.CONTEXT_RUN_END, GROUP_LIFECYCLE,
+        ("spe", "stop_code"),
+    ),
+    EventSpec(0x10, SIDE_PPE, PpeEventKind.IN_MBOX_WRITE, GROUP_MAILBOX, ("spe", "value")),
+    EventSpec(0x11, SIDE_PPE, PpeEventKind.OUT_MBOX_READ_BEGIN, GROUP_MAILBOX, ("spe",)),
+    EventSpec(
+        0x12, SIDE_PPE, PpeEventKind.OUT_MBOX_READ_END, GROUP_MAILBOX, ("spe", "value")
+    ),
+    EventSpec(
+        0x13, SIDE_PPE, PpeEventKind.INTR_RECEIVED, GROUP_MAILBOX, ("spe", "value")
+    ),
+    EventSpec(
+        0x14, SIDE_PPE, PpeEventKind.PROXY_DMA, GROUP_DMA,
+        ("spe", "direction", "size", "tag"),
+    ),
+    EventSpec(
+        0x20, SIDE_PPE, PpeEventKind.SIGNAL_WRITE, GROUP_SIGNAL,
+        ("spe", "which", "bits"),
+    ),
+    EventSpec(0x30, SIDE_PPE, PpeEventKind.USER_MARKER, GROUP_USER, ("value",)),
+]
+
+#: (side, code) -> EventSpec
+EVENT_SPECS: typing.Dict[typing.Tuple[int, int], EventSpec] = {
+    (spec.side, spec.code): spec for spec in _SPU + _PPE
+}
+
+_KIND_TO_SPEC: typing.Dict[typing.Tuple[int, str], EventSpec] = {
+    (spec.side, spec.kind): spec for spec in _SPU + _PPE
+}
+
+
+def spec_for_code(side: int, code: int) -> EventSpec:
+    """Look up a record spec; raises KeyError with context if unknown."""
+    try:
+        return EVENT_SPECS[(side, code)]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace record: side={side} code=0x{code:02x}"
+        ) from None
+
+
+def code_for_kind(side: int, kind: str) -> EventSpec:
+    """Spec for a runtime hook kind string."""
+    try:
+        return _KIND_TO_SPEC[(side, kind)]
+    except KeyError:
+        raise KeyError(f"no trace record defined for side={side} kind={kind!r}") from None
+
+
+@dataclasses.dataclass
+class TraceRecord:
+    """One decoded trace record.
+
+    ``raw_ts`` is in the *recording core's* clock domain: timebase
+    ticks for PPE records, decrementer value for SPE records.  ``seq``
+    is a per-core monotone counter that preserves program order even
+    when the coarse clocks produce ties (the abstract's "maintaining
+    the sequential order of events").
+    """
+
+    side: int
+    code: int
+    core: int  # SPE id, or 0 for the PPE
+    seq: int
+    raw_ts: int
+    fields: typing.Dict[str, int]
+    #: Ground-truth simulation time at record creation.  Debug-only:
+    #: never serialized (a real trace cannot contain it), lost on file
+    #: round-trip (-1), and used solely to *evaluate* clock-correlation
+    #: accuracy in the F6 experiment.
+    truth_time: int = -1
+
+    @property
+    def spec(self) -> EventSpec:
+        return spec_for_code(self.side, self.code)
+
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+    @property
+    def group(self) -> str:
+        return self.spec.group
+
+    @property
+    def is_spe(self) -> bool:
+        return self.side == SIDE_SPE
+
+    def field_values(self) -> typing.Tuple[int, ...]:
+        """Field values in spec order (missing fields encode as 0)."""
+        return tuple(int(self.fields.get(name, 0)) for name in self.spec.fields)
+
+    @classmethod
+    def from_values(
+        cls, side: int, code: int, core: int, seq: int, raw_ts: int,
+        values: typing.Sequence[int],
+    ) -> "TraceRecord":
+        spec = spec_for_code(side, code)
+        if len(values) != len(spec.fields):
+            raise ValueError(
+                f"record {spec.kind}: expected {len(spec.fields)} fields, "
+                f"got {len(values)}"
+            )
+        return cls(
+            side=side, code=code, core=core, seq=seq, raw_ts=raw_ts,
+            fields=dict(zip(spec.fields, (int(v) for v in values))),
+        )
+
+    def __repr__(self) -> str:
+        side = "spe" if self.is_spe else "ppe"
+        return (
+            f"TraceRecord({self.kind} {side}{self.core} seq={self.seq} "
+            f"raw_ts={self.raw_ts} {self.fields})"
+        )

@@ -1,0 +1,80 @@
+"""Trace-file reader — the Trace Analyzer's input stage."""
+
+from __future__ import annotations
+
+import io
+import struct
+import typing
+
+from repro.pdt.codec import decode_stream
+from repro.pdt.trace import Trace, TraceHeader
+from repro.pdt.writer import _HEADER, _STREAM, MAGIC
+
+
+class TraceFormatError(Exception):
+    """The file is not a valid PDT trace."""
+
+
+def read_trace(path_or_file: typing.Union[str, typing.BinaryIO, bytes]) -> Trace:
+    """Parse a trace file (path, binary file object, or raw bytes)."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "rb") as handle:
+            return read_trace(handle.read())
+    if isinstance(path_or_file, (bytes, bytearray)):
+        blob = bytes(path_or_file)
+    else:
+        blob = path_or_file.read()
+
+    if len(blob) < _HEADER.size:
+        raise TraceFormatError(f"file too short for header: {len(blob)} bytes")
+    (
+        magic,
+        version,
+        n_spes,
+        timebase_divider,
+        spu_clock_hz,
+        groups_bitmap,
+        buffer_bytes,
+        n_ppe,
+        n_streams,
+    ) = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    if version != 1:
+        raise TraceFormatError(f"unsupported trace version {version}")
+
+    offset = _HEADER.size
+    streams: typing.List[typing.Tuple[int, int]] = []
+    for __ in range(n_streams):
+        if offset + _STREAM.size > len(blob):
+            raise TraceFormatError("truncated stream directory")
+        spe_id, count = _STREAM.unpack_from(blob, offset)
+        streams.append((spe_id, count))
+        offset += _STREAM.size
+
+    header = TraceHeader(
+        n_spes=n_spes,
+        timebase_divider=timebase_divider,
+        spu_clock_hz=spu_clock_hz,
+        groups_bitmap=groups_bitmap,
+        buffer_bytes=buffer_bytes,
+        version=version,
+    )
+    trace = Trace(header=header)
+    try:
+        ppe_records, offset = decode_stream(blob, n_ppe, offset)
+        for record in ppe_records:
+            trace.add(record)
+        for spe_id, count in streams:
+            records, offset = decode_stream(blob, count, offset)
+            for record in records:
+                if record.core != spe_id:
+                    raise TraceFormatError(
+                        f"stream for SPE {spe_id} contains a record from "
+                        f"core {record.core}"
+                    )
+                trace.add(record)
+    except (ValueError, KeyError) as exc:
+        raise TraceFormatError(f"corrupt trace payload: {exc}") from exc
+    trace.validate()
+    return trace

@@ -1,0 +1,73 @@
+"""The in-memory trace container shared by tracer, writer, reader, TA."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.pdt.events import SIDE_PPE, SIDE_SPE, TraceRecord
+
+
+@dataclasses.dataclass
+class TraceHeader:
+    """Self-describing trace metadata (the file's architecture block).
+
+    Deliberately does *not* contain per-SPE decrementer offsets or
+    drift: on hardware nobody knows those, and the analyzer must
+    recover the clock relations from sync records alone.
+    """
+
+    n_spes: int
+    timebase_divider: int
+    spu_clock_hz: float
+    groups_bitmap: int
+    buffer_bytes: int
+    version: int = 1
+
+
+@dataclasses.dataclass
+class Trace:
+    """A full PDT trace: header + records.
+
+    Records are stored per producing core, each stream in recording
+    order (that is how the buffers arrive in memory); ``all_records``
+    provides the merged view keyed by (core, seq) — global *time*
+    placement needs :class:`repro.pdt.correlate.ClockCorrelator`.
+    """
+
+    header: TraceHeader
+    ppe_records: typing.List[TraceRecord] = dataclasses.field(default_factory=list)
+    spe_records: typing.Dict[int, typing.List[TraceRecord]] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def records_for_spe(self, spe_id: int) -> typing.List[TraceRecord]:
+        return self.spe_records.get(spe_id, [])
+
+    def all_records(self) -> typing.Iterator[TraceRecord]:
+        """Every record, PPE stream first then SPE streams by id."""
+        yield from self.ppe_records
+        for spe_id in sorted(self.spe_records):
+            yield from self.spe_records[spe_id]
+
+    @property
+    def n_records(self) -> int:
+        return len(self.ppe_records) + sum(len(r) for r in self.spe_records.values())
+
+    def add(self, record: TraceRecord) -> None:
+        if record.side == SIDE_PPE:
+            self.ppe_records.append(record)
+        elif record.side == SIDE_SPE:
+            self.spe_records.setdefault(record.core, []).append(record)
+        else:
+            raise ValueError(f"record has invalid side {record.side}")
+
+    def validate(self) -> None:
+        """Check per-core sequence monotonicity; raises ValueError."""
+        streams = [("ppe", self.ppe_records)] + [
+            (f"spe{i}", recs) for i, recs in sorted(self.spe_records.items())
+        ]
+        for name, records in streams:
+            seqs = [r.seq for r in records]
+            if seqs != sorted(seqs) or len(set(seqs)) != len(seqs):
+                raise ValueError(f"{name} stream is not in strict sequence order")

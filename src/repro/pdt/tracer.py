@@ -1,0 +1,370 @@
+"""The PDT tracer: instrumented-runtime hooks and SPE trace buffers.
+
+This is the operational core of the tool.  Architecture (matching the
+paper's description of PDT):
+
+* The PPE side keeps its records in host memory and charges the PPE
+  for each one.
+* Each traced SPE gets a trace buffer **in its local store**, claimed
+  at program-load time (so big applications feel the squeeze).  The
+  buffer is split into two halves: records fill one half while the
+  other is (possibly) in flight to main storage via a real simulated
+  DMA on a reserved tag.  With double buffering the SPU only stalls if
+  it produces events faster than the flush DMA drains them; the
+  single-buffered ablation waits on every flush.
+* Every record costs the recording core cycles
+  (``TraceConfig.spu_record_cycles`` / ``ppe_record_cycles``); flush
+  DMAs consume real MFC queue slots and EIB bandwidth.  Tracing
+  overhead is therefore *emergent*, not estimated.
+* Sync records pairing (decrementer, timebase) readings are emitted at
+  SPE entry/exit and at every buffer flush — the anchors the clock
+  correlator fits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.cell.machine import CellMachine
+from repro.cell.mfc import DmaDirection
+from repro.cell.spu import SpuCore
+from repro.kernel import Delay, Event
+from repro.pdt import events as ev
+from repro.pdt.codec import decode_record, encode_record
+from repro.pdt.config import TraceConfig
+from repro.pdt.events import TraceRecord, code_for_kind
+from repro.pdt.trace import Trace, TraceHeader
+from repro.libspe.hooks import RuntimeHooks, SpuEventKind
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.libspe.image import SpeProgram
+    from repro.libspe.runtime import Runtime
+
+
+@dataclasses.dataclass
+class SpeTraceStats:
+    """Per-SPE tracing cost accounting."""
+
+    records: int = 0
+    dropped_records: int = 0
+    #: Wrap mode: how many old records were overwritten by new ones.
+    overwritten_records: int = 0
+    #: Wrap mode: how many times the region write pointer wrapped.
+    wraps: int = 0
+    bytes_buffered: int = 0
+    flushes: int = 0
+    flush_bytes: int = 0
+    #: Cycles charged to the SPU for writing records.
+    record_cycles: int = 0
+    #: Cycles the SPU stalled waiting for a trace-buffer half to drain.
+    flush_wait_cycles: int = 0
+
+
+@dataclasses.dataclass
+class TracingStats:
+    """Whole-run tracing cost accounting."""
+
+    per_spe: typing.Dict[int, SpeTraceStats] = dataclasses.field(default_factory=dict)
+    ppe_records: int = 0
+    ppe_record_cycles: int = 0
+
+    def spe(self, spe_id: int) -> SpeTraceStats:
+        return self.per_spe.setdefault(spe_id, SpeTraceStats())
+
+    @property
+    def total_records(self) -> int:
+        return self.ppe_records + sum(s.records for s in self.per_spe.values())
+
+    @property
+    def total_flushes(self) -> int:
+        return sum(s.flushes for s in self.per_spe.values())
+
+    @property
+    def total_flush_bytes(self) -> int:
+        return sum(s.flush_bytes for s in self.per_spe.values())
+
+
+class _SpuTraceContext:
+    """Tracing state for one SPE: the LS buffer and its flush machinery."""
+
+    def __init__(self, machine: CellMachine, spu: SpuCore, config: TraceConfig,
+                 stats: SpeTraceStats):
+        self.machine = machine
+        self.spu = spu
+        self.config = config
+        self.stats = stats
+        self.ls_base = spu.ls.allocate(config.buffer_bytes, align=128)
+        self.ls_generation = spu.ls.generation
+        self.half_size = config.buffer_bytes // 2
+        self.region_ea = machine.memory.allocate(config.trace_region_bytes, align=128)
+        self.write_ea = self.region_ea
+        self.current_half = 0
+        self.fill = 0
+        self._pending_flush: typing.List[typing.Optional[Event]] = [None, None]
+        self.seq = 0
+        self.records: typing.List[TraceRecord] = []
+        #: Wrap mode: bytes of still-retained records (drives trimming).
+        self._live_bytes = 0
+        self._trim_from = 0  # index of the oldest retained record
+
+    # ------------------------------------------------------------------
+    def record(self, kind: str, fields: typing.Dict[str, int]) -> typing.Generator:
+        """Write one record (runs on the SPU; charges its cost)."""
+        yield Delay(self.config.spu_record_cycles)
+        self.stats.record_cycles += self.config.spu_record_cycles
+        yield from self._store(kind, fields)
+
+    def sync(self) -> typing.Generator:
+        """Write a clock-sync record (decrementer paired with timebase)."""
+        yield Delay(self.config.spu_record_cycles)
+        self.stats.record_cycles += self.config.spu_record_cycles
+        tb_raw = self.machine.ppe.read_timebase()
+        yield from self._store(ev.KIND_SYNC, {"tb_raw": tb_raw})
+
+    def _store(self, kind: str, fields: typing.Dict[str, int]) -> typing.Generator:
+        spec = code_for_kind(ev.SIDE_SPE, kind)
+        record = TraceRecord(
+            side=ev.SIDE_SPE,
+            code=spec.code,
+            core=self.spu.spe_id,
+            seq=self.seq,
+            raw_ts=self.spu.read_decrementer(),
+            fields={name: int(fields.get(name, 0)) for name in spec.fields},
+            truth_time=self.spu.sim.now,
+        )
+        self.seq += 1
+        data = encode_record(record)
+        if self.fill + len(data) > self.half_size:
+            yield from self._flush_current_half()
+        region_end = self.region_ea + self.config.trace_region_bytes
+        if self.write_ea + self.fill + len(data) > region_end:
+            if not self.config.wrap:
+                # Region exhausted: stop recording (drop new records).
+                self.stats.dropped_records += 1
+                return
+            # Wrap mode: the write pointer returns to the region start
+            # and the oldest records are overwritten.
+            self.write_ea = self.region_ea
+            self.stats.wraps += 1
+        self.spu.ls.write(
+            self.ls_base + self.current_half * self.half_size + self.fill, data
+        )
+        self.fill += len(data)
+        self.records.append(record)
+        self.stats.records += 1
+        self.stats.bytes_buffered += len(data)
+        if self.config.wrap:
+            self._live_bytes += len(data)
+            self._trim_overwritten()
+
+    def _trim_overwritten(self) -> None:
+        """Wrap mode: forget records whose bytes were overwritten."""
+        from repro.pdt.codec import record_size
+
+        capacity = self.config.trace_region_bytes
+        while self._live_bytes > capacity and self._trim_from < len(self.records):
+            old = self.records[self._trim_from]
+            self._live_bytes -= record_size(len(old.spec.fields))
+            self._trim_from += 1
+            self.stats.overwritten_records += 1
+
+    def retained_records(self) -> typing.List[TraceRecord]:
+        """Records still present in the region (all of them unless
+        wrap mode overwrote the oldest)."""
+        return self.records[self._trim_from :]
+
+    def rebind(self) -> None:
+        """The SPE's local store was re-provisioned (virtual-context
+        switch): claim a fresh trace buffer there.  The record stream,
+        sequence numbers, and main-memory region carry on — one stream
+        per physical SPE, like the hardware's view.
+        """
+        if self.fill:
+            raise RuntimeError(
+                "rebind with unflushed trace bytes: the previous program "
+                "did not exit cleanly"
+            )
+        self.ls_base = self.spu.ls.allocate(self.config.buffer_bytes, align=128)
+        self.ls_generation = self.spu.ls.generation
+        self._pending_flush = [None, None]
+        self.current_half = 0
+
+    # ------------------------------------------------------------------
+    def _flush_current_half(self) -> typing.Generator:
+        """DMA the filled half out and switch to the other half."""
+        if self.fill == 0:
+            return
+        half = self.current_half
+        command = self.spu.mfc.make_command(
+            DmaDirection.PUT,
+            self.ls_base + half * self.half_size,
+            self.write_ea,
+            self.fill,
+            tag=self.config.flush_tag,
+            issuer=f"pdt-trace-spe{self.spu.spe_id}",
+        )
+        completion = yield from self.spu.mfc.issue(command)
+        self._pending_flush[half] = completion
+        self.stats.flushes += 1
+        self.stats.flush_bytes += self.fill
+        self.write_ea += self.fill
+        self.current_half ^= 1
+        self.fill = 0
+        if self.config.double_buffered:
+            # Only stall if the half we are switching *into* is still
+            # in flight from its previous flush.
+            blocker = self._pending_flush[self.current_half]
+        else:
+            blocker = completion
+        if blocker is not None and not blocker.triggered:
+            stalled_at = self.spu.sim.now
+            yield blocker
+            self.stats.flush_wait_cycles += self.spu.sim.now - stalled_at
+        self._pending_flush[self.current_half] = None
+
+    def final_flush(self) -> typing.Generator:
+        """Flush the tail and wait for it (PDT's SPE exit handler)."""
+        yield from self._flush_current_half()
+        for half in (0, 1):
+            pending = self._pending_flush[half]
+            if pending is not None and not pending.triggered:
+                stalled_at = self.spu.sim.now
+                yield pending
+                self.stats.flush_wait_cycles += self.spu.sim.now - stalled_at
+            self._pending_flush[half] = None
+
+    # ------------------------------------------------------------------
+    def read_back_records(self) -> typing.List[TraceRecord]:
+        """Decode the records from the main-memory trace region.
+
+        This is what a trace-file writer daemon on the PPE would see:
+        only bytes that actually arrived by DMA.  Used by tests to
+        prove the full LS -> DMA -> main-storage path carries the
+        trace intact.
+        """
+        if self.config.wrap:
+            raise ValueError(
+                "wrap-mode regions interleave generations and cannot be "
+                "decoded linearly; use to_trace() / retained_records()"
+            )
+        blob = self.machine.memory.read(
+            self.region_ea, self.write_ea - self.region_ea
+        )
+        records = []
+        offset = 0
+        while offset < len(blob):
+            record, offset = decode_record(blob, offset)
+            records.append(record)
+        return records
+
+
+class PdtHooks(RuntimeHooks):
+    """The instrumented-runtime implementation of the tracing seam."""
+
+    def __init__(self, config: typing.Optional[TraceConfig] = None):
+        self.config = config or TraceConfig()
+        self.stats = TracingStats()
+        self.machine: typing.Optional[CellMachine] = None
+        self._spu_contexts: typing.Dict[int, _SpuTraceContext] = {}
+        self._ppe_records: typing.List[TraceRecord] = []
+        self._ppe_seq = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # RuntimeHooks implementation
+    # ------------------------------------------------------------------
+    def attach(self, runtime: "Runtime") -> None:
+        self.machine = runtime.machine
+
+    def spe_program_loaded(self, spu: SpuCore, program: "SpeProgram") -> None:
+        if not self.config.traces_spe(spu.spe_id):
+            return
+        context = self._spu_contexts.get(spu.spe_id)
+        if context is None:
+            self._spu_contexts[spu.spe_id] = _SpuTraceContext(
+                self.machine, spu, self.config, self.stats.spe(spu.spe_id)
+            )
+        elif context.ls_generation != spu.ls.generation:
+            context.rebind()
+
+    def spu_event(
+        self, spu: SpuCore, kind: str, fields: typing.Dict[str, int]
+    ) -> typing.Generator:
+        spec = code_for_kind(ev.SIDE_SPE, kind)
+        if not self.config.enabled(spec.group):
+            return
+        context = self._spu_contexts.get(spu.spe_id)
+        if context is None:
+            # Program bypassed the loader (possible in low-level tests):
+            # silently untraced, like running an uninstrumented binary.
+            return
+        if kind == SpuEventKind.SPE_ENTRY:
+            yield from context.sync()
+        yield from context.record(kind, fields)
+        if kind == SpuEventKind.SPE_EXIT:
+            yield from context.sync()
+            yield from context.final_flush()
+
+    def ppe_event(self, kind: str, fields: typing.Dict[str, int]) -> typing.Generator:
+        spec = code_for_kind(ev.SIDE_PPE, kind)
+        if not self.config.enabled(spec.group):
+            return
+        yield Delay(self.config.ppe_record_cycles)
+        self.stats.ppe_record_cycles += self.config.ppe_record_cycles
+        # PDT tags PPE records with the producing software thread; we
+        # use the simulation process id of the PPE thread making the
+        # runtime call (0 if unattributable).
+        process = self.machine.sim.current_process
+        thread_id = (process.pid & 0xFFFF) if process is not None else 0
+        record = TraceRecord(
+            side=ev.SIDE_PPE,
+            code=spec.code,
+            core=thread_id,
+            seq=self._ppe_seq,
+            raw_ts=self.machine.ppe.read_timebase(),
+            fields={name: int(fields.get(name, 0)) for name in spec.fields},
+            truth_time=self.machine.sim.now,
+        )
+        self._ppe_seq += 1
+        self._ppe_records.append(record)
+        self.stats.ppe_records += 1
+
+    def finalize(self) -> None:
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    # trace assembly
+    # ------------------------------------------------------------------
+    def to_trace(self) -> Trace:
+        """Assemble the Trace object (what the trace file contains)."""
+        header = TraceHeader(
+            n_spes=self.machine.config.n_spes,
+            timebase_divider=self.machine.config.timebase_divider,
+            spu_clock_hz=self.machine.config.spu_clock_hz,
+            groups_bitmap=self.config.groups_bitmap(),
+            buffer_bytes=self.config.buffer_bytes,
+        )
+        trace = Trace(header=header)
+        for record in self._ppe_records:
+            trace.add(record)
+        for spe_id in sorted(self._spu_contexts):
+            for record in self._spu_contexts[spe_id].retained_records():
+                trace.add(record)
+        trace.validate()
+        return trace
+
+    def read_back_trace(self) -> Trace:
+        """Like :meth:`to_trace`, but SPE streams are decoded from the
+        bytes that physically arrived in main storage via DMA."""
+        trace = self.to_trace()
+        trace.spe_records = {}
+        for spe_id, context in sorted(self._spu_contexts.items()):
+            for record in context.read_back_records():
+                trace.add(record)
+        trace.validate()
+        return trace
+
+    def spu_context(self, spe_id: int) -> _SpuTraceContext:
+        """Expose one SPE's trace context (tests, buffer experiments)."""
+        return self._spu_contexts[spe_id]

@@ -1,0 +1,71 @@
+"""Trace-file writer.
+
+File layout (little endian)::
+
+    magic           4s   b"PDT1"
+    version         u16
+    n_spes          u16
+    timebase_div    u32
+    spu_clock_hz    f64
+    groups_bitmap   u32
+    buffer_bytes    u32
+    n_ppe_records   u32
+    n_spe_streams   u32
+    --- per SPE stream ---
+    spe_id          u32
+    n_records       u32
+    --- payload ---
+    PPE records, then each SPE stream's records, in the 16-byte
+    record encoding of :mod:`repro.pdt.codec`.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import typing
+
+from repro.pdt.codec import encode_record
+from repro.pdt.trace import Trace
+
+MAGIC = b"PDT1"
+_HEADER = struct.Struct("<4sHHIdIIII")
+_STREAM = struct.Struct("<II")
+
+
+def write_trace(trace: Trace, path_or_file: typing.Union[str, typing.BinaryIO]) -> int:
+    """Serialize a trace; returns the number of bytes written."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "wb") as handle:
+            return write_trace(trace, handle)
+    out: typing.BinaryIO = path_or_file
+    header = trace.header
+    spe_ids = sorted(trace.spe_records)
+    written = out.write(
+        _HEADER.pack(
+            MAGIC,
+            header.version,
+            header.n_spes,
+            header.timebase_divider,
+            header.spu_clock_hz,
+            header.groups_bitmap,
+            header.buffer_bytes,
+            len(trace.ppe_records),
+            len(spe_ids),
+        )
+    )
+    for spe_id in spe_ids:
+        written += out.write(_STREAM.pack(spe_id, len(trace.spe_records[spe_id])))
+    for record in trace.ppe_records:
+        written += out.write(encode_record(record))
+    for spe_id in spe_ids:
+        for record in trace.spe_records[spe_id]:
+            written += out.write(encode_record(record))
+    return written
+
+
+def trace_to_bytes(trace: Trace) -> bytes:
+    """Serialize to an in-memory buffer."""
+    buffer = io.BytesIO()
+    write_trace(trace, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,64 @@
+"""TA — the Trace Analyzer (the paper's contribution, part 2).
+
+"The trace analyzer (TA) reads and visualizes the PDT traces"
+(abstract).  This package is the analysis half of the tool chain:
+
+* :mod:`repro.ta.model` — reconstructs what each core was *doing* over
+  time (run / wait-DMA / wait-mailbox / wait-signal intervals) and the
+  lifetime of every DMA command, from nothing but the trace records.
+* :mod:`repro.ta.stats` — per-SPE and aggregate statistics:
+  utilization, stall breakdown, DMA latency/bandwidth distributions,
+  mailbox traffic.
+* :mod:`repro.ta.analysis` — the paper's use cases as code: load
+  balance, buffering-discipline detection (single vs double
+  buffering), stall attribution.
+* :mod:`repro.ta.gantt` — the timeline view as ASCII (terminal) and
+  SVG (file), in place of the original Eclipse GUI.
+* :mod:`repro.ta.export` — CSV export of records and statistics.
+
+The entry point is :func:`analyze`, which takes a
+:class:`~repro.pdt.trace.Trace` and returns a :class:`TimelineModel`.
+"""
+
+from repro.ta.analysis import (
+    BufferingReport,
+    LoadBalanceReport,
+    analyze_buffering,
+    analyze_load_balance,
+)
+from repro.ta.comm import CommEdge, communication_edges, summarize_channels
+from repro.ta.critical import CriticalPath, critical_path
+from repro.ta.diff import TraceDiff, diff_stats
+from repro.ta.export import records_to_csv, stats_to_csv
+from repro.ta.gantt import render_ascii, render_svg
+from repro.ta.model import CoreTimeline, DmaSpan, Interval, TimelineModel, analyze
+from repro.ta.profile import event_profile, profile_table, top_event_kinds
+from repro.ta.stats import SpeStatistics, TraceStatistics
+
+__all__ = [
+    "BufferingReport",
+    "CommEdge",
+    "CoreTimeline",
+    "CriticalPath",
+    "critical_path",
+    "DmaSpan",
+    "Interval",
+    "LoadBalanceReport",
+    "SpeStatistics",
+    "TimelineModel",
+    "TraceDiff",
+    "TraceStatistics",
+    "analyze",
+    "analyze_buffering",
+    "analyze_load_balance",
+    "communication_edges",
+    "diff_stats",
+    "event_profile",
+    "profile_table",
+    "records_to_csv",
+    "render_ascii",
+    "render_svg",
+    "stats_to_csv",
+    "summarize_channels",
+    "top_event_kinds",
+]

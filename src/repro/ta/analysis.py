@@ -1,0 +1,142 @@
+"""The paper's analysis use cases as code.
+
+The ISPASS paper demonstrates PDT+TA on workloads by *reading the
+timeline*: spotting DMA waits that double buffering would hide, and
+spotting SPEs that finish long before their siblings.  These functions
+mechanize those two readings (plus the stall-attribution summary that
+feeds both).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.ta.model import STATE_WAIT_DMA, CoreTimeline, Interval, TimelineModel
+from repro.ta.stats import TraceStatistics
+
+
+@dataclasses.dataclass
+class BufferingReport:
+    """Buffering-discipline diagnosis for one SPE.
+
+    ``overlap_fraction`` — how much of the total DMA in-flight time was
+    hidden under computation on the same SPE.  Near 0 means the SPE sat
+    waiting for every transfer (single buffering); near 1 means
+    transfers were almost fully overlapped (double buffering working).
+    ``wait_dma_fraction`` — window share spent stalled on tag waits.
+    """
+
+    spe_id: int
+    overlap_fraction: float
+    wait_dma_fraction: float
+    dma_inflight_cycles: int
+    verdict: str
+
+    #: Thresholds for the verdict (window fractions / overlap shares).
+    OVERLAP_GOOD = 0.60
+    WAIT_BAD = 0.20
+
+
+@dataclasses.dataclass
+class LoadBalanceReport:
+    """Load-balance diagnosis across the SPEs of one run."""
+
+    busy_cycles: typing.Dict[int, int]
+    imbalance_factor: float
+    slowest_spe: int
+    fastest_spe: int
+    verdict: str
+
+    #: max/mean busy ratio above which we call the run imbalanced.
+    IMBALANCED_ABOVE = 1.15
+
+
+def analyze_buffering(model: TimelineModel, spe_id: int) -> BufferingReport:
+    """Diagnose single- vs double-buffering on one SPE."""
+    core = model.core(spe_id)
+    run_intervals = core.run_intervals()
+    inflight = 0
+    overlapped = 0
+    for span in core.dma_spans:
+        inflight += span.duration
+        overlapped += _overlap(span.issue_time, span.end, run_intervals)
+    overlap_fraction = overlapped / inflight if inflight else 0.0
+    wait_dma_fraction = (
+        core.time_in(STATE_WAIT_DMA) / core.window if core.window else 0.0
+    )
+    if inflight == 0:
+        verdict = "no DMA activity"
+    elif (
+        overlap_fraction >= BufferingReport.OVERLAP_GOOD
+        and wait_dma_fraction < BufferingReport.WAIT_BAD
+    ):
+        verdict = "double-buffered: transfers largely hidden under compute"
+    elif wait_dma_fraction >= BufferingReport.WAIT_BAD:
+        verdict = (
+            "single-buffered: SPU stalls on most transfers — "
+            "introduce double buffering"
+        )
+    else:
+        verdict = "partially overlapped"
+    return BufferingReport(
+        spe_id=spe_id,
+        overlap_fraction=overlap_fraction,
+        wait_dma_fraction=wait_dma_fraction,
+        dma_inflight_cycles=inflight,
+        verdict=verdict,
+    )
+
+
+def analyze_load_balance(stats: TraceStatistics) -> LoadBalanceReport:
+    """Diagnose load balance across SPEs from the summary statistics."""
+    busy = {spe_id: s.run_cycles for spe_id, s in stats.per_spe.items()}
+    if not busy:
+        raise ValueError("trace contains no SPE activity")
+    slowest = max(sorted(busy), key=lambda k: busy[k])
+    fastest = min(sorted(busy), key=lambda k: busy[k])
+    factor = stats.imbalance_factor
+    if factor <= LoadBalanceReport.IMBALANCED_ABOVE:
+        verdict = "balanced: SPEs carry similar work"
+    else:
+        verdict = (
+            f"imbalanced: SPE {slowest} does {factor:.2f}x the mean work — "
+            "redistribute blocks"
+        )
+    return LoadBalanceReport(
+        busy_cycles=busy,
+        imbalance_factor=factor,
+        slowest_spe=slowest,
+        fastest_spe=fastest,
+        verdict=verdict,
+    )
+
+
+def stall_attribution(stats: TraceStatistics) -> typing.Dict[str, float]:
+    """Aggregate window share per stall cause plus compute, across SPEs.
+
+    Returns fractions keyed by state name; they sum to <= 1 (the
+    remainder is idle skew between windows).
+    """
+    total_window = sum(s.window for s in stats.per_spe.values())
+    if total_window == 0:
+        return {}
+    return {
+        "run": stats.total_run_cycles / total_window,
+        "wait_dma": sum(s.wait_dma_cycles for s in stats.per_spe.values()) / total_window,
+        "wait_mbox": sum(s.wait_mbox_cycles for s in stats.per_spe.values()) / total_window,
+        "wait_signal": (
+            sum(s.wait_signal_cycles for s in stats.per_spe.values()) / total_window
+        ),
+    }
+
+
+def _overlap(start: int, end: int, intervals: typing.Sequence[Interval]) -> int:
+    """Cycles of [start, end) covered by the given intervals."""
+    covered = 0
+    for interval in intervals:
+        lo = max(start, interval.start)
+        hi = min(end, interval.end)
+        if hi > lo:
+            covered += hi - lo
+    return covered

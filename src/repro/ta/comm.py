@@ -1,0 +1,169 @@
+"""Cross-core communication analysis.
+
+The TA's timeline becomes far more useful once events on different
+cores are *linked*: this module matches send records to the receive
+records they caused, producing communication edges with latencies —
+the arrows the original analyzer drew between lanes.
+
+Channels matched (each FIFO per endpoint pair, like the hardware):
+
+* PPE ``in_mbox_write``  ->  SPE ``read_mbox_end``     ("ppe->spe mailbox")
+* SPE ``write_mbox_end`` ->  PPE ``out_mbox_read_end`` ("spe->ppe mailbox")
+* SPE ``signal_send``    ->  SPE ``read_signal_end``   ("spe->spe signal")
+* PPE ``signal_write``   ->  SPE ``read_signal_end``   ("ppe->spe signal")
+
+Signal receives OR together bits from several sends, so one receive
+may close multiple send edges (every send whose bits the received
+value contains).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.ta.model import TimelineModel
+
+PPE_TO_SPE_MAILBOX = "ppe->spe mailbox"
+SPE_TO_PPE_MAILBOX = "spe->ppe mailbox"
+SIGNAL = "signal"
+
+
+@dataclasses.dataclass
+class CommEdge:
+    """One matched send/receive pair."""
+
+    channel: str
+    src: str  # "ppe" or "speN"
+    dst: str
+    send_time: int
+    recv_time: int
+    value: int
+
+    @property
+    def latency(self) -> int:
+        """Receive minus send time; clamped at 0 (clock quantization
+        can place a receive a tick before its send)."""
+        return max(self.recv_time - self.send_time, 0)
+
+
+@dataclasses.dataclass
+class _PendingSend:
+    src: str
+    time: int
+    value: int
+
+
+def communication_edges(model: TimelineModel) -> typing.List[CommEdge]:
+    """Match every send to its receive across the whole trace."""
+    edges: typing.List[CommEdge] = []
+    placed = model.correlated.placed
+
+    # FIFO queues per (channel key).
+    inbox_sends: typing.Dict[int, typing.List[_PendingSend]] = {}
+    outbox_sends: typing.Dict[int, typing.List[_PendingSend]] = {}
+    signal_sends: typing.Dict[typing.Tuple[int, int], typing.List[_PendingSend]] = {}
+
+    for item in placed:
+        record = item.record
+        kind = record.kind
+        fields = record.fields
+        if kind == "in_mbox_write":
+            inbox_sends.setdefault(fields["spe"], []).append(
+                _PendingSend("ppe", item.time, fields["value"])
+            )
+        elif kind == "read_mbox_end" and record.is_spe:
+            queue = inbox_sends.get(record.core, [])
+            if queue:
+                send = queue.pop(0)
+                edges.append(
+                    CommEdge(
+                        channel=PPE_TO_SPE_MAILBOX,
+                        src=send.src,
+                        dst=f"spe{record.core}",
+                        send_time=send.time,
+                        recv_time=item.time,
+                        value=fields.get("value", 0),
+                    )
+                )
+        elif kind == "write_mbox_end" and record.is_spe and not fields.get("intr"):
+            outbox_sends.setdefault(record.core, []).append(
+                _PendingSend(f"spe{record.core}", item.time, fields["value"])
+            )
+        elif kind == "out_mbox_read_end":
+            queue = outbox_sends.get(fields["spe"], [])
+            if queue:
+                send = queue.pop(0)
+                edges.append(
+                    CommEdge(
+                        channel=SPE_TO_PPE_MAILBOX,
+                        src=send.src,
+                        dst="ppe",
+                        send_time=send.time,
+                        recv_time=item.time,
+                        value=fields.get("value", 0),
+                    )
+                )
+        elif kind == "signal_send":
+            key = (fields["target"], fields["which"])
+            signal_sends.setdefault(key, []).append(
+                _PendingSend(f"spe{record.core}", item.time, fields["bits"])
+            )
+        elif kind == "signal_write":
+            key = (fields["spe"], fields["which"])
+            signal_sends.setdefault(key, []).append(
+                _PendingSend("ppe", item.time, fields["bits"])
+            )
+        elif kind == "read_signal_end" and record.is_spe:
+            key = (record.core, fields["which"])
+            queue = signal_sends.get(key, [])
+            received = fields.get("value", 0)
+            matched, remaining = [], []
+            for send in queue:
+                # OR semantics: this receive consumed every send whose
+                # bits are all present in the received value.
+                if send.value & received == send.value and send.time <= item.time:
+                    matched.append(send)
+                else:
+                    remaining.append(send)
+            signal_sends[key] = remaining
+            for send in matched:
+                edges.append(
+                    CommEdge(
+                        channel=SIGNAL,
+                        src=send.src,
+                        dst=f"spe{record.core}",
+                        send_time=send.time,
+                        recv_time=item.time,
+                        value=send.value,
+                    )
+                )
+    edges.sort(key=lambda e: (e.send_time, e.recv_time))
+    return edges
+
+
+@dataclasses.dataclass
+class ChannelSummary:
+    channel: str
+    count: int
+    mean_latency: float
+    max_latency: int
+
+
+def summarize_channels(edges: typing.Sequence[CommEdge]) -> typing.List[ChannelSummary]:
+    """Per-channel edge counts and latency statistics."""
+    groups: typing.Dict[str, typing.List[CommEdge]] = {}
+    for edge in edges:
+        groups.setdefault(edge.channel, []).append(edge)
+    summaries = []
+    for channel in sorted(groups):
+        latencies = [e.latency for e in groups[channel]]
+        summaries.append(
+            ChannelSummary(
+                channel=channel,
+                count=len(latencies),
+                mean_latency=sum(latencies) / len(latencies),
+                max_latency=max(latencies),
+            )
+        )
+    return summaries

@@ -1,0 +1,200 @@
+"""Critical-path extraction from a trace.
+
+Answering "what actually bounded this run?" by walking backwards from
+the last thing that finished: time spent computing stays on the same
+core; time spent *waiting for another core* jumps, through the matched
+communication edge, to whoever sent the message late.  The resulting
+path is the chain of work and messages that determined the makespan —
+speeding up anything off it cannot help.
+
+Scope: waits with a matched communication edge (mailboxes, signals)
+jump cores; DMA waits are charged to the waiting core (the memory
+system is not a schedulable agent).  PPE sends terminate the walk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.ta.comm import CommEdge, communication_edges
+from repro.ta.model import (
+    STATE_IDLE,
+    STATE_RUN,
+    CoreTimeline,
+    Interval,
+    TimelineModel,
+)
+
+
+@dataclasses.dataclass
+class PathStep:
+    """One stretch of the critical path on one core."""
+
+    core: str  # "speN" (or "ppe" for the terminal send)
+    start: int
+    end: int
+    state: str  # interval state, or "message" for a cross-core hop
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclasses.dataclass
+class CriticalPath:
+    """The extracted path plus its per-core/per-state accounting."""
+
+    steps: typing.List[PathStep]  # chronological order
+
+    @property
+    def span(self) -> int:
+        if not self.steps:
+            return 0
+        return self.steps[-1].end - self.steps[0].start
+
+    def time_by_core(self) -> typing.Dict[str, int]:
+        totals: typing.Dict[str, int] = {}
+        for step in self.steps:
+            totals[step.core] = totals.get(step.core, 0) + step.duration
+        return totals
+
+    def time_by_state(self) -> typing.Dict[str, int]:
+        totals: typing.Dict[str, int] = {}
+        for step in self.steps:
+            totals[step.state] = totals.get(step.state, 0) + step.duration
+        return totals
+
+    def dominant_core(self) -> str:
+        totals = self.time_by_core()
+        return max(sorted(totals), key=lambda core: totals[core])
+
+    def rows(self) -> typing.List[typing.Dict[str, typing.Any]]:
+        return [
+            {
+                "core": step.core,
+                "start": step.start,
+                "end": step.end,
+                "state": step.state,
+                "cycles": step.duration,
+            }
+            for step in self.steps
+        ]
+
+
+def critical_path(model: TimelineModel) -> CriticalPath:
+    """Walk the blocking chain backwards from the run's last finisher."""
+    if not model.cores:
+        return CriticalPath(steps=[])
+    edges = communication_edges(model)
+    #: dst core -> edges sorted by recv_time (for backward lookup)
+    incoming: typing.Dict[str, typing.List[CommEdge]] = {}
+    for edge in edges:
+        incoming.setdefault(edge.dst, []).append(edge)
+    for queue in incoming.values():
+        queue.sort(key=lambda e: e.recv_time)
+
+    last_spe = max(
+        sorted(model.cores), key=lambda spe_id: model.cores[spe_id].window_end
+    )
+    core_name = f"spe{last_spe}"
+    time = model.cores[last_spe].window_end
+    steps_reversed: typing.List[PathStep] = []
+    safety = 0
+
+    while safety < 100_000:
+        safety += 1
+        spe_id = int(core_name[3:])
+        core = model.cores.get(spe_id)
+        if core is None or time <= core.window_start:
+            break
+        interval = _interval_at(core, time)
+        if interval is None:
+            break
+        start = max(interval.start, core.window_start)
+        if interval.state in (STATE_RUN, STATE_IDLE) or not _is_comm_wait(interval):
+            # Local work (or a memory-system wait): stays on the path.
+            steps_reversed.append(
+                PathStep(core=core_name, start=start, end=time, state=interval.state)
+            )
+            time = start
+            continue
+        edge = _resolving_edge(incoming.get(core_name, []), start, time)
+        if edge is None or edge.send_time <= start:
+            # Unmatched wait, or the message was already sent before
+            # the wait began (the sender was not the late party):
+            # charge the time locally and keep walking this core.
+            steps_reversed.append(
+                PathStep(core=core_name, start=start, end=time, state=interval.state)
+            )
+            time = start
+            continue
+        # A communication wait resolved by a message: the wait itself is
+        # NOT on the path — the sender's lateness is.  Keep only the
+        # residue after the receive (normally empty) plus the message
+        # transit, then continue on the sender.
+        if time > edge.recv_time:
+            steps_reversed.append(
+                PathStep(
+                    core=core_name, start=edge.recv_time, end=time,
+                    state=interval.state,
+                )
+            )
+        steps_reversed.append(
+            PathStep(
+                core=edge.src, start=edge.send_time, end=edge.recv_time,
+                state="message",
+            )
+        )
+        if edge.src == "ppe":
+            break
+        core_name = edge.src
+        time = edge.send_time
+
+    steps = list(reversed(steps_reversed))
+    return CriticalPath(steps=_merge_adjacent(steps))
+
+
+def _interval_at(core: CoreTimeline, time: int) -> typing.Optional[Interval]:
+    """The interval containing the instant just before ``time``."""
+    for interval in reversed(core.intervals):
+        if interval.start < time <= interval.end:
+            return interval
+    return None
+
+
+def _is_comm_wait(interval: Interval) -> bool:
+    return interval.state in ("wait_mbox", "wait_signal")
+
+
+def _resolving_edge(
+    edges: typing.List[CommEdge], start: int, end: int
+) -> typing.Optional[CommEdge]:
+    """The latest incoming edge received during [start, end]."""
+    best = None
+    for edge in edges:
+        if start <= edge.recv_time <= end:
+            if best is None or edge.recv_time > best.recv_time:
+                best = edge
+    return best
+
+
+def _merge_adjacent(steps: typing.List[PathStep]) -> typing.List[PathStep]:
+    """Merge consecutive same-core same-state steps for readability."""
+    merged: typing.List[PathStep] = []
+    for step in steps:
+        if (
+            merged
+            and merged[-1].core == step.core
+            and merged[-1].state == step.state
+            and merged[-1].end >= step.start
+        ):
+            merged[-1] = PathStep(
+                core=step.core,
+                start=merged[-1].start,
+                end=max(step.end, merged[-1].end),
+                state=step.state,
+            )
+        else:
+            merged.append(step)
+    return merged

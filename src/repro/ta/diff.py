@@ -1,0 +1,97 @@
+"""Trace comparison: quantify an optimization between two runs.
+
+The paper's use cases are before/after stories; this module turns two
+traces of the same application into one delta report, so "did the fix
+work, and where" is a function call instead of eyeballing two
+timelines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.ta.stats import TraceStatistics
+
+
+@dataclasses.dataclass
+class SpeDelta:
+    """Per-SPE change from baseline to candidate."""
+
+    spe_id: int
+    window_delta: int
+    utilization_delta: float
+    wait_dma_delta: int
+    wait_mbox_delta: int
+    wait_signal_delta: int
+    dma_bytes_delta: int
+
+
+@dataclasses.dataclass
+class TraceDiff:
+    """Baseline-vs-candidate comparison of two runs."""
+
+    baseline_span: int
+    candidate_span: int
+    per_spe: typing.List[SpeDelta]
+
+    @property
+    def speedup(self) -> float:
+        """Baseline span over candidate span (> 1 means faster)."""
+        if self.candidate_span == 0:
+            return float("inf")
+        return self.baseline_span / self.candidate_span
+
+    @property
+    def verdict(self) -> str:
+        if self.speedup > 1.02:
+            return f"improved: {self.speedup:.2f}x faster"
+        if self.speedup < 0.98:
+            return f"regressed: {1 / self.speedup:.2f}x slower"
+        return "unchanged (within 2%)"
+
+    def rows(self) -> typing.List[typing.Dict[str, typing.Any]]:
+        return [
+            {
+                "spe": d.spe_id,
+                "utilization_delta": round(d.utilization_delta, 3),
+                "wait_dma_delta": d.wait_dma_delta,
+                "wait_mbox_delta": d.wait_mbox_delta,
+                "wait_signal_delta": d.wait_signal_delta,
+                "dma_bytes_delta": d.dma_bytes_delta,
+            }
+            for d in self.per_spe
+        ]
+
+
+def diff_stats(baseline: TraceStatistics, candidate: TraceStatistics) -> TraceDiff:
+    """Compare two statistics objects SPE by SPE.
+
+    Both runs must cover the same SPE set — comparing traces of
+    different machine shapes is a user error worth failing on.
+    """
+    if set(baseline.per_spe) != set(candidate.per_spe):
+        raise ValueError(
+            f"SPE sets differ: baseline {sorted(baseline.per_spe)} vs "
+            f"candidate {sorted(candidate.per_spe)}"
+        )
+    deltas = []
+    for spe_id in sorted(baseline.per_spe):
+        b = baseline.per_spe[spe_id]
+        c = candidate.per_spe[spe_id]
+        deltas.append(
+            SpeDelta(
+                spe_id=spe_id,
+                window_delta=c.window - b.window,
+                utilization_delta=c.utilization - b.utilization,
+                wait_dma_delta=c.wait_dma_cycles - b.wait_dma_cycles,
+                wait_mbox_delta=c.wait_mbox_cycles - b.wait_mbox_cycles,
+                wait_signal_delta=c.wait_signal_cycles - b.wait_signal_cycles,
+                dma_bytes_delta=c.dma.total_bytes - b.dma.total_bytes,
+            )
+        )
+    return TraceDiff(
+        baseline_span=baseline.span,
+        candidate_span=candidate.span,
+        per_spe=deltas,
+    )

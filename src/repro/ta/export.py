@@ -1,0 +1,51 @@
+"""CSV export of traces and statistics (the TA's export feature)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import typing
+
+from repro.pdt.correlate import CorrelatedTrace
+from repro.ta.stats import TraceStatistics
+
+_RECORD_COLUMNS = ("time", "side", "core", "seq", "kind", "raw_ts", "fields")
+
+
+def records_to_csv(
+    correlated: CorrelatedTrace,
+    destination: typing.Optional[typing.TextIO] = None,
+) -> str:
+    """Dump every placed record as CSV; returns the text."""
+    buffer = destination or io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_RECORD_COLUMNS)
+    for placed in correlated.placed:
+        record = placed.record
+        writer.writerow(
+            [
+                placed.time,
+                "spe" if record.is_spe else "ppe",
+                record.core,
+                record.seq,
+                record.kind,
+                record.raw_ts,
+                ";".join(f"{k}={v}" for k, v in record.fields.items()),
+            ]
+        )
+    return buffer.getvalue() if destination is None else ""
+
+
+def stats_to_csv(
+    stats: TraceStatistics,
+    destination: typing.Optional[typing.TextIO] = None,
+) -> str:
+    """Dump the per-SPE summary table as CSV; returns the text."""
+    rows = stats.summary_rows()
+    buffer = destination or io.StringIO()
+    if not rows:
+        return buffer.getvalue() if destination is None else ""
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue() if destination is None else ""

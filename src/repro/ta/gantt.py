@@ -1,0 +1,204 @@
+"""Timeline rendering: the TA's Gantt view as ASCII and SVG.
+
+The original Trace Analyzer is an Eclipse GUI; for a library the
+equivalent deliverables are a terminal rendering (for quick looks and
+doctests) and an SVG file (for reports).  Both draw the same model:
+one lane per SPE showing its reconstructed state over time, plus a
+sub-lane marking when DMA was in flight.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.ta.model import (
+    STATE_IDLE,
+    STATE_RUN,
+    STATE_WAIT_DMA,
+    STATE_WAIT_MBOX,
+    STATE_WAIT_SIGNAL,
+    CoreTimeline,
+    TimelineModel,
+)
+
+#: One character per state for the ASCII view.
+STATE_CHARS = {
+    STATE_RUN: "#",
+    STATE_WAIT_DMA: "d",
+    STATE_WAIT_MBOX: "m",
+    STATE_WAIT_SIGNAL: "s",
+    STATE_IDLE: ".",
+}
+
+#: Fill colors per state for the SVG view.
+STATE_COLORS = {
+    STATE_RUN: "#2e7d32",
+    STATE_WAIT_DMA: "#c62828",
+    STATE_WAIT_MBOX: "#ef6c00",
+    STATE_WAIT_SIGNAL: "#6a1b9a",
+    STATE_IDLE: "#e0e0e0",
+}
+
+LEGEND = (
+    "legend: #=run d=wait-dma m=wait-mbox s=wait-signal .=idle "
+    "_=dma-in-flight  ppe lane: concurrent running contexts"
+)
+
+
+def render_ascii(model: TimelineModel, width: int = 80) -> str:
+    """Render the whole run as fixed-width text.
+
+    Two rows per SPE: the state row and a DMA-in-flight row (underscore
+    where at least one command was in flight during the bucket).
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    t0, t1 = model.t_start, model.t_end
+    if t1 <= t0:
+        return "(empty trace)\n"
+    lines = [
+        f"timeline: {t0} .. {t1} cycles ({t1 - t0} total), "
+        f"{(t1 - t0) / width:.0f} cycles/column",
+        LEGEND,
+    ]
+    if model.ppe_runs:
+        lines.append(f"ppe   |{_ppe_row(model, t0, t1, width)}|")
+    for spe_id in sorted(model.cores):
+        core = model.cores[spe_id]
+        lines.append(f"spe{spe_id:<2d} |{_state_row(core, t0, t1, width)}|")
+        lines.append(f"  dma |{_dma_row(core, t0, t1, width)}|")
+    return "\n".join(lines) + "\n"
+
+
+def _bucket_bounds(t0: int, t1: int, width: int, column: int) -> typing.Tuple[int, int]:
+    span = t1 - t0
+    lo = t0 + span * column // width
+    hi = t0 + span * (column + 1) // width
+    return lo, max(hi, lo + 1)
+
+
+def _state_row(core: CoreTimeline, t0: int, t1: int, width: int) -> str:
+    chars = []
+    for column in range(width):
+        lo, hi = _bucket_bounds(t0, t1, width, column)
+        chars.append(STATE_CHARS[_dominant_state(core, lo, hi)])
+    return "".join(chars)
+
+
+def _dominant_state(core: CoreTimeline, lo: int, hi: int) -> str:
+    if hi <= core.window_start or lo >= core.window_end:
+        return STATE_IDLE
+    best_state, best_cover = STATE_IDLE, 0
+    for interval in core.intervals:
+        cover = min(hi, interval.end) - max(lo, interval.start)
+        if cover > best_cover:
+            best_state, best_cover = interval.state, cover
+    return best_state
+
+
+def _ppe_row(model: TimelineModel, t0: int, t1: int, width: int) -> str:
+    """PPE lane: how many SPE contexts are running in each bucket.
+
+    Digits 1-9 (or '+') for the time-dominant concurrent-run count,
+    '.' when no context runs — the at-a-glance machine occupancy.
+    """
+    chars = []
+    for column in range(width):
+        lo, hi = _bucket_bounds(t0, t1, width, column)
+        covered = 0
+        for run in model.ppe_runs:
+            covered += max(0, min(hi, run.end) - max(lo, run.start))
+        mean_running = covered / (hi - lo)
+        count = round(mean_running)
+        if count <= 0:
+            chars.append("." if mean_running < 0.5 else "1")
+        elif count < 10:
+            chars.append(str(count))
+        else:
+            chars.append("+")
+    return "".join(chars)
+
+
+def _dma_row(core: CoreTimeline, t0: int, t1: int, width: int) -> str:
+    chars = []
+    for column in range(width):
+        lo, hi = _bucket_bounds(t0, t1, width, column)
+        inflight = any(
+            span.issue_time < hi and span.end > lo for span in core.dma_spans
+        )
+        chars.append("_" if inflight else " ")
+    return "".join(chars)
+
+
+# ----------------------------------------------------------------------
+# SVG
+# ----------------------------------------------------------------------
+_LANE_HEIGHT = 24
+_DMA_HEIGHT = 8
+_LANE_GAP = 10
+_LEFT_MARGIN = 60
+_TOP_MARGIN = 30
+
+
+def render_svg(model: TimelineModel, width: int = 900) -> str:
+    """Render the timeline as a standalone SVG document string."""
+    t0, t1 = model.t_start, model.t_end
+    span = max(t1 - t0, 1)
+    scale = (width - _LEFT_MARGIN - 10) / span
+    n = len(model.cores)
+    height = _TOP_MARGIN + n * (_LANE_HEIGHT + _DMA_HEIGHT + _LANE_GAP) + 30
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        f'<text x="{_LEFT_MARGIN}" y="14">PDT timeline: {span} cycles '
+        f"({span / 3.2e9 * 1e6:.1f} us at 3.2 GHz)</text>",
+    ]
+    y = _TOP_MARGIN
+    for spe_id in sorted(model.cores):
+        core = model.cores[spe_id]
+        parts.append(
+            f'<text x="4" y="{y + _LANE_HEIGHT - 8}">spe{spe_id}</text>'
+        )
+        for interval in core.intervals:
+            x = _LEFT_MARGIN + (interval.start - t0) * scale
+            w = max(interval.duration * scale, 0.5)
+            color = STATE_COLORS[interval.state]
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" '
+                f'height="{_LANE_HEIGHT}" fill="{color}">'
+                f"<title>spe{spe_id} {interval.state} "
+                f"[{interval.start}, {interval.end})</title></rect>"
+            )
+        dma_y = y + _LANE_HEIGHT + 1
+        for dma in core.dma_spans:
+            x = _LEFT_MARGIN + (dma.issue_time - t0) * scale
+            w = max(dma.duration * scale, 0.5)
+            parts.append(
+                f'<rect x="{x:.1f}" y="{dma_y}" width="{w:.1f}" '
+                f'height="{_DMA_HEIGHT}" fill="#1565c0" opacity="0.7">'
+                f"<title>{dma.direction} tag={dma.tag} size={dma.size} "
+                f"latency={dma.duration}</title></rect>"
+            )
+        y += _LANE_HEIGHT + _DMA_HEIGHT + _LANE_GAP
+    parts.append(_svg_legend(y))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _svg_legend(y: int) -> str:
+    items = [
+        (STATE_RUN, "run"),
+        (STATE_WAIT_DMA, "wait dma"),
+        (STATE_WAIT_MBOX, "wait mbox"),
+        (STATE_WAIT_SIGNAL, "wait signal"),
+    ]
+    parts = []
+    x = _LEFT_MARGIN
+    for state, label in items:
+        parts.append(
+            f'<rect x="{x}" y="{y}" width="12" height="12" '
+            f'fill="{STATE_COLORS[state]}"/>'
+            f'<text x="{x + 16}" y="{y + 10}">{label}</text>'
+        )
+        x += 110
+    return "".join(parts)

@@ -1,0 +1,131 @@
+"""Self-contained HTML report: the TA's GUI, for a browser.
+
+Bundles everything the analyzer computes — the SVG timeline, per-SPE
+statistics, stall attribution, event profile, communication channels,
+and the use-case verdicts — into one standalone HTML document with no
+external assets.
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+import typing
+
+from repro.pdt.trace import Trace
+from repro.ta.analysis import analyze_buffering, analyze_load_balance, stall_attribution
+from repro.ta.comm import communication_edges, summarize_channels
+from repro.ta.critical import critical_path
+from repro.ta.gantt import render_svg
+from repro.ta.model import TimelineModel, analyze
+from repro.ta.profile import profile_table
+from repro.ta.stats import TraceStatistics
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       color: #212121; max-width: 1000px; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em;
+     border-bottom: 1px solid #ddd; padding-bottom: 4px; }
+table { border-collapse: collapse; font-size: 0.85em; }
+th, td { padding: 4px 10px; text-align: right; border-bottom: 1px solid #eee; }
+th { background: #fafafa; }
+td:first-child, th:first-child { text-align: left; }
+.verdict { background: #f5f5f5; padding: 8px 12px; border-left: 3px solid
+           #1565c0; margin: 6px 0; font-size: 0.9em; }
+svg { max-width: 100%; height: auto; }
+"""
+
+
+def _table(rows: typing.Sequence[typing.Dict[str, typing.Any]]) -> str:
+    if not rows:
+        return "<p>(no data)</p>"
+    columns = list(rows[0].keys())
+    head = "".join(f"<th>{html_escape.escape(str(c))}</th>" for c in columns)
+    body = "".join(
+        "<tr>"
+        + "".join(f"<td>{html_escape.escape(str(row[c]))}</td>" for c in columns)
+        + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def html_report(trace: Trace, title: str = "PDT trace report") -> str:
+    """Render the full analysis of a trace as one HTML document."""
+    model = analyze(trace)
+    stats = TraceStatistics.from_model(model)
+    parts = [
+        "<!DOCTYPE html>",
+        f"<html><head><meta charset='utf-8'><title>{html_escape.escape(title)}"
+        f"</title><style>{_STYLE}</style></head><body>",
+        f"<h1>{html_escape.escape(title)}</h1>",
+        f"<p>{trace.n_records} records, {len(model.cores)} SPEs, "
+        f"span {stats.span} cycles "
+        f"({stats.span / trace.header.spu_clock_hz * 1e6:.1f} &micro;s)</p>",
+        "<h2>Timeline</h2>",
+        render_svg(model),
+        "<h2>Per-SPE statistics</h2>",
+        _table(stats.summary_rows()),
+        "<h2>Stall attribution</h2>",
+        _table(
+            [
+                {"state": state, "fraction": f"{fraction:.3f}"}
+                for state, fraction in stall_attribution(stats).items()
+            ]
+        ),
+        "<h2>Diagnoses</h2>",
+        f"<div class='verdict'>load balance: "
+        f"{html_escape.escape(analyze_load_balance(stats).verdict)}</div>",
+    ]
+    for spe_id in sorted(model.cores):
+        report = analyze_buffering(model, spe_id)
+        parts.append(
+            f"<div class='verdict'>spe{spe_id} buffering "
+            f"(overlap {report.overlap_fraction:.2f}, "
+            f"wait-dma {report.wait_dma_fraction:.2f}): "
+            f"{html_escape.escape(report.verdict)}</div>"
+        )
+    path = critical_path(model)
+    if path.steps:
+        by_core = path.time_by_core()
+        total = sum(by_core.values()) or 1
+        parts.append("<h2>Critical path</h2>")
+        parts.append(
+            f"<div class='verdict'>{len(path.steps)} steps over "
+            f"{path.span} cycles; dominant core "
+            f"<b>{html_escape.escape(path.dominant_core())}</b> "
+            f"({by_core[path.dominant_core()] / total:.0%} of path time)</div>"
+        )
+        parts.append(
+            _table(
+                [
+                    {"core": core, "path cycles": by_core[core],
+                     "share": f"{by_core[core] / total:.1%}"}
+                    for core in sorted(by_core)
+                ]
+            )
+        )
+    edges = communication_edges(model)
+    if edges:
+        parts.append("<h2>Communication channels</h2>")
+        parts.append(
+            _table(
+                [
+                    {
+                        "channel": s.channel,
+                        "edges": s.count,
+                        "mean latency (cycles)": round(s.mean_latency, 1),
+                        "max latency (cycles)": s.max_latency,
+                    }
+                    for s in summarize_channels(edges)
+                ]
+            )
+        )
+    parts.append("<h2>Event profile</h2>")
+    parts.append(_table(profile_table(trace)))
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def save_html_report(trace: Trace, path: str, title: str = "PDT trace report") -> None:
+    with open(path, "w") as handle:
+        handle.write(html_report(trace, title=title))

@@ -1,0 +1,363 @@
+"""Timeline reconstruction from PDT traces.
+
+The trace is a flat stream of point events; the analyzer's first job
+is turning it back into *state*: what was each SPU doing during every
+cycle of the run, and when was each DMA command in flight.  Everything
+here works purely from trace records — the simulator's ground truth is
+never consulted (tests compare against it separately).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.libspe.hooks import SpuEventKind
+from repro.pdt.correlate import CorrelatedTrace, PlacedRecord
+from repro.pdt.trace import Trace
+
+# Reconstructed SPU states (strings, to keep the analyzer decoupled
+# from the simulator's ground-truth enum).
+STATE_RUN = "run"
+STATE_WAIT_DMA = "wait_dma"
+STATE_WAIT_MBOX = "wait_mbox"
+STATE_WAIT_SIGNAL = "wait_signal"
+STATE_IDLE = "idle"
+
+WAIT_STATES = (STATE_WAIT_DMA, STATE_WAIT_MBOX, STATE_WAIT_SIGNAL)
+
+#: begin-record kind -> (end-record kind, reconstructed state)
+_WAIT_PAIRS = {
+    SpuEventKind.WAIT_TAG_BEGIN: (SpuEventKind.WAIT_TAG_END, STATE_WAIT_DMA),
+    SpuEventKind.READ_MBOX_BEGIN: (SpuEventKind.READ_MBOX_END, STATE_WAIT_MBOX),
+    SpuEventKind.WRITE_MBOX_BEGIN: (SpuEventKind.WRITE_MBOX_END, STATE_WAIT_MBOX),
+    SpuEventKind.READ_SIGNAL_BEGIN: (SpuEventKind.READ_SIGNAL_END, STATE_WAIT_SIGNAL),
+}
+
+_DMA_ISSUE_KINDS = {
+    SpuEventKind.MFC_GET: "get",
+    SpuEventKind.MFC_PUT: "put",
+    SpuEventKind.MFC_GETL: "get",
+    SpuEventKind.MFC_PUTL: "put",
+}
+
+
+class ModelError(Exception):
+    """The trace is structurally inconsistent (unpaired waits etc.)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Interval:
+    """A half-open time span [start, end) in one state."""
+
+    start: int
+    end: int
+    state: str
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclasses.dataclass
+class DmaSpan:
+    """One DMA command's observable lifetime.
+
+    ``end`` is the time of the tag-group wait that *observed* the
+    completion — the real PDT cannot see the MFC finish a command, only
+    software noticing it, and neither can we.  Spans never observed
+    (program exited without waiting on the tag) carry
+    ``observed=False`` and end at the window edge.
+    """
+
+    spe_id: int
+    issue_time: int
+    end: int
+    tag: int
+    size: int
+    direction: str  # "get" | "put"
+    observed: bool = True
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.issue_time
+
+
+@dataclasses.dataclass
+class MailboxOp:
+    """One mailbox/signal operation interval on an SPE."""
+
+    spe_id: int
+    start: int
+    end: int
+    kind: str  # the begin-record kind
+    value: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclasses.dataclass
+class CoreTimeline:
+    """Everything reconstructed about one SPE.
+
+    A physical SPE may execute several programs over the trace
+    (virtual contexts rotating through it); ``segments`` holds one
+    (entry, exit) pair per program run and ``intervals`` covers the
+    whole span with IDLE between segments.
+    """
+
+    spe_id: int
+    window_start: int  # first spe_entry time
+    window_end: int  # last spe_exit time (or last record if missing)
+    intervals: typing.List[Interval]
+    dma_spans: typing.List[DmaSpan]
+    mailbox_ops: typing.List[MailboxOp]
+    exit_observed: bool
+    segments: typing.List[typing.Tuple[int, int]] = dataclasses.field(
+        default_factory=list
+    )
+
+    @property
+    def window(self) -> int:
+        return self.window_end - self.window_start
+
+    def time_in(self, state: str) -> int:
+        return sum(i.duration for i in self.intervals if i.state == state)
+
+    def run_intervals(self) -> typing.List[Interval]:
+        return [i for i in self.intervals if i.state == STATE_RUN]
+
+
+@dataclasses.dataclass
+class PpeRunSpan:
+    """A context_run_begin..end span observed on the PPE."""
+
+    spe_id: int
+    start: int
+    end: int
+    stop_code: int
+
+
+@dataclasses.dataclass
+class TimelineModel:
+    """The reconstructed execution: per-SPE timelines + PPE spans."""
+
+    trace: Trace
+    correlated: CorrelatedTrace
+    cores: typing.Dict[int, CoreTimeline]
+    ppe_runs: typing.List[PpeRunSpan]
+
+    @property
+    def t_start(self) -> int:
+        starts = [c.window_start for c in self.cores.values()]
+        starts += [r.start for r in self.ppe_runs]
+        return min(starts) if starts else 0
+
+    @property
+    def t_end(self) -> int:
+        ends = [c.window_end for c in self.cores.values()]
+        ends += [r.end for r in self.ppe_runs]
+        return max(ends) if ends else 0
+
+    def core(self, spe_id: int) -> CoreTimeline:
+        try:
+            return self.cores[spe_id]
+        except KeyError:
+            raise ModelError(f"trace has no records for SPE {spe_id}") from None
+
+
+def analyze(trace: Trace) -> TimelineModel:
+    """Build the timeline model for a trace (correlates clocks first)."""
+    correlated = CorrelatedTrace.build(trace)
+    cores = {
+        spe_id: _build_core_timeline(spe_id, correlated.spe_stream(spe_id))
+        for spe_id in sorted(trace.spe_records)
+    }
+    return TimelineModel(
+        trace=trace,
+        correlated=correlated,
+        cores=cores,
+        ppe_runs=_build_ppe_runs(correlated.ppe_stream),
+    )
+
+
+# ----------------------------------------------------------------------
+# per-SPE reconstruction
+# ----------------------------------------------------------------------
+def _build_core_timeline(
+    spe_id: int, stream: typing.List[PlacedRecord]
+) -> CoreTimeline:
+    entries: typing.List[int] = []
+    exits: typing.List[int] = []
+    wait_intervals: typing.List[Interval] = []
+    mailbox_ops: typing.List[MailboxOp] = []
+    open_wait: typing.Optional[typing.Tuple[str, str, int]] = None  # (end_kind, state, t0)
+    open_begin_kind = ""
+    dma_open: typing.Dict[int, typing.List[typing.Tuple[int, int, str]]] = {}
+    dma_spans: typing.List[DmaSpan] = []
+
+    for placed in stream:
+        record = placed.record
+        kind = record.kind
+        time = placed.time
+        if kind == SpuEventKind.SPE_ENTRY:
+            entries.append(time)
+        elif kind == SpuEventKind.SPE_EXIT:
+            exits.append(time)
+        elif kind in _WAIT_PAIRS:
+            if open_wait is not None:
+                raise ModelError(
+                    f"SPE {spe_id}: wait {kind} begins inside open wait "
+                    f"{open_begin_kind} at t={time}"
+                )
+            end_kind, state = _WAIT_PAIRS[kind]
+            open_wait = (end_kind, state, time)
+            open_begin_kind = kind
+        elif open_wait is not None and kind == open_wait[0]:
+            end_kind, state, t0 = open_wait
+            wait_intervals.append(Interval(t0, time, state))
+            if state in (STATE_WAIT_MBOX, STATE_WAIT_SIGNAL):
+                mailbox_ops.append(
+                    MailboxOp(
+                        spe_id=spe_id, start=t0, end=time,
+                        kind=open_begin_kind,
+                        value=record.fields.get("value", 0),
+                    )
+                )
+            if kind == SpuEventKind.WAIT_TAG_END:
+                _close_dma_spans(
+                    spe_id, dma_open, dma_spans,
+                    status=record.fields.get("status", 0), end_time=time,
+                )
+            open_wait = None
+        elif kind in _DMA_ISSUE_KINDS:
+            tag = record.fields["tag"]
+            dma_open.setdefault(tag, []).append(
+                (time, record.fields["size"], _DMA_ISSUE_KINDS[kind])
+            )
+        # sync / user markers need no state handling
+
+    if open_wait is not None:
+        raise ModelError(
+            f"SPE {spe_id}: wait {open_begin_kind} never ended "
+            "(truncated trace?)"
+        )
+    if not entries:
+        if not stream:
+            return CoreTimeline(spe_id, 0, 0, [], [], [], exit_observed=False)
+        entries = [stream[0].time]
+    # Pair entries with exits in order; an unmatched final entry
+    # (program still running when tracing stopped) closes at the last
+    # record.
+    exit_observed = len(exits) >= len(entries)
+    while len(exits) < len(entries):
+        exits.append(stream[-1].time)
+    segments = list(zip(entries, exits))
+    entry_time = segments[0][0]
+    exit_time = segments[-1][1]
+
+    # Unobserved DMA completions close at the window edge.
+    for tag, issues in sorted(dma_open.items()):
+        for issue_time, size, direction in issues:
+            dma_spans.append(
+                DmaSpan(
+                    spe_id=spe_id, issue_time=issue_time, end=exit_time,
+                    tag=tag, size=size, direction=direction, observed=False,
+                )
+            )
+    dma_spans.sort(key=lambda s: (s.issue_time, s.tag))
+
+    intervals = _fill_segmented_intervals(segments, wait_intervals)
+    return CoreTimeline(
+        spe_id=spe_id,
+        window_start=entry_time,
+        window_end=exit_time,
+        intervals=intervals,
+        dma_spans=dma_spans,
+        mailbox_ops=mailbox_ops,
+        exit_observed=exit_observed,
+        segments=segments,
+    )
+
+
+def _close_dma_spans(
+    spe_id: int,
+    dma_open: typing.Dict[int, typing.List[typing.Tuple[int, int, str]]],
+    dma_spans: typing.List[DmaSpan],
+    status: int,
+    end_time: int,
+) -> None:
+    """A tag wait returned ``status``: those tag groups are quiescent."""
+    for tag in list(dma_open):
+        if status & (1 << tag):
+            for issue_time, size, direction in dma_open.pop(tag):
+                dma_spans.append(
+                    DmaSpan(
+                        spe_id=spe_id, issue_time=issue_time, end=end_time,
+                        tag=tag, size=size, direction=direction, observed=True,
+                    )
+                )
+
+
+def _fill_segmented_intervals(
+    segments: typing.Sequence[typing.Tuple[int, int]],
+    waits: typing.List[Interval],
+) -> typing.List[Interval]:
+    """Per-segment run/wait tiling, with IDLE between segments."""
+    intervals: typing.List[Interval] = []
+    previous_end: typing.Optional[int] = None
+    for start, end in segments:
+        if previous_end is not None and start > previous_end:
+            intervals.append(Interval(previous_end, start, STATE_IDLE))
+        segment_waits = [
+            w for w in waits if w.start < end and w.end > start
+        ]
+        intervals.extend(_fill_run_intervals(start, end, segment_waits))
+        previous_end = max(end, previous_end or end)
+    return intervals
+
+
+def _fill_run_intervals(
+    start: int, end: int, waits: typing.List[Interval]
+) -> typing.List[Interval]:
+    """Complement the wait intervals with RUN time over [start, end)."""
+    intervals: typing.List[Interval] = []
+    cursor = start
+    for wait in sorted(waits, key=lambda i: i.start):
+        clipped_start = max(wait.start, start)
+        clipped_end = min(wait.end, end)
+        if clipped_start > cursor:
+            intervals.append(Interval(cursor, clipped_start, STATE_RUN))
+        if clipped_end > clipped_start:
+            intervals.append(Interval(clipped_start, clipped_end, wait.state))
+            cursor = max(cursor, clipped_end)
+    if cursor < end:
+        intervals.append(Interval(cursor, end, STATE_RUN))
+    return intervals
+
+
+# ----------------------------------------------------------------------
+# PPE reconstruction
+# ----------------------------------------------------------------------
+def _build_ppe_runs(stream: typing.List[PlacedRecord]) -> typing.List[PpeRunSpan]:
+    open_runs: typing.Dict[int, int] = {}
+    runs: typing.List[PpeRunSpan] = []
+    for placed in stream:
+        record = placed.record
+        if record.kind == "context_run_begin":
+            open_runs[record.fields["spe"]] = placed.time
+        elif record.kind == "context_run_end":
+            spe = record.fields["spe"]
+            start = open_runs.pop(spe, None)
+            if start is None:
+                raise ModelError(f"context_run_end for SPE {spe} without begin")
+            runs.append(
+                PpeRunSpan(
+                    spe_id=spe, start=start, end=placed.time,
+                    stop_code=record.fields.get("stop_code", 0),
+                )
+            )
+    runs.sort(key=lambda r: (r.start, r.spe_id))
+    return runs

@@ -1,0 +1,67 @@
+"""Event-frequency profile: the TA's "event summary" pane.
+
+Counts records by kind per core and normalizes to event rates — the
+quick look that tells you where the trace volume (and hence tracing
+overhead) comes from before you ever open the timeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.pdt.trace import Trace
+
+
+@dataclasses.dataclass
+class ProfileRow:
+    core: str  # "ppe" or "speN"
+    kind: str
+    count: int
+    share: float  # of that core's records
+
+
+def event_profile(trace: Trace) -> typing.List[ProfileRow]:
+    """Per-core event-kind counts, descending within each core."""
+    rows: typing.List[ProfileRow] = []
+    streams = [("ppe", trace.ppe_records)] + [
+        (f"spe{spe_id}", records)
+        for spe_id, records in sorted(trace.spe_records.items())
+    ]
+    for core, records in streams:
+        if not records:
+            continue
+        counts: typing.Dict[str, int] = {}
+        for record in records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        total = len(records)
+        for kind in sorted(counts, key=lambda k: (-counts[k], k)):
+            rows.append(
+                ProfileRow(
+                    core=core, kind=kind, count=counts[kind],
+                    share=counts[kind] / total,
+                )
+            )
+    return rows
+
+
+def top_event_kinds(trace: Trace, n: int = 5) -> typing.List[typing.Tuple[str, int]]:
+    """The n most frequent kinds across the whole trace."""
+    counts: typing.Dict[str, int] = {}
+    for record in trace.all_records():
+        counts[record.kind] = counts.get(record.kind, 0) + 1
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:n]
+
+
+def profile_table(trace: Trace) -> typing.List[typing.Dict[str, typing.Any]]:
+    """The profile as plain dict rows for format_table/CSV."""
+    return [
+        {
+            "core": row.core,
+            "kind": row.kind,
+            "count": row.count,
+            "share": round(row.share, 3),
+        }
+        for row in event_profile(trace)
+    ]

@@ -1,0 +1,77 @@
+"""Textual reports: the TA's summary panes as plain text.
+
+Combines the timeline, statistics, and use-case analyses into the
+human-readable report the CLI and examples print.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.pdt.trace import Trace
+from repro.ta.analysis import analyze_buffering, analyze_load_balance, stall_attribution
+from repro.ta.critical import critical_path
+from repro.ta.gantt import render_ascii
+from repro.ta.model import TimelineModel, analyze
+from repro.ta.stats import TraceStatistics
+
+
+def format_table(rows: typing.Sequence[typing.Dict[str, typing.Any]]) -> str:
+    """Fixed-width text table from a list of uniform dicts."""
+    if not rows:
+        return "(no data)\n"
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), max(len(str(row[c])) for row in rows)) for c in columns
+    }
+    header = "  ".join(str(c).rjust(widths[c]) for c in columns)
+    separator = "  ".join("-" * widths[c] for c in columns)
+    body = [
+        "  ".join(str(row[c]).rjust(widths[c]) for c in columns) for row in rows
+    ]
+    return "\n".join([header, separator] + body) + "\n"
+
+
+def full_report(trace: Trace, gantt_width: int = 80) -> str:
+    """Everything the TA shows, as one text document."""
+    model = analyze(trace)
+    stats = TraceStatistics.from_model(model)
+    sections = [
+        "=== PDT trace report ===",
+        f"records: {trace.n_records}  SPEs: {len(model.cores)}  "
+        f"span: {stats.span} cycles",
+        "",
+        "--- timeline ---",
+        render_ascii(model, width=gantt_width),
+        "--- per-SPE statistics ---",
+        format_table(stats.summary_rows()),
+        "--- stall attribution ---",
+        format_table([
+            {"state": state, "fraction": f"{fraction:.3f}"}
+            for state, fraction in stall_attribution(stats).items()
+        ]),
+        "--- load balance ---",
+        analyze_load_balance(stats).verdict,
+        "",
+        "--- buffering, per SPE ---",
+    ]
+    for spe_id in sorted(model.cores):
+        report = analyze_buffering(model, spe_id)
+        sections.append(
+            f"spe{spe_id}: overlap={report.overlap_fraction:.2f} "
+            f"wait_dma={report.wait_dma_fraction:.2f} -> {report.verdict}"
+        )
+    path = critical_path(model)
+    if path.steps:
+        sections.append("")
+        sections.append("--- critical path ---")
+        by_core = path.time_by_core()
+        total = sum(by_core.values()) or 1
+        shares = "  ".join(
+            f"{core}:{by_core[core] / total:.0%}" for core in sorted(by_core)
+        )
+        sections.append(
+            f"{len(path.steps)} steps over {path.span} cycles; "
+            f"time share {shares}; dominant: {path.dominant_core()}"
+        )
+    return "\n".join(sections) + "\n"

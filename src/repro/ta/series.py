@@ -1,0 +1,110 @@
+"""Time-series views of a trace: how behaviour evolves over the run.
+
+Summaries hide phases; these functions bucket the run into fixed-width
+time windows and report, per bucket:
+
+* how many DMA commands were in flight (per SPE or machine-wide) —
+  the series that makes buffering discipline visible at a glance,
+* bytes entering flight (an issue-rate bandwidth proxy),
+* how many SPEs were computing.
+
+All outputs are NumPy arrays ready for plotting or CSV.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.ta.model import STATE_RUN, TimelineModel
+
+
+def _bucket_edges(model: TimelineModel, buckets: int) -> np.ndarray:
+    if buckets < 1:
+        raise ValueError(f"buckets must be >= 1, got {buckets}")
+    t0, t1 = model.t_start, model.t_end
+    if t1 <= t0:
+        t1 = t0 + 1
+    return np.linspace(t0, t1, buckets + 1)
+
+
+def dma_inflight_series(
+    model: TimelineModel, buckets: int = 50,
+    spe_id: typing.Optional[int] = None,
+) -> typing.Tuple[np.ndarray, np.ndarray]:
+    """(bucket_centers, mean in-flight DMA count per bucket).
+
+    ``spe_id=None`` aggregates over all SPEs.  "Mean in-flight" is the
+    time-weighted average number of spans covering the bucket.
+    """
+    edges = _bucket_edges(model, buckets)
+    widths = np.diff(edges)
+    covered = np.zeros(buckets)
+    cores = (
+        model.cores.values() if spe_id is None else [model.core(spe_id)]
+    )
+    for core in cores:
+        for span in core.dma_spans:
+            lo = np.clip(span.issue_time, edges[0], edges[-1])
+            hi = np.clip(span.end, edges[0], edges[-1])
+            if hi <= lo:
+                continue
+            overlap = np.clip(
+                np.minimum(hi, edges[1:]) - np.maximum(lo, edges[:-1]), 0, None
+            )
+            covered += overlap
+    centers = (edges[:-1] + edges[1:]) / 2
+    return centers, covered / widths
+
+
+def issue_bandwidth_series(
+    model: TimelineModel, buckets: int = 50
+) -> typing.Tuple[np.ndarray, np.ndarray]:
+    """(bucket_centers, bytes issued per cycle per bucket).
+
+    Attributes each DMA's bytes to the bucket containing its issue —
+    an issue-rate proxy for demanded bandwidth.
+    """
+    edges = _bucket_edges(model, buckets)
+    widths = np.diff(edges)
+    issued = np.zeros(buckets)
+    for core in model.cores.values():
+        for span in core.dma_spans:
+            index = int(np.searchsorted(edges, span.issue_time, side="right")) - 1
+            index = min(max(index, 0), buckets - 1)
+            issued[index] += span.size
+    centers = (edges[:-1] + edges[1:]) / 2
+    return centers, issued / widths
+
+
+def active_spes_series(
+    model: TimelineModel, buckets: int = 50
+) -> typing.Tuple[np.ndarray, np.ndarray]:
+    """(bucket_centers, time-weighted mean count of SPEs in RUN)."""
+    edges = _bucket_edges(model, buckets)
+    widths = np.diff(edges)
+    running = np.zeros(buckets)
+    for core in model.cores.values():
+        for interval in core.intervals:
+            if interval.state != STATE_RUN:
+                continue
+            overlap = np.clip(
+                np.minimum(interval.end, edges[1:])
+                - np.maximum(interval.start, edges[:-1]),
+                0,
+                None,
+            )
+            running += overlap
+    centers = (edges[:-1] + edges[1:]) / 2
+    return centers, running / widths
+
+
+def series_to_rows(
+    centers: np.ndarray, values: np.ndarray, value_name: str
+) -> typing.List[typing.Dict[str, float]]:
+    """Pack one series as table rows for format_table/CSV."""
+    return [
+        {"t_cycles": int(t), value_name: round(float(v), 3)}
+        for t, v in zip(centers, values)
+    ]

@@ -1,0 +1,184 @@
+"""Statistics over the reconstructed timeline.
+
+These are the numbers the Trace Analyzer's statistics panes show:
+per-SPE utilization and stall breakdown, DMA latency and bandwidth
+distributions, and mailbox traffic — plus the aggregates the use cases
+build on (load imbalance, dominant stall cause).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.ta.model import (
+    STATE_RUN,
+    STATE_WAIT_DMA,
+    STATE_WAIT_MBOX,
+    STATE_WAIT_SIGNAL,
+    CoreTimeline,
+    TimelineModel,
+)
+
+
+@dataclasses.dataclass
+class DmaStatistics:
+    """DMA behaviour of one SPE as observed through the trace."""
+
+    count: int
+    bytes_get: int
+    bytes_put: int
+    #: Issue-to-observed-completion latency of each observed span.
+    latencies: np.ndarray
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_get + self.bytes_put
+
+    @property
+    def mean_latency(self) -> float:
+        return float(self.latencies.mean()) if self.latencies.size else 0.0
+
+    @property
+    def p95_latency(self) -> float:
+        return float(np.percentile(self.latencies, 95)) if self.latencies.size else 0.0
+
+    @property
+    def max_latency(self) -> int:
+        return int(self.latencies.max()) if self.latencies.size else 0
+
+    def latency_histogram(self, bins: int = 10) -> typing.Tuple[np.ndarray, np.ndarray]:
+        """(counts, bin_edges) over observed latencies."""
+        if not self.latencies.size:
+            return np.zeros(bins, dtype=int), np.linspace(0.0, 1.0, bins + 1)
+        return np.histogram(self.latencies, bins=bins)
+
+
+@dataclasses.dataclass
+class SpeStatistics:
+    """One SPE's summary row."""
+
+    spe_id: int
+    window: int
+    run_cycles: int
+    wait_dma_cycles: int
+    wait_mbox_cycles: int
+    wait_signal_cycles: int
+    dma: DmaStatistics
+    mailbox_reads: int
+    mailbox_writes: int
+
+    @property
+    def stall_cycles(self) -> int:
+        return self.wait_dma_cycles + self.wait_mbox_cycles + self.wait_signal_cycles
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the SPE's window spent computing."""
+        return self.run_cycles / self.window if self.window else 0.0
+
+    def stall_fraction(self, state: str) -> float:
+        cycles = {
+            STATE_WAIT_DMA: self.wait_dma_cycles,
+            STATE_WAIT_MBOX: self.wait_mbox_cycles,
+            STATE_WAIT_SIGNAL: self.wait_signal_cycles,
+        }[state]
+        return cycles / self.window if self.window else 0.0
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Bytes moved per cycle of window (observed, not peak)."""
+        return self.dma.total_bytes / self.window if self.window else 0.0
+
+
+@dataclasses.dataclass
+class TraceStatistics:
+    """Whole-run statistics: the TA's summary table."""
+
+    per_spe: typing.Dict[int, SpeStatistics]
+    span: int  # earliest window start to latest window end
+
+    @classmethod
+    def from_model(cls, model: TimelineModel) -> "TraceStatistics":
+        per_spe = {
+            spe_id: _spe_stats(core) for spe_id, core in sorted(model.cores.items())
+        }
+        return cls(per_spe=per_spe, span=model.t_end - model.t_start)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_spes(self) -> int:
+        return len(self.per_spe)
+
+    @property
+    def total_run_cycles(self) -> int:
+        return sum(s.run_cycles for s in self.per_spe.values())
+
+    @property
+    def total_dma_bytes(self) -> int:
+        return sum(s.dma.total_bytes for s in self.per_spe.values())
+
+    @property
+    def imbalance_factor(self) -> float:
+        """max(busy) / mean(busy) across SPEs (1.0 = perfectly even)."""
+        busy = [s.run_cycles for s in self.per_spe.values()]
+        if not busy or sum(busy) == 0:
+            return 1.0
+        return max(busy) / (sum(busy) / len(busy))
+
+    def dominant_stall(self) -> typing.Tuple[str, int]:
+        """(state, cycles) of the largest aggregate stall cause."""
+        totals = {
+            STATE_WAIT_DMA: sum(s.wait_dma_cycles for s in self.per_spe.values()),
+            STATE_WAIT_MBOX: sum(s.wait_mbox_cycles for s in self.per_spe.values()),
+            STATE_WAIT_SIGNAL: sum(s.wait_signal_cycles for s in self.per_spe.values()),
+        }
+        state = max(sorted(totals), key=lambda k: totals[k])
+        return state, totals[state]
+
+    def summary_rows(self) -> typing.List[typing.Dict[str, typing.Union[int, float]]]:
+        """Per-SPE rows for tables/CSV (plain dicts, stable key order)."""
+        rows = []
+        for spe_id, s in sorted(self.per_spe.items()):
+            rows.append(
+                {
+                    "spe": spe_id,
+                    "window_cycles": s.window,
+                    "run_cycles": s.run_cycles,
+                    "wait_dma_cycles": s.wait_dma_cycles,
+                    "wait_mbox_cycles": s.wait_mbox_cycles,
+                    "wait_signal_cycles": s.wait_signal_cycles,
+                    "utilization": round(s.utilization, 4),
+                    "dma_count": s.dma.count,
+                    "dma_bytes": s.dma.total_bytes,
+                    "dma_mean_latency": round(s.dma.mean_latency, 1),
+                    "dma_p95_latency": round(s.dma.p95_latency, 1),
+                    "mailbox_reads": s.mailbox_reads,
+                    "mailbox_writes": s.mailbox_writes,
+                }
+            )
+        return rows
+
+
+def _spe_stats(core: CoreTimeline) -> SpeStatistics:
+    latencies = np.array(
+        [span.duration for span in core.dma_spans if span.observed], dtype=float
+    )
+    return SpeStatistics(
+        spe_id=core.spe_id,
+        window=core.window,
+        run_cycles=core.time_in(STATE_RUN),
+        wait_dma_cycles=core.time_in(STATE_WAIT_DMA),
+        wait_mbox_cycles=core.time_in(STATE_WAIT_MBOX),
+        wait_signal_cycles=core.time_in(STATE_WAIT_SIGNAL),
+        dma=DmaStatistics(
+            count=len(core.dma_spans),
+            bytes_get=sum(s.size for s in core.dma_spans if s.direction == "get"),
+            bytes_put=sum(s.size for s in core.dma_spans if s.direction == "put"),
+            latencies=latencies,
+        ),
+        mailbox_reads=sum(1 for op in core.mailbox_ops if "read" in op.kind),
+        mailbox_writes=sum(1 for op in core.mailbox_ops if "write" in op.kind),
+    )

@@ -1,0 +1,49 @@
+"""Workloads: the applications the paper's use cases profile.
+
+Four families, mirroring the kinds of SDK codes the paper analyzes:
+
+* :mod:`repro.workloads.matmul` — blocked dense matrix multiply; the
+  DMA-bound workload with single/double-buffered and balanced/skewed
+  variants (use cases F2 and F3).
+* :mod:`repro.workloads.fft` — batched radix-2 FFT; compute-heavy with
+  regular streaming transfers.
+* :mod:`repro.workloads.streaming` — an SPE pipeline chained by
+  signals/mailboxes; the synchronization-bound workload (F1, F5).
+* :mod:`repro.workloads.montecarlo` — embarrassingly parallel
+  estimation with almost no communication; the tracing-overhead floor.
+* :mod:`repro.workloads.micro` — microbenchmarks measuring per-event
+  tracing cost (T1).
+
+Every workload verifies its own numerical output against a NumPy
+reference, so the simulator's data movement is checked end-to-end on
+every run.  :mod:`repro.workloads.harness` runs a workload traced or
+untraced and measures tracing overhead.
+"""
+
+from repro.workloads.base import RunResult, Workload, WorkloadError
+from repro.workloads.fft import FftWorkload
+from repro.workloads.harness import OverheadResult, measure_overhead, run_workload
+from repro.workloads.histogram import HistogramWorkload
+from repro.workloads.mandelbrot import MandelbrotWorkload
+from repro.workloads.matmul import MatmulWorkload
+from repro.workloads.micro import EventCostMicrobench
+from repro.workloads.montecarlo import MonteCarloWorkload
+from repro.workloads.spmv import SpmvWorkload
+from repro.workloads.streaming import StreamingPipelineWorkload
+
+__all__ = [
+    "EventCostMicrobench",
+    "FftWorkload",
+    "HistogramWorkload",
+    "MandelbrotWorkload",
+    "MatmulWorkload",
+    "MonteCarloWorkload",
+    "OverheadResult",
+    "SpmvWorkload",
+    "RunResult",
+    "StreamingPipelineWorkload",
+    "Workload",
+    "WorkloadError",
+    "measure_overhead",
+    "run_workload",
+]

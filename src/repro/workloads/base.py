@@ -1,0 +1,91 @@
+"""Workload abstraction.
+
+A workload knows how to set up its data in main memory, produce the
+PPE main program that orchestrates the SPEs, and verify the results
+afterwards.  The same workload object runs traced or untraced, so
+overhead comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cell.machine import CellMachine
+from repro.libspe.runtime import Runtime
+
+
+class WorkloadError(Exception):
+    """A workload failed to set up or produced wrong results."""
+
+
+class Workload:
+    """Base class: subclass and implement ``setup``, ``ppe_main``,
+    ``verify``.
+
+    ``n_spes`` is how many SPEs the workload wants; the harness builds
+    the machine accordingly.
+    """
+
+    name = "workload"
+
+    def __init__(self, n_spes: int = 4):
+        if n_spes < 1:
+            raise WorkloadError(f"n_spes must be >= 1, got {n_spes}")
+        self.n_spes = n_spes
+
+    def setup(self, machine: CellMachine) -> None:
+        """Allocate and initialize main-memory data."""
+        raise NotImplementedError
+
+    def ppe_main(self, machine: CellMachine, runtime: Runtime) -> typing.Generator:
+        """The PPE control program (a kernel-process generator)."""
+        raise NotImplementedError
+
+    def verify(self, machine: CellMachine) -> bool:
+        """Check output in main memory against a host reference."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One line for reports/benchmark tables."""
+        return f"{self.name} on {self.n_spes} SPE(s)"
+
+
+class RunResult:
+    """Outcome of one workload run."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        machine: CellMachine,
+        elapsed_cycles: int,
+        verified: bool,
+        hooks: typing.Optional[object] = None,
+    ):
+        self.workload = workload
+        self.machine = machine
+        self.elapsed_cycles = elapsed_cycles
+        self.verified = verified
+        #: The PdtHooks instance when the run was traced, else None.
+        self.hooks = hooks
+
+    @property
+    def traced(self) -> bool:
+        return self.hooks is not None
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.machine.cycles_to_us(self.elapsed_cycles)
+
+    def trace(self):
+        """The PDT trace of a traced run."""
+        if self.hooks is None:
+            raise WorkloadError("run was not traced")
+        return self.hooks.to_trace()
+
+    def __repr__(self) -> str:
+        mode = "traced" if self.traced else "untraced"
+        status = "ok" if self.verified else "WRONG RESULTS"
+        return (
+            f"RunResult({self.workload.name}, {mode}, "
+            f"{self.elapsed_cycles} cycles, {status})"
+        )

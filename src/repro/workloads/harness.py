@@ -1,0 +1,116 @@
+"""Run harness: execute workloads traced or untraced, measure overhead."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.cell.config import CellConfig
+from repro.cell.machine import CellMachine
+from repro.libspe.runtime import Runtime
+from repro.pdt.config import TraceConfig
+from repro.pdt.tracer import PdtHooks
+from repro.workloads.base import RunResult, Workload, WorkloadError
+
+DEFAULT_MAIN_MEMORY = 1 << 27  # 128 MB: room for data + trace regions
+
+
+def run_workload(
+    workload: Workload,
+    trace_config: typing.Optional[TraceConfig] = None,
+    cell_config: typing.Optional[CellConfig] = None,
+) -> RunResult:
+    """Execute one workload from start to verification.
+
+    ``trace_config=None`` runs uninstrumented; otherwise PDT is
+    installed with that configuration.
+    """
+    config = cell_config or CellConfig(
+        n_spes=workload.n_spes, main_memory_size=DEFAULT_MAIN_MEMORY
+    )
+    if config.n_spes < workload.n_spes:
+        raise WorkloadError(
+            f"{workload.name} needs {workload.n_spes} SPEs, machine has "
+            f"{config.n_spes}"
+        )
+    machine = CellMachine(config)
+    hooks = PdtHooks(trace_config) if trace_config is not None else None
+    runtime = Runtime(machine, hooks=hooks)
+    workload.setup(machine)
+
+    def main():
+        yield from workload.ppe_main(machine, runtime)
+        runtime.finalize()
+
+    machine.spawn(main(), name=f"{workload.name}-main")
+    elapsed = machine.run()
+    verified = workload.verify(machine)
+    return RunResult(
+        workload=workload,
+        machine=machine,
+        elapsed_cycles=elapsed,
+        verified=verified,
+        hooks=hooks,
+    )
+
+
+@dataclasses.dataclass
+class OverheadResult:
+    """Tracing overhead of one workload under one trace configuration."""
+
+    workload_name: str
+    untraced_cycles: int
+    traced_cycles: int
+    records: int
+    trace_bytes: int
+    flushes: int
+
+    @property
+    def overhead_fraction(self) -> float:
+        if self.untraced_cycles == 0:
+            return 0.0
+        return (self.traced_cycles - self.untraced_cycles) / self.untraced_cycles
+
+    @property
+    def overhead_percent(self) -> float:
+        return self.overhead_fraction * 100.0
+
+    def row(self) -> typing.Dict[str, typing.Union[str, int, float]]:
+        return {
+            "workload": self.workload_name,
+            "untraced_cycles": self.untraced_cycles,
+            "traced_cycles": self.traced_cycles,
+            "overhead_percent": round(self.overhead_percent, 2),
+            "records": self.records,
+            "trace_bytes": self.trace_bytes,
+            "flushes": self.flushes,
+        }
+
+
+def measure_overhead(
+    make_workload: typing.Callable[[], Workload],
+    trace_config: typing.Optional[TraceConfig] = None,
+    cell_config: typing.Optional[CellConfig] = None,
+) -> OverheadResult:
+    """Run the same workload untraced then traced; compare runtimes.
+
+    ``make_workload`` is a factory because each run needs a fresh
+    workload instance (they hold per-run memory addresses).
+    """
+    trace_config = trace_config or TraceConfig()
+    untraced = run_workload(make_workload(), None, cell_config)
+    traced = run_workload(make_workload(), trace_config, cell_config)
+    if not (untraced.verified and traced.verified):
+        raise WorkloadError(
+            f"{untraced.workload.name}: results failed verification "
+            f"(untraced ok={untraced.verified}, traced ok={traced.verified})"
+        )
+    stats = traced.hooks.stats
+    return OverheadResult(
+        workload_name=untraced.workload.name,
+        untraced_cycles=untraced.elapsed_cycles,
+        traced_cycles=traced.elapsed_cycles,
+        records=stats.total_records,
+        trace_bytes=stats.total_flush_bytes,
+        flushes=stats.total_flushes,
+    )

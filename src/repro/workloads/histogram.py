@@ -1,0 +1,178 @@
+"""Parallel histogram: streaming reduction with an atomic merge.
+
+Each SPE streams its share of a byte array through local store,
+accumulating a private histogram, then merges it into the shared
+result in main storage with GETLLAR/PUTLLC read-modify-write loops —
+one lock line (32 u32 bins) at a time, contending with every other
+SPE finishing around the same moment.  The canonical "reduction on
+Cell" pattern: private accumulation for bandwidth, atomics only at
+the tail.
+
+``merge="ppe"`` is the contrast: SPEs PUT their private histograms to
+per-SPE staging areas and the PPE folds them — no atomics, but the
+merge serializes on the control core.
+"""
+
+from __future__ import annotations
+
+import struct
+import typing
+
+import numpy as np
+
+from repro.cell.atomic import LOCK_LINE
+from repro.cell.machine import CellMachine
+from repro.libspe.image import SpeProgram
+from repro.libspe.runtime import Runtime
+from repro.workloads.base import Workload, WorkloadError
+
+#: Cycle cost per sample binned (load, shift, increment on the SPU).
+CYCLES_PER_SAMPLE = 2
+BINS_PER_LINE = LOCK_LINE // 4
+
+
+class HistogramWorkload(Workload):
+    """Histogram ``samples`` bytes into ``bins`` shared u32 counters."""
+
+    name = "histogram"
+
+    def __init__(
+        self,
+        samples: int = 64 * 1024,
+        bins: int = 64,
+        block_bytes: int = 4096,
+        n_spes: int = 4,
+        merge: str = "atomic",
+        seed: int = 17,
+    ):
+        super().__init__(n_spes=n_spes)
+        if merge not in ("atomic", "ppe"):
+            raise WorkloadError(f"merge must be atomic|ppe, got {merge!r}")
+        if bins % BINS_PER_LINE or not 0 < bins <= 256:
+            raise WorkloadError(
+                f"bins must be a multiple of {BINS_PER_LINE} up to 256, got {bins}"
+            )
+        if samples % block_bytes:
+            raise WorkloadError("samples must be a multiple of block_bytes")
+        if (samples // block_bytes) % n_spes:
+            raise WorkloadError("blocks must divide evenly across SPEs")
+        self.samples = samples
+        self.bins = bins
+        self.block_bytes = block_bytes
+        self.merge = merge
+        self.seed = seed
+        self.name = f"histogram-{merge}"
+        self.ea_input = 0
+        self.ea_result = 0
+        self.ea_staging = 0
+        self._input: typing.Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def setup(self, machine: CellMachine) -> None:
+        rng = np.random.default_rng(self.seed)
+        self._input = rng.integers(0, self.bins, self.samples, dtype=np.uint8)
+        self.ea_input = machine.memory.allocate(self.samples)
+        machine.memory.write(self.ea_input, self._input.tobytes())
+        self.ea_result = machine.memory.allocate(self.bins * 4, align=LOCK_LINE)
+        machine.memory.write(self.ea_result, bytes(self.bins * 4))
+        self.ea_staging = machine.memory.allocate(self.n_spes * self.bins * 4)
+
+    def verify(self, machine: CellMachine) -> bool:
+        blob = machine.memory.read(self.ea_result, self.bins * 4)
+        result = np.frombuffer(blob, dtype=np.uint32)
+        reference = np.bincount(self._input, minlength=self.bins).astype(np.uint32)
+        return bool(np.array_equal(result, reference))
+
+    # ------------------------------------------------------------------
+    def _kernel_program(self, spe_id: int) -> SpeProgram:
+        workload = self
+        blocks_total = self.samples // self.block_bytes
+        blocks_per_spe = blocks_total // self.n_spes
+        first_block = spe_id * blocks_per_spe
+
+        def entry(spu, argp, envp):
+            ls_block = spu.ls_alloc(workload.block_bytes)
+            ls_line = spu.ls_alloc(LOCK_LINE, align=LOCK_LINE)
+            private = np.zeros(workload.bins, dtype=np.uint32)
+
+            # Phase 1: stream blocks, accumulate privately.
+            for i in range(blocks_per_spe):
+                src = workload.ea_input + (first_block + i) * workload.block_bytes
+                yield from spu.mfc_get(ls_block, src, workload.block_bytes, tag=0)
+                yield from spu.mfc_wait_tag(1 << 0)
+                data = np.frombuffer(
+                    spu.ls_read(ls_block, workload.block_bytes), dtype=np.uint8
+                )
+                private += np.bincount(
+                    data, minlength=workload.bins
+                ).astype(np.uint32)
+                yield from spu.compute(workload.block_bytes * CYCLES_PER_SAMPLE)
+
+            # Phase 2: merge.
+            if workload.merge == "atomic":
+                yield from merge_atomic(spu, ls_line, private)
+            else:
+                yield from merge_via_staging(spu, ls_line, private)
+            yield from spu.write_out_mbox(int(private.sum()) & 0xFFFF_FFFF)
+            return 0
+
+        def merge_atomic(spu, ls_line, private):
+            for line_index in range(workload.bins // BINS_PER_LINE):
+                line_ea = workload.ea_result + line_index * LOCK_LINE
+                chunk = private[
+                    line_index * BINS_PER_LINE : (line_index + 1) * BINS_PER_LINE
+                ]
+                retries = 0
+                while True:
+                    yield from spu.mfc_getllar(ls_line, line_ea)
+                    current = np.frombuffer(
+                        spu.ls_read(ls_line, LOCK_LINE), dtype=np.uint32
+                    )
+                    spu.ls_write(ls_line, (current + chunk).tobytes())
+                    success = yield from spu.mfc_putllc(ls_line, line_ea)
+                    if success:
+                        break
+                    retries += 1
+                    yield from spu.compute(10 + (spu.spe_id * 13 + retries * 29) % 97)
+
+        def merge_via_staging(spu, ls_line, private):
+            # PUT the private histogram to this SPE's staging slot; the
+            # PPE folds the slots after every SPE reports done.
+            ls_hist = spu.ls_alloc(workload.bins * 4, align=16)
+            spu.ls_write(ls_hist, private.tobytes())
+            yield from spu.mfc_put(
+                ls_hist,
+                workload.ea_staging + spu.spe_id * workload.bins * 4,
+                workload.bins * 4,
+                tag=1,
+            )
+            yield from spu.mfc_wait_tag(1 << 1)
+
+        return SpeProgram(self.name, entry, ls_code_bytes=12 * 1024)
+
+    # ------------------------------------------------------------------
+    def ppe_main(self, machine: CellMachine, runtime: Runtime) -> typing.Generator:
+        contexts = []
+        for spe_id in range(self.n_spes):
+            ctx = yield from runtime.context_create()
+            yield from ctx.load(self._kernel_program(spe_id))
+            contexts.append(ctx)
+        procs = [ctx.run_async() for ctx in contexts]
+        binned = 0
+        for ctx in contexts:
+            binned += yield from ctx.out_mbox_read()
+        for proc in procs:
+            yield proc
+        if binned != self.samples:
+            raise WorkloadError(f"histogram binned {binned}/{self.samples} samples")
+        if self.merge == "ppe":
+            # Fold the staging slots on the PPE (host arithmetic, one
+            # MMIO-scale charge per slot read).
+            total = np.zeros(self.bins, dtype=np.uint32)
+            for spe_id in range(self.n_spes):
+                yield from machine.ppe.mmio_access()
+                blob = machine.memory.read(
+                    self.ea_staging + spe_id * self.bins * 4, self.bins * 4
+                )
+                total += np.frombuffer(blob, dtype=np.uint32)
+            machine.memory.write(self.ea_result, total.tobytes())

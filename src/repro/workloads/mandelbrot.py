@@ -1,0 +1,181 @@
+"""Mandelbrot rendering: naturally imbalanced work, two schedulers.
+
+The Cell SDK's fractal demos are the textbook case for dynamic work
+distribution: rows near the set cost orders of magnitude more
+iterations than rows in the escape region, so a static partition that
+looks fair by row count is wildly unfair by cycles.
+
+Two schedulers, selected by ``schedule``:
+
+* ``"static"`` — contiguous row ranges per SPE (the naive split).
+* ``"dynamic"`` — a shared atomic work queue: SPEs claim the next row
+  with the GETLLAR/PUTLLC fetch-and-increment from
+  :mod:`repro.libspe.sync`, so fast finishers keep pulling work.
+
+Each row's cycle cost is its *actual* total iteration count (computed
+with NumPy) divided by the SPU's flops/cycle — the imbalance in the
+simulation is the imbalance of the fractal.  Output is the u16
+iteration image, verified pixel-exact against the host reference.
+"""
+
+from __future__ import annotations
+
+import struct
+import typing
+
+import numpy as np
+
+from repro.cell.atomic import LOCK_LINE
+from repro.cell.machine import CellMachine
+from repro.libspe.image import SpeProgram
+from repro.libspe.runtime import Runtime
+from repro.libspe.sync import atomic_increment_bounded
+from repro.workloads.base import Workload, WorkloadError
+from repro.workloads.matmul import FLOPS_PER_CYCLE
+
+#: Flop estimate per Mandelbrot iteration (complex mul + add + compare).
+FLOPS_PER_ITERATION = 10
+
+
+def render_row(
+    row: int, width: int, height: int, max_iterations: int
+) -> np.ndarray:
+    """Host-exact iteration counts for one image row (u16)."""
+    x = np.linspace(-2.0, 0.6, width)
+    y = -1.2 + 2.4 * row / max(height - 1, 1)
+    c = x + 1j * y
+    z = np.zeros_like(c)
+    counts = np.full(width, max_iterations, dtype=np.uint16)
+    alive = np.ones(width, dtype=bool)
+    for iteration in range(max_iterations):
+        z[alive] = z[alive] * z[alive] + c[alive]
+        escaped = alive & (np.abs(z) > 2.0)
+        counts[escaped] = iteration
+        alive &= ~escaped
+        if not alive.any():
+            break
+    return counts
+
+
+class MandelbrotWorkload(Workload):
+    """Render a ``width`` x ``height`` iteration image on SPEs."""
+
+    name = "mandelbrot"
+
+    def __init__(
+        self,
+        width: int = 256,
+        height: int = 64,
+        max_iterations: int = 64,
+        n_spes: int = 4,
+        schedule: str = "dynamic",
+    ):
+        super().__init__(n_spes=n_spes)
+        if schedule not in ("static", "dynamic"):
+            raise WorkloadError(f"schedule must be static|dynamic, got {schedule!r}")
+        if (width * 2) % 16:
+            raise WorkloadError("width*2 bytes must be 16-aligned (width % 8 == 0)")
+        self.width = width
+        self.height = height
+        self.max_iterations = max_iterations
+        self.schedule = schedule
+        self.name = f"mandelbrot-{schedule}"
+        self.row_bytes = width * 2
+        self.ea_image = 0
+        self.ea_queue = 0
+        self.rows_done_by: typing.Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def setup(self, machine: CellMachine) -> None:
+        self.ea_image = machine.memory.allocate(self.height * self.row_bytes)
+        self.ea_queue = machine.memory.allocate(LOCK_LINE, align=LOCK_LINE)
+        machine.memory.write(self.ea_queue, bytes(LOCK_LINE))
+
+    def verify(self, machine: CellMachine) -> bool:
+        blob = machine.memory.read(self.ea_image, self.height * self.row_bytes)
+        image = np.frombuffer(blob, dtype=np.uint16).reshape(self.height, self.width)
+        for row in range(self.height):
+            reference = render_row(
+                row, self.width, self.height, self.max_iterations
+            )
+            if not np.array_equal(image[row], reference):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def row_cost_cycles(self, counts: np.ndarray) -> int:
+        """Cycle cost of a rendered row from its iteration counts."""
+        total_iterations = int(counts.astype(np.int64).sum())
+        return max(total_iterations * FLOPS_PER_ITERATION // FLOPS_PER_CYCLE, 1)
+
+    def static_ranges(self) -> typing.List[typing.Tuple[int, int]]:
+        """Contiguous [start, end) row ranges per SPE."""
+        per_spe = (self.height + self.n_spes - 1) // self.n_spes
+        return [
+            (min(i * per_spe, self.height), min((i + 1) * per_spe, self.height))
+            for i in range(self.n_spes)
+        ]
+
+    def _kernel_program(self, spe_id: int) -> SpeProgram:
+        workload = self
+        static_range = self.static_ranges()[spe_id]
+
+        def render_and_store(spu, ls_row, row):
+            counts = render_row(
+                row, workload.width, workload.height, workload.max_iterations
+            )
+            spu.ls_write(ls_row, counts.tobytes())
+            return workload.row_cost_cycles(counts)
+
+        def process_row(spu, ls_row, row):
+            cost = render_and_store(spu, ls_row, row)
+            yield from spu.compute(cost)
+            yield from spu.mfc_put(
+                ls_row,
+                workload.ea_image + row * workload.row_bytes,
+                workload.row_bytes,
+                tag=0,
+            )
+            yield from spu.mfc_wait_tag(1 << 0)
+
+        def entry(spu, argp, envp):
+            ls_row = spu.ls_alloc(workload.row_bytes)
+            done = 0
+            if workload.schedule == "static":
+                for row in range(*static_range):
+                    yield from process_row(spu, ls_row, row)
+                    done += 1
+            else:
+                scratch = spu.ls_alloc(LOCK_LINE, align=LOCK_LINE)
+                while True:
+                    row = yield from atomic_increment_bounded(
+                        spu, scratch, workload.ea_queue, 0, workload.height
+                    )
+                    if row >= workload.height:
+                        break
+                    yield from process_row(spu, ls_row, row)
+                    done += 1
+            yield from spu.write_out_mbox(done)
+            return 0
+
+        return SpeProgram(self.name, entry, ls_code_bytes=12 * 1024)
+
+    # ------------------------------------------------------------------
+    def ppe_main(self, machine: CellMachine, runtime: Runtime) -> typing.Generator:
+        contexts = []
+        for spe_id in range(self.n_spes):
+            ctx = yield from runtime.context_create()
+            yield from ctx.load(self._kernel_program(spe_id))
+            contexts.append(ctx)
+        procs = [ctx.run_async() for ctx in contexts]
+        total = 0
+        for ctx in contexts:
+            done = yield from ctx.out_mbox_read()
+            self.rows_done_by[ctx.spe_id] = done
+            total += done
+        for proc in procs:
+            yield proc
+        if total != self.height:
+            raise WorkloadError(
+                f"mandelbrot rendered {total}/{self.height} rows"
+            )

@@ -1,0 +1,207 @@
+"""Blocked dense matrix multiply on SPEs.
+
+C = A x B with square float32 matrices, tiled into T x T tiles
+(default 64, so one tile is a 16 KB transfer — exactly the MFC's
+single-command limit).  Tiles are fetched with list DMA (one element
+per matrix row slice, as real code must for row-major matrices),
+multiplied with an explicit flop-derived cycle cost, and written back
+with list DMA.
+
+Variants used by the paper-style use cases:
+
+* ``double_buffered=False`` — fetch, wait, compute (F2's "before").
+* ``double_buffered=True`` — prefetch the next k-step's tiles while
+  computing the current one (F2's "after").
+* ``skew=s`` — SPE 0 receives ``s`` shares of tiles for every share
+  the others get (F3's imbalanced schedule); ``skew=1`` is balanced.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.cell.machine import CellMachine
+from repro.libspe.image import SpeProgram
+from repro.libspe.runtime import Runtime
+from repro.workloads.base import Workload, WorkloadError
+
+#: SPU single-precision throughput used for the cycle model: 8 flops
+#: per cycle (4-wide FMA pipeline).
+FLOPS_PER_CYCLE = 8
+
+
+class MatmulWorkload(Workload):
+    """C = A x B distributed over SPEs by C-tiles."""
+
+    name = "matmul"
+
+    def __init__(
+        self,
+        n: int = 256,
+        tile: int = 64,
+        n_spes: int = 4,
+        double_buffered: bool = False,
+        skew: int = 1,
+        seed: int = 7,
+    ):
+        super().__init__(n_spes=n_spes)
+        if n % tile:
+            raise WorkloadError(f"matrix size {n} not divisible by tile {tile}")
+        if tile * tile * 4 > 16 * 1024:
+            raise WorkloadError(f"tile {tile} exceeds the 16 KB DMA limit")
+        if skew < 1:
+            raise WorkloadError(f"skew must be >= 1, got {skew}")
+        self.n = n
+        self.tile = tile
+        self.double_buffered = double_buffered
+        self.skew = skew
+        self.seed = seed
+        self.name = "matmul-db" if double_buffered else "matmul"
+        if skew > 1:
+            self.name += f"-skew{skew}"
+        self.ea_a = self.ea_b = self.ea_c = 0
+        self._a: typing.Optional[np.ndarray] = None
+        self._b: typing.Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # setup / verify
+    # ------------------------------------------------------------------
+    def setup(self, machine: CellMachine) -> None:
+        rng = np.random.default_rng(self.seed)
+        self._a = rng.standard_normal((self.n, self.n), dtype=np.float32)
+        self._b = rng.standard_normal((self.n, self.n), dtype=np.float32)
+        nbytes = self.n * self.n * 4
+        self.ea_a = machine.memory.allocate(nbytes)
+        self.ea_b = machine.memory.allocate(nbytes)
+        self.ea_c = machine.memory.allocate(nbytes)
+        machine.memory.write(self.ea_a, self._a.tobytes())
+        machine.memory.write(self.ea_b, self._b.tobytes())
+
+    def verify(self, machine: CellMachine) -> bool:
+        blob = machine.memory.read(self.ea_c, self.n * self.n * 4)
+        c = np.frombuffer(blob, dtype=np.float32).reshape(self.n, self.n)
+        return bool(np.allclose(c, self._a @ self._b, rtol=1e-3, atol=1e-3))
+
+    # ------------------------------------------------------------------
+    # work distribution
+    # ------------------------------------------------------------------
+    def tile_assignments(self) -> typing.List[typing.List[typing.Tuple[int, int]]]:
+        """C-tile (i, j) lists per SPE, balanced or skewed.
+
+        With ``skew=s``, SPE 0 takes s consecutive tiles for every one
+        tile each other SPE takes, round-robin.
+        """
+        tiles_per_dim = self.n // self.tile
+        tiles = [
+            (i, j) for i in range(tiles_per_dim) for j in range(tiles_per_dim)
+        ]
+        shares = [self.skew] + [1] * (self.n_spes - 1)
+        assignments: typing.List[typing.List[typing.Tuple[int, int]]] = [
+            [] for __ in range(self.n_spes)
+        ]
+        cursor = 0
+        while cursor < len(tiles):
+            for spe_id, share in enumerate(shares):
+                take = tiles[cursor : cursor + share]
+                assignments[spe_id].extend(take)
+                cursor += len(take)
+                if cursor >= len(tiles):
+                    break
+        return assignments
+
+    # ------------------------------------------------------------------
+    # the SPE kernel
+    # ------------------------------------------------------------------
+    def _tile_list(self, base_ea: int, ti: int, tj: int):
+        """List-DMA elements covering tile (ti, tj) of a row-major matrix."""
+        t = self.tile
+        row_bytes = t * 4
+        return [
+            (base_ea + ((ti * t + row) * self.n + tj * t) * 4, row_bytes)
+            for row in range(t)
+        ]
+
+    def _kernel_program(self, jobs: typing.List[typing.Tuple[int, int]]) -> SpeProgram:
+        t = self.tile
+        tile_bytes = t * t * 4
+        k_steps = self.n // t
+        compute_cycles = 2 * t * t * t // FLOPS_PER_CYCLE
+        workload = self
+
+        def multiply_from_ls(spu, ls_a, ls_b, acc):
+            a = np.frombuffer(spu.ls_read(ls_a, tile_bytes), dtype=np.float32)
+            b = np.frombuffer(spu.ls_read(ls_b, tile_bytes), dtype=np.float32)
+            acc += a.reshape(t, t) @ b.reshape(t, t)
+
+        def entry(spu, argp, envp):
+            if workload.double_buffered:
+                ls_a = [spu.ls_alloc(tile_bytes), spu.ls_alloc(tile_bytes)]
+                ls_b = [spu.ls_alloc(tile_bytes), spu.ls_alloc(tile_bytes)]
+            else:
+                ls_a = [spu.ls_alloc(tile_bytes)]
+                ls_b = [spu.ls_alloc(tile_bytes)]
+            ls_c = spu.ls_alloc(tile_bytes)
+            steps = [
+                (ti, tj, k) for (ti, tj) in jobs for k in range(k_steps)
+            ]
+
+            def fetch(step_index, buffer_index):
+                ti, tj, k = steps[step_index]
+                tag = buffer_index
+                yield from spu.mfc_getl(
+                    ls_a[buffer_index], workload._tile_list(workload.ea_a, ti, k), tag
+                )
+                yield from spu.mfc_getl(
+                    ls_b[buffer_index], workload._tile_list(workload.ea_b, k, tj), tag
+                )
+
+            acc = np.zeros((t, t), dtype=np.float32)
+            if workload.double_buffered and steps:
+                yield from fetch(0, 0)
+            for index, (ti, tj, k) in enumerate(steps):
+                if workload.double_buffered:
+                    buffer_index = index % 2
+                    if index + 1 < len(steps):
+                        yield from fetch(index + 1, 1 - buffer_index)
+                    yield from spu.mfc_wait_tag(1 << buffer_index)
+                else:
+                    buffer_index = 0
+                    yield from fetch(index, 0)
+                    yield from spu.mfc_wait_tag(1 << 0)
+                yield from spu.compute(compute_cycles)
+                multiply_from_ls(spu, ls_a[buffer_index], ls_b[buffer_index], acc)
+                if k == k_steps - 1:
+                    spu.ls_write(ls_c, acc.tobytes())
+                    yield from spu.mfc_putl(
+                        ls_c, workload._tile_list(workload.ea_c, ti, tj), 2
+                    )
+                    yield from spu.mfc_wait_tag(1 << 2)
+                    acc = np.zeros((t, t), dtype=np.float32)
+            yield from spu.write_out_mbox(len(jobs))
+            return 0
+
+        return SpeProgram(f"{self.name}-kernel", entry, ls_code_bytes=24 * 1024)
+
+    # ------------------------------------------------------------------
+    # PPE orchestration
+    # ------------------------------------------------------------------
+    def ppe_main(self, machine: CellMachine, runtime: Runtime) -> typing.Generator:
+        assignments = self.tile_assignments()
+        contexts = []
+        for spe_id in range(self.n_spes):
+            ctx = yield from runtime.context_create()
+            yield from ctx.load(self._kernel_program(assignments[spe_id]))
+            contexts.append(ctx)
+        procs = [ctx.run_async() for ctx in contexts]
+        completed_tiles = 0
+        for ctx in contexts:
+            completed_tiles += yield from ctx.out_mbox_read()
+        for proc in procs:
+            yield proc
+        expected = (self.n // self.tile) ** 2
+        if completed_tiles != expected:
+            raise WorkloadError(
+                f"matmul lost tiles: {completed_tiles}/{expected} completed"
+            )

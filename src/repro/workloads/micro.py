@@ -1,0 +1,97 @@
+"""Microbenchmarks for per-event tracing cost (the T1 table).
+
+Each instance hammers exactly one traced operation ``repetitions``
+times with a fixed compute filler between operations.  Comparing
+traced vs untraced runtime and dividing by the number of records gives
+the effective cost of one recorded event — including second-order
+effects (flush DMAs, queue pressure), which a static per-record figure
+would miss.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cell.machine import CellMachine
+from repro.libspe.image import SpeProgram
+from repro.libspe.runtime import Runtime
+from repro.workloads.base import Workload, WorkloadError
+
+#: op name -> number of SPE trace records one repetition produces
+#: under the all-events configuration.
+RECORDS_PER_OP = {
+    "marker": 1,  # user_marker
+    "mailbox": 2,  # write_mbox begin+end
+    "dma": 3,  # mfc_get + wait begin+end
+    "signal": 1,  # signal_send
+    "compute": 0,  # control: nothing traced
+}
+
+
+class EventCostMicrobench(Workload):
+    """Repeat one traced operation many times on one SPE."""
+
+    name = "micro"
+
+    def __init__(self, op: str = "marker", repetitions: int = 200,
+                 filler_cycles: int = 500):
+        super().__init__(n_spes=1)
+        if op not in RECORDS_PER_OP:
+            raise WorkloadError(
+                f"unknown op {op!r} (choose from {sorted(RECORDS_PER_OP)})"
+            )
+        self.op = op
+        self.repetitions = repetitions
+        self.filler_cycles = filler_cycles
+        self.name = f"micro-{op}"
+        self.ea_scratch = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def setup(self, machine: CellMachine) -> None:
+        self.ea_scratch = machine.memory.allocate(256)
+
+    def verify(self, machine: CellMachine) -> bool:
+        return self._ran
+
+    @property
+    def records_per_repetition(self) -> int:
+        return RECORDS_PER_OP[self.op]
+
+    # ------------------------------------------------------------------
+    def _kernel_program(self) -> SpeProgram:
+        workload = self
+
+        def entry(spu, argp, envp):
+            ls = spu.ls_alloc(256)
+            for i in range(workload.repetitions):
+                yield from spu.compute(workload.filler_cycles)
+                if workload.op == "marker":
+                    yield from spu.marker(i)
+                elif workload.op == "mailbox":
+                    yield from spu.write_out_mbox(i & 0xFFFF_FFFF)
+                elif workload.op == "dma":
+                    yield from spu.mfc_get(ls, argp, 128, tag=0)
+                    yield from spu.mfc_wait_tag(1 << 0)
+                elif workload.op == "signal":
+                    yield from spu.signal_spe(0, 1 << (i % 32), which=2)
+                # "compute": filler only
+            yield from spu.write_out_mbox(0xD0E)
+            return 0
+
+        return SpeProgram(self.name, entry, ls_code_bytes=4 * 1024)
+
+    # ------------------------------------------------------------------
+    def ppe_main(self, machine: CellMachine, runtime: Runtime) -> typing.Generator:
+        ctx = yield from runtime.context_create()
+        yield from ctx.load(self._kernel_program())
+        proc = ctx.run_async(argp=self.ea_scratch)
+        if self.op == "mailbox":
+            # Drain the SPE's progress mailbox so it never backpressures.
+            for __ in range(self.repetitions):
+                yield from ctx.out_mbox_read()
+        done = yield from ctx.out_mbox_read()
+        if done != 0xD0E:
+            raise WorkloadError(f"microbench ended with {done:#x}")
+        yield proc
+        self._ran = True

@@ -1,0 +1,107 @@
+"""Monte-Carlo pi estimation: the communication-free workload.
+
+Each SPE fetches a tiny parameter block (one honest DMA), then spends
+its whole life computing: a deterministic LCG draws points in the unit
+square and counts hits inside the quarter circle.  Results return via
+one mailbox word.  This is the tracing-overhead *floor* in the T2
+table — almost no events, so almost no perturbation.
+"""
+
+from __future__ import annotations
+
+import struct
+import typing
+
+from repro.cell.machine import CellMachine
+from repro.libspe.image import SpeProgram
+from repro.libspe.runtime import Runtime
+from repro.workloads.base import Workload, WorkloadError
+
+#: Cycle cost charged per sample (a few fma + compare on the SPU).
+CYCLES_PER_SAMPLE = 12
+
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
+def lcg_hits(seed: int, samples: int) -> int:
+    """Host-side reference of the SPE kernel's exact arithmetic."""
+    state = seed & _LCG_MASK
+    hits = 0
+    for __ in range(samples):
+        state = (state * _LCG_A + _LCG_C) & _LCG_MASK
+        x = (state >> 40) / float(1 << 24)
+        state = (state * _LCG_A + _LCG_C) & _LCG_MASK
+        y = (state >> 40) / float(1 << 24)
+        if x * x + y * y <= 1.0:
+            hits += 1
+    return hits
+
+
+class MonteCarloWorkload(Workload):
+    """Estimate pi with ``samples_per_spe`` points on each SPE."""
+
+    name = "montecarlo"
+
+    def __init__(self, samples_per_spe: int = 20_000, n_spes: int = 4, seed: int = 99):
+        super().__init__(n_spes=n_spes)
+        if samples_per_spe < 1:
+            raise WorkloadError("samples_per_spe must be positive")
+        self.samples_per_spe = samples_per_spe
+        self.seed = seed
+        self.ea_params = 0
+        self.pi_estimate: typing.Optional[float] = None
+        self.total_hits = 0
+
+    # ------------------------------------------------------------------
+    def setup(self, machine: CellMachine) -> None:
+        # One 16-byte parameter block per SPE: (seed u64, samples u64).
+        self.ea_params = machine.memory.allocate(16 * self.n_spes)
+        for spe_id in range(self.n_spes):
+            blob = struct.pack("<QQ", self.seed + spe_id, self.samples_per_spe)
+            machine.memory.write(self.ea_params + 16 * spe_id, blob)
+
+    def verify(self, machine: CellMachine) -> bool:
+        if self.pi_estimate is None:
+            return False
+        expected_hits = sum(
+            lcg_hits(self.seed + spe_id, self.samples_per_spe)
+            for spe_id in range(self.n_spes)
+        )
+        return self.total_hits == expected_hits
+
+    # ------------------------------------------------------------------
+    def _kernel_program(self, spe_id: int) -> SpeProgram:
+        workload = self
+
+        def entry(spu, argp, envp):
+            ls_params = spu.ls_alloc(16)
+            yield from spu.mfc_get(ls_params, argp, 16, tag=0)
+            yield from spu.mfc_wait_tag(1 << 0)
+            seed, samples = struct.unpack("<QQ", spu.ls_read(ls_params, 16))
+            yield from spu.compute(samples * CYCLES_PER_SAMPLE)
+            hits = lcg_hits(seed, samples)
+            yield from spu.write_out_mbox(hits)
+            return 0
+
+        return SpeProgram("montecarlo-kernel", entry, ls_code_bytes=8 * 1024)
+
+    # ------------------------------------------------------------------
+    def ppe_main(self, machine: CellMachine, runtime: Runtime) -> typing.Generator:
+        contexts = []
+        for spe_id in range(self.n_spes):
+            ctx = yield from runtime.context_create()
+            yield from ctx.load(self._kernel_program(spe_id))
+            contexts.append(ctx)
+        procs = [
+            ctx.run_async(argp=self.ea_params + 16 * i)
+            for i, ctx in enumerate(contexts)
+        ]
+        self.total_hits = 0
+        for ctx in contexts:
+            self.total_hits += yield from ctx.out_mbox_read()
+        for proc in procs:
+            yield proc
+        total_samples = self.samples_per_spe * self.n_spes
+        self.pi_estimate = 4.0 * self.total_hits / total_samples

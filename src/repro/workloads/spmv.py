@@ -1,0 +1,187 @@
+"""Sparse matrix-vector multiply: the irregular-access workload.
+
+y = A @ x with A in CSR form.  The dense vector x is small enough to
+live in local store, so each SPE GETs x once, then streams its share
+of row blocks — values and column indices arrive as parallel streams —
+and PUTs its slice of y.  Compute cost is 2 flops per stored nonzero.
+
+Irregularity matters for the trace: unlike matmul's fixed-size tiles,
+row blocks carry different nonzero counts, so per-block DMA sizes and
+compute times vary — the timeline shows jitter rather than a steady
+beat, and the load balance depends on the nonzero distribution, not
+the row count.  Verified against ``scipy.sparse``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+from scipy import sparse
+
+from repro.cell.machine import CellMachine
+from repro.libspe.image import SpeProgram
+from repro.libspe.runtime import Runtime
+from repro.workloads.base import Workload, WorkloadError
+from repro.workloads.matmul import FLOPS_PER_CYCLE
+
+
+def _pad16(nbytes: int) -> int:
+    return (nbytes + 15) & ~15
+
+
+class SpmvWorkload(Workload):
+    """y = A @ x over ``n`` rows with ``density`` expected fill."""
+
+    name = "spmv"
+
+    def __init__(
+        self,
+        n: int = 2048,
+        density: float = 0.02,
+        rows_per_block: int = 256,
+        n_spes: int = 4,
+        seed: int = 23,
+    ):
+        super().__init__(n_spes=n_spes)
+        if n % rows_per_block:
+            raise WorkloadError(
+                f"n={n} not divisible by rows_per_block={rows_per_block}"
+            )
+        if not 0.0 < density <= 0.5:
+            raise WorkloadError(f"density must be in (0, 0.5], got {density}")
+        if n * 4 > 64 * 1024:
+            raise WorkloadError(
+                f"x of {n} floats does not fit the LS budget (<= 16384 floats)"
+            )
+        self.n = n
+        self.density = density
+        self.rows_per_block = rows_per_block
+        self.seed = seed
+        self.matrix: typing.Optional[sparse.csr_matrix] = None
+        self._x: typing.Optional[np.ndarray] = None
+        self.ea_x = self.ea_y = 0
+        #: Per block: (values_ea, cols_ea, rowptr_ea, nnz).
+        self._block_meta: typing.List[typing.Tuple[int, int, int, int]] = []
+
+    # ------------------------------------------------------------------
+    def setup(self, machine: CellMachine) -> None:
+        rng = np.random.default_rng(self.seed)
+        self.matrix = sparse.random(
+            self.n, self.n, density=self.density, format="csr",
+            dtype=np.float32, random_state=rng,
+        )
+        self._x = rng.standard_normal(self.n).astype(np.float32)
+        self.ea_x = machine.memory.allocate(self.n * 4)
+        machine.memory.write(self.ea_x, self._x.tobytes())
+        self.ea_y = machine.memory.allocate(self.n * 4)
+
+        self._block_meta = []
+        for start in range(0, self.n, self.rows_per_block):
+            block = self.matrix[start : start + self.rows_per_block]
+            values = block.data.astype(np.float32)
+            cols = block.indices.astype(np.uint32)
+            rowptr = block.indptr.astype(np.uint32)
+            ea_values = machine.memory.allocate(_pad16(max(values.nbytes, 16)))
+            ea_cols = machine.memory.allocate(_pad16(max(cols.nbytes, 16)))
+            ea_rowptr = machine.memory.allocate(_pad16(rowptr.nbytes))
+            machine.memory.write(ea_values, values.tobytes())
+            machine.memory.write(ea_cols, cols.tobytes())
+            machine.memory.write(ea_rowptr, rowptr.tobytes())
+            self._block_meta.append((ea_values, ea_cols, ea_rowptr, len(values)))
+
+    def verify(self, machine: CellMachine) -> bool:
+        blob = machine.memory.read(self.ea_y, self.n * 4)
+        y = np.frombuffer(blob, dtype=np.float32)
+        reference = (self.matrix @ self._x).astype(np.float32)
+        return bool(np.allclose(y, reference, rtol=1e-3, atol=1e-4))
+
+    # ------------------------------------------------------------------
+    def block_assignments(self) -> typing.List[typing.List[int]]:
+        """Block indices per SPE, round-robin."""
+        n_blocks = self.n // self.rows_per_block
+        assignments = [[] for __ in range(self.n_spes)]
+        for block in range(n_blocks):
+            assignments[block % self.n_spes].append(block)
+        return assignments
+
+    def _kernel_program(self, blocks: typing.List[int]) -> SpeProgram:
+        workload = self
+        rows = self.rows_per_block
+
+        def entry(spu, argp, envp):
+            ls_x = spu.ls_alloc(workload.n * 4)
+            # Streamed per block, sized for the densest block.
+            max_nnz = max((workload._block_meta[b][3] for b in blocks), default=1)
+            ls_values = spu.ls_alloc(_pad16(max(max_nnz * 4, 16)))
+            ls_cols = spu.ls_alloc(_pad16(max(max_nnz * 4, 16)))
+            ls_rowptr = spu.ls_alloc(_pad16((rows + 1) * 4))
+            ls_y = spu.ls_alloc(rows * 4)
+
+            def get_large(ls, ea, nbytes, tag):
+                """GET of any size as a train of <=16 KB commands."""
+                offset = 0
+                while offset < nbytes:
+                    piece = min(16 * 1024, nbytes - offset)
+                    yield from spu.mfc_get(ls + offset, ea + offset, piece, tag=tag)
+                    offset += piece
+
+            # x arrives once, possibly in multiple <=16 KB pieces.
+            yield from get_large(ls_x, workload.ea_x, workload.n * 4, tag=3)
+            yield from spu.mfc_wait_tag(1 << 3)
+            x = np.frombuffer(spu.ls_read(ls_x, workload.n * 4), dtype=np.float32)
+
+            for block in blocks:
+                ea_values, ea_cols, ea_rowptr, nnz = workload._block_meta[block]
+                nnz_bytes = _pad16(max(nnz * 4, 16))
+                yield from get_large(ls_values, ea_values, nnz_bytes, tag=0)
+                yield from get_large(ls_cols, ea_cols, nnz_bytes, tag=0)
+                yield from spu.mfc_get(
+                    ls_rowptr, ea_rowptr, _pad16((rows + 1) * 4), tag=0
+                )
+                yield from spu.mfc_wait_tag(1 << 0)
+                values = np.frombuffer(
+                    spu.ls_read(ls_values, nnz * 4), dtype=np.float32
+                ) if nnz else np.zeros(0, dtype=np.float32)
+                cols = np.frombuffer(
+                    spu.ls_read(ls_cols, nnz * 4), dtype=np.uint32
+                ) if nnz else np.zeros(0, dtype=np.uint32)
+                rowptr = np.frombuffer(
+                    spu.ls_read(ls_rowptr, (rows + 1) * 4), dtype=np.uint32
+                )
+                y = np.zeros(rows, dtype=np.float32)
+                for row in range(rows):
+                    lo, hi = int(rowptr[row]), int(rowptr[row + 1])
+                    if hi > lo:
+                        y[row] = np.dot(values[lo:hi], x[cols[lo:hi]])
+                yield from spu.compute(max(2 * nnz // FLOPS_PER_CYCLE, 1))
+                spu.ls_write(ls_y, y.tobytes())
+                yield from spu.mfc_put(
+                    ls_y,
+                    workload.ea_y + block * rows * 4,
+                    rows * 4,
+                    tag=1,
+                )
+                yield from spu.mfc_wait_tag(1 << 1)
+            yield from spu.write_out_mbox(len(blocks))
+            return 0
+
+        return SpeProgram("spmv-kernel", entry, ls_code_bytes=20 * 1024)
+
+    # ------------------------------------------------------------------
+    def ppe_main(self, machine: CellMachine, runtime: Runtime) -> typing.Generator:
+        assignments = self.block_assignments()
+        contexts = []
+        for spe_id in range(self.n_spes):
+            ctx = yield from runtime.context_create()
+            yield from ctx.load(self._kernel_program(assignments[spe_id]))
+            contexts.append(ctx)
+        procs = [ctx.run_async() for ctx in contexts]
+        done = 0
+        for ctx in contexts:
+            done += yield from ctx.out_mbox_read()
+        for proc in procs:
+            yield proc
+        expected = self.n // self.rows_per_block
+        if done != expected:
+            raise WorkloadError(f"spmv lost blocks: {done}/{expected}")

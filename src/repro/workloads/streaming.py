@@ -1,0 +1,210 @@
+"""An SPE pipeline: the synchronization-bound workload.
+
+``stages`` SPEs form a chain.  Stage *i* reads block *b* from region
+*i*, transforms it (adds 1.0f to every sample plus a configurable
+cycle cost), writes it to region *i+1*, then raises a *data credit*
+signal on stage *i+1* and a *space credit* signal on stage *i-1*.
+Space credits bound how far a producer may run ahead (``depth``
+blocks), so a slow stage backpressures the whole chain — precisely the
+behaviour one reads off the TA timeline in the paper's pipeline use
+case (and the F1/F5 experiments here).
+
+Signals use rotating bits (block index mod 32) in OR mode; since at
+most ``depth`` (< 32) credits are ever outstanding, bits never
+collide, and consumers count set bits to bank multiple credits from
+one read — the standard Cell signalling idiom.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.cell.machine import CellMachine
+from repro.libspe.image import SpeProgram
+from repro.libspe.runtime import Runtime
+from repro.workloads.base import Workload, WorkloadError
+
+DATA_SIGNAL = 1
+SPACE_SIGNAL = 2
+
+#: Fixed LS address of the inter-stage inbox in LS-to-LS mode: a slot
+#: ring near the top of local store, far above anything the bump
+#: allocator (program image + trace buffer + block buffer) reaches.
+INBOX_LS_ADDR = 192 * 1024
+
+
+class StreamingPipelineWorkload(Workload):
+    """A ``stages``-deep pipeline over ``blocks`` data blocks."""
+
+    name = "streaming"
+
+    def __init__(
+        self,
+        stages: int = 4,
+        blocks: int = 16,
+        block_bytes: int = 4096,
+        compute_per_block: int = 5000,
+        depth: int = 4,
+        seed: int = 3,
+        bottleneck_stage: typing.Optional[int] = None,
+        bottleneck_factor: int = 8,
+        via_ls: bool = False,
+        spe_order: typing.Optional[typing.Sequence[int]] = None,
+    ):
+        super().__init__(n_spes=stages)
+        if block_bytes % 16:
+            raise WorkloadError(f"block_bytes must be 16-aligned, got {block_bytes}")
+        if not 1 <= depth < 32:
+            raise WorkloadError(f"depth must be 1..31, got {depth}")
+        if bottleneck_stage is not None and not 0 <= bottleneck_stage < stages:
+            raise WorkloadError(
+                f"bottleneck_stage {bottleneck_stage} outside 0..{stages - 1}"
+            )
+        self.stages = stages
+        self.blocks = blocks
+        self.block_bytes = block_bytes
+        self.compute_per_block = compute_per_block
+        self.depth = depth
+        self.seed = seed
+        self.bottleneck_stage = bottleneck_stage
+        self.bottleneck_factor = bottleneck_factor
+        #: LS-to-LS mode: stages hand blocks directly into the next
+        #: stage's local-store inbox (SPE-to-SPE DMA over the LS
+        #: windows), skipping main storage between stages.
+        self.via_ls = via_ls
+        #: Physical SPE running each stage (stage i -> spe_order[i]).
+        #: Default identity: adjacent stages sit on adjacent ring units.
+        if spe_order is not None:
+            if sorted(spe_order) != list(range(stages)):
+                raise WorkloadError(
+                    f"spe_order must be a permutation of 0..{stages - 1}, "
+                    f"got {list(spe_order)}"
+                )
+        self.spe_order = list(spe_order) if spe_order is not None else list(range(stages))
+        if via_ls:
+            if depth * block_bytes > 256 * 1024 - INBOX_LS_ADDR:
+                raise WorkloadError(
+                    f"inbox ring ({depth} x {block_bytes} B) does not fit "
+                    "above the LS inbox base"
+                )
+            self.name = "streaming-ls"
+        if bottleneck_stage is not None:
+            self.name = f"streaming-bottleneck{bottleneck_stage}"
+        self.regions: typing.List[int] = []
+        self._input: typing.Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def setup(self, machine: CellMachine) -> None:
+        rng = np.random.default_rng(self.seed)
+        samples = self.blocks * self.block_bytes // 4
+        self._input = rng.standard_normal(samples).astype(np.float32)
+        region_bytes = self.blocks * self.block_bytes
+        self.regions = [
+            machine.memory.allocate(region_bytes) for __ in range(self.stages + 1)
+        ]
+        machine.memory.write(self.regions[0], self._input.tobytes())
+
+    def verify(self, machine: CellMachine) -> bool:
+        blob = machine.memory.read(
+            self.regions[-1], self.blocks * self.block_bytes
+        )
+        output = np.frombuffer(blob, dtype=np.float32)
+        return bool(np.allclose(output, self._input + self.stages, rtol=1e-5))
+
+    def stage_compute_cycles(self, stage: int) -> int:
+        """Cycle cost per block for one stage.
+
+        Uniform unless ``bottleneck_stage`` designates one stage to be
+        ``bottleneck_factor`` times slower (the bottleneck-hunting use
+        case); subclasses may override for arbitrary shapes.
+        """
+        if stage == self.bottleneck_stage:
+            return self.compute_per_block * self.bottleneck_factor
+        return self.compute_per_block
+
+    # ------------------------------------------------------------------
+    def _stage_program(self, stage: int) -> SpeProgram:
+        workload = self
+        is_first = stage == 0
+        is_last = stage == workload.stages - 1
+        compute_cycles = self.stage_compute_cycles(stage)
+
+        via_ls = workload.via_ls
+        next_spe = (
+            workload.spe_order[stage + 1] if not is_last else None
+        )
+        prev_spe = workload.spe_order[stage - 1] if not is_first else None
+
+        def entry(spu, argp, envp):
+            ls_block = spu.ls_alloc(workload.block_bytes)
+            data_credits = workload.blocks if is_first else 0
+            space_credits = workload.depth if not is_last else workload.blocks
+
+            def take_credits(which):
+                value = yield from spu.read_signal(which)
+                return bin(value).count("1")
+
+            def inbox_slot(block):
+                return INBOX_LS_ADDR + (block % workload.depth) * workload.block_bytes
+
+            for block in range(workload.blocks):
+                while data_credits == 0:
+                    data_credits += yield from take_credits(DATA_SIGNAL)
+                data_credits -= 1
+                while space_credits == 0:
+                    space_credits += yield from take_credits(SPACE_SIGNAL)
+                space_credits -= 1
+
+                # --- acquire the block into local store ---
+                if is_first or not via_ls:
+                    work_ls = ls_block
+                    src = workload.regions[stage] + block * workload.block_bytes
+                    yield from spu.mfc_get(work_ls, src, workload.block_bytes, tag=0)
+                    yield from spu.mfc_wait_tag(1 << 0)
+                else:
+                    # The producer already DMA'd it into our inbox slot.
+                    work_ls = inbox_slot(block)
+
+                # --- transform ---
+                yield from spu.compute(compute_cycles)
+                data = np.frombuffer(
+                    spu.ls_read(work_ls, workload.block_bytes), dtype=np.float32
+                )
+                spu.ls_write(work_ls, (data + 1.0).tobytes())
+
+                # --- hand the block onward ---
+                if is_last or not via_ls:
+                    dst = workload.regions[stage + 1] + block * workload.block_bytes
+                else:
+                    dst = spu.ls_base_ea(next_spe) + inbox_slot(block)
+                yield from spu.mfc_put(work_ls, dst, workload.block_bytes, tag=0)
+                yield from spu.mfc_wait_tag(1 << 0)
+
+                bit = 1 << (block % 32)
+                if not is_last:
+                    yield from spu.signal_spe(next_spe, bit, which=DATA_SIGNAL)
+                if not is_first:
+                    yield from spu.signal_spe(prev_spe, bit, which=SPACE_SIGNAL)
+            yield from spu.write_out_mbox(workload.blocks)
+            return 0
+
+        return SpeProgram(f"stream-stage{stage}", entry, ls_code_bytes=16 * 1024)
+
+    # ------------------------------------------------------------------
+    def ppe_main(self, machine: CellMachine, runtime: Runtime) -> typing.Generator:
+        contexts = []
+        for stage in range(self.stages):
+            ctx = yield from runtime.context_create(spe_id=self.spe_order[stage])
+            yield from ctx.load(self._stage_program(stage))
+            contexts.append(ctx)
+        procs = [ctx.run_async() for ctx in contexts]
+        for ctx in contexts:
+            done = yield from ctx.out_mbox_read()
+            if done != self.blocks:
+                raise WorkloadError(
+                    f"stage on SPE {ctx.spe_id} processed {done}/{self.blocks}"
+                )
+        for proc in procs:
+            yield proc

@@ -1,0 +1,222 @@
+"""Mini-ALF framework tests."""
+
+import numpy as np
+import pytest
+
+from repro.alf import AlfError, AlfKernel, AlfTask, WorkBlock
+from repro.cell import CellConfig, CellMachine
+from repro.libspe import Runtime
+from repro.pdt import PdtHooks, TraceConfig
+from repro.ta import analyze, analyze_buffering
+
+
+def make_machine(n_spes=2, hooks=None):
+    machine = CellMachine(CellConfig(n_spes=n_spes, main_memory_size=1 << 26))
+    return machine, Runtime(machine, hooks=hooks)
+
+
+def scale_kernel(factor=2.0, cycles=4000):
+    def run(params, inputs):
+        data = np.frombuffer(inputs[0], dtype=np.float32)
+        return (data * factor).tobytes()
+
+    return AlfKernel("scale", run, cycles, max_input_bytes=4096,
+                     max_output_bytes=4096)
+
+
+def add_kernel(cycles=3000):
+    def run(params, inputs):
+        a = np.frombuffer(inputs[0], dtype=np.float32)
+        b = np.frombuffer(inputs[1], dtype=np.float32)
+        return (a + b).tobytes()
+
+    return AlfKernel("add", run, cycles, max_input_bytes=4096,
+                     max_output_bytes=4096)
+
+
+def run_task(machine, runtime, task):
+    out = {}
+
+    def main():
+        out["total"] = yield from task.execute(machine, runtime)
+        runtime.finalize()
+
+    machine.spawn(main())
+    machine.run()
+    return out["total"]
+
+
+def setup_scale_data(machine, n_blocks, block_floats=512):
+    rng = np.random.default_rng(5)
+    block_bytes = block_floats * 4
+    data = rng.standard_normal(n_blocks * block_floats).astype(np.float32)
+    ea_in = machine.memory.allocate(n_blocks * block_bytes)
+    ea_out = machine.memory.allocate(n_blocks * block_bytes)
+    machine.memory.write(ea_in, data.tobytes())
+    return data, ea_in, ea_out, block_bytes
+
+
+# ----------------------------------------------------------------------
+# descriptors
+# ----------------------------------------------------------------------
+def test_work_block_encode_decode_round_trip():
+    block = WorkBlock(
+        inputs=((4096, 1024), (8192, 512)),
+        output=(16384, 1024),
+        params=(1, 2, 3, 4),
+    )
+    assert WorkBlock.decode(block.encode()) == block
+    assert len(block.encode()) == 128
+
+
+def test_work_block_validation():
+    kernel = scale_kernel()
+    with pytest.raises(AlfError, match="1..2 inputs"):
+        WorkBlock(inputs=(), output=(0, 16)).validate(kernel)
+    with pytest.raises(AlfError, match="alignment"):
+        WorkBlock(inputs=((8, 100),), output=(0, 16)).validate(kernel)
+    with pytest.raises(AlfError, match="exceeds kernel limit"):
+        WorkBlock(inputs=((0, 8192),), output=(0, 16)).validate(kernel)
+
+
+def test_kernel_validation():
+    with pytest.raises(AlfError, match="callable"):
+        AlfKernel("bad", run="no", cycles=1)
+    with pytest.raises(AlfError, match="16 KB"):
+        AlfKernel("big", run=lambda p, i: b"", cycles=1,
+                  max_input_bytes=32 * 1024)
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def test_single_input_task_computes_all_blocks():
+    machine, rt = make_machine(n_spes=2)
+    data, ea_in, ea_out, block_bytes = setup_scale_data(machine, n_blocks=8)
+    task = AlfTask(scale_kernel(factor=3.0), n_spes=2)
+    for i in range(8):
+        task.enqueue(WorkBlock(
+            inputs=((ea_in + i * block_bytes, block_bytes),),
+            output=(ea_out + i * block_bytes, block_bytes),
+        ))
+    assert run_task(machine, rt, task) == 8
+    result = np.frombuffer(
+        machine.memory.read(ea_out, 8 * block_bytes), dtype=np.float32
+    )
+    assert np.allclose(result, data * 3.0)
+
+
+def test_two_input_kernel():
+    machine, rt = make_machine(n_spes=2)
+    rng = np.random.default_rng(9)
+    n, block_bytes = 6, 2048
+    floats = block_bytes // 4
+    a = rng.standard_normal(n * floats).astype(np.float32)
+    b = rng.standard_normal(n * floats).astype(np.float32)
+    ea_a = machine.memory.allocate(n * block_bytes)
+    ea_b = machine.memory.allocate(n * block_bytes)
+    ea_out = machine.memory.allocate(n * block_bytes)
+    machine.memory.write(ea_a, a.tobytes())
+    machine.memory.write(ea_b, b.tobytes())
+    task = AlfTask(add_kernel(), n_spes=2)
+    for i in range(n):
+        task.enqueue(WorkBlock(
+            inputs=(
+                (ea_a + i * block_bytes, block_bytes),
+                (ea_b + i * block_bytes, block_bytes),
+            ),
+            output=(ea_out + i * block_bytes, block_bytes),
+        ))
+    run_task(machine, rt, task)
+    result = np.frombuffer(
+        machine.memory.read(ea_out, n * block_bytes), dtype=np.float32
+    )
+    assert np.allclose(result, a + b)
+
+
+def test_work_spreads_across_spes():
+    machine, rt = make_machine(n_spes=4)
+    data, ea_in, ea_out, block_bytes = setup_scale_data(machine, n_blocks=16)
+    task = AlfTask(scale_kernel(cycles=5000), n_spes=4)
+    for i in range(16):
+        task.enqueue(WorkBlock(
+            inputs=((ea_in + i * block_bytes, block_bytes),),
+            output=(ea_out + i * block_bytes, block_bytes),
+        ))
+    run_task(machine, rt, task)
+    assert sum(task.blocks_done_by.values()) == 16
+    assert all(done > 0 for done in task.blocks_done_by.values())
+
+
+def test_empty_task_rejected():
+    machine, rt = make_machine()
+    task = AlfTask(scale_kernel(), n_spes=1)
+
+    def main():
+        try:
+            yield from task.execute(machine, rt)
+        except AlfError:
+            return "empty"
+
+    out = {}
+
+    def wrap():
+        out["r"] = yield from main()
+
+    machine.spawn(wrap())
+    machine.run()
+    assert out["r"] == "empty"
+
+
+def test_kernel_output_size_mismatch_detected():
+    machine, rt = make_machine(n_spes=1)
+    bad = AlfKernel("bad", lambda p, i: b"\x00" * 16, 100,
+                    max_input_bytes=4096, max_output_bytes=4096)
+    data, ea_in, ea_out, block_bytes = setup_scale_data(machine, n_blocks=1)
+    task = AlfTask(bad, n_spes=1)
+    task.enqueue(WorkBlock(
+        inputs=((ea_in, block_bytes),), output=(ea_out, block_bytes)
+    ))
+
+    def main():
+        yield from task.execute(machine, rt)
+
+    machine.spawn(main())
+    with pytest.raises(AlfError, match="produced 16 B"):
+        machine.run()
+
+
+def test_framework_double_buffering_overlaps_transfers():
+    """The framework's prefetch hides input DMA under compute."""
+    hooks = PdtHooks(TraceConfig.dma_only())
+    machine, rt = make_machine(n_spes=1, hooks=hooks)
+    data, ea_in, ea_out, block_bytes = setup_scale_data(machine, n_blocks=12)
+    task = AlfTask(scale_kernel(cycles=20_000), n_spes=1)
+    for i in range(12):
+        task.enqueue(WorkBlock(
+            inputs=((ea_in + i * block_bytes, block_bytes),),
+            output=(ea_out + i * block_bytes, block_bytes),
+        ))
+    run_task(machine, rt, task)
+    model = analyze(hooks.to_trace())
+    report = analyze_buffering(model, 0)
+    assert report.wait_dma_fraction < 0.2
+    assert report.overlap_fraction > 0.3
+
+
+def test_alf_traced_run_verifies():
+    hooks = PdtHooks(TraceConfig())
+    machine, rt = make_machine(n_spes=2, hooks=hooks)
+    data, ea_in, ea_out, block_bytes = setup_scale_data(machine, n_blocks=6)
+    task = AlfTask(scale_kernel(factor=2.0), n_spes=2)
+    for i in range(6):
+        task.enqueue(WorkBlock(
+            inputs=((ea_in + i * block_bytes, block_bytes),),
+            output=(ea_out + i * block_bytes, block_bytes),
+        ))
+    run_task(machine, rt, task)
+    result = np.frombuffer(
+        machine.memory.read(ea_out, 6 * block_bytes), dtype=np.float32
+    )
+    assert np.allclose(result, data * 2.0)
+    assert hooks.to_trace().n_records > 0

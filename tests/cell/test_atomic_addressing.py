@@ -1,0 +1,234 @@
+"""Tests for the atomic unit and the LS effective-address windows."""
+
+import pytest
+
+from repro.cell import CellConfig, CellMachine
+from repro.cell.addressing import LS_WINDOW_BASE, LS_WINDOW_STRIDE
+from repro.cell.atomic import LOCK_LINE, ReservationStation
+from repro.cell.memory import MemoryError_
+from repro.cell.mfc import DmaDirection
+from repro.kernel import Delay, KernelError
+
+
+def make_machine(n_spes=2):
+    return CellMachine(CellConfig(n_spes=n_spes, main_memory_size=1 << 20))
+
+
+def drive(machine, gen):
+    out = {}
+
+    def wrap():
+        out["r"] = yield from gen
+
+    machine.spawn(wrap())
+    machine.run()
+    return out.get("r")
+
+
+# ----------------------------------------------------------------------
+# ReservationStation unit behaviour
+# ----------------------------------------------------------------------
+def test_reserve_and_conditional_store_succeeds():
+    station = ReservationStation()
+    station.reserve(0, 256)
+    assert station.holds(0, 256 + 60)  # same line
+    assert station.conditional_store(0, 256)
+    assert station.reservation_of(0) is None
+
+
+def test_conditional_store_without_reservation_fails():
+    station = ReservationStation()
+    assert not station.conditional_store(0, 128)
+    assert station.putllc_failures == 1
+
+
+def test_winner_kills_other_reservations_on_line():
+    station = ReservationStation()
+    station.reserve(0, 0)
+    station.reserve(1, 0)
+    assert station.conditional_store(0, 0)
+    assert not station.conditional_store(1, 0)
+
+
+def test_plain_store_kills_overlapping_reservations():
+    station = ReservationStation()
+    station.reserve(0, 0)
+    station.reserve(1, 256)
+    station.notify_store(120, 16)  # crosses lines 0 and 128
+    assert station.reservation_of(0) is None
+    assert station.reservation_of(1) == 256  # untouched
+
+
+def test_new_reservation_replaces_old():
+    station = ReservationStation()
+    station.reserve(0, 0)
+    station.reserve(0, 512)
+    assert not station.holds(0, 0)
+    assert station.holds(0, 512)
+
+
+# ----------------------------------------------------------------------
+# MFC atomic commands end to end
+# ----------------------------------------------------------------------
+def test_getllar_putllc_round_trip():
+    machine = make_machine()
+    spe = machine.spe(0)
+    line = machine.memory.allocate(LOCK_LINE, align=LOCK_LINE)
+    machine.memory.write(line, b"\x05" * LOCK_LINE)
+
+    def prog():
+        yield from spe.mfc.atomic_getllar(0, line)
+        assert spe.ls.read(0, 4) == b"\x05" * 4
+        spe.ls.write(0, b"\x09" * LOCK_LINE)
+        success = yield from spe.mfc.atomic_putllc(0, line)
+        return success
+
+    assert drive(machine, prog()) is True
+    assert machine.memory.read(line, 4) == b"\x09" * 4
+
+
+def test_putllc_loses_to_intervening_dma_put():
+    machine = make_machine()
+    spe0, spe1 = machine.spe(0), machine.spe(1)
+    line = machine.memory.allocate(LOCK_LINE, align=LOCK_LINE)
+
+    def prog():
+        yield from spe0.mfc.atomic_getllar(0, line)
+        # SPE 1 plainly writes the line while SPE 0 holds a reservation.
+        cmd = spe1.mfc.make_command(DmaDirection.PUT, 0, line, LOCK_LINE, tag=0)
+        completion = yield from spe1.mfc.issue(cmd)
+        yield completion
+        success = yield from spe0.mfc.atomic_putllc(0, line)
+        return success
+
+    assert drive(machine, prog()) is False
+    assert machine.spe(0).mfc.reservations.putllc_failures == 1
+
+
+def test_contended_putllc_exactly_one_winner():
+    machine = make_machine()
+    line = machine.memory.allocate(LOCK_LINE, align=LOCK_LINE)
+    results = {}
+
+    def contender(spe_id):
+        spe = machine.spe(spe_id)
+        yield from spe.mfc.atomic_getllar(0, line)
+        yield Delay(10)
+        results[spe_id] = yield from spe.mfc.atomic_putllc(0, line)
+
+    machine.spawn(contender(0))
+    machine.spawn(contender(1))
+    machine.run()
+    assert sorted(results.values()) == [False, True]
+
+
+def test_putlluc_unconditional_and_invalidating():
+    machine = make_machine()
+    spe0, spe1 = machine.spe(0), machine.spe(1)
+    line = machine.memory.allocate(LOCK_LINE, align=LOCK_LINE)
+
+    def prog():
+        yield from spe0.mfc.atomic_getllar(0, line)
+        spe1.ls.write(0, b"\x11" * LOCK_LINE)
+        yield from spe1.mfc.atomic_putlluc(0, line)
+        success = yield from spe0.mfc.atomic_putllc(0, line)
+        return success
+
+    assert drive(machine, prog()) is False
+    assert machine.memory.read(line, 4) == b"\x11" * 4
+
+
+def test_atomic_alignment_enforced():
+    machine = make_machine()
+    spe = machine.spe(0)
+
+    def prog():
+        try:
+            yield from spe.mfc.atomic_getllar(64, 128)
+        except KernelError:
+            return "ls-misaligned"
+
+    assert drive(machine, prog()) == "ls-misaligned"
+
+
+def test_atomic_rejects_ls_window_targets():
+    machine = make_machine()
+    spe = machine.spe(0)
+
+    def prog():
+        try:
+            yield from spe.mfc.atomic_getllar(0, LS_WINDOW_BASE)
+        except KernelError:
+            return "rejected"
+
+    assert drive(machine, prog()) == "rejected"
+
+
+# ----------------------------------------------------------------------
+# LS effective-address windows (SPE-to-SPE DMA)
+# ----------------------------------------------------------------------
+def test_address_map_resolves_main_memory_and_ls():
+    machine = make_machine()
+    amap = machine.address_map
+    store, offset = amap.resolve(4096, 16)
+    assert store is machine.memory
+    assert offset == 4096
+    base = amap.ls_base_ea(1)
+    assert base == LS_WINDOW_BASE + LS_WINDOW_STRIDE
+    store, offset = amap.resolve(base + 256, 16)
+    assert store is machine.spe(1).ls
+    assert offset == 256
+
+
+def test_address_map_bounds():
+    machine = make_machine(n_spes=2)
+    amap = machine.address_map
+    with pytest.raises(MemoryError_, match="beyond SPE 1"):
+        amap.resolve(LS_WINDOW_BASE + 5 * LS_WINDOW_STRIDE, 16)
+    with pytest.raises(MemoryError_, match="overruns"):
+        amap.resolve(amap.ls_base_ea(0) + 256 * 1024 - 8, 16)
+    with pytest.raises(MemoryError_, match="no SPE"):
+        amap.ls_base_ea(9)
+
+
+def test_dma_put_into_another_spes_ls():
+    machine = make_machine()
+    spe0, spe1 = machine.spe(0), machine.spe(1)
+    spe0.ls.write(0, b"\xCD" * 64)
+    target_ea = machine.address_map.ls_base_ea(1) + 1024
+
+    def prog():
+        cmd = spe0.mfc.make_command(DmaDirection.PUT, 0, target_ea, 64, tag=0)
+        completion = yield from spe0.mfc.issue(cmd)
+        yield completion
+
+    drive(machine, prog())
+    assert spe1.ls.read(1024, 64) == b"\xCD" * 64
+
+
+def test_ls_to_ls_transfer_skips_dram_latency():
+    machine = make_machine()
+    spe0 = machine.spe(0)
+    mem_ea = machine.memory.allocate(4096)
+    ls_ea = machine.address_map.ls_base_ea(1) + 4096
+    times = {}
+
+    def timed_put(name, ea):
+        start = machine.sim.now
+        cmd = spe0.mfc.make_command(DmaDirection.PUT, 0, ea, 4096, tag=0)
+        completion = yield from spe0.mfc.issue(cmd)
+        yield completion
+        times[name] = machine.sim.now - start
+
+    def prog():
+        yield from timed_put("dram", mem_ea)
+        yield from timed_put("ls", ls_ea)
+
+    drive(machine, prog())
+    # LS-to-LS saves the DRAM latency; ring-hop distances also differ
+    # (spe0 -> spe1 is closer than spe0 -> mic on a 2-SPE ring).
+    hop = machine.config.dma.eib_hop_latency
+    hop_delta = (
+        machine.eib.hops("spe0", "mic") - machine.eib.hops("spe0", "spe1")
+    ) * hop
+    assert times["ls"] == times["dram"] - machine.config.dma.memory_latency - hop_delta

@@ -1,0 +1,70 @@
+"""Tests for the timebase and decrementer clock models."""
+
+import pytest
+
+from repro.cell.clock import Decrementer, TimeBase
+from repro.cell.config import ClockSpec
+
+
+def test_timebase_counts_up_by_divider():
+    tb = TimeBase(divider=120)
+    assert tb.read(0) == 0
+    assert tb.read(119) == 0
+    assert tb.read(120) == 1
+    assert tb.read(1200) == 10
+
+
+def test_timebase_round_trip():
+    tb = TimeBase(divider=120)
+    assert tb.to_cycles(7) == 840
+    assert tb.read(tb.to_cycles(7)) == 7
+
+
+def test_timebase_divider_validation():
+    with pytest.raises(ValueError):
+        TimeBase(divider=0)
+
+
+def test_decrementer_counts_down():
+    dec = Decrementer(120, ClockSpec(start_value=1000))
+    assert dec.read(0) == 1000
+    assert dec.read(119) == 1000
+    assert dec.read(120) == 999
+    assert dec.read(1200) == 990
+
+
+def test_decrementer_offset_delays_start():
+    dec = Decrementer(120, ClockSpec(offset_cycles=600, start_value=1000))
+    assert dec.read(0) == 1000
+    assert dec.read(600) == 1000
+    assert dec.read(600 + 120) == 999
+
+
+def test_decrementer_wraps_through_zero():
+    dec = Decrementer(10, ClockSpec(start_value=2))
+    assert dec.read(20) == 0
+    assert dec.read(30) == 0xFFFF_FFFF
+    assert dec.read(40) == 0xFFFF_FFFE
+
+
+def test_decrementer_drift_changes_period():
+    start = 10**7
+    nominal = Decrementer(120, ClockSpec(start_value=start))
+    fast = Decrementer(120, ClockSpec(start_value=start, drift_ppm=-1000.0))
+    horizon = 120 * 10**6  # one million nominal ticks
+    nominal_ticks = start - nominal.read(horizon)
+    fast_ticks = start - fast.read(horizon)
+    # -1000 ppm shortens the period, so the fast clock ticks ~1000 more.
+    assert fast_ticks - nominal_ticks == pytest.approx(1000, abs=2)
+
+
+def test_elapsed_ticks_handles_wrap():
+    dec = Decrementer(10, ClockSpec(start_value=5))
+    raw_then = dec.read(0)  # 5
+    raw_now = dec.read(100)  # wrapped below zero
+    assert dec.elapsed_ticks(raw_then, raw_now) == 10
+
+
+def test_decrementer_is_pure_function_of_time():
+    dec = Decrementer(120, ClockSpec(start_value=500))
+    assert dec.read(999) == dec.read(999)

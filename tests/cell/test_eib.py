@@ -1,0 +1,91 @@
+"""Tests for the EIB contention/bandwidth model."""
+
+from repro.cell.config import DmaTimings
+from repro.cell.eib import Eib
+from repro.kernel import Simulator
+
+
+def make_eib(**overrides):
+    sim = Simulator()
+    timings = DmaTimings(**overrides)
+    return sim, Eib(sim, timings)
+
+
+def test_transfer_cycles_formula():
+    __, eib = make_eib(eib_command_latency=50, eib_bytes_per_cycle=8)
+    assert eib.transfer_cycles(8) == 51
+    assert eib.transfer_cycles(16 * 1024) == 50 + 2048
+    # partial beat rounds up
+    assert eib.transfer_cycles(9) == 50 + 2
+
+
+def test_single_transfer_duration():
+    sim, eib = make_eib(eib_command_latency=50, eib_bytes_per_cycle=8)
+    done = []
+
+    def proc():
+        yield from eib.transfer(800, requester="spe0")
+        done.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert done == [50 + 100]
+
+
+def test_parallel_transfers_up_to_ring_count():
+    sim, eib = make_eib(eib_rings=4, eib_command_latency=0, eib_bytes_per_cycle=8)
+    ends = []
+
+    def proc(i):
+        yield from eib.transfer(80, requester=f"spe{i}")
+        ends.append(sim.now)
+
+    for i in range(4):
+        sim.spawn(proc(i))
+    sim.run()
+    assert ends == [10, 10, 10, 10]
+
+
+def test_contention_serialises_excess_transfers():
+    sim, eib = make_eib(eib_rings=1, eib_command_latency=0, eib_bytes_per_cycle=8)
+    ends = []
+
+    def proc(i):
+        yield from eib.transfer(80, requester=f"spe{i}")
+        ends.append(sim.now)
+
+    for i in range(3):
+        sim.spawn(proc(i))
+    sim.run()
+    assert ends == [10, 20, 30]
+    assert eib.stats.wait_cycles == 10 + 20
+
+
+def test_stats_accumulate_per_requester():
+    sim, eib = make_eib()
+
+    def proc(name, nbytes):
+        yield from eib.transfer(nbytes, requester=name)
+
+    sim.spawn(proc("spe0", 128))
+    sim.spawn(proc("spe0", 128))
+    sim.spawn(proc("spe1", 64))
+    sim.run()
+    assert eib.stats.transfers == 3
+    assert eib.stats.bytes_moved == 320
+    assert eib.stats.per_requester_bytes == {"spe0": 256, "spe1": 64}
+
+
+def test_zero_byte_transfer_rejected():
+    sim, eib = make_eib()
+    errors = []
+
+    def proc():
+        try:
+            yield from eib.transfer(0)
+        except ValueError as exc:
+            errors.append(str(exc))
+
+    sim.spawn(proc())
+    sim.run()
+    assert len(errors) == 1

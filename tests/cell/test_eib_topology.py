@@ -1,0 +1,70 @@
+"""EIB ring-topology tests: hop distances and placement latency."""
+
+import pytest
+
+from repro.cell.config import DmaTimings
+from repro.cell.eib import Eib
+from repro.kernel import Simulator
+
+
+def make_eib(n_spes=8, **overrides):
+    sim = Simulator()
+    return sim, Eib(sim, DmaTimings(**overrides), n_spes=n_spes)
+
+
+def test_ring_positions_cover_all_units():
+    __, eib = make_eib(n_spes=4)
+    assert set(eib.ring_position) == {"ppe", "spe0", "spe1", "spe2", "spe3", "mic"}
+
+
+def test_hop_distance_symmetric_and_shortest():
+    __, eib = make_eib(n_spes=8)  # ring of 10 units
+    assert eib.hops("spe0", "spe0") == 0
+    assert eib.hops("spe0", "spe1") == 1
+    assert eib.hops("spe1", "spe0") == 1
+    # ppe (pos 0) to mic (pos 9): one hop the short way round.
+    assert eib.hops("ppe", "mic") == 1
+    # spe0 (pos 1) to spe7 (pos 8): min(7, 3) = 3.
+    assert eib.hops("spe0", "spe7") == 3
+
+
+def test_unknown_unit_rejected():
+    __, eib = make_eib()
+    with pytest.raises(ValueError, match="unknown EIB unit"):
+        eib.hops("spe0", "gpu")
+
+
+def test_transfer_cycles_include_hops():
+    __, eib = make_eib(eib_command_latency=50, eib_bytes_per_cycle=8,
+                       eib_hop_latency=4)
+    base = eib.transfer_cycles(80, hops=0)
+    assert eib.transfer_cycles(80, hops=3) == base + 12
+
+
+def test_transfer_duration_depends_on_placement():
+    sim, eib = make_eib(n_spes=8, eib_command_latency=0,
+                        eib_bytes_per_cycle=8, eib_hop_latency=10)
+    ends = {}
+
+    def move(name, src, dst):
+        yield from eib.transfer(80, requester=name, src=src, dst=dst)
+        ends[name] = sim.now
+
+    sim.spawn(move("near", "spe0", "spe1"))
+    sim.run()
+    t_near = ends["near"]
+    sim2, eib2 = make_eib(n_spes=8, eib_command_latency=0,
+                          eib_bytes_per_cycle=8, eib_hop_latency=10)
+
+    def move2():
+        yield from eib2.transfer(80, requester="far", src="spe0", dst="spe7")
+        ends["far"] = sim2.now
+
+    sim2.spawn(move2())
+    sim2.run()
+    assert ends["far"] - t_near == (3 - 1) * 10
+
+
+def test_zero_hop_latency_disables_placement_effect():
+    __, eib = make_eib(eib_hop_latency=0)
+    assert eib.transfer_cycles(80, hops=0) == eib.transfer_cycles(80, hops=4)

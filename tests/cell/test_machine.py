@@ -1,0 +1,156 @@
+"""Tests for machine assembly, config, and SPU state tracking."""
+
+import pytest
+
+from repro.cell import CellConfig, CellMachine, SpuState
+from repro.cell.config import ClockSpec
+from repro.kernel import Delay, KernelError
+
+
+def test_default_machine_has_8_spes():
+    machine = CellMachine()
+    assert len(machine.spes) == 8
+    assert machine.spe(7).spe_id == 7
+
+
+def test_spe_index_validation():
+    machine = CellMachine(CellConfig(n_spes=2))
+    with pytest.raises(IndexError):
+        machine.spe(2)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CellConfig(n_spes=0)
+    with pytest.raises(ValueError):
+        CellConfig(n_spes=17)
+    with pytest.raises(ValueError):
+        CellConfig(timebase_divider=0)
+
+
+def test_with_skewed_clocks_builds_specs():
+    config = CellConfig(n_spes=4).with_skewed_clocks([0, 100, 200, 300], [0, 1, 2, 3])
+    assert config.clock_spec(2) == ClockSpec(offset_cycles=200, drift_ppm=2.0)
+    # Beyond configured entries: defaults.
+    assert CellConfig(n_spes=4).clock_spec(3) == ClockSpec()
+
+
+def test_with_skewed_clocks_length_mismatch():
+    with pytest.raises(ValueError):
+        CellConfig().with_skewed_clocks([0, 1], [0.0])
+
+
+def test_cycle_conversions():
+    machine = CellMachine()
+    assert machine.cycles_to_seconds(3_200_000_000) == pytest.approx(1.0)
+    assert machine.cycles_to_us(3200) == pytest.approx(1.0)
+
+
+def test_state_track_accumulates_time():
+    machine = CellMachine(CellConfig(n_spes=1))
+    spe = machine.spe(0)
+
+    def prog():
+        spe.begin_program()
+        yield Delay(100)
+        spe.enter_wait(SpuState.WAIT_DMA)
+        yield Delay(40)
+        spe.leave_wait()
+        yield Delay(60)
+        spe.end_program()
+
+    machine.spawn(prog())
+    total = machine.run()
+    assert total == 200
+    assert spe.track.totals[SpuState.RUN] == 160
+    assert spe.track.totals[SpuState.WAIT_DMA] == 40
+    assert spe.track.busy_cycles() == 160
+    assert spe.track.stall_cycles() == 40
+
+
+def test_state_track_records_intervals_in_order():
+    machine = CellMachine(CellConfig(n_spes=1))
+    spe = machine.spe(0)
+
+    def prog():
+        yield Delay(10)
+        spe.begin_program()
+        yield Delay(20)
+        spe.end_program()
+
+    machine.spawn(prog())
+    machine.run()
+    states = [s for (_, _, s) in spe.track.intervals]
+    assert states == [SpuState.IDLE, SpuState.RUN]
+    for start, end, __ in spe.track.intervals:
+        assert start < end
+
+
+def test_nested_wait_rejected():
+    machine = CellMachine(CellConfig(n_spes=1))
+    spe = machine.spe(0)
+    spe.begin_program()
+    spe.enter_wait(SpuState.WAIT_DMA)
+    with pytest.raises(KernelError):
+        spe.enter_wait(SpuState.WAIT_MBOX)
+
+
+def test_double_begin_program_rejected():
+    machine = CellMachine(CellConfig(n_spes=1))
+    spe = machine.spe(0)
+    spe.begin_program()
+    with pytest.raises(KernelError):
+        spe.begin_program()
+
+
+def test_end_without_begin_rejected():
+    machine = CellMachine(CellConfig(n_spes=1))
+    with pytest.raises(KernelError):
+        machine.spe(0).end_program()
+
+
+def test_ppe_timebase_reads_advance():
+    machine = CellMachine()
+    readings = []
+
+    def prog():
+        readings.append(machine.ppe.read_timebase())
+        yield Delay(machine.config.timebase_divider * 5)
+        readings.append(machine.ppe.read_timebase())
+
+    machine.spawn(prog())
+    machine.run()
+    assert readings[1] - readings[0] == 5
+
+
+def test_ppe_hw_threads_limit_concurrency():
+    machine = CellMachine()
+    running = []
+    peak = []
+
+    def thread(i):
+        yield machine.ppe.acquire_thread()
+        running.append(i)
+        peak.append(len(running))
+        yield Delay(10)
+        running.remove(i)
+        machine.ppe.release_thread()
+
+    for i in range(5):
+        machine.spawn(thread(i))
+    machine.run()
+    assert max(peak) <= 2
+
+
+def test_mmio_access_charges_latency():
+    machine = CellMachine()
+    times = []
+
+    def prog():
+        yield from machine.ppe.mmio_access()
+        times.append(machine.sim.now)
+
+    machine.spawn(prog())
+    machine.run()
+    assert times == [machine.config.mmio_latency]
+    assert machine.ppe.mmio_accesses == 1

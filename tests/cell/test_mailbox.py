@@ -1,0 +1,162 @@
+"""Tests for mailboxes and signal-notification registers."""
+
+import pytest
+
+from repro.cell.mailbox import MailboxSet, SignalRegister
+from repro.kernel import Delay, KernelError, Simulator
+
+
+def test_spu_read_inbound_blocks_until_ppe_writes():
+    sim = Simulator()
+    mbx = MailboxSet(sim, spe_id=0)
+    got = []
+
+    def spu():
+        value = yield mbx.spu_read_inbound()
+        got.append((value, sim.now))
+
+    def ppe():
+        yield Delay(100)
+        mbx.ppe_write_inbound(0xDEAD)
+
+    sim.spawn(spu())
+    sim.spawn(ppe())
+    sim.run()
+    assert got == [(0xDEAD, 100)]
+
+
+def test_inbound_mailbox_overwrites_when_full():
+    sim = Simulator()
+    mbx = MailboxSet(sim, spe_id=0, inbound_depth=2)
+    assert mbx.ppe_write_inbound(1) is False
+    assert mbx.ppe_write_inbound(2) is False
+    assert mbx.ppe_write_inbound(3) is True  # overwrote 2
+    assert mbx.ppe_inbound_space() == 0
+
+
+def test_spu_write_outbound_blocks_when_full():
+    sim = Simulator()
+    mbx = MailboxSet(sim, spe_id=1, outbound_depth=1)
+    times = []
+
+    def spu():
+        yield mbx.spu_write_outbound(10)
+        times.append(("first", sim.now))
+        yield mbx.spu_write_outbound(20)
+        times.append(("second", sim.now))
+
+    def ppe():
+        yield Delay(50)
+        value = yield mbx.ppe_read_outbound()
+        assert value == 10
+
+    sim.spawn(spu())
+    sim.spawn(ppe())
+    sim.run()
+    assert times == [("first", 0), ("second", 50)]
+
+
+def test_ppe_try_read_outbound_polls():
+    sim = Simulator()
+    mbx = MailboxSet(sim, spe_id=0)
+    assert mbx.ppe_try_read_outbound() is None
+
+    def spu():
+        yield mbx.spu_write_outbound(7)
+
+    sim.spawn(spu())
+    sim.run()
+    assert mbx.ppe_outbound_count() == 1
+    assert mbx.ppe_try_read_outbound() == 7
+    assert mbx.ppe_try_read_outbound() is None
+
+
+def test_mailbox_values_must_be_u32():
+    sim = Simulator()
+    mbx = MailboxSet(sim, spe_id=0)
+    with pytest.raises(KernelError):
+        mbx.ppe_write_inbound(1 << 32)
+
+    def spu():
+        yield mbx.spu_write_outbound(-1)
+
+    proc = sim.spawn(spu())
+    with pytest.raises(KernelError):
+        sim.run()
+        raise proc.exception
+
+
+def test_outbound_interrupt_mailbox_independent():
+    sim = Simulator()
+    mbx = MailboxSet(sim, spe_id=0)
+
+    def spu():
+        yield mbx.spu_write_outbound(1)
+        yield mbx.spu_write_outbound_interrupt(2)
+
+    sim.spawn(spu())
+    sim.run()
+    assert mbx.outbound.count == 1
+    assert mbx.outbound_interrupt.count == 1
+
+
+# ----------------------------------------------------------------------
+# signals
+# ----------------------------------------------------------------------
+def test_signal_or_mode_accumulates_bits():
+    sim = Simulator()
+    sig = SignalRegister(sim, "sig", or_mode=True)
+    sig.send(0b01)
+    sig.send(0b10)
+    assert sig.value == 0b11
+    assert sig.take() == 0b11
+    assert sig.value == 0
+
+
+def test_signal_overwrite_mode_replaces():
+    sim = Simulator()
+    sig = SignalRegister(sim, "sig", or_mode=False)
+    sig.send(0b01)
+    sig.send(0b10)
+    assert sig.value == 0b10
+
+
+def test_signal_read_blocks_until_nonzero():
+    sim = Simulator()
+    mbx = MailboxSet(sim, spe_id=0)
+    got = []
+
+    def spu():
+        yield mbx.signal1.read()
+        got.append((mbx.signal1.take(), sim.now))
+
+    def ppe():
+        yield Delay(30)
+        mbx.signal1.send(0x5)
+
+    sim.spawn(spu())
+    sim.spawn(ppe())
+    sim.run()
+    assert got == [(0x5, 30)]
+
+
+def test_signal_read_when_already_set_is_immediate():
+    sim = Simulator()
+    sig = SignalRegister(sim, "sig")
+    sig.send(1)
+    fired = []
+
+    def spu():
+        yield sig.read()
+        fired.append(sim.now)
+
+    sim.spawn(spu())
+    sim.run()
+    assert fired == [0]
+
+
+def test_signal_rejects_wide_values():
+    sim = Simulator()
+    sig = SignalRegister(sim, "sig")
+    with pytest.raises(KernelError):
+        sig.send(1 << 33)

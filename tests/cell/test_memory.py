@@ -1,0 +1,122 @@
+"""Tests for memories, allocation, and DMA alignment rules."""
+
+import pytest
+
+from repro.cell.memory import (
+    AlignmentError,
+    LocalStore,
+    MainMemory,
+    MemoryError_,
+    check_dma_alignment,
+)
+
+
+# ----------------------------------------------------------------------
+# byte storage
+# ----------------------------------------------------------------------
+def test_main_memory_read_write_round_trip():
+    mem = MainMemory(4096)
+    mem.write(128, b"hello cell")
+    assert mem.read(128, 10) == b"hello cell"
+
+
+def test_memory_reads_zero_initialised():
+    mem = MainMemory(256)
+    assert mem.read(0, 16) == bytes(16)
+
+
+def test_memory_out_of_range_rejected():
+    mem = MainMemory(256)
+    with pytest.raises(MemoryError_):
+        mem.read(250, 16)
+    with pytest.raises(MemoryError_):
+        mem.write(-1, b"x")
+
+
+def test_local_store_is_per_spe_named():
+    ls = LocalStore(1024, spe_id=3)
+    assert "spe3" in ls.name
+
+
+# ----------------------------------------------------------------------
+# allocators
+# ----------------------------------------------------------------------
+def test_main_memory_allocator_aligns_to_128():
+    mem = MainMemory(64 * 1024)
+    a = mem.allocate(100)
+    b = mem.allocate(100)
+    assert a % 128 == 0
+    assert b % 128 == 0
+    assert b >= a + 100
+
+
+def test_main_memory_allocator_never_returns_zero():
+    mem = MainMemory(64 * 1024)
+    assert mem.allocate(16) != 0
+
+
+def test_allocator_exhaustion():
+    mem = MainMemory(1024)
+    with pytest.raises(MemoryError_):
+        mem.allocate(2048)
+
+
+def test_local_store_allocator_and_free_bytes():
+    ls = LocalStore(1024, spe_id=0)
+    addr = ls.allocate(100, align=16)
+    assert addr % 16 == 0
+    assert ls.free_bytes == 1024 - (addr + 100)
+
+
+def test_local_store_exhaustion_mentions_trace_buffer():
+    ls = LocalStore(256, spe_id=0)
+    ls.allocate(200)
+    with pytest.raises(MemoryError_, match="trace buffer"):
+        ls.allocate(100)
+
+
+def test_allocator_rejects_bad_alignment():
+    mem = MainMemory(4096)
+    with pytest.raises(MemoryError_):
+        mem.allocate(16, align=48)
+
+
+# ----------------------------------------------------------------------
+# DMA alignment rules
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("size", [1, 2, 4, 8])
+def test_small_dma_naturally_aligned_ok(size):
+    # Naturally aligned with matching low-4-bit residues on both sides.
+    check_dma_alignment(16 + size, 32 + size, size)
+
+
+def test_small_dma_misaligned_rejected():
+    with pytest.raises(AlignmentError):
+        check_dma_alignment(3, 4, 4)
+
+
+def test_small_dma_low_bits_must_match():
+    # 8-byte DMA, both 8-aligned, but low-4-bit residues differ (0 vs 8).
+    with pytest.raises(AlignmentError):
+        check_dma_alignment(16, 8, 8)
+
+
+def test_bulk_dma_multiple_of_16_required():
+    with pytest.raises(AlignmentError):
+        check_dma_alignment(0, 0, 24)
+
+
+def test_bulk_dma_16_byte_alignment_required():
+    with pytest.raises(AlignmentError):
+        check_dma_alignment(8, 0, 32)
+    with pytest.raises(AlignmentError):
+        check_dma_alignment(0, 8, 32)
+
+
+def test_bulk_dma_ok():
+    check_dma_alignment(0, 16, 16 * 1024)
+
+
+def test_zero_size_dma_rejected():
+    with pytest.raises(AlignmentError):
+        check_dma_alignment(0, 0, 0)

@@ -1,0 +1,298 @@
+"""Tests for the MFC: command validation, queuing, tags, ordering."""
+
+import pytest
+
+from repro.cell.config import CellConfig, DmaTimings
+from repro.cell.machine import CellMachine
+from repro.cell.mfc import DmaDirection, DmaListElement
+from repro.kernel import Delay, KernelError
+
+
+def make_machine(**dma_overrides):
+    dma = DmaTimings(**dma_overrides)
+    return CellMachine(CellConfig(n_spes=2, dma=dma, main_memory_size=1 << 20))
+
+
+def run_on(machine, gen):
+    done = {}
+
+    def wrapper():
+        result = yield from gen
+        done["result"] = result
+
+    machine.spawn(wrapper())
+    machine.run()
+    return done.get("result")
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def test_command_kind_mnemonics():
+    machine = make_machine()
+    mfc = machine.spe(0).mfc
+    get = mfc.make_command(DmaDirection.GET, 0, 128, 16, tag=1)
+    putf = mfc.make_command(DmaDirection.PUT, 0, 128, 16, tag=1, fence=True)
+    getb = mfc.make_command(DmaDirection.GET, 0, 128, 16, tag=1, barrier=True)
+    assert get.kind == "GET"
+    assert putf.kind == "PUTF"
+    assert getb.kind == "GETB"
+
+
+def test_oversized_dma_rejected():
+    machine = make_machine(max_dma_size=16 * 1024)
+    mfc = machine.spe(0).mfc
+    with pytest.raises(KernelError, match="16384-byte"):
+        mfc.make_command(DmaDirection.GET, 0, 0, 32 * 1024, tag=0)
+
+
+def test_bad_tag_rejected():
+    machine = make_machine()
+    mfc = machine.spe(0).mfc
+    with pytest.raises(KernelError):
+        mfc.make_command(DmaDirection.GET, 0, 0, 16, tag=32)
+    with pytest.raises(KernelError):
+        mfc.make_command(DmaDirection.GET, 0, 0, 16, tag=-1)
+
+
+def test_list_command_validation():
+    machine = make_machine()
+    mfc = machine.spe(0).mfc
+    with pytest.raises(KernelError):
+        mfc.make_list_command(DmaDirection.GET, 0, [], tag=0)
+    elems = [DmaListElement(128 * i, 128) for i in range(4)]
+    cmd = mfc.make_list_command(DmaDirection.GET, 0, elems, tag=2)
+    assert cmd.is_list
+    assert cmd.size == 512
+    assert cmd.kind == "GETL"
+
+
+# ----------------------------------------------------------------------
+# data movement
+# ----------------------------------------------------------------------
+def test_get_moves_bytes_from_memory_to_ls():
+    machine = make_machine()
+    spe = machine.spe(0)
+    ea = machine.memory.allocate(64)
+    machine.memory.write(ea, bytes(range(64)))
+
+    def prog():
+        cmd = spe.mfc.make_command(DmaDirection.GET, 0, ea, 64, tag=3)
+        completion = yield from spe.mfc.issue(cmd)
+        yield completion
+
+    run_on(machine, prog())
+    assert spe.ls.read(0, 64) == bytes(range(64))
+
+
+def test_put_moves_bytes_from_ls_to_memory():
+    machine = make_machine()
+    spe = machine.spe(0)
+    ea = machine.memory.allocate(32)
+    spe.ls.write(128, b"\xab" * 32)
+
+    def prog():
+        cmd = spe.mfc.make_command(DmaDirection.PUT, 128, ea, 32, tag=0)
+        completion = yield from spe.mfc.issue(cmd)
+        yield completion
+
+    run_on(machine, prog())
+    assert machine.memory.read(ea, 32) == b"\xab" * 32
+
+
+def test_list_dma_gathers_scattered_elements():
+    machine = make_machine()
+    spe = machine.spe(0)
+    eas = [machine.memory.allocate(16) for _ in range(3)]
+    for i, ea in enumerate(eas):
+        machine.memory.write(ea, bytes([i]) * 16)
+
+    def prog():
+        elems = [DmaListElement(ea, 16) for ea in eas]
+        cmd = spe.mfc.make_list_command(DmaDirection.GET, 0, elems, tag=1)
+        completion = yield from spe.mfc.issue(cmd)
+        yield completion
+
+    run_on(machine, prog())
+    assert spe.ls.read(0, 48) == b"\x00" * 16 + b"\x01" * 16 + b"\x02" * 16
+
+
+# ----------------------------------------------------------------------
+# tag groups
+# ----------------------------------------------------------------------
+def test_tag_wait_all_waits_for_every_tagged_command():
+    machine = make_machine()
+    spe = machine.spe(0)
+    ea = machine.memory.allocate(4096)
+    finished = []
+
+    def prog():
+        for i in range(4):
+            cmd = spe.mfc.make_command(DmaDirection.GET, i * 1024, ea, 1024, tag=5)
+            yield from spe.mfc.issue(cmd)
+        yield spe.mfc.tag_wait_event(1 << 5, "all")
+        finished.append(machine.sim.now)
+        assert spe.mfc.outstanding_in_tag(5) == 0
+
+    run_on(machine, prog())
+    assert finished
+    truth = [c.complete_time for c in spe.mfc.completed_commands]
+    assert finished[0] == max(truth)
+
+
+def test_tag_wait_any_fires_on_first_quiescent_tag():
+    machine = make_machine()
+    spe = machine.spe(0)
+    ea = machine.memory.allocate(1 << 16)
+    order = []
+
+    def prog():
+        small = spe.mfc.make_command(DmaDirection.GET, 0, ea, 16, tag=1)
+        big = spe.mfc.make_command(DmaDirection.GET, 4096, ea, 16 * 1024, tag=2)
+        yield from spe.mfc.issue(big)
+        yield from spe.mfc.issue(small)
+        status = yield spe.mfc.tag_wait_event((1 << 1) | (1 << 2), "any")
+        order.append(("any", status, machine.sim.now))
+        yield spe.mfc.tag_wait_event(1 << 2, "all")
+        order.append(("all", machine.sim.now))
+
+    run_on(machine, prog())
+    kind, status, t_any = order[0]
+    assert kind == "any"
+    assert status & (1 << 1)  # the small one finished first
+    assert order[1][1] > t_any
+
+
+def test_tag_wait_on_idle_tag_completes_immediately():
+    machine = make_machine()
+    spe = machine.spe(0)
+    times = []
+
+    def prog():
+        yield spe.mfc.tag_wait_event(1 << 7, "all")
+        times.append(machine.sim.now)
+
+    run_on(machine, prog())
+    assert times == [0]
+
+
+def test_tag_wait_empty_mask_rejected():
+    machine = make_machine()
+    with pytest.raises(KernelError):
+        machine.spe(0).mfc.tag_wait_event(0, "all")
+    with pytest.raises(KernelError):
+        machine.spe(0).mfc.tag_wait_event(1, "sometimes")
+
+
+# ----------------------------------------------------------------------
+# queue capacity and stalls
+# ----------------------------------------------------------------------
+def test_queue_full_blocks_issuer_and_counts_stall():
+    machine = make_machine(queue_depth=2, mfc_parallel=1)
+    spe = machine.spe(0)
+    ea = machine.memory.allocate(1 << 16)
+
+    def prog():
+        for __ in range(5):
+            cmd = spe.mfc.make_command(DmaDirection.GET, 0, ea, 16 * 1024, tag=0)
+            yield from spe.mfc.issue(cmd)
+        yield spe.mfc.tag_wait_event(1 << 0, "all")
+
+    run_on(machine, prog())
+    assert spe.mfc.stats.commands == 5
+    assert spe.mfc.stats.queue_full_stalls >= 1
+    assert spe.mfc.stats.queue_full_cycles > 0
+
+
+# ----------------------------------------------------------------------
+# ordering: fence and barrier
+# ----------------------------------------------------------------------
+def test_plain_commands_can_overlap():
+    machine = make_machine(mfc_parallel=2, eib_rings=4)
+    spe = machine.spe(0)
+    ea = machine.memory.allocate(1 << 16)
+
+    def prog():
+        a = spe.mfc.make_command(DmaDirection.GET, 0, ea, 16 * 1024, tag=0)
+        b = spe.mfc.make_command(DmaDirection.GET, 16 * 1024, ea, 16 * 1024, tag=1)
+        yield from spe.mfc.issue(a)
+        yield from spe.mfc.issue(b)
+        yield spe.mfc.tag_wait_event(0b11, "all")
+
+    run_on(machine, prog())
+    cmds = {c.tag: c for c in spe.mfc.completed_commands}
+    # b dispatched before a completed -> overlap
+    assert cmds[1].dispatch_time < cmds[0].complete_time
+
+
+def test_barrier_prevents_overlap():
+    machine = make_machine(mfc_parallel=2, eib_rings=4)
+    spe = machine.spe(0)
+    ea = machine.memory.allocate(1 << 16)
+
+    def prog():
+        a = spe.mfc.make_command(DmaDirection.GET, 0, ea, 16 * 1024, tag=0)
+        b = spe.mfc.make_command(
+            DmaDirection.GET, 16 * 1024, ea, 16 * 1024, tag=1, barrier=True
+        )
+        yield from spe.mfc.issue(a)
+        yield from spe.mfc.issue(b)
+        yield spe.mfc.tag_wait_event(0b11, "all")
+
+    run_on(machine, prog())
+    cmds = {c.tag: c for c in spe.mfc.completed_commands}
+    assert cmds[1].dispatch_time >= cmds[0].complete_time
+
+
+def test_fence_orders_within_tag_only():
+    machine = make_machine(mfc_parallel=2, eib_rings=4)
+    spe = machine.spe(0)
+    ea = machine.memory.allocate(1 << 17)
+
+    def prog():
+        a = spe.mfc.make_command(DmaDirection.GET, 0, ea, 16 * 1024, tag=0)
+        fenced_same = spe.mfc.make_command(
+            DmaDirection.GET, 16 * 1024, ea, 16 * 1024, tag=0, fence=True
+        )
+        yield from spe.mfc.issue(a)
+        yield from spe.mfc.issue(fenced_same)
+        yield spe.mfc.tag_wait_event(0b1, "all")
+
+    run_on(machine, prog())
+    first, second = spe.mfc.completed_commands
+    assert second.dispatch_time >= first.complete_time
+
+
+def test_proxy_queue_is_separate():
+    machine = make_machine(queue_depth=1, proxy_queue_depth=8)
+    spe = machine.spe(0)
+    ea = machine.memory.allocate(4096)
+
+    def prog():
+        spu_cmd = spe.mfc.make_command(DmaDirection.GET, 0, ea, 1024, tag=0)
+        proxy_cmd = spe.mfc.make_command(DmaDirection.PUT, 2048, ea, 1024, tag=1)
+        yield from spe.mfc.issue(spu_cmd)
+        # proxy issue succeeds immediately even though SPU queue is depth 1
+        yield from spe.mfc.issue(proxy_cmd, proxy=True)
+        yield spe.mfc.tag_wait_event(0b11, "all")
+
+    run_on(machine, prog())
+    assert spe.mfc.stats.commands == 2
+    assert spe.mfc.stats.queue_full_stalls == 0
+
+
+def test_ground_truth_timestamps_monotone():
+    machine = make_machine()
+    spe = machine.spe(0)
+    ea = machine.memory.allocate(1 << 16)
+
+    def prog():
+        for i in range(6):
+            cmd = spe.mfc.make_command(DmaDirection.GET, 0, ea, 4096, tag=i % 3)
+            yield from spe.mfc.issue(cmd)
+            yield Delay(10)
+        yield spe.mfc.tag_wait_event(0b111, "all")
+
+    run_on(machine, prog())
+    for cmd in spe.mfc.completed_commands:
+        assert cmd.issue_time <= cmd.dispatch_time < cmd.complete_time

@@ -1,0 +1,168 @@
+"""Edge-case tests for waitable combinators and subscription plumbing."""
+
+import pytest
+
+from repro.kernel import (
+    AllOf,
+    AnyOf,
+    Delay,
+    Event,
+    KernelError,
+    Simulator,
+)
+
+
+def test_all_of_rejects_empty_and_non_waitable():
+    with pytest.raises(KernelError):
+        AllOf([])
+    with pytest.raises(TypeError):
+        AllOf([Delay(1), 42])
+    with pytest.raises(KernelError):
+        AnyOf([])
+
+
+def test_all_of_failure_propagates_and_cancels():
+    sim = Simulator()
+    bad = Event(sim)
+    caught = []
+
+    def waiter():
+        try:
+            yield AllOf([Delay(1000), bad])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def firer():
+        yield Delay(3)
+        bad.fail(RuntimeError("child died"))
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert caught == ["child died"]
+    # The losing Delay(1000) was cancelled: time stops at the failure.
+    assert sim.now == 3
+
+
+def test_any_of_failure_propagates():
+    sim = Simulator()
+    bad = Event(sim)
+    caught = []
+
+    def waiter():
+        try:
+            yield AnyOf([Delay(1000), bad])
+        except ValueError:
+            caught.append(True)
+
+    def firer():
+        yield Delay(2)
+        bad.fail(ValueError("boom"))
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert caught == [True]
+    assert sim.now == 2
+
+
+def test_nested_combinators():
+    sim = Simulator()
+    results = []
+
+    def waiter():
+        index, value = yield AnyOf([
+            AllOf([Delay(5), Delay(7)]),
+            Delay(100),
+        ])
+        results.append((index, value, sim.now))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert results == [(0, [5, 7], 7)]
+    assert sim.now == 7  # the losing Delay(100) was cancelled
+
+
+def test_event_unsubscribe_before_trigger():
+    sim = Simulator()
+    ev = Event(sim)
+    fired = []
+    token = ev.subscribe(sim, lambda v, e: fired.append(v))
+    ev.unsubscribe(token)
+    ev.trigger("x")
+    sim.run()
+    assert fired == []
+
+
+def test_event_value_access_rules():
+    sim = Simulator()
+    ev = Event(sim, name="v")
+    with pytest.raises(KernelError, match="not yet triggered"):
+        _ = ev.value
+    ev.trigger(123)
+    assert ev.value == 123
+    assert ev.triggered
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    ev = Event(sim)
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_event_cross_simulator_rejected():
+    sim_a, sim_b = Simulator(), Simulator()
+    ev = Event(sim_a)
+
+    def waiter():
+        yield ev
+
+    sim_b.spawn(waiter())
+    with pytest.raises(KernelError, match="different simulator"):
+        sim_b.run()
+
+
+def test_current_process_attribution():
+    sim = Simulator()
+    seen = []
+
+    def named(tag):
+        seen.append((tag, sim.current_process.name))
+        yield Delay(1)
+        seen.append((tag, sim.current_process.name))
+
+    sim.spawn(named("a"), name="proc-a")
+    sim.spawn(named("b"), name="proc-b")
+    sim.run()
+    assert ("a", "proc-a") in seen
+    assert ("b", "proc-b") in seen
+    assert all(tag in name for tag, name in seen)
+    assert sim.current_process is None  # restored after stepping
+
+
+def test_interrupt_finished_process_is_noop():
+    sim = Simulator()
+
+    def instant():
+        yield Delay(0)
+
+    proc = sim.spawn(instant())
+    sim.run()
+    proc.interrupt()  # silently ignored: nothing to interrupt
+    assert not proc.alive
+    assert proc.exception is None
+
+
+def test_kill_idempotent_after_death():
+    sim = Simulator()
+
+    def sleeper():
+        yield Delay(100)
+
+    proc = sim.spawn(sleeper())
+    sim.run(until=10)
+    proc.kill()
+    sim.run()
+    proc.kill()  # no-op on a dead process
+    assert not proc.alive

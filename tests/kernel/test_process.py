@@ -1,0 +1,329 @@
+"""Tests for process semantics: yield protocol, join, crash, interrupt."""
+
+import pytest
+
+from repro.kernel import (
+    AllOf,
+    AnyOf,
+    Delay,
+    Event,
+    Interrupt,
+    KernelError,
+    ProcessKilled,
+    Simulator,
+)
+
+
+def run_to_end(sim):
+    sim.run()
+    return sim.now
+
+
+def test_process_delay_sequence():
+    sim = Simulator()
+    trail = []
+
+    def proc():
+        yield Delay(5)
+        trail.append(sim.now)
+        yield Delay(7)
+        trail.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert trail == [5, 12]
+
+
+def test_process_return_value_via_join():
+    sim = Simulator()
+    results = []
+
+    def worker():
+        yield Delay(3)
+        return 42
+
+    def boss():
+        value = yield sim.spawn(worker())
+        results.append((sim.now, value))
+
+    sim.spawn(boss())
+    sim.run()
+    assert results == [(3, 42)]
+
+
+def test_join_already_finished_process():
+    sim = Simulator()
+    results = []
+
+    def worker():
+        yield Delay(1)
+        return "done"
+
+    worker_proc = sim.spawn(worker())
+
+    def boss():
+        yield Delay(10)
+        value = yield worker_proc
+        results.append((sim.now, value))
+
+    sim.spawn(boss())
+    sim.run()
+    assert results == [(10, "done")]
+
+
+def test_result_raises_while_alive():
+    sim = Simulator()
+
+    def worker():
+        yield Delay(5)
+
+    proc = sim.spawn(worker())
+    with pytest.raises(KernelError):
+        _ = proc.result
+
+
+def test_crash_propagates_to_joiner():
+    sim = Simulator()
+    caught = []
+
+    def bad():
+        yield Delay(1)
+        raise ValueError("boom")
+
+    def boss():
+        try:
+            yield sim.spawn(bad())
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(boss())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unjoined_crash_raises_out_of_run():
+    sim = Simulator()
+
+    def bad():
+        yield Delay(1)
+        raise ValueError("unseen boom")
+
+    sim.spawn(bad())
+    with pytest.raises(ValueError, match="unseen boom"):
+        sim.run()
+
+
+def test_yield_non_waitable_is_a_process_error():
+    sim = Simulator()
+    caught = []
+
+    def bad():
+        try:
+            yield 42
+        except KernelError as exc:
+            caught.append("non-waitable" in str(exc))
+
+    sim.spawn(bad())
+    sim.run()
+    assert caught == [True]
+
+
+def test_event_trigger_wakes_waiter_with_value():
+    sim = Simulator()
+    ev = Event(sim, name="go")
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append((sim.now, value))
+
+    def firer():
+        yield Delay(9)
+        ev.trigger("payload")
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert got == [(9, "payload")]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.trigger(1)
+    with pytest.raises(KernelError):
+        ev.trigger(2)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = Event(sim)
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def firer():
+        yield Delay(2)
+        ev.fail(RuntimeError("hw fault"))
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert caught == ["hw fault"]
+
+
+def test_wait_on_already_triggered_event_resumes_immediately():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.trigger("early")
+    got = []
+
+    def waiter():
+        yield Delay(4)
+        value = yield ev
+        got.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(4, "early")]
+
+
+def test_all_of_waits_for_every_child():
+    sim = Simulator()
+    got = []
+
+    def waiter():
+        values = yield AllOf([Delay(3), Delay(10), Delay(6)])
+        got.append((sim.now, values))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(10, [3, 10, 6])]
+
+
+def test_any_of_returns_first_and_cancels_rest():
+    sim = Simulator()
+    got = []
+
+    def waiter():
+        index, value = yield AnyOf([Delay(30), Delay(4), Delay(20)])
+        got.append((sim.now, index, value))
+
+    sim.spawn(waiter())
+    sim.run()
+    # The losing delays were cancelled, so the sim ends at 4, not 30.
+    assert got == [(4, 1, 4)]
+    assert sim.now == 4
+
+
+def test_any_of_event_vs_delay_timeout_pattern():
+    sim = Simulator()
+    got = []
+    ev = Event(sim)
+
+    def waiter():
+        index, _ = yield AnyOf([ev, Delay(100)])
+        got.append(("event" if index == 0 else "timeout", sim.now))
+
+    def firer():
+        yield Delay(10)
+        ev.trigger()
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert got == [("event", 10)]
+
+
+def test_interrupt_wakes_blocked_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield Delay(1000)
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+
+    sleeper_proc = sim.spawn(sleeper())
+
+    def interrupter():
+        yield Delay(5)
+        sleeper_proc.interrupt("wake up")
+
+    sim.spawn(interrupter())
+    sim.run()
+    assert log == [(5, "wake up")]
+    assert sim.now == 5
+
+
+def test_kill_terminates_without_external_crash():
+    sim = Simulator()
+
+    def sleeper():
+        yield Delay(1000)
+
+    victim = sim.spawn(sleeper())
+
+    def killer():
+        yield Delay(2)
+        victim.kill("test")
+
+    sim.spawn(killer())
+    sim.run()
+    assert not victim.alive
+    assert isinstance(victim.exception, ProcessKilled)
+
+
+def test_yield_from_composes_suboperations():
+    sim = Simulator()
+    trail = []
+
+    def sub(n):
+        yield Delay(n)
+        trail.append(sim.now)
+        return n * 2
+
+    def main():
+        a = yield from sub(5)
+        b = yield from sub(3)
+        trail.append(a + b)
+
+    sim.spawn(main())
+    sim.run()
+    assert trail == [5, 8, 16]
+
+
+def test_spawn_non_generator_rejected():
+    sim = Simulator()
+
+    def not_a_generator():
+        return 1
+
+    with pytest.raises(TypeError):
+        sim.spawn(not_a_generator())
+
+
+def test_many_processes_deterministic_order():
+    """Two identical runs produce identical event orders."""
+
+    def run_once():
+        sim = Simulator()
+        order = []
+
+        def worker(i):
+            yield Delay(10)
+            order.append(i)
+            yield Delay(i % 3)
+            order.append(100 + i)
+
+        for i in range(25):
+            sim.spawn(worker(i))
+        sim.run()
+        return order
+
+    assert run_once() == run_once()

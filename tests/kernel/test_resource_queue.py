@@ -1,0 +1,218 @@
+"""Tests for Resource and Channel."""
+
+import pytest
+
+from repro.kernel import (
+    Channel,
+    Delay,
+    KernelError,
+    QueueEmpty,
+    Resource,
+    Simulator,
+)
+
+
+# ----------------------------------------------------------------------
+# Resource
+# ----------------------------------------------------------------------
+def test_resource_grants_up_to_capacity_immediately():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    grants = []
+
+    def user(i, hold):
+        yield res.acquire()
+        grants.append((i, sim.now))
+        yield Delay(hold)
+        res.release()
+
+    sim.spawn(user(0, 10))
+    sim.spawn(user(1, 10))
+    sim.spawn(user(2, 10))
+    sim.run()
+    assert grants == [(0, 0), (1, 0), (2, 10)]
+
+
+def test_resource_fifo_fairness():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(i):
+        yield res.acquire()
+        order.append(i)
+        yield Delay(5)
+        res.release()
+
+    for i in range(6):
+        sim.spawn(user(i))
+    sim.run()
+    assert order == list(range(6))
+
+
+def test_resource_release_without_acquire_rejected():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(KernelError):
+        res.release()
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(KernelError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_counters():
+    sim = Simulator()
+    res = Resource(sim, capacity=3)
+
+    def holder():
+        yield res.acquire()
+        yield Delay(100)
+
+    sim.spawn(holder())
+    sim.spawn(holder())
+    sim.run(until=1)
+    assert res.in_use == 2
+    assert res.available == 1
+    assert res.queue_length == 0
+
+
+# ----------------------------------------------------------------------
+# Channel
+# ----------------------------------------------------------------------
+def test_channel_put_get_fifo():
+    sim = Simulator()
+    chan = Channel(sim, capacity=4)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield chan.put(i)
+
+    def consumer():
+        for _ in range(3):
+            item = yield chan.get()
+            got.append(item)
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_channel_put_blocks_when_full():
+    sim = Simulator()
+    chan = Channel(sim, capacity=1)
+    times = []
+
+    def producer():
+        yield chan.put("a")
+        times.append(("a-stored", sim.now))
+        yield chan.put("b")
+        times.append(("b-stored", sim.now))
+
+    def consumer():
+        yield Delay(20)
+        yield chan.get()
+        yield chan.get()
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert times == [("a-stored", 0), ("b-stored", 20)]
+
+
+def test_channel_get_blocks_when_empty():
+    sim = Simulator()
+    chan = Channel(sim, capacity=1)
+    got = []
+
+    def consumer():
+        item = yield chan.get()
+        got.append((item, sim.now))
+
+    def producer():
+        yield Delay(7)
+        yield chan.put("x")
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert got == [("x", 7)]
+
+
+def test_channel_try_put_respects_capacity():
+    sim = Simulator()
+    chan = Channel(sim, capacity=2)
+    assert chan.try_put(1)
+    assert chan.try_put(2)
+    assert not chan.try_put(3)
+    assert chan.count == 2
+
+
+def test_channel_try_get_raises_on_empty():
+    sim = Simulator()
+    chan = Channel(sim, capacity=2)
+    with pytest.raises(QueueEmpty):
+        chan.try_get()
+
+
+def test_channel_put_overwrite_replaces_newest():
+    sim = Simulator()
+    chan = Channel(sim, capacity=2)
+    assert chan.put_overwrite(1) is False
+    assert chan.put_overwrite(2) is False
+    assert chan.put_overwrite(3) is True  # overwrote 2
+    assert chan.try_get() == 1
+    assert chan.try_get() == 3
+
+
+def test_channel_try_get_unblocks_putter():
+    sim = Simulator()
+    chan = Channel(sim, capacity=1)
+    stored = []
+
+    def producer():
+        yield chan.put("a")
+        yield chan.put("b")
+        stored.append(sim.now)
+
+    def consumer():
+        yield Delay(5)
+        assert chan.try_get() == "a"
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert stored == [5]
+    assert chan.count == 1
+
+
+def test_channel_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(KernelError):
+        Channel(sim, capacity=0)
+
+
+def test_channel_waiting_getters_served_fifo():
+    sim = Simulator()
+    chan = Channel(sim, capacity=4)
+    got = []
+
+    def consumer(i):
+        item = yield chan.get()
+        got.append((i, item))
+
+    for i in range(3):
+        sim.spawn(consumer(i))
+
+    def producer():
+        yield Delay(1)
+        for v in "abc":
+            yield chan.put(v)
+
+    sim.spawn(producer())
+    sim.run()
+    assert got == [(0, "a"), (1, "b"), (2, "c")]

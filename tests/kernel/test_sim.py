@@ -1,0 +1,126 @@
+"""Tests for the simulator core: scheduling, time, determinism."""
+
+import pytest
+
+from repro.kernel import DeadlockError, Delay, Event, SimTimeError, Simulator
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+
+
+def test_schedule_and_run_advances_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(5, fired.append, "b")
+    sim.run()
+    assert fired == ["b", "a"]
+    assert sim.now == 10
+
+
+def test_same_time_callbacks_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for i in range(20):
+        sim.schedule(7, fired.append, i)
+    sim.run()
+    assert fired == list(range(20))
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimTimeError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimTimeError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5, fired.append, "early")
+    sim.schedule(50, fired.append, "late")
+    sim.run(until=20)
+    assert fired == ["early"]
+    assert sim.now == 20
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(30, lambda: None)
+    sim.run()
+    with pytest.raises(SimTimeError):
+        sim.run(until=10)
+
+
+def test_cancelled_timer_does_not_fire():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(5, fired.append, "x")
+    timer.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_step_returns_false_on_empty_queue():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_pending_events_ignores_cancelled():
+    sim = Simulator()
+    keep = sim.schedule(1, lambda: None)
+    drop = sim.schedule(2, lambda: None)
+    drop.cancel()
+    assert sim.pending_events == 1
+    assert keep.cancelled is False
+
+
+def test_callbacks_can_schedule_more_work():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(10, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 30
+
+
+def test_deadlock_detected_when_process_blocks_forever():
+    sim = Simulator()
+    ev = Event(sim)
+
+    def waiter():
+        yield ev
+
+    sim.spawn(waiter())
+    with pytest.raises(DeadlockError):
+        sim.run()
+
+
+def test_delay_zero_is_legal_and_resumes_same_time():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        t = yield Delay(0)
+        seen.append((t, sim.now))
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [(0, 0)]

@@ -1,0 +1,129 @@
+"""Interrupt-mailbox event path tests."""
+
+import pytest
+
+from repro.cell import CellConfig, CellMachine
+from repro.libspe import Runtime, SpeProgram
+from repro.pdt import PdtHooks, TraceConfig
+
+
+def make(hooks=None):
+    machine = CellMachine(CellConfig(n_spes=1, main_memory_size=1 << 26))
+    return machine, Runtime(machine, hooks=hooks)
+
+
+def test_wait_interrupt_delivers_value_after_mmio_latency():
+    machine, rt = make()
+    got = []
+
+    def entry(spu, argp, envp):
+        yield from spu.compute(500)
+        yield from spu.write_out_intr_mbox(0x77)
+        return 0
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(SpeProgram("intr", entry))
+        proc = ctx.run_async()
+        value = yield from ctx.wait_interrupt()
+        got.append((value, machine.sim.now))
+        yield proc
+
+    machine.spawn(main())
+    machine.run()
+    value, t = got[0]
+    assert value == 0x77
+    assert t >= 500 + machine.config.mmio_latency
+
+
+def test_on_interrupt_handler_services_stream():
+    machine, rt = make()
+    handled = []
+
+    def entry(spu, argp, envp):
+        for i in range(4):
+            yield from spu.compute(200)
+            yield from spu.write_out_intr_mbox(i)
+        return 0
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(SpeProgram("intr", entry))
+        proc = ctx.run_async()
+
+        def handler(value):
+            handled.append((value, machine.sim.now))
+            return
+            yield
+
+        service = ctx.on_interrupt(handler, count=4)
+        yield service
+        yield proc
+
+    machine.spawn(main())
+    machine.run()
+    assert [v for (v, _) in handled] == [0, 1, 2, 3]
+    times = [t for (_, t) in handled]
+    assert times == sorted(times)
+
+
+def test_interrupt_traced_on_both_sides():
+    hooks = PdtHooks(TraceConfig())
+    machine, rt = make(hooks=hooks)
+
+    def entry(spu, argp, envp):
+        yield from spu.write_out_intr_mbox(9)
+        return 0
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(SpeProgram("intr", entry))
+        proc = ctx.run_async()
+        yield from ctx.wait_interrupt()
+        yield proc
+
+    machine.spawn(main())
+    machine.run()
+    trace = hooks.to_trace()
+    spe_writes = [
+        r for r in trace.records_for_spe(0)
+        if r.kind == "write_mbox_end" and r.fields.get("intr")
+    ]
+    assert len(spe_writes) == 1
+    received = [r for r in trace.ppe_records if r.kind == "intr_received"]
+    assert len(received) == 1
+    assert received[0].fields == {"spe": 0, "value": 9}
+
+
+def test_interrupt_handler_can_reply_via_mailbox():
+    """A request/response loop: SPE raises interrupt, PPE answers."""
+    machine, rt = make()
+
+    def entry(spu, argp, envp):
+        total = 0
+        for i in range(3):
+            yield from spu.write_out_intr_mbox(i)
+            total += yield from spu.read_in_mbox()
+        return total
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(SpeProgram("rpc", entry))
+        proc = ctx.run_async()
+
+        def handler(value):
+            yield from ctx.in_mbox_write(value * 10)
+
+        service = ctx.on_interrupt(handler, count=3)
+        yield service
+        code = yield proc
+        return code
+
+    out = {}
+
+    def wrap():
+        out["code"] = yield from main()
+
+    machine.spawn(wrap())
+    machine.run()
+    assert out["code"] == 0 + 10 + 20

@@ -1,0 +1,105 @@
+"""PPE-initiated (proxy) DMA through the context API."""
+
+from repro.cell import CellConfig, CellMachine
+from repro.libspe import Runtime, SpeProgram
+from repro.pdt import PdtHooks, TraceConfig
+
+
+def make(hooks=None):
+    machine = CellMachine(CellConfig(n_spes=1, main_memory_size=1 << 26))
+    return machine, Runtime(machine, hooks=hooks)
+
+
+def test_mfcio_get_loads_spe_ls_from_ppe():
+    machine, rt = make()
+    ea = machine.memory.allocate(256)
+    machine.memory.write(ea, b"\x5A" * 256)
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.mfcio_get(8192, ea, 256, tag=4)
+        return machine.spe(0).ls.read(8192, 256)
+
+    out = {}
+
+    def wrap():
+        out["data"] = yield from main()
+
+    machine.spawn(wrap())
+    machine.run()
+    assert out["data"] == b"\x5A" * 256
+
+
+def test_mfcio_put_reads_spe_ls_from_ppe():
+    machine, rt = make()
+    ea = machine.memory.allocate(128)
+    machine.spe(0).ls.write(0, b"\x21" * 128)
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.mfcio_put(0, ea, 128, tag=0)
+
+    machine.spawn(main())
+    machine.run()
+    assert machine.memory.read(ea, 128) == b"\x21" * 128
+
+
+def test_proxy_uses_proxy_queue_not_spu_queue():
+    machine, rt = make()
+    ea = machine.memory.allocate(256)
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.mfcio_get(0, ea, 256, tag=0)
+
+    machine.spawn(main())
+    machine.run()
+    mfc = machine.spe(0).mfc
+    assert mfc.stats.commands == 1
+    proxied = [c for c in mfc.completed_commands if "proxy" in c.issuer]
+    assert len(proxied) == 1
+
+
+def test_proxy_dma_traced_on_ppe_side():
+    hooks = PdtHooks(TraceConfig())
+    machine, rt = make(hooks=hooks)
+    ea = machine.memory.allocate(512)
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.mfcio_get(0, ea, 512, tag=7)
+        rt.finalize()
+
+    machine.spawn(main())
+    machine.run()
+    records = [r for r in hooks.to_trace().ppe_records if r.kind == "proxy_dma"]
+    assert len(records) == 1
+    assert records[0].fields == {"spe": 0, "direction": 0, "size": 512, "tag": 7}
+
+
+def test_proxy_dma_while_spe_program_runs():
+    """The proxy queue is independent of the SPU's own traffic."""
+    machine, rt = make()
+    ea_app = machine.memory.allocate(4096)
+    ea_ppe = machine.memory.allocate(256)
+    machine.memory.write(ea_ppe, b"\x33" * 256)
+
+    def entry(spu, argp, envp):
+        ls = spu.ls_alloc(4096)
+        for __ in range(4):
+            yield from spu.mfc_get(ls, argp, 4096, tag=0)
+            yield from spu.mfc_wait_tag(1 << 0)
+            yield from spu.compute(2000)
+        return 0
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(SpeProgram("busy", entry))
+        proc = ctx.run_async(argp=ea_app)
+        # Inject data into high LS while the program runs.
+        yield from ctx.mfcio_get(200 * 1024, ea_ppe, 256, tag=9)
+        yield proc
+
+    machine.spawn(main())
+    machine.run()
+    assert machine.spe(0).ls.read(200 * 1024, 256) == b"\x33" * 256

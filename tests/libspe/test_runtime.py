@@ -1,0 +1,262 @@
+"""Tests for the PPE-side runtime: contexts, load, run, mailboxes."""
+
+import pytest
+
+from repro.cell import CellConfig, CellMachine, SpuState
+from repro.libspe import Runtime, SpeContextError, SpeProgram, SpeProgramError
+from repro.libspe.runtime import ContextState
+
+
+def make(n_spes=2):
+    machine = CellMachine(CellConfig(n_spes=n_spes, main_memory_size=1 << 20))
+    return machine, Runtime(machine)
+
+
+def drive(machine, gen):
+    out = {}
+
+    def main():
+        out["result"] = yield from gen
+    machine.spawn(main())
+    machine.run()
+    return out.get("result")
+
+
+def noop_program():
+    def entry(spu, argp, envp):
+        yield from spu.compute(100)
+        return 7
+    return SpeProgram("noop", entry)
+
+
+def test_context_create_assigns_free_spes_in_order():
+    machine, rt = make(n_spes=2)
+
+    def main():
+        a = yield from rt.context_create()
+        b = yield from rt.context_create()
+        return (a.spe_id, b.spe_id)
+
+    assert drive(machine, main()) == (0, 1)
+
+
+def test_context_create_exhaustion():
+    machine, rt = make(n_spes=1)
+
+    def main():
+        yield from rt.context_create()
+        try:
+            yield from rt.context_create()
+        except SpeContextError:
+            return "exhausted"
+
+    assert drive(machine, main()) == "exhausted"
+
+
+def test_context_create_explicit_spe_conflict():
+    machine, rt = make(n_spes=2)
+
+    def main():
+        yield from rt.context_create(spe_id=1)
+        try:
+            yield from rt.context_create(spe_id=1)
+        except SpeContextError:
+            return "conflict"
+
+    assert drive(machine, main()) == "conflict"
+
+
+def test_run_returns_stop_code_and_sets_state():
+    machine, rt = make()
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(noop_program())
+        code = yield from ctx.run()
+        return (code, ctx.state)
+
+    code, state = drive(machine, main())
+    assert code == 7
+    assert state is ContextState.STOPPED
+
+
+def test_run_without_load_rejected():
+    machine, rt = make()
+
+    def main():
+        ctx = yield from rt.context_create()
+        try:
+            yield from ctx.run()
+        except SpeContextError:
+            return "rejected"
+
+    assert drive(machine, main()) == "rejected"
+
+
+def test_program_too_big_for_ls_rejected():
+    machine, rt = make()
+    big = SpeProgram("big", lambda spu, a, e: iter(()), ls_code_bytes=300 * 1024)
+
+    def main():
+        ctx = yield from rt.context_create()
+        try:
+            yield from ctx.load(big)
+        except SpeProgramError:
+            return "too big"
+
+    assert drive(machine, main()) == "too big"
+
+
+def test_run_async_models_thread_per_spe():
+    machine, rt = make(n_spes=2)
+
+    def entry(spu, argp, envp):
+        yield from spu.compute(1000)
+        return spu.spe_id
+
+    def main():
+        procs = []
+        for __ in range(2):
+            ctx = yield from rt.context_create()
+            yield from ctx.load(SpeProgram("w", entry))
+            procs.append(ctx.run_async())
+        codes = []
+        for proc in procs:
+            codes.append((yield proc))
+        return codes
+
+    assert drive(machine, main()) == [0, 1]
+    # Both SPEs ran concurrently: total time ~ one program, not two.
+    assert machine.sim.now < 2500
+
+
+def test_destroy_releases_spe():
+    machine, rt = make(n_spes=1)
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.destroy()
+        ctx2 = yield from rt.context_create()
+        return ctx2.spe_id
+
+    assert drive(machine, main()) == 0
+
+
+def test_destroy_running_context_rejected():
+    machine, rt = make()
+
+    def entry(spu, argp, envp):
+        value = yield from spu.read_in_mbox()
+        return value
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(SpeProgram("w", entry))
+        proc = ctx.run_async()
+        try:
+            yield from ctx.destroy()
+        except SpeContextError:
+            yield from ctx.in_mbox_write(3)
+            code = yield proc
+            return ("rejected", code)
+
+    assert drive(machine, main()) == ("rejected", 3)
+
+
+def test_mailbox_round_trip_ppe_to_spe_and_back():
+    machine, rt = make()
+
+    def entry(spu, argp, envp):
+        value = yield from spu.read_in_mbox()
+        yield from spu.compute(100)
+        yield from spu.write_out_mbox(value * 2)
+        return 0
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(SpeProgram("echo", entry))
+        proc = ctx.run_async()
+        yield from ctx.in_mbox_write(21)
+        reply = yield from ctx.out_mbox_read()
+        yield proc
+        return reply
+
+    assert drive(machine, main()) == 42
+
+
+def test_out_mbox_read_nonblocking_returns_none():
+    machine, rt = make()
+
+    def main():
+        ctx = yield from rt.context_create()
+        value = yield from ctx.out_mbox_read(blocking=False)
+        return value
+
+    assert drive(machine, main()) is None
+
+
+def test_out_mbox_status_charges_mmio():
+    machine, rt = make()
+
+    def main():
+        ctx = yield from rt.context_create()
+        count = yield from ctx.out_mbox_status()
+        return count
+
+    assert drive(machine, main()) == 0
+    assert machine.ppe.mmio_accesses == 1
+
+
+def test_signal_write_reaches_spu():
+    machine, rt = make()
+
+    def entry(spu, argp, envp):
+        value = yield from spu.read_signal(1)
+        return value
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(SpeProgram("sig", entry))
+        proc = ctx.run_async()
+        yield from ctx.signal_write(1, 0b101)
+        code = yield proc
+        return code
+
+    assert drive(machine, main()) == 0b101
+
+
+def test_signal_register_validation():
+    machine, rt = make()
+
+    def main():
+        ctx = yield from rt.context_create()
+        try:
+            yield from ctx.signal_write(3, 1)
+        except SpeContextError:
+            return "bad register"
+
+    assert drive(machine, main()) == "bad register"
+
+
+def test_spu_state_ground_truth_during_mailbox_wait():
+    machine, rt = make()
+
+    def entry(spu, argp, envp):
+        yield from spu.compute(50)
+        value = yield from spu.read_in_mbox()  # blocks ~1000 cycles
+        return value
+
+    def main():
+        from repro.kernel import Delay
+
+        ctx = yield from rt.context_create()
+        yield from ctx.load(SpeProgram("waity", entry))
+        proc = ctx.run_async()
+        yield Delay(1000)
+        yield from ctx.in_mbox_write(1)
+        yield proc
+
+    drive(machine, main())
+    spe = machine.spe(0)
+    assert spe.track.totals[SpuState.WAIT_MBOX] > 800
+    assert spe.track.totals[SpuState.RUN] >= 50

@@ -1,0 +1,308 @@
+"""Tests for the SPU-side API: DMA, tag waits, hooks firing order."""
+
+import pytest
+
+from repro.cell import CellConfig, CellMachine, SpuState
+from repro.libspe import Runtime, RuntimeHooks, SpeProgram
+from repro.libspe.hooks import SpuEventKind
+
+
+def make(n_spes=1, hooks=None, **config_kw):
+    machine = CellMachine(
+        CellConfig(n_spes=n_spes, main_memory_size=1 << 20, **config_kw)
+    )
+    return machine, Runtime(machine, hooks=hooks)
+
+
+def run_program(machine, rt, entry, argp=0):
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(SpeProgram("t", entry))
+        code = yield from ctx.run(argp=argp)
+        return code
+
+    out = {}
+
+    def wrapper():
+        out["code"] = yield from main()
+
+    machine.spawn(wrapper())
+    machine.run()
+    return out["code"]
+
+
+def test_mfc_get_then_wait_moves_data():
+    machine, rt = make()
+    ea = machine.memory.allocate(256)
+    machine.memory.write(ea, bytes(range(256)))
+
+    def entry(spu, argp, envp):
+        yield from spu.mfc_get(ls_addr=0, ea=argp, size=256, tag=4)
+        yield from spu.mfc_wait_tag(1 << 4)
+        data = spu.ls_read(0, 256)
+        return 1 if data == bytes(range(256)) else 0
+
+    assert run_program(machine, rt, entry, argp=ea) == 1
+
+
+def test_mfc_put_writes_back():
+    machine, rt = make()
+    ea = machine.memory.allocate(128)
+
+    def entry(spu, argp, envp):
+        spu.ls_write(0, b"\x42" * 128)
+        yield from spu.mfc_put(ls_addr=0, ea=argp, size=128, tag=0)
+        yield from spu.mfc_wait_tag(1)
+        return 0
+
+    run_program(machine, rt, entry, argp=ea)
+    assert machine.memory.read(ea, 128) == b"\x42" * 128
+
+
+def test_tag_mask_channel_style_wait():
+    machine, rt = make()
+    ea = machine.memory.allocate(1024)
+
+    def entry(spu, argp, envp):
+        yield from spu.mfc_get(0, argp, 512, tag=2)
+        yield from spu.mfc_write_tag_mask(1 << 2)
+        status = yield from spu.mfc_read_tag_status_all()
+        return 1 if status & (1 << 2) else 0
+
+    assert run_program(machine, rt, entry, argp=ea) == 1
+
+
+def test_list_dma_via_api():
+    machine, rt = make()
+    eas = [machine.memory.allocate(64) for _ in range(3)]
+    for i, ea in enumerate(eas):
+        machine.memory.write(ea, bytes([0x10 + i]) * 64)
+
+    def entry(spu, argp, envp):
+        yield from spu.mfc_getl(0, [(ea, 64) for ea in eas], tag=1)
+        yield from spu.mfc_wait_tag(1 << 1)
+        blob = spu.ls_read(0, 192)
+        ok = all(blob[i * 64] == 0x10 + i for i in range(3))
+        return 1 if ok else 0
+
+    assert run_program(machine, rt, entry) == 1
+
+
+def test_fenced_and_barrier_variants_issue():
+    machine, rt = make()
+    ea = machine.memory.allocate(4096)
+
+    def entry(spu, argp, envp):
+        yield from spu.mfc_get(0, argp, 1024, tag=0)
+        yield from spu.mfc_getf(1024, argp, 1024, tag=0)
+        yield from spu.mfc_putb(0, argp, 1024, tag=1)
+        yield from spu.mfc_wait_tag(0b11)
+        return 0
+
+    run_program(machine, rt, entry, argp=ea)
+    kinds = [c.kind for c in machine.spe(0).mfc.completed_commands]
+    assert kinds == ["GET", "GETF", "PUTB"]
+
+
+def test_compute_advances_time_exactly():
+    machine, rt = make()
+
+    def entry(spu, argp, envp):
+        start = spu.now
+        yield from spu.compute(12345)
+        return spu.now - start
+
+    assert run_program(machine, rt, entry) == 12345
+
+
+def test_compute_rejects_negative():
+    machine, rt = make()
+
+    def entry(spu, argp, envp):
+        try:
+            yield from spu.compute(-1)
+        except ValueError:
+            return 99
+        return 0
+
+    assert run_program(machine, rt, entry) == 99
+
+
+def test_wait_dma_state_tracked():
+    machine, rt = make()
+    ea = machine.memory.allocate(16 * 1024)
+
+    def entry(spu, argp, envp):
+        yield from spu.mfc_get(0, argp, 16 * 1024, tag=0)
+        yield from spu.mfc_wait_tag(1)
+        return 0
+
+    run_program(machine, rt, entry, argp=ea)
+    assert machine.spe(0).track.totals[SpuState.WAIT_DMA] > 0
+
+
+class RecordingHooks(RuntimeHooks):
+    """Test double: records every hook invocation."""
+
+    def __init__(self):
+        self.spu_events = []
+        self.ppe_events = []
+        self.loaded = []
+        self.finalized = False
+
+    def spe_program_loaded(self, spu, program):
+        self.loaded.append((spu.spe_id, program.name))
+
+    def spu_event(self, spu, kind, fields):
+        self.spu_events.append((spu.sim.now, spu.spe_id, kind, dict(fields)))
+        return
+        yield
+
+    def ppe_event(self, kind, fields):
+        self.ppe_events.append((kind, dict(fields)))
+        return
+        yield
+
+    def finalize(self):
+        self.finalized = True
+
+
+def test_hooks_fire_in_program_order():
+    hooks = RecordingHooks()
+    machine, rt = make(hooks=hooks)
+    ea = machine.memory.allocate(1024)
+
+    def entry(spu, argp, envp):
+        yield from spu.mfc_get(0, argp, 512, tag=3)
+        yield from spu.mfc_wait_tag(1 << 3)
+        yield from spu.write_out_mbox(1)
+        return 0
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(SpeProgram("hooked", entry))
+        proc = ctx.run_async()
+        value = yield from ctx.out_mbox_read()
+        yield proc
+        rt.finalize()
+        return value
+
+    out = {}
+
+    def wrapper():
+        out["v"] = yield from main()
+
+    machine.spawn(wrapper())
+    machine.run()
+    assert out["v"] == 1
+
+    kinds = [kind for (_, _, kind, _) in hooks.spu_events]
+    assert kinds == [
+        SpuEventKind.SPE_ENTRY,
+        SpuEventKind.MFC_GET,
+        SpuEventKind.WAIT_TAG_BEGIN,
+        SpuEventKind.WAIT_TAG_END,
+        SpuEventKind.WRITE_MBOX_BEGIN,
+        SpuEventKind.WRITE_MBOX_END,
+        SpuEventKind.SPE_EXIT,
+    ]
+    # Timestamps are non-decreasing.
+    times = [t for (t, _, _, _) in hooks.spu_events]
+    assert times == sorted(times)
+    # The MFC_GET record carries its parameters.
+    __, __, __, fields = hooks.spu_events[1]
+    assert fields["tag"] == 3
+    assert fields["size"] == 512
+    assert hooks.loaded == [(0, "hooked")]
+    assert hooks.finalized
+
+
+def test_ppe_hooks_capture_context_lifecycle():
+    hooks = RecordingHooks()
+    machine, rt = make(hooks=hooks)
+
+    def entry(spu, argp, envp):
+        yield from spu.compute(10)
+        return 5
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(SpeProgram("life", entry))
+        yield from ctx.run()
+        yield from ctx.destroy()
+
+    machine.spawn(main())
+    machine.run()
+    kinds = [kind for (kind, _) in hooks.ppe_events]
+    assert kinds == [
+        "context_create",
+        "program_load",
+        "context_run_begin",
+        "context_run_end",
+        "context_destroy",
+    ]
+    run_end = dict(hooks.ppe_events)[("context_run_end")]
+    assert run_end["stop_code"] == 5
+
+
+def test_user_marker_reaches_hooks():
+    hooks = RecordingHooks()
+    machine, rt = make(hooks=hooks)
+
+    def entry(spu, argp, envp):
+        yield from spu.marker(0xBEEF)
+        return 0
+
+    run_program(machine, rt, entry)
+    markers = [f for (_, _, k, f) in hooks.spu_events if k == SpuEventKind.USER_MARKER]
+    assert markers == [{"value": 0xBEEF}]
+
+
+def test_read_decrementer_via_api():
+    machine, rt = make()
+
+    def entry(spu, argp, envp):
+        first = yield from spu.read_decrementer()
+        yield from spu.compute(machine.config.timebase_divider * 10)
+        second = yield from spu.read_decrementer()
+        return first - second
+
+    assert run_program(machine, rt, entry) == 10
+
+
+def test_signal_validation_in_api():
+    machine, rt = make()
+
+    def entry(spu, argp, envp):
+        try:
+            yield from spu.read_signal(3)
+        except ValueError:
+            return 1
+        return 0
+
+    assert run_program(machine, rt, entry) == 1
+
+
+def test_in_mbox_count_probe():
+    machine, rt = make()
+
+    def entry(spu, argp, envp):
+        count = yield from spu.in_mbox_count()
+        return count
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(SpeProgram("probe", entry))
+        yield from ctx.in_mbox_write(1)
+        yield from ctx.in_mbox_write(2)
+        code = yield from ctx.run()
+        return code
+
+    out = {}
+
+    def wrapper():
+        out["code"] = yield from main()
+
+    machine.spawn(wrapper())
+    machine.run()
+    assert out["code"] == 2

@@ -1,0 +1,193 @@
+"""Tests for the libsync-style atomic helpers and SPU atomic API."""
+
+import struct
+
+import pytest
+
+from repro.cell import CellConfig, CellMachine
+from repro.cell.atomic import LOCK_LINE
+from repro.libspe import Runtime, SpeProgram
+from repro.libspe.sync import (
+    atomic_add,
+    atomic_increment_bounded,
+    atomic_modify,
+    atomic_read,
+)
+from repro.pdt import PdtHooks, TraceConfig
+
+
+def run_programs(machine, rt, entries):
+    """entries: list of SPE entry functions; returns list of stop codes."""
+
+    def main():
+        contexts = []
+        for i, entry in enumerate(entries):
+            ctx = yield from rt.context_create()
+            yield from ctx.load(SpeProgram(f"p{i}", entry))
+            contexts.append(ctx)
+        procs = [ctx.run_async() for ctx in contexts]
+        codes = []
+        for proc in procs:
+            codes.append((yield proc))
+        return codes
+
+    out = {}
+
+    def wrap():
+        out["codes"] = yield from main()
+
+    machine.spawn(wrap())
+    machine.run()
+    return out["codes"]
+
+
+def test_atomic_read_and_add_single_spe():
+    machine = CellMachine(CellConfig(n_spes=1, main_memory_size=1 << 20))
+    rt = Runtime(machine)
+    line = machine.memory.allocate(LOCK_LINE, align=LOCK_LINE)
+    machine.memory.write(line, struct.pack("<I", 41) + bytes(LOCK_LINE - 4))
+
+    def entry(spu, argp, envp):
+        scratch = spu.ls_alloc(LOCK_LINE, align=LOCK_LINE)
+        old = yield from atomic_add(spu, scratch, line, 0, 1)
+        value = yield from atomic_read(spu, scratch, line, 0)
+        return old * 1000 + value
+
+    codes = run_programs(machine, rt, [entry])
+    assert codes == [41 * 1000 + 42]
+
+
+def test_atomic_add_contended_counts_exactly():
+    machine = CellMachine(CellConfig(n_spes=4, main_memory_size=1 << 20))
+    rt = Runtime(machine)
+    line = machine.memory.allocate(LOCK_LINE, align=LOCK_LINE)
+    increments_per_spe = 25
+
+    def make_entry():
+        def entry(spu, argp, envp):
+            scratch = spu.ls_alloc(LOCK_LINE, align=LOCK_LINE)
+            for __ in range(increments_per_spe):
+                yield from atomic_add(spu, scratch, line, 0, 1)
+                yield from spu.compute(50)
+            return 0
+
+        return entry
+
+    run_programs(machine, rt, [make_entry() for __ in range(4)])
+    (total,) = struct.unpack("<I", machine.memory.read(line, 4))
+    assert total == 4 * increments_per_spe
+    # Contention really happened (some PUTLLCs failed and retried).
+    station = machine.reservations
+    assert station.putllc_attempts >= 4 * increments_per_spe
+
+
+def test_atomic_increment_bounded_distributes_all_items_once():
+    machine = CellMachine(CellConfig(n_spes=3, main_memory_size=1 << 20))
+    rt = Runtime(machine)
+    line = machine.memory.allocate(LOCK_LINE, align=LOCK_LINE)
+    bound = 30
+    claimed = {i: [] for i in range(3)}
+
+    def make_entry(spe_id):
+        def entry(spu, argp, envp):
+            scratch = spu.ls_alloc(LOCK_LINE, align=LOCK_LINE)
+            while True:
+                item = yield from atomic_increment_bounded(
+                    spu, scratch, line, 0, bound
+                )
+                if item >= bound:
+                    return 0
+                claimed[spe_id].append(item)
+                yield from spu.compute(500)
+
+        return entry
+
+    run_programs(machine, rt, [make_entry(i) for i in range(3)])
+    all_items = sorted(item for items in claimed.values() for item in items)
+    assert all_items == list(range(bound))  # each item exactly once
+    assert all(claimed[i] for i in range(3))  # everyone got work
+
+
+def test_atomic_modify_returns_old_value():
+    machine = CellMachine(CellConfig(n_spes=1, main_memory_size=1 << 20))
+    rt = Runtime(machine)
+    line = machine.memory.allocate(LOCK_LINE, align=LOCK_LINE)
+    machine.memory.write(line + 8, struct.pack("<I", 7))
+
+    def entry(spu, argp, envp):
+        scratch = spu.ls_alloc(LOCK_LINE, align=LOCK_LINE)
+        old = yield from atomic_modify(spu, scratch, line, 8, lambda v: v * 3)
+        return old
+
+    assert run_programs(machine, rt, [entry]) == [7]
+    (value,) = struct.unpack("<I", machine.memory.read(line + 8, 4))
+    assert value == 21
+
+
+def test_sync_offset_validation():
+    machine = CellMachine(CellConfig(n_spes=1, main_memory_size=1 << 20))
+    rt = Runtime(machine)
+    line = machine.memory.allocate(LOCK_LINE, align=LOCK_LINE)
+
+    def entry(spu, argp, envp):
+        scratch = spu.ls_alloc(LOCK_LINE, align=LOCK_LINE)
+        try:
+            yield from atomic_read(spu, scratch, line, 3)
+        except ValueError:
+            return 1
+        return 0
+
+    assert run_programs(machine, rt, [entry]) == [1]
+
+
+def test_atomic_ops_are_traced():
+    machine = CellMachine(CellConfig(n_spes=1, main_memory_size=1 << 26))
+    hooks = PdtHooks(TraceConfig())
+    rt = Runtime(machine, hooks=hooks)
+    line = machine.memory.allocate(LOCK_LINE, align=LOCK_LINE)
+
+    def entry(spu, argp, envp):
+        scratch = spu.ls_alloc(LOCK_LINE, align=LOCK_LINE)
+        yield from atomic_add(spu, scratch, line, 0, 5)
+        return 0
+
+    run_programs(machine, rt, [entry])
+    kinds = [r.kind for r in hooks.to_trace().records_for_spe(0)]
+    assert "atomic_getllar" in kinds
+    putllcs = [
+        r for r in hooks.to_trace().records_for_spe(0)
+        if r.kind == "atomic_putllc"
+    ]
+    assert putllcs and putllcs[-1].fields["success"] == 1
+
+
+def test_spe_to_spe_dma_via_spu_api():
+    machine = CellMachine(CellConfig(n_spes=2, main_memory_size=1 << 20))
+    rt = Runtime(machine)
+
+    def sender(spu, argp, envp):
+        ls = spu.ls_alloc(256)
+        spu.ls_write(ls, b"\xEE" * 256)
+        # PUT straight into SPE 1's LS window at offset 8192.
+        target = spu.ls_base_ea(1) + 8192
+        yield from spu.mfc_put(ls, target, 256, tag=0)
+        yield from spu.mfc_wait_tag(1 << 0)
+        return 0
+
+    def idle(spu, argp, envp):
+        value = yield from spu.read_in_mbox()
+        return value
+
+    def main():
+        tx = yield from rt.context_create(spe_id=0)
+        rx = yield from rt.context_create(spe_id=1)
+        yield from tx.load(SpeProgram("tx", sender))
+        yield from rx.load(SpeProgram("rx", idle))
+        rx_proc = rx.run_async()
+        yield from tx.run()
+        yield from rx.in_mbox_write(1)
+        yield rx_proc
+
+    machine.spawn(main())
+    machine.run()
+    assert machine.spe(1).ls.read(8192, 256) == b"\xEE" * 256

@@ -1,0 +1,185 @@
+"""Virtual SPE contexts: more contexts than physical SPEs."""
+
+import pytest
+
+from repro.cell import CellConfig, CellMachine
+from repro.libspe import Runtime, SpeContextError, SpeProgram
+from repro.libspe.runtime import ContextState
+from repro.pdt import PdtHooks, TraceConfig
+
+
+def make(n_spes=2, hooks=None):
+    machine = CellMachine(CellConfig(n_spes=n_spes, main_memory_size=1 << 26))
+    return machine, Runtime(machine, hooks=hooks)
+
+
+def job_program(tag, cycles=1000):
+    def entry(spu, argp, envp):
+        yield from spu.compute(cycles)
+        return tag
+
+    return SpeProgram(f"job{tag}", entry)
+
+
+def run_virtual_jobs(machine, rt, n_jobs, cycles=1000):
+    """Create n virtual contexts, run them all, return stop codes."""
+    out = {}
+
+    def main():
+        contexts = []
+        for i in range(n_jobs):
+            ctx = yield from rt.context_create(virtual=True)
+            yield from ctx.load(job_program(i, cycles))
+            contexts.append(ctx)
+        procs = [ctx.run_async() for ctx in contexts]
+        codes = []
+        for proc in procs:
+            codes.append((yield proc))
+        out["codes"] = codes
+        out["contexts"] = contexts
+
+    machine.spawn(main())
+    machine.run()
+    return out
+
+
+def test_more_virtual_contexts_than_spes_all_complete():
+    machine, rt = make(n_spes=2)
+    out = run_virtual_jobs(machine, rt, n_jobs=6)
+    assert sorted(out["codes"]) == list(range(6))
+
+
+def test_virtual_contexts_time_multiplex_physical_spes():
+    machine, rt = make(n_spes=2)
+    out = run_virtual_jobs(machine, rt, n_jobs=6, cycles=10_000)
+    # With 2 SPEs and 6 jobs of 10k cycles, total time ~ 3 rounds.
+    assert machine.sim.now >= 3 * 10_000
+    # Each physical SPE ran several programs.
+    starts = [len(spe.program_starts) for spe in machine.spes]
+    assert sum(starts) == 6
+    assert all(count >= 1 for count in starts)
+
+
+def test_virtual_context_unbinds_after_run():
+    machine, rt = make(n_spes=1)
+    out = run_virtual_jobs(machine, rt, n_jobs=2)
+    for ctx in out["contexts"]:
+        assert not ctx.bound
+        assert ctx.spe_id is None
+        assert ctx.last_spe_id == 0
+        assert ctx.state is ContextState.STOPPED
+    assert rt._pool.free_count == 1
+
+
+def test_virtual_cannot_pin_spe_id():
+    machine, rt = make()
+
+    def main():
+        try:
+            yield from rt.context_create(spe_id=1, virtual=True)
+        except SpeContextError:
+            return "rejected"
+
+    out = {}
+
+    def wrap():
+        out["r"] = yield from main()
+
+    machine.spawn(wrap())
+    machine.run()
+    assert out["r"] == "rejected"
+
+
+def test_static_and_virtual_coexist():
+    machine, rt = make(n_spes=2)
+    out = {}
+
+    def main():
+        static = yield from rt.context_create(spe_id=0)
+        yield from static.load(job_program(100, cycles=50_000))
+        static_proc = static.run_async()
+        # Two virtual jobs share the one remaining SPE.
+        virtuals = []
+        for i in range(2):
+            ctx = yield from rt.context_create(virtual=True)
+            yield from ctx.load(job_program(i, cycles=5000))
+            virtuals.append(ctx)
+        procs = [ctx.run_async() for ctx in virtuals]
+        codes = []
+        for proc in procs:
+            codes.append((yield proc))
+        codes.append((yield static_proc))
+        out["codes"] = codes
+        out["virtual_spes"] = [ctx.last_spe_id for ctx in virtuals]
+
+    machine.spawn(main())
+    machine.run()
+    assert sorted(out["codes"]) == [0, 1, 100]
+    # Virtual jobs never touched the statically claimed SPE 0.
+    assert out["virtual_spes"] == [1, 1]
+
+
+def test_virtual_context_destroy_before_run():
+    machine, rt = make()
+
+    def main():
+        ctx = yield from rt.context_create(virtual=True)
+        yield from ctx.destroy()
+        return ctx.state
+
+    out = {}
+
+    def wrap():
+        out["state"] = yield from main()
+
+    machine.spawn(wrap())
+    machine.run()
+    assert out["state"] is ContextState.DESTROYED
+
+
+def test_virtual_contexts_traced_with_ls_rebinding():
+    """Tracing survives SPE re-provisioning between virtual runs."""
+    hooks = PdtHooks(TraceConfig())
+    machine, rt = make(n_spes=1, hooks=hooks)
+    out = run_virtual_jobs(machine, rt, n_jobs=3)
+    assert sorted(out["codes"]) == [0, 1, 2]
+    trace = hooks.to_trace()
+    stream = trace.records_for_spe(0)
+    # One stream for the physical SPE: 3 entry/exit pairs in order.
+    entries = [r for r in stream if r.kind == "spe_entry"]
+    exits = [r for r in stream if r.kind == "spe_exit"]
+    assert len(entries) == len(exits) == 3
+    trace.validate()  # sequence numbers stayed monotone across rebinds
+    # PPE lifecycle shows the virtual creations (-1) then bound runs.
+    creates = [r for r in trace.ppe_records if r.kind == "context_create"]
+    assert all(r.fields["spe"] == -1 for r in creates)
+    run_begins = [r for r in trace.ppe_records if r.kind == "context_run_begin"]
+    assert all(r.fields["spe"] == 0 for r in run_begins)
+
+
+def test_virtual_run_reuses_ls_after_reset():
+    """The second virtual job gets a full LS despite the first one's
+    allocations (reset reclaims everything)."""
+    machine, rt = make(n_spes=1)
+
+    def hungry(tag):
+        def entry(spu, argp, envp):
+            spu.ls_alloc(180 * 1024)  # most of the LS
+            yield from spu.compute(100)
+            return tag
+
+        return SpeProgram(f"hungry{tag}", entry, ls_code_bytes=16 * 1024)
+
+    out = {}
+
+    def main():
+        codes = []
+        for i in range(2):
+            ctx = yield from rt.context_create(virtual=True)
+            yield from ctx.load(hungry(i))
+            codes.append((yield from ctx.run()))
+        out["codes"] = codes
+
+    machine.spawn(main())
+    machine.run()
+    assert out["codes"] == [0, 1]

@@ -1,0 +1,149 @@
+"""Codec tests: fixed layouts plus property-based round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pdt.codec import decode_record, decode_stream, encode_record, record_size
+from repro.pdt.events import (
+    EVENT_SPECS,
+    SIDE_PPE,
+    SIDE_SPE,
+    TraceRecord,
+    code_for_kind,
+    spec_for_code,
+)
+
+
+def test_record_size_is_16_byte_multiple():
+    for n in range(8):
+        assert record_size(n) % 16 == 0
+        assert record_size(n) >= 16 + 8 * n
+
+
+def test_encode_length_matches_record_size():
+    spec = code_for_kind(SIDE_SPE, "mfc_get")
+    record = TraceRecord.from_values(
+        SIDE_SPE, spec.code, 3, 17, 12345, [1, 4096, 0, 1 << 20, 0, 0]
+    )
+    assert len(encode_record(record)) == record_size(len(spec.fields))
+
+
+def test_round_trip_preserves_everything():
+    spec = code_for_kind(SIDE_PPE, "out_mbox_read_end")
+    record = TraceRecord.from_values(SIDE_PPE, spec.code, 0, 9, 777, [2, -1])
+    decoded, offset = decode_record(encode_record(record), 0)
+    assert decoded.side == record.side
+    assert decoded.code == record.code
+    assert decoded.core == record.core
+    assert decoded.seq == record.seq
+    assert decoded.raw_ts == record.raw_ts
+    assert decoded.fields == {"spe": 2, "value": -1}
+    assert offset == record_size(2)
+
+
+def test_truth_time_not_serialized():
+    spec = code_for_kind(SIDE_SPE, "spe_exit")
+    record = TraceRecord.from_values(SIDE_SPE, spec.code, 0, 0, 1, [])
+    record.truth_time = 4242
+    decoded, __ = decode_record(encode_record(record), 0)
+    assert decoded.truth_time == -1
+
+
+def test_decode_truncated_prefix_raises():
+    with pytest.raises(ValueError, match="truncated"):
+        decode_record(b"\x01\x01\x00", 0)
+
+
+def test_decode_truncated_body_raises():
+    spec = code_for_kind(SIDE_SPE, "mfc_get")
+    blob = encode_record(
+        TraceRecord.from_values(SIDE_SPE, spec.code, 0, 0, 0, [0] * 6)
+    )
+    with pytest.raises(ValueError, match="truncated"):
+        decode_record(blob[:20], 0)
+
+
+def test_decode_unknown_code_raises():
+    blob = bytes([1, 0xEE]) + bytes(14)
+    with pytest.raises(KeyError, match="unknown trace record"):
+        decode_record(blob, 0)
+
+
+def test_decode_stream_walks_heterogeneous_records():
+    records = [
+        TraceRecord.from_values(SIDE_SPE, code_for_kind(SIDE_SPE, "spe_entry").code,
+                                1, 0, 100, [64, 0]),
+        TraceRecord.from_values(SIDE_SPE, code_for_kind(SIDE_SPE, "wait_tag_begin").code,
+                                1, 1, 99, [0b10, 0]),
+        TraceRecord.from_values(SIDE_SPE, code_for_kind(SIDE_SPE, "spe_exit").code,
+                                1, 2, 98, []),
+    ]
+    blob = b"".join(encode_record(r) for r in records)
+    decoded, end = decode_stream(blob, 3)
+    assert end == len(blob)
+    assert [r.kind for r in decoded] == ["spe_entry", "wait_tag_begin", "spe_exit"]
+
+
+# ----------------------------------------------------------------------
+# property-based round-trip over the whole taxonomy
+# ----------------------------------------------------------------------
+_ALL_SPECS = sorted(EVENT_SPECS.values(), key=lambda s: (s.side, s.code))
+
+u32 = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+i64 = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+
+
+@given(
+    spec_index=st.integers(min_value=0, max_value=len(_ALL_SPECS) - 1),
+    core=st.integers(min_value=0, max_value=15),
+    seq=u32,
+    raw_ts=u64,
+    data=st.data(),
+)
+def test_property_round_trip_any_record(spec_index, core, seq, raw_ts, data):
+    spec = _ALL_SPECS[spec_index]
+    values = [data.draw(i64) for __ in spec.fields]
+    record = TraceRecord.from_values(spec.side, spec.code, core, seq, raw_ts, values)
+    decoded, offset = decode_record(encode_record(record), 0)
+    assert decoded == TraceRecord(
+        side=spec.side, code=spec.code, core=core, seq=seq, raw_ts=raw_ts,
+        fields=dict(zip(spec.fields, values)),
+    )
+    assert offset % 16 == 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=len(_ALL_SPECS) - 1),
+                min_size=0, max_size=30))
+def test_property_stream_concatenation(spec_indices):
+    records = [
+        TraceRecord.from_values(
+            _ALL_SPECS[i].side, _ALL_SPECS[i].code, 0, seq, seq * 10,
+            [seq] * len(_ALL_SPECS[i].fields),
+        )
+        for seq, i in enumerate(spec_indices)
+    ]
+    blob = b"".join(encode_record(r) for r in records)
+    decoded, end = decode_stream(blob, len(records))
+    assert end == len(blob)
+    assert [(r.side, r.code, r.seq) for r in decoded] == [
+        (r.side, r.code, r.seq) for r in records
+    ]
+
+
+def test_spec_table_has_no_code_collisions():
+    seen = set()
+    for spec in _ALL_SPECS:
+        key = (spec.side, spec.code)
+        assert key not in seen
+        seen.add(key)
+    # And lookups agree both ways.
+    for spec in _ALL_SPECS:
+        assert spec_for_code(spec.side, spec.code) is spec
+        assert code_for_kind(spec.side, spec.kind) is spec
+
+
+def test_from_values_field_count_mismatch():
+    spec = code_for_kind(SIDE_SPE, "mfc_get")
+    with pytest.raises(ValueError, match="expected 6 fields"):
+        TraceRecord.from_values(SIDE_SPE, spec.code, 0, 0, 0, [1, 2])

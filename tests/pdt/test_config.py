@@ -1,0 +1,56 @@
+"""Tests for the tracing configuration."""
+
+import pytest
+
+from repro.pdt import TraceConfig
+from repro.pdt import events as ev
+
+
+def test_default_traces_all_user_groups():
+    config = TraceConfig()
+    for group in (ev.GROUP_LIFECYCLE, ev.GROUP_DMA, ev.GROUP_MAILBOX,
+                  ev.GROUP_SIGNAL, ev.GROUP_USER):
+        assert config.enabled(group)
+
+
+def test_sync_always_enabled():
+    config = TraceConfig.lifecycle_only()
+    assert config.enabled(ev.GROUP_SYNC)
+
+
+def test_dma_only_preset():
+    config = TraceConfig.dma_only()
+    assert config.enabled(ev.GROUP_DMA)
+    assert config.enabled(ev.GROUP_LIFECYCLE)
+    assert not config.enabled(ev.GROUP_MAILBOX)
+    assert not config.enabled(ev.GROUP_USER)
+
+
+def test_unknown_group_rejected():
+    with pytest.raises(ValueError, match="unknown event groups"):
+        TraceConfig(groups=frozenset({"telepathy"}))
+
+
+def test_buffer_size_validation():
+    with pytest.raises(ValueError):
+        TraceConfig(buffer_bytes=100)
+    with pytest.raises(ValueError):
+        TraceConfig(buffer_bytes=1000)  # not a multiple of 32
+    TraceConfig(buffer_bytes=1024)  # fine
+
+
+def test_flush_tag_validation():
+    with pytest.raises(ValueError):
+        TraceConfig(flush_tag=32)
+
+
+def test_groups_bitmap_round_trip():
+    config = TraceConfig.dma_only()
+    bitmap = config.groups_bitmap()
+    assert TraceConfig.groups_from_bitmap(bitmap) == config.groups
+
+
+def test_presets_accept_overrides():
+    config = TraceConfig.dma_only(buffer_bytes=4096, double_buffered=False)
+    assert config.buffer_bytes == 4096
+    assert not config.double_buffered

@@ -1,0 +1,99 @@
+"""XML configuration file tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pdt import TraceConfig
+from repro.pdt import events as ev
+from repro.pdt.configfile import (
+    ConfigFileError,
+    config_from_xml,
+    config_to_xml,
+    load_config,
+    save_config,
+)
+
+
+def test_round_trip_default_config():
+    config = TraceConfig()
+    assert config_from_xml(config_to_xml(config)) == config
+
+
+def test_round_trip_exotic_config():
+    config = TraceConfig.dma_only(
+        buffer_bytes=2048,
+        double_buffered=False,
+        wrap=True,
+        spu_record_cycles=99,
+        ppe_record_cycles=555,
+        trace_region_bytes=1 << 16,
+        flush_tag=29,
+        spe_filter=frozenset({0, 3, 5}),
+    )
+    assert config_from_xml(config_to_xml(config)) == config
+
+
+def test_file_round_trip(tmp_path):
+    path = str(tmp_path / "pdt.xml")
+    config = TraceConfig.lifecycle_only(buffer_bytes=4096)
+    save_config(config, path)
+    assert load_config(path) == config
+
+
+def test_partial_document_uses_defaults():
+    config = config_from_xml('<pdt version="1"><buffer bytes="2048"/></pdt>')
+    assert config.buffer_bytes == 2048
+    assert config.double_buffered is True  # default preserved
+    assert config.groups == TraceConfig().groups
+
+
+def test_malformed_xml_rejected():
+    with pytest.raises(ConfigFileError, match="not valid XML"):
+        config_from_xml("<pdt><groups")
+
+
+def test_wrong_root_rejected():
+    with pytest.raises(ConfigFileError, match="root element"):
+        config_from_xml("<tracer/>")
+
+
+def test_unknown_group_rejected():
+    with pytest.raises(ConfigFileError, match="unknown event group"):
+        config_from_xml('<pdt><groups telepathy="true"/></pdt>')
+
+
+def test_bad_bool_rejected():
+    with pytest.raises(ConfigFileError, match="'true' or 'false'"):
+        config_from_xml('<pdt><groups dma="yes"/></pdt>')
+
+
+def test_bad_int_rejected():
+    with pytest.raises(ConfigFileError, match="must be an integer"):
+        config_from_xml('<pdt><buffer bytes="lots"/></pdt>')
+
+
+def test_invalid_values_surface_as_config_errors():
+    with pytest.raises(ConfigFileError, match="buffer_bytes"):
+        config_from_xml('<pdt><buffer bytes="100"/></pdt>')
+
+
+user_groups = sorted(g for g in ev.ALL_GROUPS if g != ev.GROUP_SYNC)
+
+
+@settings(max_examples=50)
+@given(
+    groups=st.sets(st.sampled_from(user_groups)),
+    buffer_kib=st.sampled_from([1, 2, 4, 16, 64]),
+    double=st.booleans(),
+    wrap=st.booleans(),
+    spu_cost=st.integers(min_value=1, max_value=10_000),
+)
+def test_property_any_config_round_trips(groups, buffer_kib, double, wrap, spu_cost):
+    config = TraceConfig(
+        groups=frozenset(groups),
+        buffer_bytes=buffer_kib * 1024,
+        double_buffered=double,
+        wrap=wrap,
+        spu_record_cycles=spu_cost,
+    )
+    assert config_from_xml(config_to_xml(config)) == config

@@ -1,0 +1,145 @@
+"""Clock-correlation tests: recovering one timeline from raw clocks."""
+
+import pytest
+
+from repro.cell import CellConfig
+from repro.pdt import ClockCorrelator, CorrelatedTrace, TraceConfig
+from repro.pdt.correlate import CorrelationError, correlation_errors
+from repro.pdt.events import SIDE_PPE, SIDE_SPE
+
+from tests.pdt.util import dma_loop_program, run_workload, traced_machine
+
+
+def traced_run(cell_config=None, iterations=10, n_spes=2, trace_config=None,
+               compute=2000):
+    machine, rt, hooks = traced_machine(
+        trace_config or TraceConfig(buffer_bytes=1024), cell_config=cell_config
+    )
+    run_workload(
+        machine, rt,
+        dma_loop_program(iterations=iterations, compute=compute),
+        n_spes=n_spes,
+    )
+    return machine, hooks.to_trace()
+
+
+def skewed_config(n_spes=2):
+    return CellConfig(
+        n_spes=n_spes, main_memory_size=1 << 26
+    ).with_skewed_clocks(
+        offsets=[1_000 * (i + 1) for i in range(n_spes)],
+        drifts_ppm=[50.0 * i for i in range(n_spes)],
+    )
+
+
+def test_fit_exists_per_spe_with_sync_counts():
+    __, trace = traced_run()
+    correlator = ClockCorrelator(trace)
+    assert sorted(correlator.fits) == [0, 1]
+    for fit in correlator.fits.values():
+        assert fit.n_sync >= 2  # entry + flushes + exit
+
+
+def test_fit_recovers_nominal_period_without_drift():
+    __, trace = traced_run()
+    correlator = ClockCorrelator(trace)
+    for fit in correlator.fits.values():
+        assert fit.cycles_per_tick == pytest.approx(120, rel=0.01)
+
+
+def test_fit_recovers_drifting_period():
+    # Drift is tiny per tick, so give the fit a long horizon (~100M
+    # cycles) over which the accumulated skew dwarfs clock quantization.
+    config = CellConfig(n_spes=2, main_memory_size=1 << 26).with_skewed_clocks(
+        offsets=[0, 1000], drifts_ppm=[0.0, 500.0]
+    )
+    __, trace = traced_run(cell_config=config, iterations=50, compute=2_000_000)
+    correlator = ClockCorrelator(trace)
+    # SPE 1 has +500 ppm drift -> period ~120.06 cycles/tick.
+    fit = correlator.fits[1]
+    assert fit.cycles_per_tick == pytest.approx(120 * 1.0005, rel=1e-4)
+    assert correlator.fits[0].cycles_per_tick == pytest.approx(120, rel=1e-4)
+
+
+def test_placement_error_bounded_by_clock_granularity():
+    machine, trace = traced_run(cell_config=skewed_config(), iterations=20)
+    placed = CorrelatedTrace.build(trace).placed
+    errors = correlation_errors(placed)
+    assert errors, "expected ground-truth annotations in-memory"
+    divider = machine.config.timebase_divider
+    # Placement error stays within a few clock ticks.
+    assert max(errors) <= 4 * divider
+
+
+def test_per_core_streams_stay_monotone_after_placement():
+    __, trace = traced_run(cell_config=skewed_config())
+    corr = CorrelatedTrace.build(trace)
+    for spe_id in (0, 1):
+        times = [p.time for p in corr.spe_stream(spe_id)]
+        assert times == sorted(times)
+    ppe_times = [p.time for p in corr.ppe_stream]
+    assert ppe_times == sorted(ppe_times)
+
+
+def test_cross_core_ordering_mostly_preserved():
+    """Mailbox causality: SPE exit records precede PPE run_end records."""
+    __, trace = traced_run()
+    corr = CorrelatedTrace.build(trace)
+    exits = [p.time for p in corr.placed if p.kind == "spe_exit"]
+    run_ends = [p.time for p in corr.placed if p.kind == "context_run_end"]
+    assert len(exits) == len(run_ends) == 2
+    # Every run_end happens at-or-after the earliest exit (loose but
+    # meaningful given clock quantization).
+    assert min(run_ends) >= min(exits) - 120
+
+
+def test_ppe_records_placed_at_timebase_resolution():
+    __, trace = traced_run()
+    correlator = ClockCorrelator(trace)
+    for record in trace.ppe_records:
+        assert correlator.place(record) == record.raw_ts * 120
+
+
+def test_missing_sync_records_raise():
+    __, trace = traced_run()
+    # Strip all sync records from SPE 0.
+    trace.spe_records[0] = [r for r in trace.spe_records[0] if r.kind != "sync"]
+    with pytest.raises(CorrelationError, match="no sync records"):
+        ClockCorrelator(trace)
+
+
+def test_single_sync_record_falls_back_to_nominal_period():
+    __, trace = traced_run()
+    syncs = [r for r in trace.spe_records[0] if r.kind == "sync"]
+    trace.spe_records[0] = [
+        r for r in trace.spe_records[0] if r.kind != "sync" or r is syncs[0]
+    ]
+    correlator = ClockCorrelator(trace)
+    assert correlator.fits[0].cycles_per_tick == 120
+    assert correlator.fits[0].n_sync == 1
+
+
+def test_correlation_survives_file_round_trip(tmp_path):
+    from repro.pdt import read_trace, write_trace
+
+    __, trace = traced_run(cell_config=skewed_config())
+    path = str(tmp_path / "t.pdt")
+    write_trace(trace, path)
+    restored = read_trace(path)
+    a = ClockCorrelator(trace)
+    b = ClockCorrelator(restored)
+    for spe_id in a.fits:
+        assert b.fits[spe_id].cycles_per_tick == pytest.approx(
+            a.fits[spe_id].cycles_per_tick
+        )
+        assert b.fits[spe_id].intercept == pytest.approx(a.fits[spe_id].intercept)
+
+
+def test_placed_records_sorted_and_stable():
+    __, trace = traced_run(n_spes=2)
+    corr = CorrelatedTrace.build(trace)
+    keys = [
+        (p.time, p.record.side, p.record.core, p.record.seq) for p in corr.placed
+    ]
+    assert keys == sorted(keys)
+    assert len(corr.placed) == trace.n_records

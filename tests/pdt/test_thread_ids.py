@@ -1,0 +1,75 @@
+"""PPE records carry the producing thread id (PDT feature)."""
+
+from repro.cell import CellConfig, CellMachine
+from repro.libspe import Runtime, SpeProgram
+from repro.pdt import PdtHooks, TraceConfig
+
+
+def test_ppe_records_tag_producing_thread():
+    machine = CellMachine(CellConfig(n_spes=2, main_memory_size=1 << 26))
+    hooks = PdtHooks(TraceConfig())
+    rt = Runtime(machine, hooks=hooks)
+
+    def entry(spu, argp, envp):
+        yield from spu.compute(100)
+        yield from spu.write_out_mbox(0)
+        return 0
+
+    def main():
+        contexts = []
+        for __ in range(2):
+            ctx = yield from rt.context_create()
+            yield from ctx.load(SpeProgram("t", entry))
+            contexts.append(ctx)
+        # run_async spawns a distinct PPE thread per context; each
+        # thread produces its own run_begin/run_end records.
+        procs = [ctx.run_async() for ctx in contexts]
+        for ctx in contexts:
+            yield from ctx.out_mbox_read()
+        for proc in procs:
+            yield proc
+
+    machine.spawn(main())
+    machine.run()
+    records = hooks.to_trace().ppe_records
+    # Creation/load happened on the main thread; the run begin/end
+    # pairs happened on two distinct spawned threads.
+    run_threads = {
+        r.core for r in records if r.kind in ("context_run_begin", "context_run_end")
+    }
+    main_threads = {r.core for r in records if r.kind == "context_create"}
+    assert len(run_threads) == 2
+    assert len(main_threads) == 1
+    assert run_threads.isdisjoint(main_threads)
+    # Per-run pairing: begin and end of the same SPE share a thread.
+    by_spe = {}
+    for r in records:
+        if r.kind in ("context_run_begin", "context_run_end"):
+            by_spe.setdefault(r.fields["spe"], set()).add(r.core)
+    assert all(len(threads) == 1 for threads in by_spe.values())
+
+
+def test_thread_ids_survive_file_round_trip(tmp_path):
+    from repro.pdt import read_trace, write_trace
+
+    machine = CellMachine(CellConfig(n_spes=1, main_memory_size=1 << 26))
+    hooks = PdtHooks(TraceConfig())
+    rt = Runtime(machine, hooks=hooks)
+
+    def entry(spu, argp, envp):
+        yield from spu.compute(10)
+        return 0
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(SpeProgram("t", entry))
+        yield from ctx.run()
+
+    machine.spawn(main())
+    machine.run()
+    path = str(tmp_path / "t.pdt")
+    write_trace(hooks.to_trace(), path)
+    restored = read_trace(path)
+    original_cores = [r.core for r in hooks.to_trace().ppe_records]
+    assert [r.core for r in restored.ppe_records] == original_cores
+    assert any(core != 0 for core in original_cores)

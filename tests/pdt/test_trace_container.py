@@ -1,0 +1,75 @@
+"""Trace container edge cases."""
+
+import pytest
+
+from repro.pdt import Trace, TraceHeader
+from repro.pdt.events import SIDE_PPE, SIDE_SPE, TraceRecord, code_for_kind
+from repro.ta import analyze
+from repro.ta.stats import TraceStatistics
+
+
+def make_trace():
+    return Trace(header=TraceHeader(
+        n_spes=2, timebase_divider=120, spu_clock_hz=3.2e9,
+        groups_bitmap=0b111111, buffer_bytes=16384,
+    ))
+
+
+def marker(core, seq, raw_ts=100):
+    spec = code_for_kind(SIDE_SPE, "user_marker")
+    return TraceRecord.from_values(SIDE_SPE, spec.code, core, seq, raw_ts, [seq])
+
+
+def test_add_routes_by_side():
+    trace = make_trace()
+    trace.add(marker(1, 0))
+    ppe_spec = code_for_kind(SIDE_PPE, "context_create")
+    trace.add(TraceRecord.from_values(SIDE_PPE, ppe_spec.code, 0, 0, 1, [1]))
+    assert len(trace.records_for_spe(1)) == 1
+    assert len(trace.ppe_records) == 1
+    assert trace.n_records == 2
+
+
+def test_add_invalid_side_rejected():
+    trace = make_trace()
+    record = marker(0, 0)
+    record.side = 7
+    with pytest.raises(ValueError, match="invalid side"):
+        trace.add(record)
+
+
+def test_validate_rejects_out_of_order_seq():
+    trace = make_trace()
+    trace.add(marker(0, 5))
+    trace.add(marker(0, 3))
+    with pytest.raises(ValueError, match="sequence order"):
+        trace.validate()
+
+
+def test_validate_rejects_duplicate_seq():
+    trace = make_trace()
+    trace.add(marker(0, 2))
+    trace.add(marker(0, 2))
+    with pytest.raises(ValueError, match="sequence order"):
+        trace.validate()
+
+
+def test_all_records_ppe_first_then_spes_by_id():
+    trace = make_trace()
+    trace.add(marker(1, 0))
+    trace.add(marker(0, 0))
+    ppe_spec = code_for_kind(SIDE_PPE, "context_create")
+    trace.add(TraceRecord.from_values(SIDE_PPE, ppe_spec.code, 0, 0, 1, [0]))
+    order = [(r.side, r.core) for r in trace.all_records()]
+    assert order == [(SIDE_PPE, 0), (SIDE_SPE, 0), (SIDE_SPE, 1)]
+
+
+def test_empty_trace_analyzes_to_empty_model():
+    model = analyze(make_trace())
+    assert model.cores == {}
+    assert model.ppe_runs == []
+    assert model.t_start == 0 and model.t_end == 0
+    stats = TraceStatistics.from_model(model)
+    assert stats.n_spes == 0
+    assert stats.imbalance_factor == 1.0
+    assert stats.summary_rows() == []

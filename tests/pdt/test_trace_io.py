@@ -1,0 +1,135 @@
+"""Trace file round-trip tests, including property-based ones."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pdt import Trace, TraceHeader, read_trace, write_trace
+from repro.pdt.events import SIDE_PPE, SIDE_SPE, TraceRecord, code_for_kind
+from repro.pdt.reader import TraceFormatError
+from repro.pdt.writer import trace_to_bytes
+
+from tests.pdt.util import dma_loop_program, run_workload, traced_machine
+
+
+def small_trace():
+    header = TraceHeader(
+        n_spes=2, timebase_divider=120, spu_clock_hz=3.2e9,
+        groups_bitmap=0b111111, buffer_bytes=16384,
+    )
+    trace = Trace(header=header)
+    ppe_spec = code_for_kind(SIDE_PPE, "context_create")
+    trace.add(TraceRecord.from_values(SIDE_PPE, ppe_spec.code, 0, 0, 5, [1]))
+    spu_spec = code_for_kind(SIDE_SPE, "mfc_get")
+    trace.add(TraceRecord.from_values(
+        SIDE_SPE, spu_spec.code, 1, 0, 0xFFFF_0000, [2, 4096, 0, 128, 0, 0]
+    ))
+    return trace
+
+
+def test_round_trip_in_memory():
+    trace = small_trace()
+    restored = read_trace(trace_to_bytes(trace))
+    assert restored.header == trace.header
+    assert restored.n_records == trace.n_records
+    assert restored.ppe_records[0].fields == {"spe": 1}
+    assert restored.records_for_spe(1)[0].fields["size"] == 4096
+
+
+def test_round_trip_via_file(tmp_path):
+    trace = small_trace()
+    path = str(tmp_path / "run.pdt")
+    n = write_trace(trace, path)
+    assert n > 0
+    restored = read_trace(path)
+    assert restored.n_records == trace.n_records
+
+
+def test_real_workload_trace_round_trips(tmp_path):
+    machine, rt, hooks = traced_machine()
+    run_workload(machine, rt, dma_loop_program(iterations=6), n_spes=2)
+    trace = hooks.to_trace()
+    path = str(tmp_path / "workload.pdt")
+    write_trace(trace, path)
+    restored = read_trace(path)
+    assert restored.n_records == trace.n_records
+    for spe_id in (0, 1):
+        original = trace.records_for_spe(spe_id)
+        loaded = restored.records_for_spe(spe_id)
+        assert [r.kind for r in original] == [r.kind for r in loaded]
+        assert [r.raw_ts for r in original] == [r.raw_ts for r in loaded]
+        assert [r.fields for r in original] == [r.fields for r in loaded]
+
+
+def test_bad_magic_rejected():
+    blob = bytearray(trace_to_bytes(small_trace()))
+    blob[:4] = b"NOPE"
+    with pytest.raises(TraceFormatError, match="bad magic"):
+        read_trace(bytes(blob))
+
+
+def test_truncated_file_rejected():
+    blob = trace_to_bytes(small_trace())
+    with pytest.raises(TraceFormatError):
+        read_trace(blob[: len(blob) - 8])
+    with pytest.raises(TraceFormatError):
+        read_trace(blob[:10])
+
+
+def test_unsupported_version_rejected():
+    trace = small_trace()
+    trace.header.version = 9
+    with pytest.raises(TraceFormatError, match="version"):
+        read_trace(trace_to_bytes(trace))
+
+
+def test_reader_accepts_file_object():
+    blob = trace_to_bytes(small_trace())
+    restored = read_trace(io.BytesIO(blob))
+    assert restored.n_records == 2
+
+
+def test_empty_trace_round_trips():
+    header = TraceHeader(
+        n_spes=8, timebase_divider=120, spu_clock_hz=3.2e9,
+        groups_bitmap=0, buffer_bytes=16384,
+    )
+    restored = read_trace(trace_to_bytes(Trace(header=header)))
+    assert restored.n_records == 0
+    assert restored.header.n_spes == 8
+
+
+@settings(max_examples=30)
+@given(
+    n_ppe=st.integers(min_value=0, max_value=20),
+    spe_sizes=st.dictionaries(
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=1, max_value=20),
+        max_size=4,
+    ),
+)
+def test_property_synthetic_traces_round_trip(n_ppe, spe_sizes):
+    header = TraceHeader(
+        n_spes=8, timebase_divider=120, spu_clock_hz=3.2e9,
+        groups_bitmap=0b111111, buffer_bytes=16384,
+    )
+    trace = Trace(header=header)
+    ppe_spec = code_for_kind(SIDE_PPE, "in_mbox_write")
+    for seq in range(n_ppe):
+        trace.add(TraceRecord.from_values(
+            SIDE_PPE, ppe_spec.code, 0, seq, seq * 100, [seq % 8, seq]
+        ))
+    marker = code_for_kind(SIDE_SPE, "user_marker")
+    for spe_id, count in spe_sizes.items():
+        for seq in range(count):
+            trace.add(TraceRecord.from_values(
+                SIDE_SPE, marker.code, spe_id, seq, 10**9 - seq, [seq]
+            ))
+    restored = read_trace(trace_to_bytes(trace))
+    assert restored.n_records == trace.n_records
+    assert sorted(restored.spe_records) == sorted(trace.spe_records)
+    for spe_id in trace.spe_records:
+        assert [r.seq for r in restored.records_for_spe(spe_id)] == [
+            r.seq for r in trace.records_for_spe(spe_id)
+        ]

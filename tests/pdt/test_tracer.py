@@ -1,0 +1,204 @@
+"""End-to-end tracer tests: records, buffers, flushes, overhead."""
+
+import pytest
+
+from repro.cell import CellConfig, CellMachine
+from repro.libspe import Runtime, SpeProgram
+from repro.libspe.hooks import SpuEventKind
+from repro.pdt import PdtHooks, TraceConfig
+from repro.pdt import events as ev
+
+from tests.pdt.util import dma_loop_program, run_workload, traced_machine
+
+
+def test_trace_contains_expected_spe_event_sequence():
+    machine, rt, hooks = traced_machine()
+    run_workload(machine, rt, dma_loop_program(iterations=2), n_spes=1)
+    trace = hooks.to_trace()
+    kinds = [r.kind for r in trace.records_for_spe(0)]
+    assert kinds[0] == "sync"  # entry sync anchor
+    assert kinds[1] == SpuEventKind.SPE_ENTRY
+    assert kinds[-2] == SpuEventKind.SPE_EXIT
+    assert kinds[-1] == "sync"  # exit sync anchor
+    # 2 iterations x (get, wait-begin, wait-end, put, wait-begin, wait-end)
+    dma_kinds = [k for k in kinds if k.startswith(("mfc_", "wait_tag"))]
+    assert dma_kinds == [
+        "mfc_get", "wait_tag_begin", "wait_tag_end",
+        "mfc_put", "wait_tag_begin", "wait_tag_end",
+    ] * 2
+
+
+def test_trace_contains_ppe_lifecycle_records():
+    machine, rt, hooks = traced_machine()
+    run_workload(machine, rt, dma_loop_program(iterations=1), n_spes=2)
+    trace = hooks.to_trace()
+    kinds = [r.kind for r in trace.ppe_records]
+    assert kinds.count("context_create") == 2
+    assert kinds.count("context_run_begin") == 2
+    assert kinds.count("context_run_end") == 2
+
+
+def test_records_preserve_sequential_order_per_core():
+    machine, rt, hooks = traced_machine()
+    run_workload(machine, rt, dma_loop_program(iterations=5), n_spes=2)
+    trace = hooks.to_trace()
+    trace.validate()  # raises on any seq disorder
+    for spe_id in (0, 1):
+        seqs = [r.seq for r in trace.records_for_spe(spe_id)]
+        assert seqs == list(range(len(seqs)))
+
+
+def test_spe_records_carry_decrementer_timestamps():
+    machine, rt, hooks = traced_machine()
+    run_workload(machine, rt, dma_loop_program(iterations=3), n_spes=1)
+    records = hooks.to_trace().records_for_spe(0)
+    raw = [r.raw_ts for r in records]
+    # Decrementer counts DOWN: non-increasing raw timestamps.
+    assert all(a >= b for a, b in zip(raw, raw[1:]))
+
+
+def test_tracing_charges_spu_cycles():
+    config = TraceConfig(spu_record_cycles=150)
+    machine, rt, hooks = traced_machine(config)
+    run_workload(machine, rt, dma_loop_program(iterations=4), n_spes=1)
+    stats = hooks.stats.spe(0)
+    assert stats.records > 0
+    # Every record (incl. syncs) charged exactly the configured cost.
+    assert stats.record_cycles == 150 * (stats.records + stats.dropped_records)
+
+
+def test_disabled_groups_cost_nothing_and_record_nothing():
+    config = TraceConfig.lifecycle_only()
+    machine, rt, hooks = traced_machine(config)
+    run_workload(machine, rt, dma_loop_program(iterations=4), n_spes=1)
+    trace = hooks.to_trace()
+    groups = {r.group for r in trace.records_for_spe(0)}
+    assert groups == {ev.GROUP_LIFECYCLE, ev.GROUP_SYNC}
+
+
+def test_dma_only_cheaper_than_all_events():
+    def overhead(config):
+        machine, rt, hooks = traced_machine(config)
+        run_workload(machine, rt, dma_loop_program(iterations=16), n_spes=1)
+        return machine.sim.now, hooks.stats.spe(0).records
+
+    time_all, records_all = overhead(TraceConfig.all_events())
+    time_dma, records_dma = overhead(TraceConfig.dma_only())
+    assert records_dma < records_all
+    assert time_dma < time_all
+
+
+def test_buffer_flush_issues_real_dma():
+    # Tiny buffer forces flushes mid-run.
+    config = TraceConfig(buffer_bytes=1024)
+    machine, rt, hooks = traced_machine(config)
+    run_workload(machine, rt, dma_loop_program(iterations=20), n_spes=1)
+    stats = hooks.stats.spe(0)
+    assert stats.flushes >= 2
+    trace_dmas = [
+        c for c in machine.spe(0).mfc.completed_commands
+        if c.issuer.startswith("pdt-trace")
+    ]
+    assert len(trace_dmas) == stats.flushes
+    assert all(c.tag == config.flush_tag for c in trace_dmas)
+    assert sum(c.size for c in trace_dmas) == stats.flush_bytes
+
+
+def test_read_back_trace_matches_recorded_stream():
+    """The LS -> DMA -> main-storage path carries the trace intact."""
+    config = TraceConfig(buffer_bytes=1024)
+    machine, rt, hooks = traced_machine(config)
+    run_workload(machine, rt, dma_loop_program(iterations=12), n_spes=2)
+    recorded = hooks.to_trace()
+    read_back = hooks.read_back_trace()
+    for spe_id in (0, 1):
+        a = recorded.records_for_spe(spe_id)
+        b = read_back.records_for_spe(spe_id)
+        assert len(a) == len(b)
+        for ra, rb in zip(a, b):
+            assert (ra.side, ra.code, ra.seq, ra.raw_ts) == (
+                rb.side, rb.code, rb.seq, rb.raw_ts
+            )
+            assert ra.fields == rb.fields
+
+
+def test_single_buffered_mode_stalls_more():
+    def flush_waits(double_buffered):
+        config = TraceConfig(buffer_bytes=1024, double_buffered=double_buffered)
+        machine, rt, hooks = traced_machine(config)
+        run_workload(machine, rt, dma_loop_program(iterations=30), n_spes=1)
+        return hooks.stats.spe(0).flush_wait_cycles, machine.sim.now
+
+    waits_single, time_single = flush_waits(False)
+    waits_double, time_double = flush_waits(True)
+    assert waits_single > waits_double
+    assert time_single >= time_double
+
+
+def test_trace_buffer_occupies_local_store():
+    config = TraceConfig(buffer_bytes=32 * 1024)
+    machine, rt, hooks = traced_machine(config)
+    free_before = machine.spe(0).ls.free_bytes
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(dma_loop_program(iterations=0))
+
+    machine.spawn(main())
+    machine.run()
+    consumed = free_before - machine.spe(0).ls.free_bytes
+    program_footprint = dma_loop_program().ls_footprint
+    assert consumed >= 32 * 1024 + program_footprint
+
+
+def test_trace_region_exhaustion_drops_records():
+    config = TraceConfig(buffer_bytes=512, trace_region_bytes=2048)
+    machine, rt, hooks = traced_machine(config)
+    run_workload(machine, rt, dma_loop_program(iterations=50), n_spes=1)
+    stats = hooks.stats.spe(0)
+    assert stats.dropped_records > 0
+    # What made it to memory still decodes cleanly.
+    read_back = hooks.read_back_trace()
+    assert read_back.records_for_spe(0)
+
+
+def test_untraced_run_has_zero_tracing_artifacts():
+    machine = CellMachine(CellConfig(n_spes=1, main_memory_size=1 << 26))
+    runtime = Runtime(machine)  # default no-op hooks
+    run_workload(machine, runtime, dma_loop_program(iterations=4), n_spes=1)
+    trace_dmas = [
+        c for c in machine.spe(0).mfc.completed_commands
+        if c.issuer.startswith("pdt-trace")
+    ]
+    assert trace_dmas == []
+
+
+def test_tracing_overhead_is_bounded_for_compute_heavy_code():
+    """Compute-bound workloads see small relative slowdown (paper claim)."""
+
+    def total_time(hooks_enabled):
+        machine = CellMachine(CellConfig(n_spes=1, main_memory_size=1 << 26))
+        hooks = PdtHooks(TraceConfig()) if hooks_enabled else None
+        rt = Runtime(machine, hooks=hooks)
+        run_workload(
+            machine, rt, dma_loop_program(iterations=8, compute=200_000), n_spes=1
+        )
+        return machine.sim.now
+
+    untraced = total_time(False)
+    traced = total_time(True)
+    assert traced > untraced
+    overhead = (traced - untraced) / untraced
+    assert overhead < 0.05  # single-digit-percent territory
+
+
+def test_two_spes_get_independent_buffers_and_streams():
+    config = TraceConfig(buffer_bytes=1024)
+    machine, rt, hooks = traced_machine(config)
+    run_workload(machine, rt, dma_loop_program(iterations=6), n_spes=2)
+    ctx0 = hooks.spu_context(0)
+    ctx1 = hooks.spu_context(1)
+    assert ctx0.region_ea != ctx1.region_ea
+    trace = hooks.to_trace()
+    assert {r.core for r in trace.records_for_spe(0)} == {0}
+    assert {r.core for r in trace.records_for_spe(1)} == {1}

@@ -1,0 +1,159 @@
+"""PDT feature tests: wrap mode, SPE filtering, payload markers."""
+
+import pytest
+
+from repro.cell import CellConfig, CellMachine
+from repro.libspe import Runtime, SpeProgram
+from repro.pdt import PdtHooks, TraceConfig
+
+from tests.pdt.util import dma_loop_program, run_workload, traced_machine
+
+
+# ----------------------------------------------------------------------
+# wrap mode
+# ----------------------------------------------------------------------
+def test_wrap_mode_keeps_newest_records():
+    config = TraceConfig(buffer_bytes=512, trace_region_bytes=2048, wrap=True)
+    machine, rt, hooks = traced_machine(config)
+    run_workload(machine, rt, dma_loop_program(iterations=50), n_spes=1)
+    stats = hooks.stats.spe(0)
+    assert stats.dropped_records == 0
+    assert stats.wraps >= 1
+    assert stats.overwritten_records > 0
+    retained = hooks.spu_context(0).retained_records()
+    # The newest records survive: the stream ends with exit + sync.
+    assert retained[-2].kind == "spe_exit"
+    assert retained[-1].kind == "sync"
+    # Retention honours capacity.
+    from repro.pdt.codec import record_size
+
+    total = sum(record_size(len(r.spec.fields)) for r in retained)
+    assert total <= config.trace_region_bytes
+
+
+def test_wrap_mode_trace_contains_only_retained():
+    config = TraceConfig(buffer_bytes=512, trace_region_bytes=2048, wrap=True)
+    machine, rt, hooks = traced_machine(config)
+    run_workload(machine, rt, dma_loop_program(iterations=50), n_spes=1)
+    trace = hooks.to_trace()
+    stats = hooks.stats.spe(0)
+    assert len(trace.records_for_spe(0)) == stats.records - stats.overwritten_records
+    # Stream still in strict sequence order (validated by to_trace).
+    seqs = [r.seq for r in trace.records_for_spe(0)]
+    assert seqs == sorted(seqs)
+
+
+def test_wrap_mode_read_back_rejected():
+    config = TraceConfig(buffer_bytes=512, trace_region_bytes=2048, wrap=True)
+    machine, rt, hooks = traced_machine(config)
+    run_workload(machine, rt, dma_loop_program(iterations=50), n_spes=1)
+    with pytest.raises(ValueError, match="wrap-mode"):
+        hooks.read_back_trace()
+
+
+def test_stop_mode_unchanged_by_default():
+    config = TraceConfig(buffer_bytes=512, trace_region_bytes=2048)
+    machine, rt, hooks = traced_machine(config)
+    run_workload(machine, rt, dma_loop_program(iterations=50), n_spes=1)
+    stats = hooks.stats.spe(0)
+    assert stats.dropped_records > 0
+    assert stats.wraps == 0
+
+
+# ----------------------------------------------------------------------
+# SPE filtering
+# ----------------------------------------------------------------------
+def test_spe_filter_only_traces_listed_spes():
+    config = TraceConfig(spe_filter=frozenset({1}))
+    machine, rt, hooks = traced_machine(config)
+    run_workload(machine, rt, dma_loop_program(iterations=4), n_spes=2)
+    trace = hooks.to_trace()
+    assert trace.records_for_spe(1)
+    assert not trace.records_for_spe(0)
+    # The untraced SPE paid no cycles and lost no local store.
+    assert 0 not in hooks.stats.per_spe
+    assert machine.spe(0).ls.free_bytes > machine.spe(1).ls.free_bytes
+
+
+def test_spe_filter_untraced_run_still_correct():
+    config = TraceConfig(spe_filter=frozenset({0}))
+    machine, rt, hooks = traced_machine(config)
+    run_workload(machine, rt, dma_loop_program(iterations=4), n_spes=2)
+    # PPE records still cover both contexts.
+    ppe_spes = {
+        r.fields["spe"] for r in hooks.to_trace().ppe_records if "spe" in r.fields
+    }
+    assert ppe_spes == {0, 1}
+
+
+def test_spe_filter_validation():
+    with pytest.raises(ValueError, match="invalid SPE ids"):
+        TraceConfig(spe_filter=frozenset({99}))
+
+
+def test_traces_spe_helper():
+    assert TraceConfig().traces_spe(7)
+    config = TraceConfig(spe_filter=frozenset({2, 3}))
+    assert config.traces_spe(2)
+    assert not config.traces_spe(0)
+
+
+# ----------------------------------------------------------------------
+# payload markers
+# ----------------------------------------------------------------------
+def test_marker_data_records_payload():
+    machine, rt, hooks = traced_machine()
+
+    def entry(spu, argp, envp):
+        yield from spu.marker_data(7, [10, 20, 30])
+        yield from spu.write_out_mbox(0)
+        return 0
+
+    run_workload(machine, rt, SpeProgram("md", entry), n_spes=1)
+    data_records = [
+        r for r in hooks.to_trace().records_for_spe(0) if r.kind == "user_data"
+    ]
+    assert len(data_records) == 1
+    fields = data_records[0].fields
+    assert fields["value"] == 7
+    assert (fields["d0"], fields["d1"], fields["d2"], fields["d3"]) == (10, 20, 30, 0)
+
+
+def test_marker_data_word_limit():
+    machine, rt, hooks = traced_machine()
+    codes = {}
+
+    def entry(spu, argp, envp):
+        try:
+            yield from spu.marker_data(1, [1, 2, 3, 4, 5])
+        except ValueError:
+            yield from spu.write_out_mbox(0)
+            return 1
+        yield from spu.write_out_mbox(0)
+        return 0
+
+    run_workload(machine, rt, SpeProgram("md", entry), n_spes=1)
+    # The program returned 1 via the ValueError branch — check the
+    # context stop code through the PPE records.
+    run_ends = [
+        r for r in hooks.to_trace().ppe_records if r.kind == "context_run_end"
+    ]
+    assert run_ends[0].fields["stop_code"] == 1
+
+
+def test_marker_data_round_trips_through_file(tmp_path):
+    from repro.pdt import read_trace, write_trace
+
+    machine, rt, hooks = traced_machine()
+
+    def entry(spu, argp, envp):
+        yield from spu.marker_data(99, [2**40, 1])
+        yield from spu.write_out_mbox(0)
+        return 0
+
+    run_workload(machine, rt, SpeProgram("md", entry), n_spes=1)
+    path = str(tmp_path / "md.pdt")
+    write_trace(hooks.to_trace(), path)
+    restored = read_trace(path)
+    record = [r for r in restored.records_for_spe(0) if r.kind == "user_data"][0]
+    assert record.fields["d0"] == 2**40

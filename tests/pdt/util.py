@@ -1,0 +1,55 @@
+"""Shared helpers for PDT tests: tiny traced workloads."""
+
+from repro.cell import CellConfig, CellMachine
+from repro.libspe import Runtime, SpeProgram
+from repro.pdt import PdtHooks, TraceConfig
+
+
+def traced_machine(config=None, n_spes=2, cell_config=None):
+    """A machine + runtime with PDT installed."""
+    machine = CellMachine(
+        cell_config or CellConfig(n_spes=n_spes, main_memory_size=1 << 26)
+    )
+    hooks = PdtHooks(config or TraceConfig())
+    runtime = Runtime(machine, hooks=hooks)
+    return machine, runtime, hooks
+
+
+def dma_loop_program(iterations=8, size=1024, compute=2000):
+    """A standard traced kernel: GET, compute, PUT, repeat."""
+
+    def entry(spu, argp, envp):
+        ls = spu.ls_alloc(size)
+        for i in range(iterations):
+            yield from spu.mfc_get(ls, argp, size, tag=1)
+            yield from spu.mfc_wait_tag(1 << 1)
+            yield from spu.compute(compute)
+            yield from spu.mfc_put(ls, argp, size, tag=2)
+            yield from spu.mfc_wait_tag(1 << 2)
+        yield from spu.write_out_mbox(iterations)
+        return 0
+
+    return SpeProgram("dma-loop", entry)
+
+
+def run_workload(machine, runtime, program, n_spes=1):
+    """Launch ``program`` on ``n_spes`` SPEs from a PPE main thread."""
+    buffers = [machine.memory.allocate(64 * 1024) for __ in range(n_spes)]
+
+    def main():
+        procs = []
+        contexts = []
+        for i in range(n_spes):
+            ctx = yield from runtime.context_create()
+            yield from ctx.load(program)
+            contexts.append(ctx)
+        for i, ctx in enumerate(contexts):
+            procs.append(ctx.run_async(argp=buffers[i]))
+        for ctx in contexts:
+            yield from ctx.out_mbox_read()
+        for proc in procs:
+            yield proc
+        runtime.finalize()
+
+    machine.spawn(main())
+    machine.run()

@@ -1,0 +1,146 @@
+"""Property-based tests on Cell substrate invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cell import CellConfig, CellMachine
+from repro.cell.atomic import LOCK_LINE, ReservationStation
+from repro.cell.clock import Decrementer, TimeBase
+from repro.cell.config import ClockSpec
+from repro.cell.memory import MainMemory
+from repro.cell.mfc import DmaDirection
+
+
+# ----------------------------------------------------------------------
+# clocks
+# ----------------------------------------------------------------------
+@settings(max_examples=100)
+@given(
+    divider=st.integers(min_value=1, max_value=1000),
+    t1=st.integers(min_value=0, max_value=10**12),
+    t2=st.integers(min_value=0, max_value=10**12),
+)
+def test_timebase_monotone_nondecreasing(divider, t1, t2):
+    tb = TimeBase(divider)
+    lo, hi = sorted((t1, t2))
+    assert tb.read(lo) <= tb.read(hi)
+
+
+@settings(max_examples=100)
+@given(
+    divider=st.integers(min_value=1, max_value=1000),
+    offset=st.integers(min_value=0, max_value=10**6),
+    drift=st.floats(min_value=-2000, max_value=2000, allow_nan=False),
+    t1=st.integers(min_value=0, max_value=10**10),
+    t2=st.integers(min_value=0, max_value=10**10),
+)
+def test_decrementer_elapsed_ticks_consistent(divider, offset, drift, t1, t2):
+    """elapsed_ticks over raw readings equals the tick-count delta."""
+    dec = Decrementer(divider, ClockSpec(offset_cycles=offset, drift_ppm=drift))
+    lo, hi = sorted((t1, t2))
+    raw_lo, raw_hi = dec.read(lo), dec.read(hi)
+    elapsed = dec.elapsed_ticks(raw_lo, raw_hi)
+    # Reconstruct expected tick delta directly.
+    def ticks(t):
+        e = t - offset
+        return 0 if e <= 0 else int(e / dec.period_cycles)
+
+    assert elapsed == (ticks(hi) - ticks(lo)) % (1 << 32)
+
+
+# ----------------------------------------------------------------------
+# allocator
+# ----------------------------------------------------------------------
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=4096),
+            st.sampled_from([16, 32, 64, 128, 256]),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_allocator_no_overlap_and_aligned(requests):
+    mem = MainMemory(1 << 20)
+    regions = []
+    for size, align in requests:
+        addr = mem.allocate(size, align)
+        assert addr % align == 0
+        for (other_addr, other_size) in regions:
+            assert addr + size <= other_addr or other_addr + other_size <= addr
+        regions.append((addr, size))
+
+
+# ----------------------------------------------------------------------
+# reservation station
+# ----------------------------------------------------------------------
+@settings(max_examples=50)
+@given(st.lists(
+    st.tuples(
+        st.sampled_from(["reserve", "putllc", "store"]),
+        st.integers(min_value=0, max_value=7),      # spe
+        st.integers(min_value=0, max_value=4096),   # address
+    ),
+    max_size=60,
+))
+def test_reservation_station_invariants(ops):
+    """A PUTLLC only ever succeeds against this SPE's current line,
+    and at most one reservation exists per SPE."""
+    station = ReservationStation()
+    model = {}  # spe -> line (mirror implementation independently)
+    for op, spe, addr in ops:
+        line = addr & ~(LOCK_LINE - 1)
+        if op == "reserve":
+            station.reserve(spe, addr)
+            model[spe] = line
+        elif op == "putllc":
+            expected = model.get(spe) == line
+            assert station.conditional_store(spe, addr) == expected
+            if expected:
+                del model[spe]
+                for other, other_line in list(model.items()):
+                    if other_line == line:
+                        del model[other]
+        else:  # plain store of 16 bytes
+            station.notify_store(addr, 16)
+            first = line
+            last = (addr + 15) & ~(LOCK_LINE - 1)
+            for other, other_line in list(model.items()):
+                if first <= other_line <= last:
+                    del model[other]
+        for spe_id, reserved in model.items():
+            assert station.reservation_of(spe_id) == reserved
+
+
+# ----------------------------------------------------------------------
+# DMA data integrity
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    chunks=st.lists(st.binary(min_size=16, max_size=16), min_size=1, max_size=64),
+    tag=st.integers(min_value=0, max_value=30),
+)
+def test_dma_round_trip_preserves_bytes(chunks, tag):
+    payload = b"".join(chunks)  # always a 16-byte multiple
+    machine = CellMachine(CellConfig(n_spes=1, main_memory_size=1 << 20))
+    spe = machine.spe(0)
+    src = machine.memory.allocate(len(payload), align=16)
+    dst = machine.memory.allocate(len(payload), align=16)
+    machine.memory.write(src, payload)
+
+    def prog():
+        get_cmd = spe.mfc.make_command(
+            DmaDirection.GET, 0, src, len(payload), tag=tag
+        )
+        completion = yield from spe.mfc.issue(get_cmd)
+        yield completion
+        put_cmd = spe.mfc.make_command(
+            DmaDirection.PUT, 0, dst, len(payload), tag=tag
+        )
+        completion = yield from spe.mfc.issue(put_cmd)
+        yield completion
+
+    machine.spawn(prog())
+    machine.run()
+    assert machine.memory.read(dst, len(payload)) == payload

@@ -1,0 +1,146 @@
+"""Property-based tests on the simulation kernel's core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Channel, Delay, Event, Resource, Simulator
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=40))
+def test_time_never_runs_backwards(delays):
+    sim = Simulator()
+    observed = []
+
+    def proc(delay):
+        yield Delay(delay)
+        observed.append(sim.now)
+
+    for delay in delays:
+        sim.spawn(proc(delay))
+    sim.run()
+    assert observed == sorted(observed)
+    assert sim.now == max(delays)
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=30),
+    st.integers(min_value=1, max_value=5),
+)
+def test_resource_conservation(hold_times, capacity):
+    """At no instant do more than `capacity` holders exist, and every
+    acquirer eventually runs."""
+    sim = Simulator()
+    res = Resource(sim, capacity)
+    active = []
+    peak = []
+    completed = []
+
+    def user(i, hold):
+        yield res.acquire()
+        active.append(i)
+        peak.append(len(active))
+        yield Delay(hold)
+        active.remove(i)
+        res.release()
+        completed.append(i)
+
+    for i, hold in enumerate(hold_times):
+        sim.spawn(user(i, hold))
+    sim.run()
+    assert max(peak) <= capacity
+    assert sorted(completed) == list(range(len(hold_times)))
+    assert res.in_use == 0
+
+
+@settings(max_examples=50)
+@given(
+    items=st.lists(st.integers(), min_size=0, max_size=50),
+    capacity=st.integers(min_value=1, max_value=8),
+    consumer_delay=st.integers(min_value=0, max_value=20),
+)
+def test_channel_conserves_and_orders_items(items, capacity, consumer_delay):
+    sim = Simulator()
+    chan = Channel(sim, capacity)
+    received = []
+
+    def producer():
+        for item in items:
+            yield chan.put(item)
+
+    def consumer():
+        yield Delay(consumer_delay)
+        for __ in items:
+            received.append((yield chan.get()))
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert received == items
+    assert chan.count == 0
+
+
+@settings(max_examples=30)
+@given(
+    n_waiters=st.integers(min_value=1, max_value=10),
+    trigger_at=st.integers(min_value=0, max_value=100),
+)
+def test_event_wakes_every_waiter_exactly_once(n_waiters, trigger_at):
+    sim = Simulator()
+    event = Event(sim)
+    woken = []
+
+    def waiter(i):
+        value = yield event
+        woken.append((i, value, sim.now))
+
+    for i in range(n_waiters):
+        sim.spawn(waiter(i))
+
+    def firer():
+        yield Delay(trigger_at)
+        event.trigger("v")
+
+    sim.spawn(firer())
+    sim.run()
+    assert len(woken) == n_waiters
+    assert all(value == "v" and t == trigger_at for (_, value, t) in woken)
+
+
+@settings(max_examples=30)
+@given(st.data())
+def test_deterministic_replay(data):
+    """Any random mix of processes produces the identical trace twice."""
+    n = data.draw(st.integers(min_value=1, max_value=10))
+    specs = [
+        (
+            data.draw(st.integers(min_value=0, max_value=50)),
+            data.draw(st.integers(min_value=1, max_value=5)),
+        )
+        for __ in range(n)
+    ]
+
+    def run_once():
+        sim = Simulator()
+        chan = Channel(sim, 4)
+        log = []
+
+        def worker(i, start, steps):
+            yield Delay(start)
+            for s in range(steps):
+                yield chan.put((i, s))
+                log.append(("put", i, s, sim.now))
+
+        def drainer(total):
+            for __ in range(total):
+                item = yield chan.get()
+                log.append(("got", item, sim.now))
+
+        total = sum(steps for (_, steps) in specs)
+        for i, (start, steps) in enumerate(specs):
+            sim.spawn(worker(i, start, steps))
+        sim.spawn(drainer(total))
+        sim.run()
+        return log
+
+    assert run_once() == run_once()

@@ -1,0 +1,197 @@
+"""Tests for communication edges, event profiles, and trace diffs."""
+
+import pytest
+
+from repro.pdt import TraceConfig
+from repro.ta import (
+    analyze,
+    communication_edges,
+    diff_stats,
+    event_profile,
+    profile_table,
+    summarize_channels,
+    top_event_kinds,
+)
+from repro.ta.comm import PPE_TO_SPE_MAILBOX, SIGNAL, SPE_TO_PPE_MAILBOX
+from repro.ta.stats import TraceStatistics
+from repro.workloads import MatmulWorkload, StreamingPipelineWorkload, run_workload
+
+from tests.ta.util import compute_only_program, run_traced
+
+
+# ----------------------------------------------------------------------
+# communication edges
+# ----------------------------------------------------------------------
+def test_spe_to_ppe_mailbox_edges_matched():
+    __, hooks = run_traced([compute_only_program(), compute_only_program()])
+    model = analyze(hooks.to_trace())
+    edges = communication_edges(model)
+    done_edges = [e for e in edges if e.channel == SPE_TO_PPE_MAILBOX]
+    assert len(done_edges) == 2  # one done-mailbox per SPE
+    assert {e.src for e in done_edges} == {"spe0", "spe1"}
+    assert all(e.dst == "ppe" for e in done_edges)
+    assert all(e.latency >= 0 for e in done_edges)
+
+
+def test_ppe_to_spe_mailbox_edge_value_carried():
+    from repro.libspe import SpeProgram
+
+    def echo(spu, argp, envp):
+        value = yield from spu.read_in_mbox()
+        yield from spu.write_out_mbox(value)
+        return 0
+
+    from repro.cell import CellConfig, CellMachine
+    from repro.libspe import Runtime
+    from repro.pdt import PdtHooks
+
+    machine = CellMachine(CellConfig(n_spes=1, main_memory_size=1 << 26))
+    hooks = PdtHooks(TraceConfig())
+    rt = Runtime(machine, hooks=hooks)
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(SpeProgram("echo", echo))
+        proc = ctx.run_async()
+        yield from ctx.in_mbox_write(0xABCD)
+        yield from ctx.out_mbox_read()
+        yield proc
+
+    machine.spawn(main())
+    machine.run()
+    edges = communication_edges(analyze(hooks.to_trace()))
+    inbox = [e for e in edges if e.channel == PPE_TO_SPE_MAILBOX]
+    assert len(inbox) == 1
+    assert inbox[0].value == 0xABCD
+    assert inbox[0].src == "ppe"
+    assert inbox[0].dst == "spe0"
+
+
+def test_signal_edges_in_pipeline():
+    result = run_workload(
+        StreamingPipelineWorkload(stages=3, blocks=6, block_bytes=1024),
+        TraceConfig(),
+    )
+    model = analyze(result.trace())
+    edges = communication_edges(model)
+    signal_edges = [e for e in edges if e.channel == SIGNAL]
+    # Data credits flow forward, space credits flow backward.
+    forward = [e for e in signal_edges if e.src < e.dst]
+    backward = [e for e in signal_edges if e.src > e.dst]
+    assert forward and backward
+    for edge in signal_edges:
+        assert edge.recv_time >= edge.send_time - 120  # quantization slack
+
+
+def test_channel_summaries():
+    result = run_workload(
+        StreamingPipelineWorkload(stages=2, blocks=6, block_bytes=1024),
+        TraceConfig(),
+    )
+    edges = communication_edges(analyze(result.trace()))
+    summaries = summarize_channels(edges)
+    channels = {s.channel for s in summaries}
+    assert SIGNAL in channels
+    assert SPE_TO_PPE_MAILBOX in channels
+    for summary in summaries:
+        assert summary.count > 0
+        assert summary.max_latency >= summary.mean_latency * 0.5
+
+
+def test_edges_sorted_by_send_time():
+    result = run_workload(
+        StreamingPipelineWorkload(stages=2, blocks=4, block_bytes=1024),
+        TraceConfig(),
+    )
+    edges = communication_edges(analyze(result.trace()))
+    sends = [e.send_time for e in edges]
+    assert sends == sorted(sends)
+
+
+# ----------------------------------------------------------------------
+# event profile
+# ----------------------------------------------------------------------
+def test_profile_counts_sum_to_stream_sizes():
+    __, hooks = run_traced([compute_only_program()])
+    trace = hooks.to_trace()
+    rows = event_profile(trace)
+    spe_total = sum(r.count for r in rows if r.core == "spe0")
+    assert spe_total == len(trace.records_for_spe(0))
+    ppe_total = sum(r.count for r in rows if r.core == "ppe")
+    assert ppe_total == len(trace.ppe_records)
+
+
+def test_profile_rows_descending_within_core():
+    result = run_workload(
+        MatmulWorkload(n=128, tile=64, n_spes=2), TraceConfig()
+    )
+    rows = event_profile(result.trace())
+    for core in ("spe0", "spe1", "ppe"):
+        counts = [r.count for r in rows if r.core == core]
+        assert counts == sorted(counts, reverse=True)
+    shares = [r.share for r in rows if r.core == "spe0"]
+    assert sum(shares) == pytest.approx(1.0)
+
+
+def test_top_event_kinds_ranked():
+    result = run_workload(
+        MatmulWorkload(n=128, tile=64, n_spes=2), TraceConfig()
+    )
+    top = top_event_kinds(result.trace(), n=3)
+    assert len(top) == 3
+    assert top[0][1] >= top[1][1] >= top[2][1]
+    # Matmul is DMA-dominated: a DMA kind leads.
+    assert top[0][0] in ("mfc_getl", "wait_tag_begin", "wait_tag_end")
+
+
+def test_profile_table_shape():
+    __, hooks = run_traced([compute_only_program()])
+    rows = profile_table(hooks.to_trace())
+    assert all(set(row) == {"core", "kind", "count", "share"} for row in rows)
+
+
+# ----------------------------------------------------------------------
+# trace diff
+# ----------------------------------------------------------------------
+def stats_of(workload):
+    result = run_workload(workload, TraceConfig.dma_only())
+    assert result.verified
+    return TraceStatistics.from_model(analyze(result.trace()))
+
+
+def test_diff_reports_double_buffering_improvement():
+    baseline = stats_of(MatmulWorkload(n=128, tile=64, n_spes=2))
+    candidate = stats_of(
+        MatmulWorkload(n=128, tile=64, n_spes=2, double_buffered=True)
+    )
+    diff = diff_stats(baseline, candidate)
+    assert diff.speedup > 1.1
+    assert "improved" in diff.verdict
+    for delta in diff.per_spe:
+        assert delta.wait_dma_delta < 0  # the stalls went away
+        assert delta.utilization_delta > 0
+
+
+def test_diff_detects_regression_and_unchanged():
+    fast = stats_of(MatmulWorkload(n=128, tile=64, n_spes=2, double_buffered=True))
+    slow = stats_of(MatmulWorkload(n=128, tile=64, n_spes=2))
+    regression = diff_stats(fast, slow)
+    assert "regressed" in regression.verdict
+    same = diff_stats(fast, fast)
+    assert same.verdict.startswith("unchanged")
+    assert same.speedup == pytest.approx(1.0)
+
+
+def test_diff_rejects_mismatched_spe_sets():
+    two = stats_of(MatmulWorkload(n=128, tile=64, n_spes=2))
+    four = stats_of(MatmulWorkload(n=256, tile=64, n_spes=4))
+    with pytest.raises(ValueError, match="SPE sets differ"):
+        diff_stats(two, four)
+
+
+def test_diff_rows_format():
+    stats = stats_of(MatmulWorkload(n=128, tile=64, n_spes=2))
+    diff = diff_stats(stats, stats)
+    rows = diff.rows()
+    assert [row["spe"] for row in rows] == [0, 1]
+    assert all(row["wait_dma_delta"] == 0 for row in rows)

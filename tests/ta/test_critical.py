@@ -1,0 +1,90 @@
+"""Critical-path analysis tests."""
+
+import pytest
+
+from repro.pdt import TraceConfig
+from repro.ta import analyze
+from repro.ta.critical import critical_path
+from repro.workloads import StreamingPipelineWorkload, run_workload
+
+from tests.ta.util import compute_only_program, run_traced
+
+
+def test_single_core_path_is_its_own_window():
+    __, hooks = run_traced([compute_only_program(cycles=100_000)])
+    model = analyze(hooks.to_trace())
+    path = critical_path(model)
+    assert path.steps
+    assert all(step.core == "spe0" for step in path.steps)
+    core = model.core(0)
+    assert path.steps[0].start == core.window_start
+    assert path.steps[-1].end == core.window_end
+    # The path covers the whole window with no gaps.
+    assert path.span == core.window
+    cursor = path.steps[0].start
+    for step in path.steps:
+        assert step.start == cursor
+        cursor = step.end
+
+
+def test_pipeline_path_crosses_cores_via_messages():
+    result = run_workload(
+        StreamingPipelineWorkload(stages=3, blocks=8, block_bytes=1024,
+                                  compute_per_block=4000, depth=1),
+        TraceConfig(),
+    )
+    model = analyze(result.trace())
+    path = critical_path(model)
+    cores_on_path = {step.core for step in path.steps}
+    assert len(cores_on_path) >= 2  # the walk crossed cores
+    assert any(step.state == "message" for step in path.steps)
+
+
+def test_bottleneck_dominates_critical_path():
+    result = run_workload(
+        StreamingPipelineWorkload(
+            stages=4, blocks=24, block_bytes=4096, compute_per_block=3000,
+            depth=2, bottleneck_stage=2, bottleneck_factor=8,
+        ),
+        TraceConfig(),
+    )
+    model = analyze(result.trace())
+    path = critical_path(model)
+    assert path.dominant_core() == "spe2"
+    by_core = path.time_by_core()
+    total = sum(by_core.values())
+    # The hidden 8x-slower stage owns most of the path.
+    assert by_core["spe2"] / total > 0.5
+    # And most path time is run (the bottleneck computing), not waiting.
+    by_state = path.time_by_state()
+    assert by_state.get("run", 0) > by_state.get("wait_signal", 0)
+
+
+def test_path_rows_and_accounting_consistent():
+    result = run_workload(
+        StreamingPipelineWorkload(stages=2, blocks=6, block_bytes=1024),
+        TraceConfig(),
+    )
+    path = critical_path(analyze(result.trace()))
+    rows = path.rows()
+    assert len(rows) == len(path.steps)
+    assert sum(r["cycles"] for r in rows) == sum(
+        path.time_by_core().values()
+    )
+    # Steps are chronological.
+    starts = [r["start"] for r in rows]
+    assert starts == sorted(starts)
+
+
+def test_empty_model_yields_empty_path():
+    from repro.pdt.trace import Trace, TraceHeader
+    from repro.ta.model import TimelineModel
+    from repro.pdt.correlate import CorrelatedTrace, ClockCorrelator
+
+    header = TraceHeader(n_spes=0, timebase_divider=120, spu_clock_hz=3.2e9,
+                         groups_bitmap=0, buffer_bytes=1024)
+    trace = Trace(header=header)
+    model = analyze(trace)
+    path = critical_path(model)
+    assert path.steps == []
+    assert path.span == 0

@@ -1,0 +1,132 @@
+"""Rendering and export tests."""
+
+import csv
+import io
+
+import pytest
+
+from repro.ta import (
+    TraceStatistics,
+    analyze,
+    records_to_csv,
+    render_ascii,
+    render_svg,
+    stats_to_csv,
+)
+
+from tests.ta.util import (
+    compute_only_program,
+    run_traced,
+    single_buffered_program,
+)
+
+
+def model_for(programs):
+    __, hooks = run_traced(programs)
+    return analyze(hooks.to_trace())
+
+
+def test_ascii_has_one_lane_pair_per_spe():
+    model = model_for([compute_only_program(), compute_only_program()])
+    text = render_ascii(model, width=60)
+    assert "spe0 " in text
+    assert "spe1 " in text
+    assert text.count("dma |") == 2
+    assert "legend:" in text
+
+
+def test_ascii_rows_have_requested_width():
+    model = model_for([compute_only_program()])
+    text = render_ascii(model, width=50)
+    for line in text.splitlines():
+        if line.startswith("spe") or line.startswith("  dma"):
+            row = line.split("|")[1]
+            assert len(row) == 50
+
+
+def test_ascii_compute_only_is_mostly_run():
+    model = model_for([compute_only_program(cycles=1_000_000)])
+    text = render_ascii(model, width=60)
+    state_row = [l for l in text.splitlines() if l.startswith("spe0")][0]
+    row = state_row.split("|")[1]
+    assert row.count("#") > 50
+
+
+def test_ascii_single_buffered_shows_dma_waits():
+    model = model_for([single_buffered_program(iterations=20, compute=500)])
+    text = render_ascii(model, width=60)
+    state_row = [l for l in text.splitlines() if l.startswith("spe0")][0]
+    assert "d" in state_row.split("|")[1]
+    dma_row = [l for l in text.splitlines() if l.startswith("  dma")][0]
+    assert "_" in dma_row.split("|")[1]
+
+
+def test_ascii_ppe_lane_shows_occupancy():
+    model = model_for([compute_only_program(cycles=200_000),
+                       compute_only_program(cycles=200_000)])
+    text = render_ascii(model, width=60)
+    ppe_lines = [l for l in text.splitlines() if l.startswith("ppe")]
+    assert len(ppe_lines) == 1
+    row = ppe_lines[0].split("|")[1]
+    assert "2" in row  # both contexts ran concurrently
+
+
+def test_ascii_width_validation():
+    model = model_for([compute_only_program()])
+    with pytest.raises(ValueError):
+        render_ascii(model, width=5)
+
+
+def test_svg_is_well_formed_and_complete():
+    model = model_for([single_buffered_program(iterations=5)])
+    svg = render_svg(model)
+    assert svg.startswith("<svg")
+    assert svg.endswith("</svg>")
+    assert svg.count("<rect") >= len(model.core(0).intervals) + len(
+        model.core(0).dma_spans
+    )
+    assert "spe0" in svg
+    # Every open tag closes (crude well-formedness).
+    assert svg.count("<rect") == svg.count("/>") + svg.count("</rect>")
+
+
+def test_svg_tooltips_carry_dma_details():
+    model = model_for([single_buffered_program(iterations=3, size=4096)])
+    svg = render_svg(model)
+    assert "size=4096" in svg
+    assert "get tag=1" in svg
+
+
+def test_records_csv_round_readable():
+    __, hooks = run_traced([compute_only_program()])
+    model = analyze(hooks.to_trace())
+    text = records_to_csv(model.correlated)
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == model.trace.n_records
+    kinds = {row["kind"] for row in rows}
+    assert "spe_entry" in kinds
+    assert "context_run_end" in kinds
+    times = [int(row["time"]) for row in rows]
+    assert times == sorted(times)
+
+
+def test_stats_csv_has_per_spe_rows():
+    __, hooks = run_traced([compute_only_program(), compute_only_program()])
+    stats = TraceStatistics.from_model(analyze(hooks.to_trace()))
+    text = stats_to_csv(stats)
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert [row["spe"] for row in rows] == ["0", "1"]
+    assert all(float(row["utilization"]) > 0 for row in rows)
+
+
+def test_csv_writers_accept_file_objects(tmp_path):
+    __, hooks = run_traced([compute_only_program()])
+    model = analyze(hooks.to_trace())
+    stats = TraceStatistics.from_model(model)
+    path = tmp_path / "out.csv"
+    with open(path, "w") as handle:
+        records_to_csv(model.correlated, handle)
+    assert path.read_text().startswith("time,side,core,seq,kind")
+    with open(path, "w") as handle:
+        stats_to_csv(stats, handle)
+    assert path.read_text().startswith("spe,")

@@ -1,0 +1,42 @@
+"""HTML report tests."""
+
+from repro.ta.html import html_report, save_html_report
+
+from tests.ta.util import run_traced, single_buffered_program
+
+
+def make_trace():
+    __, hooks = run_traced([single_buffered_program(iterations=5),
+                            single_buffered_program(iterations=5)])
+    return hooks.to_trace()
+
+
+def test_html_report_is_complete_document():
+    doc = html_report(make_trace())
+    assert doc.startswith("<!DOCTYPE html>")
+    assert doc.rstrip().endswith("</html>")
+    for section in ("Timeline", "Per-SPE statistics", "Stall attribution",
+                    "Diagnoses", "Event profile", "Communication channels"):
+        assert section in doc
+    assert "<svg" in doc
+    assert "spe0" in doc and "spe1" in doc
+
+
+def test_html_report_escapes_title():
+    doc = html_report(make_trace(), title="<script>alert(1)</script>")
+    assert "<script>alert" not in doc
+    assert "&lt;script&gt;" in doc
+
+
+def test_html_report_verdicts_present():
+    doc = html_report(make_trace())
+    assert "single-buffered" in doc
+    assert "load balance" in doc
+
+
+def test_save_html_report(tmp_path):
+    path = str(tmp_path / "report.html")
+    save_html_report(make_trace(), path, title="run 42")
+    content = open(path).read()
+    assert "run 42" in content
+    assert content.startswith("<!DOCTYPE html>")

@@ -1,0 +1,41 @@
+"""Report formatting tests."""
+
+from repro.ta.report import format_table, full_report
+
+from tests.ta.util import compute_only_program, run_traced, single_buffered_program
+
+
+def test_format_table_alignment():
+    rows = [{"a": 1, "bb": "x"}, {"a": 222, "bb": "yy"}]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, separator, 2 rows
+    assert all(len(line) == len(lines[0]) for line in lines)
+
+
+def test_format_table_empty():
+    assert format_table([]) == "(no data)\n"
+
+
+def test_full_report_sections_present():
+    __, hooks = run_traced([single_buffered_program(), compute_only_program()])
+    text = full_report(hooks.to_trace(), gantt_width=60)
+    for heading in (
+        "PDT trace report",
+        "timeline",
+        "per-SPE statistics",
+        "stall attribution",
+        "load balance",
+        "buffering, per SPE",
+    ):
+        assert heading in text
+    assert "spe0" in text
+    assert "spe1" in text
+
+
+def test_full_report_verdicts_match_workloads():
+    __, hooks = run_traced(
+        [single_buffered_program(iterations=20, compute=500)]
+    )
+    text = full_report(hooks.to_trace())
+    assert "single-buffered" in text

@@ -1,0 +1,18 @@
+"""The full report includes the critical-path section."""
+
+from repro.pdt import TraceConfig
+from repro.ta.report import full_report
+from repro.workloads import StreamingPipelineWorkload, run_workload
+
+
+def test_full_report_names_critical_path_dominant_core():
+    result = run_workload(
+        StreamingPipelineWorkload(
+            stages=3, blocks=12, block_bytes=2048, compute_per_block=2000,
+            depth=2, bottleneck_stage=1, bottleneck_factor=6,
+        ),
+        TraceConfig(),
+    )
+    text = full_report(result.trace())
+    assert "critical path" in text
+    assert "dominant: spe1" in text

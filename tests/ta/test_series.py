@@ -1,0 +1,79 @@
+"""Tests for the time-series views."""
+
+import numpy as np
+import pytest
+
+from repro.ta import analyze
+from repro.ta.series import (
+    active_spes_series,
+    dma_inflight_series,
+    issue_bandwidth_series,
+    series_to_rows,
+)
+
+from tests.ta.util import (
+    compute_only_program,
+    double_buffered_program,
+    run_traced,
+    single_buffered_program,
+)
+
+
+def model_for(programs):
+    __, hooks = run_traced(programs)
+    return analyze(hooks.to_trace())
+
+
+def test_series_shapes_and_bounds():
+    model = model_for([single_buffered_program(iterations=8)])
+    centers, inflight = dma_inflight_series(model, buckets=40)
+    assert centers.shape == inflight.shape == (40,)
+    assert np.all(inflight >= 0)
+    assert np.all(np.diff(centers) > 0)
+
+
+def test_inflight_integral_matches_total_span_time():
+    model = model_for([single_buffered_program(iterations=10)])
+    core = model.core(0)
+    total_span_cycles = sum(s.duration for s in core.dma_spans)
+    centers, inflight = dma_inflight_series(model, buckets=64, spe_id=0)
+    bucket_width = centers[1] - centers[0]
+    integral = float((inflight * bucket_width).sum())
+    assert integral == pytest.approx(total_span_cycles, rel=0.02)
+
+
+def test_double_buffering_sustains_higher_concurrency():
+    single = model_for([single_buffered_program(iterations=15, compute=3000)])
+    double = model_for([double_buffered_program(iterations=15, compute=3000)])
+    __, inflight_single = dma_inflight_series(single, buckets=30, spe_id=0)
+    __, inflight_double = dma_inflight_series(double, buckets=30, spe_id=0)
+    assert inflight_double.mean() > inflight_single.mean()
+
+
+def test_issue_bandwidth_conserves_bytes():
+    model = model_for([single_buffered_program(iterations=10, size=4096)])
+    centers, bandwidth = issue_bandwidth_series(model, buckets=32)
+    bucket_width = centers[1] - centers[0]
+    total = float((bandwidth * bucket_width).sum())
+    assert total == pytest.approx(10 * 4096, rel=0.01)
+
+
+def test_active_spes_bounded_by_core_count():
+    model = model_for([compute_only_program(), compute_only_program()])
+    __, active = active_spes_series(model, buckets=20)
+    assert np.all(active <= 2.0 + 1e-9)
+    assert active.max() > 1.5  # both compute simultaneously
+
+
+def test_series_to_rows_format():
+    model = model_for([compute_only_program()])
+    centers, active = active_spes_series(model, buckets=5)
+    rows = series_to_rows(centers, active, "active_spes")
+    assert len(rows) == 5
+    assert set(rows[0]) == {"t_cycles", "active_spes"}
+
+
+def test_bucket_validation():
+    model = model_for([compute_only_program()])
+    with pytest.raises(ValueError):
+        dma_inflight_series(model, buckets=0)

@@ -1,0 +1,162 @@
+"""Statistics and use-case analysis tests."""
+
+import pytest
+
+from repro.cell import SpuState
+from repro.ta import (
+    TraceStatistics,
+    analyze,
+    analyze_buffering,
+    analyze_load_balance,
+)
+from repro.ta.analysis import stall_attribution
+from repro.ta.model import STATE_WAIT_DMA
+
+from tests.ta.util import (
+    compute_only_program,
+    double_buffered_program,
+    run_traced,
+    single_buffered_program,
+)
+
+
+def stats_for(programs, **kw):
+    machine, hooks = run_traced(programs, **kw)
+    model = analyze(hooks.to_trace())
+    return machine, model, TraceStatistics.from_model(model)
+
+
+def test_utilization_high_for_compute_only():
+    __, __, stats = stats_for([compute_only_program(cycles=500_000)])
+    assert stats.per_spe[0].utilization > 0.95
+
+
+def test_utilization_reflects_dma_stalls():
+    __, __, single = stats_for([single_buffered_program(iterations=20, compute=1000)])
+    __, __, double = stats_for([double_buffered_program(iterations=20, compute=30000)])
+    assert single.per_spe[0].utilization < double.per_spe[0].utilization
+
+
+def test_stall_breakdown_consistent_with_truth():
+    machine, __, stats = stats_for([single_buffered_program(iterations=15)])
+    s = stats.per_spe[0]
+    truth = machine.spe(0).track
+    assert s.wait_dma_cycles == pytest.approx(
+        truth.totals[SpuState.WAIT_DMA], rel=0.3
+    )
+    assert s.run_cycles + s.stall_cycles == s.window
+
+
+def test_dma_statistics_totals():
+    __, __, stats = stats_for([single_buffered_program(iterations=10, size=4096)])
+    dma = stats.per_spe[0].dma
+    assert dma.count == 10
+    assert dma.bytes_get == 10 * 4096
+    assert dma.bytes_put == 0
+    assert dma.mean_latency > 0
+    assert dma.p95_latency >= dma.mean_latency
+    assert dma.max_latency >= dma.p95_latency
+    counts, edges = dma.latency_histogram(bins=5)
+    assert counts.sum() == 10
+    assert len(edges) == 6
+
+
+def test_empty_dma_statistics_are_zero():
+    __, __, stats = stats_for([compute_only_program()])
+    dma = stats.per_spe[0].dma
+    assert dma.count == 0
+    assert dma.mean_latency == 0.0
+    assert dma.p95_latency == 0.0
+    counts, __ = dma.latency_histogram()
+    assert counts.sum() == 0
+
+
+def test_mailbox_counters():
+    __, __, stats = stats_for([compute_only_program()])
+    assert stats.per_spe[0].mailbox_writes == 1  # the done-mailbox
+    assert stats.per_spe[0].mailbox_reads == 0
+
+
+def test_summary_rows_shape():
+    __, __, stats = stats_for([compute_only_program(), compute_only_program()])
+    rows = stats.summary_rows()
+    assert [row["spe"] for row in rows] == [0, 1]
+    for row in rows:
+        assert 0 <= row["utilization"] <= 1
+
+
+# ----------------------------------------------------------------------
+# use case: buffering
+# ----------------------------------------------------------------------
+def test_buffering_analysis_flags_single_buffering():
+    __, model, __ = stats_for([single_buffered_program(iterations=20, compute=500)])
+    report = analyze_buffering(model, 0)
+    assert report.wait_dma_fraction > 0.2
+    assert "single-buffered" in report.verdict
+
+
+def test_buffering_analysis_approves_double_buffering():
+    __, model, __ = stats_for(
+        [double_buffered_program(iterations=20, compute=40_000)]
+    )
+    report = analyze_buffering(model, 0)
+    assert report.overlap_fraction > 0.6
+    assert report.wait_dma_fraction < 0.2
+    assert "double-buffered" in report.verdict
+
+
+def test_buffering_analysis_no_dma():
+    __, model, __ = stats_for([compute_only_program()])
+    report = analyze_buffering(model, 0)
+    assert report.verdict == "no DMA activity"
+    assert report.dma_inflight_cycles == 0
+
+
+# ----------------------------------------------------------------------
+# use case: load balance
+# ----------------------------------------------------------------------
+def test_load_balance_flags_skewed_work():
+    __, __, stats = stats_for(
+        [compute_only_program(cycles=400_000), compute_only_program(cycles=100_000)]
+    )
+    report = analyze_load_balance(stats)
+    assert report.slowest_spe == 0
+    assert report.fastest_spe == 1
+    assert report.imbalance_factor > 1.4
+    assert "imbalanced" in report.verdict
+
+
+def test_load_balance_approves_even_work():
+    __, __, stats = stats_for(
+        [compute_only_program(cycles=200_000), compute_only_program(cycles=200_000)]
+    )
+    report = analyze_load_balance(stats)
+    assert report.imbalance_factor == pytest.approx(1.0, abs=0.05)
+    assert "balanced" in report.verdict
+
+
+def test_imbalance_factor_definition():
+    __, __, stats = stats_for(
+        [compute_only_program(cycles=300_000), compute_only_program(cycles=100_000)]
+    )
+    busy = [s.run_cycles for s in stats.per_spe.values()]
+    assert stats.imbalance_factor == pytest.approx(
+        max(busy) / (sum(busy) / len(busy))
+    )
+
+
+# ----------------------------------------------------------------------
+# stall attribution
+# ----------------------------------------------------------------------
+def test_stall_attribution_sums_to_window():
+    __, __, stats = stats_for([single_buffered_program(iterations=10)])
+    fractions = stall_attribution(stats)
+    assert fractions["run"] + fractions["wait_dma"] + fractions["wait_mbox"] + \
+        fractions["wait_signal"] == pytest.approx(1.0)
+
+
+def test_dominant_stall_is_dma_for_single_buffered():
+    __, __, stats = stats_for([single_buffered_program(iterations=20, compute=500)])
+    state, cycles = stats.dominant_stall()
+    assert state == STATE_WAIT_DMA
+    assert cycles > 0

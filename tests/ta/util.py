@@ -1,0 +1,77 @@
+"""Workload fixtures with known timeline structure for TA tests."""
+
+from repro.cell import CellConfig, CellMachine
+from repro.libspe import Runtime, SpeProgram
+from repro.pdt import PdtHooks, TraceConfig
+
+
+def single_buffered_program(iterations=10, size=8192, compute=3000):
+    """GET -> wait -> compute -> repeat: the SPU stalls on every GET."""
+
+    def entry(spu, argp, envp):
+        ls = spu.ls_alloc(size)
+        for __ in range(iterations):
+            yield from spu.mfc_get(ls, argp, size, tag=1)
+            yield from spu.mfc_wait_tag(1 << 1)
+            yield from spu.compute(compute)
+        yield from spu.write_out_mbox(0)
+        return 0
+
+    return SpeProgram("single-buffered", entry)
+
+
+def double_buffered_program(iterations=10, size=8192, compute=3000):
+    """Prefetch the next block while computing on the current one."""
+
+    def entry(spu, argp, envp):
+        ls = [spu.ls_alloc(size), spu.ls_alloc(size)]
+        yield from spu.mfc_get(ls[0], argp, size, tag=0)
+        for i in range(iterations):
+            current = i % 2
+            if i + 1 < iterations:
+                yield from spu.mfc_get(ls[1 - current], argp, size, tag=1 - current)
+            yield from spu.mfc_wait_tag(1 << current)
+            yield from spu.compute(compute)
+        yield from spu.write_out_mbox(0)
+        return 0
+
+    return SpeProgram("double-buffered", entry)
+
+
+def compute_only_program(cycles=50_000):
+    def entry(spu, argp, envp):
+        yield from spu.compute(cycles)
+        yield from spu.write_out_mbox(0)
+        return 0
+
+    return SpeProgram("compute-only", entry)
+
+
+def run_traced(program_per_spe, trace_config=None, cell_config=None):
+    """Run one program per SPE (list) under PDT; returns (machine, hooks)."""
+    n_spes = len(program_per_spe)
+    machine = CellMachine(
+        cell_config or CellConfig(n_spes=n_spes, main_memory_size=1 << 26)
+    )
+    hooks = PdtHooks(trace_config or TraceConfig(buffer_bytes=2048))
+    runtime = Runtime(machine, hooks=hooks)
+    buffers = [machine.memory.allocate(64 * 1024) for __ in range(n_spes)]
+
+    def main():
+        contexts = []
+        for program in program_per_spe:
+            ctx = yield from runtime.context_create()
+            yield from ctx.load(program)
+            contexts.append(ctx)
+        procs = [
+            ctx.run_async(argp=buffers[i]) for i, ctx in enumerate(contexts)
+        ]
+        for ctx in contexts:
+            yield from ctx.out_mbox_read()
+        for proc in procs:
+            yield proc
+        runtime.finalize()
+
+    machine.spawn(main())
+    machine.run()
+    return machine, hooks

@@ -1,0 +1,74 @@
+"""CLI tests: pdt-trace and pdt-analyze end to end."""
+
+import os
+
+import pytest
+
+from repro.cli.analyze import main as analyze_main
+from repro.cli.trace import WORKLOADS, main as trace_main
+
+
+def test_trace_then_analyze_round_trip(tmp_path, capsys):
+    trace_path = str(tmp_path / "mc.pdt")
+    code = trace_main(["montecarlo", "-n", "2", "-o", trace_path])
+    assert code == 0
+    assert os.path.exists(trace_path)
+    out = capsys.readouterr().out
+    assert "verified" in out
+    assert "records" in out
+
+    svg_path = str(tmp_path / "mc.svg")
+    csv_path = str(tmp_path / "mc.csv")
+    code = analyze_main(
+        [trace_path, "--svg", svg_path, "--csv-stats", csv_path, "--width", "60"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "PDT trace report" in out
+    assert "load balance" in out
+    assert os.path.exists(svg_path)
+    assert open(svg_path).read().startswith("<svg")
+    assert open(csv_path).read().startswith("spe,")
+
+
+def test_trace_cli_event_preset(tmp_path, capsys):
+    trace_path = str(tmp_path / "s.pdt")
+    code = trace_main(
+        ["streaming", "-n", "2", "-o", trace_path, "--events", "dma",
+         "--buffer", "2048"]
+    )
+    assert code == 0
+    from repro.pdt import read_trace
+
+    trace = read_trace(trace_path)
+    groups = {r.group for r in trace.all_records()}
+    assert "mailbox" not in groups
+    assert "dma" in groups
+
+
+def test_trace_cli_single_buffered_flag(tmp_path):
+    trace_path = str(tmp_path / "m.pdt")
+    assert trace_main(
+        ["montecarlo", "-n", "1", "-o", trace_path, "--single-buffered-trace"]
+    ) == 0
+
+
+def test_analyze_cli_records_csv(tmp_path, capsys):
+    trace_path = str(tmp_path / "t.pdt")
+    trace_main(["montecarlo", "-n", "1", "-o", trace_path])
+    capsys.readouterr()
+    records_path = str(tmp_path / "records.csv")
+    analyze_main([trace_path, "--csv-records", records_path])
+    assert open(records_path).readline().startswith("time,side,core")
+
+
+def test_every_cli_workload_is_runnable(tmp_path):
+    # Keep it cheap: 2 SPEs, smallest defaults, just check exit code 0.
+    for name in sorted(WORKLOADS):
+        path = str(tmp_path / f"{name}.pdt")
+        assert trace_main([name, "-n", "2", "-o", path]) == 0, name
+
+
+def test_trace_cli_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        trace_main(["does-not-exist"])

@@ -1,0 +1,66 @@
+"""CLI tests for the extended flags: --config, --wrap, --only-spes, --html."""
+
+import os
+
+from repro.cli.analyze import main as analyze_main
+from repro.cli.trace import main as trace_main
+from repro.pdt import TraceConfig, read_trace
+from repro.pdt.configfile import save_config
+
+
+def test_trace_with_xml_config(tmp_path, capsys):
+    config_path = str(tmp_path / "pdt.xml")
+    save_config(TraceConfig.dma_only(buffer_bytes=2048), config_path)
+    trace_path = str(tmp_path / "c.pdt")
+    assert trace_main(
+        ["montecarlo", "-n", "2", "-o", trace_path, "--config", config_path]
+    ) == 0
+    trace = read_trace(trace_path)
+    groups = {r.group for r in trace.all_records()}
+    assert "mailbox" not in groups  # dma-only config applied
+
+
+def test_trace_wrap_flag(tmp_path):
+    trace_path = str(tmp_path / "w.pdt")
+    assert trace_main(
+        ["streaming", "-n", "2", "-o", trace_path, "--wrap", "--buffer", "1024"]
+    ) == 0
+    assert os.path.exists(trace_path)
+
+
+def test_trace_only_spes_flag(tmp_path):
+    trace_path = str(tmp_path / "f.pdt")
+    assert trace_main(
+        ["montecarlo", "-n", "2", "-o", trace_path, "--only-spes", "1"]
+    ) == 0
+    trace = read_trace(trace_path)
+    assert trace.records_for_spe(1)
+    assert not trace.records_for_spe(0)
+
+
+def test_analyze_html_output(tmp_path, capsys):
+    trace_path = str(tmp_path / "h.pdt")
+    trace_main(["matmul", "-n", "2", "-o", trace_path])
+    capsys.readouterr()
+    html_path = str(tmp_path / "report.html")
+    assert analyze_main([trace_path, "--html", html_path]) == 0
+    content = open(html_path).read()
+    assert content.startswith("<!DOCTYPE html>")
+    assert "Per-SPE statistics" in content
+
+
+def test_analyze_profile_and_comm_flags(tmp_path, capsys):
+    trace_path = str(tmp_path / "p.pdt")
+    trace_main(["streaming", "-n", "2", "-o", trace_path])
+    capsys.readouterr()
+    analyze_main([trace_path, "--profile", "--comm"])
+    out = capsys.readouterr().out
+    assert "event profile" in out
+    assert "communication channels" in out
+    assert "signal" in out
+
+
+def test_new_cli_workloads_run(tmp_path):
+    for name in ("mandelbrot", "mandelbrot-static", "streaming-ls"):
+        path = str(tmp_path / f"{name}.pdt")
+        assert trace_main([name, "-n", "2", "-o", path]) == 0, name

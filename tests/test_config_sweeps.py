@@ -1,0 +1,90 @@
+"""Robustness sweeps: the stack works across machine configurations."""
+
+import dataclasses
+
+import pytest
+
+from repro.cell import CellConfig
+from repro.cell.config import DmaTimings
+from repro.pdt import TraceConfig
+from repro.ta import analyze
+from repro.ta.stats import TraceStatistics
+from repro.workloads import MonteCarloWorkload, StreamingPipelineWorkload, run_workload
+
+
+@pytest.mark.parametrize("n_spes", [1, 2, 8, 16])
+def test_machine_sizes(n_spes):
+    result = run_workload(
+        MonteCarloWorkload(samples_per_spe=1000, n_spes=n_spes),
+        TraceConfig(),
+        cell_config=CellConfig(n_spes=n_spes, main_memory_size=1 << 27),
+    )
+    assert result.verified
+    stats = TraceStatistics.from_model(analyze(result.trace()))
+    assert len(stats.per_spe) == n_spes
+
+
+@pytest.mark.parametrize("divider", [1, 13, 120, 997])
+def test_timebase_dividers(divider):
+    """Coarse or fine clocks: correlation and analysis still work."""
+    config = CellConfig(
+        n_spes=2, main_memory_size=1 << 27, timebase_divider=divider
+    )
+    result = run_workload(
+        StreamingPipelineWorkload(stages=2, blocks=4, block_bytes=1024),
+        TraceConfig(buffer_bytes=1024),
+        cell_config=config,
+    )
+    assert result.verified
+    model = analyze(result.trace())
+    for core in model.cores.values():
+        assert core.window > 0
+
+
+def test_zero_channel_latency():
+    config = CellConfig(n_spes=2, main_memory_size=1 << 27, channel_latency=0)
+    result = run_workload(
+        StreamingPipelineWorkload(stages=2, blocks=4, block_bytes=1024),
+        TraceConfig(),
+        cell_config=config,
+    )
+    assert result.verified
+
+
+def test_single_eib_ring_heavy_contention():
+    dma = dataclasses.replace(DmaTimings(), eib_rings=1, mfc_parallel=1)
+    config = CellConfig(n_spes=4, main_memory_size=1 << 27, dma=dma)
+    result = run_workload(
+        StreamingPipelineWorkload(stages=4, blocks=8, block_bytes=4096),
+        TraceConfig(),
+        cell_config=config,
+    )
+    assert result.verified
+    # Contention showed up on the bus.
+    assert result.machine.eib.stats.wait_cycles > 0
+
+
+def test_tiny_mfc_queue():
+    dma = dataclasses.replace(DmaTimings(), queue_depth=1)
+    config = CellConfig(n_spes=2, main_memory_size=1 << 27, dma=dma)
+    result = run_workload(
+        StreamingPipelineWorkload(stages=2, blocks=6, block_bytes=4096),
+        TraceConfig(),
+        cell_config=config,
+    )
+    assert result.verified
+
+
+def test_free_tracing_costs():
+    """Zero-cost tracing: traced time == untraced time."""
+    from repro.workloads import measure_overhead
+
+    config = TraceConfig(spu_record_cycles=0, ppe_record_cycles=0,
+                         buffer_bytes=64 * 1024)
+    result = measure_overhead(
+        lambda: MonteCarloWorkload(samples_per_spe=2000, n_spes=2), config
+    )
+    # Only the flush DMAs remain, and the *final* flush at SPE exit is
+    # synchronous (the program must not end before its trace is safe),
+    # so a small residual survives even with free records.
+    assert result.overhead_percent < 1.5

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; if one breaks, the README's
+promises break with it.  They write their figure files into a temp cwd.
+"""
+
+import os
+import runpy
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "double_buffering.py",
+    "load_balance.py",
+    "pipeline_bottleneck.py",
+    "trace_diff.py",
+    "job_farm.py",
+    "alf_convolution.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), script
+
+
+def test_quickstart_outputs_artifacts(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "quickstart.py"))
+    runpy.run_path(path, run_name="__main__")
+    assert (tmp_path / "quickstart.pdt").exists()
+    out = capsys.readouterr().out
+    assert "results verified: True" in out
+    assert "PDT trace report" in out
+
+
+def test_double_buffering_produces_svgs(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "double_buffering.py"))
+    runpy.run_path(path, run_name="__main__")
+    assert (tmp_path / "matmul_before.svg").exists()
+    assert (tmp_path / "matmul_after.svg").exists()
+    out = capsys.readouterr().out
+    assert "speedup from the fix" in out

@@ -1,0 +1,45 @@
+"""Tests for the results-assembly tool."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "tools"))
+
+import collect_results  # noqa: E402
+
+
+def test_collect_orders_experiments(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    for name, body in (
+        ("f2_x.txt", "figure two"),
+        ("a1_y.txt", "ablation one"),
+        ("t1_z.txt", "table one"),
+        ("f10_w.txt", "figure ten"),
+    ):
+        (results / name).write_text(body)
+    document = collect_results.collect(str(results))
+    order = [
+        line[3:] for line in document.splitlines() if line.startswith("## ")
+    ]
+    assert order == ["t1_z", "f2_x", "f10_w", "a1_y"]
+    assert "figure ten" in document
+
+
+def test_collect_missing_dir_exits(tmp_path):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        collect_results.collect(str(tmp_path / "nope"))
+
+
+def test_main_writes_output(tmp_path, capsys, monkeypatch):
+    # Use the real results directory produced by the benchmark suite if
+    # present; otherwise fabricate one.
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "t1_a.txt").write_text("hello")
+    monkeypatch.setattr(collect_results, "RESULTS_DIR", str(results))
+    out = tmp_path / "RESULTS.md"
+    assert collect_results.main(["-o", str(out)]) == 0
+    assert out.read_text().startswith("# Regenerated experiment results")

@@ -1,0 +1,95 @@
+"""Harness and overhead-measurement tests."""
+
+import pytest
+
+from repro.cell import CellConfig
+from repro.pdt import TraceConfig
+from repro.workloads import (
+    EventCostMicrobench,
+    MatmulWorkload,
+    MonteCarloWorkload,
+    WorkloadError,
+    measure_overhead,
+    run_workload,
+)
+from repro.workloads.micro import RECORDS_PER_OP
+
+
+def test_run_result_reports_mode():
+    untraced = run_workload(MonteCarloWorkload(samples_per_spe=500, n_spes=1))
+    traced = run_workload(
+        MonteCarloWorkload(samples_per_spe=500, n_spes=1), TraceConfig()
+    )
+    assert not untraced.traced
+    assert traced.traced
+    with pytest.raises(WorkloadError):
+        untraced.trace()
+    assert traced.trace().n_records > 0
+    assert "ok" in repr(traced)
+
+
+def test_harness_rejects_too_small_machine():
+    with pytest.raises(WorkloadError, match="needs 4 SPEs"):
+        run_workload(
+            MonteCarloWorkload(n_spes=4),
+            cell_config=CellConfig(n_spes=2, main_memory_size=1 << 26),
+        )
+
+
+def test_measure_overhead_basic_shape():
+    result = measure_overhead(
+        lambda: MonteCarloWorkload(samples_per_spe=2000, n_spes=2)
+    )
+    assert result.traced_cycles > result.untraced_cycles
+    assert 0 < result.overhead_percent < 20
+    assert result.records > 0
+    row = result.row()
+    assert row["workload"] == "montecarlo"
+    assert row["overhead_percent"] == pytest.approx(result.overhead_percent, abs=0.01)
+
+
+def test_overhead_scales_with_event_rate():
+    """More traced events per unit work -> more overhead (paper claim)."""
+    light = measure_overhead(
+        lambda: EventCostMicrobench(op="compute", repetitions=100,
+                                    filler_cycles=2000)
+    )
+    heavy = measure_overhead(
+        lambda: EventCostMicrobench(op="marker", repetitions=100,
+                                    filler_cycles=2000)
+    )
+    assert heavy.overhead_fraction > light.overhead_fraction
+
+
+def test_micro_records_per_op_accurate():
+    for op, per_rep in RECORDS_PER_OP.items():
+        if op == "compute":
+            continue
+        reps = 50
+        result = run_workload(
+            EventCostMicrobench(op=op, repetitions=reps), TraceConfig()
+        )
+        assert result.verified
+        trace = result.trace()
+        op_records = [
+            r for r in trace.records_for_spe(0)
+            if r.kind not in ("sync", "spe_entry", "spe_exit")
+        ]
+        if op == "mailbox":
+            # +2 for the final done-mailbox write
+            expected = per_rep * reps + 2
+        elif op in ("dma", "signal", "marker"):
+            expected = per_rep * reps + 2  # + done mailbox begin/end
+        assert len(op_records) == expected, op
+
+
+def test_micro_unknown_op_rejected():
+    with pytest.raises(WorkloadError, match="unknown op"):
+        EventCostMicrobench(op="teleport")
+
+
+def test_overhead_result_zero_baseline_guard():
+    from repro.workloads.harness import OverheadResult
+
+    result = OverheadResult("x", 0, 10, 1, 1, 1)
+    assert result.overhead_fraction == 0.0

@@ -1,0 +1,71 @@
+"""Histogram reduction workload tests."""
+
+import pytest
+
+from repro.pdt import TraceConfig
+from repro.workloads import HistogramWorkload, WorkloadError, run_workload
+
+
+def test_atomic_merge_produces_exact_histogram():
+    result = run_workload(
+        HistogramWorkload(samples=16 * 1024, bins=64, n_spes=4, merge="atomic")
+    )
+    assert result.verified
+
+
+def test_ppe_merge_produces_exact_histogram():
+    result = run_workload(
+        HistogramWorkload(samples=16 * 1024, bins=64, n_spes=4, merge="ppe")
+    )
+    assert result.verified
+
+
+def test_atomic_merge_contends_on_lock_lines():
+    workload = HistogramWorkload(samples=16 * 1024, bins=32, n_spes=4)
+    result = run_workload(workload)
+    assert result.verified
+    station = result.machine.reservations
+    # 4 SPEs each merge 1 line: at least 4 attempts; contention shows
+    # as extra retries on a single shared line.
+    assert station.putllc_attempts >= 4
+    assert station.getllar_count >= 4
+
+
+def test_ppe_merge_uses_no_atomics():
+    result = run_workload(
+        HistogramWorkload(samples=16 * 1024, bins=64, n_spes=2, merge="ppe")
+    )
+    assert result.machine.reservations.putllc_attempts == 0
+
+
+def test_histogram_traced_still_exact():
+    result = run_workload(
+        HistogramWorkload(samples=16 * 1024, bins=64, n_spes=2),
+        TraceConfig(),
+    )
+    assert result.verified
+    kinds = {r.kind for r in result.trace().records_for_spe(0)}
+    assert "atomic_getllar" in kinds
+    assert "atomic_putllc" in kinds
+
+
+def test_histogram_single_spe():
+    result = run_workload(HistogramWorkload(samples=8192, bins=32, n_spes=1))
+    assert result.verified
+
+
+def test_histogram_validation():
+    with pytest.raises(WorkloadError, match="merge"):
+        HistogramWorkload(merge="psychic")
+    with pytest.raises(WorkloadError, match="bins"):
+        HistogramWorkload(bins=33)
+    with pytest.raises(WorkloadError, match="multiple of block_bytes"):
+        HistogramWorkload(samples=5000)
+    with pytest.raises(WorkloadError, match="divide evenly"):
+        HistogramWorkload(samples=12 * 1024, block_bytes=4096, n_spes=2)
+
+
+def test_histogram_deterministic():
+    a = run_workload(HistogramWorkload(samples=8192, bins=32, n_spes=2))
+    b = run_workload(HistogramWorkload(samples=8192, bins=32, n_spes=2))
+    assert a.elapsed_cycles == b.elapsed_cycles

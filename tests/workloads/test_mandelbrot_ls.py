@@ -1,0 +1,152 @@
+"""Mandelbrot scheduling and LS-to-LS pipeline tests."""
+
+import pytest
+
+from repro.pdt import TraceConfig
+from repro.ta import analyze, analyze_load_balance
+from repro.ta.stats import TraceStatistics
+from repro.workloads import (
+    MandelbrotWorkload,
+    StreamingPipelineWorkload,
+    WorkloadError,
+    run_workload,
+)
+
+
+# ----------------------------------------------------------------------
+# mandelbrot
+# ----------------------------------------------------------------------
+def test_mandelbrot_static_renders_exactly():
+    result = run_workload(
+        MandelbrotWorkload(width=64, height=16, max_iterations=32,
+                           n_spes=2, schedule="static")
+    )
+    assert result.verified
+
+
+def test_mandelbrot_dynamic_renders_exactly():
+    result = run_workload(
+        MandelbrotWorkload(width=64, height=16, max_iterations=32,
+                           n_spes=2, schedule="dynamic")
+    )
+    assert result.verified
+
+
+def test_mandelbrot_every_row_rendered_once_dynamic():
+    workload = MandelbrotWorkload(width=64, height=20, max_iterations=32,
+                                  n_spes=3, schedule="dynamic")
+    run_workload(workload)
+    assert sum(workload.rows_done_by.values()) == 20
+    # Dynamic queue gives everyone work.
+    assert all(done > 0 for done in workload.rows_done_by.values())
+
+
+def test_mandelbrot_dynamic_beats_static_makespan():
+    """The fractal's row costs are skewed; the queue fixes the split."""
+
+    def run(schedule):
+        workload = MandelbrotWorkload(
+            width=128, height=32, max_iterations=96, n_spes=4, schedule=schedule
+        )
+        result = run_workload(workload)
+        assert result.verified
+        return result.elapsed_cycles
+
+    static = run("static")
+    dynamic = run("dynamic")
+    assert dynamic < static * 0.9
+
+
+def test_mandelbrot_traced_load_balance_diagnosis():
+    def stats_for(schedule):
+        workload = MandelbrotWorkload(
+            width=128, height=32, max_iterations=96, n_spes=4, schedule=schedule
+        )
+        result = run_workload(workload, TraceConfig.dma_only())
+        assert result.verified
+        return TraceStatistics.from_model(analyze(result.trace()))
+
+    static_report = analyze_load_balance(stats_for("static"))
+    dynamic_report = analyze_load_balance(stats_for("dynamic"))
+    assert static_report.imbalance_factor > dynamic_report.imbalance_factor
+    assert dynamic_report.imbalance_factor < 1.25
+
+
+def test_mandelbrot_validation():
+    with pytest.raises(WorkloadError, match="schedule"):
+        MandelbrotWorkload(schedule="psychic")
+    with pytest.raises(WorkloadError, match="16-aligned"):
+        MandelbrotWorkload(width=30)
+
+
+def test_static_ranges_cover_all_rows():
+    workload = MandelbrotWorkload(width=64, height=50, n_spes=4)
+    ranges = workload.static_ranges()
+    covered = []
+    for start, end in ranges:
+        covered.extend(range(start, end))
+    assert covered == list(range(50))
+
+
+# ----------------------------------------------------------------------
+# LS-to-LS pipeline
+# ----------------------------------------------------------------------
+def test_ls_pipeline_transforms_correctly():
+    result = run_workload(
+        StreamingPipelineWorkload(
+            stages=3, blocks=8, block_bytes=1024, via_ls=True
+        )
+    )
+    assert result.verified
+
+
+def test_ls_pipeline_faster_than_through_memory():
+    def run(via_ls):
+        result = run_workload(
+            StreamingPipelineWorkload(
+                stages=4, blocks=16, block_bytes=4096,
+                compute_per_block=1000, via_ls=via_ls,
+            )
+        )
+        assert result.verified
+        return result.elapsed_cycles
+
+    through_memory = run(False)
+    direct = run(True)
+    assert direct < through_memory
+
+
+def test_ls_pipeline_moves_less_main_memory_traffic():
+    def eib_trace(via_ls):
+        result = run_workload(
+            StreamingPipelineWorkload(
+                stages=3, blocks=8, block_bytes=4096, via_ls=via_ls
+            )
+        )
+        machine = result.machine
+        # Count app DMA commands that touched main storage.
+        touched_dram = 0
+        for spe in machine.spes:
+            for cmd in spe.mfc.completed_commands:
+                if not machine.address_map.is_local_store(cmd.effective_addr):
+                    touched_dram += 1
+        return touched_dram
+
+    assert eib_trace(True) < eib_trace(False)
+
+
+def test_ls_pipeline_inbox_fit_validation():
+    with pytest.raises(WorkloadError, match="inbox ring"):
+        StreamingPipelineWorkload(
+            stages=2, block_bytes=16 * 1024, depth=8, via_ls=True
+        )
+
+
+def test_ls_pipeline_traced_still_correct():
+    result = run_workload(
+        StreamingPipelineWorkload(
+            stages=3, blocks=8, block_bytes=1024, via_ls=True
+        ),
+        TraceConfig(),
+    )
+    assert result.verified

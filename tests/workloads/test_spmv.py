@@ -1,0 +1,68 @@
+"""SpMV workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.pdt import TraceConfig
+from repro.ta import analyze
+from repro.ta.stats import TraceStatistics
+from repro.workloads import SpmvWorkload, WorkloadError, run_workload
+
+
+def test_spmv_matches_scipy():
+    result = run_workload(
+        SpmvWorkload(n=1024, density=0.02, rows_per_block=128, n_spes=2)
+    )
+    assert result.verified
+
+
+def test_spmv_denser_matrix_still_exact():
+    result = run_workload(
+        SpmvWorkload(n=512, density=0.2, rows_per_block=128, n_spes=2)
+    )
+    assert result.verified
+
+
+def test_spmv_single_spe():
+    result = run_workload(
+        SpmvWorkload(n=512, density=0.05, rows_per_block=256, n_spes=1)
+    )
+    assert result.verified
+
+
+def test_spmv_block_assignment_covers_all():
+    workload = SpmvWorkload(n=2048, rows_per_block=256, n_spes=3)
+    flat = sorted(
+        b for blocks in workload.block_assignments() for b in blocks
+    )
+    assert flat == list(range(8))
+
+
+def test_spmv_validation():
+    with pytest.raises(WorkloadError, match="not divisible"):
+        SpmvWorkload(n=1000, rows_per_block=256)
+    with pytest.raises(WorkloadError, match="density"):
+        SpmvWorkload(density=0.9)
+    with pytest.raises(WorkloadError, match="LS budget"):
+        SpmvWorkload(n=32768, rows_per_block=1024)
+
+
+def test_spmv_traced_shows_variable_dma_sizes():
+    """Irregular nonzero counts -> per-block DMA sizes vary."""
+    result = run_workload(
+        SpmvWorkload(n=1024, density=0.02, rows_per_block=128, n_spes=2),
+        TraceConfig(),
+    )
+    assert result.verified
+    sizes = {
+        r.fields["size"]
+        for r in result.trace().records_for_spe(0)
+        if r.kind == "mfc_get" and r.fields["tag"] == 0
+    }
+    assert len(sizes) > 2  # genuinely irregular transfers
+
+
+def test_spmv_deterministic():
+    a = run_workload(SpmvWorkload(n=512, rows_per_block=128, n_spes=2))
+    b = run_workload(SpmvWorkload(n=512, rows_per_block=128, n_spes=2))
+    assert a.elapsed_cycles == b.elapsed_cycles

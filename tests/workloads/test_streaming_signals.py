@@ -1,0 +1,118 @@
+"""SPE-to-SPE signalling and pipeline bottleneck features."""
+
+import pytest
+
+from repro.cell import CellConfig, CellMachine
+from repro.libspe import Runtime, SpeProgram
+from repro.pdt import PdtHooks, TraceConfig
+from repro.ta import analyze
+from repro.ta.stats import TraceStatistics
+from repro.workloads import StreamingPipelineWorkload, WorkloadError, run_workload
+
+
+def test_signal_spe_delivers_bits():
+    machine = CellMachine(CellConfig(n_spes=2, main_memory_size=1 << 22))
+    rt = Runtime(machine)
+
+    def sender(spu, argp, envp):
+        yield from spu.signal_spe(1, 0b110, which=1)
+        return 0
+
+    def receiver(spu, argp, envp):
+        value = yield from spu.read_signal(1)
+        return value
+
+    def main():
+        a = yield from rt.context_create(spe_id=0)
+        b = yield from rt.context_create(spe_id=1)
+        yield from a.load(SpeProgram("tx", sender))
+        yield from b.load(SpeProgram("rx", receiver))
+        rx_proc = b.run_async()
+        yield from a.run()
+        code = yield rx_proc
+        return code
+
+    out = {}
+
+    def wrap():
+        out["code"] = yield from main()
+
+    machine.spawn(wrap())
+    machine.run()
+    assert out["code"] == 0b110
+
+
+def test_signal_spe_validates_register():
+    machine = CellMachine(CellConfig(n_spes=1, main_memory_size=1 << 22))
+    rt = Runtime(machine)
+
+    def prog(spu, argp, envp):
+        try:
+            yield from spu.signal_spe(0, 1, which=5)
+        except ValueError:
+            return 1
+        return 0
+
+    def main():
+        ctx = yield from rt.context_create()
+        yield from ctx.load(SpeProgram("bad", prog))
+        return (yield from ctx.run())
+
+    out = {}
+
+    def wrap():
+        out["code"] = yield from main()
+
+    machine.spawn(wrap())
+    machine.run()
+    assert out["code"] == 1
+
+
+def test_signal_send_traced():
+    machine = CellMachine(CellConfig(n_spes=2, main_memory_size=1 << 26))
+    hooks = PdtHooks(TraceConfig())
+    rt = Runtime(machine, hooks=hooks)
+
+    def sender(spu, argp, envp):
+        yield from spu.signal_spe(1, 1)
+        return 0
+
+    def receiver(spu, argp, envp):
+        yield from spu.read_signal(1)
+        return 0
+
+    def main():
+        a = yield from rt.context_create(spe_id=0)
+        b = yield from rt.context_create(spe_id=1)
+        yield from a.load(SpeProgram("tx", sender))
+        yield from b.load(SpeProgram("rx", receiver))
+        rx = b.run_async()
+        yield from a.run()
+        yield rx
+
+    machine.spawn(main())
+    machine.run()
+    trace = hooks.to_trace()
+    sends = [r for r in trace.records_for_spe(0) if r.kind == "signal_send"]
+    assert len(sends) == 1
+    assert sends[0].fields == {"target": 1, "which": 1, "bits": 1}
+
+
+def test_bottleneck_stage_param():
+    workload = StreamingPipelineWorkload(
+        stages=3, blocks=6, block_bytes=1024, compute_per_block=1000,
+        bottleneck_stage=1, bottleneck_factor=4,
+    )
+    assert workload.stage_compute_cycles(0) == 1000
+    assert workload.stage_compute_cycles(1) == 4000
+    assert "bottleneck1" in workload.name
+    result = run_workload(workload, TraceConfig())
+    assert result.verified
+    stats = TraceStatistics.from_model(analyze(result.trace()))
+    busiest = max(stats.per_spe, key=lambda s: stats.per_spe[s].utilization)
+    assert busiest == 1
+
+
+def test_bottleneck_stage_validation():
+    with pytest.raises(WorkloadError, match="bottleneck_stage"):
+        StreamingPipelineWorkload(stages=3, bottleneck_stage=3)

@@ -1,0 +1,148 @@
+"""Workload correctness: every kernel verifies against NumPy."""
+
+import numpy as np
+import pytest
+
+from repro.pdt import TraceConfig
+from repro.workloads import (
+    FftWorkload,
+    MatmulWorkload,
+    MonteCarloWorkload,
+    StreamingPipelineWorkload,
+    WorkloadError,
+    run_workload,
+)
+
+
+# ----------------------------------------------------------------------
+# matmul
+# ----------------------------------------------------------------------
+def test_matmul_computes_correct_product():
+    result = run_workload(MatmulWorkload(n=128, tile=32, n_spes=2))
+    assert result.verified
+    assert result.elapsed_cycles > 0
+
+
+def test_matmul_double_buffered_same_answer_faster():
+    single = run_workload(MatmulWorkload(n=128, tile=64, n_spes=2))
+    double = run_workload(
+        MatmulWorkload(n=128, tile=64, n_spes=2, double_buffered=True)
+    )
+    assert single.verified and double.verified
+    assert double.elapsed_cycles < single.elapsed_cycles
+
+
+def test_matmul_tile_assignment_balanced():
+    workload = MatmulWorkload(n=256, tile=64, n_spes=4)
+    assignments = workload.tile_assignments()
+    sizes = [len(a) for a in assignments]
+    assert sum(sizes) == 16
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_matmul_tile_assignment_skewed():
+    workload = MatmulWorkload(n=256, tile=64, n_spes=4, skew=3)
+    sizes = [len(a) for a in workload.tile_assignments()]
+    assert sum(sizes) == 16
+    assert sizes[0] > max(sizes[1:])
+
+
+def test_matmul_validation():
+    with pytest.raises(WorkloadError, match="not divisible"):
+        MatmulWorkload(n=100, tile=64)
+    with pytest.raises(WorkloadError, match="16 KB"):
+        MatmulWorkload(n=256, tile=128)
+    with pytest.raises(WorkloadError, match="skew"):
+        MatmulWorkload(skew=0)
+
+
+def test_matmul_traced_still_correct():
+    result = run_workload(
+        MatmulWorkload(n=128, tile=64, n_spes=2), TraceConfig()
+    )
+    assert result.verified
+    assert result.trace().n_records > 0
+
+
+# ----------------------------------------------------------------------
+# fft
+# ----------------------------------------------------------------------
+def test_fft_matches_numpy():
+    result = run_workload(FftWorkload(points=256, batch=8, n_spes=2))
+    assert result.verified
+
+
+def test_fft_single_buffered_variant():
+    result = run_workload(
+        FftWorkload(points=256, batch=8, n_spes=2, double_buffered=False)
+    )
+    assert result.verified
+    assert result.workload.name == "fft-sb"
+
+
+def test_fft_frame_assignment_covers_batch():
+    workload = FftWorkload(points=256, batch=10, n_spes=3)
+    assignments = workload.frame_assignments()
+    flat = sorted(f for frames in assignments for f in frames)
+    assert flat == list(range(10))
+
+
+def test_fft_validation():
+    with pytest.raises(WorkloadError, match="power of two"):
+        FftWorkload(points=100)
+    with pytest.raises(WorkloadError, match="16 KB"):
+        FftWorkload(points=4096)
+
+
+# ----------------------------------------------------------------------
+# streaming pipeline
+# ----------------------------------------------------------------------
+def test_streaming_pipeline_transforms_all_blocks():
+    result = run_workload(
+        StreamingPipelineWorkload(stages=3, blocks=8, block_bytes=1024)
+    )
+    assert result.verified
+
+
+def test_streaming_backpressure_bounds_lead():
+    # depth=1 forces strict lockstep; still correct.
+    result = run_workload(
+        StreamingPipelineWorkload(stages=2, blocks=6, block_bytes=1024, depth=1)
+    )
+    assert result.verified
+
+
+def test_streaming_validation():
+    with pytest.raises(WorkloadError, match="16-aligned"):
+        StreamingPipelineWorkload(block_bytes=1000)
+    with pytest.raises(WorkloadError, match="depth"):
+        StreamingPipelineWorkload(depth=32)
+
+
+def test_streaming_traced_still_correct():
+    result = run_workload(
+        StreamingPipelineWorkload(stages=2, blocks=6, block_bytes=1024),
+        TraceConfig(buffer_bytes=1024),
+    )
+    assert result.verified
+
+
+# ----------------------------------------------------------------------
+# monte carlo
+# ----------------------------------------------------------------------
+def test_montecarlo_hits_match_host_reference():
+    result = run_workload(MonteCarloWorkload(samples_per_spe=2000, n_spes=2))
+    assert result.verified
+    assert result.workload.pi_estimate == pytest.approx(np.pi, abs=0.15)
+
+
+def test_montecarlo_deterministic_across_runs():
+    a = run_workload(MonteCarloWorkload(samples_per_spe=1000, n_spes=2))
+    b = run_workload(MonteCarloWorkload(samples_per_spe=1000, n_spes=2))
+    assert a.workload.total_hits == b.workload.total_hits
+    assert a.elapsed_cycles == b.elapsed_cycles
+
+
+def test_montecarlo_validation():
+    with pytest.raises(WorkloadError):
+        MonteCarloWorkload(samples_per_spe=0)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Assemble benchmarks/results/ into one markdown results document.
+
+Run after ``pytest benchmarks/ --benchmark-only`` to get a single file
+with every regenerated table and figure, ordered by experiment id —
+useful for diffing two checkouts' results or attaching to a report.
+
+Usage:  python tools/collect_results.py [-o RESULTS.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "benchmarks", "results")
+
+#: Experiment ordering: t1..t4, f1..f11, a1..a3 (then anything else).
+def _sort_key(filename: str):
+    match = re.match(r"([a-z])(\d+)_", filename)
+    if not match:
+        return (9, 99, filename)
+    family = {"t": 0, "f": 1, "a": 2}.get(match.group(1), 8)
+    return (family, int(match.group(2)), filename)
+
+
+def collect(results_dir: str = RESULTS_DIR) -> str:
+    if not os.path.isdir(results_dir):
+        raise SystemExit(
+            f"{results_dir} not found — run "
+            "'pytest benchmarks/ --benchmark-only' first"
+        )
+    names = sorted(
+        (n for n in os.listdir(results_dir) if n.endswith(".txt")),
+        key=_sort_key,
+    )
+    if not names:
+        raise SystemExit(f"no .txt results in {results_dir}")
+    parts = ["# Regenerated experiment results", ""]
+    for name in names:
+        experiment = name.rsplit(".", 1)[0]
+        with open(os.path.join(results_dir, name)) as handle:
+            body = handle.read().rstrip()
+        parts.append(f"## {experiment}")
+        parts.append("")
+        parts.append("```")
+        parts.append(body)
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="RESULTS.md")
+    args = parser.parse_args(argv)
+    document = collect()
+    with open(args.output, "w") as handle:
+        handle.write(document)
+    print(f"wrote {args.output} ({document.count(chr(10))} lines, "
+          f"{len(document.split('## ')) - 1} experiments)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
