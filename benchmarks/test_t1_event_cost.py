@@ -6,7 +6,13 @@ honest way — same microbenchmark traced and untraced, delta divided by
 the number of records.  The "compute" row is the control (no events).
 """
 
+import time
+import tracemalloc
+
 from repro.pdt import TraceConfig
+from repro.pdt.codec import encode_fields, encode_record
+from repro.pdt.events import SIDE_SPE, TraceRecord, code_for_kind
+from repro.pdt.store import ColumnStore
 from repro.ta.report import format_table
 from repro.workloads import EventCostMicrobench, measure_overhead
 
@@ -62,3 +68,76 @@ def test_t1_per_event_cost(benchmark, save_result):
     assert by_op["dma"]["cycles_per_event"] < by_op["marker"]["cycles_per_event"]
     # DMA ops produce 3 records per repetition, markers 1.
     assert by_op["dma"]["records"] > by_op["marker"]["records"] * 2
+
+
+# ----------------------------------------------------------------------
+# host-side record cost: what one recorded event costs *the simulator*
+# ----------------------------------------------------------------------
+HOT_RECORDS = 20_000
+
+
+def _measure_hot_path():
+    """Host ns (and retained bytes) per record on the tracer hot path.
+
+    ``seed`` — what every recorded event cost before the sink refactor:
+    materialize a TraceRecord (fields dict included), encode it for the
+    LS buffer, keep the object in a list.  ``sink`` — the EventSink
+    path: encode straight from the raw components and append them to
+    the ColumnStore's array columns; no record object ever exists.
+    """
+    spec = code_for_kind(SIDE_SPE, "mfc_get")
+    values = (3, 16384, 0x1000, 0x20000, 0, 0)
+    fields = dict(zip(spec.fields, values))
+
+    def run_seed():
+        records = []
+        append = records.append
+        for seq in range(HOT_RECORDS):
+            record = TraceRecord(
+                side=SIDE_SPE, code=spec.code, core=0, seq=seq,
+                raw_ts=seq, fields=dict(fields),
+            )
+            encode_record(record)
+            append(record)
+        return records
+
+    def run_sink():
+        store = ColumnStore()
+        append = store.append
+        for seq in range(HOT_RECORDS):
+            encode_fields(SIDE_SPE, spec.code, 0, seq, seq, values)
+            append(SIDE_SPE, spec.code, 0, seq, seq, values)
+        return store
+
+    rows = []
+    for name, fn in (("seed", run_seed), ("sink", run_sink)):
+        best = None
+        for __ in range(5):
+            t0 = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        tracemalloc.start()
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        rows.append(
+            {
+                "path": name,
+                "ns_per_record": round(best / HOT_RECORDS * 1e9, 1),
+                "bytes_per_record": peak // HOT_RECORDS,
+            }
+        )
+    return rows
+
+
+def test_t1_record_hot_path(benchmark, save_result):
+    rows = benchmark.pedantic(_measure_hot_path, rounds=1, iterations=1)
+    save_result("t1_record_hot_path.txt", format_table(rows))
+
+    by_path = {row["path"]: row for row in rows}
+    # The sink path drops the record object and its dict, so it must
+    # beat the seed on both retained memory (the headline: >= 3x) and
+    # per-record time.
+    assert by_path["seed"]["bytes_per_record"] >= 3 * by_path["sink"]["bytes_per_record"], rows
+    assert by_path["sink"]["ns_per_record"] < by_path["seed"]["ns_per_record"], rows

@@ -6,7 +6,7 @@ import argparse
 import sys
 import typing
 
-from repro.pdt import read_trace
+from repro.pdt import open_trace
 from repro.ta import (
     analyze,
     communication_edges,
@@ -47,7 +47,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: typing.Optional[typing.List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    trace = read_trace(args.trace)
+    # Stream the file chunk by chunk: the analyzer never holds the
+    # whole trace, so multi-million-event files analyze in O(chunk)
+    # memory.
+    trace = open_trace(args.trace)
     print(full_report(trace, gantt_width=args.width), end="")
     model = analyze(trace)
     if args.profile:
@@ -81,7 +84,7 @@ def main(argv: typing.Optional[typing.List[str]] = None) -> int:
         print(f"wrote {args.html}")
     if args.csv_records:
         with open(args.csv_records, "w") as handle:
-            records_to_csv(model.correlated, handle)
+            records_to_csv(model.iter_placed(), handle)
         print(f"wrote {args.csv_records}")
     if args.csv_stats:
         stats = TraceStatistics.from_model(model)

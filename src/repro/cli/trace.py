@@ -88,15 +88,17 @@ def main(argv: typing.Optional[typing.List[str]] = None) -> int:
         )
     workload = WORKLOADS[args.workload](args.spes)
     result = run_workload(workload, trace_config=config)
-    trace = result.trace()
-    nbytes = write_trace(trace, args.output)
+    # Stream the recorded chunks straight to the file: the trace is
+    # never assembled in memory as record objects.
+    source = result.trace_source()
+    nbytes = write_trace(source, args.output)
     status = "verified" if result.verified else "FAILED VERIFICATION"
     print(
         f"{workload.describe()}: {result.elapsed_cycles} cycles "
         f"({result.elapsed_us:.1f} us), results {status}"
     )
     print(
-        f"wrote {args.output}: {trace.n_records} records, {nbytes} bytes "
+        f"wrote {args.output}: {source.n_records} records, {nbytes} bytes "
         f"({result.hooks.stats.total_flushes} buffer flushes)"
     )
     return 0 if result.verified else 1

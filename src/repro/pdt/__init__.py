@@ -17,8 +17,14 @@ The implementation mirrors the real tool's architecture:
 * **Event groups** — :class:`TraceConfig` enables/disables groups
   (lifecycle, DMA, mailbox, signal, user), reproducing PDT's
   configuration file mechanism.
+* **Columnar chunk store** — the :class:`EventSink` / :class:`EventSource`
+  spine (:mod:`repro.pdt.store`): recorded events live in parallel
+  ``array`` columns chunked at ~64K records, and every consumer from
+  the file writer to the analyzer streams those chunks instead of
+  materializing record objects.
 * **Self-describing binary trace files** — :mod:`repro.pdt.writer` /
-  :mod:`repro.pdt.reader`.
+  :mod:`repro.pdt.reader`; the chunked layout (:func:`open_trace`,
+  :class:`ChunkWriter`) reads and writes in O(chunk) memory.
 * **Clock correlation** — SPU events carry raw decrementer values,
   PPE events raw timebase values; :class:`ClockCorrelator` fits the
   per-SPE clock maps from sync records, the step the Trace Analyzer
@@ -26,7 +32,7 @@ The implementation mirrors the real tool's architecture:
 """
 
 from repro.pdt.config import TraceConfig
-from repro.pdt.correlate import ClockCorrelator, CorrelatedTrace
+from repro.pdt.correlate import ClockCorrelator, CorrelatedTrace, PlacedEvent
 from repro.pdt.events import (
     EVENT_SPECS,
     EventSpec,
@@ -34,23 +40,45 @@ from repro.pdt.events import (
     code_for_kind,
     spec_for_code,
 )
-from repro.pdt.reader import read_trace
+from repro.pdt.format import TraceFormatError
+from repro.pdt.reader import TraceFileSource, open_trace, read_trace
+from repro.pdt.store import (
+    CHUNK_RECORDS,
+    ColumnChunk,
+    ColumnStore,
+    ConcatSource,
+    EventSink,
+    EventSource,
+    StoreSource,
+)
 from repro.pdt.trace import Trace, TraceHeader
 from repro.pdt.tracer import PdtHooks, TracingStats
-from repro.pdt.writer import write_trace
+from repro.pdt.writer import ChunkWriter, write_trace
 
 __all__ = [
+    "CHUNK_RECORDS",
+    "ChunkWriter",
     "ClockCorrelator",
+    "ColumnChunk",
+    "ColumnStore",
+    "ConcatSource",
     "CorrelatedTrace",
     "EVENT_SPECS",
+    "EventSink",
+    "EventSource",
     "EventSpec",
     "PdtHooks",
+    "PlacedEvent",
+    "StoreSource",
     "Trace",
     "TraceConfig",
+    "TraceFileSource",
+    "TraceFormatError",
     "TraceHeader",
     "TraceRecord",
     "TracingStats",
     "code_for_kind",
+    "open_trace",
     "read_trace",
     "spec_for_code",
     "write_trace",

@@ -33,29 +33,89 @@ def record_size(n_fields: int) -> int:
     return (raw + 15) & ~15
 
 
-def encode_record(record: TraceRecord) -> bytes:
-    """Encode one record, padded to a 16-byte boundary."""
-    values = record.field_values()
-    body = _PREFIX.pack(
-        record.side, record.code, record.core, record.seq, record.raw_ts
-    ) + struct.pack(f"<{len(values)}q", *values)
+def encode_fields(
+    side: int, code: int, core: int, seq: int, raw_ts: int,
+    values: typing.Sequence[int],
+) -> bytes:
+    """Encode one record from its raw components (allocation-light hot
+    path: no :class:`TraceRecord` needs to exist)."""
+    body = _PREFIX.pack(side, code, core, seq, raw_ts) + struct.pack(
+        f"<{len(values)}q", *values
+    )
     pad = record_size(len(values)) - len(body)
     return body + b"\x00" * pad
 
 
-def decode_record(buffer: bytes, offset: int) -> typing.Tuple[TraceRecord, int]:
-    """Decode the record at ``offset``; returns (record, next_offset)."""
+def encode_record(record: TraceRecord) -> bytes:
+    """Encode one record, padded to a 16-byte boundary."""
+    return encode_fields(
+        record.side, record.code, record.core, record.seq, record.raw_ts,
+        record.field_values(),
+    )
+
+
+#: (side, code) -> (values Struct, encoded size, kind) — computed once
+#: per record type so the per-record decode does no format building.
+_DECODE_INFO: typing.Dict[
+    typing.Tuple[int, int], typing.Tuple[struct.Struct, int, str]
+] = {}
+
+
+def record_info(side: int, code: int) -> typing.Tuple[struct.Struct, int, str]:
+    """(values struct, encoded size, kind) for one record type, cached."""
+    info = _DECODE_INFO.get((side, code))
+    if info is None:
+        spec = spec_for_code(side, code)
+        n = len(spec.fields)
+        info = (struct.Struct(f"<{n}q"), record_size(n), spec.kind)
+        _DECODE_INFO[(side, code)] = info
+    return info
+
+
+def decode_fields(buffer: bytes, offset: int) -> typing.Tuple[
+    int, int, int, int, int, typing.Tuple[int, ...], int
+]:
+    """Decode the record at ``offset`` into raw components.
+
+    Returns ``(side, code, core, seq, raw_ts, values, next_offset)``
+    without materializing a :class:`TraceRecord` — the columnar store's
+    ingestion path.
+    """
     if offset + _PREFIX.size > len(buffer):
         raise ValueError(f"truncated record prefix at offset {offset}")
     side, code, core, seq, raw_ts = _PREFIX.unpack_from(buffer, offset)
-    spec = spec_for_code(side, code)
-    n = len(spec.fields)
-    total = record_size(n)
+    values_struct, total, kind = record_info(side, code)
     if offset + total > len(buffer):
-        raise ValueError(f"truncated record body at offset {offset} ({spec.kind})")
-    values = struct.unpack_from(f"<{n}q", buffer, offset + _PREFIX.size)
+        raise ValueError(f"truncated record body at offset {offset} ({kind})")
+    values = values_struct.unpack_from(buffer, offset + _PREFIX.size)
+    return side, code, core, seq, raw_ts, values, offset + total
+
+
+def iter_prefixes(buffer: bytes, offset: int, count: int) -> typing.Iterator[
+    typing.Tuple[int, int, int, int, int, int]
+]:
+    """Walk ``count`` records decoding prefixes only.
+
+    Yields ``(side, code, core, seq, raw_ts, payload_offset)`` per
+    record, skipping the payload values — the cheap pass for scans that
+    only need record identity (e.g. collecting sync records)."""
+    end = len(buffer)
+    for __ in range(count):
+        if offset + _PREFIX.size > end:
+            raise ValueError(f"truncated record prefix at offset {offset}")
+        side, code, core, seq, raw_ts = _PREFIX.unpack_from(buffer, offset)
+        __struct, total, kind = record_info(side, code)
+        if offset + total > end:
+            raise ValueError(f"truncated record body at offset {offset} ({kind})")
+        yield side, code, core, seq, raw_ts, offset + _PREFIX.size
+        offset += total
+
+
+def decode_record(buffer: bytes, offset: int) -> typing.Tuple[TraceRecord, int]:
+    """Decode the record at ``offset``; returns (record, next_offset)."""
+    side, code, core, seq, raw_ts, values, offset = decode_fields(buffer, offset)
     record = TraceRecord.from_values(side, code, core, seq, raw_ts, values)
-    return record, offset + total
+    return record, offset
 
 
 def decode_stream(buffer: bytes, count: int, offset: int = 0) -> typing.Tuple[

@@ -17,23 +17,40 @@ directly at ``raw_ts * timebase_divider``.
 
 Both clocks tick ~two orders of magnitude coarser than the SPU
 executes, so placement has inherent quantization error; the per-core
-sequence numbers preserve *order* exactly, and :func:`place_records`
-additionally clamps each core's stream to be monotone so downstream
-interval reconstruction never sees time run backwards.
+sequence numbers preserve *order* exactly, and placement additionally
+clamps each core's stream to be monotone so downstream interval
+reconstruction never sees time run backwards.
+
+Two placement APIs share the fits:
+
+* the seed's materialized one — :meth:`ClockCorrelator.place_records`
+  returning a sorted list of :class:`PlacedRecord` objects — kept for
+  compatibility and as the reference implementation;
+* the streaming one — :meth:`ClockCorrelator.place_core_stream`,
+  :meth:`place_ppe_stream` and :meth:`iter_placed`, which yield
+  :class:`PlacedEvent` values chunk by chunk.  ``iter_placed`` merges
+  the per-stream iterators by the same ``(time, side, core, seq)`` key
+  the materialized sort uses, so both APIs produce records in the
+  identical global order.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import typing
 
 import numpy as np
 
 from repro.pdt import events as ev
-from repro.pdt.events import TraceRecord
+from repro.pdt.events import TraceRecord, spec_for_code
+from repro.pdt.store import EventSource
 from repro.pdt.trace import Trace
 
 _DECREMENTER_MODULUS = 1 << 32
+
+#: Sync observations for one SPE: (decrementer raw, timebase raw) pairs.
+_SyncPairs = typing.List[typing.Tuple[int, int]]
 
 
 class CorrelationError(Exception):
@@ -57,6 +74,70 @@ class SpeClockFit:
         return int(round(self.intercept + self.cycles_per_tick * elapsed))
 
 
+class PlacedEvent:
+    """One record on the global timeline, without a backing object.
+
+    The streaming analogue of :class:`PlacedRecord`: all record
+    components are carried as plain slots, and the ``fields`` dict (or
+    a full :class:`TraceRecord`) materializes only if asked for.
+    """
+
+    __slots__ = ("time", "side", "code", "core", "seq", "raw_ts", "values",
+                 "truth", "_fields")
+
+    def __init__(
+        self, time: int, side: int, code: int, core: int, seq: int,
+        raw_ts: int, values: typing.Sequence[int], truth: int = -1,
+    ):
+        self.time = time
+        self.side = side
+        self.code = code
+        self.core = core
+        self.seq = seq
+        self.raw_ts = raw_ts
+        self.values = values
+        self.truth = truth
+        self._fields: typing.Optional[typing.Dict[str, int]] = None
+
+    @property
+    def spec(self) -> ev.EventSpec:
+        return spec_for_code(self.side, self.code)
+
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+    @property
+    def is_spe(self) -> bool:
+        return self.side == ev.SIDE_SPE
+
+    @property
+    def fields(self) -> typing.Dict[str, int]:
+        if self._fields is None:
+            self._fields = dict(zip(self.spec.fields, self.values))
+        return self._fields
+
+    @property
+    def record(self) -> TraceRecord:
+        """Materialize a compatibility :class:`TraceRecord`."""
+        return TraceRecord(
+            side=self.side, code=self.code, core=self.core, seq=self.seq,
+            raw_ts=self.raw_ts, fields=dict(self.fields),
+            truth_time=self.truth,
+        )
+
+    @property
+    def sort_key(self) -> typing.Tuple[int, int, int, int]:
+        return (self.time, self.side, self.core, self.seq)
+
+    def __repr__(self) -> str:
+        side = "spe" if self.is_spe else "ppe"
+        return (
+            f"PlacedEvent({self.kind} {side}{self.core} seq={self.seq} "
+            f"t={self.time})"
+        )
+
+
 @dataclasses.dataclass
 class PlacedRecord:
     """A record with its reconstructed global time (SPU cycles)."""
@@ -68,32 +149,85 @@ class PlacedRecord:
     def kind(self) -> str:
         return self.record.kind
 
+    # Delegation mirrors PlacedEvent so timeline builders can consume
+    # either representation.
+    @property
+    def side(self) -> int:
+        return self.record.side
+
+    @property
+    def core(self) -> int:
+        return self.record.core
+
+    @property
+    def seq(self) -> int:
+        return self.record.seq
+
+    @property
+    def raw_ts(self) -> int:
+        return self.record.raw_ts
+
+    @property
+    def is_spe(self) -> bool:
+        return self.record.is_spe
+
+    @property
+    def fields(self) -> typing.Dict[str, int]:
+        return self.record.fields
+
+    @property
+    def sort_key(self) -> typing.Tuple[int, int, int, int]:
+        return (self.time, self.record.side, self.record.core, self.record.seq)
+
+
+def _sort_key(p: typing.Union[PlacedEvent, PlacedRecord]) -> typing.Tuple[int, int, int, int]:
+    return p.sort_key
+
 
 class ClockCorrelator:
-    """Fits and applies the per-core clock maps for one trace."""
+    """Fits and applies the per-core clock maps for one trace.
 
-    def __init__(self, trace: Trace):
-        self.trace = trace
-        self.divider = trace.header.timebase_divider
+    Accepts either a :class:`Trace` (compatibility: sync records are
+    collected from the materialized per-SPE lists, honoring any edits
+    made to them) or any :class:`EventSource` (streaming: syncs are
+    collected in one pass over the chunks).
+    """
+
+    def __init__(self, trace: typing.Union[Trace, EventSource]):
+        self.trace = trace if isinstance(trace, Trace) else None
+        self.source: EventSource = (
+            trace.as_source() if isinstance(trace, Trace) else trace
+        )
+        self.divider = self.source.header.timebase_divider
         self.fits: typing.Dict[int, SpeClockFit] = {}
-        for spe_id, records in sorted(trace.spe_records.items()):
-            self.fits[spe_id] = self._fit_spe(spe_id, records)
+        if self.trace is not None:
+            for spe_id, records in sorted(self.trace.spe_records.items()):
+                pairs = [
+                    (r.raw_ts, r.fields["tb_raw"])
+                    for r in records
+                    if r.kind == ev.KIND_SYNC
+                ]
+                self.fits[spe_id] = self._fit_pairs(spe_id, pairs)
+        else:
+            spe_ids, syncs = self.source.scan_sync()
+            for spe_id in sorted(spe_ids):
+                self.fits[spe_id] = self._fit_pairs(spe_id, syncs.get(spe_id, []))
 
     # ------------------------------------------------------------------
-    def _fit_spe(self, spe_id: int, records: typing.List[TraceRecord]) -> SpeClockFit:
-        syncs = [r for r in records if r.kind == ev.KIND_SYNC]
-        if not syncs:
+    def _fit_pairs(self, spe_id: int, pairs: _SyncPairs) -> SpeClockFit:
+        if not pairs:
             raise CorrelationError(
                 f"SPE {spe_id} trace has no sync records; cannot correlate"
             )
-        anchor = syncs[0].raw_ts
+        anchor = pairs[0][0]
         elapsed = np.array(
-            [(anchor - r.raw_ts) % _DECREMENTER_MODULUS for r in syncs], dtype=float
+            [(anchor - dec_raw) % _DECREMENTER_MODULUS for dec_raw, __ in pairs],
+            dtype=float,
         )
         global_cycles = np.array(
-            [r.fields["tb_raw"] * self.divider for r in syncs], dtype=float
+            [tb_raw * self.divider for __, tb_raw in pairs], dtype=float
         )
-        if len(syncs) == 1 or elapsed.max() == 0:
+        if len(pairs) == 1 or elapsed.max() == 0:
             # One anchor: assume the nominal period.
             intercept = float(global_cycles[0])
             slope = float(self.divider)
@@ -107,26 +241,37 @@ class ClockCorrelator:
             dec_anchor=anchor,
             intercept=float(intercept),
             cycles_per_tick=float(slope),
-            n_sync=len(syncs),
+            n_sync=len(pairs),
             max_residual=max_residual,
         )
 
     # ------------------------------------------------------------------
+    def place_value(self, side: int, core: int, raw_ts: int) -> int:
+        """Global time (SPU cycles) from raw record components."""
+        if side == ev.SIDE_PPE:
+            return raw_ts * self.divider
+        fit = self.fits.get(core)
+        if fit is None:
+            raise CorrelationError(f"no clock fit for SPE {core}")
+        return fit.to_global(raw_ts)
+
     def place(self, record: TraceRecord) -> int:
         """Global time (SPU cycles) for one record."""
-        if record.side == ev.SIDE_PPE:
-            return record.raw_ts * self.divider
-        fit = self.fits.get(record.core)
-        if fit is None:
-            raise CorrelationError(f"no clock fit for SPE {record.core}")
-        return fit.to_global(record.raw_ts)
+        return self.place_value(record.side, record.core, record.raw_ts)
 
     def place_records(self) -> typing.List[PlacedRecord]:
         """Place every record; monotone per core; globally sorted.
 
         Sort key is (time, side, core, seq) so equal-time records have
-        a stable, deterministic order.
+        a stable, deterministic order.  Requires a :class:`Trace` (the
+        compatibility path); streaming consumers use
+        :meth:`iter_placed` instead.
         """
+        if self.trace is None:
+            raise CorrelationError(
+                "place_records needs a materialized Trace; use iter_placed "
+                "for streaming sources"
+            )
         placed: typing.List[PlacedRecord] = []
         streams = [self.trace.ppe_records] + [
             self.trace.spe_records[i] for i in sorted(self.trace.spe_records)
@@ -139,11 +284,133 @@ class ClockCorrelator:
                     time = last  # clamp: order within a core is truth
                 last = time
                 placed.append(PlacedRecord(record=record, time=time))
-        placed.sort(key=lambda p: (p.time, p.record.side, p.record.core, p.record.seq))
+        placed.sort(key=_sort_key)
         return placed
 
+    # -- streaming placement -------------------------------------------
+    def spe_ids(self) -> typing.List[int]:
+        return sorted(self.fits)
 
-def correlation_errors(placed: typing.Sequence[PlacedRecord]) -> typing.List[int]:
+    def _placed_stream(
+        self, side: int, core: typing.Optional[int]
+    ) -> typing.Iterator[PlacedEvent]:
+        """One recording stream placed and clamped, in recording order."""
+        last = None
+        for chunk in self.source.iter_chunks():
+            off = chunk.val_off
+            for i in range(len(chunk)):
+                if chunk.side[i] != side:
+                    continue
+                if core is not None and chunk.core[i] != core:
+                    continue
+                time = self.place_value(side, chunk.core[i], chunk.raw_ts[i])
+                if last is not None and time < last:
+                    time = last  # clamp: order within a core is truth
+                last = time
+                yield PlacedEvent(
+                    time, side, chunk.code[i], chunk.core[i], chunk.seq[i],
+                    chunk.raw_ts[i], chunk.values[off[i] : off[i + 1]],
+                    chunk.truth[i],
+                )
+
+    def place_core_stream(self, spe_id: int) -> typing.Iterator[PlacedEvent]:
+        """One SPE's records placed, clamped, in recording order.
+
+        After clamping, time is non-decreasing in seq, so this order is
+        exactly the global sort order restricted to the core.
+        """
+        return self._placed_stream(ev.SIDE_SPE, spe_id)
+
+    def place_ppe_stream(self) -> typing.Iterator[PlacedEvent]:
+        """The PPE stream placed, clamped, in global sort order.
+
+        The PPE stream is clamped in recording (seq) order like any
+        other stream, but its ``core`` field carries the *thread id*,
+        which varies freely within equal-time runs — so matching the
+        global ``(time, side, core, seq)`` order additionally requires
+        re-sorting each equal-time run by (core, seq).
+        """
+        run: typing.List[PlacedEvent] = []
+        for placed in self._placed_stream(ev.SIDE_PPE, None):
+            if run and placed.time != run[0].time:
+                run.sort(key=lambda p: (p.core, p.seq))
+                yield from run
+                run = []
+            run.append(placed)
+        run.sort(key=lambda p: (p.core, p.seq))
+        yield from run
+
+    def iter_demuxed(
+        self,
+    ) -> typing.Iterator[typing.Tuple[typing.Optional[int], PlacedEvent]]:
+        """Every stream placed in ONE pass over the source.
+
+        Yields ``(stream, placed)`` pairs where ``stream`` is the SPE id
+        for SPE records and ``None`` for PPE records.  Each stream's
+        subsequence is identical to what :meth:`place_core_stream` /
+        :meth:`place_ppe_stream` produce (clamping and the PPE
+        equal-time-run resort included), but the chunks are decoded only
+        once — this is what lets :func:`repro.ta.analyze` drive every
+        timeline builder from a single scan.  There is no ordering
+        guarantee *across* streams.
+        """
+        spe_last: typing.Dict[int, int] = {}
+        ppe_last: typing.Optional[int] = None
+        ppe_run: typing.List[PlacedEvent] = []
+        for chunk in self.source.iter_chunks():
+            off = chunk.val_off
+            for i in range(len(chunk)):
+                side = chunk.side[i]
+                core = chunk.core[i]
+                time = self.place_value(side, core, chunk.raw_ts[i])
+                if side == ev.SIDE_SPE:
+                    last = spe_last.get(core)
+                    if last is not None and time < last:
+                        time = last  # clamp: order within a core is truth
+                    spe_last[core] = time
+                    yield core, PlacedEvent(
+                        time, side, chunk.code[i], core, chunk.seq[i],
+                        chunk.raw_ts[i], chunk.values[off[i] : off[i + 1]],
+                        chunk.truth[i],
+                    )
+                else:
+                    if ppe_last is not None and time < ppe_last:
+                        time = ppe_last
+                    ppe_last = time
+                    placed = PlacedEvent(
+                        time, side, chunk.code[i], core, chunk.seq[i],
+                        chunk.raw_ts[i], chunk.values[off[i] : off[i + 1]],
+                        chunk.truth[i],
+                    )
+                    if ppe_run and time != ppe_run[0].time:
+                        ppe_run.sort(key=lambda p: (p.core, p.seq))
+                        for pending in ppe_run:
+                            yield None, pending
+                        ppe_run = []
+                    ppe_run.append(placed)
+        ppe_run.sort(key=lambda p: (p.core, p.seq))
+        for pending in ppe_run:
+            yield None, pending
+
+    def iter_placed(self) -> typing.Iterator[PlacedEvent]:
+        """Every record placed, in the global sort order, streamed.
+
+        Merges the per-stream iterators (each already in global-order
+        restricted to itself) by the global key; since keys are unique
+        across streams, this reproduces exactly the order
+        :meth:`place_records` produces — without materializing
+        anything.
+        """
+        streams: typing.List[typing.Iterator[PlacedEvent]] = [
+            self.place_ppe_stream()
+        ]
+        streams.extend(self.place_core_stream(spe_id) for spe_id in self.spe_ids())
+        return heapq.merge(*streams, key=_sort_key)
+
+
+def correlation_errors(
+    placed: typing.Sequence[typing.Union[PlacedRecord, PlacedEvent]]
+) -> typing.List[int]:
     """|placed - ground truth| per record, where truth is available.
 
     Only meaningful for in-memory traces (``truth_time`` does not

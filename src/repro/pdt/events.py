@@ -154,7 +154,7 @@ def code_for_kind(side: int, kind: str) -> EventSpec:
         raise KeyError(f"no trace record defined for side={side} kind={kind!r}") from None
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class TraceRecord:
     """One decoded trace record.
 

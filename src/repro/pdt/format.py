@@ -1,0 +1,64 @@
+"""On-disk trace-format constants shared by the writer and reader.
+
+Two file layouts share the same magic and header struct; the header's
+``version`` field selects between them:
+
+* **version 1 (legacy)** — the seed's list layout: a stream directory
+  (record counts per core) followed by all records grouped per stream.
+  Reading it requires holding the whole payload; kept for backward
+  compatibility.
+* **version 2 (chunked columnar)** — the streaming layout: records in
+  *chunks* of at most ~64K records, each chunk framed by its own
+  (n_records, payload_bytes) prefix so a reader can index the file by
+  seeking from prefix to prefix without touching payload bytes.  Both
+  writing and re-reading need only O(chunk) memory.
+
+Header struct (little endian), shared by both versions::
+
+    magic           4s   b"PDT1"
+    version         u16  1 or 2
+    n_spes          u16
+    timebase_div    u32
+    spu_clock_hz    f64
+    groups_bitmap   u32
+    buffer_bytes    u32
+    a               u32  v1: n_ppe_records    v2: n_chunks
+    b               u32  v1: n_spe_streams    v2: total_records
+
+v1 then has ``n_spe_streams`` entries of ``_STREAM`` (spe_id, count);
+v2 has ``n_chunks`` chunks, each ``_CHUNK`` (n_records, payload_bytes)
+followed by that many codec-encoded records.  A v2 writer that cannot
+seek back to patch the header writes ``n_chunks = 0xFFFFFFFF``
+(:data:`CHUNKS_UNTIL_EOF`), meaning "read chunks until end of file".
+"""
+
+from __future__ import annotations
+
+import struct
+
+MAGIC = b"PDT1"
+
+VERSION_LEGACY = 1
+VERSION_CHUNKED = 2
+SUPPORTED_VERSIONS = (VERSION_LEGACY, VERSION_CHUNKED)
+
+_HEADER = struct.Struct("<4sHHIdIIII")
+_STREAM = struct.Struct("<II")  # v1: (spe_id, n_records)
+_CHUNK = struct.Struct("<II")  # v2: (n_records, payload_bytes)
+
+#: v2 ``n_chunks`` sentinel: chunk prefixes run until end of file.
+CHUNKS_UNTIL_EOF = 0xFFFF_FFFF
+
+
+class TraceFormatError(Exception):
+    """The file is not a valid PDT trace."""
+
+
+def check_version(version: int) -> None:
+    """Raise a clear :class:`TraceFormatError` for unknown versions."""
+    if version not in SUPPORTED_VERSIONS:
+        raise TraceFormatError(
+            f"unsupported trace version {version}; this build supports "
+            f"versions {', '.join(str(v) for v in SUPPORTED_VERSIONS)} "
+            "(1 = legacy stream layout, 2 = chunked columnar layout)"
+        )

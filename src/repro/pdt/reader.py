@@ -1,4 +1,15 @@
-"""Trace-file reader — the Trace Analyzer's input stage."""
+"""Trace-file reader — the Trace Analyzer's input stage.
+
+Two entry points:
+
+* :func:`read_trace` — parse a whole file into an in-memory
+  :class:`Trace` (compatibility path; both layouts).
+* :func:`open_trace` — open a chunked (version-2) trace as a
+  :class:`TraceFileSource`, an :class:`EventSource` that decodes one
+  chunk at a time so analysis of a multi-million-event trace never
+  holds more than O(chunk) records.  Version-1 files transparently
+  fall back to a materialized source.
+"""
 
 from __future__ import annotations
 
@@ -6,13 +17,109 @@ import io
 import struct
 import typing
 
-from repro.pdt.codec import decode_stream
+from repro.pdt import events as ev
+from repro.pdt.codec import decode_fields, iter_prefixes
+from repro.pdt.format import (
+    _CHUNK,
+    _HEADER,
+    _STREAM,
+    CHUNKS_UNTIL_EOF,
+    MAGIC,
+    VERSION_CHUNKED,
+    VERSION_LEGACY,
+    TraceFormatError,
+    check_version,
+)
+from repro.pdt.store import ColumnChunk, ColumnStore, EventSource
 from repro.pdt.trace import Trace, TraceHeader
-from repro.pdt.writer import _HEADER, _STREAM, MAGIC
+
+__all__ = ["TraceFormatError", "read_trace", "open_trace", "TraceFileSource"]
+
+#: One signed 64-bit payload value (the sync record's tb_raw).
+_VALUE = struct.Struct("<q")
 
 
-class TraceFormatError(Exception):
-    """The file is not a valid PDT trace."""
+def _parse_header(blob: bytes) -> typing.Tuple[TraceHeader, int, int]:
+    """Parse and sanity-check the header; returns (header, a, b)."""
+    if len(blob) < _HEADER.size:
+        raise TraceFormatError(f"file too short for header: {len(blob)} bytes")
+    (
+        magic,
+        version,
+        n_spes,
+        timebase_divider,
+        spu_clock_hz,
+        groups_bitmap,
+        buffer_bytes,
+        a,
+        b,
+    ) = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    check_version(version)
+    header = TraceHeader(
+        n_spes=n_spes,
+        timebase_divider=timebase_divider,
+        spu_clock_hz=spu_clock_hz,
+        groups_bitmap=groups_bitmap,
+        buffer_bytes=buffer_bytes,
+        version=version,
+    )
+    return header, a, b
+
+
+def _decode_chunk(blob: bytes, offset: int, n_records: int, payload_bytes: int) -> ColumnChunk:
+    chunk = ColumnChunk()
+    end = offset + payload_bytes
+    # Bound locals: this loop runs once per record in the file.
+    sides, codes, cores = chunk.side, chunk.code, chunk.core
+    seqs, raws, truths = chunk.seq, chunk.raw_ts, chunk.truth
+    vals, offs = chunk.values, chunk.val_off
+    try:
+        for __ in range(n_records):
+            side, code, core, seq, raw_ts, values, offset = decode_fields(blob, offset)
+            sides.append(side)
+            codes.append(code)
+            cores.append(core)
+            seqs.append(seq)
+            raws.append(raw_ts)
+            truths.append(-1)
+            vals.extend(values)
+            offs.append(len(vals))
+    except (ValueError, KeyError) as exc:
+        raise TraceFormatError(f"corrupt trace payload: {exc}") from exc
+    if offset != end:
+        raise TraceFormatError(
+            f"chunk payload size mismatch: declared {payload_bytes} bytes, "
+            f"decoded {payload_bytes - (end - offset)}"
+        )
+    return chunk
+
+
+def _iter_chunk_frames(
+    blob: bytes, n_chunks: int
+) -> typing.Iterator[typing.Tuple[int, int, int]]:
+    """Yield (payload_offset, n_records, payload_bytes) per chunk."""
+    offset = _HEADER.size
+    seen = 0
+    while True:
+        if n_chunks == CHUNKS_UNTIL_EOF:
+            if offset == len(blob):
+                return
+        elif seen == n_chunks:
+            return
+        if offset + _CHUNK.size > len(blob):
+            raise TraceFormatError("truncated chunk prefix")
+        n_records, payload_bytes = _CHUNK.unpack_from(blob, offset)
+        offset += _CHUNK.size
+        if offset + payload_bytes > len(blob):
+            raise TraceFormatError(
+                f"truncated chunk payload at offset {offset}: need "
+                f"{payload_bytes} bytes, have {len(blob) - offset}"
+            )
+        yield offset, n_records, payload_bytes
+        offset += payload_bytes
+        seen += 1
 
 
 def read_trace(path_or_file: typing.Union[str, typing.BinaryIO, bytes]) -> Trace:
@@ -25,24 +132,25 @@ def read_trace(path_or_file: typing.Union[str, typing.BinaryIO, bytes]) -> Trace
     else:
         blob = path_or_file.read()
 
-    if len(blob) < _HEADER.size:
-        raise TraceFormatError(f"file too short for header: {len(blob)} bytes")
-    (
-        magic,
-        version,
-        n_spes,
-        timebase_divider,
-        spu_clock_hz,
-        groups_bitmap,
-        buffer_bytes,
-        n_ppe,
-        n_streams,
-    ) = _HEADER.unpack_from(blob, 0)
-    if magic != MAGIC:
-        raise TraceFormatError(f"bad magic {magic!r} (expected {MAGIC!r})")
-    if version != 1:
-        raise TraceFormatError(f"unsupported trace version {version}")
+    header, a, b = _parse_header(blob)
+    trace = Trace(header=header)
+    if header.version == VERSION_LEGACY:
+        _read_legacy_payload(blob, a, b, trace.store)
+    else:
+        total = 0
+        for offset, n_records, payload_bytes in _iter_chunk_frames(blob, a):
+            trace.store.adopt_chunk(_decode_chunk(blob, offset, n_records, payload_bytes))
+            total += n_records
+        if a != CHUNKS_UNTIL_EOF and total != b:
+            raise TraceFormatError(
+                f"record count mismatch: header says {b}, chunks hold {total}"
+            )
+    trace.validate()
+    return trace
 
+
+def _read_legacy_payload(blob: bytes, n_ppe: int, n_streams: int, store: ColumnStore) -> None:
+    """Version-1 payload: stream directory, then per-stream records."""
     offset = _HEADER.size
     streams: typing.List[typing.Tuple[int, int]] = []
     for __ in range(n_streams):
@@ -51,30 +159,157 @@ def read_trace(path_or_file: typing.Union[str, typing.BinaryIO, bytes]) -> Trace
         spe_id, count = _STREAM.unpack_from(blob, offset)
         streams.append((spe_id, count))
         offset += _STREAM.size
-
-    header = TraceHeader(
-        n_spes=n_spes,
-        timebase_divider=timebase_divider,
-        spu_clock_hz=spu_clock_hz,
-        groups_bitmap=groups_bitmap,
-        buffer_bytes=buffer_bytes,
-        version=version,
-    )
-    trace = Trace(header=header)
     try:
-        ppe_records, offset = decode_stream(blob, n_ppe, offset)
-        for record in ppe_records:
-            trace.add(record)
+        for __ in range(n_ppe):
+            side, code, core, seq, raw_ts, values, offset = decode_fields(blob, offset)
+            store.append(side, code, core, seq, raw_ts, values)
         for spe_id, count in streams:
-            records, offset = decode_stream(blob, count, offset)
-            for record in records:
-                if record.core != spe_id:
+            for __ in range(count):
+                side, code, core, seq, raw_ts, values, offset = decode_fields(blob, offset)
+                if core != spe_id:
                     raise TraceFormatError(
                         f"stream for SPE {spe_id} contains a record from "
-                        f"core {record.core}"
+                        f"core {core}"
                     )
-                trace.add(record)
+                store.append(side, code, core, seq, raw_ts, values)
+    except TraceFormatError:
+        raise
     except (ValueError, KeyError) as exc:
         raise TraceFormatError(f"corrupt trace payload: {exc}") from exc
-    trace.validate()
-    return trace
+
+
+class TraceFileSource(EventSource):
+    """A chunked trace file served as an :class:`EventSource`.
+
+    The constructor reads only the header and the chunk *prefixes*
+    (seeking over payloads) to build the chunk index; payload bytes are
+    decoded lazily, one chunk at a time, during ``iter_chunks``.  Each
+    ``iter_chunks`` call opens its own file handle, so several
+    iterations (e.g. per-core placement streams feeding a merge) can be
+    in flight at once.
+    """
+
+    def __init__(self, path_or_file: typing.Union[str, typing.BinaryIO, bytes]):
+        self._path: typing.Optional[str] = None
+        self._blob: typing.Optional[bytes] = None
+        if isinstance(path_or_file, str):
+            self._path = path_or_file
+        elif isinstance(path_or_file, (bytes, bytearray)):
+            self._blob = bytes(path_or_file)
+        else:
+            # A raw file object cannot be re-opened for repeated
+            # iteration, so fall back to holding its bytes.
+            self._blob = path_or_file.read()
+
+        with self._open() as handle:
+            head = handle.read(_HEADER.size)
+            self.header, a, b = _parse_header(head)
+            if self.header.version == VERSION_LEGACY:
+                # Legacy layout cannot be streamed; materialize once.
+                handle.seek(0)
+                self._fallback: typing.Optional[EventSource] = read_trace(
+                    handle.read()
+                ).as_source()
+                self._index: typing.List[typing.Tuple[int, int, int]] = []
+                self._n_records = self._fallback.n_records
+                return
+            self._fallback = None
+            self._index = self._build_index(handle, a)
+            self._n_records = sum(n for __, n, __ in self._index)
+            if a != CHUNKS_UNTIL_EOF and self._n_records != b:
+                raise TraceFormatError(
+                    f"record count mismatch: header says {b}, chunks hold "
+                    f"{self._n_records}"
+                )
+
+    def _open(self) -> typing.BinaryIO:
+        if self._path is not None:
+            return open(self._path, "rb")
+        assert self._blob is not None
+        return io.BytesIO(self._blob)
+
+    @staticmethod
+    def _build_index(
+        handle: typing.BinaryIO, n_chunks: int
+    ) -> typing.List[typing.Tuple[int, int, int]]:
+        """Scan chunk prefixes (seeking past payloads) into an index of
+        (payload_offset, n_records, payload_bytes)."""
+        handle.seek(0, io.SEEK_END)
+        size = handle.tell()
+        offset = _HEADER.size
+        index: typing.List[typing.Tuple[int, int, int]] = []
+        while True:
+            if n_chunks == CHUNKS_UNTIL_EOF:
+                if offset == size:
+                    return index
+            elif len(index) == n_chunks:
+                return index
+            if offset + _CHUNK.size > size:
+                raise TraceFormatError("truncated chunk prefix")
+            handle.seek(offset)
+            n_records, payload_bytes = _CHUNK.unpack(handle.read(_CHUNK.size))
+            offset += _CHUNK.size
+            if offset + payload_bytes > size:
+                raise TraceFormatError(
+                    f"truncated chunk payload at offset {offset}: need "
+                    f"{payload_bytes} bytes, have {size - offset}"
+                )
+            index.append((offset, n_records, payload_bytes))
+            offset += payload_bytes
+
+    @property
+    def n_records(self) -> int:
+        return self._n_records
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._index)
+
+    def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
+        if self._fallback is not None:
+            yield from self._fallback.iter_chunks()
+            return
+        with self._open() as handle:
+            for offset, n_records, payload_bytes in self._index:
+                handle.seek(offset)
+                payload = handle.read(payload_bytes)
+                if len(payload) != payload_bytes:
+                    raise TraceFormatError(
+                        f"truncated chunk payload at offset {offset}"
+                    )
+                yield _decode_chunk(payload, 0, n_records, payload_bytes)
+
+    def scan_sync(self):
+        """Prefix-only sync collection: one pass that never decodes
+        payloads except the single value of each sync record."""
+        if self._fallback is not None:
+            return self._fallback.scan_sync()
+        sync_code = ev.code_for_kind(ev.SIDE_SPE, ev.KIND_SYNC).code
+        spe_ids: typing.Set[int] = set()
+        syncs: typing.Dict[int, typing.List[typing.Tuple[int, int]]] = {}
+        with self._open() as handle:
+            for offset, n_records, payload_bytes in self._index:
+                handle.seek(offset)
+                payload = handle.read(payload_bytes)
+                try:
+                    for side, code, core, __seq, raw_ts, val_off in iter_prefixes(
+                        payload, 0, n_records
+                    ):
+                        if side != ev.SIDE_SPE:
+                            continue
+                        spe_ids.add(core)
+                        if code == sync_code:
+                            (tb_raw,) = _VALUE.unpack_from(payload, val_off)
+                            syncs.setdefault(core, []).append((raw_ts, tb_raw))
+                except (ValueError, KeyError) as exc:
+                    raise TraceFormatError(
+                        f"corrupt trace payload: {exc}"
+                    ) from exc
+        return spe_ids, syncs
+
+
+def open_trace(
+    path_or_file: typing.Union[str, typing.BinaryIO, bytes]
+) -> TraceFileSource:
+    """Open a trace file for streaming chunk-by-chunk consumption."""
+    return TraceFileSource(path_or_file)

@@ -1,0 +1,354 @@
+"""The columnar chunk store: the trace data path's one spine.
+
+The seed kept every trace record as a Python object in a list, so both
+memory and analysis time scaled with trace volume times the (large)
+per-object overhead.  This module replaces that with two small
+interfaces and one concrete container:
+
+* :class:`EventSink` — accepts records one at a time, as raw
+  components or encoded bytes.  Implemented by :class:`ColumnStore`
+  (in-memory) and :class:`repro.pdt.writer.ChunkWriter` (straight to
+  disk).  The tracer's record hot path and the flush-DMA read-back
+  path both talk to sinks.
+* :class:`EventSource` — serves records chunk by chunk for streaming
+  consumers.  Implemented by :class:`StoreSource` /
+  :class:`ConcatSource` (in-memory) and
+  :class:`repro.pdt.reader.TraceFileSource` (on-disk, O(chunk)
+  memory).  Everything downstream — correlation, timeline
+  reconstruction, statistics, the CLI — iterates chunks.
+
+A :class:`ColumnChunk` holds up to :data:`CHUNK_RECORDS` records as
+parallel ``array`` columns (side, code, core, seq, raw timestamp,
+ground-truth time, payload offsets, payload values), costing ~30 bytes
+per record instead of several hundred for a ``TraceRecord`` with its
+fields dict.  Records materialize to :class:`TraceRecord` objects only
+at explicit compatibility boundaries (``Trace.ppe_records`` etc.).
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+import typing
+from array import array
+
+from repro.pdt import codec
+from repro.pdt.events import (
+    KIND_SYNC,
+    SIDE_PPE,
+    SIDE_SPE,
+    TraceRecord,
+    code_for_kind,
+    spec_for_code,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.pdt.trace import TraceHeader
+
+#: Records per chunk (~64K): large enough to amortize per-chunk cost,
+#: small enough that one in-flight chunk is a few MB at most.
+CHUNK_RECORDS = 65536
+
+
+class ColumnChunk:
+    """Up to :data:`CHUNK_RECORDS` records as parallel columns.
+
+    ``val_off`` is a prefix-offset column of length ``n + 1``: record
+    ``i``'s payload values are ``values[val_off[i]:val_off[i + 1]]``.
+    ``truth`` carries the debug-only ground-truth simulation time
+    (-1 when unknown; never serialized).
+    """
+
+    __slots__ = ("side", "code", "core", "seq", "raw_ts", "truth", "val_off",
+                 "values")
+
+    def __init__(self) -> None:
+        self.side = array("B")
+        self.code = array("B")
+        self.core = array("H")
+        self.seq = array("L")
+        self.raw_ts = array("Q")
+        self.truth = array("q")
+        self.val_off = array("L", [0])
+        self.values = array("q")
+
+    def __len__(self) -> int:
+        return len(self.side)
+
+    def append(
+        self, side: int, code: int, core: int, seq: int, raw_ts: int,
+        values: typing.Sequence[int], truth: int = -1,
+    ) -> None:
+        self.side.append(side)
+        self.code.append(code)
+        self.core.append(core)
+        self.seq.append(seq)
+        self.raw_ts.append(raw_ts)
+        self.truth.append(truth)
+        self.values.extend(values)
+        self.val_off.append(len(self.values))
+
+    def record_values(self, i: int) -> array:
+        return self.values[self.val_off[i] : self.val_off[i + 1]]
+
+    def n_fields(self, i: int) -> int:
+        return self.val_off[i + 1] - self.val_off[i]
+
+    def record(self, i: int) -> TraceRecord:
+        """Materialize record ``i`` as a compatibility object."""
+        side, code = self.side[i], self.code[i]
+        spec = spec_for_code(side, code)
+        return TraceRecord(
+            side=side,
+            code=code,
+            core=self.core[i],
+            seq=self.seq[i],
+            raw_ts=self.raw_ts[i],
+            fields=dict(zip(spec.fields, self.record_values(i))),
+            truth_time=self.truth[i],
+        )
+
+    def slice(self, start: int, stop: int) -> "ColumnChunk":
+        """A new chunk holding rows [start, stop) (columns copied)."""
+        piece = ColumnChunk()
+        piece.side = self.side[start:stop]
+        piece.code = self.code[start:stop]
+        piece.core = self.core[start:stop]
+        piece.seq = self.seq[start:stop]
+        piece.raw_ts = self.raw_ts[start:stop]
+        piece.truth = self.truth[start:stop]
+        base = self.val_off[start]
+        piece.val_off = array("L", (o - base for o in self.val_off[start : stop + 1]))
+        piece.values = self.values[base : self.val_off[stop]]
+        return piece
+
+
+class EventSink(abc.ABC):
+    """Accepts trace records: the recording half of the spine."""
+
+    @abc.abstractmethod
+    def append(
+        self, side: int, code: int, core: int, seq: int, raw_ts: int,
+        values: typing.Sequence[int], truth: int = -1,
+    ) -> None:
+        """Accept one record as raw components (the hot path)."""
+
+    def add_record(self, record: TraceRecord) -> None:
+        """Accept one materialized record (compatibility path)."""
+        self.append(
+            record.side, record.code, record.core, record.seq, record.raw_ts,
+            record.field_values(), record.truth_time,
+        )
+
+    def append_encoded(self, buffer: bytes, offset: int = 0) -> int:
+        """Decode consecutive codec-encoded records from ``buffer``
+        straight into the sink (the flush-DMA read-back path); returns
+        the offset after the last record consumed."""
+        decode = codec.decode_fields
+        end = len(buffer)
+        while offset < end:
+            side, code, core, seq, raw_ts, values, offset = decode(buffer, offset)
+            self.append(side, code, core, seq, raw_ts, values)
+        return offset
+
+    def close(self) -> None:
+        """Flush any buffered state; the sink accepts no more records."""
+
+
+class EventSource(abc.ABC):
+    """Serves records chunk by chunk: the analysis half of the spine.
+
+    ``iter_chunks`` must support *repeated* calls, each starting a
+    fresh iteration — multi-pass consumers (clock fitting, then
+    placement) and concurrent per-core merges rely on it.
+    """
+
+    header: "TraceHeader"
+
+    @abc.abstractmethod
+    def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
+        """Iterate the trace's chunks in recording order."""
+
+    @property
+    @abc.abstractmethod
+    def n_records(self) -> int:
+        """Total record count."""
+
+    def iter_records(self) -> typing.Iterator[TraceRecord]:
+        """Materialize records one at a time (compatibility helper)."""
+        for chunk in self.iter_chunks():
+            for i in range(len(chunk)):
+                yield chunk.record(i)
+
+    def scan_sync(
+        self,
+    ) -> typing.Tuple[
+        typing.Set[int], typing.Dict[int, typing.List[typing.Tuple[int, int]]]
+    ]:
+        """One pass collecting what clock correlation needs.
+
+        Returns ``(spe_ids, syncs)`` where ``spe_ids`` is every SPE core
+        with at least one record and ``syncs`` maps each core to its
+        ``(dec_raw, tb_raw)`` sync pairs in recording order.  File-backed
+        sources override this with a prefix-only walk that skips the
+        column build entirely.
+        """
+        sync_code = code_for_kind(SIDE_SPE, KIND_SYNC).code
+        spe_ids: typing.Set[int] = set()
+        syncs: typing.Dict[int, typing.List[typing.Tuple[int, int]]] = {}
+        for chunk in self.iter_chunks():
+            off = chunk.val_off
+            for i in range(len(chunk)):
+                if chunk.side[i] != SIDE_SPE:
+                    continue
+                core = chunk.core[i]
+                spe_ids.add(core)
+                if chunk.code[i] == sync_code:
+                    syncs.setdefault(core, []).append(
+                        (chunk.raw_ts[i], chunk.values[off[i]])
+                    )
+        return spe_ids, syncs
+
+
+class ColumnStore(EventSink):
+    """In-memory columnar chunk store (sink side, plus chunk access).
+
+    Appended records fill the open tail chunk; full chunks are sealed.
+    Sealed chunks may have heterogeneous sizes when adopted from a
+    reader, so random access goes through a cumulative row index.
+    """
+
+    def __init__(self, chunk_records: int = CHUNK_RECORDS):
+        if chunk_records < 1:
+            raise ValueError(f"chunk_records must be >= 1, got {chunk_records}")
+        self.chunk_records = chunk_records
+        self._chunks: typing.List[ColumnChunk] = [ColumnChunk()]
+        #: cumulative record count at the start of each chunk
+        self._starts: typing.List[int] = [0]
+        #: (side, core) -> record count
+        self._counts: typing.Dict[typing.Tuple[int, int], int] = {}
+
+    # -- sink --------------------------------------------------------
+    def append(
+        self, side: int, code: int, core: int, seq: int, raw_ts: int,
+        values: typing.Sequence[int], truth: int = -1,
+    ) -> None:
+        tail = self._chunks[-1]
+        if len(tail) >= self.chunk_records:
+            self._starts.append(self._starts[-1] + len(tail))
+            tail = ColumnChunk()
+            self._chunks.append(tail)
+        tail.append(side, code, core, seq, raw_ts, values, truth)
+        key = (side, core)
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def adopt_chunk(self, chunk: ColumnChunk) -> None:
+        """Take ownership of a decoded chunk wholesale (reader path)."""
+        if not chunk:
+            return
+        tail = self._chunks[-1]
+        if len(tail) == 0:
+            self._chunks[-1] = chunk
+        else:
+            self._starts.append(self._starts[-1] + len(tail))
+            self._chunks.append(chunk)
+        for side, core in zip(chunk.side, chunk.core):
+            key = (side, core)
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def extend_from(self, other: "ColumnStore", start: int = 0) -> None:
+        """Append rows [start:] of another store (columnar copy)."""
+        for chunk in other.iter_chunks(start=start):
+            off = chunk.val_off
+            for i in range(len(chunk)):
+                self.append(
+                    chunk.side[i], chunk.code[i], chunk.core[i], chunk.seq[i],
+                    chunk.raw_ts[i], chunk.values[off[i] : off[i + 1]],
+                    chunk.truth[i],
+                )
+
+    # -- access ------------------------------------------------------
+    def __len__(self) -> int:
+        return self._starts[-1] + len(self._chunks[-1])
+
+    @property
+    def n_records(self) -> int:
+        return len(self)
+
+    def cores(self) -> typing.List[typing.Tuple[int, int]]:
+        """Sorted (side, core) pairs with at least one record."""
+        return sorted(self._counts)
+
+    def spe_ids(self) -> typing.List[int]:
+        return sorted(c for s, c in self._counts if s == SIDE_SPE)
+
+    def has_ppe(self) -> bool:
+        return any(s == SIDE_PPE for s, __ in self._counts)
+
+    def _locate(self, i: int) -> typing.Tuple[ColumnChunk, int]:
+        if not 0 <= i < len(self):
+            raise IndexError(f"record index {i} out of range (n={len(self)})")
+        ci = bisect.bisect_right(self._starts, i) - 1
+        return self._chunks[ci], i - self._starts[ci]
+
+    def record_at(self, i: int) -> TraceRecord:
+        chunk, row = self._locate(i)
+        return chunk.record(row)
+
+    def n_fields_at(self, i: int) -> int:
+        chunk, row = self._locate(i)
+        return chunk.n_fields(row)
+
+    def iter_chunks(self, start: int = 0) -> typing.Iterator[ColumnChunk]:
+        """Chunks in order; ``start`` skips that many leading records
+        (the first yielded chunk is then a sliced copy)."""
+        for ci, chunk in enumerate(self._chunks):
+            if not len(chunk):
+                continue
+            chunk_start = self._starts[ci]
+            if start >= chunk_start + len(chunk):
+                continue
+            if start > chunk_start:
+                yield chunk.slice(start - chunk_start, len(chunk))
+            else:
+                yield chunk
+
+
+class StoreSource(EventSource):
+    """An :class:`EventSource` view over one header + store pair."""
+
+    def __init__(self, header: "TraceHeader", store: ColumnStore):
+        self.header = header
+        self.store = store
+
+    def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
+        return self.store.iter_chunks()
+
+    @property
+    def n_records(self) -> int:
+        return len(self.store)
+
+
+class ConcatSource(EventSource):
+    """Several (store, start_row) segments served as one source.
+
+    Lets :class:`repro.pdt.tracer.PdtHooks` expose the PPE buffer and
+    every SPE context's retained records as one stream without copying
+    them into a merged store first.
+    """
+
+    def __init__(
+        self,
+        header: "TraceHeader",
+        parts: typing.Sequence[typing.Tuple[ColumnStore, int]],
+    ):
+        self.header = header
+        self.parts = list(parts)
+
+    def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
+        for store, start in self.parts:
+            yield from store.iter_chunks(start=start)
+
+    @property
+    def n_records(self) -> int:
+        return sum(max(len(store) - start, 0) for store, start in self.parts)

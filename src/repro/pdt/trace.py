@@ -1,4 +1,18 @@
-"""The in-memory trace container shared by tracer, writer, reader, TA."""
+"""The trace container: a thin compatibility view over the chunk store.
+
+:class:`Trace` keeps the seed's record-list API (``ppe_records``,
+``spe_records``, ``all_records`` …) but no longer *stores* records as
+Python objects: the data lives in a :class:`~repro.pdt.store.ColumnStore`
+and the list views materialize lazily, on first access, as caches.
+Code that never touches the list views (the streaming analyzer, the
+writer, validation) stays columnar end to end.
+
+Mutating the materialized lists is supported for the compatibility
+consumers that historically did so (e.g. stripping sync records before
+building a :class:`~repro.pdt.correlate.ClockCorrelator`): those
+consumers read the same cached lists.  The underlying store is not
+affected by such edits — ``add`` is the only mutation the store sees.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +20,7 @@ import dataclasses
 import typing
 
 from repro.pdt.events import SIDE_PPE, SIDE_SPE, TraceRecord
+from repro.pdt.store import ColumnStore, EventSource, StoreSource
 
 
 @dataclasses.dataclass
@@ -15,6 +30,9 @@ class TraceHeader:
     Deliberately does *not* contain per-SPE decrementer offsets or
     drift: on hardware nobody knows those, and the analyzer must
     recover the clock relations from sync records alone.
+
+    ``version`` selects the file layout (see :mod:`repro.pdt.format`);
+    it round-trips through write/read exactly.
     """
 
     n_spes: int
@@ -22,24 +40,85 @@ class TraceHeader:
     spu_clock_hz: float
     groups_bitmap: int
     buffer_bytes: int
-    version: int = 1
+    version: int = 2
 
 
-@dataclasses.dataclass
 class Trace:
-    """A full PDT trace: header + records.
+    """A full PDT trace: header + records, backed by a columnar store.
 
-    Records are stored per producing core, each stream in recording
-    order (that is how the buffers arrive in memory); ``all_records``
-    provides the merged view keyed by (core, seq) — global *time*
-    placement needs :class:`repro.pdt.correlate.ClockCorrelator`.
+    Records are conceptually stored per producing core, each stream in
+    recording order (that is how the buffers arrive in memory);
+    ``all_records`` provides the merged view keyed by (core, seq) —
+    global *time* placement needs
+    :class:`repro.pdt.correlate.ClockCorrelator`.
     """
 
-    header: TraceHeader
-    ppe_records: typing.List[TraceRecord] = dataclasses.field(default_factory=list)
-    spe_records: typing.Dict[int, typing.List[TraceRecord]] = dataclasses.field(
-        default_factory=dict
-    )
+    def __init__(
+        self, header: TraceHeader, store: typing.Optional[ColumnStore] = None
+    ):
+        self.header = header
+        self.store = store if store is not None else ColumnStore()
+        self._view_rows = -1
+        self._ppe_view: typing.List[TraceRecord] = []
+        self._spe_view: typing.Dict[int, typing.List[TraceRecord]] = {}
+
+    # -- columnar interface ------------------------------------------
+    def as_source(self) -> EventSource:
+        """The streaming view: header + chunks, no object records."""
+        return StoreSource(self.header, self.store)
+
+    @property
+    def n_records(self) -> int:
+        return len(self.store)
+
+    def add(self, record: TraceRecord) -> None:
+        if record.side not in (SIDE_PPE, SIDE_SPE):
+            raise ValueError(f"record has invalid side {record.side}")
+        self.store.add_record(record)
+
+    def validate(self) -> None:
+        """Check per-core sequence monotonicity; raises ValueError.
+
+        Runs columnar — no record objects are materialized.
+        """
+        last: typing.Dict[typing.Tuple[int, int], int] = {}
+        for chunk in self.store.iter_chunks():
+            for side, core, seq in zip(chunk.side, chunk.core, chunk.seq):
+                key = (side, core if side == SIDE_SPE else 0)
+                prev = last.get(key)
+                if prev is not None and seq <= prev:
+                    name = f"spe{key[1]}" if side == SIDE_SPE else "ppe"
+                    raise ValueError(
+                        f"{name} stream is not in strict sequence order"
+                    )
+                last[key] = seq
+
+    # -- compatibility record-list views -----------------------------
+    def _materialize(self) -> None:
+        if self._view_rows == len(self.store):
+            return
+        ppe: typing.List[TraceRecord] = []
+        spe: typing.Dict[int, typing.List[TraceRecord]] = {}
+        for chunk in self.store.iter_chunks():
+            for i in range(len(chunk)):
+                record = chunk.record(i)
+                if record.side == SIDE_PPE:
+                    ppe.append(record)
+                else:
+                    spe.setdefault(record.core, []).append(record)
+        self._ppe_view = ppe
+        self._spe_view = spe
+        self._view_rows = len(self.store)
+
+    @property
+    def ppe_records(self) -> typing.List[TraceRecord]:
+        self._materialize()
+        return self._ppe_view
+
+    @property
+    def spe_records(self) -> typing.Dict[int, typing.List[TraceRecord]]:
+        self._materialize()
+        return self._spe_view
 
     def records_for_spe(self, spe_id: int) -> typing.List[TraceRecord]:
         return self.spe_records.get(spe_id, [])
@@ -47,27 +126,6 @@ class Trace:
     def all_records(self) -> typing.Iterator[TraceRecord]:
         """Every record, PPE stream first then SPE streams by id."""
         yield from self.ppe_records
-        for spe_id in sorted(self.spe_records):
-            yield from self.spe_records[spe_id]
-
-    @property
-    def n_records(self) -> int:
-        return len(self.ppe_records) + sum(len(r) for r in self.spe_records.values())
-
-    def add(self, record: TraceRecord) -> None:
-        if record.side == SIDE_PPE:
-            self.ppe_records.append(record)
-        elif record.side == SIDE_SPE:
-            self.spe_records.setdefault(record.core, []).append(record)
-        else:
-            raise ValueError(f"record has invalid side {record.side}")
-
-    def validate(self) -> None:
-        """Check per-core sequence monotonicity; raises ValueError."""
-        streams = [("ppe", self.ppe_records)] + [
-            (f"spe{i}", recs) for i, recs in sorted(self.spe_records.items())
-        ]
-        for name, records in streams:
-            seqs = [r.seq for r in records]
-            if seqs != sorted(seqs) or len(set(seqs)) != len(seqs):
-                raise ValueError(f"{name} stream is not in strict sequence order")
+        spe = self.spe_records
+        for spe_id in sorted(spe):
+            yield from spe[spe_id]

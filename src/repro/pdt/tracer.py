@@ -19,6 +19,11 @@ paper's description of PDT):
 * Sync records pairing (decrementer, timebase) readings are emitted at
   SPE entry/exit and at every buffer flush — the anchors the clock
   correlator fits.
+
+Recorded events land in a per-stream :class:`~repro.pdt.store.ColumnStore`
+(the :class:`~repro.pdt.store.EventSink` interface): the hot path never
+builds a :class:`TraceRecord` object, it encodes the record bytes for
+the LS buffer and appends the raw components to the columnar sink.
 """
 
 from __future__ import annotations
@@ -31,9 +36,10 @@ from repro.cell.mfc import DmaDirection
 from repro.cell.spu import SpuCore
 from repro.kernel import Delay, Event
 from repro.pdt import events as ev
-from repro.pdt.codec import decode_record, encode_record
+from repro.pdt.codec import decode_record, encode_fields, record_size
 from repro.pdt.config import TraceConfig
 from repro.pdt.events import TraceRecord, code_for_kind
+from repro.pdt.store import ColumnStore, ConcatSource, EventSource
 from repro.pdt.trace import Trace, TraceHeader
 from repro.libspe.hooks import RuntimeHooks, SpuEventKind
 
@@ -103,7 +109,7 @@ class _SpuTraceContext:
         self.fill = 0
         self._pending_flush: typing.List[typing.Optional[Event]] = [None, None]
         self.seq = 0
-        self.records: typing.List[TraceRecord] = []
+        self.sink = ColumnStore()
         #: Wrap mode: bytes of still-retained records (drives trimming).
         self._live_bytes = 0
         self._trim_from = 0  # index of the oldest retained record
@@ -124,17 +130,12 @@ class _SpuTraceContext:
 
     def _store(self, kind: str, fields: typing.Dict[str, int]) -> typing.Generator:
         spec = code_for_kind(ev.SIDE_SPE, kind)
-        record = TraceRecord(
-            side=ev.SIDE_SPE,
-            code=spec.code,
-            core=self.spu.spe_id,
-            seq=self.seq,
-            raw_ts=self.spu.read_decrementer(),
-            fields={name: int(fields.get(name, 0)) for name in spec.fields},
-            truth_time=self.spu.sim.now,
-        )
+        values = tuple(int(fields.get(name, 0)) for name in spec.fields)
+        seq = self.seq
+        raw_ts = self.spu.read_decrementer()
+        truth = self.spu.sim.now
         self.seq += 1
-        data = encode_record(record)
+        data = encode_fields(ev.SIDE_SPE, spec.code, self.spu.spe_id, seq, raw_ts, values)
         if self.fill + len(data) > self.half_size:
             yield from self._flush_current_half()
         region_end = self.region_ea + self.config.trace_region_bytes
@@ -151,7 +152,9 @@ class _SpuTraceContext:
             self.ls_base + self.current_half * self.half_size + self.fill, data
         )
         self.fill += len(data)
-        self.records.append(record)
+        self.sink.append(
+            ev.SIDE_SPE, spec.code, self.spu.spe_id, seq, raw_ts, values, truth
+        )
         self.stats.records += 1
         self.stats.bytes_buffered += len(data)
         if self.config.wrap:
@@ -160,19 +163,19 @@ class _SpuTraceContext:
 
     def _trim_overwritten(self) -> None:
         """Wrap mode: forget records whose bytes were overwritten."""
-        from repro.pdt.codec import record_size
-
         capacity = self.config.trace_region_bytes
-        while self._live_bytes > capacity and self._trim_from < len(self.records):
-            old = self.records[self._trim_from]
-            self._live_bytes -= record_size(len(old.spec.fields))
+        while self._live_bytes > capacity and self._trim_from < len(self.sink):
+            self._live_bytes -= record_size(self.sink.n_fields_at(self._trim_from))
             self._trim_from += 1
             self.stats.overwritten_records += 1
 
     def retained_records(self) -> typing.List[TraceRecord]:
         """Records still present in the region (all of them unless
-        wrap mode overwrote the oldest)."""
-        return self.records[self._trim_from :]
+        wrap mode overwrote the oldest), materialized as objects."""
+        return [
+            self.sink.record_at(i)
+            for i in range(self._trim_from, len(self.sink))
+        ]
 
     def rebind(self) -> None:
         """The SPE's local store was re-provisioned (virtual-context
@@ -235,6 +238,17 @@ class _SpuTraceContext:
             self._pending_flush[half] = None
 
     # ------------------------------------------------------------------
+    def region_blob(self) -> bytes:
+        """The raw bytes that physically arrived in main storage."""
+        if self.config.wrap:
+            raise ValueError(
+                "wrap-mode regions interleave generations and cannot be "
+                "decoded linearly; use to_trace() / retained_records()"
+            )
+        return self.machine.memory.read(
+            self.region_ea, self.write_ea - self.region_ea
+        )
+
     def read_back_records(self) -> typing.List[TraceRecord]:
         """Decode the records from the main-memory trace region.
 
@@ -243,14 +257,7 @@ class _SpuTraceContext:
         prove the full LS -> DMA -> main-storage path carries the
         trace intact.
         """
-        if self.config.wrap:
-            raise ValueError(
-                "wrap-mode regions interleave generations and cannot be "
-                "decoded linearly; use to_trace() / retained_records()"
-            )
-        blob = self.machine.memory.read(
-            self.region_ea, self.write_ea - self.region_ea
-        )
+        blob = self.region_blob()
         records = []
         offset = 0
         while offset < len(blob):
@@ -267,7 +274,7 @@ class PdtHooks(RuntimeHooks):
         self.stats = TracingStats()
         self.machine: typing.Optional[CellMachine] = None
         self._spu_contexts: typing.Dict[int, _SpuTraceContext] = {}
-        self._ppe_records: typing.List[TraceRecord] = []
+        self._ppe_store = ColumnStore()
         self._ppe_seq = 0
         self._finalized = False
 
@@ -317,17 +324,12 @@ class PdtHooks(RuntimeHooks):
         # runtime call (0 if unattributable).
         process = self.machine.sim.current_process
         thread_id = (process.pid & 0xFFFF) if process is not None else 0
-        record = TraceRecord(
-            side=ev.SIDE_PPE,
-            code=spec.code,
-            core=thread_id,
-            seq=self._ppe_seq,
-            raw_ts=self.machine.ppe.read_timebase(),
-            fields={name: int(fields.get(name, 0)) for name in spec.fields},
-            truth_time=self.machine.sim.now,
+        values = tuple(int(fields.get(name, 0)) for name in spec.fields)
+        self._ppe_store.append(
+            ev.SIDE_PPE, spec.code, thread_id, self._ppe_seq,
+            self.machine.ppe.read_timebase(), values, self.machine.sim.now,
         )
         self._ppe_seq += 1
-        self._ppe_records.append(record)
         self.stats.ppe_records += 1
 
     def finalize(self) -> None:
@@ -336,32 +338,45 @@ class PdtHooks(RuntimeHooks):
     # ------------------------------------------------------------------
     # trace assembly
     # ------------------------------------------------------------------
-    def to_trace(self) -> Trace:
-        """Assemble the Trace object (what the trace file contains)."""
-        header = TraceHeader(
+    def _header(self) -> TraceHeader:
+        return TraceHeader(
             n_spes=self.machine.config.n_spes,
             timebase_divider=self.machine.config.timebase_divider,
             spu_clock_hz=self.machine.config.spu_clock_hz,
             groups_bitmap=self.config.groups_bitmap(),
             buffer_bytes=self.config.buffer_bytes,
         )
-        trace = Trace(header=header)
-        for record in self._ppe_records:
-            trace.add(record)
+
+    def event_source(self) -> EventSource:
+        """The recorded streams as one :class:`EventSource`, zero-copy.
+
+        Serves the PPE stream then each SPE's retained records straight
+        from the recording sinks — the streaming path from tracer to
+        file writer or analyzer.
+        """
+        parts = [(self._ppe_store, 0)]
         for spe_id in sorted(self._spu_contexts):
-            for record in self._spu_contexts[spe_id].retained_records():
-                trace.add(record)
+            context = self._spu_contexts[spe_id]
+            parts.append((context.sink, context._trim_from))
+        return ConcatSource(self._header(), parts)
+
+    def to_trace(self) -> Trace:
+        """Assemble the Trace object (what the trace file contains)."""
+        trace = Trace(header=self._header())
+        trace.store.extend_from(self._ppe_store)
+        for spe_id in sorted(self._spu_contexts):
+            context = self._spu_contexts[spe_id]
+            trace.store.extend_from(context.sink, start=context._trim_from)
         trace.validate()
         return trace
 
     def read_back_trace(self) -> Trace:
         """Like :meth:`to_trace`, but SPE streams are decoded from the
         bytes that physically arrived in main storage via DMA."""
-        trace = self.to_trace()
-        trace.spe_records = {}
+        trace = Trace(header=self._header())
+        trace.store.extend_from(self._ppe_store)
         for spe_id, context in sorted(self._spu_contexts.items()):
-            for record in context.read_back_records():
-                trace.add(record)
+            trace.store.append_encoded(context.region_blob())
         trace.validate()
         return trace
 

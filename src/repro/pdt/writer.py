@@ -1,71 +1,216 @@
-"""Trace-file writer.
+"""Trace-file writer: streams chunks from any :class:`EventSource`.
 
-File layout (little endian)::
+See :mod:`repro.pdt.format` for the two on-disk layouts.  The writer
+honours ``header.version`` exactly (round-tripping it) and rejects
+versions it cannot produce with a clear error.
 
-    magic           4s   b"PDT1"
-    version         u16
-    n_spes          u16
-    timebase_div    u32
-    spu_clock_hz    f64
-    groups_bitmap   u32
-    buffer_bytes    u32
-    n_ppe_records   u32
-    n_spe_streams   u32
-    --- per SPE stream ---
-    spe_id          u32
-    n_records       u32
-    --- payload ---
-    PPE records, then each SPE stream's records, in the 16-byte
-    record encoding of :mod:`repro.pdt.codec`.
+* :func:`write_trace` — serialize a :class:`Trace` or any
+  :class:`EventSource`.  The chunked layout (version 2, the default)
+  is written one chunk at a time in O(chunk) memory; the legacy layout
+  (version 1) is still produced when ``header.version == 1``.
+* :class:`ChunkWriter` — an :class:`EventSink` that writes records to
+  disk *as they arrive*, sealing chunks as they fill; nothing but the
+  open chunk is ever held in memory.
 """
 
 from __future__ import annotations
 
 import io
-import struct
 import typing
 
-from repro.pdt.codec import encode_record
-from repro.pdt.trace import Trace
+from repro.pdt.codec import encode_fields
+from repro.pdt.events import SIDE_PPE, SIDE_SPE
+from repro.pdt.format import (
+    _CHUNK,
+    _HEADER,
+    _STREAM,
+    CHUNKS_UNTIL_EOF,
+    MAGIC,
+    VERSION_CHUNKED,
+    VERSION_LEGACY,
+    check_version,
+)
+from repro.pdt.store import CHUNK_RECORDS, ColumnChunk, EventSink, EventSource
+from repro.pdt.trace import Trace, TraceHeader
 
-MAGIC = b"PDT1"
-_HEADER = struct.Struct("<4sHHIdIIII")
-_STREAM = struct.Struct("<II")
+
+def _pack_header(header: TraceHeader, a: int, b: int) -> bytes:
+    return _HEADER.pack(
+        MAGIC,
+        header.version,
+        header.n_spes,
+        header.timebase_divider,
+        header.spu_clock_hz,
+        header.groups_bitmap,
+        header.buffer_bytes,
+        a,
+        b,
+    )
 
 
-def write_trace(trace: Trace, path_or_file: typing.Union[str, typing.BinaryIO]) -> int:
-    """Serialize a trace; returns the number of bytes written."""
+def _encode_chunk(chunk: ColumnChunk) -> bytes:
+    off = chunk.val_off
+    return b"".join(
+        encode_fields(
+            chunk.side[i], chunk.code[i], chunk.core[i], chunk.seq[i],
+            chunk.raw_ts[i], chunk.values[off[i] : off[i + 1]],
+        )
+        for i in range(len(chunk))
+    )
+
+
+def write_trace(
+    trace: typing.Union[Trace, EventSource],
+    path_or_file: typing.Union[str, typing.BinaryIO],
+) -> int:
+    """Serialize a trace or event source; returns bytes written."""
     if isinstance(path_or_file, str):
         with open(path_or_file, "wb") as handle:
             return write_trace(trace, handle)
-    out: typing.BinaryIO = path_or_file
-    header = trace.header
-    spe_ids = sorted(trace.spe_records)
-    written = out.write(
-        _HEADER.pack(
-            MAGIC,
-            header.version,
-            header.n_spes,
-            header.timebase_divider,
-            header.spu_clock_hz,
-            header.groups_bitmap,
-            header.buffer_bytes,
-            len(trace.ppe_records),
-            len(spe_ids),
-        )
-    )
-    for spe_id in spe_ids:
-        written += out.write(_STREAM.pack(spe_id, len(trace.spe_records[spe_id])))
-    for record in trace.ppe_records:
-        written += out.write(encode_record(record))
-    for spe_id in spe_ids:
-        for record in trace.spe_records[spe_id]:
-            written += out.write(encode_record(record))
+    source = trace.as_source() if isinstance(trace, Trace) else trace
+    check_version(source.header.version)
+    if source.header.version == VERSION_LEGACY:
+        return _write_legacy(source, path_or_file)
+    return _write_chunked(source, path_or_file)
+
+
+def _write_chunked(source: EventSource, out: typing.BinaryIO) -> int:
+    """Version-2 layout: header, then self-framed chunks in order."""
+    chunks = 0
+    total = 0
+    written = out.write(_pack_header(source.header, 0, 0))  # patched below
+    for chunk in source.iter_chunks():
+        if not len(chunk):
+            continue
+        payload = _encode_chunk(chunk)
+        written += out.write(_CHUNK.pack(len(chunk), len(payload)))
+        written += out.write(payload)
+        chunks += 1
+        total += len(chunk)
+    out.seek(0)
+    out.write(_pack_header(source.header, chunks, total))
+    out.seek(0, io.SEEK_END)
     return written
 
 
-def trace_to_bytes(trace: Trace) -> bytes:
+def _write_legacy(source: EventSource, out: typing.BinaryIO) -> int:
+    """Version-1 layout: stream directory, then records grouped per
+    stream (PPE first, then SPEs by id) — the seed's format."""
+    counts: typing.Dict[typing.Tuple[int, int], int] = {}
+    for chunk in source.iter_chunks():
+        for side, core in zip(chunk.side, chunk.core):
+            key = (side, core if side == SIDE_SPE else 0)
+            counts[key] = counts.get(key, 0) + 1
+    n_ppe = counts.get((SIDE_PPE, 0), 0)
+    spe_ids = sorted(core for side, core in counts if side == SIDE_SPE)
+    written = out.write(_pack_header(source.header, n_ppe, len(spe_ids)))
+    for spe_id in spe_ids:
+        written += out.write(_STREAM.pack(spe_id, counts[(SIDE_SPE, spe_id)]))
+    streams = [(SIDE_PPE, None)] + [(SIDE_SPE, spe_id) for spe_id in spe_ids]
+    for side, core in streams:
+        for chunk in source.iter_chunks():
+            off = chunk.val_off
+            for i in range(len(chunk)):
+                if chunk.side[i] != side:
+                    continue
+                if core is not None and chunk.core[i] != core:
+                    continue
+                written += out.write(
+                    encode_fields(
+                        chunk.side[i], chunk.code[i], chunk.core[i],
+                        chunk.seq[i], chunk.raw_ts[i],
+                        chunk.values[off[i] : off[i + 1]],
+                    )
+                )
+    return written
+
+
+def trace_to_bytes(trace: typing.Union[Trace, EventSource]) -> bytes:
     """Serialize to an in-memory buffer."""
     buffer = io.BytesIO()
     write_trace(trace, buffer)
     return buffer.getvalue()
+
+
+class ChunkWriter(EventSink):
+    """Stream records straight to a version-2 trace file.
+
+    Records are encoded as they arrive and the chunk payload buffer is
+    flushed to disk every ``chunk_records`` records, so writing a
+    multi-million-event trace needs O(chunk) memory.  On ``close`` the
+    header is patched with the final chunk/record counts when the
+    output is seekable; otherwise the :data:`CHUNKS_UNTIL_EOF`
+    sentinel header (written up front) stands and readers consume
+    chunks until end of file.
+    """
+
+    def __init__(
+        self,
+        path_or_file: typing.Union[str, typing.BinaryIO],
+        header: TraceHeader,
+        chunk_records: int = CHUNK_RECORDS,
+    ):
+        check_version(header.version)
+        if header.version != VERSION_CHUNKED:
+            raise ValueError(
+                "ChunkWriter only writes the chunked layout "
+                f"(version {VERSION_CHUNKED}); got header version "
+                f"{header.version}"
+            )
+        if chunk_records < 1:
+            raise ValueError(f"chunk_records must be >= 1, got {chunk_records}")
+        self.header = header
+        self.chunk_records = chunk_records
+        self._owns_file = isinstance(path_or_file, str)
+        self._out: typing.BinaryIO = (
+            open(path_or_file, "wb") if self._owns_file else path_or_file
+        )
+        self._seekable = self._out.seekable()
+        self._buffer: typing.List[bytes] = []
+        self._buffered = 0
+        self.n_chunks = 0
+        self.n_records = 0
+        self.bytes_written = self._out.write(
+            _pack_header(header, CHUNKS_UNTIL_EOF, 0)
+        )
+        self._closed = False
+
+    def append(
+        self, side: int, code: int, core: int, seq: int, raw_ts: int,
+        values: typing.Sequence[int], truth: int = -1,
+    ) -> None:
+        if self._closed:
+            raise ValueError("ChunkWriter is closed")
+        self._buffer.append(encode_fields(side, code, core, seq, raw_ts, values))
+        self._buffered += 1
+        if self._buffered >= self.chunk_records:
+            self._flush_chunk()
+
+    def _flush_chunk(self) -> None:
+        if not self._buffered:
+            return
+        payload = b"".join(self._buffer)
+        self.bytes_written += self._out.write(_CHUNK.pack(self._buffered, len(payload)))
+        self.bytes_written += self._out.write(payload)
+        self.n_chunks += 1
+        self.n_records += self._buffered
+        self._buffer.clear()
+        self._buffered = 0
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._flush_chunk()
+        if self._seekable:
+            self._out.seek(0)
+            self._out.write(_pack_header(self.header, self.n_chunks, self.n_records))
+            self._out.seek(0, io.SEEK_END)
+        if self._owns_file:
+            self._out.close()
+        self._closed = True
+
+    def __enter__(self) -> "ChunkWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

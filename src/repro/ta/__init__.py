@@ -17,7 +17,11 @@
 * :mod:`repro.ta.export` — CSV export of records and statistics.
 
 The entry point is :func:`analyze`, which takes a
-:class:`~repro.pdt.trace.Trace` and returns a :class:`TimelineModel`.
+:class:`~repro.pdt.trace.Trace` or any streaming
+:class:`~repro.pdt.store.EventSource` (e.g. a file opened with
+:func:`repro.pdt.open_trace`) and returns a :class:`TimelineModel`,
+built in a single chunked pass.  :func:`analyze_materialized` keeps
+the original list-of-objects path as the reference implementation.
 """
 
 from repro.ta.analysis import (
@@ -31,7 +35,14 @@ from repro.ta.critical import CriticalPath, critical_path
 from repro.ta.diff import TraceDiff, diff_stats
 from repro.ta.export import records_to_csv, stats_to_csv
 from repro.ta.gantt import render_ascii, render_svg
-from repro.ta.model import CoreTimeline, DmaSpan, Interval, TimelineModel, analyze
+from repro.ta.model import (
+    CoreTimeline,
+    DmaSpan,
+    Interval,
+    TimelineModel,
+    analyze,
+    analyze_materialized,
+)
 from repro.ta.profile import event_profile, profile_table, top_event_kinds
 from repro.ta.stats import SpeStatistics, TraceStatistics
 
@@ -50,6 +61,7 @@ __all__ = [
     "TraceStatistics",
     "analyze",
     "analyze_buffering",
+    "analyze_materialized",
     "analyze_load_balance",
     "communication_edges",
     "diff_stats",

@@ -9,6 +9,7 @@ feeds both).
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import typing
 
@@ -56,11 +57,14 @@ def analyze_buffering(model: TimelineModel, spe_id: int) -> BufferingReport:
     """Diagnose single- vs double-buffering on one SPE."""
     core = model.core(spe_id)
     run_intervals = core.run_intervals()
+    # run_intervals are disjoint and time-sorted, so each span only
+    # needs the intervals a bisect lands on — not a full scan.
+    run_ends = [i.end for i in run_intervals]
     inflight = 0
     overlapped = 0
     for span in core.dma_spans:
         inflight += span.duration
-        overlapped += _overlap(span.issue_time, span.end, run_intervals)
+        overlapped += _overlap(span.issue_time, span.end, run_intervals, run_ends)
     overlap_fraction = overlapped / inflight if inflight else 0.0
     wait_dma_fraction = (
         core.time_in(STATE_WAIT_DMA) / core.window if core.window else 0.0
@@ -131,10 +135,25 @@ def stall_attribution(stats: TraceStatistics) -> typing.Dict[str, float]:
     }
 
 
-def _overlap(start: int, end: int, intervals: typing.Sequence[Interval]) -> int:
-    """Cycles of [start, end) covered by the given intervals."""
+def _overlap(
+    start: int,
+    end: int,
+    intervals: typing.Sequence[Interval],
+    ends: typing.Optional[typing.Sequence[int]] = None,
+) -> int:
+    """Cycles of [start, end) covered by the given intervals.
+
+    ``intervals`` must be disjoint and sorted by start; ``ends`` is the
+    (optional, precomputed) list of their end times, letting repeated
+    queries skip straight to the first candidate instead of scanning.
+    """
+    if ends is None:
+        ends = [i.end for i in intervals]
     covered = 0
-    for interval in intervals:
+    for idx in range(bisect.bisect_right(ends, start), len(intervals)):
+        interval = intervals[idx]
+        if interval.start >= end:
+            break
         lo = max(start, interval.start)
         hi = min(end, interval.end)
         if hi > lo:

@@ -57,7 +57,7 @@ class _PendingSend:
 def communication_edges(model: TimelineModel) -> typing.List[CommEdge]:
     """Match every send to its receive across the whole trace."""
     edges: typing.List[CommEdge] = []
-    placed = model.correlated.placed
+    placed = model.iter_placed()
 
     # FIFO queues per (channel key).
     inbox_sends: typing.Dict[int, typing.List[_PendingSend]] = {}
@@ -65,30 +65,29 @@ def communication_edges(model: TimelineModel) -> typing.List[CommEdge]:
     signal_sends: typing.Dict[typing.Tuple[int, int], typing.List[_PendingSend]] = {}
 
     for item in placed:
-        record = item.record
-        kind = record.kind
-        fields = record.fields
+        kind = item.kind
+        fields = item.fields
         if kind == "in_mbox_write":
             inbox_sends.setdefault(fields["spe"], []).append(
                 _PendingSend("ppe", item.time, fields["value"])
             )
-        elif kind == "read_mbox_end" and record.is_spe:
-            queue = inbox_sends.get(record.core, [])
+        elif kind == "read_mbox_end" and item.is_spe:
+            queue = inbox_sends.get(item.core, [])
             if queue:
                 send = queue.pop(0)
                 edges.append(
                     CommEdge(
                         channel=PPE_TO_SPE_MAILBOX,
                         src=send.src,
-                        dst=f"spe{record.core}",
+                        dst=f"spe{item.core}",
                         send_time=send.time,
                         recv_time=item.time,
                         value=fields.get("value", 0),
                     )
                 )
-        elif kind == "write_mbox_end" and record.is_spe and not fields.get("intr"):
-            outbox_sends.setdefault(record.core, []).append(
-                _PendingSend(f"spe{record.core}", item.time, fields["value"])
+        elif kind == "write_mbox_end" and item.is_spe and not fields.get("intr"):
+            outbox_sends.setdefault(item.core, []).append(
+                _PendingSend(f"spe{item.core}", item.time, fields["value"])
             )
         elif kind == "out_mbox_read_end":
             queue = outbox_sends.get(fields["spe"], [])
@@ -107,15 +106,15 @@ def communication_edges(model: TimelineModel) -> typing.List[CommEdge]:
         elif kind == "signal_send":
             key = (fields["target"], fields["which"])
             signal_sends.setdefault(key, []).append(
-                _PendingSend(f"spe{record.core}", item.time, fields["bits"])
+                _PendingSend(f"spe{item.core}", item.time, fields["bits"])
             )
         elif kind == "signal_write":
             key = (fields["spe"], fields["which"])
             signal_sends.setdefault(key, []).append(
                 _PendingSend("ppe", item.time, fields["bits"])
             )
-        elif kind == "read_signal_end" and record.is_spe:
-            key = (record.core, fields["which"])
+        elif kind == "read_signal_end" and item.is_spe:
+            key = (item.core, fields["which"])
             queue = signal_sends.get(key, [])
             received = fields.get("value", 0)
             matched, remaining = [], []
@@ -132,7 +131,7 @@ def communication_edges(model: TimelineModel) -> typing.List[CommEdge]:
                     CommEdge(
                         channel=SIGNAL,
                         src=send.src,
-                        dst=f"spe{record.core}",
+                        dst=f"spe{item.core}",
                         send_time=send.time,
                         recv_time=item.time,
                         value=send.value,

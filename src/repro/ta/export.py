@@ -13,24 +13,30 @@ _RECORD_COLUMNS = ("time", "side", "core", "seq", "kind", "raw_ts", "fields")
 
 
 def records_to_csv(
-    correlated: CorrelatedTrace,
+    correlated: typing.Union[CorrelatedTrace, typing.Iterable],
     destination: typing.Optional[typing.TextIO] = None,
 ) -> str:
-    """Dump every placed record as CSV; returns the text."""
+    """Dump every placed record as CSV; returns the text.
+
+    Accepts a :class:`CorrelatedTrace` or any iterable of placed items
+    (e.g. ``model.iter_placed()``, which streams without materializing
+    the whole trace)."""
+    placed_items = (
+        correlated.placed if isinstance(correlated, CorrelatedTrace) else correlated
+    )
     buffer = destination or io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(_RECORD_COLUMNS)
-    for placed in correlated.placed:
-        record = placed.record
+    for placed in placed_items:
         writer.writerow(
             [
                 placed.time,
-                "spe" if record.is_spe else "ppe",
-                record.core,
-                record.seq,
-                record.kind,
-                record.raw_ts,
-                ";".join(f"{k}={v}" for k, v in record.fields.items()),
+                "spe" if placed.is_spe else "ppe",
+                placed.core,
+                placed.seq,
+                placed.kind,
+                placed.raw_ts,
+                ";".join(f"{k}={v}" for k, v in placed.fields.items()),
             ]
         )
     return buffer.getvalue() if destination is None else ""

@@ -5,6 +5,16 @@ is turning it back into *state*: what was each SPU doing during every
 cycle of the run, and when was each DMA command in flight.  Everything
 here works purely from trace records — the simulator's ground truth is
 never consulted (tests compare against it separately).
+
+:func:`analyze` accepts either an in-memory
+:class:`~repro.pdt.trace.Trace` or any
+:class:`~repro.pdt.store.EventSource` (e.g. a trace file opened with
+:func:`repro.pdt.open_trace`), and builds the model *streaming*: each
+per-core timeline consumes its placed-event stream chunk by chunk, so
+the model's memory footprint is set by the reconstructed intervals, not
+the record count.  :func:`analyze_materialized` keeps the seed's
+list-of-objects path as the reference implementation the streaming one
+is checked against.
 """
 
 from __future__ import annotations
@@ -13,8 +23,17 @@ import dataclasses
 import typing
 
 from repro.libspe.hooks import SpuEventKind
-from repro.pdt.correlate import CorrelatedTrace, PlacedRecord
+from repro.pdt.correlate import (
+    ClockCorrelator,
+    CorrelatedTrace,
+    PlacedEvent,
+    PlacedRecord,
+)
+from repro.pdt.store import EventSource
 from repro.pdt.trace import Trace
+
+#: Either placed representation: both expose time/kind/fields/core/is_spe.
+Placed = typing.Union[PlacedEvent, PlacedRecord]
 
 # Reconstructed SPU states (strings, to keep the analyzer decoupled
 # from the simulator's ground-truth enum).
@@ -46,7 +65,7 @@ class ModelError(Exception):
     """The trace is structurally inconsistent (unpaired waits etc.)."""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Interval:
     """A half-open time span [start, end) in one state."""
 
@@ -140,14 +159,54 @@ class PpeRunSpan:
     stop_code: int
 
 
-@dataclasses.dataclass
 class TimelineModel:
-    """The reconstructed execution: per-SPE timelines + PPE spans."""
+    """The reconstructed execution: per-SPE timelines + PPE spans.
 
-    trace: Trace
-    correlated: CorrelatedTrace
-    cores: typing.Dict[int, CoreTimeline]
-    ppe_runs: typing.List[PpeRunSpan]
+    Holds the compact reconstruction (intervals, spans, runs) plus the
+    fitted :class:`ClockCorrelator`.  The seed's heavyweight members —
+    ``trace`` (object records) and ``correlated`` (every record placed
+    and sorted in memory) — are kept as *lazy* compatibility
+    properties: streaming consumers use :meth:`iter_placed` and never
+    pay for them.
+    """
+
+    def __init__(
+        self,
+        cores: typing.Dict[int, CoreTimeline],
+        ppe_runs: typing.List[PpeRunSpan],
+        correlator: ClockCorrelator,
+        source: typing.Optional[EventSource] = None,
+        trace: typing.Optional[Trace] = None,
+        correlated: typing.Optional[CorrelatedTrace] = None,
+    ):
+        self.cores = cores
+        self.ppe_runs = ppe_runs
+        self.correlator = correlator
+        self.source = source if source is not None else correlator.source
+        self._trace = trace
+        self._correlated = correlated
+
+    @property
+    def trace(self) -> Trace:
+        """A materialized :class:`Trace` (compatibility; lazy)."""
+        if self._trace is None:
+            trace = Trace(header=self.source.header)
+            for chunk in self.source.iter_chunks():
+                trace.store.adopt_chunk(chunk)
+            self._trace = trace
+        return self._trace
+
+    @property
+    def correlated(self) -> CorrelatedTrace:
+        """The fully materialized placement (compatibility; lazy)."""
+        if self._correlated is None:
+            self._correlated = CorrelatedTrace.build(self.trace)
+        return self._correlated
+
+    def iter_placed(self) -> typing.Iterator[PlacedEvent]:
+        """Every record placed on the global timeline, streamed in the
+        global sort order (equals ``correlated.placed`` order)."""
+        return self.correlator.iter_placed()
 
     @property
     def t_start(self) -> int:
@@ -168,27 +227,101 @@ class TimelineModel:
             raise ModelError(f"trace has no records for SPE {spe_id}") from None
 
 
-def analyze(trace: Trace) -> TimelineModel:
-    """Build the timeline model for a trace (correlates clocks first)."""
+def analyze(trace: typing.Union[Trace, EventSource]) -> TimelineModel:
+    """Build the timeline model (correlates clocks first).
+
+    For an :class:`EventSource` the model is built *streaming*: each
+    SPE's timeline consumes its placed-event stream in recording order
+    (identical to the global order restricted to the core), and the PPE
+    spans the tie-resolved PPE stream — O(chunk) memory, no record
+    objects.  A :class:`Trace` goes through the materialized
+    compatibility path, which honors edits made to its record-list
+    views.
+    """
+    if isinstance(trace, Trace):
+        return analyze_materialized(trace)
+    correlator = ClockCorrelator(trace)
+    # One demultiplexed scan feeds every per-core builder plus the PPE
+    # builder simultaneously — the chunks are decoded once, not once
+    # per stream.
+    builders = {
+        spe_id: _Consumer(_core_timeline_builder(spe_id))
+        for spe_id in correlator.spe_ids()
+    }
+    ppe_builder = _Consumer(_ppe_runs_builder())
+    for stream, placed in correlator.iter_demuxed():
+        if stream is None:
+            ppe_builder.feed(placed)
+        else:
+            builders[stream].feed(placed)
+    return TimelineModel(
+        cores={spe_id: b.finish() for spe_id, b in builders.items()},
+        ppe_runs=ppe_builder.finish(),
+        correlator=correlator,
+    )
+
+
+def analyze_materialized(trace: Trace) -> TimelineModel:
+    """The seed's list-based path: place and sort every record as an
+    object, then build timelines from the materialized streams.
+
+    Kept as the reference implementation (and the baseline the
+    streaming path's memory/time wins are measured against in
+    ``benchmarks/test_t5_columnar.py``)."""
     correlated = CorrelatedTrace.build(trace)
     cores = {
         spe_id: _build_core_timeline(spe_id, correlated.spe_stream(spe_id))
         for spe_id in sorted(trace.spe_records)
     }
     return TimelineModel(
-        trace=trace,
-        correlated=correlated,
         cores=cores,
         ppe_runs=_build_ppe_runs(correlated.ppe_stream),
+        correlator=correlated.correlator,
+        trace=trace,
+        correlated=correlated,
     )
 
 
 # ----------------------------------------------------------------------
 # per-SPE reconstruction
 # ----------------------------------------------------------------------
+#: End-of-stream sentinel sent to builder coroutines.
+_DONE = object()
+
+
+class _Consumer:
+    """Drives a builder coroutine: prime it, feed events, collect the
+    result.  Lets one demultiplexed scan advance many builders at once
+    — the generator keeps its whole state machine in local variables."""
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, gen: typing.Generator):
+        self._gen = gen
+        next(gen)  # run to the first yield
+
+    def feed(self, placed: Placed) -> None:
+        self._gen.send(placed)
+
+    def finish(self):
+        try:
+            self._gen.send(_DONE)
+        except StopIteration as stop:
+            return stop.value
+        raise AssertionError("builder coroutine did not finish")
+
+
 def _build_core_timeline(
-    spe_id: int, stream: typing.List[PlacedRecord]
+    spe_id: int, stream: typing.Iterable[Placed]
 ) -> CoreTimeline:
+    """Build one SPE's timeline from an in-order placed stream."""
+    consumer = _Consumer(_core_timeline_builder(spe_id))
+    for placed in stream:
+        consumer.feed(placed)
+    return consumer.finish()
+
+
+def _core_timeline_builder(spe_id: int) -> typing.Generator:
     entries: typing.List[int] = []
     exits: typing.List[int] = []
     wait_intervals: typing.List[Interval] = []
@@ -197,11 +330,18 @@ def _build_core_timeline(
     open_begin_kind = ""
     dma_open: typing.Dict[int, typing.List[typing.Tuple[int, int, str]]] = {}
     dma_spans: typing.List[DmaSpan] = []
+    first_time: typing.Optional[int] = None
+    last_time = 0
 
-    for placed in stream:
-        record = placed.record
-        kind = record.kind
+    while True:
+        placed = yield
+        if placed is _DONE:
+            break
+        kind = placed.kind
         time = placed.time
+        if first_time is None:
+            first_time = time
+        last_time = time
         if kind == SpuEventKind.SPE_ENTRY:
             entries.append(time)
         elif kind == SpuEventKind.SPE_EXIT:
@@ -223,19 +363,19 @@ def _build_core_timeline(
                     MailboxOp(
                         spe_id=spe_id, start=t0, end=time,
                         kind=open_begin_kind,
-                        value=record.fields.get("value", 0),
+                        value=placed.fields.get("value", 0),
                     )
                 )
             if kind == SpuEventKind.WAIT_TAG_END:
                 _close_dma_spans(
                     spe_id, dma_open, dma_spans,
-                    status=record.fields.get("status", 0), end_time=time,
+                    status=placed.fields.get("status", 0), end_time=time,
                 )
             open_wait = None
         elif kind in _DMA_ISSUE_KINDS:
-            tag = record.fields["tag"]
+            tag = placed.fields["tag"]
             dma_open.setdefault(tag, []).append(
-                (time, record.fields["size"], _DMA_ISSUE_KINDS[kind])
+                (time, placed.fields["size"], _DMA_ISSUE_KINDS[kind])
             )
         # sync / user markers need no state handling
 
@@ -245,15 +385,15 @@ def _build_core_timeline(
             "(truncated trace?)"
         )
     if not entries:
-        if not stream:
+        if first_time is None:
             return CoreTimeline(spe_id, 0, 0, [], [], [], exit_observed=False)
-        entries = [stream[0].time]
+        entries = [first_time]
     # Pair entries with exits in order; an unmatched final entry
     # (program still running when tracing stopped) closes at the last
     # record.
     exit_observed = len(exits) >= len(entries)
     while len(exits) < len(entries):
-        exits.append(stream[-1].time)
+        exits.append(last_time)
     segments = list(zip(entries, exits))
     entry_time = segments[0][0]
     exit_time = segments[-1][1]
@@ -341,22 +481,33 @@ def _fill_run_intervals(
 # ----------------------------------------------------------------------
 # PPE reconstruction
 # ----------------------------------------------------------------------
-def _build_ppe_runs(stream: typing.List[PlacedRecord]) -> typing.List[PpeRunSpan]:
+def _build_ppe_runs(stream: typing.Iterable[Placed]) -> typing.List[PpeRunSpan]:
+    """Build the PPE run spans from an in-order placed stream."""
+    consumer = _Consumer(_ppe_runs_builder())
+    for placed in stream:
+        consumer.feed(placed)
+    return consumer.finish()
+
+
+def _ppe_runs_builder() -> typing.Generator:
     open_runs: typing.Dict[int, int] = {}
     runs: typing.List[PpeRunSpan] = []
-    for placed in stream:
-        record = placed.record
-        if record.kind == "context_run_begin":
-            open_runs[record.fields["spe"]] = placed.time
-        elif record.kind == "context_run_end":
-            spe = record.fields["spe"]
+    while True:
+        placed = yield
+        if placed is _DONE:
+            break
+        kind = placed.kind
+        if kind == "context_run_begin":
+            open_runs[placed.fields["spe"]] = placed.time
+        elif kind == "context_run_end":
+            spe = placed.fields["spe"]
             start = open_runs.pop(spe, None)
             if start is None:
                 raise ModelError(f"context_run_end for SPE {spe} without begin")
             runs.append(
                 PpeRunSpan(
                     spe_id=spe, start=start, end=placed.time,
-                    stop_code=record.fields.get("stop_code", 0),
+                    stop_code=placed.fields.get("stop_code", 0),
                 )
             )
     runs.sort(key=lambda r: (r.start, r.spe_id))

@@ -3,6 +3,11 @@
 Counts records by kind per core and normalizes to event rates — the
 quick look that tells you where the trace volume (and hence tracing
 overhead) comes from before you ever open the timeline.
+
+Counting is columnar: one pass over the chunks tallying (side, core,
+code) without materializing a single record object, so profiling works
+the same on an in-memory :class:`Trace` or a trace file opened with
+:func:`repro.pdt.open_trace`.
 """
 
 from __future__ import annotations
@@ -10,7 +15,11 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.pdt.events import SIDE_PPE, spec_for_code
+from repro.pdt.store import EventSource
 from repro.pdt.trace import Trace
+
+TraceLike = typing.Union[Trace, EventSource]
 
 
 @dataclasses.dataclass
@@ -21,40 +30,63 @@ class ProfileRow:
     share: float  # of that core's records
 
 
-def event_profile(trace: Trace) -> typing.List[ProfileRow]:
+def _count_events(trace: TraceLike) -> typing.Dict[
+    typing.Tuple[int, int], typing.Dict[str, int]
+]:
+    """(side, core) -> kind -> count, in one columnar pass.
+
+    PPE records count as one stream under core 0 (their ``core`` field
+    holds the software thread id, not a processor)."""
+    source = trace.as_source() if isinstance(trace, Trace) else trace
+    counts: typing.Dict[typing.Tuple[int, int], typing.Dict[str, int]] = {}
+    for chunk in source.iter_chunks():
+        for side, code, core in zip(chunk.side, chunk.code, chunk.core):
+            key = (side, core if side != SIDE_PPE else 0)
+            kinds = counts.setdefault(key, {})
+            kind = spec_for_code(side, code).kind
+            kinds[kind] = kinds.get(kind, 0) + 1
+    return counts
+
+
+def _stream_order(
+    counts: typing.Dict[typing.Tuple[int, int], typing.Dict[str, int]]
+) -> typing.List[typing.Tuple[str, typing.Dict[str, int]]]:
+    """Streams labelled and ordered: "ppe" first, then speN by id."""
+    ordered: typing.List[typing.Tuple[str, typing.Dict[str, int]]] = []
+    ppe = counts.get((SIDE_PPE, 0))
+    if ppe:
+        ordered.append(("ppe", ppe))
+    for (side, core) in sorted(k for k in counts if k[0] != SIDE_PPE):
+        ordered.append((f"spe{core}", counts[(side, core)]))
+    return ordered
+
+
+def event_profile(trace: TraceLike) -> typing.List[ProfileRow]:
     """Per-core event-kind counts, descending within each core."""
     rows: typing.List[ProfileRow] = []
-    streams = [("ppe", trace.ppe_records)] + [
-        (f"spe{spe_id}", records)
-        for spe_id, records in sorted(trace.spe_records.items())
-    ]
-    for core, records in streams:
-        if not records:
-            continue
-        counts: typing.Dict[str, int] = {}
-        for record in records:
-            counts[record.kind] = counts.get(record.kind, 0) + 1
-        total = len(records)
-        for kind in sorted(counts, key=lambda k: (-counts[k], k)):
+    for core, kinds in _stream_order(_count_events(trace)):
+        total = sum(kinds.values())
+        for kind in sorted(kinds, key=lambda k: (-kinds[k], k)):
             rows.append(
                 ProfileRow(
-                    core=core, kind=kind, count=counts[kind],
-                    share=counts[kind] / total,
+                    core=core, kind=kind, count=kinds[kind],
+                    share=kinds[kind] / total,
                 )
             )
     return rows
 
 
-def top_event_kinds(trace: Trace, n: int = 5) -> typing.List[typing.Tuple[str, int]]:
+def top_event_kinds(trace: TraceLike, n: int = 5) -> typing.List[typing.Tuple[str, int]]:
     """The n most frequent kinds across the whole trace."""
     counts: typing.Dict[str, int] = {}
-    for record in trace.all_records():
-        counts[record.kind] = counts.get(record.kind, 0) + 1
+    for __, kinds in _count_events(trace).items():
+        for kind, count in kinds.items():
+            counts[kind] = counts.get(kind, 0) + count
     ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
     return ranked[:n]
 
 
-def profile_table(trace: Trace) -> typing.List[typing.Dict[str, typing.Any]]:
+def profile_table(trace: TraceLike) -> typing.List[typing.Dict[str, typing.Any]]:
     """The profile as plain dict rows for format_table/CSV."""
     return [
         {

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import typing
 
+from repro.pdt.store import EventSource
 from repro.pdt.trace import Trace
 from repro.ta.analysis import analyze_buffering, analyze_load_balance, stall_attribution
 from repro.ta.critical import critical_path
@@ -32,8 +33,13 @@ def format_table(rows: typing.Sequence[typing.Dict[str, typing.Any]]) -> str:
     return "\n".join([header, separator] + body) + "\n"
 
 
-def full_report(trace: Trace, gantt_width: int = 80) -> str:
-    """Everything the TA shows, as one text document."""
+def full_report(
+    trace: typing.Union[Trace, EventSource], gantt_width: int = 80
+) -> str:
+    """Everything the TA shows, as one text document.
+
+    Accepts an in-memory :class:`Trace` or a streaming
+    :class:`EventSource` (e.g. from :func:`repro.pdt.open_trace`)."""
     model = analyze(trace)
     stats = TraceStatistics.from_model(model)
     sections = [

@@ -107,6 +107,14 @@ class TraceStatistics:
         }
         return cls(per_spe=per_spe, span=model.t_end - model.t_start)
 
+    @classmethod
+    def from_source(cls, source) -> "TraceStatistics":
+        """Statistics straight from a Trace or EventSource (streams the
+        analysis; never materializes record objects)."""
+        from repro.ta.model import analyze
+
+        return cls.from_model(analyze(source))
+
     # ------------------------------------------------------------------
     @property
     def n_spes(self) -> int:

@@ -22,7 +22,12 @@ untraced and measures tracing overhead.
 
 from repro.workloads.base import RunResult, Workload, WorkloadError
 from repro.workloads.fft import FftWorkload
-from repro.workloads.harness import OverheadResult, measure_overhead, run_workload
+from repro.workloads.harness import (
+    OverheadResult,
+    measure_overhead,
+    run_and_write_trace,
+    run_workload,
+)
 from repro.workloads.histogram import HistogramWorkload
 from repro.workloads.mandelbrot import MandelbrotWorkload
 from repro.workloads.matmul import MatmulWorkload
@@ -45,5 +50,6 @@ __all__ = [
     "Workload",
     "WorkloadError",
     "measure_overhead",
+    "run_and_write_trace",
     "run_workload",
 ]

@@ -82,6 +82,15 @@ class RunResult:
             raise WorkloadError("run was not traced")
         return self.hooks.to_trace()
 
+    def trace_source(self):
+        """The recorded streams as an EventSource, without copying.
+
+        The streaming counterpart of :meth:`trace`: feed it to
+        ``write_trace`` or ``repro.ta.analyze`` directly."""
+        if self.hooks is None:
+            raise WorkloadError("run was not traced")
+        return self.hooks.event_source()
+
     def __repr__(self) -> str:
         mode = "traced" if self.traced else "untraced"
         status = "ok" if self.verified else "WRONG RESULTS"

@@ -10,6 +10,7 @@ from repro.cell.machine import CellMachine
 from repro.libspe.runtime import Runtime
 from repro.pdt.config import TraceConfig
 from repro.pdt.tracer import PdtHooks
+from repro.pdt.writer import write_trace
 from repro.workloads.base import RunResult, Workload, WorkloadError
 
 DEFAULT_MAIN_MEMORY = 1 << 27  # 128 MB: room for data + trace regions
@@ -52,6 +53,22 @@ def run_workload(
         verified=verified,
         hooks=hooks,
     )
+
+
+def run_and_write_trace(
+    workload: Workload,
+    path: str,
+    trace_config: typing.Optional[TraceConfig] = None,
+    cell_config: typing.Optional[CellConfig] = None,
+) -> typing.Tuple[RunResult, int]:
+    """Run a workload traced and stream its trace straight to ``path``.
+
+    The trace goes from the recording sinks to the file without ever
+    being assembled as record objects; returns (result, bytes written).
+    """
+    result = run_workload(workload, trace_config or TraceConfig(), cell_config)
+    n_bytes = write_trace(result.trace_source(), path)
+    return result, n_bytes
 
 
 @dataclasses.dataclass

@@ -3,7 +3,15 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.pdt.codec import decode_record, decode_stream, encode_record, record_size
+from repro.pdt.codec import (
+    decode_fields,
+    decode_record,
+    decode_stream,
+    encode_fields,
+    encode_record,
+    iter_prefixes,
+    record_size,
+)
 from repro.pdt.events import (
     EVENT_SPECS,
     SIDE_PPE,
@@ -82,6 +90,74 @@ def test_decode_stream_walks_heterogeneous_records():
     decoded, end = decode_stream(blob, 3)
     assert end == len(blob)
     assert [r.kind for r in decoded] == ["spe_entry", "wait_tag_begin", "spe_exit"]
+
+
+def test_max_width_payload_round_trips():
+    """Field values at the signed 64-bit extremes survive the wire."""
+    spec = code_for_kind(SIDE_SPE, "mfc_get")
+    extremes = [
+        (1 << 63) - 1, -(1 << 63), -1, 0,
+        (1 << 63) - 1, -(1 << 63),
+    ]
+    blob = encode_fields(SIDE_SPE, spec.code, 0xFFFF, 0xFFFF_FFFF,
+                         (1 << 64) - 1, extremes)
+    assert len(blob) == record_size(6)
+    side, code, core, seq, raw_ts, values, end = decode_fields(blob, 0)
+    assert (side, code, core, seq) == (SIDE_SPE, spec.code, 0xFFFF, 0xFFFF_FFFF)
+    assert raw_ts == (1 << 64) - 1
+    assert list(values) == extremes
+    assert end == len(blob)
+
+
+def test_encode_fields_matches_encode_record():
+    """The tuple-level and object-level encoders are byte-identical."""
+    spec = code_for_kind(SIDE_SPE, "mfc_put")
+    values = [7, 2048, 0x800, 0x40000, 1, 0]
+    record = TraceRecord.from_values(SIDE_SPE, spec.code, 2, 5, 999, values)
+    assert encode_record(record) == encode_fields(
+        SIDE_SPE, spec.code, 2, 5, 999, values
+    )
+
+
+def test_decode_fields_matches_decode_record():
+    spec = code_for_kind(SIDE_PPE, "context_run_end")
+    record = TraceRecord.from_values(SIDE_PPE, spec.code, 1, 3, 555, [4, 1300])
+    blob = encode_record(record)
+    side, code, core, seq, raw_ts, values, end = decode_fields(blob, 0)
+    decoded, end_obj = decode_record(blob, 0)
+    assert end == end_obj
+    assert (side, code, core, seq, raw_ts) == (
+        decoded.side, decoded.code, decoded.core, decoded.seq, decoded.raw_ts
+    )
+    assert dict(zip(spec.fields, values)) == decoded.fields
+
+
+def test_iter_prefixes_skips_payloads():
+    specs = [
+        code_for_kind(SIDE_SPE, "spe_entry"),
+        code_for_kind(SIDE_SPE, "mfc_get"),
+        code_for_kind(SIDE_SPE, "spe_exit"),
+    ]
+    blob = b"".join(
+        encode_fields(SIDE_SPE, s.code, 4, i, i * 7, [0] * len(s.fields))
+        for i, s in enumerate(specs)
+    )
+    walked = list(iter_prefixes(blob, 0, 3))
+    assert [(w[0], w[1], w[2], w[3], w[4]) for w in walked] == [
+        (SIDE_SPE, s.code, 4, i, i * 7) for i, s in enumerate(specs)
+    ]
+    # The payload offset of each record points just past its prefix.
+    assert walked[0][5] == 16
+    assert walked[1][5] == record_size(2) + 16
+
+
+def test_iter_prefixes_truncated_raises():
+    spec = code_for_kind(SIDE_SPE, "mfc_get")
+    blob = encode_fields(SIDE_SPE, spec.code, 0, 0, 0, [0] * 6)
+    with pytest.raises(ValueError, match="truncated record body"):
+        list(iter_prefixes(blob[:24], 0, 1))
+    with pytest.raises(ValueError, match="truncated record prefix"):
+        list(iter_prefixes(blob[:8], 0, 1))
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,376 @@
+"""Columnar chunk store and chunked-file layer tests.
+
+Covers the EventSink/EventSource spine directly: ColumnChunk column
+invariants, ColumnStore chunk sealing and random access, the in-memory
+sources (StoreSource / ConcatSource), the streaming ChunkWriter
+(seekable and unseekable outputs), version round-trip/rejection, and
+open_trace / read_trace parity on multi-chunk files.
+"""
+
+import io
+
+import pytest
+
+from repro.pdt.events import (
+    KIND_SYNC,
+    SIDE_PPE,
+    SIDE_SPE,
+    code_for_kind,
+)
+from repro.pdt.format import (
+    CHUNKS_UNTIL_EOF,
+    VERSION_CHUNKED,
+    VERSION_LEGACY,
+    TraceFormatError,
+)
+from repro.pdt.reader import open_trace, read_trace
+from repro.pdt.store import (
+    ColumnChunk,
+    ColumnStore,
+    ConcatSource,
+    StoreSource,
+)
+from repro.pdt.trace import Trace, TraceHeader
+from repro.pdt.writer import ChunkWriter, trace_to_bytes, write_trace
+
+MARKER = code_for_kind(SIDE_SPE, "user_marker")
+SYNC = code_for_kind(SIDE_SPE, KIND_SYNC)
+MBOX = code_for_kind(SIDE_PPE, "in_mbox_write")
+
+
+def header(version=VERSION_CHUNKED):
+    return TraceHeader(
+        n_spes=8, timebase_divider=120, spu_clock_hz=3.2e9,
+        groups_bitmap=0b111111, buffer_bytes=16384, version=version,
+    )
+
+
+def fill_store(store, n=10, core=1):
+    """n marker records on one SPE core, seq/raw_ts/value = i."""
+    for i in range(n):
+        store.append(SIDE_SPE, MARKER.code, core, i, i * 10, [i])
+    return store
+
+
+# ----------------------------------------------------------------------
+# ColumnChunk
+# ----------------------------------------------------------------------
+def test_chunk_columns_stay_parallel():
+    chunk = ColumnChunk()
+    chunk.append(SIDE_SPE, MARKER.code, 2, 0, 100, [7])
+    chunk.append(SIDE_PPE, MBOX.code, 0, 0, 200, [1, 42], truth=999)
+    assert len(chunk) == 2
+    assert list(chunk.val_off) == [0, 1, 3]
+    assert chunk.n_fields(0) == 1 and chunk.n_fields(1) == 2
+    assert list(chunk.record_values(1)) == [1, 42]
+    assert chunk.truth[0] == -1 and chunk.truth[1] == 999
+
+
+def test_chunk_record_materializes_fields():
+    chunk = ColumnChunk()
+    chunk.append(SIDE_PPE, MBOX.code, 0, 3, 55, [4, -17])
+    record = chunk.record(0)
+    assert record.fields == {"spe": 4, "value": -17}
+    assert (record.core, record.seq, record.raw_ts) == (0, 3, 55)
+
+
+def test_chunk_slice_rebases_offsets():
+    chunk = ColumnChunk()
+    for i in range(5):
+        chunk.append(SIDE_SPE, MARKER.code, 1, i, i, [i * 11])
+    piece = chunk.slice(2, 4)
+    assert len(piece) == 2
+    assert list(piece.seq) == [2, 3]
+    assert list(piece.val_off) == [0, 1, 2]
+    assert [list(piece.record_values(i)) for i in range(2)] == [[22], [33]]
+
+
+# ----------------------------------------------------------------------
+# ColumnStore
+# ----------------------------------------------------------------------
+def test_store_seals_chunks_at_capacity():
+    store = fill_store(ColumnStore(chunk_records=3), n=8)
+    sizes = [len(c) for c in store.iter_chunks()]
+    assert sizes == [3, 3, 2]
+    assert len(store) == store.n_records == 8
+
+
+def test_store_single_record_chunks():
+    store = fill_store(ColumnStore(chunk_records=1), n=4)
+    assert [len(c) for c in store.iter_chunks()] == [1, 1, 1, 1]
+    assert [store.record_at(i).seq for i in range(4)] == [0, 1, 2, 3]
+
+
+def test_store_rejects_bad_chunk_records():
+    with pytest.raises(ValueError, match="chunk_records"):
+        ColumnStore(chunk_records=0)
+
+
+def test_store_random_access_across_chunks():
+    store = fill_store(ColumnStore(chunk_records=4), n=10)
+    for i in range(10):
+        record = store.record_at(i)
+        assert record.seq == i and record.fields == {"value": i}
+    assert store.n_fields_at(9) == 1
+    with pytest.raises(IndexError, match="out of range"):
+        store.record_at(10)
+    with pytest.raises(IndexError):
+        store.record_at(-1)
+
+
+def test_store_core_bookkeeping():
+    store = ColumnStore()
+    store.append(SIDE_SPE, MARKER.code, 3, 0, 1, [0])
+    store.append(SIDE_SPE, MARKER.code, 1, 0, 2, [0])
+    store.append(SIDE_PPE, MBOX.code, 0, 0, 3, [1, 5])
+    assert store.cores() == [(SIDE_PPE, 0), (SIDE_SPE, 1), (SIDE_SPE, 3)]
+    assert store.spe_ids() == [1, 3]
+    assert store.has_ppe()
+    assert not fill_store(ColumnStore()).has_ppe()
+
+
+def test_iter_chunks_start_slices_first_chunk():
+    store = fill_store(ColumnStore(chunk_records=4), n=10)
+    # start inside the second chunk: its head rows must be sliced off.
+    seqs = [
+        seq for chunk in store.iter_chunks(start=5) for seq in chunk.seq
+    ]
+    assert seqs == [5, 6, 7, 8, 9]
+    # start on a chunk boundary: no slicing, the chunk is yielded as-is.
+    boundary = list(store.iter_chunks(start=8))
+    assert [list(c.seq) for c in boundary] == [[8, 9]]
+    assert list(store.iter_chunks(start=10)) == []
+
+
+def test_extend_from_copies_rows():
+    src = fill_store(ColumnStore(chunk_records=3), n=7)
+    dst = ColumnStore(chunk_records=2)
+    dst.extend_from(src, start=2)
+    assert len(dst) == 5
+    assert [dst.record_at(i).seq for i in range(5)] == [2, 3, 4, 5, 6]
+    assert dst.spe_ids() == [1]
+
+
+def test_adopt_chunk_takes_ownership():
+    chunk = ColumnChunk()
+    for i in range(3):
+        chunk.append(SIDE_SPE, MARKER.code, 2, i, i, [i])
+    store = ColumnStore()
+    store.adopt_chunk(chunk)
+    assert len(store) == 3
+    assert store.spe_ids() == [2]
+    # An empty open tail is replaced, not kept as a zero-length chunk.
+    assert [len(c) for c in store.iter_chunks()] == [3]
+    # Adopting onto a non-empty tail appends a second chunk.
+    other = ColumnChunk()
+    other.append(SIDE_PPE, MBOX.code, 0, 0, 9, [1, 2])
+    store.adopt_chunk(other)
+    assert [len(c) for c in store.iter_chunks()] == [3, 1]
+    assert store.has_ppe()
+    # Adopting an empty chunk is a no-op.
+    store.adopt_chunk(ColumnChunk())
+    assert len(store) == 4
+
+
+# ----------------------------------------------------------------------
+# in-memory sources
+# ----------------------------------------------------------------------
+def test_store_source_supports_repeated_iteration():
+    source = StoreSource(header(), fill_store(ColumnStore(chunk_records=4), n=9))
+    assert source.n_records == 9
+    first = [seq for c in source.iter_chunks() for seq in c.seq]
+    second = [seq for c in source.iter_chunks() for seq in c.seq]
+    assert first == second == list(range(9))
+
+
+def test_concat_source_splices_segments():
+    a = fill_store(ColumnStore(chunk_records=3), n=6, core=1)
+    b = fill_store(ColumnStore(chunk_records=3), n=4, core=2)
+    source = ConcatSource(header(), [(a, 2), (b, 0)])
+    assert source.n_records == 8
+    rows = [(c.core[i], c.seq[i]) for c in source.iter_chunks()
+            for i in range(len(c))]
+    assert rows == [(1, s) for s in range(2, 6)] + [(2, s) for s in range(4)]
+    # Repeated iteration works here too (multi-pass consumers rely on it).
+    assert source.n_records == sum(len(c) for c in source.iter_chunks())
+
+
+def test_iter_records_materializes_compat_objects():
+    source = StoreSource(header(), fill_store(ColumnStore(chunk_records=2), n=5))
+    records = list(source.iter_records())
+    assert [r.seq for r in records] == list(range(5))
+    assert all(r.kind == "user_marker" for r in records)
+
+
+# ----------------------------------------------------------------------
+# scan_sync: default chunk scan vs file prefix walk
+# ----------------------------------------------------------------------
+def sync_heavy_store():
+    store = ColumnStore(chunk_records=4)
+    seq = {1: 0, 5: 0}
+    for core in (1, 5):
+        for i in range(3):
+            store.append(SIDE_SPE, SYNC.code, core, seq[core], 1000 * i + core,
+                         [5000 * i + core])
+            seq[core] += 1
+            store.append(SIDE_SPE, MARKER.code, core, seq[core], 1000 * i + core + 1,
+                         [i])
+            seq[core] += 1
+    store.append(SIDE_PPE, MBOX.code, 0, 0, 7, [1, 9])
+    return store
+
+
+def test_scan_sync_default_collects_pairs():
+    source = StoreSource(header(), sync_heavy_store())
+    spe_ids, syncs = source.scan_sync()
+    assert spe_ids == {1, 5}
+    # raw_ts = 1000*i + core, tb_raw = 5000*i + core, in recording order.
+    for core in (1, 5):
+        assert syncs[core] == [(1000 * i + core, 5000 * i + core)
+                               for i in range(3)]
+
+
+def test_scan_sync_file_walk_matches_default():
+    source = StoreSource(header(), sync_heavy_store())
+    blob = trace_to_bytes(source)
+    assert open_trace(blob).scan_sync() == source.scan_sync()
+
+
+def test_scan_sync_on_legacy_file_falls_back():
+    source = StoreSource(header(version=VERSION_LEGACY), sync_heavy_store())
+    blob = trace_to_bytes(source)
+    file_source = open_trace(blob)
+    assert file_source.scan_sync() == source.scan_sync()
+
+
+# ----------------------------------------------------------------------
+# ChunkWriter
+# ----------------------------------------------------------------------
+def drain(source, writer):
+    for record in source.iter_records():
+        writer.add_record(record)
+
+
+def test_chunk_writer_round_trips_multi_chunk(tmp_path):
+    source = StoreSource(header(), sync_heavy_store())
+    path = str(tmp_path / "chunked.pdt")
+    with ChunkWriter(path, source.header, chunk_records=3) as writer:
+        drain(source, writer)
+    assert writer.n_records == source.n_records
+    assert writer.n_chunks == 5  # 13 records / 3 per chunk
+    reopened = open_trace(path)
+    assert reopened.n_chunks == 5
+    assert reopened.n_records == source.n_records
+    assert [r.seq for r in reopened.iter_records()] == [
+        r.seq for r in source.iter_records()
+    ]
+
+
+def test_chunk_writer_unseekable_writes_eof_sentinel():
+    class Unseekable(io.BytesIO):
+        def seekable(self):
+            return False
+
+    source = StoreSource(header(), fill_store(ColumnStore(), n=7))
+    out = Unseekable()
+    with ChunkWriter(out, source.header, chunk_records=2) as writer:
+        drain(source, writer)
+    blob = out.getvalue()
+    # The up-front sentinel header stands: n_chunks == CHUNKS_UNTIL_EOF.
+    from repro.pdt.format import _HEADER
+    assert _HEADER.unpack_from(blob, 0)[7] == CHUNKS_UNTIL_EOF
+    # Readers consume chunks until end of file regardless.
+    assert open_trace(blob).n_records == 7
+    assert read_trace(blob).n_records == 7
+
+
+def test_chunk_writer_patches_header_when_seekable():
+    source = StoreSource(header(), fill_store(ColumnStore(), n=5))
+    out = io.BytesIO()
+    with ChunkWriter(out, source.header, chunk_records=2) as writer:
+        drain(source, writer)
+    from repro.pdt.format import _HEADER
+    fields = _HEADER.unpack_from(out.getvalue(), 0)
+    assert (fields[7], fields[8]) == (3, 5)  # (n_chunks, n_records)
+
+
+def test_chunk_writer_rejects_legacy_header():
+    with pytest.raises(ValueError, match="version"):
+        ChunkWriter(io.BytesIO(), header(version=VERSION_LEGACY))
+
+
+def test_chunk_writer_rejects_unknown_header_version():
+    with pytest.raises(TraceFormatError, match="unsupported trace version"):
+        ChunkWriter(io.BytesIO(), header(version=7))
+
+
+def test_chunk_writer_rejects_bad_chunk_records():
+    with pytest.raises(ValueError, match="chunk_records"):
+        ChunkWriter(io.BytesIO(), header(), chunk_records=0)
+
+
+def test_chunk_writer_append_after_close_raises():
+    writer = ChunkWriter(io.BytesIO(), header())
+    writer.close()
+    writer.close()  # idempotent
+    with pytest.raises(ValueError, match="closed"):
+        writer.append(SIDE_SPE, MARKER.code, 0, 0, 0, [0])
+
+
+def test_empty_chunk_writer_output_is_a_valid_empty_trace():
+    out = io.BytesIO()
+    ChunkWriter(out, header()).close()
+    source = open_trace(out.getvalue())
+    assert source.n_records == 0 and source.n_chunks == 0
+    assert list(source.iter_chunks()) == []
+    assert source.scan_sync() == (set(), {})
+
+
+# ----------------------------------------------------------------------
+# version round-trip and rejection; open_trace / read_trace parity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("version", [VERSION_LEGACY, VERSION_CHUNKED])
+def test_header_version_round_trips(version):
+    source = StoreSource(header(version=version), sync_heavy_store())
+    blob = trace_to_bytes(source)
+    assert read_trace(blob).header.version == version
+    assert open_trace(blob).header.version == version
+
+
+def test_writer_rejects_unknown_version():
+    source = StoreSource(header(version=3), fill_store(ColumnStore(), n=1))
+    with pytest.raises(TraceFormatError, match="unsupported trace version 3"):
+        trace_to_bytes(source)
+
+
+def test_open_trace_matches_read_trace_on_both_versions():
+    for version in (VERSION_LEGACY, VERSION_CHUNKED):
+        source = StoreSource(header(version=version), sync_heavy_store())
+        blob = trace_to_bytes(source)
+        streamed = open_trace(blob)
+        materialized = read_trace(blob)
+        assert streamed.n_records == materialized.n_records
+        assert [
+            (r.side, r.code, r.core, r.seq, r.raw_ts, r.fields)
+            for r in streamed.iter_records()
+        ] == [
+            (r.side, r.code, r.core, r.seq, r.raw_ts, r.fields)
+            for r in materialized.as_source().iter_records()
+        ]
+
+
+def test_open_trace_iterates_repeatedly(tmp_path):
+    path = str(tmp_path / "multi.pdt")
+    with ChunkWriter(path, header(), chunk_records=4) as writer:
+        drain(StoreSource(header(), sync_heavy_store()), writer)
+    source = open_trace(path)
+    first = [seq for c in source.iter_chunks() for seq in c.seq]
+    second = [seq for c in source.iter_chunks() for seq in c.seq]
+    assert first == second and len(first) == source.n_records
+
+
+def test_empty_trace_streams():
+    blob = trace_to_bytes(Trace(header=header()))
+    source = open_trace(blob)
+    assert source.n_records == 0
+    assert list(source.iter_chunks()) == []
