@@ -6,7 +6,7 @@ import argparse
 import sys
 import typing
 
-from repro.pdt import open_trace
+from repro.pdt import TraceFormatError, open_trace
 from repro.ta import (
     analyze,
     communication_edges,
@@ -42,15 +42,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the event-frequency profile")
     parser.add_argument("--comm", action="store_true",
                         help="print cross-core communication channels")
+    parser.add_argument("--salvage", action="store_true",
+                        help="recover what is readable from a damaged "
+                        "trace instead of failing: corrupt chunks are "
+                        "skipped and the salvage summary is printed")
     return parser
 
 
 def main(argv: typing.Optional[typing.List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _run(args)
+    except (TraceFormatError, OSError) as exc:
+        print(f"pdt-analyze: {args.trace}: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
     # Stream the file chunk by chunk: the analyzer never holds the
     # whole trace, so multi-million-event files analyze in O(chunk)
-    # memory.
-    trace = open_trace(args.trace)
+    # memory.  With --salvage, damaged files lose only their damaged
+    # chunks.
+    trace = open_trace(args.trace, strict=not args.salvage)
+    if trace.salvage is not None:
+        print(f"salvage: {trace.salvage.summary()}")
     print(full_report(trace, gantt_width=args.width), end="")
     model = analyze(trace)
     if args.profile:

@@ -6,7 +6,7 @@ import argparse
 import sys
 import typing
 
-from repro.pdt import TraceConfig, write_trace
+from repro.pdt import TraceConfig, TraceFormatError, write_trace
 from repro.pdt.config import TraceConfig as _TraceConfig
 from repro.workloads import (
     FftWorkload,
@@ -62,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--wrap", action="store_true",
                         help="wrap the trace region instead of stopping "
                         "when it fills (keeps the newest events)")
+    parser.add_argument("--region", type=int, default=4 * 1024 * 1024,
+                        help="main-memory trace region bytes per SPE "
+                        "(default: 4194304); runs that outgrow it drop "
+                        "or, with --wrap, overwrite records")
     parser.add_argument("--only-spes", metavar="IDS",
                         help="comma-separated SPE ids to trace (default: all)")
     parser.add_argument("--config", metavar="FILE",
@@ -72,6 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: typing.Optional[typing.List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _run(args)
+    except (TraceFormatError, OSError) as exc:
+        print(f"pdt-trace: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
     if args.config:
         from repro.pdt.configfile import load_config
 
@@ -84,6 +96,7 @@ def main(argv: typing.Optional[typing.List[str]] = None) -> int:
             buffer_bytes=args.buffer,
             double_buffered=not args.single_buffered_trace,
             wrap=args.wrap,
+            trace_region_bytes=args.region,
             spe_filter=spe_filter,
         )
     workload = WORKLOADS[args.workload](args.spes)
@@ -101,6 +114,16 @@ def main(argv: typing.Optional[typing.List[str]] = None) -> int:
         f"wrote {args.output}: {source.n_records} records, {nbytes} bytes "
         f"({result.hooks.stats.total_flushes} buffer flushes)"
     )
+    stats = result.hooks.stats
+    dropped = sum(s.dropped_records for s in stats.per_spe.values())
+    overwritten = sum(s.overwritten_records for s in stats.per_spe.values())
+    wraps = sum(s.wraps for s in stats.per_spe.values())
+    if dropped or overwritten:
+        print(
+            f"trace loss: {dropped} records dropped at region full, "
+            f"{overwritten} overwritten by wrap ({wraps} wraps) — "
+            "see the report's data-quality section"
+        )
     return 0 if result.verified else 1
 
 

@@ -41,7 +41,7 @@ from repro.pdt.events import (
     spec_for_code,
 )
 from repro.pdt.format import TraceFormatError
-from repro.pdt.reader import TraceFileSource, open_trace, read_trace
+from repro.pdt.reader import SalvageReport, TraceFileSource, open_trace, read_trace
 from repro.pdt.store import (
     CHUNK_RECORDS,
     ColumnChunk,
@@ -69,6 +69,7 @@ __all__ = [
     "EventSpec",
     "PdtHooks",
     "PlacedEvent",
+    "SalvageReport",
     "StoreSource",
     "Trace",
     "TraceConfig",

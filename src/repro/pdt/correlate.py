@@ -49,6 +49,24 @@ from repro.pdt.trace import Trace
 
 _DECREMENTER_MODULUS = 1 << 32
 
+
+def _elapsed_ticks(dec_anchor: int, dec_raw: int) -> int:
+    """Signed tick count from the anchor sync to ``dec_raw``.
+
+    The decrementer counts *down* modulo 2**32, so the raw difference
+    is only meaningful modulo the counter width.  Taking the centered
+    residue keeps readings *before* the anchor (larger decrementer
+    values) slightly negative instead of wrapping a full modulus into
+    the future — which matters whenever records survive from before
+    the first surviving sync, e.g. wrap-mode traces whose early syncs
+    were overwritten, or ``trace_loss`` spans that by construction
+    describe records older than everything retained.
+    """
+    elapsed = (dec_anchor - dec_raw) % _DECREMENTER_MODULUS
+    if elapsed >= _DECREMENTER_MODULUS // 2:
+        elapsed -= _DECREMENTER_MODULUS
+    return elapsed
+
 #: Sync observations for one SPE: (decrementer raw, timebase raw) pairs.
 _SyncPairs = typing.List[typing.Tuple[int, int]]
 
@@ -70,7 +88,7 @@ class SpeClockFit:
     max_residual: float
 
     def to_global(self, dec_raw: int) -> int:
-        elapsed = (self.dec_anchor - dec_raw) % _DECREMENTER_MODULUS
+        elapsed = _elapsed_ticks(self.dec_anchor, dec_raw)
         return int(round(self.intercept + self.cycles_per_tick * elapsed))
 
 
@@ -199,6 +217,10 @@ class ClockCorrelator:
             trace.as_source() if isinstance(trace, Trace) else trace
         )
         self.divider = self.source.header.timebase_divider
+        #: Carried from a non-strict read (``open_trace``/``read_trace``
+        #: with ``strict=False``): the SalvageReport describing file
+        #: damage, so losses reach the TA model's data-quality section.
+        self.salvage = getattr(trace, "salvage", None)
         self.fits: typing.Dict[int, SpeClockFit] = {}
         if self.trace is not None:
             for spe_id, records in sorted(self.trace.spe_records.items()):
@@ -221,7 +243,7 @@ class ClockCorrelator:
             )
         anchor = pairs[0][0]
         elapsed = np.array(
-            [(anchor - dec_raw) % _DECREMENTER_MODULUS for dec_raw, __ in pairs],
+            [_elapsed_ticks(anchor, dec_raw) for dec_raw, __ in pairs],
             dtype=float,
         )
         global_cycles = np.array(

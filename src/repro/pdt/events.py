@@ -36,6 +36,12 @@ ALL_GROUPS = (
 #: Synthetic kind for clock-sync records (not a runtime hook kind).
 KIND_SYNC = "sync"
 
+#: Synthetic kind for the per-SPE event-loss summary written at trace
+#: close: how many records the region policy destroyed (dropped at
+#: region full / overwritten by wrap) and the raw-timestamp span of
+#: the destruction, so the analyzer can mark the loss interval.
+KIND_TRACE_LOSS = "trace_loss"
+
 
 @dataclasses.dataclass(frozen=True)
 class EventSpec:
@@ -96,6 +102,10 @@ _SPU = [
         ("value", "d0", "d1", "d2", "d3"),
     ),
     EventSpec(0x50, SIDE_SPE, KIND_SYNC, GROUP_SYNC, ("tb_raw",)),
+    EventSpec(
+        0x51, SIDE_SPE, KIND_TRACE_LOSS, GROUP_SYNC,
+        ("dropped", "overwritten", "wraps", "first_lost_ts", "last_lost_ts"),
+    ),
 ]
 
 _PPE = [

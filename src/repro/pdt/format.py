@@ -1,6 +1,6 @@
 """On-disk trace-format constants shared by the writer and reader.
 
-Two file layouts share the same magic and header struct; the header's
+Three file layouts share the same magic and header struct; the header's
 ``version`` field selects between them:
 
 * **version 1 (legacy)** — the seed's list layout: a stream directory
@@ -12,41 +12,56 @@ Two file layouts share the same magic and header struct; the header's
   (n_records, payload_bytes) prefix so a reader can index the file by
   seeking from prefix to prefix without touching payload bytes.  Both
   writing and re-reading need only O(chunk) memory.
+* **version 3 (chunked + CRC, the default)** — version 2 plus
+  integrity checks: each chunk frame grows a CRC32 over its prefix and
+  payload, and a CRC32 of the header bytes follows the header.  A
+  flipped bit anywhere in the file is *detected* instead of silently
+  decoding into wrong timestamps; a damaged file can be salvaged chunk
+  by chunk (``read_trace(..., strict=False)``).
 
-Header struct (little endian), shared by both versions::
+Header struct (little endian), shared by all versions::
 
     magic           4s   b"PDT1"
-    version         u16  1 or 2
+    version         u16  1, 2 or 3
     n_spes          u16
     timebase_div    u32
     spu_clock_hz    f64
     groups_bitmap   u32
     buffer_bytes    u32
-    a               u32  v1: n_ppe_records    v2: n_chunks
-    b               u32  v1: n_spe_streams    v2: total_records
+    a               u32  v1: n_ppe_records    v2/v3: n_chunks
+    b               u32  v1: n_spe_streams    v2/v3: total_records
 
 v1 then has ``n_spe_streams`` entries of ``_STREAM`` (spe_id, count);
 v2 has ``n_chunks`` chunks, each ``_CHUNK`` (n_records, payload_bytes)
-followed by that many codec-encoded records.  A v2 writer that cannot
-seek back to patch the header writes ``n_chunks = 0xFFFFFFFF``
-(:data:`CHUNKS_UNTIL_EOF`), meaning "read chunks until end of file".
+followed by that many codec-encoded records.  v3 first has a u32
+CRC32 of the 36 header bytes, then ``n_chunks`` chunks framed by
+``_CHUNK_CRC`` (n_records, payload_bytes, crc32) where the checksum
+covers the packed (n_records, payload_bytes) prefix followed by the
+payload bytes — so prefix corruption is caught as well as payload
+corruption.  A v2/v3 writer that cannot seek back to patch the header
+writes ``n_chunks = 0xFFFFFFFF`` (:data:`CHUNKS_UNTIL_EOF`), meaning
+"read chunks until end of file".
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 
 MAGIC = b"PDT1"
 
 VERSION_LEGACY = 1
 VERSION_CHUNKED = 2
-SUPPORTED_VERSIONS = (VERSION_LEGACY, VERSION_CHUNKED)
+VERSION_CRC = 3
+SUPPORTED_VERSIONS = (VERSION_LEGACY, VERSION_CHUNKED, VERSION_CRC)
 
 _HEADER = struct.Struct("<4sHHIdIIII")
 _STREAM = struct.Struct("<II")  # v1: (spe_id, n_records)
 _CHUNK = struct.Struct("<II")  # v2: (n_records, payload_bytes)
+_CHUNK_CRC = struct.Struct("<III")  # v3: (n_records, payload_bytes, crc32)
+_U32 = struct.Struct("<I")  # v3: header CRC32 trailer
 
-#: v2 ``n_chunks`` sentinel: chunk prefixes run until end of file.
+#: v2/v3 ``n_chunks`` sentinel: chunk prefixes run until end of file.
 CHUNKS_UNTIL_EOF = 0xFFFF_FFFF
 
 
@@ -60,5 +75,34 @@ def check_version(version: int) -> None:
         raise TraceFormatError(
             f"unsupported trace version {version}; this build supports "
             f"versions {', '.join(str(v) for v in SUPPORTED_VERSIONS)} "
-            "(1 = legacy stream layout, 2 = chunked columnar layout)"
+            "(1 = legacy stream layout, 2 = chunked columnar layout, "
+            "3 = chunked layout with CRC32 integrity checks)"
         )
+
+
+def chunk_frame_struct(version: int) -> struct.Struct:
+    """The chunk-frame struct for a chunked-layout version."""
+    return _CHUNK_CRC if version >= VERSION_CRC else _CHUNK
+
+
+def data_offset(version: int) -> int:
+    """File offset where the post-header data starts."""
+    if version >= VERSION_CRC:
+        return _HEADER.size + _U32.size  # header CRC sits between
+    return _HEADER.size
+
+
+def chunk_crc32(n_records: int, payload) -> int:
+    """v3 per-chunk checksum: CRC32 over the packed prefix + payload.
+
+    Folding the (n_records, payload_bytes) prefix into the checksum
+    means a bit flip in the frame itself — not just the payload — fails
+    verification.
+    """
+    crc = zlib.crc32(_CHUNK.pack(n_records, len(payload)))
+    return zlib.crc32(payload, crc) & 0xFFFF_FFFF
+
+
+def header_crc32(header_bytes) -> int:
+    """v3 header checksum: CRC32 over the packed 36-byte header."""
+    return zlib.crc32(header_bytes) & 0xFFFF_FFFF

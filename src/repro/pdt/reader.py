@@ -3,16 +3,27 @@
 Two entry points:
 
 * :func:`read_trace` — parse a whole file into an in-memory
-  :class:`Trace` (compatibility path; both layouts).
-* :func:`open_trace` — open a chunked (version-2) trace as a
+  :class:`Trace` (compatibility path; all layouts).
+* :func:`open_trace` — open a chunked (version-2/3) trace as a
   :class:`TraceFileSource`, an :class:`EventSource` that decodes one
   chunk at a time so analysis of a multi-million-event trace never
   holds more than O(chunk) records.  Version-1 files transparently
   fall back to a materialized source.
+
+Both accept ``strict=False`` to *salvage* a damaged trace instead of
+failing: chunks whose CRC or decode fails are skipped, the valid
+record prefix of a truncated final chunk is recovered, the scan
+resynchronizes on the next well-formed chunk prefix after damage, and
+the result carries a :class:`SalvageReport` (``.salvage``) itemizing
+what was lost.  In strict mode (the default) any damage raises
+:class:`TraceFormatError` — for version-3 files a single flipped bit
+anywhere in the header, a chunk frame, or a payload is detected by the
+CRC32 checks; never a silent wrong read.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import io
 import struct
 import typing
@@ -23,20 +34,99 @@ from repro.pdt.format import (
     _CHUNK,
     _HEADER,
     _STREAM,
+    _U32,
     CHUNKS_UNTIL_EOF,
     MAGIC,
     VERSION_CHUNKED,
+    VERSION_CRC,
     VERSION_LEGACY,
     TraceFormatError,
     check_version,
+    chunk_crc32,
+    chunk_frame_struct,
+    data_offset,
+    header_crc32,
 )
 from repro.pdt.store import ColumnChunk, ColumnStore, EventSource
 from repro.pdt.trace import Trace, TraceHeader
 
-__all__ = ["TraceFormatError", "read_trace", "open_trace", "TraceFileSource"]
+__all__ = [
+    "TraceFormatError",
+    "SalvageReport",
+    "read_trace",
+    "open_trace",
+    "TraceFileSource",
+]
 
 #: One signed 64-bit payload value (the sync record's tb_raw).
 _VALUE = struct.Struct("<q")
+
+
+@dataclasses.dataclass
+class SalvageReport:
+    """What a non-strict read recovered and what it lost.
+
+    ``bad_ranges`` lists half-open ``(start, end)`` byte ranges of the
+    file that were skipped as damaged (or cut off by truncation);
+    ``records_dropped`` counts records inside chunks that failed their
+    CRC/decode, while ``records_missing`` counts records the header
+    promised that no surviving or damaged chunk accounts for (e.g. a
+    truncated prefix swallowed them).
+    """
+
+    version: int
+    chunks_recovered: int = 0
+    chunks_dropped: int = 0
+    records_recovered: int = 0
+    records_dropped: int = 0
+    records_missing: int = 0
+    tail_records_recovered: int = 0
+    resyncs: int = 0
+    truncated: bool = False
+    header_damaged: bool = False
+    bad_ranges: typing.List[typing.Tuple[int, int]] = dataclasses.field(
+        default_factory=list
+    )
+    notes: typing.List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def records_lost(self) -> int:
+        """Records known or presumed destroyed by the damage."""
+        return self.records_dropped + self.records_missing
+
+    @property
+    def bytes_skipped(self) -> int:
+        return sum(end - start for start, end in self.bad_ranges)
+
+    @property
+    def damaged(self) -> bool:
+        return bool(
+            self.chunks_dropped
+            or self.records_lost
+            or self.truncated
+            or self.header_damaged
+            or self.bad_ranges
+        )
+
+    def summary(self) -> str:
+        """One line for CLI output."""
+        if not self.damaged:
+            return (
+                f"trace intact: {self.records_recovered} records in "
+                f"{self.chunks_recovered} chunks, nothing to salvage"
+            )
+        parts = [
+            f"recovered {self.records_recovered} records in "
+            f"{self.chunks_recovered} chunks",
+            f"dropped {self.chunks_dropped} corrupt chunks",
+            f"lost {self.records_lost} records "
+            f"({self.bytes_skipped} damaged bytes)",
+        ]
+        if self.truncated:
+            parts.append("file is truncated")
+        if self.header_damaged:
+            parts.append("header failed its CRC")
+        return "; ".join(parts)
 
 
 def _parse_header(blob: bytes) -> typing.Tuple[TraceHeader, int, int]:
@@ -68,6 +158,36 @@ def _parse_header(blob: bytes) -> typing.Tuple[TraceHeader, int, int]:
     return header, a, b
 
 
+def _check_header_crc(head: bytes) -> None:
+    """Strict v3: verify the header CRC32 trailer."""
+    if len(head) < _HEADER.size + _U32.size:
+        raise TraceFormatError("file too short for version-3 header CRC")
+    (stored,) = _U32.unpack_from(head, _HEADER.size)
+    if header_crc32(head[: _HEADER.size]) != stored:
+        raise TraceFormatError(
+            f"header CRC mismatch: stored 0x{stored:08x}, computed "
+            f"0x{header_crc32(head[:_HEADER.size]):08x}"
+        )
+
+
+def _header_crc_ok(blob: bytes) -> bool:
+    if len(blob) < _HEADER.size + _U32.size:
+        return False
+    (stored,) = _U32.unpack_from(blob, _HEADER.size)
+    return header_crc32(blob[: _HEADER.size]) == stored
+
+
+def _check_chunk_crc(
+    stored: int, n_records: int, payload, offset: int
+) -> None:
+    computed = chunk_crc32(n_records, payload)
+    if computed != stored:
+        raise TraceFormatError(
+            f"chunk CRC mismatch at offset {offset}: stored "
+            f"0x{stored:08x}, computed 0x{computed:08x}"
+        )
+
+
 def _decode_chunk(blob: bytes, offset: int, n_records: int, payload_bytes: int) -> ColumnChunk:
     chunk = ColumnChunk()
     end = offset + payload_bytes
@@ -97,10 +217,14 @@ def _decode_chunk(blob: bytes, offset: int, n_records: int, payload_bytes: int) 
 
 
 def _iter_chunk_frames(
-    blob: bytes, n_chunks: int
-) -> typing.Iterator[typing.Tuple[int, int, int]]:
-    """Yield (payload_offset, n_records, payload_bytes) per chunk."""
-    offset = _HEADER.size
+    blob: bytes, version: int, n_chunks: int
+) -> typing.Iterator[typing.Tuple[int, int, int, typing.Optional[int]]]:
+    """Yield (payload_offset, n_records, payload_bytes, crc) per chunk.
+
+    ``crc`` is ``None`` for version-2 files.
+    """
+    frame = chunk_frame_struct(version)
+    offset = data_offset(version)
     seen = 0
     while True:
         if n_chunks == CHUNKS_UNTIL_EOF:
@@ -108,25 +232,230 @@ def _iter_chunk_frames(
                 return
         elif seen == n_chunks:
             return
-        if offset + _CHUNK.size > len(blob):
+        if offset + frame.size > len(blob):
             raise TraceFormatError("truncated chunk prefix")
-        n_records, payload_bytes = _CHUNK.unpack_from(blob, offset)
-        offset += _CHUNK.size
+        if version >= VERSION_CRC:
+            n_records, payload_bytes, crc = frame.unpack_from(blob, offset)
+        else:
+            n_records, payload_bytes = frame.unpack_from(blob, offset)
+            crc = None
+        offset += frame.size
         if offset + payload_bytes > len(blob):
             raise TraceFormatError(
                 f"truncated chunk payload at offset {offset}: need "
                 f"{payload_bytes} bytes, have {len(blob) - offset}"
             )
-        yield offset, n_records, payload_bytes
+        yield offset, n_records, payload_bytes, crc
         offset += payload_bytes
         seen += 1
 
 
-def read_trace(path_or_file: typing.Union[str, typing.BinaryIO, bytes]) -> Trace:
-    """Parse a trace file (path, binary file object, or raw bytes)."""
+def _plausible_frame(n_records: int, payload_bytes: int) -> bool:
+    """Could (n_records, payload_bytes) frame a real chunk?  Records
+    are 16-byte-aligned multiples of 16 bytes, so the payload size must
+    be too, and each record occupies at least 16 of those bytes."""
+    return (
+        n_records > 0
+        and payload_bytes % 16 == 0
+        and 16 * n_records <= payload_bytes
+    )
+
+
+def _resync_offset(blob: bytes, start: int, version: int) -> int:
+    """Scan forward from ``start`` for the next well-formed chunk.
+
+    Well-formed means: plausible frame, payload fits in the file, and
+    (v3) the CRC verifies / (v2) the payload trial-decodes.  Returns
+    ``len(blob)`` when no further chunk exists.
+    """
+    frame = chunk_frame_struct(version)
+    v3 = version >= VERSION_CRC
+    size = len(blob)
+    mv = memoryview(blob)
+    offset = start
+    while offset + frame.size <= size:
+        if v3:
+            n_records, payload_bytes, crc = frame.unpack_from(blob, offset)
+        else:
+            n_records, payload_bytes = frame.unpack_from(blob, offset)
+        payload_off = offset + frame.size
+        if (
+            _plausible_frame(n_records, payload_bytes)
+            and payload_off + payload_bytes <= size
+        ):
+            if v3:
+                if chunk_crc32(
+                    n_records, mv[payload_off : payload_off + payload_bytes]
+                ) == crc:
+                    return offset
+            else:
+                try:
+                    _decode_chunk(blob, payload_off, n_records, payload_bytes)
+                    return offset
+                except TraceFormatError:
+                    pass
+        offset += 1
+    return size
+
+
+def _decode_partial(
+    blob: bytes, offset: int, end: int, max_records: int
+) -> typing.Tuple[ColumnChunk, int]:
+    """Recover the valid record prefix of a truncated chunk payload.
+
+    Decodes records until one fails or runs past ``end``; returns the
+    recovered chunk and the offset reached.
+    """
+    chunk = ColumnChunk()
+    count = 0
+    while count < max_records:
+        try:
+            side, code, core, seq, raw_ts, values, next_off = decode_fields(
+                blob, offset
+            )
+        except (ValueError, KeyError):
+            break
+        if next_off > end:
+            break
+        chunk.side.append(side)
+        chunk.code.append(code)
+        chunk.core.append(core)
+        chunk.seq.append(seq)
+        chunk.raw_ts.append(raw_ts)
+        chunk.truth.append(-1)
+        chunk.values.extend(values)
+        chunk.val_off.append(len(chunk.values))
+        offset = next_off
+        count += 1
+    return chunk, offset
+
+
+def _salvage_scan(
+    blob: bytes, header: TraceHeader, declared_chunks: int, declared_records: int
+) -> typing.Tuple[typing.List[ColumnChunk], SalvageReport]:
+    """Walk a damaged chunked file, keeping every verifiable chunk."""
+    version = header.version
+    v3 = version >= VERSION_CRC
+    frame = chunk_frame_struct(version)
+    report = SalvageReport(version=version)
+    chunks: typing.List[ColumnChunk] = []
+    size = len(blob)
+    mv = memoryview(blob)
+    if v3:
+        if not _header_crc_ok(blob):
+            report.header_damaged = True
+            report.notes.append(
+                "header CRC mismatch: header fields (clock rates, counts) "
+                "may be unreliable"
+            )
+    offset = data_offset(version)
+    if size < offset:
+        report.truncated = True
+        report.notes.append("file ends inside the header")
+        offset = size
+    while offset < size:
+        if offset + frame.size > size:
+            report.truncated = True
+            report.bad_ranges.append((offset, size))
+            report.notes.append(
+                f"truncated chunk prefix at offset {offset}: "
+                f"{size - offset} trailing bytes"
+            )
+            break
+        if v3:
+            n_records, payload_bytes, crc = frame.unpack_from(blob, offset)
+        else:
+            n_records, payload_bytes = frame.unpack_from(blob, offset)
+            crc = None
+        payload_off = offset + frame.size
+        plausible = _plausible_frame(n_records, payload_bytes)
+        fits = payload_off + payload_bytes <= size
+        chunk: typing.Optional[ColumnChunk] = None
+        if plausible and fits:
+            if crc is not None and chunk_crc32(
+                n_records, mv[payload_off : payload_off + payload_bytes]
+            ) != crc:
+                reason = f"chunk CRC mismatch at offset {offset}"
+            else:
+                try:
+                    chunk = _decode_chunk(
+                        blob, payload_off, n_records, payload_bytes
+                    )
+                except TraceFormatError as exc:
+                    reason = f"chunk at offset {offset} failed to decode: {exc}"
+        elif plausible:
+            reason = (
+                f"chunk at offset {offset} declares {payload_bytes} payload "
+                f"bytes but only {size - payload_off} remain"
+            )
+        else:
+            reason = f"implausible chunk prefix at offset {offset}"
+        if chunk is not None:
+            chunks.append(chunk)
+            report.chunks_recovered += 1
+            report.records_recovered += n_records
+            offset = payload_off + payload_bytes
+            continue
+        # Damaged.  If the declared payload overruns EOF and no later
+        # well-formed chunk exists, this is the crash-mid-write case:
+        # keep the valid record prefix of the tail.  Otherwise drop the
+        # chunk and resynchronize on the next well-formed prefix.
+        resume = _resync_offset(blob, offset + 1, version)
+        if plausible and not fits and resume >= size:
+            tail, reached = _decode_partial(blob, payload_off, size, n_records)
+            report.truncated = True
+            if len(tail):
+                chunks.append(tail)
+                report.chunks_recovered += 1
+                report.records_recovered += len(tail)
+                report.tail_records_recovered += len(tail)
+            report.records_dropped += n_records - len(tail)
+            report.bad_ranges.append((reached, size))
+            report.notes.append(
+                f"truncated final chunk at offset {offset}: recovered the "
+                f"leading {len(tail)} of {n_records} records"
+            )
+            break
+        report.chunks_dropped += 1
+        if plausible:
+            report.records_dropped += n_records
+        if resume < size:
+            report.resyncs += 1
+            report.notes.append(f"{reason}; resynchronized at offset {resume}")
+        else:
+            report.notes.append(f"{reason}; no further chunks found")
+        report.bad_ranges.append((offset, resume))
+        offset = resume
+    if (
+        declared_chunks != CHUNKS_UNTIL_EOF
+        and not report.header_damaged
+        and declared_records > report.records_recovered + report.records_dropped
+    ):
+        report.records_missing = declared_records - (
+            report.records_recovered + report.records_dropped
+        )
+        report.notes.append(
+            f"header declares {declared_records} records; "
+            f"{report.records_missing} are unaccounted for"
+        )
+    return chunks, report
+
+
+def read_trace(
+    path_or_file: typing.Union[str, typing.BinaryIO, bytes],
+    strict: bool = True,
+) -> Trace:
+    """Parse a trace file (path, binary file object, or raw bytes).
+
+    With ``strict=False`` a damaged file is salvaged instead of
+    raising: every verifiable chunk is kept and ``trace.salvage``
+    holds the :class:`SalvageReport`.  A file whose header cannot be
+    parsed at all still raises :class:`TraceFormatError` — there is
+    nothing to salvage without the codec parameters.
+    """
     if isinstance(path_or_file, str):
         with open(path_or_file, "rb") as handle:
-            return read_trace(handle.read())
+            return read_trace(handle.read(), strict=strict)
     if isinstance(path_or_file, (bytes, bytearray)):
         blob = bytes(path_or_file)
     else:
@@ -134,18 +463,57 @@ def read_trace(path_or_file: typing.Union[str, typing.BinaryIO, bytes]) -> Trace
 
     header, a, b = _parse_header(blob)
     trace = Trace(header=header)
+    if not strict:
+        return _read_salvage(blob, header, a, b, trace)
     if header.version == VERSION_LEGACY:
         _read_legacy_payload(blob, a, b, trace.store)
     else:
+        if header.version >= VERSION_CRC:
+            _check_header_crc(blob)
         total = 0
-        for offset, n_records, payload_bytes in _iter_chunk_frames(blob, a):
-            trace.store.adopt_chunk(_decode_chunk(blob, offset, n_records, payload_bytes))
+        for offset, n_records, payload_bytes, crc in _iter_chunk_frames(
+            blob, header.version, a
+        ):
+            if crc is not None:
+                _check_chunk_crc(
+                    crc,
+                    n_records,
+                    memoryview(blob)[offset : offset + payload_bytes],
+                    offset,
+                )
+            trace.store.adopt_chunk(
+                _decode_chunk(blob, offset, n_records, payload_bytes)
+            )
             total += n_records
         if a != CHUNKS_UNTIL_EOF and total != b:
             raise TraceFormatError(
                 f"record count mismatch: header says {b}, chunks hold {total}"
             )
-    trace.validate()
+    try:
+        trace.validate()
+    except ValueError as exc:
+        # Structurally decodable but semantically impossible (out-of-
+        # order sequence numbers, misattributed streams): damage the
+        # version-2 layout cannot catch byte-wise.  Still a format
+        # error to the caller — never a silent wrong read.
+        raise TraceFormatError(f"trace failed validation: {exc}") from exc
+    return trace
+
+
+def _read_salvage(
+    blob: bytes, header: TraceHeader, a: int, b: int, trace: Trace
+) -> Trace:
+    if header.version == VERSION_LEGACY:
+        report = _salvage_legacy(blob, a, b, trace.store)
+    else:
+        chunks, report = _salvage_scan(blob, header, a, b)
+        for chunk in chunks:
+            trace.store.adopt_chunk(chunk)
+    trace.salvage = report
+    try:
+        trace.validate()
+    except ValueError as exc:
+        report.notes.append(f"recovered records failed validation: {exc}")
     return trace
 
 
@@ -178,20 +546,96 @@ def _read_legacy_payload(blob: bytes, n_ppe: int, n_streams: int, store: ColumnS
         raise TraceFormatError(f"corrupt trace payload: {exc}") from exc
 
 
+def _salvage_legacy(
+    blob: bytes, n_ppe: int, n_streams: int, store: ColumnStore
+) -> SalvageReport:
+    """Forgiving version-1 read: keep the valid leading records.
+
+    The legacy layout has no frames to resynchronize on, so damage
+    costs everything after it; the intact prefix survives.
+    """
+    report = SalvageReport(version=VERSION_LEGACY)
+    size = len(blob)
+    offset = _HEADER.size
+    streams: typing.List[typing.Tuple[int, int]] = []
+    for __ in range(n_streams):
+        if offset + _STREAM.size > size:
+            report.truncated = True
+            report.bad_ranges.append((offset, size))
+            report.notes.append("truncated stream directory")
+            break
+        spe_id, count = _STREAM.unpack_from(blob, offset)
+        streams.append((spe_id, count))
+        offset += _STREAM.size
+    expected = n_ppe + sum(count for __, count in streams)
+    recovered = 0
+    failure: typing.Optional[str] = None
+    for spe_id, count in [(None, n_ppe)] + list(streams):
+        for __ in range(count):
+            try:
+                side, code, core, seq, raw_ts, values, next_off = decode_fields(
+                    blob, offset
+                )
+            except (ValueError, KeyError) as exc:
+                failure = str(exc)
+                break
+            if spe_id is not None and core != spe_id:
+                failure = (
+                    f"stream for SPE {spe_id} contains a record from core "
+                    f"{core}"
+                )
+                break
+            store.append(side, code, core, seq, raw_ts, values)
+            recovered += 1
+            offset = next_off
+        if failure is not None:
+            break
+    report.records_recovered = recovered
+    if failure is not None or recovered < expected:
+        report.records_dropped = expected - recovered
+        if offset < size or failure is not None:
+            report.bad_ranges.append((offset, size))
+        else:
+            report.truncated = True
+        if failure is not None:
+            report.notes.append(
+                f"legacy payload damaged at offset {offset} ({failure}); "
+                f"kept the leading {recovered} records"
+            )
+        else:
+            report.notes.append(
+                f"legacy payload truncated: kept {recovered} of "
+                f"{expected} records"
+            )
+    return report
+
+
 class TraceFileSource(EventSource):
     """A chunked trace file served as an :class:`EventSource`.
 
-    The constructor reads only the header and the chunk *prefixes*
-    (seeking over payloads) to build the chunk index; payload bytes are
-    decoded lazily, one chunk at a time, during ``iter_chunks``.  Each
-    ``iter_chunks`` call opens its own file handle, so several
-    iterations (e.g. per-core placement streams feeding a merge) can be
-    in flight at once.
+    In strict mode (the default) the constructor reads only the header
+    and the chunk *prefixes* (seeking over payloads) to build the chunk
+    index; payload bytes are decoded lazily, one chunk at a time,
+    during ``iter_chunks`` — and for version-3 files every payload read
+    verifies the chunk CRC before decode.  Each ``iter_chunks`` call
+    opens its own file handle, so several iterations (e.g. per-core
+    placement streams feeding a merge) can be in flight at once.
+
+    With ``strict=False`` the whole file is read and salvage-scanned up
+    front (the recovery path trades streaming for resilience); the
+    surviving chunks are held in memory and ``.salvage`` carries the
+    :class:`SalvageReport`.  In strict mode ``.salvage`` is ``None``.
     """
 
-    def __init__(self, path_or_file: typing.Union[str, typing.BinaryIO, bytes]):
+    def __init__(
+        self,
+        path_or_file: typing.Union[str, typing.BinaryIO, bytes],
+        strict: bool = True,
+    ):
         self._path: typing.Optional[str] = None
         self._blob: typing.Optional[bytes] = None
+        self.salvage: typing.Optional[SalvageReport] = None
+        self._salvaged: typing.Optional[typing.List[ColumnChunk]] = None
         if isinstance(path_or_file, str):
             self._path = path_or_file
         elif isinstance(path_or_file, (bytes, bytearray)):
@@ -201,8 +645,12 @@ class TraceFileSource(EventSource):
             # iteration, so fall back to holding its bytes.
             self._blob = path_or_file.read()
 
+        if not strict:
+            self._init_salvage()
+            return
+
         with self._open() as handle:
-            head = handle.read(_HEADER.size)
+            head = handle.read(_HEADER.size + _U32.size)
             self.header, a, b = _parse_header(head)
             if self.header.version == VERSION_LEGACY:
                 # Legacy layout cannot be streamed; materialize once.
@@ -210,17 +658,40 @@ class TraceFileSource(EventSource):
                 self._fallback: typing.Optional[EventSource] = read_trace(
                     handle.read()
                 ).as_source()
-                self._index: typing.List[typing.Tuple[int, int, int]] = []
+                self._index: typing.List[
+                    typing.Tuple[int, int, int, typing.Optional[int]]
+                ] = []
                 self._n_records = self._fallback.n_records
                 return
+            if self.header.version >= VERSION_CRC:
+                _check_header_crc(head)
             self._fallback = None
-            self._index = self._build_index(handle, a)
-            self._n_records = sum(n for __, n, __ in self._index)
+            self._index = self._build_index(handle, self.header.version, a)
+            self._n_records = sum(n for __, n, __, __ in self._index)
             if a != CHUNKS_UNTIL_EOF and self._n_records != b:
                 raise TraceFormatError(
                     f"record count mismatch: header says {b}, chunks hold "
                     f"{self._n_records}"
                 )
+
+    def _init_salvage(self) -> None:
+        """Non-strict construction: read everything, keep what verifies."""
+        if self._blob is not None:
+            blob = self._blob
+        else:
+            assert self._path is not None
+            with open(self._path, "rb") as handle:
+                blob = handle.read()
+        self.header, a, b = _parse_header(blob)
+        self._fallback = None
+        self._index = []
+        if self.header.version == VERSION_LEGACY:
+            trace = Trace(header=self.header)
+            self.salvage = _salvage_legacy(blob, a, b, trace.store)
+            self._salvaged = list(trace.store.iter_chunks())
+        else:
+            self._salvaged, self.salvage = _salvage_scan(blob, self.header, a, b)
+        self._n_records = sum(len(chunk) for chunk in self._salvaged)
 
     def _open(self) -> typing.BinaryIO:
         if self._path is not None:
@@ -230,31 +701,38 @@ class TraceFileSource(EventSource):
 
     @staticmethod
     def _build_index(
-        handle: typing.BinaryIO, n_chunks: int
-    ) -> typing.List[typing.Tuple[int, int, int]]:
+        handle: typing.BinaryIO, version: int, n_chunks: int
+    ) -> typing.List[typing.Tuple[int, int, int, typing.Optional[int]]]:
         """Scan chunk prefixes (seeking past payloads) into an index of
-        (payload_offset, n_records, payload_bytes)."""
+        (payload_offset, n_records, payload_bytes, crc)."""
+        frame = chunk_frame_struct(version)
         handle.seek(0, io.SEEK_END)
         size = handle.tell()
-        offset = _HEADER.size
-        index: typing.List[typing.Tuple[int, int, int]] = []
+        offset = data_offset(version)
+        index: typing.List[typing.Tuple[int, int, int, typing.Optional[int]]] = []
         while True:
             if n_chunks == CHUNKS_UNTIL_EOF:
                 if offset == size:
                     return index
             elif len(index) == n_chunks:
                 return index
-            if offset + _CHUNK.size > size:
+            if offset + frame.size > size:
                 raise TraceFormatError("truncated chunk prefix")
             handle.seek(offset)
-            n_records, payload_bytes = _CHUNK.unpack(handle.read(_CHUNK.size))
-            offset += _CHUNK.size
+            if version >= VERSION_CRC:
+                n_records, payload_bytes, crc = frame.unpack(
+                    handle.read(frame.size)
+                )
+            else:
+                n_records, payload_bytes = frame.unpack(handle.read(frame.size))
+                crc = None
+            offset += frame.size
             if offset + payload_bytes > size:
                 raise TraceFormatError(
                     f"truncated chunk payload at offset {offset}: need "
                     f"{payload_bytes} bytes, have {size - offset}"
                 )
-            index.append((offset, n_records, payload_bytes))
+            index.append((offset, n_records, payload_bytes, crc))
             offset += payload_bytes
 
     @property
@@ -263,34 +741,45 @@ class TraceFileSource(EventSource):
 
     @property
     def n_chunks(self) -> int:
+        if self._salvaged is not None:
+            return len(self._salvaged)
         return len(self._index)
 
     def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
+        if self._salvaged is not None:
+            yield from self._salvaged
+            return
         if self._fallback is not None:
             yield from self._fallback.iter_chunks()
             return
         with self._open() as handle:
-            for offset, n_records, payload_bytes in self._index:
+            for offset, n_records, payload_bytes, crc in self._index:
                 handle.seek(offset)
                 payload = handle.read(payload_bytes)
                 if len(payload) != payload_bytes:
                     raise TraceFormatError(
                         f"truncated chunk payload at offset {offset}"
                     )
+                if crc is not None:
+                    _check_chunk_crc(crc, n_records, payload, offset)
                 yield _decode_chunk(payload, 0, n_records, payload_bytes)
 
     def scan_sync(self):
         """Prefix-only sync collection: one pass that never decodes
         payloads except the single value of each sync record."""
+        if self._salvaged is not None:
+            return EventSource.scan_sync(self)
         if self._fallback is not None:
             return self._fallback.scan_sync()
         sync_code = ev.code_for_kind(ev.SIDE_SPE, ev.KIND_SYNC).code
         spe_ids: typing.Set[int] = set()
         syncs: typing.Dict[int, typing.List[typing.Tuple[int, int]]] = {}
         with self._open() as handle:
-            for offset, n_records, payload_bytes in self._index:
+            for offset, n_records, payload_bytes, crc in self._index:
                 handle.seek(offset)
                 payload = handle.read(payload_bytes)
+                if crc is not None:
+                    _check_chunk_crc(crc, n_records, payload, offset)
                 try:
                     for side, code, core, __seq, raw_ts, val_off in iter_prefixes(
                         payload, 0, n_records
@@ -309,7 +798,13 @@ class TraceFileSource(EventSource):
 
 
 def open_trace(
-    path_or_file: typing.Union[str, typing.BinaryIO, bytes]
+    path_or_file: typing.Union[str, typing.BinaryIO, bytes],
+    strict: bool = True,
 ) -> TraceFileSource:
-    """Open a trace file for streaming chunk-by-chunk consumption."""
-    return TraceFileSource(path_or_file)
+    """Open a trace file for streaming chunk-by-chunk consumption.
+
+    ``strict=False`` salvages a damaged file (see
+    :class:`TraceFileSource`); the returned source's ``.salvage``
+    carries the :class:`SalvageReport`.
+    """
+    return TraceFileSource(path_or_file, strict=strict)

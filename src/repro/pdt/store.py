@@ -299,6 +299,11 @@ class ColumnStore(EventSink):
         chunk, row = self._locate(i)
         return chunk.n_fields(row)
 
+    def raw_ts_at(self, i: int) -> int:
+        """Raw timestamp of record ``i`` without materializing it."""
+        chunk, row = self._locate(i)
+        return chunk.raw_ts[row]
+
     def iter_chunks(self, start: int = 0) -> typing.Iterator[ColumnChunk]:
         """Chunks in order; ``start`` skips that many leading records
         (the first yielded chunk is then a sliced copy)."""

@@ -32,7 +32,8 @@ class TraceHeader:
     recover the clock relations from sync records alone.
 
     ``version`` selects the file layout (see :mod:`repro.pdt.format`);
-    it round-trips through write/read exactly.
+    it round-trips through write/read exactly.  The default is the
+    CRC-checked chunked layout (version 3).
     """
 
     n_spes: int
@@ -40,7 +41,7 @@ class TraceHeader:
     spu_clock_hz: float
     groups_bitmap: int
     buffer_bytes: int
-    version: int = 2
+    version: int = 3
 
 
 class Trace:
@@ -58,6 +59,10 @@ class Trace:
     ):
         self.header = header
         self.store = store if store is not None else ColumnStore()
+        #: Set by ``read_trace(..., strict=False)``: the
+        #: :class:`~repro.pdt.reader.SalvageReport` describing what a
+        #: damaged file lost.  ``None`` for clean strict reads.
+        self.salvage = None
         self._view_rows = -1
         self._ppe_view: typing.List[TraceRecord] = []
         self._spe_view: typing.Dict[int, typing.List[TraceRecord]] = {}

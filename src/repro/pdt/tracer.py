@@ -36,7 +36,7 @@ from repro.cell.mfc import DmaDirection
 from repro.cell.spu import SpuCore
 from repro.kernel import Delay, Event
 from repro.pdt import events as ev
-from repro.pdt.codec import decode_record, encode_fields, record_size
+from repro.pdt.codec import decode_record, encode_fields
 from repro.pdt.config import TraceConfig
 from repro.pdt.events import TraceRecord, code_for_kind
 from repro.pdt.store import ColumnStore, ConcatSource, EventSource
@@ -110,9 +110,26 @@ class _SpuTraceContext:
         self._pending_flush: typing.List[typing.Optional[Event]] = [None, None]
         self.seq = 0
         self.sink = ColumnStore()
-        #: Wrap mode: bytes of still-retained records (drives trimming).
-        self._live_bytes = 0
         self._trim_from = 0  # index of the oldest retained record
+        #: Wrap mode: physical placement of each sink record — which
+        #: lap of the region it landed in and its byte offset there.
+        #: The write pointer wraps *early* whenever a record would
+        #: straddle the region end, so each lap's usable capacity is
+        #: whatever the pointer reached before wrapping, not the full
+        #: ``trace_region_bytes``; trimming must compare against the
+        #: actual offsets, or retained_records() reports records whose
+        #: bytes are gone.
+        self._lap = 0
+        self._rec_lap: typing.List[int] = []
+        self._rec_off: typing.List[int] = []
+        #: Index of the first sink record whose bytes are still in the
+        #: LS buffer (the wrap path drains the buffer before rewinding
+        #: the pointer, so flushed placements are final).
+        self._unflushed_from = 0
+        #: Raw timestamps bounding the destroyed records, in recording
+        #: order (decrementers count down, so "first" is the largest).
+        self._first_lost_ts: typing.Optional[int] = None
+        self._last_lost_ts: typing.Optional[int] = None
 
     # ------------------------------------------------------------------
     def record(self, kind: str, fields: typing.Dict[str, int]) -> typing.Generator:
@@ -143,11 +160,26 @@ class _SpuTraceContext:
             if not self.config.wrap:
                 # Region exhausted: stop recording (drop new records).
                 self.stats.dropped_records += 1
+                self._note_lost(raw_ts)
                 return
-            # Wrap mode: the write pointer returns to the region start
-            # and the oldest records are overwritten.
+            # Wrap mode: drain the LS buffer to the old pointer (the
+            # last flush of this lap — it cannot overflow, because
+            # every prior append verified write_ea + fill fits the
+            # region), then return the pointer to the region start and
+            # let the new lap overwrite the oldest records.  Draining
+            # first keeps every record's placement final and makes the
+            # wrap progress even when the LS buffer holds more bytes
+            # than the whole region.
+            yield from self._flush_current_half()
             self.write_ea = self.region_ea
             self.stats.wraps += 1
+            self._lap += 1
+            if len(data) > self.config.trace_region_bytes:
+                # Degenerate config: one record larger than the region.
+                self.stats.dropped_records += 1
+                self._note_lost(raw_ts)
+                return
+        place = (self.write_ea - self.region_ea) + self.fill
         self.spu.ls.write(
             self.ls_base + self.current_half * self.half_size + self.fill, data
         )
@@ -158,16 +190,39 @@ class _SpuTraceContext:
         self.stats.records += 1
         self.stats.bytes_buffered += len(data)
         if self.config.wrap:
-            self._live_bytes += len(data)
-            self._trim_overwritten()
+            self._rec_lap.append(self._lap)
+            self._rec_off.append(place)
+            self._trim_overwritten(place + len(data))
 
-    def _trim_overwritten(self) -> None:
-        """Wrap mode: forget records whose bytes were overwritten."""
-        capacity = self.config.trace_region_bytes
-        while self._live_bytes > capacity and self._trim_from < len(self.sink):
-            self._live_bytes -= record_size(self.sink.n_fields_at(self._trim_from))
-            self._trim_from += 1
+    def _note_lost(self, raw_ts: int) -> None:
+        if self._first_lost_ts is None:
+            self._first_lost_ts = raw_ts
+        self._last_lost_ts = raw_ts
+
+    def _trim_overwritten(self, high: int) -> None:
+        """Wrap mode: forget records whose bytes were overwritten.
+
+        ``high`` is the exclusive end offset of the newest record in
+        the current lap.  A previous-lap record survives only while it
+        lies entirely at or beyond ``high`` — the pointer has not
+        reached its bytes this lap.  Anything two or more laps old is
+        treated as lost even if a short lap never reached its offset:
+        the bytes around it have been rewritten, so it can no longer be
+        framed in the region.
+        """
+        lap, off = self._rec_lap, self._rec_off
+        i = self._trim_from
+        n = len(self.sink)
+        while i < n:
+            age = self._lap - lap[i]
+            if age == 0:
+                break
+            if age == 1 and off[i] >= high:
+                break
             self.stats.overwritten_records += 1
+            self._note_lost(self.sink.raw_ts_at(i))
+            i += 1
+        self._trim_from = i
 
     def retained_records(self) -> typing.List[TraceRecord]:
         """Records still present in the region (all of them unless
@@ -176,6 +231,38 @@ class _SpuTraceContext:
             self.sink.record_at(i)
             for i in range(self._trim_from, len(self.sink))
         ]
+
+    def emit_loss_record(self) -> None:
+        """Append the per-SPE event-loss summary to the record stream.
+
+        Written once, at trace close, by the PPE-side trace daemon —
+        it costs the SPU nothing and never passes through the LS
+        buffer or the memory region, so it is pure stream metadata:
+        how many records the region policy destroyed and the raw
+        decrementer span of the destruction, which the analyzer maps
+        to a wall-clock loss interval.  No-op when nothing was lost.
+        """
+        st = self.stats
+        if not (st.dropped_records or st.overwritten_records):
+            return
+        spec = code_for_kind(ev.SIDE_SPE, ev.KIND_TRACE_LOSS)
+        seq = self.seq
+        self.seq += 1
+        first = self._first_lost_ts if self._first_lost_ts is not None else -1
+        last = self._last_lost_ts if self._last_lost_ts is not None else -1
+        values = (
+            st.dropped_records, st.overwritten_records, st.wraps, first, last,
+        )
+        self.sink.append(
+            ev.SIDE_SPE, spec.code, self.spu.spe_id, seq,
+            self.spu.read_decrementer(), values, self.spu.sim.now,
+        )
+        if self.config.wrap:
+            # Keep the placement arrays parallel to the sink; the
+            # summary has no region bytes, so give it the current
+            # write position (it is the newest record and never trims).
+            self._rec_lap.append(self._lap)
+            self._rec_off.append(self.write_ea - self.region_ea + self.fill)
 
     def rebind(self) -> None:
         """The SPE's local store was re-provisioned (virtual-context
@@ -192,6 +279,7 @@ class _SpuTraceContext:
         self.ls_generation = self.spu.ls.generation
         self._pending_flush = [None, None]
         self.current_half = 0
+        self._unflushed_from = len(self.sink)
 
     # ------------------------------------------------------------------
     def _flush_current_half(self) -> typing.Generator:
@@ -212,6 +300,7 @@ class _SpuTraceContext:
         self.stats.flushes += 1
         self.stats.flush_bytes += self.fill
         self.write_ea += self.fill
+        self._unflushed_from = len(self.sink)
         self.current_half ^= 1
         self.fill = 0
         if self.config.double_buffered:
@@ -333,6 +422,11 @@ class PdtHooks(RuntimeHooks):
         self.stats.ppe_records += 1
 
     def finalize(self) -> None:
+        """Close the trace: append each SPE's loss summary (once)."""
+        if self._finalized:
+            return
+        for spe_id in sorted(self._spu_contexts):
+            self._spu_contexts[spe_id].emit_loss_record()
         self._finalized = True
 
     # ------------------------------------------------------------------

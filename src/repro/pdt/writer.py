@@ -1,16 +1,22 @@
 """Trace-file writer: streams chunks from any :class:`EventSource`.
 
-See :mod:`repro.pdt.format` for the two on-disk layouts.  The writer
+See :mod:`repro.pdt.format` for the on-disk layouts.  The writer
 honours ``header.version`` exactly (round-tripping it) and rejects
 versions it cannot produce with a clear error.
 
 * :func:`write_trace` — serialize a :class:`Trace` or any
-  :class:`EventSource`.  The chunked layout (version 2, the default)
-  is written one chunk at a time in O(chunk) memory; the legacy layout
-  (version 1) is still produced when ``header.version == 1``.
+  :class:`EventSource`.  The chunked layouts (version 3 with CRC32
+  integrity checks, the default, and version 2 without) are written
+  one chunk at a time in O(chunk) memory; the legacy layout (version
+  1) is still produced when ``header.version == 1``.
 * :class:`ChunkWriter` — an :class:`EventSink` that writes records to
   disk *as they arrive*, sealing chunks as they fill; nothing but the
   open chunk is ever held in memory.
+
+Both chunked writers work on non-seekable outputs (pipes, sockets):
+when the stream cannot seek back to patch the header, the
+:data:`CHUNKS_UNTIL_EOF` sentinel header is written up front and
+readers consume chunks until end of file.
 """
 
 from __future__ import annotations
@@ -22,20 +28,24 @@ from repro.pdt.codec import encode_fields
 from repro.pdt.events import SIDE_PPE, SIDE_SPE
 from repro.pdt.format import (
     _CHUNK,
+    _CHUNK_CRC,
     _HEADER,
     _STREAM,
+    _U32,
     CHUNKS_UNTIL_EOF,
     MAGIC,
-    VERSION_CHUNKED,
+    VERSION_CRC,
     VERSION_LEGACY,
     check_version,
+    chunk_crc32,
+    header_crc32,
 )
 from repro.pdt.store import CHUNK_RECORDS, ColumnChunk, EventSink, EventSource
 from repro.pdt.trace import Trace, TraceHeader
 
 
 def _pack_header(header: TraceHeader, a: int, b: int) -> bytes:
-    return _HEADER.pack(
+    packed = _HEADER.pack(
         MAGIC,
         header.version,
         header.n_spes,
@@ -46,6 +56,22 @@ def _pack_header(header: TraceHeader, a: int, b: int) -> bytes:
         a,
         b,
     )
+    if header.version >= VERSION_CRC:
+        packed += _U32.pack(header_crc32(packed))
+    return packed
+
+
+def _pack_chunk_frame(version: int, n_records: int, payload: bytes) -> bytes:
+    if version >= VERSION_CRC:
+        return _CHUNK_CRC.pack(
+            n_records, len(payload), chunk_crc32(n_records, payload)
+        )
+    return _CHUNK.pack(n_records, len(payload))
+
+
+def _seekable(out: typing.BinaryIO) -> bool:
+    probe = getattr(out, "seekable", None)
+    return bool(probe()) if callable(probe) else False
 
 
 def _encode_chunk(chunk: ColumnChunk) -> bytes:
@@ -75,21 +101,29 @@ def write_trace(
 
 
 def _write_chunked(source: EventSource, out: typing.BinaryIO) -> int:
-    """Version-2 layout: header, then self-framed chunks in order."""
+    """Version-2/3 layout: header, then self-framed chunks in order.
+
+    A non-seekable output gets the sentinel header (chunks run until
+    EOF) instead of a seek-back patch.
+    """
+    version = source.header.version
+    seekable = _seekable(out)
     chunks = 0
     total = 0
-    written = out.write(_pack_header(source.header, 0, 0))  # patched below
+    sentinel = CHUNKS_UNTIL_EOF if not seekable else 0
+    written = out.write(_pack_header(source.header, sentinel, 0))
     for chunk in source.iter_chunks():
         if not len(chunk):
             continue
         payload = _encode_chunk(chunk)
-        written += out.write(_CHUNK.pack(len(chunk), len(payload)))
+        written += out.write(_pack_chunk_frame(version, len(chunk), payload))
         written += out.write(payload)
         chunks += 1
         total += len(chunk)
-    out.seek(0)
-    out.write(_pack_header(source.header, chunks, total))
-    out.seek(0, io.SEEK_END)
+    if seekable:
+        out.seek(0)
+        out.write(_pack_header(source.header, chunks, total))
+        out.seek(0, io.SEEK_END)
     return written
 
 
@@ -133,7 +167,7 @@ def trace_to_bytes(trace: typing.Union[Trace, EventSource]) -> bytes:
 
 
 class ChunkWriter(EventSink):
-    """Stream records straight to a version-2 trace file.
+    """Stream records straight to a chunked (version 2/3) trace file.
 
     Records are encoded as they arrive and the chunk payload buffer is
     flushed to disk every ``chunk_records`` records, so writing a
@@ -151,11 +185,10 @@ class ChunkWriter(EventSink):
         chunk_records: int = CHUNK_RECORDS,
     ):
         check_version(header.version)
-        if header.version != VERSION_CHUNKED:
+        if header.version == VERSION_LEGACY:
             raise ValueError(
-                "ChunkWriter only writes the chunked layout "
-                f"(version {VERSION_CHUNKED}); got header version "
-                f"{header.version}"
+                "ChunkWriter only writes the chunked layouts (versions "
+                f"2 and 3); got header version {header.version}"
             )
         if chunk_records < 1:
             raise ValueError(f"chunk_records must be >= 1, got {chunk_records}")
@@ -165,7 +198,7 @@ class ChunkWriter(EventSink):
         self._out: typing.BinaryIO = (
             open(path_or_file, "wb") if self._owns_file else path_or_file
         )
-        self._seekable = self._out.seekable()
+        self._seekable = _seekable(self._out)
         self._buffer: typing.List[bytes] = []
         self._buffered = 0
         self.n_chunks = 0
@@ -190,7 +223,9 @@ class ChunkWriter(EventSink):
         if not self._buffered:
             return
         payload = b"".join(self._buffer)
-        self.bytes_written += self._out.write(_CHUNK.pack(self._buffered, len(payload)))
+        self.bytes_written += self._out.write(
+            _pack_chunk_frame(self.header.version, self._buffered, payload)
+        )
         self.bytes_written += self._out.write(payload)
         self.n_chunks += 1
         self.n_records += self._buffered

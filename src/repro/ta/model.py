@@ -29,6 +29,7 @@ from repro.pdt.correlate import (
     PlacedEvent,
     PlacedRecord,
 )
+from repro.pdt.events import KIND_TRACE_LOSS, SIDE_SPE
 from repro.pdt.store import EventSource
 from repro.pdt.trace import Trace
 
@@ -42,6 +43,9 @@ STATE_WAIT_DMA = "wait_dma"
 STATE_WAIT_MBOX = "wait_mbox"
 STATE_WAIT_SIGNAL = "wait_signal"
 STATE_IDLE = "idle"
+#: Not an SPU state: marks the span over which trace records were
+#: destroyed (region full / wrap), i.e. the timeline there is blind.
+STATE_LOST = "lost"
 
 WAIT_STATES = (STATE_WAIT_DMA, STATE_WAIT_MBOX, STATE_WAIT_SIGNAL)
 
@@ -118,6 +122,26 @@ class MailboxOp:
 
 
 @dataclasses.dataclass
+class LossCounts:
+    """Event loss one SPE's ``trace_loss`` record reported.
+
+    ``first_lost_ts``/``last_lost_ts`` are raw decrementer readings
+    bounding the destruction (-1 when unknown); the model maps them to
+    global time in :meth:`TimelineModel.loss_intervals`.
+    """
+
+    dropped: int = 0
+    overwritten: int = 0
+    wraps: int = 0
+    first_lost_ts: int = -1
+    last_lost_ts: int = -1
+
+    @property
+    def total(self) -> int:
+        return self.dropped + self.overwritten
+
+
+@dataclasses.dataclass
 class CoreTimeline:
     """Everything reconstructed about one SPE.
 
@@ -137,6 +161,8 @@ class CoreTimeline:
     segments: typing.List[typing.Tuple[int, int]] = dataclasses.field(
         default_factory=list
     )
+    #: Event loss reported by this SPE's trace_loss record, if any.
+    loss: typing.Optional[LossCounts] = None
 
     @property
     def window(self) -> int:
@@ -157,6 +183,46 @@ class PpeRunSpan:
     start: int
     end: int
     stop_code: int
+
+
+@dataclasses.dataclass
+class DataQuality:
+    """How much of the run's evidence the trace actually carries.
+
+    Combines the tracer's in-band loss reports (``trace_loss`` records:
+    region-full drops, wrap overwrites) with the reader's
+    :class:`~repro.pdt.reader.SalvageReport` from a non-strict read
+    (corrupt chunks skipped, truncation), so one object answers "what
+    is this analysis blind to?".
+    """
+
+    dropped: int
+    overwritten: int
+    wraps: int
+    corrupt_chunks: int
+    salvage_lost: int
+    truncated: bool
+    per_spe: typing.Dict[int, LossCounts]
+    intervals: typing.Dict[int, Interval]
+
+    @property
+    def records_lost(self) -> int:
+        return self.dropped + self.overwritten + self.salvage_lost
+
+    @property
+    def clean(self) -> bool:
+        return (
+            self.records_lost == 0
+            and self.corrupt_chunks == 0
+            and not self.truncated
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.records_lost} records lost: {self.dropped} dropped at "
+            f"region full, {self.overwritten} overwritten by wrap, "
+            f"{self.corrupt_chunks} corrupt chunks skipped"
+        )
 
 
 class TimelineModel:
@@ -183,6 +249,9 @@ class TimelineModel:
         self.ppe_runs = ppe_runs
         self.correlator = correlator
         self.source = source if source is not None else correlator.source
+        #: SalvageReport from a non-strict read, carried through the
+        #: correlator; None for clean strict reads.
+        self.salvage = getattr(correlator, "salvage", None)
         self._trace = trace
         self._correlated = correlated
 
@@ -225,6 +294,44 @@ class TimelineModel:
             return self.cores[spe_id]
         except KeyError:
             raise ModelError(f"trace has no records for SPE {spe_id}") from None
+
+    def loss_intervals(self) -> typing.Dict[int, Interval]:
+        """Per-SPE global-time spans where records were destroyed.
+
+        Built by mapping each ``trace_loss`` record's raw decrementer
+        bounds through the fitted clock — the explicit "the timeline is
+        blind here" intervals.
+        """
+        intervals: typing.Dict[int, Interval] = {}
+        for spe_id, core in sorted(self.cores.items()):
+            loss = core.loss
+            if loss is None or loss.first_lost_ts < 0 or loss.last_lost_ts < 0:
+                continue
+            t0 = self.correlator.place_value(
+                SIDE_SPE, spe_id, loss.first_lost_ts
+            )
+            t1 = self.correlator.place_value(SIDE_SPE, spe_id, loss.last_lost_ts)
+            intervals[spe_id] = Interval(min(t0, t1), max(t0, t1), STATE_LOST)
+        return intervals
+
+    def data_quality(self) -> DataQuality:
+        """Aggregate tracer-reported loss + reader salvage loss."""
+        per_spe = {
+            spe_id: core.loss
+            for spe_id, core in sorted(self.cores.items())
+            if core.loss is not None
+        }
+        salvage = self.salvage
+        return DataQuality(
+            dropped=sum(l.dropped for l in per_spe.values()),
+            overwritten=sum(l.overwritten for l in per_spe.values()),
+            wraps=sum(l.wraps for l in per_spe.values()),
+            corrupt_chunks=salvage.chunks_dropped if salvage else 0,
+            salvage_lost=salvage.records_lost if salvage else 0,
+            truncated=bool(salvage.truncated) if salvage else False,
+            per_spe=per_spe,
+            intervals=self.loss_intervals(),
+        )
 
 
 def analyze(trace: typing.Union[Trace, EventSource]) -> TimelineModel:
@@ -332,12 +439,25 @@ def _core_timeline_builder(spe_id: int) -> typing.Generator:
     dma_spans: typing.List[DmaSpan] = []
     first_time: typing.Optional[int] = None
     last_time = 0
+    loss: typing.Optional[LossCounts] = None
 
     while True:
         placed = yield
         if placed is _DONE:
             break
         kind = placed.kind
+        if kind == KIND_TRACE_LOSS:
+            # Stream metadata written at trace close, not an SPU event:
+            # capture the counts without touching the activity window.
+            f = placed.fields
+            loss = LossCounts(
+                dropped=f.get("dropped", 0),
+                overwritten=f.get("overwritten", 0),
+                wraps=f.get("wraps", 0),
+                first_lost_ts=f.get("first_lost_ts", -1),
+                last_lost_ts=f.get("last_lost_ts", -1),
+            )
+            continue
         time = placed.time
         if first_time is None:
             first_time = time
@@ -386,7 +506,9 @@ def _core_timeline_builder(spe_id: int) -> typing.Generator:
         )
     if not entries:
         if first_time is None:
-            return CoreTimeline(spe_id, 0, 0, [], [], [], exit_observed=False)
+            return CoreTimeline(
+                spe_id, 0, 0, [], [], [], exit_observed=False, loss=loss
+            )
         entries = [first_time]
     # Pair entries with exits in order; an unmatched final entry
     # (program still running when tracing stopped) closes at the last
@@ -419,6 +541,7 @@ def _core_timeline_builder(spe_id: int) -> typing.Generator:
         mailbox_ops=mailbox_ops,
         exit_observed=exit_observed,
         segments=segments,
+        loss=loss,
     )
 
 

@@ -33,6 +33,37 @@ def format_table(rows: typing.Sequence[typing.Dict[str, typing.Any]]) -> str:
     return "\n".join([header, separator] + body) + "\n"
 
 
+def data_quality_section(model: TimelineModel) -> str:
+    """The report's data-quality pane: what the analysis is blind to.
+
+    Aggregates the tracer's in-band loss reports (records dropped at
+    region full / overwritten by wrap) with any salvage losses from a
+    non-strict read, and maps each SPE's loss span onto the global
+    timeline.
+    """
+    quality = model.data_quality()
+    if quality.clean:
+        return "no records lost (no drops, no wrap overwrites, no corrupt chunks)\n"
+    lines = [quality.summary()]
+    for spe_id, loss in sorted(quality.per_spe.items()):
+        if loss.total == 0:
+            continue
+        detail = (
+            f"spe{spe_id}: {loss.dropped} dropped, {loss.overwritten} "
+            f"overwritten ({loss.wraps} wraps)"
+        )
+        interval = quality.intervals.get(spe_id)
+        if interval is not None:
+            detail += (
+                f"; blind interval [{interval.start}, {interval.end}) "
+                f"({interval.duration} cycles)"
+            )
+        lines.append(detail)
+    if model.salvage is not None and model.salvage.damaged:
+        lines.append(f"salvage: {model.salvage.summary()}")
+    return "\n".join(lines) + "\n"
+
+
 def full_report(
     trace: typing.Union[Trace, EventSource], gantt_width: int = 80
 ) -> str:
@@ -47,6 +78,8 @@ def full_report(
         f"records: {trace.n_records}  SPEs: {len(model.cores)}  "
         f"span: {stats.span} cycles",
         "",
+        "--- data quality ---",
+        data_quality_section(model),
         "--- timeline ---",
         render_ascii(model, width=gantt_width),
         "--- per-SPE statistics ---",

@@ -1,0 +1,363 @@
+"""Trace integrity and salvage tests.
+
+Property-style coverage of the damage model the version-3 layout was
+built for: strict reads must *detect* every single corrupted byte and
+every truncation (never a silent wrong read), and salvage reads must
+recover exactly the undamaged chunks with an accurate accounting of
+what was lost.
+"""
+
+import io
+
+import pytest
+
+from repro.pdt.events import KIND_SYNC, SIDE_PPE, SIDE_SPE, code_for_kind
+from repro.pdt.format import (
+    _HEADER,
+    _U32,
+    CHUNKS_UNTIL_EOF,
+    VERSION_CHUNKED,
+    VERSION_CRC,
+    VERSION_LEGACY,
+    TraceFormatError,
+    chunk_frame_struct,
+    data_offset,
+)
+from repro.pdt.reader import SalvageReport, open_trace, read_trace
+from repro.pdt.store import ColumnStore, StoreSource
+from repro.pdt.trace import TraceHeader
+from repro.pdt.writer import ChunkWriter, trace_to_bytes, write_trace
+
+MARKER = code_for_kind(SIDE_SPE, "user_marker")
+SYNC = code_for_kind(SIDE_SPE, KIND_SYNC)
+MBOX = code_for_kind(SIDE_PPE, "in_mbox_write")
+
+N_RECORDS = 50
+CHUNK_RECORDS = 8
+#: Every sample record encodes to 32 bytes (16-byte prefix + fields,
+#: padded to a 16-byte multiple).
+REC = 32
+
+
+def header(version=VERSION_CRC):
+    return TraceHeader(
+        n_spes=8, timebase_divider=120, spu_clock_hz=3.2e9,
+        groups_bitmap=0b111111, buffer_bytes=16384, version=version,
+    )
+
+
+def sample_store(n=N_RECORDS):
+    """A mixed stream: PPE mailbox records plus SPE markers and syncs."""
+    store = ColumnStore()
+    for i in range(n):
+        if i % 10 == 0:
+            store.append(SIDE_SPE, SYNC.code, 1, i, 10_000_000 - i * 10, [i * 7])
+        elif i % 10 == 5:
+            store.append(SIDE_PPE, MBOX.code, 0, i, i * 12, [1, i])
+        else:
+            store.append(SIDE_SPE, MARKER.code, 1, i, 10_000_000 - i * 10, [i])
+    return store
+
+
+def sample_blob(version=VERSION_CRC, n=N_RECORDS):
+    out = io.BytesIO()
+    store = sample_store(n)
+    with ChunkWriter(out, header(version), chunk_records=CHUNK_RECORDS) as w:
+        for chunk in store.iter_chunks():
+            for i in range(len(chunk)):
+                w.append(
+                    chunk.side[i], chunk.code[i], chunk.core[i],
+                    chunk.seq[i], chunk.raw_ts[i], list(chunk.record_values(i)),
+                )
+    return out.getvalue()
+
+
+def record_tuples(source):
+    return [
+        (r.side, r.code, r.core, r.seq, r.raw_ts, r.fields)
+        for r in source.iter_records()
+    ]
+
+
+# ----------------------------------------------------------------------
+# version-3 round trip
+# ----------------------------------------------------------------------
+def test_v3_round_trips_and_is_default():
+    blob = sample_blob()
+    assert TraceHeader(
+        n_spes=1, timebase_divider=1, spu_clock_hz=1.0,
+        groups_bitmap=0, buffer_bytes=0,
+    ).version == VERSION_CRC
+    trace = read_trace(blob)
+    assert trace.header.version == VERSION_CRC
+    assert trace.n_records == N_RECORDS
+    assert record_tuples(trace.as_source()) == record_tuples(
+        StoreSource(header(), sample_store())
+    )
+    # v3 files carry the header CRC trailer before the first chunk.
+    assert data_offset(VERSION_CRC) == _HEADER.size + _U32.size
+
+
+def test_v3_salvage_on_intact_file_reports_clean():
+    blob = sample_blob()
+    trace = read_trace(blob, strict=False)
+    assert isinstance(trace.salvage, SalvageReport)
+    assert not trace.salvage.damaged
+    assert trace.salvage.records_recovered == N_RECORDS
+    assert trace.n_records == N_RECORDS
+    assert "intact" in trace.salvage.summary()
+
+
+# ----------------------------------------------------------------------
+# strict v3 detects every single-byte corruption
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("flip", [0x01, 0x80, 0xFF])
+def test_v3_strict_detects_every_single_byte_flip(flip):
+    """The acceptance property: one flipped byte anywhere in a v3 file
+    — header, chunk prefix, or payload — always raises, for both the
+    materializing and the streaming reader."""
+    blob = sample_blob()
+    for offset in range(len(blob)):
+        damaged = bytearray(blob)
+        damaged[offset] ^= flip
+        damaged = bytes(damaged)
+        with pytest.raises(TraceFormatError):
+            read_trace(damaged)
+        with pytest.raises(TraceFormatError):
+            source = open_trace(damaged)
+            list(source.iter_chunks())
+            source.scan_sync()
+
+
+def test_v3_strict_detects_flips_during_streaming_scan_sync():
+    blob = sample_blob()
+    frame = chunk_frame_struct(VERSION_CRC)
+    # Flip one payload byte in the middle chunk; the index builds fine
+    # (prefixes untouched) but the payload read must fail its CRC.
+    offset = data_offset(VERSION_CRC) + 3 * (
+        frame.size + CHUNK_RECORDS * REC
+    ) + frame.size + 17
+    damaged = bytearray(blob)
+    damaged[offset] ^= 0x10
+    source = open_trace(bytes(damaged))
+    with pytest.raises(TraceFormatError, match="CRC mismatch"):
+        source.scan_sync()
+
+
+# ----------------------------------------------------------------------
+# strict truncation detection (v2 and v3): never a silent wrong read
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("version", [VERSION_CHUNKED, VERSION_CRC])
+def test_strict_raises_on_truncation_at_every_offset(version):
+    blob = sample_blob(version)
+    for cut in range(len(blob)):
+        with pytest.raises(TraceFormatError):
+            read_trace(blob[:cut])
+        with pytest.raises(TraceFormatError):
+            source = open_trace(blob[:cut])
+            list(source.iter_chunks())
+
+
+# ----------------------------------------------------------------------
+# salvage: truncation at every offset
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("version", [VERSION_CHUNKED, VERSION_CRC])
+def test_salvage_recovers_valid_prefix_at_every_truncation(version):
+    """Cut the file at every byte: salvage never raises (past the
+    unparseable bare header), keeps exactly a prefix of the original
+    records, and the report accounts for every declared record."""
+    blob = sample_blob(version)
+    original = record_tuples(StoreSource(header(version), sample_store()))
+    for cut in range(_HEADER.size, data_offset(version)):
+        # v3 only: the cut lands inside the header CRC trailer — the
+        # declared counts are unverifiable, but salvage must not raise.
+        trace = read_trace(blob[:cut], strict=False)
+        assert trace.salvage.damaged
+        assert trace.n_records == 0
+    for cut in range(data_offset(version), len(blob)):
+        trace = read_trace(blob[:cut], strict=False)
+        report = trace.salvage
+        assert isinstance(report, SalvageReport)
+        recovered = record_tuples(trace.as_source())
+        # Exactly the undamaged leading records, in order.
+        assert recovered == original[: len(recovered)]
+        if cut < len(blob):
+            assert report.truncated or report.records_missing
+        # Loss accounting is exact: every declared record is either
+        # recovered, dropped from a damaged chunk, or missing.
+        assert report.records_recovered == len(recovered)
+        assert report.records_recovered + report.records_lost == N_RECORDS
+
+
+def test_salvage_mid_payload_truncation_recovers_tail_records():
+    """Cut inside the final chunk's payload: the complete leading
+    chunks survive whole and the valid record prefix of the torn chunk
+    is recovered too."""
+    blob = sample_blob()
+    frame = chunk_frame_struct(VERSION_CRC)
+    # REC-byte records, CHUNK_RECORDS per chunk: cut 3 records into
+    # the payload of the 4th chunk (plus one byte, mid-record).
+    chunk_bytes = frame.size + CHUNK_RECORDS * REC
+    cut = data_offset(VERSION_CRC) + 3 * chunk_bytes + frame.size + 3 * REC + 1
+    trace = read_trace(blob[:cut], strict=False)
+    report = trace.salvage
+    assert report.truncated
+    assert trace.n_records == 3 * CHUNK_RECORDS + 3
+    assert report.tail_records_recovered == 3
+    assert report.records_recovered + report.records_lost == N_RECORDS
+
+
+# ----------------------------------------------------------------------
+# salvage: corruption, skip and resynchronize
+# ----------------------------------------------------------------------
+def test_salvage_skips_corrupt_chunk_and_resyncs():
+    blob = sample_blob()
+    frame = chunk_frame_struct(VERSION_CRC)
+    chunk_bytes = frame.size + CHUNK_RECORDS * REC
+    # Corrupt one payload byte in the 3rd chunk.
+    offset = data_offset(VERSION_CRC) + 2 * chunk_bytes + frame.size + 40
+    damaged = bytearray(blob)
+    damaged[offset] ^= 0xFF
+    trace = read_trace(bytes(damaged), strict=False)
+    report = trace.salvage
+    assert report.chunks_dropped == 1
+    assert report.records_dropped == CHUNK_RECORDS
+    assert report.resyncs == 1
+    assert trace.n_records == N_RECORDS - CHUNK_RECORDS
+    # The survivors are exactly the original stream minus chunk 3.
+    original = record_tuples(StoreSource(header(), sample_store()))
+    expected = (
+        original[: 2 * CHUNK_RECORDS] + original[3 * CHUNK_RECORDS:]
+    )
+    assert record_tuples(trace.as_source()) == expected
+    # The skipped byte range covers the damaged chunk.
+    assert report.bytes_skipped == chunk_bytes
+    assert "lost" in report.summary()
+
+
+def test_salvage_resyncs_after_corrupt_chunk_prefix():
+    """Damage the chunk *frame* (length field): the scan must find the
+    next well-formed chunk by byte scanning, not die or misframe."""
+    blob = sample_blob()
+    frame = chunk_frame_struct(VERSION_CRC)
+    chunk_bytes = frame.size + CHUNK_RECORDS * REC
+    offset = data_offset(VERSION_CRC) + 2 * chunk_bytes + 4  # payload_bytes field
+    damaged = bytearray(blob)
+    damaged[offset] ^= 0x55
+    trace = read_trace(bytes(damaged), strict=False)
+    assert trace.salvage.resyncs >= 1
+    assert trace.n_records == N_RECORDS - CHUNK_RECORDS
+    assert trace.salvage.records_recovered + trace.salvage.records_lost == N_RECORDS
+
+
+def test_salvage_header_flip_flags_header_damage():
+    blob = sample_blob()
+    damaged = bytearray(blob)
+    damaged[8] ^= 0x01  # inside the header, after magic/version
+    trace = read_trace(bytes(damaged), strict=False)
+    assert trace.salvage.header_damaged
+    assert trace.salvage.damaged
+    # Chunk payloads are individually checksummed, so the records
+    # themselves still salvage.
+    assert trace.n_records == N_RECORDS
+
+
+def test_salvage_open_trace_matches_read_trace():
+    blob = sample_blob()
+    damaged = bytearray(blob)
+    frame = chunk_frame_struct(VERSION_CRC)
+    damaged[data_offset(VERSION_CRC) + frame.size + 20] ^= 0x04
+    damaged = bytes(damaged)
+    source = open_trace(damaged, strict=False)
+    trace = read_trace(damaged, strict=False)
+    assert source.salvage is not None
+    assert source.n_records == trace.n_records
+    assert record_tuples(source) == record_tuples(trace.as_source())
+    # The streaming source still serves sync scans after salvage.
+    spe_ids, syncs = source.scan_sync()
+    assert 1 in spe_ids
+
+
+# ----------------------------------------------------------------------
+# version-2 compatibility and legacy salvage
+# ----------------------------------------------------------------------
+def test_v2_files_still_read_without_crcs():
+    blob = sample_blob(VERSION_CHUNKED)
+    trace = read_trace(blob)
+    assert trace.header.version == VERSION_CHUNKED
+    assert trace.n_records == N_RECORDS
+
+
+def test_v2_salvage_drops_undecodable_chunk():
+    blob = sample_blob(VERSION_CHUNKED)
+    frame = chunk_frame_struct(VERSION_CHUNKED)
+    chunk_bytes = frame.size + CHUNK_RECORDS * REC
+    # Clobber an event-code byte in the 2nd chunk so decode fails
+    # (v2 has no CRC: only undecodable damage is detectable).
+    offset = data_offset(VERSION_CHUNKED) + chunk_bytes + frame.size + 1
+    damaged = bytearray(blob)
+    damaged[offset] = 0xEE
+    trace = read_trace(bytes(damaged), strict=False)
+    assert trace.salvage.chunks_dropped == 1
+    assert trace.n_records == N_RECORDS - CHUNK_RECORDS
+
+
+def test_legacy_salvage_keeps_leading_records():
+    source = StoreSource(header(VERSION_LEGACY), sample_store())
+    blob = trace_to_bytes(source)
+    cut = len(blob) - 30  # tear off the last record and then some
+    trace = read_trace(blob[:cut], strict=False)
+    report = trace.salvage
+    assert report.version == VERSION_LEGACY
+    assert report.damaged
+    assert 0 < trace.n_records < N_RECORDS
+    assert report.records_recovered + report.records_dropped == N_RECORDS
+
+
+# ----------------------------------------------------------------------
+# non-seekable outputs (the write_trace pipe bug)
+# ----------------------------------------------------------------------
+class _PipeSink(io.RawIOBase):
+    """A write-only stream that, like a pipe, cannot seek."""
+
+    def __init__(self):
+        super().__init__()
+        self.chunks = []
+
+    def writable(self):
+        return True
+
+    def seekable(self):
+        return False
+
+    def write(self, data):
+        self.chunks.append(bytes(data))
+        return len(data)
+
+    def getvalue(self):
+        return b"".join(self.chunks)
+
+
+@pytest.mark.parametrize("version", [VERSION_CHUNKED, VERSION_CRC])
+def test_write_trace_to_non_seekable_stream(version):
+    """write_trace used to assume it could seek back to patch the
+    header; on a pipe it must write the chunks-until-EOF sentinel
+    instead, and the result must read back identically."""
+    sink = _PipeSink()
+    source = StoreSource(header(version), sample_store())
+    write_trace(source, sink)
+    blob = sink.getvalue()
+    declared_chunks = _HEADER.unpack_from(blob, 0)[7]
+    assert declared_chunks == CHUNKS_UNTIL_EOF
+    trace = read_trace(blob)
+    assert trace.n_records == N_RECORDS
+    assert record_tuples(trace.as_source()) == record_tuples(source)
+
+
+def test_non_seekable_sentinel_trace_salvages_after_truncation():
+    sink = _PipeSink()
+    write_trace(StoreSource(header(), sample_store()), sink)
+    blob = sink.getvalue()
+    trace = read_trace(blob[: len(blob) - 17], strict=False)
+    assert trace.salvage.truncated
+    assert 0 < trace.n_records < N_RECORDS

@@ -20,6 +20,7 @@ from repro.pdt.events import (
 from repro.pdt.format import (
     CHUNKS_UNTIL_EOF,
     VERSION_CHUNKED,
+    VERSION_CRC,
     VERSION_LEGACY,
     TraceFormatError,
 )
@@ -329,7 +330,9 @@ def test_empty_chunk_writer_output_is_a_valid_empty_trace():
 # ----------------------------------------------------------------------
 # version round-trip and rejection; open_trace / read_trace parity
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("version", [VERSION_LEGACY, VERSION_CHUNKED])
+@pytest.mark.parametrize(
+    "version", [VERSION_LEGACY, VERSION_CHUNKED, VERSION_CRC]
+)
 def test_header_version_round_trips(version):
     source = StoreSource(header(version=version), sync_heavy_store())
     blob = trace_to_bytes(source)
@@ -338,13 +341,13 @@ def test_header_version_round_trips(version):
 
 
 def test_writer_rejects_unknown_version():
-    source = StoreSource(header(version=3), fill_store(ColumnStore(), n=1))
-    with pytest.raises(TraceFormatError, match="unsupported trace version 3"):
+    source = StoreSource(header(version=9), fill_store(ColumnStore(), n=1))
+    with pytest.raises(TraceFormatError, match="unsupported trace version 9"):
         trace_to_bytes(source)
 
 
 def test_open_trace_matches_read_trace_on_both_versions():
-    for version in (VERSION_LEGACY, VERSION_CHUNKED):
+    for version in (VERSION_LEGACY, VERSION_CHUNKED, VERSION_CRC):
         source = StoreSource(header(version=version), sync_heavy_store())
         blob = trace_to_bytes(source)
         streamed = open_trace(blob)

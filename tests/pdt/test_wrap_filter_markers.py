@@ -21,13 +21,22 @@ def test_wrap_mode_keeps_newest_records():
     assert stats.wraps >= 1
     assert stats.overwritten_records > 0
     retained = hooks.spu_context(0).retained_records()
-    # The newest records survive: the stream ends with exit + sync.
-    assert retained[-2].kind == "spe_exit"
-    assert retained[-1].kind == "sync"
-    # Retention honours capacity.
+    # The newest records survive: the stream ends with exit + sync,
+    # then the loss summary appended at trace close.
+    assert retained[-3].kind == "spe_exit"
+    assert retained[-2].kind == "sync"
+    assert retained[-1].kind == "trace_loss"
+    assert retained[-1].fields["overwritten"] == stats.overwritten_records
+    assert retained[-1].fields["wraps"] == stats.wraps
+    # Retention honours capacity (the loss summary is stream metadata
+    # with no region bytes).
     from repro.pdt.codec import record_size
 
-    total = sum(record_size(len(r.spec.fields)) for r in retained)
+    total = sum(
+        record_size(len(r.spec.fields))
+        for r in retained
+        if r.kind != "trace_loss"
+    )
     assert total <= config.trace_region_bytes
 
 
@@ -37,10 +46,81 @@ def test_wrap_mode_trace_contains_only_retained():
     run_workload(machine, rt, dma_loop_program(iterations=50), n_spes=1)
     trace = hooks.to_trace()
     stats = hooks.stats.spe(0)
-    assert len(trace.records_for_spe(0)) == stats.records - stats.overwritten_records
+    # retained + the trace_loss summary (not counted in stats.records).
+    assert (
+        len(trace.records_for_spe(0))
+        == stats.records - stats.overwritten_records + 1
+    )
     # Stream still in strict sequence order (validated by to_trace).
     seqs = [r.seq for r in trace.records_for_spe(0)]
     assert seqs == sorted(seqs)
+
+
+def test_wrap_mode_retained_records_physically_in_region():
+    """Every retained record's bytes must still be in main storage.
+
+    Regression: the write pointer wraps *early* when a record would
+    straddle the region end, so a lap's usable capacity is less than
+    ``trace_region_bytes``.  Retention used to trim against the full
+    region size and claimed records whose bytes were already
+    overwritten.  Use a region size the record sizes do not divide so
+    every lap ends with tail slack.
+    """
+    config = TraceConfig(buffer_bytes=512, trace_region_bytes=2000, wrap=True)
+    machine, rt, hooks = traced_machine(config)
+    run_workload(machine, rt, dma_loop_program(iterations=60), n_spes=1)
+    stats = hooks.stats.spe(0)
+    assert stats.wraps >= 2 and stats.overwritten_records > 0
+    assert _check_retained_physically_present(machine, hooks.spu_context(0)) > 0
+
+
+def _check_retained_physically_present(machine, ctx):
+    """Assert every retained record's bytes are in main storage at the
+    offset the tracer recorded for it; return how many were checked."""
+    from repro.pdt.codec import encode_fields
+
+    checked = 0
+    for i in range(ctx._trim_from, len(ctx.sink)):
+        record = ctx.sink.record_at(i)
+        if record.kind == "trace_loss":
+            continue  # stream metadata: never had region bytes
+        values = tuple(record.fields[name] for name in record.spec.fields)
+        expected = encode_fields(
+            record.side, record.code, record.core, record.seq,
+            record.raw_ts, values,
+        )
+        actual = machine.memory.read(
+            ctx.region_ea + ctx._rec_off[i], len(expected)
+        )
+        assert bytes(actual) == bytes(expected), (
+            f"retained record {i} ({record.kind}) not present at its "
+            f"region offset {ctx._rec_off[i]}"
+        )
+        checked += 1
+    return checked
+
+
+def test_wrap_mode_region_smaller_than_buffer_half():
+    """Region smaller than the LS half-buffer: the wrap must drain the
+    buffer and stay inside the region.
+
+    Regression: with no half-full flush ever firing, the old wrap path
+    rewound the (never-advanced) write pointer by zero bytes on every
+    append, counted one bogus wrap per record with nothing overwritten,
+    and the final flush DMA'd the whole LS fill past the region end
+    into adjacent main storage.
+    """
+    config = TraceConfig(buffer_bytes=16384, trace_region_bytes=2048, wrap=True)
+    machine, rt, hooks = traced_machine(config)
+    run_workload(machine, rt, dma_loop_program(iterations=60), n_spes=1)
+    stats = hooks.stats.spe(0)
+    ctx = hooks.spu_context(0)
+    region_end = ctx.region_ea + config.trace_region_bytes
+    assert ctx.write_ea <= region_end
+    # Real laps, not one wrap per record.
+    assert 1 <= stats.wraps < stats.records // 4
+    assert stats.overwritten_records > 0
+    assert _check_retained_physically_present(machine, ctx) > 0
 
 
 def test_wrap_mode_read_back_rejected():

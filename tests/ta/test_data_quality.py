@@ -1,0 +1,155 @@
+"""End-to-end event-loss accounting: tracer -> file -> analyzer.
+
+The paper's workflow demands the analysis never silently pretend the
+trace is complete: region-full drops, wrap overwrites, and salvage
+losses must all surface in the model's DataQuality and in the report.
+"""
+
+import pytest
+
+from repro.pdt import TraceConfig, open_trace, read_trace, write_trace
+from repro.pdt.format import chunk_frame_struct, data_offset
+from repro.ta.model import STATE_LOST, analyze
+from repro.ta.report import data_quality_section, full_report
+
+from tests.ta.util import run_traced, single_buffered_program
+
+
+def _lossy_run(wrap):
+    config = TraceConfig(
+        buffer_bytes=512, trace_region_bytes=2048, wrap=wrap
+    )
+    return run_traced(
+        [single_buffered_program(iterations=40)], trace_config=config
+    )
+
+
+def test_clean_run_has_clean_data_quality():
+    __, hooks = run_traced([single_buffered_program()])
+    model = analyze(hooks.event_source())
+    quality = model.data_quality()
+    assert quality.clean
+    assert quality.records_lost == 0
+    assert quality.intervals == {}
+    assert "no records lost" in data_quality_section(model)
+
+
+@pytest.mark.parametrize("wrap", [False, True])
+def test_loss_counts_flow_from_tracer_to_model(tmp_path, wrap):
+    """The acceptance property: the analyzer's data-quality numbers,
+    read back from the trace *file*, equal the tracer's own stats."""
+    __, hooks = _lossy_run(wrap)
+    stats = hooks.stats.spe(0)
+    if wrap:
+        assert stats.overwritten_records > 0 and stats.wraps >= 1
+    else:
+        assert stats.dropped_records > 0
+    path = str(tmp_path / "lossy.pdt")
+    write_trace(hooks.event_source(), path)
+    model = analyze(open_trace(path))
+    quality = model.data_quality()
+    assert not quality.clean
+    assert quality.dropped == stats.dropped_records
+    assert quality.overwritten == stats.overwritten_records
+    assert quality.wraps == stats.wraps
+    assert quality.records_lost == stats.dropped_records + stats.overwritten_records
+    assert quality.per_spe[0].total == quality.records_lost
+    # The summary line carries the same numbers.
+    summary = quality.summary()
+    assert f"{quality.records_lost} records lost" in summary
+    assert f"{stats.dropped_records} dropped at region full" in summary
+
+
+def test_loss_interval_is_placed_on_the_global_timeline(tmp_path):
+    """The raw decrementer bounds in the trace_loss record map to a
+    real global-time blind interval inside the run's span."""
+    __, hooks = _lossy_run(wrap=True)
+    path = str(tmp_path / "wrap.pdt")
+    write_trace(hooks.event_source(), path)
+    model = analyze(open_trace(path))
+    intervals = model.loss_intervals()
+    assert 0 in intervals
+    interval = intervals[0]
+    assert interval.state == STATE_LOST
+    assert interval.duration >= 0
+    core = model.core(0)
+    # The blind span lies within (a hair of) the observed window.
+    assert interval.start >= 0
+    assert interval.end <= model.t_end + model.correlator.divider * 4
+    assert core.loss is not None and core.loss.overwritten > 0
+
+
+def test_wrap_blind_interval_not_modulus_inflated(tmp_path):
+    """Wrap mode with a large LS buffer: no half-full flush ever fires,
+    so every pre-wrap sync is overwritten and the surviving records —
+    and the trace_loss bounds, by construction — predate the first
+    surviving sync anchor.
+
+    Regression: the correlator mapped pre-anchor decrementer readings
+    with an unsigned modular difference, wrapping them a full 2**32
+    ticks into the future; the blind interval and the model span
+    inflated to ~divider * 2**32 cycles.
+    """
+    config = TraceConfig(
+        buffer_bytes=16384, trace_region_bytes=2048, wrap=True
+    )
+    __, hooks = run_traced(
+        [single_buffered_program(iterations=60)], trace_config=config
+    )
+    stats = hooks.stats.spe(0)
+    assert stats.overwritten_records > 0 and stats.wraps >= 1
+    # Only wrap drains and the final flush — no half-full flushes.
+    assert stats.flushes <= stats.wraps + 1
+    path = str(tmp_path / "bigbuf.pdt")
+    write_trace(hooks.event_source(), path)
+    model = analyze(open_trace(path))
+    span = model.t_end - model.t_start
+    assert span < 1 << 32, "model span inflated by a decrementer wrap"
+    interval = model.loss_intervals()[0]
+    assert interval.state == STATE_LOST
+    assert (
+        model.t_start - span
+        <= interval.start
+        < interval.end
+        <= model.t_end + span
+    )
+
+
+def test_report_includes_data_quality_section(tmp_path):
+    __, hooks = _lossy_run(wrap=False)
+    path = str(tmp_path / "drops.pdt")
+    write_trace(hooks.event_source(), path)
+    report = full_report(open_trace(path))
+    assert "--- data quality ---" in report
+    assert "dropped at region full" in report
+    assert "spe0:" in report
+
+
+def test_salvage_losses_join_tracer_losses(tmp_path):
+    """Corrupt one chunk of a lossy trace: DataQuality combines the
+    wrap overwrites with the salvage drop."""
+    __, hooks = _lossy_run(wrap=True)
+    stats = hooks.stats.spe(0)
+    path = str(tmp_path / "both.pdt")
+    write_trace(hooks.event_source(), path)
+    with open(path, "rb") as handle:
+        blob = bytearray(handle.read())
+    version = blob[4]
+    # Corrupt the first chunk (the PPE records): SPE evidence survives.
+    blob[data_offset(version) + chunk_frame_struct(version).size + 3] ^= 0x80
+    source = open_trace(bytes(blob), strict=False)
+    assert source.salvage is not None and source.salvage.chunks_dropped == 1
+    model = analyze(source)
+    quality = model.data_quality()
+    assert quality.corrupt_chunks == 1
+    assert quality.salvage_lost > 0
+    assert quality.overwritten == stats.overwritten_records
+    assert (
+        quality.records_lost
+        == stats.dropped_records
+        + stats.overwritten_records
+        + quality.salvage_lost
+    )
+    section = data_quality_section(model)
+    assert "corrupt chunks skipped" in section
+    assert "salvage:" in section

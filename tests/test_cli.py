@@ -72,3 +72,96 @@ def test_every_cli_workload_is_runnable(tmp_path):
 def test_trace_cli_rejects_unknown_workload():
     with pytest.raises(SystemExit):
         trace_main(["does-not-exist"])
+
+
+# ----------------------------------------------------------------------
+# error handling and data quality
+# ----------------------------------------------------------------------
+def test_analyze_cli_garbage_file_exits_2(tmp_path, capsys):
+    bad = tmp_path / "junk.pdt"
+    bad.write_bytes(b"this is not a trace file at all, not even close")
+    assert analyze_main([str(bad)]) == 2
+    captured = capsys.readouterr()
+    assert "pdt-analyze" in captured.err
+    assert str(bad) in captured.err
+
+
+def test_analyze_cli_missing_file_exits_2(tmp_path, capsys):
+    assert analyze_main([str(tmp_path / "nope.pdt")]) == 2
+    assert "pdt-analyze" in capsys.readouterr().err
+
+
+def test_analyze_cli_salvage_flag_recovers_damaged_trace(tmp_path, capsys):
+    trace_path = str(tmp_path / "mc.pdt")
+    trace_main(["montecarlo", "-n", "1", "-o", trace_path])
+    capsys.readouterr()
+    from repro.pdt.format import chunk_frame_struct, data_offset
+
+    with open(trace_path, "rb") as handle:
+        blob = bytearray(handle.read())
+    # One corrupt byte in the first chunk's payload (the PPE records);
+    # the SPE chunks survive, so the salvaged trace still analyzes.
+    version = blob[4]
+    blob[data_offset(version) + chunk_frame_struct(version).size + 5] ^= 0xFF
+    with open(trace_path, "wb") as handle:
+        handle.write(bytes(blob))
+    # Strict: detected, reported, exit 2 — never a silent wrong read.
+    assert analyze_main([trace_path]) == 2
+    assert "pdt-analyze" in capsys.readouterr().err
+    # Salvage: the readable chunks analyze, the loss is itemized.
+    assert analyze_main([trace_path, "--salvage"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("salvage:")
+    assert "--- data quality ---" in out
+    assert "corrupt chunks skipped" in out
+
+
+def test_region_exhaustion_reports_data_quality(tmp_path, capsys):
+    """Acceptance path: a run that outgrows its trace region prints a
+    loss warning at trace time, and the analyzer's data-quality section
+    shows the same nonzero count."""
+    import re
+
+    trace_path = str(tmp_path / "small.pdt")
+    assert trace_main(
+        ["matmul", "-n", "1", "-o", trace_path, "--region", "2048"]
+    ) == 0
+    out = capsys.readouterr().out
+    match = re.search(r"trace loss: (\d+) records dropped at region full", out)
+    assert match, out
+    dropped = int(match.group(1))
+    assert dropped > 0
+    assert analyze_main([trace_path]) == 0
+    out = capsys.readouterr().out
+    assert "--- data quality ---" in out
+    assert (
+        f"{dropped} records lost: {dropped} dropped at region full" in out
+    )
+
+
+def test_wrap_run_reports_overwritten_in_data_quality(tmp_path, capsys):
+    import re
+
+    trace_path = str(tmp_path / "wrap.pdt")
+    assert trace_main(
+        ["matmul", "-n", "1", "-o", trace_path, "--region", "2048",
+         "--wrap"]
+    ) == 0
+    out = capsys.readouterr().out
+    match = re.search(r"(\d+) overwritten by wrap \((\d+) wraps\)", out)
+    assert match, out
+    overwritten = int(match.group(1))
+    assert overwritten > 0
+    assert analyze_main([trace_path]) == 0
+    out = capsys.readouterr().out
+    assert f"{overwritten} overwritten by wrap" in out
+    assert "blind interval" in out
+
+
+def test_clean_run_reports_no_loss(tmp_path, capsys):
+    trace_path = str(tmp_path / "clean.pdt")
+    assert trace_main(["montecarlo", "-n", "1", "-o", trace_path]) == 0
+    capsys.readouterr()
+    assert analyze_main([trace_path]) == 0
+    out = capsys.readouterr().out
+    assert "no records lost" in out

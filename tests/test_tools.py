@@ -6,6 +6,7 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "tools"))
 
 import collect_results  # noqa: E402
+import corruption_fuzz  # noqa: E402
 
 
 def test_collect_orders_experiments(tmp_path):
@@ -31,6 +32,23 @@ def test_collect_missing_dir_exits(tmp_path):
 
     with pytest.raises(SystemExit):
         collect_results.collect(str(tmp_path / "nope"))
+
+
+def test_corruption_fuzz_smoke(capsys):
+    # A short seeded run: the integrity invariants must hold and the
+    # harness must exit 0.  CI runs the full N=200 sweep.
+    assert corruption_fuzz.main(["--iterations", "20", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "0 failing cases" in out
+
+
+def test_corruption_fuzz_mutations_are_deterministic():
+    import random
+
+    blob = bytes(range(256)) * 4
+    first = corruption_fuzz.mutate(random.Random(42), blob)
+    second = corruption_fuzz.mutate(random.Random(42), blob)
+    assert first == second
 
 
 def test_main_writes_output(tmp_path, capsys, monkeypatch):

@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Corruption-fuzz harness for the trace-file integrity layer.
+
+Generates real traces from (scaled-down) t3 trace-volume workloads,
+then applies seeded random damage — truncations at arbitrary offsets,
+single- and multi-bit flips — and checks the two invariants the format
+promises:
+
+* **Strict reads never silently accept damage.**  Version-3 files must
+  raise :class:`TraceFormatError` for *any* byte change; version-2
+  files (no CRCs) must at least detect every truncation.
+* **Salvage reads never crash.**  ``strict=False`` must survive every
+  damaged input with a parseable header, return a consistent
+  :class:`SalvageReport`, and agree between the materializing and
+  streaming readers.
+
+Exit status 0 when every iteration holds, 1 with a failure listing
+otherwise.  Deterministic for a given ``--seed``.
+
+Usage::
+
+    PYTHONPATH=src python tools/corruption_fuzz.py --iterations 200
+"""
+
+import argparse
+import random
+import sys
+import typing
+
+from repro.pdt import TraceConfig, open_trace, read_trace
+from repro.pdt.format import (
+    _HEADER,
+    VERSION_CHUNKED,
+    VERSION_CRC,
+    TraceFormatError,
+)
+from repro.pdt.writer import trace_to_bytes
+from repro.workloads import (
+    MatmulWorkload,
+    MonteCarloWorkload,
+    StreamingPipelineWorkload,
+    run_workload,
+)
+
+#: Scaled-down versions of the t3 trace-volume workloads: same record
+#: mix (DMA loops, mailboxes, pipeline handoffs), fuzz-friendly runtime.
+WORKLOADS = (
+    ("matmul", lambda: MatmulWorkload(n=128, tile=32, n_spes=2)),
+    ("streaming", lambda: StreamingPipelineWorkload(stages=2, blocks=8)),
+    ("montecarlo", lambda: MonteCarloWorkload(samples_per_spe=2_000, n_spes=2)),
+)
+
+
+def build_corpus() -> typing.List[typing.Tuple[str, int, bytes]]:
+    """(name, version, blob) for each workload in each chunked layout."""
+    corpus = []
+    for name, factory in WORKLOADS:
+        result = run_workload(factory(), TraceConfig(buffer_bytes=4096))
+        source = result.trace_source()
+        for version in (VERSION_CRC, VERSION_CHUNKED):
+            source.header.version = version
+            corpus.append((name, version, trace_to_bytes(source)))
+    return corpus
+
+
+def mutate(
+    rng: random.Random, blob: bytes
+) -> typing.Tuple[bytes, str, bool]:
+    """One random damage case: (mutated, description, truncated)."""
+    kind = rng.choice(("truncate", "flip", "multiflip", "truncate+flip"))
+    data = bytearray(blob)
+    truncated = False
+    notes = []
+    if kind.startswith("truncate"):
+        cut = rng.randrange(0, len(data))
+        data = data[:cut]
+        truncated = True
+        notes.append(f"truncate@{cut}")
+    if kind.endswith("flip") and len(data) > 0:
+        n_flips = 1 if kind != "multiflip" else rng.randrange(2, 9)
+        for __ in range(n_flips):
+            pos = rng.randrange(len(data))
+            bit = 1 << rng.randrange(8)
+            data[pos] ^= bit
+            notes.append(f"flip@{pos}:0x{bit:02x}")
+    return bytes(data), " ".join(notes) or kind, truncated
+
+
+def check_one(
+    name: str, version: int, blob: bytes, mutated: bytes, truncated: bool
+) -> typing.List[str]:
+    """Run both readers over one damaged input; returns failures."""
+    failures = []
+    if mutated == blob:
+        return failures  # the damage was a no-op (e.g. truncate at EOF)
+
+    # --- strict: must detect (v3 always; v2 at least truncations) ---
+    must_detect = version >= VERSION_CRC or truncated
+    try:
+        read_trace(mutated)
+        strict_raised = False
+    except TraceFormatError:
+        strict_raised = True
+    except Exception as exc:  # pragma: no cover - the bug being hunted
+        failures.append(
+            f"strict read_trace raised {type(exc).__name__} "
+            f"(not TraceFormatError): {exc}"
+        )
+        strict_raised = True
+    if must_detect and not strict_raised:
+        failures.append(
+            f"strict read_trace silently accepted damage (v{version})"
+        )
+    try:
+        source = open_trace(mutated)
+        list(source.iter_chunks())
+        source.scan_sync()
+        stream_raised = False
+    except TraceFormatError:
+        stream_raised = True
+    except Exception as exc:  # pragma: no cover
+        failures.append(
+            f"strict open_trace raised {type(exc).__name__} "
+            f"(not TraceFormatError): {exc}"
+        )
+        stream_raised = True
+    if must_detect and not stream_raised:
+        failures.append(
+            f"strict open_trace silently accepted damage (v{version})"
+        )
+
+    # --- salvage: must survive and account consistently ---
+    try:
+        trace = read_trace(mutated, strict=False)
+    except TraceFormatError:
+        # Only excusable when the header itself is unusable: too short,
+        # or the damage hit the magic/version bytes.
+        if len(mutated) >= _HEADER.size and mutated[:6] == blob[:6]:
+            failures.append("salvage raised with a parseable header")
+        return failures
+    except Exception as exc:  # pragma: no cover
+        failures.append(
+            f"salvage read_trace crashed: {type(exc).__name__}: {exc}"
+        )
+        return failures
+    report = trace.salvage
+    if report is None:
+        failures.append("salvage read returned no SalvageReport")
+        return failures
+    if report.records_recovered != trace.n_records:
+        failures.append(
+            f"report says {report.records_recovered} recovered, trace "
+            f"holds {trace.n_records}"
+        )
+    if version >= VERSION_CRC and not report.damaged:
+        # Every byte of a v3 file is covered by a CRC, so any change
+        # must surface in the report.
+        failures.append("v3 salvage reported clean on damaged bytes")
+    try:
+        streamed = open_trace(mutated, strict=False)
+        if streamed.n_records != trace.n_records:
+            failures.append(
+                f"salvage disagreement: open_trace {streamed.n_records} "
+                f"records vs read_trace {trace.n_records}"
+            )
+    except Exception as exc:  # pragma: no cover
+        failures.append(
+            f"salvage open_trace crashed: {type(exc).__name__}: {exc}"
+        )
+    return failures
+
+
+def fuzz(iterations: int, seed: int, verbose: bool = False) -> int:
+    corpus = build_corpus()
+    print(
+        f"corpus: {len(corpus)} traces "
+        f"({', '.join(f'{n} v{v} {len(b)}B' for n, v, b in corpus)})"
+    )
+    rng = random.Random(seed)
+    all_failures = []
+    for i in range(iterations):
+        name, version, blob = corpus[rng.randrange(len(corpus))]
+        mutated, description, truncated = mutate(rng, blob)
+        failures = check_one(name, version, blob, mutated, truncated)
+        if failures:
+            all_failures.append((i, name, version, description, failures))
+            for failure in failures:
+                print(
+                    f"FAIL [{i}] {name} v{version} ({description}): "
+                    f"{failure}",
+                    file=sys.stderr,
+                )
+        elif verbose:
+            print(f"ok   [{i}] {name} v{version} ({description})")
+    print(
+        f"{iterations} iterations, seed {seed}: "
+        f"{len(all_failures)} failing cases"
+    )
+    return 1 if all_failures else 0
+
+
+def main(argv: typing.Optional[typing.List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fuzz the trace readers with random corruption."
+    )
+    parser.add_argument("--iterations", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=20080427)
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    return fuzz(args.iterations, args.seed, verbose=args.verbose)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
