@@ -1,0 +1,184 @@
+"""T6 — indexed queries: zone-map pruning on selective questions.
+
+The payoff of the v4 index trailer: a targeted question ("what did
+SPE 1 do in this 1% slice of the run?") should cost a handful of
+chunk decodes, not a full-file scan.
+
+Chunk layout decides which zone dimension can prune.  The tracer's
+native file keeps one chunk per core stream, so a single-SPE query
+prunes by the SPE bitmap but every chunk spans the whole run in time.
+A time-ordered rewrite (the layout a merge/convert step produces —
+records sorted by corrected time, fixed-size chunks) makes each chunk
+cover a narrow time slice, which is where time-window pruning pays.
+This benchmark measures both layouts over the same records:
+
+* full-scan path — the identical query over identical chunks with the
+  zone maps hidden, so every chunk is decoded;
+* indexed path — zones prune chunks whose time bounds or SPE bitmap
+  exclude the predicate before their payloads are read.
+
+Both must return byte-identical records.  The gate: on the
+time-ordered file, a 1%-window single-SPE query must scan at least 5x
+fewer chunks than the full scan.  Latency is reported alongside (the
+ratio, not the wall clock, is the robust number at these sizes).
+"""
+
+import json
+import os
+import time
+
+from repro.pdt import ClockCorrelator, TraceConfig, open_trace
+from repro.pdt.store import EventSource
+from repro.pdt.writer import ChunkWriter
+from repro.tq import Query
+from repro.workloads import StreamingPipelineWorkload, run_and_write_trace
+
+MIN_PRUNE_RATIO = 5.0
+WINDOW_FRACTION = 0.01
+TARGET_SPE = 1
+REWRITE_CHUNK_RECORDS = 64
+PROJECTION = ("time", "side", "core", "code", "seq")
+
+
+class _FullScan(EventSource):
+    """The same source with its index hidden: the honest baseline,
+    serving byte-identical chunks in identical order."""
+
+    def __init__(self, base):
+        self.base = base
+        self.header = base.header
+
+    def iter_chunks(self):
+        return self.base.iter_chunks()
+
+    @property
+    def n_records(self):
+        return self.base.n_records
+
+    def scan_sync(self):
+        return self.base.scan_sync()
+
+
+def _rewrite_time_sorted(src_path, dst_path):
+    """Rewrite a trace with records in corrected-time order, chunked
+    small — per-core record order (and so per-core seq order) is
+    preserved because each core's placed times are monotone."""
+    source = open_trace(src_path)
+    correlator = ClockCorrelator(source)
+    rows = []
+    for chunk in source.iter_chunks():
+        for i in range(len(chunk)):
+            placed = correlator.place_value(
+                chunk.side[i], chunk.core[i], chunk.raw_ts[i]
+            )
+            rows.append(
+                (
+                    placed, chunk.side[i], chunk.code[i], chunk.core[i],
+                    chunk.seq[i], chunk.raw_ts[i],
+                    chunk.values[chunk.val_off[i]:chunk.val_off[i + 1]],
+                )
+            )
+    rows.sort(key=lambda row: row[0])
+    writer = ChunkWriter(
+        dst_path, source.header, chunk_records=REWRITE_CHUNK_RECORDS
+    )
+    for __, side, code, core, seq, raw_ts, values in rows:
+        writer.append(side, code, core, seq, raw_ts, values)
+    writer.close()
+
+
+def _timed_query(source, t0, t1):
+    best = None
+    for __ in range(3):
+        started = time.perf_counter()
+        query = (
+            Query(source)
+            .where(t0=t0, t1=t1, spe=TARGET_SPE)
+            .project(*PROJECTION)
+        )
+        rows = list(query.records())
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return rows, query.stats, best
+
+
+def _measure_layout(path, t0, t1):
+    indexed = open_trace(path)
+    assert indexed.zone_maps() is not None, "v4 trace must carry its index"
+    full_rows, full_stats, full_s = _timed_query(
+        _FullScan(open_trace(path)), t0, t1
+    )
+    idx_rows, idx_stats, idx_s = _timed_query(open_trace(path), t0, t1)
+    assert idx_rows == full_rows, "pruned query diverged from full scan"
+    assert not full_stats.indexed
+    assert full_stats.scanned_chunks == indexed.n_chunks
+    assert idx_stats.indexed and idx_stats.total_chunks == indexed.n_chunks
+    return {
+        "chunks": indexed.n_chunks,
+        "matched_records": len(idx_rows),
+        "chunks_scanned_full": full_stats.scanned_chunks,
+        "chunks_scanned_indexed": idx_stats.scanned_chunks,
+        "prune_ratio": round(
+            full_stats.scanned_chunks / max(1, idx_stats.scanned_chunks), 2
+        ),
+        "full_scan_ms": round(full_s * 1e3, 2),
+        "indexed_ms": round(idx_s * 1e3, 2),
+        "speedup": round(full_s / idx_s, 2),
+    }
+
+
+def measure(tmp_dir):
+    native = os.path.join(tmp_dir, "t6-native.pdt")
+    result, n_bytes = run_and_write_trace(
+        StreamingPipelineWorkload(stages=4, blocks=64), native,
+        TraceConfig(buffer_bytes=2048),
+    )
+    assert result.verified
+    sorted_path = os.path.join(tmp_dir, "t6-sorted.pdt")
+    _rewrite_time_sorted(native, sorted_path)
+
+    # Center the 1% window on the median SPE event time, so the query
+    # provably selects something.
+    source = open_trace(sorted_path)
+    (row,) = Query(source).where(spe=TARGET_SPE).agg(
+        mid=("p50", "time")
+    ).run()
+    t_span = _span_width(source)
+    width = max(1, int(t_span * WINDOW_FRACTION))
+    t0, t1 = row["mid"] - width // 2, row["mid"] + (width - width // 2)
+
+    return {
+        "trace_bytes": n_bytes,
+        "records": source.n_records,
+        "window_fraction": WINDOW_FRACTION,
+        "target_spe": TARGET_SPE,
+        "native_layout": _measure_layout(native, t0, t1),
+        "time_sorted_layout": _measure_layout(sorted_path, t0, t1),
+    }
+
+
+def _span_width(source):
+    zones = [z for z in source.zone_maps() if z.has_time]
+    return max(z.t_max for z in zones) - min(z.t_min for z in zones)
+
+
+def test_t6_indexed_query(benchmark, save_result, tmp_path):
+    row = benchmark.pedantic(measure, (str(tmp_path),), rounds=1, iterations=1)
+    save_result(
+        "BENCH_query.json",
+        json.dumps({"row": row, "min_prune_ratio": MIN_PRUNE_RATIO}, indent=2)
+        + "\n",
+    )
+    focused = row["time_sorted_layout"]
+    # The query must actually select something, or the ratio is vacuous.
+    assert focused["matched_records"] > 0, row
+    # The headline gate: a 1%-window single-SPE query decodes >= 5x
+    # fewer chunks than the full scan over the same file.
+    assert (
+        focused["chunks_scanned_indexed"] * MIN_PRUNE_RATIO
+        <= focused["chunks_scanned_full"]
+    ), row
+    # The native per-core-chunk layout still prunes (by SPE bitmap),
+    # just not by time.
+    native = row["native_layout"]
+    assert native["chunks_scanned_indexed"] < native["chunks_scanned_full"], row

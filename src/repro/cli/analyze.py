@@ -7,6 +7,7 @@ import sys
 import typing
 
 from repro.pdt import TraceFormatError, open_trace
+from repro.pdt.correlate import CorrelationError
 from repro.ta import (
     analyze,
     communication_edges,
@@ -18,6 +19,28 @@ from repro.ta import (
 )
 from repro.ta.report import format_table, full_report
 from repro.ta.stats import TraceStatistics
+from repro.tq import Query, build_sidecar, open_indexed
+
+
+def _window(text: str) -> typing.Tuple[typing.Optional[int], typing.Optional[int]]:
+    """Parse ``T0:T1`` (either bound may be empty) into a (t0, t1) pair."""
+    lo, sep, hi = text.partition(":")
+    if not sep:
+        raise argparse.ArgumentTypeError(f"expected T0:T1, got {text!r}")
+    try:
+        return (int(lo, 0) if lo else None, int(hi, 0) if hi else None)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected integer time bounds, got {text!r}"
+        ) from None
+
+
+def _event(text: str) -> typing.Union[int, str]:
+    """An event selector: a numeric code or a kind name like mfc_get."""
+    try:
+        return int(text, 0)
+    except ValueError:
+        return text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,6 +69,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="recover what is readable from a damaged "
                         "trace instead of failing: corrupt chunks are "
                         "skipped and the salvage summary is printed")
+    query = parser.add_argument_group(
+        "query mode", "restrict to matching records and print a per-core "
+        "event summary instead of the full report; zone maps prune the "
+        "chunks that cannot match, so narrow queries skip most of the file")
+    query.add_argument("--between", metavar="T0:T1", type=_window,
+                       help="corrected-time window (either bound may be "
+                       "empty: ':5000' or '5000:')")
+    query.add_argument("--spe", type=int, metavar="N",
+                       help="only records produced by SPE N")
+    query.add_argument("--event", type=_event, metavar="CODE",
+                       help="only this event: a kind name (e.g. mfc_get) "
+                       "or numeric code")
+    query.add_argument("--write-index", action="store_true",
+                       help="build a .pdtx sidecar index for the trace so "
+                       "later queries on v1-v3 files can prune")
+    query.add_argument("-v", "--verbose", action="store_true",
+                       help="in query mode, also print how many chunks "
+                       "the index pruned")
     return parser
 
 
@@ -53,12 +94,58 @@ def main(argv: typing.Optional[typing.List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _run(args)
-    except (TraceFormatError, OSError) as exc:
+    except (TraceFormatError, CorrelationError, OSError) as exc:
         print(f"pdt-analyze: {args.trace}: {exc}", file=sys.stderr)
         return 2
 
 
+def _run_query(args: argparse.Namespace) -> int:
+    """Query mode: filter, group per (side, core, kind), print a table."""
+    source = open_indexed(args.trace, strict=not args.salvage)
+    if source.salvage is not None:
+        print(f"salvage: {source.salvage.summary()}")
+    t0, t1 = args.between if args.between else (None, None)
+    try:
+        query = (
+            Query(source)
+            .where(t0=t0, t1=t1, spe=args.spe, event=args.event)
+            .groupby("side", "core", "kind")
+            .agg(count="count", t_min=("min", "time"), t_max=("max", "time"))
+        )
+        rows = query.run()
+    except ValueError as exc:  # e.g. an unknown --event kind name
+        print(f"pdt-analyze: {exc}", file=sys.stderr)
+        return 2
+    total = sum(row["count"] for row in rows)
+    print(
+        format_table(
+            [
+                {
+                    "side": "SPE" if row["side"] else "PPE",
+                    "core": row["core"],
+                    "kind": row["kind"],
+                    "count": row["count"],
+                    "t_min": row["t_min"],
+                    "t_max": row["t_max"],
+                }
+                for row in rows
+            ]
+        ),
+        end="",
+    )
+    print(f"{total} matching records")
+    if args.verbose and query.stats is not None:
+        print(query.stats.note())
+    return 0
+
+
 def _run(args: argparse.Namespace) -> int:
+    if args.write_index:
+        print(f"wrote {build_sidecar(args.trace)}")
+        if args.between is None and args.spe is None and args.event is None:
+            return 0
+    if args.between is not None or args.spe is not None or args.event is not None:
+        return _run_query(args)
     # Stream the file chunk by chunk: the analyzer never holds the
     # whole trace, so multi-million-event files analyze in O(chunk)
     # memory.  With --salvage, damaged files lose only their damaged

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import typing
 
@@ -71,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--config", metavar="FILE",
                         help="PDT XML configuration file (overrides the "
                         "other tracing flags)")
+    parser.add_argument("--trace-version", type=int, choices=(1, 2, 3, 4),
+                        default=None, metavar="V",
+                        help="trace file format version to write (default: "
+                        "4, the indexed layout; 3 = CRC chunks, no index; "
+                        "2 = plain chunks; 1 = legacy flat records)")
     return parser
 
 
@@ -104,6 +110,13 @@ def _run(args: argparse.Namespace) -> int:
     # Stream the recorded chunks straight to the file: the trace is
     # never assembled in memory as record objects.
     source = result.trace_source()
+    if (
+        args.trace_version is not None
+        and args.trace_version != source.header.version
+    ):
+        source.header = dataclasses.replace(
+            source.header, version=args.trace_version
+        )
     nbytes = write_trace(source, args.output)
     status = "verified" if result.verified else "FAILED VERIFICATION"
     print(

@@ -41,6 +41,14 @@ from repro.pdt.events import (
     spec_for_code,
 )
 from repro.pdt.format import TraceFormatError
+from repro.pdt.index import (
+    IndexAccumulator,
+    ZoneMap,
+    build_zone_maps,
+    read_sidecar,
+    sidecar_path,
+    write_sidecar,
+)
 from repro.pdt.reader import SalvageReport, TraceFileSource, open_trace, read_trace
 from repro.pdt.store import (
     CHUNK_RECORDS,
@@ -67,6 +75,7 @@ __all__ = [
     "EventSink",
     "EventSource",
     "EventSpec",
+    "IndexAccumulator",
     "PdtHooks",
     "PlacedEvent",
     "SalvageReport",
@@ -78,9 +87,13 @@ __all__ = [
     "TraceHeader",
     "TraceRecord",
     "TracingStats",
+    "ZoneMap",
+    "build_zone_maps",
     "code_for_kind",
     "open_trace",
+    "read_sidecar",
     "read_trace",
+    "sidecar_path",
     "spec_for_code",
-    "write_trace",
+    "write_sidecar",
 ]

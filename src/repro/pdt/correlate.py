@@ -92,6 +92,47 @@ class SpeClockFit:
         return int(round(self.intercept + self.cycles_per_tick * elapsed))
 
 
+def fit_sync_pairs(
+    spe_id: int, pairs: "_SyncPairs", divider: int
+) -> SpeClockFit:
+    """Least-squares fit of one SPE's clock from its sync pairs.
+
+    The single source of the fit math: :class:`ClockCorrelator` and the
+    writer-side zone-map builder (:mod:`repro.pdt.index`) both call it,
+    so an index built at write time predicts exactly the timestamps the
+    analyzer will later compute from the same sync records.
+    """
+    if not pairs:
+        raise CorrelationError(
+            f"SPE {spe_id} trace has no sync records; cannot correlate"
+        )
+    anchor = pairs[0][0]
+    elapsed = np.array(
+        [_elapsed_ticks(anchor, dec_raw) for dec_raw, __ in pairs],
+        dtype=float,
+    )
+    global_cycles = np.array(
+        [tb_raw * divider for __, tb_raw in pairs], dtype=float
+    )
+    if len(pairs) == 1 or elapsed.max() == 0:
+        # One anchor: assume the nominal period.
+        intercept = float(global_cycles[0])
+        slope = float(divider)
+    else:
+        design = np.vstack([np.ones_like(elapsed), elapsed]).T
+        (intercept, slope), *__ = np.linalg.lstsq(design, global_cycles, rcond=None)
+    predicted = intercept + slope * elapsed
+    max_residual = float(np.max(np.abs(predicted - global_cycles)))
+    return SpeClockFit(
+        spe_id=spe_id,
+        dec_anchor=anchor,
+        intercept=float(intercept),
+        cycles_per_tick=float(slope),
+        n_sync=len(pairs),
+        max_residual=max_residual,
+    )
+
+
 class PlacedEvent:
     """One record on the global timeline, without a backing object.
 
@@ -237,35 +278,7 @@ class ClockCorrelator:
 
     # ------------------------------------------------------------------
     def _fit_pairs(self, spe_id: int, pairs: _SyncPairs) -> SpeClockFit:
-        if not pairs:
-            raise CorrelationError(
-                f"SPE {spe_id} trace has no sync records; cannot correlate"
-            )
-        anchor = pairs[0][0]
-        elapsed = np.array(
-            [_elapsed_ticks(anchor, dec_raw) for dec_raw, __ in pairs],
-            dtype=float,
-        )
-        global_cycles = np.array(
-            [tb_raw * self.divider for __, tb_raw in pairs], dtype=float
-        )
-        if len(pairs) == 1 or elapsed.max() == 0:
-            # One anchor: assume the nominal period.
-            intercept = float(global_cycles[0])
-            slope = float(self.divider)
-        else:
-            design = np.vstack([np.ones_like(elapsed), elapsed]).T
-            (intercept, slope), *__ = np.linalg.lstsq(design, global_cycles, rcond=None)
-        predicted = intercept + slope * elapsed
-        max_residual = float(np.max(np.abs(predicted - global_cycles)))
-        return SpeClockFit(
-            spe_id=spe_id,
-            dec_anchor=anchor,
-            intercept=float(intercept),
-            cycles_per_tick=float(slope),
-            n_sync=len(pairs),
-            max_residual=max_residual,
-        )
+        return fit_sync_pairs(spe_id, pairs, self.divider)
 
     # ------------------------------------------------------------------
     def place_value(self, side: int, core: int, raw_ts: int) -> int:

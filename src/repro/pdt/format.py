@@ -12,17 +12,25 @@ Three file layouts share the same magic and header struct; the header's
   (n_records, payload_bytes) prefix so a reader can index the file by
   seeking from prefix to prefix without touching payload bytes.  Both
   writing and re-reading need only O(chunk) memory.
-* **version 3 (chunked + CRC, the default)** — version 2 plus
-  integrity checks: each chunk frame grows a CRC32 over its prefix and
-  payload, and a CRC32 of the header bytes follows the header.  A
-  flipped bit anywhere in the file is *detected* instead of silently
-  decoding into wrong timestamps; a damaged file can be salvaged chunk
-  by chunk (``read_trace(..., strict=False)``).
+* **version 3 (chunked + CRC)** — version 2 plus integrity checks:
+  each chunk frame grows a CRC32 over its prefix and payload, and a
+  CRC32 of the header bytes follows the header.  A flipped bit
+  anywhere in the file is *detected* instead of silently decoding into
+  wrong timestamps; a damaged file can be salvaged chunk by chunk
+  (``read_trace(..., strict=False)``).
+* **version 4 (chunked + CRC + zone-map index, the default)** —
+  version 3 plus an *index trailer* after the last chunk: one zone-map
+  entry per chunk (record count, min/max corrected timestamp, SPE
+  bitmap, per-side event-code bitmaps) so a reader answering a
+  targeted question can seek past chunks the query cannot touch
+  without reading their payloads (:mod:`repro.tq`).  The trailer is
+  CRC-protected like everything else in the v3 layout; a damaged
+  trailer degrades to a full scan, never to wrong results.
 
 Header struct (little endian), shared by all versions::
 
     magic           4s   b"PDT1"
-    version         u16  1, 2 or 3
+    version         u16  1, 2, 3 or 4
     n_spes          u16
     timebase_div    u32
     spu_clock_hz    f64
@@ -38,9 +46,25 @@ CRC32 of the 36 header bytes, then ``n_chunks`` chunks framed by
 ``_CHUNK_CRC`` (n_records, payload_bytes, crc32) where the checksum
 covers the packed (n_records, payload_bytes) prefix followed by the
 payload bytes — so prefix corruption is caught as well as payload
-corruption.  A v2/v3 writer that cannot seek back to patch the header
-writes ``n_chunks = 0xFFFFFFFF`` (:data:`CHUNKS_UNTIL_EOF`), meaning
-"read chunks until end of file".
+corruption.  A v2/v3/v4 writer that cannot seek back to patch the
+header writes ``n_chunks = 0xFFFFFFFF`` (:data:`CHUNKS_UNTIL_EOF`),
+meaning "read chunks until end of file" — for v4, "until the index
+trailer magic".
+
+v4 appends the index trailer (see :mod:`repro.pdt.index` for the zone
+map layout) after the final chunk::
+
+    idx_magic       4s   b"PDTX"
+    idx_version     u16  1
+    reserved        u16  0
+    n_chunks        u32  zone entries that follow (== data chunks)
+    total_records   u64  binds the index to the trace it describes
+    entries         n_chunks x _ZONE (repro.pdt.index)
+    index_crc       u32  CRC32 over idx_magic .. last entry
+
+The same byte layout, written to a standalone ``<trace>.pdtx`` file,
+is the *sidecar index* that backfills zone maps for v1–v3 traces
+without rewriting them.
 """
 
 from __future__ import annotations
@@ -53,7 +77,17 @@ MAGIC = b"PDT1"
 VERSION_LEGACY = 1
 VERSION_CHUNKED = 2
 VERSION_CRC = 3
-SUPPORTED_VERSIONS = (VERSION_LEGACY, VERSION_CHUNKED, VERSION_CRC)
+VERSION_INDEXED = 4
+SUPPORTED_VERSIONS = (
+    VERSION_LEGACY,
+    VERSION_CHUNKED,
+    VERSION_CRC,
+    VERSION_INDEXED,
+)
+
+#: Magic opening the v4 index trailer and the standalone sidecar file.
+INDEX_MAGIC = b"PDTX"
+INDEX_VERSION = 1
 
 _HEADER = struct.Struct("<4sHHIdIIII")
 _STREAM = struct.Struct("<II")  # v1: (spe_id, n_records)
@@ -76,7 +110,8 @@ def check_version(version: int) -> None:
             f"unsupported trace version {version}; this build supports "
             f"versions {', '.join(str(v) for v in SUPPORTED_VERSIONS)} "
             "(1 = legacy stream layout, 2 = chunked columnar layout, "
-            "3 = chunked layout with CRC32 integrity checks)"
+            "3 = chunked layout with CRC32 integrity checks, "
+            "4 = checksummed chunks plus a zone-map index trailer)"
         )
 
 

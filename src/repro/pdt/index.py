@@ -1,0 +1,504 @@
+"""Zone-map chunk index: the trace file's pruning layer.
+
+A *zone map* summarizes one chunk of trace records just enough for a
+query planner to prove the chunk irrelevant without decoding it:
+
+* record count,
+* min/max **corrected** timestamp (global SPU cycles, the same domain
+  :meth:`repro.pdt.correlate.ClockCorrelator.place_value` maps into),
+* which SPEs contributed records (bitmap) and whether PPE records are
+  present,
+* which record codes appear, per side (128-bit code bitmaps).
+
+Version-4 trace files embed one zone map per chunk in an *index
+trailer* after the last chunk; the identical byte layout written to a
+standalone ``<trace>.pdtx`` file is the *sidecar index* that backfills
+pruning for v1–v3 traces without rewriting them.  Everything is
+conservative: a zone map may admit a chunk the query does not need
+(costing only wasted decode), but may never exclude a chunk holding a
+matching record — :mod:`repro.tq` query results are byte-identical
+with and without an index.
+
+Two builders produce zone maps:
+
+* :class:`IndexAccumulator` — streaming, used by the writers.  It
+  cannot know the clock fits until the trace ends, so while records
+  stream through it tracks, per chunk and per core, the min/max
+  *elapsed decrementer ticks* since that core's first record (plus the
+  raw values realizing them) and collects sync pairs; ``finalize``
+  fits the clocks exactly like the analyzer will and maps the tracked
+  extremes through the fits.  Corrected time is affine-increasing in
+  elapsed ticks, so the extremes map to exact bounds — unless a core's
+  span approaches the decrementer modulus, in which case the chunk is
+  marked time-unbounded (pruning disabled, correctness kept).
+* :func:`build_zone_maps` — exact per-record pass over decoded chunks,
+  used for in-memory sources and the sidecar builder where the records
+  are already at hand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+import typing
+import zlib
+
+from repro.pdt.format import (
+    INDEX_MAGIC,
+    INDEX_VERSION,
+    TraceFormatError,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.pdt.correlate import ClockCorrelator
+    from repro.pdt.store import ColumnChunk
+
+_IDX_HEADER = struct.Struct("<4sHHIQ")  # magic, version, reserved, n_chunks, total_records
+_ZONE = struct.Struct("<IBBHIqq16s16s")
+_U32 = struct.Struct("<I")
+
+_FLAG_HAS_PPE = 0x01
+_FLAG_SPE_OVERFLOW = 0x02
+_FLAG_HAS_TIME = 0x04
+_FLAG_CODE_OVERFLOW = 0x08
+
+#: SPE ids below this fit the presence bitmap; larger ids set the
+#: overflow flag, which disables SPE pruning for the chunk (sound).
+SPE_BITMAP_BITS = 32
+#: Record codes below this fit the per-side code bitmaps.
+CODE_BITMAP_BITS = 128
+
+#: Elapsed-tick guard: beyond this span the centered-residue arithmetic
+#: the streaming accumulator relies on could wrap, so it declares the
+#: chunk time-unbounded instead of risking an unsound bound.
+_ELAPSED_GUARD = 1 << 30
+
+#: Sentinel bounds for time-unbounded zones (never excluded by time).
+_T_UNBOUNDED_MIN = -(1 << 62)
+_T_UNBOUNDED_MAX = 1 << 62
+
+_SIDE_PPE = 0
+_SIDE_SPE = 1
+_SYNC_CODE = 0x50  # repro.pdt.events: SPE sync record
+
+_DECREMENTER_MODULUS = 1 << 32
+
+
+def _elapsed_ticks(anchor: int, raw: int) -> int:
+    """Signed centered residue of ``anchor - raw`` mod 2**32 (the
+    decrementer counts down), mirroring ``repro.pdt.correlate``."""
+    elapsed = (anchor - raw) % _DECREMENTER_MODULUS
+    if elapsed >= _DECREMENTER_MODULUS // 2:
+        elapsed -= _DECREMENTER_MODULUS
+    return elapsed
+
+
+@dataclasses.dataclass
+class ZoneMap:
+    """What a pruning reader may assume about one chunk.
+
+    ``t_min``/``t_max`` bound the *corrected* (global SPU cycle)
+    timestamps of every record in the chunk when ``has_time`` is true;
+    they are conservative (possibly wider than the truth) but never
+    narrower.  ``spe_bitmap`` bit *i* set means SPE *i* contributed at
+    least one record; ``spe_overflow`` disables SPE pruning when an id
+    does not fit the bitmap.  ``spe_codes``/``ppe_codes`` are 128-bit
+    presence bitmaps over record codes, per side.
+    """
+
+    n_records: int
+    has_time: bool = False
+    t_min: int = _T_UNBOUNDED_MIN
+    t_max: int = _T_UNBOUNDED_MAX
+    spe_bitmap: int = 0
+    has_ppe: bool = False
+    spe_overflow: bool = False
+    spe_codes: int = 0
+    ppe_codes: int = 0
+    code_overflow: bool = False
+
+    def may_contain_spe(self, spe_id: int) -> bool:
+        """Could the chunk hold records from SPE ``spe_id``?"""
+        if self.spe_overflow:
+            return True
+        if spe_id < SPE_BITMAP_BITS:
+            return bool(self.spe_bitmap & (1 << spe_id))
+        return False
+
+    def may_contain_code(self, side: int, code: int) -> bool:
+        """Could the chunk hold a (side, code) record?"""
+        if self.code_overflow:
+            return True
+        if code >= CODE_BITMAP_BITS:
+            return False
+        bits = self.ppe_codes if side == _SIDE_PPE else self.spe_codes
+        return bool(bits & (1 << code))
+
+    def may_overlap_time(
+        self, t_min: typing.Optional[int], t_max: typing.Optional[int]
+    ) -> bool:
+        """Could the chunk hold a record with time in [t_min, t_max]?"""
+        if not self.has_time:
+            return True
+        if t_min is not None and self.t_max < t_min:
+            return False
+        if t_max is not None and self.t_min > t_max:
+            return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# serialization (v4 trailer section == .pdtx sidecar payload)
+# ----------------------------------------------------------------------
+def encode_index(zones: typing.Sequence[ZoneMap], total_records: int) -> bytes:
+    """Serialize zone maps as the CRC-protected index section."""
+    parts = [
+        _IDX_HEADER.pack(
+            INDEX_MAGIC, INDEX_VERSION, 0, len(zones), total_records
+        )
+    ]
+    for zone in zones:
+        flags = 0
+        if zone.has_ppe:
+            flags |= _FLAG_HAS_PPE
+        if zone.spe_overflow:
+            flags |= _FLAG_SPE_OVERFLOW
+        if zone.has_time:
+            flags |= _FLAG_HAS_TIME
+        if zone.code_overflow:
+            flags |= _FLAG_CODE_OVERFLOW
+        parts.append(
+            _ZONE.pack(
+                zone.n_records,
+                flags,
+                0,
+                0,
+                zone.spe_bitmap,
+                zone.t_min if zone.has_time else 0,
+                zone.t_max if zone.has_time else 0,
+                zone.spe_codes.to_bytes(CODE_BITMAP_BITS // 8, "little"),
+                zone.ppe_codes.to_bytes(CODE_BITMAP_BITS // 8, "little"),
+            )
+        )
+    body = b"".join(parts)
+    return body + _U32.pack(zlib.crc32(body) & 0xFFFF_FFFF)
+
+
+def index_size(n_chunks: int) -> int:
+    """Encoded byte size of an index over ``n_chunks`` chunks."""
+    return _IDX_HEADER.size + n_chunks * _ZONE.size + _U32.size
+
+
+def decode_index(
+    blob: typing.Union[bytes, memoryview], offset: int = 0
+) -> typing.Tuple[typing.List[ZoneMap], int, int]:
+    """Parse one index section at ``offset``.
+
+    Returns ``(zones, total_records, bytes_consumed)``.  Raises
+    :class:`TraceFormatError` on any structural or checksum damage —
+    callers that can fall back to a full scan catch it.
+    """
+    if offset + _IDX_HEADER.size > len(blob):
+        raise TraceFormatError("truncated index header")
+    magic, version, __, n_chunks, total_records = _IDX_HEADER.unpack_from(
+        blob, offset
+    )
+    if magic != INDEX_MAGIC:
+        raise TraceFormatError(
+            f"bad index magic {bytes(magic)!r} (expected {INDEX_MAGIC!r})"
+        )
+    if version != INDEX_VERSION:
+        raise TraceFormatError(f"unsupported index version {version}")
+    size = index_size(n_chunks)
+    if offset + size > len(blob):
+        raise TraceFormatError(
+            f"truncated index: need {size} bytes, have {len(blob) - offset}"
+        )
+    body = bytes(blob[offset : offset + size - _U32.size])
+    (stored,) = _U32.unpack_from(blob, offset + size - _U32.size)
+    computed = zlib.crc32(body) & 0xFFFF_FFFF
+    if stored != computed:
+        raise TraceFormatError(
+            f"index CRC mismatch: stored 0x{stored:08x}, computed "
+            f"0x{computed:08x}"
+        )
+    zones: typing.List[ZoneMap] = []
+    entry_off = offset + _IDX_HEADER.size
+    for __i in range(n_chunks):
+        (
+            n_records,
+            flags,
+            __r1,
+            __r2,
+            spe_bitmap,
+            t_min,
+            t_max,
+            spe_codes,
+            ppe_codes,
+        ) = _ZONE.unpack_from(blob, entry_off)
+        has_time = bool(flags & _FLAG_HAS_TIME)
+        zones.append(
+            ZoneMap(
+                n_records=n_records,
+                has_time=has_time,
+                t_min=t_min if has_time else _T_UNBOUNDED_MIN,
+                t_max=t_max if has_time else _T_UNBOUNDED_MAX,
+                spe_bitmap=spe_bitmap,
+                has_ppe=bool(flags & _FLAG_HAS_PPE),
+                spe_overflow=bool(flags & _FLAG_SPE_OVERFLOW),
+                spe_codes=int.from_bytes(spe_codes, "little"),
+                ppe_codes=int.from_bytes(ppe_codes, "little"),
+                code_overflow=bool(flags & _FLAG_CODE_OVERFLOW),
+            )
+        )
+        entry_off += _ZONE.size
+    return zones, total_records, size
+
+
+def sidecar_path(trace_path: str) -> str:
+    """Where the sidecar index for ``trace_path`` lives."""
+    return trace_path + ".pdtx"
+
+
+def write_sidecar(
+    trace_path: str, zones: typing.Sequence[ZoneMap], total_records: int
+) -> str:
+    """Write a standalone ``.pdtx`` sidecar; returns its path."""
+    path = sidecar_path(trace_path)
+    with open(path, "wb") as handle:
+        handle.write(encode_index(zones, total_records))
+    return path
+
+
+def read_sidecar(
+    trace_path: str,
+) -> typing.Optional[typing.Tuple[typing.List[ZoneMap], int]]:
+    """Load the sidecar for ``trace_path`` if one exists and parses.
+
+    Returns ``(zones, total_records)``, or ``None`` when there is no
+    sidecar or it is damaged — a bad sidecar silently degrades to a
+    full scan rather than failing the read.
+    """
+    path = sidecar_path(trace_path)
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError:
+        return None
+    try:
+        zones, total_records, __ = decode_index(blob)
+    except TraceFormatError:
+        return None
+    return zones, total_records
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+class _ZoneDraft:
+    """Mutable per-chunk state while records stream through."""
+
+    __slots__ = (
+        "n_records", "spe_bitmap", "has_ppe", "spe_overflow", "spe_codes",
+        "ppe_codes", "code_overflow", "ppe_raw_min", "ppe_raw_max", "cores",
+    )
+
+    def __init__(self) -> None:
+        self.n_records = 0
+        self.spe_bitmap = 0
+        self.has_ppe = False
+        self.spe_overflow = False
+        self.spe_codes = 0
+        self.ppe_codes = 0
+        self.code_overflow = False
+        self.ppe_raw_min: typing.Optional[int] = None
+        self.ppe_raw_max: typing.Optional[int] = None
+        #: core -> [e_min, raw_at_e_min, e_max, raw_at_e_max, overflowed]
+        self.cores: typing.Dict[int, typing.List] = {}
+
+
+class IndexAccumulator:
+    """Builds zone maps while records stream to a writer.
+
+    Feed every record through :meth:`observe` in write order, call
+    :meth:`seal_chunk` exactly when the writer seals each chunk, and
+    :meth:`finalize` once after the last seal.  Holds O(cores) state
+    per chunk and never the records themselves.
+    """
+
+    def __init__(self) -> None:
+        self._open = _ZoneDraft()
+        self._sealed: typing.List[_ZoneDraft] = []
+        #: core -> raw_ts of that core's first record (elapsed anchor)
+        self._first_raw: typing.Dict[int, int] = {}
+        #: core -> [(dec_raw, tb_raw)] sync pairs in stream order
+        self._syncs: typing.Dict[int, typing.List[typing.Tuple[int, int]]] = {}
+        self.total_records = 0
+
+    def observe(
+        self, side: int, code: int, core: int, raw_ts: int,
+        values: typing.Sequence[int],
+    ) -> None:
+        draft = self._open
+        draft.n_records += 1
+        self.total_records += 1
+        if code >= CODE_BITMAP_BITS:
+            draft.code_overflow = True
+        if side == _SIDE_PPE:
+            draft.has_ppe = True
+            if code < CODE_BITMAP_BITS:
+                draft.ppe_codes |= 1 << code
+            if draft.ppe_raw_min is None or raw_ts < draft.ppe_raw_min:
+                draft.ppe_raw_min = raw_ts
+            if draft.ppe_raw_max is None or raw_ts > draft.ppe_raw_max:
+                draft.ppe_raw_max = raw_ts
+            return
+        if core < SPE_BITMAP_BITS:
+            draft.spe_bitmap |= 1 << core
+        else:
+            draft.spe_overflow = True
+        if code < CODE_BITMAP_BITS:
+            draft.spe_codes |= 1 << code
+        if code == _SYNC_CODE and values:
+            self._syncs.setdefault(core, []).append((raw_ts, values[0]))
+        first = self._first_raw.setdefault(core, raw_ts)
+        elapsed = _elapsed_ticks(first, raw_ts)
+        state = draft.cores.get(core)
+        if state is None:
+            draft.cores[core] = [elapsed, raw_ts, elapsed, raw_ts, False]
+            state = draft.cores[core]
+        else:
+            if elapsed < state[0]:
+                state[0], state[1] = elapsed, raw_ts
+            if elapsed > state[2]:
+                state[2], state[3] = elapsed, raw_ts
+        if abs(elapsed) > _ELAPSED_GUARD:
+            state[4] = True
+
+    def seal_chunk(self) -> None:
+        """The writer sealed the open chunk (even if empty writers skip
+        empty chunks — call only for chunks actually written)."""
+        self._sealed.append(self._open)
+        self._open = _ZoneDraft()
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._sealed)
+
+    def finalize(self, timebase_divider: int) -> typing.List[ZoneMap]:
+        """Fit the clocks from the collected syncs and emit zone maps."""
+        from repro.pdt.correlate import fit_sync_pairs
+
+        if self._open.n_records:
+            raise ValueError(
+                "IndexAccumulator.finalize called with an unsealed chunk "
+                f"holding {self._open.n_records} records"
+            )
+        fits: typing.Dict[int, typing.Any] = {}
+        for core, pairs in self._syncs.items():
+            fits[core] = fit_sync_pairs(core, pairs, timebase_divider)
+        zones: typing.List[ZoneMap] = []
+        for draft in self._sealed:
+            zones.append(self._zone_from_draft(draft, fits, timebase_divider))
+        return zones
+
+    def _zone_from_draft(
+        self,
+        draft: _ZoneDraft,
+        fits: typing.Dict[int, typing.Any],
+        divider: int,
+    ) -> ZoneMap:
+        bounds: typing.List[int] = []
+        has_time = True
+        if draft.ppe_raw_min is not None:
+            bounds.append(draft.ppe_raw_min * divider)
+            bounds.append(draft.ppe_raw_max * divider)
+        for core, state in draft.cores.items():
+            fit = fits.get(core)
+            first = self._first_raw[core]
+            if (
+                fit is None
+                or state[4]
+                or abs(_elapsed_ticks(fit.dec_anchor, first)) > _ELAPSED_GUARD
+            ):
+                # No clock for this core, or its span flirts with the
+                # decrementer modulus: time pruning off for this chunk.
+                has_time = False
+                break
+            bounds.append(fit.to_global(state[1]))
+            bounds.append(fit.to_global(state[3]))
+        has_time = has_time and bool(bounds)
+        return ZoneMap(
+            n_records=draft.n_records,
+            has_time=has_time,
+            t_min=min(bounds) if has_time else _T_UNBOUNDED_MIN,
+            t_max=max(bounds) if has_time else _T_UNBOUNDED_MAX,
+            spe_bitmap=draft.spe_bitmap,
+            has_ppe=draft.has_ppe,
+            spe_overflow=draft.spe_overflow,
+            spe_codes=draft.spe_codes,
+            ppe_codes=draft.ppe_codes,
+            code_overflow=draft.code_overflow,
+        )
+
+
+def zone_for_chunk(
+    chunk: "ColumnChunk", correlator: typing.Optional["ClockCorrelator"]
+) -> ZoneMap:
+    """Exact zone map for one decoded chunk.
+
+    With a ``correlator``, time bounds are the exact min/max of
+    :meth:`~repro.pdt.correlate.ClockCorrelator.place_value` over the
+    chunk's records (cores lacking a clock fit make the chunk
+    time-unbounded); without one, only the presence summaries are
+    filled, which still enables SPE/code pruning.
+    """
+    zone = ZoneMap(n_records=len(chunk))
+    fits = correlator.fits if correlator is not None else {}
+    divider = correlator.divider if correlator is not None else 0
+    t_min: typing.Optional[int] = None
+    t_max: typing.Optional[int] = None
+    timeable = correlator is not None
+    for i in range(len(chunk)):
+        side, code, core = chunk.side[i], chunk.code[i], chunk.core[i]
+        if code >= CODE_BITMAP_BITS:
+            zone.code_overflow = True
+        if side == _SIDE_PPE:
+            zone.has_ppe = True
+            if code < CODE_BITMAP_BITS:
+                zone.ppe_codes |= 1 << code
+            if timeable:
+                time = chunk.raw_ts[i] * divider
+        else:
+            if core < SPE_BITMAP_BITS:
+                zone.spe_bitmap |= 1 << core
+            else:
+                zone.spe_overflow = True
+            if code < CODE_BITMAP_BITS:
+                zone.spe_codes |= 1 << code
+            if timeable:
+                fit = fits.get(core)
+                if fit is None:
+                    timeable = False
+                    continue
+                time = fit.to_global(chunk.raw_ts[i])
+        if timeable:
+            if t_min is None or time < t_min:
+                t_min = time
+            if t_max is None or time > t_max:
+                t_max = time
+    if timeable and t_min is not None:
+        zone.has_time = True
+        zone.t_min = t_min
+        zone.t_max = t_max
+    return zone
+
+
+def build_zone_maps(
+    chunks: typing.Iterable["ColumnChunk"],
+    correlator: typing.Optional["ClockCorrelator"] = None,
+) -> typing.List[ZoneMap]:
+    """Exact zone maps for a decoded chunk sequence (one per chunk, in
+    order — alignment with the source's ``iter_chunks`` is the
+    caller's contract)."""
+    return [zone_for_chunk(chunk, correlator) for chunk in chunks]

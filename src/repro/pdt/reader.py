@@ -4,11 +4,22 @@ Two entry points:
 
 * :func:`read_trace` — parse a whole file into an in-memory
   :class:`Trace` (compatibility path; all layouts).
-* :func:`open_trace` — open a chunked (version-2/3) trace as a
+* :func:`open_trace` — open a chunked (version-2/3/4) trace as a
   :class:`TraceFileSource`, an :class:`EventSource` that decodes one
   chunk at a time so analysis of a multi-million-event trace never
   holds more than O(chunk) records.  Version-1 files transparently
   fall back to a materialized source.
+
+Version-4 files carry a zone-map index trailer after the last chunk.
+A strict read verifies it (CRC, entry count, record total) like any
+other part of the file and serves it through
+:meth:`TraceFileSource.zone_maps`, which lets :mod:`repro.tq` seek
+past chunks a query cannot touch
+(:meth:`TraceFileSource.iter_chunks_selected`).  A salvage read never
+uses the trailer — once chunks may have been dropped the index no
+longer aligns — so a damaged index degrades to a full scan, never to
+wrong results.  For v1–v3 files :meth:`TraceFileSource.attach_sidecar`
+loads a ``<trace>.pdtx`` sidecar index when one matches the file.
 
 Both accept ``strict=False`` to *salvage* a damaged trace instead of
 failing: chunks whose CRC or decode fails are skipped, the valid
@@ -36,9 +47,11 @@ from repro.pdt.format import (
     _STREAM,
     _U32,
     CHUNKS_UNTIL_EOF,
+    INDEX_MAGIC,
     MAGIC,
     VERSION_CHUNKED,
     VERSION_CRC,
+    VERSION_INDEXED,
     VERSION_LEGACY,
     TraceFormatError,
     check_version,
@@ -47,6 +60,7 @@ from repro.pdt.format import (
     data_offset,
     header_crc32,
 )
+from repro.pdt.index import ZoneMap, decode_index, read_sidecar
 from repro.pdt.store import ColumnChunk, ColumnStore, EventSource
 from repro.pdt.trace import Trace, TraceHeader
 
@@ -230,6 +244,13 @@ def _iter_chunk_frames(
         if n_chunks == CHUNKS_UNTIL_EOF:
             if offset == len(blob):
                 return
+            # A sentinel-header v4 file ends its chunk run at the
+            # index trailer rather than at EOF.
+            if (
+                version >= VERSION_INDEXED
+                and blob[offset : offset + len(INDEX_MAGIC)] == INDEX_MAGIC
+            ):
+                return
         elif seen == n_chunks:
             return
         if offset + frame.size > len(blob):
@@ -353,7 +374,28 @@ def _salvage_scan(
         report.truncated = True
         report.notes.append("file ends inside the header")
         offset = size
+    trailer_seen = False
     while offset < size:
+        if (
+            version >= VERSION_INDEXED
+            and blob[offset : offset + len(INDEX_MAGIC)] == INDEX_MAGIC
+        ):
+            # The v4 index trailer: consume it if it verifies.  Either
+            # way it is never *used* on the salvage path — once chunks
+            # may have been dropped the zone maps no longer align — so
+            # damage here costs pruning, never correctness.
+            trailer_seen = True
+            try:
+                __, __, consumed = decode_index(blob, offset)
+            except TraceFormatError as exc:
+                report.bad_ranges.append((offset, size))
+                report.notes.append(
+                    f"index trailer at offset {offset} is damaged ({exc}); "
+                    "queries fall back to a full scan"
+                )
+                break
+            offset += consumed
+            continue
         if offset + frame.size > size:
             report.truncated = True
             report.bad_ranges.append((offset, size))
@@ -426,6 +468,15 @@ def _salvage_scan(
             report.notes.append(f"{reason}; no further chunks found")
         report.bad_ranges.append((offset, resume))
         offset = resume
+    if version >= VERSION_INDEXED and not trailer_seen and not report.header_damaged:
+        # A v4 file must end in its index trailer; reaching EOF without
+        # one means the tail was cut off, even when every chunk (and so
+        # every record) survived intact.
+        report.truncated = True
+        report.notes.append(
+            "index trailer missing (file truncated at a chunk boundary?); "
+            "queries fall back to a full scan"
+        )
     if (
         declared_chunks != CHUNKS_UNTIL_EOF
         and not report.header_damaged
@@ -439,6 +490,34 @@ def _salvage_scan(
             f"{report.records_missing} are unaccounted for"
         )
     return chunks, report
+
+
+def _verify_index_trailer(
+    blob: bytes, offset: int, n_chunks: int, total_records: int
+) -> typing.List[ZoneMap]:
+    """Strict v4: parse and cross-check the index trailer at ``offset``.
+
+    The trailer must parse (magic, version, CRC — :func:`decode_index`
+    raises otherwise), describe exactly the chunks the file holds, and
+    be the last thing in the file.
+    """
+    zones, idx_total, consumed = decode_index(blob, offset)
+    if len(zones) != n_chunks:
+        raise TraceFormatError(
+            f"index trailer describes {len(zones)} chunks; file holds "
+            f"{n_chunks}"
+        )
+    if idx_total != total_records:
+        raise TraceFormatError(
+            f"index trailer declares {idx_total} records; chunks hold "
+            f"{total_records}"
+        )
+    if offset + consumed != len(blob):
+        raise TraceFormatError(
+            f"{len(blob) - offset - consumed} trailing bytes after the "
+            "index trailer"
+        )
+    return zones
 
 
 def read_trace(
@@ -471,6 +550,8 @@ def read_trace(
         if header.version >= VERSION_CRC:
             _check_header_crc(blob)
         total = 0
+        chunks_seen = 0
+        end = data_offset(header.version)
         for offset, n_records, payload_bytes, crc in _iter_chunk_frames(
             blob, header.version, a
         ):
@@ -485,10 +566,14 @@ def read_trace(
                 _decode_chunk(blob, offset, n_records, payload_bytes)
             )
             total += n_records
+            chunks_seen += 1
+            end = offset + payload_bytes
         if a != CHUNKS_UNTIL_EOF and total != b:
             raise TraceFormatError(
                 f"record count mismatch: header says {b}, chunks hold {total}"
             )
+        if header.version >= VERSION_INDEXED:
+            _verify_index_trailer(blob, end, chunks_seen, total)
     try:
         trace.validate()
     except ValueError as exc:
@@ -636,6 +721,9 @@ class TraceFileSource(EventSource):
         self._blob: typing.Optional[bytes] = None
         self.salvage: typing.Optional[SalvageReport] = None
         self._salvaged: typing.Optional[typing.List[ColumnChunk]] = None
+        #: Zone maps from the v4 trailer (or an attached sidecar);
+        #: ``None`` when the file carries no usable index.
+        self._zones: typing.Optional[typing.List[ZoneMap]] = None
         if isinstance(path_or_file, str):
             self._path = path_or_file
         elif isinstance(path_or_file, (bytes, bytearray)):
@@ -672,6 +760,16 @@ class TraceFileSource(EventSource):
                 raise TraceFormatError(
                     f"record count mismatch: header says {b}, chunks hold "
                     f"{self._n_records}"
+                )
+            if self.header.version >= VERSION_INDEXED:
+                trailer_off = (
+                    self._index[-1][0] + self._index[-1][2]
+                    if self._index
+                    else data_offset(self.header.version)
+                )
+                handle.seek(trailer_off)
+                self._zones = _verify_index_trailer(
+                    handle.read(), 0, len(self._index), self._n_records
                 )
 
     def _init_salvage(self) -> None:
@@ -714,6 +812,10 @@ class TraceFileSource(EventSource):
             if n_chunks == CHUNKS_UNTIL_EOF:
                 if offset == size:
                     return index
+                if version >= VERSION_INDEXED:
+                    handle.seek(offset)
+                    if handle.read(len(INDEX_MAGIC)) == INDEX_MAGIC:
+                        return index
             elif len(index) == n_chunks:
                 return index
             if offset + frame.size > size:
@@ -763,6 +865,62 @@ class TraceFileSource(EventSource):
                 if crc is not None:
                     _check_chunk_crc(crc, n_records, payload, offset)
                 yield _decode_chunk(payload, 0, n_records, payload_bytes)
+
+    def iter_chunks_selected(
+        self, keep: typing.Sequence[bool]
+    ) -> typing.Iterator[ColumnChunk]:
+        """Decode only the selected chunks, *seeking past* the payload
+        bytes of excluded ones — the I/O half of zone-map pruning."""
+        if self._salvaged is not None or self._fallback is not None:
+            yield from EventSource.iter_chunks_selected(self, keep)
+            return
+        with self._open() as handle:
+            for ci, (offset, n_records, payload_bytes, crc) in enumerate(
+                self._index
+            ):
+                if ci < len(keep) and not keep[ci]:
+                    continue
+                handle.seek(offset)
+                payload = handle.read(payload_bytes)
+                if len(payload) != payload_bytes:
+                    raise TraceFormatError(
+                        f"truncated chunk payload at offset {offset}"
+                    )
+                if crc is not None:
+                    _check_chunk_crc(crc, n_records, payload, offset)
+                yield _decode_chunk(payload, 0, n_records, payload_bytes)
+
+    def zone_maps(self, correlator=None):
+        """The stored per-chunk zone maps (v4 trailer or attached
+        sidecar), or ``None``; ``correlator`` is ignored — stored zones
+        were computed with the same fits at write time."""
+        return self._zones
+
+    def attach_sidecar(self) -> bool:
+        """Load a ``<trace>.pdtx`` sidecar index if one matches.
+
+        Only path-backed, strictly-read chunked files can attach one
+        (a salvaged read must not prune).  The sidecar is ignored —
+        returning ``False`` — unless it parses, its CRC verifies, and
+        its chunk/record totals match this file exactly.  Returns
+        ``True`` when zone maps are available afterwards.
+        """
+        if self._zones is not None:
+            return True
+        if (
+            self._path is None
+            or self._salvaged is not None
+            or self._fallback is not None
+        ):
+            return False
+        loaded = read_sidecar(self._path)
+        if loaded is None:
+            return False
+        zones, total = loaded
+        if total != self._n_records or len(zones) != len(self._index):
+            return False
+        self._zones = zones
+        return True
 
     def scan_sync(self):
         """Prefix-only sync collection: one pass that never decodes

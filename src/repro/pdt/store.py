@@ -174,6 +174,35 @@ class EventSource(abc.ABC):
     def n_records(self) -> int:
         """Total record count."""
 
+    def zone_maps(self, correlator=None):
+        """Per-chunk :class:`~repro.pdt.index.ZoneMap` summaries, or
+        ``None`` when the source has no pruning information.
+
+        When a list is returned it aligns 1:1, in order, with the
+        chunks :meth:`iter_chunks` yields.  In-memory sources compute
+        exact zones on demand (pass the trace's correlator to get time
+        bounds; without one only SPE/code presence is known);
+        file-backed sources return the zones stored in the v4 trailer
+        or an attached sidecar, ignoring ``correlator``.
+        """
+        return None
+
+    def iter_chunks_selected(
+        self, keep: typing.Sequence[bool]
+    ) -> typing.Iterator[ColumnChunk]:
+        """Iterate only the chunks whose position has ``keep[i]`` true.
+
+        ``keep`` aligns with :meth:`iter_chunks` (and thus with
+        :meth:`zone_maps`); positions beyond ``len(keep)`` are kept, so
+        a stale/short mask degrades to scanning, never to dropping.
+        The default skips after decode; file-backed sources override it
+        to seek past excluded payloads without reading them.
+        """
+        for ci, chunk in enumerate(self.iter_chunks()):
+            if ci < len(keep) and not keep[ci]:
+                continue
+            yield chunk
+
     def iter_records(self) -> typing.Iterator[TraceRecord]:
         """Materialize records one at a time (compatibility helper)."""
         for chunk in self.iter_chunks():
@@ -319,12 +348,35 @@ class ColumnStore(EventSink):
                 yield chunk
 
 
-class StoreSource(EventSource):
+class _ComputedZonesMixin:
+    """Exact on-demand zone maps for in-memory sources.
+
+    The zones are rebuilt (and re-cached) whenever the record count or
+    the correlator identity changes, so a still-growing store never
+    serves a stale mask longer than one query.
+    """
+
+    _zone_cache: typing.Optional[typing.Tuple[int, int, list]] = None
+
+    def zone_maps(self, correlator=None):
+        from repro.pdt.index import build_zone_maps
+
+        key = (self.n_records, id(correlator))
+        cached = self._zone_cache
+        if cached is not None and cached[:2] == key:
+            return cached[2]
+        zones = build_zone_maps(self.iter_chunks(), correlator)
+        self._zone_cache = (key[0], key[1], zones)
+        return zones
+
+
+class StoreSource(_ComputedZonesMixin, EventSource):
     """An :class:`EventSource` view over one header + store pair."""
 
     def __init__(self, header: "TraceHeader", store: ColumnStore):
         self.header = header
         self.store = store
+        self._zone_cache = None
 
     def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
         return self.store.iter_chunks()
@@ -334,7 +386,7 @@ class StoreSource(EventSource):
         return len(self.store)
 
 
-class ConcatSource(EventSource):
+class ConcatSource(_ComputedZonesMixin, EventSource):
     """Several (store, start_row) segments served as one source.
 
     Lets :class:`repro.pdt.tracer.PdtHooks` expose the PPE buffer and
@@ -349,6 +401,7 @@ class ConcatSource(EventSource):
     ):
         self.header = header
         self.parts = list(parts)
+        self._zone_cache = None
 
     def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
         for store, start in self.parts:

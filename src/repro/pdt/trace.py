@@ -33,7 +33,8 @@ class TraceHeader:
 
     ``version`` selects the file layout (see :mod:`repro.pdt.format`);
     it round-trips through write/read exactly.  The default is the
-    CRC-checked chunked layout (version 3).
+    CRC-checked chunked layout with the zone-map index trailer
+    (version 4).
     """
 
     n_spes: int
@@ -41,7 +42,7 @@ class TraceHeader:
     spu_clock_hz: float
     groups_bitmap: int
     buffer_bytes: int
-    version: int = 3
+    version: int = 4
 
 
 class Trace:

@@ -5,13 +5,22 @@ honours ``header.version`` exactly (round-tripping it) and rejects
 versions it cannot produce with a clear error.
 
 * :func:`write_trace` — serialize a :class:`Trace` or any
-  :class:`EventSource`.  The chunked layouts (version 3 with CRC32
-  integrity checks, the default, and version 2 without) are written
-  one chunk at a time in O(chunk) memory; the legacy layout (version
-  1) is still produced when ``header.version == 1``.
+  :class:`EventSource`.  The chunked layouts (version 4 with the
+  zone-map index trailer, the default; version 3 with CRC32 integrity
+  checks; version 2 without) are written one chunk at a time in
+  O(chunk) memory; the legacy layout (version 1) is still produced
+  when ``header.version == 1``.
 * :class:`ChunkWriter` — an :class:`EventSink` that writes records to
   disk *as they arrive*, sealing chunks as they fill; nothing but the
-  open chunk is ever held in memory.
+  open chunk (plus, for version 4, O(cores)-sized zone-map state per
+  chunk) is ever held in memory.
+
+Version 4 costs the writer almost nothing extra: while records stream
+through, an :class:`~repro.pdt.index.IndexAccumulator` tracks per-chunk
+presence bitmaps and elapsed-tick extremes, and at ``close`` the clock
+fits are computed from the collected sync pairs (the same fit the
+analyzer will make) to turn those extremes into exact corrected-time
+bounds for the trailer.
 
 Both chunked writers work on non-seekable outputs (pipes, sockets):
 when the stream cannot seek back to patch the header, the
@@ -25,7 +34,7 @@ import io
 import typing
 
 from repro.pdt.codec import encode_fields
-from repro.pdt.events import SIDE_PPE, SIDE_SPE
+from repro.pdt.events import KIND_SYNC, SIDE_PPE, SIDE_SPE, code_for_kind
 from repro.pdt.format import (
     _CHUNK,
     _CHUNK_CRC,
@@ -35,13 +44,17 @@ from repro.pdt.format import (
     CHUNKS_UNTIL_EOF,
     MAGIC,
     VERSION_CRC,
+    VERSION_INDEXED,
     VERSION_LEGACY,
     check_version,
     chunk_crc32,
     header_crc32,
 )
+from repro.pdt.index import IndexAccumulator, encode_index
 from repro.pdt.store import CHUNK_RECORDS, ColumnChunk, EventSink, EventSource
 from repro.pdt.trace import Trace, TraceHeader
+
+_SYNC_CODE = code_for_kind(SIDE_SPE, KIND_SYNC).code
 
 
 def _pack_header(header: TraceHeader, a: int, b: int) -> bytes:
@@ -101,12 +114,15 @@ def write_trace(
 
 
 def _write_chunked(source: EventSource, out: typing.BinaryIO) -> int:
-    """Version-2/3 layout: header, then self-framed chunks in order.
+    """Version-2/3/4 layout: header, then self-framed chunks in order,
+    then (version 4) the zone-map index trailer.
 
     A non-seekable output gets the sentinel header (chunks run until
-    EOF) instead of a seek-back patch.
+    EOF — for version 4, until the index trailer magic) instead of a
+    seek-back patch.
     """
     version = source.header.version
+    index = IndexAccumulator() if version >= VERSION_INDEXED else None
     seekable = _seekable(out)
     chunks = 0
     total = 0
@@ -120,6 +136,18 @@ def _write_chunked(source: EventSource, out: typing.BinaryIO) -> int:
         written += out.write(payload)
         chunks += 1
         total += len(chunk)
+        if index is not None:
+            off = chunk.val_off
+            for i in range(len(chunk)):
+                side, code = chunk.side[i], chunk.code[i]
+                values: typing.Sequence[int] = ()
+                if side == SIDE_SPE and code == _SYNC_CODE:
+                    values = chunk.values[off[i] : off[i + 1]]
+                index.observe(side, code, chunk.core[i], chunk.raw_ts[i], values)
+            index.seal_chunk()
+    if index is not None:
+        zones = index.finalize(source.header.timebase_divider)
+        written += out.write(encode_index(zones, total))
     if seekable:
         out.seek(0)
         out.write(_pack_header(source.header, chunks, total))
@@ -167,15 +195,17 @@ def trace_to_bytes(trace: typing.Union[Trace, EventSource]) -> bytes:
 
 
 class ChunkWriter(EventSink):
-    """Stream records straight to a chunked (version 2/3) trace file.
+    """Stream records straight to a chunked (version 2/3/4) trace file.
 
     Records are encoded as they arrive and the chunk payload buffer is
     flushed to disk every ``chunk_records`` records, so writing a
-    multi-million-event trace needs O(chunk) memory.  On ``close`` the
+    multi-million-event trace needs O(chunk) memory.  For version-4
+    headers the zone-map index accumulates alongside (O(cores) extra
+    state) and the trailer is appended at ``close``.  On ``close`` the
     header is patched with the final chunk/record counts when the
     output is seekable; otherwise the :data:`CHUNKS_UNTIL_EOF`
     sentinel header (written up front) stands and readers consume
-    chunks until end of file.
+    chunks until end of file (or the index trailer).
     """
 
     def __init__(
@@ -188,7 +218,7 @@ class ChunkWriter(EventSink):
         if header.version == VERSION_LEGACY:
             raise ValueError(
                 "ChunkWriter only writes the chunked layouts (versions "
-                f"2 and 3); got header version {header.version}"
+                f"2, 3 and 4); got header version {header.version}"
             )
         if chunk_records < 1:
             raise ValueError(f"chunk_records must be >= 1, got {chunk_records}")
@@ -201,6 +231,9 @@ class ChunkWriter(EventSink):
         self._seekable = _seekable(self._out)
         self._buffer: typing.List[bytes] = []
         self._buffered = 0
+        self._index = (
+            IndexAccumulator() if header.version >= VERSION_INDEXED else None
+        )
         self.n_chunks = 0
         self.n_records = 0
         self.bytes_written = self._out.write(
@@ -216,6 +249,8 @@ class ChunkWriter(EventSink):
             raise ValueError("ChunkWriter is closed")
         self._buffer.append(encode_fields(side, code, core, seq, raw_ts, values))
         self._buffered += 1
+        if self._index is not None:
+            self._index.observe(side, code, core, raw_ts, values)
         if self._buffered >= self.chunk_records:
             self._flush_chunk()
 
@@ -231,11 +266,18 @@ class ChunkWriter(EventSink):
         self.n_records += self._buffered
         self._buffer.clear()
         self._buffered = 0
+        if self._index is not None:
+            self._index.seal_chunk()
 
     def close(self) -> None:
         if self._closed:
             return
         self._flush_chunk()
+        if self._index is not None:
+            zones = self._index.finalize(self.header.timebase_divider)
+            self.bytes_written += self._out.write(
+                encode_index(zones, self.n_records)
+            )
         if self._seekable:
             self._out.seek(0)
             self._out.write(_pack_header(self.header, self.n_chunks, self.n_records))

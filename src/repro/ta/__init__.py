@@ -44,7 +44,11 @@ from repro.ta.model import (
     analyze_materialized,
 )
 from repro.ta.profile import event_profile, profile_table, top_event_kinds
-from repro.ta.stats import SpeStatistics, TraceStatistics
+from repro.ta.series import (
+    source_event_rate_series,
+    source_issue_bandwidth_series,
+)
+from repro.ta.stats import SpeStatistics, TraceStatistics, source_summary_rows
 
 __all__ = [
     "BufferingReport",
@@ -70,6 +74,9 @@ __all__ = [
     "records_to_csv",
     "render_ascii",
     "render_svg",
+    "source_event_rate_series",
+    "source_issue_bandwidth_series",
+    "source_summary_rows",
     "stats_to_csv",
     "summarize_channels",
     "top_event_kinds",

@@ -9,6 +9,16 @@ time windows and report, per bucket:
 * how many SPEs were computing.
 
 All outputs are NumPy arrays ready for plotting or CSV.
+
+Two families share the bucketing:
+
+* the model-based functions below take a reconstructed
+  :class:`TimelineModel` (interval math: in-flight counts, run states);
+* the ``source_*`` functions take a raw
+  :class:`~repro.pdt.store.EventSource` and answer through the
+  :class:`repro.tq.Query` pipeline — the filter is pushed down into
+  the source's zone maps, so bucketing one SPE's DMA issues over a
+  narrow window never scans (or even reads) the rest of the trace.
 """
 
 from __future__ import annotations
@@ -17,7 +27,8 @@ import typing
 
 import numpy as np
 
-from repro.ta.model import STATE_RUN, TimelineModel
+from repro.ta.model import _DMA_ISSUE_KINDS, STATE_RUN, TimelineModel
+from repro.tq import Query
 
 
 def _bucket_edges(model: TimelineModel, buckets: int) -> np.ndarray:
@@ -108,3 +119,75 @@ def series_to_rows(
         {"t_cycles": int(t), value_name: round(float(v), 3)}
         for t, v in zip(centers, values)
     ]
+
+
+# ----------------------------------------------------------------------
+# source-level series: bucketing through the tq pipeline
+# ----------------------------------------------------------------------
+def _edges_for(
+    times: np.ndarray,
+    buckets: int,
+    t0: typing.Optional[int],
+    t1: typing.Optional[int],
+) -> np.ndarray:
+    if buckets < 1:
+        raise ValueError(f"buckets must be >= 1, got {buckets}")
+    lo = t0 if t0 is not None else (float(times.min()) if times.size else 0.0)
+    hi = t1 if t1 is not None else (float(times.max()) if times.size else 1.0)
+    if hi <= lo:
+        hi = lo + 1
+    return np.linspace(lo, hi, buckets + 1)
+
+
+def source_event_rate_series(
+    source,
+    buckets: int = 50,
+    kind: typing.Union[int, str, typing.Iterable, None] = None,
+    spe: typing.Optional[int] = None,
+    t0: typing.Optional[int] = None,
+    t1: typing.Optional[int] = None,
+) -> typing.Tuple[np.ndarray, np.ndarray]:
+    """(bucket_centers, matching events per cycle per bucket).
+
+    Straight from an :class:`~repro.pdt.store.EventSource` — no
+    timeline model.  With ``kind``/``spe``/``t0``/``t1`` set, the
+    query prunes to the chunks that can match before decoding.
+    """
+    query = Query(source).where(t0=t0, t1=t1, spe=spe, event=kind)
+    times = np.array(
+        [row[0] for row in query.project("time").records()], dtype=float
+    )
+    edges = _edges_for(times, buckets, t0, t1)
+    counts, __ = np.histogram(times, bins=edges)
+    centers = (edges[:-1] + edges[1:]) / 2
+    return centers, counts / np.diff(edges)
+
+
+def source_issue_bandwidth_series(
+    source,
+    buckets: int = 50,
+    spe: typing.Optional[int] = None,
+    t0: typing.Optional[int] = None,
+    t1: typing.Optional[int] = None,
+) -> typing.Tuple[np.ndarray, np.ndarray]:
+    """(bucket_centers, bytes issued per cycle per bucket), from raw
+    DMA-issue events via the query pipeline.
+
+    The source-level analogue of :func:`issue_bandwidth_series`: each
+    DMA's bytes land in the bucket containing its issue event.  Times
+    here are unclamped placements, so on pathological traces the two
+    families can bucket an event one slot apart; on well-formed traces
+    they agree.
+    """
+    query = (
+        Query(source)
+        .where(t0=t0, t1=t1, spe=spe, event=list(_DMA_ISSUE_KINDS))
+        .project("time", "size")
+    )
+    rows = list(query.records())
+    times = np.array([t for t, __ in rows], dtype=float)
+    sizes = np.array([s for __, s in rows], dtype=float)
+    edges = _edges_for(times, buckets, t0, t1)
+    issued, __ = np.histogram(times, bins=edges, weights=sizes)
+    centers = (edges[:-1] + edges[1:]) / 2
+    return centers, issued / np.diff(edges)

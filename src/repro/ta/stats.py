@@ -13,7 +13,9 @@ import typing
 
 import numpy as np
 
+from repro.pdt.events import SIDE_SPE
 from repro.ta.model import (
+    _DMA_ISSUE_KINDS,
     STATE_RUN,
     STATE_WAIT_DMA,
     STATE_WAIT_MBOX,
@@ -21,6 +23,7 @@ from repro.ta.model import (
     CoreTimeline,
     TimelineModel,
 )
+from repro.tq import Query
 
 
 @dataclasses.dataclass
@@ -168,6 +171,61 @@ class TraceStatistics:
                 }
             )
         return rows
+
+
+def source_summary_rows(
+    source,
+    t0: typing.Optional[int] = None,
+    t1: typing.Optional[int] = None,
+    spe: typing.Optional[int] = None,
+) -> typing.List[typing.Dict[str, typing.Union[int, float]]]:
+    """Per-SPE aggregation straight from an event source, via tq.
+
+    The query-pipeline counterpart of :meth:`TraceStatistics.from_source`
+    for targeted questions: record counts, observed time extent, and
+    the DMA-issue profile per SPE — restricted to a time window and/or
+    one SPE without scanning the rest of the trace (the filters push
+    down into the source's zone maps).  Unlike the timeline model this
+    does no interval pairing, so it reports issue-side truth only.
+    """
+    base = Query(source).where(t0=t0, t1=t1, spe=spe, side=SIDE_SPE)
+    totals = (
+        base.groupby("spe")
+        .agg(events="count", t_first=("min", "time"), t_last=("max", "time"))
+        .run()
+    )
+    dma = (
+        base.where(event=list(_DMA_ISSUE_KINDS))
+        .groupby("spe")
+        .agg(
+            dma_count="count",
+            dma_bytes=("sum", "size"),
+            dma_mean_bytes=("mean", "size"),
+            dma_p99_bytes=("p99", "size"),
+        )
+        .run()
+    )
+    by_spe = {row["spe"]: row for row in dma}
+    rows = []
+    for row in totals:
+        issue = by_spe.get(
+            row["spe"],
+            {"dma_count": 0, "dma_bytes": None, "dma_mean_bytes": None,
+             "dma_p99_bytes": None},
+        )
+        rows.append(
+            {
+                "spe": row["spe"],
+                "events": row["events"],
+                "t_first": row["t_first"],
+                "t_last": row["t_last"],
+                "dma_count": issue["dma_count"],
+                "dma_bytes": issue["dma_bytes"] or 0,
+                "dma_mean_bytes": round(issue["dma_mean_bytes"] or 0.0, 1),
+                "dma_p99_bytes": issue["dma_p99_bytes"] or 0,
+            }
+        )
+    return rows
 
 
 def _spe_stats(core: CoreTimeline) -> SpeStatistics:

@@ -1,0 +1,47 @@
+"""tq — the indexed trace query engine.
+
+The Trace Analyzer's full-scan paths answer "what happened?"; this
+package answers "what stalled SPE 3 between t0 and t1?" without paying
+for the rest of the trace.  It layers three pieces over the
+:class:`~repro.pdt.store.EventSource` spine:
+
+* **zone maps** (:mod:`repro.pdt.index`) — per-chunk summaries (record
+  count, corrected-time bounds, SPE bitmap, event-code bitmaps)
+  written by the v4 trace format as an index trailer, computed on
+  demand for in-memory stores, or backfilled for v1–v3 files by
+  :func:`build_sidecar`;
+* **pruned sources** (:class:`IndexedSource`) — an
+  :class:`~repro.pdt.store.EventSource` that, given a
+  :class:`Predicate`, seeks past every chunk the zone maps refuse, so
+  selective scans cost O(selected chunks) instead of O(trace);
+* **the pipeline** (:class:`Query`) — composable
+  ``where → project → groupby → reduce`` executing chunk-at-a-time
+  over any source, with the predicate pushed down into the zone maps
+  when the source has them.
+
+Results are byte-identical with and without an index: zones only skip
+chunks that provably contain no match, every served record passes the
+exact predicate, and aggregation order is deterministic.  See
+``docs/querying.md``.
+"""
+
+from repro.tq.pipeline import PPE_GROUP, Query, nearest_rank
+from repro.tq.predicate import Predicate, events_matching
+from repro.tq.source import (
+    IndexedSource,
+    PruneStats,
+    build_sidecar,
+    open_indexed,
+)
+
+__all__ = [
+    "IndexedSource",
+    "PPE_GROUP",
+    "Predicate",
+    "PruneStats",
+    "Query",
+    "build_sidecar",
+    "events_matching",
+    "nearest_rank",
+    "open_indexed",
+]

@@ -1,0 +1,364 @@
+"""The query pipeline: filter → project → group → reduce, streamed.
+
+A :class:`Query` composes over any :class:`~repro.pdt.store.EventSource`:
+
+    Query(source).where(t0=a, t1=b, spe=3, event="mfc_get")
+                 .groupby("spe", "kind")
+                 .agg(n="count", bytes=("sum", "size"))
+                 .run()
+
+Execution is chunk-at-a-time: the predicate is pushed down into the
+source's zone maps through :class:`~repro.tq.source.IndexedSource`
+(chunks a zone refuses are never read), then applied record-exactly to
+the admitted chunks, then the survivors stream into the grouping and
+reduction accumulators.  Memory is O(chunk + groups) — plus O(matched
+values) only for the percentile reductions, which must see their whole
+population.
+
+Determinism rules, so results are byte-identical however the chunks
+were served (indexed v4 file, sidecar, in-memory store, or full scan):
+
+* record time is the *unclamped* :meth:`ClockCorrelator.place_value`
+  (clamped placement depends on scan history, which pruning changes);
+* the clock correlator is always fitted on the **unpruned** base
+  source, never the pruned view;
+* streamed records keep chunk order (pruning only removes chunks);
+* grouped rows are sorted by their key tuple; percentiles use the
+  nearest-rank method on sorted integer populations.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.pdt.correlate import ClockCorrelator
+from repro.pdt.events import spec_for_code
+from repro.pdt.store import EventSource
+from repro.tq.predicate import Predicate
+from repro.tq.source import IndexedSource, PruneStats
+
+#: Columns every record has, before payload fields.
+_INTRINSIC = ("time", "side", "code", "core", "seq", "raw_ts", "kind", "spe")
+
+#: Reduction operators taking a value column.
+_VALUE_OPS = ("sum", "min", "max", "mean", "p50", "p99")
+
+_GROUP_KEYS = ("spe", "core", "side", "code", "kind", "bucket")
+
+#: Group value for "spe" when the record is PPE-side (sortable int).
+PPE_GROUP = -1
+
+_FIELD_POS: typing.Dict[
+    typing.Tuple[int, int], typing.Dict[str, int]
+] = {}
+
+
+def _field_pos(side: int, code: int) -> typing.Dict[str, int]:
+    key = (side, code)
+    pos = _FIELD_POS.get(key)
+    if pos is None:
+        spec = spec_for_code(side, code)
+        pos = {name: i for i, name in enumerate(spec.fields)}
+        _FIELD_POS[key] = pos
+    return pos
+
+
+def nearest_rank(sorted_values: typing.Sequence[int], q: int) -> int:
+    """The q-th percentile by the nearest-rank method (exact, integer
+    population in, member of the population out)."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty population")
+    rank = -(-q * len(sorted_values) // 100)  # ceil without floats
+    return sorted_values[max(rank, 1) - 1]
+
+
+class _Agg:
+    """One reduction accumulator."""
+
+    __slots__ = ("op", "column", "count", "total", "lo", "hi", "population")
+
+    def __init__(self, op: str, column: typing.Optional[str]):
+        self.op = op
+        self.column = column
+        self.count = 0
+        self.total = 0
+        self.lo: typing.Optional[int] = None
+        self.hi: typing.Optional[int] = None
+        self.population: typing.Optional[typing.List[int]] = (
+            [] if op in ("p50", "p99") else None
+        )
+
+    def add(self, value: int) -> None:
+        self.count += 1
+        if self.op == "sum" or self.op == "mean":
+            self.total += value
+        elif self.op == "min":
+            self.lo = value if self.lo is None else min(self.lo, value)
+        elif self.op == "max":
+            self.hi = value if self.hi is None else max(self.hi, value)
+        elif self.population is not None:
+            self.population.append(value)
+
+    def result(self) -> typing.Union[int, float, None]:
+        if self.op == "count":
+            return self.count
+        if self.count == 0:
+            return None
+        if self.op == "sum":
+            return self.total
+        if self.op == "mean":
+            return self.total / self.count
+        if self.op == "min":
+            return self.lo
+        if self.op == "max":
+            return self.hi
+        assert self.population is not None
+        return nearest_rank(sorted(self.population), 50 if self.op == "p50" else 99)
+
+
+class Query:
+    """A composable, immutable-builder query over one event source.
+
+    Builder methods (:meth:`where`, :meth:`where_field`,
+    :meth:`project`, :meth:`groupby`, :meth:`agg`) each return a *new*
+    query; terminal methods (:meth:`run`, :meth:`records`,
+    :meth:`count`) execute it.  After a terminal method, :attr:`stats`
+    carries the :class:`~repro.tq.source.PruneStats` for the scan.
+    """
+
+    def __init__(
+        self,
+        source: EventSource,
+        correlator: typing.Optional[ClockCorrelator] = None,
+    ):
+        self.source = source
+        self.predicate = Predicate()
+        self.stats: typing.Optional[PruneStats] = None
+        self._correlator = correlator
+        self._projection: typing.Optional[typing.Tuple[str, ...]] = None
+        self._group_keys: typing.Tuple[str, ...] = ()
+        self._time_bucket: typing.Optional[int] = None
+        self._aggs: typing.Tuple[
+            typing.Tuple[str, str, typing.Optional[str]], ...
+        ] = ()
+
+    # -- builders ------------------------------------------------------
+    def _clone(self) -> "Query":
+        fork = Query(self.source, self._correlator)
+        fork.predicate = self.predicate
+        fork._projection = self._projection
+        fork._group_keys = self._group_keys
+        fork._time_bucket = self._time_bucket
+        fork._aggs = self._aggs
+        return fork
+
+    def where(
+        self,
+        t0: typing.Optional[int] = None,
+        t1: typing.Optional[int] = None,
+        spe: typing.Union[int, typing.Iterable[int], None] = None,
+        side: typing.Optional[int] = None,
+        event: typing.Union[int, str, typing.Iterable, None] = None,
+    ) -> "Query":
+        """Restrict to records matching every given clause (see
+        :meth:`Predicate.refine`)."""
+        fork = self._clone()
+        fork.predicate = self.predicate.refine(
+            t0=t0, t1=t1, spe=spe, side=side, event=event
+        )
+        return fork
+
+    def where_field(
+        self,
+        name: str,
+        lo: typing.Optional[int] = None,
+        hi: typing.Optional[int] = None,
+        eq: typing.Optional[int] = None,
+    ) -> "Query":
+        """Restrict on a payload field, e.g. ``where_field("size",
+        lo=4096)``.  Records whose type lacks the field never match."""
+        fork = self._clone()
+        fork.predicate = self.predicate.refine_field(name, lo=lo, hi=hi, eq=eq)
+        return fork
+
+    def project(self, *columns: str) -> "Query":
+        """Choose the tuple layout :meth:`records` yields.  Columns are
+        the intrinsics (time, side, code, core, seq, raw_ts, kind, spe)
+        or payload field names (``None`` when a record lacks one)."""
+        fork = self._clone()
+        fork._projection = tuple(columns)
+        return fork
+
+    def groupby(
+        self, *keys: str, time_bucket: typing.Optional[int] = None
+    ) -> "Query":
+        """Group by intrinsic keys; ``"bucket"`` groups by
+        ``time // time_bucket`` (requires ``time_bucket``)."""
+        for key in keys:
+            if key not in _GROUP_KEYS:
+                raise ValueError(
+                    f"unknown group key {key!r}; choose from "
+                    f"{', '.join(_GROUP_KEYS)}"
+                )
+        if "bucket" in keys and not time_bucket:
+            raise ValueError('groupby("bucket") requires time_bucket')
+        if time_bucket is not None and time_bucket <= 0:
+            raise ValueError(f"time_bucket must be positive, got {time_bucket}")
+        fork = self._clone()
+        fork._group_keys = tuple(keys)
+        fork._time_bucket = time_bucket
+        return fork
+
+    def agg(self, **reductions) -> "Query":
+        """Name the output reductions: ``n="count"`` or
+        ``total=("sum", column)`` with ops sum/min/max/mean/p50/p99
+        over an intrinsic column or payload field."""
+        parsed = []
+        for name, spec in reductions.items():
+            if spec == "count":
+                parsed.append((name, "count", None))
+                continue
+            try:
+                op, column = spec
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"aggregation {name!r} must be 'count' or an "
+                    f"(op, column) pair, got {spec!r}"
+                ) from None
+            if op not in _VALUE_OPS:
+                raise ValueError(
+                    f"unknown aggregation op {op!r}; choose from count, "
+                    f"{', '.join(_VALUE_OPS)}"
+                )
+            parsed.append((name, op, column))
+        fork = self._clone()
+        fork._aggs = tuple(parsed)
+        return fork
+
+    # -- execution -----------------------------------------------------
+    def _needs_time(self) -> bool:
+        if self.predicate.needs_time or "bucket" in self._group_keys:
+            return True
+        if self._projection is not None and "time" in self._projection:
+            return True
+        return any(column == "time" for __, __, column in self._aggs)
+
+    def _get_correlator(self) -> ClockCorrelator:
+        if self._correlator is None:
+            # Always fitted on the unpruned base: sync records must
+            # never be lost to pruning.
+            self._correlator = ClockCorrelator(self.source)
+        return self._correlator
+
+    def _scan(
+        self,
+    ) -> typing.Iterator[
+        typing.Tuple[
+            typing.Optional[int], int, int, int, int, int, typing.Sequence[int]
+        ]
+    ]:
+        """Matching records as (time, side, code, core, seq, raw_ts,
+        values) in chunk order; ``time`` is None for time-free queries."""
+        predicate = self.predicate
+        needs_time = self._needs_time()
+        correlator = self._get_correlator() if needs_time else None
+        pruned = IndexedSource(self.source, predicate, correlator)
+        self.stats = pruned.stats
+        check_fields = bool(predicate.fields)
+        for chunk in pruned.iter_chunks():
+            off = chunk.val_off
+            for i in range(len(chunk)):
+                side, code, core = chunk.side[i], chunk.code[i], chunk.core[i]
+                if not predicate.matches_static(side, code, core):
+                    continue
+                time: typing.Optional[int] = None
+                if needs_time:
+                    time = correlator.place_value(side, core, chunk.raw_ts[i])
+                    if not predicate.matches_time(time):
+                        continue
+                values = chunk.values[off[i] : off[i + 1]]
+                if check_fields and not predicate.matches_fields(
+                    side, code, values
+                ):
+                    continue
+                yield time, side, code, core, chunk.seq[i], chunk.raw_ts[i], values
+
+    def _column_value(
+        self, column, time, side, code, core, seq, raw_ts, values
+    ):
+        if column == "time":
+            return time
+        if column == "side":
+            return side
+        if column == "code":
+            return code
+        if column == "core":
+            return core
+        if column == "seq":
+            return seq
+        if column == "raw_ts":
+            return raw_ts
+        if column == "kind":
+            return str(spec_for_code(side, code).kind)
+        if column == "spe":
+            return core if side else PPE_GROUP
+        pos = _field_pos(side, code).get(column)
+        return values[pos] if pos is not None else None
+
+    def records(self) -> typing.Iterator[typing.Tuple]:
+        """Stream matching records as projected tuples, in chunk
+        (recording) order."""
+        projection = self._projection or ("time", "side", "core", "kind", "seq")
+        query = self if self._projection else self.project(*projection)
+        for row in query._scan():
+            yield tuple(query._column_value(c, *row) for c in projection)
+        self.stats = query.stats
+
+    def count(self) -> int:
+        """Number of matching records."""
+        return sum(1 for __ in self._scan())
+
+    def run(self) -> typing.List[typing.Dict[str, typing.Any]]:
+        """Execute group-and-reduce; rows sorted by group key.
+
+        Without :meth:`groupby` the result is a single row; without
+        :meth:`agg` the default reduction is ``n="count"``.
+        """
+        aggs = self._aggs or (("n", "count", None),)
+        keys = self._group_keys
+        bucket = self._time_bucket
+        groups: typing.Dict[typing.Tuple, typing.List[_Agg]] = {}
+        for row in self._scan():
+            time, side, code, core, seq, raw_ts, values = row
+            parts = []
+            for key in keys:
+                if key == "bucket":
+                    assert bucket is not None and time is not None
+                    parts.append(time // bucket)
+                else:
+                    parts.append(self._column_value(key, *row))
+            group = tuple(parts)
+            accs = groups.get(group)
+            if accs is None:
+                accs = [_Agg(op, column) for __, op, column in aggs]
+                groups[group] = accs
+            for acc in accs:
+                if acc.op == "count":
+                    acc.count += 1
+                    continue
+                value = self._column_value(acc.column, *row)
+                if value is None or isinstance(value, str):
+                    continue
+                acc.add(value)
+        rows = []
+        for group in sorted(groups):
+            out: typing.Dict[str, typing.Any] = dict(zip(keys, group))
+            for (name, __, __c), acc in zip(aggs, groups[group]):
+                out[name] = acc.result()
+            rows.append(out)
+        if not keys and not rows:
+            # An empty selection still yields one all-empty row.
+            rows.append(
+                {name: _Agg(op, col).result() for name, op, col in aggs}
+            )
+        return rows

@@ -1,0 +1,222 @@
+"""Query predicates: one object, two evaluation granularities.
+
+A :class:`Predicate` states what records a query wants.  It is
+evaluated twice, against different amounts of information:
+
+* **chunk granularity** — :meth:`Predicate.admits` asks a
+  :class:`~repro.pdt.index.ZoneMap` whether a chunk *could* contain a
+  matching record.  This is the pushdown path: an admitted chunk may
+  still turn out empty of matches (zones are conservative), but a
+  refused chunk provably holds none, so the reader can seek past its
+  payload.
+* **record granularity** — :meth:`matches_static`,
+  :meth:`matches_time` and :meth:`matches_fields` decide each record
+  exactly.  Every record the query returns passed these, whether or
+  not its chunk was admitted by a zone map — which is why query
+  results are byte-identical with and without an index.
+
+Predicates are immutable; refinement (:meth:`refine`) returns a new,
+strictly-narrower predicate, so a :class:`~repro.tq.pipeline.Query`
+can be forked cheaply.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.pdt.events import EVENT_SPECS, SIDE_PPE, SIDE_SPE, spec_for_code
+from repro.pdt.index import ZoneMap
+
+
+def events_matching(
+    selector: typing.Union[int, str]
+) -> typing.FrozenSet[typing.Tuple[int, int]]:
+    """Resolve an event selector to the (side, code) pairs it names.
+
+    An ``int`` selects that record code on whichever sides define it; a
+    ``str`` selects every spec whose kind name matches (kind names can
+    exist on both sides, e.g. user markers).  Raises :class:`ValueError`
+    for selectors that name nothing — a typo'd event filter should fail
+    loudly, not return zero records.
+    """
+    if isinstance(selector, bool):
+        raise ValueError(f"not an event selector: {selector!r}")
+    if isinstance(selector, int):
+        pairs = frozenset(key for key in EVENT_SPECS if key[1] == selector)
+        if not pairs:
+            raise ValueError(f"no event has code {selector:#x}")
+        return pairs
+    name = str(selector)
+    pairs = frozenset(
+        (spec.side, spec.code)
+        for spec in EVENT_SPECS.values()
+        if str(spec.kind) == name
+    )
+    if not pairs:
+        known = sorted({str(s.kind) for s in EVENT_SPECS.values()})
+        raise ValueError(
+            f"unknown event kind {name!r}; known kinds: {', '.join(known)}"
+        )
+    return pairs
+
+
+@dataclasses.dataclass(frozen=True)
+class Predicate:
+    """What records a query selects (conjunction of the set clauses).
+
+    ``t_min``/``t_max`` bound the corrected global time, inclusive.
+    ``spes`` restricts to SPE-side records from those cores (so it
+    implies the SPE side).  ``side`` restricts to one side.  ``events``
+    is a set of (side, code) pairs; a record matches if its own pair is
+    in the set.  ``fields`` is a tuple of ``(name, lo, hi)`` payload
+    clauses: the record's spec must define ``name`` and the value must
+    fall in ``[lo, hi]`` (either bound may be ``None``).
+    """
+
+    t_min: typing.Optional[int] = None
+    t_max: typing.Optional[int] = None
+    side: typing.Optional[int] = None
+    spes: typing.Optional[typing.FrozenSet[int]] = None
+    events: typing.Optional[
+        typing.FrozenSet[typing.Tuple[int, int]]
+    ] = None
+    fields: typing.Tuple[
+        typing.Tuple[str, typing.Optional[int], typing.Optional[int]], ...
+    ] = ()
+
+    @property
+    def needs_time(self) -> bool:
+        """Whether evaluating this predicate requires placed time."""
+        return self.t_min is not None or self.t_max is not None
+
+    @property
+    def is_unrestricted(self) -> bool:
+        return (
+            not self.needs_time
+            and self.side is None
+            and self.spes is None
+            and self.events is None
+            and not self.fields
+        )
+
+    # -- construction --------------------------------------------------
+    def refine(
+        self,
+        t0: typing.Optional[int] = None,
+        t1: typing.Optional[int] = None,
+        spe: typing.Union[int, typing.Iterable[int], None] = None,
+        side: typing.Optional[int] = None,
+        event: typing.Union[int, str, typing.Iterable, None] = None,
+    ) -> "Predicate":
+        """A new predicate selecting the intersection with the clauses.
+
+        ``event`` accepts a kind name, a record code, or an iterable of
+        either; repeated refinement intersects (never widens) each
+        clause.
+        """
+        t_min, t_max = self.t_min, self.t_max
+        if t0 is not None:
+            t_min = t0 if t_min is None else max(t_min, t0)
+        if t1 is not None:
+            t_max = t1 if t_max is None else min(t_max, t1)
+        spes = self.spes
+        if spe is not None:
+            new = frozenset([spe] if isinstance(spe, int) else spe)
+            spes = new if spes is None else spes & new
+        events = self.events
+        if event is not None:
+            if isinstance(event, (int, str)):
+                new = events_matching(event)
+            else:
+                new = frozenset().union(
+                    *(events_matching(e) for e in event)
+                )
+            events = new if events is None else events & new
+        new_side = self.side
+        if side is not None:
+            if new_side is not None and new_side != side:
+                # Contradictory sides: select nothing, via an empty
+                # event set (keeps the type simple).
+                events = frozenset()
+            new_side = side
+        return dataclasses.replace(
+            self, t_min=t_min, t_max=t_max, side=new_side, spes=spes,
+            events=events,
+        )
+
+    def refine_field(
+        self,
+        name: str,
+        lo: typing.Optional[int] = None,
+        hi: typing.Optional[int] = None,
+        eq: typing.Optional[int] = None,
+    ) -> "Predicate":
+        if eq is not None:
+            lo = hi = eq
+        return dataclasses.replace(
+            self, fields=self.fields + ((name, lo, hi),)
+        )
+
+    # -- chunk granularity (pushdown) ----------------------------------
+    def admits(self, zone: ZoneMap) -> bool:
+        """Could a chunk summarized by ``zone`` hold a matching record?
+
+        Must err toward ``True``: a false admit costs one chunk decode,
+        a false refusal would silently drop results.
+        """
+        if zone.n_records == 0:
+            return False
+        if not zone.may_overlap_time(self.t_min, self.t_max):
+            return False
+        want_spe = self.spes is not None or self.side == SIDE_SPE
+        if want_spe and not zone.spe_overflow:
+            if self.spes is not None:
+                if not any(zone.may_contain_spe(s) for s in self.spes):
+                    return False
+            elif zone.spe_bitmap == 0:
+                return False
+        if self.side == SIDE_PPE and not zone.has_ppe:
+            return False
+        if self.events is not None:
+            if not any(
+                zone.may_contain_code(side, code)
+                for side, code in self.events
+            ):
+                return False
+        return True
+
+    # -- record granularity --------------------------------------------
+    def matches_static(self, side: int, code: int, core: int) -> bool:
+        """The time-free, payload-free part of the record test."""
+        if self.side is not None and side != self.side:
+            return False
+        if self.spes is not None and (side != SIDE_SPE or core not in self.spes):
+            return False
+        if self.events is not None and (side, code) not in self.events:
+            return False
+        return True
+
+    def matches_time(self, time: int) -> bool:
+        if self.t_min is not None and time < self.t_min:
+            return False
+        if self.t_max is not None and time > self.t_max:
+            return False
+        return True
+
+    def matches_fields(
+        self, side: int, code: int, values: typing.Sequence[int]
+    ) -> bool:
+        if not self.fields:
+            return True
+        spec = spec_for_code(side, code)
+        for name, lo, hi in self.fields:
+            try:
+                value = values[spec.fields.index(name)]
+            except ValueError:
+                return False  # record type has no such field
+            if lo is not None and value < lo:
+                return False
+            if hi is not None and value > hi:
+                return False
+        return True

@@ -1,0 +1,289 @@
+"""Zone-map index tests: trailer round trips, corruption, sidecars.
+
+The v4 index trailer and the ``.pdtx`` sidecar share one byte layout;
+these tests pin its encode/decode bijection, the writer's streaming
+zone maps against the exact per-record builder, and the degradation
+contract: a damaged index must never produce wrong pruning — strict
+reads fail loudly, salvage reads drop the index and full-scan.
+"""
+
+import io
+
+import pytest
+
+from repro.pdt import (
+    ClockCorrelator,
+    TraceConfig,
+    open_trace,
+    write_trace,
+)
+from repro.pdt.format import (
+    TraceFormatError,
+    VERSION_CRC,
+    VERSION_INDEXED,
+)
+from repro.pdt.index import (
+    ZoneMap,
+    build_zone_maps,
+    decode_index,
+    encode_index,
+    index_size,
+    read_sidecar,
+    sidecar_path,
+)
+from repro.pdt.writer import ChunkWriter
+from repro.tq import build_sidecar
+
+from tests.pdt.util import dma_loop_program, run_workload, traced_machine
+
+
+def _traced_source(iterations=8, n_spes=2, buffer_bytes=1024):
+    machine, rt, hooks = traced_machine(TraceConfig(buffer_bytes=buffer_bytes))
+    run_workload(
+        machine, rt, dma_loop_program(iterations=iterations), n_spes=n_spes
+    )
+    return hooks.event_source()
+
+
+def _write_version(source, version, tmp_path, name):
+    import dataclasses
+
+    path = str(tmp_path / name)
+    header = dataclasses.replace(source.header, version=version)
+    source.header = header
+    write_trace(source, path)
+    return path
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+SAMPLE_ZONES = [
+    ZoneMap(n_records=0),
+    ZoneMap(
+        n_records=7, has_time=True, t_min=-5, t_max=12_000_000_000,
+        spe_bitmap=0b1010, spe_codes=(1 << 0x40) | 1, ppe_codes=0,
+    ),
+    ZoneMap(
+        n_records=3, has_ppe=True, spe_overflow=True, code_overflow=True,
+        ppe_codes=(1 << 127) | (1 << 3),
+    ),
+]
+
+
+def test_encode_decode_round_trip():
+    blob = encode_index(SAMPLE_ZONES, total_records=10)
+    assert len(blob) == index_size(len(SAMPLE_ZONES))
+    zones, total, consumed = decode_index(blob)
+    assert consumed == len(blob)
+    assert total == 10
+    assert zones == SAMPLE_ZONES
+
+
+def test_decode_rejects_damage():
+    blob = encode_index(SAMPLE_ZONES, total_records=10)
+    with pytest.raises(TraceFormatError, match="bad index magic"):
+        decode_index(b"NOPE" + blob[4:])
+    with pytest.raises(TraceFormatError, match="truncated index"):
+        decode_index(blob[:-6])
+    flipped = bytearray(blob)
+    flipped[len(blob) // 2] ^= 0xFF
+    with pytest.raises(TraceFormatError, match="CRC mismatch"):
+        decode_index(bytes(flipped))
+    bad_version = bytearray(blob)
+    bad_version[4] = 99
+    # CRC covers the version field, so either error is fine; the read
+    # must fail, not mis-parse.
+    with pytest.raises(TraceFormatError):
+        decode_index(bytes(bad_version))
+
+
+def test_sidecar_round_trip(tmp_path):
+    trace = str(tmp_path / "t.pdt")
+    from repro.pdt.index import write_sidecar
+
+    path = write_sidecar(trace, SAMPLE_ZONES, total_records=10)
+    assert path == sidecar_path(trace)
+    loaded = read_sidecar(trace)
+    assert loaded is not None
+    zones, total = loaded
+    assert zones == SAMPLE_ZONES and total == 10
+    # Damaged or missing sidecars read as None, never raise.
+    with open(path, "r+b") as handle:
+        handle.seek(8)
+        handle.write(b"\xff")
+    assert read_sidecar(trace) is None
+    assert read_sidecar(str(tmp_path / "absent.pdt")) is None
+
+
+# ----------------------------------------------------------------------
+# the v4 trailer through the writers
+# ----------------------------------------------------------------------
+def test_v4_file_carries_zone_maps(tmp_path):
+    source = _traced_source()
+    path = _write_version(source, VERSION_INDEXED, tmp_path, "v4.pdt")
+    loaded = open_trace(path)
+    zones = loaded.zone_maps()
+    assert zones is not None and len(zones) == loaded.n_chunks
+    assert sum(z.n_records for z in zones) == loaded.n_records
+    # Per-SPE presence must be reflected somewhere, and every chunk of
+    # a well-formed trace gets time bounds.
+    assert all(z.has_time for z in zones)
+    for spe_id in (0, 1):
+        assert any(z.may_contain_spe(spe_id) for z in zones)
+
+
+def test_streaming_zones_match_exact_builder(tmp_path):
+    """The writer's accumulator (fit extremes, no records kept) must
+    agree exactly with the per-record builder on the same chunks."""
+    source = _traced_source()
+    path = _write_version(source, VERSION_INDEXED, tmp_path, "v4.pdt")
+    loaded = open_trace(path)
+    stored = loaded.zone_maps()
+    exact = build_zone_maps(loaded.iter_chunks(), ClockCorrelator(loaded))
+    assert stored == exact
+
+
+def test_zone_bounds_cover_every_placed_record(tmp_path):
+    source = _traced_source()
+    path = _write_version(source, VERSION_INDEXED, tmp_path, "v4.pdt")
+    loaded = open_trace(path)
+    zones = loaded.zone_maps()
+    correlator = ClockCorrelator(loaded)
+    for zone, chunk in zip(zones, loaded.iter_chunks()):
+        for i in range(len(chunk)):
+            time = correlator.place_value(
+                chunk.side[i], chunk.core[i], chunk.raw_ts[i]
+            )
+            assert zone.t_min <= time <= zone.t_max
+
+
+def test_chunk_writer_appends_trailer(tmp_path):
+    """The incremental ChunkWriter path indexes too, not just
+    write_trace."""
+    source = _traced_source()
+    path = str(tmp_path / "incremental.pdt")
+    with open(path, "wb") as handle:
+        writer = ChunkWriter(handle, source.header)
+        for chunk in source.iter_chunks():
+            for i in range(len(chunk)):
+                writer.append(
+                    chunk.side[i], chunk.code[i], chunk.core[i],
+                    chunk.seq[i], chunk.raw_ts[i],
+                    chunk.values[chunk.val_off[i]:chunk.val_off[i + 1]],
+                )
+        writer.close()
+    loaded = open_trace(path)
+    zones = loaded.zone_maps()
+    assert zones is not None
+    assert sum(z.n_records for z in zones) == source.n_records
+
+
+class _NonSeekable(io.RawIOBase):
+    def __init__(self):
+        self.buffer = io.BytesIO()
+
+    def write(self, data):
+        return self.buffer.write(data)
+
+    def seekable(self):
+        return False
+
+
+def test_sentinel_v4_stream_round_trips():
+    """Piped v4 output (sentinel chunk count) still ends with a
+    readable trailer: chunks run until the index magic."""
+    source = _traced_source()
+    out = _NonSeekable()
+    write_trace(source, out)
+    loaded = open_trace(out.buffer.getvalue())
+    assert loaded.n_records == source.n_records
+    zones = loaded.zone_maps()
+    assert zones is not None and len(zones) == loaded.n_chunks
+
+
+def test_empty_v4_trace(tmp_path):
+    from repro.pdt.store import ColumnStore, StoreSource
+    from repro.pdt.trace import TraceHeader
+
+    header = TraceHeader(
+        n_spes=2, timebase_divider=120, spu_clock_hz=3.2e9,
+        groups_bitmap=0b111111, buffer_bytes=16384,
+    )
+    path = str(tmp_path / "empty.pdt")
+    write_trace(StoreSource(header, ColumnStore()), path)
+    loaded = open_trace(path)
+    assert loaded.n_records == 0
+    assert loaded.zone_maps() == []
+
+
+# ----------------------------------------------------------------------
+# degradation: corrupt trailers must never mis-prune
+# ----------------------------------------------------------------------
+def _flip_trailer_byte(path):
+    with open(path, "rb") as handle:
+        blob = bytearray(handle.read())
+    magic_at = blob.rfind(b"PDTX")
+    assert magic_at > 0
+    blob[magic_at + 12] ^= 0xFF  # inside the header, breaks the CRC
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+    return magic_at
+
+
+def test_corrupt_trailer_fails_strict_read(tmp_path):
+    source = _traced_source()
+    path = _write_version(source, VERSION_INDEXED, tmp_path, "v4.pdt")
+    _flip_trailer_byte(path)
+    with pytest.raises(TraceFormatError):
+        open_trace(path)
+
+
+def test_corrupt_trailer_salvages_to_full_scan(tmp_path):
+    source = _traced_source()
+    path = _write_version(source, VERSION_INDEXED, tmp_path, "v4.pdt")
+    _flip_trailer_byte(path)
+    loaded = open_trace(path, strict=False)
+    # Every record survives — only the index is lost.
+    assert loaded.n_records == source.n_records
+    assert loaded.zone_maps() is None
+    assert loaded.salvage is not None
+    assert any("index trailer" in note for note in loaded.salvage.notes)
+
+
+def test_truncated_trailer_fails_strict_read(tmp_path):
+    source = _traced_source()
+    path = _write_version(source, VERSION_INDEXED, tmp_path, "v4.pdt")
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    with pytest.raises(TraceFormatError):
+        open_trace(blob[:-3])
+
+
+# ----------------------------------------------------------------------
+# sidecar backfill for pre-v4 files
+# ----------------------------------------------------------------------
+def test_sidecar_backfills_v3_file(tmp_path):
+    source = _traced_source()
+    path = _write_version(source, VERSION_CRC, tmp_path, "v3.pdt")
+    loaded = open_trace(path)
+    assert loaded.zone_maps() is None
+    build_sidecar(path)
+    again = open_trace(path)
+    assert again.attach_sidecar()
+    zones = again.zone_maps()
+    assert zones is not None and len(zones) == again.n_chunks
+    # And the sidecar zones are the exact ones.
+    assert zones == build_zone_maps(again.iter_chunks(), ClockCorrelator(again))
+
+
+def test_mismatched_sidecar_is_refused(tmp_path):
+    """A sidecar left over from a different trace must not attach."""
+    source = _traced_source()
+    path = _write_version(source, VERSION_CRC, tmp_path, "v3.pdt")
+    from repro.pdt.index import write_sidecar
+
+    write_sidecar(path, SAMPLE_ZONES, total_records=10)
+    loaded = open_trace(path)
+    assert not loaded.attach_sidecar()
+    assert loaded.zone_maps() is None

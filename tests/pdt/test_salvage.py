@@ -18,6 +18,7 @@ from repro.pdt.format import (
     CHUNKS_UNTIL_EOF,
     VERSION_CHUNKED,
     VERSION_CRC,
+    VERSION_INDEXED,
     VERSION_LEGACY,
     TraceFormatError,
     chunk_frame_struct,
@@ -82,12 +83,14 @@ def record_tuples(source):
 # ----------------------------------------------------------------------
 # version-3 round trip
 # ----------------------------------------------------------------------
-def test_v3_round_trips_and_is_default():
+def test_v3_round_trips_and_v4_is_default():
     blob = sample_blob()
+    # The default header version moved to the indexed layout (v4),
+    # which is a superset of the v3 integrity checks.
     assert TraceHeader(
         n_spes=1, timebase_divider=1, spu_clock_hz=1.0,
         groups_bitmap=0, buffer_bytes=0,
-    ).version == VERSION_CRC
+    ).version == VERSION_INDEXED
     trace = read_trace(blob)
     assert trace.header.version == VERSION_CRC
     assert trace.n_records == N_RECORDS

@@ -1,0 +1,240 @@
+"""Property: tq answers are independent of how the trace is served.
+
+For randomized traces and randomized predicates, the query pipeline
+must return byte-identical results over:
+
+* the in-memory store (computed zone maps),
+* a v4 file (index trailer, chunks pruned by seeking),
+* a v3 file (no index — full scan),
+* the same v3 file with a backfilled ``.pdtx`` sidecar,
+* a v2 file (pre-CRC chunked layout, full scan),
+
+and all of them must equal an independent brute-force reference that
+scans every record with no tq machinery at all.  A v1 legacy file
+(which re-groups records into per-core streams, so chunk order is not
+preserved) must agree up to record order and exactly on aggregates.
+"""
+
+import dataclasses
+import io
+import os
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pdt.correlate import ClockCorrelator
+from repro.pdt.events import SIDE_PPE, SIDE_SPE, code_for_kind
+from repro.pdt.reader import open_trace
+from repro.pdt.store import ColumnStore, StoreSource
+from repro.pdt.trace import TraceHeader
+from repro.pdt.writer import write_trace
+from repro.tq import Query, build_sidecar, open_indexed
+
+DIVIDER = 120
+DEC_START = 0xF000_0000  # decrementers count DOWN from here
+SYNC = code_for_kind(SIDE_SPE, "sync")
+SPE_KINDS = [
+    code_for_kind(SIDE_SPE, name)
+    for name in ("mfc_get", "mfc_put", "wait_tag_begin", "wait_tag_end",
+                 "user_marker")
+]
+PPE_KINDS = [
+    code_for_kind(SIDE_PPE, name)
+    for name in ("context_create", "context_run_begin", "context_run_end")
+]
+QUERY_KINDS = ("mfc_get", "mfc_put", "user_marker", "context_create")
+
+# One drawn event: producing core (0 = PPE), kind selector, timebase
+# ticks since the previous event, payload seed.
+event = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=9),
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=0, max_value=1 << 20),
+)
+
+# A drawn query: optional time window (as tick bounds), SPE, side, kind.
+query_spec = st.tuples(
+    st.one_of(st.none(), st.tuples(st.integers(0, 2200), st.integers(0, 2200))),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+    st.one_of(st.none(), st.sampled_from((SIDE_PPE, SIDE_SPE))),
+    st.one_of(st.none(), st.sampled_from(QUERY_KINDS)),
+)
+
+
+def build_store(draws):
+    """Materialize drawn events as a valid multi-chunk column store."""
+    recs = []
+    tick = 1
+    spe_cores = set()
+    for core_sel, kind_sel, dt, seed in draws:
+        tick += dt
+        if core_sel == 0:
+            spec = PPE_KINDS[kind_sel % len(PPE_KINDS)]
+            side, core = SIDE_PPE, 0
+        else:
+            spec = SPE_KINDS[kind_sel % len(SPE_KINDS)]
+            side, core = SIDE_SPE, core_sel - 1
+            spe_cores.add(core)
+        values = tuple((seed + j) % 65536 for j in range(len(spec.fields)))
+        recs.append((tick, side, spec.code, core, values))
+    # Every SPE core brackets its stream with sync records so the
+    # clocks correlate (tb_raw = timebase tick; the decrementer here
+    # ticks at timebase rate, offset per core).
+    end = tick + 1
+    for core in sorted(spe_cores):
+        recs.insert(0, (0, SIDE_SPE, SYNC.code, core, (0,)))
+        recs.append((end, SIDE_SPE, SYNC.code, core, (end,)))
+    store = ColumnStore(chunk_records=5)
+    seqs = {}
+    for tick, side, code, core, values in recs:
+        if side == SIDE_SPE:
+            dec0 = DEC_START + core * 0x1_0001
+            raw = (dec0 - tick) % (1 << 32)
+        else:
+            raw = tick
+        seq = seqs.get((side, core), 0)
+        seqs[(side, core)] = seq + 1
+        store.append(side, code, core, seq, raw, values)
+    return store
+
+
+def header(version):
+    return TraceHeader(
+        n_spes=4, timebase_divider=DIVIDER, spu_clock_hz=3.2e9,
+        groups_bitmap=0b111111, buffer_bytes=16384, version=version,
+    )
+
+
+PROJECTION = ("time", "side", "core", "code", "seq", "raw_ts")
+
+
+def brute_force(source, window, spe, side, kind):
+    """Reference scan: no Predicate, no IndexedSource, no Query."""
+    correlator = ClockCorrelator(source)
+    wanted = (
+        {(s.side, s.code) for s in SPE_KINDS + PPE_KINDS + [SYNC]
+         if str(s.kind) == kind}
+        if kind is not None else None
+    )
+    out = []
+    for chunk in source.iter_chunks():
+        for i in range(len(chunk)):
+            rside, code, core = chunk.side[i], chunk.code[i], chunk.core[i]
+            time = correlator.place_value(rside, core, chunk.raw_ts[i])
+            if window is not None and not (window[0] <= time <= window[1]):
+                continue
+            if spe is not None and (rside != SIDE_SPE or core != spe):
+                continue
+            if side is not None and rside != side:
+                continue
+            if wanted is not None and (rside, code) not in wanted:
+                continue
+            out.append((time, rside, core, code, chunk.seq[i], chunk.raw_ts[i]))
+    return out
+
+
+def run_query(source, window, spe, side, kind):
+    query = Query(source).where(
+        t0=window[0] if window else None,
+        t1=window[1] if window else None,
+        spe=spe, side=side, event=kind,
+    )
+    rows = list(query.project(*PROJECTION).records())
+    aggs = (
+        query.groupby("side", "core", "kind")
+        .agg(n="count", t_min=("min", "time"), t_max=("max", "time"))
+        .run()
+    )
+    return rows, aggs
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(event, min_size=0, max_size=40), query_spec)
+def test_every_serving_path_matches_brute_force(draws, spec):
+    window, spe, side, kind = spec
+    if window is not None:
+        # Tick bounds -> corrected-cycle bounds, normalized lo <= hi.
+        lo, hi = sorted(window)
+        window = (lo * DIVIDER, hi * DIVIDER)
+    store = build_store(draws)
+    memory = StoreSource(header(4), store)
+    expected = brute_force(memory, window, spe, side, kind)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = {}
+        for version in (2, 3, 4):
+            paths[version] = os.path.join(tmp, f"v{version}.pdt")
+            write_trace(StoreSource(header(version), store), paths[version])
+        legacy = io.BytesIO()
+        write_trace(StoreSource(header(1), store), legacy)
+
+        rows, aggs = run_query(memory, window, spe, side, kind)
+        assert rows == expected
+
+        for version in (2, 3, 4):
+            file_rows, file_aggs = run_query(
+                open_trace(paths[version]), window, spe, side, kind
+            )
+            assert file_rows == expected, f"v{version} diverged"
+            assert file_aggs == aggs, f"v{version} aggregates diverged"
+
+        # Backfilled sidecar on the index-free v3 file.
+        build_sidecar(paths[3])
+        sidecar_source = open_indexed(paths[3])
+        if store.n_records:
+            assert sidecar_source.zone_maps() is not None
+        sidecar_rows, sidecar_aggs = run_query(
+            sidecar_source, window, spe, side, kind
+        )
+        assert sidecar_rows == expected
+        assert sidecar_aggs == aggs
+
+        # v1 re-groups records into per-core streams: same multiset of
+        # records, identical aggregates.
+        v1_rows, v1_aggs = run_query(
+            open_trace(legacy.getvalue()), window, spe, side, kind
+        )
+        assert sorted(v1_rows) == sorted(expected)
+        assert v1_aggs == aggs
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(event, min_size=1, max_size=40), query_spec)
+def test_pruning_is_sound_and_chunk_aligned(draws, spec):
+    """Whatever the predicate, the pruned chunk set is a superset of
+    the chunks holding matches — pruning may waste a decode, never
+    drop a record."""
+    from repro.pdt.index import build_zone_maps
+    from repro.tq import IndexedSource, Predicate
+
+    window, spe, side, kind = spec
+    if window is not None:
+        lo, hi = sorted(window)
+        window = (lo * DIVIDER, hi * DIVIDER)
+    store = build_store(draws)
+    memory = StoreSource(header(4), store)
+    correlator = ClockCorrelator(memory)
+    predicate = Predicate().refine(
+        t0=window[0] if window else None,
+        t1=window[1] if window else None,
+        spe=spe, side=side, event=kind,
+    )
+    zones = build_zone_maps(memory.iter_chunks(), correlator)
+    for zone, chunk in zip(zones, memory.iter_chunks()):
+        if predicate.admits(zone):
+            continue
+        # A refused chunk must hold no matching record.
+        for i in range(len(chunk)):
+            rside, code, core = chunk.side[i], chunk.code[i], chunk.core[i]
+            if not predicate.matches_static(rside, code, core):
+                continue
+            time = correlator.place_value(rside, core, chunk.raw_ts[i])
+            assert not predicate.matches_time(time), (
+                f"zone refused a chunk holding a matching record: "
+                f"{(rside, code, core, time)} vs {zone}"
+            )
+    pruned = IndexedSource(memory, predicate, correlator)
+    served = sum(len(c) for c in pruned.iter_chunks())
+    assert served == pruned.n_records
+    assert pruned.stats.total_chunks == len(zones)

@@ -21,6 +21,7 @@ EXAMPLES = [
     "trace_diff.py",
     "job_farm.py",
     "alf_convolution.py",
+    "query_trace.py",
 ]
 
 

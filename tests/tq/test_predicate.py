@@ -1,0 +1,122 @@
+"""Predicate tests: selector resolution, refinement, both granularities."""
+
+import pytest
+
+from repro.pdt.events import SIDE_PPE, SIDE_SPE, code_for_kind
+from repro.pdt.index import ZoneMap
+from repro.tq import Predicate, events_matching
+
+MFC_GET = code_for_kind(SIDE_SPE, "mfc_get").code
+SYNC = code_for_kind(SIDE_SPE, "sync").code
+
+
+def test_events_matching_by_name_and_code():
+    by_name = events_matching("mfc_get")
+    assert by_name == frozenset({(SIDE_SPE, MFC_GET)})
+    assert events_matching(MFC_GET) >= by_name
+    # Kind names that exist on both sides resolve to both specs.
+    markers = events_matching("user_marker")
+    assert len(markers) >= 1
+
+
+def test_events_matching_rejects_nonsense():
+    with pytest.raises(ValueError, match="unknown event kind"):
+        events_matching("warp_drive")
+    with pytest.raises(ValueError, match="no event has code"):
+        events_matching(0x7FFF)
+    with pytest.raises(ValueError, match="not an event selector"):
+        events_matching(True)
+
+
+def test_refine_intersects_not_widens():
+    p = Predicate().refine(t0=100, t1=900, spe=[1, 2])
+    q = p.refine(t0=50, t1=500, spe=2)
+    assert (q.t_min, q.t_max) == (100, 500)
+    assert q.spes == frozenset({2})
+    e = Predicate().refine(event=["mfc_get", "mfc_put"]).refine(event="mfc_get")
+    assert e.events == frozenset({(SIDE_SPE, MFC_GET)})
+
+
+def test_contradictory_sides_select_nothing():
+    p = Predicate().refine(side=SIDE_SPE).refine(side=SIDE_PPE)
+    assert p.events == frozenset()
+    assert not p.matches_static(SIDE_SPE, MFC_GET, 0)
+    assert not p.matches_static(SIDE_PPE, 0x01, 0)
+    # And no zone admits it (empty event set matches no code).
+    zone = ZoneMap(n_records=5, spe_bitmap=1, has_ppe=True,
+                   spe_codes=1 << MFC_GET, ppe_codes=0b10)
+    assert not p.admits(zone)
+
+
+def test_matches_static():
+    p = Predicate().refine(spe=1)
+    assert p.matches_static(SIDE_SPE, MFC_GET, 1)
+    assert not p.matches_static(SIDE_SPE, MFC_GET, 0)
+    assert not p.matches_static(SIDE_PPE, MFC_GET, 1)  # spe implies SPE side
+    e = Predicate().refine(event="mfc_get")
+    assert e.matches_static(SIDE_SPE, MFC_GET, 3)
+    assert not e.matches_static(SIDE_SPE, SYNC, 3)
+
+
+def test_matches_time_inclusive_bounds():
+    p = Predicate().refine(t0=10, t1=20)
+    assert p.matches_time(10) and p.matches_time(20)
+    assert not p.matches_time(9) and not p.matches_time(21)
+    assert Predicate().matches_time(-(10**18))
+
+
+def test_matches_fields():
+    p = Predicate().refine_field("size", lo=1024)
+    get_values = (2, 4096, 0, 128, 0, 0)  # mfc_get: tag first, size second
+    assert p.matches_fields(SIDE_SPE, MFC_GET, get_values)
+    assert not p.matches_fields(SIDE_SPE, MFC_GET, (2, 512, 0, 128, 0, 0))
+    # A record type without the field never matches.
+    assert not p.matches_fields(SIDE_SPE, SYNC, (12345,))
+    eq = Predicate().refine_field("tag", eq=2)
+    assert eq.matches_fields(SIDE_SPE, MFC_GET, get_values)
+    assert not eq.matches_fields(SIDE_SPE, MFC_GET, (3,) + get_values[1:])
+
+
+# ----------------------------------------------------------------------
+# chunk granularity
+# ----------------------------------------------------------------------
+def zone(**kw):
+    base = dict(n_records=10, has_time=True, t_min=1000, t_max=2000,
+                spe_bitmap=0b0110, has_ppe=False,
+                spe_codes=(1 << MFC_GET) | (1 << SYNC), ppe_codes=0)
+    base.update(kw)
+    return ZoneMap(**base)
+
+
+def test_admits_time_windows():
+    p = Predicate()
+    assert p.refine(t0=1500).admits(zone())
+    assert p.refine(t1=1500).admits(zone())
+    assert not p.refine(t0=2001).admits(zone())
+    assert not p.refine(t1=999).admits(zone())
+    # Zones without time bounds always admit time windows.
+    assert p.refine(t0=10**12).admits(zone(has_time=False))
+
+
+def test_admits_spe_and_side():
+    assert Predicate().refine(spe=1).admits(zone())
+    assert not Predicate().refine(spe=0).admits(zone())
+    assert not Predicate().refine(spe=40).admits(zone())  # beyond bitmap
+    assert Predicate().refine(spe=40).admits(zone(spe_overflow=True))
+    assert not Predicate().refine(side=SIDE_PPE).admits(zone())
+    assert Predicate().refine(side=SIDE_PPE).admits(zone(has_ppe=True))
+    assert not Predicate().refine(side=SIDE_SPE).admits(
+        zone(spe_bitmap=0, has_ppe=True)
+    )
+
+
+def test_admits_events():
+    assert Predicate().refine(event="mfc_get").admits(zone())
+    assert not Predicate().refine(event="mfc_put").admits(zone())
+    assert Predicate().refine(event="mfc_put").admits(zone(code_overflow=True))
+    # Any member of the selector set is enough.
+    assert Predicate().refine(event=["mfc_put", "sync"]).admits(zone())
+
+
+def test_empty_zone_admits_nothing():
+    assert not Predicate().admits(zone(n_records=0))

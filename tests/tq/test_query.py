@@ -1,0 +1,299 @@
+"""Query pipeline tests over real traced workloads.
+
+One traced run serves every test: the same trace as an in-memory
+ConcatSource, a v4 file (zone maps in the trailer), and a v3 file
+(no index, full scan).  The pipeline must answer identically over all
+three — the file-backed v4 path just reads less.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.pdt import ClockCorrelator, TraceConfig, open_trace, write_trace
+from repro.pdt.events import SIDE_PPE, SIDE_SPE, spec_for_code
+from repro.pdt.format import VERSION_CRC, VERSION_INDEXED
+from repro.tq import (
+    IndexedSource,
+    PPE_GROUP,
+    Predicate,
+    Query,
+    nearest_rank,
+    open_indexed,
+)
+
+from tests.pdt.util import dma_loop_program, run_workload, traced_machine
+
+
+@pytest.fixture(scope="module")
+def traced(tmp_path_factory):
+    machine, rt, hooks = traced_machine(TraceConfig(buffer_bytes=1024))
+    run_workload(machine, rt, dma_loop_program(iterations=10), n_spes=2)
+    source = hooks.event_source()
+    tmp = tmp_path_factory.mktemp("tq")
+    v4 = str(tmp / "t4.pdt")
+    source.header = dataclasses.replace(source.header, version=VERSION_INDEXED)
+    write_trace(source, v4)
+    v3 = str(tmp / "t3.pdt")
+    source.header = dataclasses.replace(source.header, version=VERSION_CRC)
+    write_trace(source, v3)
+    source.header = dataclasses.replace(source.header, version=VERSION_INDEXED)
+    return source, v4, v3
+
+
+def all_sources(traced):
+    memory, v4, v3 = traced
+    return {
+        "memory": memory,
+        "v4": open_trace(v4),
+        "v3": open_trace(v3),
+    }
+
+
+def brute_records(source, keep, projection):
+    """Reference: full scan + explicit filtering, no tq machinery."""
+    correlator = ClockCorrelator(source)
+    out = []
+    for chunk in source.iter_chunks():
+        for i in range(len(chunk)):
+            side, code, core = chunk.side[i], chunk.code[i], chunk.core[i]
+            time = correlator.place_value(side, core, chunk.raw_ts[i])
+            values = chunk.values[chunk.val_off[i]:chunk.val_off[i + 1]]
+            if not keep(time, side, code, core, values):
+                continue
+            spec = spec_for_code(side, code)
+            row = {
+                "time": time, "side": side, "code": code, "core": core,
+                "seq": chunk.seq[i], "raw_ts": chunk.raw_ts[i],
+                "kind": str(spec.kind),
+                "spe": core if side == SIDE_SPE else PPE_GROUP,
+            }
+            for name, value in zip(spec.fields, values):
+                row.setdefault(name, value)
+            out.append(tuple(row.get(c) for c in projection))
+    return out
+
+
+def test_count_matches_brute_force_on_every_source(traced):
+    for name, source in all_sources(traced).items():
+        expected = len(brute_records(source, lambda *a: True, ("seq",)))
+        assert Query(source).count() == expected, name
+
+
+def test_spe_filter_identical_across_sources(traced):
+    projection = ("time", "side", "core", "code", "seq")
+    results = {}
+    for name, source in all_sources(traced).items():
+        query = Query(source).where(spe=1).project(*projection)
+        results[name] = list(query.records())
+        assert results[name] == brute_records(
+            source,
+            lambda t, side, code, core, v: side == SIDE_SPE and core == 1,
+            projection,
+        ), name
+    assert results["memory"] == results["v4"] == results["v3"]
+
+
+def test_time_window_identical_across_sources(traced):
+    memory = traced[0]
+    correlator = ClockCorrelator(memory)
+    times = [
+        correlator.place_value(c.side[i], c.core[i], c.raw_ts[i])
+        for c in memory.iter_chunks() for i in range(len(c))
+    ]
+    lo = sorted(times)[len(times) // 4]
+    hi = sorted(times)[3 * len(times) // 4]
+    projection = ("time", "side", "core", "code", "seq")
+    results = {}
+    for name, source in all_sources(traced).items():
+        results[name] = list(
+            Query(source).where(t0=lo, t1=hi).project(*projection).records()
+        )
+        assert results[name] == brute_records(
+            source, lambda t, *a: lo <= t <= hi, projection
+        ), name
+    assert results["memory"] == results["v4"] == results["v3"]
+
+
+def test_event_and_field_filters(traced):
+    source = traced[0]
+    sizes = [
+        row[0]
+        for row in Query(source).where(event="mfc_get").project("size").records()
+    ]
+    assert sizes and all(s == 1024 for s in sizes)
+    assert (
+        Query(source).where(event="mfc_get").where_field("size", lo=2048).count()
+        == 0
+    )
+    assert (
+        Query(source)
+        .where(event="mfc_get")
+        .where_field("size", eq=1024)
+        .count()
+        == len(sizes)
+    )
+    # Payload filters on a field the record type lacks match nothing.
+    assert Query(source).where(event="sync").where_field("size", lo=0).count() == 0
+
+
+def test_projection_defaults_and_missing_fields(traced):
+    source = traced[0]
+    rows = list(Query(source).where(event="spe_entry").records())
+    assert rows and all(len(row) == 5 for row in rows)  # default projection
+    assert all(row[3] == "spe_entry" for row in rows)
+    # Unknown payload columns project as None rather than failing.
+    rows = list(Query(source).where(event="sync").project("tb_raw", "size").records())
+    assert rows and all(row[1] is None and row[0] is not None for row in rows)
+
+
+def test_groupby_and_reductions(traced):
+    source = traced[0]
+    rows = (
+        Query(source)
+        .where(event="mfc_get")
+        .groupby("spe")
+        .agg(
+            n="count", total=("sum", "size"), lo=("min", "size"),
+            hi=("max", "size"), mid=("p50", "size"), tail=("p99", "size"),
+            avg=("mean", "size"),
+        )
+        .run()
+    )
+    assert [row["spe"] for row in rows] == [0, 1]
+    for row in rows:
+        assert row["total"] == row["n"] * 1024
+        assert row["lo"] == row["hi"] == row["mid"] == row["tail"] == 1024
+        assert row["avg"] == pytest.approx(1024.0)
+
+
+def test_groupby_side_and_kind_covers_everything(traced):
+    source = traced[0]
+    rows = Query(source).groupby("side", "kind").agg(n="count").run()
+    assert sum(row["n"] for row in rows) == source.n_records
+    assert rows == sorted(rows, key=lambda r: (r["side"], r["kind"]))
+    assert any(row["side"] == SIDE_PPE for row in rows)
+
+
+def test_time_bucket_grouping(traced):
+    source = traced[0]
+    bucket = 100_000
+    rows = (
+        Query(source)
+        .groupby("bucket", time_bucket=bucket)
+        .agg(n="count", t_min=("min", "time"), t_max=("max", "time"))
+        .run()
+    )
+    assert sum(row["n"] for row in rows) == source.n_records
+    for row in rows:
+        assert row["t_min"] // bucket == row["bucket"]
+        assert row["t_max"] // bucket == row["bucket"]
+    assert [row["bucket"] for row in rows] == sorted(r["bucket"] for r in rows)
+
+
+def test_empty_selection(traced):
+    source = traced[0]
+    none = Query(source).where(spe=7)  # no such SPE in a 2-SPE run
+    assert none.count() == 0
+    assert list(none.records()) == []
+    rows = none.agg(n="count", hi=("max", "size")).run()
+    assert rows == [{"n": 0, "hi": None}]
+    assert none.groupby("spe").agg(n="count").run() == []
+
+
+def test_builder_validation(traced):
+    source = traced[0]
+    with pytest.raises(ValueError, match="unknown group key"):
+        Query(source).groupby("colour")
+    with pytest.raises(ValueError, match="requires time_bucket"):
+        Query(source).groupby("bucket")
+    with pytest.raises(ValueError, match="unknown aggregation op"):
+        Query(source).agg(x=("median", "size"))
+    with pytest.raises(ValueError, match="must be 'count'"):
+        Query(source).agg(x=42)
+    with pytest.raises(ValueError, match="unknown event kind"):
+        Query(source).where(event="warp_drive")
+
+
+def test_nearest_rank():
+    assert nearest_rank([1, 2, 3, 4], 50) == 2
+    assert nearest_rank([1, 2, 3, 4], 99) == 4
+    assert nearest_rank([1, 2, 3, 4], 100) == 4
+    assert nearest_rank([7], 50) == 7
+    with pytest.raises(ValueError):
+        nearest_rank([], 50)
+
+
+# ----------------------------------------------------------------------
+# pruning behaviour
+# ----------------------------------------------------------------------
+def test_v4_query_prunes_chunks(traced):
+    __, v4, __v3 = traced
+    source = open_trace(v4)
+    assert source.n_chunks > 1
+    query = Query(source).where(spe=1)
+    query.count()
+    assert query.stats is not None and query.stats.indexed
+    assert query.stats.total_chunks == source.n_chunks
+    assert query.stats.scanned_chunks < query.stats.total_chunks
+    assert "pruned" in query.stats.note()
+
+
+def test_unindexed_query_reports_full_scan(traced):
+    __, __v4, v3 = traced
+    source = open_trace(v3)
+    query = Query(source).where(spe=1)
+    query.count()
+    assert query.stats is not None and not query.stats.indexed
+    assert query.stats.scanned_chunks == query.stats.total_chunks == source.n_chunks
+    assert "full scan" in query.stats.note()
+
+
+def test_in_memory_sources_prune_too(traced):
+    memory = traced[0]
+    pruned = IndexedSource(memory, Predicate().refine(spe=1))
+    stats = pruned.stats
+    assert stats.indexed and stats.scanned_chunks < stats.total_chunks
+    # Served records are a superset of the exact matches, chunk-aligned.
+    assert pruned.n_records == sum(len(c) for c in pruned.iter_chunks())
+    assert pruned.n_records <= memory.n_records
+
+
+def test_indexed_source_sync_scan_is_unpruned(traced):
+    """Clock correlation must see every sync record even when the
+    predicate would prune the chunks holding them."""
+    memory = traced[0]
+    pruned = IndexedSource(memory, Predicate().refine(event="mfc_put"))
+    assert list(pruned.scan_sync()) == list(memory.scan_sync())
+    fits = ClockCorrelator(pruned).fits
+    expected = ClockCorrelator(memory).fits
+    assert sorted(fits) == sorted(expected)
+    for spe_id in fits:
+        assert fits[spe_id].n_sync == expected[spe_id].n_sync
+
+
+def test_open_indexed_attaches_sidecar(traced):
+    from repro.tq import build_sidecar
+
+    __, __v4, v3 = traced
+    assert open_indexed(v3).zone_maps() is None
+    build_sidecar(v3)
+    attached = open_indexed(v3)
+    zones = attached.zone_maps()
+    assert zones is not None and len(zones) == attached.n_chunks
+    query = Query(attached).where(spe=1)
+    result = list(query.records())
+    assert query.stats.indexed and query.stats.scanned_chunks < query.stats.total_chunks
+    plain = Query(open_trace(v3)).where(spe=1)
+    assert result == list(plain.records())
+
+
+def test_stale_short_mask_scans_rather_than_drops(traced):
+    """iter_chunks_selected with a short mask serves the unmasked tail
+    (degrading to a scan), never silently dropping chunks."""
+    memory = traced[0]
+    chunks = list(memory.iter_chunks())
+    served = list(memory.iter_chunks_selected([False]))
+    assert len(served) == len(chunks) - 1
+    served_all = list(memory.iter_chunks_selected([]))
+    assert len(served_all) == len(chunks)

@@ -6,13 +6,18 @@ then applies seeded random damage — truncations at arbitrary offsets,
 single- and multi-bit flips — and checks the two invariants the format
 promises:
 
-* **Strict reads never silently accept damage.**  Version-3 files must
-  raise :class:`TraceFormatError` for *any* byte change; version-2
-  files (no CRCs) must at least detect every truncation.
+* **Strict reads never silently accept damage.**  Version-3 and -4
+  files must raise :class:`TraceFormatError` for *any* byte change;
+  version-2 files (no CRCs) must at least detect every truncation.
 * **Salvage reads never crash.**  ``strict=False`` must survive every
   damaged input with a parseable header, return a consistent
   :class:`SalvageReport`, and agree between the materializing and
   streaming readers.
+* **A corrupted index trailer degrades, never lies.**  Damage confined
+  to a v4 file's zone-map trailer loses the index only: the salvage
+  read recovers every record, exposes no zone maps, and answers
+  queries byte-identically to the pristine file (full scan) — and the
+  strict read refuses the file outright.
 
 Exit status 0 when every iteration holds, 1 with a failure listing
 otherwise.  Deterministic for a given ``--seed``.
@@ -32,9 +37,12 @@ from repro.pdt.format import (
     _HEADER,
     VERSION_CHUNKED,
     VERSION_CRC,
+    VERSION_INDEXED,
     TraceFormatError,
 )
+from repro.pdt.index import index_size
 from repro.pdt.writer import trace_to_bytes
+from repro.tq import Query
 from repro.workloads import (
     MatmulWorkload,
     MonteCarloWorkload,
@@ -57,7 +65,7 @@ def build_corpus() -> typing.List[typing.Tuple[str, int, bytes]]:
     for name, factory in WORKLOADS:
         result = run_workload(factory(), TraceConfig(buffer_bytes=4096))
         source = result.trace_source()
-        for version in (VERSION_CRC, VERSION_CHUNKED):
+        for version in (VERSION_INDEXED, VERSION_CRC, VERSION_CHUNKED):
             source.header.version = version
             corpus.append((name, version, trace_to_bytes(source)))
     return corpus
@@ -84,6 +92,81 @@ def mutate(
             data[pos] ^= bit
             notes.append(f"flip@{pos}:0x{bit:02x}")
     return bytes(data), " ".join(notes) or kind, truncated
+
+
+def mutate_trailer(rng: random.Random, blob: bytes) -> typing.Tuple[bytes, str]:
+    """Damage confined to a v4 file's index trailer (the last
+    ``index_size(n_chunks)`` bytes): flips inside it, or a cut at or
+    after its first byte — so every record payload survives intact."""
+    trailer_off = len(blob) - index_size(open_trace(blob).n_chunks)
+    kind = rng.choice(("flip", "multiflip", "truncate"))
+    if kind == "truncate":
+        cut = rng.randrange(trailer_off, len(blob))
+        return blob[:cut], f"trailer-truncate@{cut}"
+    data = bytearray(blob)
+    notes = []
+    for __ in range(1 if kind == "flip" else rng.randrange(2, 9)):
+        pos = rng.randrange(trailer_off, len(data))
+        bit = 1 << rng.randrange(8)
+        data[pos] ^= bit
+        notes.append(f"trailer-flip@{pos}:0x{bit:02x}")
+    return bytes(data), " ".join(notes)
+
+
+def _query_fingerprint(source) -> typing.Tuple:
+    """Deterministic query answers, for pristine-vs-salvaged equality."""
+    records = Query(source).where(spe=1).project(
+        "time", "side", "core", "code", "seq"
+    )
+    profile = Query(source).groupby("side", "kind").agg(
+        n="count", t_min=("min", "time"), t_max=("max", "time")
+    )
+    return (
+        tuple(records.records()),
+        tuple(tuple(sorted(row.items())) for row in profile.run()),
+    )
+
+
+def check_trailer_case(
+    name: str, blob: bytes, mutated: bytes
+) -> typing.List[str]:
+    """Index-only damage: strict refuses, salvage answers unchanged."""
+    failures = []
+    if mutated == blob:
+        return failures
+    try:
+        open_trace(mutated)
+        failures.append("strict open_trace accepted index-trailer damage")
+    except TraceFormatError:
+        pass
+    except Exception as exc:  # pragma: no cover - the bug being hunted
+        failures.append(
+            f"strict open_trace raised {type(exc).__name__} "
+            f"(not TraceFormatError): {exc}"
+        )
+    try:
+        salvaged = open_trace(mutated, strict=False)
+    except Exception as exc:  # pragma: no cover
+        failures.append(
+            f"salvage open_trace crashed on trailer damage: "
+            f"{type(exc).__name__}: {exc}"
+        )
+        return failures
+    if salvaged.salvage is None or not salvaged.salvage.damaged:
+        failures.append("trailer damage salvaged without being reported")
+    if salvaged.zone_maps() is not None:
+        failures.append("salvaged read still exposes zone maps")
+    pristine = open_trace(blob)
+    if salvaged.n_records != pristine.n_records:
+        failures.append(
+            f"trailer-only damage lost records: {salvaged.n_records} "
+            f"of {pristine.n_records}"
+        )
+    if _query_fingerprint(salvaged) != _query_fingerprint(pristine):
+        failures.append(
+            "query over the salvaged file diverged from the pristine file"
+        )
+    return failures
 
 
 def check_one(
@@ -153,9 +236,9 @@ def check_one(
             f"holds {trace.n_records}"
         )
     if version >= VERSION_CRC and not report.damaged:
-        # Every byte of a v3 file is covered by a CRC, so any change
-        # must surface in the report.
-        failures.append("v3 salvage reported clean on damaged bytes")
+        # Every byte of a v3/v4 file is covered by a CRC (and a v4 file
+        # must end in its trailer), so any change must surface.
+        failures.append(f"v{version} salvage reported clean on damaged bytes")
     try:
         streamed = open_trace(mutated, strict=False)
         if streamed.n_records != trace.n_records:
@@ -180,8 +263,14 @@ def fuzz(iterations: int, seed: int, verbose: bool = False) -> int:
     all_failures = []
     for i in range(iterations):
         name, version, blob = corpus[rng.randrange(len(corpus))]
-        mutated, description, truncated = mutate(rng, blob)
-        failures = check_one(name, version, blob, mutated, truncated)
+        if version >= VERSION_INDEXED and rng.random() < 0.34:
+            # Targeted mode: damage only the index trailer, where the
+            # contract is sharper — nothing but pruning may be lost.
+            mutated, description = mutate_trailer(rng, blob)
+            failures = check_trailer_case(name, blob, mutated)
+        else:
+            mutated, description, truncated = mutate(rng, blob)
+            failures = check_one(name, version, blob, mutated, truncated)
         if failures:
             all_failures.append((i, name, version, description, failures))
             for failure in failures:
