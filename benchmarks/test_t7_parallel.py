@@ -1,0 +1,122 @@
+"""T7 — parallel sharded queries: wall-clock scaling of repro.par.
+
+The parallel engine's whole claim is "same bytes, less wall clock":
+a full-scan groupby sharded over 4 worker processes must return rows
+identical to the serial run — asserted here on every execution — and,
+given 4 real CPUs, complete at least 2x faster.
+
+The measured trace is rewritten into >= 64 fixed-size chunks (the
+layout a merge/convert step produces), because sharding granularity is
+chunk ranges: a 5-chunk tracer-native file cannot balance 4 workers.
+On machines with fewer than 4 CPUs the speedup gate is reported but
+not enforced — a 1-CPU container cannot exhibit parallel speedup, and
+pretending otherwise would just gate on scheduler noise.  The
+correctness half (byte-identical rows) is enforced everywhere.
+"""
+
+import json
+import os
+import time
+
+from repro.pdt import TraceConfig, open_trace
+from repro.pdt.writer import ChunkWriter
+from repro.par import parallel_rows
+from repro.tq import Query
+from repro.workloads import StreamingPipelineWorkload, run_and_write_trace
+
+JOBS = 4
+MIN_SPEEDUP = 2.0
+MIN_CHUNKS = 64
+ROUNDS = 3
+
+
+def _build_query(source):
+    return (
+        Query(source)
+        .groupby("side", "core", "kind")
+        .agg(count="count", t_min=("min", "time"), t_max=("max", "time"))
+    )
+
+
+def _rewrite_chunked(src_path, dst_path, n_chunks):
+    """Rewrite the trace into ~n_chunks fixed-size chunks, preserving
+    record order (so results stay byte-identical to the native file)."""
+    source = open_trace(src_path)
+    chunk_records = max(1, source.n_records // n_chunks)
+    writer = ChunkWriter(dst_path, source.header, chunk_records=chunk_records)
+    for chunk in source.iter_chunks():
+        for i in range(len(chunk)):
+            writer.append(
+                chunk.side[i], chunk.code[i], chunk.core[i], chunk.seq[i],
+                chunk.raw_ts[i],
+                chunk.values[chunk.val_off[i]:chunk.val_off[i + 1]],
+            )
+    writer.close()
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best_s, result = None, None
+    for __ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        best_s = elapsed if best_s is None else min(best_s, elapsed)
+    return result, best_s
+
+
+def measure(tmp_dir):
+    native = os.path.join(tmp_dir, "t7-native.pdt")
+    result, n_bytes = run_and_write_trace(
+        StreamingPipelineWorkload(stages=4, blocks=1024), native,
+        TraceConfig(buffer_bytes=4096),
+    )
+    assert result.verified
+    sharded = os.path.join(tmp_dir, "t7-chunked.pdt")
+    _rewrite_chunked(native, sharded, 128)
+
+    probe = open_trace(sharded)
+    n_chunks, n_records = probe.n_chunks, probe.n_records
+    probe.close()
+    assert n_chunks >= MIN_CHUNKS, f"only {n_chunks} chunks"
+
+    def serial():
+        with open_trace(sharded) as source:
+            return _build_query(source).run()
+
+    def parallel():
+        with open_trace(sharded) as source:
+            query = _build_query(source)
+            rows = parallel_rows(query, JOBS)
+            return rows, query.stats
+
+    serial_rows, serial_s = _best_of(serial)
+    (parallel_out, stats), parallel_s = _best_of(parallel)
+
+    # The correctness half of the gate, in the same run as the timing:
+    # identical rows, identical scan accounting.
+    assert parallel_out == serial_rows, "parallel rows diverged from serial"
+    assert stats is not None and stats.total_chunks == n_chunks
+
+    cpus = os.cpu_count() or 1
+    return {
+        "trace_bytes": n_bytes,
+        "records": n_records,
+        "chunks": n_chunks,
+        "jobs": JOBS,
+        "cpu_count": cpus,
+        "serial_ms": round(serial_s * 1e3, 2),
+        "parallel_ms": round(parallel_s * 1e3, 2),
+        "speedup": round(serial_s / parallel_s, 2),
+        "rows": len(serial_rows),
+        "gate_enforced": cpus >= JOBS,
+    }
+
+
+def test_t7_parallel_speedup(benchmark, save_result, tmp_path):
+    row = benchmark.pedantic(measure, (str(tmp_path),), rounds=1, iterations=1)
+    save_result(
+        "BENCH_parallel.json",
+        json.dumps({"row": row, "min_speedup": MIN_SPEEDUP}, indent=2) + "\n",
+    )
+    if row["gate_enforced"]:
+        assert row["speedup"] >= MIN_SPEEDUP, row

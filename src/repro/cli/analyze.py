@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import typing
 
@@ -69,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="recover what is readable from a damaged "
                         "trace instead of failing: corrupt chunks are "
                         "skipped and the salvage summary is printed")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="shard scans over N worker processes "
+                        "(default: 1 = serial; results are identical "
+                        "either way)")
     query = parser.add_argument_group(
         "query mode", "restrict to matching records and print a per-core "
         "event summary instead of the full report; zone maps prune the "
@@ -92,6 +97,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: typing.Optional[typing.List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print(
+            f"pdt-analyze: --jobs must be >= 1, got {args.jobs}",
+            file=sys.stderr,
+        )
+        return 2
+    cpus = os.cpu_count() or 1
+    if args.jobs > cpus:
+        print(
+            f"pdt-analyze: --jobs {args.jobs} exceeds the "
+            f"{cpus} available CPU(s); using {cpus}",
+            file=sys.stderr,
+        )
+        args.jobs = cpus
     try:
         return _run(args)
     except (TraceFormatError, CorrelationError, OSError) as exc:
@@ -112,7 +131,12 @@ def _run_query(args: argparse.Namespace) -> int:
             .groupby("side", "core", "kind")
             .agg(count="count", t_min=("min", "time"), t_max=("max", "time"))
         )
-        rows = query.run()
+        if args.jobs > 1:
+            from repro.par import parallel_rows
+
+            rows = parallel_rows(query, args.jobs)
+        else:
+            rows = query.run()
     except ValueError as exc:  # e.g. an unknown --event kind name
         print(f"pdt-analyze: {exc}", file=sys.stderr)
         return 2
@@ -157,7 +181,7 @@ def _run(args: argparse.Namespace) -> int:
     model = analyze(trace)
     if args.profile:
         print("\n--- event profile ---")
-        print(format_table(profile_table(trace)), end="")
+        print(format_table(profile_table(trace, jobs=args.jobs)), end="")
     if args.comm:
         print("\n--- communication channels ---")
         summaries = summarize_channels(communication_edges(model))

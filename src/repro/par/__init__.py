@@ -1,0 +1,52 @@
+"""par — the parallel sharded query/analysis execution layer.
+
+Single-process scans cap the Trace Analyzer's throughput far below
+what the chunked on-disk layout allows; this package shards a v1–v4
+trace by chunk ranges and runs the :mod:`repro.tq` pipeline (and the
+:mod:`repro.ta` summary/series builders layered on it) in N worker
+processes:
+
+* **planning** (:mod:`repro.par.plan`) — contiguous chunk ranges
+  balanced by the v4/``.pdtx`` zone index when present (pruned chunks
+  weigh nothing), by frame-index record counts otherwise;
+* **execution** (:mod:`repro.par.executor`) — a process pool of shard
+  workers, each reopening the trace and seeking straight to its range
+  (:meth:`~repro.pdt.reader.TraceFileSource.range_view`), with the
+  clock correlator fitted once by the parent on the whole unpruned
+  file and shipped to every worker;
+* **merging** — aggregation partial states
+  (:class:`~repro.tq.pipeline.PartialAggregation`) merge in shard
+  order; record streams concatenate back into serial scan order;
+  PruneStats sum to the serial accounting.
+
+The contract throughout: **byte-identical to serial, in every mode** —
+any worker fault degrades to serial re-execution of that shard, never
+to a different answer.  ``pdt-analyze --jobs N`` and the parallel
+``repro.ta`` variants route through here.  See ``docs/parallel.md``.
+"""
+
+from repro.par.executor import (
+    ShardTask,
+    TraceTarget,
+    execute_shards,
+    parallel_count,
+    parallel_event_counts,
+    parallel_records,
+    parallel_rows,
+    run_shard,
+)
+from repro.par.plan import chunk_weights, partition, plan_shards
+
+__all__ = [
+    "ShardTask",
+    "TraceTarget",
+    "chunk_weights",
+    "execute_shards",
+    "parallel_count",
+    "parallel_event_counts",
+    "parallel_records",
+    "parallel_rows",
+    "partition",
+    "plan_shards",
+    "run_shard",
+]

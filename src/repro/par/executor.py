@@ -1,0 +1,312 @@
+"""The multiprocessing shard executor and its byte-identical merge.
+
+One call shape underneath everything: the parent opens the trace,
+fits the clock correlator once on the whole unpruned file, plans
+contiguous chunk-range shards (:mod:`repro.par.plan`), and ships each
+worker a picklable :class:`ShardTask` — the reopen descriptor (path or
+blob + strictness + sidecar flag), the chunk range, the
+:class:`~repro.tq.pipeline.QueryPlan`, and the already-computed clock
+fits.  Workers reopen the file, seek straight to their range through
+:meth:`~repro.pdt.reader.TraceFileSource.range_view`, run the ordinary
+serial pipeline over the view, and return mergeable partial results.
+The parent merges in shard order, so:
+
+* aggregation rows are identical (partial states merge associatively,
+  percentile populations concatenate in chunk order and are sorted
+  once at finalize);
+* record streams concatenate back into exact serial scan order;
+* per-shard :class:`~repro.tq.source.PruneStats` sum to exactly the
+  serial accounting.
+
+**Fault handling**: any worker failure — a crashed process, a broken
+pool, a poisoned task — degrades to serial re-execution of that shard
+in the parent, through the very same :func:`run_shard` code path, so a
+fault can delay an answer but never change it.  A shard that also
+fails serially raises exactly what a serial run would have raised.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import multiprocessing
+import os
+import typing
+
+from repro.pdt.correlate import ClockCorrelator, SpeClockFit
+from repro.pdt.events import SIDE_PPE, spec_for_code
+from repro.pdt.reader import TraceFileSource, open_trace
+from repro.pdt.store import EventSource
+from repro.par.plan import chunk_weights, partition
+from repro.tq.pipeline import PartialAggregation, Query, QueryPlan
+from repro.tq.source import PruneStats
+
+#: Set by the pool initializer in worker processes only; lets tests
+#: inject faults that fire in pool children but not in the parent's
+#: serial re-execution of the same task.
+_IN_POOL_WORKER = False
+
+#: Test hook: when set, _prepare stamps this fault onto every task.
+_TEST_FAULT: typing.Optional[str] = None
+
+_DEFAULT_PROJECTION = ("time", "side", "core", "kind", "seq")
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceTarget:
+    """How a worker reopens the parent's trace: by path or by bytes,
+    with the same strictness and index attachment the parent used."""
+
+    path: typing.Optional[str]
+    blob: typing.Optional[bytes]
+    strict: bool
+    attach_sidecar: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs, picklable."""
+
+    target: TraceTarget
+    lo: int
+    hi: int
+    mode: str  # "aggregate" | "records" | "count" | "profile"
+    plan: typing.Optional[QueryPlan] = None
+    divider: typing.Optional[int] = None
+    fits: typing.Optional[typing.Dict[int, SpeClockFit]] = None
+    fault: typing.Optional[str] = None  # test-only injection
+
+
+def _mark_pool_worker() -> None:
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _profile_counts(
+    source: EventSource,
+) -> typing.Dict[typing.Tuple[int, int], typing.Dict[str, int]]:
+    """(side, core) -> kind -> count over one shard; mirrors
+    ``repro.ta.profile._count_events`` exactly (PPE folded to core 0)
+    so merged shard counts equal the serial counts."""
+    counts: typing.Dict[typing.Tuple[int, int], typing.Dict[str, int]] = {}
+    for chunk in source.iter_chunks():
+        for side, code, core in zip(chunk.side, chunk.code, chunk.core):
+            key = (side, core if side != SIDE_PPE else 0)
+            kinds = counts.setdefault(key, {})
+            kind = spec_for_code(side, code).kind
+            kinds[kind] = kinds.get(kind, 0) + 1
+    return counts
+
+
+def run_shard(task: ShardTask) -> typing.Any:
+    """Execute one shard — in a worker process or, for fault recovery,
+    serially in the parent.  Returns ``(partial, stats)`` for
+    aggregate, ``(rows, stats)`` for records, ``(count, stats)`` for
+    count, and a counts dict for profile."""
+    if task.fault and _IN_POOL_WORKER:
+        if task.fault == "crash":
+            os._exit(3)  # simulate a worker dying without cleanup
+        raise RuntimeError(f"injected shard fault: {task.fault}")
+    raw: typing.Union[str, bytes]
+    raw = task.target.path if task.target.path is not None else task.target.blob
+    base = open_trace(raw, strict=task.target.strict)
+    try:
+        if task.target.attach_sidecar and base.zone_maps() is None:
+            base.attach_sidecar()
+        view = base.range_view(task.lo, task.hi)
+        if task.mode == "profile":
+            return _profile_counts(view)
+        assert task.plan is not None
+        correlator = None
+        if task.fits is not None:
+            assert task.divider is not None
+            correlator = ClockCorrelator.from_fits(
+                task.divider, task.fits, view
+            )
+        query = Query.from_plan(view, task.plan, correlator)
+        if task.mode == "aggregate":
+            return query.run_partial(), query.stats
+        if task.mode == "records":
+            return list(query.records()), query.stats
+        if task.mode == "count":
+            return query.count(), query.stats
+        raise ValueError(f"unknown shard mode {task.mode!r}")
+    finally:
+        base.close()
+
+
+_UNSET = object()
+
+
+def execute_shards(
+    tasks: typing.Sequence[ShardTask], jobs: int
+) -> typing.List[typing.Any]:
+    """Run every task, fanned out over up to ``jobs`` processes.
+
+    Results come back indexed like ``tasks``.  Worker faults degrade
+    per shard: whatever a pool child fails to deliver is re-executed
+    serially in the parent (see module docstring).
+    """
+    results: typing.List[typing.Any] = [_UNSET] * len(tasks)
+    if jobs > 1 and len(tasks) > 1:
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(tasks)),
+                mp_context=_pool_context(),
+                initializer=_mark_pool_worker,
+            ) as pool:
+                futures = [pool.submit(run_shard, task) for task in tasks]
+                for i, future in enumerate(futures):
+                    try:
+                        results[i] = future.result()
+                    except Exception:
+                        pass  # re-run this shard serially below
+        except Exception:
+            pass  # pool-level failure: every unfinished shard re-runs
+    for i, task in enumerate(tasks):
+        if results[i] is _UNSET:
+            results[i] = run_shard(task)
+    return results
+
+
+# ----------------------------------------------------------------------
+# parent-side preparation and merge
+# ----------------------------------------------------------------------
+def _file_target(source: EventSource) -> typing.Optional[TraceTarget]:
+    """A reopen descriptor for ``source``, or ``None`` when the source
+    cannot be handed to another process (in-memory stores, wrapped
+    views) — the caller then degrades to a serial run."""
+    if not isinstance(source, TraceFileSource):
+        return None
+    strict = source.salvage is None
+    attach = source.zone_maps() is not None
+    if source.path is not None:
+        return TraceTarget(
+            path=source.path, blob=None, strict=strict, attach_sidecar=attach
+        )
+    if source.blob is not None:
+        return TraceTarget(
+            path=None, blob=source.blob, strict=strict, attach_sidecar=attach
+        )
+    return None
+
+
+def _prepare(
+    query: Query, jobs: int, mode: str
+) -> typing.Optional[typing.List[ShardTask]]:
+    """Shard tasks for ``query``, or ``None`` when a parallel run
+    cannot help (serial fallback): one job, a non-file source, or a
+    trace too small to split."""
+    if jobs <= 1:
+        return None
+    source = query.source
+    target = _file_target(source)
+    if target is None:
+        return None
+    ranges = partition(chunk_weights(source, query.predicate), jobs)
+    if len(ranges) < 2:
+        return None
+    divider: typing.Optional[int] = None
+    fits: typing.Optional[typing.Dict[int, SpeClockFit]] = None
+    if query._needs_time():
+        # Fitted once, on the whole unpruned file, then shipped — every
+        # worker places every record exactly as a serial scan would.
+        correlator = query._get_correlator()
+        divider = correlator.divider
+        fits = correlator.fits
+    plan = query.plan()
+    return [
+        ShardTask(
+            target=target,
+            lo=lo,
+            hi=hi,
+            mode=mode,
+            plan=plan,
+            divider=divider,
+            fits=fits,
+            fault=_TEST_FAULT,
+        )
+        for lo, hi in ranges
+    ]
+
+
+def parallel_rows(
+    query: Query, jobs: int
+) -> typing.List[typing.Dict[str, typing.Any]]:
+    """:meth:`Query.run` with the scan sharded over ``jobs`` worker
+    processes; byte-identical results, merged PruneStats on
+    ``query.stats``."""
+    tasks = _prepare(query, jobs, "aggregate")
+    if tasks is None:
+        return query.run()
+    outs = execute_shards(tasks, jobs)
+    merged: PartialAggregation = outs[0][0]
+    for partial, __ in outs[1:]:
+        merged.merge(partial)
+    query.stats = PruneStats.merged(stats for __, stats in outs)
+    return merged.finalize()
+
+
+def parallel_records(query: Query, jobs: int) -> typing.List[typing.Tuple]:
+    """:meth:`Query.records` (materialized) sharded over ``jobs``
+    workers; shard outputs concatenate in shard order, which *is*
+    serial chunk order."""
+    fork = (
+        query if query._projection else query.project(*_DEFAULT_PROJECTION)
+    )
+    tasks = _prepare(fork, jobs, "records")
+    if tasks is None:
+        return list(query.records())
+    outs = execute_shards(tasks, jobs)
+    rows: typing.List[typing.Tuple] = []
+    for shard_rows, __ in outs:
+        rows.extend(shard_rows)
+    query.stats = PruneStats.merged(stats for __, stats in outs)
+    return rows
+
+
+def parallel_count(query: Query, jobs: int) -> int:
+    """:meth:`Query.count` sharded over ``jobs`` workers."""
+    tasks = _prepare(query, jobs, "count")
+    if tasks is None:
+        return query.count()
+    outs = execute_shards(tasks, jobs)
+    query.stats = PruneStats.merged(stats for __, stats in outs)
+    return sum(count for count, __ in outs)
+
+
+def parallel_event_counts(
+    source: EventSource, jobs: int
+) -> typing.Optional[
+    typing.Dict[typing.Tuple[int, int], typing.Dict[str, int]]
+]:
+    """Sharded ``(side, core) -> kind -> count`` tally for the profile
+    pane, or ``None`` when the source cannot be sharded (the caller
+    counts serially).  Counts are order-independent, so the merged
+    result is identical to a serial tally."""
+    if jobs <= 1:
+        return None
+    target = _file_target(source)
+    if target is None:
+        return None
+    ranges = partition(chunk_weights(source, None), jobs)
+    if len(ranges) < 2:
+        return None
+    tasks = [
+        ShardTask(target=target, lo=lo, hi=hi, mode="profile", fault=_TEST_FAULT)
+        for lo, hi in ranges
+    ]
+    merged: typing.Dict[typing.Tuple[int, int], typing.Dict[str, int]] = {}
+    for counts in execute_shards(tasks, jobs):
+        for key, kinds in counts.items():
+            mine = merged.setdefault(key, {})
+            for kind, count in kinds.items():
+                mine[kind] = mine.get(kind, 0) + count
+    return merged

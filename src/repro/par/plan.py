@@ -1,0 +1,97 @@
+"""Shard planning: carve a trace's chunk range into contiguous work
+units of near-equal decode cost.
+
+The planner weighs chunks before splitting:
+
+* **zone-index partitioning** — when the source carries zone maps (v4
+  trailer or attached ``.pdtx`` sidecar), a chunk's weight is its zone
+  record count, zeroed when the query predicate excludes the chunk.
+  Shards then balance the records that will actually be decoded, so a
+  selective query does not strand all its surviving chunks in one
+  worker.
+* **frame-offset partitioning** — without zones, weights fall back to
+  the per-chunk record counts read from the chunk frame index (no
+  payload decode), balancing the full-scan cost instead.
+
+Partitioning is contiguous and exhaustive: every chunk of ``[0, n)``
+lands in exactly one shard, in order — which is what lets the merge
+step reassemble results in serial scan order, and keeps per-shard
+PruneStats summing to exactly the serial accounting.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.pdt.store import EventSource
+from repro.tq.predicate import Predicate
+
+
+def chunk_weights(
+    source: EventSource, predicate: typing.Optional[Predicate] = None
+) -> typing.List[int]:
+    """Planning weight per chunk (see module docstring)."""
+    zones = source.zone_maps()
+    if zones is not None:
+        if predicate is None:
+            return [zone.n_records for zone in zones]
+        return [
+            zone.n_records if predicate.admits(zone) else 0 for zone in zones
+        ]
+    counts = getattr(source, "chunk_record_counts", None)
+    if counts is not None:
+        return list(counts())
+    return [len(chunk) for chunk in source.iter_chunks()]
+
+
+def partition(
+    weights: typing.Sequence[int], shards: int
+) -> typing.List[typing.Tuple[int, int]]:
+    """Split ``[0, len(weights))`` into at most ``shards`` contiguous
+    half-open ranges of near-equal cumulative weight.
+
+    Deterministic; ranges are in order, non-empty, and cover every
+    index exactly once.  With an all-zero weight vector (every chunk
+    pruned) the split is even by count, so accounting still
+    distributes.
+    """
+    n = len(weights)
+    if n == 0:
+        return []
+    shards = max(1, min(shards, n))
+    if shards == 1:
+        return [(0, n)]
+    total = sum(weights)
+    cuts: typing.List[int] = []
+    if total <= 0:
+        cuts = sorted(
+            {round(k * n / shards) for k in range(1, shards)} - {0, n}
+        )
+    else:
+        acc = 0
+        k = 1
+        for i, weight in enumerate(weights):
+            acc += weight
+            # Close shard k at the first chunk where the cumulative
+            # weight reaches k/shards of the total.
+            while k < shards and acc * shards >= k * total:
+                cut = i + 1
+                if cut < n and (not cuts or cut > cuts[-1]):
+                    cuts.append(cut)
+                k += 1
+    ranges: typing.List[typing.Tuple[int, int]] = []
+    lo = 0
+    for cut in cuts:
+        ranges.append((lo, cut))
+        lo = cut
+    ranges.append((lo, n))
+    return ranges
+
+
+def plan_shards(
+    source: EventSource,
+    jobs: int,
+    predicate: typing.Optional[Predicate] = None,
+) -> typing.List[typing.Tuple[int, int]]:
+    """Chunk ranges for up to ``jobs`` workers over ``source``."""
+    return partition(chunk_weights(source, predicate), jobs)

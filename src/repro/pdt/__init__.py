@@ -49,7 +49,13 @@ from repro.pdt.index import (
     sidecar_path,
     write_sidecar,
 )
-from repro.pdt.reader import SalvageReport, TraceFileSource, open_trace, read_trace
+from repro.pdt.reader import (
+    ChunkRangeView,
+    SalvageReport,
+    TraceFileSource,
+    open_trace,
+    read_trace,
+)
 from repro.pdt.store import (
     CHUNK_RECORDS,
     ColumnChunk,
@@ -65,6 +71,7 @@ from repro.pdt.writer import ChunkWriter, write_trace
 
 __all__ = [
     "CHUNK_RECORDS",
+    "ChunkRangeView",
     "ChunkWriter",
     "ClockCorrelator",
     "ColumnChunk",

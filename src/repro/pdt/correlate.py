@@ -276,6 +276,30 @@ class ClockCorrelator:
             for spe_id in sorted(spe_ids):
                 self.fits[spe_id] = self._fit_pairs(spe_id, syncs.get(spe_id, []))
 
+    @classmethod
+    def from_fits(
+        cls,
+        divider: int,
+        fits: typing.Dict[int, SpeClockFit],
+        source: typing.Optional[EventSource] = None,
+    ) -> "ClockCorrelator":
+        """Rebuild a correlator from already-computed fits.
+
+        The shard-worker path: the parent process fits the clocks once
+        on the whole unpruned file and ships ``(divider, fits)`` to
+        each worker, which must place every record *identically* to a
+        serial scan without re-reading the sync records.  ``source`` is
+        only needed for the streaming placement APIs, not for
+        :meth:`place_value`.
+        """
+        correlator = cls.__new__(cls)
+        correlator.trace = None
+        correlator.source = source  # type: ignore[assignment]
+        correlator.divider = divider
+        correlator.salvage = getattr(source, "salvage", None)
+        correlator.fits = dict(fits)
+        return correlator
+
     # ------------------------------------------------------------------
     def _fit_pairs(self, spe_id: int, pairs: _SyncPairs) -> SpeClockFit:
         return fit_sync_pairs(spe_id, pairs, self.divider)

@@ -77,6 +77,13 @@ _ELAPSED_GUARD = 1 << 30
 _T_UNBOUNDED_MIN = -(1 << 62)
 _T_UNBOUNDED_MAX = 1 << 62
 
+#: Representable corrected-time range of the on-disk zone entry (signed
+#: 64-bit).  Bounds outside it cannot be stored, so such a zone is
+#: encoded time-unbounded — time pruning off for that chunk, never an
+#: unsound bound.
+_T_ENCODABLE_MIN = -(1 << 63)
+_T_ENCODABLE_MAX = (1 << 63) - 1
+
 _SIDE_PPE = 0
 _SIDE_SPE = 1
 _SYNC_CODE = 0x50  # repro.pdt.events: SPE sync record
@@ -158,12 +165,17 @@ def encode_index(zones: typing.Sequence[ZoneMap], total_records: int) -> bytes:
         )
     ]
     for zone in zones:
+        has_time = (
+            zone.has_time
+            and _T_ENCODABLE_MIN <= zone.t_min
+            and zone.t_max <= _T_ENCODABLE_MAX
+        )
         flags = 0
         if zone.has_ppe:
             flags |= _FLAG_HAS_PPE
         if zone.spe_overflow:
             flags |= _FLAG_SPE_OVERFLOW
-        if zone.has_time:
+        if has_time:
             flags |= _FLAG_HAS_TIME
         if zone.code_overflow:
             flags |= _FLAG_CODE_OVERFLOW
@@ -174,8 +186,8 @@ def encode_index(zones: typing.Sequence[ZoneMap], total_records: int) -> bytes:
                 0,
                 0,
                 zone.spe_bitmap,
-                zone.t_min if zone.has_time else 0,
-                zone.t_max if zone.has_time else 0,
+                zone.t_min if has_time else 0,
+                zone.t_max if has_time else 0,
                 zone.spe_codes.to_bytes(CODE_BITMAP_BITS // 8, "little"),
                 zone.ppe_codes.to_bytes(CODE_BITMAP_BITS // 8, "little"),
             )

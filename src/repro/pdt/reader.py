@@ -70,6 +70,7 @@ __all__ = [
     "read_trace",
     "open_trace",
     "TraceFileSource",
+    "ChunkRangeView",
 ]
 
 #: One signed 64-bit payload value (the sync record's tb_raw).
@@ -719,6 +720,11 @@ class TraceFileSource(EventSource):
     ):
         self._path: typing.Optional[str] = None
         self._blob: typing.Optional[bytes] = None
+        #: Every live handle this source has opened and not yet
+        #: released; :meth:`close` drains it, so a raise anywhere —
+        #: mid-construction, mid-iteration — cannot leak a descriptor
+        #: past the context manager.
+        self._handles: typing.Set[typing.BinaryIO] = set()
         self.salvage: typing.Optional[SalvageReport] = None
         self._salvaged: typing.Optional[typing.List[ColumnChunk]] = None
         #: Zone maps from the v4 trailer (or an attached sidecar);
@@ -733,11 +739,18 @@ class TraceFileSource(EventSource):
             # iteration, so fall back to holding its bytes.
             self._blob = path_or_file.read()
 
-        if not strict:
-            self._init_salvage()
-            return
+        try:
+            if not strict:
+                self._init_salvage()
+                return
+            self._init_strict()
+        except BaseException:
+            self.close()
+            raise
 
-        with self._open() as handle:
+    def _init_strict(self) -> None:
+        handle = self._open()
+        try:
             head = handle.read(_HEADER.size + _U32.size)
             self.header, a, b = _parse_header(head)
             if self.header.version == VERSION_LEGACY:
@@ -771,15 +784,19 @@ class TraceFileSource(EventSource):
                 self._zones = _verify_index_trailer(
                     handle.read(), 0, len(self._index), self._n_records
                 )
+        finally:
+            self._release(handle)
 
     def _init_salvage(self) -> None:
         """Non-strict construction: read everything, keep what verifies."""
         if self._blob is not None:
             blob = self._blob
         else:
-            assert self._path is not None
-            with open(self._path, "rb") as handle:
+            handle = self._open()
+            try:
                 blob = handle.read()
+            finally:
+                self._release(handle)
         self.header, a, b = _parse_header(blob)
         self._fallback = None
         self._index = []
@@ -793,9 +810,29 @@ class TraceFileSource(EventSource):
 
     def _open(self) -> typing.BinaryIO:
         if self._path is not None:
-            return open(self._path, "rb")
-        assert self._blob is not None
-        return io.BytesIO(self._blob)
+            handle = open(self._path, "rb")
+        else:
+            assert self._blob is not None
+            handle = io.BytesIO(self._blob)
+        self._handles.add(handle)
+        return handle
+
+    def _release(self, handle: typing.BinaryIO) -> None:
+        self._handles.discard(handle)
+        handle.close()
+
+    def close(self) -> None:
+        """Close every file handle this source still holds open,
+        including those of abandoned ``iter_chunks`` generators.
+        Idempotent; the source must not be iterated afterwards."""
+        while self._handles:
+            self._handles.pop().close()
+
+    def __enter__(self) -> "TraceFileSource":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @staticmethod
     def _build_index(
@@ -842,43 +879,61 @@ class TraceFileSource(EventSource):
         return self._n_records
 
     @property
+    def path(self) -> typing.Optional[str]:
+        """The backing file path, or ``None`` for blob-backed sources —
+        what a shard worker needs to reopen the same trace."""
+        return self._path
+
+    @property
+    def blob(self) -> typing.Optional[bytes]:
+        """The backing bytes for blob-backed sources, else ``None``."""
+        return self._blob
+
+    @property
     def n_chunks(self) -> int:
         if self._salvaged is not None:
             return len(self._salvaged)
+        if self._fallback is not None:
+            return sum(1 for __ in self._fallback.iter_chunks())
         return len(self._index)
 
-    def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
+    def chunk_record_counts(self) -> typing.List[int]:
+        """Per-chunk record counts, from the frame index when the file
+        has one (no payload decode) — the shard planner's fallback
+        weights when a file carries no zone maps."""
         if self._salvaged is not None:
-            yield from self._salvaged
-            return
+            return [len(chunk) for chunk in self._salvaged]
         if self._fallback is not None:
-            yield from self._fallback.iter_chunks()
-            return
-        with self._open() as handle:
-            for offset, n_records, payload_bytes, crc in self._index:
-                handle.seek(offset)
-                payload = handle.read(payload_bytes)
-                if len(payload) != payload_bytes:
-                    raise TraceFormatError(
-                        f"truncated chunk payload at offset {offset}"
-                    )
-                if crc is not None:
-                    _check_chunk_crc(crc, n_records, payload, offset)
-                yield _decode_chunk(payload, 0, n_records, payload_bytes)
+            return [len(chunk) for chunk in self._fallback.iter_chunks()]
+        return [n for __, n, __, __ in self._index]
 
-    def iter_chunks_selected(
-        self, keep: typing.Sequence[bool]
+    def iter_chunk_range(
+        self,
+        lo: int,
+        hi: int,
+        keep: typing.Optional[typing.Sequence[bool]] = None,
     ) -> typing.Iterator[ColumnChunk]:
-        """Decode only the selected chunks, *seeking past* the payload
-        bytes of excluded ones — the I/O half of zone-map pruning."""
+        """Decode chunks ``lo <= i < hi``, seeking directly to the
+        range's first payload; ``keep`` (indexed relative to ``lo``)
+        additionally skips chunks inside the range without reading
+        their payloads.  The chunk-range path workers shard on."""
         if self._salvaged is not None or self._fallback is not None:
-            yield from EventSource.iter_chunks_selected(self, keep)
+            chunks: typing.Iterable[ColumnChunk] = (
+                self._salvaged
+                if self._salvaged is not None
+                else self._fallback.iter_chunks()
+            )
+            for i, chunk in enumerate(list(chunks)[lo:hi]):
+                if keep is not None and i < len(keep) and not keep[i]:
+                    continue
+                yield chunk
             return
-        with self._open() as handle:
-            for ci, (offset, n_records, payload_bytes, crc) in enumerate(
-                self._index
+        handle = self._open()
+        try:
+            for i, (offset, n_records, payload_bytes, crc) in enumerate(
+                self._index[lo:hi]
             ):
-                if ci < len(keep) and not keep[ci]:
+                if keep is not None and i < len(keep) and not keep[i]:
                     continue
                 handle.seek(offset)
                 payload = handle.read(payload_bytes)
@@ -889,6 +944,23 @@ class TraceFileSource(EventSource):
                 if crc is not None:
                     _check_chunk_crc(crc, n_records, payload, offset)
                 yield _decode_chunk(payload, 0, n_records, payload_bytes)
+        finally:
+            self._release(handle)
+
+    def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
+        return self.iter_chunk_range(0, self.n_chunks)
+
+    def iter_chunks_selected(
+        self, keep: typing.Sequence[bool]
+    ) -> typing.Iterator[ColumnChunk]:
+        """Decode only the selected chunks, *seeking past* the payload
+        bytes of excluded ones — the I/O half of zone-map pruning."""
+        return self.iter_chunk_range(0, self.n_chunks, keep)
+
+    def range_view(self, lo: int, hi: int) -> "ChunkRangeView":
+        """A shard of this file: the chunks ``lo <= i < hi`` as their
+        own :class:`~repro.pdt.store.EventSource`."""
+        return ChunkRangeView(self, lo, hi)
 
     def zone_maps(self, correlator=None):
         """The stored per-chunk zone maps (v4 trailer or attached
@@ -932,7 +1004,8 @@ class TraceFileSource(EventSource):
         sync_code = ev.code_for_kind(ev.SIDE_SPE, ev.KIND_SYNC).code
         spe_ids: typing.Set[int] = set()
         syncs: typing.Dict[int, typing.List[typing.Tuple[int, int]]] = {}
-        with self._open() as handle:
+        handle = self._open()
+        try:
             for offset, n_records, payload_bytes, crc in self._index:
                 handle.seek(offset)
                 payload = handle.read(payload_bytes)
@@ -952,17 +1025,88 @@ class TraceFileSource(EventSource):
                     raise TraceFormatError(
                         f"corrupt trace payload: {exc}"
                     ) from exc
+        finally:
+            self._release(handle)
         return spe_ids, syncs
+
+
+class ChunkRangeView(EventSource):
+    """One shard of a :class:`TraceFileSource`: the half-open chunk
+    range ``[lo, hi)`` served as its own :class:`EventSource`.
+
+    The view seeks straight to its range (excluded payloads are never
+    read), slices the base's zone maps so pruning inside the shard
+    matches what a serial scan would have decided for the same chunks,
+    and — deliberately — delegates :meth:`scan_sync` to the *whole*
+    base file: clock correlation must always be fitted on the shared
+    unpruned prefix, or a record's placed time would depend on which
+    shard served it.
+    """
+
+    def __init__(self, base: TraceFileSource, lo: int, hi: int):
+        total = base.n_chunks
+        self.base = base
+        self.lo = max(0, min(lo, total))
+        self.hi = max(self.lo, min(hi, total))
+        self.header = base.header
+        self.salvage = base.salvage
+        self._counts: typing.Optional[typing.List[int]] = None
+
+    @property
+    def n_chunks(self) -> int:
+        return self.hi - self.lo
+
+    def chunk_record_counts(self) -> typing.List[int]:
+        if self._counts is None:
+            self._counts = self.base.chunk_record_counts()[self.lo : self.hi]
+        return self._counts
+
+    @property
+    def n_records(self) -> int:
+        return sum(self.chunk_record_counts())
+
+    def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
+        return self.base.iter_chunk_range(self.lo, self.hi)
+
+    def iter_chunks_selected(
+        self, keep: typing.Sequence[bool]
+    ) -> typing.Iterator[ColumnChunk]:
+        return self.base.iter_chunk_range(self.lo, self.hi, keep)
+
+    def zone_maps(self, correlator=None):
+        zones = self.base.zone_maps(correlator)
+        if zones is None:
+            return None
+        return zones[self.lo : self.hi]
+
+    def scan_sync(self):
+        return self.base.scan_sync()
+
+    def close(self) -> None:
+        self.base.close()
+
+    def __enter__(self) -> "ChunkRangeView":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def open_trace(
     path_or_file: typing.Union[str, typing.BinaryIO, bytes],
     strict: bool = True,
-) -> TraceFileSource:
+    chunk_range: typing.Optional[typing.Tuple[int, int]] = None,
+) -> typing.Union[TraceFileSource, "ChunkRangeView"]:
     """Open a trace file for streaming chunk-by-chunk consumption.
 
     ``strict=False`` salvages a damaged file (see
     :class:`TraceFileSource`); the returned source's ``.salvage``
-    carries the :class:`SalvageReport`.
+    carries the :class:`SalvageReport`.  With ``chunk_range=(lo, hi)``
+    the result is a :class:`ChunkRangeView` serving only that chunk
+    range — the open path shard workers use.  Both forms are context
+    managers that close their file handles on exit.
     """
-    return TraceFileSource(path_or_file, strict=strict)
+    source = TraceFileSource(path_or_file, strict=strict)
+    if chunk_range is None:
+        return source
+    return source.range_view(*chunk_range)

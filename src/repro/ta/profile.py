@@ -30,14 +30,22 @@ class ProfileRow:
     share: float  # of that core's records
 
 
-def _count_events(trace: TraceLike) -> typing.Dict[
+def _count_events(trace: TraceLike, jobs: int = 1) -> typing.Dict[
     typing.Tuple[int, int], typing.Dict[str, int]
 ]:
     """(side, core) -> kind -> count, in one columnar pass.
 
     PPE records count as one stream under core 0 (their ``core`` field
-    holds the software thread id, not a processor)."""
+    holds the software thread id, not a processor).  With ``jobs > 1``
+    a file-backed source tallies its chunk ranges in worker processes
+    and merges the (order-independent) counts — identical totals."""
     source = trace.as_source() if isinstance(trace, Trace) else trace
+    if jobs > 1:
+        from repro.par import parallel_event_counts
+
+        sharded = parallel_event_counts(source, jobs)
+        if sharded is not None:
+            return sharded
     counts: typing.Dict[typing.Tuple[int, int], typing.Dict[str, int]] = {}
     for chunk in source.iter_chunks():
         for side, code, core in zip(chunk.side, chunk.code, chunk.core):
@@ -61,10 +69,10 @@ def _stream_order(
     return ordered
 
 
-def event_profile(trace: TraceLike) -> typing.List[ProfileRow]:
+def event_profile(trace: TraceLike, jobs: int = 1) -> typing.List[ProfileRow]:
     """Per-core event-kind counts, descending within each core."""
     rows: typing.List[ProfileRow] = []
-    for core, kinds in _stream_order(_count_events(trace)):
+    for core, kinds in _stream_order(_count_events(trace, jobs)):
         total = sum(kinds.values())
         for kind in sorted(kinds, key=lambda k: (-kinds[k], k)):
             rows.append(
@@ -86,7 +94,9 @@ def top_event_kinds(trace: TraceLike, n: int = 5) -> typing.List[typing.Tuple[st
     return ranked[:n]
 
 
-def profile_table(trace: TraceLike) -> typing.List[typing.Dict[str, typing.Any]]:
+def profile_table(
+    trace: TraceLike, jobs: int = 1
+) -> typing.List[typing.Dict[str, typing.Any]]:
     """The profile as plain dict rows for format_table/CSV."""
     return [
         {
@@ -95,5 +105,5 @@ def profile_table(trace: TraceLike) -> typing.List[typing.Dict[str, typing.Any]]
             "count": row.count,
             "share": round(row.share, 3),
         }
-        for row in event_profile(trace)
+        for row in event_profile(trace, jobs)
     ]

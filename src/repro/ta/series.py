@@ -139,6 +139,16 @@ def _edges_for(
     return np.linspace(lo, hi, buckets + 1)
 
 
+def _materialize(query, jobs: int):
+    """A projected query's rows, sharded across worker processes when
+    ``jobs > 1`` (byte-identical; shard order is chunk order)."""
+    if jobs > 1:
+        from repro.par import parallel_records
+
+        return parallel_records(query, jobs)
+    return list(query.records())
+
+
 def source_event_rate_series(
     source,
     buckets: int = 50,
@@ -146,16 +156,19 @@ def source_event_rate_series(
     spe: typing.Optional[int] = None,
     t0: typing.Optional[int] = None,
     t1: typing.Optional[int] = None,
+    jobs: int = 1,
 ) -> typing.Tuple[np.ndarray, np.ndarray]:
     """(bucket_centers, matching events per cycle per bucket).
 
     Straight from an :class:`~repro.pdt.store.EventSource` — no
     timeline model.  With ``kind``/``spe``/``t0``/``t1`` set, the
-    query prunes to the chunks that can match before decoding.
+    query prunes to the chunks that can match before decoding; with
+    ``jobs > 1`` the scan shards across worker processes.
     """
     query = Query(source).where(t0=t0, t1=t1, spe=spe, event=kind)
     times = np.array(
-        [row[0] for row in query.project("time").records()], dtype=float
+        [row[0] for row in _materialize(query.project("time"), jobs)],
+        dtype=float,
     )
     edges = _edges_for(times, buckets, t0, t1)
     counts, __ = np.histogram(times, bins=edges)
@@ -169,6 +182,7 @@ def source_issue_bandwidth_series(
     spe: typing.Optional[int] = None,
     t0: typing.Optional[int] = None,
     t1: typing.Optional[int] = None,
+    jobs: int = 1,
 ) -> typing.Tuple[np.ndarray, np.ndarray]:
     """(bucket_centers, bytes issued per cycle per bucket), from raw
     DMA-issue events via the query pipeline.
@@ -184,7 +198,7 @@ def source_issue_bandwidth_series(
         .where(t0=t0, t1=t1, spe=spe, event=list(_DMA_ISSUE_KINDS))
         .project("time", "size")
     )
-    rows = list(query.records())
+    rows = _materialize(query, jobs)
     times = np.array([t for t, __ in rows], dtype=float)
     sizes = np.array([s for __, s in rows], dtype=float)
     edges = _edges_for(times, buckets, t0, t1)

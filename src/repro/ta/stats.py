@@ -173,11 +173,22 @@ class TraceStatistics:
         return rows
 
 
+def _run_rows(query, jobs: int):
+    """Execute a grouped query, fanning out over ``jobs`` worker
+    processes when asked (byte-identical either way)."""
+    if jobs > 1:
+        from repro.par import parallel_rows
+
+        return parallel_rows(query, jobs)
+    return query.run()
+
+
 def source_summary_rows(
     source,
     t0: typing.Optional[int] = None,
     t1: typing.Optional[int] = None,
     spe: typing.Optional[int] = None,
+    jobs: int = 1,
 ) -> typing.List[typing.Dict[str, typing.Union[int, float]]]:
     """Per-SPE aggregation straight from an event source, via tq.
 
@@ -187,14 +198,17 @@ def source_summary_rows(
     one SPE without scanning the rest of the trace (the filters push
     down into the source's zone maps).  Unlike the timeline model this
     does no interval pairing, so it reports issue-side truth only.
+    With ``jobs > 1`` the underlying scans shard across worker
+    processes (:mod:`repro.par`); the rows are byte-identical.
     """
     base = Query(source).where(t0=t0, t1=t1, spe=spe, side=SIDE_SPE)
-    totals = (
-        base.groupby("spe")
-        .agg(events="count", t_first=("min", "time"), t_last=("max", "time"))
-        .run()
+    totals = _run_rows(
+        base.groupby("spe").agg(
+            events="count", t_first=("min", "time"), t_last=("max", "time")
+        ),
+        jobs,
     )
-    dma = (
+    dma = _run_rows(
         base.where(event=list(_DMA_ISSUE_KINDS))
         .groupby("spe")
         .agg(
@@ -202,8 +216,8 @@ def source_summary_rows(
             dma_bytes=("sum", "size"),
             dma_mean_bytes=("mean", "size"),
             dma_p99_bytes=("p99", "size"),
-        )
-        .run()
+        ),
+        jobs,
     )
     by_spe = {row["spe"]: row for row in dma}
     rows = []

@@ -25,7 +25,14 @@ exact predicate, and aggregation order is deterministic.  See
 ``docs/querying.md``.
 """
 
-from repro.tq.pipeline import PPE_GROUP, Query, nearest_rank
+from repro.tq.pipeline import (
+    AggState,
+    PPE_GROUP,
+    PartialAggregation,
+    Query,
+    QueryPlan,
+    nearest_rank,
+)
 from repro.tq.predicate import Predicate, events_matching
 from repro.tq.source import (
     IndexedSource,
@@ -35,11 +42,14 @@ from repro.tq.source import (
 )
 
 __all__ = [
+    "AggState",
     "IndexedSource",
     "PPE_GROUP",
+    "PartialAggregation",
     "Predicate",
     "PruneStats",
     "Query",
+    "QueryPlan",
     "build_sidecar",
     "events_matching",
     "nearest_rank",

@@ -29,6 +29,7 @@ were served (indexed v4 file, sidecar, in-memory store, or full scan):
 
 from __future__ import annotations
 
+import dataclasses
 import typing
 
 from repro.pdt.correlate import ClockCorrelator
@@ -72,8 +73,18 @@ def nearest_rank(sorted_values: typing.Sequence[int], q: int) -> int:
     return sorted_values[max(rank, 1) - 1]
 
 
-class _Agg:
-    """One reduction accumulator."""
+class AggState:
+    """One reduction's mergeable partial state.
+
+    The full lifecycle is ``create`` → ``update`` per matching value →
+    ``merge`` with sibling states from other shards (in shard order) →
+    ``finalize``.  Merging is associative, and because ``finalize``
+    sorts percentile populations and mean divides once at the end, a
+    merged chain of shard states finalizes to exactly the value a
+    single serial state would have produced — this is what lets
+    :mod:`repro.par` split a scan by chunk ranges without changing any
+    answer.
+    """
 
     __slots__ = ("op", "column", "count", "total", "lo", "hi", "population")
 
@@ -88,7 +99,11 @@ class _Agg:
             [] if op in ("p50", "p99") else None
         )
 
-    def add(self, value: int) -> None:
+    @classmethod
+    def create(cls, op: str, column: typing.Optional[str]) -> "AggState":
+        return cls(op, column)
+
+    def update(self, value: int) -> None:
         self.count += 1
         if self.op == "sum" or self.op == "mean":
             self.total += value
@@ -99,7 +114,25 @@ class _Agg:
         elif self.population is not None:
             self.population.append(value)
 
-    def result(self) -> typing.Union[int, float, None]:
+    def merge(self, other: "AggState") -> "AggState":
+        """Fold another shard's state into this one (self comes first
+        in shard order; population order follows chunk order)."""
+        if other.op != self.op or other.column != self.column:
+            raise ValueError(
+                f"cannot merge {other.op!r}/{other.column!r} state into "
+                f"{self.op!r}/{self.column!r}"
+            )
+        self.count += other.count
+        self.total += other.total
+        if other.lo is not None:
+            self.lo = other.lo if self.lo is None else min(self.lo, other.lo)
+        if other.hi is not None:
+            self.hi = other.hi if self.hi is None else max(self.hi, other.hi)
+        if self.population is not None and other.population:
+            self.population.extend(other.population)
+        return self
+
+    def finalize(self) -> typing.Union[int, float, None]:
         if self.op == "count":
             return self.count
         if self.count == 0:
@@ -114,6 +147,90 @@ class _Agg:
             return self.hi
         assert self.population is not None
         return nearest_rank(sorted(self.population), 50 if self.op == "p50" else 99)
+
+
+class PartialAggregation:
+    """The group-and-reduce state of one shard: a mapping from group
+    key tuple to one :class:`AggState` per named reduction.
+
+    Shards merge in shard (chunk-range) order; :meth:`finalize` then
+    emits the same sorted rows — including the single all-empty row an
+    ungrouped empty selection yields — that a serial run produces.
+    """
+
+    __slots__ = ("keys", "aggs", "groups")
+
+    def __init__(
+        self,
+        keys: typing.Tuple[str, ...],
+        aggs: typing.Tuple[typing.Tuple[str, str, typing.Optional[str]], ...],
+    ):
+        self.keys = tuple(keys)
+        self.aggs = tuple(aggs)
+        self.groups: typing.Dict[typing.Tuple, typing.List[AggState]] = {}
+
+    @classmethod
+    def create(
+        cls,
+        keys: typing.Tuple[str, ...],
+        aggs: typing.Tuple[typing.Tuple[str, str, typing.Optional[str]], ...],
+    ) -> "PartialAggregation":
+        return cls(keys, aggs)
+
+    def states_for(self, group: typing.Tuple) -> typing.List[AggState]:
+        states = self.groups.get(group)
+        if states is None:
+            states = [AggState.create(op, column) for __, op, column in self.aggs]
+            self.groups[group] = states
+        return states
+
+    def merge(self, other: "PartialAggregation") -> "PartialAggregation":
+        """Fold a later shard's groups into this one.  The other
+        partial is consumed: its states may be adopted wholesale."""
+        if other.keys != self.keys or other.aggs != self.aggs:
+            raise ValueError("cannot merge partials with different shapes")
+        for group, states in other.groups.items():
+            mine = self.groups.get(group)
+            if mine is None:
+                self.groups[group] = states
+            else:
+                for acc, theirs in zip(mine, states):
+                    acc.merge(theirs)
+        return self
+
+    def finalize(self) -> typing.List[typing.Dict[str, typing.Any]]:
+        rows = []
+        for group in sorted(self.groups):
+            out: typing.Dict[str, typing.Any] = dict(zip(self.keys, group))
+            for (name, __, __c), acc in zip(self.aggs, self.groups[group]):
+                out[name] = acc.finalize()
+            rows.append(out)
+        if not self.keys and not rows:
+            # An empty selection still yields one all-empty row.
+            rows.append(
+                {
+                    name: AggState.create(op, col).finalize()
+                    for name, op, col in self.aggs
+                }
+            )
+        return rows
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryPlan:
+    """The picklable shape of a query, detached from its source.
+
+    Everything a worker process needs to re-instantiate the same query
+    over its own chunk-range view: the predicate plus the projection /
+    grouping / reduction spec.  Built by :meth:`Query.plan`, consumed
+    by :meth:`Query.from_plan`.
+    """
+
+    predicate: Predicate
+    projection: typing.Optional[typing.Tuple[str, ...]]
+    group_keys: typing.Tuple[str, ...]
+    time_bucket: typing.Optional[int]
+    aggs: typing.Tuple[typing.Tuple[str, str, typing.Optional[str]], ...]
 
 
 class Query:
@@ -235,6 +352,33 @@ class Query:
         fork._aggs = tuple(parsed)
         return fork
 
+    # -- plans ---------------------------------------------------------
+    def plan(self) -> QueryPlan:
+        """This query's shape as a picklable :class:`QueryPlan`."""
+        return QueryPlan(
+            predicate=self.predicate,
+            projection=self._projection,
+            group_keys=self._group_keys,
+            time_bucket=self._time_bucket,
+            aggs=self._aggs,
+        )
+
+    @classmethod
+    def from_plan(
+        cls,
+        source: EventSource,
+        plan: QueryPlan,
+        correlator: typing.Optional[ClockCorrelator] = None,
+    ) -> "Query":
+        """Rebuild a query from a :class:`QueryPlan` over ``source``."""
+        query = cls(source, correlator)
+        query.predicate = plan.predicate
+        query._projection = plan.projection
+        query._group_keys = plan.group_keys
+        query._time_bucket = plan.time_bucket
+        query._aggs = plan.aggs
+        return query
+
     # -- execution -----------------------------------------------------
     def _needs_time(self) -> bool:
         if self.predicate.needs_time or "bucket" in self._group_keys:
@@ -318,16 +462,15 @@ class Query:
         """Number of matching records."""
         return sum(1 for __ in self._scan())
 
-    def run(self) -> typing.List[typing.Dict[str, typing.Any]]:
-        """Execute group-and-reduce; rows sorted by group key.
-
-        Without :meth:`groupby` the result is a single row; without
-        :meth:`agg` the default reduction is ``n="count"``.
-        """
+    def run_partial(self) -> PartialAggregation:
+        """Execute group-and-reduce over this query's source but stop
+        short of finalizing: the returned :class:`PartialAggregation`
+        can be merged with the partials of other shards of the same
+        trace before :meth:`PartialAggregation.finalize` emits rows."""
         aggs = self._aggs or (("n", "count", None),)
         keys = self._group_keys
         bucket = self._time_bucket
-        groups: typing.Dict[typing.Tuple, typing.List[_Agg]] = {}
+        partial = PartialAggregation.create(keys, aggs)
         for row in self._scan():
             time, side, code, core, seq, raw_ts, values = row
             parts = []
@@ -338,27 +481,20 @@ class Query:
                 else:
                     parts.append(self._column_value(key, *row))
             group = tuple(parts)
-            accs = groups.get(group)
-            if accs is None:
-                accs = [_Agg(op, column) for __, op, column in aggs]
-                groups[group] = accs
-            for acc in accs:
+            for acc in partial.states_for(group):
                 if acc.op == "count":
                     acc.count += 1
                     continue
                 value = self._column_value(acc.column, *row)
                 if value is None or isinstance(value, str):
                     continue
-                acc.add(value)
-        rows = []
-        for group in sorted(groups):
-            out: typing.Dict[str, typing.Any] = dict(zip(keys, group))
-            for (name, __, __c), acc in zip(aggs, groups[group]):
-                out[name] = acc.result()
-            rows.append(out)
-        if not keys and not rows:
-            # An empty selection still yields one all-empty row.
-            rows.append(
-                {name: _Agg(op, col).result() for name, op, col in aggs}
-            )
-        return rows
+                acc.update(value)
+        return partial
+
+    def run(self) -> typing.List[typing.Dict[str, typing.Any]]:
+        """Execute group-and-reduce; rows sorted by group key.
+
+        Without :meth:`groupby` the result is a single row; without
+        :meth:`agg` the default reduction is ``n="count"``.
+        """
+        return self.run_partial().finalize()

@@ -41,6 +41,26 @@ class PruneStats:
     def pruned_chunks(self) -> int:
         return self.total_chunks - self.scanned_chunks
 
+    @classmethod
+    def merged(cls, parts: typing.Iterable["PruneStats"]) -> "PruneStats":
+        """Combine per-shard accounting into whole-scan accounting.
+
+        Shard totals sum (each shard owns a disjoint chunk range), and
+        the scan counts as indexed only when every shard pruned — which
+        matches serial behaviour, where indexedness is a property of
+        the whole source.
+        """
+        merged = cls(indexed=True)
+        seen = False
+        for part in parts:
+            seen = True
+            merged.total_chunks += part.total_chunks
+            merged.scanned_chunks += part.scanned_chunks
+            merged.indexed = merged.indexed and part.indexed
+        if not seen:
+            merged.indexed = False
+        return merged
+
     def note(self) -> str:
         """One line for verbose CLI output."""
         if not self.indexed:
@@ -145,6 +165,18 @@ class IndexedSource(EventSource):
     def scan_sync(self):
         return self.base.scan_sync()
 
+    def close(self) -> None:
+        """Close the wrapped source (a no-op for in-memory bases)."""
+        closer = getattr(self.base, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "IndexedSource":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
 
 def build_sidecar(trace_path: str) -> str:
     """Backfill a ``.pdtx`` sidecar index for an existing trace file.
@@ -156,13 +188,13 @@ def build_sidecar(trace_path: str) -> str:
     SPE/event pruning works and time windows scan fully.  Returns the
     sidecar path.
     """
-    source = open_trace(trace_path, strict=True)
-    try:
-        correlator: typing.Optional[ClockCorrelator] = ClockCorrelator(source)
-    except CorrelationError:
-        correlator = None
-    zones = build_zone_maps(source.iter_chunks(), correlator)
-    return write_sidecar(trace_path, zones, source.n_records)
+    with open_trace(trace_path, strict=True) as source:
+        try:
+            correlator: typing.Optional[ClockCorrelator] = ClockCorrelator(source)
+        except CorrelationError:
+            correlator = None
+        zones = build_zone_maps(source.iter_chunks(), correlator)
+        return write_sidecar(trace_path, zones, source.n_records)
 
 
 def open_indexed(trace_path: str, strict: bool = True) -> TraceFileSource:

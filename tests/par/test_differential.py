@@ -1,0 +1,272 @@
+"""Differential correctness: the parallel engine vs the serial one.
+
+The contract under test is absolute — **byte-identical results in
+every mode** — so every assertion here is plain ``==`` on the exact
+objects the two paths return (rows, record tuples, counts, numpy
+series), never approximate comparison.  The matrix covers every
+workload in :mod:`repro.workloads`, every on-disk format version
+(v1 legacy through v4 indexed, plus a v3 file with a ``.pdtx``
+sidecar attached), and ``jobs`` of 1 (serial fallback), 2, and 4.
+"""
+
+import typing
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pdt import TraceConfig, open_trace, write_trace
+from repro.pdt.format import (
+    VERSION_CHUNKED,
+    VERSION_CRC,
+    VERSION_INDEXED,
+    VERSION_LEGACY,
+)
+from repro.par import parallel_count, parallel_records, parallel_rows
+from repro.ta.profile import profile_table
+from repro.ta.series import (
+    source_event_rate_series,
+    source_issue_bandwidth_series,
+)
+from repro.ta.stats import source_summary_rows
+from repro.tq import Query, build_sidecar, open_indexed
+from repro.workloads import (
+    FftWorkload,
+    HistogramWorkload,
+    MandelbrotWorkload,
+    MatmulWorkload,
+    MonteCarloWorkload,
+    SpmvWorkload,
+    StreamingPipelineWorkload,
+    run_workload,
+)
+
+JOB_COUNTS = (1, 2, 4)
+
+#: Every workload in repro.workloads, scaled down to fuzz-friendly
+#: runtimes while keeping each one's characteristic record mix.
+WORKLOADS = (
+    ("matmul", lambda: MatmulWorkload(n=64, tile=32, n_spes=2)),
+    ("streaming", lambda: StreamingPipelineWorkload(stages=2, blocks=6)),
+    ("montecarlo", lambda: MonteCarloWorkload(samples_per_spe=1500, n_spes=2)),
+    ("fft", lambda: FftWorkload(points=256, batch=8, n_spes=2)),
+    ("histogram", lambda: HistogramWorkload(samples=8192, bins=32, n_spes=2)),
+    (
+        "mandelbrot",
+        lambda: MandelbrotWorkload(
+            width=64, height=16, max_iterations=16, n_spes=2
+        ),
+    ),
+    (
+        "spmv",
+        lambda: SpmvWorkload(n=256, density=0.05, rows_per_block=64, n_spes=2),
+    ),
+)
+
+VERSIONS = ("v1", "v2", "v3", "v4", "v3+sidecar")
+
+_VERSION_CODES = {
+    "v1": VERSION_LEGACY,
+    "v2": VERSION_CHUNKED,
+    "v3": VERSION_CRC,
+    "v4": VERSION_INDEXED,
+    "v3+sidecar": VERSION_CRC,
+}
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """workload name -> version label -> trace file path."""
+    tmp = tmp_path_factory.mktemp("par-diff")
+    out: typing.Dict[str, typing.Dict[str, str]] = {}
+    for name, factory in WORKLOADS:
+        result = run_workload(factory(), TraceConfig(buffer_bytes=1024))
+        source = result.trace_source()
+        paths = {}
+        for label in VERSIONS:
+            source.header.version = _VERSION_CODES[label]
+            path = str(tmp / f"{name}-{label.replace('+', '-')}.pdt")
+            write_trace(source, path)
+            if label == "v3+sidecar":
+                build_sidecar(path)
+            paths[label] = path
+        out[name] = paths
+    return out
+
+
+def _open(path: str, label: str):
+    if label == "v3+sidecar":
+        source = open_indexed(path)
+        assert source.zone_maps() is not None
+        return source
+    return open_trace(path)
+
+
+def _case(corpus, name, label):
+    return corpus[name][label]
+
+
+_MATRIX = pytest.mark.parametrize(
+    "name,label",
+    [(n, v) for n, __ in WORKLOADS for v in VERSIONS],
+    ids=[f"{n}-{v}" for n, __ in WORKLOADS for v in VERSIONS],
+)
+
+
+@_MATRIX
+def test_grouped_aggregation_identical(corpus, name, label):
+    """groupby + every aggregate op (count/sum/min/max/mean/p50/p99),
+    plus the CLI's (side, core, kind) profile query."""
+    path = _case(corpus, name, label)
+
+    def cli_query(source):
+        return (
+            Query(source)
+            .groupby("side", "core", "kind")
+            .agg(count="count", t_min=("min", "time"), t_max=("max", "time"))
+        )
+
+    def dma_query(source):
+        return (
+            Query(source)
+            .where(event="mfc_get")
+            .groupby("spe")
+            .agg(
+                n="count",
+                total=("sum", "size"),
+                lo=("min", "size"),
+                hi=("max", "size"),
+                mid=("p50", "size"),
+                tail=("p99", "size"),
+                avg=("mean", "size"),
+            )
+        )
+
+    for build in (cli_query, dma_query):
+        with _open(path, label) as source:
+            serial_query = build(source)
+            expected = serial_query.run()
+            expected_stats = serial_query.stats
+        for jobs in JOB_COUNTS:
+            with _open(path, label) as source:
+                query = build(source)
+                rows = parallel_rows(query, jobs)
+                assert rows == expected, (name, label, jobs)
+                if jobs > 1 and expected_stats is not None:
+                    assert query.stats == expected_stats, (name, label, jobs)
+
+
+@_MATRIX
+def test_records_and_count_identical(corpus, name, label):
+    path = _case(corpus, name, label)
+
+    def build(source):
+        return Query(source).where(spe=1)
+
+    with _open(path, label) as source:
+        expected_records = list(build(source).records())
+        expected_count = build(source).count()
+    for jobs in JOB_COUNTS:
+        with _open(path, label) as source:
+            assert parallel_records(build(source), jobs) == expected_records
+        with _open(path, label) as source:
+            assert parallel_count(build(source), jobs) == expected_count
+
+
+@_MATRIX
+def test_summary_rows_and_series_identical(corpus, name, label):
+    path = _case(corpus, name, label)
+    with _open(path, label) as source:
+        expected_rows = source_summary_rows(source)
+    with _open(path, label) as source:
+        expected_rate = source_event_rate_series(source, buckets=16)
+    with _open(path, label) as source:
+        expected_bw = source_issue_bandwidth_series(source, buckets=16)
+    for jobs in JOB_COUNTS:
+        with _open(path, label) as source:
+            assert source_summary_rows(source, jobs=jobs) == expected_rows
+        with _open(path, label) as source:
+            centers, rate = source_event_rate_series(
+                source, buckets=16, jobs=jobs
+            )
+            assert np.array_equal(centers, expected_rate[0])
+            assert np.array_equal(rate, expected_rate[1])
+        with _open(path, label) as source:
+            centers, bw = source_issue_bandwidth_series(
+                source, buckets=16, jobs=jobs
+            )
+            assert np.array_equal(centers, expected_bw[0])
+            assert np.array_equal(bw, expected_bw[1])
+
+
+@pytest.mark.parametrize("name", [n for n, __ in WORKLOADS])
+def test_profile_table_identical(corpus, name):
+    path = _case(corpus, name, "v4")
+    with open_trace(path) as source:
+        expected = profile_table(source)
+    for jobs in JOB_COUNTS:
+        with open_trace(path) as source:
+            assert profile_table(source, jobs=jobs) == expected, (name, jobs)
+
+
+# ----------------------------------------------------------------------
+# randomized predicates (hypothesis): serial == parallel holds for
+# arbitrary filter combinations, not just the hand-picked ones above
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def matmul_v4(corpus):
+    path = corpus["matmul"]["v4"]
+    with open_trace(path) as source:
+        times = [
+            row[0] for row in Query(source).project("time").records()
+        ]
+    return path, min(times), max(times)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    window=st.tuples(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    ),
+    use_window=st.booleans(),
+    spe=st.sampled_from([None, 0, 1, 7]),
+    event=st.sampled_from(
+        [None, "mfc_get", "mfc_put", "sync", ["mfc_get", "mfc_put"]]
+    ),
+    jobs=st.sampled_from([2, 4]),
+)
+def test_random_predicates_identical(
+    matmul_v4, window, use_window, spe, event, jobs
+):
+    path, t_lo, t_hi = matmul_v4
+    t0 = t1 = None
+    if use_window:
+        span = t_hi - t_lo
+        a, b = sorted(window)
+        t0 = int(t_lo + a * span)
+        t1 = int(t_lo + b * span)
+
+    def build(source):
+        return (
+            Query(source)
+            .where(t0=t0, t1=t1, spe=spe, event=event)
+            .groupby("side", "kind")
+            .agg(n="count", mid=("p50", "time"), t_max=("max", "time"))
+        )
+
+    with open_trace(path) as source:
+        serial_query = build(source)
+        expected_rows = serial_query.run()
+        expected_stats = serial_query.stats
+    with open_trace(path) as source:
+        expected_records = list(
+            Query(source).where(t0=t0, t1=t1, spe=spe, event=event).records()
+        )
+    with open_trace(path) as source:
+        query = build(source)
+        assert parallel_rows(query, jobs) == expected_rows
+        assert query.stats == expected_stats
+    with open_trace(path) as source:
+        query = Query(source).where(t0=t0, t1=t1, spe=spe, event=event)
+        assert parallel_records(query, jobs) == expected_records

@@ -1,0 +1,273 @@
+"""Unit tests for the shard planner, the mergeable aggregation states,
+and the executor's fault degradation.
+
+The fault tests use the executor's ``_TEST_FAULT`` hook: the fault is
+stamped onto every task but fires only inside pool workers
+(``_IN_POOL_WORKER`` is set by the pool initializer), so the parent's
+serial re-execution of the same task must succeed — and must produce
+exactly the serial answer.
+"""
+
+import pytest
+
+from repro.pdt import TraceConfig, open_trace, write_trace
+from repro.pdt.format import VERSION_CRC, VERSION_INDEXED
+from repro.par import executor, parallel_records, parallel_rows, plan_shards
+from repro.par.plan import chunk_weights, partition
+from repro.tq import Query
+from repro.tq.pipeline import AggState, PartialAggregation
+from repro.tq.source import PruneStats
+from repro.workloads import MatmulWorkload, run_workload
+
+
+# ----------------------------------------------------------------------
+# partition / planning
+# ----------------------------------------------------------------------
+def test_partition_is_contiguous_and_exhaustive():
+    for weights in (
+        [1] * 10,
+        [5, 0, 0, 0, 1, 9, 2],
+        [0, 0, 0, 0],
+        [100],
+        list(range(33)),
+    ):
+        for shards in (1, 2, 3, 4, 7, 16):
+            ranges = partition(weights, shards)
+            assert len(ranges) <= shards
+            # Exhaustive, contiguous, in order: concatenated ranges
+            # reconstruct [0, n) exactly.
+            flat = [i for lo, hi in ranges for i in range(lo, hi)]
+            assert flat == list(range(len(weights))), (weights, shards)
+            assert all(lo < hi for lo, hi in ranges)
+
+
+def test_partition_balances_by_weight():
+    # One heavy chunk up front: it gets its own shard rather than
+    # dragging half the trace with it.
+    ranges = partition([100, 1, 1, 1], 2)
+    assert ranges[0] == (0, 1)
+    assert ranges[-1][1] == 4
+
+
+def test_partition_empty_and_degenerate():
+    assert partition([], 4) == []
+    assert partition([3, 4], 1) == [(0, 2)]
+
+
+def test_chunk_weights_zero_for_pruned_chunks(tmp_path):
+    result = run_workload(
+        MatmulWorkload(n=64, tile=32, n_spes=2), TraceConfig(buffer_bytes=1024)
+    )
+    source = result.trace_source()
+    source.header.version = VERSION_INDEXED
+    path = str(tmp_path / "m.pdt")
+    write_trace(source, path)
+    with open_trace(path) as trace:
+        query = Query(trace).where(spe=1)
+        weights = chunk_weights(trace, query.predicate)
+        counts = trace.chunk_record_counts()
+        assert len(weights) == trace.n_chunks
+        # Pruned chunks weigh nothing; admitted ones weigh their zone's
+        # record count.
+        assert all(w == 0 or w == c for w, c in zip(weights, counts))
+        assert any(w == 0 for w in weights)  # something prunes for spe=1
+
+
+def test_plan_shards_covers_all_chunks(tmp_path):
+    result = run_workload(
+        MatmulWorkload(n=64, tile=32, n_spes=2), TraceConfig(buffer_bytes=1024)
+    )
+    source = result.trace_source()
+    source.header.version = VERSION_CRC
+    path = str(tmp_path / "m3.pdt")
+    write_trace(source, path)
+    with open_trace(path) as trace:
+        ranges = plan_shards(trace, 3)
+        assert ranges and ranges[0][0] == 0
+        assert ranges[-1][1] == trace.n_chunks
+        for (__, a_hi), (b_lo, __) in zip(ranges, ranges[1:]):
+            assert a_hi == b_lo
+
+
+# ----------------------------------------------------------------------
+# mergeable partial states
+# ----------------------------------------------------------------------
+def test_agg_state_merge_equals_single_pass():
+    values = [5, 1, 9, 3, 3, 8, 2, 7]
+    for op in ("sum", "min", "max", "mean", "p50", "p99"):
+        whole = AggState.create(op, "x")
+        for v in values:
+            whole.update(v)
+        left = AggState.create(op, "x")
+        right = AggState.create(op, "x")
+        for v in values[:3]:
+            left.update(v)
+        for v in values[3:]:
+            right.update(v)
+        left.merge(right)
+        assert left.finalize() == whole.finalize(), op
+
+
+def test_agg_state_merge_empty_sides():
+    empty = AggState.create("max", "x")
+    loaded = AggState.create("max", "x")
+    loaded.update(4)
+    empty.merge(loaded)
+    assert empty.finalize() == 4
+    assert AggState.create("sum", "x").finalize() is None
+    both = AggState.create("min", "x")
+    both.merge(AggState.create("min", "x"))
+    assert both.finalize() is None
+
+
+def test_partial_aggregation_merge_and_empty_rule():
+    aggs = [("n", "count", None), ("hi", "max", "x")]
+    a = PartialAggregation.create((), aggs)
+    b = PartialAggregation.create((), aggs)
+    # The ungrouped empty-selection rule (one all-empty row) must hold
+    # after merging two empty partials...
+    merged = PartialAggregation.create((), aggs)
+    merged.merge(PartialAggregation.create((), aggs))
+    assert merged.finalize() == [{"n": 0, "hi": None}]
+    # ...and a grouped empty selection stays empty.
+    grouped = PartialAggregation.create(("spe",), aggs)
+    grouped.merge(PartialAggregation.create(("spe",), aggs))
+    assert grouped.finalize() == []
+    # Disjoint and overlapping groups both merge.
+    na, ha = a.states_for((0,))
+    na.count += 1
+    ha.update(10)
+    nb, hb = b.states_for((0,))
+    nb.count += 1
+    hb.update(20)
+    nb2, hb2 = b.states_for((1,))
+    nb2.count += 1
+    hb2.update(5)
+    a.merge(b)
+    assert a.finalize() == [{"n": 2, "hi": 20}, {"n": 1, "hi": 5}]
+
+
+def test_partial_aggregation_merge_shape_mismatch():
+    a = PartialAggregation.create(("spe",), [("n", "count", None)])
+    b = PartialAggregation.create(("core",), [("n", "count", None)])
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_prune_stats_merged():
+    parts = [
+        PruneStats(total_chunks=4, scanned_chunks=1, indexed=True),
+        PruneStats(total_chunks=3, scanned_chunks=3, indexed=True),
+    ]
+    merged = PruneStats.merged(parts)
+    assert merged == PruneStats(total_chunks=7, scanned_chunks=4, indexed=True)
+    mixed = PruneStats.merged(
+        parts + [PruneStats(total_chunks=1, scanned_chunks=1, indexed=False)]
+    )
+    assert not mixed.indexed
+    assert not PruneStats.merged([]).indexed
+
+
+# ----------------------------------------------------------------------
+# fault degradation: a worker fault never changes the answer
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fault_trace(tmp_path_factory):
+    result = run_workload(
+        MatmulWorkload(n=64, tile=32, n_spes=2), TraceConfig(buffer_bytes=1024)
+    )
+    source = result.trace_source()
+    source.header.version = VERSION_INDEXED
+    path = str(tmp_path_factory.mktemp("par-fault") / "fault.pdt")
+    write_trace(source, path)
+    with open_trace(path) as trace:
+        query = (
+            Query(trace)
+            .groupby("side", "core", "kind")
+            .agg(count="count", t_max=("max", "time"))
+        )
+        expected_rows = query.run()
+        expected_stats = query.stats
+    with open_trace(path) as trace:
+        expected_records = list(Query(trace).where(spe=0).records())
+    return path, expected_rows, expected_stats, expected_records
+
+
+@pytest.mark.parametrize("fault", ["raise", "crash"])
+def test_worker_fault_degrades_to_serial(fault_trace, fault, monkeypatch):
+    path, expected_rows, expected_stats, expected_records = fault_trace
+    monkeypatch.setattr(executor, "_TEST_FAULT", fault)
+    with open_trace(path) as trace:
+        query = (
+            Query(trace)
+            .groupby("side", "core", "kind")
+            .agg(count="count", t_max=("max", "time"))
+        )
+        assert parallel_rows(query, 2) == expected_rows
+        assert query.stats == expected_stats
+    with open_trace(path) as trace:
+        query = Query(trace).where(spe=0)
+        assert parallel_records(query, 2) == expected_records
+
+
+def test_fault_injection_actually_fires_in_workers(fault_trace, monkeypatch):
+    """Guard against the fault tests passing vacuously: the injected
+    fault must raise when the worker flag is set."""
+    path = fault_trace[0]
+    monkeypatch.setattr(executor, "_IN_POOL_WORKER", True)
+    monkeypatch.setattr(executor, "_TEST_FAULT", "raise")
+    with open_trace(path) as trace:
+        query = Query(trace).groupby("spe").agg(n="count")
+        tasks = executor._prepare(query, 2, "aggregate")
+    assert tasks is not None and all(t.fault == "raise" for t in tasks)
+    with pytest.raises(RuntimeError, match="injected shard fault"):
+        executor.run_shard(tasks[0])
+
+
+def test_corrupt_shard_under_salvage_keeps_accounting(tmp_path):
+    """Parallel over a salvaged (damaged) file: identical rows and an
+    identical SalvageReport to the serial read."""
+    result = run_workload(
+        MatmulWorkload(n=64, tile=32, n_spes=2), TraceConfig(buffer_bytes=1024)
+    )
+    source = result.trace_source()
+    source.header.version = VERSION_CRC
+    path = str(tmp_path / "damaged.pdt")
+    write_trace(source, path)
+    blob = bytearray(open(path, "rb").read())
+    blob[len(blob) // 2] ^= 0xFF  # corrupt one mid-file chunk
+    open(path, "wb").write(bytes(blob))
+    with open_trace(path, strict=False) as trace:
+        assert trace.salvage is not None and trace.salvage.damaged
+        expected = Query(trace).groupby("side", "kind").agg(n="count").run()
+        expected_report = trace.salvage
+    for jobs in (2, 4):
+        with open_trace(path, strict=False) as trace:
+            query = Query(trace).groupby("side", "kind").agg(n="count")
+            assert parallel_rows(query, jobs) == expected
+            assert trace.salvage.summary() == expected_report.summary()
+
+
+def test_serial_fallbacks(fault_trace):
+    """jobs=1, in-memory sources, and single-chunk traces all fall back
+    to the plain serial path (and still answer identically)."""
+    path, expected_rows, __, __records = fault_trace
+    with open_trace(path) as trace:
+        query = (
+            Query(trace)
+            .groupby("side", "core", "kind")
+            .agg(count="count", t_max=("max", "time"))
+        )
+        assert executor._prepare(query, 1, "aggregate") is None
+        assert parallel_rows(query, 1) == expected_rows
+    result = run_workload(
+        MatmulWorkload(n=64, tile=32, n_spes=2), TraceConfig(buffer_bytes=1024)
+    )
+    memory = result.trace_source()
+    query = (
+        Query(memory)
+        .groupby("side", "core", "kind")
+        .agg(count="count", t_max=("max", "time"))
+    )
+    assert executor._prepare(query, 4, "aggregate") is None
+    assert parallel_rows(query, 4) == query.run()

@@ -1,0 +1,127 @@
+"""Replay the checked-in corruption corpus on every run.
+
+``tests/pdt/corpus`` holds seeded damage cases exported by
+``tools/corruption_fuzz.py --export-corpus`` — real workload traces
+with deterministic truncations and bit flips, plus a manifest saying
+how each was derived.  Each case replays through the exact invariant
+checks the fuzzer applies (strict must detect, salvage must survive
+and account), and every salvageable case additionally answers a query
+serially and sharded — byte-identically.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "tools"),
+)
+
+import corruption_fuzz  # noqa: E402
+
+from repro.pdt import TraceFormatError, open_trace  # noqa: E402
+from repro.par import parallel_records, parallel_rows  # noqa: E402
+from repro.tq import Query  # noqa: E402
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+def _load_manifest():
+    with open(os.path.join(CORPUS_DIR, "manifest.json")) as handle:
+        return json.load(handle)["cases"]
+
+
+_CASES = _load_manifest()
+
+
+def _read(filename: str) -> bytes:
+    with open(os.path.join(CORPUS_DIR, filename), "rb") as handle:
+        return handle.read()
+
+
+def test_corpus_is_present_and_covers_both_modes():
+    assert len(_CASES) >= 20
+    assert {case["mode"] for case in _CASES} == {"general", "trailer"}
+    versions = {case["version"] for case in _CASES}
+    assert versions == {2, 3, 4}
+
+
+@pytest.mark.parametrize(
+    "case", _CASES, ids=[case["file"] for case in _CASES]
+)
+def test_replay_fuzzer_invariants(case):
+    """Strict refuses / salvage survives, exactly as the fuzzer checks."""
+    blob = _read(case["pristine"])
+    mutated = _read(case["file"])
+    assert mutated != blob, "corpus case is a no-op mutation"
+    if case["mode"] == "trailer":
+        failures = corruption_fuzz.check_trailer_case(
+            case["workload"], blob, mutated
+        )
+    else:
+        failures = corruption_fuzz.check_one(
+            case["workload"],
+            case["version"],
+            blob,
+            mutated,
+            case["truncated"],
+        )
+    assert failures == [], case["file"]
+
+
+@pytest.mark.parametrize(
+    "case", _CASES, ids=[case["file"] for case in _CASES]
+)
+def test_replay_salvage_serial_vs_parallel(case, tmp_path):
+    """A salvage read of each damaged case answers queries identically
+    whether the scan runs serially or sharded over workers."""
+    mutated = _read(case["file"])
+    path = str(tmp_path / case["file"])
+    with open(path, "wb") as handle:
+        handle.write(mutated)
+    try:
+        probe = open_trace(path, strict=False)
+    except TraceFormatError:
+        pytest.skip("header unusable; nothing to salvage")
+    probe.close()
+    with open_trace(path, strict=False) as source:
+        query = (
+            Query(source)
+            .groupby("side", "core", "kind")
+            .agg(n="count", t_min=("min", "time"), t_max=("max", "time"))
+        )
+        expected_rows = query.run()
+    with open_trace(path, strict=False) as source:
+        expected_records = list(Query(source).where(spe=1).records())
+    for jobs in (2, 4):
+        with open_trace(path, strict=False) as source:
+            query = (
+                Query(source)
+                .groupby("side", "core", "kind")
+                .agg(n="count", t_min=("min", "time"), t_max=("max", "time"))
+            )
+            assert parallel_rows(query, jobs) == expected_rows, case["file"]
+        with open_trace(path, strict=False) as source:
+            query = Query(source).where(spe=1)
+            assert (
+                parallel_records(query, jobs) == expected_records
+            ), case["file"]
+
+
+@pytest.mark.parametrize(
+    "pristine",
+    sorted({case["pristine"] for case in _CASES}),
+)
+def test_pristine_corpus_traces_read_clean(pristine):
+    """The undamaged corpus members must parse strictly — a guard that
+    the corpus itself (not the reader) is what each damage case tests."""
+    blob = _read(pristine)
+    with open_trace(blob) as source:
+        assert source.n_records > 0
+        list(source.iter_chunks())
+    salvaged = open_trace(blob, strict=False)
+    assert salvaged.salvage is not None and not salvaged.salvage.damaged
+    salvaged.close()

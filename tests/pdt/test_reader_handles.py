@@ -1,0 +1,158 @@
+"""File-handle hygiene: every handle the reader opens gets closed —
+on clean exits, on error paths, and for abandoned iterators.
+
+A tracking fake file stands in for the real ``open``: it records every
+handle issued for the trace path so each test can assert none survive
+``close()`` / context-manager exit, whatever route the reader took.
+"""
+
+import builtins
+import io
+
+import pytest
+
+from repro.pdt import TraceConfig, TraceFormatError, open_trace, write_trace
+from repro.pdt.format import VERSION_CRC, VERSION_INDEXED
+from repro.tq import IndexedSource, Predicate, open_indexed
+from repro.workloads import MatmulWorkload, run_workload
+
+
+class TrackingFile(io.BytesIO):
+    """An in-memory stand-in for one opened file, with close tracking."""
+
+    def __init__(self, data: bytes, registry: list):
+        super().__init__(data)
+        registry.append(self)
+
+
+@pytest.fixture()
+def tracked(tmp_path, monkeypatch):
+    """(trace_path, issued_handles): real trace, fake open."""
+    result = run_workload(
+        MatmulWorkload(n=64, tile=32, n_spes=2), TraceConfig(buffer_bytes=1024)
+    )
+    source = result.trace_source()
+    source.header.version = VERSION_INDEXED
+    path = str(tmp_path / "tracked.pdt")
+    write_trace(source, path)
+    data = open(path, "rb").read()
+
+    issued: list = []
+    real_open = builtins.open
+
+    def fake_open(file, mode="r", *args, **kwargs):
+        if file == path and "b" in mode:
+            return TrackingFile(data, issued)
+        return real_open(file, mode, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "open", fake_open)
+    return path, issued, data
+
+
+def _assert_all_closed(issued):
+    assert issued, "the fake open was never exercised"
+    assert all(handle.closed for handle in issued)
+
+
+def test_close_after_full_iteration(tracked):
+    path, issued, __ = tracked
+    source = open_trace(path)
+    list(source.iter_chunks())
+    source.scan_sync()
+    source.close()
+    _assert_all_closed(issued)
+
+
+def test_context_manager_closes(tracked):
+    path, issued, __ = tracked
+    with open_trace(path) as source:
+        assert source.n_records > 0
+    _assert_all_closed(issued)
+
+
+def test_abandoned_generator_handle_is_drained_by_close(tracked):
+    """A half-consumed iter_chunks generator holds a live handle;
+    close() must drain it anyway."""
+    path, issued, __ = tracked
+    source = open_trace(path)
+    iterator = source.iter_chunks()
+    next(iterator)
+    assert any(not handle.closed for handle in issued)
+    source.close()
+    _assert_all_closed(issued)
+    source.close()  # idempotent
+
+
+def test_generator_error_path_releases_handle(tracked, tmp_path,
+                                              monkeypatch):
+    """A CRC failure mid-iteration propagates, and the generator's
+    cleanup still releases its handle."""
+    path, issued, data = tracked
+    bad = bytearray(data)
+    bad[len(bad) // 2] ^= 0xFF
+    bad_path = str(tmp_path / "bad.pdt")
+
+    real_open = builtins.open
+    with monkeypatch.context() as patch:
+        patch.setattr(builtins, "open", real_open)
+        open(bad_path, "wb").write(bytes(bad))
+
+    def fake_open(file, mode="r", *args, **kwargs):
+        if file == bad_path and "b" in mode:
+            return TrackingFile(bytes(bad), issued)
+        return real_open(file, mode, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "open", fake_open)
+    issued.clear()
+    # Strict construction of a v4 file with a damaged chunk fails while
+    # verifying the trailer or scanning frames — and must not leak.
+    try:
+        source = open_trace(bad_path)
+    except TraceFormatError:
+        _assert_all_closed(issued)
+        return
+    with pytest.raises(TraceFormatError):
+        for __chunk in source.iter_chunks():
+            pass
+    source.close()
+    _assert_all_closed(issued)
+
+
+def test_constructor_error_closes_handles(tracked, monkeypatch):
+    """A failure inside __init__ (after handles were opened) must not
+    leak them: truncate the blob so the index build raises."""
+    path, issued, data = tracked
+
+    real_open = builtins.open
+    truncated = data[: len(data) - 7]
+
+    def fake_open(file, mode="r", *args, **kwargs):
+        if file == path and "b" in mode:
+            return TrackingFile(truncated, issued)
+        return real_open(file, mode, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "open", fake_open)
+    issued.clear()
+    with pytest.raises(TraceFormatError):
+        open_trace(path)
+    _assert_all_closed(issued)
+
+
+def test_range_view_and_indexed_source_close_base(tracked):
+    path, issued, __ = tracked
+    with open_trace(path) as base:
+        with base.range_view(0, 2) as view:
+            list(view.iter_chunks())
+    _assert_all_closed(issued)
+    issued.clear()
+    with open_indexed(path) as source:
+        pruned = IndexedSource(source, Predicate().refine(spe=1))
+        list(pruned.iter_chunks())
+    _assert_all_closed(issued)
+
+
+def test_salvage_read_closes_handles(tracked):
+    path, issued, __ = tracked
+    with open_trace(path, strict=False) as source:
+        list(source.iter_chunks())
+    _assert_all_closed(issued)

@@ -1,0 +1,105 @@
+"""Edge-case coverage for ta.export and ta.diff.
+
+The CSV exporters and the before/after diff are the last hop before a
+user's spreadsheet; empty and one-sided inputs must produce something
+well-formed (or a clear error), never a traceback.
+"""
+
+import csv
+import io
+
+import pytest
+
+from repro.ta import analyze
+from repro.ta.diff import diff_stats
+from repro.ta.export import records_to_csv, stats_to_csv
+from repro.ta.stats import TraceStatistics
+
+from tests.ta.util import single_buffered_program, run_traced
+
+
+@pytest.fixture(scope="module")
+def traced_model():
+    __, hooks = run_traced([single_buffered_program(iterations=4)] * 2)
+    return analyze(hooks.event_source())
+
+
+def test_records_to_csv_round_trips_through_csv_reader(traced_model):
+    text = records_to_csv(traced_model.iter_placed())
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == [
+        "time", "side", "core", "seq", "kind", "raw_ts", "fields",
+    ]
+    assert len(rows) > 1
+    assert all(len(row) == 7 for row in rows[1:])
+    sides = {row[1] for row in rows[1:]}
+    assert sides <= {"ppe", "spe"} and "spe" in sides
+
+
+def test_records_to_csv_empty_iterable():
+    text = records_to_csv([])
+    rows = list(csv.reader(io.StringIO(text)))
+    assert len(rows) == 1  # header only, still valid CSV
+
+
+def test_records_to_csv_destination_writes_not_returns(traced_model):
+    sink = io.StringIO()
+    returned = records_to_csv(traced_model.iter_placed(), sink)
+    assert returned == ""
+    assert sink.getvalue().startswith("time,")
+
+
+def test_stats_to_csv_round_trip(traced_model):
+    stats = TraceStatistics.from_model(traced_model)
+    text = stats_to_csv(stats)
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == stats.n_spes
+    assert {row["spe"] for row in rows} == {"0", "1"}
+
+
+def test_stats_to_csv_empty_stats():
+    empty = TraceStatistics(per_spe={}, span=0)
+    assert stats_to_csv(empty) == ""
+    sink = io.StringIO()
+    assert stats_to_csv(empty, sink) == ""
+    assert sink.getvalue() == ""
+
+
+def test_diff_empty_traces():
+    empty = TraceStatistics(per_spe={}, span=0)
+    diff = diff_stats(empty, empty)
+    assert diff.per_spe == []
+    assert diff.rows() == []
+    assert diff.speedup == float("inf")  # 0-span candidate
+    assert "faster" in diff.verdict
+
+
+def test_diff_one_sided_trace_raises(traced_model):
+    stats = TraceStatistics.from_model(traced_model)
+    empty = TraceStatistics(per_spe={}, span=0)
+    with pytest.raises(ValueError, match="SPE sets differ"):
+        diff_stats(stats, empty)
+    with pytest.raises(ValueError, match="SPE sets differ"):
+        diff_stats(empty, stats)
+
+
+def test_diff_identical_runs_is_all_zero(traced_model):
+    stats = TraceStatistics.from_model(traced_model)
+    diff = diff_stats(stats, stats)
+    assert diff.verdict == "unchanged (within 2%)"
+    assert diff.speedup == pytest.approx(1.0)
+    for row in diff.rows():
+        assert row["utilization_delta"] == 0
+        assert row["wait_dma_delta"] == 0
+        assert row["dma_bytes_delta"] == 0
+
+
+def test_diff_detects_regression(traced_model):
+    stats = TraceStatistics.from_model(traced_model)
+    slower = TraceStatistics(per_spe=stats.per_spe, span=stats.span * 2)
+    diff = diff_stats(stats, slower)
+    assert diff.speedup == pytest.approx(0.5)
+    assert "regressed" in diff.verdict
+    faster = diff_stats(slower, stats)
+    assert faster.speedup == pytest.approx(2.0)
+    assert "improved" in faster.verdict

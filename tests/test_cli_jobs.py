@@ -1,0 +1,59 @@
+"""pdt-analyze --jobs: validation, clamping, and identical output."""
+
+import os
+
+import pytest
+
+from repro.cli.analyze import main as analyze_main
+from repro.cli.trace import main as trace_main
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli-jobs") / "mc.pdt")
+    assert trace_main(
+        ["montecarlo", "-n", "2", "-o", path, "--buffer", "1024"]
+    ) == 0
+    return path
+
+
+def test_jobs_zero_is_an_error(trace_path, capsys):
+    assert analyze_main([trace_path, "--jobs", "0", "--spe", "0"]) == 2
+    err = capsys.readouterr().err
+    assert "--jobs must be >= 1" in err
+
+
+def test_jobs_negative_is_an_error(trace_path, capsys):
+    assert analyze_main([trace_path, "--jobs", "-4", "--spe", "0"]) == 2
+    err = capsys.readouterr().err
+    assert "--jobs must be >= 1" in err and "-4" in err
+
+
+def test_jobs_above_cpu_count_clamps_and_succeeds(trace_path, capsys):
+    over = (os.cpu_count() or 1) + 7
+    assert analyze_main(
+        [trace_path, "--jobs", str(over), "--spe", "0"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "exceeds" in captured.err
+    assert "matching records" in captured.out
+
+
+def test_jobs_query_output_identical_to_serial(trace_path, capsys):
+    assert analyze_main([trace_path, "--spe", "0", "-v"]) == 0
+    serial = capsys.readouterr().out
+    jobs = str(max(2, os.cpu_count() or 1))
+    assert analyze_main(
+        [trace_path, "--spe", "0", "-v", "--jobs", jobs]
+    ) == 0
+    parallel = capsys.readouterr().out
+    assert parallel == serial
+
+
+def test_jobs_report_profile_identical_to_serial(trace_path, capsys):
+    assert analyze_main([trace_path, "--profile"]) == 0
+    serial = capsys.readouterr().out
+    jobs = str(max(2, os.cpu_count() or 1))
+    assert analyze_main([trace_path, "--profile", "--jobs", jobs]) == 0
+    parallel = capsys.readouterr().out
+    assert parallel == serial

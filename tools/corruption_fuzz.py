@@ -25,9 +25,16 @@ otherwise.  Deterministic for a given ``--seed``.
 Usage::
 
     PYTHONPATH=src python tools/corruption_fuzz.py --iterations 200
+
+``--export-corpus DIR`` instead writes a seeded regression corpus —
+every pristine trace plus a deterministic set of damaged variants and
+a ``manifest.json`` describing each case — for checking into the test
+tree and replaying on every CI run (``tests/pdt/test_corpus_replay``).
 """
 
 import argparse
+import json
+import os
 import random
 import sys
 import typing
@@ -288,6 +295,58 @@ def fuzz(iterations: int, seed: int, verbose: bool = False) -> int:
     return 1 if all_failures else 0
 
 
+def export_corpus(
+    directory: str, seed: int, cases_per_trace: int = 2
+) -> int:
+    """Write a deterministic damage corpus under ``directory``.
+
+    For every (workload, version) trace: the pristine blob, then
+    ``cases_per_trace`` general damage cases, plus (v4 only) the same
+    number of index-trailer-confined cases.  ``manifest.json`` records
+    how each file was derived so a replay harness can re-run the exact
+    invariant check the fuzzer would have.
+    """
+    os.makedirs(directory, exist_ok=True)
+    rng = random.Random(seed)
+    manifest: typing.List[typing.Dict[str, typing.Any]] = []
+    for name, version, blob in build_corpus():
+        pristine = f"{name}-v{version}.pdt"
+        with open(os.path.join(directory, pristine), "wb") as handle:
+            handle.write(blob)
+        cases: typing.List[typing.Tuple[str, bytes, str, bool]] = []
+        while len(cases) < cases_per_trace:
+            mutated, description, truncated = mutate(rng, blob)
+            if mutated != blob:
+                cases.append(("general", mutated, description, truncated))
+        if version >= VERSION_INDEXED:
+            added = 0
+            while added < cases_per_trace:
+                mutated, description = mutate_trailer(rng, blob)
+                if mutated != blob:
+                    cases.append(("trailer", mutated, description, False))
+                    added += 1
+        for i, (mode, mutated, description, truncated) in enumerate(cases):
+            filename = f"{name}-v{version}-{mode}-{i}.pdt"
+            with open(os.path.join(directory, filename), "wb") as handle:
+                handle.write(mutated)
+            manifest.append(
+                {
+                    "file": filename,
+                    "pristine": pristine,
+                    "workload": name,
+                    "version": version,
+                    "mode": mode,
+                    "description": description,
+                    "truncated": truncated,
+                }
+            )
+    with open(os.path.join(directory, "manifest.json"), "w") as handle:
+        json.dump({"seed": seed, "cases": manifest}, handle, indent=1)
+        handle.write("\n")
+    print(f"wrote {len(manifest)} damage cases to {directory}")
+    return 0
+
+
 def main(argv: typing.Optional[typing.List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fuzz the trace readers with random corruption."
@@ -295,7 +354,14 @@ def main(argv: typing.Optional[typing.List[str]] = None) -> int:
     parser.add_argument("--iterations", type=int, default=200)
     parser.add_argument("--seed", type=int, default=20080427)
     parser.add_argument("-v", "--verbose", action="store_true")
+    parser.add_argument(
+        "--export-corpus", metavar="DIR",
+        help="write a seeded regression corpus (pristine + damaged "
+        "traces + manifest.json) instead of fuzzing",
+    )
     args = parser.parse_args(argv)
+    if args.export_corpus:
+        return export_corpus(args.export_corpus, args.seed)
     return fuzz(args.iterations, args.seed, verbose=args.verbose)
 
 
