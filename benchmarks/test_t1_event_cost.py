@@ -10,7 +10,7 @@ import time
 import tracemalloc
 
 from repro.pdt import TraceConfig
-from repro.pdt.codec import encode_fields, encode_record
+from repro.pdt.codec import decode_batch, decode_fields, encode_fields, encode_record
 from repro.pdt.events import SIDE_SPE, TraceRecord, code_for_kind
 from repro.pdt.store import ColumnStore
 from repro.ta.report import format_table
@@ -109,8 +109,30 @@ def _measure_hot_path():
             append(SIDE_SPE, spec.code, 0, seq, seq, values)
         return store
 
+    buffer = b"".join(
+        encode_fields(SIDE_SPE, spec.code, 0, seq, seq, values)
+        for seq in range(HOT_RECORDS)
+    )
+
+    def run_decode_scalar():
+        offset, end = 0, len(buffer)
+        while offset < end:
+            decoded = decode_fields(buffer, offset)
+            offset = decoded[-1]
+        return offset
+
+    def run_decode_batch():
+        batch = decode_batch(buffer)
+        assert batch is not None and batch.count == HOT_RECORDS
+        return batch
+
     rows = []
-    for name, fn in (("seed", run_seed), ("sink", run_sink)):
+    for name, fn in (
+        ("seed", run_seed),
+        ("sink", run_sink),
+        ("decode-scalar", run_decode_scalar),
+        ("decode-batch", run_decode_batch),
+    ):
         best = None
         for __ in range(5):
             t0 = time.perf_counter()
@@ -141,3 +163,9 @@ def test_t1_record_hot_path(benchmark, save_result):
     # per-record time.
     assert by_path["seed"]["bytes_per_record"] >= 3 * by_path["sink"]["bytes_per_record"], rows
     assert by_path["sink"]["ns_per_record"] < by_path["seed"]["ns_per_record"], rows
+    # Decoding the same buffer back: the batch decoder (one boundary
+    # walk, then column gathers) must beat the per-record interpreter.
+    assert (
+        by_path["decode-batch"]["ns_per_record"]
+        < by_path["decode-scalar"]["ns_per_record"]
+    ), rows

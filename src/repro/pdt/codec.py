@@ -14,14 +14,37 @@ Layout of one record (little endian)::
 The 16-byte padding is not cosmetic: SPE trace buffers are flushed by
 DMA, and the MFC requires 16-byte-aligned multiples of 16, so the real
 PDT also sizes its records accordingly.
+
+Two decode/encode granularities share this layout:
+
+* the scalar path (:func:`decode_fields` / :func:`encode_fields`) —
+  one record per call, and the single definition of the format's error
+  behavior (truncation ``ValueError``, unknown-type ``KeyError``,
+  out-of-range ``struct.error``);
+* the batch path (:func:`decode_batch` / :func:`encode_batch`) — a
+  whole run of records per call.  Decode walks record boundaries with
+  a size lookup table (every size is a multiple of 16, so record
+  starts stay 16-aligned within the run) and then splits all prefix
+  columns and payload values with vectorized gathers.  The batch path
+  *never raises for malformed input*: on any anomaly — truncation,
+  unknown record type, out-of-range component — it returns ``None``
+  (decode) or falls back internally (encode) and the caller re-runs
+  the scalar path, which reproduces today's exact error behavior and
+  salvage semantics byte for byte.  Setting ``REPRO_SCALAR_CODEC=1``
+  in the environment disables the batch path entirely (the
+  differential-testing escape hatch).
 """
 
 from __future__ import annotations
 
+import os
 import struct
 import typing
+from array import array
 
-from repro.pdt.events import TraceRecord, spec_for_code
+import numpy as np
+
+from repro.pdt.events import EVENT_SPECS, TraceRecord, spec_for_code
 
 _PREFIX = struct.Struct("<BBHIQ")
 assert _PREFIX.size == 16
@@ -127,3 +150,209 @@ def decode_stream(buffer: bytes, count: int, offset: int = 0) -> typing.Tuple[
         record, offset = decode_record(buffer, offset)
         records.append(record)
     return records, offset
+
+
+# ---------------------------------------------------------------------------
+# Batch codec
+# ---------------------------------------------------------------------------
+
+#: Column dtypes matching the platform ``array`` typecodes the store
+#: uses ('L' is 4 or 8 bytes depending on the C long).
+SEQ_DTYPE = np.dtype(f"<u{array('L').itemsize}")
+OFF_DTYPE = SEQ_DTYPE
+CORE_DTYPE = np.dtype(f"<u{array('H').itemsize}")
+
+#: The batch codec assumes the wire widths map onto numpy gathers at
+#: 1/2/4/8-byte granularity; on an exotic platform it simply stays off
+#: and everything runs the scalar path.
+_BATCH_CAPABLE = (
+    array("B").itemsize == 1
+    and array("H").itemsize == 2
+    and array("Q").itemsize == 8
+    and array("q").itemsize == 8
+)
+
+#: (side << 8 | code) -> encoded record size; 0 marks unknown types so
+#: the boundary walk fails over to the scalar path (which raises).
+_SIZE_LUT: typing.List[int] = [0] * 65536
+_NF_LUT = np.zeros(65536, dtype=np.int64)
+for (_side, _code), _spec in EVENT_SPECS.items():
+    _SIZE_LUT[(_side << 8) | _code] = record_size(len(_spec.fields))
+    _NF_LUT[(_side << 8) | _code] = len(_spec.fields)
+del _side, _code, _spec
+
+
+def batch_enabled() -> bool:
+    """Whether the vectorized batch paths are in use.  Checked per run,
+    so ``REPRO_SCALAR_CODEC=1`` flips every layer — codec, ingest and
+    query kernels — from one switch, including in worker processes
+    (environment is inherited across ``multiprocessing`` spawns)."""
+    return _BATCH_CAPABLE and not os.environ.get("REPRO_SCALAR_CODEC")
+
+
+class DecodedBatch:
+    """A run of decoded records as parallel numpy columns.
+
+    ``val_off`` is a prefix-offset column of length ``count + 1``
+    (record ``i``'s payload is ``values[val_off[i]:val_off[i + 1]]``),
+    exactly mirroring :class:`~repro.pdt.store.ColumnChunk` so a batch
+    can be appended to a chunk with byte copies
+    (:meth:`~repro.pdt.store.ColumnChunk.extend_run`).
+    """
+
+    __slots__ = ("count", "sides", "codes", "cores", "seqs", "raws",
+                 "val_off", "values", "next_offset")
+
+    def __init__(self, count, sides, codes, cores, seqs, raws, val_off,
+                 values, next_offset):
+        self.count = count
+        self.sides = sides
+        self.codes = codes
+        self.cores = cores
+        self.seqs = seqs
+        self.raws = raws
+        self.val_off = val_off
+        self.values = values
+        self.next_offset = next_offset
+
+
+def _walk_records(
+    buffer, offset: int, count: typing.Optional[int], bound: int
+) -> typing.Optional[typing.List[int]]:
+    """Record start offsets for ``count`` records (or until ``bound``
+    when ``count`` is None); ``None`` when the run is not cleanly
+    decodable (unknown type, truncation)."""
+    lut = _SIZE_LUT
+    offs: typing.List[int] = []
+    append = offs.append
+    pos = offset
+    try:
+        if count is None:
+            while pos < bound:
+                size = lut[(buffer[pos] << 8) | buffer[pos + 1]]
+                if size == 0 or pos + size > bound:
+                    return None
+                append(pos)
+                pos += size
+        else:
+            for __ in range(count):
+                size = lut[(buffer[pos] << 8) | buffer[pos + 1]]
+                if size == 0 or pos + size > bound:
+                    return None
+                append(pos)
+                pos += size
+    except IndexError:
+        return None
+    return offs
+
+
+def decode_batch(
+    buffer, offset: int = 0, count: typing.Optional[int] = None
+) -> typing.Optional[DecodedBatch]:
+    """Batch-decode consecutive records starting at ``offset``.
+
+    ``count`` bounds the walk by record count (record bodies may reach
+    anywhere inside ``buffer``, matching :func:`decode_fields` bounds);
+    ``count=None`` decodes until the end of ``buffer`` exactly (the
+    :meth:`EventSink.append_encoded` contract).  Returns ``None``
+    whenever the run cannot be *proven* clean — the caller must then
+    take the scalar path, which either succeeds identically or raises
+    the exact scalar error.
+    """
+    if not batch_enabled() or count == 0:
+        return None
+    bound = len(buffer)
+    offs = _walk_records(buffer, offset, count, bound)
+    if offs is None or not offs:
+        return None
+    n = len(offs)
+    end = offs[-1] + _SIZE_LUT[(buffer[offs[-1]] << 8) | buffer[offs[-1] + 1]]
+    # Record starts are 16-aligned relative to the run start, so the
+    # fixed-width prefix fields land on element boundaries of the
+    # 2/4/8-byte views below.
+    mv = memoryview(buffer)[offset:end]
+    rel = np.array(offs, dtype=np.int64)
+    rel -= offset
+    v8 = np.frombuffer(mv, np.uint8)
+    v16 = np.frombuffer(mv, np.uint16)
+    v32 = np.frombuffer(mv, np.uint32)
+    v64u = np.frombuffer(mv, np.uint64)
+    v64i = np.frombuffer(mv, np.int64)
+    sides = v8[rel]
+    codes = v8[rel + 1]
+    cores = v16[(rel >> 1) + 1]
+    seqs = v32[(rel >> 2) + 1]
+    raws = v64u[(rel >> 3) + 1]
+    tids = (sides.astype(np.int32) << 8) | codes
+    nf = _NF_LUT[tids]
+    val_off = np.empty(n + 1, dtype=np.int64)
+    val_off[0] = 0
+    np.cumsum(nf, out=val_off[1:])
+    values = np.empty(int(val_off[-1]), dtype=np.int64)
+    slots = (rel >> 3) + 2
+    for tid in np.unique(tids).tolist():
+        width = int(_NF_LUT[tid])
+        if width == 0:
+            continue
+        idx = np.flatnonzero(tids == tid)
+        lanes = np.arange(width)
+        values[val_off[idx][:, None] + lanes] = v64i[slots[idx][:, None] + lanes]
+    return DecodedBatch(n, sides, codes, cores, seqs, raws, val_off, values, end)
+
+
+def encode_batch(chunk) -> bytes:
+    """Encode a whole :class:`~repro.pdt.store.ColumnChunk`, bytes
+    identical to concatenating :func:`encode_fields` per record.
+
+    Falls back to the scalar per-record loop — including its exact
+    ``struct.error`` behavior for out-of-range components — when the
+    batch path is off or a sequence number exceeds the wire's u32.
+    """
+    n = len(chunk)
+    if n == 0:
+        return b""
+    if not batch_enabled():
+        return encode_chunk_scalar(chunk)
+    off = np.frombuffer(chunk.val_off, OFF_DTYPE).astype(np.int64)
+    nf = np.diff(off)
+    sizes = (16 + 8 * nf + 15) & ~15
+    starts = np.empty(n + 1, dtype=np.int64)
+    starts[0] = 0
+    np.cumsum(sizes, out=starts[1:])
+    seqs = np.frombuffer(chunk.seq, SEQ_DTYPE)
+    if int(seqs.max()) > 0xFFFF_FFFF:
+        return encode_chunk_scalar(chunk)  # scalar raises struct.error
+    buf = np.zeros(int(starts[-1]) >> 3, dtype=np.uint64)
+    v8 = buf.view(np.uint8)
+    v16 = buf.view(np.uint16)
+    v32 = buf.view(np.uint32)
+    v64i = buf.view(np.int64)
+    s = starts[:-1]
+    v8[s] = np.frombuffer(chunk.side, np.uint8)
+    v8[s + 1] = np.frombuffer(chunk.code, np.uint8)
+    v16[(s >> 1) + 1] = np.frombuffer(chunk.core, CORE_DTYPE)
+    v32[(s >> 2) + 1] = seqs.astype(np.uint32)
+    buf[(s >> 3) + 1] = np.frombuffer(chunk.raw_ts, np.uint64)
+    values = np.frombuffer(chunk.values, np.int64)
+    for width in np.unique(nf).tolist():
+        if width == 0:
+            continue
+        idx = np.flatnonzero(nf == width)
+        lanes = np.arange(width)
+        v64i[((s[idx] >> 3) + 2)[:, None] + lanes] = (
+            values[off[idx][:, None] + lanes]
+        )
+    return buf.tobytes()
+
+
+def encode_chunk_scalar(chunk) -> bytes:
+    """The per-record reference encode of a chunk (the scalar baseline
+    ``encode_batch`` must match byte for byte)."""
+    off = chunk.val_off
+    return b"".join(
+        encode_fields(
+            chunk.side[i], chunk.code[i], chunk.core[i], chunk.seq[i],
+            chunk.raw_ts[i], chunk.values[off[i] : off[i + 1]],
+        )
+        for i in range(len(chunk))
+    )

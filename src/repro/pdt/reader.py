@@ -39,6 +39,7 @@ import io
 import struct
 import typing
 
+from repro.pdt import codec
 from repro.pdt import events as ev
 from repro.pdt.codec import decode_fields, iter_prefixes
 from repro.pdt.format import (
@@ -206,7 +207,19 @@ def _check_chunk_crc(
 def _decode_chunk(blob: bytes, offset: int, n_records: int, payload_bytes: int) -> ColumnChunk:
     chunk = ColumnChunk()
     end = offset + payload_bytes
-    # Bound locals: this loop runs once per record in the file.
+    batch = codec.decode_batch(blob, offset, n_records)
+    if batch is not None:
+        chunk.extend_run(batch)
+        offset = batch.next_offset
+        if offset != end:
+            raise TraceFormatError(
+                f"chunk payload size mismatch: declared {payload_bytes} "
+                f"bytes, decoded {payload_bytes - (end - offset)}"
+            )
+        return chunk
+    # Scalar fallback: the reference loop, and the single source of the
+    # corrupt-payload error behavior (the batch decoder returns None on
+    # any anomaly precisely so this path can raise the exact error).
     sides, codes, cores = chunk.side, chunk.code, chunk.core
     seqs, raws, truths = chunk.seq, chunk.raw_ts, chunk.truth
     vals, offs = chunk.values, chunk.val_off

@@ -31,6 +31,9 @@ import abc
 import bisect
 import typing
 from array import array
+from collections import Counter
+
+import numpy as np
 
 from repro.pdt import codec
 from repro.pdt.events import (
@@ -121,6 +124,56 @@ class ColumnChunk:
         piece.val_off = array("L", (o - base for o in self.val_off[start : stop + 1]))
         piece.values = self.values[base : self.val_off[stop]]
         return piece
+
+    def extend_run(
+        self, batch: "codec.DecodedBatch", start: int = 0,
+        stop: typing.Optional[int] = None,
+    ) -> None:
+        """Bulk-append rows [start, stop) of a decoded batch.
+
+        Every column lands via one byte copy (``array.frombytes``) and
+        the offset rebase is one vectorized add — no per-record method
+        call survives on the ingest path.  ``truth`` is unknown for
+        decoded records, so it fills with -1 (all-ones bytes).
+        """
+        if stop is None:
+            stop = batch.count
+        k = stop - start
+        if k <= 0:
+            return
+        self.side.frombytes(batch.sides[start:stop].tobytes())
+        self.code.frombytes(batch.codes[start:stop].tobytes())
+        self.core.frombytes(batch.cores[start:stop].tobytes())
+        self.seq.frombytes(
+            batch.seqs[start:stop].astype(codec.SEQ_DTYPE).tobytes()
+        )
+        self.raw_ts.frombytes(batch.raws[start:stop].tobytes())
+        self.truth.frombytes(b"\xff" * (8 * k))
+        base = self.val_off[-1]
+        lo = int(batch.val_off[start])
+        hi = int(batch.val_off[stop])
+        self.values.frombytes(batch.values[lo:hi].tobytes())
+        rebased = batch.val_off[start + 1 : stop + 1] + (base - lo)
+        self.val_off.frombytes(rebased.astype(codec.OFF_DTYPE).tobytes())
+
+    def extend_rows(self, other: "ColumnChunk", start: int, stop: int) -> None:
+        """Bulk-append rows [start, stop) of another chunk (columnar
+        copy, ``truth`` included)."""
+        if stop <= start:
+            return
+        self.side.extend(other.side[start:stop])
+        self.code.extend(other.code[start:stop])
+        self.core.extend(other.core[start:stop])
+        self.seq.extend(other.seq[start:stop])
+        self.raw_ts.extend(other.raw_ts[start:stop])
+        self.truth.extend(other.truth[start:stop])
+        base = self.val_off[-1]
+        lo = other.val_off[start]
+        hi = other.val_off[stop]
+        self.values.extend(other.values[lo:hi])
+        offs = np.frombuffer(other.val_off, codec.OFF_DTYPE)
+        rebased = offs[start + 1 : stop + 1].astype(np.int64) + (base - lo)
+        self.val_off.frombytes(rebased.astype(codec.OFF_DTYPE).tobytes())
 
 
 class EventSink(abc.ABC):
@@ -271,6 +324,15 @@ class ColumnStore(EventSink):
         key = (side, core)
         self._counts[key] = self._counts.get(key, 0) + 1
 
+    def _merge_counts(
+        self, pairs: typing.Iterable[typing.Tuple[int, int]]
+    ) -> None:
+        """Bulk-merge (side, core) pairs into ``_counts``: one Counter
+        pass over the pairs (C-level), then one dict update per
+        *distinct* pair instead of one per record."""
+        for key, n in Counter(pairs).items():
+            self._counts[key] = self._counts.get(key, 0) + n
+
     def adopt_chunk(self, chunk: ColumnChunk) -> None:
         """Take ownership of a decoded chunk wholesale (reader path)."""
         if not chunk:
@@ -281,20 +343,50 @@ class ColumnStore(EventSink):
         else:
             self._starts.append(self._starts[-1] + len(tail))
             self._chunks.append(chunk)
-        for side, core in zip(chunk.side, chunk.core):
-            key = (side, core)
-            self._counts[key] = self._counts.get(key, 0) + 1
+        self._merge_counts(zip(chunk.side, chunk.core))
+
+    def _open_tail(self) -> ColumnChunk:
+        tail = self._chunks[-1]
+        if len(tail) >= self.chunk_records:
+            self._starts.append(self._starts[-1] + len(tail))
+            tail = ColumnChunk()
+            self._chunks.append(tail)
+        return tail
 
     def extend_from(self, other: "ColumnStore", start: int = 0) -> None:
-        """Append rows [start:] of another store (columnar copy)."""
+        """Append rows [start:] of another store (columnar bulk copy:
+        each source chunk lands as a few array-slice extends split at
+        this store's chunk boundaries, never row by row)."""
         for chunk in other.iter_chunks(start=start):
-            off = chunk.val_off
-            for i in range(len(chunk)):
-                self.append(
-                    chunk.side[i], chunk.code[i], chunk.core[i], chunk.seq[i],
-                    chunk.raw_ts[i], chunk.values[off[i] : off[i + 1]],
-                    chunk.truth[i],
-                )
+            pos, n = 0, len(chunk)
+            while pos < n:
+                tail = self._open_tail()
+                take = min(self.chunk_records - len(tail), n - pos)
+                tail.extend_rows(chunk, pos, pos + take)
+                pos += take
+            self._merge_counts(zip(chunk.side, chunk.core))
+
+    def append_encoded(self, buffer: bytes, offset: int = 0) -> int:
+        """Batch ingest of encoded records (the flush-DMA read-back
+        path): one :func:`codec.decode_batch` for the whole buffer,
+        split at chunk boundaries with bulk appends.  Falls back to the
+        generic scalar loop when the batch decoder cannot prove the
+        buffer clean, preserving exact error behavior."""
+        batch = codec.decode_batch(buffer, offset)
+        if batch is None:
+            return super().append_encoded(buffer, offset)
+        pos = 0
+        while pos < batch.count:
+            tail = self._open_tail()
+            take = min(self.chunk_records - len(tail), batch.count - pos)
+            tail.extend_run(batch, pos, pos + take)
+            pos += take
+        packed = (batch.sides.astype(np.int64) << 32) | batch.cores
+        pairs, counts = np.unique(packed, return_counts=True)
+        for pair, n in zip(pairs.tolist(), counts.tolist()):
+            key = (pair >> 32, pair & 0xFFFF_FFFF)
+            self._counts[key] = self._counts.get(key, 0) + n
+        return batch.next_offset
 
     # -- access ------------------------------------------------------
     def __len__(self) -> int:

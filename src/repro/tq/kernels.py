@@ -1,0 +1,465 @@
+"""Columnar query kernels: predicate, placement and reduction without
+a per-record interpreter loop.
+
+:func:`select_chunk` evaluates a :class:`~repro.tq.predicate.Predicate`
+against a whole :class:`~repro.pdt.store.ColumnChunk` with a handful of
+vectorized passes — one boolean mask op per static clause (side / SPE
+set / event LUT), one affine-fit application per (side, core) group
+present in the chunk (never per record), and one strided gather per
+field clause per record *type* — yielding a selection index array plus,
+when needed, the chunk's placed times.  :func:`fold_chunk` then feeds
+grouped aggregation states in bulk: selected rows are stably sorted by
+their group key columns, each constant-key segment updates its
+:class:`~repro.tq.pipeline.AggState` once via ``update_many``.
+
+Exactness contract — the kernels must be *bit-identical* to the scalar
+pipeline, which stays in :mod:`repro.tq.pipeline` as the reference:
+
+* time placement reproduces ``ClockCorrelator.place_value`` digit for
+  digit: the elapsed-tick residue is computed in uint64 (``(anchor -
+  raw) mod 2**64 mod 2**32`` equals Python's ``mod 2**32``), the affine
+  fit applies in float64 exactly like the scalar expression, and
+  ``np.rint`` rounds half-even just like Python's ``round``;
+* anything that *could* diverge — a PPE product or SPE fit leaving
+  int64 range (salvaged traces carry arbitrary garbage timestamps), a
+  record type outside the spec table, a missing clock fit — raises
+  :class:`KernelFallback` before any result is produced, and the caller
+  re-runs that chunk through the scalar loop (which also reproduces the
+  scalar path's exceptions, e.g. ``CorrelationError``, at the exact
+  record they would have occurred);
+* Python ints flow out (``tolist`` at every boundary), so aggregation
+  sums stay exact arbitrary-precision integers, never wrapping int64.
+
+``REPRO_SCALAR_CODEC=1`` disables the kernels together with the batch
+codec — one switch flips the whole stack to the scalar reference.
+"""
+
+from __future__ import annotations
+
+import functools
+import typing
+
+import numpy as np
+
+from repro.pdt.codec import CORE_DTYPE, SEQ_DTYPE, OFF_DTYPE, batch_enabled
+from repro.pdt.events import EVENT_SPECS, SIDE_PPE, SIDE_SPE
+
+if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.pdt.correlate import ClockCorrelator
+    from repro.pdt.store import ColumnChunk
+    from repro.tq.predicate import Predicate
+
+_INT64_MAX = 2**63 - 1
+_INT64_MIN = -(2**63)
+#: Placed times beyond this magnitude stay clear of the int64 edge; the
+#: scalar path handles them with exact Python ints instead.
+_TIME_LIMIT = 2**62
+
+#: Group value for "spe" when the record is PPE-side; must equal
+#: ``repro.tq.pipeline.PPE_GROUP``.
+_PPE_GROUP = -1
+
+#: tid = (side << 8 | code) lookups shared by every kernel.
+_KNOWN_LUT = np.zeros(65536, dtype=bool)
+_KIND_ID_LUT = np.zeros(65536, dtype=np.int64)
+_KIND_NAMES: typing.List[str] = []
+_kind_index: typing.Dict[str, int] = {}
+for (_side, _code), _spec in EVENT_SPECS.items():
+    _tid = (_side << 8) | _code
+    _KNOWN_LUT[_tid] = True
+    _name = str(_spec.kind)
+    if _name not in _kind_index:
+        _kind_index[_name] = len(_KIND_NAMES)
+        _KIND_NAMES.append(_name)
+    _KIND_ID_LUT[_tid] = _kind_index[_name]
+del _side, _code, _spec, _tid, _name
+
+#: tid -> field name -> position, for the field-clause gathers.
+_FIELD_POS: typing.Dict[int, typing.Dict[str, int]] = {
+    (spec.side << 8) | spec.code: {n: i for i, n in enumerate(spec.fields)}
+    for spec in EVENT_SPECS.values()
+}
+#: tid -> payload width in values.
+_NF: typing.Dict[int, int] = {
+    (spec.side << 8) | spec.code: len(spec.fields)
+    for spec in EVENT_SPECS.values()
+}
+
+
+class KernelFallback(Exception):
+    """This chunk cannot be proven safe for the vectorized path; the
+    caller must re-run it through the scalar reference loop."""
+
+
+def kernels_enabled() -> bool:
+    """Same switch as the batch codec: ``REPRO_SCALAR_CODEC=1`` turns
+    the whole batch stack off."""
+    return batch_enabled()
+
+
+@functools.lru_cache(maxsize=64)
+def _event_lut(events: typing.FrozenSet[typing.Tuple[int, int]]) -> np.ndarray:
+    lut = np.zeros(65536, dtype=bool)
+    for side, code in events:
+        if 0 <= side <= 255 and 0 <= code <= 255:
+            lut[(side << 8) | code] = True
+    return lut
+
+
+def _norm_lo(lo: typing.Optional[int]) -> typing.Tuple[typing.Optional[int], bool]:
+    """Clamp a lower bound to int64 (values/times on the kernel path
+    are int64): returns (bound or None, impossible)."""
+    if lo is None or lo <= _INT64_MIN:
+        return None, False
+    if lo > _INT64_MAX:
+        return None, True
+    return lo, False
+
+
+def _norm_hi(hi: typing.Optional[int]) -> typing.Tuple[typing.Optional[int], bool]:
+    if hi is None or hi >= _INT64_MAX:
+        return None, False
+    if hi < _INT64_MIN:
+        return None, True
+    return hi, False
+
+
+class ChunkSelection:
+    """One chunk's vectorized scan result.
+
+    ``sel`` is the int64 array of selected row indices (``None`` means
+    *all* rows matched); ``times`` is the full-chunk placed-time column
+    (``None`` for time-free queries; entries outside the static mask
+    are unspecified and never read).  Column access is cached so a
+    fold touching several aggregation columns builds each once.
+    """
+
+    __slots__ = ("chunk", "n", "sides", "codes", "cores", "tids", "off",
+                 "vals", "times", "sel", "_columns")
+
+    def __init__(self, chunk, n, sides, codes, cores, tids, off, vals,
+                 times, sel):
+        self.chunk = chunk
+        self.n = n
+        self.sides = sides
+        self.codes = codes
+        self.cores = cores
+        self.tids = tids
+        self.off = off
+        self.vals = vals
+        self.times = times
+        self.sel = sel
+        self._columns: typing.Dict[str, typing.Optional[typing.Tuple]] = {}
+
+    @property
+    def count(self) -> int:
+        return self.n if self.sel is None else len(self.sel)
+
+    def indices(self) -> np.ndarray:
+        if self.sel is None:
+            return np.arange(self.n, dtype=np.int64)
+        return self.sel
+
+    def rows(self) -> typing.Iterator[typing.Tuple]:
+        """Selected records as the pipeline's 7-tuples, in chunk order
+        (Python scalars throughout, matching the scalar scan)."""
+        chunk = self.chunk
+        sides, codes, cores = chunk.side, chunk.code, chunk.core
+        seqs, raws = chunk.seq, chunk.raw_ts
+        vals, off = chunk.values, chunk.val_off
+        times = self.times.tolist() if self.times is not None else None
+        indices = range(self.n) if self.sel is None else self.sel.tolist()
+        if times is None:
+            for i in indices:
+                yield (None, sides[i], codes[i], cores[i], seqs[i], raws[i],
+                       vals[off[i] : off[i + 1]])
+        else:
+            for i in indices:
+                yield (times[i], sides[i], codes[i], cores[i], seqs[i],
+                       raws[i], vals[off[i] : off[i + 1]])
+
+    def column(self, name: typing.Optional[str]):
+        """Full-chunk column for aggregation: ``(array, valid_or_None)``
+        or ``None`` when the column never yields an aggregable value
+        ("kind" is a string; unknown names are None — both skipped by
+        the scalar path too)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            pass
+        col = self._build_column(name)
+        self._columns[name] = col
+        return col
+
+    def _build_column(self, name):
+        if name == "time":
+            assert self.times is not None
+            return self.times, None
+        if name == "side":
+            return self.sides.astype(np.int64), None
+        if name == "code":
+            return self.codes.astype(np.int64), None
+        if name == "core":
+            return self.cores.astype(np.int64), None
+        if name == "spe":
+            return (
+                np.where(
+                    self.sides == SIDE_SPE,
+                    self.cores.astype(np.int64),
+                    _PPE_GROUP,
+                ),
+                None,
+            )
+        if name == "seq":
+            return np.frombuffer(self.chunk.seq, SEQ_DTYPE), None
+        if name == "raw_ts":
+            return np.frombuffer(self.chunk.raw_ts, np.uint64), None
+        if name == "kind":
+            return None  # strings are never aggregated
+        # A payload field: per record type, one strided gather.
+        col = np.zeros(self.n, dtype=np.int64)
+        valid = np.zeros(self.n, dtype=bool)
+        any_valid = False
+        for tid in np.unique(self.tids).tolist():
+            pos = _FIELD_POS[tid].get(name)
+            if pos is None:
+                continue
+            idx = np.flatnonzero(self.tids == tid)
+            col[idx] = self.vals[self.off[idx] + pos]
+            valid[idx] = True
+            any_valid = True
+        if not any_valid:
+            return None
+        return col, valid
+
+
+def _place_times(
+    mask: np.ndarray,
+    sides: np.ndarray,
+    cores: np.ndarray,
+    raws: np.ndarray,
+    correlator: "ClockCorrelator",
+) -> np.ndarray:
+    """Placed times for every masked row, one vectorized pass per
+    (side, core) group present — bit-identical to ``place_value``."""
+    n = len(sides)
+    times = np.zeros(n, dtype=np.int64)
+    divider = correlator.divider
+    ppe_rows = np.flatnonzero(mask & (sides == SIDE_PPE))
+    if len(ppe_rows):
+        raw = raws[ppe_rows]
+        if int(raw.max()) * divider > _INT64_MAX:
+            raise KernelFallback("PPE time outside int64")
+        times[ppe_rows] = raw.astype(np.int64) * divider
+    spe_mask = mask & (sides == SIDE_SPE)
+    for core in np.unique(cores[spe_mask]).tolist():
+        fit = correlator.fits.get(core)
+        if fit is None:
+            # The scalar replay raises CorrelationError at the exact
+            # offending record.
+            raise KernelFallback(f"no clock fit for SPE {core}")
+        rows = np.flatnonzero(spe_mask & (cores == core))
+        raw = raws[rows]
+        # (anchor - raw) mod 2**64 mod 2**32 == (anchor - raw) mod 2**32,
+        # then the centered residue, exactly like _elapsed_ticks.
+        elapsed = ((np.uint64(fit.dec_anchor) - raw) % np.uint64(1 << 32)).astype(
+            np.int64
+        )
+        elapsed[elapsed >= 1 << 31] -= 1 << 32
+        placed = fit.intercept + fit.cycles_per_tick * elapsed.astype(np.float64)
+        if not np.isfinite(placed).all():
+            raise KernelFallback("non-finite SPE placement")
+        rounded = np.rint(placed)
+        if len(rounded) and np.abs(rounded).max() >= _TIME_LIMIT:
+            raise KernelFallback("SPE time outside int64")
+        times[rows] = rounded.astype(np.int64)
+    return times
+
+
+def _field_mask(
+    n: int,
+    tids: np.ndarray,
+    off: np.ndarray,
+    vals: np.ndarray,
+    clauses,
+) -> np.ndarray:
+    """The rows satisfying every (name, lo, hi) payload clause, one
+    gather per clause per record type.  Types lacking a clause's field
+    never match (scalar ``matches_fields`` semantics)."""
+    fmask = np.zeros(n, dtype=bool)
+    for tid in np.unique(tids).tolist():
+        rows = np.flatnonzero(tids == tid)
+        positions = _FIELD_POS[tid]
+        keep = np.ones(len(rows), dtype=bool)
+        satisfiable = True
+        for name, lo, hi in clauses:
+            pos = positions.get(name)
+            lo, lo_impossible = _norm_lo(lo)
+            hi, hi_impossible = _norm_hi(hi)
+            if pos is None or lo_impossible or hi_impossible:
+                satisfiable = False
+                break
+            value = vals[off[rows] + pos]
+            if lo is not None:
+                keep &= value >= lo
+            if hi is not None:
+                keep &= value <= hi
+        if satisfiable:
+            fmask[rows] = keep
+    return fmask
+
+
+def select_chunk(
+    chunk: "ColumnChunk",
+    predicate: "Predicate",
+    correlator: typing.Optional["ClockCorrelator"],
+    needs_time: bool,
+) -> ChunkSelection:
+    """Vectorized predicate evaluation over one chunk.
+
+    Raises :class:`KernelFallback` when the chunk cannot be proven safe
+    (unknown record type, placement overflow risk, missing clock fit).
+    """
+    n = len(chunk)
+    sides = np.frombuffer(chunk.side, np.uint8)
+    codes = np.frombuffer(chunk.code, np.uint8)
+    cores = np.frombuffer(chunk.core, CORE_DTYPE)
+    tids = (sides.astype(np.int64) << 8) | codes
+    if n and not _KNOWN_LUT[tids].all():
+        raise KernelFallback("unknown record type in chunk")
+    off = np.frombuffer(chunk.val_off, OFF_DTYPE).astype(np.int64)[:-1]
+    vals = np.frombuffer(chunk.values, np.int64)
+
+    # Static clauses: one whole-chunk mask op each.
+    mask = np.ones(n, dtype=bool)
+    if predicate.side is not None:
+        mask &= sides == predicate.side
+    if predicate.spes is not None:
+        mask &= sides == SIDE_SPE
+        wanted = np.array(
+            sorted(s for s in predicate.spes if 0 <= s <= 0xFFFF),
+            dtype=CORE_DTYPE,
+        )
+        mask &= np.isin(cores, wanted)
+    if predicate.events is not None:
+        mask &= _event_lut(predicate.events)[tids]
+
+    times = None
+    if needs_time:
+        raws = np.frombuffer(chunk.raw_ts, np.uint64)
+        times = _place_times(mask, sides, cores, raws, correlator)
+        if predicate.needs_time:
+            lo, lo_impossible = _norm_lo(predicate.t_min)
+            hi, hi_impossible = _norm_hi(predicate.t_max)
+            if lo_impossible or hi_impossible:
+                mask[:] = False
+            else:
+                if lo is not None:
+                    mask &= times >= lo
+                if hi is not None:
+                    mask &= times <= hi
+
+    if predicate.fields:
+        mask &= _field_mask(n, tids, off, vals, predicate.fields)
+
+    sel = None if mask.all() else np.flatnonzero(mask)
+    return ChunkSelection(chunk, n, sides, codes, cores, tids, off, vals,
+                          times, sel)
+
+
+def try_select(
+    chunk: "ColumnChunk",
+    predicate: "Predicate",
+    correlator: typing.Optional["ClockCorrelator"],
+    needs_time: bool,
+) -> typing.Optional[ChunkSelection]:
+    """:func:`select_chunk`, with fallback signalled as ``None``."""
+    try:
+        return select_chunk(chunk, predicate, correlator, needs_time)
+    except KernelFallback:
+        return None
+
+
+def _key_arrays(
+    selection: ChunkSelection,
+    idx: np.ndarray,
+    keys: typing.Tuple[str, ...],
+    time_bucket: typing.Optional[int],
+) -> typing.List[np.ndarray]:
+    """One int64 array per group key over the selected rows.  "kind"
+    groups by an interned kind-name id (two codes sharing a kind name
+    land in the same group, exactly like grouping by the string)."""
+    arrays = []
+    for key in keys:
+        if key == "bucket":
+            assert time_bucket is not None and selection.times is not None
+            arrays.append(selection.times[idx] // time_bucket)
+        elif key == "kind":
+            arrays.append(_KIND_ID_LUT[selection.tids[idx]])
+        else:
+            col, __ = selection.column(key)
+            arrays.append(np.asarray(col)[idx].astype(np.int64))
+    return arrays
+
+
+def _key_value(key: str, raw: int):
+    return _KIND_NAMES[raw] if key == "kind" else raw
+
+
+def fold_chunk(
+    selection: ChunkSelection,
+    partial,
+    keys: typing.Tuple[str, ...],
+    time_bucket: typing.Optional[int],
+) -> None:
+    """Bulk group-and-reduce one chunk's selection into ``partial``.
+
+    Selected rows are stably sorted by their key columns (``lexsort``),
+    so each group's rows stay in chunk order — percentile populations
+    accumulate in exactly the order the scalar loop appends them — and
+    each constant-key segment feeds every :class:`AggState` once.
+    """
+    idx = selection.indices()
+    if not len(idx):
+        return
+    if not keys:
+        segments: typing.Iterable[typing.Tuple[typing.Tuple, np.ndarray]] = (
+            ((), idx),
+        )
+    else:
+        cols = _key_arrays(selection, idx, keys, time_bucket)
+        # lexsort's last key is primary; numpy's sort is stable, so
+        # ties keep ascending row order (= chunk order).
+        order = np.lexsort(tuple(reversed(cols)))
+        sorted_cols = [c[order] for c in cols]
+        change = np.zeros(len(idx), dtype=bool)
+        change[0] = True
+        for c in sorted_cols:
+            change[1:] |= c[1:] != c[:-1]
+        bounds = np.flatnonzero(change)
+        ends = np.append(bounds[1:], len(idx))
+        segments = (
+            (
+                tuple(
+                    _key_value(key, int(sorted_cols[j][s]))
+                    for j, key in enumerate(keys)
+                ),
+                idx[order[s:e]],
+            )
+            for s, e in zip(bounds.tolist(), ends.tolist())
+        )
+    for group, rows in segments:
+        for acc in partial.states_for(group):
+            if acc.op == "count":
+                acc.count += len(rows)
+                continue
+            col = selection.column(acc.column)
+            if col is None:
+                continue
+            arr, valid = col
+            picked = arr[rows]
+            if valid is not None:
+                keep = valid[rows]
+                if not keep.all():
+                    picked = picked[keep]
+            acc.update_many(picked.tolist())

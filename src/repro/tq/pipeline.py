@@ -34,7 +34,8 @@ import typing
 
 from repro.pdt.correlate import ClockCorrelator
 from repro.pdt.events import spec_for_code
-from repro.pdt.store import EventSource
+from repro.pdt.store import ColumnChunk, EventSource
+from repro.tq import kernels
 from repro.tq.predicate import Predicate
 from repro.tq.source import IndexedSource, PruneStats
 
@@ -113,6 +114,26 @@ class AggState:
             self.hi = value if self.hi is None else max(self.hi, value)
         elif self.population is not None:
             self.population.append(value)
+
+    def update_many(self, values: typing.Sequence[int]) -> None:
+        """Bulk :meth:`update` with a slice of matching values (kernel
+        path).  ``sum``/``min``/``max`` run as C builtins over the
+        slice; percentile populations extend wholesale.  Values must be
+        Python ints so sums keep exact arbitrary precision."""
+        k = len(values)
+        if not k:
+            return
+        self.count += k
+        if self.op == "sum" or self.op == "mean":
+            self.total += sum(values)
+        elif self.op == "min":
+            lo = min(values)
+            self.lo = lo if self.lo is None else min(self.lo, lo)
+        elif self.op == "max":
+            hi = max(values)
+            self.hi = hi if self.hi is None else max(self.hi, hi)
+        elif self.population is not None:
+            self.population.extend(values)
 
     def merge(self, other: "AggState") -> "AggState":
         """Fold another shard's state into this one (self comes first
@@ -394,6 +415,53 @@ class Query:
             self._correlator = ClockCorrelator(self.source)
         return self._correlator
 
+    def _selections(
+        self,
+    ) -> typing.Iterator[typing.Tuple["ColumnChunk", typing.Optional[object]]]:
+        """Chunks of the pruned scan, each with its kernel
+        :class:`~repro.tq.kernels.ChunkSelection` — or ``None`` when
+        the chunk must take the scalar reference loop (escape hatch set
+        or :class:`~repro.tq.kernels.KernelFallback`)."""
+        predicate = self.predicate
+        needs_time = self._needs_time()
+        correlator = self._get_correlator() if needs_time else None
+        pruned = IndexedSource(self.source, predicate, correlator)
+        self.stats = pruned.stats
+        use_kernels = kernels.kernels_enabled()
+        for chunk in pruned.iter_chunks():
+            selection = (
+                kernels.try_select(chunk, predicate, correlator, needs_time)
+                if use_kernels
+                else None
+            )
+            yield chunk, selection
+
+    def _scan_chunk_scalar(
+        self, chunk: "ColumnChunk"
+    ) -> typing.Iterator[typing.Tuple]:
+        """The per-record reference scan of one chunk — the behavior
+        (and error) oracle the kernels must match."""
+        predicate = self.predicate
+        needs_time = self._needs_time()
+        correlator = self._correlator if needs_time else None
+        check_fields = bool(predicate.fields)
+        off = chunk.val_off
+        for i in range(len(chunk)):
+            side, code, core = chunk.side[i], chunk.code[i], chunk.core[i]
+            if not predicate.matches_static(side, code, core):
+                continue
+            time: typing.Optional[int] = None
+            if needs_time:
+                time = correlator.place_value(side, core, chunk.raw_ts[i])
+                if not predicate.matches_time(time):
+                    continue
+            values = chunk.values[off[i] : off[i + 1]]
+            if check_fields and not predicate.matches_fields(
+                side, code, values
+            ):
+                continue
+            yield time, side, code, core, chunk.seq[i], chunk.raw_ts[i], values
+
     def _scan(
         self,
     ) -> typing.Iterator[
@@ -403,29 +471,11 @@ class Query:
     ]:
         """Matching records as (time, side, code, core, seq, raw_ts,
         values) in chunk order; ``time`` is None for time-free queries."""
-        predicate = self.predicate
-        needs_time = self._needs_time()
-        correlator = self._get_correlator() if needs_time else None
-        pruned = IndexedSource(self.source, predicate, correlator)
-        self.stats = pruned.stats
-        check_fields = bool(predicate.fields)
-        for chunk in pruned.iter_chunks():
-            off = chunk.val_off
-            for i in range(len(chunk)):
-                side, code, core = chunk.side[i], chunk.code[i], chunk.core[i]
-                if not predicate.matches_static(side, code, core):
-                    continue
-                time: typing.Optional[int] = None
-                if needs_time:
-                    time = correlator.place_value(side, core, chunk.raw_ts[i])
-                    if not predicate.matches_time(time):
-                        continue
-                values = chunk.values[off[i] : off[i + 1]]
-                if check_fields and not predicate.matches_fields(
-                    side, code, values
-                ):
-                    continue
-                yield time, side, code, core, chunk.seq[i], chunk.raw_ts[i], values
+        for chunk, selection in self._selections():
+            if selection is None:
+                yield from self._scan_chunk_scalar(chunk)
+            else:
+                yield from selection.rows()
 
     def _column_value(
         self, column, time, side, code, core, seq, raw_ts, values
@@ -460,19 +510,22 @@ class Query:
 
     def count(self) -> int:
         """Number of matching records."""
-        return sum(1 for __ in self._scan())
+        total = 0
+        for chunk, selection in self._selections():
+            if selection is None:
+                total += sum(1 for __ in self._scan_chunk_scalar(chunk))
+            else:
+                total += selection.count
+        return total
 
-    def run_partial(self) -> PartialAggregation:
-        """Execute group-and-reduce over this query's source but stop
-        short of finalizing: the returned :class:`PartialAggregation`
-        can be merged with the partials of other shards of the same
-        trace before :meth:`PartialAggregation.finalize` emits rows."""
-        aggs = self._aggs or (("n", "count", None),)
+    def _fold_chunk_scalar(
+        self, chunk: "ColumnChunk", partial: PartialAggregation
+    ) -> None:
+        """The per-record reference fold of one chunk."""
         keys = self._group_keys
         bucket = self._time_bucket
-        partial = PartialAggregation.create(keys, aggs)
-        for row in self._scan():
-            time, side, code, core, seq, raw_ts, values = row
+        for row in self._scan_chunk_scalar(chunk):
+            time = row[0]
             parts = []
             for key in keys:
                 if key == "bucket":
@@ -489,6 +542,21 @@ class Query:
                 if value is None or isinstance(value, str):
                     continue
                 acc.update(value)
+
+    def run_partial(self) -> PartialAggregation:
+        """Execute group-and-reduce over this query's source but stop
+        short of finalizing: the returned :class:`PartialAggregation`
+        can be merged with the partials of other shards of the same
+        trace before :meth:`PartialAggregation.finalize` emits rows."""
+        aggs = self._aggs or (("n", "count", None),)
+        partial = PartialAggregation.create(self._group_keys, aggs)
+        for chunk, selection in self._selections():
+            if selection is None:
+                self._fold_chunk_scalar(chunk, partial)
+            else:
+                kernels.fold_chunk(
+                    selection, partial, self._group_keys, self._time_bucket
+                )
         return partial
 
     def run(self) -> typing.List[typing.Dict[str, typing.Any]]:

@@ -1,0 +1,273 @@
+"""Equivalence suite: columnar query kernels against the scalar scan.
+
+:mod:`repro.tq.kernels` claims bit identity with the per-record
+reference loop that stays in :mod:`repro.tq.pipeline` — same rows,
+same counts, same record tuples in the same order, same prune
+accounting, same exceptions.  This suite flips ``REPRO_SCALAR_CODEC``
+both ways over randomized traces and randomized predicates (time
+windows, SPE sets, event filters, payload-field clauses, every group
+key, bucketed grouping, all aggregation ops including percentiles) and
+demands equality, and unit-tests the fallback seams: garbage
+timestamps that overflow int64, records with no clock fit, unknown
+record types.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pdt.correlate import CorrelationError
+from repro.pdt.events import SIDE_PPE, SIDE_SPE, code_for_kind
+from repro.pdt.store import ColumnStore, StoreSource
+from repro.pdt.trace import TraceHeader
+from repro.tq import Query
+from repro.tq.kernels import (
+    KernelFallback,
+    kernels_enabled,
+    select_chunk,
+    try_select,
+)
+
+DIVIDER = 120
+DEC_START = 0xF000_0000  # decrementers count DOWN from here
+SYNC = code_for_kind(SIDE_SPE, "sync")
+SPE_KINDS = [
+    code_for_kind(SIDE_SPE, name)
+    for name in ("mfc_get", "mfc_put", "wait_tag_begin", "wait_tag_end",
+                 "user_marker")
+]
+PPE_KINDS = [
+    code_for_kind(SIDE_PPE, name)
+    for name in ("context_create", "context_run_begin", "context_run_end")
+]
+QUERY_KINDS = ("mfc_get", "mfc_put", "user_marker", "context_create")
+GROUP_KEYS = ("spe", "core", "side", "code", "kind")
+
+
+# Tests needing a live batch path skip under the scalar-differential
+# CI job (REPRO_SCALAR_CODEC=1 for the whole process).
+requires_batch = pytest.mark.skipif(
+    bool(os.environ.get("REPRO_SCALAR_CODEC")),
+    reason="kernels disabled by REPRO_SCALAR_CODEC",
+)
+
+
+class scalar_mode:
+    """Force the scalar reference paths within the ``with`` block."""
+
+    def __enter__(self):
+        self._prior = os.environ.get("REPRO_SCALAR_CODEC")
+        os.environ["REPRO_SCALAR_CODEC"] = "1"
+
+    def __exit__(self, *exc_info):
+        if self._prior is None:
+            del os.environ["REPRO_SCALAR_CODEC"]
+        else:
+            os.environ["REPRO_SCALAR_CODEC"] = self._prior
+
+
+# One drawn event: producing core (0 = PPE), kind selector, timebase
+# ticks since the previous event, payload seed.
+event = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=9),
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=0, max_value=1 << 20),
+)
+
+
+def build_store(draws, with_sync=True):
+    """Materialize drawn events as a valid multi-chunk column store."""
+    recs = []
+    tick = 1
+    spe_cores = set()
+    for core_sel, kind_sel, dt, seed in draws:
+        tick += dt
+        if core_sel == 0:
+            spec = PPE_KINDS[kind_sel % len(PPE_KINDS)]
+            side, core = SIDE_PPE, 0
+        else:
+            spec = SPE_KINDS[kind_sel % len(SPE_KINDS)]
+            side, core = SIDE_SPE, core_sel - 1
+            spe_cores.add(core)
+        values = tuple((seed + j) % 65536 for j in range(len(spec.fields)))
+        recs.append((tick, side, spec.code, core, values))
+    end = tick + 1
+    if with_sync:
+        for core in sorted(spe_cores):
+            recs.insert(0, (0, SIDE_SPE, SYNC.code, core, (0,)))
+            recs.append((end, SIDE_SPE, SYNC.code, core, (end,)))
+    store = ColumnStore(chunk_records=5)
+    seqs = {}
+    for tick, side, code, core, values in recs:
+        if side == SIDE_SPE:
+            dec0 = DEC_START + core * 0x1_0001
+            raw = (dec0 - tick) % (1 << 32)
+        else:
+            raw = tick
+        seq = seqs.get((side, core), 0)
+        seqs[(side, core)] = seq + 1
+        store.append(side, code, core, seq, raw, values)
+    return store
+
+
+def make_source(store):
+    header = TraceHeader(
+        n_spes=4, timebase_divider=DIVIDER, spu_clock_hz=3.2e9,
+        groups_bitmap=0b111111, buffer_bytes=16384,
+    )
+    return StoreSource(header, store)
+
+
+# A drawn query: optional time window (tick bounds), SPE set, side,
+# kind filter, payload-field clause, group keys, bucketing.
+query_spec = st.tuples(
+    st.one_of(st.none(), st.tuples(st.integers(0, 2200), st.integers(0, 2200))),
+    st.one_of(
+        st.none(),
+        st.integers(min_value=0, max_value=3),
+        st.lists(st.integers(0, 4), min_size=1, max_size=3),
+    ),
+    st.one_of(st.none(), st.sampled_from((SIDE_PPE, SIDE_SPE))),
+    st.one_of(st.none(), st.sampled_from(QUERY_KINDS)),
+    st.one_of(
+        st.none(),
+        st.tuples(st.sampled_from(("size", "tag")), st.integers(0, 40000)),
+    ),
+    st.lists(st.sampled_from(GROUP_KEYS), min_size=0, max_size=2, unique=True),
+    st.one_of(st.none(), st.integers(min_value=50, max_value=5000)),
+)
+
+PROJECTION = ("time", "side", "core", "code", "seq", "raw_ts", "kind", "spe",
+              "size")
+
+
+def apply_spec(source, spec):
+    window, spe, side, kind, field, keys, bucket = spec
+    query = Query(source)
+    if window is not None:
+        t0, t1 = min(window), max(window)
+        query = query.where(t0=t0 * DIVIDER, t1=t1 * DIVIDER)
+    if spe is not None:
+        query = query.where(spe=spe)
+    if side is not None:
+        query = query.where(side=side)
+    if kind is not None:
+        query = query.where(event=kind)
+    if field is not None:
+        name, lo = field
+        query = query.where_field(name, lo=lo)
+    group = tuple(keys)
+    time_bucket = None
+    if bucket is not None:
+        group = group + ("bucket",)
+        time_bucket = bucket * DIVIDER
+    aggregated = query.groupby(*group, time_bucket=time_bucket).agg(
+        n="count", total=("sum", "raw_ts"), lo=("min", "time"),
+        hi=("max", "time"), avg=("mean", "seq"), p50=("p50", "raw_ts"),
+        p99=("p99", "raw_ts"), sz=("sum", "size"),
+    )
+    return query, aggregated
+
+
+def run_everything(store, spec):
+    """Every observable query surface for one (trace, query) draw."""
+    source = make_source(store)
+    query, aggregated = apply_spec(source, spec)
+    rows = aggregated.run()
+    stats = aggregated.stats
+    records = list(query.project(*PROJECTION).records())
+    count = query.count()
+    return rows, (stats.total_chunks, stats.scanned_chunks, stats.indexed), \
+        records, count
+
+
+@requires_batch
+@settings(max_examples=50, deadline=None)
+@given(st.lists(event, min_size=0, max_size=60), query_spec)
+def test_kernel_results_match_scalar(draws, spec):
+    store = build_store(draws)
+    assert kernels_enabled()
+    batch = run_everything(store, spec)
+    with scalar_mode():
+        assert not kernels_enabled()
+        scalar = run_everything(store, spec)
+    assert batch == scalar
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(event, min_size=1, max_size=40), query_spec)
+def test_missing_clock_fit_parity(draws, spec):
+    """Without sync records no SPE has a clock fit: any query that
+    needs time must raise the same CorrelationError in both modes, and
+    any query that doesn't must return identical results."""
+    store = build_store(draws, with_sync=False)
+
+    def outcome():
+        try:
+            return ("ok",) + run_everything(store, spec)
+        except CorrelationError as exc:
+            return ("CorrelationError", str(exc))
+
+    batch = outcome()
+    with scalar_mode():
+        scalar = outcome()
+    assert batch == scalar
+
+
+def test_overflow_timestamps_fall_back_and_match():
+    """Raw timestamps large enough to overflow int64 inside the PPE
+    product must not crash or wrap — the kernels bail to the scalar
+    loop, whose Python ints are exact, and both modes agree."""
+    store = ColumnStore(chunk_records=4)
+    spec = PPE_KINDS[0]
+    for seq in range(8):
+        raw = (1 << 62) + seq  # * DIVIDER leaves int64 range
+        store.append(SIDE_PPE, spec.code, 0, seq, raw, (0, 0))
+    source = make_source(store)
+    rows = Query(source).groupby("code").agg(hi=("max", "time")).run()
+    with scalar_mode():
+        scalar_rows = (
+            Query(make_source(store)).groupby("code").agg(hi=("max", "time")).run()
+        )
+    assert rows == scalar_rows
+    assert rows[0]["hi"] == ((1 << 62) + 7) * DIVIDER  # exact, unwrapped
+
+    chunk = next(iter(store.iter_chunks()))
+    predicate = Query(make_source(store)).predicate
+    from repro.pdt.correlate import ClockCorrelator
+
+    correlator = ClockCorrelator(make_source(store))
+    with pytest.raises(KernelFallback):
+        select_chunk(chunk, predicate, correlator, needs_time=True)
+    assert try_select(chunk, predicate, correlator, needs_time=True) is None
+    # Without time placement the same chunk vectorizes fine.
+    assert select_chunk(chunk, predicate, correlator, needs_time=False) is not None
+
+
+def test_unknown_record_type_falls_back():
+    """A chunk holding a record type outside EVENT_SPECS (possible via
+    hand-built stores) must fall back, not misclassify."""
+    store = ColumnStore()
+    spec = SPE_KINDS[0]
+    store.append(SIDE_SPE, spec.code, 0, 0, 100, range(len(spec.fields)))
+    chunk = next(iter(store.iter_chunks()))
+    chunk.side.append(SIDE_SPE)
+    chunk.code.append(0xEE)  # no such spec
+    chunk.core.append(0)
+    chunk.seq.append(1)
+    chunk.raw_ts.append(101)
+    chunk.truth.append(0xFF)
+    chunk.val_off.append(chunk.val_off[-1])
+    predicate = Query(make_source(store)).predicate
+    with pytest.raises(KernelFallback):
+        select_chunk(chunk, predicate, None, needs_time=False)
+    assert try_select(chunk, predicate, None, needs_time=False) is None
+
+
+@requires_batch
+def test_escape_hatch_disables_kernels():
+    with scalar_mode():
+        assert not kernels_enabled()
+    assert kernels_enabled()
