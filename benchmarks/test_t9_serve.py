@@ -1,0 +1,144 @@
+"""T9 — warm-catalog serving vs cold per-query library use.
+
+The serving daemon's economic claim: a client that asks the daemon
+pays the trace's open cost (header scan, frame index, zone-map
+trailer, clock fit) **once per registration**, and repeat queries are
+answered from the catalog's result/chunk caches — so a warm catalog
+must answer the canned query set at least 5x faster than a cold
+client that calls ``open_trace`` per query, which is exactly what
+every pre-daemon consumer did.
+
+Correctness is asserted in the same run as the timing: every served
+response line must be byte-identical to the canonical encoding of the
+same query executed directly through a serial :class:`repro.tq.Query`.
+A fast wrong answer fails here, not in production.
+"""
+
+import json
+import os
+import time
+
+from repro.pdt import TraceConfig, open_trace
+from repro.serve import (
+    ServeClient,
+    ServerConfig,
+    TraceCatalog,
+    TraceServer,
+    canonical_json,
+)
+from repro.serve.protocol import build_query
+from repro.workloads import StreamingPipelineWorkload, run_and_write_trace
+
+MIN_SPEEDUP = 5.0
+ROUNDS = 3
+
+QUERY_SPECS = (
+    {
+        "mode": "run",
+        "where": {"side": 1},
+        "groupby": ["core", "kind"],
+        "agg": {"n": "count", "bytes": ["sum", "size"]},
+    },
+    {"mode": "count", "where": {"spe": 1}},
+    {
+        "mode": "run",
+        "where_fields": [{"name": "size", "lo": 1}],
+        "groupby": ["spe"],
+        "agg": {"n": "count", "hi": ["max", "size"], "mid": ["p50", "size"]},
+    },
+    {
+        "mode": "records",
+        "where": {"t0": 0, "spe": 0},
+        "project": ["time", "kind", "seq"],
+    },
+)
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best_s = None
+    for __ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        best_s = elapsed if best_s is None else min(best_s, elapsed)
+    return best_s
+
+
+def _direct_lines(path):
+    """The oracle: every query executed serially per fresh open, each
+    response canonically encoded.  This is also the *cold* workload."""
+    lines = []
+    for i, spec in enumerate(QUERY_SPECS):
+        mode = spec.get("mode", "run")
+        with open_trace(path) as source:
+            query = build_query(source, spec)
+            if mode == "run":
+                result = query.run()
+            elif mode == "records":
+                result = [list(row) for row in query.records()]
+            else:
+                result = query.count()
+        lines.append(
+            canonical_json({"id": i, "ok": True, "result": result})
+        )
+    return lines
+
+
+def measure(tmp_dir):
+    path = os.path.join(tmp_dir, "t9.pdt")
+    result, n_bytes = run_and_write_trace(
+        StreamingPipelineWorkload(stages=4, blocks=3072), path,
+        TraceConfig(buffer_bytes=4096),
+    )
+    assert result.verified
+
+    want_lines = _direct_lines(path)
+
+    def cold_pass():
+        return _direct_lines(path)
+
+    cold_s = _best_of(cold_pass)
+
+    catalog = TraceCatalog(memory_budget=64 * 1024 * 1024)
+    with TraceServer(catalog, ServerConfig(port=0)).start() as server:
+        with ServeClient(server.address) as client:
+            info = client.register("t9", path)
+            assert info["records"] > 0
+
+            def requests():
+                return [
+                    client.request_raw(
+                        {"op": "query", "trace": "t9", "id": i, **spec}
+                    )
+                    for i, spec in enumerate(QUERY_SPECS)
+                ]
+
+            # First pass fills the caches and is checked for identity.
+            assert requests() == want_lines, "served bytes diverged"
+            warm_s = _best_of(requests)
+            # Warm responses are still the same bytes.
+            assert requests() == want_lines, "warm bytes diverged"
+            stats = client.stats()
+
+    assert stats["catalog"]["result_cache"]["hits"] >= len(QUERY_SPECS)
+    assert stats["catalog"]["cached_bytes"] <= 64 * 1024 * 1024
+
+    return {
+        "trace_bytes": n_bytes,
+        "records": info["records"],
+        "chunks": info["chunks"],
+        "queries": len(QUERY_SPECS),
+        "cold_pass_ms": round(cold_s * 1e3, 2),
+        "warm_pass_ms": round(warm_s * 1e3, 2),
+        "speedup": round(cold_s / warm_s, 2),
+        "result_cache_hits": stats["catalog"]["result_cache"]["hits"],
+    }
+
+
+def test_t9_warm_catalog_speedup(benchmark, save_result, tmp_path):
+    row = benchmark.pedantic(measure, (str(tmp_path),), rounds=1, iterations=1)
+    save_result(
+        "BENCH_serve.json",
+        json.dumps({"row": row, "min_speedup": MIN_SPEEDUP}, indent=2) + "\n",
+    )
+    assert row["speedup"] >= MIN_SPEEDUP, row

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Register once, query many times: the analysis daemon end to end.
+
+An analysis session usually asks one trace many questions — from a
+notebook, a dashboard, several terminal windows.  Paying the open cost
+(header scan, frame index, zone maps, clock fit) per question is
+waste; `repro.serve` pays it once.  This example traces a streaming
+pipeline, embeds a `TraceServer`, and then acts as three different
+clients asking overlapping questions — demonstrating the result
+cache, the shared chunk cache, and the daemon's headline contract:
+every served answer is byte-identical to direct library execution.
+
+Run:  python examples/serve_client.py
+"""
+
+from repro.pdt import TraceConfig, open_trace
+from repro.serve import (
+    ServeClient,
+    ServerConfig,
+    TraceCatalog,
+    TraceServer,
+    canonical_json,
+)
+from repro.ta.report import format_table
+from repro.tq import Query
+from repro.workloads import StreamingPipelineWorkload, run_and_write_trace
+
+
+def main():
+    path = "serve_client.pdt"
+    result, n_bytes = run_and_write_trace(
+        StreamingPipelineWorkload(stages=3, blocks=32), path,
+        TraceConfig(buffer_bytes=2048),
+    )
+    assert result.verified
+
+    # The daemon: a catalog of open traces behind a JSON-line socket.
+    # port=0 lets the OS pick; start() serves from a daemon thread.
+    catalog = TraceCatalog(memory_budget=32 * 1024 * 1024)
+    server = TraceServer(catalog, ServerConfig(port=0)).start()
+    host, port = server.address
+    print(f"daemon up on {host}:{port}")
+
+    with ServeClient(server.address) as client:
+        info = client.register("pipeline", path)
+        print(
+            f"registered: {info['records']} records, {info['chunks']} "
+            f"chunks, indexed={info['indexed']} ({n_bytes} bytes on disk)"
+        )
+
+        # Client 1 — the dashboard: per-SPE DMA-wait counts.
+        rows = client.query(
+            "pipeline",
+            where={"event": "wait_tag_end"},
+            groupby=["spe"],
+            agg={"waits": "count"},
+        )
+        print("\nDMA-completion waits per SPE (served):")
+        print(format_table(rows))
+
+        # Client 2 — the notebook: same question again.  The daemon
+        # answers from the result cache; the bytes are identical.
+        again = client.query(
+            "pipeline",
+            where={"event": "wait_tag_end"},
+            groupby=["spe"],
+            agg={"waits": "count"},
+        )
+        assert again == rows
+        hits = client.stats()["catalog"]["result_cache"]["hits"]
+        print(f"asked again: result cache answered (hits={hits})")
+
+        # Client 3 — the skeptic: is the served answer really what the
+        # library computes?  Run the same query directly and compare
+        # canonical encodings.
+        with open_trace(path) as source:
+            direct = (
+                Query(source)
+                .where(event="wait_tag_end")
+                .groupby("spe")
+                .agg(waits="count")
+                .run()
+            )
+        assert canonical_json(rows) == canonical_json(direct)
+        print("served bytes == direct execution bytes: verified")
+
+        # Housekeeping ops: list, stats, evict.
+        names = [row["name"] for row in client.list_traces()]
+        budget = client.stats()["catalog"]["memory_budget"]
+        print(f"\ncatalog: {names}, budget {budget >> 20} MiB")
+        print(f"evict: {client.evict('pipeline')}")
+
+    server.stop()
+    print("daemon stopped")
+
+
+if __name__ == "__main__":
+    main()

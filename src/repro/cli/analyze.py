@@ -7,8 +7,10 @@ import os
 import sys
 import typing
 
-from repro.pdt import TraceFormatError, open_trace
+from repro.pdt import TraceFormatError, open_handle
 from repro.pdt.correlate import CorrelationError
+from repro.pdt.handle import TraceHandle
+from repro.ta.model import ModelError
 from repro.ta import (
     analyze,
     communication_edges,
@@ -20,7 +22,7 @@ from repro.ta import (
 )
 from repro.ta.report import format_table, full_report
 from repro.ta.stats import TraceStatistics
-from repro.tq import Query, build_sidecar, open_indexed
+from repro.tq import Query, build_sidecar
 
 
 def _window(text: str) -> typing.Tuple[typing.Optional[int], typing.Optional[int]]:
@@ -113,20 +115,24 @@ def main(argv: typing.Optional[typing.List[str]] = None) -> int:
         args.jobs = cpus
     try:
         return _run(args)
-    except (TraceFormatError, CorrelationError, OSError) as exc:
+    except (TraceFormatError, CorrelationError, ModelError, OSError) as exc:
         print(f"pdt-analyze: {args.trace}: {exc}", file=sys.stderr)
         return 2
 
 
-def _run_query(args: argparse.Namespace) -> int:
-    """Query mode: filter, group per (side, core, kind), print a table."""
-    source = open_indexed(args.trace, strict=not args.salvage)
-    if source.salvage is not None:
-        print(f"salvage: {source.salvage.summary()}")
+def _run_query(args: argparse.Namespace, handle: TraceHandle) -> int:
+    """Query mode: filter, group per (side, core, kind), print a table.
+
+    All passes run over the caller's single :class:`TraceHandle` — the
+    header/trailer are parsed exactly once per invocation, however many
+    statistics passes follow.
+    """
+    if handle.salvage is not None:
+        print(f"salvage: {handle.salvage.summary()}")
     t0, t1 = args.between if args.between else (None, None)
     try:
         query = (
-            Query(source)
+            Query(handle)
             .where(t0=t0, t1=t1, spe=args.spe, event=args.event)
             .groupby("side", "core", "kind")
             .agg(count="count", t_min=("min", "time"), t_max=("max", "time"))
@@ -164,17 +170,36 @@ def _run_query(args: argparse.Namespace) -> int:
 
 
 def _run(args: argparse.Namespace) -> int:
-    if args.write_index:
-        print(f"wrote {build_sidecar(args.trace)}")
-        if args.between is None and args.spe is None and args.event is None:
-            return 0
-    if args.between is not None or args.spe is not None or args.event is not None:
-        return _run_query(args)
+    query_mode = (
+        args.between is not None
+        or args.spe is not None
+        or args.event is not None
+    )
+    # One TraceHandle per invocation: the header, trailer, and clock
+    # fit are parsed/fitted exactly once, and every pass below —
+    # sidecar backfill, query passes, report, profile, HTML — reads
+    # through it.
+    with open_handle(args.trace, strict=not args.salvage) as handle:
+        if args.write_index:
+            # A salvaged open must never feed an index; let
+            # build_sidecar do its own strict read in that case.
+            source = None if args.salvage else handle
+            print(f"wrote {build_sidecar(args.trace, source)}")
+            # Serve the freshly written index to this invocation too.
+            handle.attach_sidecar()
+            if not query_mode:
+                return 0
+        if query_mode:
+            return _run_query(args, handle)
+        return _run_report(args, handle)
+
+
+def _run_report(args: argparse.Namespace, handle: TraceHandle) -> int:
     # Stream the file chunk by chunk: the analyzer never holds the
     # whole trace, so multi-million-event files analyze in O(chunk)
     # memory.  With --salvage, damaged files lose only their damaged
     # chunks.
-    trace = open_trace(args.trace, strict=not args.salvage)
+    trace = handle.source()
     if trace.salvage is not None:
         print(f"salvage: {trace.salvage.summary()}")
     print(full_report(trace, gantt_width=args.width), end="")

@@ -27,6 +27,7 @@ fails serially raises exactly what a serial run would have raised.
 
 from __future__ import annotations
 
+import collections
 import concurrent.futures
 import dataclasses
 import multiprocessing
@@ -35,7 +36,8 @@ import typing
 
 from repro.pdt.correlate import ClockCorrelator, SpeClockFit
 from repro.pdt.events import SIDE_PPE, spec_for_code
-from repro.pdt.reader import TraceFileSource, open_trace
+from repro.pdt.handle import HandleSource, TraceHandle
+from repro.pdt.reader import open_trace
 from repro.pdt.store import EventSource
 from repro.par.plan import chunk_weights, partition
 from repro.tq.pipeline import PartialAggregation, Query, QueryPlan
@@ -105,6 +107,38 @@ def _profile_counts(
     return counts
 
 
+#: Per-process cache of open handles, used only inside pool workers: a
+#: worker that serves several shards of the same trace (or several
+#: queries of one server session) reopens and re-parses it once, not
+#: once per shard.  The parent's serial fallback path deliberately
+#: bypasses this — it opens fresh and closes in ``finally``, keeping
+#: the historical no-descriptors-after-return guarantee the fd-leak
+#: tests pin down.
+_WORKER_HANDLES: "collections.OrderedDict[typing.Tuple, TraceHandle]" = (
+    collections.OrderedDict()
+)
+_WORKER_HANDLE_CAP = 4
+
+
+def _worker_handle(target: TraceTarget) -> TraceHandle:
+    """The pool worker's cached handle for ``target`` (LRU, capped)."""
+    key = (target.path, target.blob, target.strict, target.attach_sidecar)
+    handle = _WORKER_HANDLES.get(key)
+    if handle is not None and not handle.closed:
+        _WORKER_HANDLES.move_to_end(key)
+        return handle
+    raw: typing.Union[str, bytes]
+    raw = target.path if target.path is not None else target.blob
+    handle = TraceHandle(raw, strict=target.strict)
+    if target.attach_sidecar and handle.zone_maps() is None:
+        handle.attach_sidecar()
+    _WORKER_HANDLES[key] = handle
+    while len(_WORKER_HANDLES) > _WORKER_HANDLE_CAP:
+        __, evicted = _WORKER_HANDLES.popitem(last=False)
+        evicted.close()
+    return handle
+
+
 def run_shard(task: ShardTask) -> typing.Any:
     """Execute one shard — in a worker process or, for fault recovery,
     serially in the parent.  Returns ``(partial, stats)`` for
@@ -114,9 +148,18 @@ def run_shard(task: ShardTask) -> typing.Any:
         if task.fault == "crash":
             os._exit(3)  # simulate a worker dying without cleanup
         raise RuntimeError(f"injected shard fault: {task.fault}")
-    raw: typing.Union[str, bytes]
-    raw = task.target.path if task.target.path is not None else task.target.blob
-    base = open_trace(raw, strict=task.target.strict)
+    if _IN_POOL_WORKER:
+        # A borrowed view over the worker's cached handle; its close()
+        # is a no-op, so the handle survives for the next shard.
+        base: EventSource = _worker_handle(task.target).source()
+    else:
+        raw: typing.Union[str, bytes]
+        raw = (
+            task.target.path
+            if task.target.path is not None
+            else task.target.blob
+        )
+        base = open_trace(raw, strict=task.target.strict)
     try:
         if task.target.attach_sidecar and base.zone_maps() is None:
             base.attach_sidecar()
@@ -182,8 +225,12 @@ def execute_shards(
 def _file_target(source: EventSource) -> typing.Optional[TraceTarget]:
     """A reopen descriptor for ``source``, or ``None`` when the source
     cannot be handed to another process (in-memory stores, wrapped
-    views) — the caller then degrades to a serial run."""
-    if not isinstance(source, TraceFileSource):
+    views) — the caller then degrades to a serial run.  Any
+    handle-backed source qualifies: a private
+    :class:`~repro.pdt.reader.TraceFileSource` or a borrowed
+    :meth:`~repro.pdt.handle.TraceHandle.source` view both describe
+    the same reopenable file."""
+    if not isinstance(source, HandleSource):
         return None
     strict = source.salvage is None
     attach = source.zone_maps() is not None

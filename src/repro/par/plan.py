@@ -23,14 +23,18 @@ from __future__ import annotations
 
 import typing
 
+from repro.pdt.handle import TraceHandle
 from repro.pdt.store import EventSource
 from repro.tq.predicate import Predicate
 
 
 def chunk_weights(
-    source: EventSource, predicate: typing.Optional[Predicate] = None
+    source: typing.Union[EventSource, TraceHandle],
+    predicate: typing.Optional[Predicate] = None,
 ) -> typing.List[int]:
     """Planning weight per chunk (see module docstring)."""
+    if isinstance(source, TraceHandle):
+        source = source.source()
     zones = source.zone_maps()
     if zones is not None:
         if predicate is None:
@@ -89,7 +93,7 @@ def partition(
 
 
 def plan_shards(
-    source: EventSource,
+    source: typing.Union[EventSource, TraceHandle],
     jobs: int,
     predicate: typing.Optional[Predicate] = None,
 ) -> typing.List[typing.Tuple[int, int]]:

@@ -49,6 +49,7 @@ from repro.pdt.index import (
     sidecar_path,
     write_sidecar,
 )
+from repro.pdt.handle import FdPool, HandleSource, TraceHandle, open_handle
 from repro.pdt.reader import (
     ChunkRangeView,
     SalvageReport,
@@ -82,6 +83,8 @@ __all__ = [
     "EventSink",
     "EventSource",
     "EventSpec",
+    "FdPool",
+    "HandleSource",
     "IndexAccumulator",
     "PdtHooks",
     "PlacedEvent",
@@ -91,12 +94,14 @@ __all__ = [
     "TraceConfig",
     "TraceFileSource",
     "TraceFormatError",
+    "TraceHandle",
     "TraceHeader",
     "TraceRecord",
     "TracingStats",
     "ZoneMap",
     "build_zone_maps",
     "code_for_kind",
+    "open_handle",
     "open_trace",
     "read_sidecar",
     "read_trace",

@@ -1,0 +1,1170 @@
+"""TraceHandle — the shareable, concurrency-safe open-trace core.
+
+Before this module existed every consumer of a trace file went through
+:func:`repro.pdt.open_trace` and privately owned the result: its file
+descriptors, its header/trailer parse, its clock-correlator fit, its
+zone-map index.  Nothing could be shared between two queries over the
+same trace, so a long-running analysis service would have re-parsed
+and re-fitted the same file once per request.
+
+The ownership model is now inverted:
+
+* :class:`TraceHandle` owns the *immutable* facts of one open trace —
+  the parsed header, the chunk frame index, the zone maps (trailer or
+  sidecar), the salvage report, and the lazily-fitted
+  :class:`~repro.pdt.correlate.ClockCorrelator` — plus a bounded
+  :class:`FdPool` of file descriptors.  A handle is safe for any
+  number of concurrent readers: all mutable state (the pool, the
+  one-shot fit, sidecar attachment) is lock-protected, and everything
+  else is written once during construction.
+* :meth:`TraceHandle.source` is a cheap factory for
+  :class:`HandleSource` views — ordinary
+  :class:`~repro.pdt.store.EventSource` objects that *borrow*
+  descriptors from the pool during iteration instead of opening their
+  own.  ``source(chunk_range=(lo, hi))`` serves one shard.
+* :class:`repro.pdt.reader.TraceFileSource` (and therefore
+  :func:`repro.pdt.open_trace`) survives as a compatibility wrapper: a
+  ``HandleSource`` that owns a private handle, so existing callers —
+  and the differential test matrix — see exactly the old behavior,
+  closing semantics included.
+
+The low-level parse and salvage machinery (header/CRC checks, chunk
+decode, the resynchronizing salvage scan) lives here too, moved from
+:mod:`repro.pdt.reader`, which re-exports it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import struct
+import threading
+import typing
+
+from repro.pdt import codec
+from repro.pdt import events as ev
+from repro.pdt.codec import decode_fields, iter_prefixes
+from repro.pdt.format import (
+    _HEADER,
+    _U32,
+    CHUNKS_UNTIL_EOF,
+    INDEX_MAGIC,
+    MAGIC,
+    VERSION_CRC,
+    VERSION_INDEXED,
+    VERSION_LEGACY,
+    TraceFormatError,
+    check_version,
+    chunk_crc32,
+    chunk_frame_struct,
+    data_offset,
+    header_crc32,
+)
+from repro.pdt.index import ZoneMap, decode_index, read_sidecar
+from repro.pdt.store import ColumnChunk, EventSource
+from repro.pdt.trace import Trace, TraceHeader
+
+__all__ = [
+    "SalvageReport",
+    "FdPool",
+    "TraceHandle",
+    "HandleSource",
+    "ChunkRangeView",
+    "open_handle",
+]
+
+#: One signed 64-bit payload value (the sync record's tb_raw).
+_VALUE = struct.Struct("<q")
+
+#: Default cap on descriptors a handle's pool may hold open at once.
+DEFAULT_POOL_CAP = 8
+
+
+@dataclasses.dataclass
+class SalvageReport:
+    """What a non-strict read recovered and what it lost.
+
+    ``bad_ranges`` lists half-open ``(start, end)`` byte ranges of the
+    file that were skipped as damaged (or cut off by truncation);
+    ``records_dropped`` counts records inside chunks that failed their
+    CRC/decode, while ``records_missing`` counts records the header
+    promised that no surviving or damaged chunk accounts for (e.g. a
+    truncated prefix swallowed them).
+    """
+
+    version: int
+    chunks_recovered: int = 0
+    chunks_dropped: int = 0
+    records_recovered: int = 0
+    records_dropped: int = 0
+    records_missing: int = 0
+    tail_records_recovered: int = 0
+    resyncs: int = 0
+    truncated: bool = False
+    header_damaged: bool = False
+    bad_ranges: typing.List[typing.Tuple[int, int]] = dataclasses.field(
+        default_factory=list
+    )
+    notes: typing.List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def records_lost(self) -> int:
+        """Records known or presumed destroyed by the damage."""
+        return self.records_dropped + self.records_missing
+
+    @property
+    def bytes_skipped(self) -> int:
+        return sum(end - start for start, end in self.bad_ranges)
+
+    @property
+    def damaged(self) -> bool:
+        return bool(
+            self.chunks_dropped
+            or self.records_lost
+            or self.truncated
+            or self.header_damaged
+            or self.bad_ranges
+        )
+
+    def summary(self) -> str:
+        """One line for CLI output."""
+        if not self.damaged:
+            return (
+                f"trace intact: {self.records_recovered} records in "
+                f"{self.chunks_recovered} chunks, nothing to salvage"
+            )
+        parts = [
+            f"recovered {self.records_recovered} records in "
+            f"{self.chunks_recovered} chunks",
+            f"dropped {self.chunks_dropped} corrupt chunks",
+            f"lost {self.records_lost} records "
+            f"({self.bytes_skipped} damaged bytes)",
+        ]
+        if self.truncated:
+            parts.append("file is truncated")
+        if self.header_damaged:
+            parts.append("header failed its CRC")
+        return "; ".join(parts)
+
+
+def _parse_header(blob: bytes) -> typing.Tuple[TraceHeader, int, int]:
+    """Parse and sanity-check the header; returns (header, a, b)."""
+    if len(blob) < _HEADER.size:
+        raise TraceFormatError(f"file too short for header: {len(blob)} bytes")
+    (
+        magic,
+        version,
+        n_spes,
+        timebase_divider,
+        spu_clock_hz,
+        groups_bitmap,
+        buffer_bytes,
+        a,
+        b,
+    ) = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    check_version(version)
+    header = TraceHeader(
+        n_spes=n_spes,
+        timebase_divider=timebase_divider,
+        spu_clock_hz=spu_clock_hz,
+        groups_bitmap=groups_bitmap,
+        buffer_bytes=buffer_bytes,
+        version=version,
+    )
+    return header, a, b
+
+
+def _check_header_crc(head: bytes) -> None:
+    """Strict v3: verify the header CRC32 trailer."""
+    if len(head) < _HEADER.size + _U32.size:
+        raise TraceFormatError("file too short for version-3 header CRC")
+    (stored,) = _U32.unpack_from(head, _HEADER.size)
+    if header_crc32(head[: _HEADER.size]) != stored:
+        raise TraceFormatError(
+            f"header CRC mismatch: stored 0x{stored:08x}, computed "
+            f"0x{header_crc32(head[:_HEADER.size]):08x}"
+        )
+
+
+def _header_crc_ok(blob: bytes) -> bool:
+    if len(blob) < _HEADER.size + _U32.size:
+        return False
+    (stored,) = _U32.unpack_from(blob, _HEADER.size)
+    return header_crc32(blob[: _HEADER.size]) == stored
+
+
+def _check_chunk_crc(
+    stored: int, n_records: int, payload, offset: int
+) -> None:
+    computed = chunk_crc32(n_records, payload)
+    if computed != stored:
+        raise TraceFormatError(
+            f"chunk CRC mismatch at offset {offset}: stored "
+            f"0x{stored:08x}, computed 0x{computed:08x}"
+        )
+
+
+def _decode_chunk(blob: bytes, offset: int, n_records: int, payload_bytes: int) -> ColumnChunk:
+    chunk = ColumnChunk()
+    end = offset + payload_bytes
+    batch = codec.decode_batch(blob, offset, n_records)
+    if batch is not None:
+        chunk.extend_run(batch)
+        offset = batch.next_offset
+        if offset != end:
+            raise TraceFormatError(
+                f"chunk payload size mismatch: declared {payload_bytes} "
+                f"bytes, decoded {payload_bytes - (end - offset)}"
+            )
+        return chunk
+    # Scalar fallback: the reference loop, and the single source of the
+    # corrupt-payload error behavior (the batch decoder returns None on
+    # any anomaly precisely so this path can raise the exact error).
+    sides, codes, cores = chunk.side, chunk.code, chunk.core
+    seqs, raws, truths = chunk.seq, chunk.raw_ts, chunk.truth
+    vals, offs = chunk.values, chunk.val_off
+    try:
+        for __ in range(n_records):
+            side, code, core, seq, raw_ts, values, offset = decode_fields(blob, offset)
+            sides.append(side)
+            codes.append(code)
+            cores.append(core)
+            seqs.append(seq)
+            raws.append(raw_ts)
+            truths.append(-1)
+            vals.extend(values)
+            offs.append(len(vals))
+    except (ValueError, KeyError) as exc:
+        raise TraceFormatError(f"corrupt trace payload: {exc}") from exc
+    if offset != end:
+        raise TraceFormatError(
+            f"chunk payload size mismatch: declared {payload_bytes} bytes, "
+            f"decoded {payload_bytes - (end - offset)}"
+        )
+    return chunk
+
+
+def _plausible_frame(n_records: int, payload_bytes: int) -> bool:
+    """Could (n_records, payload_bytes) frame a real chunk?  Records
+    are 16-byte-aligned multiples of 16 bytes, so the payload size must
+    be too, and each record occupies at least 16 of those bytes."""
+    return (
+        n_records > 0
+        and payload_bytes % 16 == 0
+        and 16 * n_records <= payload_bytes
+    )
+
+
+def _resync_offset(blob: bytes, start: int, version: int) -> int:
+    """Scan forward from ``start`` for the next well-formed chunk.
+
+    Well-formed means: plausible frame, payload fits in the file, and
+    (v3) the CRC verifies / (v2) the payload trial-decodes.  Returns
+    ``len(blob)`` when no further chunk exists.
+    """
+    frame = chunk_frame_struct(version)
+    v3 = version >= VERSION_CRC
+    size = len(blob)
+    mv = memoryview(blob)
+    offset = start
+    while offset + frame.size <= size:
+        if v3:
+            n_records, payload_bytes, crc = frame.unpack_from(blob, offset)
+        else:
+            n_records, payload_bytes = frame.unpack_from(blob, offset)
+        payload_off = offset + frame.size
+        if (
+            _plausible_frame(n_records, payload_bytes)
+            and payload_off + payload_bytes <= size
+        ):
+            if v3:
+                if chunk_crc32(
+                    n_records, mv[payload_off : payload_off + payload_bytes]
+                ) == crc:
+                    return offset
+            else:
+                try:
+                    _decode_chunk(blob, payload_off, n_records, payload_bytes)
+                    return offset
+                except TraceFormatError:
+                    pass
+        offset += 1
+    return size
+
+
+def _decode_partial(
+    blob: bytes, offset: int, end: int, max_records: int
+) -> typing.Tuple[ColumnChunk, int]:
+    """Recover the valid record prefix of a truncated chunk payload.
+
+    Decodes records until one fails or runs past ``end``; returns the
+    recovered chunk and the offset reached.
+    """
+    chunk = ColumnChunk()
+    count = 0
+    while count < max_records:
+        try:
+            side, code, core, seq, raw_ts, values, next_off = decode_fields(
+                blob, offset
+            )
+        except (ValueError, KeyError):
+            break
+        if next_off > end:
+            break
+        chunk.side.append(side)
+        chunk.code.append(code)
+        chunk.core.append(core)
+        chunk.seq.append(seq)
+        chunk.raw_ts.append(raw_ts)
+        chunk.truth.append(-1)
+        chunk.values.extend(values)
+        chunk.val_off.append(len(chunk.values))
+        offset = next_off
+        count += 1
+    return chunk, offset
+
+
+def _salvage_scan(
+    blob: bytes, header: TraceHeader, declared_chunks: int, declared_records: int
+) -> typing.Tuple[typing.List[ColumnChunk], SalvageReport]:
+    """Walk a damaged chunked file, keeping every verifiable chunk."""
+    version = header.version
+    v3 = version >= VERSION_CRC
+    frame = chunk_frame_struct(version)
+    report = SalvageReport(version=version)
+    chunks: typing.List[ColumnChunk] = []
+    size = len(blob)
+    mv = memoryview(blob)
+    if v3:
+        if not _header_crc_ok(blob):
+            report.header_damaged = True
+            report.notes.append(
+                "header CRC mismatch: header fields (clock rates, counts) "
+                "may be unreliable"
+            )
+    offset = data_offset(version)
+    if size < offset:
+        report.truncated = True
+        report.notes.append("file ends inside the header")
+        offset = size
+    trailer_seen = False
+    while offset < size:
+        if (
+            version >= VERSION_INDEXED
+            and blob[offset : offset + len(INDEX_MAGIC)] == INDEX_MAGIC
+        ):
+            # The v4 index trailer: consume it if it verifies.  Either
+            # way it is never *used* on the salvage path — once chunks
+            # may have been dropped the zone maps no longer align — so
+            # damage here costs pruning, never correctness.
+            trailer_seen = True
+            try:
+                __, __, consumed = decode_index(blob, offset)
+            except TraceFormatError as exc:
+                report.bad_ranges.append((offset, size))
+                report.notes.append(
+                    f"index trailer at offset {offset} is damaged ({exc}); "
+                    "queries fall back to a full scan"
+                )
+                break
+            offset += consumed
+            continue
+        if offset + frame.size > size:
+            report.truncated = True
+            report.bad_ranges.append((offset, size))
+            report.notes.append(
+                f"truncated chunk prefix at offset {offset}: "
+                f"{size - offset} trailing bytes"
+            )
+            break
+        if v3:
+            n_records, payload_bytes, crc = frame.unpack_from(blob, offset)
+        else:
+            n_records, payload_bytes = frame.unpack_from(blob, offset)
+            crc = None
+        payload_off = offset + frame.size
+        plausible = _plausible_frame(n_records, payload_bytes)
+        fits = payload_off + payload_bytes <= size
+        chunk: typing.Optional[ColumnChunk] = None
+        if plausible and fits:
+            if crc is not None and chunk_crc32(
+                n_records, mv[payload_off : payload_off + payload_bytes]
+            ) != crc:
+                reason = f"chunk CRC mismatch at offset {offset}"
+            else:
+                try:
+                    chunk = _decode_chunk(
+                        blob, payload_off, n_records, payload_bytes
+                    )
+                except TraceFormatError as exc:
+                    reason = f"chunk at offset {offset} failed to decode: {exc}"
+        elif plausible:
+            reason = (
+                f"chunk at offset {offset} declares {payload_bytes} payload "
+                f"bytes but only {size - payload_off} remain"
+            )
+        else:
+            reason = f"implausible chunk prefix at offset {offset}"
+        if chunk is not None:
+            chunks.append(chunk)
+            report.chunks_recovered += 1
+            report.records_recovered += n_records
+            offset = payload_off + payload_bytes
+            continue
+        # Damaged.  If the declared payload overruns EOF and no later
+        # well-formed chunk exists, this is the crash-mid-write case:
+        # keep the valid record prefix of the tail.  Otherwise drop the
+        # chunk and resynchronize on the next well-formed prefix.
+        resume = _resync_offset(blob, offset + 1, version)
+        if plausible and not fits and resume >= size:
+            tail, reached = _decode_partial(blob, payload_off, size, n_records)
+            report.truncated = True
+            if len(tail):
+                chunks.append(tail)
+                report.chunks_recovered += 1
+                report.records_recovered += len(tail)
+                report.tail_records_recovered += len(tail)
+            report.records_dropped += n_records - len(tail)
+            report.bad_ranges.append((reached, size))
+            report.notes.append(
+                f"truncated final chunk at offset {offset}: recovered the "
+                f"leading {len(tail)} of {n_records} records"
+            )
+            break
+        report.chunks_dropped += 1
+        if plausible:
+            report.records_dropped += n_records
+        if resume < size:
+            report.resyncs += 1
+            report.notes.append(f"{reason}; resynchronized at offset {resume}")
+        else:
+            report.notes.append(f"{reason}; no further chunks found")
+        report.bad_ranges.append((offset, resume))
+        offset = resume
+    if version >= VERSION_INDEXED and not trailer_seen and not report.header_damaged:
+        # A v4 file must end in its index trailer; reaching EOF without
+        # one means the tail was cut off, even when every chunk (and so
+        # every record) survived intact.
+        report.truncated = True
+        report.notes.append(
+            "index trailer missing (file truncated at a chunk boundary?); "
+            "queries fall back to a full scan"
+        )
+    if (
+        declared_chunks != CHUNKS_UNTIL_EOF
+        and not report.header_damaged
+        and declared_records > report.records_recovered + report.records_dropped
+    ):
+        report.records_missing = declared_records - (
+            report.records_recovered + report.records_dropped
+        )
+        report.notes.append(
+            f"header declares {declared_records} records; "
+            f"{report.records_missing} are unaccounted for"
+        )
+    return chunks, report
+
+
+def _verify_index_trailer(
+    blob: bytes, offset: int, n_chunks: int, total_records: int
+) -> typing.List[ZoneMap]:
+    """Strict v4: parse and cross-check the index trailer at ``offset``.
+
+    The trailer must parse (magic, version, CRC — :func:`decode_index`
+    raises otherwise), describe exactly the chunks the file holds, and
+    be the last thing in the file.
+    """
+    zones, idx_total, consumed = decode_index(blob, offset)
+    if len(zones) != n_chunks:
+        raise TraceFormatError(
+            f"index trailer describes {len(zones)} chunks; file holds "
+            f"{n_chunks}"
+        )
+    if idx_total != total_records:
+        raise TraceFormatError(
+            f"index trailer declares {idx_total} records; chunks hold "
+            f"{total_records}"
+        )
+    if offset + consumed != len(blob):
+        raise TraceFormatError(
+            f"{len(blob) - offset - consumed} trailing bytes after the "
+            "index trailer"
+        )
+    return zones
+
+
+# ----------------------------------------------------------------------
+# the descriptor pool
+# ----------------------------------------------------------------------
+class FdPool:
+    """A bounded pool of open descriptors over one backing file.
+
+    :meth:`checkout` hands out an open binary handle (callers seek it
+    wherever they need); :meth:`release` returns it for reuse.  At most
+    ``cap`` descriptors exist at once — further checkouts block until
+    one is released, so however many concurrent iterations a shared
+    :class:`TraceHandle` serves, its descriptor footprint stays
+    bounded.  :meth:`close` closes every descriptor ever issued —
+    including those still checked out by abandoned iterators — and
+    poisons the pool; it is idempotent.
+    """
+
+    def __init__(
+        self,
+        path: typing.Optional[str],
+        blob: typing.Optional[bytes],
+        cap: int = DEFAULT_POOL_CAP,
+    ):
+        if path is None and blob is None:
+            raise ValueError("FdPool needs a path or a blob")
+        self._path = path
+        self._blob = blob
+        self.cap = max(1, cap)
+        self._cond = threading.Condition()
+        self._idle: typing.List[typing.BinaryIO] = []
+        #: Every descriptor currently open (idle or checked out).
+        self._live: typing.Set[typing.BinaryIO] = set()
+        self._closed = False
+
+    def _open(self) -> typing.BinaryIO:
+        if self._path is not None:
+            return open(self._path, "rb")
+        assert self._blob is not None
+        return io.BytesIO(self._blob)
+
+    @property
+    def n_open(self) -> int:
+        """Descriptors currently open (idle + checked out)."""
+        with self._cond:
+            return len(self._live)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def checkout(
+        self, timeout: typing.Optional[float] = None
+    ) -> typing.BinaryIO:
+        """An open handle over the backing file; blocks at the cap."""
+        with self._cond:
+            while (
+                not self._closed
+                and not self._idle
+                and len(self._live) >= self.cap
+            ):
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError(
+                        f"no descriptor available within {timeout}s "
+                        f"(pool cap {self.cap})"
+                    )
+            if self._closed:
+                raise ValueError("descriptor pool is closed")
+            if self._idle:
+                return self._idle.pop()
+            handle = self._open()
+            self._live.add(handle)
+            return handle
+
+    def release(self, handle: typing.BinaryIO) -> None:
+        """Return a checked-out handle for reuse."""
+        with self._cond:
+            if handle not in self._live:
+                # Already force-closed by close(); nothing to return.
+                handle.close()
+                return
+            if self._closed:
+                self._live.discard(handle)
+                handle.close()
+            else:
+                self._idle.append(handle)
+            self._cond.notify()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            for handle in list(self._live):
+                try:
+                    handle.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+            self._live.clear()
+            self._idle.clear()
+            self._cond.notify_all()
+
+
+# ----------------------------------------------------------------------
+# the shared handle
+# ----------------------------------------------------------------------
+class TraceHandle:
+    """The immutable core of one open trace, shareable across readers.
+
+    Construction does the one-time work: parse (and for v3+ verify)
+    the header, build the chunk frame index by seeking over payloads,
+    verify and load the v4 index trailer — or, with ``strict=False``,
+    read the whole file and salvage-scan it.  Everything written after
+    construction (the sidecar attachment, the clock fit) is computed
+    once under a lock and then shared.
+
+    Readers never touch a descriptor directly: :meth:`source` views
+    borrow from the bounded :class:`FdPool`, so N concurrent iterations
+    cost at most ``pool_cap`` descriptors, not N.
+
+    ``close()`` is idempotent and closes every pooled descriptor;
+    in-flight iterations fail afterwards rather than leak.
+    """
+
+    def __init__(
+        self,
+        path_or_file: typing.Union[str, typing.BinaryIO, bytes],
+        strict: bool = True,
+        pool_cap: int = DEFAULT_POOL_CAP,
+    ):
+        self._path: typing.Optional[str] = None
+        self._blob: typing.Optional[bytes] = None
+        if isinstance(path_or_file, str):
+            self._path = path_or_file
+        elif isinstance(path_or_file, (bytes, bytearray)):
+            self._blob = bytes(path_or_file)
+        else:
+            # A raw file object cannot be re-opened for repeated
+            # iteration, so fall back to holding its bytes.
+            self._blob = path_or_file.read()
+        self.strict = strict
+        self.salvage: typing.Optional[SalvageReport] = None
+        self._salvaged: typing.Optional[typing.List[ColumnChunk]] = None
+        self._fallback: typing.Optional[EventSource] = None
+        self._zones: typing.Optional[typing.List[ZoneMap]] = None
+        self._pool = FdPool(self._path, self._blob, cap=pool_cap)
+        self._lock = threading.Lock()
+        self._correlator = None  # fitted once, shared (see correlator())
+        self._correlator_error: typing.Optional[Exception] = None
+        try:
+            if strict:
+                self._init_strict()
+            else:
+                self._init_salvage()
+        except BaseException:
+            self.close()
+            raise
+
+    # -- construction --------------------------------------------------
+    def _init_strict(self) -> None:
+        handle = self._pool.checkout()
+        try:
+            head = handle.read(_HEADER.size + _U32.size)
+            self.header, a, b = _parse_header(head)
+            if self.header.version == VERSION_LEGACY:
+                # Legacy layout cannot be streamed; materialize once.
+                from repro.pdt.reader import read_trace
+
+                handle.seek(0)
+                self._fallback = read_trace(handle.read()).as_source()
+                self._index: typing.List[
+                    typing.Tuple[int, int, int, typing.Optional[int]]
+                ] = []
+                self._n_records = self._fallback.n_records
+                return
+            if self.header.version >= VERSION_CRC:
+                _check_header_crc(head)
+            self._index = self._build_index(handle, self.header.version, a)
+            self._n_records = sum(n for __, n, __, __ in self._index)
+            if a != CHUNKS_UNTIL_EOF and self._n_records != b:
+                raise TraceFormatError(
+                    f"record count mismatch: header says {b}, chunks hold "
+                    f"{self._n_records}"
+                )
+            if self.header.version >= VERSION_INDEXED:
+                trailer_off = (
+                    self._index[-1][0] + self._index[-1][2]
+                    if self._index
+                    else data_offset(self.header.version)
+                )
+                handle.seek(trailer_off)
+                self._zones = _verify_index_trailer(
+                    handle.read(), 0, len(self._index), self._n_records
+                )
+        finally:
+            self._pool.release(handle)
+
+    def _init_salvage(self) -> None:
+        """Non-strict construction: read everything, keep what verifies."""
+        if self._blob is not None:
+            blob = self._blob
+        else:
+            handle = self._pool.checkout()
+            try:
+                blob = handle.read()
+            finally:
+                self._pool.release(handle)
+        self.header, a, b = _parse_header(blob)
+        self._index = []
+        if self.header.version == VERSION_LEGACY:
+            from repro.pdt.reader import _salvage_legacy
+
+            trace = Trace(header=self.header)
+            self.salvage = _salvage_legacy(blob, a, b, trace.store)
+            self._salvaged = list(trace.store.iter_chunks())
+        else:
+            self._salvaged, self.salvage = _salvage_scan(blob, self.header, a, b)
+        self._n_records = sum(len(chunk) for chunk in self._salvaged)
+
+    @staticmethod
+    def _build_index(
+        handle: typing.BinaryIO, version: int, n_chunks: int
+    ) -> typing.List[typing.Tuple[int, int, int, typing.Optional[int]]]:
+        """Scan chunk prefixes (seeking past payloads) into an index of
+        (payload_offset, n_records, payload_bytes, crc)."""
+        frame = chunk_frame_struct(version)
+        handle.seek(0, io.SEEK_END)
+        size = handle.tell()
+        offset = data_offset(version)
+        index: typing.List[typing.Tuple[int, int, int, typing.Optional[int]]] = []
+        while True:
+            if n_chunks == CHUNKS_UNTIL_EOF:
+                if offset == size:
+                    return index
+                if version >= VERSION_INDEXED:
+                    handle.seek(offset)
+                    if handle.read(len(INDEX_MAGIC)) == INDEX_MAGIC:
+                        return index
+            elif len(index) == n_chunks:
+                return index
+            if offset + frame.size > size:
+                raise TraceFormatError("truncated chunk prefix")
+            handle.seek(offset)
+            if version >= VERSION_CRC:
+                n_records, payload_bytes, crc = frame.unpack(
+                    handle.read(frame.size)
+                )
+            else:
+                n_records, payload_bytes = frame.unpack(handle.read(frame.size))
+                crc = None
+            offset += frame.size
+            if offset + payload_bytes > size:
+                raise TraceFormatError(
+                    f"truncated chunk payload at offset {offset}: need "
+                    f"{payload_bytes} bytes, have {size - offset}"
+                )
+            index.append((offset, n_records, payload_bytes, crc))
+            offset += payload_bytes
+
+    # -- identity ------------------------------------------------------
+    @property
+    def path(self) -> typing.Optional[str]:
+        """The backing file path, or ``None`` for blob-backed handles."""
+        return self._path
+
+    @property
+    def blob(self) -> typing.Optional[bytes]:
+        """The backing bytes for blob-backed handles, else ``None``."""
+        return self._blob
+
+    @property
+    def n_records(self) -> int:
+        return self._n_records
+
+    @property
+    def n_chunks(self) -> int:
+        if self._salvaged is not None:
+            return len(self._salvaged)
+        if self._fallback is not None:
+            return sum(1 for __ in self._fallback.iter_chunks())
+        return len(self._index)
+
+    @property
+    def pool_cap(self) -> int:
+        return self._pool.cap
+
+    @property
+    def open_descriptors(self) -> int:
+        """Descriptors the pool currently holds open."""
+        return self._pool.n_open
+
+    @property
+    def closed(self) -> bool:
+        return self._pool.closed
+
+    def chunk_record_counts(self) -> typing.List[int]:
+        """Per-chunk record counts, from the frame index when the file
+        has one (no payload decode)."""
+        if self._salvaged is not None:
+            return [len(chunk) for chunk in self._salvaged]
+        if self._fallback is not None:
+            return [len(chunk) for chunk in self._fallback.iter_chunks()]
+        return [n for __, n, __, __ in self._index]
+
+    # -- the index -----------------------------------------------------
+    def zone_maps(self) -> typing.Optional[typing.List[ZoneMap]]:
+        """The stored per-chunk zone maps (v4 trailer or attached
+        sidecar), or ``None``."""
+        return self._zones
+
+    def attach_sidecar(self) -> bool:
+        """Load a ``<trace>.pdtx`` sidecar index if one matches.
+
+        Only path-backed, strictly-read chunked files can attach one
+        (a salvaged read must not prune).  Thread-safe and idempotent;
+        returns ``True`` when zone maps are available afterwards.
+        """
+        with self._lock:
+            if self._zones is not None:
+                return True
+            if (
+                self._path is None
+                or self._salvaged is not None
+                or self._fallback is not None
+            ):
+                return False
+            loaded = read_sidecar(self._path)
+            if loaded is None:
+                return False
+            zones, total = loaded
+            if total != self._n_records or len(zones) != len(self._index):
+                return False
+            self._zones = zones
+            return True
+
+    # -- the clock fit -------------------------------------------------
+    def correlator(self):
+        """The trace's :class:`~repro.pdt.correlate.ClockCorrelator`,
+        fitted once (on the whole unpruned trace) and shared by every
+        consumer.  Raises
+        :class:`~repro.pdt.correlate.CorrelationError` — consistently,
+        on every call — when the trace cannot be correlated.
+        """
+        from repro.pdt.correlate import ClockCorrelator
+
+        with self._lock:
+            if self._correlator_error is not None:
+                raise self._correlator_error
+            if self._correlator is None:
+                try:
+                    self._correlator = ClockCorrelator(self.source())
+                except Exception as exc:
+                    self._correlator_error = exc
+                    raise
+            return self._correlator
+
+    def clock_fits(self):
+        """``(timebase_divider, {spe_id: SpeClockFit})`` — the handle
+        metadata a shard worker needs to place records identically to
+        the parent without re-reading any sync record."""
+        correlator = self.correlator()
+        return correlator.divider, correlator.fits
+
+    # -- reading -------------------------------------------------------
+    def source(
+        self,
+        chunk_range: typing.Optional[typing.Tuple[int, int]] = None,
+        chunk_cache: typing.Optional[typing.Any] = None,
+    ) -> EventSource:
+        """A cheap :class:`~repro.pdt.store.EventSource` view.
+
+        Views borrow descriptors from the handle's pool during
+        iteration and share the handle's parse, index, and clock fit;
+        closing a view does *not* close the handle.  With
+        ``chunk_range=(lo, hi)`` the view serves only that chunk range
+        (a :class:`ChunkRangeView`).  ``chunk_cache`` is an optional
+        decoded-chunk cache (``get(i)``/``put(i, chunk)``) consulted
+        before payload reads — the serving layer's warm path.
+        """
+        view = HandleSource(self, chunk_cache=chunk_cache)
+        if chunk_range is None:
+            return view
+        return view.range_view(*chunk_range)
+
+    def iter_chunk_range(
+        self,
+        lo: int,
+        hi: int,
+        keep: typing.Optional[typing.Sequence[bool]] = None,
+        cache: typing.Optional[typing.Any] = None,
+    ) -> typing.Iterator[ColumnChunk]:
+        """Decode chunks ``lo <= i < hi``, seeking directly to the
+        range's first payload; ``keep`` (indexed relative to ``lo``)
+        additionally skips chunks inside the range without reading
+        their payloads.  ``cache`` short-circuits payload reads for
+        chunks it already holds decoded."""
+        if self._salvaged is not None or self._fallback is not None:
+            chunks: typing.Iterable[ColumnChunk] = (
+                self._salvaged
+                if self._salvaged is not None
+                else self._fallback.iter_chunks()
+            )
+            for i, chunk in enumerate(list(chunks)[lo:hi]):
+                if keep is not None and i < len(keep) and not keep[i]:
+                    continue
+                yield chunk
+            return
+        handle: typing.Optional[typing.BinaryIO] = None
+        try:
+            for i, (offset, n_records, payload_bytes, crc) in enumerate(
+                self._index[lo:hi]
+            ):
+                if keep is not None and i < len(keep) and not keep[i]:
+                    continue
+                if cache is not None:
+                    cached = cache.get(lo + i)
+                    if cached is not None:
+                        yield cached
+                        continue
+                if handle is None:
+                    handle = self._pool.checkout()
+                handle.seek(offset)
+                payload = handle.read(payload_bytes)
+                if len(payload) != payload_bytes:
+                    raise TraceFormatError(
+                        f"truncated chunk payload at offset {offset}"
+                    )
+                if crc is not None:
+                    _check_chunk_crc(crc, n_records, payload, offset)
+                chunk = _decode_chunk(payload, 0, n_records, payload_bytes)
+                if cache is not None:
+                    cache.put(lo + i, chunk)
+                yield chunk
+        finally:
+            if handle is not None:
+                self._pool.release(handle)
+
+    def scan_sync(self):
+        """Prefix-only sync collection: one pass that never decodes
+        payloads except the single value of each sync record."""
+        if self._salvaged is not None:
+            return EventSource.scan_sync(self.source())
+        if self._fallback is not None:
+            return self._fallback.scan_sync()
+        sync_code = ev.code_for_kind(ev.SIDE_SPE, ev.KIND_SYNC).code
+        spe_ids: typing.Set[int] = set()
+        syncs: typing.Dict[int, typing.List[typing.Tuple[int, int]]] = {}
+        handle = self._pool.checkout()
+        try:
+            for offset, n_records, payload_bytes, crc in self._index:
+                handle.seek(offset)
+                payload = handle.read(payload_bytes)
+                if crc is not None:
+                    _check_chunk_crc(crc, n_records, payload, offset)
+                try:
+                    for side, code, core, __seq, raw_ts, val_off in iter_prefixes(
+                        payload, 0, n_records
+                    ):
+                        if side != ev.SIDE_SPE:
+                            continue
+                        spe_ids.add(core)
+                        if code == sync_code:
+                            (tb_raw,) = _VALUE.unpack_from(payload, val_off)
+                            syncs.setdefault(core, []).append((raw_ts, tb_raw))
+                except (ValueError, KeyError) as exc:
+                    raise TraceFormatError(
+                        f"corrupt trace payload: {exc}"
+                    ) from exc
+        finally:
+            self._pool.release(handle)
+        return spe_ids, syncs
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Close every pooled descriptor; idempotent."""
+        self._pool.close()
+
+    def __enter__(self) -> "TraceHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        backing = self._path if self._path is not None else "<blob>"
+        return (
+            f"TraceHandle({backing!r}, records={self._n_records}, "
+            f"chunks={self.n_chunks}, "
+            f"indexed={self._zones is not None})"
+        )
+
+
+# ----------------------------------------------------------------------
+# source views
+# ----------------------------------------------------------------------
+class HandleSource(EventSource):
+    """An :class:`~repro.pdt.store.EventSource` over a shared
+    :class:`TraceHandle`.
+
+    Cheap to create, safe to use concurrently with other views of the
+    same handle: iteration borrows a descriptor from the handle's
+    bounded pool and returns it when the iteration ends (or the
+    generator is collected).  A view created by
+    :meth:`TraceHandle.source` does not own the handle — ``close()``
+    is then a no-op — while the compatibility wrapper
+    :class:`repro.pdt.reader.TraceFileSource` owns its private handle
+    and closes it.
+    """
+
+    def __init__(
+        self,
+        handle: TraceHandle,
+        owns_handle: bool = False,
+        chunk_cache: typing.Optional[typing.Any] = None,
+    ):
+        self._handle = handle
+        self._owns = owns_handle
+        self._cache = chunk_cache
+        self.header = handle.header
+        self.salvage = handle.salvage
+
+    @property
+    def handle(self) -> TraceHandle:
+        """The shared :class:`TraceHandle` this view reads through."""
+        return self._handle
+
+    @property
+    def path(self) -> typing.Optional[str]:
+        return self._handle.path
+
+    @property
+    def blob(self) -> typing.Optional[bytes]:
+        return self._handle.blob
+
+    @property
+    def n_records(self) -> int:
+        return self._handle.n_records
+
+    @property
+    def n_chunks(self) -> int:
+        return self._handle.n_chunks
+
+    def chunk_record_counts(self) -> typing.List[int]:
+        return self._handle.chunk_record_counts()
+
+    def iter_chunk_range(
+        self,
+        lo: int,
+        hi: int,
+        keep: typing.Optional[typing.Sequence[bool]] = None,
+    ) -> typing.Iterator[ColumnChunk]:
+        return self._handle.iter_chunk_range(lo, hi, keep, cache=self._cache)
+
+    def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
+        return self.iter_chunk_range(0, self.n_chunks)
+
+    def iter_chunks_selected(
+        self, keep: typing.Sequence[bool]
+    ) -> typing.Iterator[ColumnChunk]:
+        """Decode only the selected chunks, *seeking past* the payload
+        bytes of excluded ones — the I/O half of zone-map pruning."""
+        return self.iter_chunk_range(0, self.n_chunks, keep)
+
+    def range_view(self, lo: int, hi: int) -> "ChunkRangeView":
+        """A shard of this trace: the chunks ``lo <= i < hi`` as their
+        own :class:`~repro.pdt.store.EventSource`."""
+        return ChunkRangeView(self, lo, hi)
+
+    def zone_maps(self, correlator=None):
+        """The stored per-chunk zone maps (v4 trailer or attached
+        sidecar), or ``None``; ``correlator`` is ignored — stored zones
+        were computed with the same fits at write time."""
+        return self._handle.zone_maps()
+
+    def attach_sidecar(self) -> bool:
+        return self._handle.attach_sidecar()
+
+    def scan_sync(self):
+        return self._handle.scan_sync()
+
+    def close(self) -> None:
+        """Close the private handle when this view owns one; a no-op
+        for views borrowed from a shared handle."""
+        if self._owns:
+            self._handle.close()
+
+    def __enter__(self) -> "HandleSource":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ChunkRangeView(EventSource):
+    """One shard of a handle-backed source: the half-open chunk range
+    ``[lo, hi)`` served as its own :class:`EventSource`.
+
+    The view seeks straight to its range (excluded payloads are never
+    read), slices the base's zone maps so pruning inside the shard
+    matches what a serial scan would have decided for the same chunks,
+    and — deliberately — delegates :meth:`scan_sync` to the *whole*
+    base trace: clock correlation must always be fitted on the shared
+    unpruned prefix, or a record's placed time would depend on which
+    shard served it.
+    """
+
+    def __init__(self, base: HandleSource, lo: int, hi: int):
+        total = base.n_chunks
+        self.base = base
+        self.lo = max(0, min(lo, total))
+        self.hi = max(self.lo, min(hi, total))
+        self.header = base.header
+        self.salvage = base.salvage
+        self._counts: typing.Optional[typing.List[int]] = None
+
+    @property
+    def handle(self) -> TraceHandle:
+        return self.base.handle
+
+    @property
+    def n_chunks(self) -> int:
+        return self.hi - self.lo
+
+    def chunk_record_counts(self) -> typing.List[int]:
+        if self._counts is None:
+            self._counts = self.base.chunk_record_counts()[self.lo : self.hi]
+        return self._counts
+
+    @property
+    def n_records(self) -> int:
+        return sum(self.chunk_record_counts())
+
+    def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
+        return self.base.iter_chunk_range(self.lo, self.hi)
+
+    def iter_chunks_selected(
+        self, keep: typing.Sequence[bool]
+    ) -> typing.Iterator[ColumnChunk]:
+        return self.base.iter_chunk_range(self.lo, self.hi, keep)
+
+    def zone_maps(self, correlator=None):
+        zones = self.base.zone_maps(correlator)
+        if zones is None:
+            return None
+        return zones[self.lo : self.hi]
+
+    def scan_sync(self):
+        return self.base.scan_sync()
+
+    def close(self) -> None:
+        self.base.close()
+
+    def __enter__(self) -> "ChunkRangeView":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_handle(
+    path_or_file: typing.Union[str, typing.BinaryIO, bytes],
+    strict: bool = True,
+    pool_cap: int = DEFAULT_POOL_CAP,
+    attach_sidecar: bool = True,
+) -> TraceHandle:
+    """Open a trace as a shareable :class:`TraceHandle`.
+
+    The handle parses the header and chunk index once, loads the v4
+    index trailer when the file has one, and — for older files, when
+    ``attach_sidecar`` — picks up a matching ``.pdtx`` sidecar.  All
+    later reads go through :meth:`TraceHandle.source` views borrowing
+    from the handle's bounded descriptor pool.
+    """
+    handle = TraceHandle(path_or_file, strict=strict, pool_cap=pool_cap)
+    if attach_sidecar and handle.zone_maps() is None:
+        handle.attach_sidecar()
+    return handle

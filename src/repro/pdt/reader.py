@@ -1,6 +1,6 @@
 """Trace-file reader — the Trace Analyzer's input stage.
 
-Two entry points:
+Three entry points:
 
 * :func:`read_trace` — parse a whole file into an in-memory
   :class:`Trace` (compatibility path; all layouts).
@@ -9,6 +9,14 @@ Two entry points:
   chunk at a time so analysis of a multi-million-event trace never
   holds more than O(chunk) records.  Version-1 files transparently
   fall back to a materialized source.
+* :class:`~repro.pdt.handle.TraceHandle` (via
+  :func:`repro.pdt.handle.open_handle`) — the shareable open-trace
+  core underneath both: one parse, one clock fit, one zone-map index,
+  and a bounded descriptor pool serving any number of concurrent
+  :meth:`~repro.pdt.handle.TraceHandle.source` views.  This module's
+  :class:`TraceFileSource` is now a thin compatibility wrapper — a
+  view that owns a private handle — so the historical single-owner
+  API (and its closing semantics) are unchanged.
 
 Version-4 files carry a zone-map index trailer after the last chunk.
 A strict read verifies it (CRC, entry count, record total) like any
@@ -30,39 +38,49 @@ what was lost.  In strict mode (the default) any damage raises
 :class:`TraceFormatError` — for version-3 files a single flipped bit
 anywhere in the header, a chunk frame, or a payload is detected by the
 CRC32 checks; never a silent wrong read.
+
+The low-level parse and salvage machinery historically defined here
+(``_parse_header``, ``_salvage_scan``, …) lives in
+:mod:`repro.pdt.handle` now and is re-exported under its old names.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import io
-import struct
 import typing
 
-from repro.pdt import codec
-from repro.pdt import events as ev
-from repro.pdt.codec import decode_fields, iter_prefixes
+from repro.pdt.codec import decode_fields
 from repro.pdt.format import (
-    _CHUNK,
     _HEADER,
     _STREAM,
-    _U32,
     CHUNKS_UNTIL_EOF,
     INDEX_MAGIC,
-    MAGIC,
-    VERSION_CHUNKED,
     VERSION_CRC,
     VERSION_INDEXED,
     VERSION_LEGACY,
     TraceFormatError,
-    check_version,
-    chunk_crc32,
     chunk_frame_struct,
     data_offset,
-    header_crc32,
 )
-from repro.pdt.index import ZoneMap, decode_index, read_sidecar
-from repro.pdt.store import ColumnChunk, ColumnStore, EventSource
+from repro.pdt.handle import (  # noqa: F401  (re-exported compatibility names)
+    ChunkRangeView,
+    FdPool,
+    HandleSource,
+    SalvageReport,
+    TraceHandle,
+    _VALUE,
+    _check_chunk_crc,
+    _check_header_crc,
+    _decode_chunk,
+    _decode_partial,
+    _header_crc_ok,
+    _parse_header,
+    _plausible_frame,
+    _resync_offset,
+    _salvage_scan,
+    _verify_index_trailer,
+    open_handle,
+)
+from repro.pdt.store import ColumnStore
 from repro.pdt.trace import Trace, TraceHeader
 
 __all__ = [
@@ -70,178 +88,12 @@ __all__ = [
     "SalvageReport",
     "read_trace",
     "open_trace",
+    "open_handle",
+    "TraceHandle",
+    "HandleSource",
     "TraceFileSource",
     "ChunkRangeView",
 ]
-
-#: One signed 64-bit payload value (the sync record's tb_raw).
-_VALUE = struct.Struct("<q")
-
-
-@dataclasses.dataclass
-class SalvageReport:
-    """What a non-strict read recovered and what it lost.
-
-    ``bad_ranges`` lists half-open ``(start, end)`` byte ranges of the
-    file that were skipped as damaged (or cut off by truncation);
-    ``records_dropped`` counts records inside chunks that failed their
-    CRC/decode, while ``records_missing`` counts records the header
-    promised that no surviving or damaged chunk accounts for (e.g. a
-    truncated prefix swallowed them).
-    """
-
-    version: int
-    chunks_recovered: int = 0
-    chunks_dropped: int = 0
-    records_recovered: int = 0
-    records_dropped: int = 0
-    records_missing: int = 0
-    tail_records_recovered: int = 0
-    resyncs: int = 0
-    truncated: bool = False
-    header_damaged: bool = False
-    bad_ranges: typing.List[typing.Tuple[int, int]] = dataclasses.field(
-        default_factory=list
-    )
-    notes: typing.List[str] = dataclasses.field(default_factory=list)
-
-    @property
-    def records_lost(self) -> int:
-        """Records known or presumed destroyed by the damage."""
-        return self.records_dropped + self.records_missing
-
-    @property
-    def bytes_skipped(self) -> int:
-        return sum(end - start for start, end in self.bad_ranges)
-
-    @property
-    def damaged(self) -> bool:
-        return bool(
-            self.chunks_dropped
-            or self.records_lost
-            or self.truncated
-            or self.header_damaged
-            or self.bad_ranges
-        )
-
-    def summary(self) -> str:
-        """One line for CLI output."""
-        if not self.damaged:
-            return (
-                f"trace intact: {self.records_recovered} records in "
-                f"{self.chunks_recovered} chunks, nothing to salvage"
-            )
-        parts = [
-            f"recovered {self.records_recovered} records in "
-            f"{self.chunks_recovered} chunks",
-            f"dropped {self.chunks_dropped} corrupt chunks",
-            f"lost {self.records_lost} records "
-            f"({self.bytes_skipped} damaged bytes)",
-        ]
-        if self.truncated:
-            parts.append("file is truncated")
-        if self.header_damaged:
-            parts.append("header failed its CRC")
-        return "; ".join(parts)
-
-
-def _parse_header(blob: bytes) -> typing.Tuple[TraceHeader, int, int]:
-    """Parse and sanity-check the header; returns (header, a, b)."""
-    if len(blob) < _HEADER.size:
-        raise TraceFormatError(f"file too short for header: {len(blob)} bytes")
-    (
-        magic,
-        version,
-        n_spes,
-        timebase_divider,
-        spu_clock_hz,
-        groups_bitmap,
-        buffer_bytes,
-        a,
-        b,
-    ) = _HEADER.unpack_from(blob, 0)
-    if magic != MAGIC:
-        raise TraceFormatError(f"bad magic {magic!r} (expected {MAGIC!r})")
-    check_version(version)
-    header = TraceHeader(
-        n_spes=n_spes,
-        timebase_divider=timebase_divider,
-        spu_clock_hz=spu_clock_hz,
-        groups_bitmap=groups_bitmap,
-        buffer_bytes=buffer_bytes,
-        version=version,
-    )
-    return header, a, b
-
-
-def _check_header_crc(head: bytes) -> None:
-    """Strict v3: verify the header CRC32 trailer."""
-    if len(head) < _HEADER.size + _U32.size:
-        raise TraceFormatError("file too short for version-3 header CRC")
-    (stored,) = _U32.unpack_from(head, _HEADER.size)
-    if header_crc32(head[: _HEADER.size]) != stored:
-        raise TraceFormatError(
-            f"header CRC mismatch: stored 0x{stored:08x}, computed "
-            f"0x{header_crc32(head[:_HEADER.size]):08x}"
-        )
-
-
-def _header_crc_ok(blob: bytes) -> bool:
-    if len(blob) < _HEADER.size + _U32.size:
-        return False
-    (stored,) = _U32.unpack_from(blob, _HEADER.size)
-    return header_crc32(blob[: _HEADER.size]) == stored
-
-
-def _check_chunk_crc(
-    stored: int, n_records: int, payload, offset: int
-) -> None:
-    computed = chunk_crc32(n_records, payload)
-    if computed != stored:
-        raise TraceFormatError(
-            f"chunk CRC mismatch at offset {offset}: stored "
-            f"0x{stored:08x}, computed 0x{computed:08x}"
-        )
-
-
-def _decode_chunk(blob: bytes, offset: int, n_records: int, payload_bytes: int) -> ColumnChunk:
-    chunk = ColumnChunk()
-    end = offset + payload_bytes
-    batch = codec.decode_batch(blob, offset, n_records)
-    if batch is not None:
-        chunk.extend_run(batch)
-        offset = batch.next_offset
-        if offset != end:
-            raise TraceFormatError(
-                f"chunk payload size mismatch: declared {payload_bytes} "
-                f"bytes, decoded {payload_bytes - (end - offset)}"
-            )
-        return chunk
-    # Scalar fallback: the reference loop, and the single source of the
-    # corrupt-payload error behavior (the batch decoder returns None on
-    # any anomaly precisely so this path can raise the exact error).
-    sides, codes, cores = chunk.side, chunk.code, chunk.core
-    seqs, raws, truths = chunk.seq, chunk.raw_ts, chunk.truth
-    vals, offs = chunk.values, chunk.val_off
-    try:
-        for __ in range(n_records):
-            side, code, core, seq, raw_ts, values, offset = decode_fields(blob, offset)
-            sides.append(side)
-            codes.append(code)
-            cores.append(core)
-            seqs.append(seq)
-            raws.append(raw_ts)
-            truths.append(-1)
-            vals.extend(values)
-            offs.append(len(vals))
-    except (ValueError, KeyError) as exc:
-        raise TraceFormatError(f"corrupt trace payload: {exc}") from exc
-    if offset != end:
-        raise TraceFormatError(
-            f"chunk payload size mismatch: declared {payload_bytes} bytes, "
-            f"decoded {payload_bytes - (end - offset)}"
-        )
-    return chunk
 
 
 def _iter_chunk_frames(
@@ -283,255 +135,6 @@ def _iter_chunk_frames(
         yield offset, n_records, payload_bytes, crc
         offset += payload_bytes
         seen += 1
-
-
-def _plausible_frame(n_records: int, payload_bytes: int) -> bool:
-    """Could (n_records, payload_bytes) frame a real chunk?  Records
-    are 16-byte-aligned multiples of 16 bytes, so the payload size must
-    be too, and each record occupies at least 16 of those bytes."""
-    return (
-        n_records > 0
-        and payload_bytes % 16 == 0
-        and 16 * n_records <= payload_bytes
-    )
-
-
-def _resync_offset(blob: bytes, start: int, version: int) -> int:
-    """Scan forward from ``start`` for the next well-formed chunk.
-
-    Well-formed means: plausible frame, payload fits in the file, and
-    (v3) the CRC verifies / (v2) the payload trial-decodes.  Returns
-    ``len(blob)`` when no further chunk exists.
-    """
-    frame = chunk_frame_struct(version)
-    v3 = version >= VERSION_CRC
-    size = len(blob)
-    mv = memoryview(blob)
-    offset = start
-    while offset + frame.size <= size:
-        if v3:
-            n_records, payload_bytes, crc = frame.unpack_from(blob, offset)
-        else:
-            n_records, payload_bytes = frame.unpack_from(blob, offset)
-        payload_off = offset + frame.size
-        if (
-            _plausible_frame(n_records, payload_bytes)
-            and payload_off + payload_bytes <= size
-        ):
-            if v3:
-                if chunk_crc32(
-                    n_records, mv[payload_off : payload_off + payload_bytes]
-                ) == crc:
-                    return offset
-            else:
-                try:
-                    _decode_chunk(blob, payload_off, n_records, payload_bytes)
-                    return offset
-                except TraceFormatError:
-                    pass
-        offset += 1
-    return size
-
-
-def _decode_partial(
-    blob: bytes, offset: int, end: int, max_records: int
-) -> typing.Tuple[ColumnChunk, int]:
-    """Recover the valid record prefix of a truncated chunk payload.
-
-    Decodes records until one fails or runs past ``end``; returns the
-    recovered chunk and the offset reached.
-    """
-    chunk = ColumnChunk()
-    count = 0
-    while count < max_records:
-        try:
-            side, code, core, seq, raw_ts, values, next_off = decode_fields(
-                blob, offset
-            )
-        except (ValueError, KeyError):
-            break
-        if next_off > end:
-            break
-        chunk.side.append(side)
-        chunk.code.append(code)
-        chunk.core.append(core)
-        chunk.seq.append(seq)
-        chunk.raw_ts.append(raw_ts)
-        chunk.truth.append(-1)
-        chunk.values.extend(values)
-        chunk.val_off.append(len(chunk.values))
-        offset = next_off
-        count += 1
-    return chunk, offset
-
-
-def _salvage_scan(
-    blob: bytes, header: TraceHeader, declared_chunks: int, declared_records: int
-) -> typing.Tuple[typing.List[ColumnChunk], SalvageReport]:
-    """Walk a damaged chunked file, keeping every verifiable chunk."""
-    version = header.version
-    v3 = version >= VERSION_CRC
-    frame = chunk_frame_struct(version)
-    report = SalvageReport(version=version)
-    chunks: typing.List[ColumnChunk] = []
-    size = len(blob)
-    mv = memoryview(blob)
-    if v3:
-        if not _header_crc_ok(blob):
-            report.header_damaged = True
-            report.notes.append(
-                "header CRC mismatch: header fields (clock rates, counts) "
-                "may be unreliable"
-            )
-    offset = data_offset(version)
-    if size < offset:
-        report.truncated = True
-        report.notes.append("file ends inside the header")
-        offset = size
-    trailer_seen = False
-    while offset < size:
-        if (
-            version >= VERSION_INDEXED
-            and blob[offset : offset + len(INDEX_MAGIC)] == INDEX_MAGIC
-        ):
-            # The v4 index trailer: consume it if it verifies.  Either
-            # way it is never *used* on the salvage path — once chunks
-            # may have been dropped the zone maps no longer align — so
-            # damage here costs pruning, never correctness.
-            trailer_seen = True
-            try:
-                __, __, consumed = decode_index(blob, offset)
-            except TraceFormatError as exc:
-                report.bad_ranges.append((offset, size))
-                report.notes.append(
-                    f"index trailer at offset {offset} is damaged ({exc}); "
-                    "queries fall back to a full scan"
-                )
-                break
-            offset += consumed
-            continue
-        if offset + frame.size > size:
-            report.truncated = True
-            report.bad_ranges.append((offset, size))
-            report.notes.append(
-                f"truncated chunk prefix at offset {offset}: "
-                f"{size - offset} trailing bytes"
-            )
-            break
-        if v3:
-            n_records, payload_bytes, crc = frame.unpack_from(blob, offset)
-        else:
-            n_records, payload_bytes = frame.unpack_from(blob, offset)
-            crc = None
-        payload_off = offset + frame.size
-        plausible = _plausible_frame(n_records, payload_bytes)
-        fits = payload_off + payload_bytes <= size
-        chunk: typing.Optional[ColumnChunk] = None
-        if plausible and fits:
-            if crc is not None and chunk_crc32(
-                n_records, mv[payload_off : payload_off + payload_bytes]
-            ) != crc:
-                reason = f"chunk CRC mismatch at offset {offset}"
-            else:
-                try:
-                    chunk = _decode_chunk(
-                        blob, payload_off, n_records, payload_bytes
-                    )
-                except TraceFormatError as exc:
-                    reason = f"chunk at offset {offset} failed to decode: {exc}"
-        elif plausible:
-            reason = (
-                f"chunk at offset {offset} declares {payload_bytes} payload "
-                f"bytes but only {size - payload_off} remain"
-            )
-        else:
-            reason = f"implausible chunk prefix at offset {offset}"
-        if chunk is not None:
-            chunks.append(chunk)
-            report.chunks_recovered += 1
-            report.records_recovered += n_records
-            offset = payload_off + payload_bytes
-            continue
-        # Damaged.  If the declared payload overruns EOF and no later
-        # well-formed chunk exists, this is the crash-mid-write case:
-        # keep the valid record prefix of the tail.  Otherwise drop the
-        # chunk and resynchronize on the next well-formed prefix.
-        resume = _resync_offset(blob, offset + 1, version)
-        if plausible and not fits and resume >= size:
-            tail, reached = _decode_partial(blob, payload_off, size, n_records)
-            report.truncated = True
-            if len(tail):
-                chunks.append(tail)
-                report.chunks_recovered += 1
-                report.records_recovered += len(tail)
-                report.tail_records_recovered += len(tail)
-            report.records_dropped += n_records - len(tail)
-            report.bad_ranges.append((reached, size))
-            report.notes.append(
-                f"truncated final chunk at offset {offset}: recovered the "
-                f"leading {len(tail)} of {n_records} records"
-            )
-            break
-        report.chunks_dropped += 1
-        if plausible:
-            report.records_dropped += n_records
-        if resume < size:
-            report.resyncs += 1
-            report.notes.append(f"{reason}; resynchronized at offset {resume}")
-        else:
-            report.notes.append(f"{reason}; no further chunks found")
-        report.bad_ranges.append((offset, resume))
-        offset = resume
-    if version >= VERSION_INDEXED and not trailer_seen and not report.header_damaged:
-        # A v4 file must end in its index trailer; reaching EOF without
-        # one means the tail was cut off, even when every chunk (and so
-        # every record) survived intact.
-        report.truncated = True
-        report.notes.append(
-            "index trailer missing (file truncated at a chunk boundary?); "
-            "queries fall back to a full scan"
-        )
-    if (
-        declared_chunks != CHUNKS_UNTIL_EOF
-        and not report.header_damaged
-        and declared_records > report.records_recovered + report.records_dropped
-    ):
-        report.records_missing = declared_records - (
-            report.records_recovered + report.records_dropped
-        )
-        report.notes.append(
-            f"header declares {declared_records} records; "
-            f"{report.records_missing} are unaccounted for"
-        )
-    return chunks, report
-
-
-def _verify_index_trailer(
-    blob: bytes, offset: int, n_chunks: int, total_records: int
-) -> typing.List[ZoneMap]:
-    """Strict v4: parse and cross-check the index trailer at ``offset``.
-
-    The trailer must parse (magic, version, CRC — :func:`decode_index`
-    raises otherwise), describe exactly the chunks the file holds, and
-    be the last thing in the file.
-    """
-    zones, idx_total, consumed = decode_index(blob, offset)
-    if len(zones) != n_chunks:
-        raise TraceFormatError(
-            f"index trailer describes {len(zones)} chunks; file holds "
-            f"{n_chunks}"
-        )
-    if idx_total != total_records:
-        raise TraceFormatError(
-            f"index trailer declares {idx_total} records; chunks hold "
-            f"{total_records}"
-        )
-    if offset + consumed != len(blob):
-        raise TraceFormatError(
-            f"{len(blob) - offset - consumed} trailing bytes after the "
-            "index trailer"
-        )
-    return zones
 
 
 def read_trace(
@@ -709,21 +312,29 @@ def _salvage_legacy(
     return report
 
 
-class TraceFileSource(EventSource):
-    """A chunked trace file served as an :class:`EventSource`.
+class TraceFileSource(HandleSource):
+    """A chunked trace file served as an :class:`EventSource` — the
+    historical single-owner API, now a view that owns a private
+    :class:`~repro.pdt.handle.TraceHandle`.
 
-    In strict mode (the default) the constructor reads only the header
+    In strict mode (the default) construction reads only the header
     and the chunk *prefixes* (seeking over payloads) to build the chunk
     index; payload bytes are decoded lazily, one chunk at a time,
     during ``iter_chunks`` — and for version-3 files every payload read
-    verifies the chunk CRC before decode.  Each ``iter_chunks`` call
-    opens its own file handle, so several iterations (e.g. per-core
-    placement streams feeding a merge) can be in flight at once.
+    verifies the chunk CRC before decode.  Concurrent iterations (e.g.
+    per-core placement streams feeding a merge) each borrow a
+    descriptor from the handle's bounded pool.
 
     With ``strict=False`` the whole file is read and salvage-scanned up
     front (the recovery path trades streaming for resilience); the
     surviving chunks are held in memory and ``.salvage`` carries the
     :class:`SalvageReport`.  In strict mode ``.salvage`` is ``None``.
+
+    ``close()`` closes the private handle — every pooled descriptor,
+    including those of abandoned ``iter_chunks`` generators — exactly
+    the old single-owner semantics.  To *share* one open trace across
+    consumers, open a :class:`~repro.pdt.handle.TraceHandle` instead
+    and hand out :meth:`~repro.pdt.handle.TraceHandle.source` views.
     """
 
     def __init__(
@@ -731,378 +342,9 @@ class TraceFileSource(EventSource):
         path_or_file: typing.Union[str, typing.BinaryIO, bytes],
         strict: bool = True,
     ):
-        self._path: typing.Optional[str] = None
-        self._blob: typing.Optional[bytes] = None
-        #: Every live handle this source has opened and not yet
-        #: released; :meth:`close` drains it, so a raise anywhere —
-        #: mid-construction, mid-iteration — cannot leak a descriptor
-        #: past the context manager.
-        self._handles: typing.Set[typing.BinaryIO] = set()
-        self.salvage: typing.Optional[SalvageReport] = None
-        self._salvaged: typing.Optional[typing.List[ColumnChunk]] = None
-        #: Zone maps from the v4 trailer (or an attached sidecar);
-        #: ``None`` when the file carries no usable index.
-        self._zones: typing.Optional[typing.List[ZoneMap]] = None
-        if isinstance(path_or_file, str):
-            self._path = path_or_file
-        elif isinstance(path_or_file, (bytes, bytearray)):
-            self._blob = bytes(path_or_file)
-        else:
-            # A raw file object cannot be re-opened for repeated
-            # iteration, so fall back to holding its bytes.
-            self._blob = path_or_file.read()
-
-        try:
-            if not strict:
-                self._init_salvage()
-                return
-            self._init_strict()
-        except BaseException:
-            self.close()
-            raise
-
-    def _init_strict(self) -> None:
-        handle = self._open()
-        try:
-            head = handle.read(_HEADER.size + _U32.size)
-            self.header, a, b = _parse_header(head)
-            if self.header.version == VERSION_LEGACY:
-                # Legacy layout cannot be streamed; materialize once.
-                handle.seek(0)
-                self._fallback: typing.Optional[EventSource] = read_trace(
-                    handle.read()
-                ).as_source()
-                self._index: typing.List[
-                    typing.Tuple[int, int, int, typing.Optional[int]]
-                ] = []
-                self._n_records = self._fallback.n_records
-                return
-            if self.header.version >= VERSION_CRC:
-                _check_header_crc(head)
-            self._fallback = None
-            self._index = self._build_index(handle, self.header.version, a)
-            self._n_records = sum(n for __, n, __, __ in self._index)
-            if a != CHUNKS_UNTIL_EOF and self._n_records != b:
-                raise TraceFormatError(
-                    f"record count mismatch: header says {b}, chunks hold "
-                    f"{self._n_records}"
-                )
-            if self.header.version >= VERSION_INDEXED:
-                trailer_off = (
-                    self._index[-1][0] + self._index[-1][2]
-                    if self._index
-                    else data_offset(self.header.version)
-                )
-                handle.seek(trailer_off)
-                self._zones = _verify_index_trailer(
-                    handle.read(), 0, len(self._index), self._n_records
-                )
-        finally:
-            self._release(handle)
-
-    def _init_salvage(self) -> None:
-        """Non-strict construction: read everything, keep what verifies."""
-        if self._blob is not None:
-            blob = self._blob
-        else:
-            handle = self._open()
-            try:
-                blob = handle.read()
-            finally:
-                self._release(handle)
-        self.header, a, b = _parse_header(blob)
-        self._fallback = None
-        self._index = []
-        if self.header.version == VERSION_LEGACY:
-            trace = Trace(header=self.header)
-            self.salvage = _salvage_legacy(blob, a, b, trace.store)
-            self._salvaged = list(trace.store.iter_chunks())
-        else:
-            self._salvaged, self.salvage = _salvage_scan(blob, self.header, a, b)
-        self._n_records = sum(len(chunk) for chunk in self._salvaged)
-
-    def _open(self) -> typing.BinaryIO:
-        if self._path is not None:
-            handle = open(self._path, "rb")
-        else:
-            assert self._blob is not None
-            handle = io.BytesIO(self._blob)
-        self._handles.add(handle)
-        return handle
-
-    def _release(self, handle: typing.BinaryIO) -> None:
-        self._handles.discard(handle)
-        handle.close()
-
-    def close(self) -> None:
-        """Close every file handle this source still holds open,
-        including those of abandoned ``iter_chunks`` generators.
-        Idempotent; the source must not be iterated afterwards."""
-        while self._handles:
-            self._handles.pop().close()
-
-    def __enter__(self) -> "TraceFileSource":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    @staticmethod
-    def _build_index(
-        handle: typing.BinaryIO, version: int, n_chunks: int
-    ) -> typing.List[typing.Tuple[int, int, int, typing.Optional[int]]]:
-        """Scan chunk prefixes (seeking past payloads) into an index of
-        (payload_offset, n_records, payload_bytes, crc)."""
-        frame = chunk_frame_struct(version)
-        handle.seek(0, io.SEEK_END)
-        size = handle.tell()
-        offset = data_offset(version)
-        index: typing.List[typing.Tuple[int, int, int, typing.Optional[int]]] = []
-        while True:
-            if n_chunks == CHUNKS_UNTIL_EOF:
-                if offset == size:
-                    return index
-                if version >= VERSION_INDEXED:
-                    handle.seek(offset)
-                    if handle.read(len(INDEX_MAGIC)) == INDEX_MAGIC:
-                        return index
-            elif len(index) == n_chunks:
-                return index
-            if offset + frame.size > size:
-                raise TraceFormatError("truncated chunk prefix")
-            handle.seek(offset)
-            if version >= VERSION_CRC:
-                n_records, payload_bytes, crc = frame.unpack(
-                    handle.read(frame.size)
-                )
-            else:
-                n_records, payload_bytes = frame.unpack(handle.read(frame.size))
-                crc = None
-            offset += frame.size
-            if offset + payload_bytes > size:
-                raise TraceFormatError(
-                    f"truncated chunk payload at offset {offset}: need "
-                    f"{payload_bytes} bytes, have {size - offset}"
-                )
-            index.append((offset, n_records, payload_bytes, crc))
-            offset += payload_bytes
-
-    @property
-    def n_records(self) -> int:
-        return self._n_records
-
-    @property
-    def path(self) -> typing.Optional[str]:
-        """The backing file path, or ``None`` for blob-backed sources —
-        what a shard worker needs to reopen the same trace."""
-        return self._path
-
-    @property
-    def blob(self) -> typing.Optional[bytes]:
-        """The backing bytes for blob-backed sources, else ``None``."""
-        return self._blob
-
-    @property
-    def n_chunks(self) -> int:
-        if self._salvaged is not None:
-            return len(self._salvaged)
-        if self._fallback is not None:
-            return sum(1 for __ in self._fallback.iter_chunks())
-        return len(self._index)
-
-    def chunk_record_counts(self) -> typing.List[int]:
-        """Per-chunk record counts, from the frame index when the file
-        has one (no payload decode) — the shard planner's fallback
-        weights when a file carries no zone maps."""
-        if self._salvaged is not None:
-            return [len(chunk) for chunk in self._salvaged]
-        if self._fallback is not None:
-            return [len(chunk) for chunk in self._fallback.iter_chunks()]
-        return [n for __, n, __, __ in self._index]
-
-    def iter_chunk_range(
-        self,
-        lo: int,
-        hi: int,
-        keep: typing.Optional[typing.Sequence[bool]] = None,
-    ) -> typing.Iterator[ColumnChunk]:
-        """Decode chunks ``lo <= i < hi``, seeking directly to the
-        range's first payload; ``keep`` (indexed relative to ``lo``)
-        additionally skips chunks inside the range without reading
-        their payloads.  The chunk-range path workers shard on."""
-        if self._salvaged is not None or self._fallback is not None:
-            chunks: typing.Iterable[ColumnChunk] = (
-                self._salvaged
-                if self._salvaged is not None
-                else self._fallback.iter_chunks()
-            )
-            for i, chunk in enumerate(list(chunks)[lo:hi]):
-                if keep is not None and i < len(keep) and not keep[i]:
-                    continue
-                yield chunk
-            return
-        handle = self._open()
-        try:
-            for i, (offset, n_records, payload_bytes, crc) in enumerate(
-                self._index[lo:hi]
-            ):
-                if keep is not None and i < len(keep) and not keep[i]:
-                    continue
-                handle.seek(offset)
-                payload = handle.read(payload_bytes)
-                if len(payload) != payload_bytes:
-                    raise TraceFormatError(
-                        f"truncated chunk payload at offset {offset}"
-                    )
-                if crc is not None:
-                    _check_chunk_crc(crc, n_records, payload, offset)
-                yield _decode_chunk(payload, 0, n_records, payload_bytes)
-        finally:
-            self._release(handle)
-
-    def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
-        return self.iter_chunk_range(0, self.n_chunks)
-
-    def iter_chunks_selected(
-        self, keep: typing.Sequence[bool]
-    ) -> typing.Iterator[ColumnChunk]:
-        """Decode only the selected chunks, *seeking past* the payload
-        bytes of excluded ones — the I/O half of zone-map pruning."""
-        return self.iter_chunk_range(0, self.n_chunks, keep)
-
-    def range_view(self, lo: int, hi: int) -> "ChunkRangeView":
-        """A shard of this file: the chunks ``lo <= i < hi`` as their
-        own :class:`~repro.pdt.store.EventSource`."""
-        return ChunkRangeView(self, lo, hi)
-
-    def zone_maps(self, correlator=None):
-        """The stored per-chunk zone maps (v4 trailer or attached
-        sidecar), or ``None``; ``correlator`` is ignored — stored zones
-        were computed with the same fits at write time."""
-        return self._zones
-
-    def attach_sidecar(self) -> bool:
-        """Load a ``<trace>.pdtx`` sidecar index if one matches.
-
-        Only path-backed, strictly-read chunked files can attach one
-        (a salvaged read must not prune).  The sidecar is ignored —
-        returning ``False`` — unless it parses, its CRC verifies, and
-        its chunk/record totals match this file exactly.  Returns
-        ``True`` when zone maps are available afterwards.
-        """
-        if self._zones is not None:
-            return True
-        if (
-            self._path is None
-            or self._salvaged is not None
-            or self._fallback is not None
-        ):
-            return False
-        loaded = read_sidecar(self._path)
-        if loaded is None:
-            return False
-        zones, total = loaded
-        if total != self._n_records or len(zones) != len(self._index):
-            return False
-        self._zones = zones
-        return True
-
-    def scan_sync(self):
-        """Prefix-only sync collection: one pass that never decodes
-        payloads except the single value of each sync record."""
-        if self._salvaged is not None:
-            return EventSource.scan_sync(self)
-        if self._fallback is not None:
-            return self._fallback.scan_sync()
-        sync_code = ev.code_for_kind(ev.SIDE_SPE, ev.KIND_SYNC).code
-        spe_ids: typing.Set[int] = set()
-        syncs: typing.Dict[int, typing.List[typing.Tuple[int, int]]] = {}
-        handle = self._open()
-        try:
-            for offset, n_records, payload_bytes, crc in self._index:
-                handle.seek(offset)
-                payload = handle.read(payload_bytes)
-                if crc is not None:
-                    _check_chunk_crc(crc, n_records, payload, offset)
-                try:
-                    for side, code, core, __seq, raw_ts, val_off in iter_prefixes(
-                        payload, 0, n_records
-                    ):
-                        if side != ev.SIDE_SPE:
-                            continue
-                        spe_ids.add(core)
-                        if code == sync_code:
-                            (tb_raw,) = _VALUE.unpack_from(payload, val_off)
-                            syncs.setdefault(core, []).append((raw_ts, tb_raw))
-                except (ValueError, KeyError) as exc:
-                    raise TraceFormatError(
-                        f"corrupt trace payload: {exc}"
-                    ) from exc
-        finally:
-            self._release(handle)
-        return spe_ids, syncs
-
-
-class ChunkRangeView(EventSource):
-    """One shard of a :class:`TraceFileSource`: the half-open chunk
-    range ``[lo, hi)`` served as its own :class:`EventSource`.
-
-    The view seeks straight to its range (excluded payloads are never
-    read), slices the base's zone maps so pruning inside the shard
-    matches what a serial scan would have decided for the same chunks,
-    and — deliberately — delegates :meth:`scan_sync` to the *whole*
-    base file: clock correlation must always be fitted on the shared
-    unpruned prefix, or a record's placed time would depend on which
-    shard served it.
-    """
-
-    def __init__(self, base: TraceFileSource, lo: int, hi: int):
-        total = base.n_chunks
-        self.base = base
-        self.lo = max(0, min(lo, total))
-        self.hi = max(self.lo, min(hi, total))
-        self.header = base.header
-        self.salvage = base.salvage
-        self._counts: typing.Optional[typing.List[int]] = None
-
-    @property
-    def n_chunks(self) -> int:
-        return self.hi - self.lo
-
-    def chunk_record_counts(self) -> typing.List[int]:
-        if self._counts is None:
-            self._counts = self.base.chunk_record_counts()[self.lo : self.hi]
-        return self._counts
-
-    @property
-    def n_records(self) -> int:
-        return sum(self.chunk_record_counts())
-
-    def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
-        return self.base.iter_chunk_range(self.lo, self.hi)
-
-    def iter_chunks_selected(
-        self, keep: typing.Sequence[bool]
-    ) -> typing.Iterator[ColumnChunk]:
-        return self.base.iter_chunk_range(self.lo, self.hi, keep)
-
-    def zone_maps(self, correlator=None):
-        zones = self.base.zone_maps(correlator)
-        if zones is None:
-            return None
-        return zones[self.lo : self.hi]
-
-    def scan_sync(self):
-        return self.base.scan_sync()
-
-    def close(self) -> None:
-        self.base.close()
-
-    def __enter__(self) -> "ChunkRangeView":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
+        super().__init__(
+            TraceHandle(path_or_file, strict=strict), owns_handle=True
+        )
 
 
 def open_trace(

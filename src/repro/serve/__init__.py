@@ -1,0 +1,58 @@
+"""repro.serve: the trace-analysis daemon.
+
+A long-lived process that keeps traces *open* — parsed headers, zone
+maps, clock fits, bounded descriptor pools — in a
+:class:`TraceCatalog`, and answers :class:`repro.tq.Query`-shaped
+requests over a JSON-line socket protocol.  Clients pay the open/index
+cost once per registration instead of once per query; decoded chunks
+and canonical results are cached under one configurable memory budget.
+
+The serving contract is differential: a served response is
+byte-identical to the canonical encoding of the same query executed
+serially against the library, whether it came from a fresh execution,
+the result cache, or a sharded :mod:`repro.par` fan-out.
+
+Entry points:
+
+* :class:`TraceServer` / :class:`ServerConfig` — the daemon itself
+  (embed with ``start()``, or run the ``pdt-serve`` CLI).
+* :class:`TraceCatalog` — register/list/acquire/evict open traces.
+* :class:`ServeClient` — a small blocking client for the protocol.
+"""
+
+from repro.serve.cache import CacheStats, ChunkCache, LruCache, chunk_nbytes
+from repro.serve.catalog import (
+    DEFAULT_MEMORY_BUDGET,
+    CatalogError,
+    TraceCatalog,
+)
+from repro.serve.protocol import (
+    ProtocolError,
+    ServeClient,
+    canonical_json,
+    plan_key,
+)
+from repro.serve.server import (
+    DEFAULT_MAX_CONCURRENT,
+    AdmissionController,
+    ServerConfig,
+    TraceServer,
+)
+
+__all__ = [
+    "AdmissionController",
+    "CacheStats",
+    "CatalogError",
+    "ChunkCache",
+    "DEFAULT_MAX_CONCURRENT",
+    "DEFAULT_MEMORY_BUDGET",
+    "LruCache",
+    "ProtocolError",
+    "ServeClient",
+    "ServerConfig",
+    "TraceCatalog",
+    "TraceServer",
+    "canonical_json",
+    "chunk_nbytes",
+    "plan_key",
+]

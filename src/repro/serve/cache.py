@@ -1,0 +1,177 @@
+"""Byte-budget LRU caches for the serving layer.
+
+Two cache populations sit behind a :class:`~repro.serve.catalog.TraceCatalog`:
+
+* **decoded chunks** — :class:`ColumnChunk` objects keyed by
+  ``(trace, generation, chunk_index)``.  Decoding dominates warm query
+  latency, so a catalog that keeps hot chunks decoded answers repeat
+  queries without touching the codec (or, for pruned chunks, the disk).
+* **results** — the canonical JSON encoding of a finished query,
+  keyed by trace identity + frozen query shape
+  (:func:`~repro.serve.protocol.plan_key`).  A hit returns the exact
+  bytes the first execution produced, so cached and uncached responses
+  are byte-identical by construction.
+
+Both live in :class:`LruCache`: a thread-safe, least-recently-used
+mapping bounded by a *byte* budget rather than an entry count — the
+catalog's memory ceiling is what operators configure, and entries
+(chunks especially) vary wildly in size.  Inserting past the budget
+evicts from the cold end until the new entry fits; an entry larger
+than the whole budget is simply not cached.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import threading
+import typing
+
+from repro.pdt.store import ColumnChunk
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters one cache exposes (snapshot; see :meth:`LruCache.stats`)."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected: int = 0  # entries larger than the whole budget
+    current_bytes: int = 0
+    budget_bytes: int = 0
+    entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LruCache:
+    """A thread-safe LRU mapping bounded by total byte size.
+
+    ``put`` evicts least-recently-used entries until the new one fits
+    its byte budget; ``get`` refreshes recency.  Keys are arbitrary
+    hashables — the serving layer namespaces them with tuples like
+    ``("chunk", name, generation, index)`` so one cache can hold many
+    traces and :meth:`invalidate` can drop one trace's entries when the
+    catalog evicts it.
+    """
+
+    def __init__(self, budget_bytes: int):
+        if budget_bytes < 0:
+            raise ValueError(f"budget must be >= 0, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self._lock = threading.Lock()
+        self._entries: "collections.OrderedDict[typing.Any, typing.Tuple[typing.Any, int]]" = (
+            collections.OrderedDict()
+        )
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
+        self._rejected = 0
+
+    def get(self, key: typing.Any) -> typing.Optional[typing.Any]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def put(self, key: typing.Any, value: typing.Any, nbytes: int) -> bool:
+        """Insert (or refresh) ``key``; returns False when the entry is
+        larger than the whole budget and was not cached."""
+        if nbytes > self.budget_bytes:
+            with self._lock:
+                self._rejected += 1
+            return False
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            while self._entries and self._bytes + nbytes > self.budget_bytes:
+                __, (___, evicted_bytes) = self._entries.popitem(last=False)
+                self._bytes -= evicted_bytes
+                self._evictions += 1
+            self._entries[key] = (value, nbytes)
+            self._bytes += nbytes
+            self._insertions += 1
+            return True
+
+    def invalidate(
+        self, match: typing.Callable[[typing.Any], bool]
+    ) -> int:
+        """Drop every entry whose key satisfies ``match``; returns the
+        number dropped."""
+        with self._lock:
+            doomed = [key for key in self._entries if match(key)]
+            for key in doomed:
+                __, nbytes = self._entries.pop(key)
+                self._bytes -= nbytes
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    @property
+    def current_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                insertions=self._insertions,
+                evictions=self._evictions,
+                rejected=self._rejected,
+                current_bytes=self._bytes,
+                budget_bytes=self.budget_bytes,
+                entries=len(self._entries),
+            )
+
+
+def chunk_nbytes(chunk: ColumnChunk) -> int:
+    """The decoded size of one chunk: the sum of its column buffers."""
+    total = 0
+    for name in ColumnChunk.__slots__:
+        column = getattr(chunk, name)
+        total += column.itemsize * len(column)
+    return total
+
+
+class ChunkCache:
+    """One trace's window onto the shared chunk :class:`LruCache`.
+
+    Implements the ``get(i)`` / ``put(i, chunk)`` protocol
+    :meth:`repro.pdt.handle.TraceHandle.iter_chunk_range` consults, so
+    a handle view created with ``source(chunk_cache=...)`` transparently
+    reads hot chunks from the catalog's budgeted cache and feeds cold
+    decodes back into it.
+    """
+
+    def __init__(self, shared: LruCache, trace_key: typing.Any):
+        self._shared = shared
+        self._trace_key = trace_key
+
+    def get(self, index: int) -> typing.Optional[ColumnChunk]:
+        return self._shared.get(("chunk", self._trace_key, index))
+
+    def put(self, index: int, chunk: ColumnChunk) -> None:
+        self._shared.put(
+            ("chunk", self._trace_key, index), chunk, chunk_nbytes(chunk)
+        )

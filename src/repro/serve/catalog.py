@@ -1,0 +1,278 @@
+"""TraceCatalog: many open traces behind one memory budget.
+
+The catalog is the serving daemon's registry of
+:class:`~repro.pdt.handle.TraceHandle` objects.  Registering a trace
+opens it once (header parse, index load — failures surface at
+registration, not mid-query); every query then borrows the shared
+handle through :meth:`TraceCatalog.acquire`, which also hands back the
+trace's window onto the catalog-wide decoded-chunk cache.
+
+**Ownership and eviction.**  Acquire/release is refcounted.  Evicting
+a trace that has queries in flight does not yank descriptors out from
+under them: the entry is marked *evicting*, disappears from
+:meth:`list_traces` and new :meth:`acquire` calls immediately, and the
+handle is actually closed by whichever release drops the refcount to
+zero.  Cache entries die with the entry's *generation*, so a name
+re-registered later can never hit a stale chunk or result.
+
+**Memory budget.**  One configurable byte budget covers both cache
+populations — decoded chunks (3/4) and canonical query results (1/4).
+Handles themselves hold only parsed metadata (header, frame offsets,
+zone maps, clock fits), a few KB per trace; bulk memory lives in the
+caches, which is what the budget bounds.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import typing
+
+from repro.pdt.handle import DEFAULT_POOL_CAP, TraceHandle, open_handle
+from repro.serve.cache import CacheStats, ChunkCache, LruCache
+
+#: Default catalog budget: 256 MiB across chunk + result caches.
+DEFAULT_MEMORY_BUDGET = 256 * 1024 * 1024
+
+#: Fraction of the budget given to decoded chunks (rest: results).
+_CHUNK_SHARE = 0.75
+
+
+class CatalogError(ValueError):
+    """A catalog operation that cannot proceed (unknown name, duplicate
+    registration, closed catalog).  Message is client-safe."""
+
+
+class _Entry:
+    __slots__ = (
+        "name", "path", "strict", "handle", "generation", "refs", "evicting",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        path: str,
+        strict: bool,
+        handle: TraceHandle,
+        generation: int,
+    ):
+        self.name = name
+        self.path = path
+        self.strict = strict
+        self.handle = handle
+        self.generation = generation
+        self.refs = 0
+        self.evicting = False
+
+    def info(self) -> typing.Dict[str, typing.Any]:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "strict": self.strict,
+            "records": self.handle.n_records,
+            "chunks": self.handle.n_chunks,
+            "indexed": self.handle.zone_maps() is not None,
+            "salvaged": self.handle.salvage is not None,
+            "generation": self.generation,
+        }
+
+
+class TraceCatalog:
+    """Register / list / acquire / evict many open traces, with shared
+    chunk and result caches under one byte budget."""
+
+    def __init__(
+        self,
+        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+        pool_cap: int = DEFAULT_POOL_CAP,
+    ):
+        if memory_budget < 0:
+            raise ValueError(f"budget must be >= 0, got {memory_budget}")
+        self.memory_budget = memory_budget
+        self.pool_cap = pool_cap
+        chunk_budget = int(memory_budget * _CHUNK_SHARE)
+        self.chunk_cache = LruCache(chunk_budget)
+        self.result_cache = LruCache(memory_budget - chunk_budget)
+        self._lock = threading.Lock()
+        self._entries: typing.Dict[str, _Entry] = {}
+        self._next_generation = 0
+        self._closed = False
+
+    # -- registration --------------------------------------------------
+    def register(
+        self, name: str, path: str, strict: bool = True
+    ) -> typing.Dict[str, typing.Any]:
+        """Open ``path`` under ``name``; returns the trace's info row.
+
+        Opening is eager so a bad path or corrupt file fails the
+        *registration*, with a clean catalog afterwards — never a later
+        query.  Raises :class:`CatalogError` on a duplicate name and
+        lets :class:`~repro.pdt.format.TraceFormatError` / ``OSError``
+        from the open propagate.
+        """
+        with self._lock:
+            self._check_open()
+            if name in self._entries:
+                raise CatalogError(f"trace already registered: {name}")
+            generation = self._next_generation
+            self._next_generation += 1
+        handle = open_handle(path, strict=strict, pool_cap=self.pool_cap)
+        entry = _Entry(name, path, strict, handle, generation)
+        with self._lock:
+            if self._closed or name in self._entries:
+                # Lost a race while the file was opening; do not leak.
+                handle.close()
+                self._check_open()
+                raise CatalogError(f"trace already registered: {name}")
+            self._entries[name] = entry
+            return entry.info()
+
+    def list_traces(self) -> typing.List[typing.Dict[str, typing.Any]]:
+        """Info rows for every live (non-evicting) trace, name order."""
+        with self._lock:
+            return [
+                entry.info()
+                for name, entry in sorted(self._entries.items())
+                if not entry.evicting
+            ]
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            entry = self._entries.get(name)
+            return entry is not None and not entry.evicting
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(
+                1 for entry in self._entries.values() if not entry.evicting
+            )
+
+    # -- acquire / release ---------------------------------------------
+    @contextlib.contextmanager
+    def acquire(
+        self, name: str
+    ) -> typing.Iterator[typing.Tuple[TraceHandle, ChunkCache, typing.Tuple]]:
+        """Borrow ``name``'s handle for one query.
+
+        Yields ``(handle, chunk_cache, identity)``: the shared handle,
+        this trace's window onto the chunk cache, and the
+        ``(name, generation)`` identity to key result-cache entries by.
+        The entry cannot be evicted out from under the block — eviction
+        requested meanwhile is deferred to the last release.
+        """
+        with self._lock:
+            self._check_open()
+            entry = self._entries.get(name)
+            if entry is None or entry.evicting:
+                raise CatalogError(f"no such trace: {name}")
+            entry.refs += 1
+        identity = (entry.name, entry.generation)
+        try:
+            yield entry.handle, ChunkCache(self.chunk_cache, identity), identity
+        finally:
+            self._release(entry)
+
+    def _release(self, entry: _Entry) -> None:
+        with self._lock:
+            entry.refs -= 1
+            finalize = entry.evicting and entry.refs == 0
+            if finalize:
+                self._entries.pop(entry.name, None)
+        if finalize:
+            self._finalize_eviction(entry)
+
+    # -- eviction ------------------------------------------------------
+    def evict(self, name: str) -> typing.Dict[str, typing.Any]:
+        """Remove ``name`` from the catalog.
+
+        With no queries in flight the handle closes immediately;
+        otherwise closing is deferred to the last release (the entry is
+        already invisible to ``list``/``acquire``).  Returns
+        ``{"evicted": name, "deferred": bool}``.
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None or entry.evicting:
+                raise CatalogError(f"no such trace: {name}")
+            entry.evicting = True
+            immediate = entry.refs == 0
+            if immediate:
+                self._entries.pop(name, None)
+        if immediate:
+            self._finalize_eviction(entry)
+        return {"evicted": name, "deferred": not immediate}
+
+    def _finalize_eviction(self, entry: _Entry) -> None:
+        entry.handle.close()
+        identity = (entry.name, entry.generation)
+        self.chunk_cache.invalidate(
+            lambda key: len(key) >= 2 and key[1] == identity
+        )
+        self.result_cache.invalidate(
+            lambda key: len(key) >= 2 and key[1] == identity
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise CatalogError("catalog is closed")
+
+    def close(self) -> None:
+        """Evict everything and refuse further use.  In-flight queries
+        finish against their already-acquired handles; their entries
+        close on release."""
+        with self._lock:
+            self._closed = True
+            doomed = []
+            for name in list(self._entries):
+                entry = self._entries[name]
+                if entry.evicting:
+                    continue
+                entry.evicting = True
+                if entry.refs == 0:
+                    self._entries.pop(name, None)
+                    doomed.append(entry)
+        for entry in doomed:
+            self._finalize_eviction(entry)
+        self.chunk_cache.clear()
+        self.result_cache.clear()
+
+    def __enter__(self) -> "TraceCatalog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- accounting ----------------------------------------------------
+    def stats(self) -> typing.Dict[str, typing.Any]:
+        chunk = self.chunk_cache.stats()
+        result = self.result_cache.stats()
+        with self._lock:
+            open_fds = sum(
+                entry.handle.open_descriptors
+                for entry in self._entries.values()
+            )
+            n_traces = sum(
+                1 for entry in self._entries.values() if not entry.evicting
+            )
+        return {
+            "traces": n_traces,
+            "memory_budget": self.memory_budget,
+            "cached_bytes": chunk.current_bytes + result.current_bytes,
+            "open_descriptors": open_fds,
+            "chunk_cache": _stats_row(chunk),
+            "result_cache": _stats_row(result),
+        }
+
+
+def _stats_row(stats: CacheStats) -> typing.Dict[str, typing.Any]:
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "insertions": stats.insertions,
+        "evictions": stats.evictions,
+        "rejected": stats.rejected,
+        "current_bytes": stats.current_bytes,
+        "budget_bytes": stats.budget_bytes,
+        "entries": stats.entries,
+    }

@@ -1,0 +1,119 @@
+"""``pdt-serve``: run the trace-analysis daemon.
+
+Registers any ``--register name=path`` traces up front (failing fast
+on a bad path), prints the bound address, and serves until
+interrupted::
+
+    pdt-serve --port 7441 --register run1=traces/run1.pdt --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.pdt.format import TraceFormatError
+from repro.serve.catalog import DEFAULT_MEMORY_BUDGET, TraceCatalog
+from repro.serve.server import (
+    DEFAULT_MAX_CONCURRENT,
+    ServerConfig,
+    TraceServer,
+)
+
+
+def _registration(text: str) -> typing.Tuple[str, str]:
+    name, sep, path = text.partition("=")
+    if not sep or not name or not path:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=PATH, got {text!r}"
+        )
+    return name, path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pdt-serve",
+        description="Serve PDT trace analysis over a JSON-line socket "
+        "protocol: register traces once, query them many times through "
+        "a shared catalog of open handles and caches.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7441,
+                        help="port to bind; 0 lets the OS pick "
+                        "(default: 7441)")
+    parser.add_argument("--register", metavar="NAME=PATH",
+                        type=_registration, action="append", default=[],
+                        help="register a trace at startup (repeatable)")
+    parser.add_argument("--budget-mb", type=int, default=None,
+                        metavar="MB",
+                        help="catalog memory budget for chunk + result "
+                        "caches (default: 256)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes per sharded query "
+                        "(default: 1 = serial; results are identical)")
+    parser.add_argument("--max-clients", type=int,
+                        default=DEFAULT_MAX_CONCURRENT, metavar="N",
+                        help="queries admitted to execute concurrently; "
+                        "the rest queue (default: "
+                        f"{DEFAULT_MAX_CONCURRENT})")
+    return parser
+
+
+def main(argv: typing.Optional[typing.List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print(f"pdt-serve: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    if args.max_clients < 1:
+        print(
+            f"pdt-serve: --max-clients must be >= 1, got {args.max_clients}",
+            file=sys.stderr,
+        )
+        return 2
+    budget = (
+        args.budget_mb * 1024 * 1024
+        if args.budget_mb is not None
+        else DEFAULT_MEMORY_BUDGET
+    )
+    catalog = TraceCatalog(memory_budget=budget)
+    try:
+        for name, path in args.register:
+            info = catalog.register(name, path)
+            print(
+                f"registered {name}: {info['records']} records in "
+                f"{info['chunks']} chunks"
+                + (" (indexed)" if info["indexed"] else "")
+            )
+    except (TraceFormatError, OSError, ValueError) as exc:
+        print(f"pdt-serve: {exc}", file=sys.stderr)
+        catalog.close()
+        return 2
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        max_concurrent=args.max_clients,
+    )
+    try:
+        server = TraceServer(catalog, config)
+    except OSError as exc:
+        print(f"pdt-serve: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        catalog.close()
+        return 2
+    host, port = server.address
+    print(f"serving on {host}:{port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

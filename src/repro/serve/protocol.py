@@ -1,0 +1,257 @@
+"""The ``repro.serve`` wire protocol: JSON lines that map 1:1 onto
+:class:`repro.tq.Query`.
+
+One request per line, one response per line, both JSON objects in
+**canonical encoding** — ``sort_keys=True`` and compact separators —
+so a response is a deterministic function of its payload.  That is
+what makes the serving layer's headline guarantee checkable: the
+canonical encoding of a served result must equal the canonical
+encoding of the same query executed directly against the library, byte
+for byte, whether the response came from a fresh execution or the
+result cache.
+
+Requests::
+
+    {"op": "ping", "id": 1}
+    {"op": "register", "id": 2, "name": "run1", "path": "/traces/run1.pdt"}
+    {"op": "list", "id": 3}
+    {"op": "evict", "id": 4, "trace": "run1"}
+    {"op": "stats", "id": 5}
+    {"op": "query", "id": 6, "trace": "run1",
+     "mode": "run",                      # "run" | "records" | "count"
+     "where": {"t0": 0, "t1": 50000, "spe": 1, "side": 1,
+               "event": "mfc_get"},     # every clause optional
+     "where_fields": [{"name": "size", "lo": 4096}],
+     "groupby": ["spe", "kind"], "time_bucket": 1000,
+     "agg": {"n": "count", "bytes": ["sum", "size"]},
+     "project": ["time", "side", "core", "kind", "seq"]}
+
+Responses::
+
+    {"id": 6, "ok": true, "result": ...}
+    {"id": 6, "ok": false, "error": "no such trace: run1"}
+
+``result`` is query rows (list of objects) for ``run``, projected
+tuples (list of arrays) for ``records``, and an integer for ``count``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import typing
+
+from repro.tq.pipeline import Query, QueryPlan
+
+#: Query modes the protocol exposes, mapping onto Query terminals.
+QUERY_MODES = ("run", "records", "count")
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be served: malformed JSON, unknown op,
+    bad query shape.  The message is safe to return to the client."""
+
+
+def canonical_json(payload: typing.Any) -> str:
+    """The one true encoding: key-sorted, compact, ASCII-safe.
+
+    Byte-identical for equal payloads — the serving layer caches and
+    compares these strings directly.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def plan_key(plan: QueryPlan) -> typing.Tuple:
+    """A hashable, order-canonical key for a frozen
+    :class:`~repro.tq.pipeline.QueryPlan`.
+
+    Two plans that select the same records get the same key even when
+    their frozen sets were built in different orders — set iteration
+    order must never decide a cache hit.
+    """
+    predicate = plan.predicate
+    return (
+        predicate.t_min,
+        predicate.t_max,
+        predicate.side,
+        tuple(sorted(predicate.spes)) if predicate.spes is not None else None,
+        tuple(sorted(predicate.events))
+        if predicate.events is not None
+        else None,
+        predicate.fields,
+        plan.projection,
+        plan.group_keys,
+        plan.time_bucket,
+        plan.aggs,
+    )
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProtocolError(message)
+
+
+def build_query(source: typing.Any, spec: typing.Mapping) -> Query:
+    """A :class:`~repro.tq.Query` over ``source`` from a request's
+    query clauses.  Raises :class:`ProtocolError` on a malformed spec;
+    clause-level validation errors (unknown group key, bad agg op)
+    surface as the pipeline's own ``ValueError``."""
+    query = Query(source)
+    where = spec.get("where") or {}
+    _require(isinstance(where, dict), '"where" must be an object')
+    unknown = set(where) - {"t0", "t1", "spe", "side", "event"}
+    _require(not unknown, f"unknown where clause(s): {sorted(unknown)}")
+    if where:
+        query = query.where(
+            t0=where.get("t0"),
+            t1=where.get("t1"),
+            spe=where.get("spe"),
+            side=where.get("side"),
+            event=where.get("event"),
+        )
+    for clause in spec.get("where_fields") or []:
+        _require(
+            isinstance(clause, dict) and "name" in clause,
+            '"where_fields" entries must be objects with a "name"',
+        )
+        query = query.where_field(
+            clause["name"],
+            lo=clause.get("lo"),
+            hi=clause.get("hi"),
+            eq=clause.get("eq"),
+        )
+    groupby = spec.get("groupby")
+    if groupby:
+        _require(
+            isinstance(groupby, list),
+            '"groupby" must be an array of key names',
+        )
+        query = query.groupby(*groupby, time_bucket=spec.get("time_bucket"))
+    agg = spec.get("agg")
+    if agg:
+        _require(isinstance(agg, dict), '"agg" must be an object')
+        reductions = {}
+        for name, shape in agg.items():
+            reductions[name] = (
+                shape if shape == "count" else tuple(shape)
+            )
+        query = query.agg(**reductions)
+    project = spec.get("project")
+    if project:
+        _require(
+            isinstance(project, list),
+            '"project" must be an array of column names',
+        )
+        query = query.project(*project)
+    return query
+
+
+def query_mode(spec: typing.Mapping) -> str:
+    mode = spec.get("mode", "run")
+    _require(
+        mode in QUERY_MODES,
+        f"unknown query mode {mode!r}; choose from {', '.join(QUERY_MODES)}",
+    )
+    return mode
+
+
+def decode_request(line: str) -> typing.Dict[str, typing.Any]:
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON: {exc}") from exc
+    _require(isinstance(request, dict), "request must be a JSON object")
+    _require("op" in request, 'request needs an "op"')
+    return request
+
+
+def ok_response(request_id: typing.Any, result: typing.Any) -> str:
+    return canonical_json({"id": request_id, "ok": True, "result": result})
+
+
+def error_response(request_id: typing.Any, message: str) -> str:
+    return canonical_json({"id": request_id, "ok": False, "error": message})
+
+
+class ServeClient:
+    """A small blocking client for the JSON-line protocol — what the
+    tests, the smoke tool, and :mod:`examples` talk through.
+
+    Not thread-safe; open one client per thread (the server is
+    threaded, a connection per client is the intended shape).
+    """
+
+    def __init__(
+        self,
+        address: typing.Tuple[str, int],
+        timeout: typing.Optional[float] = 30.0,
+    ):
+        self._sock = socket.create_connection(address, timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8", newline="\n")
+        self._writer = self._sock.makefile("w", encoding="utf-8", newline="\n")
+        self._next_id = 0
+
+    def request_raw(self, request: typing.Mapping) -> str:
+        """Send one request, return the raw response line (no trailing
+        newline) — the byte-identity tests compare these directly."""
+        return self.request_line(canonical_json(dict(request)))
+
+    def request_line(self, line: str) -> str:
+        """Send one verbatim line (malformed on purpose, perhaps) and
+        return the raw response line."""
+        self._writer.write(line + "\n")
+        self._writer.flush()
+        response = self._reader.readline()
+        if not response:
+            raise ConnectionError("server closed the connection")
+        return response.rstrip("\n")
+
+    def request(self, request: typing.Mapping) -> typing.Any:
+        """Send one request; return its ``result`` or raise
+        :class:`ProtocolError` with the server's error message."""
+        payload = dict(request)
+        payload.setdefault("id", self._take_id())
+        response = json.loads(self.request_raw(payload))
+        if not response.get("ok"):
+            raise ProtocolError(response.get("error", "unknown server error"))
+        return response["result"]
+
+    def _take_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # -- convenience ops ----------------------------------------------
+    def ping(self) -> str:
+        return self.request({"op": "ping"})
+
+    def register(self, name: str, path: str, strict: bool = True):
+        return self.request(
+            {"op": "register", "name": name, "path": path, "strict": strict}
+        )
+
+    def list_traces(self):
+        return self.request({"op": "list"})
+
+    def evict(self, name: str):
+        return self.request({"op": "evict", "trace": name})
+
+    def stats(self):
+        return self.request({"op": "stats"})
+
+    def query(self, trace: str, **spec) -> typing.Any:
+        return self.request({"op": "query", "trace": trace, **spec})
+
+    def close(self) -> None:
+        for closer in (self._reader, self._writer, self._sock):
+            try:
+                closer.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,311 @@
+"""The ``repro.serve`` daemon: a threaded JSON-line server over a
+:class:`~repro.serve.catalog.TraceCatalog`.
+
+One thread per connection (``socketserver.ThreadingTCPServer``), one
+request per line, responses in canonical JSON.  The execution path for
+``op: query`` is:
+
+1. **admission control** — a counting semaphore bounds how many query
+   executions run at once; clients beyond the bound queue in arrival
+   order rather than oversubscribing the machine.  Sharded executions
+   (server ``jobs > 1``) additionally serialize on one lock, so every
+   concurrent client funnels into a *single* shared
+   :mod:`repro.par` worker fan-out instead of each spawning its own
+   process pool.
+2. **catalog acquire** — refcounted borrow of the shared
+   :class:`~repro.pdt.handle.TraceHandle` (eviction defers to release).
+3. **result cache** — keyed by trace identity (name + generation),
+   query mode, and the order-canonical
+   :func:`~repro.serve.protocol.plan_key` of the frozen
+   :class:`~repro.tq.pipeline.QueryPlan`.  A hit returns the exact
+   canonical-JSON bytes the first execution produced.
+4. **execution** — an ordinary :class:`~repro.tq.Query` over a
+   ``handle.source(chunk_cache=...)`` view: zone-map pruning, shared
+   clock fit, decoded chunks served from (and fed back into) the
+   catalog's budgeted cache.
+
+Every response for the same query is byte-identical to direct serial
+library execution — the differential harness drives exactly this
+comparison from many concurrent clients.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socketserver
+import threading
+import typing
+
+from repro.pdt.correlate import CorrelationError
+from repro.pdt.format import TraceFormatError
+from repro.serve.catalog import CatalogError, TraceCatalog
+from repro.serve.protocol import (
+    ProtocolError,
+    build_query,
+    canonical_json,
+    decode_request,
+    error_response,
+    ok_response,
+    plan_key,
+    query_mode,
+)
+
+#: Default cap on concurrently *executing* queries.
+DEFAULT_MAX_CONCURRENT = 4
+
+
+class AdmissionController:
+    """A counting semaphore with accounting: at most ``limit`` query
+    executions at once, arrivals beyond it queue (FIFO within the
+    semaphore's fairness).  ``peak_active`` and ``peak_queued`` make
+    the funneling observable in ``op: stats``."""
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError(f"admission limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._semaphore = threading.Semaphore(limit)
+        self._lock = threading.Lock()
+        self._active = 0
+        self._queued = 0
+        self._admitted = 0
+        self.peak_active = 0
+        self.peak_queued = 0
+
+    def __enter__(self) -> "AdmissionController":
+        with self._lock:
+            self._queued += 1
+            self.peak_queued = max(self.peak_queued, self._queued)
+        self._semaphore.acquire()
+        with self._lock:
+            self._queued -= 1
+            self._active += 1
+            self._admitted += 1
+            self.peak_active = max(self.peak_active, self._active)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        with self._lock:
+            self._active -= 1
+        self._semaphore.release()
+
+    def stats(self) -> typing.Dict[str, int]:
+        with self._lock:
+            return {
+                "limit": self.limit,
+                "active": self._active,
+                "queued": self._queued,
+                "admitted": self._admitted,
+                "peak_active": self.peak_active,
+                "peak_queued": self.peak_queued,
+            }
+
+
+@dataclasses.dataclass
+class ServerConfig:
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: let the OS pick (tests)
+    jobs: int = 1  # worker processes per sharded query execution
+    max_concurrent: int = DEFAULT_MAX_CONCURRENT
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server = typing.cast("_InnerServer", self.server)
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            response = server.trace_server.dispatch_line(line)
+            try:
+                self.wfile.write(response.encode("utf-8") + b"\n")
+            except (BrokenPipeError, ConnectionResetError):
+                return
+
+
+class _InnerServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    trace_server: "TraceServer"
+
+
+class TraceServer:
+    """The daemon: owns the catalog, the admission controller, and the
+    listening socket.  ``start()`` serves in a daemon thread (tests and
+    embedding); ``serve_forever()`` serves in the calling thread (the
+    CLI).  Closing the server closes the catalog."""
+
+    def __init__(
+        self,
+        catalog: typing.Optional[TraceCatalog] = None,
+        config: typing.Optional[ServerConfig] = None,
+    ):
+        self.config = config or ServerConfig()
+        self.catalog = catalog if catalog is not None else TraceCatalog()
+        self.admission = AdmissionController(self.config.max_concurrent)
+        #: Serializes sharded (multi-process) executions: one shared
+        #: repro.par fan-out at a time, however many clients are active.
+        self._par_lock = threading.Lock()
+        self._inner = _InnerServer(
+            (self.config.host, self.config.port), _RequestHandler
+        )
+        self._inner.trace_server = self
+        self._thread: typing.Optional[threading.Thread] = None
+        self._requests_served = 0
+        self._stats_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def address(self) -> typing.Tuple[str, int]:
+        """The bound (host, port) — with ``port=0``, the real port."""
+        return self._inner.server_address[:2]
+
+    def start(self) -> "TraceServer":
+        """Serve in a background daemon thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._inner.serve_forever,
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._inner.serve_forever()
+
+    def stop(self) -> None:
+        """Stop accepting, close the socket and the catalog."""
+        self._inner.shutdown()
+        self._inner.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.catalog.close()
+
+    def __enter__(self) -> "TraceServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- dispatch ------------------------------------------------------
+    def dispatch_line(self, line: str) -> str:
+        """One request line in, one canonical response line out.
+        Never raises: every failure becomes an error response."""
+        request_id: typing.Any = None
+        try:
+            request = decode_request(line)
+            request_id = request.get("id")
+            result = self._dispatch(request)
+            if isinstance(result, _CannedResult):
+                # Splice the already-canonical result bytes verbatim:
+                # "result" sorts after "id"/"ok", so the envelope stays
+                # in canonical key order.
+                envelope = canonical_json({"id": request_id, "ok": True})
+                response = envelope[:-1] + ',"result":' + result.encoded + "}"
+            else:
+                response = ok_response(request_id, result)
+        except (
+            ProtocolError,
+            CatalogError,
+            TraceFormatError,
+            CorrelationError,
+            ValueError,
+            OSError,
+        ) as exc:
+            response = error_response(request_id, str(exc))
+        with self._stats_lock:
+            self._requests_served += 1
+        return response
+
+    def _dispatch(self, request: typing.Mapping) -> typing.Any:
+        op = request["op"]
+        if op == "ping":
+            return "pong"
+        if op == "register":
+            for field in ("name", "path"):
+                if not isinstance(request.get(field), str):
+                    raise ProtocolError(f'register needs a string "{field}"')
+            return self.catalog.register(
+                request["name"],
+                request["path"],
+                strict=bool(request.get("strict", True)),
+            )
+        if op == "list":
+            return self.catalog.list_traces()
+        if op == "evict":
+            if not isinstance(request.get("trace"), str):
+                raise ProtocolError('evict needs a string "trace"')
+            return self.catalog.evict(request["trace"])
+        if op == "stats":
+            return self.server_stats()
+        if op == "query":
+            return self._execute_query(request)
+        raise ProtocolError(f"unknown op {op!r}")
+
+    # -- queries -------------------------------------------------------
+    def _execute_query(self, request: typing.Mapping) -> typing.Any:
+        name = request.get("trace")
+        if not isinstance(name, str):
+            raise ProtocolError('query needs a string "trace"')
+        mode = query_mode(request)
+        with self.admission:
+            with self.catalog.acquire(name) as (handle, chunk_cache, identity):
+                # The plan is derived source-free first, so a cache hit
+                # never touches the trace at all.
+                shape = build_query(None, request).plan()
+                cache_key = ("result", identity, mode, plan_key(shape))
+                cached = self.catalog.result_cache.get(cache_key)
+                if cached is not None:
+                    return _CannedResult(cached)
+                source = handle.source(chunk_cache=chunk_cache)
+                query = build_query(source, request)
+                result = self._run(query, mode)
+                encoded = canonical_json(result)
+                self.catalog.result_cache.put(
+                    cache_key, encoded, len(encoded.encode("utf-8"))
+                )
+                return _CannedResult(encoded)
+
+    def _run(self, query, mode: str) -> typing.Any:
+        jobs = self.config.jobs
+        if jobs > 1:
+            from repro.par import parallel_count, parallel_records, parallel_rows
+
+            # One shared par fan-out at a time: concurrent clients
+            # funnel here instead of each spawning a process pool.
+            with self._par_lock:
+                if mode == "run":
+                    return parallel_rows(query, jobs)
+                if mode == "records":
+                    return [list(row) for row in parallel_records(query, jobs)]
+                return parallel_count(query, jobs)
+        if mode == "run":
+            return query.run()
+        if mode == "records":
+            return [list(row) for row in query.records()]
+        return query.count()
+
+    # -- accounting ----------------------------------------------------
+    def server_stats(self) -> typing.Dict[str, typing.Any]:
+        with self._stats_lock:
+            served = self._requests_served
+        return {
+            "address": list(self.address),
+            "jobs": self.config.jobs,
+            "requests_served": served,
+            "admission": self.admission.stats(),
+            "catalog": self.catalog.stats(),
+        }
+
+
+class _CannedResult:
+    """A result already in canonical JSON: splice verbatim rather than
+    re-encoding, so cached and fresh responses are byte-identical."""
+
+    __slots__ = ("encoded",)
+
+    def __init__(self, encoded: str):
+        self.encoded = encoded

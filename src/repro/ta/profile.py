@@ -16,10 +16,11 @@ import dataclasses
 import typing
 
 from repro.pdt.events import SIDE_PPE, spec_for_code
+from repro.pdt.handle import TraceHandle
 from repro.pdt.store import EventSource
 from repro.pdt.trace import Trace
 
-TraceLike = typing.Union[Trace, EventSource]
+TraceLike = typing.Union[Trace, EventSource, TraceHandle]
 
 
 @dataclasses.dataclass
@@ -39,7 +40,12 @@ def _count_events(trace: TraceLike, jobs: int = 1) -> typing.Dict[
     holds the software thread id, not a processor).  With ``jobs > 1``
     a file-backed source tallies its chunk ranges in worker processes
     and merges the (order-independent) counts — identical totals."""
-    source = trace.as_source() if isinstance(trace, Trace) else trace
+    if isinstance(trace, Trace):
+        source = trace.as_source()
+    elif isinstance(trace, TraceHandle):
+        source = trace.source()
+    else:
+        source = trace
     if jobs > 1:
         from repro.par import parallel_event_counts
 

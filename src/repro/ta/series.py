@@ -15,7 +15,8 @@ Two families share the bucketing:
 * the model-based functions below take a reconstructed
   :class:`TimelineModel` (interval math: in-flight counts, run states);
 * the ``source_*`` functions take a raw
-  :class:`~repro.pdt.store.EventSource` and answer through the
+  :class:`~repro.pdt.store.EventSource` — or a shared
+  :class:`~repro.pdt.handle.TraceHandle` — and answer through the
   :class:`repro.tq.Query` pipeline — the filter is pushed down into
   the source's zone maps, so bucketing one SPE's DMA issues over a
   narrow window never scans (or even reads) the rest of the trace.

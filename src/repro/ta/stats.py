@@ -112,10 +112,14 @@ class TraceStatistics:
 
     @classmethod
     def from_source(cls, source) -> "TraceStatistics":
-        """Statistics straight from a Trace or EventSource (streams the
-        analysis; never materializes record objects)."""
+        """Statistics straight from a Trace, EventSource, or shared
+        :class:`~repro.pdt.handle.TraceHandle` (streams the analysis;
+        never materializes record objects)."""
+        from repro.pdt.handle import TraceHandle
         from repro.ta.model import analyze
 
+        if isinstance(source, TraceHandle):
+            source = source.source()
         return cls.from_model(analyze(source))
 
     # ------------------------------------------------------------------
@@ -200,6 +204,9 @@ def source_summary_rows(
     does no interval pairing, so it reports issue-side truth only.
     With ``jobs > 1`` the underlying scans shard across worker
     processes (:mod:`repro.par`); the rows are byte-identical.
+    ``source`` may be a Trace source or a shared
+    :class:`~repro.pdt.handle.TraceHandle` (:class:`~repro.tq.Query`
+    accepts both and reuses a handle's clock fit).
     """
     base = Query(source).where(t0=t0, t1=t1, spe=spe, side=SIDE_SPE)
     totals = _run_rows(

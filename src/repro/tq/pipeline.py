@@ -34,6 +34,7 @@ import typing
 
 from repro.pdt.correlate import ClockCorrelator
 from repro.pdt.events import spec_for_code
+from repro.pdt.handle import TraceHandle
 from repro.pdt.store import ColumnChunk, EventSource
 from repro.tq import kernels
 from repro.tq.predicate import Predicate
@@ -262,13 +263,20 @@ class Query:
     query; terminal methods (:meth:`run`, :meth:`records`,
     :meth:`count`) execute it.  After a terminal method, :attr:`stats`
     carries the :class:`~repro.tq.source.PruneStats` for the scan.
+
+    The source may also be a shared
+    :class:`~repro.pdt.handle.TraceHandle`: the query then runs over a
+    cheap :meth:`~repro.pdt.handle.TraceHandle.source` view and reuses
+    the handle's one-time clock fit instead of fitting its own.
     """
 
     def __init__(
         self,
-        source: EventSource,
+        source: typing.Union[EventSource, TraceHandle],
         correlator: typing.Optional[ClockCorrelator] = None,
     ):
+        if isinstance(source, TraceHandle):
+            source = source.source()
         self.source = source
         self.predicate = Predicate()
         self.stats: typing.Optional[PruneStats] = None
@@ -411,8 +419,13 @@ class Query:
     def _get_correlator(self) -> ClockCorrelator:
         if self._correlator is None:
             # Always fitted on the unpruned base: sync records must
-            # never be lost to pruning.
-            self._correlator = ClockCorrelator(self.source)
+            # never be lost to pruning.  A handle-backed source shares
+            # its handle's one-time fit with every other consumer.
+            handle = getattr(self.source, "handle", None)
+            if handle is not None:
+                self._correlator = handle.correlator()
+            else:
+                self._correlator = ClockCorrelator(self.source)
         return self._correlator
 
     def _selections(

@@ -23,6 +23,7 @@ import dataclasses
 import typing
 
 from repro.pdt.correlate import ClockCorrelator, CorrelationError
+from repro.pdt.handle import TraceHandle
 from repro.pdt.index import build_zone_maps, write_sidecar
 from repro.pdt.reader import TraceFileSource, open_trace
 from repro.pdt.store import ColumnChunk, EventSource
@@ -87,10 +88,12 @@ class IndexedSource(EventSource):
 
     def __init__(
         self,
-        base: EventSource,
+        base: typing.Union[EventSource, TraceHandle],
         predicate: Predicate,
         correlator: typing.Optional[ClockCorrelator] = None,
     ):
+        if isinstance(base, TraceHandle):
+            base = base.source()
         self.base = base
         self.header = base.header
         self.predicate = predicate
@@ -109,8 +112,12 @@ class IndexedSource(EventSource):
             return self._correlator
         if not self.predicate.needs_time:
             return None
+        handle = getattr(self.base, "handle", None)
         try:
-            self._correlator = ClockCorrelator(self.base)
+            if handle is not None:
+                self._correlator = handle.correlator()
+            else:
+                self._correlator = ClockCorrelator(self.base)
         except CorrelationError:
             return None
         return self._correlator
@@ -178,7 +185,10 @@ class IndexedSource(EventSource):
         self.close()
 
 
-def build_sidecar(trace_path: str) -> str:
+def build_sidecar(
+    trace_path: str,
+    source: typing.Union[EventSource, TraceHandle, None] = None,
+) -> str:
     """Backfill a ``.pdtx`` sidecar index for an existing trace file.
 
     Reads the trace once (strictly — an index must never be derived
@@ -187,14 +197,35 @@ def build_sidecar(trace_path: str) -> str:
     cannot be correlated still get an index — without time bounds, so
     SPE/event pruning works and time windows scan fully.  Returns the
     sidecar path.
+
+    ``source`` lets a caller that already holds the trace open — a
+    :class:`~repro.pdt.handle.TraceHandle` or any source over it —
+    reuse that parse and clock fit instead of reopening the file; the
+    caller keeps ownership (nothing is closed here).
     """
-    with open_trace(trace_path, strict=True) as source:
-        try:
-            correlator: typing.Optional[ClockCorrelator] = ClockCorrelator(source)
-        except CorrelationError:
-            correlator = None
-        zones = build_zone_maps(source.iter_chunks(), correlator)
-        return write_sidecar(trace_path, zones, source.n_records)
+    if source is None:
+        with open_trace(trace_path, strict=True) as opened:
+            return _write_sidecar_from(trace_path, opened)
+    if isinstance(source, TraceHandle):
+        source = source.source()
+    if source.salvage is not None:
+        raise ValueError(
+            "refusing to index a salvaged source: chunk alignment is "
+            "not trustworthy"
+        )
+    return _write_sidecar_from(trace_path, source)
+
+
+def _write_sidecar_from(trace_path: str, source: EventSource) -> str:
+    handle = getattr(source, "handle", None)
+    try:
+        correlator: typing.Optional[ClockCorrelator] = (
+            handle.correlator() if handle is not None else ClockCorrelator(source)
+        )
+    except CorrelationError:
+        correlator = None
+    zones = build_zone_maps(source.iter_chunks(), correlator)
+    return write_sidecar(trace_path, zones, source.n_records)
 
 
 def open_indexed(trace_path: str, strict: bool = True) -> TraceFileSource:

@@ -1,0 +1,280 @@
+"""TraceHandle: the shareable open-trace core.
+
+Three contracts under test:
+
+* **equivalence** — a handle-backed source yields exactly the chunks,
+  sync scan, and query results that ``open_trace`` does, for every
+  on-disk version;
+* **sharing** — one handle serves many concurrent ``.source()`` views
+  through a bounded descriptor pool (cap respected, no leaks, one
+  clock fit shared by every consumer);
+* **lifecycle** — ``close()`` is idempotent, poisons the pool, and a
+  constructor failure never leaks descriptors.
+"""
+
+import builtins
+import io
+import threading
+
+import pytest
+
+from repro.pdt import TraceConfig, TraceFormatError, open_trace, write_trace
+from repro.pdt.format import (
+    VERSION_CHUNKED,
+    VERSION_CRC,
+    VERSION_INDEXED,
+    VERSION_LEGACY,
+)
+from repro.pdt.handle import DEFAULT_POOL_CAP, FdPool, TraceHandle, open_handle
+from repro.tq import Query, build_sidecar
+from repro.workloads import MatmulWorkload, run_workload
+
+VERSIONS = {
+    "v1": VERSION_LEGACY,
+    "v2": VERSION_CHUNKED,
+    "v3": VERSION_CRC,
+    "v4": VERSION_INDEXED,
+}
+
+
+@pytest.fixture(scope="module")
+def traces(tmp_path_factory):
+    """version label -> path, one matmul trace written at each version."""
+    tmp = tmp_path_factory.mktemp("handle")
+    result = run_workload(
+        MatmulWorkload(n=64, tile=32, n_spes=2), TraceConfig(buffer_bytes=1024)
+    )
+    source = result.trace_source()
+    paths = {}
+    for label, code in VERSIONS.items():
+        source.header.version = code
+        path = str(tmp / f"{label}.pdt")
+        write_trace(source, path)
+        paths[label] = path
+    return paths
+
+
+# -- equivalence -------------------------------------------------------
+
+
+def _chunk_tuples(source):
+    return [
+        (
+            bytes(chunk.side), bytes(chunk.code), bytes(chunk.core),
+            bytes(chunk.seq), bytes(chunk.raw_ts), bytes(chunk.values),
+        )
+        for chunk in source.iter_chunks()
+    ]
+
+
+@pytest.mark.parametrize("label", sorted(VERSIONS))
+def test_handle_source_matches_open_trace(traces, label):
+    path = traces[label]
+    with open_trace(path) as reference:
+        want_chunks = _chunk_tuples(reference)
+        want_counts = reference.chunk_record_counts()
+        want_sync = reference.scan_sync()
+    with TraceHandle(path) as handle:
+        view = handle.source()
+        assert view.n_records == sum(want_counts)
+        assert view.chunk_record_counts() == want_counts
+        assert _chunk_tuples(view) == want_chunks
+        assert view.scan_sync() == want_sync
+
+
+@pytest.mark.parametrize("label", sorted(VERSIONS))
+def test_query_on_handle_matches_query_on_open_trace(traces, label):
+    path = traces[label]
+
+    def shape(source):
+        return (
+            Query(source)
+            .where(t0=0, spe=1)
+            .groupby("spe", "kind")
+            .agg(n="count", bytes=("sum", "size"))
+        )
+
+    with open_trace(path) as reference:
+        want = shape(reference).run()
+    with TraceHandle(path) as handle:
+        # Query accepts the handle itself (creates a borrowed view).
+        assert shape(handle).run() == want
+        assert shape(handle.source()).run() == want
+
+
+def test_chunk_range_view_matches_full_decode(traces):
+    with TraceHandle(traces["v4"]) as handle:
+        everything = _chunk_tuples(handle.source())
+        lo, hi = 1, handle.n_chunks
+        ranged = _chunk_tuples(handle.source(chunk_range=(lo, hi)))
+        assert ranged == everything[lo:hi]
+
+
+def test_sidecar_attach_is_shared(traces, tmp_path):
+    path = traces["v3"]
+    build_sidecar(path)
+    with open_handle(path) as handle:
+        assert handle.zone_maps() is not None
+        # Every view sees the attached index.
+        assert handle.source().zone_maps() is not None
+
+
+# -- sharing: pool cap, concurrency, one clock fit ---------------------
+
+
+def test_correlator_is_shared_and_cached(traces):
+    with TraceHandle(traces["v4"]) as handle:
+        first = handle.correlator()
+        assert handle.correlator() is first
+        queries = [Query(handle.source()).where(t0=0) for __ in range(3)]
+        for query in queries:
+            query.count()
+            assert query._correlator is first
+
+
+def test_concurrent_sources_share_one_handle(traces):
+    """N threads each run a full decode through their own view of one
+    handle; results agree and the pool never exceeds its cap."""
+    path = traces["v4"]
+    n_threads = 12
+    with TraceHandle(path, pool_cap=3) as handle:
+        want = _chunk_tuples(handle.source())
+        results = [None] * n_threads
+        errors = []
+
+        def worker(i):
+            try:
+                results[i] = _chunk_tuples(handle.source())
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert all(result == want for result in results)
+        assert handle.open_descriptors <= 3
+    assert handle.open_descriptors == 0
+
+
+def test_pool_cap_blocks_and_releases():
+    pool = FdPool(None, b"x" * 64, cap=2)
+    a = pool.checkout()
+    b = pool.checkout()
+    assert pool.n_open == 2
+    with pytest.raises(TimeoutError):
+        pool.checkout(timeout=0.05)
+    pool.release(a)
+    c = pool.checkout(timeout=1.0)
+    assert c is a  # recycled, not reopened
+    pool.release(b)
+    pool.release(c)
+    assert pool.n_open == 2  # idle handles stay open for reuse
+    pool.close()
+    assert pool.n_open == 0
+
+
+def test_pool_close_poisons_checkout():
+    pool = FdPool(None, b"x" * 64, cap=2)
+    handle = pool.checkout()
+    pool.close()
+    with pytest.raises(ValueError):
+        pool.checkout()
+    # Releasing after close must not resurrect the descriptor.
+    pool.release(handle)
+    assert pool.n_open == 0
+    pool.close()  # idempotent
+
+
+# -- lifecycle: leaks, idempotent close --------------------------------
+
+
+class TrackingFile(io.BytesIO):
+    def __init__(self, data, registry):
+        super().__init__(data)
+        registry.append(self)
+
+
+@pytest.fixture()
+def tracked(traces, monkeypatch):
+    path = traces["v4"]
+    data = open(path, "rb").read()
+    issued = []
+    real_open = builtins.open
+
+    def fake_open(file, mode="r", *args, **kwargs):
+        if file == path and "b" in mode:
+            return TrackingFile(data, issued)
+        return real_open(file, mode, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "open", fake_open)
+    return path, issued, data
+
+
+def test_no_leak_after_concurrent_source_iterations(tracked):
+    path, issued, __ = tracked
+    with TraceHandle(path, pool_cap=4) as handle:
+        threads = [
+            threading.Thread(
+                target=lambda: list(handle.source().iter_chunks())
+            )
+            for __i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(issued) <= 4  # cap bounds descriptors ever opened
+    assert issued and all(handle_.closed for handle_ in issued)
+
+
+def test_close_is_idempotent_and_closes_checked_out(tracked):
+    path, issued, __ = tracked
+    handle = TraceHandle(path, pool_cap=2)
+    iterator = handle.source().iter_chunks()
+    next(iterator)  # generator holds a checked-out descriptor
+    assert any(not f.closed for f in issued)
+    handle.close()
+    assert all(f.closed for f in issued)
+    handle.close()  # idempotent
+    assert handle.closed
+    with pytest.raises(ValueError):
+        list(handle.source().iter_chunks())
+
+
+def test_constructor_failure_leaks_nothing(tracked, monkeypatch):
+    path, issued, data = tracked
+    truncated = data[: len(data) - 7]
+    real_open = builtins.open
+
+    def fake_open(file, mode="r", *args, **kwargs):
+        if file == path and "b" in mode:
+            return TrackingFile(truncated, issued)
+        return real_open(file, mode, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "open", fake_open)
+    issued.clear()
+    with pytest.raises(TraceFormatError):
+        TraceHandle(path)
+    assert issued and all(f.closed for f in issued)
+
+
+def test_borrowed_view_close_is_noop(tracked):
+    """HandleSource views borrow: closing one must not close the
+    shared handle behind everyone else's back."""
+    path, issued, __ = tracked
+    with TraceHandle(path) as handle:
+        view = handle.source()
+        view.close()
+        assert not handle.closed
+        assert _chunk_tuples(handle.source())  # still usable
+    assert all(f.closed for f in issued)
+
+
+def test_default_pool_cap_sanity():
+    assert DEFAULT_POOL_CAP >= 2

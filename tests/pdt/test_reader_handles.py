@@ -156,3 +156,29 @@ def test_salvage_read_closes_handles(tracked):
     with open_trace(path, strict=False) as source:
         list(source.iter_chunks())
     _assert_all_closed(issued)
+
+
+def test_open_trace_pool_caps_descriptors(tracked):
+    """open_trace is now a TraceHandle in disguise: concurrent chunk
+    iterations multiplex a bounded descriptor pool, and closing the
+    source drains every descriptor the pool ever issued."""
+    import threading
+
+    path, issued, __ = tracked
+    source = open_trace(path)
+    handle = source.handle
+    assert handle.pool_cap >= 1
+
+    threads = [
+        threading.Thread(target=lambda: list(source.iter_chunks()))
+        for __i in range(2 * handle.pool_cap)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(issued) <= handle.pool_cap
+    source.close()
+    _assert_all_closed(issued)
+    source.close()  # idempotent, still no survivors
+    _assert_all_closed(issued)

@@ -1,0 +1,124 @@
+"""LruCache / ChunkCache: byte-budget accounting and eviction order."""
+
+import threading
+
+import pytest
+
+from repro.serve.cache import ChunkCache, LruCache, chunk_nbytes
+
+
+def test_put_get_and_recency():
+    cache = LruCache(100)
+    assert cache.put("a", 1, 40)
+    assert cache.put("b", 2, 40)
+    assert cache.get("a") == 1  # refreshes "a"
+    assert cache.put("c", 3, 40)  # evicts "b", the cold one
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    stats = cache.stats()
+    assert stats.evictions == 1
+    assert stats.current_bytes == 80
+    assert len(cache) == 2
+
+
+def test_eviction_until_fits_under_tight_budget():
+    cache = LruCache(100)
+    for key in "abcde":
+        cache.put(key, key, 20)
+    assert len(cache) == 5
+    # One 90-byte entry needs all five 20-byte LRU entries gone.
+    assert cache.put("big", "x", 90)
+    assert len(cache) == 1
+    assert cache.get("big") == "x"
+    assert all(cache.get(k) is None for k in "abcde")
+    assert cache.current_bytes == 90
+    # A 75-byte entry after one 20-byte insert evicts only "big".
+    cache.put("f", "f", 20)
+    cache.put("mid", "m", 75)
+    assert cache.get("f") == "f"
+    assert cache.get("big") is None
+    assert cache.current_bytes == 95
+
+
+def test_oversize_entry_rejected_not_cached():
+    cache = LruCache(50)
+    cache.put("keep", 1, 30)
+    assert not cache.put("huge", 2, 51)
+    assert cache.get("huge") is None
+    assert cache.get("keep") == 1  # rejection evicted nothing
+    assert cache.stats().rejected == 1
+
+
+def test_refresh_replaces_bytes():
+    cache = LruCache(100)
+    cache.put("a", 1, 60)
+    cache.put("a", 2, 30)
+    assert cache.get("a") == 2
+    assert cache.current_bytes == 30
+
+
+def test_invalidate_by_predicate():
+    cache = LruCache(1000)
+    cache.put(("chunk", ("t1", 0), 0), "x", 10)
+    cache.put(("chunk", ("t1", 0), 1), "y", 10)
+    cache.put(("chunk", ("t2", 0), 0), "z", 10)
+    dropped = cache.invalidate(
+        lambda key: len(key) >= 2 and key[1] == ("t1", 0)
+    )
+    assert dropped == 2
+    assert cache.get(("chunk", ("t2", 0), 0)) == "z"
+    assert cache.current_bytes == 10
+
+
+def test_zero_budget_caches_nothing():
+    cache = LruCache(0)
+    assert not cache.put("a", 1, 1)
+    assert cache.put("b", 2, 0)  # zero-byte entries still fit
+    assert cache.get("b") == 2
+
+
+def test_thread_safety_smoke():
+    cache = LruCache(10_000)
+    errors = []
+
+    def worker(seed):
+        try:
+            for i in range(500):
+                cache.put((seed, i % 50), i, 17)
+                cache.get((seed ^ 1, i % 50))
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(s,)) for s in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert cache.current_bytes <= 10_000
+
+
+def test_chunk_cache_namespaces_traces(traces_chunk):
+    shared = LruCache(1 << 20)
+    one = ChunkCache(shared, ("one", 0))
+    two = ChunkCache(shared, ("two", 0))
+    one.put(0, traces_chunk)
+    assert one.get(0) is traces_chunk
+    assert two.get(0) is None
+    assert shared.current_bytes == chunk_nbytes(traces_chunk)
+    assert chunk_nbytes(traces_chunk) > 0
+
+
+@pytest.fixture(scope="module")
+def traces_chunk(tmp_path_factory):
+    from repro.pdt import TraceConfig, open_trace, write_trace
+    from repro.workloads import MatmulWorkload, run_workload
+
+    result = run_workload(
+        MatmulWorkload(n=64, tile=32, n_spes=2), TraceConfig(buffer_bytes=1024)
+    )
+    path = str(tmp_path_factory.mktemp("cache") / "m.pdt")
+    write_trace(result.trace_source(), path)
+    with open_trace(path) as source:
+        return next(source.iter_chunks())

@@ -1,0 +1,231 @@
+"""TraceCatalog: registration, refcounted acquire, deferred eviction,
+generation-scoped caches, and the memory budget."""
+
+import threading
+
+import pytest
+
+from repro.pdt import TraceConfig, TraceFormatError, write_trace
+from repro.serve.catalog import CatalogError, TraceCatalog
+from repro.tq import Query
+from repro.workloads import MatmulWorkload, StreamingPipelineWorkload, run_workload
+
+
+@pytest.fixture(scope="module")
+def trace_paths(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("catalog")
+    paths = {}
+    for name, factory in (
+        ("matmul", lambda: MatmulWorkload(n=64, tile=32, n_spes=2)),
+        ("streaming", lambda: StreamingPipelineWorkload(stages=2, blocks=6)),
+    ):
+        result = run_workload(factory(), TraceConfig(buffer_bytes=1024))
+        path = str(tmp / f"{name}.pdt")
+        write_trace(result.trace_source(), path)
+        paths[name] = path
+    return paths
+
+
+@pytest.fixture()
+def catalog():
+    with TraceCatalog(memory_budget=4 * 1024 * 1024) as cat:
+        yield cat
+
+
+# -- registration ------------------------------------------------------
+
+
+def test_register_list_contains(catalog, trace_paths):
+    info = catalog.register("m", trace_paths["matmul"])
+    assert info["name"] == "m"
+    assert info["records"] > 0 and info["chunks"] > 0
+    catalog.register("s", trace_paths["streaming"])
+    assert [row["name"] for row in catalog.list_traces()] == ["m", "s"]
+    assert "m" in catalog and "missing" not in catalog
+    assert len(catalog) == 2
+
+
+def test_register_duplicate_raises(catalog, trace_paths):
+    catalog.register("m", trace_paths["matmul"])
+    with pytest.raises(CatalogError, match="already registered"):
+        catalog.register("m", trace_paths["streaming"])
+
+
+def test_register_bad_path_fails_clean(catalog, tmp_path):
+    with pytest.raises(OSError):
+        catalog.register("ghost", str(tmp_path / "missing.pdt"))
+    garbage = tmp_path / "garbage.pdt"
+    garbage.write_bytes(b"not a trace at all" * 10)
+    with pytest.raises(TraceFormatError):
+        catalog.register("garbage", str(garbage))
+    assert len(catalog) == 0  # failed registrations leave no entry
+
+
+# -- acquire / evict ---------------------------------------------------
+
+
+def test_acquire_yields_working_handle(catalog, trace_paths):
+    catalog.register("m", trace_paths["matmul"])
+    with catalog.acquire("m") as (handle, chunk_cache, identity):
+        assert identity == ("m", 0)
+        count = Query(handle.source(chunk_cache=chunk_cache)).count()
+        assert count == handle.n_records
+    with pytest.raises(CatalogError, match="no such trace"):
+        with catalog.acquire("missing"):
+            pass
+
+
+def test_immediate_eviction_closes_handle(catalog, trace_paths):
+    catalog.register("m", trace_paths["matmul"])
+    with catalog.acquire("m") as (handle, __, ___):
+        pass
+    out = catalog.evict("m")
+    assert out == {"evicted": "m", "deferred": False}
+    assert handle.closed
+    assert "m" not in catalog
+    with pytest.raises(CatalogError):
+        catalog.evict("m")
+
+
+def test_eviction_with_in_flight_query_is_deferred(catalog, trace_paths):
+    """Evicting a trace someone is querying must not close the handle
+    under them: the entry vanishes from list/acquire immediately, the
+    descriptors die with the last release."""
+    catalog.register("m", trace_paths["matmul"])
+    entered = threading.Event()
+    release = threading.Event()
+    results = {}
+
+    def slow_query():
+        with catalog.acquire("m") as (handle, chunk_cache, __):
+            entered.set()
+            release.wait(timeout=10)
+            results["count"] = Query(
+                handle.source(chunk_cache=chunk_cache)
+            ).count()
+            results["handle"] = handle
+
+    thread = threading.Thread(target=slow_query)
+    thread.start()
+    assert entered.wait(timeout=10)
+    out = catalog.evict("m")
+    assert out == {"evicted": "m", "deferred": True}
+    assert "m" not in catalog  # invisible immediately...
+    with pytest.raises(CatalogError):
+        with catalog.acquire("m"):
+            pass
+    assert not results.get("handle", None)  # query still running
+    release.set()
+    thread.join(timeout=10)
+    assert results["count"] > 0  # the in-flight query finished intact
+    assert results["handle"].closed  # ...and the last release closed it
+
+
+def test_reregister_after_evict_bumps_generation(catalog, trace_paths):
+    catalog.register("m", trace_paths["matmul"])
+    with catalog.acquire("m") as (__, ___, identity_a):
+        pass
+    catalog.evict("m")
+    catalog.register("m", trace_paths["streaming"])
+    with catalog.acquire("m") as (__, ___, identity_b):
+        pass
+    assert identity_a[1] != identity_b[1]
+
+
+def test_eviction_invalidates_this_traces_cache_entries(
+    catalog, trace_paths
+):
+    catalog.register("m", trace_paths["matmul"])
+    catalog.register("s", trace_paths["streaming"])
+    for name in ("m", "s"):
+        with catalog.acquire(name) as (handle, chunk_cache, __):
+            list(handle.source(chunk_cache=chunk_cache).iter_chunks())
+    assert catalog.chunk_cache.current_bytes > 0
+    with catalog.acquire("s") as (__, ___, s_identity):
+        pass
+    catalog.evict("m")
+    # Only s's chunks survive.
+    remaining = catalog.chunk_cache.stats().entries
+    assert remaining > 0
+    assert (
+        catalog.chunk_cache.invalidate(
+            lambda key: key[1] != s_identity
+        )
+        == 0
+    )
+
+
+# -- budget ------------------------------------------------------------
+
+
+def test_memory_budget_bounds_cached_bytes(trace_paths):
+    """A catalog with a tiny budget still answers queries correctly —
+    it just can't keep everything warm."""
+    with TraceCatalog(memory_budget=8 * 1024) as small:
+        small.register("m", trace_paths["matmul"])
+        for __round in range(3):
+            with small.acquire("m") as (handle, chunk_cache, ___):
+                chunks = list(
+                    handle.source(chunk_cache=chunk_cache).iter_chunks()
+                )
+                assert chunks
+        stats = small.stats()
+        assert stats["cached_bytes"] <= 8 * 1024
+        assert (
+            small.chunk_cache.current_bytes
+            <= small.chunk_cache.budget_bytes
+        )
+
+
+def test_budget_split_covers_whole_budget(catalog):
+    assert (
+        catalog.chunk_cache.budget_bytes + catalog.result_cache.budget_bytes
+        == catalog.memory_budget
+    )
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        TraceCatalog(memory_budget=-1)
+
+
+# -- lifecycle ---------------------------------------------------------
+
+
+def test_close_evicts_everything(trace_paths):
+    catalog = TraceCatalog(memory_budget=1 << 20)
+    catalog.register("m", trace_paths["matmul"])
+    with catalog.acquire("m") as (handle, __, ___):
+        pass
+    catalog.close()
+    assert handle.closed
+    assert catalog.chunk_cache.current_bytes == 0
+    with pytest.raises(CatalogError):
+        catalog.register("late", trace_paths["streaming"])
+    with pytest.raises(CatalogError):
+        with catalog.acquire("m"):
+            pass
+
+
+def test_close_with_in_flight_acquire_defers(trace_paths):
+    catalog = TraceCatalog(memory_budget=1 << 20)
+    catalog.register("m", trace_paths["matmul"])
+    manager = catalog.acquire("m")
+    handle, __, ___ = manager.__enter__()
+    catalog.close()
+    assert not handle.closed  # still borrowed
+    manager.__exit__(None, None, None)
+    assert handle.closed
+
+
+def test_stats_shape(catalog, trace_paths):
+    catalog.register("m", trace_paths["matmul"])
+    stats = catalog.stats()
+    assert stats["traces"] == 1
+    assert stats["memory_budget"] == catalog.memory_budget
+    assert stats["open_descriptors"] >= 0
+    for cache_row in (stats["chunk_cache"], stats["result_cache"]):
+        assert set(cache_row) == {
+            "hits", "misses", "insertions", "evictions", "rejected",
+            "current_bytes", "budget_bytes", "entries",
+        }

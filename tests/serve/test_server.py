@@ -1,0 +1,299 @@
+"""The serving daemon's differential matrix.
+
+The headline contract: a served response is **byte-identical** to the
+canonical encoding of the same query executed directly through a
+serial :class:`repro.tq.Query` — for every workload in
+:mod:`repro.workloads`, every on-disk version (v1 legacy through v4
+indexed, plus v3 with a sidecar), every protocol query mode, from
+eight concurrent client threads, with the catalog's memory budget
+enforced throughout and zero descriptors left behind.
+"""
+
+import builtins
+import io
+import json
+import threading
+import typing
+
+import pytest
+
+from repro.pdt import TraceConfig, open_trace, write_trace
+from repro.serve import (
+    ServeClient,
+    ServerConfig,
+    TraceCatalog,
+    TraceServer,
+    canonical_json,
+)
+from repro.serve.protocol import build_query
+from repro.tq import build_sidecar
+
+from tests.par.test_differential import VERSIONS, WORKLOADS, _VERSION_CODES
+
+N_CLIENT_THREADS = 8
+
+#: The canned query set every (workload, version) pair is served:
+#: filtered grouped aggregation, timed projection, bare count, and a
+#: field-filtered reduction with min/max/percentile ops.
+QUERY_SPECS = (
+    {
+        "mode": "run",
+        "where": {"spe": 1},
+        "groupby": ["spe", "kind"],
+        "agg": {"n": "count", "bytes": ["sum", "size"]},
+    },
+    {
+        "mode": "records",
+        "where": {"t0": 0},
+        "project": ["time", "side", "core", "kind", "seq"],
+    },
+    {"mode": "count", "where": {"side": 1}},
+    {
+        "mode": "run",
+        "where_fields": [{"name": "size", "lo": 1}],
+        "groupby": ["core", "kind"],
+        "agg": {
+            "n": "count",
+            "total": ["sum", "size"],
+            "hi": ["max", "size"],
+            "mid": ["p50", "size"],
+        },
+    },
+)
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """trace name ("workload-version") -> path, the par-suite matrix."""
+    tmp = tmp_path_factory.mktemp("serve-diff")
+    from repro.workloads import run_workload
+
+    out = {}
+    for name, factory in WORKLOADS:
+        result = run_workload(factory(), TraceConfig(buffer_bytes=1024))
+        source = result.trace_source()
+        for label in VERSIONS:
+            source.header.version = _VERSION_CODES[label]
+            path = str(tmp / f"{name}-{label.replace('+', '-')}.pdt")
+            write_trace(source, path)
+            if label == "v3+sidecar":
+                build_sidecar(path)
+            out[f"{name}-{label}"] = path
+    return out
+
+
+def _direct_response(request: dict, path: str) -> str:
+    """What the server must emit for ``request``: the same query run
+    serially through the library, canonically encoded."""
+    mode = request.get("mode", "run")
+    with open_trace(path) as source:
+        query = build_query(source, request)
+        if mode == "run":
+            result: typing.Any = query.run()
+        elif mode == "records":
+            result = [list(row) for row in query.records()]
+        else:
+            result = query.count()
+    return canonical_json(
+        {"id": request["id"], "ok": True, "result": result}
+    )
+
+
+@pytest.fixture(scope="module")
+def server(corpus):
+    catalog = TraceCatalog(memory_budget=32 * 1024 * 1024)
+    with TraceServer(catalog, ServerConfig(port=0)).start() as srv:
+        with ServeClient(srv.address) as client:
+            for name, path in sorted(corpus.items()):
+                client.register(name, path)
+        yield srv
+
+
+def test_matrix_byte_identical_from_concurrent_clients(corpus, server):
+    """Every (workload, version, query) case, split across 8 client
+    threads; each raw response line must equal the direct serial
+    encoding byte for byte."""
+    cases = []
+    for i, (name, path) in enumerate(sorted(corpus.items())):
+        for j, spec in enumerate(QUERY_SPECS):
+            request = {
+                "op": "query",
+                "trace": name,
+                "id": f"{name}/{j}",
+                **spec,
+            }
+            cases.append((request, _direct_response(request, path)))
+    assert len(cases) == len(WORKLOADS) * len(VERSIONS) * len(QUERY_SPECS)
+
+    failures: typing.List[str] = []
+    barrier = threading.Barrier(N_CLIENT_THREADS)
+
+    def client_thread(slice_index):
+        with ServeClient(server.address) as client:
+            barrier.wait(timeout=30)
+            for request, want in cases[slice_index::N_CLIENT_THREADS]:
+                got = client.request_raw(request)
+                if got != want:
+                    failures.append(
+                        f"{request['id']}: served {got[:200]!r} "
+                        f"!= direct {want[:200]!r}"
+                    )
+
+    threads = [
+        threading.Thread(target=client_thread, args=(i,))
+        for i in range(N_CLIENT_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    assert not failures, failures[:5]
+
+    # The budget held the whole time.
+    stats = server.server_stats()
+    assert stats["catalog"]["cached_bytes"] <= server.catalog.memory_budget
+    assert stats["admission"]["peak_active"] <= server.config.max_concurrent
+
+
+def test_result_cache_hit_is_byte_identical(corpus, server):
+    name = sorted(corpus)[0]
+    request = {"op": "query", "trace": name, "id": 1, **QUERY_SPECS[0]}
+    with ServeClient(server.address) as client:
+        before = server.catalog.result_cache.stats().hits
+        first = client.request_raw(request)
+        second = client.request_raw(request)
+    assert first == second
+    assert server.catalog.result_cache.stats().hits > before
+
+
+def test_differing_plans_do_not_share_cache_entries(corpus, server):
+    name = sorted(corpus)[0]
+    base = {"op": "query", "trace": name, "id": 1, "mode": "count"}
+    with ServeClient(server.address) as client:
+        all_records = client.request({**base, "where": {"t0": 0}})
+        spe1_only = client.request({**base, "where": {"t0": 0, "spe": 1}})
+    assert all_records > spe1_only  # a shared entry would equate them
+
+
+def test_errors_are_responses_not_disconnects(server):
+    with ServeClient(server.address) as client:
+        with pytest.raises(Exception, match="no such trace"):
+            client.query("never-registered", mode="count")
+        with pytest.raises(Exception, match="unknown op"):
+            client.request({"op": "explode"})
+        garbled = json.loads(client.request_line("this is not json"))
+        assert garbled["ok"] is False
+        assert "malformed JSON" in garbled["error"]
+        assert client.ping() == "pong"  # connection survived all three
+
+
+def test_admission_control_funnels_clients(corpus):
+    """With max_concurrent=2, eight hammering clients never exceed two
+    active executions, and everyone still gets correct answers."""
+    name, path = sorted(corpus.items())[0]
+    catalog = TraceCatalog(memory_budget=4 * 1024 * 1024)
+    config = ServerConfig(port=0, max_concurrent=2)
+    with TraceServer(catalog, config).start() as srv:
+        with ServeClient(srv.address) as admin:
+            admin.register(name, path)
+        request = {"op": "query", "trace": name, "id": 0, **QUERY_SPECS[3]}
+        want = _direct_response(request, path)
+
+        failures = []
+        barrier = threading.Barrier(N_CLIENT_THREADS)
+
+        def hammer():
+            with ServeClient(srv.address) as client:
+                barrier.wait(timeout=30)
+                for __ in range(4):
+                    if client.request_raw(request) != want:
+                        failures.append("diverged")
+
+        threads = [
+            threading.Thread(target=hammer)
+            for __ in range(N_CLIENT_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures
+        stats = srv.admission.stats()
+        assert stats["peak_active"] <= 2
+        assert stats["admitted"] == N_CLIENT_THREADS * 4
+
+
+def test_sharded_execution_matches_serial_bytes(corpus):
+    """jobs=2: responses funnel through the shared repro.par pool and
+    still match direct *serial* execution byte for byte."""
+    name, path = sorted(corpus.items())[0]
+    catalog = TraceCatalog(memory_budget=4 * 1024 * 1024)
+    with TraceServer(catalog, ServerConfig(port=0, jobs=2)).start() as srv:
+        with ServeClient(srv.address) as client:
+            client.register(name, path)
+            for j, spec in enumerate(QUERY_SPECS):
+                request = {"op": "query", "trace": name, "id": j, **spec}
+                assert client.request_raw(request) == _direct_response(
+                    request, path
+                )
+
+
+class _TrackingFile(io.BytesIO):
+    def __init__(self, data, registry):
+        super().__init__(data)
+        registry.append(self)
+
+
+def test_server_lifecycle_leaks_no_descriptors(corpus, monkeypatch):
+    """Register, query from several threads, evict one trace, stop the
+    server: every descriptor ever opened for the traces is closed."""
+    picked = dict(sorted(corpus.items())[:2])
+    blobs = {path: open(path, "rb").read() for path in picked.values()}
+    issued: list = []
+    real_open = builtins.open
+
+    def fake_open(file, mode="r", *args, **kwargs):
+        if file in blobs and "b" in mode and "w" not in mode:
+            return _TrackingFile(blobs[file], issued)
+        return real_open(file, mode, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "open", fake_open)
+
+    catalog = TraceCatalog(memory_budget=4 * 1024 * 1024)
+    server = TraceServer(catalog, ServerConfig(port=0)).start()
+    try:
+        with ServeClient(server.address) as client:
+            for name, path in picked.items():
+                client.register(name, path)
+
+        def worker(name):
+            with ServeClient(server.address) as client:
+                for spec in QUERY_SPECS:
+                    client.query(name, **spec)
+
+        threads = [
+            threading.Thread(target=worker, args=(name,))
+            for name in picked
+            for __ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        with ServeClient(server.address) as client:
+            client.evict(sorted(picked)[0])
+    finally:
+        server.stop()
+    assert issued, "the tracking open was never exercised"
+    assert all(f.closed for f in issued), (
+        f"{sum(1 for f in issued if not f.closed)} descriptors leaked"
+    )
+
+
+def test_register_and_list_roundtrip(corpus, server):
+    with ServeClient(server.address) as client:
+        rows = client.list_traces()
+    assert len(rows) >= len(corpus) - 1  # other tests may evict
+    by_name = {row["name"]: row for row in rows}
+    indexed = [n for n in by_name if n.endswith(("v4", "v3+sidecar"))]
+    assert indexed and all(by_name[n]["indexed"] for n in indexed)

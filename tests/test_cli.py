@@ -165,3 +165,37 @@ def test_clean_run_reports_no_loss(tmp_path, capsys):
     assert analyze_main([trace_path]) == 0
     out = capsys.readouterr().out
     assert "no records lost" in out
+
+
+def test_analyze_query_mode_parses_header_exactly_once(tmp_path, capsys,
+                                                       monkeypatch):
+    """One pdt-analyze invocation = one TraceHandle = one header read,
+    even when the invocation combines --write-index with query passes
+    (which used to reopen the trace per pass)."""
+    import repro.pdt.handle as handle_mod
+
+    trace_path = str(tmp_path / "mc.pdt")
+    assert trace_main(["montecarlo", "-n", "2", "-o", trace_path]) == 0
+    capsys.readouterr()
+
+    calls = []
+    real_parse = handle_mod._parse_header
+
+    def counting_parse(blob):
+        calls.append(blob)
+        return real_parse(blob)
+
+    monkeypatch.setattr(handle_mod, "_parse_header", counting_parse)
+
+    assert analyze_main(
+        [trace_path, "--write-index", "--spe", "0", "--between", "0:10000000"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    assert len(calls) == 1, f"header parsed {len(calls)} times, want 1"
+
+    # A plain report invocation is also a single parse.
+    calls.clear()
+    assert analyze_main([trace_path]) == 0
+    capsys.readouterr()
+    assert len(calls) == 1, f"header parsed {len(calls)} times, want 1"

@@ -22,6 +22,7 @@ EXAMPLES = [
     "job_farm.py",
     "alf_convolution.py",
     "query_trace.py",
+    "serve_client.py",
 ]
 
 

@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Smoke the serving daemon end to end, the way an operator would.
+
+Generates a real trace, launches ``pdt-serve`` **as a subprocess**
+through its console entry point (so the CLI wiring — argument parsing,
+startup registration, the bound-address banner — is on the hook, not
+just the library), then drives the JSON-line protocol from several
+concurrent client threads and checks the serving contract:
+
+* every served response is byte-identical to the canonical encoding of
+  the same query executed directly through a serial ``tq.Query``;
+* a registered-at-startup trace and a registered-over-the-wire trace
+  both answer;
+* eviction takes a trace out of service with a clean client error;
+* ``stats`` reports a catalog within its memory budget.
+
+Exit status 0 on success, 1 with a failure listing otherwise.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import typing
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+sys.path.insert(0, REPO_SRC)
+
+from repro.pdt import TraceConfig, open_trace  # noqa: E402
+from repro.serve import ProtocolError, ServeClient, canonical_json  # noqa: E402
+from repro.serve.protocol import build_query  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    MatmulWorkload,
+    StreamingPipelineWorkload,
+    run_and_write_trace,
+)
+
+N_CLIENTS = 4
+
+QUERY_SPECS = (
+    {
+        "mode": "run",
+        "where": {"side": 1},
+        "groupby": ["core", "kind"],
+        "agg": {"n": "count", "bytes": ["sum", "size"]},
+    },
+    {"mode": "count"},
+    {
+        "mode": "records",
+        "where": {"t0": 0, "spe": 0},
+        "project": ["time", "kind", "seq"],
+    },
+)
+
+
+def _direct(path: str, spec: dict) -> typing.Any:
+    mode = spec.get("mode", "run")
+    with open_trace(path) as source:
+        query = build_query(source, spec)
+        if mode == "run":
+            return query.run()
+        if mode == "records":
+            return [list(row) for row in query.records()]
+        return query.count()
+
+
+def main(argv: typing.Optional[typing.List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget-mb", type=int, default=32)
+    args = parser.parse_args(argv)
+
+    failures: typing.List[str] = []
+    check = lambda ok, what: None if ok else failures.append(what)  # noqa: E731
+
+    with tempfile.TemporaryDirectory() as tmp:
+        boot_path = os.path.join(tmp, "boot.pdt")
+        wire_path = os.path.join(tmp, "wire.pdt")
+        run_and_write_trace(
+            StreamingPipelineWorkload(stages=3, blocks=256), boot_path,
+            TraceConfig(buffer_bytes=4096),
+        )
+        run_and_write_trace(
+            MatmulWorkload(n=64, tile=32, n_spes=2), wire_path,
+            TraceConfig(buffer_bytes=1024),
+        )
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        daemon = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.serve.cli",
+                "--port", "0",
+                "--budget-mb", str(args.budget_mb),
+                "--register", f"boot={boot_path}",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            # The daemon prints "serving on HOST:PORT" once bound.
+            address = None
+            for line in daemon.stdout:
+                match = re.match(r"serving on (\S+):(\d+)", line)
+                if match:
+                    address = (match.group(1), int(match.group(2)))
+                    break
+            check(address is not None, "daemon never printed its address")
+            if address is None:
+                raise SystemExit(1)
+
+            with ServeClient(address) as client:
+                check(client.ping() == "pong", "ping failed")
+                client.register("wire", wire_path)
+                names = [row["name"] for row in client.list_traces()]
+                check(names == ["boot", "wire"], f"list: {names}")
+
+            expected = {
+                name: [
+                    canonical_json(_direct(path, spec))
+                    for spec in QUERY_SPECS
+                ]
+                for name, path in (("boot", boot_path), ("wire", wire_path))
+            }
+
+            def hammer(__i):
+                with ServeClient(address) as client:
+                    for name, want in sorted(expected.items()):
+                        for spec, want_line in zip(QUERY_SPECS, want):
+                            got = canonical_json(client.query(name, **spec))
+                            check(
+                                got == want_line,
+                                f"{name} {spec.get('mode')}: served bytes "
+                                "diverged from direct execution",
+                            )
+
+            threads = [
+                threading.Thread(target=hammer, args=(i,))
+                for i in range(N_CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+
+            with ServeClient(address) as client:
+                client.evict("wire")
+                try:
+                    client.query("wire", mode="count")
+                    check(False, "evicted trace still answered")
+                except ProtocolError as exc:
+                    check("no such trace" in str(exc), f"evict error: {exc}")
+                stats = client.stats()
+                budget = stats["catalog"]["memory_budget"]
+                cached = stats["catalog"]["cached_bytes"]
+                check(budget == args.budget_mb * 1024 * 1024,
+                      f"budget: {budget}")
+                check(cached <= budget, f"cache over budget: {cached}")
+                check(stats["requests_served"] > 0, "no requests counted")
+        finally:
+            daemon.terminate()
+            daemon.wait(timeout=10)
+
+    if failures:
+        print(f"FAIL: {len(failures)} check(s)")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("serve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
