@@ -1,0 +1,181 @@
+"""T10 — compressed columnar traces (v5) vs the indexed layout (v4).
+
+The v5 format's economic claim: per-column encodings (delta+zigzag
+varint timestamps and sequence numbers, dictionary+RLE side/code/core)
+plus whole-chunk compression shrink a trace **at least 3x on disk**
+across the workload corpus, while every consumer — the serial query
+pipeline, the parallel engine, and the serving daemon — returns
+**byte-identical answers** from the v5 file and the v4 file.
+
+Correctness is asserted in the same run as the measurement: the size
+ratio of a file whose queries diverge would be meaningless, so any
+divergence fails here, not in production.  Decode wall-time for a full
+scan of both layouts is reported alongside the sizes (the CRC is
+checked on the stored bytes, so pruned or refused chunks are never
+decompressed — but a full scan pays the whole decompress cost, making
+it the honest worst case).
+"""
+
+import json
+import os
+import time
+
+from repro.pdt import TraceConfig, open_trace, write_trace
+from repro.pdt.format import VERSION_COMPRESSED, VERSION_INDEXED
+from repro.par import parallel_rows
+from repro.serve import (
+    ServeClient,
+    ServerConfig,
+    TraceCatalog,
+    TraceServer,
+)
+from repro.tq import Query
+from repro.workloads import (
+    MatmulWorkload,
+    MonteCarloWorkload,
+    StreamingPipelineWorkload,
+    run_workload,
+)
+
+MIN_AGGREGATE_RATIO = 3.0
+
+WORKLOADS = (
+    ("matmul", lambda: MatmulWorkload(n=128, tile=32, n_spes=4)),
+    ("streaming", lambda: StreamingPipelineWorkload(stages=4, blocks=512)),
+    (
+        "montecarlo",
+        lambda: MonteCarloWorkload(samples_per_spe=20_000, n_spes=4),
+    ),
+)
+
+QUERY_SPECS = (
+    {
+        "mode": "run",
+        "where": {"side": 1},
+        "groupby": ["core", "kind"],
+        "agg": {"n": "count", "bytes": ["sum", "size"]},
+    },
+    {"mode": "count", "where": {"spe": 1}},
+    {
+        "mode": "records",
+        "where": {"t0": 0, "spe": 0},
+        "project": ["time", "kind", "seq"],
+    },
+)
+
+
+def _serial_answers(path):
+    """Every canned query through the serial pipeline, plus the full
+    profile shape the CLI uses — the oracle for every other path."""
+    with open_trace(path) as source:
+        profile = (
+            Query(source)
+            .groupby("side", "core", "kind")
+            .agg(n="count", t_min=("min", "time"), t_max=("max", "time"))
+            .run()
+        )
+        records = list(
+            Query(source).where(spe=1).project("time", "kind", "seq").records()
+        )
+        count = Query(source).where(side=1).count()
+    return profile, records, count
+
+
+def _parallel_answers(path, jobs):
+    with open_trace(path) as source:
+        query = (
+            Query(source)
+            .groupby("side", "core", "kind")
+            .agg(n="count", t_min=("min", "time"), t_max=("max", "time"))
+        )
+        return parallel_rows(query, jobs)
+
+
+def _served_lines(server_address, name):
+    with ServeClient(server_address) as client:
+        return [
+            client.request_raw({"op": "query", "trace": name, "id": i, **spec})
+            for i, spec in enumerate(QUERY_SPECS)
+        ]
+
+
+def _scan_seconds(path):
+    started = time.perf_counter()
+    with open_trace(path) as source:
+        total = sum(len(chunk) for chunk in source.iter_chunks())
+    return time.perf_counter() - started, total
+
+
+def measure(tmp_dir):
+    rows = []
+    total_v4 = total_v5 = 0
+    catalog = TraceCatalog(memory_budget=64 * 1024 * 1024)
+    with TraceServer(catalog, ServerConfig(port=0)).start() as server:
+        for name, factory in WORKLOADS:
+            result = run_workload(factory(), TraceConfig(buffer_bytes=4096))
+            source = result.trace_source()
+            paths = {}
+            for label, version in (("v4", VERSION_INDEXED),
+                                   ("v5", VERSION_COMPRESSED)):
+                source.header.version = version
+                paths[label] = os.path.join(tmp_dir, f"{name}-{label}.pdt")
+                write_trace(source, paths[label])
+            v4_bytes = os.path.getsize(paths["v4"])
+            v5_bytes = os.path.getsize(paths["v5"])
+            total_v4 += v4_bytes
+            total_v5 += v5_bytes
+
+            # --- in-run identity: serial, parallel, served ---
+            want = _serial_answers(paths["v4"])
+            assert _serial_answers(paths["v5"]) == want, (
+                f"{name}: serial answers diverged between v4 and v5"
+            )
+            for jobs in (2, 4):
+                assert (
+                    _parallel_answers(paths["v5"], jobs)
+                    == _parallel_answers(paths["v4"], jobs)
+                    == want[0]
+                ), f"{name}: parallel answers diverged (jobs={jobs})"
+            with ServeClient(server.address) as client:
+                client.register(f"{name}-v4", paths["v4"])
+                client.register(f"{name}-v5", paths["v5"])
+            served_v4 = _served_lines(server.address, f"{name}-v4")
+            served_v5 = _served_lines(server.address, f"{name}-v5")
+            assert served_v4 == served_v5, (
+                f"{name}: served bytes diverged between v4 and v5"
+            )
+
+            v4_scan_s, n_records = _scan_seconds(paths["v4"])
+            v5_scan_s, v5_records = _scan_seconds(paths["v5"])
+            assert n_records == v5_records
+            rows.append(
+                {
+                    "workload": name,
+                    "records": n_records,
+                    "v4_bytes": v4_bytes,
+                    "v5_bytes": v5_bytes,
+                    "ratio": round(v4_bytes / v5_bytes, 2),
+                    "bytes_per_record_v5": round(v5_bytes / n_records, 2),
+                    "v4_scan_ms": round(v4_scan_s * 1e3, 2),
+                    "v5_scan_ms": round(v5_scan_s * 1e3, 2),
+                }
+            )
+    return {
+        "rows": rows,
+        "total_v4_bytes": total_v4,
+        "total_v5_bytes": total_v5,
+        "aggregate_ratio": round(total_v4 / total_v5, 2),
+    }
+
+
+def test_t10_compression_ratio(benchmark, save_result, tmp_path):
+    report = benchmark.pedantic(
+        measure, (str(tmp_path),), rounds=1, iterations=1
+    )
+    save_result(
+        "BENCH_compress.json",
+        json.dumps(
+            {**report, "min_aggregate_ratio": MIN_AGGREGATE_RATIO}, indent=2
+        ) + "\n",
+    )
+    assert report["aggregate_ratio"] >= MIN_AGGREGATE_RATIO, report

@@ -72,11 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--config", metavar="FILE",
                         help="PDT XML configuration file (overrides the "
                         "other tracing flags)")
-    parser.add_argument("--trace-version", type=int, choices=(1, 2, 3, 4),
+    parser.add_argument("--trace-version", type=int,
+                        choices=(1, 2, 3, 4, 5),
                         default=None, metavar="V",
                         help="trace file format version to write (default: "
-                        "4, the indexed layout; 3 = CRC chunks, no index; "
-                        "2 = plain chunks; 1 = legacy flat records)")
+                        "5, compressed columnar; 4 = indexed, uncompressed; "
+                        "3 = CRC chunks, no index; 2 = plain chunks; "
+                        "1 = legacy flat records)")
     return parser
 
 

@@ -1,0 +1,795 @@
+"""Per-column chunk encodings for the version-5 trace layout.
+
+A v5 chunk payload is a small header (:data:`~repro.pdt.format._V5_PAYLOAD`:
+``enc``, ``codec``, ``packed_bytes``) followed by a body that is
+optionally whole-compressed (zlib, or zstd when the interpreter ships
+one).  Two body encodings exist:
+
+* ``ENC_RECORDS`` — the v2–v4 record stream verbatim.  Writers emit it
+  under ``REPRO_NO_COMPRESS=1`` (the differential-testing escape hatch
+  mirroring ``REPRO_SCALAR_CODEC``); readers accept it always.
+* ``ENC_COLUMNS`` — six u32-length-prefixed sections in order:
+
+  1. ``raw_ts``  delta + zigzag varint (timestamps are near-monotone,
+     so deltas are small signed numbers that varint-encode to a byte
+     or two instead of eight)
+  2. ``seq``     delta + zigzag varint (per-core sequence counters
+     interleave, but deltas stay tiny)
+  3. ``side``    dictionary + run-length pairs
+  4. ``code``    dictionary + run-length pairs
+  5. ``core``    dictionary + run-length pairs
+  6. ``values``  raw little-endian i64 (whole-payload compression
+     catches the redundancy here)
+
+  Per-record field counts are *not* stored: they are derived from
+  (side, code) through the event specs, exactly as the record-stream
+  decoder derives record sizes — a v5 file cannot describe records
+  the event model does not know.
+
+Like :mod:`repro.pdt.codec`, every encoding has a vectorized and a
+scalar implementation selected by :func:`repro.pdt.codec.batch_enabled`
+(``REPRO_SCALAR_CODEC=1`` forces the scalar reference).  The two are
+byte-identical in both directions — property-tested — so the scalar
+path stays a true differential oracle.
+
+Integrity: the chunk frame's CRC32 covers the *stored* payload
+(header + compressed body), so corruption is detected before any
+decompression; everything past the CRC re-validates structurally
+(section lengths, varint termination, dictionary bounds, run totals,
+component ranges) and raises :class:`TraceFormatError` on any
+inconsistency — a trial decode during salvage resynchronization can
+therefore reject byte runs that merely *look* like a chunk.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import typing
+import zlib
+from array import array
+
+import numpy as np
+
+from repro.pdt import codec
+from repro.pdt.format import (
+    _V5_PAYLOAD,
+    CODEC_NONE,
+    CODEC_ZLIB,
+    CODEC_ZSTD,
+    ENC_COLUMNS,
+    ENC_RECORDS,
+    TraceFormatError,
+)
+from repro.pdt.store import ColumnChunk
+
+try:  # Python 3.14+ ships zstd in the standard library
+    from compression import zstd as _zstd  # pragma: no cover
+except ImportError:  # pragma: no cover - absence is the common case
+    _zstd = None
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_U64_MAX = 0xFFFF_FFFF_FFFF_FFFF
+
+#: Matches the wire's u32 sequence-number field (the RECORDS encoding
+#: cannot hold more, so neither may the columnar one).
+_SEQ_MAX = 0xFFFF_FFFF
+
+
+def compress_enabled() -> bool:
+    """Whether v5 writers use the columnar + compressed payload.
+
+    ``REPRO_NO_COMPRESS=1`` flips every writer to ``ENC_RECORDS`` with
+    ``CODEC_NONE`` — v5 framing around v4 payload bytes — the escape
+    hatch for differential testing and for triage of suspected codec
+    bugs.  Readers are unaffected: they accept every payload kind.
+    """
+    return not os.environ.get("REPRO_NO_COMPRESS")
+
+
+# ----------------------------------------------------------------------
+# unsigned LEB128 varints
+# ----------------------------------------------------------------------
+def _uvarint_encode_scalar(values: typing.Iterable[int]) -> bytes:
+    out = bytearray()
+    append = out.append
+    for value in values:
+        v = int(value)
+        while True:
+            low = v & 0x7F
+            v >>= 7
+            if v:
+                append(low | 0x80)
+            else:
+                append(low)
+                break
+    return bytes(out)
+
+
+def _uvarint_encode_vec(values: np.ndarray) -> bytes:
+    n = len(values)
+    if n == 0:
+        return b""
+    vals = values.astype(np.uint64, copy=False)
+    nbytes = np.ones(n, dtype=np.int64)
+    for k in range(1, 10):
+        nbytes += vals >= np.uint64(1 << (7 * k))
+    starts = np.empty(n + 1, dtype=np.int64)
+    starts[0] = 0
+    np.cumsum(nbytes, out=starts[1:])
+    out = np.zeros(int(starts[-1]), dtype=np.uint8)
+    heads = starts[:-1]
+    for k in range(10):
+        mask = nbytes > k
+        if not mask.any():
+            break
+        group = (vals[mask] >> np.uint64(7 * k)) & np.uint64(0x7F)
+        cont = (nbytes[mask] - 1 > k).astype(np.uint8) << 7
+        out[heads[mask] + k] = group.astype(np.uint8) | cont
+    return out.tobytes()
+
+
+def _uvarint_decode_all_scalar(data) -> typing.List[int]:
+    """Every varint in ``data``; raises on truncation or u64 overflow."""
+    values: typing.List[int] = []
+    pos, end = 0, len(data)
+    while pos < end:
+        acc = 0
+        shift = 0
+        while True:
+            if pos >= end:
+                raise TraceFormatError(
+                    "truncated varint at the end of a column section"
+                )
+            byte = data[pos]
+            pos += 1
+            acc |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 63:
+                raise TraceFormatError("varint overflows 64 bits")
+        if acc > _U64_MAX:
+            raise TraceFormatError("varint overflows 64 bits")
+        values.append(acc)
+    return values
+
+
+def _uvarint_decode_all_vec(data: np.ndarray) -> np.ndarray:
+    """Every varint in ``data`` as uint64; same errors as the scalar."""
+    if len(data) == 0:
+        return np.empty(0, dtype=np.uint64)
+    if int(data.max()) < 0x80:
+        # Every varint is a single byte — the common case for
+        # dictionary/run-length sections and small-delta timestamp
+        # sections — so the byte column IS the value column.
+        return data.astype(np.uint64)
+    ends = np.flatnonzero(data < 0x80)
+    if len(ends) == 0 or int(ends[-1]) != len(data) - 1:
+        raise TraceFormatError(
+            "truncated varint at the end of a column section"
+        )
+    count = len(ends)
+    starts = np.empty(count, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    lengths = ends - starts + 1
+    max_len = int(lengths.max())
+    if max_len > 10:
+        raise TraceFormatError("varint overflows 64 bits")
+    payload = (data & 0x7F).astype(np.uint64)
+    values = np.zeros(count, dtype=np.uint64)
+    for k in range(max_len):
+        mask = lengths > k
+        values[mask] |= payload[starts[mask] + k] << np.uint64(7 * k)
+    if max_len == 10:
+        last = data[ends[lengths == 10]] & 0x7F
+        if int(last.max()) > 1:
+            raise TraceFormatError("varint overflows 64 bits")
+    return values
+
+
+def _as_u8(data) -> np.ndarray:
+    return np.frombuffer(data, dtype=np.uint8)
+
+
+# ----------------------------------------------------------------------
+# delta + zigzag varint (raw_ts, seq)
+# ----------------------------------------------------------------------
+def dzv_encode(values: typing.Sequence[int]) -> bytes:
+    """Delta + zigzag + varint encode a u64 column.
+
+    The first value is stored verbatim; every later one as the
+    zigzagged two's-complement difference mod 2**64 — an exact
+    bijection, so arbitrary (even non-monotone) columns round-trip.
+    """
+    if codec.batch_enabled():
+        vals = np.asarray(values, dtype=np.uint64)
+        n = len(vals)
+        if n == 0:
+            return b""
+        deltas = vals[1:] - vals[:-1]  # uint64 wraparound
+        signed = deltas.view(np.int64)
+        zig = ((signed << np.int64(1)) ^ (signed >> np.int64(63))).view(
+            np.uint64
+        )
+        enc = np.empty(n, dtype=np.uint64)
+        enc[0] = vals[0]
+        enc[1:] = zig
+        return _uvarint_encode_vec(enc)
+    out: typing.List[int] = []
+    prev = None
+    for value in values:
+        v = int(value) & _U64_MAX
+        if prev is None:
+            out.append(v)
+        else:
+            delta = (v - prev) & _U64_MAX
+            if delta >= 1 << 63:
+                signed = delta - (1 << 64)
+            else:
+                signed = delta
+            out.append(((signed << 1) ^ (signed >> 63)) & _U64_MAX)
+        prev = v
+    return _uvarint_encode_scalar(out)
+
+
+def _dzv_decode_vec(data, count: int) -> np.ndarray:
+    enc = _uvarint_decode_all_vec(_as_u8(data))
+    if len(enc) != count:
+        raise TraceFormatError(
+            f"column section holds {len(enc)} values; expected {count}"
+        )
+    if count == 0:
+        return enc
+    zig = enc[1:]
+    deltas = (zig >> np.uint64(1)) ^ (np.uint64(0) - (zig & np.uint64(1)))
+    out = np.empty(count, dtype=np.uint64)
+    out[0] = enc[0]
+    if count > 1:
+        np.cumsum(deltas, out=out[1:])
+        out[1:] += enc[0]
+    return out
+
+
+def _dzv_decode_scalar(data, count: int) -> typing.List[int]:
+    enc_list = _uvarint_decode_all_scalar(data)
+    if len(enc_list) != count:
+        raise TraceFormatError(
+            f"column section holds {len(enc_list)} values; expected {count}"
+        )
+    values: typing.List[int] = []
+    prev = 0
+    for i, z in enumerate(enc_list):
+        if i == 0:
+            prev = z
+        else:
+            delta = (z >> 1) ^ (-(z & 1) & _U64_MAX)
+            prev = (prev + delta) & _U64_MAX
+        values.append(prev)
+    return values
+
+
+def dzv_decode(data, count: int) -> typing.Union[np.ndarray, typing.List[int]]:
+    """Decode ``count`` u64 values from a :func:`dzv_encode` section."""
+    if codec.batch_enabled():
+        return _dzv_decode_vec(data, count)
+    return _dzv_decode_scalar(data, count)
+
+
+# ----------------------------------------------------------------------
+# dictionary + run-length (side, code, core)
+# ----------------------------------------------------------------------
+def drle_encode(values: typing.Sequence[int]) -> bytes:
+    """Dictionary + RLE encode a small-integer column.
+
+    Layout (all varints): dictionary size, the sorted distinct values,
+    then (dictionary index, run length) pairs covering the column.
+    """
+    if codec.batch_enabled():
+        vals = np.asarray(values, dtype=np.uint64)
+        n = len(vals)
+        if n == 0:
+            return b""
+        change = np.flatnonzero(vals[1:] != vals[:-1])
+        run_starts = np.concatenate((np.zeros(1, dtype=np.int64), change + 1))
+        run_vals = vals[run_starts]
+        bounds = np.concatenate((run_starts, np.array([n], dtype=np.int64)))
+        run_lens = np.diff(bounds).astype(np.uint64)
+        dict_vals = np.unique(run_vals)
+        idx = np.searchsorted(dict_vals, run_vals).astype(np.uint64)
+        head = np.concatenate(
+            (np.array([len(dict_vals)], dtype=np.uint64), dict_vals)
+        )
+        pairs = np.empty(2 * len(run_vals), dtype=np.uint64)
+        pairs[0::2] = idx
+        pairs[1::2] = run_lens
+        return _uvarint_encode_vec(np.concatenate((head, pairs)))
+    vals_list = [int(v) for v in values]
+    if not vals_list:
+        return b""
+    runs: typing.List[typing.Tuple[int, int]] = []
+    for v in vals_list:
+        if runs and runs[-1][0] == v:
+            runs[-1] = (v, runs[-1][1] + 1)
+        else:
+            runs.append((v, 1))
+    dictionary = sorted({v for v, __ in runs})
+    index = {v: i for i, v in enumerate(dictionary)}
+    flat: typing.List[int] = [len(dictionary)]
+    flat.extend(dictionary)
+    for v, length in runs:
+        flat.append(index[v])
+        flat.append(length)
+    return _uvarint_encode_scalar(flat)
+
+
+def _drle_decode_vec(data, count: int) -> np.ndarray:
+    flat = _uvarint_decode_all_vec(_as_u8(data))
+    if count == 0:
+        if len(flat):
+            raise TraceFormatError("dictionary section for empty column")
+        return np.empty(0, dtype=np.uint64)
+    if len(flat) == 0:
+        raise TraceFormatError("empty dictionary section")
+    n_dict = int(flat[0])
+    pairs = flat[1 + n_dict :]
+    if len(flat) < 1 + n_dict or n_dict == 0 or len(pairs) % 2:
+        raise TraceFormatError("malformed dictionary section")
+    dictionary = flat[1 : 1 + n_dict]
+    idx = pairs[0::2]
+    lens = pairs[1::2]
+    # min/max bound every run before np.repeat so a corrupt section can
+    # never ask for a huge allocation; unsigned fancy indexing bounds-
+    # checks the dictionary references for free.
+    if len(idx) == 0 or int(lens.min()) < 1 or int(lens.max()) > count:
+        raise TraceFormatError("malformed run-length section")
+    try:
+        run_vals = dictionary[idx]
+    except IndexError:
+        raise TraceFormatError("malformed run-length section") from None
+    out = np.repeat(run_vals, lens.astype(np.int64))
+    if len(out) != count:
+        raise TraceFormatError(
+            f"run lengths cover {len(out)} values; expected {count}"
+        )
+    return out
+
+
+def _drle_decode_scalar(data, count: int) -> typing.List[int]:
+    flat_list = _uvarint_decode_all_scalar(data)
+    if count == 0:
+        if flat_list:
+            raise TraceFormatError("dictionary section for empty column")
+        return []
+    if not flat_list:
+        raise TraceFormatError("empty dictionary section")
+    n_dict = flat_list[0]
+    if n_dict == 0 or len(flat_list) < 1 + n_dict:
+        raise TraceFormatError("malformed dictionary section")
+    dictionary = flat_list[1 : 1 + n_dict]
+    pairs = flat_list[1 + n_dict :]
+    if len(pairs) % 2 or not pairs:
+        raise TraceFormatError("malformed run-length section")
+    out: typing.List[int] = []
+    for i in range(0, len(pairs), 2):
+        index, length = pairs[i], pairs[i + 1]
+        if index >= n_dict or length < 1:
+            raise TraceFormatError("malformed run-length section")
+        out.extend([dictionary[index]] * length)
+    if len(out) != count:
+        raise TraceFormatError(
+            f"run lengths cover {len(out)} values; expected {count}"
+        )
+    return out
+
+
+def drle_decode(
+    data, count: int
+) -> typing.Union[np.ndarray, typing.List[int]]:
+    """Decode ``count`` values from a :func:`drle_encode` section."""
+    if codec.batch_enabled():
+        return _drle_decode_vec(data, count)
+    return _drle_decode_scalar(data, count)
+
+
+# ----------------------------------------------------------------------
+# whole-chunk payload
+# ----------------------------------------------------------------------
+def _sections(packed, expected: int) -> typing.List[memoryview]:
+    """Split a packed columnar body into its length-prefixed sections."""
+    view = memoryview(packed)
+    out: typing.List[memoryview] = []
+    pos = 0
+    for __ in range(expected):
+        if pos + _U32.size > len(view):
+            raise TraceFormatError("truncated column section header")
+        (length,) = _U32.unpack_from(view, pos)
+        pos += _U32.size
+        if pos + length > len(view):
+            raise TraceFormatError(
+                f"column section overruns the payload by "
+                f"{pos + length - len(view)} bytes"
+            )
+        out.append(view[pos : pos + length])
+        pos += length
+    if pos != len(view):
+        raise TraceFormatError(
+            f"{len(view) - pos} trailing bytes after the column sections"
+        )
+    return out
+
+
+def _pack_columns(chunk: ColumnChunk) -> bytes:
+    """The uncompressed columnar body of one chunk."""
+    seqs = list(chunk.seq) if not codec.batch_enabled() else None
+    if codec.batch_enabled():
+        seq_arr = np.frombuffer(chunk.seq, codec.SEQ_DTYPE)
+        if len(seq_arr) and int(seq_arr.max()) > _SEQ_MAX:
+            raise struct.error("sequence number exceeds the wire's u32")
+        sections = (
+            dzv_encode(np.frombuffer(chunk.raw_ts, np.uint64)),
+            dzv_encode(seq_arr.astype(np.uint64)),
+            drle_encode(np.frombuffer(chunk.side, np.uint8)),
+            drle_encode(np.frombuffer(chunk.code, np.uint8)),
+            drle_encode(np.frombuffer(chunk.core, codec.CORE_DTYPE)),
+            chunk.values.tobytes(),
+        )
+    else:
+        if seqs and max(seqs) > _SEQ_MAX:
+            raise struct.error("sequence number exceeds the wire's u32")
+        sections = (
+            dzv_encode(chunk.raw_ts),
+            dzv_encode(seqs),
+            drle_encode(chunk.side),
+            drle_encode(chunk.code),
+            drle_encode(chunk.core),
+            chunk.values.tobytes(),
+        )
+    return b"".join(_U32.pack(len(s)) + s for s in sections)
+
+
+def _compress(packed: bytes) -> typing.Tuple[int, bytes]:
+    """Pick the smallest stored body: zstd (when available) or zlib,
+    falling back to stored-uncompressed when compression loses."""
+    best_codec, best = CODEC_NONE, packed
+    if _zstd is not None:  # pragma: no cover - environment-dependent
+        candidate = _zstd.compress(packed)
+        if len(candidate) < len(best):
+            best_codec, best = CODEC_ZSTD, candidate
+    candidate = zlib.compress(packed, 6)
+    if len(candidate) < len(best):
+        best_codec, best = CODEC_ZLIB, candidate
+    return best_codec, best
+
+
+def _decompress(codec_id: int, body, packed_bytes: int) -> bytes:
+    if codec_id == CODEC_NONE:
+        if len(body) != packed_bytes:
+            raise TraceFormatError(
+                f"stored payload is {len(body)} bytes; header declares "
+                f"{packed_bytes}"
+            )
+        return body
+    if codec_id == CODEC_ZLIB:
+        try:
+            # The header names the decoded size, so size the output
+            # buffer to it instead of zlib's 16 KB default — on the
+            # ~KB chunks of small traces that default dominated the
+            # reader's whole transient footprint.  The +1 leaves the
+            # buffer non-full at stream end, without which zlib grows
+            # a whole extra block just to discover the stream is over.
+            packed = zlib.decompress(body, bufsize=packed_bytes + 1)
+        except zlib.error as exc:
+            raise TraceFormatError(f"corrupt zlib chunk body: {exc}") from exc
+    elif codec_id == CODEC_ZSTD:
+        if _zstd is None:
+            raise TraceFormatError(
+                "chunk is zstd-compressed but this interpreter has no "
+                "zstd module"
+            )
+        try:  # pragma: no cover - environment-dependent
+            packed = _zstd.decompress(bytes(body))
+        except Exception as exc:  # pragma: no cover
+            raise TraceFormatError(f"corrupt zstd chunk body: {exc}") from exc
+    else:
+        raise TraceFormatError(f"unknown chunk codec {codec_id}")
+    if len(packed) != packed_bytes:
+        raise TraceFormatError(
+            f"decompressed payload is {len(packed)} bytes; header declares "
+            f"{packed_bytes}"
+        )
+    return packed
+
+
+def encode_chunk_payload(chunk: ColumnChunk) -> bytes:
+    """Serialize one chunk as a v5 payload (header + body).
+
+    Under ``REPRO_NO_COMPRESS=1`` the body is the plain v2–v4 record
+    stream; otherwise the columnar sections, whole-compressed when that
+    wins, stored raw when it does not.
+    """
+    if not compress_enabled():
+        body = codec.encode_batch(chunk)
+        return _V5_PAYLOAD.pack(ENC_RECORDS, CODEC_NONE, 0, len(body)) + body
+    packed = _pack_columns(chunk)
+    codec_id, body = _compress(packed)
+    return _V5_PAYLOAD.pack(ENC_COLUMNS, codec_id, 0, len(packed)) + body
+
+
+def _decode_record_stream(packed, n_records: int) -> ColumnChunk:
+    """Decode an ``ENC_RECORDS`` body — the v2–v4 payload decoder."""
+    chunk = ColumnChunk()
+    end = len(packed)
+    batch = codec.decode_batch(packed, 0, n_records)
+    if batch is not None:
+        if batch.next_offset != end:
+            raise TraceFormatError(
+                f"chunk payload size mismatch: declared {end} bytes, "
+                f"decoded {batch.next_offset}"
+            )
+        chunk.extend_run(batch)
+        return chunk
+    offset = 0
+    try:
+        for __ in range(n_records):
+            side, code, core, seq, raw_ts, values, offset = (
+                codec.decode_fields(packed, offset)
+            )
+            chunk.append(side, code, core, seq, raw_ts, values)
+    except (ValueError, KeyError) as exc:
+        raise TraceFormatError(f"corrupt trace payload: {exc}") from exc
+    if offset != end:
+        raise TraceFormatError(
+            f"chunk payload size mismatch: declared {end} bytes, "
+            f"decoded {offset}"
+        )
+    return chunk
+
+
+#: numpy view of the codec's record-size LUT (0 marks unknown types).
+_SIZE_LUT_NP = np.asarray(codec._SIZE_LUT, dtype=np.int64)
+
+#: Below this many records the scalar reference decoder beats the
+#: vectorized one — a columnar decode is ~40 numpy kernel launches
+#: whose fixed cost dwarfs tiny chunks (measured crossover ≈48 on this
+#: stack).  The paths are byte-identical (property-tested), so the
+#: cutoff is a pure speed dispatch.
+_SMALL_CHUNK = 48
+
+
+def _decode_sync_columns(sections, n_records: int):
+    """Decode the columns a sync scan needs — everything but ``seq`` —
+    returning ``(sides, codes, cores, raws, val_off, values)`` arrays
+    without assembling a chunk.  Validation matches the full decoder
+    for every column it touches."""
+    raws = _dzv_decode_vec(sections[0], n_records)
+    sides = _drle_decode_vec(sections[2], n_records)
+    codes = _drle_decode_vec(sections[3], n_records)
+    cores = _drle_decode_vec(sections[4], n_records)
+    if (
+        (len(sides) and int(sides.max()) > 0xFF)
+        or (len(codes) and int(codes.max()) > 0xFF)
+        or (len(cores) and int(cores.max()) > 0xFFFF)
+    ):
+        raise TraceFormatError("column value out of range for its wire type")
+    tids = (sides.astype(np.int64) << 8) | codes.astype(np.int64)
+    sizes = _SIZE_LUT_NP[tids]
+    if len(sizes) and int(sizes.min()) == 0:
+        raise TraceFormatError("chunk contains an unknown record type")
+    nf = codec._NF_LUT[tids]
+    val_off = np.empty(n_records + 1, dtype=np.int64)
+    val_off[0] = 0
+    np.cumsum(nf, out=val_off[1:])
+    want = int(val_off[-1]) * 8
+    if len(sections[5]) != want:
+        raise TraceFormatError(
+            f"values section is {len(sections[5])} bytes; record types "
+            f"require {want}"
+        )
+    values = np.frombuffer(sections[5], dtype="<i8")
+    return sides, codes, cores, raws, val_off, values
+
+
+def decode_sync_view(payload, n_records: int):
+    """The sync-scan subset of one v5 payload, skipping the ``seq``
+    column and the :class:`ColumnChunk` build both of which a
+    correlation pass never reads.
+
+    Returns ``(sides, codes, cores, raws, val_off, values)`` numpy
+    arrays; raises :class:`TraceFormatError` exactly like
+    :func:`decode_chunk_payload` for everything it decodes.  Requires
+    the batch codec (callers fall back to a full decode without it).
+    """
+    if len(payload) < _V5_PAYLOAD.size:
+        raise TraceFormatError(
+            f"v5 chunk payload is {len(payload)} bytes; the payload "
+            f"header needs {_V5_PAYLOAD.size}"
+        )
+    enc, codec_id, reserved, packed_bytes = _V5_PAYLOAD.unpack_from(payload, 0)
+    if reserved:
+        raise TraceFormatError(
+            f"v5 payload header has nonzero reserved field 0x{reserved:04x}"
+        )
+    body = memoryview(payload)[_V5_PAYLOAD.size :]
+    packed = _decompress(codec_id, body, packed_bytes)
+    if enc == ENC_RECORDS:
+        return _chunk_views(_decode_record_stream(packed, n_records))
+    if enc != ENC_COLUMNS:
+        raise TraceFormatError(f"unknown v5 payload encoding {enc}")
+    sections = _sections(packed, 6)
+    if n_records < _SMALL_CHUNK:
+        return _chunk_views(_decode_columns_scalar(sections, n_records))
+    return _decode_sync_columns(sections, n_records)
+
+
+def _chunk_views(chunk: ColumnChunk):
+    """A decoded chunk's columns as the array tuple the sync scan eats."""
+    return (
+        np.frombuffer(chunk.side, np.uint8),
+        np.frombuffer(chunk.code, np.uint8),
+        np.frombuffer(chunk.core, codec.CORE_DTYPE),
+        np.frombuffer(chunk.raw_ts, np.uint64),
+        np.asarray(chunk.val_off, dtype=np.int64),
+        np.frombuffer(chunk.values, dtype="<i8"),
+    )
+
+
+def scan_sync_chunk(payload, n_records: int, spe_side: int, sync_code: int):
+    """Scalar sync scan of one small v5 ``ENC_COLUMNS`` payload.
+
+    Decodes only what a correlation scan reads — the three dictionary
+    sections, the timestamp column, and the first value of each sync
+    record — with no numpy and no chunk assembly, which beats the
+    column decoders outright below :data:`_SMALL_CHUNK` records.
+    Returns ``(spe_cores, syncs)`` with ``syncs`` a list of
+    ``(core, raw_ts, tb_raw)`` tuples, or ``None`` for an
+    ``ENC_RECORDS`` payload (callers fall back to a full decode).
+    Raises :class:`TraceFormatError` on any structural inconsistency,
+    like the full decoder does for the columns it shares.
+    """
+    if len(payload) < _V5_PAYLOAD.size:
+        raise TraceFormatError(
+            f"v5 chunk payload is {len(payload)} bytes; the payload "
+            f"header needs {_V5_PAYLOAD.size}"
+        )
+    enc, codec_id, reserved, packed_bytes = _V5_PAYLOAD.unpack_from(payload, 0)
+    if reserved:
+        raise TraceFormatError(
+            f"v5 payload header has nonzero reserved field 0x{reserved:04x}"
+        )
+    if enc == ENC_RECORDS:
+        return None
+    if enc != ENC_COLUMNS:
+        raise TraceFormatError(f"unknown v5 payload encoding {enc}")
+    body = memoryview(payload)[_V5_PAYLOAD.size :]
+    packed = _decompress(codec_id, body, packed_bytes)
+    sections = _sections(packed, 6)
+    raws = _dzv_decode_scalar(sections[0], n_records)
+    sides = _drle_decode_scalar(sections[2], n_records)
+    codes = _drle_decode_scalar(sections[3], n_records)
+    cores = _drle_decode_scalar(sections[4], n_records)
+    values = sections[5]
+    spe_cores: typing.Set[int] = set()
+    syncs: typing.List[typing.Tuple[int, int, int]] = []
+    pos = 0
+    for i in range(n_records):
+        side, code, core = sides[i], codes[i], cores[i]
+        if side > 0xFF or code > 0xFF or core > 0xFFFF:
+            raise TraceFormatError(
+                "column value out of range for its wire type"
+            )
+        try:
+            values_struct, __, __ = codec.record_info(side, code)
+        except KeyError as exc:
+            raise TraceFormatError(
+                "chunk contains an unknown record type"
+            ) from exc
+        if side == spe_side:
+            spe_cores.add(core)
+            if code == sync_code:
+                try:
+                    (tb_raw,) = _I64.unpack_from(values, pos * 8)
+                except struct.error as exc:
+                    raise TraceFormatError(
+                        f"values section is {len(values)} bytes; record "
+                        f"types require more"
+                    ) from exc
+                syncs.append((core, raws[i], tb_raw))
+        pos += values_struct.size // 8
+    if pos * 8 != len(values):
+        raise TraceFormatError(
+            f"values section is {len(values)} bytes; record types "
+            f"require {pos * 8}"
+        )
+    return spe_cores, syncs
+
+
+def _decode_columns_vec(sections, n_records: int) -> ColumnChunk:
+    sides, codes, cores, raws, val_off, values = _decode_sync_columns(
+        sections, n_records
+    )
+    seqs = _dzv_decode_vec(sections[1], n_records)
+    if len(seqs) and int(seqs.max()) > _SEQ_MAX:
+        raise TraceFormatError("column value out of range for its wire type")
+    batch = codec.DecodedBatch(
+        n_records,
+        sides.astype(np.uint8),
+        codes.astype(np.uint8),
+        cores.astype(codec.CORE_DTYPE),
+        seqs,
+        raws,
+        val_off,
+        values,
+        0,
+    )
+    chunk = ColumnChunk()
+    chunk.extend_run(batch)
+    return chunk
+
+
+def _decode_columns_scalar(sections, n_records: int) -> ColumnChunk:
+    raws = _dzv_decode_scalar(sections[0], n_records)
+    seqs = _dzv_decode_scalar(sections[1], n_records)
+    sides = _drle_decode_scalar(sections[2], n_records)
+    codes = _drle_decode_scalar(sections[3], n_records)
+    cores = _drle_decode_scalar(sections[4], n_records)
+    values = array("q")
+    values.frombytes(bytes(sections[5]))
+    chunk = ColumnChunk()
+    pos = 0
+    for i in range(n_records):
+        side, code, core, seq = sides[i], codes[i], cores[i], seqs[i]
+        if side > 0xFF or code > 0xFF or core > 0xFFFF or seq > _SEQ_MAX:
+            raise TraceFormatError(
+                "column value out of range for its wire type"
+            )
+        try:
+            values_struct, __, __ = codec.record_info(side, code)
+        except KeyError as exc:
+            raise TraceFormatError(
+                "chunk contains an unknown record type"
+            ) from exc
+        nf = values_struct.size // 8
+        if pos + nf > len(values):
+            raise TraceFormatError(
+                f"values section is {8 * len(values)} bytes; record types "
+                f"require more"
+            )
+        chunk.append(side, code, core, seq, raws[i], values[pos : pos + nf])
+        pos += nf
+    if pos != len(values):
+        raise TraceFormatError(
+            f"values section is {8 * len(values)} bytes; record types "
+            f"require {8 * pos}"
+        )
+    return chunk
+
+
+def decode_chunk_payload(payload, n_records: int) -> ColumnChunk:
+    """Decode one v5 chunk payload (header + body) into a chunk.
+
+    Raises :class:`TraceFormatError` on any structural inconsistency;
+    never returns a partially-decoded chunk.
+    """
+    if len(payload) < _V5_PAYLOAD.size:
+        raise TraceFormatError(
+            f"v5 chunk payload is {len(payload)} bytes; the payload "
+            f"header needs {_V5_PAYLOAD.size}"
+        )
+    enc, codec_id, reserved, packed_bytes = _V5_PAYLOAD.unpack_from(payload, 0)
+    if reserved:
+        raise TraceFormatError(
+            f"v5 payload header has nonzero reserved field 0x{reserved:04x}"
+        )
+    body = memoryview(payload)[_V5_PAYLOAD.size :]
+    packed = _decompress(codec_id, body, packed_bytes)
+    if enc == ENC_RECORDS:
+        return _decode_record_stream(packed, n_records)
+    if enc != ENC_COLUMNS:
+        raise TraceFormatError(f"unknown v5 payload encoding {enc}")
+    sections = _sections(packed, 6)
+    if codec.batch_enabled() and n_records >= _SMALL_CHUNK:
+        return _decode_columns_vec(sections, n_records)
+    return _decode_columns_scalar(sections, n_records)

@@ -142,7 +142,7 @@ class PlacedEvent:
     """
 
     __slots__ = ("time", "side", "code", "core", "seq", "raw_ts", "values",
-                 "truth", "_fields")
+                 "truth", "_fields", "_spec")
 
     def __init__(
         self, time: int, side: int, code: int, core: int, seq: int,
@@ -157,10 +157,17 @@ class PlacedEvent:
         self.values = values
         self.truth = truth
         self._fields: typing.Optional[typing.Dict[str, int]] = None
+        self._spec: typing.Optional[ev.EventSpec] = None
 
     @property
     def spec(self) -> ev.EventSpec:
-        return spec_for_code(self.side, self.code)
+        # Cached: the timeline builders ask for spec/kind/fields two or
+        # three times per record, and the registry lookup is a
+        # measurable slice of a whole streaming pass.
+        spec = self._spec
+        if spec is None:
+            spec = self._spec = spec_for_code(self.side, self.code)
+        return spec
 
     @property
     def kind(self) -> str:
@@ -416,30 +423,58 @@ class ClockCorrelator:
         spe_last: typing.Dict[int, int] = {}
         ppe_last: typing.Optional[int] = None
         ppe_run: typing.List[PlacedEvent] = []
+        # The demux loop runs once per record over the whole trace, so
+        # :meth:`place_value` is inlined here: the three stacked frames
+        # (place_value -> to_global -> _elapsed_ticks) cost more than
+        # the arithmetic they wrap.  The math below is the same
+        # expression — ``x % 2**32`` written as ``x & 0xFFFFFFFF``,
+        # identical on Python ints of either sign.
+        fit_params = {
+            core: (fit.dec_anchor, fit.intercept, fit.cycles_per_tick)
+            for core, fit in self.fits.items()
+        }
+        divider = self.divider
+        side_spe = ev.SIDE_SPE
         for chunk in self.source.iter_chunks():
             off = chunk.val_off
-            for i in range(len(chunk)):
-                side = chunk.side[i]
-                core = chunk.core[i]
-                time = self.place_value(side, core, chunk.raw_ts[i])
-                if side == ev.SIDE_SPE:
+            sides = chunk.side
+            codes = chunk.code
+            cores = chunk.core
+            seqs = chunk.seq
+            raws = chunk.raw_ts
+            truths = chunk.truth
+            values = chunk.values
+            for i in range(len(sides)):
+                side = sides[i]
+                core = cores[i]
+                raw = raws[i]
+                if side == side_spe:
+                    try:
+                        anchor, intercept, per_tick = fit_params[core]
+                    except KeyError:
+                        raise CorrelationError(
+                            f"no clock fit for SPE {core}"
+                        ) from None
+                    elapsed = (anchor - raw) & 0xFFFFFFFF
+                    if elapsed >= 0x80000000:
+                        elapsed -= 0x100000000
+                    time = int(round(intercept + per_tick * elapsed))
                     last = spe_last.get(core)
                     if last is not None and time < last:
                         time = last  # clamp: order within a core is truth
                     spe_last[core] = time
                     yield core, PlacedEvent(
-                        time, side, chunk.code[i], core, chunk.seq[i],
-                        chunk.raw_ts[i], chunk.values[off[i] : off[i + 1]],
-                        chunk.truth[i],
+                        time, side, codes[i], core, seqs[i],
+                        raw, values[off[i] : off[i + 1]], truths[i],
                     )
                 else:
+                    time = raw * divider
                     if ppe_last is not None and time < ppe_last:
                         time = ppe_last
                     ppe_last = time
                     placed = PlacedEvent(
-                        time, side, chunk.code[i], core, chunk.seq[i],
-                        chunk.raw_ts[i], chunk.values[off[i] : off[i + 1]],
-                        chunk.truth[i],
+                        time, side, codes[i], core, seqs[i],
+                        raw, values[off[i] : off[i + 1]], truths[i],
                     )
                     if ppe_run and time != ppe_run[0].time:
                         ppe_run.sort(key=lambda p: (p.core, p.seq))

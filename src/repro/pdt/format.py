@@ -18,7 +18,7 @@ Three file layouts share the same magic and header struct; the header's
   anywhere in the file is *detected* instead of silently decoding into
   wrong timestamps; a damaged file can be salvaged chunk by chunk
   (``read_trace(..., strict=False)``).
-* **version 4 (chunked + CRC + zone-map index, the default)** —
+* **version 4 (chunked + CRC + zone-map index)** —
   version 3 plus an *index trailer* after the last chunk: one zone-map
   entry per chunk (record count, min/max corrected timestamp, SPE
   bitmap, per-side event-code bitmaps) so a reader answering a
@@ -26,11 +26,33 @@ Three file layouts share the same magic and header struct; the header's
   without reading their payloads (:mod:`repro.tq`).  The trailer is
   CRC-protected like everything else in the v3 layout; a damaged
   trailer degrades to a full scan, never to wrong results.
+* **version 5 (compressed columnar, the default)** — the version-4
+  container with a per-column-encoded, optionally whole-chunk-
+  compressed payload.  The chunk *frame* is unchanged (``_CHUNK_CRC``
+  with the CRC over the stored — i.e. compressed — payload bytes, so
+  integrity is checked before any decompression), but the payload
+  starts with a small header (:data:`_V5_PAYLOAD`)::
+
+      enc             u8   0 = record stream (the v2–v4 payload bytes)
+                           1 = columnar sections
+      codec           u8   0 = stored, 1 = zlib, 2 = zstd
+      reserved        u16  0
+      packed_bytes    u32  size of the payload body once decompressed
+
+  followed by the (possibly compressed) body.  The columnar body is
+  six u32-length-prefixed sections in order — ``raw_ts`` and ``seq``
+  as delta + zigzag varints, ``side``/``code``/``core`` as
+  dictionary + run-length pairs, and the payload values as raw little-
+  endian i64 (see :mod:`repro.pdt.colenc`).  Zone maps are computed
+  from the raw records *before* encoding, so pruning decisions never
+  require decompressing a refused chunk.  ``REPRO_NO_COMPRESS=1``
+  makes writers emit ``enc = 0, codec = 0`` payloads (the escape
+  hatch); readers accept every combination regardless.
 
 Header struct (little endian), shared by all versions::
 
     magic           4s   b"PDT1"
-    version         u16  1, 2, 3 or 4
+    version         u16  1, 2, 3, 4 or 5
     n_spes          u16
     timebase_div    u32
     spu_clock_hz    f64
@@ -51,8 +73,8 @@ header writes ``n_chunks = 0xFFFFFFFF`` (:data:`CHUNKS_UNTIL_EOF`),
 meaning "read chunks until end of file" — for v4, "until the index
 trailer magic".
 
-v4 appends the index trailer (see :mod:`repro.pdt.index` for the zone
-map layout) after the final chunk::
+v4 and v5 append the index trailer (see :mod:`repro.pdt.index` for
+the zone map layout) after the final chunk::
 
     idx_magic       4s   b"PDTX"
     idx_version     u16  1
@@ -78,11 +100,13 @@ VERSION_LEGACY = 1
 VERSION_CHUNKED = 2
 VERSION_CRC = 3
 VERSION_INDEXED = 4
+VERSION_COMPRESSED = 5
 SUPPORTED_VERSIONS = (
     VERSION_LEGACY,
     VERSION_CHUNKED,
     VERSION_CRC,
     VERSION_INDEXED,
+    VERSION_COMPRESSED,
 )
 
 #: Magic opening the v4 index trailer and the standalone sidecar file.
@@ -94,6 +118,18 @@ _STREAM = struct.Struct("<II")  # v1: (spe_id, n_records)
 _CHUNK = struct.Struct("<II")  # v2: (n_records, payload_bytes)
 _CHUNK_CRC = struct.Struct("<III")  # v3: (n_records, payload_bytes, crc32)
 _U32 = struct.Struct("<I")  # v3: header CRC32 trailer
+
+#: v5 payload header: (enc, codec, reserved, packed_bytes).
+_V5_PAYLOAD = struct.Struct("<BBHI")
+
+#: v5 payload body encodings.
+ENC_RECORDS = 0  # the v2–v4 record stream, verbatim
+ENC_COLUMNS = 1  # per-column sections (repro.pdt.colenc)
+
+#: v5 whole-payload compression codecs.
+CODEC_NONE = 0
+CODEC_ZLIB = 1
+CODEC_ZSTD = 2
 
 #: v2/v3 ``n_chunks`` sentinel: chunk prefixes run until end of file.
 CHUNKS_UNTIL_EOF = 0xFFFF_FFFF
@@ -111,7 +147,8 @@ def check_version(version: int) -> None:
             f"versions {', '.join(str(v) for v in SUPPORTED_VERSIONS)} "
             "(1 = legacy stream layout, 2 = chunked columnar layout, "
             "3 = chunked layout with CRC32 integrity checks, "
-            "4 = checksummed chunks plus a zone-map index trailer)"
+            "4 = checksummed chunks plus a zone-map index trailer, "
+            "5 = compressed columnar chunks in the v4 container)"
         )
 
 
@@ -132,7 +169,9 @@ def chunk_crc32(n_records: int, payload) -> int:
 
     Folding the (n_records, payload_bytes) prefix into the checksum
     means a bit flip in the frame itself — not just the payload — fails
-    verification.
+    verification.  For v5 chunks ``payload`` is the *stored* (possibly
+    compressed) bytes, so integrity is established before any
+    decompression is attempted.
     """
     crc = zlib.crc32(_CHUNK.pack(n_records, len(payload)))
     return zlib.crc32(payload, crc) & 0xFFFF_FFFF

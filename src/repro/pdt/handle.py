@@ -37,19 +37,28 @@ from __future__ import annotations
 
 import dataclasses
 import io
+import mmap
 import struct
 import threading
+import time
 import typing
 
-from repro.pdt import codec
+import numpy as np
+
+from repro.pdt import codec, colenc
 from repro.pdt import events as ev
 from repro.pdt.codec import decode_fields, iter_prefixes
 from repro.pdt.format import (
     _HEADER,
     _U32,
+    _V5_PAYLOAD,
     CHUNKS_UNTIL_EOF,
+    CODEC_NONE,
+    ENC_RECORDS,
     INDEX_MAGIC,
     MAGIC,
+    VERSION_CHUNKED,
+    VERSION_COMPRESSED,
     VERSION_CRC,
     VERSION_INDEXED,
     VERSION_LEGACY,
@@ -206,7 +215,16 @@ def _check_chunk_crc(
         )
 
 
-def _decode_chunk(blob: bytes, offset: int, n_records: int, payload_bytes: int) -> ColumnChunk:
+def _decode_chunk(
+    blob: bytes,
+    offset: int,
+    n_records: int,
+    payload_bytes: int,
+    version: int = VERSION_CHUNKED,
+) -> ColumnChunk:
+    if version >= VERSION_COMPRESSED:
+        view = memoryview(blob)[offset : offset + payload_bytes]
+        return colenc.decode_chunk_payload(view, n_records)
     chunk = ColumnChunk()
     end = offset + payload_bytes
     batch = codec.decode_batch(blob, offset, n_records)
@@ -246,10 +264,20 @@ def _decode_chunk(blob: bytes, offset: int, n_records: int, payload_bytes: int) 
     return chunk
 
 
-def _plausible_frame(n_records: int, payload_bytes: int) -> bool:
-    """Could (n_records, payload_bytes) frame a real chunk?  Records
-    are 16-byte-aligned multiples of 16 bytes, so the payload size must
-    be too, and each record occupies at least 16 of those bytes."""
+def _plausible_frame(
+    n_records: int, payload_bytes: int, version: int = VERSION_CHUNKED
+) -> bool:
+    """Could (n_records, payload_bytes) frame a real chunk?
+
+    Pre-v5, records are 16-byte-aligned multiples of 16 bytes, so the
+    payload size must be too, and each record occupies at least 16 of
+    those bytes.  A v5 payload is compressed, so its size bears no
+    fixed relation to the record count — the only structural floor is
+    the payload header — and the resync scan must instead lean on the
+    CRC plus a trial decode (:func:`_resync_offset`).
+    """
+    if version >= VERSION_COMPRESSED:
+        return n_records > 0 and payload_bytes >= _V5_PAYLOAD.size
     return (
         n_records > 0
         and payload_bytes % 16 == 0
@@ -261,8 +289,13 @@ def _resync_offset(blob: bytes, start: int, version: int) -> int:
     """Scan forward from ``start`` for the next well-formed chunk.
 
     Well-formed means: plausible frame, payload fits in the file, and
-    (v3) the CRC verifies / (v2) the payload trial-decodes.  Returns
-    ``len(blob)`` when no further chunk exists.
+    (v3/v4) the CRC verifies / (v2) the payload trial-decodes.  A v5
+    chunk must pass *both* the CRC and a trial decode: a compressed
+    payload is near-random bytes, so it can embed a byte run that
+    scores as a CRC-consistent v4-style frame — without the decode
+    requirement salvage could resynchronize into the middle of a
+    compressed block and invent records.  Returns ``len(blob)`` when
+    no further chunk exists.
     """
     frame = chunk_frame_struct(version)
     v3 = version >= VERSION_CRC
@@ -276,14 +309,23 @@ def _resync_offset(blob: bytes, start: int, version: int) -> int:
             n_records, payload_bytes = frame.unpack_from(blob, offset)
         payload_off = offset + frame.size
         if (
-            _plausible_frame(n_records, payload_bytes)
+            _plausible_frame(n_records, payload_bytes, version)
             and payload_off + payload_bytes <= size
         ):
             if v3:
                 if chunk_crc32(
                     n_records, mv[payload_off : payload_off + payload_bytes]
                 ) == crc:
-                    return offset
+                    if version < VERSION_COMPRESSED:
+                        return offset
+                    try:
+                        _decode_chunk(
+                            blob, payload_off, n_records, payload_bytes,
+                            version,
+                        )
+                        return offset
+                    except TraceFormatError:
+                        pass
             else:
                 try:
                     _decode_chunk(blob, payload_off, n_records, payload_bytes)
@@ -295,15 +337,29 @@ def _resync_offset(blob: bytes, start: int, version: int) -> int:
 
 
 def _decode_partial(
-    blob: bytes, offset: int, end: int, max_records: int
+    blob: bytes,
+    offset: int,
+    end: int,
+    max_records: int,
+    version: int = VERSION_CHUNKED,
 ) -> typing.Tuple[ColumnChunk, int]:
     """Recover the valid record prefix of a truncated chunk payload.
 
     Decodes records until one fails or runs past ``end``; returns the
-    recovered chunk and the offset reached.
+    recovered chunk and the offset reached.  A truncated v5 payload is
+    walkable only when it is an uncompressed record stream
+    (``enc = 0, codec = 0``); a cut-off compressed body cannot be
+    partially inflated, so nothing is recovered from it.
     """
     chunk = ColumnChunk()
     count = 0
+    if version >= VERSION_COMPRESSED:
+        if offset + _V5_PAYLOAD.size > end:
+            return chunk, offset
+        enc, codec_id, __, __ = _V5_PAYLOAD.unpack_from(blob, offset)
+        if enc != ENC_RECORDS or codec_id != CODEC_NONE:
+            return chunk, offset
+        offset += _V5_PAYLOAD.size
     while count < max_records:
         try:
             side, code, core, seq, raw_ts, values, next_off = decode_fields(
@@ -385,7 +441,7 @@ def _salvage_scan(
             n_records, payload_bytes = frame.unpack_from(blob, offset)
             crc = None
         payload_off = offset + frame.size
-        plausible = _plausible_frame(n_records, payload_bytes)
+        plausible = _plausible_frame(n_records, payload_bytes, version)
         fits = payload_off + payload_bytes <= size
         chunk: typing.Optional[ColumnChunk] = None
         if plausible and fits:
@@ -396,7 +452,7 @@ def _salvage_scan(
             else:
                 try:
                     chunk = _decode_chunk(
-                        blob, payload_off, n_records, payload_bytes
+                        blob, payload_off, n_records, payload_bytes, version
                     )
                 except TraceFormatError as exc:
                     reason = f"chunk at offset {offset} failed to decode: {exc}"
@@ -419,7 +475,9 @@ def _salvage_scan(
         # chunk and resynchronize on the next well-formed prefix.
         resume = _resync_offset(blob, offset + 1, version)
         if plausible and not fits and resume >= size:
-            tail, reached = _decode_partial(blob, payload_off, size, n_records)
+            tail, reached = _decode_partial(
+                blob, payload_off, size, n_records, version
+            )
             report.truncated = True
             if len(tail):
                 chunks.append(tail)
@@ -547,14 +605,25 @@ class FdPool:
     def checkout(
         self, timeout: typing.Optional[float] = None
     ) -> typing.BinaryIO:
-        """An open handle over the backing file; blocks at the cap."""
+        """An open handle over the backing file; blocks at the cap.
+
+        ``timeout`` bounds the *total* wait: it is converted once to a
+        monotonic deadline that every ``Condition.wait`` iteration
+        counts against, so spurious wakeups and lost races for a freed
+        descriptor cannot restart the clock.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while (
                 not self._closed
                 and not self._idle
                 and len(self._live) >= self.cap
             ):
-                if not self._cond.wait(timeout=timeout):
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(timeout=remaining):
                     raise TimeoutError(
                         f"no descriptor available within {timeout}s "
                         f"(pool cap {self.cap})"
@@ -623,6 +692,8 @@ class TraceHandle:
     ):
         self._path: typing.Optional[str] = None
         self._blob: typing.Optional[bytes] = None
+        self._mmap: typing.Optional[mmap.mmap] = None
+        self._view: typing.Optional[memoryview] = None
         if isinstance(path_or_file, str):
             self._path = path_or_file
         elif isinstance(path_or_file, (bytes, bytearray)):
@@ -631,6 +702,10 @@ class TraceHandle:
             # A raw file object cannot be re-opened for repeated
             # iteration, so fall back to holding its bytes.
             self._blob = path_or_file.read()
+        if self._blob is not None:
+            # Blob-backed reads were always zero-copy candidates; give
+            # them the same memoryview fast path the mmap provides.
+            self._view = memoryview(self._blob)
         self.strict = strict
         self.salvage: typing.Optional[SalvageReport] = None
         self._salvaged: typing.Optional[typing.List[ColumnChunk]] = None
@@ -668,6 +743,7 @@ class TraceHandle:
                 return
             if self.header.version >= VERSION_CRC:
                 _check_header_crc(head)
+            self._try_mmap(handle)
             self._index = self._build_index(handle, self.header.version, a)
             self._n_records = sum(n for __, n, __, __ in self._index)
             if a != CHUNKS_UNTIL_EOF and self._n_records != b:
@@ -687,6 +763,25 @@ class TraceHandle:
                 )
         finally:
             self._pool.release(handle)
+
+    def _try_mmap(self, handle: typing.BinaryIO) -> None:
+        """Map the backing file read-only for the zero-copy read path.
+
+        Reuses the descriptor already checked out for construction (a
+        mapping outlives the fd on POSIX, so the pool's lifecycle is
+        unaffected and no extra descriptor is ever opened).  Any
+        failure — a file-like object with no real ``fileno`` (tests
+        wrap ``BytesIO``), an empty file, a platform refusing the map —
+        silently falls back to pooled ``seek``/``read``.
+        """
+        if self._view is not None or self._path is None:
+            return
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (AttributeError, OSError, ValueError, OverflowError):
+            return
+        self._mmap = mapped
+        self._view = memoryview(mapped)
 
     def _init_salvage(self) -> None:
         """Non-strict construction: read everything, keep what verifies."""
@@ -898,6 +993,8 @@ class TraceHandle:
                     continue
                 yield chunk
             return
+        version = self.header.version
+        view = self._view
         handle: typing.Optional[typing.BinaryIO] = None
         try:
             for i, (offset, n_records, payload_bytes, crc) in enumerate(
@@ -910,17 +1007,27 @@ class TraceHandle:
                     if cached is not None:
                         yield cached
                         continue
-                if handle is None:
-                    handle = self._pool.checkout()
-                handle.seek(offset)
-                payload = handle.read(payload_bytes)
+                if view is not None:
+                    # Zero-copy path: slice the mapping (or blob) so CRC
+                    # and decode gather straight from the page cache
+                    # with no intermediate bytes object.
+                    if self._pool.closed:
+                        raise ValueError("descriptor pool is closed")
+                    payload: typing.Union[bytes, memoryview] = view[
+                        offset : offset + payload_bytes
+                    ]
+                else:
+                    if handle is None:
+                        handle = self._pool.checkout()
+                    handle.seek(offset)
+                    payload = handle.read(payload_bytes)
                 if len(payload) != payload_bytes:
                     raise TraceFormatError(
                         f"truncated chunk payload at offset {offset}"
                     )
                 if crc is not None:
                     _check_chunk_crc(crc, n_records, payload, offset)
-                chunk = _decode_chunk(payload, 0, n_records, payload_bytes)
+                chunk = _decode_chunk(payload, 0, n_records, payload_bytes, version)
                 if cache is not None:
                     cache.put(lo + i, chunk)
                 yield chunk
@@ -935,6 +1042,15 @@ class TraceHandle:
             return EventSource.scan_sync(self.source())
         if self._fallback is not None:
             return self._fallback.scan_sync()
+        if self.header.version >= VERSION_COMPRESSED:
+            # A compressed payload has no fixed-stride record prefixes
+            # to walk; decode chunks (zero-copy via the mapping) and
+            # collect syncs from the columns instead — with whole-chunk
+            # masks rather than a per-record loop, so the sync pass
+            # stays cheap relative to the decompression it already pays.
+            if not codec.batch_enabled():
+                return EventSource.scan_sync(self.source())
+            return self._scan_sync_columns()
         sync_code = ev.code_for_kind(ev.SIDE_SPE, ev.KIND_SYNC).code
         spe_ids: typing.Set[int] = set()
         syncs: typing.Dict[int, typing.List[typing.Tuple[int, int]]] = {}
@@ -963,10 +1079,113 @@ class TraceHandle:
             self._pool.release(handle)
         return spe_ids, syncs
 
+    def _scan_sync_columns(self):
+        """Vectorized sync collection over (v5) payloads: each chunk is
+        decompressed once and only the columns correlation reads are
+        decoded — no ``seq`` column, no chunk assembly, whole-chunk
+        masks instead of a per-record loop."""
+        sync_code = ev.code_for_kind(ev.SIDE_SPE, ev.KIND_SYNC).code
+        spe_ids: typing.Set[int] = set()
+        syncs: typing.Dict[int, typing.List[typing.Tuple[int, int]]] = {}
+        zones = self._zones
+        view = self._view
+        handle: typing.Optional[typing.BinaryIO] = None
+        try:
+            for i_chunk, (offset, n_records, payload_bytes, crc) in enumerate(
+                self._index
+            ):
+                zone = zones[i_chunk] if zones is not None else None
+                if (
+                    zone is not None
+                    and not zone.spe_overflow
+                    and not zone.may_contain_code(ev.SIDE_SPE, sync_code)
+                ):
+                    # The verified zone map names every SPE that
+                    # contributed to this chunk (the bitmap is exact
+                    # when it did not overflow) and rules out sync
+                    # records outright, so the payload has nothing
+                    # left to tell a correlation scan — skip the read
+                    # and the decompression; the analysis pass still
+                    # CRC-checks and decodes every chunk it consumes.
+                    bitmap = zone.spe_bitmap
+                    while bitmap:
+                        low = bitmap & -bitmap
+                        spe_ids.add(low.bit_length() - 1)
+                        bitmap ^= low
+                    continue
+                if view is not None:
+                    if self._pool.closed:
+                        raise ValueError("descriptor pool is closed")
+                    payload: typing.Union[bytes, memoryview] = view[
+                        offset : offset + payload_bytes
+                    ]
+                else:
+                    if handle is None:
+                        handle = self._pool.checkout()
+                    handle.seek(offset)
+                    payload = handle.read(payload_bytes)
+                if len(payload) != payload_bytes:
+                    raise TraceFormatError(
+                        f"truncated chunk payload at offset {offset}"
+                    )
+                if crc is not None:
+                    _check_chunk_crc(crc, n_records, payload, offset)
+                if not n_records:
+                    continue
+                if n_records < colenc._SMALL_CHUNK:
+                    # Tiny chunks scan faster through the scalar
+                    # column walk than through numpy kernel launches.
+                    small = colenc.scan_sync_chunk(
+                        payload, n_records, ev.SIDE_SPE, sync_code
+                    )
+                    if small is not None:
+                        chunk_cores, chunk_syncs = small
+                        spe_ids.update(chunk_cores)
+                        for core, raw_ts, tb_raw in chunk_syncs:
+                            syncs.setdefault(core, []).append(
+                                (raw_ts, tb_raw)
+                            )
+                        continue
+                sides, codes, cores, raws, val_off, values = (
+                    colenc.decode_sync_view(payload, n_records)
+                )
+                spe_mask = sides == ev.SIDE_SPE
+                if not spe_mask.any():
+                    continue
+                spe_ids.update(int(c) for c in np.unique(cores[spe_mask]))
+                for i in np.flatnonzero(spe_mask & (codes == sync_code)):
+                    i = int(i)
+                    syncs.setdefault(int(cores[i]), []).append(
+                        (int(raws[i]), int(values[val_off[i]]))
+                    )
+        finally:
+            if handle is not None:
+                self._pool.release(handle)
+        return spe_ids, syncs
+
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
-        """Close every pooled descriptor; idempotent."""
+        """Close every pooled descriptor and the mapping; idempotent.
+
+        An abandoned iterator (or a numpy array built over a chunk
+        slice) may still export buffers from the mapping; releasing
+        then raises :class:`BufferError` and the mapping is left for
+        the garbage collector to finish — new reads are already
+        refused either way because the pool is poisoned first.
+        """
         self._pool.close()
+        if self._view is not None:
+            try:
+                self._view.release()
+            except BufferError:  # pragma: no cover - GC finishes it
+                pass
+            self._view = None
+        if self._mmap is not None:
+            try:
+                self._mmap.close()
+            except BufferError:  # pragma: no cover - GC finishes it
+                pass
+            self._mmap = None
 
     def __enter__(self) -> "TraceHandle":
         return self

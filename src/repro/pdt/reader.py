@@ -4,7 +4,7 @@ Three entry points:
 
 * :func:`read_trace` — parse a whole file into an in-memory
   :class:`Trace` (compatibility path; all layouts).
-* :func:`open_trace` — open a chunked (version-2/3/4) trace as a
+* :func:`open_trace` — open a chunked (version-2/3/4/5) trace as a
   :class:`TraceFileSource`, an :class:`EventSource` that decodes one
   chunk at a time so analysis of a multi-million-event trace never
   holds more than O(chunk) records.  Version-1 files transparently
@@ -180,7 +180,9 @@ def read_trace(
                     offset,
                 )
             trace.store.adopt_chunk(
-                _decode_chunk(blob, offset, n_records, payload_bytes)
+                _decode_chunk(
+                    blob, offset, n_records, payload_bytes, header.version
+                )
             )
             total += n_records
             chunks_seen += 1

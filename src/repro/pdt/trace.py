@@ -33,8 +33,8 @@ class TraceHeader:
 
     ``version`` selects the file layout (see :mod:`repro.pdt.format`);
     it round-trips through write/read exactly.  The default is the
-    CRC-checked chunked layout with the zone-map index trailer
-    (version 4).
+    compressed columnar layout — CRC-checked chunks with per-column
+    encodings inside the zone-map-indexed container (version 5).
     """
 
     n_spes: int
@@ -42,7 +42,7 @@ class TraceHeader:
     spu_clock_hz: float
     groups_bitmap: int
     buffer_bytes: int
-    version: int = 4
+    version: int = 5
 
 
 class Trace:

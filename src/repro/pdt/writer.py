@@ -5,11 +5,12 @@ honours ``header.version`` exactly (round-tripping it) and rejects
 versions it cannot produce with a clear error.
 
 * :func:`write_trace` — serialize a :class:`Trace` or any
-  :class:`EventSource`.  The chunked layouts (version 4 with the
-  zone-map index trailer, the default; version 3 with CRC32 integrity
-  checks; version 2 without) are written one chunk at a time in
-  O(chunk) memory; the legacy layout (version 1) is still produced
-  when ``header.version == 1``.
+  :class:`EventSource`.  The chunked layouts (version 5 with
+  compressed columnar payloads, the default; version 4 with the
+  zone-map index trailer; version 3 with CRC32 integrity checks;
+  version 2 without) are written one chunk at a time in O(chunk)
+  memory; the legacy layout (version 1) is still produced when
+  ``header.version == 1``.
 * :class:`ChunkWriter` — an :class:`EventSink` that writes records to
   disk *as they arrive*, sealing chunks as they fill; nothing but the
   open chunk (plus, for version 4, O(cores)-sized zone-map state per
@@ -20,7 +21,10 @@ through, an :class:`~repro.pdt.index.IndexAccumulator` tracks per-chunk
 presence bitmaps and elapsed-tick extremes, and at ``close`` the clock
 fits are computed from the collected sync pairs (the same fit the
 analyzer will make) to turn those extremes into exact corrected-time
-bounds for the trailer.
+bounds for the trailer.  Version 5 observes the same zone-map state
+from the *raw* record components before the chunk payload is encoded
+or compressed, so index construction never depends on being able to
+decompress what was just written.
 
 Both chunked writers work on non-seekable outputs (pipes, sockets):
 when the stream cannot seek back to patch the header, the
@@ -33,7 +37,8 @@ from __future__ import annotations
 import io
 import typing
 
-from repro.pdt.codec import encode_batch, encode_fields
+from repro.pdt import colenc
+from repro.pdt.codec import _PREFIX, encode_batch, encode_fields
 from repro.pdt.events import KIND_SYNC, SIDE_PPE, SIDE_SPE, code_for_kind
 from repro.pdt.format import (
     _CHUNK,
@@ -43,6 +48,7 @@ from repro.pdt.format import (
     _U32,
     CHUNKS_UNTIL_EOF,
     MAGIC,
+    VERSION_COMPRESSED,
     VERSION_CRC,
     VERSION_INDEXED,
     VERSION_LEGACY,
@@ -87,9 +93,13 @@ def _seekable(out: typing.BinaryIO) -> bool:
     return bool(probe()) if callable(probe) else False
 
 
-def _encode_chunk(chunk: ColumnChunk) -> bytes:
-    # Whole-chunk batch encode (byte-identical to the per-record loop,
-    # which it falls back to under REPRO_SCALAR_CODEC=1).
+def _encode_chunk(chunk: ColumnChunk, version: int) -> bytes:
+    # v5 wraps the payload in the column-encoding (and optionally
+    # compressing) layer; earlier versions are the whole-chunk batch
+    # encode (byte-identical to the per-record loop, which it falls
+    # back to under REPRO_SCALAR_CODEC=1).
+    if version >= VERSION_COMPRESSED:
+        return colenc.encode_chunk_payload(chunk)
     return encode_batch(chunk)
 
 
@@ -109,8 +119,8 @@ def write_trace(
 
 
 def _write_chunked(source: EventSource, out: typing.BinaryIO) -> int:
-    """Version-2/3/4 layout: header, then self-framed chunks in order,
-    then (version 4) the zone-map index trailer.
+    """Version-2/3/4/5 layout: header, then self-framed chunks in
+    order, then (versions 4 and 5) the zone-map index trailer.
 
     A non-seekable output gets the sentinel header (chunks run until
     EOF — for version 4, until the index trailer magic) instead of a
@@ -126,7 +136,7 @@ def _write_chunked(source: EventSource, out: typing.BinaryIO) -> int:
     for chunk in source.iter_chunks():
         if not len(chunk):
             continue
-        payload = _encode_chunk(chunk)
+        payload = _encode_chunk(chunk, version)
         written += out.write(_pack_chunk_frame(version, len(chunk), payload))
         written += out.write(payload)
         chunks += 1
@@ -190,7 +200,7 @@ def trace_to_bytes(trace: typing.Union[Trace, EventSource]) -> bytes:
 
 
 class ChunkWriter(EventSink):
-    """Stream records straight to a chunked (version 2/3/4) trace file.
+    """Stream records straight to a chunked (version 2–5) trace file.
 
     Records are encoded as they arrive and the chunk payload buffer is
     flushed to disk every ``chunk_records`` records, so writing a
@@ -213,7 +223,7 @@ class ChunkWriter(EventSink):
         if header.version == VERSION_LEGACY:
             raise ValueError(
                 "ChunkWriter only writes the chunked layouts (versions "
-                f"2, 3 and 4); got header version {header.version}"
+                f"2 through 5); got header version {header.version}"
             )
         if chunk_records < 1:
             raise ValueError(f"chunk_records must be >= 1, got {chunk_records}")
@@ -224,7 +234,11 @@ class ChunkWriter(EventSink):
             open(path_or_file, "wb") if self._owns_file else path_or_file
         )
         self._seekable = _seekable(self._out)
+        # v5 buffers raw components (the payload is column-encoded as a
+        # whole at flush); earlier versions buffer pre-encoded records.
+        self._columnar = header.version >= VERSION_COMPRESSED
         self._buffer: typing.List[bytes] = []
+        self._column_buffer = ColumnChunk()
         self._buffered = 0
         self._index = (
             IndexAccumulator() if header.version >= VERSION_INDEXED else None
@@ -242,7 +256,15 @@ class ChunkWriter(EventSink):
     ) -> None:
         if self._closed:
             raise ValueError("ChunkWriter is closed")
-        self._buffer.append(encode_fields(side, code, core, seq, raw_ts, values))
+        if self._columnar:
+            # Same eager out-of-range struct.error as encode_fields
+            # raises on the pre-v5 path, before the record is buffered.
+            _PREFIX.pack(side, code, core, seq, raw_ts)
+            self._column_buffer.append(side, code, core, seq, raw_ts, values)
+        else:
+            self._buffer.append(
+                encode_fields(side, code, core, seq, raw_ts, values)
+            )
         self._buffered += 1
         if self._index is not None:
             self._index.observe(side, code, core, raw_ts, values)
@@ -252,14 +274,18 @@ class ChunkWriter(EventSink):
     def _flush_chunk(self) -> None:
         if not self._buffered:
             return
-        payload = b"".join(self._buffer)
+        if self._columnar:
+            payload = colenc.encode_chunk_payload(self._column_buffer)
+            self._column_buffer = ColumnChunk()
+        else:
+            payload = b"".join(self._buffer)
+            self._buffer.clear()
         self.bytes_written += self._out.write(
             _pack_chunk_frame(self.header.version, self._buffered, payload)
         )
         self.bytes_written += self._out.write(payload)
         self.n_chunks += 1
         self.n_records += self._buffered
-        self._buffer.clear()
         self._buffered = 0
         if self._index is not None:
             self._index.seal_chunk()

@@ -87,8 +87,15 @@ class LruCache:
 
     def put(self, key: typing.Any, value: typing.Any, nbytes: int) -> bool:
         """Insert (or refresh) ``key``; returns False when the entry is
-        larger than the whole budget and was not cached."""
-        if nbytes > self.budget_bytes:
+        larger than the whole budget and was not cached.
+
+        Every entry is accounted as at least one byte: a declared size
+        of zero must not let entries bypass the budget entirely, or a
+        stream of empty results against a tiny budget would grow the
+        table without bound (and a zero budget would cache forever).
+        """
+        accounted = max(int(nbytes), 1)
+        if accounted > self.budget_bytes:
             with self._lock:
                 self._rejected += 1
             return False
@@ -96,12 +103,12 @@ class LruCache:
             old = self._entries.pop(key, None)
             if old is not None:
                 self._bytes -= old[1]
-            while self._entries and self._bytes + nbytes > self.budget_bytes:
+            while self._entries and self._bytes + accounted > self.budget_bytes:
                 __, (___, evicted_bytes) = self._entries.popitem(last=False)
                 self._bytes -= evicted_bytes
                 self._evictions += 1
-            self._entries[key] = (value, nbytes)
-            self._bytes += nbytes
+            self._entries[key] = (value, accounted)
+            self._bytes += accounted
             self._insertions += 1
             return True
 
@@ -118,7 +125,10 @@ class LruCache:
             return len(doomed)
 
     def clear(self) -> None:
+        """Drop everything; the dropped entries count as evictions so
+        ``stats()`` keeps accounting for every departed entry."""
         with self._lock:
+            self._evictions += len(self._entries)
             self._entries.clear()
             self._bytes = 0
 

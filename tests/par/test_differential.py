@@ -18,6 +18,7 @@ from hypothesis import given, settings, strategies as st
 from repro.pdt import TraceConfig, open_trace, write_trace
 from repro.pdt.format import (
     VERSION_CHUNKED,
+    VERSION_COMPRESSED,
     VERSION_CRC,
     VERSION_INDEXED,
     VERSION_LEGACY,
@@ -63,13 +64,14 @@ WORKLOADS = (
     ),
 )
 
-VERSIONS = ("v1", "v2", "v3", "v4", "v3+sidecar")
+VERSIONS = ("v1", "v2", "v3", "v4", "v5", "v3+sidecar")
 
 _VERSION_CODES = {
     "v1": VERSION_LEGACY,
     "v2": VERSION_CHUNKED,
     "v3": VERSION_CRC,
     "v4": VERSION_INDEXED,
+    "v5": VERSION_COMPRESSED,
     "v3+sidecar": VERSION_CRC,
 }
 

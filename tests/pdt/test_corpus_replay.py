@@ -46,7 +46,7 @@ def test_corpus_is_present_and_covers_both_modes():
     assert len(_CASES) >= 20
     assert {case["mode"] for case in _CASES} == {"general", "trailer"}
     versions = {case["version"] for case in _CASES}
-    assert versions == {2, 3, 4}
+    assert versions == {2, 3, 4, 5}
 
 
 @pytest.mark.parametrize(

@@ -15,12 +15,14 @@ Three contracts under test:
 import builtins
 import io
 import threading
+import time
 
 import pytest
 
 from repro.pdt import TraceConfig, TraceFormatError, open_trace, write_trace
 from repro.pdt.format import (
     VERSION_CHUNKED,
+    VERSION_COMPRESSED,
     VERSION_CRC,
     VERSION_INDEXED,
     VERSION_LEGACY,
@@ -34,6 +36,7 @@ VERSIONS = {
     "v2": VERSION_CHUNKED,
     "v3": VERSION_CRC,
     "v4": VERSION_INDEXED,
+    "v5": VERSION_COMPRESSED,
 }
 
 
@@ -177,6 +180,41 @@ def test_pool_cap_blocks_and_releases():
     assert pool.n_open == 2  # idle handles stay open for reuse
     pool.close()
     assert pool.n_open == 0
+
+
+def test_pool_checkout_timeout_is_a_deadline_not_per_wakeup():
+    """Regression: checkout(timeout=...) restarted the full timeout on
+    every Condition wakeup, so a caller at a contended cap could block
+    far past its requested timeout as long as wakeups kept arriving.
+    The timeout must behave as a total monotonic deadline."""
+    pool = FdPool(None, b"x" * 64, cap=1)
+    held = pool.checkout()
+    stop = threading.Event()
+
+    def nuisance():
+        # Spurious-style wakeups, each arriving well inside the
+        # requested timeout, for much longer than the timeout itself.
+        while not stop.is_set():
+            with pool._cond:
+                pool._cond.notify_all()
+            time.sleep(0.05)
+
+    noisemaker = threading.Thread(target=nuisance)
+    noisemaker.start()
+    try:
+        start = time.monotonic()
+        with pytest.raises(TimeoutError):
+            pool.checkout(timeout=0.3)
+        elapsed = time.monotonic() - start
+        assert elapsed < 1.2, (
+            f"checkout blocked {elapsed:.2f}s past a 0.3s timeout: "
+            "wakeups are restarting the clock"
+        )
+    finally:
+        stop.set()
+        noisemaker.join()
+        pool.release(held)
+        pool.close()
 
 
 def test_pool_close_poisons_checkout():

@@ -17,6 +17,7 @@ from repro.pdt.format import (
     _U32,
     CHUNKS_UNTIL_EOF,
     VERSION_CHUNKED,
+    VERSION_COMPRESSED,
     VERSION_CRC,
     VERSION_INDEXED,
     VERSION_LEGACY,
@@ -83,14 +84,15 @@ def record_tuples(source):
 # ----------------------------------------------------------------------
 # version-3 round trip
 # ----------------------------------------------------------------------
-def test_v3_round_trips_and_v4_is_default():
+def test_v3_round_trips_and_v5_is_default():
     blob = sample_blob()
-    # The default header version moved to the indexed layout (v4),
-    # which is a superset of the v3 integrity checks.
+    # The default header version moved to the compressed columnar
+    # layout (v5), a superset of the v3 integrity checks and the v4
+    # zone-map index.
     assert TraceHeader(
         n_spes=1, timebase_divider=1, spu_clock_hz=1.0,
         groups_bitmap=0, buffer_bytes=0,
-    ).version == VERSION_INDEXED
+    ).version == VERSION_COMPRESSED
     trace = read_trace(blob)
     assert trace.header.version == VERSION_CRC
     assert trace.n_records == N_RECORDS
@@ -364,3 +366,144 @@ def test_non_seekable_sentinel_trace_salvages_after_truncation():
     trace = read_trace(blob[: len(blob) - 17], strict=False)
     assert trace.salvage.truncated
     assert 0 < trace.n_records < N_RECORDS
+
+
+# ----------------------------------------------------------------------
+# version-5 (compressed columnar) integrity and salvage
+# ----------------------------------------------------------------------
+def v5_frames(blob):
+    """(payload_offset, n_records, payload_bytes, crc) per v5 chunk."""
+    from repro.pdt.reader import _iter_chunk_frames
+
+    declared = _HEADER.unpack_from(blob, 0)[7]
+    return list(_iter_chunk_frames(blob, VERSION_COMPRESSED, declared))
+
+
+@pytest.mark.parametrize("flip", [0x01, 0x80])
+def test_v5_strict_detects_every_single_byte_flip(flip):
+    """The v3 acceptance property holds for compressed chunks too: the
+    CRC covers the *stored* bytes, so damage is detected before any
+    decompression is attempted."""
+    blob = sample_blob(VERSION_COMPRESSED)
+    for offset in range(len(blob)):
+        damaged = bytearray(blob)
+        damaged[offset] ^= flip
+        damaged = bytes(damaged)
+        with pytest.raises(TraceFormatError):
+            read_trace(damaged)
+        with pytest.raises(TraceFormatError):
+            source = open_trace(damaged)
+            list(source.iter_chunks())
+            source.scan_sync()
+
+
+def test_v5_round_trips_and_matches_uncompressed_records():
+    blob = sample_blob(VERSION_COMPRESSED)
+    trace = read_trace(blob)
+    assert trace.header.version == VERSION_COMPRESSED
+    assert trace.n_records == N_RECORDS
+    assert record_tuples(trace.as_source()) == record_tuples(
+        StoreSource(header(VERSION_COMPRESSED), sample_store())
+    )
+
+
+def test_v5_salvage_skips_corrupt_chunk_and_resyncs():
+    """Payload damage drops exactly the damaged chunk; the resync scan
+    finds the next genuine frame and never invents records out of
+    compressed bytes."""
+    blob = sample_blob(VERSION_COMPRESSED)
+    frames = v5_frames(blob)
+    assert len(frames) >= 4
+    __, n_damaged, payload_bytes, __crc = frames[2]
+    damaged = bytearray(blob)
+    damaged[frames[2][0] + payload_bytes // 2] ^= 0xFF
+    trace = read_trace(bytes(damaged), strict=False)
+    report = trace.salvage
+    assert report.chunks_dropped == 1
+    assert report.records_dropped == n_damaged
+    assert report.resyncs == 1
+    assert trace.n_records == N_RECORDS - n_damaged
+    original = record_tuples(
+        StoreSource(header(VERSION_COMPRESSED), sample_store())
+    )
+    before = sum(f[1] for f in frames[:2])
+    expected = original[:before] + original[before + n_damaged :]
+    assert record_tuples(trace.as_source()) == expected
+
+
+def test_v5_plausibility_is_version_aware():
+    """Regression: the pre-v5 plausibility rule (16-byte-aligned
+    payload, 16 bytes per record) rejects genuine compressed frames, so
+    a version-blind resync could never find the next real v5 chunk.
+    The version-aware check accepts every real v5 frame while the old
+    rule keeps applying to pre-v5 files."""
+    from repro.pdt.handle import _plausible_frame
+
+    blob = sample_blob(VERSION_COMPRESSED)
+    frames = v5_frames(blob)
+    odd = [f for f in frames if f[2] % 16 or 16 * f[1] > f[2]]
+    assert odd, "compressed chunks should not look like v4 record runs"
+    for __, n_records, payload_bytes, __crc in frames:
+        assert _plausible_frame(n_records, payload_bytes, VERSION_COMPRESSED)
+    for __, n_records, payload_bytes, __crc in odd:
+        assert not _plausible_frame(n_records, payload_bytes)
+
+
+def test_v5_resync_requires_a_decodable_payload():
+    """A CRC-consistent frame whose payload is not a valid v5 payload
+    (the shape a compressed block can embed by chance) must not be a
+    resync target — v5 resync demands CRC *and* a trial decode, where
+    v4 accepted the CRC alone."""
+    from repro.pdt.format import chunk_crc32
+    from repro.pdt.handle import _resync_offset
+
+    blob = sample_blob(VERSION_COMPRESSED)
+    frames = v5_frames(blob)
+    frame_struct = chunk_frame_struct(VERSION_COMPRESSED)
+    tail = blob[frames[1][0] - frame_struct.size :]
+    # 48 payload bytes that satisfy the *v4* stride rule for 3 records
+    # and carry a correct CRC, but cannot decode as a v5 payload
+    # (nonzero reserved field).
+    fake_payload = bytes(range(48))
+    fake = (
+        frame_struct.pack(3, 48, chunk_crc32(3, fake_payload)) + fake_payload
+    )
+    buf = b"\xaa" * 7 + fake + tail
+    assert _resync_offset(buf, 0, VERSION_INDEXED) == 7  # v4 trusts the CRC
+    assert _resync_offset(buf, 0, VERSION_COMPRESSED) == 7 + len(fake)
+
+
+def test_v5_truncated_compressed_tail_recovers_no_partial_records(
+    monkeypatch,
+):
+    """A cut-off compressed payload cannot be partially inflated: the
+    torn chunk is lost whole, with exact accounting — never a crash,
+    never invented records."""
+    monkeypatch.delenv("REPRO_NO_COMPRESS", raising=False)
+    blob = sample_blob(VERSION_COMPRESSED)
+    frames = v5_frames(blob)
+    cut = frames[3][0] + frames[3][2] // 2
+    trace = read_trace(blob[:cut], strict=False)
+    report = trace.salvage
+    assert report.truncated
+    assert report.tail_records_recovered == 0
+    assert trace.n_records == sum(f[1] for f in frames[:3])
+    assert report.records_recovered + report.records_lost == N_RECORDS
+
+
+def test_v5_uncompressed_tail_still_recovers_record_prefix(monkeypatch):
+    """Under REPRO_NO_COMPRESS=1 a v5 payload is a walkable record
+    stream, so mid-payload truncation keeps the valid leading records
+    exactly like v3/v4."""
+    monkeypatch.setenv("REPRO_NO_COMPRESS", "1")
+    blob = sample_blob(VERSION_COMPRESSED)
+    frames = v5_frames(blob)
+    # Cut 3 records (plus one byte) into the 4th chunk's record stream,
+    # past the 8-byte v5 payload header.
+    cut = frames[3][0] + 8 + 3 * REC + 1
+    trace = read_trace(blob[:cut], strict=False)
+    report = trace.salvage
+    assert report.truncated
+    assert report.tail_records_recovered == 3
+    assert trace.n_records == 3 * CHUNK_RECORDS + 3
+    assert report.records_recovered + report.records_lost == N_RECORDS

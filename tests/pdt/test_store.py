@@ -20,6 +20,7 @@ from repro.pdt.events import (
 from repro.pdt.format import (
     CHUNKS_UNTIL_EOF,
     VERSION_CHUNKED,
+    VERSION_COMPRESSED,
     VERSION_CRC,
     VERSION_LEGACY,
     TraceFormatError,
@@ -331,7 +332,8 @@ def test_empty_chunk_writer_output_is_a_valid_empty_trace():
 # version round-trip and rejection; open_trace / read_trace parity
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize(
-    "version", [VERSION_LEGACY, VERSION_CHUNKED, VERSION_CRC]
+    "version",
+    [VERSION_LEGACY, VERSION_CHUNKED, VERSION_CRC, VERSION_COMPRESSED],
 )
 def test_header_version_round_trips(version):
     source = StoreSource(header(version=version), sync_heavy_store())
@@ -347,7 +349,9 @@ def test_writer_rejects_unknown_version():
 
 
 def test_open_trace_matches_read_trace_on_both_versions():
-    for version in (VERSION_LEGACY, VERSION_CHUNKED, VERSION_CRC):
+    for version in (
+        VERSION_LEGACY, VERSION_CHUNKED, VERSION_CRC, VERSION_COMPRESSED,
+    ):
         source = StoreSource(header(version=version), sync_heavy_store())
         blob = trace_to_bytes(source)
         streamed = open_trace(blob)

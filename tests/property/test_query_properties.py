@@ -163,7 +163,7 @@ def test_every_serving_path_matches_brute_force(draws, spec):
 
     with tempfile.TemporaryDirectory() as tmp:
         paths = {}
-        for version in (2, 3, 4):
+        for version in (2, 3, 4, 5):
             paths[version] = os.path.join(tmp, f"v{version}.pdt")
             write_trace(StoreSource(header(version), store), paths[version])
         legacy = io.BytesIO()
@@ -172,7 +172,7 @@ def test_every_serving_path_matches_brute_force(draws, spec):
         rows, aggs = run_query(memory, window, spe, side, kind)
         assert rows == expected
 
-        for version in (2, 3, 4):
+        for version in (2, 3, 4, 5):
             file_rows, file_aggs = run_query(
                 open_trace(paths[version]), window, spe, side, kind
             )

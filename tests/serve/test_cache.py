@@ -74,8 +74,38 @@ def test_invalidate_by_predicate():
 def test_zero_budget_caches_nothing():
     cache = LruCache(0)
     assert not cache.put("a", 1, 1)
-    assert cache.put("b", 2, 0)  # zero-byte entries still fit
-    assert cache.get("b") == 2
+    # Zero-byte entries are accounted as one byte, so a zero budget
+    # really caches nothing (they used to bypass the budget entirely).
+    assert not cache.put("b", 2, 0)
+    assert cache.get("b") is None
+    assert len(cache) == 0
+    assert cache.stats().rejected == 2
+
+
+def test_zero_byte_entries_cannot_bypass_the_budget():
+    """Regression: nbytes == 0 entries never triggered the eviction
+    loop, so any number of them accumulated under any byte budget."""
+    cache = LruCache(10)
+    for i in range(1000):
+        cache.put(("empty", i), i, 0)
+    # At one accounted byte each, at most budget_bytes entries survive.
+    assert len(cache) <= 10
+    assert cache.current_bytes <= 10
+    assert cache.stats().evictions >= 990
+
+
+def test_clear_counts_dropped_entries_as_evictions():
+    """Regression: clear() silently discarded entries, so stats-based
+    accounting (insertions - evictions == entries) went stale."""
+    cache = LruCache(100)
+    cache.put("a", 1, 10)
+    cache.put("b", 2, 10)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.current_bytes == 0
+    stats = cache.stats()
+    assert stats.evictions == 2
+    assert stats.insertions - stats.evictions == stats.entries == 0
 
 
 def test_thread_safety_smoke():

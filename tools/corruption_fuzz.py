@@ -6,8 +6,10 @@ then applies seeded random damage — truncations at arbitrary offsets,
 single- and multi-bit flips — and checks the two invariants the format
 promises:
 
-* **Strict reads never silently accept damage.**  Version-3 and -4
-  files must raise :class:`TraceFormatError` for *any* byte change;
+* **Strict reads never silently accept damage.**  Version-3, -4 and
+  -5 files (every byte CRC-covered — for v5 the CRC spans the *stored*
+  compressed payload, so damage surfaces before any decompression)
+  must raise :class:`TraceFormatError` for *any* byte change;
   version-2 files (no CRCs) must at least detect every truncation.
 * **Salvage reads never crash.**  ``strict=False`` must survive every
   damaged input with a parseable header, return a consistent
@@ -43,6 +45,7 @@ from repro.pdt import TraceConfig, open_trace, read_trace
 from repro.pdt.format import (
     _HEADER,
     VERSION_CHUNKED,
+    VERSION_COMPRESSED,
     VERSION_CRC,
     VERSION_INDEXED,
     TraceFormatError,
@@ -72,7 +75,12 @@ def build_corpus() -> typing.List[typing.Tuple[str, int, bytes]]:
     for name, factory in WORKLOADS:
         result = run_workload(factory(), TraceConfig(buffer_bytes=4096))
         source = result.trace_source()
-        for version in (VERSION_INDEXED, VERSION_CRC, VERSION_CHUNKED):
+        for version in (
+            VERSION_COMPRESSED,
+            VERSION_INDEXED,
+            VERSION_CRC,
+            VERSION_CHUNKED,
+        ):
             source.header.version = version
             corpus.append((name, version, trace_to_bytes(source)))
     return corpus
@@ -243,8 +251,10 @@ def check_one(
             f"holds {trace.n_records}"
         )
     if version >= VERSION_CRC and not report.damaged:
-        # Every byte of a v3/v4 file is covered by a CRC (and a v4 file
-        # must end in its trailer), so any change must surface.
+        # Every byte of a v3/v4/v5 file is covered by a CRC (and an
+        # indexed file must end in its trailer), so any change must
+        # surface — for v5 the CRC spans the stored compressed bytes,
+        # so this holds without decompressing anything.
         failures.append(f"v{version} salvage reported clean on damaged bytes")
     try:
         streamed = open_trace(mutated, strict=False)
