@@ -1,0 +1,84 @@
+"""Corpus-scale differential trace analytics.
+
+The paper's workflow is comparative: trace the application under one
+configuration, change a knob (buffer size, SPE count, buffering
+discipline, recorded event groups), trace again, and ask what moved.
+This package makes that workflow corpus-shaped:
+
+* :mod:`repro.corpus.runner` — execute a workload × configuration
+  matrix, every cell seeded deterministically and repeated, each run
+  streamed to its own trace file;
+* :mod:`repro.corpus.manifest` — the corpus's self-description: every
+  run's configuration, seed, stats, and trace path;
+* :mod:`repro.corpus.metrics` — every corpus metric as frozen
+  :class:`~repro.tq.pipeline.QueryPlan` objects over shared
+  :class:`~repro.pdt.handle.TraceHandle` s — shardable via
+  :mod:`repro.par` with byte-identical results;
+* :mod:`repro.corpus.differ` — ranked what-changed reports between two
+  runs: metric deltas, per-SPE stall/DMA breakdowns, and
+  corrected-time-aligned activity timelines;
+* :mod:`repro.corpus.regress` — noise-aware regression detection: the
+  repeats of a cell are its noise population, and a delta flags only
+  beyond ``k`` robust sigmas of that noise — never a raw threshold;
+* :mod:`repro.corpus.cli` — the ``pdt-corpus`` command
+  (run / list / diff / check).
+"""
+
+from repro.corpus.differ import CorpusDiff, MetricDelta, diff_handles, diff_runs
+from repro.corpus.manifest import (
+    CorpusError,
+    CorpusManifest,
+    RunRecord,
+    config_id,
+)
+from repro.corpus.metrics import (
+    MetricSpec,
+    default_metrics,
+    evaluate_metrics,
+    stall_breakdown_rows,
+)
+from repro.corpus.regress import (
+    MetricComparison,
+    RegressionReport,
+    collect_cell_metrics,
+    compare_cells,
+    detect_regressions,
+    inject_regression,
+    median,
+    robust_spread,
+)
+from repro.corpus.runner import (
+    CellSpec,
+    cell_seed,
+    open_corpus,
+    run_matrix,
+    sweep_cells,
+)
+
+__all__ = [
+    "CellSpec",
+    "CorpusDiff",
+    "CorpusError",
+    "CorpusManifest",
+    "MetricComparison",
+    "MetricDelta",
+    "MetricSpec",
+    "RegressionReport",
+    "RunRecord",
+    "cell_seed",
+    "collect_cell_metrics",
+    "compare_cells",
+    "config_id",
+    "default_metrics",
+    "detect_regressions",
+    "diff_handles",
+    "diff_runs",
+    "evaluate_metrics",
+    "inject_regression",
+    "median",
+    "open_corpus",
+    "robust_spread",
+    "run_matrix",
+    "stall_breakdown_rows",
+    "sweep_cells",
+]

@@ -1,0 +1,333 @@
+"""``pdt-corpus``: run, inspect, diff, and gate trace corpora.
+
+Four subcommands over one corpus directory::
+
+    pdt-corpus run   out/ --workload matmul --workload spmv --repeats 3
+    pdt-corpus list  out/
+    pdt-corpus diff  out/ BASE_RUN_ID CAND_RUN_ID --jobs 4 --json diff.json
+    pdt-corpus check out/ --repeats 3 --json BENCH_corpus.json
+
+``check`` is the CI regression gate: it runs a seeded two-label matrix
+(identical configuration under the labels ``base`` and ``cand``),
+verifies the noise-aware detector reports **zero** flags on that
+clean pair, then injects a synthetic stall-time regression into the
+candidate's measured populations and verifies the detector catches
+it.  Exit status 0 only when both halves hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import typing
+
+from repro.pdt.format import TraceFormatError
+from repro.serve.catalog import CatalogError
+from repro.ta.report import format_table
+from repro.corpus.differ import DEFAULT_BUCKETS, diff_runs
+from repro.corpus.manifest import CorpusError, CorpusManifest
+from repro.corpus.regress import (
+    DEFAULT_K,
+    collect_cell_metrics,
+    compare_cells,
+    inject_regression,
+)
+from repro.corpus.runner import (
+    WORKLOAD_FACTORIES,
+    open_corpus,
+    run_matrix,
+    sweep_cells,
+)
+
+#: The check gate's synthetic stall regression factor (+25 %).
+DEFAULT_INJECT = 1.25
+
+
+def _csv_ints(text: str) -> typing.List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pdt-corpus",
+        description="Corpus-scale differential trace analytics: run "
+        "workload/configuration matrices, diff runs, and gate on "
+        "noise-aware regression detection.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="execute a workload x configuration matrix"
+    )
+    run.add_argument("out_dir", help="corpus directory to create")
+    run.add_argument("--workload", action="append", default=[],
+                     metavar="NAME", choices=sorted(WORKLOAD_FACTORIES),
+                     help="workload family (repeatable; default: matmul)")
+    run.add_argument("--spes", type=_csv_ints, default=[2], metavar="N,..",
+                     help="SPE counts to sweep (default: 2)")
+    run.add_argument("--buffer-bytes", type=_csv_ints, default=[16 * 1024],
+                     metavar="B,..",
+                     help="trace buffer sizes to sweep (default: 16384)")
+    run.add_argument("--buffering", choices=("db", "sb", "both"),
+                     default="db",
+                     help="double/single buffered trace writer, or both "
+                     "(default: db)")
+    run.add_argument("--groups", default=None, metavar="G1,G2",
+                     help="trace-group mask, e.g. lifecycle,dma "
+                     "(default: all groups)")
+    run.add_argument("--label", default="cell",
+                     help="cell label recorded in run ids (default: cell)")
+    run.add_argument("--repeats", type=int, default=1, metavar="N",
+                     help="seeded repeats per cell (default: 1)")
+    run.add_argument("--seed", type=int, default=0, metavar="S",
+                     help="base seed every cell seed derives from "
+                     "(default: 0)")
+
+    lst = sub.add_parser("list", help="list a corpus's runs")
+    lst.add_argument("corpus", help="corpus directory (or manifest path)")
+    lst.add_argument("--json", action="store_true",
+                     help="print the manifest JSON instead of a table")
+
+    diff = sub.add_parser(
+        "diff", help="aligned differential report between two runs"
+    )
+    diff.add_argument("corpus", help="corpus directory")
+    diff.add_argument("baseline", help="baseline run id")
+    diff.add_argument("candidate", help="candidate run id")
+    diff.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="shard every metric query over N workers "
+                      "(default: 1; results are identical)")
+    diff.add_argument("--buckets", type=int, default=DEFAULT_BUCKETS,
+                      metavar="N",
+                      help="aligned timeline resolution "
+                      f"(default: {DEFAULT_BUCKETS})")
+    diff.add_argument("--json", metavar="FILE",
+                      help="also write the full diff as JSON")
+
+    check = sub.add_parser(
+        "check", help="seeded self-gating regression check (CI gate)"
+    )
+    check.add_argument("out_dir", help="directory for the gate's corpus")
+    check.add_argument("--workload", action="append", default=[],
+                       metavar="NAME", choices=sorted(WORKLOAD_FACTORIES),
+                       help="workload family (repeatable; default: spmv — "
+                       "its per-seed sparsity makes real noise)")
+    check.add_argument("--spes", type=int, default=2, metavar="N",
+                       help="SPE count (default: 2)")
+    check.add_argument("--repeats", type=int, default=3, metavar="N",
+                       help="repeats per cell (default: 3)")
+    check.add_argument("--seed", type=int, default=0, metavar="S",
+                       help="base seed (default: 0)")
+    check.add_argument("--k", type=float, default=DEFAULT_K, metavar="K",
+                       help="flag threshold in robust sigmas "
+                       f"(default: {DEFAULT_K:g})")
+    check.add_argument("--inject", type=float, default=DEFAULT_INJECT,
+                       metavar="F",
+                       help="synthetic stall regression factor "
+                       f"(default: {DEFAULT_INJECT:g} = "
+                       f"+{(DEFAULT_INJECT - 1):.0%})")
+    check.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="shard metric queries over N workers "
+                       "(default: 1)")
+    check.add_argument("--json", metavar="FILE",
+                       help="write the gate result JSON (BENCH format)")
+    return parser
+
+
+def _fail(message: str) -> int:
+    print(f"pdt-corpus: {message}", file=sys.stderr)
+    return 2
+
+
+def _check_jobs(args: argparse.Namespace) -> typing.Optional[int]:
+    """Shared --jobs validation: non-positive is an error (exit 2),
+    beyond the CPU count clamps with a note, like pdt-analyze."""
+    if args.jobs < 1:
+        return _fail(f"--jobs must be >= 1, got {args.jobs}")
+    cpus = os.cpu_count() or 1
+    if args.jobs > cpus:
+        print(
+            f"pdt-corpus: --jobs {args.jobs} exceeds the {cpus} available "
+            f"CPU(s); using {cpus}",
+            file=sys.stderr,
+        )
+        args.jobs = cpus
+    return None
+
+
+def main(argv: typing.Optional[typing.List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "list": _cmd_list,
+        "diff": _cmd_diff,
+        "check": _cmd_check,
+    }[args.command]
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `pdt-corpus diff | head`):
+        # not an error.  Point stdout at devnull so the interpreter's
+        # exit flush cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except (CorpusError, CatalogError, TraceFormatError, OSError) as exc:
+        return _fail(str(exc))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.repeats < 1:
+        return _fail(f"--repeats must be >= 1, got {args.repeats}")
+    buffering = {"db": (True,), "sb": (False,), "both": (True, False)}[
+        args.buffering
+    ]
+    groups = (
+        None if args.groups is None
+        else tuple(part for part in args.groups.split(",") if part)
+    )
+    cells = sweep_cells(
+        workloads=args.workload or ["matmul"],
+        n_spes=args.spes,
+        buffer_bytes=args.buffer_bytes,
+        double_buffered=buffering,
+        groups=(groups,),
+        label=args.label,
+    )
+    manifest = run_matrix(
+        cells,
+        args.out_dir,
+        repeats=args.repeats,
+        base_seed=args.seed,
+        progress=lambda line: print(f"  {line}"),
+    )
+    print(f"{len(manifest.runs)} runs -> {args.out_dir}/")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    manifest = CorpusManifest.load(args.corpus)
+    if args.json:
+        json.dump(manifest.to_json(), sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    print(format_table([record.row() for record in manifest.runs]), end="")
+    print(
+        f"{len(manifest.runs)} runs, {manifest.repeats} repeat(s)/cell, "
+        f"base seed {manifest.base_seed}"
+    )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    failed = _check_jobs(args)
+    if failed is not None:
+        return failed
+    if args.buckets < 1:
+        return _fail(f"--buckets must be >= 1, got {args.buckets}")
+    manifest = CorpusManifest.load(args.corpus)
+    # Fail on unknown run ids before opening the whole corpus — the
+    # manifest error names the runs that do exist.
+    manifest.run(args.baseline)
+    manifest.run(args.candidate)
+    with open_corpus(manifest) as catalog:
+        diff = diff_runs(
+            catalog,
+            args.baseline,
+            args.candidate,
+            jobs=args.jobs,
+            buckets=args.buckets,
+        )
+    print(diff.format_report(), end="")
+    if args.json:
+        with open(args.json, "w") as out:
+            json.dump(diff.to_json(), out, indent=2, sort_keys=True)
+            out.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    failed = _check_jobs(args)
+    if failed is not None:
+        return failed
+    if args.repeats < 1:
+        return _fail(f"--repeats must be >= 1, got {args.repeats}")
+    if args.k <= 0:
+        return _fail(f"--k must be > 0, got {args.k:g}")
+    if args.inject <= 1.0:
+        return _fail(
+            f"--inject must be > 1.0 (a regression), got {args.inject:g}"
+        )
+    workloads = args.workload or ["spmv"]
+    cells = [
+        *sweep_cells(workloads, n_spes=(args.spes,), label="base"),
+        *sweep_cells(workloads, n_spes=(args.spes,), label="cand"),
+    ]
+    print(
+        f"gate: {len(cells)} cells x {args.repeats} repeats "
+        f"(seed {args.seed}, k={args.k:g}, inject x{args.inject:g})"
+    )
+    manifest = run_matrix(
+        cells, args.out_dir, repeats=args.repeats, base_seed=args.seed
+    )
+    with open_corpus(manifest) as catalog:
+        cell_metrics = collect_cell_metrics(
+            manifest, catalog, jobs=args.jobs
+        )
+
+    clean = compare_cells(
+        cell_metrics, "base", "cand", k=args.k, repeats=args.repeats
+    )
+    injected = compare_cells(
+        inject_regression(cell_metrics, "cand", "stall_", args.inject),
+        "base",
+        "cand",
+        k=args.k,
+        repeats=args.repeats,
+    )
+    print(clean.format_report())
+    clean_ok = not clean.flagged
+    injected_ok = any(
+        c.direction == "regression" and c.metric.startswith("stall_")
+        for c in injected.comparisons
+    )
+    print(
+        f"clean pair: {len(clean.flagged)} flagged "
+        f"({'ok' if clean_ok else 'FALSE POSITIVES'})"
+    )
+    print(
+        f"injected x{args.inject:g} stall regression: "
+        f"{'caught' if injected_ok else 'MISSED'}"
+    )
+    ok = clean_ok and injected_ok
+    if args.json:
+        payload = {
+            "bench": "corpus_gate",
+            "ok": ok,
+            "workloads": workloads,
+            "repeats": args.repeats,
+            "base_seed": args.seed,
+            "k": args.k,
+            "inject_factor": args.inject,
+            "jobs": args.jobs,
+            "runs": len(manifest.runs),
+            "clean": clean.to_json(),
+            "injected": injected.to_json(),
+        }
+        with open(args.json, "w") as out:
+            json.dump(payload, out, indent=2, sort_keys=True)
+            out.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

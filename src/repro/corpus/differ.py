@@ -1,0 +1,223 @@
+"""Cross-trace differential analytics: what changed between two runs.
+
+:func:`diff_runs` compares two corpus runs through their shared
+catalog handles and produces one :class:`CorpusDiff`: every default
+metric as a ranked delta, per-SPE stall-breakdown and DMA-profile
+deltas, and the two runs' activity timelines aligned on a shared
+relative bucket axis.  Every number flows through frozen
+:class:`~repro.tq.pipeline.QueryPlan` objects
+(:mod:`repro.corpus.metrics`), so a diff computed with ``jobs=4`` is
+byte-identical to the serial one.
+
+Alignment: bucket series group *absolute* corrected time (each run's
+own shared clock fit), so the two runs are rebased to their first
+occupied bucket before joining
+(:func:`repro.ta.diff.align_bucket_series`).  The residual skew is at
+most one bucket of quantization — deterministic, and irrelevant at the
+default resolution (span/64 per bucket).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.ta.diff import align_bucket_series, diff_rows
+from repro.ta.report import format_table
+from repro.corpus.manifest import CorpusError
+from repro.corpus.metrics import (
+    WORSE_IF_UP,
+    bucket_series_plan,
+    dma_profile_plan,
+    evaluate_metrics,
+    run_plan,
+    stall_breakdown_rows,
+)
+
+#: Buckets the aligned timeline aims for (width = span/this, min 1).
+DEFAULT_BUCKETS = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricDelta:
+    """One metric's baseline→candidate movement."""
+
+    name: str
+    baseline: typing.Union[int, float]
+    candidate: typing.Union[int, float]
+
+    @property
+    def delta(self) -> typing.Union[int, float]:
+        return self.candidate - self.baseline
+
+    @property
+    def rel(self) -> float:
+        """Relative change; ±inf when appearing from / against zero."""
+        if self.baseline == 0:
+            if self.delta == 0:
+                return 0.0
+            return float("inf") if self.delta > 0 else float("-inf")
+        return self.delta / abs(self.baseline)
+
+    @property
+    def direction(self) -> str:
+        """``worse``/``better``/``same`` for directional metrics,
+        ``changed``/``same`` for neutral ones."""
+        if self.delta == 0:
+            return "same"
+        if self.name in WORSE_IF_UP:
+            return "worse" if self.delta > 0 else "better"
+        return "changed"
+
+    def row(self) -> typing.Dict[str, typing.Any]:
+        rel = self.rel
+        return {
+            "metric": self.name,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "delta": self.delta,
+            "rel": "inf" if rel in (float("inf"), float("-inf"))
+                   else f"{rel:+.1%}",
+            "direction": self.direction,
+        }
+
+    def to_json(self) -> typing.Dict[str, typing.Any]:
+        rel = self.rel
+        return {
+            "metric": self.name,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "delta": self.delta,
+            "rel": None if rel in (float("inf"), float("-inf")) else rel,
+            "direction": self.direction,
+        }
+
+
+@dataclasses.dataclass
+class CorpusDiff:
+    """Everything :func:`diff_runs` measured, ranked."""
+
+    baseline: str
+    candidate: str
+    metrics: typing.List[MetricDelta]  # ranked, largest |rel| first
+    stall_rows: typing.List[typing.Dict[str, typing.Any]]
+    dma_rows: typing.List[typing.Dict[str, typing.Any]]
+    series: typing.List[typing.Dict[str, typing.Any]]
+    bucket_width: int
+
+    @property
+    def changed(self) -> typing.List[MetricDelta]:
+        return [delta for delta in self.metrics if delta.delta != 0]
+
+    def to_json(self) -> typing.Dict[str, typing.Any]:
+        return {
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "metrics": [delta.to_json() for delta in self.metrics],
+            "stalls": self.stall_rows,
+            "dma": self.dma_rows,
+            "series": {"bucket_width": self.bucket_width, "rows": self.series},
+        }
+
+    def format_report(self) -> str:
+        """The ranked what-changed report as text tables."""
+        sections = [
+            f"=== corpus diff: {self.baseline} -> {self.candidate} ===",
+            "",
+            "--- metrics, ranked by |relative change| ---",
+            format_table([delta.row() for delta in self.metrics]),
+            "--- per-SPE stall breakdown deltas (cycles) ---",
+            format_table(self.stall_rows),
+            "--- per-SPE DMA profile deltas ---",
+            format_table(self.dma_rows),
+        ]
+        occupied = sum(
+            1 for row in self.series if row["base_n"] or row["cand_n"]
+        )
+        sections.append(
+            f"timeline: {len(self.series)} aligned buckets of "
+            f"{self.bucket_width} cycles ({occupied} occupied; full "
+            f"series in the JSON report)"
+        )
+        return "\n".join(sections) + "\n"
+
+
+def _rank_key(delta: MetricDelta) -> typing.Tuple[float, str]:
+    rel = abs(delta.rel)
+    if rel == float("inf"):
+        rel = float(10**9)
+    return (-rel, delta.name)
+
+
+def diff_handles(
+    base_handle,
+    cand_handle,
+    baseline: str = "baseline",
+    candidate: str = "candidate",
+    jobs: int = 1,
+    buckets: int = DEFAULT_BUCKETS,
+) -> CorpusDiff:
+    """Diff two open trace handles (catalog-free core of
+    :func:`diff_runs`)."""
+    if buckets < 1:
+        raise CorpusError(f"buckets must be >= 1, got {buckets}")
+    base_metrics = evaluate_metrics(base_handle, jobs=jobs)
+    cand_metrics = evaluate_metrics(cand_handle, jobs=jobs)
+    deltas = sorted(
+        (
+            MetricDelta(name, base_metrics[name], cand_metrics[name])
+            for name in base_metrics
+        ),
+        key=_rank_key,
+    )
+    stall_rows = diff_rows(
+        stall_breakdown_rows(base_handle, jobs),
+        stall_breakdown_rows(cand_handle, jobs),
+        keys=("spe", "family"),
+        fields=("cycles", "waits"),
+    )
+    dma_rows = diff_rows(
+        run_plan(base_handle, dma_profile_plan(), jobs),
+        run_plan(cand_handle, dma_profile_plan(), jobs),
+        keys=("spe",),
+        fields=("n", "bytes"),
+    )
+    span = max(base_metrics["span_cycles"], cand_metrics["span_cycles"])
+    width = max(int(span) // buckets, 1)
+    plan = bucket_series_plan(width)
+    series = align_bucket_series(
+        run_plan(base_handle, plan, jobs),
+        run_plan(cand_handle, plan, jobs),
+        fields=("n", "bytes"),
+    )
+    return CorpusDiff(
+        baseline=baseline,
+        candidate=candidate,
+        metrics=deltas,
+        stall_rows=stall_rows,
+        dma_rows=dma_rows,
+        series=series,
+        bucket_width=width,
+    )
+
+
+def diff_runs(
+    catalog,
+    baseline: str,
+    candidate: str,
+    jobs: int = 1,
+    buckets: int = DEFAULT_BUCKETS,
+) -> CorpusDiff:
+    """Diff two runs registered in a
+    :class:`~repro.serve.catalog.TraceCatalog` (e.g. from
+    :func:`repro.corpus.runner.open_corpus`) by name."""
+    with catalog.acquire(baseline) as (base_handle, __, __unused):
+        with catalog.acquire(candidate) as (cand_handle, __, __unused2):
+            return diff_handles(
+                base_handle,
+                cand_handle,
+                baseline=baseline,
+                candidate=candidate,
+                jobs=jobs,
+                buckets=buckets,
+            )

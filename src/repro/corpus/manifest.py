@@ -1,0 +1,219 @@
+"""The corpus manifest: what was run, under what knobs, and where.
+
+A corpus is a directory of traces produced by one matrix run
+(:mod:`repro.corpus.runner`) plus ``manifest.json`` describing every
+cell: the workload, the full configuration (SPE count, trace buffer
+size, single/double buffering, trace-group mask), the seed, the repeat
+index, the trace path, and the run's wall/overhead stats.  Everything
+downstream — catalog registration, metric fan-out, the differ, the
+regression detector — consumes the manifest, never the directory
+listing, so a corpus is exactly what its manifest says it is.
+
+Identity rules:
+
+* ``config_id`` is a deterministic function of the configuration
+  alone (``spes2-buf4096-db-all``), so cells of equal configuration
+  group together however the matrix enumerated them;
+* ``run_id`` is ``{workload}.{label}.{config_id}.r{repeat}`` — unique
+  per cell, stable across re-runs, and the name the run registers
+  under in a :class:`~repro.serve.catalog.TraceCatalog`;
+* the cell *label* separates deliberately-identical configurations
+  (e.g. the regression gate's baseline/candidate pair) without
+  changing what ``config_id`` groups.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import typing
+
+#: Manifest schema version; bumped on incompatible changes.
+MANIFEST_VERSION = 1
+
+#: The manifest's filename inside a corpus directory.
+MANIFEST_NAME = "manifest.json"
+
+
+class CorpusError(ValueError):
+    """A corpus operation that cannot proceed: malformed manifest,
+    unknown run id, mismatched comparison."""
+
+
+def config_id(config: typing.Mapping[str, typing.Any]) -> str:
+    """The deterministic group identity of one configuration dict."""
+    groups = config.get("groups")
+    mask = "all" if groups is None else "+".join(sorted(groups)) or "none"
+    buffering = "db" if config.get("double_buffered", True) else "sb"
+    return (
+        f"spes{config['n_spes']}-buf{config['buffer_bytes']}-"
+        f"{buffering}-{mask}"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRecord:
+    """One executed cell of the matrix."""
+
+    run_id: str
+    workload: str
+    label: str
+    config: typing.Mapping[str, typing.Any]
+    seed: int
+    repeat: int
+    path: str  # trace path relative to the corpus directory
+    stats: typing.Mapping[str, typing.Any]
+
+    @property
+    def config_id(self) -> str:
+        return config_id(self.config)
+
+    @property
+    def group(self) -> typing.Tuple[str, str, str]:
+        """Cells that are repeats of each other share this key."""
+        return (self.workload, self.label, self.config_id)
+
+    def row(self) -> typing.Dict[str, typing.Any]:
+        """One table row for ``pdt-corpus list``."""
+        return {
+            "run_id": self.run_id,
+            "workload": self.workload,
+            "config": self.config_id,
+            "repeat": self.repeat,
+            "seed": self.seed,
+            "cycles": self.stats.get("elapsed_cycles"),
+            "records": self.stats.get("records"),
+            "trace_bytes": self.stats.get("trace_bytes"),
+        }
+
+    def to_json(self) -> typing.Dict[str, typing.Any]:
+        return {
+            "run_id": self.run_id,
+            "workload": self.workload,
+            "label": self.label,
+            "config": dict(self.config),
+            "seed": self.seed,
+            "repeat": self.repeat,
+            "path": self.path,
+            "stats": dict(self.stats),
+        }
+
+
+_RUN_KEYS = frozenset(
+    ("run_id", "workload", "label", "config", "seed", "repeat", "path", "stats")
+)
+
+
+def _run_from_json(payload: typing.Mapping[str, typing.Any]) -> RunRecord:
+    missing = _RUN_KEYS - set(payload)
+    if missing:
+        raise CorpusError(f"manifest run missing keys: {sorted(missing)}")
+    config = payload["config"]
+    if not isinstance(config, dict) or "n_spes" not in config:
+        raise CorpusError(
+            f"manifest run {payload['run_id']!r} has a malformed config"
+        )
+    return RunRecord(
+        run_id=payload["run_id"],
+        workload=payload["workload"],
+        label=payload["label"],
+        config=config,
+        seed=payload["seed"],
+        repeat=payload["repeat"],
+        path=payload["path"],
+        stats=payload["stats"],
+    )
+
+
+@dataclasses.dataclass
+class CorpusManifest:
+    """Every run of one corpus, in matrix-enumeration order."""
+
+    base_seed: int
+    repeats: int
+    runs: typing.List[RunRecord]
+    root: typing.Optional[str] = None  # directory the manifest loaded from
+
+    # -- lookup --------------------------------------------------------
+    def run(self, run_id: str) -> RunRecord:
+        for record in self.runs:
+            if record.run_id == run_id:
+                return record
+        raise CorpusError(
+            f"no such run: {run_id!r} (corpus has "
+            f"{', '.join(r.run_id for r in self.runs[:8])}"
+            f"{', ...' if len(self.runs) > 8 else ''})"
+        )
+
+    def trace_path(self, run_id: str) -> str:
+        """The run's trace path, absolute when the manifest knows its
+        corpus directory."""
+        record = self.run(run_id)
+        if self.root is None or os.path.isabs(record.path):
+            return record.path
+        return os.path.join(self.root, record.path)
+
+    def groups(self) -> typing.Dict[typing.Tuple[str, str, str], typing.List[RunRecord]]:
+        """Repeat cells per (workload, label, config_id), repeat order."""
+        grouped: typing.Dict[
+            typing.Tuple[str, str, str], typing.List[RunRecord]
+        ] = {}
+        for record in self.runs:
+            grouped.setdefault(record.group, []).append(record)
+        for members in grouped.values():
+            members.sort(key=lambda record: record.repeat)
+        return grouped
+
+    # -- persistence ---------------------------------------------------
+    def to_json(self) -> typing.Dict[str, typing.Any]:
+        return {
+            "version": MANIFEST_VERSION,
+            "base_seed": self.base_seed,
+            "repeats": self.repeats,
+            "runs": [record.to_json() for record in self.runs],
+        }
+
+    def save(self, directory: str) -> str:
+        path = os.path.join(directory, MANIFEST_NAME)
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        self.root = directory
+        return path
+
+    @classmethod
+    def load(cls, directory_or_path: str) -> "CorpusManifest":
+        """Read a manifest from a corpus directory (or the JSON file
+        itself); raises :class:`CorpusError` on malformed content."""
+        path = directory_or_path
+        if os.path.isdir(path):
+            path = os.path.join(path, MANIFEST_NAME)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise CorpusError(f"{path}: malformed manifest JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise CorpusError(f"{path}: manifest must be a JSON object")
+        version = payload.get("version")
+        if version != MANIFEST_VERSION:
+            raise CorpusError(
+                f"{path}: unsupported manifest version {version!r} "
+                f"(expected {MANIFEST_VERSION})"
+            )
+        runs = payload.get("runs")
+        if not isinstance(runs, list):
+            raise CorpusError(f"{path}: manifest needs a \"runs\" array")
+        manifest = cls(
+            base_seed=payload.get("base_seed", 0),
+            repeats=payload.get("repeats", 1),
+            runs=[_run_from_json(run) for run in runs],
+            root=os.path.dirname(os.path.abspath(path)),
+        )
+        seen: typing.Set[str] = set()
+        for record in manifest.runs:
+            if record.run_id in seen:
+                raise CorpusError(f"{path}: duplicate run id {record.run_id!r}")
+            seen.add(record.run_id)
+        return manifest

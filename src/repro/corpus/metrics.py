@@ -1,0 +1,323 @@
+"""Corpus metrics: every number the differ compares is a frozen
+:class:`~repro.tq.pipeline.QueryPlan`.
+
+A metric is *not* a function over decoded records — it is one or more
+frozen query plans plus a pure combiner over their result rows.  That
+shape is what the corpus layer's guarantees hang on:
+
+* the plan executes through the ordinary :class:`repro.tq.Query`
+  pipeline over a shared :class:`~repro.pdt.handle.TraceHandle`, so
+  zone-map pruning, the batch kernels, and the handle's one-time
+  clock fit all apply;
+* with ``jobs > 1`` the same plan fans out through
+  :func:`repro.par.parallel_rows` — and because sharded aggregation
+  is byte-identical to serial, every corpus metric is too;
+* a plan is hashable/picklable, so results can be cached per
+  (trace identity, plan) like any served query.
+
+**Stall times without interval pairing.**  The timeline model pairs
+``*_begin``/``*_end`` records by scanning; a groupby can't.  But
+begins and ends pair 1:1 in a complete trace, so the total stall time
+of a wait family is ``sum(time of ends) − sum(time of begins)`` —
+two reductions of one grouped plan.  Times are corrected placements
+(each handle's shared clock fit), so the subtraction is exact even
+though each sum is in absolute corrected cycles.  Traces with recorded
+loss can split pairs; :func:`evaluate_metrics` reports what the trace
+shows, and the differ surfaces loss counters separately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.pdt.events import SIDE_SPE
+from repro.tq.pipeline import Query, QueryPlan
+from repro.tq.predicate import Predicate
+
+#: (begin kind, end kind) pairs per stall family.
+STALL_FAMILIES: typing.Dict[str, typing.Tuple[typing.Tuple[str, str], ...]] = {
+    "dma": (("wait_tag_begin", "wait_tag_end"),),
+    "mbox": (
+        ("read_mbox_begin", "read_mbox_end"),
+        ("write_mbox_begin", "write_mbox_end"),
+    ),
+    "signal": (("read_signal_begin", "read_signal_end"),),
+}
+
+#: DMA issue kinds (the commands that move bytes).
+DMA_ISSUE_KINDS = ("mfc_get", "mfc_put", "mfc_getl", "mfc_putl")
+
+#: Metrics where an increase is a regression (the detector's
+#: direction model; the rest are reported but direction-neutral).
+WORSE_IF_UP = frozenset(
+    {"span_cycles", "stall_dma_cycles", "stall_mbox_cycles",
+     "stall_signal_cycles", "stall_total_cycles"}
+)
+
+
+def _plan(
+    aggs: typing.Tuple[typing.Tuple[str, str, typing.Optional[str]], ...],
+    t0: typing.Optional[int] = None,
+    t1: typing.Optional[int] = None,
+    spe: typing.Union[int, typing.Iterable[int], None] = None,
+    side: typing.Optional[int] = None,
+    event: typing.Union[int, str, typing.Iterable, None] = None,
+    group_keys: typing.Tuple[str, ...] = (),
+    time_bucket: typing.Optional[int] = None,
+) -> QueryPlan:
+    """A frozen plan from clause kwargs (the builder :class:`Query`
+    would have produced for the same calls)."""
+    predicate = Predicate().refine(t0=t0, t1=t1, spe=spe, side=side, event=event)
+    return QueryPlan(
+        predicate=predicate,
+        projection=None,
+        group_keys=group_keys,
+        time_bucket=time_bucket,
+        aggs=aggs,
+    )
+
+
+def run_plan(
+    handle, plan: QueryPlan, jobs: int = 1
+) -> typing.List[typing.Dict[str, typing.Any]]:
+    """Execute one frozen plan over a shared handle, sharded over
+    ``jobs`` worker processes when more than one; rows are
+    byte-identical either way."""
+    query = Query.from_plan(handle.source(), plan)
+    if jobs > 1:
+        from repro.par import parallel_rows
+
+        return parallel_rows(query, jobs)
+    return query.run()
+
+
+def _stall_kinds(family: str) -> typing.List[str]:
+    return [kind for pair in STALL_FAMILIES[family] for kind in pair]
+
+
+def _stall_value(
+    rows: typing.List[typing.Dict[str, typing.Any]], family: str
+) -> int:
+    """end-sum minus begin-sum over one family's per-kind rows."""
+    ends = {end for __, end in STALL_FAMILIES[family]}
+    begins = {begin for begin, __ in STALL_FAMILIES[family]}
+    total = 0
+    for row in rows:
+        if row["kind"] in ends:
+            total += row["t_sum"] or 0
+        elif row["kind"] in begins:
+            total -= row["t_sum"] or 0
+    return total
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricSpec:
+    """One corpus metric: frozen plans plus a pure combiner."""
+
+    name: str
+    plans: typing.Tuple[QueryPlan, ...]
+    #: rows-per-plan -> scalar (int/float; JSON-safe).
+    combine: typing.Callable[
+        [typing.List[typing.List[typing.Dict[str, typing.Any]]]],
+        typing.Union[int, float],
+    ]
+    description: str = ""
+
+    def evaluate(self, handle, jobs: int = 1) -> typing.Union[int, float]:
+        return self.combine([run_plan(handle, plan, jobs) for plan in self.plans])
+
+
+def _count_agg() -> typing.Tuple[typing.Tuple[str, str, typing.Optional[str]], ...]:
+    return (("n", "count", None),)
+
+
+def _first(rows_list, key, default=0):
+    rows = rows_list[0]
+    if not rows or rows[0][key] is None:
+        return default
+    return rows[0][key]
+
+
+def _stall_metric(family: str) -> MetricSpec:
+    plan = _plan(
+        aggs=(("t_sum", "sum", "time"), ("n", "count", None)),
+        side=SIDE_SPE,
+        event=_stall_kinds(family),
+        group_keys=("kind",),
+    )
+    return MetricSpec(
+        name=f"stall_{family}_cycles",
+        plans=(plan,),
+        combine=lambda rows_list, family=family: _stall_value(
+            rows_list[0], family
+        ),
+        description=f"total SPE cycles inside {family} wait pairs",
+    )
+
+
+def default_metrics() -> typing.Tuple[MetricSpec, ...]:
+    """The corpus metric set, order fixed (report order)."""
+    span_plan = _plan(
+        aggs=(("t_min", "min", "time"), ("t_max", "max", "time")),
+    )
+    dma_plan = _plan(
+        aggs=(
+            ("n", "count", None),
+            ("bytes", "sum", "size"),
+            ("p99", "p99", "size"),
+        ),
+        side=SIDE_SPE,
+        event=list(DMA_ISSUE_KINDS),
+    )
+    stall_metrics = tuple(_stall_metric(family) for family in STALL_FAMILIES)
+    return (
+        MetricSpec(
+            name="events_total",
+            plans=(_plan(aggs=_count_agg()),),
+            combine=lambda rows_list: _first(rows_list, "n"),
+            description="records in the trace",
+        ),
+        MetricSpec(
+            name="span_cycles",
+            plans=(span_plan,),
+            combine=lambda rows_list: (
+                _first(rows_list, "t_max") - _first(rows_list, "t_min")
+            ),
+            description="first-to-last corrected-time extent",
+        ),
+        *stall_metrics,
+        MetricSpec(
+            name="stall_total_cycles",
+            plans=tuple(
+                _stall_metric(family).plans[0] for family in STALL_FAMILIES
+            ),
+            combine=lambda rows_list: sum(
+                _stall_value(rows, family)
+                for rows, family in zip(rows_list, STALL_FAMILIES)
+            ),
+            description="all wait families combined",
+        ),
+        MetricSpec(
+            name="dma_count",
+            plans=(dma_plan,),
+            combine=lambda rows_list: _first(rows_list, "n"),
+            description="DMA commands issued",
+        ),
+        MetricSpec(
+            name="dma_bytes",
+            plans=(dma_plan,),
+            combine=lambda rows_list: _first(rows_list, "bytes"),
+            description="bytes entering flight",
+        ),
+        MetricSpec(
+            name="dma_p99_bytes",
+            plans=(dma_plan,),
+            combine=lambda rows_list: _first(rows_list, "p99"),
+            description="99th-percentile DMA command size",
+        ),
+    )
+
+
+#: name -> spec for the default set.
+METRICS: typing.Dict[str, MetricSpec] = {
+    spec.name: spec for spec in default_metrics()
+}
+
+
+def evaluate_metrics(
+    handle,
+    jobs: int = 1,
+    metrics: typing.Optional[typing.Sequence[MetricSpec]] = None,
+) -> typing.Dict[str, typing.Union[int, float]]:
+    """Every metric of one run, name → value, via frozen plans only.
+
+    Identical plans are executed once per call (the dma/stall metrics
+    share plans), so a full evaluation costs four scans of the trace,
+    pruned per plan by the handle's zone maps.
+    """
+    chosen = tuple(metrics) if metrics is not None else default_metrics()
+    cache: typing.Dict[QueryPlan, typing.List] = {}
+    values: typing.Dict[str, typing.Union[int, float]] = {}
+    for spec in chosen:
+        rows_list = []
+        for plan in spec.plans:
+            if plan not in cache:
+                cache[plan] = run_plan(handle, plan, jobs)
+            rows_list.append(cache[plan])
+        values[spec.name] = spec.combine(rows_list)
+    return values
+
+
+# ----------------------------------------------------------------------
+# per-SPE breakdown plans (the differ's report sections)
+# ----------------------------------------------------------------------
+def stall_breakdown_plan() -> QueryPlan:
+    """(spe, kind) → summed corrected time + count over every wait
+    begin/end kind; the differ folds it into per-SPE stall deltas."""
+    kinds = [k for family in STALL_FAMILIES for k in _stall_kinds(family)]
+    return _plan(
+        aggs=(("t_sum", "sum", "time"), ("n", "count", None)),
+        side=SIDE_SPE,
+        event=kinds,
+        group_keys=("spe", "kind"),
+    )
+
+
+def dma_profile_plan() -> QueryPlan:
+    """Per-SPE DMA issue profile: count, bytes, mean size."""
+    return _plan(
+        aggs=(
+            ("n", "count", None),
+            ("bytes", "sum", "size"),
+            ("mean_bytes", "mean", "size"),
+        ),
+        side=SIDE_SPE,
+        event=list(DMA_ISSUE_KINDS),
+        group_keys=("spe",),
+    )
+
+
+def bucket_series_plan(
+    width: int,
+    event: typing.Union[int, str, typing.Iterable, None] = None,
+) -> QueryPlan:
+    """Event counts (and DMA bytes when sized events are selected) per
+    corrected-time bucket of ``width`` cycles."""
+    if width < 1:
+        raise ValueError(f"bucket width must be >= 1, got {width}")
+    return _plan(
+        aggs=(("n", "count", None), ("bytes", "sum", "size")),
+        event=event,
+        group_keys=("bucket",),
+        time_bucket=width,
+    )
+
+
+def stall_breakdown_rows(
+    handle, jobs: int = 1
+) -> typing.List[typing.Dict[str, typing.Any]]:
+    """Per-(spe, family) stall cycles from :func:`stall_breakdown_plan`,
+    sorted by (spe, family)."""
+    raw = run_plan(handle, stall_breakdown_plan(), jobs)
+    per: typing.Dict[typing.Tuple[int, str], typing.Dict[str, int]] = {}
+    for family, pairs in STALL_FAMILIES.items():
+        ends = {end for __, end in pairs}
+        begins = {begin for begin, __ in pairs}
+        for row in raw:
+            if row["kind"] in ends:
+                sign, waits = 1, row["n"]
+            elif row["kind"] in begins:
+                sign, waits = -1, 0
+            else:
+                continue
+            cell = per.setdefault(
+                (row["spe"], family), {"cycles": 0, "waits": 0}
+            )
+            cell["cycles"] += sign * (row["t_sum"] or 0)
+            cell["waits"] += waits
+    return [
+        {"spe": spe, "family": family,
+         "cycles": cell["cycles"], "waits": cell["waits"]}
+        for (spe, family), cell in sorted(per.items())
+    ]

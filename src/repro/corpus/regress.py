@@ -1,0 +1,326 @@
+"""Noise-aware regression detection over repeat cells.
+
+The corpus runner executes every cell ``repeats`` times under distinct
+deterministic seeds; those repeats are the *noise population* of the
+cell.  The detector never applies a raw threshold to a metric value —
+it compares the baseline and candidate groups' medians and flags only
+deltas beyond ``k`` times the groups' robust spread:
+
+* center = median of the repeat values (one outlier repeat cannot
+  shift it);
+* spread = 1.4826 × MAD (the median absolute deviation scaled to the
+  standard deviation of a normal population — the usual robust sigma);
+* the comparison spread is the larger of the two groups' spreads, and
+  a delta is flagged iff ``|delta| > k × spread`` (strictly — a
+  perfectly reproduced deterministic metric has spread 0 *and* delta
+  0, which must not flag).
+
+A deterministic metric that truly changed (spread 0, delta ≠ 0) flags
+at any ``k``; a noisy metric flags only when it moves out of its own
+noise.  With fewer than 3 repeats per cell the spread estimate is
+degenerate (a single repeat always has spread 0) — the report carries
+``repeats`` so gates can refuse underpowered corpora.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.ta.report import format_table
+from repro.corpus.manifest import CorpusError, CorpusManifest
+from repro.corpus.metrics import WORSE_IF_UP, MetricSpec, evaluate_metrics
+
+#: MAD → sigma under normality.
+MAD_SCALE = 1.4826
+
+#: Default flag threshold, in robust sigmas.
+DEFAULT_K = 4.0
+
+
+def median(values: typing.Sequence[float]) -> float:
+    """Plain median (mean of the middle pair on even counts)."""
+    if not values:
+        raise CorpusError("median of an empty population")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def robust_spread(values: typing.Sequence[float]) -> float:
+    """Robust sigma estimate: max(1.4826 × MAD, half the range).
+
+    The scaled MAD is the textbook robust sigma, but at corpus repeat
+    counts (3–5 per cell) it collapses toward the *smallest* deviation
+    — three repeats where two happen to tie give MAD 0 even though the
+    population clearly has noise, and an underestimated spread turns
+    ordinary noise into flags.  Half the range is the conservative
+    companion estimator at these sizes (for 3 normal samples its
+    expectation is ≈0.85σ); taking the max keeps a genuinely
+    deterministic metric at exactly 0 while never letting a noisy one
+    report less spread than its own repeats exhibited.
+    """
+    center = median(values)
+    mad = median([abs(v - center) for v in values])
+    half_range = (max(values) - min(values)) / 2
+    return max(MAD_SCALE * mad, half_range)
+
+
+# Group key: (workload, label, config_id) as the manifest defines it.
+GroupKey = typing.Tuple[str, str, str]
+#: metric name → repeat values, one entry per group.
+CellMetrics = typing.Dict[GroupKey, typing.Dict[str, typing.List[float]]]
+
+
+def collect_cell_metrics(
+    manifest: CorpusManifest,
+    catalog,
+    jobs: int = 1,
+    metrics: typing.Optional[typing.Sequence[MetricSpec]] = None,
+) -> CellMetrics:
+    """Every metric of every run, grouped into repeat populations.
+
+    One :func:`~repro.corpus.metrics.evaluate_metrics` call per run
+    against its shared catalog handle; values land in repeat order.
+    """
+    collected: CellMetrics = {}
+    for group, records in manifest.groups().items():
+        per_metric: typing.Dict[str, typing.List[float]] = {}
+        for record in records:
+            with catalog.acquire(record.run_id) as (handle, __, __unused):
+                values = evaluate_metrics(handle, jobs=jobs, metrics=metrics)
+            for name, value in values.items():
+                per_metric.setdefault(name, []).append(value)
+        collected[group] = per_metric
+    return collected
+
+
+def inject_regression(
+    cell_metrics: CellMetrics,
+    label: str,
+    metric_prefix: str,
+    factor: float,
+) -> CellMetrics:
+    """A copy with every ``metric_prefix*`` value of every ``label``
+    group scaled by ``factor`` — the gate's synthetic regression,
+    injected into the measured populations so the self-test exercises
+    the detector against real noise."""
+    injected: CellMetrics = {}
+    for group, per_metric in cell_metrics.items():
+        scale = group[1] == label
+        injected[group] = {
+            name: [
+                v * factor if scale and name.startswith(metric_prefix) else v
+                for v in values
+            ]
+            for name, values in per_metric.items()
+        }
+    return injected
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricComparison:
+    """One metric of one (workload, config) cell pair, compared."""
+
+    metric: str
+    workload: str
+    config_id: str
+    base_label: str
+    cand_label: str
+    base_values: typing.Tuple[float, ...]
+    cand_values: typing.Tuple[float, ...]
+    k: float
+
+    @property
+    def base_median(self) -> float:
+        return median(self.base_values)
+
+    @property
+    def cand_median(self) -> float:
+        return median(self.cand_values)
+
+    @property
+    def delta(self) -> float:
+        return self.cand_median - self.base_median
+
+    @property
+    def spread(self) -> float:
+        return max(
+            robust_spread(self.base_values), robust_spread(self.cand_values)
+        )
+
+    @property
+    def threshold(self) -> float:
+        return self.k * self.spread
+
+    @property
+    def flagged(self) -> bool:
+        return abs(self.delta) > self.threshold
+
+    @property
+    def direction(self) -> str:
+        if not self.flagged:
+            return "ok"
+        if self.metric in WORSE_IF_UP:
+            return "regression" if self.delta > 0 else "improvement"
+        return "changed"
+
+    def row(self) -> typing.Dict[str, typing.Any]:
+        return {
+            "workload": self.workload,
+            "config": self.config_id,
+            "metric": self.metric,
+            "base": self.base_median,
+            "cand": self.cand_median,
+            "delta": self.delta,
+            "threshold": round(self.threshold, 1),
+            "verdict": self.direction,
+        }
+
+    def to_json(self) -> typing.Dict[str, typing.Any]:
+        return {
+            "workload": self.workload,
+            "config_id": self.config_id,
+            "metric": self.metric,
+            "base_label": self.base_label,
+            "cand_label": self.cand_label,
+            "base_values": list(self.base_values),
+            "cand_values": list(self.cand_values),
+            "base_median": self.base_median,
+            "cand_median": self.cand_median,
+            "delta": self.delta,
+            "spread": self.spread,
+            "k": self.k,
+            "threshold": self.threshold,
+            "flagged": self.flagged,
+            "direction": self.direction,
+        }
+
+
+@dataclasses.dataclass
+class RegressionReport:
+    """Every comparison of one baseline/candidate label pair."""
+
+    base_label: str
+    cand_label: str
+    k: float
+    repeats: int
+    comparisons: typing.List[MetricComparison]
+
+    @property
+    def flagged(self) -> typing.List[MetricComparison]:
+        return [c for c in self.comparisons if c.flagged]
+
+    @property
+    def regressions(self) -> typing.List[MetricComparison]:
+        return [c for c in self.comparisons if c.direction == "regression"]
+
+    def to_json(self) -> typing.Dict[str, typing.Any]:
+        return {
+            "base_label": self.base_label,
+            "cand_label": self.cand_label,
+            "k": self.k,
+            "repeats": self.repeats,
+            "flagged": len(self.flagged),
+            "regressions": len(self.regressions),
+            "comparisons": [c.to_json() for c in self.comparisons],
+        }
+
+    def format_report(self) -> str:
+        header = (
+            f"=== regression check: {self.base_label} -> {self.cand_label} "
+            f"(k={self.k:g}, {self.repeats} repeats/cell) ==="
+        )
+        if not self.comparisons:
+            return header + "\n(no comparable cell pairs)\n"
+        verdict = (
+            f"{len(self.flagged)} flagged ({len(self.regressions)} "
+            f"regressions) of {len(self.comparisons)} comparisons"
+        )
+        return "\n".join(
+            [header, "", format_table([c.row() for c in self.comparisons]),
+             verdict]
+        ) + "\n"
+
+
+def compare_cells(
+    cell_metrics: CellMetrics,
+    base_label: str,
+    cand_label: str,
+    k: float = DEFAULT_K,
+    repeats: int = 0,
+) -> RegressionReport:
+    """Pair every (workload, config) present under both labels and
+    compare metric-by-metric.  Ranked flagged-first, then by
+    |delta| / threshold headroom."""
+    if k <= 0:
+        raise CorpusError(f"k must be > 0, got {k}")
+    base_groups = {
+        (g[0], g[2]): m for g, m in cell_metrics.items() if g[1] == base_label
+    }
+    cand_groups = {
+        (g[0], g[2]): m for g, m in cell_metrics.items() if g[1] == cand_label
+    }
+    paired = sorted(set(base_groups) & set(cand_groups))
+    if not paired:
+        raise CorpusError(
+            f"no cell is present under both labels {base_label!r} and "
+            f"{cand_label!r}"
+        )
+    comparisons = []
+    for workload, cfg in paired:
+        base_metrics = base_groups[(workload, cfg)]
+        cand_metrics = cand_groups[(workload, cfg)]
+        for name in base_metrics:
+            if name not in cand_metrics:
+                continue
+            comparisons.append(
+                MetricComparison(
+                    metric=name,
+                    workload=workload,
+                    config_id=cfg,
+                    base_label=base_label,
+                    cand_label=cand_label,
+                    base_values=tuple(base_metrics[name]),
+                    cand_values=tuple(cand_metrics[name]),
+                    k=k,
+                )
+            )
+    comparisons.sort(
+        key=lambda c: (
+            not c.flagged,
+            -(abs(c.delta) / (c.threshold or 1.0)),
+            c.workload,
+            c.config_id,
+            c.metric,
+        )
+    )
+    return RegressionReport(
+        base_label=base_label,
+        cand_label=cand_label,
+        k=k,
+        repeats=repeats,
+        comparisons=comparisons,
+    )
+
+
+def detect_regressions(
+    manifest: CorpusManifest,
+    catalog,
+    base_label: str,
+    cand_label: str,
+    k: float = DEFAULT_K,
+    jobs: int = 1,
+) -> RegressionReport:
+    """End-to-end: collect repeat populations from the corpus and
+    compare ``base_label`` cells against ``cand_label`` cells."""
+    cell_metrics = collect_cell_metrics(manifest, catalog, jobs=jobs)
+    return compare_cells(
+        cell_metrics,
+        base_label,
+        cand_label,
+        k=k,
+        repeats=manifest.repeats,
+    )

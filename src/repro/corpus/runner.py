@@ -1,0 +1,243 @@
+"""The matrix runner: workloads × configurations → a trace corpus.
+
+The paper's real workflow is comparative — tune the trace buffer size,
+the SPE count, single vs double buffering, the recorded event groups,
+and ask what changed.  :func:`run_matrix` executes that sweep: every
+:class:`CellSpec` crossed with ``repeats`` seeded repeat runs, each
+streamed to its own trace file through
+:func:`repro.workloads.harness.run_and_write_trace`, and the whole
+sweep described by one :class:`~repro.corpus.manifest.CorpusManifest`.
+
+Determinism: a cell's seed is a CRC32 hash of
+``(base_seed, workload, label, config_id, repeat)``, so re-running the
+same matrix in a fresh interpreter reproduces every trace
+byte-for-byte (within one long-lived process, PPE thread ids continue
+a process-wide sequence; the seeded workload content is identical
+either way), repeats within a cell sample distinct seeds (the
+regression detector's noise population), and two cells that differ
+only by *label* — the gate's baseline/candidate pair — run the same
+configuration under different seeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import typing
+import zlib
+
+from repro.pdt.config import TraceConfig
+from repro.serve.catalog import TraceCatalog
+from repro.workloads import (
+    FftWorkload,
+    HistogramWorkload,
+    MatmulWorkload,
+    MonteCarloWorkload,
+    SpmvWorkload,
+    StreamingPipelineWorkload,
+    Workload,
+    run_and_write_trace,
+    run_stats_row,
+)
+from repro.corpus.manifest import (
+    CorpusError,
+    CorpusManifest,
+    RunRecord,
+    config_id,
+)
+
+#: Workload families the matrix can enumerate, each a factory taking
+#: ``n_spes``.  Sized for corpus duty: many cells per sweep, so one
+#: cell must run in seconds, not minutes.
+WORKLOAD_FACTORIES: typing.Dict[str, typing.Callable[[int], Workload]] = {
+    "matmul": lambda n_spes: MatmulWorkload(
+        n=128, tile=32, n_spes=n_spes, double_buffered=False
+    ),
+    "matmul-db": lambda n_spes: MatmulWorkload(
+        n=128, tile=32, n_spes=n_spes, double_buffered=True
+    ),
+    "streaming": lambda n_spes: StreamingPipelineWorkload(
+        stages=n_spes, blocks=24
+    ),
+    "fft": lambda n_spes: FftWorkload(points=256, batch=16, n_spes=n_spes),
+    "montecarlo": lambda n_spes: MonteCarloWorkload(
+        samples_per_spe=4000, n_spes=n_spes
+    ),
+    "histogram": lambda n_spes: HistogramWorkload(
+        samples=32 * 1024, n_spes=n_spes
+    ),
+    "spmv": lambda n_spes: SpmvWorkload(
+        n=1024, density=0.03, rows_per_block=128, n_spes=n_spes
+    ),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class CellSpec:
+    """One cell of the matrix: a workload under one configuration."""
+
+    workload: str
+    n_spes: int = 2
+    buffer_bytes: int = 16 * 1024
+    double_buffered: bool = True
+    groups: typing.Optional[typing.Tuple[str, ...]] = None
+    label: str = "cell"
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOAD_FACTORIES:
+            raise CorpusError(
+                f"unknown workload {self.workload!r} (choose from "
+                f"{', '.join(sorted(WORKLOAD_FACTORIES))})"
+            )
+        if self.n_spes < 1:
+            raise CorpusError(f"n_spes must be >= 1, got {self.n_spes}")
+
+    def config(self) -> typing.Dict[str, typing.Any]:
+        """The cell's configuration as the manifest records it."""
+        return {
+            "n_spes": self.n_spes,
+            "buffer_bytes": self.buffer_bytes,
+            "double_buffered": self.double_buffered,
+            "groups": list(self.groups) if self.groups is not None else None,
+        }
+
+    @property
+    def config_id(self) -> str:
+        return config_id(self.config())
+
+    def trace_config(self) -> TraceConfig:
+        overrides: typing.Dict[str, typing.Any] = {
+            "buffer_bytes": self.buffer_bytes,
+            "double_buffered": self.double_buffered,
+        }
+        if self.groups is not None:
+            overrides["groups"] = frozenset(self.groups)
+        return TraceConfig(**overrides)
+
+    def make_workload(self) -> Workload:
+        return WORKLOAD_FACTORIES[self.workload](self.n_spes)
+
+    def run_id(self, repeat: int) -> str:
+        return f"{self.workload}.{self.label}.{self.config_id}.r{repeat}"
+
+
+def cell_seed(
+    base_seed: int, cell: CellSpec, repeat: int
+) -> int:
+    """The deterministic seed of one repeat of one cell."""
+    key = f"{base_seed}|{cell.workload}|{cell.label}|{cell.config_id}|{repeat}"
+    return zlib.crc32(key.encode("ascii")) & 0x7FFFFFFF
+
+
+def sweep_cells(
+    workloads: typing.Sequence[str],
+    n_spes: typing.Sequence[int] = (2,),
+    buffer_bytes: typing.Sequence[int] = (16 * 1024,),
+    double_buffered: typing.Sequence[bool] = (True,),
+    groups: typing.Sequence[typing.Optional[typing.Tuple[str, ...]]] = (None,),
+    label: str = "cell",
+) -> typing.List[CellSpec]:
+    """The full cross product of the given axes, enumeration order
+    fixed (workload-major, then spes, buffer, buffering, mask)."""
+    cells = []
+    for workload in workloads:
+        for spes in n_spes:
+            for buf in buffer_bytes:
+                for buffered in double_buffered:
+                    for mask in groups:
+                        cells.append(
+                            CellSpec(
+                                workload=workload,
+                                n_spes=spes,
+                                buffer_bytes=buf,
+                                double_buffered=buffered,
+                                groups=mask,
+                                label=label,
+                            )
+                        )
+    return cells
+
+
+def run_matrix(
+    cells: typing.Sequence[CellSpec],
+    out_dir: str,
+    repeats: int = 1,
+    base_seed: int = 0,
+    progress: typing.Optional[typing.Callable[[str], None]] = None,
+) -> CorpusManifest:
+    """Execute every cell × repeat into ``out_dir`` and write the
+    manifest.  Traces land as ``{run_id}.pdt``; a run that fails
+    verification raises (a corpus must not silently contain wrong
+    results)."""
+    if repeats < 1:
+        raise CorpusError(f"repeats must be >= 1, got {repeats}")
+    if not cells:
+        raise CorpusError("matrix has no cells")
+    seen: typing.Set[str] = set()
+    for cell in cells:
+        key = cell.run_id(0)
+        if key in seen:
+            raise CorpusError(
+                f"matrix enumerates {key} twice; give duplicate "
+                f"configurations distinct labels"
+            )
+        seen.add(key)
+    os.makedirs(out_dir, exist_ok=True)
+    runs: typing.List[RunRecord] = []
+    for cell in cells:
+        for repeat in range(repeats):
+            run_id = cell.run_id(repeat)
+            seed = cell_seed(base_seed, cell, repeat)
+            filename = f"{run_id}.pdt"
+            result, n_bytes = run_and_write_trace(
+                cell.make_workload(),
+                os.path.join(out_dir, filename),
+                cell.trace_config(),
+                seed=seed,
+            )
+            if not result.verified:
+                raise CorpusError(
+                    f"{run_id}: workload failed verification (seed {seed})"
+                )
+            runs.append(
+                RunRecord(
+                    run_id=run_id,
+                    workload=cell.workload,
+                    label=cell.label,
+                    config=cell.config(),
+                    seed=seed,
+                    repeat=repeat,
+                    path=filename,
+                    stats=run_stats_row(result, n_bytes),
+                )
+            )
+            if progress is not None:
+                progress(f"{run_id}: {result.elapsed_cycles} cycles, "
+                         f"{n_bytes} trace bytes (seed {seed})")
+    manifest = CorpusManifest(base_seed=base_seed, repeats=repeats, runs=runs)
+    manifest.save(out_dir)
+    return manifest
+
+
+def open_corpus(
+    manifest: CorpusManifest,
+    memory_budget: typing.Optional[int] = None,
+) -> TraceCatalog:
+    """A :class:`~repro.serve.catalog.TraceCatalog` with every corpus
+    run registered under its run id — the corpus analytics' shared
+    open-trace pool.  Registration is all-or-nothing
+    (:meth:`~repro.serve.catalog.TraceCatalog.register_many`)."""
+    catalog = (
+        TraceCatalog()
+        if memory_budget is None
+        else TraceCatalog(memory_budget=memory_budget)
+    )
+    try:
+        catalog.register_many(
+            (record.run_id, manifest.trace_path(record.run_id))
+            for record in manifest.runs
+        )
+    except Exception:
+        catalog.close()
+        raise
+    return catalog

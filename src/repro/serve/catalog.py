@@ -127,6 +127,34 @@ class TraceCatalog:
             self._entries[name] = entry
             return entry.info()
 
+    def register_many(
+        self,
+        items: typing.Iterable[typing.Tuple[str, str]],
+        strict: bool = True,
+    ) -> typing.List[typing.Dict[str, typing.Any]]:
+        """Register ``(name, path)`` pairs all-or-nothing.
+
+        Corpus-scale registration: if any open fails (bad path, corrupt
+        file, duplicate name), every trace this call already registered
+        is evicted before the error propagates, so the catalog never
+        ends up holding half a corpus.  Returns the info rows in input
+        order.
+        """
+        registered: typing.List[str] = []
+        rows: typing.List[typing.Dict[str, typing.Any]] = []
+        try:
+            for name, path in items:
+                rows.append(self.register(name, path, strict=strict))
+                registered.append(name)
+        except Exception:
+            for name in reversed(registered):
+                try:
+                    self.evict(name)
+                except CatalogError:
+                    pass
+            raise
+        return rows
+
     def list_traces(self) -> typing.List[typing.Dict[str, typing.Any]]:
         """Info rows for every live (non-evicting) trace, name order."""
         with self._lock:

@@ -10,6 +10,7 @@ interrupted::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import typing
 
@@ -67,9 +68,23 @@ def main(argv: typing.Optional[typing.List[str]] = None) -> int:
         print(f"pdt-serve: --jobs must be >= 1, got {args.jobs}",
               file=sys.stderr)
         return 2
+    cpus = os.cpu_count() or 1
+    if args.jobs > cpus:
+        print(
+            f"pdt-serve: --jobs {args.jobs} exceeds the {cpus} available "
+            f"CPU(s); using {cpus}",
+            file=sys.stderr,
+        )
+        args.jobs = cpus
     if args.max_clients < 1:
         print(
             f"pdt-serve: --max-clients must be >= 1, got {args.max_clients}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.budget_mb is not None and args.budget_mb < 1:
+        print(
+            f"pdt-serve: --budget-mb must be >= 1, got {args.budget_mb}",
             file=sys.stderr,
         )
         return 2

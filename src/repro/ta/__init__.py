@@ -32,7 +32,12 @@ from repro.ta.analysis import (
 )
 from repro.ta.comm import CommEdge, communication_edges, summarize_channels
 from repro.ta.critical import CriticalPath, critical_path
-from repro.ta.diff import TraceDiff, diff_stats
+from repro.ta.diff import (
+    TraceDiff,
+    align_bucket_series,
+    diff_rows,
+    diff_stats,
+)
 from repro.ta.export import records_to_csv, stats_to_csv
 from repro.ta.gantt import render_ascii, render_svg
 from repro.ta.model import (
@@ -63,11 +68,13 @@ __all__ = [
     "TimelineModel",
     "TraceDiff",
     "TraceStatistics",
+    "align_bucket_series",
     "analyze",
     "analyze_buffering",
     "analyze_materialized",
     "analyze_load_balance",
     "communication_edges",
+    "diff_rows",
     "diff_stats",
     "event_profile",
     "profile_table",

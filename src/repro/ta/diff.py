@@ -64,6 +64,84 @@ class TraceDiff:
         ]
 
 
+def diff_rows(
+    base_rows: typing.Sequence[typing.Dict[str, typing.Any]],
+    cand_rows: typing.Sequence[typing.Dict[str, typing.Any]],
+    keys: typing.Sequence[str],
+    fields: typing.Sequence[str],
+) -> typing.List[typing.Dict[str, typing.Any]]:
+    """Keyed diff of two uniform row lists (full outer join).
+
+    Rows are matched on the ``keys`` columns; every ``fields`` column
+    becomes three output columns ``base_<f>``, ``cand_<f>``,
+    ``<f>_delta``, with a side that lacks the key contributing zero.
+    The corpus differ uses this for per-SPE stall-breakdown and DMA
+    profile deltas; it works on any grouped query output.
+    """
+
+    def index(rows):
+        out = {}
+        for row in rows:
+            out[tuple(row[k] for k in keys)] = row
+        return out
+
+    base_by_key = index(base_rows)
+    cand_by_key = index(cand_rows)
+    merged = []
+    for key in sorted(set(base_by_key) | set(cand_by_key)):
+        base = base_by_key.get(key, {})
+        cand = cand_by_key.get(key, {})
+        row: typing.Dict[str, typing.Any] = dict(zip(keys, key))
+        for field in fields:
+            b = base.get(field) or 0
+            c = cand.get(field) or 0
+            row[f"base_{field}"] = b
+            row[f"cand_{field}"] = c
+            row[f"{field}_delta"] = c - b
+        merged.append(row)
+    return merged
+
+
+def align_bucket_series(
+    base_rows: typing.Sequence[typing.Dict[str, typing.Any]],
+    cand_rows: typing.Sequence[typing.Dict[str, typing.Any]],
+    fields: typing.Sequence[str] = ("n",),
+) -> typing.List[typing.Dict[str, typing.Any]]:
+    """Join two time-bucketed series on a shared relative timeline.
+
+    Each side's buckets are absolute corrected time divided by the
+    bucket width; two runs never share an origin, so each series is
+    rebased by its own first bucket before joining (``rel`` = bucket −
+    first bucket — deterministic, at most one bucket of quantization
+    skew between runs).  Output rows carry ``rel`` plus
+    ``base_<f>``/``cand_<f>``/``<f>_delta`` per field, dense over the
+    union of relative indices with missing buckets counted as zero.
+    """
+
+    def rebase(rows):
+        if not rows:
+            return {}
+        origin = min(row["bucket"] for row in rows)
+        return {row["bucket"] - origin: row for row in rows}
+
+    base_by_rel = rebase(base_rows)
+    cand_by_rel = rebase(cand_rows)
+    last = max([*base_by_rel, *cand_by_rel], default=-1)
+    merged = []
+    for rel in range(last + 1):
+        base = base_by_rel.get(rel, {})
+        cand = cand_by_rel.get(rel, {})
+        row: typing.Dict[str, typing.Any] = {"rel": rel}
+        for field in fields:
+            b = base.get(field) or 0
+            c = cand.get(field) or 0
+            row[f"base_{field}"] = b
+            row[f"cand_{field}"] = c
+            row[f"{field}_delta"] = c - b
+        merged.append(row)
+    return merged
+
+
 def diff_stats(baseline: TraceStatistics, candidate: TraceStatistics) -> TraceDiff:
     """Compare two statistics objects SPE by SPE.
 

@@ -26,6 +26,7 @@ from repro.workloads.harness import (
     OverheadResult,
     measure_overhead,
     run_and_write_trace,
+    run_stats_row,
     run_workload,
 )
 from repro.workloads.histogram import HistogramWorkload
@@ -51,5 +52,6 @@ __all__ = [
     "WorkloadError",
     "measure_overhead",
     "run_and_write_trace",
+    "run_stats_row",
     "run_workload",
 ]

@@ -60,6 +60,7 @@ class RunResult:
         elapsed_cycles: int,
         verified: bool,
         hooks: typing.Optional[object] = None,
+        seed: typing.Optional[int] = None,
     ):
         self.workload = workload
         self.machine = machine
@@ -67,6 +68,9 @@ class RunResult:
         self.verified = verified
         #: The PdtHooks instance when the run was traced, else None.
         self.hooks = hooks
+        #: The seed the run executed under (None for workloads with no
+        #: randomness, e.g. mandelbrot and the microbenchmarks).
+        self.seed = seed
 
     @property
     def traced(self) -> bool:

@@ -20,12 +20,22 @@ def run_workload(
     workload: Workload,
     trace_config: typing.Optional[TraceConfig] = None,
     cell_config: typing.Optional[CellConfig] = None,
+    seed: typing.Optional[int] = None,
 ) -> RunResult:
     """Execute one workload from start to verification.
 
     ``trace_config=None`` runs uninstrumented; otherwise PDT is
     installed with that configuration.
+
+    ``seed`` overrides the workload's own seed before ``setup`` runs,
+    and is recorded on the :class:`RunResult` — the reproducibility
+    contract corpus cells depend on: the same (workload parameters,
+    trace config, seed) triple always produces the same trace.
+    Workloads draw all randomness from ``self.seed`` via
+    ``numpy.random.default_rng``; none touch the global RNG.
     """
+    if seed is not None:
+        workload.seed = seed
     config = cell_config or CellConfig(
         n_spes=workload.n_spes, main_memory_size=DEFAULT_MAIN_MEMORY
     )
@@ -52,6 +62,7 @@ def run_workload(
         elapsed_cycles=elapsed,
         verified=verified,
         hooks=hooks,
+        seed=seed if seed is not None else getattr(workload, "seed", None),
     )
 
 
@@ -60,15 +71,38 @@ def run_and_write_trace(
     path: str,
     trace_config: typing.Optional[TraceConfig] = None,
     cell_config: typing.Optional[CellConfig] = None,
+    seed: typing.Optional[int] = None,
 ) -> typing.Tuple[RunResult, int]:
     """Run a workload traced and stream its trace straight to ``path``.
 
     The trace goes from the recording sinks to the file without ever
     being assembled as record objects; returns (result, bytes written).
     """
-    result = run_workload(workload, trace_config or TraceConfig(), cell_config)
+    result = run_workload(
+        workload, trace_config or TraceConfig(), cell_config, seed=seed
+    )
     n_bytes = write_trace(result.trace_source(), path)
     return result, n_bytes
+
+
+def run_stats_row(
+    result: RunResult, trace_bytes: int = 0
+) -> typing.Dict[str, typing.Union[str, int, bool, None]]:
+    """One run's manifest row: the wall/overhead stats a corpus records
+    per cell (:mod:`repro.corpus`), seed included."""
+    row: typing.Dict[str, typing.Union[str, int, bool, None]] = {
+        "workload": result.workload.name,
+        "seed": result.seed,
+        "elapsed_cycles": result.elapsed_cycles,
+        "verified": result.verified,
+        "trace_bytes": trace_bytes,
+    }
+    if result.hooks is not None:
+        stats = result.hooks.stats
+        row["records"] = stats.total_records
+        row["flushes"] = stats.total_flushes
+        row["flush_bytes"] = stats.total_flush_bytes
+    return row
 
 
 @dataclasses.dataclass
@@ -81,6 +115,8 @@ class OverheadResult:
     records: int
     trace_bytes: int
     flushes: int
+    #: Seed both runs executed under (None: the workload's own default).
+    seed: typing.Optional[int] = None
 
     @property
     def overhead_fraction(self) -> float:
@@ -95,6 +131,7 @@ class OverheadResult:
     def row(self) -> typing.Dict[str, typing.Union[str, int, float]]:
         return {
             "workload": self.workload_name,
+            "seed": self.seed,
             "untraced_cycles": self.untraced_cycles,
             "traced_cycles": self.traced_cycles,
             "overhead_percent": round(self.overhead_percent, 2),
@@ -108,15 +145,18 @@ def measure_overhead(
     make_workload: typing.Callable[[], Workload],
     trace_config: typing.Optional[TraceConfig] = None,
     cell_config: typing.Optional[CellConfig] = None,
+    seed: typing.Optional[int] = None,
 ) -> OverheadResult:
     """Run the same workload untraced then traced; compare runtimes.
 
     ``make_workload`` is a factory because each run needs a fresh
-    workload instance (they hold per-run memory addresses).
+    workload instance (they hold per-run memory addresses).  ``seed``
+    (when given) overrides both instances' seeds, so the comparison
+    stays apples-to-apples under an externally-driven sweep.
     """
     trace_config = trace_config or TraceConfig()
-    untraced = run_workload(make_workload(), None, cell_config)
-    traced = run_workload(make_workload(), trace_config, cell_config)
+    untraced = run_workload(make_workload(), None, cell_config, seed=seed)
+    traced = run_workload(make_workload(), trace_config, cell_config, seed=seed)
     if not (untraced.verified and traced.verified):
         raise WorkloadError(
             f"{untraced.workload.name}: results failed verification "
@@ -130,4 +170,5 @@ def measure_overhead(
         records=stats.total_records,
         trace_bytes=stats.total_flush_bytes,
         flushes=stats.total_flushes,
+        seed=traced.seed,
     )

@@ -1,0 +1,26 @@
+"""Shared corpus fixture: one seeded two-label spmv matrix.
+
+spmv is the noise-bearing workload — its nonzero count (and therefore
+compute and DMA behaviour) varies with the seed — so the same corpus
+exercises the matrix runner, the plan-backed metrics, the differ, and
+the regression detector's noise model.  Built once per session; every
+test treats it as read-only.
+"""
+
+import pytest
+
+from repro.corpus import run_matrix
+from repro.corpus.runner import CellSpec
+
+REPEATS = 3
+BASE_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def corpus(tmp_path_factory):
+    out = tmp_path_factory.mktemp("corpus")
+    cells = [
+        CellSpec(workload="spmv", n_spes=2, label="base"),
+        CellSpec(workload="spmv", n_spes=2, label="cand"),
+    ]
+    return run_matrix(cells, str(out), repeats=REPEATS, base_seed=BASE_SEED)

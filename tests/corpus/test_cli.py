@@ -1,0 +1,110 @@
+"""pdt-corpus CLI: argument validation, list/diff output, and the
+self-gating check command."""
+
+import json
+
+import pytest
+
+from repro.corpus.cli import main
+
+
+# ----------------------------------------------------------------------
+# validation: exit 2 with a clear message, never a traceback
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "argv, message",
+    [
+        (["diff", "c", "a", "b", "--jobs", "0"], "--jobs must be >= 1"),
+        (["diff", "c", "a", "b", "--buckets", "0"], "--buckets must be >= 1"),
+        (["run", "out", "--repeats", "0"], "--repeats must be >= 1"),
+        (["check", "out", "--repeats", "0"], "--repeats must be >= 1"),
+        (["check", "out", "--jobs", "-2"], "--jobs must be >= 1"),
+        (["check", "out", "--k", "0"], "--k must be > 0"),
+        (["check", "out", "--inject", "1.0"], "--inject must be > 1.0"),
+    ],
+)
+def test_bad_arguments_exit_2(capsys, argv, message):
+    assert main(argv) == 2
+    assert message in capsys.readouterr().err
+
+
+def test_unknown_corpus_dir_exits_2(capsys, tmp_path):
+    assert main(["list", str(tmp_path / "nope")]) == 2
+    assert "pdt-corpus:" in capsys.readouterr().err
+
+
+def test_diff_unknown_run_id_exits_2(capsys, corpus):
+    assert main(["diff", corpus.root, "missing-a", "missing-b"]) == 2
+    assert "no such run" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# list / diff over the shared corpus
+# ----------------------------------------------------------------------
+def test_list_prints_every_run(capsys, corpus):
+    assert main(["list", corpus.root]) == 0
+    out = capsys.readouterr().out
+    for record in corpus.runs:
+        assert record.run_id in out
+    assert f"{len(corpus.runs)} runs" in out
+
+
+def test_list_json_matches_manifest(capsys, corpus):
+    assert main(["list", corpus.root, "--json"]) == 0
+    assert json.loads(capsys.readouterr().out) == corpus.to_json()
+
+
+def test_diff_report_and_json(capsys, corpus, tmp_path):
+    base = corpus.runs[0].run_id
+    cand = corpus.runs[-1].run_id
+    out_json = str(tmp_path / "diff.json")
+    assert main(["diff", corpus.root, base, cand, "--json", out_json]) == 0
+    out = capsys.readouterr().out
+    assert "ranked by |relative change|" in out
+    assert "per-SPE stall breakdown" in out
+    with open(out_json) as fh:
+        payload = json.load(fh)
+    assert payload["baseline"] == base and payload["candidate"] == cand
+    # Every default metric appears, ranked by |relative change|.
+    names = [m["metric"] for m in payload["metrics"]]
+    assert len(names) == 9 and "stall_total_cycles" in names
+    rels = [
+        abs(m["rel"]) if m["rel"] is not None else float("inf")
+        for m in payload["metrics"]
+    ]
+    assert rels == sorted(rels, reverse=True)
+    assert payload["series"]["rows"], "aligned series missing"
+
+
+def test_diff_jobs_flag_is_result_invariant(capsys, corpus, tmp_path):
+    base, cand = corpus.runs[0].run_id, corpus.runs[-1].run_id
+    j1 = str(tmp_path / "j1.json")
+    j4 = str(tmp_path / "j4.json")
+    assert main(["diff", corpus.root, base, cand, "--json", j1]) == 0
+    assert main(
+        ["diff", corpus.root, base, cand, "--jobs", "4", "--json", j4]
+    ) == 0
+    with open(j1) as a, open(j4) as b:
+        assert a.read() == b.read()
+
+
+# ----------------------------------------------------------------------
+# the gate
+# ----------------------------------------------------------------------
+def test_check_gate_passes_and_emits_bench_json(capsys, tmp_path):
+    out_json = str(tmp_path / "BENCH_corpus.json")
+    code = main(
+        ["check", str(tmp_path / "gate"), "--repeats", "3", "--seed", "0",
+         "--json", out_json]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "clean pair: 0 flagged (ok)" in out
+    assert "caught" in out
+    with open(out_json) as fh:
+        payload = json.load(fh)
+    assert payload["ok"] is True
+    assert payload["bench"] == "corpus_gate"
+    assert payload["clean"]["flagged"] == 0
+    assert payload["injected"]["regressions"] >= 1
+    assert payload["repeats"] == 3

@@ -1,0 +1,122 @@
+"""Manifest identity, round-trip, and validation tests."""
+
+import json
+
+import pytest
+
+from repro.corpus import CorpusError, CorpusManifest, RunRecord, config_id
+
+
+def _record(run_id="w.cell.spes2-buf16384-db-all.r0", **overrides):
+    payload = {
+        "run_id": run_id,
+        "workload": "w",
+        "label": "cell",
+        "config": {
+            "n_spes": 2,
+            "buffer_bytes": 16384,
+            "double_buffered": True,
+            "groups": None,
+        },
+        "seed": 7,
+        "repeat": 0,
+        "path": f"{run_id}.pdt",
+        "stats": {"elapsed_cycles": 100},
+    }
+    payload.update(overrides)
+    return RunRecord(**payload)
+
+
+def test_config_id_is_deterministic_and_readable():
+    config = {
+        "n_spes": 4,
+        "buffer_bytes": 8192,
+        "double_buffered": False,
+        "groups": ["dma", "lifecycle"],
+    }
+    assert config_id(config) == "spes4-buf8192-sb-dma+lifecycle"
+    # Group order must not matter; None means all; empty means none.
+    config["groups"] = ["lifecycle", "dma"]
+    assert config_id(config) == "spes4-buf8192-sb-dma+lifecycle"
+    config["groups"] = None
+    assert config_id(config) == "spes4-buf8192-sb-all"
+    config["groups"] = []
+    assert config_id(config) == "spes4-buf8192-sb-none"
+
+
+def test_record_group_separates_labels_not_configs():
+    base = _record(label="base")
+    cand = _record(label="cand")
+    assert base.config_id == cand.config_id
+    assert base.group != cand.group
+
+
+def test_manifest_roundtrip(tmp_path):
+    manifest = CorpusManifest(
+        base_seed=3, repeats=2, runs=[_record(), _record(run_id="other.r1")]
+    )
+    manifest.save(str(tmp_path))
+    loaded = CorpusManifest.load(str(tmp_path))
+    assert loaded.to_json() == manifest.to_json()
+    assert loaded.root == str(tmp_path)
+    # Relative trace paths resolve against the corpus directory.
+    assert loaded.trace_path(_record().run_id).startswith(str(tmp_path))
+
+
+def test_unknown_run_id_names_the_corpus():
+    manifest = CorpusManifest(base_seed=0, repeats=1, runs=[_record()])
+    with pytest.raises(CorpusError, match="no such run"):
+        manifest.run("missing")
+
+
+def test_groups_sorted_by_repeat():
+    manifest = CorpusManifest(
+        base_seed=0,
+        repeats=2,
+        runs=[
+            _record(run_id="a.r1", repeat=1),
+            _record(run_id="a.r0", repeat=0),
+        ],
+    )
+    (members,) = manifest.groups().values()
+    assert [m.repeat for m in members] == [0, 1]
+
+
+def _write(tmp_path, payload):
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    with pytest.raises(CorpusError, match="version"):
+        CorpusManifest.load(_write(tmp_path, {"version": 99, "runs": []}))
+
+
+def test_load_rejects_duplicate_run_ids(tmp_path):
+    run = _record().to_json()
+    payload = {"version": 1, "base_seed": 0, "repeats": 1, "runs": [run, run]}
+    with pytest.raises(CorpusError, match="duplicate run id"):
+        CorpusManifest.load(_write(tmp_path, payload))
+
+
+def test_load_rejects_missing_keys_and_bad_config(tmp_path):
+    run = _record().to_json()
+    del run["seed"]
+    with pytest.raises(CorpusError, match="missing keys"):
+        CorpusManifest.load(
+            _write(tmp_path, {"version": 1, "runs": [run]})
+        )
+    run = _record().to_json()
+    run["config"] = {"not_a_config": True}
+    with pytest.raises(CorpusError, match="malformed config"):
+        CorpusManifest.load(
+            _write(tmp_path, {"version": 1, "runs": [run]})
+        )
+
+
+def test_load_rejects_malformed_json(tmp_path):
+    path = tmp_path / "manifest.json"
+    path.write_text("{not json")
+    with pytest.raises(CorpusError, match="malformed manifest JSON"):
+        CorpusManifest.load(str(path))

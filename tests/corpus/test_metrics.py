@@ -1,0 +1,89 @@
+"""Plan-backed corpus metrics against the timeline model's ground
+truth, plus the sharding byte-identity contract."""
+
+import pytest
+
+from repro.corpus import evaluate_metrics, open_corpus, stall_breakdown_rows
+from repro.corpus.metrics import (
+    bucket_series_plan,
+    dma_profile_plan,
+    default_metrics,
+    run_plan,
+)
+from repro.serve.protocol import canonical_json
+from repro.ta import analyze
+from repro.ta.stats import TraceStatistics
+
+
+@pytest.fixture(scope="module")
+def first_run(corpus):
+    with open_corpus(corpus) as catalog:
+        run_id = corpus.runs[0].run_id
+        with catalog.acquire(run_id) as (handle, __, __identity):
+            yield handle
+
+
+def test_metrics_match_timeline_model(first_run):
+    """The groupby end-minus-begin trick must reproduce exactly what
+    the interval-pairing timeline model measures."""
+    values = evaluate_metrics(first_run)
+    stats = TraceStatistics.from_model(analyze(first_run.source()))
+    per_spe = stats.per_spe.values()
+    assert values["events_total"] == first_run.n_records
+    assert values["stall_dma_cycles"] == sum(
+        s.wait_dma_cycles for s in per_spe
+    )
+    assert values["stall_mbox_cycles"] == sum(
+        s.wait_mbox_cycles for s in per_spe
+    )
+    assert values["stall_signal_cycles"] == sum(
+        s.wait_signal_cycles for s in per_spe
+    )
+    assert values["stall_total_cycles"] == (
+        values["stall_dma_cycles"]
+        + values["stall_mbox_cycles"]
+        + values["stall_signal_cycles"]
+    )
+    assert values["dma_bytes"] == sum(s.dma.total_bytes for s in per_spe)
+    assert values["dma_count"] == sum(s.dma.count for s in per_spe)
+    assert values["span_cycles"] > 0
+    assert values["dma_p99_bytes"] > 0
+
+
+def test_breakdown_rows_sum_to_metrics(first_run):
+    values = evaluate_metrics(first_run)
+    rows = stall_breakdown_rows(first_run)
+    for family in ("dma", "mbox", "signal"):
+        total = sum(r["cycles"] for r in rows if r["family"] == family)
+        assert total == values[f"stall_{family}_cycles"], family
+    assert all(row["waits"] >= 0 for row in rows)
+
+
+def test_sharded_evaluation_is_byte_identical(first_run):
+    """jobs=2 must reproduce the serial rows exactly — same values,
+    same order, same canonical JSON bytes."""
+    for spec in default_metrics():
+        for plan in spec.plans:
+            serial = run_plan(first_run, plan, jobs=1)
+            sharded = run_plan(first_run, plan, jobs=2)
+            assert canonical_json(serial) == canonical_json(sharded)
+    assert evaluate_metrics(first_run, jobs=1) == evaluate_metrics(
+        first_run, jobs=2
+    )
+
+
+def test_dma_profile_covers_every_spe(first_run):
+    rows = run_plan(first_run, dma_profile_plan())
+    assert [row["spe"] for row in rows] == [0, 1]
+    for row in rows:
+        assert row["bytes"] == pytest.approx(row["n"] * row["mean_bytes"])
+
+
+def test_bucket_series_plan_validates_width(first_run):
+    with pytest.raises(ValueError, match="width"):
+        bucket_series_plan(0)
+    rows = run_plan(first_run, bucket_series_plan(1000))
+    assert sum(row["n"] for row in rows) == first_run.n_records
+    assert [row["bucket"] for row in rows] == sorted(
+        row["bucket"] for row in rows
+    )

@@ -1,0 +1,151 @@
+"""Noise-aware regression detection: the robust statistics, the flag
+rule, and the end-to-end zero-false-positive / catches-injection gate
+property on a real seeded corpus."""
+
+import pytest
+
+from repro.corpus import (
+    CorpusError,
+    collect_cell_metrics,
+    compare_cells,
+    detect_regressions,
+    inject_regression,
+    median,
+    open_corpus,
+    robust_spread,
+)
+from repro.corpus.regress import MetricComparison
+
+from tests.corpus.conftest import REPEATS
+
+
+# ----------------------------------------------------------------------
+# robust statistics
+# ----------------------------------------------------------------------
+def test_median_odd_even_and_empty():
+    assert median([3, 1, 2]) == 2
+    assert median([4, 1, 2, 3]) == 2.5
+    with pytest.raises(CorpusError):
+        median([])
+
+
+def test_robust_spread_deterministic_population_is_zero():
+    assert robust_spread([7, 7, 7]) == 0.0
+
+
+def test_robust_spread_never_below_half_range():
+    # Three repeats with two tied: the MAD alone would be 0 even
+    # though the population is clearly noisy.
+    values = [100, 100, 140]
+    assert robust_spread(values) == 20.0
+    # With genuinely spread values the scaled MAD leads.
+    assert robust_spread([0, 10, 20]) == pytest.approx(1.4826 * 10)
+
+
+def _comparison(base, cand, metric="stall_total_cycles", k=4.0):
+    return MetricComparison(
+        metric=metric,
+        workload="w",
+        config_id="cfg",
+        base_label="base",
+        cand_label="cand",
+        base_values=tuple(base),
+        cand_values=tuple(cand),
+        k=k,
+    )
+
+
+def test_flag_rule_is_k_times_spread_never_raw():
+    # Noise band scales with the population's own spread: the same
+    # absolute delta flags in a quiet population, not in a noisy one.
+    quiet = _comparison([1000, 1001, 1002], [1200, 1201, 1202])
+    noisy = _comparison([1000, 900, 1100], [1200, 1100, 1300])
+    assert quiet.flagged and quiet.direction == "regression"
+    assert not noisy.flagged and noisy.direction == "ok"
+
+
+def test_deterministic_change_flags_and_boundary_is_strict():
+    # spread 0, delta 0: must NOT flag (0 > 0 is false).
+    assert not _comparison([5, 5, 5], [5, 5, 5]).flagged
+    # spread 0, any delta: flags at any k.
+    assert _comparison([5, 5, 5], [6, 6, 6], k=100.0).flagged
+    # |delta| exactly k*spread: strictly inside the noise band.
+    # Populations chosen so spread is exactly 2.0 (half-range fallback,
+    # a power of two) and the arithmetic is float-exact.
+    base, cand = (0.0, 4.0, 4.0), (25.0, 29.0, 29.0)
+    at_boundary = _comparison(base, cand, k=12.5)
+    assert at_boundary.delta == 25.0
+    assert at_boundary.threshold == 25.0
+    assert not at_boundary.flagged
+    # One notch tighter and it flags.
+    assert _comparison(base, cand, k=12.0).flagged
+
+
+def test_directions():
+    down = _comparison([100, 100, 100], [50, 50, 50])
+    assert down.direction == "improvement"
+    neutral = _comparison([100, 100, 100], [50, 50, 50], metric="dma_bytes")
+    assert neutral.direction == "changed"
+
+
+def test_compare_cells_requires_a_common_pair():
+    cells = {("w", "base", "cfg"): {"m": [1.0]}}
+    with pytest.raises(CorpusError, match="both labels"):
+        compare_cells(cells, "base", "cand")
+    with pytest.raises(CorpusError, match="k must be"):
+        compare_cells(cells, "base", "base", k=0)
+
+
+def test_inject_regression_scales_only_target_label_and_prefix():
+    cells = {
+        ("w", "base", "cfg"): {"stall_total_cycles": [100.0], "dma_bytes": [10.0]},
+        ("w", "cand", "cfg"): {"stall_total_cycles": [100.0], "dma_bytes": [10.0]},
+    }
+    injected = inject_regression(cells, "cand", "stall_", 1.5)
+    assert injected[("w", "base", "cfg")] == cells[("w", "base", "cfg")]
+    assert injected[("w", "cand", "cfg")]["stall_total_cycles"] == [150.0]
+    assert injected[("w", "cand", "cfg")]["dma_bytes"] == [10.0]
+    # The original is untouched.
+    assert cells[("w", "cand", "cfg")]["stall_total_cycles"] == [100.0]
+
+
+# ----------------------------------------------------------------------
+# the gate property, on the real corpus
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def cell_metrics(corpus):
+    with open_corpus(corpus) as catalog:
+        return collect_cell_metrics(corpus, catalog)
+
+
+def test_zero_false_positives_on_identical_configs(corpus, cell_metrics):
+    """base and cand run the same configuration under different seeds:
+    every metric delta is pure noise and none may flag."""
+    report = compare_cells(
+        cell_metrics, "base", "cand", repeats=corpus.repeats
+    )
+    assert report.repeats == REPEATS
+    assert report.flagged == []
+    assert len(report.comparisons) == 9
+    assert "0 flagged" in report.format_report()
+
+
+def test_injected_stall_regression_is_caught(corpus, cell_metrics):
+    """A synthetic +25% stall-time regression must flag — and only
+    stall metrics may flag."""
+    injected = inject_regression(cell_metrics, "cand", "stall_", 1.25)
+    report = compare_cells(injected, "base", "cand", repeats=corpus.repeats)
+    assert report.regressions, "injected regression went undetected"
+    assert all(c.metric.startswith("stall_") for c in report.flagged)
+    # Flagged comparisons rank first.
+    assert report.comparisons[0].flagged
+
+
+def test_detect_regressions_end_to_end(corpus):
+    with open_corpus(corpus) as catalog:
+        report = detect_regressions(corpus, catalog, "base", "cand")
+    assert report.flagged == []
+    payload = report.to_json()
+    assert payload["flagged"] == 0
+    assert payload["repeats"] == REPEATS
+    assert len(payload["comparisons"]) == 9

@@ -1,0 +1,123 @@
+"""TraceCatalog under corpus load: dozens of registered traces, a
+deliberately small byte budget, refcounted acquires with deferred
+eviction mid-flight, all-or-nothing bulk registration, and zero
+descriptor leaks at the end of it all."""
+
+import os
+
+import pytest
+
+from repro.pdt import TraceConfig, write_trace
+from repro.serve.catalog import CatalogError, TraceCatalog
+from repro.tq import Query
+from repro.workloads import MonteCarloWorkload, run_workload
+
+N_TRACES = 24
+
+
+def _open_fds():
+    return len(os.listdir("/proc/self/fd"))
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    result = run_workload(
+        MonteCarloWorkload(samples_per_spe=500, n_spes=2),
+        TraceConfig(buffer_bytes=1024),
+    )
+    path = str(tmp_path_factory.mktemp("corpusload") / "run.pdt")
+    write_trace(result.trace_source(), path)
+    return path
+
+
+def _items(trace_path, n=N_TRACES):
+    return [(f"run{i:02d}", trace_path) for i in range(n)]
+
+
+def test_register_many_registers_all_in_order(trace_path):
+    with TraceCatalog(memory_budget=64 * 1024) as catalog:
+        rows = catalog.register_many(_items(trace_path))
+        assert [row["name"] for row in rows] == [
+            f"run{i:02d}" for i in range(N_TRACES)
+        ]
+        assert len(catalog) == N_TRACES
+
+
+def test_register_many_is_all_or_nothing(trace_path, tmp_path):
+    fds_before = _open_fds()
+    with TraceCatalog() as catalog:
+        items = _items(trace_path, 5)
+        items.insert(3, ("broken", str(tmp_path / "missing.pdt")))
+        with pytest.raises(OSError):
+            catalog.register_many(items)
+        # Nothing survives a partial failure, including the 3 opens
+        # that had already succeeded.
+        assert len(catalog) == 0
+        assert catalog.stats()["open_descriptors"] == 0
+    assert _open_fds() == fds_before
+
+
+def test_register_many_duplicate_rolls_back(trace_path):
+    with TraceCatalog() as catalog:
+        catalog.register("run01", trace_path)
+        with pytest.raises(CatalogError, match="already registered"):
+            catalog.register_many(_items(trace_path, 4))
+        # The pre-existing registration survives; the bulk ones don't.
+        assert len(catalog) == 1
+        assert "run01" in catalog and "run00" not in catalog
+
+
+def test_corpus_load_small_budget_no_fd_leak(trace_path):
+    """The corpus pattern: every trace queried through its shared
+    handle, nested acquires refcounting, eviction landing mid-query
+    deferred to release — and at close, every descriptor returned."""
+    fds_before = _open_fds()
+    with TraceCatalog(memory_budget=32 * 1024) as catalog:
+        catalog.register_many(_items(trace_path))
+        expected = None
+        for i in range(N_TRACES):
+            name = f"run{i:02d}"
+            with catalog.acquire(name) as (handle, __, __identity):
+                rows = (
+                    Query(handle.source())
+                    .groupby("spe")
+                    .agg(n="count")
+                    .run()
+                )
+                if expected is None:
+                    expected = rows
+                assert rows == expected
+        # Nested acquires of one name share the handle refcounted.
+        with catalog.acquire("run00") as (outer, __, __i1):
+            with catalog.acquire("run00") as (inner, __, __i2):
+                assert inner is outer
+                # Eviction while two borrows are live: invisible at
+                # once, closed only at the last release.
+                assert catalog.evict("run00")["deferred"] is True
+                assert "run00" not in catalog
+            # Inner released, outer still borrowed: the handle must
+            # still answer queries.
+            assert outer.n_records > 0
+            assert (
+                Query(outer.source()).agg(n="count").run()[0]["n"]
+                == outer.n_records
+            )
+        assert len(catalog) == N_TRACES - 1
+        # The budget kept the caches bounded the whole time.
+        stats = catalog.stats()
+        assert stats["cached_bytes"] <= 32 * 1024
+    assert _open_fds() == fds_before
+
+
+def test_close_returns_every_descriptor(trace_path):
+    fds_before = _open_fds()
+    catalog = TraceCatalog(memory_budget=32 * 1024)
+    catalog.register_many(_items(trace_path))
+    handles = []
+    for i in range(0, N_TRACES, 3):
+        with catalog.acquire(f"run{i:02d}") as (handle, __, __identity):
+            handle.source()  # force descriptors open
+            handles.append(handle)
+    catalog.close()
+    assert _open_fds() == fds_before
+    assert all(handle.open_descriptors == 0 for handle in handles)

@@ -1,0 +1,37 @@
+"""pdt-serve argument validation: bad values exit 2 with a clear
+message on stderr — never a traceback."""
+
+import pytest
+
+from repro.serve.cli import main
+
+
+@pytest.mark.parametrize(
+    "argv, message",
+    [
+        (["--jobs", "0"], "--jobs must be >= 1"),
+        (["--jobs", "-3"], "--jobs must be >= 1"),
+        (["--max-clients", "0"], "--max-clients must be >= 1"),
+        (["--budget-mb", "0"], "--budget-mb must be >= 1"),
+        (["--budget-mb", "-5"], "--budget-mb must be >= 1"),
+    ],
+)
+def test_bad_arguments_exit_2(capsys, argv, message):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert message in err
+    assert "Traceback" not in err
+
+
+def test_bad_registration_exits_2(capsys, tmp_path):
+    assert main(["--register", f"x={tmp_path / 'missing.pdt'}"]) == 2
+    assert "pdt-serve:" in capsys.readouterr().err
+
+
+def test_excess_jobs_clamp_noted(capsys, tmp_path):
+    # Clamping happens before registration; the bad path then stops
+    # the server from ever binding.
+    assert main(
+        ["--jobs", "9999", "--register", f"x={tmp_path / 'missing.pdt'}"]
+    ) == 2
+    assert "exceeds" in capsys.readouterr().err

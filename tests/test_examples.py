@@ -23,6 +23,7 @@ EXAMPLES = [
     "alf_convolution.py",
     "query_trace.py",
     "serve_client.py",
+    "corpus_diff.py",
 ]
 
 

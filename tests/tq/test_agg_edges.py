@@ -1,0 +1,120 @@
+"""Aggregation edge cases: empty and single-record populations,
+all-empty partial merges, and the serial/sharded byte-identity the
+corpus metrics build on.
+
+These are the degenerate shapes corpus fan-out hits constantly — a
+stall family a workload never exercises (empty selection), a
+lifecycle kind that fires exactly once per SPE (single-record
+groups), shards whose chunk ranges select nothing (all-empty
+partials) — so their semantics are pinned here explicitly.
+"""
+
+import pytest
+
+from repro.pdt import TraceConfig, open_trace, write_trace
+from repro.serve.protocol import canonical_json
+from repro.tq import Query
+from repro.tq.pipeline import AggState, PartialAggregation
+
+from tests.pdt.util import dma_loop_program, run_workload, traced_machine
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    machine, rt, hooks = traced_machine(TraceConfig(buffer_bytes=2048))
+    run_workload(machine, rt, dma_loop_program(iterations=6), n_spes=2)
+    path = str(tmp_path_factory.mktemp("agg") / "t.pdt")
+    write_trace(hooks.event_source(), path)
+    return path
+
+
+AGGS = dict(
+    n="count",
+    total=("sum", "time"),
+    avg=("mean", "time"),
+    med=("p50", "time"),
+    tail=("p99", "time"),
+    lo=("min", "time"),
+    hi=("max", "time"),
+)
+
+
+def test_empty_ungrouped_selection_yields_one_all_empty_row(trace_path):
+    """No grouping + nothing selected: one row, count 0, every other
+    reduction None — never a division by zero or an empty list."""
+    with open_trace(trace_path) as trace:
+        (row,) = Query(trace).where(spe=31).agg(**AGGS).run()
+    assert row["n"] == 0
+    for name in ("total", "avg", "med", "tail", "lo", "hi"):
+        assert row[name] is None, name
+
+
+def test_empty_grouped_selection_yields_no_rows(trace_path):
+    with open_trace(trace_path) as trace:
+        rows = Query(trace).where(spe=31).groupby("spe").agg(**AGGS).run()
+    assert rows == []
+
+
+def test_single_record_groups_collapse_all_ops(trace_path):
+    """Each SPE enters exactly once: in a 1-element population mean,
+    p50, p99, min, max, and sum all equal the single value."""
+    with open_trace(trace_path) as trace:
+        rows = (
+            Query(trace)
+            .where(event="spe_entry")
+            .groupby("spe")
+            .agg(**AGGS)
+            .run()
+        )
+    assert [row["spe"] for row in rows] == [0, 1]
+    for row in rows:
+        assert row["n"] == 1
+        value = row["total"]
+        assert value is not None
+        for name in ("avg", "med", "tail", "lo", "hi"):
+            assert row[name] == value, name
+
+
+def test_merge_of_all_empty_partials_equals_serial_empty(trace_path):
+    """Shards that each selected nothing must merge and finalize to
+    exactly the serial empty answer (ungrouped: the all-empty row)."""
+    with open_trace(trace_path) as trace:
+        query = Query(trace).where(spe=31).agg(**AGGS)
+        serial = query.run()
+        merged = query.run_partial()
+        for __ in range(3):
+            with open_trace(trace_path) as again:
+                empty = Query(again).where(spe=31).agg(**AGGS).run_partial()
+            merged = merged.merge(empty)
+    assert merged.finalize() == serial
+
+
+def test_merged_empty_aggstate_stays_empty():
+    state = AggState.create("p99", "time")
+    other = AggState.create("p99", "time")
+    assert state.merge(other).finalize() is None
+    with pytest.raises(ValueError, match="cannot merge"):
+        state.merge(AggState.create("sum", "time"))
+
+
+def test_partial_merge_rejects_shape_mismatch():
+    a = PartialAggregation.create(("spe",), (("n", "count", None),))
+    b = PartialAggregation.create(("kind",), (("n", "count", None),))
+    with pytest.raises(ValueError, match="different shapes"):
+        a.merge(b)
+
+
+def test_sharded_percentiles_byte_identical_to_serial(trace_path):
+    """jobs=2 over a real file must reproduce serial rows exactly,
+    including order-sensitive percentile populations."""
+    from repro.par import parallel_rows
+
+    with open_trace(trace_path) as trace:
+        query = Query(trace).groupby("spe", "kind").agg(**AGGS)
+        serial = query.run()
+        sharded = parallel_rows(query, 2)
+    assert canonical_json(serial) == canonical_json(sharded)
+    # And for an empty selection, sharded == serial == the empty shape.
+    with open_trace(trace_path) as trace:
+        query = Query(trace).where(spe=31).agg(**AGGS)
+        assert parallel_rows(query, 2) == query.run()
