@@ -76,6 +76,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shard scans over N worker processes "
                         "(default: 1 = serial; results are identical "
                         "either way)")
+    follow = parser.add_argument_group(
+        "follow mode", "tail a trace file still being written: a "
+        "top-style live view (per-core state, event rates, loss "
+        "counters) refreshed until the writer closes the file; with "
+        "--bucket, also print each time bucket's record count the "
+        "moment it is provably final")
+    follow.add_argument("--follow", action="store_true",
+                        help="follow a growing trace instead of "
+                        "analyzing a closed one")
+    follow.add_argument("--refresh", type=float, default=1.0, metavar="SEC",
+                        help="follow-mode refresh interval in seconds "
+                        "(default: 1.0)")
+    follow.add_argument("--max-polls", type=int, default=None, metavar="N",
+                        help="stop after N refreshes even if the trace "
+                        "is still growing (exit status 3)")
+    follow.add_argument("--bucket", type=int, default=None, metavar="W",
+                        help="in follow mode, stream sealed time_bucket "
+                        "counts of width W corrected-time units")
     query = parser.add_argument_group(
         "query mode", "restrict to matching records and print a per-core "
         "event summary instead of the full report; zone maps prune the "
@@ -113,11 +131,68 @@ def main(argv: typing.Optional[typing.List[str]] = None) -> int:
             file=sys.stderr,
         )
         args.jobs = cpus
+    if args.max_polls is not None and args.max_polls < 1:
+        print(
+            f"pdt-analyze: --max-polls must be >= 1, got {args.max_polls}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.bucket is not None and args.bucket < 1:
+        print(
+            f"pdt-analyze: --bucket must be >= 1, got {args.bucket}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.refresh < 0:
+        print(
+            f"pdt-analyze: --refresh must be >= 0, got {args.refresh}",
+            file=sys.stderr,
+        )
+        return 2
     try:
+        if args.follow:
+            return _run_follow(args)
         return _run(args)
     except (TraceFormatError, CorrelationError, ModelError, OSError) as exc:
         print(f"pdt-analyze: {args.trace}: {exc}", file=sys.stderr)
         return 2
+
+
+def _run_follow(args: argparse.Namespace) -> int:
+    """Follow mode: live view frames (and, with --bucket, sealed
+    windowed counts) until the writer closes the file."""
+    import time
+
+    from repro.live import FollowQuery, LiveView
+
+    view = LiveView(args.trace)
+    follow = None
+    if args.bucket is not None:
+        follow = FollowQuery(
+            Query(None).groupby("bucket", time_bucket=args.bucket).agg(
+                n="count"
+            ),
+            args.trace,
+        )
+    polls = 0
+    while True:
+        tick = view.refresh()
+        view.render(tick)
+        if follow is not None:
+            snapshot = follow.poll()
+            for row in snapshot.newly_sealed or ():
+                print(f"  sealed bucket {row['bucket']}: {row['n']} records")
+        polls += 1
+        if tick.status == "complete":
+            return 0
+        if args.max_polls is not None and polls >= args.max_polls:
+            print(
+                f"pdt-analyze: {args.trace} still {tick.status} after "
+                f"{polls} polls",
+                file=sys.stderr,
+            )
+            return 3
+        time.sleep(args.refresh)
 
 
 def _run_query(args: argparse.Namespace, handle: TraceHandle) -> int:

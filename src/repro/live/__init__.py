@@ -1,0 +1,50 @@
+"""repro.live: tailing reads and incremental analysis of growing traces.
+
+The post-mortem pipeline (write → close → analyze) gains a live lane:
+
+* :class:`~repro.live.tail.TailSource` — poll-based follower of a file
+  being written; surfaces whole CRC-verified chunks, treats anything
+  half-written as "not yet", and detects completion.
+* :class:`~repro.live.incremental.IncrementalIndex` — zone maps for
+  the sealed prefix while the tail is hot.
+* :class:`~repro.live.follow.FollowQuery` — windowed/online ``tq``
+  aggregation: provisional results byte-identical to a batch run over
+  the same prefix, and ``time_bucket`` rows that, once reported
+  sealed, never change.
+* :class:`~repro.live.stepwriter.StepWriter` — a pause-controllable
+  writer for the differential test harness (and anyone needing
+  byte-exact prefixes).
+* :class:`~repro.live.view.LiveView` — the ``pdt-analyze --follow``
+  top-style display.
+
+See ``docs/live.md`` for the tail protocol and seal rules.
+"""
+
+from repro.live.follow import FollowQuery, FollowSnapshot
+from repro.live.incremental import IncrementalIndex
+from repro.live.stepwriter import StepWriter
+from repro.live.tail import (
+    COMPLETE,
+    GROWING,
+    WAITING,
+    PrefixSource,
+    SealedChunk,
+    TailPoll,
+    TailSource,
+)
+from repro.live.view import LiveView
+
+__all__ = [
+    "COMPLETE",
+    "GROWING",
+    "WAITING",
+    "FollowQuery",
+    "FollowSnapshot",
+    "IncrementalIndex",
+    "LiveView",
+    "PrefixSource",
+    "SealedChunk",
+    "StepWriter",
+    "TailPoll",
+    "TailSource",
+]

@@ -1,0 +1,308 @@
+"""FollowQuery: windowed/online ``tq`` aggregation over a growing file.
+
+The contract, verified by the ``tests/live`` differential matrix:
+
+* **Prefix identity** — after any poll, :attr:`FollowSnapshot.rows` is
+  byte-identical to a batch :meth:`~repro.tq.pipeline.Query.run` of
+  the same plan over a properly closed trace holding exactly the
+  sealed chunks.  This falls out of construction, not luck: the
+  correlator is refitted over the whole prefix whenever the sync set
+  changes (identical inputs to the batch fit → identical fits), chunk
+  partials are merged in chunk order, and
+  :class:`~repro.tq.pipeline.AggState` partials merge exactly (integer
+  totals, order-free min/max, populations ordered by chunk then sorted
+  once at finalize).
+* **Seal monotonicity** — a ``time_bucket`` row reported *sealed* never
+  changes as the file grows.  Bucket *b* seals when
+  ``(b + 1) * W <= watermark`` where the watermark is the largest
+  placed time below which no future record can land:
+
+  - every declared SPE (``header.n_spes`` of them) must be *quiesced* —
+    its exit sync observed (the tracer emits syncs only at SPE entry
+    and exit, and a context's buffers flush in stream order, so two
+    syncs mean the core's sync set — hence its clock fit — and its
+    record set are both complete for good);
+  - PPE records are placed as ``raw_ts * divider`` and arrive in
+    timebase order, so the last PPE time seen bounds every future one
+    from below.
+
+  Until both hold the watermark is absent and nothing seals (a torn or
+  paused tail *withholds* buckets, never guesses them).  A completed
+  file seals everything.
+
+Incrementality: per-chunk partials are cached and only recomputed when
+the clock fits change (the *fit epoch* bumps — rare, since syncs only
+occur at entry/exit), so a steady-state poll costs one
+decode-and-fold of the new chunks plus a merge of cached partials.
+With ``prune=True`` an :class:`~repro.live.incremental.IncrementalIndex`
+supplies zone maps for the sealed prefix so each cached chunk can be
+skipped entirely when its zone refuses the predicate (identical
+results either way — pruning is sound).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time as _time
+import typing
+
+import numpy as np
+
+from repro.pdt.correlate import ClockCorrelator
+from repro.pdt.events import SIDE_PPE, SIDE_SPE
+from repro.pdt.index import _SYNC_CODE, ZoneMap
+from repro.pdt.store import ColumnChunk
+from repro.pdt.trace import TraceHeader
+from repro.tq.pipeline import AggState, PartialAggregation, Query, QueryPlan
+from repro.live.incremental import IncrementalIndex
+from repro.live.tail import COMPLETE, PrefixSource, TailSource
+
+#: Sync records per core that mean "this core is done": the tracer
+#: syncs at SPE entry and SPE exit, nowhere else.
+_QUIESCED_SYNCS = 2
+
+
+def _copy_agg_state(state: AggState) -> AggState:
+    fork = AggState(state.op, state.column)
+    fork.count = state.count
+    fork.total = state.total
+    fork.lo = state.lo
+    fork.hi = state.hi
+    if state.population is not None:
+        fork.population = list(state.population)
+    return fork
+
+
+def _copy_partial(partial: PartialAggregation) -> PartialAggregation:
+    """Deep-copy a partial so the cached per-chunk partials survive the
+    (consuming) merge chain."""
+    fork = PartialAggregation(partial.keys, partial.aggs)
+    for group, states in partial.groups.items():
+        fork.groups[group] = [_copy_agg_state(state) for state in states]
+    return fork
+
+
+@dataclasses.dataclass
+class FollowSnapshot:
+    """One poll's view of the live aggregation."""
+
+    status: str
+    n_chunks: int
+    n_records: int
+    pending_bytes: int
+    fit_epoch: int
+    #: Full provisional result over the sealed prefix — byte-identical
+    #: to a batch run of the same plan over the same prefix.
+    rows: typing.List[typing.Dict[str, typing.Any]]
+    #: Largest placed time below which no future record can land;
+    #: ``None`` while any declared core is not yet quiesced.
+    watermark: typing.Optional[int]
+    #: Bucket ids proven final (``None`` when the plan has no
+    #: ``"bucket"`` group key — sealing is a windowed-plan concept).
+    sealed_buckets: typing.Optional[typing.Set[int]]
+    #: The rows of :attr:`rows` whose bucket is sealed.
+    sealed_rows: typing.Optional[typing.List[typing.Dict[str, typing.Any]]]
+    #: Sealed rows whose bucket first sealed on *this* poll.
+    newly_sealed: typing.Optional[typing.List[typing.Dict[str, typing.Any]]]
+
+    @property
+    def complete(self) -> bool:
+        return self.status == COMPLETE
+
+
+class FollowQuery:
+    """Online execution of one :class:`~repro.tq.pipeline.QueryPlan`
+    over one growing trace file.  Build via
+    :meth:`repro.tq.pipeline.Query.follow`, or directly from a plan.
+    """
+
+    def __init__(
+        self,
+        plan: typing.Union[QueryPlan, Query],
+        path: str,
+        prune: bool = False,
+    ):
+        if isinstance(plan, Query):
+            plan = plan.plan()
+        self.plan = plan
+        self.path = path
+        self.prune = prune
+        self.tail = TailSource(path)
+        self.fit_epoch = 0
+        # Time-free plans never place records, so they never need (or
+        # fit) a correlator — exactly like the batch path.
+        self._needs_time = Query.from_plan(None, self.plan)._needs_time()
+        self._chunks: typing.List[ColumnChunk] = []
+        self._partials: typing.List[typing.Optional[PartialAggregation]] = []
+        self._zones: typing.Optional[typing.List[ZoneMap]] = None
+        self._index = IncrementalIndex() if prune else None
+        self._correlator: typing.Optional[ClockCorrelator] = None
+        self._fits_stale = False
+        #: core id -> sync records seen so far.
+        self._sync_counts: typing.Dict[int, int] = {}
+        self._ppe_wm: typing.Optional[int] = None  # raw timebase units
+        #: bucket id -> that bucket's rows as first emitted sealed.
+        self._sealed_emitted: typing.Dict[
+            int, typing.List[typing.Dict[str, typing.Any]]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    def poll(self) -> FollowSnapshot:
+        """Ingest newly sealed chunks and recompute the live result."""
+        tick = self.tail.poll()
+        for sealed in tick.new_chunks:
+            chunk = sealed.chunk
+            self._chunks.append(chunk)
+            self._partials.append(None)
+            self._observe_chunk(chunk)
+        if self.tail.header is None:
+            return self._snapshot(tick, [])
+        if self._fits_stale:
+            # The sync set changed: refit over the whole prefix exactly
+            # as a batch run over this prefix would, and invalidate
+            # every cached partial (their record times moved).
+            self._zones = None
+            self._fits_stale = False
+            if self._needs_time:
+                self._correlator = ClockCorrelator(self._prefix_source())
+                self._partials = [None] * len(self._chunks)
+                self.fit_epoch += 1
+        if self._needs_time and self._correlator is None:
+            self._correlator = ClockCorrelator(self._prefix_source())
+        if self.prune and self._index is not None and (
+            self._zones is None or len(self._zones) != len(self._chunks)
+        ):
+            self._zones = self._index.snapshot(
+                self.tail.header.timebase_divider
+            )
+        for i, partial in enumerate(self._partials):
+            if partial is None:
+                self._partials[i] = self._chunk_partial(i)
+        merged = PartialAggregation.create(
+            self.plan.group_keys, self.plan.aggs or (("n", "count", None),)
+        )
+        for partial in self._partials:
+            merged.merge(_copy_partial(partial))
+        rows = merged.finalize()
+        return self._snapshot(tick, rows)
+
+    def run_until_complete(
+        self, timeout: float = 30.0, interval: float = 0.02
+    ) -> typing.Iterator[FollowSnapshot]:
+        """Yield a snapshot per poll until the file completes; raises
+        :class:`TimeoutError` if it never does."""
+        deadline = _time.monotonic() + timeout
+        while True:
+            snapshot = self.poll()
+            yield snapshot
+            if snapshot.complete:
+                return
+            if _time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"follow of {self.path!r} did not complete within "
+                    f"{timeout} s (status={snapshot.status})"
+                )
+            _time.sleep(interval)
+
+    # ------------------------------------------------------------------
+    def _prefix_source(
+        self, zones: typing.Optional[typing.List[ZoneMap]] = None
+    ) -> PrefixSource:
+        return PrefixSource(self.tail.header, self._chunks, zones)
+
+    def _observe_chunk(self, chunk: ColumnChunk) -> None:
+        """Track what sealing and refitting need: per-core sync counts
+        and the PPE high-water mark.  Vectorized — the live path must
+        not add a per-record Python loop on top of the fold."""
+        if self._index is not None:
+            if self._index.observe_chunk(chunk):
+                self._fits_stale = True
+        side = np.frombuffer(chunk.side, np.uint8)
+        ppe_mask = side == SIDE_PPE
+        if ppe_mask.any():
+            raw = np.frombuffer(chunk.raw_ts, np.uint64)
+            # PPE records arrive in timebase order, so max == last ==
+            # a lower bound on every future PPE timestamp.
+            ppe_max = int(raw[ppe_mask].max())
+            if self._ppe_wm is None or ppe_max > self._ppe_wm:
+                self._ppe_wm = ppe_max
+        if chunk.code.count(_SYNC_CODE):
+            code = np.frombuffer(chunk.code, np.uint8)
+            sync_rows = np.nonzero((side == SIDE_SPE) & (code == _SYNC_CODE))[0]
+            for i in sync_rows:
+                core = chunk.core[int(i)]
+                self._sync_counts[core] = self._sync_counts.get(core, 0) + 1
+            if len(sync_rows):
+                self._fits_stale = True
+
+    def _chunk_partial(self, i: int) -> PartialAggregation:
+        zones = [self._zones[i]] if self._zones is not None else None
+        source = PrefixSource(self.tail.header, [self._chunks[i]], zones)
+        query = Query.from_plan(source, self.plan, self._correlator)
+        return query.run_partial()
+
+    def _watermark(self) -> typing.Optional[int]:
+        header = self.tail.header
+        if header is None:
+            return None
+        if self.tail.complete:
+            return None  # sentinel: everything seals
+        if self._ppe_wm is None:
+            return None
+        for core in range(header.n_spes):
+            if self._sync_counts.get(core, 0) < _QUIESCED_SYNCS:
+                return None
+        return self._ppe_wm * header.timebase_divider
+
+    def _snapshot(
+        self, tick, rows: typing.List[typing.Dict[str, typing.Any]]
+    ) -> FollowSnapshot:
+        bucket_width = self.plan.time_bucket
+        windowed = "bucket" in self.plan.group_keys and bucket_width
+        watermark = self._watermark()
+        sealed_buckets: typing.Optional[typing.Set[int]] = None
+        sealed_rows: typing.Optional[typing.List] = None
+        newly: typing.Optional[typing.List] = None
+        if windowed:
+            sealed_buckets = set()
+            sealed_rows = []
+            newly = []
+            by_bucket: typing.Dict[int, typing.List] = {}
+            for row in rows:
+                bucket = row["bucket"]
+                if self.tail.complete or (
+                    watermark is not None
+                    and (bucket + 1) * bucket_width <= watermark
+                ):
+                    sealed_buckets.add(bucket)
+                    sealed_rows.append(row)
+                    by_bucket.setdefault(bucket, []).append(row)
+            for bucket in sorted(by_bucket):
+                emitted = self._sealed_emitted.get(bucket)
+                if emitted is None:
+                    self._sealed_emitted[bucket] = by_bucket[bucket]
+                    newly.extend(by_bucket[bucket])
+                elif emitted != by_bucket[bucket]:
+                    raise RuntimeError(
+                        f"sealed bucket {bucket} changed after emission: "
+                        f"{emitted!r} -> {by_bucket[bucket]!r}"
+                    )
+            # A bucket sealed earlier can never leave the result set.
+            missing = set(self._sealed_emitted) - sealed_buckets
+            if missing:
+                raise RuntimeError(
+                    f"sealed buckets disappeared from the result: "
+                    f"{sorted(missing)}"
+                )
+        return FollowSnapshot(
+            status=tick.status,
+            n_chunks=self.tail.n_chunks,
+            n_records=self.tail.n_records,
+            pending_bytes=tick.pending_bytes,
+            fit_epoch=self.fit_epoch,
+            rows=rows,
+            watermark=watermark,
+            sealed_buckets=sealed_buckets,
+            sealed_rows=sealed_rows,
+            newly_sealed=newly,
+        )

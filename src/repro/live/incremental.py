@@ -1,0 +1,68 @@
+"""IncrementalIndex: zone maps for the sealed prefix of a live trace.
+
+:class:`repro.pdt.index.IndexAccumulator` already has the right shape
+for incremental use — it holds per-chunk drafts plus the global sync
+set, and ``finalize`` is a pure function of that state (it re-fits the
+clocks and maps the drafts through the fits without mutating either).
+This subclass adds the two affordances a tailing consumer needs:
+
+* :meth:`observe_chunk` — feed one *decoded* sealed chunk (the tail
+  hands records over chunk-at-a-time, not record-at-a-time), and
+* :meth:`snapshot` — the zone maps for the current sealed prefix,
+  callable after every poll, not just once at the end.
+
+The invariant (checked by ``tests/property/test_incremental_index.py``)
+is that a snapshot after *k* sealed chunks is byte-identical, through
+:func:`repro.pdt.index.encode_index`, to the trailer a one-shot writer
+would emit for a trace holding exactly those *k* chunks: same drafts,
+same sync pairs in the same order, same fits.  Snapshots taken mid-run
+may differ from *later* snapshots for the same chunk — each new sync
+pair refines every fit — which is exactly why the follow layer keys
+its caches by fit epoch.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.pdt.index import IndexAccumulator, ZoneMap, _SIDE_SPE, _SYNC_CODE
+
+if typing.TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.pdt.store import ColumnChunk
+
+
+class IncrementalIndex(IndexAccumulator):
+    """An :class:`IndexAccumulator` fed by a tail, one chunk at a time."""
+
+    def observe_chunk(self, chunk: "ColumnChunk") -> int:
+        """Observe and seal one decoded chunk.
+
+        Returns the number of new sync records seen, so the caller can
+        tell whether the clock fits (and any zone maps or partials
+        derived under them) just went stale.
+        """
+        observe = self.observe
+        side_arr = chunk.side
+        code_arr = chunk.code
+        core_arr = chunk.core
+        raw_arr = chunk.raw_ts
+        val_off = chunk.val_off
+        values = chunk.values
+        new_syncs = 0
+        for i in range(len(chunk)):
+            side = side_arr[i]
+            code = code_arr[i]
+            if side == _SIDE_SPE and code == _SYNC_CODE:
+                row_values = values[val_off[i] : val_off[i + 1]]
+                new_syncs += 1
+            else:
+                row_values = ()
+            observe(side, code, core_arr[i], raw_arr[i], row_values)
+        self.seal_chunk()
+        return new_syncs
+
+    def snapshot(self, timebase_divider: int) -> typing.List[ZoneMap]:
+        """Zone maps for the sealed prefix, under the fits the current
+        sync set implies — the same maps ``finalize`` would emit were
+        the trace to end here."""
+        return self.finalize(timebase_divider)

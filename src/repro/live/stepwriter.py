@@ -1,0 +1,212 @@
+"""StepWriter: a pause-controllable trace writer for live-path tests.
+
+The differential harness needs to stop a writer at *exact* byte
+positions — after k sealed chunks, or mid-frame — and compare what a
+live consumer sees against a batch run over the same prefix.  A real
+:class:`~repro.pdt.writer.ChunkWriter` flushes on its own schedule, so
+this writer pre-chunks the record stream (same boundaries a
+``ChunkWriter`` with the same ``chunk_records`` would seal, encoded by
+the same ``_encode_chunk``/``_pack_chunk_frame`` primitives) and then
+releases bytes on command:
+
+* :meth:`write_chunks` — append the next *k* whole sealed frames;
+* :meth:`tear` / :meth:`heal` — append only a byte-prefix of the next
+  frame (a torn tail: the live reader must withhold, not guess), then
+  the rest;
+* :meth:`snapshot` — write a *properly closed* trace holding exactly
+  the sealed prefix (patched header, and for v4/v5 an index trailer
+  fitted from the prefix's own syncs): the batch reference the live
+  results must match byte-for-byte;
+* :meth:`close` — flush the remainder, append the trailer, patch the
+  header: from here the live file is a normal closed trace.
+
+Compression (v5) honours ``REPRO_NO_COMPRESS`` at construction time,
+because payloads are encoded up front.
+"""
+
+from __future__ import annotations
+
+import io
+import typing
+
+from repro.pdt.events import SIDE_SPE
+from repro.pdt.format import CHUNKS_UNTIL_EOF, VERSION_INDEXED, check_version
+from repro.pdt.index import IndexAccumulator, _SYNC_CODE, encode_index
+from repro.pdt.store import ColumnChunk, EventSource
+from repro.pdt.trace import TraceHeader
+from repro.pdt.writer import (
+    VERSION_LEGACY,
+    _encode_chunk,
+    _pack_chunk_frame,
+    _pack_header,
+)
+
+
+def _observe_into(index: IndexAccumulator, chunk: ColumnChunk) -> None:
+    """Feed one chunk through an accumulator exactly the way the batch
+    writer does (sync values only), then seal."""
+    off = chunk.val_off
+    for i in range(len(chunk)):
+        side, code = chunk.side[i], chunk.code[i]
+        values: typing.Sequence[int] = ()
+        if side == SIDE_SPE and code == _SYNC_CODE:
+            values = chunk.values[off[i] : off[i + 1]]
+        index.observe(side, code, chunk.core[i], chunk.raw_ts[i], values)
+    index.seal_chunk()
+
+
+class StepWriter:
+    """Write ``source``'s records to ``path`` in controlled steps."""
+
+    def __init__(
+        self, source: EventSource, path: str, chunk_records: int = 512
+    ):
+        header = source.header
+        check_version(header.version)
+        if header.version == VERSION_LEGACY:
+            raise ValueError("StepWriter only writes chunked layouts (v2+)")
+        if chunk_records < 1:
+            raise ValueError(f"chunk_records must be >= 1, got {chunk_records}")
+        self.header = header
+        self.path = path
+        self.chunk_records = chunk_records
+        self.chunks: typing.List[ColumnChunk] = self._rechunk(source)
+        self.frames: typing.List[bytes] = []
+        for chunk in self.chunks:
+            payload = _encode_chunk(chunk, header.version)
+            self.frames.append(
+                _pack_chunk_frame(header.version, len(chunk), payload) + payload
+            )
+        self.n_sealed = 0
+        self._torn_bytes = 0
+        self._closed = False
+        self._file = open(path, "wb")
+        self._file.write(_pack_header(header, CHUNKS_UNTIL_EOF, 0))
+        self._file.flush()
+
+    def _rechunk(self, source: EventSource) -> typing.List[ColumnChunk]:
+        chunks: typing.List[ColumnChunk] = []
+        buffer = ColumnChunk()
+        for chunk in source.iter_chunks():
+            position = 0
+            while position < len(chunk):
+                take = min(self.chunk_records - len(buffer), len(chunk) - position)
+                buffer.extend_rows(chunk, position, position + take)
+                position += take
+                if len(buffer) >= self.chunk_records:
+                    chunks.append(buffer)
+                    buffer = ColumnChunk()
+        if len(buffer):
+            chunks.append(buffer)
+        return chunks
+
+    # ------------------------------------------------------------------
+    @property
+    def n_chunks_total(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def sealed_records(self) -> int:
+        return sum(len(chunk) for chunk in self.chunks[: self.n_sealed])
+
+    @property
+    def exhausted(self) -> bool:
+        return self.n_sealed >= len(self.chunks)
+
+    def write_chunks(self, k: int = 1) -> int:
+        """Append the next ``k`` whole frames; returns how many were
+        actually written (fewer when the stream runs out)."""
+        if self._torn_bytes:
+            raise ValueError("cannot seal chunks past a torn tail: heal() first")
+        written = 0
+        while written < k and self.n_sealed < len(self.chunks):
+            self._file.write(self.frames[self.n_sealed])
+            self.n_sealed += 1
+            written += 1
+        self._file.flush()
+        return written
+
+    def tear(self, nbytes: int) -> int:
+        """Append only the first ``nbytes`` bytes of the next frame,
+        leaving a torn tail on disk.  Returns the bytes written."""
+        if self._torn_bytes:
+            raise ValueError("tail is already torn: heal() first")
+        if self.exhausted:
+            raise ValueError("no chunk left to tear")
+        frame = self.frames[self.n_sealed]
+        nbytes = max(0, min(nbytes, len(frame) - 1))
+        self._file.write(frame[:nbytes])
+        self._file.flush()
+        self._torn_bytes = nbytes
+        return nbytes
+
+    def heal(self) -> None:
+        """Append the rest of the torn frame, sealing it."""
+        if not self._torn_bytes and not self.exhausted:
+            # healing an untorn tail is a no-op convenience
+            return
+        frame = self.frames[self.n_sealed]
+        self._file.write(frame[self._torn_bytes :])
+        self._file.flush()
+        self._torn_bytes = 0
+        self.n_sealed += 1
+
+    def snapshot(self, path: str) -> str:
+        """Write a properly closed trace of the sealed prefix to
+        ``path`` — what the live file *would* be had the run ended at
+        the last sealed chunk.  Returns ``path``."""
+        version = self.header.version
+        sealed = self.chunks[: self.n_sealed]
+        with open(path, "wb") as out:
+            out.write(_pack_header(self.header, CHUNKS_UNTIL_EOF, 0))
+            total = 0
+            index = IndexAccumulator() if version >= VERSION_INDEXED else None
+            for i, chunk in enumerate(sealed):
+                out.write(self.frames[i])
+                total += len(chunk)
+                if index is not None:
+                    _observe_into(index, chunk)
+            if index is not None:
+                zones = index.finalize(self.header.timebase_divider)
+                out.write(encode_index(zones, total))
+            out.seek(0)
+            out.write(_pack_header(self.header, len(sealed), total))
+            out.seek(0, io.SEEK_END)
+        return path
+
+    def close(self) -> None:
+        """Seal everything left, append the trailer (v4/v5), and patch
+        the header: the live file becomes a normal closed trace."""
+        if self._closed:
+            return
+        if self._torn_bytes:
+            self.heal()
+        self.write_chunks(len(self.chunks) - self.n_sealed)
+        version = self.header.version
+        total = sum(len(chunk) for chunk in self.chunks)
+        if version >= VERSION_INDEXED:
+            index = IndexAccumulator()
+            for chunk in self.chunks:
+                _observe_into(index, chunk)
+            zones = index.finalize(self.header.timebase_divider)
+            self._file.write(encode_index(zones, total))
+        self._file.seek(0)
+        self._file.write(_pack_header(self.header, len(self.chunks), total))
+        self._file.seek(0, io.SEEK_END)
+        self._file.flush()
+        self._file.close()
+        self._closed = True
+
+    def abandon(self) -> None:
+        """Stop without sealing (simulates a writer that died): the
+        live file keeps its sentinel header and torn tail as-is."""
+        if not self._closed:
+            self._file.flush()
+            self._file.close()
+            self._closed = True
+
+    def __enter__(self) -> "StepWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.abandon()

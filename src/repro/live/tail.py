@@ -1,0 +1,309 @@
+"""TailSource: follow a chunked trace file while it is being written.
+
+The writer contract (see :mod:`repro.pdt.writer`) makes tailing safe
+without any coordination: a chunked-layout file is append-only until
+``close`` — the sentinel header goes down first, then self-framed
+chunks, then (v4/v5) the index trailer, and only then is the header
+seek-patched with the final counts.  A tailing reader therefore only
+ever needs to answer one question per poll: *which whole frames exist
+so far?*  Everything after the last complete frame is "not written
+yet", never "corrupt" — with one exception: a frame whose declared
+payload is fully present but fails its CRC can only be real damage
+(sealed bytes are never rewritten), and raises.
+
+``poll()`` is idempotent and monotone: a chunk is surfaced exactly
+once, with its frame CRC verified, and re-polling an unchanged file
+returns no new chunks.  Completion is detected from the index trailer
+(v4/v5) or the patched header (v2/v3 written to a seekable output);
+a v2/v3 file with the sentinel header has no end-of-stream marker, so
+it reports ``GROWING`` forever and the caller decides when to stop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import typing
+
+from repro.pdt.format import (
+    _HEADER,
+    _U32,
+    CHUNKS_UNTIL_EOF,
+    INDEX_MAGIC,
+    VERSION_CHUNKED,
+    VERSION_CRC,
+    VERSION_INDEXED,
+    TraceFormatError,
+    chunk_crc32,
+    chunk_frame_struct,
+    data_offset,
+)
+from repro.pdt.handle import (
+    _decode_chunk,
+    _header_crc_ok,
+    _parse_header,
+    _trailer_pending,
+)
+from repro.pdt.index import ZoneMap, decode_index
+from repro.pdt.store import ColumnChunk, EventSource
+from repro.pdt.trace import TraceHeader
+
+#: Tail states, in lifecycle order.
+WAITING = "waiting"    # header not fully written (or mid-patch) yet
+GROWING = "growing"    # header parsed; chunks may still be arriving
+COMPLETE = "complete"  # trailer (v4/v5) or patched header (v2/v3) seen
+
+
+@dataclasses.dataclass
+class SealedChunk:
+    """One chunk the tail has verified whole (frame + CRC)."""
+
+    index: int
+    offset: int
+    n_records: int
+    payload_bytes: int
+    #: Decoded records; ``None`` when the tail was opened decode=False.
+    chunk: typing.Optional[ColumnChunk]
+
+
+@dataclasses.dataclass
+class TailPoll:
+    """What one ``poll()`` observed."""
+
+    status: str
+    new_chunks: typing.List[SealedChunk]
+    n_chunks: int
+    n_records: int
+    #: Bytes after the last sealed frame (a frame or trailer still
+    #: being written); 0 once complete.
+    pending_bytes: int
+    size: int
+
+    @property
+    def complete(self) -> bool:
+        return self.status == COMPLETE
+
+
+class TailSource:
+    """Poll-based follower of one growing trace file.
+
+    ``poll()`` reads the file, seals every newly complete frame, and
+    reports status.  The header is surfaced on :attr:`header` once
+    parseable; sealed chunks accumulate their counts on
+    :attr:`n_chunks` / :attr:`n_records`.  The v4/v5 trailer's zone
+    maps land on :attr:`trailer_zones` at completion.
+    """
+
+    def __init__(self, path: str, decode: bool = True):
+        self.path = path
+        self.decode = decode
+        self.header: typing.Optional[TraceHeader] = None
+        self.trailer_zones: typing.Optional[typing.List[ZoneMap]] = None
+        self.n_chunks = 0
+        self.n_records = 0
+        self._offset = 0
+        self._complete = False
+
+    # ------------------------------------------------------------------
+    def poll(self) -> TailPoll:
+        """Scan for newly sealed frames; never blocks.
+
+        Raises :class:`TraceFormatError` on *definite* corruption: a
+        bad magic/version, or a fully-present frame or trailer that
+        fails its CRC.  Anything shorter than its own framing is
+        reported as pending, not damage.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                blob = handle.read()
+        except FileNotFoundError:
+            return self._result(WAITING, [], 0)
+        size = len(blob)
+        if self._complete:
+            return self._result(COMPLETE, [], size)
+        if self.header is None and not self._try_header(blob):
+            return self._result(WAITING, [], size)
+        version = self.header.version
+        frame = chunk_frame_struct(version)
+        declared = self._declared_chunks(blob)
+        new: typing.List[SealedChunk] = []
+        while self._offset < size and not self._complete:
+            offset = self._offset
+            if (
+                version >= VERSION_INDEXED
+                and blob[offset : offset + len(INDEX_MAGIC)] == INDEX_MAGIC
+            ):
+                if _trailer_pending(blob, offset):
+                    break  # the closing writer is mid-trailer
+                self._finish_trailer(blob, offset)
+                break
+            if offset + frame.size > size:
+                break  # frame prefix not fully written yet
+            if version >= VERSION_CRC:
+                n_records, payload_bytes, crc = frame.unpack_from(blob, offset)
+            else:
+                n_records, payload_bytes = frame.unpack_from(blob, offset)
+                crc = None
+            payload_off = offset + frame.size
+            if payload_off + payload_bytes > size:
+                break  # payload not fully written yet
+            if crc is not None and chunk_crc32(
+                n_records, memoryview(blob)[payload_off : payload_off + payload_bytes]
+            ) != crc:
+                raise TraceFormatError(
+                    f"chunk CRC mismatch at offset {offset} in growing "
+                    f"file {self.path!r}: sealed bytes are damaged"
+                )
+            chunk = (
+                _decode_chunk(blob, payload_off, n_records, payload_bytes, version)
+                if self.decode
+                else None
+            )
+            new.append(
+                SealedChunk(
+                    index=self.n_chunks,
+                    offset=offset,
+                    n_records=n_records,
+                    payload_bytes=payload_bytes,
+                    chunk=chunk,
+                )
+            )
+            self.n_chunks += 1
+            self.n_records += n_records
+            self._offset = payload_off + payload_bytes
+        if (
+            not self._complete
+            and version < VERSION_INDEXED
+            and declared != CHUNKS_UNTIL_EOF
+            and self.n_chunks >= declared
+            and self._offset >= size
+        ):
+            # v2/v3 end-of-stream: the patched header accounts for
+            # every chunk we have read and no bytes follow.
+            self._complete = True
+        status = COMPLETE if self._complete else GROWING
+        return self._result(status, new, size)
+
+    def wait(
+        self,
+        predicate: typing.Optional[typing.Callable[[TailPoll], bool]] = None,
+        timeout: float = 10.0,
+        interval: float = 0.02,
+    ) -> TailPoll:
+        """Poll until ``predicate(poll)`` holds (default: completion).
+
+        Raises :class:`TimeoutError` when ``timeout`` seconds pass
+        first.  Convenience for tests and the CLI smoke path; the
+        interval is a floor, not a schedule.
+        """
+        if predicate is None:
+            predicate = lambda poll: poll.complete  # noqa: E731
+        deadline = time.monotonic() + timeout
+        while True:
+            result = self.poll()
+            if predicate(result):
+                return result
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"tail of {self.path!r} did not reach the requested "
+                    f"state within {timeout} s (status={result.status})"
+                )
+            time.sleep(interval)
+
+    # ------------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        return self._complete
+
+    def _result(
+        self, status: str, new: typing.List[SealedChunk], size: int
+    ) -> TailPoll:
+        pending = 0 if self._complete else max(size - self._offset, 0)
+        if self.header is None:
+            pending = size
+        return TailPoll(
+            status=status,
+            new_chunks=new,
+            n_chunks=self.n_chunks,
+            n_records=self.n_records,
+            pending_bytes=pending,
+            size=size,
+        )
+
+    def _try_header(self, blob: bytes) -> bool:
+        if len(blob) < _HEADER.size:
+            return False
+        header, __, __ = _parse_header(blob)  # raises on bad magic/version
+        if header.version < VERSION_CHUNKED:
+            raise TraceFormatError(
+                "cannot tail a version-1 trace: the legacy layout has no "
+                "chunk framing to follow"
+            )
+        if header.version >= VERSION_CRC:
+            if len(blob) < _HEADER.size + _U32.size:
+                return False
+            if not _header_crc_ok(blob):
+                # Half-written header, or the closing writer mid-patch:
+                # not yet, never corrupt.
+                return False
+        self.header = header
+        self._offset = data_offset(header.version)
+        return True
+
+    def _declared_chunks(self, blob: bytes) -> int:
+        """Re-read the header's chunk count each poll: the closing
+        writer seek-patches it, and that patch is the v2/v3 end-of-
+        stream signal.  A CRC-failing header (mid-patch) keeps the
+        sentinel."""
+        version = self.header.version
+        if version >= VERSION_CRC and not _header_crc_ok(blob):
+            return CHUNKS_UNTIL_EOF
+        __, declared, __ = _parse_header(blob)
+        return declared
+
+    def _finish_trailer(self, blob: bytes, offset: int) -> None:
+        zones, total, consumed = decode_index(blob, offset)
+        if len(zones) != self.n_chunks or total != self.n_records:
+            raise TraceFormatError(
+                f"index trailer describes {len(zones)} chunks / {total} "
+                f"records; tail has sealed {self.n_chunks} chunks / "
+                f"{self.n_records} records"
+            )
+        self.trailer_zones = zones
+        self._offset = offset + consumed
+        self._complete = True
+
+
+class PrefixSource(EventSource):
+    """An :class:`EventSource` over the sealed prefix of a live trace.
+
+    A snapshot view: ``chunks`` is the decoded sealed-chunk list at
+    some poll, so queries over it are byte-identical to a batch run
+    over a properly closed file holding exactly those chunks.  Zone
+    maps (when given) must have been computed under the same clock
+    fits the consumer will place records with.
+    """
+
+    def __init__(
+        self,
+        header: TraceHeader,
+        chunks: typing.Sequence[ColumnChunk],
+        zones: typing.Optional[typing.List[ZoneMap]] = None,
+    ):
+        self.header = header
+        self._chunks = list(chunks)
+        self._zones = zones
+
+    def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
+        return iter(self._chunks)
+
+    @property
+    def n_records(self) -> int:
+        return sum(len(chunk) for chunk in self._chunks)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._chunks)
+
+    def zone_maps(self, correlator=None):
+        return self._zones

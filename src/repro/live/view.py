@@ -1,0 +1,137 @@
+"""A top-style live view over a growing trace: per-SPE state, event
+rates, and loss counters, refreshed on an interval.
+
+Rendering is plain text, one frame per refresh (no terminal takeover):
+frames append cleanly to a log, and the follow-smoke CI job can assert
+on the final frame.  The data path is a :class:`~repro.live.tail
+.TailSource`; per-core tallies are vectorized over each sealed chunk.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import typing
+
+import numpy as np
+
+from repro.pdt.events import SIDE_PPE, SIDE_SPE, spec_for_code
+from repro.pdt.store import ColumnChunk
+from repro.live.tail import COMPLETE, TailSource
+
+_LOSS_CODE = 0x51  # repro.pdt.events: SPE trace-loss marker
+_LOSS_DROPPED = 0  # field positions within the loss record payload
+_LOSS_OVERWRITTEN = 1
+
+
+class _CoreStats:
+    __slots__ = ("records", "last_code", "dropped", "overwritten")
+
+    def __init__(self) -> None:
+        self.records = 0
+        self.last_code: typing.Optional[int] = None
+        self.dropped = 0
+        self.overwritten = 0
+
+
+class LiveView:
+    """Tally and render the live state of one growing trace file."""
+
+    def __init__(self, path: str):
+        self.tail = TailSource(path)
+        self.ppe = _CoreStats()
+        self.cores: typing.Dict[int, _CoreStats] = {}
+        self._started = time.monotonic()
+        self._last_records = 0
+        self._last_tick = self._started
+        self.rate = 0.0  # records/s between the last two refreshes
+
+    # ------------------------------------------------------------------
+    def refresh(self):
+        """One poll + tally pass; returns the :class:`TailPoll`."""
+        tick = self.tail.poll()
+        for sealed in tick.new_chunks:
+            self._tally(sealed.chunk)
+        now = time.monotonic()
+        elapsed = now - self._last_tick
+        if elapsed > 0:
+            self.rate = (self.tail.n_records - self._last_records) / elapsed
+        self._last_records = self.tail.n_records
+        self._last_tick = now
+        return tick
+
+    def _tally(self, chunk: ColumnChunk) -> None:
+        side = np.frombuffer(chunk.side, np.uint8)
+        core = np.frombuffer(chunk.core, np.uint16)
+        ppe_mask = side == SIDE_PPE
+        n_ppe = int(ppe_mask.sum())
+        if n_ppe:
+            self.ppe.records += n_ppe
+            last = int(np.nonzero(ppe_mask)[0][-1])
+            self.ppe.last_code = chunk.code[last]
+        spe_rows = np.nonzero(side == SIDE_SPE)[0]
+        for spe_id in np.unique(core[spe_rows]):
+            stats = self.cores.setdefault(int(spe_id), _CoreStats())
+            rows = spe_rows[core[spe_rows] == spe_id]
+            stats.records += len(rows)
+            stats.last_code = chunk.code[int(rows[-1])]
+        # Loss markers are rare: only walk them when present.
+        if chunk.code.count(_LOSS_CODE):
+            code = np.frombuffer(chunk.code, np.uint8)
+            for i in np.nonzero((side == SIDE_SPE) & (code == _LOSS_CODE))[0]:
+                values = chunk.record_values(int(i))
+                stats = self.cores.setdefault(int(core[i]), _CoreStats())
+                stats.dropped += values[_LOSS_DROPPED]
+                stats.overwritten += values[_LOSS_OVERWRITTEN]
+
+    # ------------------------------------------------------------------
+    def render(self, tick, out: typing.TextIO = sys.stdout) -> None:
+        """Write one frame for the given poll result."""
+        uptime = time.monotonic() - self._started
+        out.write(
+            f"live {self.tail.path}  status={tick.status}  "
+            f"chunks={tick.n_chunks}  records={tick.n_records}  "
+            f"pending={tick.pending_bytes}B  rate={self.rate:.0f}/s  "
+            f"up={uptime:.1f}s\n"
+        )
+        out.write("  core     records  last-event        lost\n")
+        rows = [("ppe", self.ppe)] + [
+            (f"spe{spe_id}", self.cores[spe_id])
+            for spe_id in sorted(self.cores)
+        ]
+        for label, stats in rows:
+            last = "-"
+            if stats.last_code is not None:
+                side = SIDE_PPE if label == "ppe" else SIDE_SPE
+                try:
+                    last = str(spec_for_code(side, stats.last_code).kind)
+                except Exception:
+                    last = f"code 0x{stats.last_code:02x}"
+            lost = stats.dropped + stats.overwritten
+            out.write(
+                f"  {label:<8} {stats.records:>7}  {last:<16} {lost:>5}\n"
+            )
+        out.flush()
+
+    def run(
+        self,
+        refresh: float = 1.0,
+        max_polls: typing.Optional[int] = None,
+        out: typing.TextIO = sys.stdout,
+    ) -> int:
+        """Refresh until the trace completes; returns 0 on completion,
+        3 when ``max_polls`` refreshes pass without one."""
+        polls = 0
+        while True:
+            tick = self.refresh()
+            self.render(tick, out)
+            polls += 1
+            if tick.status == COMPLETE:
+                return 0
+            if max_polls is not None and polls >= max_polls:
+                out.write(
+                    f"live view stopped after {polls} polls with the "
+                    f"trace still {tick.status}\n"
+                )
+                return 3
+            time.sleep(refresh)

@@ -69,7 +69,13 @@ from repro.pdt.format import (
     data_offset,
     header_crc32,
 )
-from repro.pdt.index import ZoneMap, decode_index, read_sidecar
+from repro.pdt.index import (
+    _IDX_HEADER,
+    ZoneMap,
+    decode_index,
+    index_size,
+    read_sidecar,
+)
 from repro.pdt.store import ColumnChunk, EventSource
 from repro.pdt.trace import Trace, TraceHeader
 
@@ -99,6 +105,14 @@ class SalvageReport:
     CRC/decode, while ``records_missing`` counts records the header
     promised that no surviving or damaged chunk accounts for (e.g. a
     truncated prefix swallowed them).
+
+    ``growing`` marks a file that looks *live* rather than damaged: a
+    v4/v5 file still carrying the :data:`CHUNKS_UNTIL_EOF` sentinel
+    header with no index trailer yet is one a writer has not closed, so
+    a clean torn tail (incomplete frame or payload at EOF) is "not
+    written yet", not loss — those bytes are counted in
+    ``tail_pending_bytes`` instead of ``bad_ranges`` and the records in
+    them are withheld, never partially recovered or counted dropped.
     """
 
     version: int
@@ -110,6 +124,8 @@ class SalvageReport:
     tail_records_recovered: int = 0
     resyncs: int = 0
     truncated: bool = False
+    growing: bool = False
+    tail_pending_bytes: int = 0
     header_damaged: bool = False
     bad_ranges: typing.List[typing.Tuple[int, int]] = dataclasses.field(
         default_factory=list
@@ -138,10 +154,16 @@ class SalvageReport:
     def summary(self) -> str:
         """One line for CLI output."""
         if not self.damaged:
-            return (
+            line = (
                 f"trace intact: {self.records_recovered} records in "
                 f"{self.chunks_recovered} chunks, nothing to salvage"
             )
+            if self.growing:
+                line += (
+                    f"; file is still growing "
+                    f"({self.tail_pending_bytes} bytes pending)"
+                )
+            return line
         parts = [
             f"recovered {self.records_recovered} records in "
             f"{self.chunks_recovered} chunks",
@@ -151,6 +173,11 @@ class SalvageReport:
         ]
         if self.truncated:
             parts.append("file is truncated")
+        if self.growing:
+            parts.append(
+                f"file is still growing ({self.tail_pending_bytes} bytes "
+                "pending)"
+            )
         if self.header_damaged:
             parts.append("header failed its CRC")
         return "; ".join(parts)
@@ -382,6 +409,17 @@ def _decode_partial(
     return chunk, offset
 
 
+def _trailer_pending(blob: bytes, offset: int) -> bool:
+    """Could the bytes at ``offset`` be an index trailer a live writer
+    has not finished appending?  True when the region runs to EOF short
+    of the size its own header declares (or is too short to say)."""
+    available = len(blob) - offset
+    if available < _IDX_HEADER.size:
+        return True
+    __, __, __, n_chunks, __ = _IDX_HEADER.unpack_from(blob, offset)
+    return available < index_size(n_chunks)
+
+
 def _salvage_scan(
     blob: bytes, header: TraceHeader, declared_chunks: int, declared_records: int
 ) -> typing.Tuple[typing.List[ColumnChunk], SalvageReport]:
@@ -405,6 +443,14 @@ def _salvage_scan(
         report.truncated = True
         report.notes.append("file ends inside the header")
         offset = size
+    # A v4/v5 file still wearing the sentinel header with no index
+    # trailer is one a writer has not closed yet: a clean torn tail is
+    # "not written yet" (withheld), not loss.  Pre-v4 sentinel files
+    # stay ambiguous (no trailer exists to tell a pipe-written complete
+    # file from a cut one), so they keep the truncation semantics.
+    live_candidate = (
+        version >= VERSION_INDEXED and declared_chunks == CHUNKS_UNTIL_EOF
+    )
     trailer_seen = False
     while offset < size:
         if (
@@ -415,6 +461,17 @@ def _salvage_scan(
             # way it is never *used* on the salvage path — once chunks
             # may have been dropped the zone maps no longer align — so
             # damage here costs pruning, never correctness.
+            if live_candidate and _trailer_pending(blob, offset):
+                # The closing writer is mid-trailer: everything before
+                # it is intact, the rest arrives with the next poll.
+                report.growing = True
+                report.tail_pending_bytes = size - offset
+                report.notes.append(
+                    f"index trailer at offset {offset} is incomplete "
+                    f"({size - offset} bytes so far): file is still "
+                    "being closed"
+                )
+                break
             trailer_seen = True
             try:
                 __, __, consumed = decode_index(blob, offset)
@@ -428,6 +485,14 @@ def _salvage_scan(
             offset += consumed
             continue
         if offset + frame.size > size:
+            if live_candidate:
+                report.growing = True
+                report.tail_pending_bytes = size - offset
+                report.notes.append(
+                    f"incomplete chunk prefix at offset {offset}: "
+                    f"{size - offset} bytes not yet written"
+                )
+                break
             report.truncated = True
             report.bad_ranges.append((offset, size))
             report.notes.append(
@@ -474,6 +539,19 @@ def _salvage_scan(
         # keep the valid record prefix of the tail.  Otherwise drop the
         # chunk and resynchronize on the next well-formed prefix.
         resume = _resync_offset(blob, offset + 1, version)
+        if plausible and not fits and resume >= size and live_candidate:
+            # A live writer's half-flushed final chunk: withhold it
+            # whole (the tailing reader will see it complete later)
+            # rather than recovering a record prefix that would be
+            # double-counted once the chunk seals.
+            report.growing = True
+            report.tail_pending_bytes = size - offset
+            report.notes.append(
+                f"incomplete chunk at offset {offset}: declared "
+                f"{payload_bytes} payload bytes, {size - payload_off} "
+                "written so far"
+            )
+            break
         if plausible and not fits and resume >= size:
             tail, reached = _decode_partial(
                 blob, payload_off, size, n_records, version
@@ -504,12 +582,20 @@ def _salvage_scan(
     if version >= VERSION_INDEXED and not trailer_seen and not report.header_damaged:
         # A v4 file must end in its index trailer; reaching EOF without
         # one means the tail was cut off, even when every chunk (and so
-        # every record) survived intact.
-        report.truncated = True
-        report.notes.append(
-            "index trailer missing (file truncated at a chunk boundary?); "
-            "queries fall back to a full scan"
-        )
+        # every record) survived intact — unless the sentinel header
+        # says a live writer simply has not written it yet.
+        if live_candidate:
+            if not report.growing:
+                report.growing = True
+                report.notes.append(
+                    "no index trailer yet: file is still growing"
+                )
+        else:
+            report.truncated = True
+            report.notes.append(
+                "index trailer missing (file truncated at a chunk "
+                "boundary?); queries fall back to a full scan"
+            )
     if (
         declared_chunks != CHUNKS_UNTIL_EOF
         and not report.header_damaged

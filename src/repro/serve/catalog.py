@@ -25,6 +25,7 @@ caches, which is what the budget bounds.
 from __future__ import annotations
 
 import contextlib
+import os
 import threading
 import typing
 
@@ -46,6 +47,7 @@ class CatalogError(ValueError):
 class _Entry:
     __slots__ = (
         "name", "path", "strict", "handle", "generation", "refs", "evicting",
+        "live", "size",
     )
 
     def __init__(
@@ -55,14 +57,23 @@ class _Entry:
         strict: bool,
         handle: TraceHandle,
         generation: int,
+        live: bool = False,
+        size: typing.Optional[int] = None,
     ):
         self.name = name
         self.path = path
         self.strict = strict
         self.handle = handle
         self.generation = generation
+        self.live = live
+        self.size = size
         self.refs = 0
         self.evicting = False
+
+    @property
+    def complete(self) -> bool:
+        salvage = self.handle.salvage
+        return salvage is None or not getattr(salvage, "growing", False)
 
     def info(self) -> typing.Dict[str, typing.Any]:
         return {
@@ -74,6 +85,8 @@ class _Entry:
             "indexed": self.handle.zone_maps() is not None,
             "salvaged": self.handle.salvage is not None,
             "generation": self.generation,
+            "live": self.live,
+            "complete": self.complete,
         }
 
 
@@ -100,7 +113,7 @@ class TraceCatalog:
 
     # -- registration --------------------------------------------------
     def register(
-        self, name: str, path: str, strict: bool = True
+        self, name: str, path: str, strict: bool = True, live: bool = False
     ) -> typing.Dict[str, typing.Any]:
         """Open ``path`` under ``name``; returns the trace's info row.
 
@@ -109,6 +122,15 @@ class TraceCatalog:
         query.  Raises :class:`CatalogError` on a duplicate name and
         lets :class:`~repro.pdt.format.TraceFormatError` / ``OSError``
         from the open propagate.
+
+        ``live=True`` registers a trace that may still be growing: the
+        open is forced non-strict (a sentinel header and a torn tail
+        are expected, not damage), the info row reports ``live`` and
+        whether the prefix is ``complete``, and :meth:`refresh`
+        re-opens the file under a **new generation** whenever it has
+        grown — so every cached chunk or result is keyed to the exact
+        prefix it was computed from and a stale prefix can never be
+        served as the complete trace.
         """
         with self._lock:
             self._check_open()
@@ -116,8 +138,14 @@ class TraceCatalog:
                 raise CatalogError(f"trace already registered: {name}")
             generation = self._next_generation
             self._next_generation += 1
+        if live:
+            strict = False
         handle = open_handle(path, strict=strict, pool_cap=self.pool_cap)
-        entry = _Entry(name, path, strict, handle, generation)
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = None
+        entry = _Entry(name, path, strict, handle, generation, live, size)
         with self._lock:
             if self._closed or name in self._entries:
                 # Lost a race while the file was opening; do not leak.
@@ -229,6 +257,43 @@ class TraceCatalog:
         if immediate:
             self._finalize_eviction(entry)
         return {"evicted": name, "deferred": not immediate}
+
+    # -- live refresh --------------------------------------------------
+    def refresh(self, name: str) -> typing.Dict[str, typing.Any]:
+        """Re-open a live trace if its file changed since registration.
+
+        When the file's byte size moved (or the previous open saw a
+        still-growing tail), the entry is evicted and re-registered
+        under a fresh generation: in-flight queries finish against the
+        old handle, and every cache key carrying the old
+        ``(name, generation)`` identity dies with it — a result
+        computed over the stale prefix can never be returned for the
+        refreshed trace.  Returns the (possibly new) info row plus a
+        ``"refreshed"`` flag.  Raises :class:`CatalogError` for unknown
+        names and for traces not registered ``live``.
+        """
+        with self._lock:
+            self._check_open()
+            entry = self._entries.get(name)
+            if entry is None or entry.evicting:
+                raise CatalogError(f"no such trace: {name}")
+            if not entry.live:
+                raise CatalogError(f"not a live trace: {name}")
+            path = entry.path
+            unchanged_size = entry.size
+            was_complete = entry.complete
+            row = entry.info()
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = None
+        if was_complete and size == unchanged_size:
+            row["refreshed"] = False
+            return row
+        self.evict(name)
+        row = self.register(name, path, live=True)
+        row["refreshed"] = True
+        return row
 
     def _finalize_eviction(self, entry: _Entry) -> None:
         entry.handle.close()

@@ -226,9 +226,17 @@ class ServeClient:
     def ping(self) -> str:
         return self.request({"op": "ping"})
 
-    def register(self, name: str, path: str, strict: bool = True):
+    def register(
+        self, name: str, path: str, strict: bool = True, live: bool = False
+    ):
         return self.request(
-            {"op": "register", "name": name, "path": path, "strict": strict}
+            {
+                "op": "register",
+                "name": name,
+                "path": path,
+                "strict": strict,
+                "live": live,
+            }
         )
 
     def list_traces(self):
@@ -236,6 +244,10 @@ class ServeClient:
 
     def evict(self, name: str):
         return self.request({"op": "evict", "trace": name})
+
+    def refresh(self, name: str):
+        """Re-open a live trace under a new generation if it grew."""
+        return self.request({"op": "refresh", "trace": name})
 
     def stats(self):
         return self.request({"op": "stats"})

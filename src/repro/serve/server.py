@@ -232,6 +232,7 @@ class TraceServer:
                 request["name"],
                 request["path"],
                 strict=bool(request.get("strict", True)),
+                live=bool(request.get("live", False)),
             )
         if op == "list":
             return self.catalog.list_traces()
@@ -239,6 +240,10 @@ class TraceServer:
             if not isinstance(request.get("trace"), str):
                 raise ProtocolError('evict needs a string "trace"')
             return self.catalog.evict(request["trace"])
+        if op == "refresh":
+            if not isinstance(request.get("trace"), str):
+                raise ProtocolError('refresh needs a string "trace"')
+            return self.catalog.refresh(request["trace"])
         if op == "stats":
             return self.server_stats()
         if op == "query":

@@ -579,3 +579,18 @@ class Query:
         :meth:`agg` the default reduction is ``n="count"``.
         """
         return self.run_partial().finalize()
+
+    def follow(self, path: str, prune: bool = False):
+        """Windowed/online execution of this query's plan over a trace
+        file still being written: a :class:`~repro.live.follow
+        .FollowQuery` whose polls yield results byte-identical to a
+        batch run over the same sealed prefix, and whose sealed
+        ``time_bucket`` rows never change as the file grows.
+
+        Only the plan travels — this query's source is ignored, so
+        ``Query(None).groupby("bucket", time_bucket=w).agg(...)``
+        is a valid way to build one.
+        """
+        from repro.live.follow import FollowQuery
+
+        return FollowQuery(self.plan(), path, prune=prune)

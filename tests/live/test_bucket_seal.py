@@ -1,0 +1,122 @@
+"""``time_bucket`` boundary semantics under prefix growth.
+
+The seal contract: once :class:`FollowQuery` reports a bucket sealed,
+that bucket's rows never change — not when more chunks arrive, not
+when the trailing writer closes the file, with or without zone-map
+pruning.  A withheld bucket may appear later; a sealed one may never
+mutate or disappear.
+"""
+
+import pytest
+
+from repro.pdt.format import VERSION_COMPRESSED, VERSION_INDEXED
+from repro.live import FollowQuery, StepWriter
+from tests.live.util import (
+    WORKLOAD_NAMES,
+    batch_rows,
+    filtered_query,
+    windowed_query,
+    workload_source,
+)
+
+SEEDED_MATRIX = [
+    (name, version, prune)
+    for name in WORKLOAD_NAMES
+    for version in (VERSION_INDEXED, VERSION_COMPRESSED)
+    for prune in (False, True)
+]
+
+
+@pytest.mark.parametrize(
+    "name,version,prune",
+    SEEDED_MATRIX,
+    ids=[
+        f"{n}-v{v}-{'prune' if p else 'scan'}" for n, v, p in SEEDED_MATRIX
+    ],
+)
+def test_sealed_bucket_never_changes(tmp_path, name, version, prune):
+    source = workload_source(name, version)
+    writer = StepWriter(source, str(tmp_path / "live.pdt"), chunk_records=8)
+    follow = FollowQuery(windowed_query(None), writer.path, prune=prune)
+    emitted = {}  # bucket -> rows as first reported sealed
+    while not writer.exhausted:
+        writer.write_chunks(1)
+        snapshot = follow.poll()
+        by_bucket = {}
+        for row in snapshot.sealed_rows:
+            by_bucket.setdefault(row["bucket"], []).append(row)
+        for bucket, rows in by_bucket.items():
+            if bucket in emitted:
+                assert emitted[bucket] == rows, (name, bucket)
+            else:
+                emitted[bucket] = rows
+        # Sealed buckets are monotone: none may disappear.
+        assert set(emitted) <= set(snapshot.sealed_buckets) | (
+            set(emitted) - set(by_bucket)
+        )
+    writer.close()
+    final = follow.poll()
+    assert final.complete
+    # Everything seals at completion, and every row sealed early is
+    # exactly the final row for its bucket.
+    final_by_bucket = {}
+    for row in final.rows:
+        final_by_bucket.setdefault(row["bucket"], []).append(row)
+    for bucket, rows in emitted.items():
+        assert final_by_bucket[bucket] == rows, (name, bucket)
+    # The final rows equal a batch run, so early-sealed rows were
+    # byte-identical to what post-hoc analysis reports.
+    assert final.rows == batch_rows(writer.path, windowed_query)
+
+
+@pytest.mark.parametrize("prune", (False, True), ids=("scan", "prune"))
+def test_sealing_requires_quiesced_cores(tmp_path, prune):
+    """While any declared SPE still has records in flight (fewer than
+    two syncs seen), no bucket seals — results are withheld, not
+    guessed from a drifting clock fit."""
+    source = workload_source("matmul", VERSION_COMPRESSED)
+    writer = StepWriter(source, str(tmp_path / "live.pdt"), chunk_records=8)
+    follow = FollowQuery(windowed_query(None), writer.path, prune=prune)
+    n_spes = writer.header.n_spes
+    saw_unquiesced = saw_sealed_early = False
+    while not writer.exhausted:
+        writer.write_chunks(1)
+        snapshot = follow.poll()
+        quiesced = all(
+            follow._sync_counts.get(core, 0) >= 2 for core in range(n_spes)
+        )
+        if not quiesced:
+            saw_unquiesced = True
+            assert snapshot.watermark is None
+            assert snapshot.sealed_buckets == set()
+        elif snapshot.sealed_buckets and not snapshot.complete:
+            saw_sealed_early = True
+    assert saw_unquiesced, "matrix never exercised the withheld phase"
+    assert saw_sealed_early, "matrix never sealed a bucket before close"
+    writer.close()
+    assert follow.poll().sealed_rows == follow.poll().rows
+
+
+@pytest.mark.parametrize("prune", (False, True), ids=("scan", "prune"))
+def test_sealing_with_filtered_plan(tmp_path, prune):
+    """Seal immutability holds for a plan with predicates and grouped
+    payload aggregations, not just the plain windowed count."""
+    source = workload_source("streaming", VERSION_COMPRESSED)
+    writer = StepWriter(source, str(tmp_path / "live.pdt"), chunk_records=8)
+    follow = FollowQuery(filtered_query(None), writer.path, prune=prune)
+    emitted = {}
+    while not writer.exhausted:
+        writer.write_chunks(2)
+        snapshot = follow.poll()
+        for row in snapshot.sealed_rows:
+            key = (row["spe"], row["bucket"])
+            if key in emitted:
+                assert emitted[key] == row
+            else:
+                emitted[key] = row
+    writer.close()
+    final = follow.poll()
+    assert final.rows == batch_rows(writer.path, filtered_query)
+    final_keys = {(row["spe"], row["bucket"]): row for row in final.rows}
+    for key, row in emitted.items():
+        assert final_keys[key] == row

@@ -1,0 +1,38 @@
+"""pdt-analyze --follow argument validation: one-line errors, exit 2.
+
+Raw tracebacks out of the CLI are a regression (trace integrity PR);
+follow-mode flags must be rejected before anything touches the file.
+"""
+
+import pytest
+
+from repro.cli.analyze import main as analyze_main
+
+
+@pytest.mark.parametrize(
+    ("extra", "needle"),
+    [
+        (["--follow", "--bucket", "0"], "--bucket must be >= 1"),
+        (["--follow", "--bucket", "-5"], "--bucket must be >= 1"),
+        (["--follow", "--refresh", "-1"], "--refresh must be >= 0"),
+        (["--follow", "--max-polls", "0"], "--max-polls must be >= 1"),
+        (["--follow", "--max-polls", "-2"], "--max-polls must be >= 1"),
+    ],
+)
+def test_bad_follow_args_exit_2_one_line(tmp_path, capsys, extra, needle):
+    missing = str(tmp_path / "never-created.pdt")
+    assert analyze_main([missing] + extra) == 2
+    err = capsys.readouterr().err
+    assert needle in err
+    assert "Traceback" not in err
+
+
+def test_zero_refresh_is_allowed(tmp_path, capsys):
+    # --refresh 0 means "poll as fast as possible", not an error; with
+    # a missing file the follower just reports it is still waiting.
+    missing = str(tmp_path / "never-created.pdt")
+    assert analyze_main(
+        [missing, "--follow", "--refresh", "0", "--max-polls", "2"]
+    ) == 3
+    err = capsys.readouterr().err
+    assert "still waiting" in err

@@ -1,0 +1,179 @@
+"""The step-controlled differential matrix: live == batch, always.
+
+Every workload replays through a :class:`StepWriter`; at each pause
+point (k more sealed chunks, plus a mid-chunk torn tail) the follow
+path's provisional rows must equal a batch ``tq`` run over a properly
+closed snapshot of the same prefix — plain ``==`` on the exact row
+dicts, never approximate.  The matrix covers v4 and v5, compressed and
+``REPRO_NO_COMPRESS=1``, and jobs 1 and 2 on the batch side.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pdt import open_trace
+from repro.pdt.format import VERSION_COMPRESSED, VERSION_INDEXED
+from repro.live import FollowQuery, StepWriter
+from tests.live.util import (
+    CHUNK_RECORDS,
+    QUERIES,
+    WORKLOAD_NAMES,
+    batch_rows,
+    windowed_query,
+    workload_source,
+)
+
+#: Format axes: on-disk version plus the v5 compression escape hatch.
+FORMATS = ("v4", "v5", "v5-nocompress")
+
+_FORMAT_VERSIONS = {
+    "v4": VERSION_INDEXED,
+    "v5": VERSION_COMPRESSED,
+    "v5-nocompress": VERSION_COMPRESSED,
+}
+
+
+def _step_writer(monkeypatch, tmp_path, name, fmt, chunk_records=CHUNK_RECORDS):
+    if fmt == "v5-nocompress":
+        monkeypatch.setenv("REPRO_NO_COMPRESS", "1")
+    else:
+        monkeypatch.delenv("REPRO_NO_COMPRESS", raising=False)
+    source = workload_source(name, _FORMAT_VERSIONS[fmt])
+    return StepWriter(
+        source, str(tmp_path / f"{name}-{fmt}.pdt"), chunk_records
+    )
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_follow_equals_batch_at_every_pause(monkeypatch, tmp_path, name, fmt):
+    """write k chunks → live rows == batch rows over the prefix →
+    repeat, with a torn tail at each pause, through to completion."""
+    writer = _step_writer(monkeypatch, tmp_path, name, fmt)
+    assert writer.n_chunks_total >= 2, "workload too small to step"
+    follows = [
+        (label, FollowQuery(build(None), writer.path, prune=(i % 2 == 1)))
+        for i, (label, build) in enumerate(QUERIES)
+    ]
+    snap_path = str(tmp_path / "snapshot.pdt")
+    pauses = 0
+    while not writer.exhausted:
+        writer.write_chunks(1)
+        torn = 0
+        if not writer.exhausted:
+            torn = writer.tear(5)
+        writer.snapshot(snap_path)
+        for label, follow in follows:
+            snapshot = follow.poll()
+            expected = batch_rows(snap_path, dict(QUERIES)[label])
+            assert snapshot.rows == expected, (name, fmt, label, pauses)
+            assert snapshot.n_chunks == writer.n_sealed
+        if torn:
+            writer.heal()
+        pauses += 1
+    writer.close()
+    for label, follow in follows:
+        snapshot = follow.poll()
+        assert snapshot.complete
+        expected = batch_rows(writer.path, dict(QUERIES)[label])
+        assert snapshot.rows == expected, (name, fmt, label, "complete")
+        # jobs=2 batch agrees with both (the par engine's own identity).
+        assert batch_rows(writer.path, dict(QUERIES)[label], jobs=2) == expected
+        # Every bucket seals at completion, and every sealed row is a
+        # final row.
+        assert snapshot.sealed_rows == snapshot.rows
+    assert pauses >= 2
+
+
+@pytest.mark.parametrize("fmt", ("v4", "v5"))
+def test_torn_tail_withholds_never_guesses(monkeypatch, tmp_path, fmt):
+    """A mid-chunk cut changes nothing: same rows as before the cut,
+    no chunk counted twice, and healing delivers exactly one chunk."""
+    writer = _step_writer(monkeypatch, tmp_path, "matmul", fmt,
+                          chunk_records=16)
+    follow = FollowQuery(windowed_query(None), writer.path)
+    writer.write_chunks(1)
+    before = follow.poll()
+    for fraction in (0.001, 0.1, 0.5, 0.99):
+        frame_len = len(writer.frames[writer.n_sealed])
+        torn = writer.tear(max(1, int(frame_len * fraction)))
+        during = follow.poll()
+        assert during.rows == before.rows
+        assert during.n_chunks == before.n_chunks
+        assert during.pending_bytes >= torn
+        writer.heal()
+        after = follow.poll()
+        assert after.n_chunks == before.n_chunks + 1
+        before = after
+        if writer.exhausted:
+            break
+
+
+@pytest.mark.parametrize("jobs", (1, 2))
+def test_completed_live_file_is_a_normal_trace(monkeypatch, tmp_path, jobs):
+    """After close, the stepped file reads back like any batch-written
+    trace, serial or parallel."""
+    writer = _step_writer(monkeypatch, tmp_path, "streaming", "v5")
+    follow = FollowQuery(windowed_query(None), writer.path)
+    while not writer.exhausted:
+        writer.write_chunks(2)
+        follow.poll()
+    writer.close()
+    final = follow.poll()
+    assert final.complete
+    with open_trace(writer.path) as source:
+        assert source.zone_maps() is not None  # trailer present and valid
+    assert batch_rows(writer.path, windowed_query, jobs=jobs) == final.rows
+
+
+# ----------------------------------------------------------------------
+# hypothesis: arbitrary byte-boundary cuts never yield a wrong bucket —
+# only a withheld one
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def closed_trace(tmp_path_factory):
+    """One fully written v5 live file, its bytes, and the batch rows
+    for every possible sealed-prefix length (precomputed once)."""
+    tmp = tmp_path_factory.mktemp("live-cuts")
+    source = workload_source("matmul", VERSION_COMPRESSED)
+    writer = StepWriter(source, str(tmp / "full.pdt"), chunk_records=16)
+    prefix_rows = {}
+    snap = str(tmp / "snap.pdt")
+    for k in range(writer.n_chunks_total + 1):
+        if k:
+            writer.write_chunks(1)
+        writer.snapshot(snap)
+        prefix_rows[k] = batch_rows(snap, windowed_query)
+    writer.close()
+    with open(writer.path, "rb") as fh:
+        blob = fh.read()
+    return tmp, blob, prefix_rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(cut=st.integers(min_value=0, max_value=1 << 20))
+def test_arbitrary_cut_is_withheld_not_wrong(closed_trace, cut):
+    tmp, blob, prefix_rows = closed_trace
+    cut = cut % (len(blob) + 1)
+    path = str(tmp / "cut.pdt")
+    with open(path, "wb") as fh:
+        fh.write(blob[:cut])
+    follow = FollowQuery(windowed_query(None), path)
+    snapshot = follow.poll()
+    # Only whole sealed frames count, and the prefix rows equal a batch
+    # run over a closed trace holding exactly those chunks.
+    k = snapshot.n_chunks
+    assert k in prefix_rows
+    assert snapshot.rows == prefix_rows[k], cut
+    # Sealed rows, when any, are *final*: identical to the full run's
+    # rows for those buckets — a cut may withhold buckets, never
+    # corrupt one.
+    total = max(prefix_rows)
+    final_by_bucket = {row["bucket"]: row for row in prefix_rows[total]}
+    for row in snapshot.sealed_rows or ():
+        assert row == final_by_bucket[row["bucket"]], cut
+    # Polling the unchanged file again is a no-op (no double-count).
+    again = follow.poll()
+    assert again.n_chunks == k and again.rows == snapshot.rows

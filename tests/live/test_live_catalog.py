@@ -1,0 +1,172 @@
+"""Live traces in the serving catalog: generations, refresh, no stale
+prefixes.
+
+The serving contract for a growing file: a registration is a snapshot
+of one *prefix*, keyed by ``(name, generation)``.  ``refresh`` is the
+only way forward — it bumps the generation, so every chunk or result
+cached against the old prefix dies with it and a stale prefix can
+never be served as if it were the complete trace.
+"""
+
+import json
+
+import pytest
+
+from repro.pdt import open_trace
+from repro.pdt.format import VERSION_COMPRESSED
+from repro.live import StepWriter
+from repro.serve import (
+    ServeClient,
+    ServerConfig,
+    TraceCatalog,
+    TraceServer,
+    canonical_json,
+)
+from repro.serve.catalog import CatalogError
+from repro.serve.protocol import build_query
+from tests.live.util import BUCKET_WIDTH, workload_source
+
+#: The canned follow-style query the server matrix replays.
+WINDOWED_SPEC = {
+    "mode": "run",
+    "groupby": ["bucket"],
+    "time_bucket": BUCKET_WIDTH,
+    "agg": {"n": "count", "t_sum": ["sum", "time"]},
+}
+
+
+@pytest.fixture()
+def writer(tmp_path):
+    source = workload_source("matmul", VERSION_COMPRESSED)
+    writer = StepWriter(source, str(tmp_path / "live.pdt"), chunk_records=8)
+    writer.write_chunks(2)
+    return writer
+
+
+def _direct_rows(path: str):
+    # Non-strict, like a live registration: the file may still carry
+    # its sentinel header and no trailer.
+    with open_trace(path, strict=False) as source:
+        return build_query(source, WINDOWED_SPEC).run()
+
+
+# ----------------------------------------------------------------------
+# catalog level
+# ----------------------------------------------------------------------
+def test_live_register_forces_non_strict(writer):
+    with TraceCatalog() as catalog:
+        info = catalog.register("hot", writer.path, live=True)
+        assert info["live"] is True
+        assert info["strict"] is False  # forced, regardless of default
+        assert info["complete"] is False  # prefix is still growing
+        assert info["records"] == writer.sealed_records
+        assert info["salvaged"] is True
+
+
+def test_plain_register_is_not_live(writer):
+    writer.close()
+    with TraceCatalog() as catalog:
+        info = catalog.register("cold", writer.path)
+        assert info["live"] is False
+        assert info["complete"] is True
+        with pytest.raises(CatalogError, match="not a live trace"):
+            catalog.refresh("cold")
+        with pytest.raises(CatalogError, match="no such trace"):
+            catalog.refresh("never-registered")
+
+
+def test_refresh_bumps_generation_while_growing(writer):
+    with TraceCatalog() as catalog:
+        first = catalog.register("hot", writer.path, live=True)
+        writer.write_chunks(2)
+        second = catalog.refresh("hot")
+        assert second["refreshed"] is True
+        assert second["generation"] > first["generation"]
+        assert second["records"] == writer.sealed_records
+        # An incomplete prefix always refreshes, even at the same byte
+        # size: a torn tail may have healed to an equal-length frame.
+        third = catalog.refresh("hot")
+        assert third["refreshed"] is True
+        assert third["generation"] > second["generation"]
+
+
+def test_refresh_is_a_noop_once_complete(writer):
+    with TraceCatalog() as catalog:
+        catalog.register("hot", writer.path, live=True)
+        writer.write_chunks(writer.n_chunks_total)
+        writer.close()
+        done = catalog.refresh("hot")
+        assert done["refreshed"] is True
+        assert done["complete"] is True
+        again = catalog.refresh("hot")
+        assert again["refreshed"] is False
+        assert again["generation"] == done["generation"]
+        assert again["records"] == done["records"]
+
+
+def test_refresh_invalidates_old_generation_caches(writer):
+    """Result-cache entries keyed to the old generation die with the
+    refresh — nothing keyed ``(name, old_gen)`` survives."""
+    with TraceCatalog() as catalog:
+        first = catalog.register("hot", writer.path, live=True)
+        old_identity = ("hot", first["generation"])
+        catalog.result_cache.put(("result", old_identity, "x"), "stale", 5)
+        writer.write_chunks(1)
+        catalog.refresh("hot")
+        assert catalog.result_cache.get(("result", old_identity, "x")) is None
+
+
+# ----------------------------------------------------------------------
+# server level: the wire protocol end of the same contract
+# ----------------------------------------------------------------------
+def test_served_results_track_refresh_not_stale_cache(writer):
+    """The full loop: register live → query → grow → refresh → query.
+    Each served result equals a direct run over the file's *current*
+    prefix; after close the served rows equal the batch rows."""
+    catalog = TraceCatalog(memory_budget=8 * 1024 * 1024)
+    with TraceServer(catalog, ServerConfig(port=0)).start() as srv:
+        with ServeClient(srv.address) as client:
+            info = client.register("hot", writer.path, live=True)
+            assert info["live"] is True and info["complete"] is False
+
+            request = {"op": "query", "trace": "hot", "id": 0, **WINDOWED_SPEC}
+            first = client.request(dict(request))
+            assert first == _direct_rows(writer.path)
+
+            writer.write_chunks(2)
+            # Without a refresh the same request is answered from the
+            # registered prefix — cached, consistent, and clearly
+            # marked incomplete in the listing.
+            assert client.request(dict(request)) == first
+            listed = {row["name"]: row for row in client.list_traces()}
+            assert listed["hot"]["complete"] is False
+
+            refreshed = client.refresh("hot")
+            assert refreshed["refreshed"] is True
+            grown = client.request(dict(request))
+            assert grown == _direct_rows(writer.path)
+            assert grown != first  # the new chunks are visible
+
+            writer.write_chunks(writer.n_chunks_total)
+            writer.close()
+            assert client.refresh("hot")["complete"] is True
+            final = client.request(dict(request))
+            assert final == _direct_rows(writer.path)
+            # Byte-identical on the wire to a canonical direct encode.
+            raw = client.request_raw({**request, "id": 9})
+            want = canonical_json({"id": 9, "ok": True, "result": final})
+            assert raw == want
+
+
+def test_refresh_validation_over_the_wire(writer):
+    catalog = TraceCatalog(memory_budget=4 * 1024 * 1024)
+    with TraceServer(catalog, ServerConfig(port=0)).start() as srv:
+        with ServeClient(srv.address) as client:
+            with pytest.raises(Exception, match="no such trace"):
+                client.refresh("nope")
+            bad = json.loads(
+                client.request_line('{"op": "refresh", "trace": 7, "id": 1}')
+            )
+            assert bad["ok"] is False
+            assert "refresh" in bad["error"]
+            assert client.ping() == "pong"  # connection survived

@@ -1,0 +1,127 @@
+"""Salvage vs a live tail: "still growing" is not "truncated".
+
+The regression this suite pins: a non-strict open of a file a writer
+simply has not closed yet (sentinel header, no trailer, possibly a
+half-written frame at EOF) must report ``growing`` — zero loss, zero
+damage — while a file that was *closed* and then lost its tail must
+still report ``truncated``.  Conflating the two either scares live
+consumers with phantom corruption or hides real loss behind "probably
+still writing".
+"""
+
+import pytest
+
+from repro.pdt import open_handle
+from repro.pdt.format import (
+    VERSION_COMPRESSED,
+    VERSION_CRC,
+    VERSION_INDEXED,
+    data_offset,
+)
+from repro.live import StepWriter
+from tests.live.util import workload_source
+
+
+@pytest.mark.parametrize(
+    "version", (VERSION_INDEXED, VERSION_COMPRESSED), ids=("v4", "v5")
+)
+def test_paused_writer_reads_as_growing_not_damaged(tmp_path, version):
+    source = workload_source("streaming", version)
+    writer = StepWriter(source, str(tmp_path / "live.pdt"), chunk_records=8)
+    writer.write_chunks(3)
+    with open_handle(writer.path, strict=False) as handle:
+        salvage = handle.salvage
+        assert salvage is not None
+        assert salvage.growing is True
+        assert salvage.truncated is False
+        assert salvage.damaged is False
+        assert salvage.records_lost == 0
+        assert salvage.tail_pending_bytes == 0
+        # The readable prefix is exactly the sealed chunks.
+        assert handle.n_chunks == 3
+        assert handle.n_records == writer.sealed_records
+        assert "growing" in salvage.summary()
+
+
+@pytest.mark.parametrize(
+    "version", (VERSION_INDEXED, VERSION_COMPRESSED), ids=("v4", "v5")
+)
+def test_torn_tail_is_pending_bytes_not_loss(tmp_path, version):
+    source = workload_source("matmul", version)
+    writer = StepWriter(source, str(tmp_path / "live.pdt"), chunk_records=8)
+    writer.write_chunks(2)
+    torn = writer.tear(7)
+    with open_handle(writer.path, strict=False) as handle:
+        salvage = handle.salvage
+        assert salvage.growing is True
+        assert salvage.damaged is False
+        assert salvage.records_dropped == 0
+        assert salvage.tail_pending_bytes == torn
+        assert salvage.bad_ranges == []
+        assert handle.n_chunks == 2
+        assert "pending" in salvage.summary()
+    # The same bytes at the end of a *closed* stream are truncation.
+    writer.heal()
+    writer.write_chunks(writer.n_chunks_total)
+    writer.close()
+    with open(writer.path, "rb") as fh:
+        blob = fh.read()
+    cut = str(tmp_path / "cut.pdt")
+    with open(cut, "wb") as fh:
+        # Cut mid-way through the chunk region, not merely into the
+        # trailer: records the patched header promises are gone.
+        fh.write(blob[: (data_offset(version) + len(blob)) // 2])
+    with open_handle(cut, strict=False) as handle:
+        salvage = handle.salvage
+        assert salvage.growing is False
+        assert salvage.truncated is True
+        assert salvage.damaged is True
+
+
+def test_closed_file_has_no_salvage(tmp_path):
+    source = workload_source("matmul", VERSION_COMPRESSED)
+    writer = StepWriter(source, str(tmp_path / "live.pdt"), chunk_records=8)
+    writer.write_chunks(writer.n_chunks_total)
+    writer.close()
+    with open_handle(writer.path, strict=False) as handle:
+        salvage = handle.salvage
+        # A clean closed file either reports no salvage at all or an
+        # all-clear report — never growing, never damaged.
+        if salvage is not None:
+            assert salvage.damaged is False
+            assert salvage.growing is False
+    # And the strict path accepts it outright, trailer and all.
+    with open_handle(writer.path) as handle:
+        assert handle.salvage is None
+        assert handle.zone_maps() is not None
+
+
+def test_pre_index_sentinel_is_truncation_not_growth(tmp_path):
+    """v3 has no trailer to distinguish "open" from "patched", so a
+    sentinel-headered v3 file must still salvage as damage — growth
+    detection is gated to v4+."""
+    source = workload_source("matmul", VERSION_CRC)
+    writer = StepWriter(source, str(tmp_path / "old.pdt"), chunk_records=8)
+    writer.write_chunks(2)
+    with open_handle(writer.path, strict=False) as handle:
+        salvage = handle.salvage
+        assert salvage is not None
+        assert salvage.growing is False
+
+
+def test_growing_record_count_tracks_each_pause(tmp_path):
+    """At every pause point the salvaged prefix counts exactly the
+    sealed records — no double count, no phantom drop."""
+    source = workload_source("fft", VERSION_COMPRESSED)
+    writer = StepWriter(source, str(tmp_path / "live.pdt"), chunk_records=8)
+    while not writer.exhausted:
+        writer.write_chunks(1)
+        with open_handle(writer.path, strict=False) as handle:
+            assert handle.n_records == writer.sealed_records
+            assert handle.salvage.growing is True
+            assert handle.salvage.records_lost == 0
+    writer.close()
+    with open_handle(writer.path, strict=False) as handle:
+        assert handle.n_records == writer.sealed_records
+        salvage = handle.salvage
+        assert salvage is None or not salvage.growing

@@ -1,0 +1,176 @@
+"""TailSource unit behavior: framing, pending vs corrupt, completion.
+
+The tail's one invariant: anything shorter than its own framing is
+"not written yet"; anything fully present that fails its CRC is
+damage.  Chunks surface exactly once.
+"""
+
+import struct
+
+import pytest
+
+from repro.pdt import TraceFormatError
+from repro.pdt.format import (
+    _HEADER,
+    _U32,
+    VERSION_CHUNKED,
+    VERSION_COMPRESSED,
+    VERSION_CRC,
+    VERSION_INDEXED,
+    data_offset,
+)
+from repro.live import COMPLETE, GROWING, WAITING, StepWriter, TailSource
+from tests.live.util import workload_source
+
+
+@pytest.fixture()
+def writer(tmp_path):
+    source = workload_source("matmul", VERSION_COMPRESSED)
+    return StepWriter(source, str(tmp_path / "live.pdt"), chunk_records=8)
+
+
+def test_missing_file_waits(tmp_path):
+    tail = TailSource(str(tmp_path / "nope.pdt"))
+    tick = tail.poll()
+    assert tick.status == WAITING
+    assert tick.n_chunks == 0
+
+
+def test_partial_header_waits(tmp_path, writer):
+    with open(writer.path, "rb") as fh:
+        blob = fh.read()
+    partial = str(tmp_path / "partial.pdt")
+    for cut in (0, 3, _HEADER.size - 1, _HEADER.size + 1):
+        with open(partial, "wb") as fh:
+            fh.write(blob[:cut])
+        tick = TailSource(partial).poll()
+        assert tick.status == WAITING, cut
+
+
+def test_bad_magic_raises(tmp_path):
+    path = str(tmp_path / "junk.pdt")
+    with open(path, "wb") as fh:
+        fh.write(b"NOPE" + bytes(_HEADER.size + _U32.size))
+    with pytest.raises(TraceFormatError):
+        TailSource(path).poll()
+
+
+def test_header_crc_mismatch_waits_not_corrupt(tmp_path, writer):
+    """A header failing its CRC is the closing writer mid-patch — the
+    tail must wait, never declare corruption."""
+    with open(writer.path, "rb") as fh:
+        blob = bytearray(fh.read())
+    blob[_HEADER.size] ^= 0xFF  # CRC byte
+    path = str(tmp_path / "midpatch.pdt")
+    with open(path, "wb") as fh:
+        fh.write(blob)
+    assert TailSource(path).poll().status == WAITING
+
+
+def test_chunks_surface_exactly_once(writer):
+    tail = TailSource(writer.path)
+    assert tail.poll().status == GROWING
+    writer.write_chunks(2)
+    tick = tail.poll()
+    assert [c.index for c in tick.new_chunks] == [0, 1]
+    assert sum(len(c.chunk) for c in tick.new_chunks) == tick.n_records
+    # Unchanged file: no re-delivery, no double count.
+    again = tail.poll()
+    assert again.new_chunks == []
+    assert again.n_chunks == 2
+    writer.write_chunks(1)
+    assert [c.index for c in tail.poll().new_chunks] == [2]
+
+
+def test_torn_frame_is_pending(writer):
+    tail = TailSource(writer.path)
+    writer.write_chunks(1)
+    assert tail.poll().n_chunks == 1  # drain the sealed chunk
+    # Torn inside the frame prefix, then inside the payload.
+    for i, cut in enumerate((5, 30)):
+        writer.tear(cut)
+        tick = tail.poll()
+        assert tick.status == GROWING
+        assert tick.new_chunks == []
+        assert tick.pending_bytes >= cut
+        writer.heal()
+        healed = tail.poll()
+        assert [c.index for c in healed.new_chunks] == [i + 1]
+    assert tail.poll().n_chunks == 3
+
+
+def test_flipped_sealed_byte_raises(tmp_path, writer):
+    """Damage inside a *fully present* chunk is definite corruption:
+    sealed bytes are never rewritten by the writer."""
+    writer.write_chunks(2)
+    with open(writer.path, "rb") as fh:
+        blob = bytearray(fh.read())
+    blob[data_offset(VERSION_COMPRESSED) + 20] ^= 0x01
+    path = str(tmp_path / "flipped.pdt")
+    with open(path, "wb") as fh:
+        fh.write(blob)
+    with pytest.raises(TraceFormatError):
+        TailSource(path).poll()
+
+
+def test_trailer_completion(writer):
+    tail = TailSource(writer.path)
+    while not writer.exhausted:
+        writer.write_chunks(1)
+        assert tail.poll().status == GROWING
+    writer.close()
+    tick = tail.poll()
+    assert tick.status == COMPLETE
+    assert tick.pending_bytes == 0
+    assert tail.trailer_zones is not None
+    assert len(tail.trailer_zones) == tail.n_chunks
+    # Complete is terminal and idempotent.
+    assert tail.poll().status == COMPLETE
+
+
+def test_partial_trailer_is_pending(tmp_path, writer):
+    writer.close()
+    with open(writer.path, "rb") as fh:
+        blob = bytearray(fh.read())
+    # Rebuild the live form: sentinel header (as mid-run), trailer cut.
+    source = workload_source("matmul", VERSION_COMPRESSED)
+    live = StepWriter(source, str(tmp_path / "relive.pdt"), chunk_records=8)
+    live.write_chunks(live.n_chunks_total)
+    with open(live.path, "ab") as fh:
+        fh.write(b"PDTX" + bytes(6))  # a torn index trailer
+    tick = TailSource(live.path).poll()
+    assert tick.status == GROWING
+    assert tick.n_chunks == live.n_chunks_total
+    assert tick.pending_bytes == 10
+
+
+@pytest.mark.parametrize("version", (VERSION_CHUNKED, VERSION_CRC))
+def test_pre_index_versions_complete_via_patched_header(tmp_path, version):
+    """v2/v3 have no trailer: the seek-patched header is the end-of-
+    stream signal."""
+    source = workload_source("matmul", version)
+    writer = StepWriter(source, str(tmp_path / "old.pdt"), chunk_records=8)
+    tail = TailSource(writer.path)
+    writer.write_chunks(writer.n_chunks_total)
+    assert tail.poll().status == GROWING  # sentinel still standing
+    writer.close()
+    tick = tail.poll()
+    assert tick.status == COMPLETE
+    assert tick.n_chunks == writer.n_chunks_total
+
+
+def test_wait_helper_times_out(writer):
+    tail = TailSource(writer.path)
+    with pytest.raises(TimeoutError):
+        tail.wait(timeout=0.05, interval=0.01)
+    writer.write_chunks(1)
+    tick = tail.wait(lambda t: t.n_chunks >= 1, timeout=1.0, interval=0.01)
+    assert tick.n_chunks >= 1
+
+
+def test_decode_false_skips_decoding(writer):
+    tail = TailSource(writer.path, decode=False)
+    writer.write_chunks(1)
+    tick = tail.poll()
+    assert tick.new_chunks[0].chunk is None
+    assert tick.n_records == 8

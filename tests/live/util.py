@@ -1,0 +1,100 @@
+"""Shared machinery for the live-path differential harness.
+
+Everything here serves one comparison: at any writer pause point, what
+a live consumer computes over the sealed prefix must be byte-identical
+to what the batch pipeline computes over a properly closed trace
+holding exactly that prefix.  :class:`repro.live.stepwriter.StepWriter`
+provides the pause points and the closed-prefix snapshots; this module
+provides the workload matrix and the query set both sides run.
+"""
+
+import typing
+
+from repro.pdt import TraceConfig, open_trace
+from repro.tq import Query
+from repro.workloads import (
+    FftWorkload,
+    HistogramWorkload,
+    MandelbrotWorkload,
+    MatmulWorkload,
+    MonteCarloWorkload,
+    SpmvWorkload,
+    StreamingPipelineWorkload,
+    run_workload,
+)
+
+#: Every workload in repro.workloads, scaled down to harness-friendly
+#: runtimes (same parameters as the tests/par differential matrix).
+WORKLOADS = (
+    ("matmul", lambda: MatmulWorkload(n=64, tile=32, n_spes=2)),
+    ("streaming", lambda: StreamingPipelineWorkload(stages=2, blocks=6)),
+    ("montecarlo", lambda: MonteCarloWorkload(samples_per_spe=1500, n_spes=2)),
+    ("fft", lambda: FftWorkload(points=256, batch=8, n_spes=2)),
+    ("histogram", lambda: HistogramWorkload(samples=8192, bins=32, n_spes=2)),
+    (
+        "mandelbrot",
+        lambda: MandelbrotWorkload(
+            width=64, height=16, max_iterations=16, n_spes=2
+        ),
+    ),
+    (
+        "spmv",
+        lambda: SpmvWorkload(n=256, density=0.05, rows_per_block=64, n_spes=2),
+    ),
+)
+
+WORKLOAD_NAMES = tuple(name for name, __ in WORKLOADS)
+
+#: Small chunks so every workload (30–130 records at these scales)
+#: yields several pause points.
+CHUNK_RECORDS = 8
+
+#: A bucket width that splits these scaled-down runs into several
+#: windows (their corrected-time spans are ~1e5 units).
+BUCKET_WIDTH = 20_000
+
+
+def workload_source(name: str, version: int):
+    """Run one catalog workload and return its trace source with the
+    requested on-disk version."""
+    factory = dict(WORKLOADS)[name]
+    result = run_workload(factory(), TraceConfig(buffer_bytes=1024))
+    source = result.trace_source()
+    source.header.version = version
+    return source
+
+
+def windowed_query(source) -> Query:
+    """The canonical follow-mode plan: per-bucket count + aggregates."""
+    return (
+        Query(source)
+        .groupby("bucket", time_bucket=BUCKET_WIDTH)
+        .agg(n="count", t_sum=("sum", "time"), t_max=("max", "time"))
+    )
+
+
+def filtered_query(source) -> Query:
+    """A plan with pruning-relevant predicates and payload aggs."""
+    return (
+        Query(source)
+        .where(event="mfc_get")
+        .groupby("spe", "bucket", time_bucket=BUCKET_WIDTH)
+        .agg(n="count", bytes=("sum", "size"), mid=("p50", "size"))
+    )
+
+
+QUERIES: typing.Tuple[typing.Tuple[str, typing.Callable], ...] = (
+    ("windowed", windowed_query),
+    ("filtered", filtered_query),
+)
+
+
+def batch_rows(path: str, build, jobs: int = 1):
+    """The batch reference: the same plan over a closed trace file."""
+    with open_trace(path) as source:
+        query = build(source)
+        if jobs > 1:
+            from repro.par import parallel_rows
+
+            return parallel_rows(query, jobs)
+        return query.run()

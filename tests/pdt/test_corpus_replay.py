@@ -42,11 +42,15 @@ def _read(filename: str) -> bytes:
         return handle.read()
 
 
-def test_corpus_is_present_and_covers_both_modes():
+def test_corpus_is_present_and_covers_all_modes():
     assert len(_CASES) >= 20
-    assert {case["mode"] for case in _CASES} == {"general", "trailer"}
+    assert {case["mode"] for case in _CASES} == {"general", "trailer", "live"}
     versions = {case["version"] for case in _CASES}
     assert versions == {2, 3, 4, 5}
+    live_versions = {
+        case["version"] for case in _CASES if case["mode"] == "live"
+    }
+    assert live_versions == {4, 5}  # growth detection is gated to v4+
 
 
 @pytest.mark.parametrize(
@@ -60,6 +64,14 @@ def test_replay_fuzzer_invariants(case):
     if case["mode"] == "trailer":
         failures = corruption_fuzz.check_trailer_case(
             case["workload"], blob, mutated
+        )
+    elif case["mode"] == "live":
+        failures = corruption_fuzz.check_live_case(
+            case["workload"],
+            case["version"],
+            blob,
+            mutated,
+            {"cut": case["cut"], "flips": case["flips"]},
         )
     else:
         failures = corruption_fuzz.check_one(
@@ -116,9 +128,18 @@ def test_replay_salvage_serial_vs_parallel(case, tmp_path):
     sorted({case["pristine"] for case in _CASES}),
 )
 def test_pristine_corpus_traces_read_clean(pristine):
-    """The undamaged corpus members must parse strictly — a guard that
-    the corpus itself (not the reader) is what each damage case tests."""
+    """The undamaged corpus members must parse as intended — a guard
+    that the corpus itself (not the reader) is what each damage case
+    tests.  Closed traces parse strictly; live-form members (sentinel
+    header, no trailer) salvage as *growing*, with zero loss."""
     blob = _read(pristine)
+    if pristine.endswith("-live.pdt"):
+        salvaged = open_trace(blob, strict=False)
+        assert salvaged.salvage is not None
+        assert salvaged.salvage.growing and not salvaged.salvage.damaged
+        assert salvaged.n_records > 0
+        salvaged.close()
+        return
     with open_trace(blob) as source:
         assert source.n_records > 0
         list(source.iter_chunks())

@@ -1,0 +1,87 @@
+"""Property: incremental zone maps == the one-shot trailer, at every
+prefix.
+
+:class:`repro.live.IncrementalIndex` is fed sealed chunks one at a
+time; the writer builds its index once over the whole stream.  For any
+chunking of any workload, after any number of sealed chunks *k*, the
+incremental snapshot must encode — through the real
+:func:`~repro.pdt.index.encode_index` — to exactly the trailer bytes a
+one-shot writer puts on disk for a closed trace holding those *k*
+chunks.  Not equivalent: identical, CRC and all.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pdt.format import VERSION_COMPRESSED, VERSION_INDEXED
+from repro.pdt.index import encode_index, index_size
+from repro.live import IncrementalIndex, StepWriter
+from tests.live.util import workload_source
+
+WORKLOAD_POOL = ("matmul", "streaming", "montecarlo")
+
+
+@pytest.fixture(scope="module")
+def harness(tmp_path_factory):
+    """Reusable sources (the expensive part) plus a scratch dir whose
+    files each example overwrites."""
+    tmp = tmp_path_factory.mktemp("incr-index")
+    sources = {
+        (name, version): workload_source(name, version)
+        for name in WORKLOAD_POOL
+        for version in (VERSION_INDEXED, VERSION_COMPRESSED)
+    }
+    return tmp, sources
+
+
+def _trailer_bytes(path: str, n_chunks: int) -> bytes:
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    return blob[len(blob) - index_size(n_chunks):]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    name=st.sampled_from(WORKLOAD_POOL),
+    version=st.sampled_from((VERSION_INDEXED, VERSION_COMPRESSED)),
+    chunk_records=st.integers(min_value=3, max_value=24),
+    data=st.data(),
+)
+def test_incremental_snapshot_matches_one_shot_trailer(
+    harness, name, version, chunk_records, data
+):
+    tmp, sources = harness
+    writer = StepWriter(
+        sources[(name, version)], str(tmp / "live.pdt"), chunk_records
+    )
+    incremental = IncrementalIndex()
+    divider = writer.header.timebase_divider
+    snap = str(tmp / "snap.pdt")
+    fed = 0
+    while not writer.exhausted:
+        writer.write_chunks(data.draw(st.integers(1, 3), label="step"))
+        while fed < writer.n_sealed:
+            incremental.observe_chunk(writer.chunks[fed])
+            fed += 1
+        # The incremental prefix trailer vs the one a one-shot writer
+        # emits for a closed trace of exactly these chunks.
+        writer.snapshot(snap)
+        encoded = encode_index(
+            incremental.snapshot(divider), incremental.total_records
+        )
+        assert encoded == _trailer_bytes(snap, writer.n_sealed), (
+            name, version, chunk_records, fed,
+        )
+    # Totals agree with the stream, and the *final* snapshot equals the
+    # real file's trailer after close — the live path converges to the
+    # batch artifact bit for bit.
+    assert incremental.total_records == writer.sealed_records
+    writer.close()
+    final = encode_index(
+        incremental.snapshot(divider), incremental.total_records
+    )
+    assert final == _trailer_bytes(writer.path, writer.n_sealed)
+    # Snapshots are re-entrant: taking one more changes nothing.
+    assert final == encode_index(
+        incremental.snapshot(divider), incremental.total_records
+    )

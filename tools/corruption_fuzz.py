@@ -28,6 +28,13 @@ Usage::
 
     PYTHONPATH=src python tools/corruption_fuzz.py --iterations 200
 
+``--live`` fuzzes the *tail* path instead: live-form traces (sentinel
+header, sealed frames, no trailer) cut at arbitrary byte offsets with
+optional bit flips in the sealed prefix or the torn tail.  The tailer
+must wait or raise cleanly — never crash, never surface a chunk
+containing damaged bytes, never double-count across polls — and a
+clean cut must deliver exactly the fully sealed frames.
+
 ``--export-corpus DIR`` instead writes a seeded regression corpus —
 every pristine trace plus a deterministic set of damaged variants and
 a ``manifest.json`` describing each case — for checking into the test
@@ -39,16 +46,19 @@ import json
 import os
 import random
 import sys
+import tempfile
 import typing
 
 from repro.pdt import TraceConfig, open_trace, read_trace
 from repro.pdt.format import (
+    _CHUNK_CRC,
     _HEADER,
     VERSION_CHUNKED,
     VERSION_COMPRESSED,
     VERSION_CRC,
     VERSION_INDEXED,
     TraceFormatError,
+    data_offset,
 )
 from repro.pdt.index import index_size
 from repro.pdt.writer import trace_to_bytes
@@ -270,6 +280,203 @@ def check_one(
     return failures
 
 
+# ----------------------------------------------------------------------
+# live mode: damage at the growing tail of an unclosed file
+# ----------------------------------------------------------------------
+
+def build_live_corpus() -> typing.List[typing.Tuple[str, int, bytes]]:
+    """(name, version, blob) in *live* form: sentinel header plus every
+    sealed frame, no index trailer — a writer that never closed."""
+    from repro.live import StepWriter
+
+    corpus = []
+    for name, factory in WORKLOADS:
+        result = run_workload(factory(), TraceConfig(buffer_bytes=4096))
+        source = result.trace_source()
+        for version in (VERSION_COMPRESSED, VERSION_INDEXED):
+            source.header.version = version
+            with tempfile.TemporaryDirectory() as tmp:
+                writer = StepWriter(
+                    source, os.path.join(tmp, "live.pdt"), chunk_records=64
+                )
+                writer.write_chunks(writer.n_chunks_total)
+                with open(writer.path, "rb") as handle:
+                    corpus.append((name, version, handle.read()))
+    return corpus
+
+
+def live_layout(
+    blob: bytes, version: int
+) -> typing.Tuple[typing.List[int], typing.List[int]]:
+    """Frame end offsets and cumulative record counts of a live blob,
+    parsed directly from the framing (independent of the tail reader
+    under test)."""
+    offset = data_offset(version)
+    ends: typing.List[int] = []
+    cum: typing.List[int] = []
+    total = 0
+    while offset + _CHUNK_CRC.size <= len(blob):
+        n_records, payload_bytes, __ = _CHUNK_CRC.unpack_from(blob, offset)
+        offset += _CHUNK_CRC.size + payload_bytes
+        if offset > len(blob):
+            break
+        total += n_records
+        ends.append(offset)
+        cum.append(total)
+    return ends, cum
+
+
+def mutate_live(
+    rng: random.Random, blob: bytes, version: int
+) -> typing.Tuple[bytes, str, typing.Dict[str, typing.Any]]:
+    """One live damage case: a tail cut, optionally plus a bit flip in
+    the sealed prefix or in the pending (torn) region."""
+    ends, __ = live_layout(blob, version)
+    kind = rng.choice(("cut", "cut+flip-sealed", "cut+flip-pending"))
+    cut = rng.randrange(0, len(blob) + 1)
+    data = bytearray(blob[:cut])
+    flips: typing.List[int] = []
+    notes = [f"cut@{cut}"]
+    sealed_end = max(
+        [end for end in ends if end <= cut], default=data_offset(version)
+    )
+    if kind == "cut+flip-sealed" and sealed_end > 0:
+        pos = rng.randrange(min(sealed_end, len(data))) if data else None
+        if pos is not None:
+            data[pos] ^= 1 << rng.randrange(8)
+            flips.append(pos)
+            notes.append(f"flip@{pos}")
+    elif kind == "cut+flip-pending" and cut > sealed_end:
+        pos = rng.randrange(sealed_end, cut)
+        data[pos] ^= 1 << rng.randrange(8)
+        flips.append(pos)
+        notes.append(f"pending-flip@{pos}")
+    return bytes(data), " ".join(notes), {"cut": cut, "flips": flips}
+
+
+def check_live_case(
+    name: str,
+    version: int,
+    blob: bytes,
+    mutated: bytes,
+    info: typing.Mapping[str, typing.Any],
+) -> typing.List[str]:
+    """The live-tail contract over one damaged prefix.
+
+    A tailer polling the damaged file must wait or raise cleanly —
+    never crash, never deliver bytes containing the damage, never
+    deliver more than the pristine prefix holds, and never count a
+    record twice across polls.  A *clean* cut (no flips) must deliver
+    exactly the fully sealed frames.
+    """
+    from repro.live import FollowQuery, TailSource, WAITING
+
+    failures: typing.List[str] = []
+    ends, cum = live_layout(blob, version)
+    head = data_offset(version)
+    cut, flips = info["cut"], list(info["flips"])
+    k_expected = sum(1 for end in ends if end <= cut)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "live.pdt")
+        with open(path, "wb") as handle:
+            handle.write(mutated)
+        tail = TailSource(path)
+        try:
+            tick = tail.poll()
+        except TraceFormatError:
+            if not flips:
+                failures.append("clean tail cut raised TraceFormatError")
+            return failures
+        except Exception as exc:  # pragma: no cover - the bug being hunted
+            failures.append(
+                f"tail poll crashed: {type(exc).__name__}: {exc}"
+            )
+            return failures
+
+        delivered = tick.n_chunks
+        if any(pos < head for pos in flips):
+            # Damaged header: nothing may be delivered (waiting), and a
+            # magic/version hit would have raised above.
+            if tick.status != WAITING or delivered != 0:
+                failures.append(
+                    f"delivered {delivered} chunks under a damaged header "
+                    f"(status={tick.status})"
+                )
+            return failures
+        delivered_end = ends[delivered - 1] if delivered else head
+        if any(head <= pos < delivered_end for pos in flips):
+            failures.append("delivered a chunk containing flipped bytes")
+        if delivered > k_expected:
+            failures.append(
+                f"delivered {delivered} chunks, prefix holds {k_expected}"
+            )
+        sealed_end = ends[k_expected - 1] if k_expected else head
+        if all(pos >= sealed_end for pos in flips) and delivered != k_expected:
+            # No damage touched a sealed frame (flips, if any, are in
+            # the pending tail) — every sealed frame must surface.
+            failures.append(
+                f"undamaged sealed prefix withheld: {delivered} of "
+                f"{k_expected} chunks"
+            )
+        want_records = cum[delivered - 1] if delivered else 0
+        if tick.n_records != want_records:
+            failures.append(
+                f"{tick.n_records} records for {delivered} chunks, "
+                f"framing says {want_records}"
+            )
+        again = tail.poll()
+        if again.new_chunks or again.n_chunks != delivered:
+            failures.append("re-poll of an unchanged file re-delivered "
+                            "chunks (double count)")
+        if not flips and delivered:
+            from repro.tq import Query
+
+            follow = FollowQuery(
+                Query(None)
+                .groupby("bucket", time_bucket=50_000)
+                .agg(n="count"),
+                path,
+            )
+            snapshot = follow.poll()
+            total = sum(row["n"] for row in snapshot.rows)
+            if total != want_records:
+                failures.append(
+                    f"follow query counted {total} records, framing says "
+                    f"{want_records}"
+                )
+    return failures
+
+
+def fuzz_live(iterations: int, seed: int, verbose: bool = False) -> int:
+    corpus = build_live_corpus()
+    print(
+        f"live corpus: {len(corpus)} traces "
+        f"({', '.join(f'{n} v{v} {len(b)}B' for n, v, b in corpus)})"
+    )
+    rng = random.Random(seed)
+    all_failures = []
+    for i in range(iterations):
+        name, version, blob = corpus[rng.randrange(len(corpus))]
+        mutated, description, info = mutate_live(rng, blob, version)
+        failures = check_live_case(name, version, blob, mutated, info)
+        if failures:
+            all_failures.append((i, name, version, description, failures))
+            for failure in failures:
+                print(
+                    f"FAIL [{i}] {name} v{version} live ({description}): "
+                    f"{failure}",
+                    file=sys.stderr,
+                )
+        elif verbose:
+            print(f"ok   [{i}] {name} v{version} live ({description})")
+    print(
+        f"{iterations} live iterations, seed {seed}: "
+        f"{len(all_failures)} failing cases"
+    )
+    return 1 if all_failures else 0
+
+
 def fuzz(iterations: int, seed: int, verbose: bool = False) -> int:
     corpus = build_corpus()
     print(
@@ -350,6 +557,35 @@ def export_corpus(
                     "truncated": truncated,
                 }
             )
+    # Live-form traces (sentinel header, no trailer) with damage at the
+    # growing tail; a separate stream keeps the cases above stable.
+    live_rng = random.Random(seed + 1)
+    for name, version, blob in build_live_corpus():
+        pristine = f"{name}-v{version}-live.pdt"
+        with open(os.path.join(directory, pristine), "wb") as handle:
+            handle.write(blob)
+        added = 0
+        while added < cases_per_trace:
+            mutated, description, info = mutate_live(live_rng, blob, version)
+            if mutated == blob:
+                continue
+            filename = f"{name}-v{version}-live-{added}.pdt"
+            with open(os.path.join(directory, filename), "wb") as handle:
+                handle.write(mutated)
+            manifest.append(
+                {
+                    "file": filename,
+                    "pristine": pristine,
+                    "workload": name,
+                    "version": version,
+                    "mode": "live",
+                    "description": description,
+                    "truncated": True,
+                    "cut": info["cut"],
+                    "flips": info["flips"],
+                }
+            )
+            added += 1
     with open(os.path.join(directory, "manifest.json"), "w") as handle:
         json.dump({"seed": seed, "cases": manifest}, handle, indent=1)
         handle.write("\n")
@@ -365,6 +601,13 @@ def main(argv: typing.Optional[typing.List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=20080427)
     parser.add_argument("-v", "--verbose", action="store_true")
     parser.add_argument(
+        "--live", action="store_true",
+        help="fuzz the live tail path instead: cuts and flips at the "
+        "growing end of an unclosed trace — the tailer must wait or "
+        "raise cleanly, never crash, never deliver damaged or "
+        "double-counted chunks",
+    )
+    parser.add_argument(
         "--export-corpus", metavar="DIR",
         help="write a seeded regression corpus (pristine + damaged "
         "traces + manifest.json) instead of fuzzing",
@@ -372,6 +615,8 @@ def main(argv: typing.Optional[typing.List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.export_corpus:
         return export_corpus(args.export_corpus, args.seed)
+    if args.live:
+        return fuzz_live(args.iterations, args.seed, verbose=args.verbose)
     return fuzz(args.iterations, args.seed, verbose=args.verbose)
 
 

@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Smoke ``pdt-analyze --follow`` end to end, the way an operator would.
+
+A **writer subprocess** replays a workload into a trace file a chunk at
+a time; concurrently, ``pdt-analyze --follow`` runs as its own
+subprocess (console-entry wiring on the hook, not just the library),
+tailing the file with the live view plus ``--bucket`` streaming.  The
+checks:
+
+* the follower exits 0 only after the writer closes the file, and its
+  last frame reports ``status=complete`` with the full record count;
+* every ``sealed bucket`` line it printed matches the batch ``tq`` run
+  over the finished file — the streamed counts are the final counts;
+* by completion the sealed set covers every bucket the batch run has;
+* against a file whose writer never closes, ``--max-polls`` stops the
+  follower with exit status 3.
+
+Exit status 0 on success, 1 with a failure listing otherwise.
+
+Usage::
+
+    PYTHONPATH=src python tools/follow_smoke.py
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import typing
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+sys.path.insert(0, REPO_SRC)
+
+from repro.pdt import open_trace  # noqa: E402
+from repro.tq import Query  # noqa: E402
+
+BUCKET_WIDTH = 20_000
+CHUNK_RECORDS = 8
+
+#: The writer child: replay a workload through a StepWriter, a chunk
+#: per tick, then close the file properly.
+_WRITER_SCRIPT = """\
+import sys, time
+path, delay = sys.argv[1], float(sys.argv[2])
+from repro.pdt import TraceConfig
+from repro.pdt.format import VERSION_COMPRESSED
+from repro.workloads import MatmulWorkload, run_workload
+from repro.live import StepWriter
+result = run_workload(
+    MatmulWorkload(n=64, tile=32, n_spes=2), TraceConfig(buffer_bytes=1024)
+)
+source = result.trace_source()
+source.header.version = VERSION_COMPRESSED
+writer = StepWriter(source, path, chunk_records={chunk_records})
+while not writer.exhausted:
+    writer.write_chunks(1)
+    time.sleep(delay)
+writer.close()
+"""
+
+_SEALED_LINE = re.compile(r"sealed bucket (\d+): (\d+) records")
+
+
+def _batch_buckets(path: str) -> typing.Dict[int, int]:
+    with open_trace(path) as source:
+        rows = (
+            Query(source)
+            .groupby("bucket", time_bucket=BUCKET_WIDTH)
+            .agg(n="count")
+            .run()
+        )
+    return {row["bucket"]: row["n"] for row in rows}
+
+
+def main(argv: typing.Optional[typing.List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--write-delay", type=float, default=0.05,
+                        help="seconds between writer chunks")
+    parser.add_argument("--refresh", type=float, default=0.02,
+                        help="follower refresh interval")
+    args = parser.parse_args(argv)
+
+    failures: typing.List[str] = []
+    check = lambda ok, what: None if ok else failures.append(what)  # noqa: E731
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        live_path = os.path.join(tmp, "live.pdt")
+        writer = subprocess.Popen(
+            [
+                sys.executable, "-c",
+                _WRITER_SCRIPT.format(chunk_records=CHUNK_RECORDS),
+                live_path, str(args.write_delay),
+            ],
+            env=env,
+        )
+        follower = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli.analyze",
+                live_path,
+                "--follow",
+                "--refresh", str(args.refresh),
+                "--bucket", str(BUCKET_WIDTH),
+                "--max-polls", "2000",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        check(writer.wait(timeout=60) == 0, "writer subprocess failed")
+        check(
+            follower.returncode == 0,
+            f"follower exited {follower.returncode}: "
+            f"{follower.stderr.strip()[:200]}",
+        )
+        frames = follower.stdout
+        check("status=complete" in frames, "no complete frame rendered")
+        check("status=growing" in frames,
+              "follower never saw the file growing (writer too fast?)")
+        check(re.search(r"^  spe1 ", frames, re.M) is not None,
+              "per-core table missing spe1")
+
+        want = _batch_buckets(live_path)
+        with open_trace(live_path) as source:
+            total = source.n_records
+        check(
+            re.search(rf"status=complete.*records={total}\b", frames)
+            is not None,
+            f"final frame does not report all {total} records",
+        )
+        sealed: typing.Dict[int, int] = {}
+        for match in _SEALED_LINE.finditer(frames):
+            bucket, n = int(match.group(1)), int(match.group(2))
+            check(
+                bucket not in sealed,
+                f"bucket {bucket} sealed twice",
+            )
+            sealed[bucket] = n
+        check(
+            sealed == want,
+            f"streamed buckets {sealed} != batch buckets {want}",
+        )
+
+        # A writer that never closes: --max-polls bails out with 3.
+        stuck_path = os.path.join(tmp, "stuck.pdt")
+        from repro.pdt import TraceConfig
+        from repro.pdt.format import VERSION_COMPRESSED
+        from repro.workloads import MatmulWorkload, run_workload
+        from repro.live import StepWriter
+
+        result = run_workload(
+            MatmulWorkload(n=64, tile=32, n_spes=2),
+            TraceConfig(buffer_bytes=1024),
+        )
+        source = result.trace_source()
+        source.header.version = VERSION_COMPRESSED
+        stuck = StepWriter(source, stuck_path, chunk_records=CHUNK_RECORDS)
+        stuck.write_chunks(2)
+        bailed = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli.analyze",
+                stuck_path, "--follow", "--refresh", "0.01",
+                "--max-polls", "3",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        check(
+            bailed.returncode == 3,
+            f"stuck follower exited {bailed.returncode}, want 3",
+        )
+        check("still growing" in bailed.stderr,
+              "no still-growing diagnostic on stderr")
+
+    if failures:
+        print(f"FAIL: {len(failures)} check(s)")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("follow smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
