@@ -1,0 +1,210 @@
+"""T13 — projection pushdown: narrow queries over v6 vs v5 full decode.
+
+The v6 format's economic claim: because each column section is
+compressed independently and the query plan pushes its required-column
+set down to the reader, a narrow query — the paper's per-event rate
+table, the kind profile, time-bucketed stall counts — decompresses and
+materializes only the small dictionary/varint sections it reads
+instead of the whole chunk.  The gate is **≥2x end-to-end** on the
+narrow-query suite over compressed traces, measured against the v5
+full-decode baseline (``REPRO_FULL_DECODE=1`` over a v5 file — exactly
+what every query paid before this optimization), with **identical
+results asserted in the same run**.
+
+Both sides run over a pre-opened :class:`TraceHandle` whose clock fit
+is already cached — the analysis-session shape ``repro.serve`` and the
+CLI use — so the race times the scans themselves, not a shared
+correlator fit repeated per query.
+
+The compression economics must survive the format change too: the v6
+aggregate on-disk ratio against v4 stays ≥3x (T10's gate) and within
+10% of the v5 ratio — per-section framing costs a few header bytes per
+chunk, not the ratio.
+"""
+
+import json
+import os
+import time
+
+from repro.pdt import TraceConfig, write_trace
+from repro.pdt.format import (
+    VERSION_COMPRESSED,
+    VERSION_INDEXED,
+    VERSION_SECTIONED,
+)
+from repro.pdt.handle import open_handle
+from repro.tq import Query
+from repro.workloads import (
+    MatmulWorkload,
+    StreamingPipelineWorkload,
+    run_workload,
+)
+
+MIN_SPEEDUP = 2.0
+MIN_AGGREGATE_RATIO = 3.0  # T10's gate, preserved on v6
+MAX_RATIO_DRIFT = 0.10
+REPEATS = 5
+
+WORKLOADS = (
+    ("streaming", lambda: StreamingPipelineWorkload(stages=4, blocks=2048)),
+    (
+        "streaming-large",
+        lambda: StreamingPipelineWorkload(stages=4, blocks=4096),
+    ),
+    ("matmul", lambda: MatmulWorkload(n=512, tile=32, n_spes=4)),
+)
+
+#: The event-rate table: one count per DMA/stall/signal kind, the
+#: paper's per-event activity summary.  Kinds a workload never emits
+#: count zero on both sides — still a differential data point.
+RATE_KINDS = (
+    "mfc_get",
+    "mfc_put",
+    "mfc_getl",
+    "mfc_putl",
+    "wait_tag_begin",
+    "signal_send",
+    "read_signal_begin",
+)
+
+
+def _narrow_answers(handle):
+    """The gated narrow-query suite: count-by-event for each kind in
+    the rate table, the kind profile, and time-bucketed stall counts —
+    the paper's "how many DMAs and waits, when" questions.  None of
+    them reads the payload; the bucketed query is the only one that
+    touches ``raw_ts``/``core`` (placement is per-core)."""
+    rates = tuple(
+        Query(handle).where(event=kind).count() for kind in RATE_KINDS
+    )
+    profile = tuple(
+        tuple(sorted(row.items()))
+        for row in Query(handle).groupby("kind").agg(n="count").run()
+    )
+    stalls = tuple(
+        tuple(sorted(row.items()))
+        for row in (
+            Query(handle)
+            .where(event=("wait_tag_begin", "wait_tag_end"))
+            .groupby("bucket", time_bucket=1_000_000)
+            .agg(n="count")
+            .run()
+        )
+    )
+    return rates, profile, stalls
+
+
+def _wide_answers(handle):
+    """A payload-reading control query, asserted identical but not
+    gated: it must pull the values section either way."""
+    rows = (
+        Query(handle)
+        .where(event=("mfc_get", "mfc_put", "mfc_getl", "mfc_putl"))
+        .groupby("kind")
+        .agg(n="count", bytes=("sum", "size"))
+        .run()
+    )
+    return tuple(tuple(sorted(row.items())) for row in rows)
+
+
+def _timed(fn, *args):
+    best = None
+    value = None
+    for __ in range(REPEATS):
+        started = time.perf_counter()
+        value = fn(*args)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, value
+
+
+def measure(tmp_dir):
+    rows = []
+    narrow_v6_s = narrow_v5full_s = 0.0
+    total_v4 = total_v5 = total_v6 = 0
+    for name, factory in WORKLOADS:
+        result = run_workload(factory(), TraceConfig(buffer_bytes=4096))
+        source = result.trace_source()
+        paths = {}
+        for label, version in (
+            ("v4", VERSION_INDEXED),
+            ("v5", VERSION_COMPRESSED),
+            ("v6", VERSION_SECTIONED),
+        ):
+            source.header.version = version
+            paths[label] = os.path.join(tmp_dir, f"{name}-{label}.pdt")
+            write_trace(source, paths[label])
+        total_v4 += os.path.getsize(paths["v4"])
+        total_v5 += os.path.getsize(paths["v5"])
+        total_v6 += os.path.getsize(paths["v6"])
+
+        # One handle per side, clock fit cached up front: the race
+        # times decode + scan, identically shaped on both sides.
+        baseline = open_handle(paths["v5"])
+        baseline.correlator()
+        pushdown = open_handle(paths["v6"])
+        pushdown.correlator()
+        try:
+            # --- the race: v6 masked vs v5 forced-full decode ---
+            os.environ["REPRO_FULL_DECODE"] = "1"
+            try:
+                base_s, base_narrow = _timed(_narrow_answers, baseline)
+                base_wide = _wide_answers(baseline)
+            finally:
+                del os.environ["REPRO_FULL_DECODE"]
+            push_s, push_narrow = _timed(_narrow_answers, pushdown)
+            push_wide = _wide_answers(pushdown)
+        finally:
+            baseline.close()
+            pushdown.close()
+
+        # --- in-run identity: the ratio of a wrong answer is noise ---
+        assert push_narrow == base_narrow, (
+            f"{name}: narrow answers diverged between v6 masked and v5 full"
+        )
+        assert push_wide == base_wide, (
+            f"{name}: payload answers diverged between v6 masked and v5 full"
+        )
+
+        narrow_v6_s += push_s
+        narrow_v5full_s += base_s
+        rows.append(
+            {
+                "workload": name,
+                "records": source.n_records,
+                "v5_full_decode_ms": round(base_s * 1e3, 2),
+                "v6_pushdown_ms": round(push_s * 1e3, 2),
+                "speedup": round(base_s / push_s, 2),
+            }
+        )
+
+    v5_ratio = total_v4 / total_v5
+    v6_ratio = total_v4 / total_v6
+    return {
+        "rows": rows,
+        "aggregate_speedup": round(narrow_v5full_s / narrow_v6_s, 2),
+        "v5_aggregate_ratio": round(v5_ratio, 2),
+        "v6_aggregate_ratio": round(v6_ratio, 2),
+        "ratio_drift": round(abs(v6_ratio - v5_ratio) / v5_ratio, 4),
+    }
+
+
+def test_t13_projection_pushdown(benchmark, save_result, tmp_path):
+    report = benchmark.pedantic(
+        measure, (str(tmp_path),), rounds=1, iterations=1
+    )
+    save_result(
+        "BENCH_projection.json",
+        json.dumps(
+            {
+                **report,
+                "min_speedup": MIN_SPEEDUP,
+                "min_aggregate_ratio": MIN_AGGREGATE_RATIO,
+                "max_ratio_drift": MAX_RATIO_DRIFT,
+            },
+            indent=2,
+        ) + "\n",
+    )
+    assert report["aggregate_speedup"] >= MIN_SPEEDUP, report
+    assert report["v6_aggregate_ratio"] >= MIN_AGGREGATE_RATIO, report
+    assert report["ratio_drift"] <= MAX_RATIO_DRIFT, report

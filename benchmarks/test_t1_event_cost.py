@@ -169,3 +169,75 @@ def test_t1_record_hot_path(benchmark, save_result):
         by_path["decode-batch"]["ns_per_record"]
         < by_path["decode-scalar"]["ns_per_record"]
     ), rows
+
+
+# ----------------------------------------------------------------------
+# masked chunk decode: cost per column count on a v6 payload
+# ----------------------------------------------------------------------
+MASK_RECORDS = 20_000
+
+#: Masks in ascending column count — the shapes real terminals push
+#: down: count-by-event, a grouped count over time buckets, a payload
+#: aggregation, and the unmasked full decode.
+DECODE_MASKS = (
+    ("side+code", frozenset({"side", "code"})),
+    ("trio+raw_ts", frozenset({"side", "code", "core", "raw_ts"})),
+    ("trio+values", frozenset({"side", "code", "core", "values"})),
+    ("full", None),
+)
+
+
+def _measure_masked_decode():
+    """Host ns/record for one v6 chunk decode, by requested columns.
+
+    Each decode call starts from the stored payload — compressed
+    section bytes — so the row reflects exactly what a scan pays per
+    admitted chunk: section inflation plus column decode for the
+    requested set, and nothing for the rest."""
+    from repro.pdt.colenc import decode_chunk_payload, encode_chunk_payload
+    from repro.pdt.events import EVENT_SPECS
+    from repro.pdt.format import VERSION_SECTIONED
+    from repro.pdt.store import ColumnChunk
+
+    specs = sorted(EVENT_SPECS.values(), key=lambda s: (s.side, s.code))[:6]
+    chunk = ColumnChunk()
+    for i in range(MASK_RECORDS):
+        spec = specs[i % len(specs)]
+        values = tuple((i + j) & 0xFFFF for j in range(len(spec.fields)))
+        chunk.append(spec.side, spec.code, i % 4, i, 1_000 + 3 * i, values)
+    payload = encode_chunk_payload(chunk, VERSION_SECTIONED)
+
+    rows = []
+    for label, mask in DECODE_MASKS:
+        best = None
+        for __ in range(5):
+            t0 = time.perf_counter()
+            decoded = decode_chunk_payload(
+                payload, MASK_RECORDS, VERSION_SECTIONED, mask
+            )
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        assert len(decoded) == MASK_RECORDS
+        rows.append(
+            {
+                "columns": label,
+                "n_columns": 6 if mask is None else len(mask),
+                "ns_per_record": round(best / MASK_RECORDS * 1e9, 1),
+            }
+        )
+    return rows
+
+
+def test_t1_masked_decode_cost(benchmark, save_result):
+    rows = benchmark.pedantic(_measure_masked_decode, rounds=1, iterations=1)
+    save_result("t1_masked_decode.txt", format_table(rows))
+
+    by_label = {row["columns"]: row for row in rows}
+    full = by_label["full"]["ns_per_record"]
+    # The count-by-event mask inflates two dictionary sections out of
+    # six; it must cost well under the full decode.
+    assert by_label["side+code"]["ns_per_record"] < 0.7 * full, rows
+    # Every masked decode beats the full decode — decoding less is
+    # never slower.
+    for label, __ in DECODE_MASKS[:-1]:
+        assert by_label[label]["ns_per_record"] < full, rows

@@ -300,6 +300,98 @@ def decode_batch(
     return DecodedBatch(n, sides, codes, cores, seqs, raws, val_off, values, end)
 
 
+class MaskedBatch:
+    """A masked batch decode: structure now, the rest on demand.
+
+    The boundary walk plus the byte-wide gathers it needs for
+    validation (``sides``/``codes``) and the derived ``val_off`` are
+    always present; the wider gathers and the value scatter — the
+    expensive parts of :func:`decode_batch` — live behind ``makers``,
+    one zero-argument callable per remaining column (``core``,
+    ``seq``, ``raw_ts``, ``values``) returning a numpy array of the
+    column's exact wire dtype.  Makers hold views of the decode
+    buffer, so callers that outlive the buffer must copy what they
+    materialize (:mod:`repro.pdt.colenc` passes an owned ``bytes``).
+    """
+
+    __slots__ = ("count", "next_offset", "sides", "codes", "val_off",
+                 "makers")
+
+    def __init__(self, count, next_offset, sides, codes, val_off, makers):
+        self.count = count
+        self.next_offset = next_offset
+        self.sides = sides
+        self.codes = codes
+        self.val_off = val_off
+        self.makers = makers
+
+
+def decode_batch_masked(
+    buffer, offset: int = 0, count: typing.Optional[int] = None
+) -> typing.Optional[MaskedBatch]:
+    """:func:`decode_batch` with the per-column work deferred.
+
+    A record stream interleaves every column, so the walk still reads
+    the whole run — but a consumer that needs only a couple of columns
+    skips the numpy gathers and the value scatter for the rest.  Same
+    ``None``-on-anomaly contract as :func:`decode_batch`: the caller
+    then runs the scalar path, whose full decode satisfies any mask.
+    """
+    if not batch_enabled() or count == 0:
+        return None
+    bound = len(buffer)
+    offs = _walk_records(buffer, offset, count, bound)
+    if offs is None or not offs:
+        return None
+    n = len(offs)
+    end = offs[-1] + _SIZE_LUT[(buffer[offs[-1]] << 8) | buffer[offs[-1] + 1]]
+    mv = memoryview(buffer)[offset:end]
+    rel = np.array(offs, dtype=np.int64)
+    rel -= offset
+    v8 = np.frombuffer(mv, np.uint8)
+    sides = v8[rel]
+    codes = v8[rel + 1]
+    tids = (sides.astype(np.int32) << 8) | codes
+    nf = _NF_LUT[tids]
+    val_off = np.empty(n + 1, dtype=np.int64)
+    val_off[0] = 0
+    np.cumsum(nf, out=val_off[1:])
+
+    def make_cores() -> np.ndarray:
+        return np.frombuffer(mv, np.uint16)[(rel >> 1) + 1].astype(
+            CORE_DTYPE, copy=False
+        )
+
+    def make_seqs() -> np.ndarray:
+        return np.frombuffer(mv, np.uint32)[(rel >> 2) + 1].astype(SEQ_DTYPE)
+
+    def make_raws() -> np.ndarray:
+        return np.frombuffer(mv, np.uint64)[(rel >> 3) + 1]
+
+    def make_values() -> np.ndarray:
+        v64i = np.frombuffer(mv, np.int64)
+        slots = (rel >> 3) + 2
+        values = np.empty(int(val_off[-1]), dtype=np.int64)
+        for tid in np.unique(tids).tolist():
+            width = int(_NF_LUT[tid])
+            if width == 0:
+                continue
+            idx = np.flatnonzero(tids == tid)
+            lanes = np.arange(width)
+            values[val_off[idx][:, None] + lanes] = (
+                v64i[slots[idx][:, None] + lanes]
+            )
+        return values
+
+    makers = {
+        "core": make_cores,
+        "seq": make_seqs,
+        "raw_ts": make_raws,
+        "values": make_values,
+    }
+    return MaskedBatch(n, end, sides, codes, val_off, makers)
+
+
 def encode_batch(chunk) -> bytes:
     """Encode a whole :class:`~repro.pdt.store.ColumnChunk`, bytes
     identical to concatenating :func:`encode_fields` per record.

@@ -1,4 +1,4 @@
-"""Per-column chunk encodings for the version-5 trace layout.
+"""Per-column chunk encodings for the version-5 and -6 trace layouts.
 
 A v5 chunk payload is a small header (:data:`~repro.pdt.format._V5_PAYLOAD`:
 ``enc``, ``codec``, ``packed_bytes``) followed by a body that is
@@ -25,6 +25,37 @@ one).  Two body encodings exist:
   (side, code) through the event specs, exactly as the record-stream
   decoder derives record sizes — a v5 file cannot describe records
   the event model does not know.
+
+A **v6** columnar payload keeps the same header and the same six
+section encodings but compresses each section *independently*: a
+six-entry table (:data:`~repro.pdt.format._V6_SECTION` — per-section
+codec id, stored length, decoded length) replaces both the whole-body
+codec and the u32 length prefixes, so a reader can decompress exactly
+the sections a query plan references (**projection pushdown**).
+:func:`decode_chunk_payload` takes a ``columns`` mask for that: the
+static columns (``side``/``code``/``core``, plus the derived
+``val_off``) always decode eagerly — predicates, record-type
+validation, and field-count derivation need them — while ``raw_ts``,
+``seq``, and ``values`` decode lazily through a
+:class:`~repro.pdt.store.LazyChunk` unless the mask requests them.
+
+The corrupt-section rule under a mask (tested by the property suite):
+
+1. the chunk frame's CRC covers every *stored* byte, so on-disk
+   corruption is refused before any decompression, masked or not;
+2. the payload header, the full v6 section table, and every
+   cross-check derivable without decompressing (section bounds,
+   stored/decoded length consistency, codec ids, the values-section
+   length implied by the record types) are validated eagerly on every
+   decode, whether or not the broken section was requested;
+3. a requested section's body is fully validated at decode time; an
+   unrequested section's body is not decompressed, and any
+   inconsistency inside it surfaces — with the same error a full
+   decode raises — at first materialization.
+
+``REPRO_FULL_DECODE=1`` disables masking entirely (every decode
+materializes every column), the differential escape hatch for the
+whole projection-pushdown path.
 
 Like :mod:`repro.pdt.codec`, every encoding has a vectorized and a
 scalar implementation selected by :func:`repro.pdt.codec.batch_enabled`
@@ -54,14 +85,18 @@ import numpy as np
 from repro.pdt import codec
 from repro.pdt.format import (
     _V5_PAYLOAD,
+    _V6_SECTION,
     CODEC_NONE,
     CODEC_ZLIB,
     CODEC_ZSTD,
     ENC_COLUMNS,
     ENC_RECORDS,
+    V6_SECTION_COUNT,
+    VERSION_COMPRESSED,
+    VERSION_SECTIONED,
     TraceFormatError,
 )
-from repro.pdt.store import ColumnChunk
+from repro.pdt.store import CHUNK_COLUMNS, ColumnChunk, LazyChunk
 
 try:  # Python 3.14+ ships zstd in the standard library
     from compression import zstd as _zstd  # pragma: no cover
@@ -86,6 +121,30 @@ def compress_enabled() -> bool:
     bugs.  Readers are unaffected: they accept every payload kind.
     """
     return not os.environ.get("REPRO_NO_COMPRESS")
+
+
+def full_decode_forced() -> bool:
+    """Whether ``REPRO_FULL_DECODE=1`` disables projection pushdown.
+
+    With it set, every decode materializes every column regardless of
+    the mask the query plan derived — the differential escape hatch
+    proving masked scans byte-identical to full scans.
+    """
+    return bool(os.environ.get("REPRO_FULL_DECODE"))
+
+
+def _effective_columns(
+    columns: typing.Optional[typing.Iterable[str]],
+) -> typing.Optional[typing.FrozenSet[str]]:
+    """Normalize a column mask: ``None`` means decode everything, and
+    a mask covering every column degrades to the (cheaper) eager
+    full-decode path."""
+    if columns is None or full_decode_forced():
+        return None
+    columns = frozenset(columns)
+    if columns.issuperset(CHUNK_COLUMNS):
+        return None
+    return columns
 
 
 # ----------------------------------------------------------------------
@@ -422,32 +481,10 @@ def _sections(packed, expected: int) -> typing.List[memoryview]:
 
 
 def _pack_columns(chunk: ColumnChunk) -> bytes:
-    """The uncompressed columnar body of one chunk."""
-    seqs = list(chunk.seq) if not codec.batch_enabled() else None
-    if codec.batch_enabled():
-        seq_arr = np.frombuffer(chunk.seq, codec.SEQ_DTYPE)
-        if len(seq_arr) and int(seq_arr.max()) > _SEQ_MAX:
-            raise struct.error("sequence number exceeds the wire's u32")
-        sections = (
-            dzv_encode(np.frombuffer(chunk.raw_ts, np.uint64)),
-            dzv_encode(seq_arr.astype(np.uint64)),
-            drle_encode(np.frombuffer(chunk.side, np.uint8)),
-            drle_encode(np.frombuffer(chunk.code, np.uint8)),
-            drle_encode(np.frombuffer(chunk.core, codec.CORE_DTYPE)),
-            chunk.values.tobytes(),
-        )
-    else:
-        if seqs and max(seqs) > _SEQ_MAX:
-            raise struct.error("sequence number exceeds the wire's u32")
-        sections = (
-            dzv_encode(chunk.raw_ts),
-            dzv_encode(seqs),
-            drle_encode(chunk.side),
-            drle_encode(chunk.code),
-            drle_encode(chunk.core),
-            chunk.values.tobytes(),
-        )
-    return b"".join(_U32.pack(len(s)) + s for s in sections)
+    """The uncompressed length-prefixed v5 columnar body of one chunk."""
+    return b"".join(
+        _U32.pack(len(s)) + s for s in _section_bodies(chunk)
+    )
 
 
 def _compress(packed: bytes) -> typing.Tuple[int, bytes]:
@@ -503,34 +540,229 @@ def _decompress(codec_id: int, body, packed_bytes: int) -> bytes:
     return packed
 
 
-def encode_chunk_payload(chunk: ColumnChunk) -> bytes:
-    """Serialize one chunk as a v5 payload (header + body).
+def _payload_header(payload) -> typing.Tuple[int, int, int]:
+    """Parse and validate the (shared v5/v6) payload header."""
+    if len(payload) < _V5_PAYLOAD.size:
+        raise TraceFormatError(
+            f"v5 chunk payload is {len(payload)} bytes; the payload "
+            f"header needs {_V5_PAYLOAD.size}"
+        )
+    enc, codec_id, reserved, packed_bytes = _V5_PAYLOAD.unpack_from(payload, 0)
+    if reserved:
+        raise TraceFormatError(
+            f"v5 payload header has nonzero reserved field 0x{reserved:04x}"
+        )
+    return enc, codec_id, packed_bytes
+
+
+class _SectionSource:
+    """Decoded column-section bodies by index, in wire order.
+
+    One construction serves both columnar layouts: v5 hands it the six
+    already-inflated length-prefixed sections (codec ``CODEC_NONE``
+    each), v6 the table-described stored bodies — so ``source[i]``
+    decompresses a v6 section on first demand and at most once, and
+    every decoder above this line is layout-agnostic.
+    """
+
+    __slots__ = ("_parts", "_cache")
+
+    def __init__(
+        self,
+        parts: typing.Sequence[typing.Tuple[int, typing.Any, int]],
+    ):
+        #: (codec_id, stored body buffer, decoded length) per section.
+        self._parts = parts
+        self._cache: typing.Dict[int, typing.Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._parts)
+
+    def __getitem__(self, i: int):
+        got = self._cache.get(i)
+        if got is None:
+            codec_id, stored, decoded_len = self._parts[i]
+            got = _decompress(codec_id, stored, decoded_len)
+            self._cache[i] = got
+        return got
+
+    def decoded_len(self, i: int) -> int:
+        """Section ``i``'s decoded size, without decompressing it."""
+        return self._parts[i][2]
+
+    def stored(self, i: int) -> typing.Tuple[int, bytes, int]:
+        """Section ``i`` as ``(codec_id, stored bytes copy, decoded
+        length)`` — the *copy* matters: deferral closures built from
+        this never alias the reader's mmap, so a lazy chunk stays
+        valid past the handle that decoded it."""
+        codec_id, stored, decoded_len = self._parts[i]
+        return codec_id, bytes(stored), decoded_len
+
+
+def _section_source(
+    payload, codec_id: int, packed_bytes: int
+) -> _SectionSource:
+    """Parse a v6 ``ENC_COLUMNS`` body: validate the whole section
+    table eagerly (the corrupt-section rule's mask-independent part),
+    defer each body's decompression to the source."""
+    if codec_id != CODEC_NONE:
+        raise TraceFormatError(
+            f"v6 columnar payload has nonzero outer codec {codec_id}"
+        )
+    body = memoryview(payload)[_V5_PAYLOAD.size :]
+    table_size = V6_SECTION_COUNT * _V6_SECTION.size
+    if len(body) < table_size:
+        raise TraceFormatError("truncated column section header")
+    parts: typing.List[typing.Tuple[int, typing.Any, int]] = []
+    pos = table_size
+    total_decoded = 0
+    for i in range(V6_SECTION_COUNT):
+        sec_codec, flags, reserved, stored_len, decoded_len = (
+            _V6_SECTION.unpack_from(body, i * _V6_SECTION.size)
+        )
+        if flags or reserved:
+            raise TraceFormatError(
+                f"v6 section table entry {i} has nonzero reserved bits"
+            )
+        if sec_codec not in (CODEC_NONE, CODEC_ZLIB, CODEC_ZSTD):
+            raise TraceFormatError(f"unknown chunk codec {sec_codec}")
+        if sec_codec == CODEC_NONE and stored_len != decoded_len:
+            raise TraceFormatError(
+                f"stored payload is {stored_len} bytes; header declares "
+                f"{decoded_len}"
+            )
+        if pos + stored_len > len(body):
+            raise TraceFormatError(
+                f"column section overruns the payload by "
+                f"{pos + stored_len - len(body)} bytes"
+            )
+        parts.append((sec_codec, body[pos : pos + stored_len], decoded_len))
+        pos += stored_len
+        total_decoded += decoded_len
+    if pos != len(body):
+        raise TraceFormatError(
+            f"{len(body) - pos} trailing bytes after the column sections"
+        )
+    if total_decoded != packed_bytes:
+        raise TraceFormatError(
+            f"decompressed payload is {total_decoded} bytes; header "
+            f"declares {packed_bytes}"
+        )
+    return _SectionSource(parts)
+
+
+def _open_columns(
+    payload, codec_id: int, packed_bytes: int, version: int
+) -> _SectionSource:
+    """An ``ENC_COLUMNS`` payload's sections, whichever layout."""
+    if version >= VERSION_SECTIONED:
+        return _section_source(payload, codec_id, packed_bytes)
+    body = memoryview(payload)[_V5_PAYLOAD.size :]
+    packed = _decompress(codec_id, body, packed_bytes)
+    return _SectionSource(
+        [(CODEC_NONE, s, len(s)) for s in _sections(packed, 6)]
+    )
+
+
+def _section_bodies(chunk: ColumnChunk) -> typing.Tuple[bytes, ...]:
+    """The six uncompressed section bodies of one chunk, in wire
+    order (raw_ts, seq, side, code, core, values)."""
+    if codec.batch_enabled():
+        seq_arr = np.frombuffer(chunk.seq, codec.SEQ_DTYPE)
+        if len(seq_arr) and int(seq_arr.max()) > _SEQ_MAX:
+            raise struct.error("sequence number exceeds the wire's u32")
+        return (
+            dzv_encode(np.frombuffer(chunk.raw_ts, np.uint64)),
+            dzv_encode(seq_arr.astype(np.uint64)),
+            drle_encode(np.frombuffer(chunk.side, np.uint8)),
+            drle_encode(np.frombuffer(chunk.code, np.uint8)),
+            drle_encode(np.frombuffer(chunk.core, codec.CORE_DTYPE)),
+            chunk.values.tobytes(),
+        )
+    seqs = list(chunk.seq)
+    if seqs and max(seqs) > _SEQ_MAX:
+        raise struct.error("sequence number exceeds the wire's u32")
+    return (
+        dzv_encode(chunk.raw_ts),
+        dzv_encode(seqs),
+        drle_encode(chunk.side),
+        drle_encode(chunk.code),
+        drle_encode(chunk.core),
+        chunk.values.tobytes(),
+    )
+
+
+def encode_chunk_payload(
+    chunk: ColumnChunk, version: int = VERSION_COMPRESSED
+) -> bytes:
+    """Serialize one chunk as a v5 or v6 payload (header + body).
 
     Under ``REPRO_NO_COMPRESS=1`` the body is the plain v2–v4 record
-    stream; otherwise the columnar sections, whole-compressed when that
-    wins, stored raw when it does not.
+    stream for both versions.  Otherwise v5 whole-compresses the
+    length-prefixed columnar body when that wins; v6 compresses each
+    section independently (each falling back to stored when
+    compression loses) behind the per-section table.
     """
     if not compress_enabled():
         body = codec.encode_batch(chunk)
         return _V5_PAYLOAD.pack(ENC_RECORDS, CODEC_NONE, 0, len(body)) + body
+    if version >= VERSION_SECTIONED:
+        sections = _section_bodies(chunk)
+        table = bytearray()
+        bodies: typing.List[bytes] = []
+        for section in sections:
+            codec_id, stored = _compress(section)
+            table += _V6_SECTION.pack(
+                codec_id, 0, 0, len(stored), len(section)
+            )
+            bodies.append(stored)
+        packed_bytes = sum(len(s) for s in sections)
+        return (
+            _V5_PAYLOAD.pack(ENC_COLUMNS, CODEC_NONE, 0, packed_bytes)
+            + bytes(table)
+            + b"".join(bodies)
+        )
     packed = _pack_columns(chunk)
     codec_id, body = _compress(packed)
     return _V5_PAYLOAD.pack(ENC_COLUMNS, codec_id, 0, len(packed)) + body
 
 
-def _decode_record_stream(packed, n_records: int) -> ColumnChunk:
-    """Decode an ``ENC_RECORDS`` body — the v2–v4 payload decoder."""
-    chunk = ColumnChunk()
+def _decode_record_stream(
+    packed,
+    n_records: int,
+    columns: typing.Optional[typing.FrozenSet[str]] = None,
+) -> ColumnChunk:
+    """Decode an ``ENC_RECORDS`` body — the v2–v4 payload decoder.
+
+    With a ``columns`` mask the stream is still walked end to end (a
+    record stream interleaves every column, so skipping bytes is
+    impossible), but the numpy gathers and the value scatter for
+    unrequested columns are deferred to first access.  The scalar
+    fallback decodes fully — a full chunk satisfies any mask — keeping
+    results and errors identical either way.
+    """
     end = len(packed)
-    batch = codec.decode_batch(packed, 0, n_records)
-    if batch is not None:
-        if batch.next_offset != end:
-            raise TraceFormatError(
-                f"chunk payload size mismatch: declared {end} bytes, "
-                f"decoded {batch.next_offset}"
-            )
-        chunk.extend_run(batch)
-        return chunk
+    if columns is not None:
+        masked = codec.decode_batch_masked(bytes(packed), 0, n_records)
+        if masked is not None:
+            if masked.next_offset != end:
+                raise TraceFormatError(
+                    f"chunk payload size mismatch: declared {end} bytes, "
+                    f"decoded {masked.next_offset}"
+                )
+            return _masked_record_chunk(masked, columns)
+    else:
+        batch = codec.decode_batch(packed, 0, n_records)
+        if batch is not None:
+            if batch.next_offset != end:
+                raise TraceFormatError(
+                    f"chunk payload size mismatch: declared {end} bytes, "
+                    f"decoded {batch.next_offset}"
+                )
+            chunk = ColumnChunk()
+            chunk.extend_run(batch)
+            return chunk
+    chunk = ColumnChunk()
     offset = 0
     try:
         for __ in range(n_records):
@@ -545,6 +777,225 @@ def _decode_record_stream(packed, n_records: int) -> ColumnChunk:
             f"chunk payload size mismatch: declared {end} bytes, "
             f"decoded {offset}"
         )
+    return chunk
+
+
+def _masked_record_chunk(
+    masked: "codec.MaskedBatch", columns: typing.FrozenSet[str]
+) -> LazyChunk:
+    """A lazy chunk over a masked record-stream decode: static columns
+    installed now, the rest materialized through the batch's makers."""
+    chunk = LazyChunk(masked.count)
+    side = array("B")
+    side.frombytes(masked.sides.tobytes())
+    chunk.set_column("side", side)
+    code = array("B")
+    code.frombytes(masked.codes.tobytes())
+    chunk.set_column("code", code)
+    val_off = array("L")
+    val_off.frombytes(masked.val_off.astype(codec.OFF_DTYPE).tobytes())
+    chunk.set_column("val_off", val_off)
+    typecodes = {"core": "H", "seq": "L", "raw_ts": "Q", "values": "q"}
+    for name, maker in masked.makers.items():
+        def thunk(target, name=name, maker=maker):
+            col = array(typecodes[name])
+            col.frombytes(maker().tobytes())
+            target.set_column(name, col)
+        chunk.defer(name, thunk)
+        if name in columns:
+            getattr(chunk, name)  # materialize now, as a full decode would
+    return chunk
+
+
+def _defer_dzv(
+    chunk: LazyChunk,
+    name: str,
+    part: typing.Tuple[int, bytes, int],
+    n_records: int,
+    typecode: str,
+    np_dtype,
+    limit: typing.Optional[int] = None,
+) -> None:
+    """Defer one delta-zigzag-varint section (``raw_ts`` or ``seq``):
+    decompress + decode + range-check on first access, with exactly the
+    full decoder's errors, into the stdlib array type the column has on
+    an eager chunk."""
+    sec_codec, stored, decoded_len = part
+
+    def thunk(target: LazyChunk) -> None:
+        body = _decompress(sec_codec, stored, decoded_len)
+        if codec.batch_enabled() and n_records >= _SMALL_CHUNK:
+            vals = _dzv_decode_vec(body, n_records)
+            if limit is not None and len(vals) and int(vals.max()) > limit:
+                raise TraceFormatError(
+                    "column value out of range for its wire type"
+                )
+            col = array(typecode)
+            col.frombytes(vals.astype(np_dtype).tobytes())
+        else:
+            vals_list = _dzv_decode_scalar(body, n_records)
+            if limit is not None and vals_list and max(vals_list) > limit:
+                raise TraceFormatError(
+                    "column value out of range for its wire type"
+                )
+            col = array(typecode, vals_list)
+        target.set_column(name, col)
+
+    chunk.defer(name, thunk)
+
+
+def _defer_drle(
+    chunk: LazyChunk,
+    name: str,
+    part: typing.Tuple[int, bytes, int],
+    n_records: int,
+    typecode: str,
+    np_dtype,
+    limit: int,
+) -> None:
+    """Defer one dictionary-RLE section (``core``): decompress +
+    decode + range-check on first access, with exactly the full
+    decoder's errors, into the stdlib array type the column has on an
+    eager chunk."""
+    sec_codec, stored, decoded_len = part
+
+    def thunk(target: LazyChunk) -> None:
+        body = _decompress(sec_codec, stored, decoded_len)
+        if codec.batch_enabled() and n_records >= _SMALL_CHUNK:
+            vals = _drle_decode_vec(body, n_records)
+            if len(vals) and int(vals.max()) > limit:
+                raise TraceFormatError(
+                    "column value out of range for its wire type"
+                )
+            col = array(typecode)
+            col.frombytes(vals.astype(np_dtype).tobytes())
+        else:
+            vals_list = _drle_decode_scalar(body, n_records)
+            if vals_list and max(vals_list) > limit:
+                raise TraceFormatError(
+                    "column value out of range for its wire type"
+                )
+            col = array(typecode, vals_list)
+        target.set_column(name, col)
+
+    chunk.defer(name, thunk)
+
+
+def _defer_values(
+    chunk: LazyChunk, part: typing.Tuple[int, bytes, int]
+) -> None:
+    """Defer the raw-i64 values section; its length was validated
+    eagerly against the record types, so materialization is one
+    decompress + one copy."""
+    sec_codec, stored, decoded_len = part
+
+    def thunk(target: LazyChunk) -> None:
+        col = array("q")
+        col.frombytes(_decompress(sec_codec, stored, decoded_len))
+        target.set_column("values", col)
+
+    chunk.defer("values", thunk)
+
+
+def _masked_chunk(
+    source: _SectionSource, n_records: int, columns: typing.FrozenSet[str]
+) -> LazyChunk:
+    """Masked decode of an ``ENC_COLUMNS`` payload.
+
+    ``side`` and ``code`` decode eagerly — record-type validation and
+    the derived ``val_off`` need them, and every predicate's kind test
+    reads them.  The values-section length is cross-checked eagerly
+    from the section table without decompressing it.  ``core``,
+    ``raw_ts``, ``seq``, and ``values`` decode on demand unless
+    requested by the mask, so a count-by-event scan inflates exactly
+    two dictionary sections per chunk.
+    """
+    chunk = LazyChunk(n_records)
+    if codec.batch_enabled() and n_records >= _SMALL_CHUNK:
+        sides = _drle_decode_vec(source[2], n_records)
+        codes = _drle_decode_vec(source[3], n_records)
+        # side/code drive record-type validation and val_off; core
+        # drives nothing here, so it decompresses only when the plan
+        # asked for it (an SPE clause, time placement, a core group).
+        cores = (
+            _drle_decode_vec(source[4], n_records)
+            if "core" in columns
+            else None
+        )
+        if (
+            (len(sides) and int(sides.max()) > 0xFF)
+            or (len(codes) and int(codes.max()) > 0xFF)
+            or (cores is not None and len(cores) and int(cores.max()) > 0xFFFF)
+        ):
+            raise TraceFormatError(
+                "column value out of range for its wire type"
+            )
+        tids = (sides.astype(np.int64) << 8) | codes.astype(np.int64)
+        sizes = _SIZE_LUT_NP[tids]
+        if len(sizes) and int(sizes.min()) == 0:
+            raise TraceFormatError("chunk contains an unknown record type")
+        nf = codec._NF_LUT[tids]
+        val_off = np.empty(n_records + 1, dtype=np.int64)
+        val_off[0] = 0
+        np.cumsum(nf, out=val_off[1:])
+        want = int(val_off[-1]) * 8
+        side_col = array("B")
+        side_col.frombytes(sides.astype(np.uint8).tobytes())
+        code_col = array("B")
+        code_col.frombytes(codes.astype(np.uint8).tobytes())
+        core_col: typing.Optional[array] = None
+        if cores is not None:
+            core_col = array("H")
+            core_col.frombytes(cores.astype(codec.CORE_DTYPE).tobytes())
+        off_col = array("L")
+        off_col.frombytes(val_off.astype(codec.OFF_DTYPE).tobytes())
+    else:
+        sides_list = _drle_decode_scalar(source[2], n_records)
+        codes_list = _drle_decode_scalar(source[3], n_records)
+        cores_list = _drle_decode_scalar(source[4], n_records)
+        offs = [0]
+        pos = 0
+        for i in range(n_records):
+            side, code, core = sides_list[i], codes_list[i], cores_list[i]
+            if side > 0xFF or code > 0xFF or core > 0xFFFF:
+                raise TraceFormatError(
+                    "column value out of range for its wire type"
+                )
+            try:
+                values_struct, __, __ = codec.record_info(side, code)
+            except KeyError as exc:
+                raise TraceFormatError(
+                    "chunk contains an unknown record type"
+                ) from exc
+            pos += values_struct.size // 8
+            offs.append(pos)
+        want = pos * 8
+        side_col = array("B", sides_list)
+        code_col = array("B", codes_list)
+        core_col = array("H", cores_list)
+        off_col = array("L", offs)
+    if source.decoded_len(5) != want:
+        raise TraceFormatError(
+            f"values section is {source.decoded_len(5)} bytes; record "
+            f"types require {want}"
+        )
+    chunk.set_column("side", side_col)
+    chunk.set_column("code", code_col)
+    if core_col is not None:
+        chunk.set_column("core", core_col)
+    else:
+        _defer_drle(chunk, "core", source.stored(4), n_records, "H",
+                    codec.CORE_DTYPE, 0xFFFF)
+    chunk.set_column("val_off", off_col)
+    _defer_dzv(chunk, "raw_ts", source.stored(0), n_records, "Q", np.uint64)
+    _defer_dzv(
+        chunk, "seq", source.stored(1), n_records, "L", codec.SEQ_DTYPE,
+        limit=_SEQ_MAX,
+    )
+    _defer_values(chunk, source.stored(5))
+    for name in ("raw_ts", "seq", "values"):
+        if name in columns:
+            getattr(chunk, name)  # materialize now, as a full decode would
     return chunk
 
 
@@ -592,36 +1043,33 @@ def _decode_sync_columns(sections, n_records: int):
     return sides, codes, cores, raws, val_off, values
 
 
-def decode_sync_view(payload, n_records: int):
-    """The sync-scan subset of one v5 payload, skipping the ``seq``
+def decode_sync_view(
+    payload, n_records: int, version: int = VERSION_COMPRESSED
+):
+    """The sync-scan subset of one v5/v6 payload, skipping the ``seq``
     column and the :class:`ColumnChunk` build both of which a
-    correlation pass never reads.
+    correlation pass never reads (on v6 the seq section is not even
+    decompressed).
 
     Returns ``(sides, codes, cores, raws, val_off, values)`` numpy
     arrays; raises :class:`TraceFormatError` exactly like
     :func:`decode_chunk_payload` for everything it decodes.  Requires
     the batch codec (callers fall back to a full decode without it).
     """
-    if len(payload) < _V5_PAYLOAD.size:
-        raise TraceFormatError(
-            f"v5 chunk payload is {len(payload)} bytes; the payload "
-            f"header needs {_V5_PAYLOAD.size}"
-        )
-    enc, codec_id, reserved, packed_bytes = _V5_PAYLOAD.unpack_from(payload, 0)
-    if reserved:
-        raise TraceFormatError(
-            f"v5 payload header has nonzero reserved field 0x{reserved:04x}"
-        )
-    body = memoryview(payload)[_V5_PAYLOAD.size :]
-    packed = _decompress(codec_id, body, packed_bytes)
-    if enc == ENC_RECORDS:
-        return _chunk_views(_decode_record_stream(packed, n_records))
+    enc, codec_id, packed_bytes = _payload_header(payload)
+    if enc == ENC_RECORDS or (
+        enc != ENC_COLUMNS and version < VERSION_SECTIONED
+    ):
+        body = memoryview(payload)[_V5_PAYLOAD.size :]
+        packed = _decompress(codec_id, body, packed_bytes)
+        if enc == ENC_RECORDS:
+            return _chunk_views(_decode_record_stream(packed, n_records))
     if enc != ENC_COLUMNS:
         raise TraceFormatError(f"unknown v5 payload encoding {enc}")
-    sections = _sections(packed, 6)
+    source = _open_columns(payload, codec_id, packed_bytes, version)
     if n_records < _SMALL_CHUNK:
-        return _chunk_views(_decode_columns_scalar(sections, n_records))
-    return _decode_sync_columns(sections, n_records)
+        return _chunk_views(_decode_columns_scalar(source, n_records))
+    return _decode_sync_columns(source, n_records)
 
 
 def _chunk_views(chunk: ColumnChunk):
@@ -636,8 +1084,14 @@ def _chunk_views(chunk: ColumnChunk):
     )
 
 
-def scan_sync_chunk(payload, n_records: int, spe_side: int, sync_code: int):
-    """Scalar sync scan of one small v5 ``ENC_COLUMNS`` payload.
+def scan_sync_chunk(
+    payload,
+    n_records: int,
+    spe_side: int,
+    sync_code: int,
+    version: int = VERSION_COMPRESSED,
+):
+    """Scalar sync scan of one small v5/v6 ``ENC_COLUMNS`` payload.
 
     Decodes only what a correlation scan reads — the three dictionary
     sections, the timestamp column, and the first value of each sync
@@ -649,23 +1103,12 @@ def scan_sync_chunk(payload, n_records: int, spe_side: int, sync_code: int):
     Raises :class:`TraceFormatError` on any structural inconsistency,
     like the full decoder does for the columns it shares.
     """
-    if len(payload) < _V5_PAYLOAD.size:
-        raise TraceFormatError(
-            f"v5 chunk payload is {len(payload)} bytes; the payload "
-            f"header needs {_V5_PAYLOAD.size}"
-        )
-    enc, codec_id, reserved, packed_bytes = _V5_PAYLOAD.unpack_from(payload, 0)
-    if reserved:
-        raise TraceFormatError(
-            f"v5 payload header has nonzero reserved field 0x{reserved:04x}"
-        )
+    enc, codec_id, packed_bytes = _payload_header(payload)
     if enc == ENC_RECORDS:
         return None
     if enc != ENC_COLUMNS:
         raise TraceFormatError(f"unknown v5 payload encoding {enc}")
-    body = memoryview(payload)[_V5_PAYLOAD.size :]
-    packed = _decompress(codec_id, body, packed_bytes)
-    sections = _sections(packed, 6)
+    sections = _open_columns(payload, codec_id, packed_bytes, version)
     raws = _dzv_decode_scalar(sections[0], n_records)
     sides = _drle_decode_scalar(sections[2], n_records)
     codes = _drle_decode_scalar(sections[3], n_records)
@@ -767,29 +1210,40 @@ def _decode_columns_scalar(sections, n_records: int) -> ColumnChunk:
     return chunk
 
 
-def decode_chunk_payload(payload, n_records: int) -> ColumnChunk:
-    """Decode one v5 chunk payload (header + body) into a chunk.
+def decode_chunk_payload(
+    payload,
+    n_records: int,
+    version: int = VERSION_COMPRESSED,
+    columns: typing.Optional[typing.Iterable[str]] = None,
+) -> ColumnChunk:
+    """Decode one v5/v6 chunk payload (header + body) into a chunk.
+
+    ``columns`` (a subset of
+    :data:`~repro.pdt.store.CHUNK_COLUMNS`, or ``None`` for all)
+    enables projection pushdown: the returned chunk is then a
+    :class:`~repro.pdt.store.LazyChunk` that decoded only the
+    requested sections (plus side/code/core and the derived
+    ``val_off``, which every consumer needs) and materializes the rest
+    on first access.  ``REPRO_FULL_DECODE=1`` ignores the mask.
 
     Raises :class:`TraceFormatError` on any structural inconsistency;
-    never returns a partially-decoded chunk.
+    never returns a partially-decoded chunk.  See the module docstring
+    for exactly which checks stay eager under a mask.
     """
-    if len(payload) < _V5_PAYLOAD.size:
-        raise TraceFormatError(
-            f"v5 chunk payload is {len(payload)} bytes; the payload "
-            f"header needs {_V5_PAYLOAD.size}"
-        )
-    enc, codec_id, reserved, packed_bytes = _V5_PAYLOAD.unpack_from(payload, 0)
-    if reserved:
-        raise TraceFormatError(
-            f"v5 payload header has nonzero reserved field 0x{reserved:04x}"
-        )
-    body = memoryview(payload)[_V5_PAYLOAD.size :]
-    packed = _decompress(codec_id, body, packed_bytes)
-    if enc == ENC_RECORDS:
-        return _decode_record_stream(packed, n_records)
+    enc, codec_id, packed_bytes = _payload_header(payload)
+    columns = _effective_columns(columns)
+    if enc == ENC_RECORDS or (
+        enc != ENC_COLUMNS and version < VERSION_SECTIONED
+    ):
+        body = memoryview(payload)[_V5_PAYLOAD.size :]
+        packed = _decompress(codec_id, body, packed_bytes)
+        if enc == ENC_RECORDS:
+            return _decode_record_stream(packed, n_records, columns)
     if enc != ENC_COLUMNS:
         raise TraceFormatError(f"unknown v5 payload encoding {enc}")
-    sections = _sections(packed, 6)
+    source = _open_columns(payload, codec_id, packed_bytes, version)
+    if columns is not None:
+        return _masked_chunk(source, n_records, columns)
     if codec.batch_enabled() and n_records >= _SMALL_CHUNK:
-        return _decode_columns_vec(sections, n_records)
-    return _decode_columns_scalar(sections, n_records)
+        return _decode_columns_vec(source, n_records)
+    return _decode_columns_scalar(source, n_records)

@@ -48,11 +48,43 @@ Three file layouts share the same magic and header struct; the header's
   require decompressing a refused chunk.  ``REPRO_NO_COMPRESS=1``
   makes writers emit ``enc = 0, codec = 0`` payloads (the escape
   hatch); readers accept every combination regardless.
+* **version 6 (per-section compressed columnar, the default)** — the
+  v5 container with each column section compressed *independently*,
+  so a reader can decompress exactly the sections a query references
+  (projection pushdown).  The payload still opens with the v5-shaped
+  header, reinterpreted for ``enc = 1``::
+
+      enc             u8   0 = record stream (exactly the v5 rules)
+                           1 = per-section columnar
+      codec           u8   0 (per-section codecs live in the table)
+      reserved        u16  0
+      packed_bytes    u32  total decoded size of all six sections
+
+  For ``enc = 1`` a six-entry section table (:data:`_V6_SECTION`)
+  follows — one entry per column section in the fixed order raw_ts,
+  seq, side, code, core, values::
+
+      codec           u8   0 = stored, 1 = zlib, 2 = zstd
+      flags           u8   0
+      reserved        u16  0
+      stored_len      u32  bytes of this section as stored on disk
+      decoded_len     u32  bytes of this section once decompressed
+
+  and then the concatenated stored section bodies, each encoded with
+  the same per-column scheme as v5 (varints / dictionary-RLE / raw
+  i64) but *without* the u32 length prefixes — the table carries the
+  lengths.  ``enc = 0`` payloads are byte-identical to v5's and serve
+  as the ``REPRO_NO_COMPRESS=1`` escape hatch.  The chunk frame and
+  its CRC over the stored bytes are unchanged, so integrity is
+  established before any decompression, per section or otherwise;
+  zone maps are computed from raw records before encoding exactly as
+  in v5.  ``REPRO_TRACE_VERSION=5`` makes writers emit v5 instead
+  (see :func:`default_trace_version`).
 
 Header struct (little endian), shared by all versions::
 
     magic           4s   b"PDT1"
-    version         u16  1, 2, 3, 4 or 5
+    version         u16  1, 2, 3, 4, 5 or 6
     n_spes          u16
     timebase_div    u32
     spu_clock_hz    f64
@@ -91,6 +123,7 @@ without rewriting them.
 
 from __future__ import annotations
 
+import os
 import struct
 import zlib
 
@@ -101,12 +134,14 @@ VERSION_CHUNKED = 2
 VERSION_CRC = 3
 VERSION_INDEXED = 4
 VERSION_COMPRESSED = 5
+VERSION_SECTIONED = 6
 SUPPORTED_VERSIONS = (
     VERSION_LEGACY,
     VERSION_CHUNKED,
     VERSION_CRC,
     VERSION_INDEXED,
     VERSION_COMPRESSED,
+    VERSION_SECTIONED,
 )
 
 #: Magic opening the v4 index trailer and the standalone sidecar file.
@@ -121,6 +156,15 @@ _U32 = struct.Struct("<I")  # v3: header CRC32 trailer
 
 #: v5 payload header: (enc, codec, reserved, packed_bytes).
 _V5_PAYLOAD = struct.Struct("<BBHI")
+
+#: v6 per-section table entry, one per column section, following the
+#: v5-shaped payload header when ``enc = 1``:
+#: (codec, flags, reserved, stored_len, decoded_len).
+_V6_SECTION = struct.Struct("<BBHII")
+
+#: Number of column sections a v6 columnar payload carries, in order:
+#: raw_ts, seq, side, code, core, values.
+V6_SECTION_COUNT = 6
 
 #: v5 payload body encodings.
 ENC_RECORDS = 0  # the v2–v4 record stream, verbatim
@@ -148,8 +192,30 @@ def check_version(version: int) -> None:
             "(1 = legacy stream layout, 2 = chunked columnar layout, "
             "3 = chunked layout with CRC32 integrity checks, "
             "4 = checksummed chunks plus a zone-map index trailer, "
-            "5 = compressed columnar chunks in the v4 container)"
+            "5 = compressed columnar chunks in the v4 container, "
+            "6 = per-section compressed columnar chunks)"
         )
+
+
+def default_trace_version() -> int:
+    """The version new traces are written in: ``REPRO_TRACE_VERSION``
+    when set to a supported chunked version, else v6.
+
+    The env var is the writer escape hatch promised by the v6 rollout:
+    ``REPRO_TRACE_VERSION=5`` keeps emitting whole-payload-compressed
+    v5 files for consumers that have not picked up the v6 read path.
+    """
+    raw = os.environ.get("REPRO_TRACE_VERSION", "").strip()
+    if raw:
+        try:
+            version = int(raw)
+        except ValueError:
+            raise TraceFormatError(
+                f"REPRO_TRACE_VERSION is not an integer: {raw!r}"
+            ) from None
+        check_version(version)
+        return version
+    return VERSION_SECTIONED
 
 
 def chunk_frame_struct(version: int) -> struct.Struct:

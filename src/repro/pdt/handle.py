@@ -248,10 +248,18 @@ def _decode_chunk(
     n_records: int,
     payload_bytes: int,
     version: int = VERSION_CHUNKED,
+    columns: typing.Optional[typing.FrozenSet[str]] = None,
 ) -> ColumnChunk:
     if version >= VERSION_COMPRESSED:
         view = memoryview(blob)[offset : offset + payload_bytes]
-        return colenc.decode_chunk_payload(view, n_records)
+        return colenc.decode_chunk_payload(view, n_records, version, columns)
+    columns = colenc._effective_columns(columns)
+    if columns is not None:
+        # Pre-v5 payloads are raw record streams; a column mask cannot
+        # skip bytes (every column interleaves) but still skips the
+        # numpy gathers and value scatters for unrequested columns.
+        view = memoryview(blob)[offset : offset + payload_bytes]
+        return colenc._decode_record_stream(view, n_records, columns)
     chunk = ColumnChunk()
     end = offset + payload_bytes
     batch = codec.decode_batch(blob, offset, n_records)
@@ -298,10 +306,11 @@ def _plausible_frame(
 
     Pre-v5, records are 16-byte-aligned multiples of 16 bytes, so the
     payload size must be too, and each record occupies at least 16 of
-    those bytes.  A v5 payload is compressed, so its size bears no
+    those bytes.  A v5/v6 payload is compressed, so its size bears no
     fixed relation to the record count — the only structural floor is
-    the payload header — and the resync scan must instead lean on the
-    CRC plus a trial decode (:func:`_resync_offset`).
+    the payload header (v5 and v6 share its shape) — and the resync
+    scan must instead lean on the CRC plus a trial decode
+    (:func:`_resync_offset`).
     """
     if version >= VERSION_COMPRESSED:
         return n_records > 0 and payload_bytes >= _V5_PAYLOAD.size
@@ -373,10 +382,11 @@ def _decode_partial(
     """Recover the valid record prefix of a truncated chunk payload.
 
     Decodes records until one fails or runs past ``end``; returns the
-    recovered chunk and the offset reached.  A truncated v5 payload is
-    walkable only when it is an uncompressed record stream
-    (``enc = 0, codec = 0``); a cut-off compressed body cannot be
-    partially inflated, so nothing is recovered from it.
+    recovered chunk and the offset reached.  A truncated v5/v6 payload
+    is walkable only when it is an uncompressed record stream
+    (``enc = 0, codec = 0``); a cut-off compressed body (or a v6
+    section table missing its bodies) cannot be partially inflated, so
+    nothing is recovered from it.
     """
     chunk = ColumnChunk()
     count = 0
@@ -1062,12 +1072,17 @@ class TraceHandle:
         hi: int,
         keep: typing.Optional[typing.Sequence[bool]] = None,
         cache: typing.Optional[typing.Any] = None,
+        columns: typing.Optional[typing.FrozenSet[str]] = None,
     ) -> typing.Iterator[ColumnChunk]:
         """Decode chunks ``lo <= i < hi``, seeking directly to the
         range's first payload; ``keep`` (indexed relative to ``lo``)
         additionally skips chunks inside the range without reading
         their payloads.  ``cache`` short-circuits payload reads for
-        chunks it already holds decoded."""
+        chunks it already holds decoded.  ``columns`` is the plan's
+        required-column set: with one, v6 chunks decompress only the
+        named sections (v4/v5 chunks skip the per-column materialize
+        work) and yield lazy chunks whose remaining columns decode on
+        first access; ``None`` decodes everything eagerly."""
         if self._salvaged is not None or self._fallback is not None:
             chunks: typing.Iterable[ColumnChunk] = (
                 self._salvaged
@@ -1080,6 +1095,10 @@ class TraceHandle:
                 yield chunk
             return
         version = self.header.version
+        # Normalize the mask once, before the cache sees it: a forced
+        # full decode (REPRO_FULL_DECODE=1) or an all-columns mask must
+        # hit the cache as "everything", never as a narrow subset.
+        columns = colenc._effective_columns(columns)
         view = self._view
         handle: typing.Optional[typing.BinaryIO] = None
         try:
@@ -1089,7 +1108,7 @@ class TraceHandle:
                 if keep is not None and i < len(keep) and not keep[i]:
                     continue
                 if cache is not None:
-                    cached = cache.get(lo + i)
+                    cached = cache.get(lo + i, columns)
                     if cached is not None:
                         yield cached
                         continue
@@ -1113,9 +1132,11 @@ class TraceHandle:
                     )
                 if crc is not None:
                     _check_chunk_crc(crc, n_records, payload, offset)
-                chunk = _decode_chunk(payload, 0, n_records, payload_bytes, version)
+                chunk = _decode_chunk(
+                    payload, 0, n_records, payload_bytes, version, columns
+                )
                 if cache is not None:
-                    cache.put(lo + i, chunk)
+                    cache.put(lo + i, chunk, columns)
                 yield chunk
         finally:
             if handle is not None:
@@ -1166,14 +1187,16 @@ class TraceHandle:
         return spe_ids, syncs
 
     def _scan_sync_columns(self):
-        """Vectorized sync collection over (v5) payloads: each chunk is
-        decompressed once and only the columns correlation reads are
-        decoded — no ``seq`` column, no chunk assembly, whole-chunk
-        masks instead of a per-record loop."""
+        """Vectorized sync collection over v5/v6 payloads: each chunk
+        is decompressed once and only the columns correlation reads are
+        decoded — no ``seq`` column (on v6 that section is never even
+        inflated), no chunk assembly, whole-chunk masks instead of a
+        per-record loop."""
         sync_code = ev.code_for_kind(ev.SIDE_SPE, ev.KIND_SYNC).code
         spe_ids: typing.Set[int] = set()
         syncs: typing.Dict[int, typing.List[typing.Tuple[int, int]]] = {}
         zones = self._zones
+        version = self.header.version
         view = self._view
         handle: typing.Optional[typing.BinaryIO] = None
         try:
@@ -1222,7 +1245,7 @@ class TraceHandle:
                     # Tiny chunks scan faster through the scalar
                     # column walk than through numpy kernel launches.
                     small = colenc.scan_sync_chunk(
-                        payload, n_records, ev.SIDE_SPE, sync_code
+                        payload, n_records, ev.SIDE_SPE, sync_code, version
                     )
                     if small is not None:
                         chunk_cores, chunk_syncs = small
@@ -1233,7 +1256,7 @@ class TraceHandle:
                             )
                         continue
                 sides, codes, cores, raws, val_off, values = (
-                    colenc.decode_sync_view(payload, n_records)
+                    colenc.decode_sync_view(payload, n_records, version)
                 )
                 spe_mask = sides == ev.SIDE_SPE
                 if not spe_mask.any():
@@ -1346,8 +1369,11 @@ class HandleSource(EventSource):
         lo: int,
         hi: int,
         keep: typing.Optional[typing.Sequence[bool]] = None,
+        columns: typing.Optional[typing.FrozenSet[str]] = None,
     ) -> typing.Iterator[ColumnChunk]:
-        return self._handle.iter_chunk_range(lo, hi, keep, cache=self._cache)
+        return self._handle.iter_chunk_range(
+            lo, hi, keep, cache=self._cache, columns=columns
+        )
 
     def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
         return self.iter_chunk_range(0, self.n_chunks)
@@ -1358,6 +1384,16 @@ class HandleSource(EventSource):
         """Decode only the selected chunks, *seeking past* the payload
         bytes of excluded ones — the I/O half of zone-map pruning."""
         return self.iter_chunk_range(0, self.n_chunks, keep)
+
+    def iter_chunks_projected(
+        self,
+        keep: typing.Optional[typing.Sequence[bool]],
+        columns: typing.Optional[typing.FrozenSet[str]],
+    ) -> typing.Iterator[ColumnChunk]:
+        """Zone-map pruning *and* projection pushdown in one pass: skip
+        excluded chunks' payloads and decode only the plan's required
+        columns of the rest."""
+        return self.iter_chunk_range(0, self.n_chunks, keep, columns=columns)
 
     def range_view(self, lo: int, hi: int) -> "ChunkRangeView":
         """A shard of this trace: the chunks ``lo <= i < hi`` as their
@@ -1435,6 +1471,15 @@ class ChunkRangeView(EventSource):
         self, keep: typing.Sequence[bool]
     ) -> typing.Iterator[ColumnChunk]:
         return self.base.iter_chunk_range(self.lo, self.hi, keep)
+
+    def iter_chunks_projected(
+        self,
+        keep: typing.Optional[typing.Sequence[bool]],
+        columns: typing.Optional[typing.FrozenSet[str]],
+    ) -> typing.Iterator[ColumnChunk]:
+        return self.base.iter_chunk_range(
+            self.lo, self.hi, keep, columns=columns
+        )
 
     def zone_maps(self, correlator=None):
         zones = self.base.zone_maps(correlator)

@@ -4,11 +4,15 @@ Three entry points:
 
 * :func:`read_trace` — parse a whole file into an in-memory
   :class:`Trace` (compatibility path; all layouts).
-* :func:`open_trace` — open a chunked (version-2/3/4/5) trace as a
-  :class:`TraceFileSource`, an :class:`EventSource` that decodes one
+* :func:`open_trace` — open a chunked (version 2 through 6) trace as
+  a :class:`TraceFileSource`, an :class:`EventSource` that decodes one
   chunk at a time so analysis of a multi-million-event trace never
   holds more than O(chunk) records.  Version-1 files transparently
-  fall back to a materialized source.
+  fall back to a materialized source.  Being a
+  :class:`~repro.pdt.handle.HandleSource`, it also serves
+  column-projected scans (``iter_chunks_projected``): a query plan's
+  required-column set reaches the chunk decoder, and v6 files inflate
+  only the compressed sections those columns live in.
 * :class:`~repro.pdt.handle.TraceHandle` (via
   :func:`repro.pdt.handle.open_handle`) — the shareable open-trace
   core underneath both: one parse, one clock fit, one zone-map index,

@@ -176,6 +176,100 @@ class ColumnChunk:
         self.val_off.frombytes(rebased.astype(codec.OFF_DTYPE).tobytes())
 
 
+#: Column names a projection mask may reference, in v6 wire-section
+#: order.  ``truth`` and ``val_off`` are not maskable: ``truth`` is
+#: debug-only (never serialized) and ``val_off`` travels with
+#: ``values`` (offsets are meaningless without the payload they index).
+CHUNK_COLUMNS = ("raw_ts", "seq", "side", "code", "core", "values")
+
+
+class LazyChunk(ColumnChunk):
+    """A :class:`ColumnChunk` whose columns materialize on first access.
+
+    Decoders hand a lazy chunk the columns a query plan requested as
+    already-built ``array`` objects (:meth:`set_column`) and the rest
+    as *thunks* (:meth:`defer`) that decode the column when — and only
+    if — something touches it.  Downstream code cannot tell the
+    difference: every column reads as the same stdlib ``array`` type a
+    fully decoded chunk holds, so scalar paths keep getting Python
+    ints (never ``np.int64``) out of subscripts.
+
+    A thunk may fill several columns at once (``values`` and
+    ``val_off`` always travel together); the per-column getters simply
+    re-check the slot after running whichever thunk is registered for
+    the missing name.  Touching a column that has neither a value nor
+    a thunk — a cache-assembled chunk missing a column the plan never
+    requested — raises ``RuntimeError`` naming the column, so a plan
+    that under-declares its columns fails loudly instead of reading
+    garbage.
+    """
+
+    __slots__ = ("_n", "_thunks")
+
+    def __init__(self, n_records: int) -> None:
+        self._n = n_records
+        self._thunks: typing.Dict[str, typing.Callable[["LazyChunk"], None]]
+        self._thunks = {"truth": _default_truth}
+
+    def __len__(self) -> int:
+        return self._n
+
+    def set_column(self, name: str, value: array) -> None:
+        """Install an already-materialized column."""
+        getattr(ColumnChunk, name).__set__(self, value)
+
+    def defer(
+        self, name: str, thunk: typing.Callable[["LazyChunk"], None]
+    ) -> None:
+        """Register ``thunk`` to fill ``name`` (and possibly siblings)
+        on first access; it must :meth:`set_column` at least ``name``."""
+        self._thunks[name] = thunk
+
+    def materialized(self, name: str) -> bool:
+        """Whether ``name`` is already decoded (no thunk would run)."""
+        try:
+            getattr(ColumnChunk, name).__get__(self)
+        except AttributeError:
+            return False
+        return True
+
+
+def _default_truth(chunk: LazyChunk) -> None:
+    # Decoded records have no ground-truth time: all -1 (all-ones).
+    truth = array("q")
+    truth.frombytes(b"\xff" * (8 * len(chunk)))
+    chunk.set_column("truth", truth)
+
+
+def _lazy_column(name: str) -> property:
+    slot = getattr(ColumnChunk, name)
+
+    def fget(self: LazyChunk):
+        try:
+            return slot.__get__(self)
+        except AttributeError:
+            pass
+        thunk = self._thunks.get(name)
+        if thunk is None:
+            raise RuntimeError(
+                f"column {name!r} was not decoded for this chunk: the "
+                "query plan's required-column set did not include it "
+                "(set REPRO_FULL_DECODE=1 to force full decode)"
+            )
+        thunk(self)
+        return slot.__get__(self)
+
+    def fset(self: LazyChunk, value) -> None:
+        slot.__set__(self, value)
+
+    return property(fget, fset)
+
+
+for _name in ColumnChunk.__slots__:
+    setattr(LazyChunk, _name, _lazy_column(_name))
+del _name
+
+
 class EventSink(abc.ABC):
     """Accepts trace records: the recording half of the spine."""
 
@@ -255,6 +349,24 @@ class EventSource(abc.ABC):
             if ci < len(keep) and not keep[ci]:
                 continue
             yield chunk
+
+    def iter_chunks_projected(
+        self,
+        keep: typing.Optional[typing.Sequence[bool]],
+        columns: typing.Optional[typing.FrozenSet[str]],
+    ) -> typing.Iterator[ColumnChunk]:
+        """Iterate kept chunks, decoding only ``columns`` when the
+        source can (projection pushdown).
+
+        ``columns`` is a subset of :data:`CHUNK_COLUMNS` or ``None``
+        for every column.  The default ignores it — a fully decoded
+        chunk satisfies any mask — so in-memory sources stay correct
+        for free; file-backed sources override this to skip
+        decompressing and materializing unrequested sections.
+        """
+        if keep is None:
+            return self.iter_chunks()
+        return self.iter_chunks_selected(keep)
 
     def iter_records(self) -> typing.Iterator[TraceRecord]:
         """Materialize records one at a time (compatibility helper)."""

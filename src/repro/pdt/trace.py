@@ -20,6 +20,7 @@ import dataclasses
 import typing
 
 from repro.pdt.events import SIDE_PPE, SIDE_SPE, TraceRecord
+from repro.pdt.format import default_trace_version
 from repro.pdt.store import ColumnStore, EventSource, StoreSource
 
 
@@ -33,8 +34,9 @@ class TraceHeader:
 
     ``version`` selects the file layout (see :mod:`repro.pdt.format`);
     it round-trips through write/read exactly.  The default is the
-    compressed columnar layout — CRC-checked chunks with per-column
-    encodings inside the zone-map-indexed container (version 5).
+    per-section compressed columnar layout (version 6), overridable
+    per process with ``REPRO_TRACE_VERSION`` (e.g. ``=5`` to keep
+    emitting whole-payload-compressed v5 files).
     """
 
     n_spes: int
@@ -42,7 +44,7 @@ class TraceHeader:
     spu_clock_hz: float
     groups_bitmap: int
     buffer_bytes: int
-    version: int = 5
+    version: int = dataclasses.field(default_factory=default_trace_version)
 
 
 class Trace:

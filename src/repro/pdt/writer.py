@@ -5,12 +5,12 @@ honours ``header.version`` exactly (round-tripping it) and rejects
 versions it cannot produce with a clear error.
 
 * :func:`write_trace` — serialize a :class:`Trace` or any
-  :class:`EventSource`.  The chunked layouts (version 5 with
-  compressed columnar payloads, the default; version 4 with the
-  zone-map index trailer; version 3 with CRC32 integrity checks;
-  version 2 without) are written one chunk at a time in O(chunk)
-  memory; the legacy layout (version 1) is still produced when
-  ``header.version == 1``.
+  :class:`EventSource`.  The chunked layouts (version 6 with
+  per-section compressed columnar payloads, the default; version 5
+  with whole-payload compression; version 4 with the zone-map index
+  trailer; version 3 with CRC32 integrity checks; version 2 without)
+  are written one chunk at a time in O(chunk) memory; the legacy
+  layout (version 1) is still produced when ``header.version == 1``.
 * :class:`ChunkWriter` — an :class:`EventSink` that writes records to
   disk *as they arrive*, sealing chunks as they fill; nothing but the
   open chunk (plus, for version 4, O(cores)-sized zone-map state per
@@ -94,12 +94,13 @@ def _seekable(out: typing.BinaryIO) -> bool:
 
 
 def _encode_chunk(chunk: ColumnChunk, version: int) -> bytes:
-    # v5 wraps the payload in the column-encoding (and optionally
-    # compressing) layer; earlier versions are the whole-chunk batch
+    # v5/v6 wrap the payload in the column-encoding (and optionally
+    # compressing) layer — whole-payload compression for v5, per-
+    # section for v6; earlier versions are the whole-chunk batch
     # encode (byte-identical to the per-record loop, which it falls
     # back to under REPRO_SCALAR_CODEC=1).
     if version >= VERSION_COMPRESSED:
-        return colenc.encode_chunk_payload(chunk)
+        return colenc.encode_chunk_payload(chunk, version)
     return encode_batch(chunk)
 
 
@@ -119,8 +120,8 @@ def write_trace(
 
 
 def _write_chunked(source: EventSource, out: typing.BinaryIO) -> int:
-    """Version-2/3/4/5 layout: header, then self-framed chunks in
-    order, then (versions 4 and 5) the zone-map index trailer.
+    """Version-2/3/4/5/6 layout: header, then self-framed chunks in
+    order, then (versions 4 and up) the zone-map index trailer.
 
     A non-seekable output gets the sentinel header (chunks run until
     EOF — for version 4, until the index trailer magic) instead of a
@@ -200,7 +201,7 @@ def trace_to_bytes(trace: typing.Union[Trace, EventSource]) -> bytes:
 
 
 class ChunkWriter(EventSink):
-    """Stream records straight to a chunked (version 2–5) trace file.
+    """Stream records straight to a chunked (version 2–6) trace file.
 
     Records are encoded as they arrive and the chunk payload buffer is
     flushed to disk every ``chunk_records`` records, so writing a
@@ -223,7 +224,7 @@ class ChunkWriter(EventSink):
         if header.version == VERSION_LEGACY:
             raise ValueError(
                 "ChunkWriter only writes the chunked layouts (versions "
-                f"2 through 5); got header version {header.version}"
+                f"2 through 6); got header version {header.version}"
             )
         if chunk_records < 1:
             raise ValueError(f"chunk_records must be >= 1, got {chunk_records}")
@@ -234,8 +235,8 @@ class ChunkWriter(EventSink):
             open(path_or_file, "wb") if self._owns_file else path_or_file
         )
         self._seekable = _seekable(self._out)
-        # v5 buffers raw components (the payload is column-encoded as a
-        # whole at flush); earlier versions buffer pre-encoded records.
+        # v5/v6 buffer raw components (the payload is column-encoded
+        # at flush); earlier versions buffer pre-encoded records.
         self._columnar = header.version >= VERSION_COMPRESSED
         self._buffer: typing.List[bytes] = []
         self._column_buffer = ColumnChunk()
@@ -275,7 +276,9 @@ class ChunkWriter(EventSink):
         if not self._buffered:
             return
         if self._columnar:
-            payload = colenc.encode_chunk_payload(self._column_buffer)
+            payload = colenc.encode_chunk_payload(
+                self._column_buffer, self.header.version
+            )
             self._column_buffer = ColumnChunk()
         else:
             payload = b"".join(self._buffer)

@@ -2,10 +2,17 @@
 
 Two cache populations sit behind a :class:`~repro.serve.catalog.TraceCatalog`:
 
-* **decoded chunks** — :class:`ColumnChunk` objects keyed by
-  ``(trace, generation, chunk_index)``.  Decoding dominates warm query
-  latency, so a catalog that keeps hot chunks decoded answers repeat
-  queries without touching the codec (or, for pruned chunks, the disk).
+* **decoded chunks** — decoded *columns*, keyed by
+  ``("chunk", (trace, generation), chunk_index, column)``.  Decoding
+  dominates warm query latency, so a catalog that keeps hot columns
+  decoded answers repeat queries without touching the codec (or, for
+  pruned chunks, the disk).  Caching per column rather than per chunk
+  does two things for the byte budget: the accounted size is the real
+  ``itemsize * len`` of what is resident (a projection-pushdown scan
+  that decoded two of six columns charges two columns, not a whole
+  chunk), and eviction granularity follows access granularity — a
+  narrow hot query keeps its two columns warm without also pinning (or
+  evicting) the wide columns another query populated.
 * **results** — the canonical JSON encoding of a finished query,
   keyed by trace identity + frozen query shape
   (:func:`~repro.serve.protocol.plan_key`).  A hit returns the exact
@@ -27,7 +34,7 @@ import dataclasses
 import threading
 import typing
 
-from repro.pdt.store import ColumnChunk
+from repro.pdt.store import CHUNK_COLUMNS, ColumnChunk, LazyChunk
 
 
 @dataclasses.dataclass
@@ -156,32 +163,95 @@ class LruCache:
 
 
 def chunk_nbytes(chunk: ColumnChunk) -> int:
-    """The decoded size of one chunk: the sum of its column buffers."""
+    """The decoded size of one chunk: the sum of its *materialized*
+    column buffers (a lazy chunk's undecoded columns occupy nothing)."""
     total = 0
+    lazy = isinstance(chunk, LazyChunk)
     for name in ColumnChunk.__slots__:
+        if lazy and not chunk.materialized(name):
+            continue
         column = getattr(chunk, name)
         total += column.itemsize * len(column)
     return total
 
 
+def _column_nbytes(entry: typing.Any) -> int:
+    if isinstance(entry, tuple):  # the (val_off, values) pair
+        return sum(part.itemsize * len(part) for part in entry)
+    return entry.itemsize * len(entry)
+
+
 class ChunkCache:
     """One trace's window onto the shared chunk :class:`LruCache`.
 
-    Implements the ``get(i)`` / ``put(i, chunk)`` protocol
-    :meth:`repro.pdt.handle.TraceHandle.iter_chunk_range` consults, so
-    a handle view created with ``source(chunk_cache=...)`` transparently
-    reads hot chunks from the catalog's budgeted cache and feeds cold
-    decodes back into it.
+    Implements the ``get(i, columns)`` / ``put(i, chunk, columns)``
+    protocol :meth:`repro.pdt.handle.TraceHandle.iter_chunk_range`
+    consults, so a handle view created with ``source(chunk_cache=...)``
+    transparently reads hot columns from the catalog's budgeted cache
+    and feeds cold decodes back into it.
+
+    Entries are per column — ``("chunk", trace_key, index, name)`` —
+    with the trace key at position 1, where the catalog's
+    identity-based invalidation expects it.  The ``values`` entry
+    carries its ``val_off`` offsets alongside (one is useless without
+    the other) and is charged for both; ``truth`` is never cached (it
+    is synthesized, not decoded).  A ``get`` answers only when *every*
+    column the caller needs is resident — the assembled chunk is a
+    :class:`LazyChunk` whose absent columns fail loudly rather than
+    silently decode — and a ``put`` stores exactly the columns the
+    decode materialized.
     """
 
     def __init__(self, shared: LruCache, trace_key: typing.Any):
         self._shared = shared
         self._trace_key = trace_key
 
-    def get(self, index: int) -> typing.Optional[ColumnChunk]:
-        return self._shared.get(("chunk", self._trace_key, index))
+    def _key(self, index: int, name: str) -> typing.Tuple:
+        return ("chunk", self._trace_key, index, name)
 
-    def put(self, index: int, chunk: ColumnChunk) -> None:
-        self._shared.put(
-            ("chunk", self._trace_key, index), chunk, chunk_nbytes(chunk)
+    def get(
+        self,
+        index: int,
+        columns: typing.Optional[typing.FrozenSet[str]] = None,
+    ) -> typing.Optional[ColumnChunk]:
+        names = (
+            CHUNK_COLUMNS
+            if columns is None
+            else tuple(n for n in CHUNK_COLUMNS if n in columns)
         )
+        if not names:
+            names = ("side",)  # a degenerate mask still needs row count
+        got = {}
+        for name in names:
+            entry = self._shared.get(self._key(index, name))
+            if entry is None:
+                return None
+            got[name] = entry
+        first_name, first = next(iter(got.items()))
+        n = len(first[0]) - 1 if first_name == "values" else len(first)
+        chunk = LazyChunk(n)
+        for name, entry in got.items():
+            if name == "values":
+                chunk.set_column("val_off", entry[0])
+                chunk.set_column("values", entry[1])
+            else:
+                chunk.set_column(name, entry)
+        return chunk
+
+    def put(
+        self,
+        index: int,
+        chunk: ColumnChunk,
+        columns: typing.Optional[typing.FrozenSet[str]] = None,
+    ) -> None:
+        lazy = isinstance(chunk, LazyChunk)
+        for name in CHUNK_COLUMNS:
+            if lazy and not chunk.materialized(name):
+                continue
+            if name == "values":
+                entry: typing.Any = (chunk.val_off, chunk.values)
+            else:
+                entry = getattr(chunk, name)
+            self._shared.put(
+                self._key(index, name), entry, _column_nbytes(entry)
+            )

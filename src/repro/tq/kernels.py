@@ -132,10 +132,16 @@ class ChunkSelection:
     (``None`` for time-free queries; entries outside the static mask
     are unspecified and never read).  Column access is cached so a
     fold touching several aggregation columns builds each once.
+
+    The payload arrays (``off``/``vals``) materialize late: the static
+    selection mask is built from the cheap dictionary columns alone,
+    and a lazily-decoded chunk's values section is only touched when a
+    field clause filtered the chunk or a fold/projection actually
+    reads a payload column.
     """
 
-    __slots__ = ("chunk", "n", "sides", "codes", "cores", "tids", "off",
-                 "vals", "times", "sel", "_columns")
+    __slots__ = ("chunk", "n", "sides", "codes", "_cores", "tids", "_off",
+                 "_vals", "times", "sel", "_columns")
 
     def __init__(self, chunk, n, sides, codes, cores, tids, off, vals,
                  times, sel):
@@ -143,13 +149,33 @@ class ChunkSelection:
         self.n = n
         self.sides = sides
         self.codes = codes
-        self.cores = cores
+        self._cores = cores
         self.tids = tids
-        self.off = off
-        self.vals = vals
+        self._off = off
+        self._vals = vals
         self.times = times
         self.sel = sel
         self._columns: typing.Dict[str, typing.Optional[typing.Tuple]] = {}
+
+    @property
+    def cores(self) -> np.ndarray:
+        if self._cores is None:
+            self._cores = np.frombuffer(self.chunk.core, CORE_DTYPE)
+        return self._cores
+
+    @property
+    def off(self) -> np.ndarray:
+        if self._off is None:
+            self._off = np.frombuffer(
+                self.chunk.val_off, OFF_DTYPE
+            ).astype(np.int64)[:-1]
+        return self._off
+
+    @property
+    def vals(self) -> np.ndarray:
+        if self._vals is None:
+            self._vals = np.frombuffer(self.chunk.values, np.int64)
+        return self._vals
 
     @property
     def count(self) -> int:
@@ -160,23 +186,37 @@ class ChunkSelection:
             return np.arange(self.n, dtype=np.int64)
         return self.sel
 
-    def rows(self) -> typing.Iterator[typing.Tuple]:
+    def rows(
+        self,
+        columns: typing.Optional[typing.FrozenSet[str]] = None,
+    ) -> typing.Iterator[typing.Tuple]:
         """Selected records as the pipeline's 7-tuples, in chunk order
-        (Python scalars throughout, matching the scalar scan)."""
+        (Python scalars throughout, matching the scalar scan).  With
+        ``columns``, slots outside the required set are ``None`` — the
+        same rule as the scalar scan, so neither path materializes
+        lazy columns the projection never reads."""
         chunk = self.chunk
-        sides, codes, cores = chunk.side, chunk.code, chunk.core
-        seqs, raws = chunk.seq, chunk.raw_ts
-        vals, off = chunk.values, chunk.val_off
+        sides, codes = chunk.side, chunk.code
+        want_core = columns is None or "core" in columns
+        want_seq = columns is None or "seq" in columns
+        want_raw = columns is None or "raw_ts" in columns
+        want_vals = columns is None or "values" in columns
+        cores = chunk.core if want_core else None
+        seqs = chunk.seq if want_seq else None
+        raws = chunk.raw_ts if want_raw else None
+        if want_vals:
+            vals, off = chunk.values, chunk.val_off
         times = self.times.tolist() if self.times is not None else None
         indices = range(self.n) if self.sel is None else self.sel.tolist()
-        if times is None:
-            for i in indices:
-                yield (None, sides[i], codes[i], cores[i], seqs[i], raws[i],
-                       vals[off[i] : off[i + 1]])
-        else:
-            for i in indices:
-                yield (times[i], sides[i], codes[i], cores[i], seqs[i],
-                       raws[i], vals[off[i] : off[i + 1]])
+        for i in indices:
+            yield (
+                None if times is None else times[i],
+                sides[i], codes[i],
+                cores[i] if want_core else None,
+                seqs[i] if want_seq else None,
+                raws[i] if want_raw else None,
+                vals[off[i] : off[i + 1]] if want_vals else None,
+            )
 
     def column(self, name: typing.Optional[str]):
         """Full-chunk column for aggregation: ``(array, valid_or_None)``
@@ -319,16 +359,28 @@ def select_chunk(
 
     Raises :class:`KernelFallback` when the chunk cannot be proven safe
     (unknown record type, placement overflow risk, missing clock fit).
+
+    Late materialization: the selection mask is built from the cheap
+    columns (side/code/core, plus placed times when the predicate is
+    windowed); the payload arrays are decoded up front only when a
+    field clause needs them to *filter*, and otherwise stay behind the
+    returned selection's lazy ``off``/``vals`` until a fold or
+    projection reads a payload column.
     """
     n = len(chunk)
     sides = np.frombuffer(chunk.side, np.uint8)
     codes = np.frombuffer(chunk.code, np.uint8)
-    cores = np.frombuffer(chunk.core, CORE_DTYPE)
+    # The core column is read only to test an SPE clause or to place
+    # times per-core; otherwise it stays behind the selection's lazy
+    # ``cores`` property (and, on a v6 chunk, stays compressed).
+    cores = (
+        np.frombuffer(chunk.core, CORE_DTYPE)
+        if predicate.spes is not None or needs_time
+        else None
+    )
     tids = (sides.astype(np.int64) << 8) | codes
     if n and not _KNOWN_LUT[tids].all():
         raise KernelFallback("unknown record type in chunk")
-    off = np.frombuffer(chunk.val_off, OFF_DTYPE).astype(np.int64)[:-1]
-    vals = np.frombuffer(chunk.values, np.int64)
 
     # Static clauses: one whole-chunk mask op each.
     mask = np.ones(n, dtype=bool)
@@ -359,7 +411,10 @@ def select_chunk(
                 if hi is not None:
                     mask &= times <= hi
 
+    off = vals = None
     if predicate.fields:
+        off = np.frombuffer(chunk.val_off, OFF_DTYPE).astype(np.int64)[:-1]
+        vals = np.frombuffer(chunk.values, np.int64)
         mask &= _field_mask(n, tids, off, vals, predicate.fields)
 
     sel = None if mask.all() else np.flatnonzero(mask)

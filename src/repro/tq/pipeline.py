@@ -43,6 +43,9 @@ from repro.tq.source import IndexedSource, PruneStats
 #: Columns every record has, before payload fields.
 _INTRINSIC = ("time", "side", "code", "core", "seq", "raw_ts", "kind", "spe")
 
+#: The tuple layout :meth:`Query.records` yields without a projection.
+DEFAULT_PROJECTION = ("time", "side", "core", "kind", "seq")
+
 #: Reduction operators taking a value column.
 _VALUE_OPS = ("sum", "min", "max", "mean", "p50", "p99")
 
@@ -254,6 +257,64 @@ class QueryPlan:
     time_bucket: typing.Optional[int]
     aggs: typing.Tuple[typing.Tuple[str, str, typing.Optional[str]], ...]
 
+    def needs_time(self) -> bool:
+        """Whether executing this plan places record times (same rule
+        as :meth:`Query._needs_time`, detached from a source)."""
+        if self.predicate.needs_time or "bucket" in self.group_keys:
+            return True
+        if self.projection is not None and "time" in self.projection:
+            return True
+        return any(column == "time" for __, __, column in self.aggs)
+
+    def required_columns(
+        self, terminal: str = "all"
+    ) -> typing.FrozenSet[str]:
+        """The chunk columns executing this plan can read — the
+        projection-pushdown set handed to the reader so everything
+        outside it is never decompressed or materialized.
+
+        Always included: the predicate's own needs (``side``/``code``
+        carry the kind machinery; ``core`` rides along only when an
+        SPE clause or time placement reads it), plus ``raw_ts`` *and*
+        ``core`` whenever times are placed — clock correlation is
+        per-core.  ``terminal`` narrows the rest to what one terminal
+        actually touches: ``"records"`` adds the projection's columns
+        (the default projection when none was set), ``"fold"`` adds
+        group keys and aggregation columns, ``"count"`` adds nothing,
+        and ``"all"`` (the default) is the union — the conservative
+        set for consumers that replay a plan through several
+        terminals.
+        """
+        needed = set(self.predicate.required_columns())
+        if self.needs_time():
+            needed.update(("raw_ts", "core"))
+
+        def column_needs(column: str) -> None:
+            if column in ("time", "bucket"):
+                needed.update(("raw_ts", "core"))  # placement is per-core
+            elif column in ("core", "spe"):
+                needed.add("core")
+            elif column in ("seq", "raw_ts"):
+                needed.add(column)
+            elif column not in _INTRINSIC and column not in _GROUP_KEYS:
+                needed.add("values")  # a payload field
+
+        if terminal in ("records", "all"):
+            projection = (
+                self.projection
+                if self.projection is not None
+                else DEFAULT_PROJECTION
+            )
+            for column in projection:
+                column_needs(column)
+        if terminal in ("fold", "all"):
+            for key in self.group_keys:
+                column_needs(key)
+            for __, __, column in self.aggs:
+                if column is not None:
+                    column_needs(column)
+        return frozenset(needed)
+
 
 class Query:
     """A composable, immutable-builder query over one event source.
@@ -430,15 +491,18 @@ class Query:
 
     def _selections(
         self,
+        columns: typing.Optional[typing.FrozenSet[str]] = None,
     ) -> typing.Iterator[typing.Tuple["ColumnChunk", typing.Optional[object]]]:
         """Chunks of the pruned scan, each with its kernel
         :class:`~repro.tq.kernels.ChunkSelection` — or ``None`` when
         the chunk must take the scalar reference loop (escape hatch set
-        or :class:`~repro.tq.kernels.KernelFallback`)."""
+        or :class:`~repro.tq.kernels.KernelFallback`).  ``columns`` is
+        the terminal's required-column set, pushed down to the reader
+        so only those columns are decompressed and materialized."""
         predicate = self.predicate
         needs_time = self._needs_time()
         correlator = self._get_correlator() if needs_time else None
-        pruned = IndexedSource(self.source, predicate, correlator)
+        pruned = IndexedSource(self.source, predicate, correlator, columns)
         self.stats = pruned.stats
         use_kernels = kernels.kernels_enabled()
         for chunk in pruned.iter_chunks():
@@ -450,30 +514,61 @@ class Query:
             yield chunk, selection
 
     def _scan_chunk_scalar(
-        self, chunk: "ColumnChunk"
+        self,
+        chunk: "ColumnChunk",
+        columns: typing.Optional[typing.FrozenSet[str]] = None,
     ) -> typing.Iterator[typing.Tuple]:
         """The per-record reference scan of one chunk — the behavior
-        (and error) oracle the kernels must match."""
+        (and error) oracle the kernels must match.
+
+        With ``columns``, tuple slots the terminal never reads are
+        ``None`` instead of column accesses, so a lazily-decoded chunk
+        is not forced to materialize columns outside the plan's
+        required set (:meth:`ChunkSelection.rows` applies the identical
+        rule, keeping both paths' tuples equal slot for slot)."""
         predicate = self.predicate
         needs_time = self._needs_time()
         correlator = self._correlator if needs_time else None
         check_fields = bool(predicate.fields)
-        off = chunk.val_off
+        want_core = columns is None or "core" in columns
+        want_seq = columns is None or "seq" in columns
+        want_raw = columns is None or "raw_ts" in columns
+        want_vals = columns is None or "values" in columns
+        cores = chunk.core if want_core else None
+        seqs = chunk.seq if want_seq else None
+        vals = chunk.values if (want_vals or check_fields) else None
+        off = chunk.val_off if vals is not None else None
         for i in range(len(chunk)):
-            side, code, core = chunk.side[i], chunk.code[i], chunk.core[i]
+            side, code = chunk.side[i], chunk.code[i]
+            # The plan includes "core" whenever the predicate tests it
+            # or times are placed, so 0 is never *read* — it only keeps
+            # matches_static's signature whole.
+            core = cores[i] if cores is not None else 0
             if not predicate.matches_static(side, code, core):
                 continue
             time: typing.Optional[int] = None
+            raw_ts: typing.Optional[int] = None
             if needs_time:
-                time = correlator.place_value(side, core, chunk.raw_ts[i])
+                raw_ts = chunk.raw_ts[i]
+                time = correlator.place_value(side, core, raw_ts)
                 if not predicate.matches_time(time):
                     continue
-            values = chunk.values[off[i] : off[i + 1]]
-            if check_fields and not predicate.matches_fields(
-                side, code, values
-            ):
-                continue
-            yield time, side, code, core, chunk.seq[i], chunk.raw_ts[i], values
+            elif want_raw:
+                raw_ts = chunk.raw_ts[i]
+            values: typing.Optional[typing.Sequence[int]] = None
+            if vals is not None:
+                values = vals[off[i] : off[i + 1]]
+                if check_fields and not predicate.matches_fields(
+                    side, code, values
+                ):
+                    continue
+            yield (
+                time, side, code,
+                core if want_core else None,
+                seqs[i] if want_seq else None,
+                raw_ts if want_raw else None,
+                values if want_vals else None,
+            )
 
     def _scan(
         self,
@@ -483,12 +578,15 @@ class Query:
         ]
     ]:
         """Matching records as (time, side, code, core, seq, raw_ts,
-        values) in chunk order; ``time`` is None for time-free queries."""
-        for chunk, selection in self._selections():
+        values) in chunk order; ``time`` is None for time-free queries
+        (and slots outside the projection's required columns are None
+        — the projector below never reads them)."""
+        columns = self.plan().required_columns("records")
+        for chunk, selection in self._selections(columns):
             if selection is None:
-                yield from self._scan_chunk_scalar(chunk)
+                yield from self._scan_chunk_scalar(chunk, columns)
             else:
-                yield from selection.rows()
+                yield from selection.rows(columns)
 
     def _column_value(
         self, column, time, side, code, core, seq, raw_ts, values
@@ -515,7 +613,7 @@ class Query:
     def records(self) -> typing.Iterator[typing.Tuple]:
         """Stream matching records as projected tuples, in chunk
         (recording) order."""
-        projection = self._projection or ("time", "side", "core", "kind", "seq")
+        projection = self._projection or DEFAULT_PROJECTION
         query = self if self._projection else self.project(*projection)
         for row in query._scan():
             yield tuple(query._column_value(c, *row) for c in projection)
@@ -523,21 +621,27 @@ class Query:
 
     def count(self) -> int:
         """Number of matching records."""
+        columns = self.plan().required_columns("count")
         total = 0
-        for chunk, selection in self._selections():
+        for chunk, selection in self._selections(columns):
             if selection is None:
-                total += sum(1 for __ in self._scan_chunk_scalar(chunk))
+                total += sum(
+                    1 for __ in self._scan_chunk_scalar(chunk, columns)
+                )
             else:
                 total += selection.count
         return total
 
     def _fold_chunk_scalar(
-        self, chunk: "ColumnChunk", partial: PartialAggregation
+        self,
+        chunk: "ColumnChunk",
+        partial: PartialAggregation,
+        columns: typing.Optional[typing.FrozenSet[str]] = None,
     ) -> None:
         """The per-record reference fold of one chunk."""
         keys = self._group_keys
         bucket = self._time_bucket
-        for row in self._scan_chunk_scalar(chunk):
+        for row in self._scan_chunk_scalar(chunk, columns):
             time = row[0]
             parts = []
             for key in keys:
@@ -563,9 +667,10 @@ class Query:
         trace before :meth:`PartialAggregation.finalize` emits rows."""
         aggs = self._aggs or (("n", "count", None),)
         partial = PartialAggregation.create(self._group_keys, aggs)
-        for chunk, selection in self._selections():
+        columns = self.plan().required_columns("fold")
+        for chunk, selection in self._selections(columns):
             if selection is None:
-                self._fold_chunk_scalar(chunk, partial)
+                self._fold_chunk_scalar(chunk, partial, columns)
             else:
                 kernels.fold_chunk(
                     selection, partial, self._group_keys, self._time_bucket

@@ -90,6 +90,26 @@ class Predicate:
         """Whether evaluating this predicate requires placed time."""
         return self.t_min is not None or self.t_max is not None
 
+    def required_columns(self) -> typing.FrozenSet[str]:
+        """The chunk columns record-exact evaluation reads:
+        ``side``/``code`` always (they carry the kind machinery),
+        ``core`` only when an SPE clause tests it or a time window
+        needs records placed (placement is per-core), ``raw_ts`` when
+        a time window needs records placed, and ``values`` when
+        payload clauses must be checked.  This is the predicate's
+        contribution to a query plan's projection-pushdown set —
+        columns outside it (and the plan's own needs) are never
+        decoded, so a count-by-event scan decodes two dictionary
+        sections, not three."""
+        needed = {"side", "code"}
+        if self.spes is not None:
+            needed.add("core")
+        if self.needs_time:
+            needed.update(("raw_ts", "core"))
+        if self.fields:
+            needed.add("values")
+        return frozenset(needed)
+
     @property
     def is_unrestricted(self) -> bool:
         return (

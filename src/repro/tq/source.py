@@ -84,6 +84,11 @@ class IndexedSource(EventSource):
     deliberately delegates to the *unpruned* base: clock correlation
     must always see every sync record, or placed times would depend on
     the predicate.
+
+    ``columns`` is the query plan's required-column set, threaded to
+    the base's ``iter_chunks_projected`` so admitted chunks decode only
+    what the plan reads (the projection-pushdown path); ``None`` keeps
+    the full decode.
     """
 
     def __init__(
@@ -91,6 +96,7 @@ class IndexedSource(EventSource):
         base: typing.Union[EventSource, TraceHandle],
         predicate: Predicate,
         correlator: typing.Optional[ClockCorrelator] = None,
+        columns: typing.Optional[typing.FrozenSet[str]] = None,
     ):
         if isinstance(base, TraceHandle):
             base = base.source()
@@ -98,6 +104,7 @@ class IndexedSource(EventSource):
         self.header = base.header
         self.predicate = predicate
         self._correlator = correlator
+        self._columns = columns
         self._mask: typing.Optional[typing.List[bool]] = None
         self._stats: typing.Optional[PruneStats] = None
 
@@ -155,6 +162,8 @@ class IndexedSource(EventSource):
 
     def iter_chunks(self) -> typing.Iterator[ColumnChunk]:
         mask = self._compute_mask()
+        if self._columns is not None:
+            return self.base.iter_chunks_projected(mask, self._columns)
         if mask is None:
             return self.base.iter_chunks()
         return self.base.iter_chunks_selected(mask)

@@ -21,6 +21,7 @@ from repro.pdt.format import (
     VERSION_CRC,
     VERSION_INDEXED,
     VERSION_LEGACY,
+    VERSION_SECTIONED,
     TraceFormatError,
     chunk_frame_struct,
     data_offset,
@@ -84,15 +85,15 @@ def record_tuples(source):
 # ----------------------------------------------------------------------
 # version-3 round trip
 # ----------------------------------------------------------------------
-def test_v3_round_trips_and_v5_is_default():
+def test_v3_round_trips_and_v6_is_default():
     blob = sample_blob()
-    # The default header version moved to the compressed columnar
-    # layout (v5), a superset of the v3 integrity checks and the v4
-    # zone-map index.
+    # The default header version moved to the per-section compressed
+    # columnar layout (v6), a superset of the v3 integrity checks, the
+    # v4 zone-map index and the v5 compressed columns.
     assert TraceHeader(
         n_spes=1, timebase_divider=1, spu_clock_hz=1.0,
         groups_bitmap=0, buffer_bytes=0,
-    ).version == VERSION_COMPRESSED
+    ).version == VERSION_SECTIONED
     trace = read_trace(blob)
     assert trace.header.version == VERSION_CRC
     assert trace.n_records == N_RECORDS

@@ -1,0 +1,272 @@
+"""Property: a masked decode is a projection of the full decode.
+
+Projection pushdown must be invisible in results: for any chunk, any
+payload version, any column mask, and either codec implementation,
+the columns a masked decode serves are byte-identical to the same
+columns of the full decode — and the *unrequested* columns, which a
+lazy chunk materializes on first access, are identical too.  The
+scalar codec (``REPRO_SCALAR_CODEC=1``) and the no-compression hatch
+(``REPRO_NO_COMPRESS=1``) are part of the matrix: the fast paths are
+only trusted because these oracles agree.
+
+Also here: the v6 corrupt-section contract.  The frame CRC covers the
+stored bytes, so on-disk corruption of *any* section fails a strict
+read before decompression regardless of the mask; at payload level
+(post-CRC, e.g. salvage or direct payload decode) a damaged section
+that the mask never touches costs nothing, and first access raises
+exactly the error the full decode raises.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pdt import codec
+from repro.pdt.colenc import decode_chunk_payload, encode_chunk_payload
+from repro.pdt.events import SIDE_PPE, SIDE_SPE, code_for_kind
+from repro.pdt.format import (
+    _V5_PAYLOAD,
+    _V6_SECTION,
+    V6_SECTION_COUNT,
+    VERSION_COMPRESSED,
+    VERSION_SECTIONED,
+    TraceFormatError,
+)
+from repro.pdt.store import CHUNK_COLUMNS, ColumnChunk, LazyChunk
+
+SPECS = [
+    code_for_kind(SIDE_SPE, name)
+    for name in ("mfc_get", "mfc_put", "wait_tag_begin", "wait_tag_end",
+                 "sync", "user_marker")
+] + [
+    code_for_kind(SIDE_PPE, name)
+    for name in ("context_create", "context_run_begin", "context_run_end")
+]
+
+record = st.tuples(
+    st.integers(min_value=0, max_value=len(SPECS) - 1),
+    st.integers(min_value=0, max_value=7),
+    st.integers(min_value=0, max_value=0xFFFF_FFFF),
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+    st.integers(min_value=-(1 << 40), max_value=1 << 40),
+)
+
+#: Masks worth drawing: empty (row count only), singles of each lazy
+#: column, the static trio, a mixed pair, and the full set (which the
+#: decoder normalizes back to an eager decode).
+MASKS = [
+    frozenset(),
+    frozenset({"side", "code"}),  # count-by-event: core stays deferred
+    frozenset({"side", "code", "core"}),
+    frozenset({"raw_ts"}),
+    frozenset({"seq"}),
+    frozenset({"values"}),
+    frozenset({"raw_ts", "values"}),
+    frozenset({"side", "seq", "values"}),
+    frozenset(CHUNK_COLUMNS),
+]
+
+
+def build_chunk(draws):
+    chunk = ColumnChunk()
+    for spec_i, core, seq, raw, seed in draws:
+        spec = SPECS[spec_i]
+        values = tuple(seed + j for j in range(len(spec.fields)))
+        chunk.append(spec.side, spec.code, core, seq, raw, values)
+    return chunk
+
+
+def assert_projection(full, got, chunk):
+    """``got`` (a masked decode) must project ``full`` exactly —
+    including the columns the mask skipped, which materialize lazily."""
+    assert len(got) == len(chunk)
+    for name in ("side", "code", "core", "seq", "raw_ts", "values",
+                 "val_off", "truth"):
+        want = getattr(full, name)
+        have = getattr(got, name)
+        assert list(have) == list(want), name
+        assert have.typecode == want.typecode, name
+
+
+def _env(name, fn, *args):
+    os.environ[name] = "1"
+    try:
+        return fn(*args)
+    finally:
+        del os.environ[name]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(record, max_size=80),
+    st.sampled_from([VERSION_COMPRESSED, VERSION_SECTIONED]),
+    st.sampled_from(MASKS),
+)
+def test_masked_decode_projects_the_full_decode(draws, version, mask):
+    chunk = build_chunk(draws)
+    payload = encode_chunk_payload(chunk, version)
+    full = decode_chunk_payload(payload, len(chunk), version)
+    assert_projection(full, chunk, chunk)
+    masked = decode_chunk_payload(payload, len(chunk), version, mask)
+    assert_projection(full, masked, chunk)
+    scalar = _env(
+        "REPRO_SCALAR_CODEC",
+        decode_chunk_payload, payload, len(chunk), version, mask,
+    )
+    assert_projection(full, scalar, chunk)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(record, max_size=60),
+    st.sampled_from([VERSION_COMPRESSED, VERSION_SECTIONED]),
+    st.sampled_from(MASKS),
+)
+def test_no_compress_hatch_masked_decode_projects(draws, version, mask):
+    chunk = build_chunk(draws)
+    payload = _env("REPRO_NO_COMPRESS", encode_chunk_payload, chunk, version)
+    full = decode_chunk_payload(payload, len(chunk), version)
+    assert_projection(full, chunk, chunk)
+    masked = decode_chunk_payload(payload, len(chunk), version, mask)
+    assert_projection(full, masked, chunk)
+    scalar = _env(
+        "REPRO_SCALAR_CODEC",
+        decode_chunk_payload, payload, len(chunk), version, mask,
+    )
+    assert_projection(full, scalar, chunk)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(record, max_size=60), st.sampled_from(MASKS))
+def test_v4_record_stream_masked_decode_projects(draws, mask):
+    """The pre-v5 read path honors masks too: the stream is still
+    walked end to end, but the per-column gathers defer."""
+    from repro.pdt.handle import _decode_chunk
+    from repro.pdt.format import VERSION_INDEXED
+
+    chunk = build_chunk(draws)
+    stream = codec.encode_batch(chunk)
+    full = _decode_chunk(stream, 0, len(chunk), len(stream),
+                         VERSION_INDEXED)
+    assert_projection(full, chunk, chunk)
+    masked = _decode_chunk(stream, 0, len(chunk), len(stream),
+                           VERSION_INDEXED, mask)
+    assert_projection(full, masked, chunk)
+    scalar = _env(
+        "REPRO_SCALAR_CODEC",
+        _decode_chunk, stream, 0, len(chunk), len(stream),
+        VERSION_INDEXED, mask,
+    )
+    assert_projection(full, scalar, chunk)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(record, max_size=80))
+def test_v6_round_trips_and_codec_paths_agree(draws):
+    chunk = build_chunk(draws)
+    payload = encode_chunk_payload(chunk, VERSION_SECTIONED)
+    assert _env(
+        "REPRO_SCALAR_CODEC", encode_chunk_payload, chunk, VERSION_SECTIONED
+    ) == payload
+    decoded = decode_chunk_payload(payload, len(chunk), VERSION_SECTIONED)
+    for name in ("side", "code", "core", "seq", "raw_ts", "values"):
+        assert bytes(getattr(decoded, name)) == bytes(getattr(chunk, name))
+    enc, outer_codec, reserved, packed = _V5_PAYLOAD.unpack_from(payload)
+    assert outer_codec == 0 and reserved == 0
+    table_end = _V5_PAYLOAD.size + V6_SECTION_COUNT * _V6_SECTION.size
+    decoded_total = 0
+    stored_total = 0
+    for i in range(V6_SECTION_COUNT):
+        codec_id, flags, res, stored_len, decoded_len = _V6_SECTION.unpack_from(
+            payload, _V5_PAYLOAD.size + i * _V6_SECTION.size
+        )
+        assert flags == 0 and res == 0
+        decoded_total += decoded_len
+        stored_total += stored_len
+    assert decoded_total == packed
+    assert table_end + stored_total == len(payload)
+
+
+def _sectioned_payload():
+    """A chunk whose raw_ts section is certainly zlib-compressed."""
+    chunk = ColumnChunk()
+    spec = code_for_kind(SIDE_SPE, "mfc_get")
+    values = tuple(range(len(spec.fields)))
+    for i in range(512):
+        chunk.append(spec.side, spec.code, i % 4, i, 1000 + 8 * i, values)
+    payload = encode_chunk_payload(chunk, VERSION_SECTIONED)
+    codec_id = payload[_V5_PAYLOAD.size]  # section 0 = raw_ts
+    assert codec_id != 0, "test premise: raw_ts section must be compressed"
+    return chunk, payload
+
+
+@pytest.mark.skipif(
+    bool(os.environ.get("REPRO_FULL_DECODE")),
+    reason="asserts a damaged section stays deferred; the hatch decodes it",
+)
+def test_v6_corrupt_unrequested_section_costs_nothing():
+    chunk, payload = _sectioned_payload()
+    clean = decode_chunk_payload(payload, len(chunk), VERSION_SECTIONED)
+    body_start = _V5_PAYLOAD.size + V6_SECTION_COUNT * _V6_SECTION.size
+    bad = bytearray(payload)
+    bad[body_start + 3] ^= 0xFF  # inside the raw_ts stored body
+    bad = bytes(bad)
+    # The full decode inflates every section and fails.
+    with pytest.raises(TraceFormatError) as full_err:
+        decode_chunk_payload(bad, len(chunk), VERSION_SECTIONED)
+    # A mask that never touches raw_ts decodes fine and identically.
+    masked = decode_chunk_payload(
+        bad, len(chunk), VERSION_SECTIONED, frozenset({"side", "values"})
+    )
+    for name in ("side", "code", "core", "values", "val_off"):
+        assert list(getattr(masked, name)) == list(getattr(clean, name))
+    # First access of the damaged column raises the full decode's error.
+    with pytest.raises(TraceFormatError) as lazy_err:
+        masked.raw_ts
+    assert str(lazy_err.value) == str(full_err.value)
+
+
+def test_v6_section_table_is_validated_eagerly_under_any_mask():
+    """Structural damage to the section *table* never hides behind a
+    mask: stored-length overruns and bad reserved bits fail up front."""
+    chunk, payload = _sectioned_payload()
+    narrow = frozenset({"side"})
+    # Nonzero reserved bits in an unrequested section's table entry.
+    bad = bytearray(payload)
+    bad[_V5_PAYLOAD.size + 1] = 1  # flags of section 0 (raw_ts)
+    with pytest.raises(TraceFormatError, match="reserved bits"):
+        decode_chunk_payload(bytes(bad), len(chunk), VERSION_SECTIONED,
+                             narrow)
+    # A stored length that overruns the payload.
+    bad = bytearray(payload)
+    _V6_SECTION.pack_into(
+        bad, _V5_PAYLOAD.size,
+        *(lambda c, f, r, s, d: (c, f, r, s + 10_000, d))(
+            *_V6_SECTION.unpack_from(payload, _V5_PAYLOAD.size)
+        ),
+    )
+    with pytest.raises(TraceFormatError):
+        decode_chunk_payload(bytes(bad), len(chunk), VERSION_SECTIONED,
+                             narrow)
+    # A nonzero outer codec id on a v6 columnar payload.
+    bad = bytearray(payload)
+    bad[1] = 1
+    with pytest.raises(TraceFormatError, match="outer codec"):
+        decode_chunk_payload(bytes(bad), len(chunk), VERSION_SECTIONED,
+                             narrow)
+
+
+@pytest.mark.skipif(
+    bool(os.environ.get("REPRO_FULL_DECODE")),
+    reason="asserts the empty mask yields a lazy chunk; the hatch is eager",
+)
+def test_truth_column_defaults_and_projection_has_row_count():
+    """An empty mask still yields a chunk with the right row count and
+    a default truth column (all -1), matching the eager decode."""
+    chunk, payload = _sectioned_payload()
+    empty = decode_chunk_payload(payload, len(chunk), VERSION_SECTIONED,
+                                 frozenset())
+    assert isinstance(empty, LazyChunk)
+    assert len(empty) == len(chunk)
+    assert list(empty.truth) == [-1] * len(chunk)

@@ -134,10 +134,35 @@ def test_chunk_cache_namespaces_traces(traces_chunk):
     one = ChunkCache(shared, ("one", 0))
     two = ChunkCache(shared, ("two", 0))
     one.put(0, traces_chunk)
-    assert one.get(0) is traces_chunk
+    got = one.get(0)
+    assert got is not None and len(got) == len(traces_chunk)
+    for name in ("side", "code", "core", "seq", "raw_ts", "values",
+                 "val_off", "truth"):
+        assert list(getattr(got, name)) == list(getattr(traces_chunk, name))
     assert two.get(0) is None
-    assert shared.current_bytes == chunk_nbytes(traces_chunk)
-    assert chunk_nbytes(traces_chunk) > 0
+    # Per-column entries charge exactly what is resident: every column
+    # buffer except the synthesized truth column, which is never cached.
+    truth = traces_chunk.truth
+    assert shared.current_bytes == (
+        chunk_nbytes(traces_chunk) - truth.itemsize * len(truth)
+    )
+    assert shared.current_bytes > 0
+
+
+def test_chunk_cache_is_per_column(traces_chunk):
+    shared = LruCache(1 << 20)
+    cache = ChunkCache(shared, ("one", 0))
+    cache.put(0, traces_chunk)
+    narrow = cache.get(0, frozenset({"side", "code"}))
+    assert list(narrow.side) == list(traces_chunk.side)
+    assert list(narrow.code) == list(traces_chunk.code)
+    with pytest.raises(RuntimeError):
+        narrow.raw_ts  # not requested, so not assembled
+    # Evict one column: a full-width get must miss while narrower
+    # projections that avoid the hole still hit.
+    shared.invalidate(lambda key: key[-1] == "raw_ts")
+    assert cache.get(0) is None
+    assert cache.get(0, frozenset({"side", "values"})) is not None
 
 
 @pytest.fixture(scope="module")

@@ -6,11 +6,15 @@ then applies seeded random damage — truncations at arbitrary offsets,
 single- and multi-bit flips — and checks the two invariants the format
 promises:
 
-* **Strict reads never silently accept damage.**  Version-3, -4 and
-  -5 files (every byte CRC-covered — for v5 the CRC spans the *stored*
-  compressed payload, so damage surfaces before any decompression)
-  must raise :class:`TraceFormatError` for *any* byte change;
-  version-2 files (no CRCs) must at least detect every truncation.
+* **Strict reads never silently accept damage.**  Version-3 through
+  -6 files (every byte CRC-covered — for v5/v6 the CRC spans the
+  *stored* compressed payload bytes, so damage surfaces before any
+  decompression) must raise :class:`TraceFormatError` for *any* byte
+  change; version-2 files (no CRCs) must at least detect every
+  truncation.  For v6 a targeted mode flips bits only inside a
+  chunk's payload header and per-section table (codec ids, reserved
+  bits, stored/decoded lengths) — the metadata projection pushdown
+  trusts to skip sections.
 * **Salvage reads never crash.**  ``strict=False`` must survive every
   damaged input with a parseable header, return a consistent
   :class:`SalvageReport`, and agree between the materializing and
@@ -53,11 +57,16 @@ from repro.pdt import TraceConfig, open_trace, read_trace
 from repro.pdt.format import (
     _CHUNK_CRC,
     _HEADER,
+    _V5_PAYLOAD,
+    _V6_SECTION,
+    V6_SECTION_COUNT,
     VERSION_CHUNKED,
     VERSION_COMPRESSED,
     VERSION_CRC,
     VERSION_INDEXED,
+    VERSION_SECTIONED,
     TraceFormatError,
+    chunk_frame_struct,
     data_offset,
 )
 from repro.pdt.index import index_size
@@ -86,6 +95,7 @@ def build_corpus() -> typing.List[typing.Tuple[str, int, bytes]]:
         result = run_workload(factory(), TraceConfig(buffer_bytes=4096))
         source = result.trace_source()
         for version in (
+            VERSION_SECTIONED,
             VERSION_COMPRESSED,
             VERSION_INDEXED,
             VERSION_CRC,
@@ -136,6 +146,41 @@ def mutate_trailer(rng: random.Random, blob: bytes) -> typing.Tuple[bytes, str]:
         data[pos] ^= bit
         notes.append(f"trailer-flip@{pos}:0x{bit:02x}")
     return bytes(data), " ".join(notes)
+
+
+def _chunk_payload_spans(
+    blob: bytes, version: int, n_chunks: int
+) -> typing.List[typing.Tuple[int, int]]:
+    """(payload_offset, payload_bytes) per chunk of a closed file."""
+    frame = chunk_frame_struct(version)
+    offset = data_offset(version)
+    spans = []
+    for __ in range(n_chunks):
+        n_records, payload_bytes = frame.unpack_from(blob, offset)[:2]
+        offset += frame.size
+        spans.append((offset, payload_bytes))
+        offset += payload_bytes
+    return spans
+
+
+def mutate_v6_sections(rng: random.Random, blob: bytes) -> typing.Tuple[bytes, str]:
+    """Damage confined to one v6 chunk's payload header or per-section
+    table — the codec ids, reserved bits and stored/decoded lengths
+    that a masked decode trusts to *skip* sections.  The frame CRC
+    covers these bytes, so a strict read must refuse the file before
+    any section is ever decompressed, whatever the column mask."""
+    spans = _chunk_payload_spans(
+        blob, VERSION_SECTIONED, open_trace(blob).n_chunks
+    )
+    start, payload_bytes = spans[rng.randrange(len(spans))]
+    table_len = min(
+        _V5_PAYLOAD.size + V6_SECTION_COUNT * _V6_SECTION.size, payload_bytes
+    )
+    data = bytearray(blob)
+    pos = start + rng.randrange(table_len)
+    bit = 1 << rng.randrange(8)
+    data[pos] ^= bit
+    return bytes(data), f"v6-section-flip@{pos}:0x{bit:02x}"
 
 
 def _query_fingerprint(source) -> typing.Tuple:
@@ -293,7 +338,7 @@ def build_live_corpus() -> typing.List[typing.Tuple[str, int, bytes]]:
     for name, factory in WORKLOADS:
         result = run_workload(factory(), TraceConfig(buffer_bytes=4096))
         source = result.trace_source()
-        for version in (VERSION_COMPRESSED, VERSION_INDEXED):
+        for version in (VERSION_SECTIONED, VERSION_COMPRESSED, VERSION_INDEXED):
             source.header.version = version
             with tempfile.TemporaryDirectory() as tmp:
                 writer = StepWriter(
@@ -487,7 +532,12 @@ def fuzz(iterations: int, seed: int, verbose: bool = False) -> int:
     all_failures = []
     for i in range(iterations):
         name, version, blob = corpus[rng.randrange(len(corpus))]
-        if version >= VERSION_INDEXED and rng.random() < 0.34:
+        if version >= VERSION_SECTIONED and rng.random() < 0.25:
+            # Targeted mode: flip bits only in the v6 section metadata
+            # a masked decode relies on without inflating anything.
+            mutated, description = mutate_v6_sections(rng, blob)
+            failures = check_one(name, version, blob, mutated, False)
+        elif version >= VERSION_INDEXED and rng.random() < 0.34:
             # Targeted mode: damage only the index trailer, where the
             # contract is sharper — nothing but pruning may be lost.
             mutated, description = mutate_trailer(rng, blob)
@@ -541,6 +591,15 @@ def export_corpus(
                 mutated, description = mutate_trailer(rng, blob)
                 if mutated != blob:
                     cases.append(("trailer", mutated, description, False))
+                    added += 1
+        if version >= VERSION_SECTIONED:
+            added = 0
+            while added < cases_per_trace:
+                mutated, description = mutate_v6_sections(rng, blob)
+                if mutated != blob:
+                    cases.append(
+                        ("v6-sections", mutated, description, False)
+                    )
                     added += 1
         for i, (mode, mutated, description, truncated) in enumerate(cases):
             filename = f"{name}-v{version}-{mode}-{i}.pdt"
